@@ -1,0 +1,74 @@
+// bench_ablate_clustering — ablation A6: which classic yield model is
+// "right"?  Whole-wafer Monte Carlo with uniform vs. gamma-clustered
+// defects, compared against the Poisson and negative-binomial closed
+// forms, plus pass/fail wafer maps.  Demonstrates why the compound
+// models exist: clustering raises mean yield at equal defect density and
+// widens wafer-to-wafer spread.
+
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "yield/models.hpp"
+#include "yield/wafer_sim.hpp"
+
+#include <iostream>
+
+int main() {
+    using namespace silicon;
+    bench::banner("Ablation A6 - defect clustering vs yield models");
+
+    const geometry::wafer w = geometry::wafer::six_inch();
+    const geometry::die d = geometry::die::square(millimeters{12.0});
+    const double area_cm2 = d.area().to_square_centimeters().value();
+
+    analysis::text_table table;
+    table.add_column("D [1/cm^2]", analysis::align::right, 2);
+    table.add_column("process", analysis::align::left);
+    table.add_column("MC mean Y", analysis::align::right, 4);
+    table.add_column("MC stddev", analysis::align::right, 4);
+    table.add_column("Poisson", analysis::align::right, 4);
+    table.add_column("NB(a=2)", analysis::align::right, 4);
+
+    const yield::poisson_model poisson;
+    const yield::negative_binomial_model nb{2.0};
+    for (double density : {0.5, 1.0, 2.0}) {
+        for (const yield::defect_process process :
+             {yield::defect_process::uniform,
+              yield::defect_process::clustered}) {
+            yield::wafer_sim_config config;
+            config.wafers = 400;
+            config.defects_per_cm2 = density;
+            config.process = process;
+            config.cluster_alpha = 2.0;
+            config.seed = 20260705;
+            const yield::wafer_sim_result result =
+                yield::simulate_wafers(w, d, config);
+            table.begin_row();
+            table.add_number(density);
+            table.add_cell(process == yield::defect_process::uniform
+                               ? "uniform"
+                               : "clustered (a=2)");
+            table.add_number(result.mean_yield);
+            table.add_number(result.yield_stddev);
+            table.add_number(poisson.yield(density * area_cm2).value());
+            table.add_number(nb.yield(density * area_cm2).value());
+        }
+    }
+    std::cout << table.to_string() << "\n";
+    std::cout << "finding: uniform-defect wafers track the Poisson column; "
+                 "clustered wafers track the\nnegative-binomial column -- "
+                 "the compounding assumption, not the math, decides which\n"
+                 "classic model prices a die correctly.\n\n";
+
+    // Show one wafer of each flavor.
+    yield::wafer_sim_config config;
+    config.wafers = 1;
+    config.defects_per_cm2 = 1.5;
+    config.seed = 7;
+    std::cout << "uniform-defect wafer ('#' good, 'x' bad):\n"
+              << yield::simulate_wafers(w, d, config).last_wafer_map;
+    config.process = yield::defect_process::clustered;
+    config.cluster_alpha = 0.7;
+    std::cout << "\nclustered wafer (same mean density, alpha=0.7):\n"
+              << yield::simulate_wafers(w, d, config).last_wafer_map;
+    return 0;
+}

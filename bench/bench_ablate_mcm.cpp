@@ -1,0 +1,79 @@
+// bench_ablate_mcm — ablation A5 (Sec. VI, refs [30,31]): the MCM
+// known-good-die problem.  Sweeps module die count under three assembly
+// strategies (bare sorted dies, KGD-tested dies, active smart substrate
+// with post-assembly diagnosis/rework) and locates the crossovers.
+
+#include "analysis/ascii_chart.hpp"
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "cost/mcm.hpp"
+
+#include <iostream>
+
+int main() {
+    using namespace silicon;
+    bench::banner("Ablation A5 - MCM strategies vs die count");
+
+    cost::mcm_die die;
+    die.name = "logic die";
+    die.cost = dollars{15.0};
+    die.sort_escape = probability{0.05};
+    die.attach_yield = probability{0.99};
+
+    analysis::text_table table;
+    table.add_column("dies");
+    table.add_column("bare Y", analysis::align::right, 3);
+    table.add_column("bare $/good", analysis::align::right, 0);
+    table.add_column("KGD $/good", analysis::align::right, 0);
+    table.add_column("smart $/good", analysis::align::right, 0);
+    table.add_column("winner", analysis::align::left);
+
+    analysis::series bare{"bare"};
+    analysis::series kgd{"known-good-die"};
+    analysis::series smart{"smart substrate"};
+    for (int n = 1; n <= 24; ++n) {
+        const cost::mcm_config config = cost::uniform_module(n, die);
+        const auto results = cost::compare_mcm_strategies(config);
+        const double b = results[0].cost_per_good_module.value();
+        const double k = results[1].cost_per_good_module.value();
+        const double s = results[2].cost_per_good_module.value();
+        bare.add(n, b);
+        kgd.add(n, k);
+        smart.add(n, s);
+        const char* winner =
+            b <= k && b <= s ? "bare" : (k <= s ? "KGD" : "smart");
+        if (n == 1 || n % 2 == 0) {
+            table.begin_row();
+            table.add_integer(n);
+            table.add_number(results[0].module_yield.value());
+            table.add_number(b);
+            table.add_number(k);
+            table.add_number(s);
+            table.add_cell(winner);
+        }
+    }
+    std::cout << table.to_string() << "\n";
+    std::cout
+        << "paper claim reproduced (Sec. VI): judging an MCM by substrate "
+           "cost alone misleads --\nthe expensive active \"smart "
+           "substrate\" [30] minimizes *system* cost once the module\n"
+           "grows past a handful of dies, because bare-die escapes scrap "
+           "whole modules while the\nsmart substrate converts them into "
+           "single-die rework.\n\n";
+
+    analysis::ascii_chart_options options;
+    options.title = "MCM cost per good module vs die count (log y)";
+    options.x_label = "dies per module";
+    options.y_scale = analysis::scale::log10;
+    std::cout << analysis::render_ascii_chart({bare, kgd, smart}, options);
+
+    analysis::svg_chart_options svg;
+    svg.title = "MCM assembly strategies (Sec. VI)";
+    svg.x_label = "dies per module";
+    svg.y_label = "cost per good module [$]";
+    svg.y_log = true;
+    bench::save_svg("ablate_mcm.svg",
+                    analysis::render_svg_line_chart({bare, kgd, smart},
+                                                    svg));
+    return 0;
+}

@@ -1,0 +1,90 @@
+// bench_ablate_overhead — ablation A8: the Eq. (2) volume/overhead term.
+// "The reported numbers may vary between $100K for ASIC products up to
+// $100M [14] for microprocessors" (Sec. III.A.a).  Sweeps production
+// volume for both overhead classes and shows where amortized overhead
+// stops dominating the pure manufacturing cost — the economics that
+// separate commodity parts from low-volume ASICs.
+
+#include "analysis/ascii_chart.hpp"
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "core/cost_model.hpp"
+
+#include <iostream>
+
+int main() {
+    using namespace silicon;
+    bench::banner("Ablation A8 - overhead amortization vs volume (Eq. 2)");
+
+    core::process_spec process{
+        cost::wafer_cost_model{dollars{800.0}, 1.8},
+        geometry::wafer::six_inch(),
+        yield::reference_die_yield{probability{0.7}},
+        geometry::gross_die_method::maly_rows};
+    const core::cost_model model{process};
+    core::product_spec product;
+    product.name = "1.5M-transistor part";
+    product.transistors = 1.5e6;
+    product.design_density = 180.0;
+    product.feature_size = microns{0.65};
+
+    analysis::text_table table;
+    table.add_column("volume [wafers]", analysis::align::right, 0);
+    table.add_column("ASIC ($100K) C_w", analysis::align::right, 0);
+    table.add_column("ASIC C_tr [u$]", analysis::align::right, 2);
+    table.add_column("uP ($100M) C_w", analysis::align::right, 0);
+    table.add_column("uP C_tr [u$]", analysis::align::right, 2);
+
+    analysis::series asic{"ASIC ($100K overhead)"};
+    analysis::series up{"uP ($100M overhead)"};
+    for (double volume : {100.0, 300.0, 1000.0, 3000.0, 10000.0, 30000.0,
+                          100000.0, 300000.0}) {
+        core::economics_spec asic_econ;
+        asic_econ.overhead = dollars{100e3};
+        asic_econ.volume_wafers = volume;
+        core::economics_spec up_econ;
+        up_econ.overhead = dollars{100e6};
+        up_econ.volume_wafers = volume;
+
+        const core::cost_breakdown a = model.evaluate(product, asic_econ);
+        const core::cost_breakdown u = model.evaluate(product, up_econ);
+        table.begin_row();
+        table.add_number(volume);
+        table.add_number(a.wafer_cost.value());
+        table.add_number(a.cost_per_transistor_micro_dollars());
+        table.add_number(u.wafer_cost.value());
+        table.add_number(u.cost_per_transistor_micro_dollars());
+        asic.add(volume, a.cost_per_transistor_micro_dollars());
+        up.add(volume, u.cost_per_transistor_micro_dollars());
+    }
+    std::cout << table.to_string() << "\n";
+
+    // Break-even: volume at which overhead equals the pure wafer cost.
+    const double pure =
+        process.wafer_cost.pure_wafer_cost(product.feature_size).value();
+    std::cout << "pure wafer cost C'_w: $" << pure << "\n";
+    std::cout << "overhead = pure cost at " << 100e3 / pure
+              << " wafers (ASIC) / " << 100e6 / pure << " wafers (uP)\n\n";
+    std::cout << "finding: a $100M development bill needs ~10^4-10^5 "
+                 "wafers before the silicon, not the\nR&D, dominates -- "
+                 "why \"all other IC including some uPs will be "
+                 "manufactured less\nefficiently\" (criticism of "
+                 "assumption S.1.4).\n\n";
+
+    analysis::ascii_chart_options options;
+    options.title = "C_tr [u$] vs production volume (log-log)";
+    options.x_scale = analysis::scale::log10;
+    options.y_scale = analysis::scale::log10;
+    options.x_label = "wafers over the product lifetime";
+    std::cout << analysis::render_ascii_chart({asic, up}, options);
+
+    analysis::svg_chart_options svg;
+    svg.title = "Overhead amortization (Eq. 2)";
+    svg.x_label = "volume [wafers]";
+    svg.y_label = "C_tr [micro-dollars]";
+    svg.x_log = true;
+    svg.y_log = true;
+    bench::save_svg("ablate_overhead.svg",
+                    analysis::render_svg_line_chart({asic, up}, svg));
+    return 0;
+}

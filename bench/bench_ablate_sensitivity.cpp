@@ -1,0 +1,81 @@
+// bench_ablate_sensitivity — ablation A11: ranked cost drivers.
+// Section III promises to "demonstrate the complexity of the IC
+// manufacturing cost problem"; this bench ranks the elasticities
+// d ln C_tr / d ln theta of every model input for a microprocessor and a
+// DRAM, showing that different product classes are steered by different
+// knobs — the quantitative backbone of Sec. IV.D's warning against
+// extrapolating memory economics.
+
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "core/cost_drivers.hpp"
+
+#include <iostream>
+
+namespace {
+
+using namespace silicon;
+
+void report(const std::string& title, const core::process_spec& process,
+            const core::product_spec& product) {
+    const core::cost_driver_report r =
+        core::analyze_cost_drivers(process, product);
+    std::cout << title << " (nominal C_tr = "
+              << r.nominal.cost_per_transistor_micro_dollars()
+              << " u$/tr):\n";
+    analysis::text_table table;
+    table.add_column("driver", analysis::align::left);
+    table.add_column("nominal", analysis::align::right, 3);
+    table.add_column("elasticity", analysis::align::right, 3);
+    table.add_column("1% change moves C_tr by", analysis::align::right, 3);
+    for (const opt::elasticity& e : r.drivers) {
+        table.begin_row();
+        table.add_cell(e.name);
+        table.add_number(e.nominal);
+        table.add_number(e.value);
+        table.add_cell(analysis::format_number(e.value, 2) + " %");
+    }
+    std::cout << table.to_string() << "\n";
+}
+
+}  // namespace
+
+int main() {
+    using namespace silicon;
+    bench::banner("Ablation A11 - ranked transistor-cost drivers");
+
+    // Microprocessor: big die, mediocre yield (Table 3 row 2 flavor).
+    core::process_spec up_process{
+        cost::wafer_cost_model{dollars{700.0}, 1.8},
+        geometry::wafer::six_inch(),
+        yield::reference_die_yield{probability{0.7}},
+        geometry::gross_die_method::maly_rows};
+    core::product_spec up;
+    up.name = "uP";
+    up.transistors = 3.1e6;
+    up.design_density = 150.0;
+    up.feature_size = microns{0.8};
+    report("microprocessor, 0.8 um, 297 mm^2", up_process, up);
+
+    // DRAM: dense, high effective yield (Table 3 row 12 flavor).
+    core::process_spec dram_process{
+        cost::wafer_cost_model{dollars{400.0}, 1.8},
+        geometry::wafer::six_inch(),
+        yield::reference_die_yield{probability{0.9}},
+        geometry::gross_die_method::maly_rows};
+    core::product_spec dram;
+    dram.name = "DRAM";
+    dram.transistors = 4.1e6;
+    dram.design_density = 35.0;
+    dram.feature_size = microns{0.6};
+    report("DRAM, 0.6 um, 52 mm^2", dram_process, dram);
+
+    std::cout
+        << "finding: for the big uP die the yield reference Y_0 and the "
+           "escalation rate X dominate\n(the die is deep into the "
+           "exponential yield penalty); for the small high-yield DRAM "
+           "the\ncost is driven almost entirely by C_0 and wafer "
+           "geometry.  Different products, different\nlevers -- Sec. "
+           "IV.D's point made quantitative.\n";
+    return 0;
+}

@@ -1,0 +1,62 @@
+// bench_ablate_shrink — ablation A13: when does a product shrink pay?
+// The strategic question behind ref [26]'s "product shrink
+// applications": port an existing die to the next generation or stay?
+// Sweeps the escalation rate X and the yield regime, and reports the
+// break-even X per shrink step.
+
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "core/shrink.hpp"
+
+#include <iostream>
+
+int main() {
+    using namespace silicon;
+    bench::banner("Ablation A13 - product shrink economics");
+
+    core::product_spec product;
+    product.name = "3M-transistor uP";
+    product.transistors = 3.0e6;
+    product.design_density = 150.0;
+    product.feature_size = microns{0.8};
+
+    analysis::text_table table;
+    table.add_column("X", analysis::align::right, 1);
+    table.add_column("target [um]", analysis::align::right, 2);
+    table.add_column("die ratio", analysis::align::right, 2);
+    table.add_column("N_ch ratio", analysis::align::right, 2);
+    table.add_column("C_w ratio", analysis::align::right, 2);
+    table.add_column("Y ratio", analysis::align::right, 2);
+    table.add_column("cost ratio", analysis::align::right, 3);
+    table.add_column("pays?", analysis::align::left);
+    table.add_column("breakeven X", analysis::align::right, 2);
+
+    for (double x : {1.2, 1.6, 2.0, 2.4, 2.6, 2.8}) {
+        core::process_spec process{
+            cost::wafer_cost_model{dollars{700.0}, x},
+            geometry::wafer::six_inch(),
+            yield::reference_die_yield{probability{0.8}},
+            geometry::gross_die_method::maly_rows};
+        const core::shrink_analysis a =
+            core::analyze_shrink(process, product, microns{0.6});
+        table.begin_row();
+        table.add_number(x);
+        table.add_number(0.6);
+        table.add_number(a.area_ratio);
+        table.add_number(a.gross_die_ratio);
+        table.add_number(a.wafer_cost_ratio);
+        table.add_number(a.yield_ratio);
+        table.add_number(a.cost_ratio);
+        table.add_cell(a.shrink_pays ? "yes" : "NO");
+        table.add_number(a.breakeven_x);
+    }
+    std::cout << table.to_string() << "\n";
+    std::cout
+        << "finding: the 0.8 -> 0.6 um shrink of a 3M-transistor die "
+           "pays for X below ~2.5 and\nturns into a loss above -- the "
+           "per-product version of the paper's Scenario #1 vs #2\n"
+           "contrast, and the quantitative form of \"the optimum solution "
+           "may not call for the\nsmallest possible (and expensive) "
+           "feature size.\"\n";
+    return 0;
+}

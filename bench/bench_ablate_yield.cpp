@@ -1,0 +1,77 @@
+// bench_ablate_yield — ablation A2: how would Table 3 change under
+// different yield statistics?  Sweeps the classic model family (Poisson,
+// Murphy, Seeds, Bose-Einstein, negative binomial) over expected fault
+// counts and re-prices a Table-3-class die under each.
+
+#include "analysis/ascii_chart.hpp"
+#include "analysis/sweep.hpp"
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "yield/models.hpp"
+
+#include <iostream>
+
+int main() {
+    using namespace silicon;
+    bench::banner("Ablation A2 - classic yield model family");
+
+    const auto family = yield::standard_model_family();
+
+    analysis::text_table table;
+    table.add_column("A*D0 (faults/die)", analysis::align::right, 2);
+    for (const auto& model : family) {
+        table.add_column(model->name(), analysis::align::right, 4);
+    }
+    std::vector<analysis::series> curves;
+    for (const auto& model : family) {
+        curves.emplace_back(model->name());
+    }
+    for (double l : {0.1, 0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 5.0}) {
+        table.begin_row();
+        table.add_number(l);
+        for (std::size_t i = 0; i < family.size(); ++i) {
+            const double y = family[i]->yield(l).value();
+            table.add_number(y);
+            curves[i].add(l, y);
+        }
+    }
+    std::cout << table.to_string() << "\n";
+
+    // Re-price the Table 3 row 1 die (2.976 cm^2, Y_0 = 0.9 per cm^2
+    // equivalent D0 = 0.105/cm^2) under each model.
+    const double d0 = -std::log(0.9);
+    const double area = 2.976;
+    const double wafer_cost = 980.0;
+    const double dies = 46.0;
+    const double transistors = 3.1e6;
+    analysis::text_table cost_table;
+    cost_table.add_column("model", analysis::align::left);
+    cost_table.add_column("Y(2.976 cm^2)", analysis::align::right, 4);
+    cost_table.add_column("C_tr [u$/tr]", analysis::align::right, 2);
+    for (const auto& model : family) {
+        const double y = model->yield(area * d0).value();
+        cost_table.begin_row();
+        cost_table.add_cell(model->name());
+        cost_table.add_number(y);
+        cost_table.add_number(wafer_cost / (dies * transistors * y) * 1e6);
+    }
+    std::cout << cost_table.to_string() << "\n";
+    std::cout << "finding: at Table-3 fault counts (~0.3/die) the model "
+                 "choice moves C_tr by <10%;\nfor cm^2-class dies at high "
+                 "defect densities (3+ faults) clustered models halve the\n"
+                 "apparent cost vs Poisson -- the reason yield-model choice "
+                 "matters for big-die pricing.\n\n";
+
+    analysis::ascii_chart_options options;
+    options.title = "yield vs expected faults per die";
+    options.x_label = "A * D0";
+    std::cout << analysis::render_ascii_chart(curves, options);
+
+    analysis::svg_chart_options svg;
+    svg.title = "Yield model family comparison";
+    svg.x_label = "expected faults per die";
+    svg.y_label = "yield";
+    bench::save_svg("ablate_yield_models.svg",
+                    analysis::render_svg_line_chart(curves, svg));
+    return 0;
+}

@@ -1,0 +1,58 @@
+// bench_fig1_feature_size — reproduces Fig. 1: minimum feature size of
+// production IC technology versus year, with the exponential trend fit.
+//
+// The paper plots survey data [1,6,7,8]; we regenerate the same trend
+// from the roadmap substrate and report the fitted halving time.
+
+#include "analysis/ascii_chart.hpp"
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "tech/roadmap.hpp"
+
+#include <iostream>
+
+int main() {
+    using namespace silicon;
+    bench::banner("Fig. 1 - minimum feature size vs. year");
+
+    analysis::text_table table;
+    table.add_column("year");
+    table.add_column("DRAM", analysis::align::left);
+    table.add_column("feature [um]", analysis::align::right, 2);
+    table.add_column("trend fit [um]", analysis::align::right, 2);
+
+    const tech::trend fit = tech::feature_size_trend();
+    analysis::series data{"roadmap"};
+    analysis::series fitted{"exponential fit"};
+    for (const tech::technology_generation& g : tech::standard_roadmap()) {
+        table.begin_row();
+        table.add_integer(g.year);
+        table.add_cell(g.dram_generation);
+        table.add_number(g.feature_um);
+        table.add_number(fit.at(g.year));
+        data.add(g.year, g.feature_um);
+        fitted.add(g.year, fit.at(g.year));
+    }
+    std::cout << table.to_string() << "\n";
+
+    std::cout << "exponential fit: lambda(year) = " << fit.a
+              << " um * exp(" << fit.b << " * (year - " << fit.year0
+              << ")),  R^2 = " << fit.r_squared << "\n";
+    std::cout << "feature size halves every " << fit.doubling_time_years()
+              << " years (paper's Fig. 1 slope: ~6 years)\n\n";
+
+    analysis::ascii_chart_options options;
+    options.title = "Fig. 1: minimum feature size [um] vs year (log scale)";
+    options.y_scale = analysis::scale::log10;
+    options.x_label = "year";
+    std::cout << analysis::render_ascii_chart({data, fitted}, options);
+
+    analysis::svg_chart_options svg;
+    svg.title = "Fig. 1 reproduction: feature size vs year";
+    svg.x_label = "year";
+    svg.y_label = "minimum feature size [um]";
+    svg.y_log = true;
+    bench::save_svg("fig1_feature_size.svg",
+                    analysis::render_svg_line_chart({data, fitted}, svg));
+    return 0;
+}

@@ -1,0 +1,85 @@
+// bench_fig2_fab_cost — reproduces Fig. 2: cost of a fabrication line and
+// of a manufactured wafer versus year, plus the X-factor extraction the
+// paper performs on these curves ("Value of X extracted from the data
+// presented in Fig. 2 is between 1.2 - 1.4").
+
+#include "analysis/ascii_chart.hpp"
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "cost/wafer_cost.hpp"
+#include "tech/process.hpp"
+#include "tech/roadmap.hpp"
+
+#include <iostream>
+
+int main() {
+    using namespace silicon;
+    bench::banner("Fig. 2 - fabline and wafer cost vs. year");
+
+    analysis::text_table table;
+    table.add_column("year");
+    table.add_column("feature [um]", analysis::align::right, 2);
+    table.add_column("fab cost [M$]", analysis::align::right, 0);
+    table.add_column("wafer cost [$]", analysis::align::right, 0);
+
+    analysis::series fab{"fab cost [M$]"};
+    analysis::series wafer{"wafer cost [$]"};
+    for (const tech::technology_generation& g : tech::standard_roadmap()) {
+        table.begin_row();
+        table.add_integer(g.year);
+        table.add_number(g.feature_um);
+        table.add_number(g.fab_cost_musd);
+        table.add_number(g.wafer_cost_usd);
+        fab.add(g.year, g.fab_cost_musd);
+        wafer.add(g.year, g.wafer_cost_usd);
+    }
+    std::cout << table.to_string() << "\n";
+
+    const tech::trend fab_fit = tech::fab_cost_trend();
+    std::cout << "fab cost doubles every " << fab_fit.doubling_time_years()
+              << " years; reaches $1B around year "
+              << static_cast<int>(
+                     fab_fit.year0 +
+                     std::log(1000.0 / fab_fit.a) / fab_fit.b)
+              << " (paper Sec. I: \"soon to reach 1 billion dollars\")\n";
+
+    // X extraction from the sub-micron span of the wafer-cost curve.
+    const auto& roadmap = tech::standard_roadmap();
+    const tech::technology_generation* a = nullptr;
+    const tech::technology_generation* b = nullptr;
+    for (const auto& g : roadmap) {
+        if (g.feature_um == 0.8) a = &g;
+        if (g.feature_um == 0.25) b = &g;
+    }
+    if (a != nullptr && b != nullptr) {
+        const double x = cost::wafer_cost_model::extract_x(
+            microns{a->feature_um}, dollars{a->wafer_cost_usd},
+            microns{b->feature_um}, dollars{b->wafer_cost_usd});
+        std::cout << "X extracted from wafer-cost curve (0.8 -> 0.25 um): "
+                  << x << "  (paper: 1.2 - 1.4)\n";
+    }
+    std::cout << "quoted X calibration points (Sec. III.A.b):\n";
+    for (const tech::x_calibration_point& q : tech::quoted_x_values()) {
+        std::cout << "  " << q.source << ": " << q.x_low;
+        if (q.x_high != q.x_low) {
+            std::cout << " - " << q.x_high;
+        }
+        std::cout << "\n";
+    }
+    std::cout << "\n";
+
+    analysis::ascii_chart_options options;
+    options.title = "Fig. 2: fab cost [M$] and wafer cost [$] (log scale)";
+    options.y_scale = analysis::scale::log10;
+    options.x_label = "year";
+    std::cout << analysis::render_ascii_chart({fab, wafer}, options);
+
+    analysis::svg_chart_options svg;
+    svg.title = "Fig. 2 reproduction: manufacturing cost trends";
+    svg.x_label = "year";
+    svg.y_label = "cost (fab M$, wafer $)";
+    svg.y_log = true;
+    bench::save_svg("fig2_fab_cost.svg",
+                    analysis::render_svg_line_chart({fab, wafer}, svg));
+    return 0;
+}

@@ -1,0 +1,71 @@
+// bench_fig3_die_size — reproduces Fig. 3: die size growth per technology
+// generation, and validates the analytical fit the paper extracts from it
+// for Eq. (9): A_ch(lambda) = 16.5 * exp(-5.3 * lambda) [cm^2].
+
+#include "analysis/ascii_chart.hpp"
+#include "analysis/stats.hpp"
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "tech/roadmap.hpp"
+
+#include <cmath>
+#include <iostream>
+
+int main() {
+    using namespace silicon;
+    bench::banner("Fig. 3 - die size vs. feature size");
+
+    analysis::text_table table;
+    table.add_column("feature [um]", analysis::align::right, 2);
+    table.add_column("uP die [mm^2]", analysis::align::right, 0);
+    table.add_column("DRAM die [mm^2]", analysis::align::right, 0);
+    table.add_column("paper fit [mm^2]", analysis::align::right, 0);
+
+    analysis::series up{"uP die (roadmap)"};
+    analysis::series dram{"DRAM die (roadmap)"};
+    analysis::series fit{"16.5 exp(-5.3 lambda) [cm^2]"};
+    std::vector<double> lambdas;
+    std::vector<double> up_areas_cm2;
+    for (const tech::technology_generation& g : tech::standard_roadmap()) {
+        const double paper_fit_mm2 =
+            tech::microprocessor_die_area(microns{g.feature_um})
+                .to_square_millimeters()
+                .value();
+        table.begin_row();
+        table.add_number(g.feature_um);
+        table.add_number(g.microprocessor_die_mm2);
+        table.add_number(g.dram_die_mm2);
+        table.add_number(paper_fit_mm2);
+        up.add(g.feature_um, g.microprocessor_die_mm2);
+        dram.add(g.feature_um, g.dram_die_mm2);
+        fit.add(g.feature_um, paper_fit_mm2);
+        if (g.feature_um <= 1.2) {  // the fit targets the sub-micron era
+            lambdas.push_back(g.feature_um);
+            up_areas_cm2.push_back(g.microprocessor_die_mm2 / 100.0);
+        }
+    }
+    std::cout << table.to_string() << "\n";
+
+    // Refit the exponential on the roadmap's sub-micron uP column and
+    // compare with the paper's coefficients.
+    const analysis::linear_fit refit =
+        analysis::fit_exponential(lambdas, up_areas_cm2);
+    std::cout << "roadmap refit: A_ch(lambda) = " << std::exp(refit.intercept)
+              << " * exp(" << refit.slope
+              << " * lambda) cm^2   (paper: 16.5 * exp(-5.3 lambda))\n\n";
+
+    analysis::ascii_chart_options options;
+    options.title = "Fig. 3: die size [mm^2] vs feature size [um]";
+    options.y_scale = analysis::scale::log10;
+    options.x_label = "minimum feature size [um]";
+    std::cout << analysis::render_ascii_chart({up, dram, fit}, options);
+
+    analysis::svg_chart_options svg;
+    svg.title = "Fig. 3 reproduction: die size vs feature size";
+    svg.x_label = "minimum feature size [um]";
+    svg.y_label = "die area [mm^2]";
+    svg.y_log = true;
+    bench::save_svg("fig3_die_size.svg",
+                    analysis::render_svg_line_chart({up, dram, fit}, svg));
+    return 0;
+}

@@ -1,0 +1,79 @@
+// bench_fig4_steps_defects — reproduces Fig. 4: the number of
+// manufacturing steps and the defect density required for subsequent IC
+// technology generations.
+//
+// Steps come from the synthesized per-generation CMOS recipes (validated
+// against the roadmap's step column); the required defect density D is
+// *derived* by inverting Eq. (7): the D that keeps the generation's
+// microprocessor die at a constant 60% yield.
+
+#include "analysis/ascii_chart.hpp"
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "tech/process.hpp"
+#include "tech/roadmap.hpp"
+#include "yield/scaled.hpp"
+
+#include <iostream>
+
+int main() {
+    using namespace silicon;
+    bench::banner("Fig. 4 - process steps and required defect density");
+
+    constexpr double p = 4.07;          // Fig. 8 calibration exponent
+    const probability target_yield{0.6};
+
+    analysis::text_table table;
+    table.add_column("feature [um]", analysis::align::right, 2);
+    table.add_column("roadmap steps");
+    table.add_column("synthesized steps");
+    table.add_column("uP die [cm^2]", analysis::align::right, 2);
+    table.add_column("required D [1/cm^2 @1um]", analysis::align::right, 4);
+    table.add_column("D_eff at lambda [1/cm^2]", analysis::align::right, 2);
+
+    analysis::series steps{"process steps"};
+    analysis::series density{"required defect density"};
+    for (const tech::technology_generation& g : tech::standard_roadmap()) {
+        if (g.feature_um > 3.0) {
+            continue;  // Fig. 4 covers the VLSI era
+        }
+        const tech::process_recipe recipe = tech::synthesize_cmos_recipe(
+            microns{g.feature_um}, g.mask_layers / 4);
+        const square_centimeters die =
+            tech::microprocessor_die_area(microns{g.feature_um});
+        const double d_required = yield::scaled_poisson_model::required_d(
+            target_yield, die, microns{g.feature_um}, p);
+        const yield::scaled_poisson_model model{d_required, p};
+        table.begin_row();
+        table.add_number(g.feature_um);
+        table.add_integer(g.process_steps);
+        table.add_integer(recipe.step_count());
+        table.add_number(die.value());
+        table.add_number(d_required);
+        table.add_number(
+            model.effective_defect_density(microns{g.feature_um}));
+        steps.add(g.feature_um, g.process_steps);
+        density.add(g.feature_um, d_required);
+    }
+    std::cout << table.to_string() << "\n";
+    std::cout << "shape check (paper Fig. 4): steps rise and the required\n"
+                 "defect density falls as the feature size shrinks --\n"
+                 "\"an increase in the scale of integration ... requires a\n"
+                 "drastic decrease in defect density D\" (Sec. III.C).\n\n";
+
+    analysis::ascii_chart_options options;
+    options.title =
+        "Fig. 4: steps (*) and required D (o) vs feature size [um]";
+    options.y_scale = analysis::scale::log10;
+    options.x_label = "minimum feature size [um]";
+    std::cout << analysis::render_ascii_chart({steps, density}, options);
+
+    analysis::svg_chart_options svg;
+    svg.title = "Fig. 4 reproduction: steps and required defect density";
+    svg.x_label = "minimum feature size [um]";
+    svg.y_label = "steps / defects per cm^2";
+    svg.y_log = true;
+    bench::save_svg("fig4_steps_defects.svg",
+                    analysis::render_svg_line_chart({steps, density}, svg));
+    return 0;
+}

@@ -1,0 +1,59 @@
+// bench_fig5_defect_dist — reproduces Fig. 5: the defect size
+// distribution, rising to R_0 and decaying as 1/R^p above it, for the
+// paper's p range (4-5) plus the classic p = 3 for contrast, and shows
+// the consequence the figure is there to make: shrinking the feature size
+// rapidly increases the share of defects large enough to cause faults.
+
+#include "analysis/ascii_chart.hpp"
+#include "analysis/sweep.hpp"
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "yield/defect.hpp"
+
+#include <iostream>
+
+int main() {
+    using namespace silicon;
+    bench::banner("Fig. 5 - defect size distribution");
+
+    const double r0 = 0.5;  // um
+    std::vector<analysis::series> curves;
+    for (double p : {3.0, 4.07, 5.0}) {
+        const yield::defect_size_distribution d{r0, p};
+        curves.push_back(analysis::sweep(
+            "p = " + analysis::format_number(p, 2),
+            analysis::linspace(0.02, 4.0, 200),
+            [&](double r) { return d.pdf(r); }));
+    }
+
+    analysis::ascii_chart_options options;
+    options.title = "Fig. 5: defect size pdf f(R), R_0 = 0.5 um";
+    options.x_label = "defect radius R [um]";
+    std::cout << analysis::render_ascii_chart(curves, options) << "\n";
+
+    // The figure's point: P(defect larger than the spacing it can short)
+    // explodes as geometry shrinks.
+    analysis::text_table table;
+    table.add_column("spacing s [um]", analysis::align::right, 2);
+    table.add_column("P(R > s/2), p=4.07", analysis::align::right, 5);
+    table.add_column("relative to s=2.0", analysis::align::right, 1);
+    const yield::defect_size_distribution d{r0, 4.07};
+    const double base = d.survival(1.0);
+    for (double s : {2.0, 1.6, 1.2, 1.0, 0.8, 0.5, 0.35, 0.25}) {
+        table.begin_row();
+        table.add_number(s);
+        table.add_number(d.survival(s / 2.0));
+        table.add_number(d.survival(s / 2.0) / base);
+    }
+    std::cout << table.to_string() << "\n";
+    std::cout << "mean defect radius (p=4.07): " << d.mean()
+              << " um; tail mass above R_0: " << d.tail_mass() << "\n";
+
+    analysis::svg_chart_options svg;
+    svg.title = "Fig. 5 reproduction: defect size distribution";
+    svg.x_label = "defect radius [um]";
+    svg.y_label = "probability density";
+    bench::save_svg("fig5_defect_dist.svg",
+                    analysis::render_svg_line_chart(curves, svg));
+    return 0;
+}

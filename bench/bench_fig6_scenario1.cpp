@@ -1,0 +1,73 @@
+// bench_fig6_scenario1 — reproduces Fig. 6: cost per transistor under the
+// optimistic Scenario #1 (memory-style: redundancy, 100% mature yield,
+// high volume) for X = 1.1, 1.2, 1.3 with C_0 = $500, d_d = 30,
+// R_w = 7.5 cm.  The paper's claim: C_tr falls as the feature shrinks.
+
+#include "analysis/ascii_chart.hpp"
+#include "analysis/sweep.hpp"
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "core/scenario.hpp"
+
+#include <iostream>
+
+int main() {
+    using namespace silicon;
+    bench::banner("Fig. 6 - C_tr under Scenario #1 (X = 1.1, 1.2, 1.3)");
+
+    const std::vector<double> lambdas = analysis::linspace(1.0, 0.25, 16);
+    std::vector<core::scenario1> scenarios;
+    for (double x : {1.1, 1.2, 1.3}) {
+        core::scenario1 s;
+        s.wafer_cost = cost::wafer_cost_model{dollars{500.0}, x};
+        scenarios.push_back(s);
+    }
+
+    analysis::text_table table;
+    table.add_column("lambda [um]", analysis::align::right, 2);
+    table.add_column("X=1.1 [u$/tr]", analysis::align::right, 4);
+    table.add_column("X=1.2 [u$/tr]", analysis::align::right, 4);
+    table.add_column("X=1.3 [u$/tr]", analysis::align::right, 4);
+
+    std::vector<analysis::series> curves = {
+        analysis::series{"X = 1.1"}, analysis::series{"X = 1.2"},
+        analysis::series{"X = 1.3"}};
+    for (double lambda : lambdas) {
+        table.begin_row();
+        table.add_number(lambda);
+        for (std::size_t i = 0; i < scenarios.size(); ++i) {
+            const double micro =
+                scenarios[i].cost_per_transistor(microns{lambda}).value() *
+                1e6;
+            table.add_number(micro);
+            curves[i].add(lambda, micro);
+        }
+    }
+    std::cout << table.to_string() << "\n";
+
+    for (const analysis::series& curve : curves) {
+        const double drop = curve.points().front().y /
+                            curve.points().back().y;
+        std::cout << curve.name() << ": C_tr(1.0 um) / C_tr(0.25 um) = "
+                  << drop << " (falls as lambda shrinks: "
+                  << (drop > 1.0 ? "YES" : "NO") << ")\n";
+    }
+    std::cout << "\npaper claim reproduced: \"Because the number of "
+                 "transistors per wafer increases faster than the wafer\n"
+                 "cost, C_tr goes down when feature size decreases.\"\n\n";
+
+    analysis::ascii_chart_options options;
+    options.title = "Fig. 6: C_tr [micro-$] vs lambda, Scenario #1";
+    options.x_label = "minimum feature size [um]";
+    options.y_scale = analysis::scale::log10;
+    std::cout << analysis::render_ascii_chart(curves, options);
+
+    analysis::svg_chart_options svg;
+    svg.title = "Fig. 6 reproduction: Scenario #1 cost per transistor";
+    svg.x_label = "minimum feature size [um]";
+    svg.y_label = "C_tr [micro-dollars]";
+    svg.y_log = true;
+    bench::save_svg("fig6_scenario1.svg",
+                    analysis::render_svg_line_chart(curves, svg));
+    return 0;
+}

@@ -1,0 +1,79 @@
+// bench_fig7_scenario2 — reproduces Fig. 7: cost per transistor under the
+// realistic Scenario #2 (custom uP, X = 1.8-2.4, die growing along the
+// Fig. 3 trend, Y_0 = 70% per cm^2) with C_0 = $500, d_d = 200,
+// R_w = 7.5 cm.  The paper's headline: C_tr *rises* as features shrink.
+
+#include "analysis/ascii_chart.hpp"
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "core/scenario.hpp"
+
+#include <iostream>
+
+int main() {
+    using namespace silicon;
+    bench::banner("Fig. 7 - C_tr under Scenario #2 (X = 1.8, 2.1, 2.4)");
+
+    const std::vector<double> xs = {1.8, 2.1, 2.4};
+    std::vector<core::scenario2> scenarios;
+    for (double x : xs) {
+        core::scenario2 s;
+        s.wafer_cost = cost::wafer_cost_model{dollars{500.0}, x};
+        scenarios.push_back(s);
+    }
+
+    analysis::text_table table;
+    table.add_column("lambda [um]", analysis::align::right, 2);
+    table.add_column("die [cm^2]", analysis::align::right, 2);
+    table.add_column("Y", analysis::align::right, 3);
+    table.add_column("X=1.8 [u$/tr]", analysis::align::right, 2);
+    table.add_column("X=2.1 [u$/tr]", analysis::align::right, 2);
+    table.add_column("X=2.4 [u$/tr]", analysis::align::right, 2);
+
+    std::vector<analysis::series> curves = {
+        analysis::series{"X = 1.8"}, analysis::series{"X = 2.1"},
+        analysis::series{"X = 2.4"}};
+    for (double lambda = 0.9; lambda >= 0.249; lambda -= 0.05) {
+        table.begin_row();
+        table.add_number(lambda);
+        table.add_number(scenarios[0].die_area(microns{lambda}).value());
+        table.add_number(
+            scenarios[0]
+                .yield.yield(scenarios[0].die_area(microns{lambda}))
+                .value());
+        for (std::size_t i = 0; i < scenarios.size(); ++i) {
+            const double micro =
+                scenarios[i].cost_per_transistor(microns{lambda}).value() *
+                1e6;
+            table.add_number(micro);
+            curves[i].add(lambda, micro);
+        }
+    }
+    std::cout << table.to_string() << "\n";
+
+    for (const analysis::series& curve : curves) {
+        const double rise = curve.points().back().y /
+                            curve.points().front().y;
+        std::cout << curve.name()
+                  << ": C_tr(0.25 um) / C_tr(0.9 um) = " << rise
+                  << " (rises as lambda shrinks: "
+                  << (rise > 1.0 ? "YES" : "NO") << ")\n";
+    }
+    std::cout << "\npaper claim reproduced: \"A decrease in the feature "
+                 "size causes an increase in the transistor cost!\"\n\n";
+
+    analysis::ascii_chart_options options;
+    options.title = "Fig. 7: C_tr [micro-$] vs lambda, Scenario #2";
+    options.x_label = "minimum feature size [um]";
+    options.y_scale = analysis::scale::log10;
+    std::cout << analysis::render_ascii_chart(curves, options);
+
+    analysis::svg_chart_options svg;
+    svg.title = "Fig. 7 reproduction: Scenario #2 cost per transistor";
+    svg.x_label = "minimum feature size [um]";
+    svg.y_label = "C_tr [micro-dollars]";
+    svg.y_log = true;
+    bench::save_svg("fig7_scenario2.svg",
+                    analysis::render_svg_line_chart(curves, svg));
+    return 0;
+}

@@ -1,0 +1,82 @@
+// bench_forecast — the paper's question (a) in Sec. III, answered in
+// calendar time: "determine whether transistor cost trends known from
+// the past will continue into the future."  Composes the Fig. 1 feature
+// size trend with Scenarios #1 and #2 and locates the logic-cost
+// reversal year.
+
+#include "analysis/ascii_chart.hpp"
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "core/forecast.hpp"
+
+#include <iostream>
+
+int main() {
+    using namespace silicon;
+    bench::banner("Forecast - cost per transistor vs calendar year");
+
+    core::scenario1 memory;
+    memory.wafer_cost = cost::wafer_cost_model{dollars{500.0}, 1.2};
+    core::scenario2 logic;
+    logic.wafer_cost = cost::wafer_cost_model{dollars{500.0}, 2.0};
+
+    // X follows the paper's expectation: benign (1.3) through the 80s,
+    // ramping to 2.2 across the early 90s.
+    const core::x_schedule schedule;
+    const core::transistor_cost_forecast f =
+        core::forecast_transistor_cost(memory, logic, 1980, 2001,
+                                       schedule);
+
+    analysis::text_table table;
+    table.add_column("year");
+    table.add_column("lambda [um]", analysis::align::right, 2);
+    table.add_column("X", analysis::align::right, 2);
+    table.add_column("memory C_tr [u$]", analysis::align::right, 3);
+    table.add_column("logic C_tr [u$]", analysis::align::right, 2);
+    analysis::series memory_curve{"memory (Scenario #1)"};
+    analysis::series logic_curve{"logic (Scenario #2)"};
+    for (const core::forecast_point& p : f.points) {
+        if (p.year % 2 == 0) {
+            table.begin_row();
+            table.add_integer(p.year);
+            table.add_number(p.lambda.value());
+            table.add_number(schedule.at(p.year));
+            table.add_number(p.memory_ctr.value() * 1e6);
+            table.add_number(p.logic_ctr.value() * 1e6);
+        }
+        memory_curve.add(p.year, p.memory_ctr.value() * 1e6);
+        logic_curve.add(p.year, p.logic_ctr.value() * 1e6);
+    }
+    std::cout << table.to_string() << "\n";
+
+    std::cout << "memory C_tr CAGR: " << f.memory_cagr * 100.0
+              << "% / year (keeps falling)\n";
+    std::cout << "logic C_tr CAGR:  " << f.logic_cagr * 100.0
+              << "% / year\n";
+    if (f.logic_reversal_year.has_value()) {
+        std::cout << "logic cost reversal year: " << *f.logic_reversal_year
+                  << " -- the \"cost per transistor may no longer "
+                     "decrease\" [10] moment, landing in the\nmid-90s "
+                     "exactly when the paper (writing in 1994) warned it "
+                     "would.\n";
+    }
+    std::cout << "\n";
+
+    analysis::ascii_chart_options options;
+    options.title = "C_tr [u$] vs year (log scale)";
+    options.x_label = "year";
+    options.y_scale = analysis::scale::log10;
+    std::cout << analysis::render_ascii_chart(
+        {memory_curve, logic_curve}, options);
+
+    analysis::svg_chart_options svg;
+    svg.title = "Transistor cost forecast (Scenarios #1 and #2 on the "
+                "Fig. 1 timeline)";
+    svg.x_label = "year";
+    svg.y_label = "C_tr [micro-dollars]";
+    svg.y_log = true;
+    bench::save_svg("forecast.svg",
+                    analysis::render_svg_line_chart(
+                        {memory_curve, logic_curve}, svg));
+    return 0;
+}

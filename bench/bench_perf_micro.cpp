@@ -1,0 +1,144 @@
+// bench_perf_micro — google-benchmark microbenchmarks of the hot paths:
+// model evaluation throughput matters because the optimizers and contour
+// grids call them tens of thousands of times.
+
+#include "analysis/contour.hpp"
+#include "analysis/sweep.hpp"
+#include "core/cost_model.hpp"
+#include "core/table3.hpp"
+#include "geometry/gross_die.hpp"
+#include "yield/critical_area.hpp"
+#include "yield/monte_carlo.hpp"
+#include "yield/wafer_sim.hpp"
+#include "opt/partition.hpp"
+#include "opt/minimize.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace silicon;
+
+void bm_maly_row_count(benchmark::State& state) {
+    const geometry::wafer w = geometry::wafer::six_inch();
+    const geometry::die d = geometry::die::square(millimeters{10.0});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(geometry::maly_row_count(w, d));
+    }
+}
+BENCHMARK(bm_maly_row_count);
+
+void bm_exact_placement(benchmark::State& state) {
+    const geometry::wafer w = geometry::wafer::six_inch();
+    const geometry::die d = geometry::die::square(millimeters{10.0});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(geometry::exact_count(w, d).count);
+    }
+}
+BENCHMARK(bm_exact_placement);
+
+void bm_cost_model_evaluate(benchmark::State& state) {
+    const core::process_spec process{
+        cost::wafer_cost_model{dollars{500.0}, 1.4},
+        geometry::wafer::six_inch(),
+        yield::scaled_poisson_model::fig8_calibration(),
+        geometry::gross_die_method::maly_rows};
+    const core::cost_model model{process};
+    core::product_spec p;
+    p.transistors = 5e5;
+    p.design_density = 152.0;
+    p.feature_size = microns{0.8};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.evaluate(p).cost_per_transistor);
+    }
+}
+BENCHMARK(bm_cost_model_evaluate);
+
+void bm_table3_full_reproduction(benchmark::State& state) {
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::reproduce_table3());
+    }
+}
+BENCHMARK(bm_table3_full_reproduction);
+
+void bm_average_critical_area(benchmark::State& state) {
+    yield::wire_array_layout layout;
+    layout.line_width = 1.0;
+    layout.line_spacing = 1.2;
+    layout.line_length = 200.0;
+    layout.line_count = 20;
+    const yield::defect_size_distribution d{0.6, 4.07};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(yield::average_critical_area(
+            layout, yield::fault_kind::short_circuit, d));
+    }
+}
+BENCHMARK(bm_average_critical_area);
+
+void bm_monte_carlo_1k_dies(benchmark::State& state) {
+    yield::wire_array_layout layout;
+    layout.line_width = 1.0;
+    layout.line_spacing = 1.2;
+    layout.line_length = 100.0;
+    layout.line_count = 10;
+    const yield::defect_size_distribution sizes{0.6, 4.07};
+    yield::monte_carlo_config config;
+    config.dies = 1000;
+    config.defects_per_um2 = 2e-4;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            yield::simulate_layout_yield(layout, sizes, config));
+    }
+}
+BENCHMARK(bm_monte_carlo_1k_dies);
+
+void bm_contour_extraction(benchmark::State& state) {
+    const analysis::grid g = analysis::evaluate_grid(
+        analysis::linspace(-2.0, 2.0, 101),
+        analysis::linspace(-2.0, 2.0, 101),
+        [](double x, double y) { return x * x + y * y; });
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(analysis::extract_contours(g, 1.7));
+    }
+}
+BENCHMARK(bm_contour_extraction);
+
+void bm_wafer_sim_100_wafers(benchmark::State& state) {
+    const geometry::wafer w = geometry::wafer::six_inch();
+    const geometry::die d = geometry::die::square(millimeters{12.0});
+    yield::wafer_sim_config config;
+    config.wafers = 100;
+    config.defects_per_cm2 = 1.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(yield::simulate_wafers(w, d, config));
+    }
+}
+BENCHMARK(bm_wafer_sim_100_wafers);
+
+void bm_set_partitions_8(benchmark::State& state) {
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(opt::set_partitions(8));
+    }
+}
+BENCHMARK(bm_set_partitions_8);
+
+void bm_optimal_feature_size(benchmark::State& state) {
+    const core::process_spec process{
+        cost::wafer_cost_model{dollars{500.0}, 1.4},
+        geometry::wafer::six_inch(),
+        yield::scaled_poisson_model::fig8_calibration(),
+        geometry::gross_die_method::maly_rows};
+    const core::cost_model model{process};
+    core::product_spec p;
+    p.transistors = 5e5;
+    p.design_density = 152.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            model.optimal_feature_size(p, microns{0.5}, microns{1.0}));
+    }
+}
+BENCHMARK(bm_optimal_feature_size);
+
+}  // namespace
+
+BENCHMARK_MAIN();

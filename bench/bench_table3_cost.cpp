@@ -1,0 +1,61 @@
+// bench_table3_cost — reproduces Table 3, the paper's central exhibit:
+// cost per transistor for 17 product/manufacturing scenarios, computed
+// with the Eq. (1)+(3)+(4)+yield model and compared row by row against
+// the printed values.
+
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "core/table3.hpp"
+
+#include <iostream>
+
+int main() {
+    using namespace silicon;
+    bench::banner("Table 3 - cost per transistor across 17 scenarios");
+
+    analysis::text_table table;
+    table.add_column("#");
+    table.add_column("IC type", analysis::align::left);
+    table.add_column("# tr", analysis::align::right, 0);
+    table.add_column("lam", analysis::align::right, 2);
+    table.add_column("d_d", analysis::align::right, 0);
+    table.add_column("R_w", analysis::align::right, 1);
+    table.add_column("Y0", analysis::align::right, 1);
+    table.add_column("C0", analysis::align::right, 0);
+    table.add_column("X", analysis::align::right, 1);
+    table.add_column("N_ch");
+    table.add_column("Y", analysis::align::right, 3);
+    table.add_column("paper C_tr", analysis::align::right, 2);
+    table.add_column("model C_tr", analysis::align::right, 2);
+    table.add_column("ratio", analysis::align::right, 3);
+
+    for (const core::table3_comparison& c : core::reproduce_table3()) {
+        table.begin_row();
+        table.add_cell(std::to_string(c.row.index) +
+                       (c.row.reconstructed ? "*" : ""));
+        table.add_cell(c.row.ic_type);
+        table.add_number(c.row.transistors);
+        table.add_number(c.row.lambda_um);
+        table.add_number(c.row.design_density);
+        table.add_number(c.row.wafer_radius_cm);
+        table.add_number(c.row.y0);
+        table.add_number(c.row.c0_usd);
+        table.add_number(c.row.x);
+        table.add_integer(c.computed.gross_dies_per_wafer);
+        table.add_number(c.computed.yield.value());
+        table.add_number(c.row.printed_ctr_micro);
+        table.add_number(c.computed_ctr_micro);
+        table.add_number(c.ratio);
+    }
+    std::cout << table.to_string() << "\n";
+    std::cout
+        << "C_tr in micro-dollars per functioning transistor.\n"
+           "* = the paper's N_tr column is illegible in the source scan; "
+           "the value used is reconstructed (see EXPERIMENTS.md).\n\n"
+           "memory/logic separation: cheapest logic row costs "
+        << core::memory_logic_separation()
+        << "x the most expensive memory row (paper Sec. IV.C: memory is\n"
+           "\"very different and much lower than for all other IC "
+           "types\").\n";
+    return 0;
+}

@@ -1,0 +1,40 @@
+// bench_util.hpp — shared helpers for the figure/table reproduction
+// benches.  Each bench prints the paper-style rows/series to stdout and
+// drops SVG plots into ./bench_output/ so the figures can be compared to
+// the paper's visually.
+
+#pragma once
+
+#include "analysis/svg_chart.hpp"
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+namespace silicon::bench {
+
+/// Directory SVG outputs land in (created on demand).
+inline std::string output_dir() {
+    const std::string dir = "bench_output";
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);  // best effort
+    return dir;
+}
+
+/// Write an SVG next to the bench outputs and announce it.
+inline void save_svg(const std::string& filename, const std::string& svg) {
+    const std::string path = output_dir() + "/" + filename;
+    try {
+        analysis::write_file(path, svg);
+        std::cout << "[svg] wrote " << path << "\n";
+    } catch (const std::exception& e) {
+        std::cout << "[svg] skipped " << path << ": " << e.what() << "\n";
+    }
+}
+
+/// Section banner.
+inline void banner(const std::string& title) {
+    std::cout << "\n=== " << title << " ===\n\n";
+}
+
+}  // namespace silicon::bench

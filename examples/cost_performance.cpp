@@ -1,0 +1,78 @@
+// cost_performance — the two-objective view the paper says design must
+// adopt: "typical design/test objectives were focused on the IC
+// performance only and manufacturing costs were determined through ...
+// arbitrary decisions" (Sec. IV).  Sweeps technology choices for one
+// product, prices each with the full model, scores performance with the
+// classic constant-field scaling proxy (speed ~ 1/lambda), and extracts
+// the cost/performance Pareto front.
+
+#include "analysis/table.hpp"
+#include "core/cost_model.hpp"
+#include "opt/pareto.hpp"
+
+#include <cmath>
+#include <iostream>
+
+int main() {
+    using namespace silicon;
+
+    core::product_spec product;
+    product.name = "1.2M-transistor CPU core";
+    product.transistors = 1.2e6;
+    product.design_density = 200.0;
+
+    std::vector<opt::design_point> candidates;
+    analysis::text_table table;
+    table.add_column("lambda [um]", analysis::align::right, 2);
+    table.add_column("wafer", analysis::align::left);
+    table.add_column("X", analysis::align::right, 1);
+    table.add_column("die cost [$]", analysis::align::right, 2);
+    table.add_column("relative speed", analysis::align::right, 2);
+
+    for (double lambda : {1.0, 0.8, 0.65, 0.5, 0.35}) {
+        for (bool eight_inch : {false, true}) {
+            // Newer fabs run finer processes at higher X; the 8-inch
+            // line charges a higher C_0 but holds more dies.
+            // Lambda-scaled yield (Eq. 7, mature-line D): finer nodes
+            // pay real yield, making speed genuinely expensive.
+            core::process_spec process{
+                cost::wafer_cost_model{
+                    dollars{eight_inch ? 900.0 : 700.0}, 1.8},
+                eight_inch ? geometry::wafer::eight_inch()
+                           : geometry::wafer::six_inch(),
+                yield::scaled_poisson_model{0.05, 4.07},
+                geometry::gross_die_method::maly_rows};
+            core::product_spec p = product;
+            p.feature_size = microns{lambda};
+            const core::cost_breakdown b =
+                core::cost_model{process}.evaluate(p);
+
+            opt::design_point point;
+            point.label = analysis::format_number(lambda, 2) + " um / " +
+                          (eight_inch ? "8\"" : "6\"");
+            point.cost = b.cost_per_good_die.value();
+            point.merit = 1.0 / lambda;  // constant-field speed proxy
+            candidates.push_back(point);
+
+            table.begin_row();
+            table.add_number(lambda);
+            table.add_cell(eight_inch ? "8-inch" : "6-inch");
+            table.add_number(1.8);
+            table.add_number(point.cost);
+            table.add_number(point.merit);
+        }
+    }
+    std::cout << table.to_string() << "\n";
+
+    const auto front = opt::pareto_front(candidates);
+    std::cout << "Pareto-efficient choices (cost up, speed up):\n";
+    for (const opt::design_point& p : front) {
+        std::cout << "  " << p.label << ": $" << p.cost
+                  << " per good die at " << p.merit << "x speed\n";
+    }
+    std::cout << "\ndominated points pay more silicon for less speed -- "
+                 "the cost axis removes " << candidates.size() - front.size()
+              << " of " << candidates.size()
+              << " seemingly reasonable technology choices.\n";
+    return 0;
+}

@@ -1,0 +1,43 @@
+// cost_study — produce the full markdown cost study for a product.
+// The one-call deliverable a design team would attach to a technology
+// review: silicon breakdown, wafer map, feature-size sensitivity, ranked
+// cost drivers, test and packaging economics.
+//
+// usage: cost_study [output.md]
+
+#include "core/cost_study.hpp"
+
+#include <iostream>
+
+int main(int argc, char** argv) {
+    using namespace silicon;
+
+    core::process_spec process{
+        cost::wafer_cost_model{dollars{700.0}, 1.8},
+        geometry::wafer::six_inch(),
+        yield::reference_die_yield{probability{0.7}},
+        geometry::gross_die_method::maly_rows};
+
+    core::product_spec product;
+    product.name = "2.8M-transistor CMOS microprocessor";
+    product.transistors = 2.8e6;
+    product.design_density = 102.0;
+    product.feature_size = microns{0.65};
+
+    core::cost_study_options options;
+    options.tester.rate_per_hour = dollars{1800.0};
+    options.test_program.fault_coverage = 0.95;
+    options.test_program.vectors_per_kilotransistor = 2.0;
+    options.package.pins = 273;
+    options.package.cost_per_pin = dollars{0.03};
+    options.sweep_lo = microns{0.5};
+    options.sweep_hi = microns{0.9};
+
+    if (argc > 1) {
+        core::write_cost_study(argv[1], process, product, options);
+        std::cout << "wrote " << argv[1] << "\n";
+    } else {
+        std::cout << core::render_cost_study(process, product, options);
+    }
+    return 0;
+}

@@ -1,0 +1,97 @@
+// industry_phases — Sec. V's "past-momentum-driven" evolution, walked
+// through with the library's models.  Each phase of the paper's four-
+// phase vision is quantified with the substrate that matters for it:
+//
+//   Phase 1  the investment race        -> fab NPV vs utilization
+//   Phase 2  smart cost cutting         -> renting capacity / mix costs
+//   Phase 3  fabless vs mega-fabline    -> niche wafer-cost penalty
+//   Phase 4  co-synthesis beginning     -> system partitioning gains
+//
+// Not a forecast — a demonstration that every lever in the paper's
+// narrative is computable with analytical (not accounting) cost models,
+// which is exactly the paper's closing demand.
+
+#include "core/system_optimizer.hpp"
+#include "cost/investment.hpp"
+#include "cost/product_mix.hpp"
+#include "tech/density.hpp"
+
+#include <iostream>
+
+int main() {
+    using namespace silicon;
+
+    std::cout << "Phase 1: the invest-now-to-dominate-later race\n"
+                 "----------------------------------------------\n";
+    cost::fab_investment race;
+    race.capital = dollars{1000e6};
+    race.life_quarters = 24;
+    race.wafers_per_quarter = 60000.0;
+    race.margin_per_wafer = dollars{2200.0};
+    race.margin_erosion_per_quarter = 0.03;
+    race.discount_rate_per_quarter = 0.03;
+    for (double utilization : {0.95, 0.7, 0.45}) {
+        cost::fab_investment probe = race;
+        probe.utilization = utilization;
+        std::cout << "  utilization " << utilization * 100.0 << "%: NPV $"
+                  << cost::investment_npv(probe).value() / 1e6 << "M\n";
+    }
+    std::cout << "  only near-full loading wins the race; \"high volume\" "
+                 "is not a choice but a survival\n  condition.\n\n";
+
+    std::cout << "Phase 2: winners rent capacity, losers pay the mix tax\n"
+                 "------------------------------------------------------\n";
+    const cost::fabline line = cost::fabline::generic_cmos();
+    const cost::wafer_recipe mono = cost::fabline::generic_recipe(0.8, 2);
+    const cost::mix_comparison niche = cost::compare_mono_vs_multi(
+        line, mono, 50000.0, cost::diverse_mix(8, 40.0));
+    std::cout << "  niche 8-product line: $"
+              << niche.multi.cost_per_wafer.value()
+              << "/wafer vs commodity $"
+              << niche.mono.cost_per_wafer.value() << " -> "
+              << niche.cost_ratio << "x penalty\n";
+    const cost::mix_comparison rented = cost::compare_mono_vs_multi(
+        line, mono, 50000.0, cost::diverse_mix(8, 2000.0));
+    std::cout << "  same products renting slack mega-fab capacity: "
+              << rented.cost_ratio
+              << "x -- the economic force that makes niche houses "
+                 "fabless.\n\n";
+
+    std::cout << "Phase 3: what the fabless-niche/mega-fab split costs\n"
+                 "----------------------------------------------------\n";
+    std::cout << "  the mix tax above *is* Phase 3: \"one-size-fits-all\" "
+                 "technologies priced for DRAM\n  volumes serve diverse "
+                 "low-volume ICs at multiples of their efficient cost "
+                 "(Table 3's\n  cost diversity column).\n\n";
+
+    std::cout << "Phase 4: co-synthesis — cost models in the design loop\n"
+                 "------------------------------------------------------\n";
+    std::vector<core::system_block> blocks;
+    for (const tech::functional_block& b : tech::table1_blocks()) {
+        blocks.push_back({b.name, b.transistors, b.printed_dd});
+    }
+    core::system_optimization_config config{
+        core::process_spec{
+            cost::wafer_cost_model{dollars{700.0}, 1.8},
+            geometry::wafer::six_inch(),
+            yield::scaled_poisson_model::fig8_calibration(),
+            geometry::gross_die_method::maly_rows},
+        microns{0.4},
+        microns{1.0},
+        core::packaging_spec{},
+        1e5};
+    const core::system_solution best =
+        core::optimize_system(blocks, config);
+    std::cout << "  Table 1 uP re-partitioned by the optimizer: "
+              << best.dies.size() << " dies, $"
+              << best.total_cost.value() << " vs monolithic $"
+              << best.monolithic_cost.value() << " ("
+              << (1.0 -
+                  best.total_cost.value() / best.monolithic_cost.value()) *
+                     100.0
+              << "% saved)\n";
+    std::cout << "  \"system/circuit/device/layout/process co-synthesis\" "
+                 "starts paying the moment cost\n  models sit inside the "
+                 "design loop -- the paper's closing thesis.\n";
+    return 0;
+}

@@ -1,0 +1,66 @@
+// quickstart — the five-minute tour of the library: price a real product
+// (a 0.8 um 3.1M-transistor BiCMOS microprocessor, Table 3 row 1) with
+// the full Eq. (1) model and print every intermediate, then find its
+// cost-optimal feature size and show the wafer map.
+
+#include "core/cost_model.hpp"
+#include "geometry/wafer_map.hpp"
+
+#include <iostream>
+
+int main() {
+    using namespace silicon;
+
+    // 1. Describe the manufacturing process: a 6-inch line whose wafer
+    //    cost escalates at X = 1.4 per 0.2 um generation from a $700
+    //    reference, yielding 90% on a 1 cm^2 die.
+    core::process_spec process{
+        cost::wafer_cost_model{dollars{700.0}, 1.4},
+        geometry::wafer::six_inch(),
+        yield::reference_die_yield{probability{0.9}},
+        geometry::gross_die_method::maly_rows,
+    };
+
+    // 2. Describe the product: Eq. (5) turns transistor count and design
+    //    density into die area.
+    core::product_spec product;
+    product.name = "BiCMOS microprocessor";
+    product.transistors = 3.1e6;
+    product.design_density = 150.0;  // lambda^2 per transistor
+    product.feature_size = microns{0.8};
+
+    // 3. Evaluate Eq. (1).
+    const core::cost_model model{process};
+    const core::cost_breakdown b = model.evaluate(product);
+
+    std::cout << "product:             " << b.product_name << "\n"
+              << "die area:            " << b.die_area.value() << " mm^2\n"
+              << "gross dies/wafer:    " << b.gross_dies_per_wafer << "\n"
+              << "functional yield:    " << b.yield.value() * 100.0
+              << " %\n"
+              << "good dies/wafer:     " << b.good_dies_per_wafer << "\n"
+              << "wafer cost:          $" << b.wafer_cost.value() << "\n"
+              << "cost per good die:   $" << b.cost_per_good_die.value()
+              << "\n"
+              << "cost per transistor: "
+              << b.cost_per_transistor_micro_dollars()
+              << " micro-dollars  (paper Table 3 row 1: 9.40)\n\n";
+
+    // 4. Ask the design question of Sec. IV.B: which feature size
+    //    actually minimizes this product's cost per transistor?
+    const microns best =
+        model.optimal_feature_size(product, microns{0.5}, microns{1.0});
+    core::product_spec at_best = product;
+    at_best.feature_size = best;
+    std::cout << "lambda_opt in [0.5, 1.0] um: " << best.value()
+              << " um -> "
+              << model.evaluate(at_best).cost_per_transistor_micro_dollars()
+              << " micro-dollars/transistor\n\n";
+
+    // 5. Look at the wafer.
+    std::cout << "wafer map (" << b.gross_dies_per_wafer
+              << " whole dies by Eq. (4); '#' = placed die):\n"
+              << geometry::render_wafer_map(process.wafer,
+                                            product.make_die());
+    return 0;
+}

@@ -1,0 +1,89 @@
+// scenario_explorer — interactive-style exploration of the paper's two
+// manufacturing futures (Sec. IV.A).  Takes optional command-line
+// overrides and prints both scenarios side by side, answering: at which
+// escalation rate X does the cost-per-transistor decline stall?
+//
+// usage: scenario_explorer [C0] [dd_memory] [dd_logic] [Y0]
+
+#include "analysis/ascii_chart.hpp"
+#include "analysis/table.hpp"
+#include "core/scenario.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+int main(int argc, char** argv) {
+    using namespace silicon;
+
+    const double c0 = argc > 1 ? std::atof(argv[1]) : 500.0;
+    const double dd_memory = argc > 2 ? std::atof(argv[2]) : 30.0;
+    const double dd_logic = argc > 3 ? std::atof(argv[3]) : 200.0;
+    const double y0 = argc > 4 ? std::atof(argv[4]) : 0.7;
+    std::cout << "inputs: C0=$" << c0 << "  d_d(memory)=" << dd_memory
+              << "  d_d(logic)=" << dd_logic << "  Y0=" << y0 << "\n\n";
+
+    // Side-by-side table over lambda for a moderate X.
+    analysis::text_table table;
+    table.add_column("lambda [um]", analysis::align::right, 2);
+    table.add_column("#1 memory [u$/tr]", analysis::align::right, 4);
+    table.add_column("#2 logic [u$/tr]", analysis::align::right, 2);
+    table.add_column("logic/memory", analysis::align::right, 1);
+
+    core::scenario1 s1;
+    s1.wafer_cost = cost::wafer_cost_model{dollars{c0}, 1.2};
+    s1.design_density = dd_memory;
+    core::scenario2 s2;
+    s2.wafer_cost = cost::wafer_cost_model{dollars{c0}, 2.0};
+    s2.design_density = dd_logic;
+    s2.yield = yield::reference_die_yield{probability{y0}};
+
+    analysis::series memory{"Scenario #1 (memory, X=1.2)"};
+    analysis::series logic{"Scenario #2 (logic, X=2.0)"};
+    for (double lambda = 1.0; lambda >= 0.249; lambda -= 0.05) {
+        const double m =
+            s1.cost_per_transistor(microns{lambda}).value() * 1e6;
+        const double l =
+            s2.cost_per_transistor(microns{lambda}).value() * 1e6;
+        table.begin_row();
+        table.add_number(lambda);
+        table.add_number(m);
+        table.add_number(l);
+        table.add_number(l / m);
+        memory.add(lambda, m);
+        logic.add(lambda, l);
+    }
+    std::cout << table.to_string() << "\n";
+
+    analysis::ascii_chart_options options;
+    options.title = "cost per transistor [u$], log scale";
+    options.x_label = "minimum feature size [um]";
+    options.y_scale = analysis::scale::log10;
+    std::cout << analysis::render_ascii_chart({memory, logic}, options)
+              << "\n";
+
+    // Where does the Scenario-2 decline stall?  Sweep X and report the
+    // ratio C_tr(0.25)/C_tr(0.8): above 1 means shrinking *raises* cost.
+    analysis::text_table stall;
+    stall.add_column("X", analysis::align::right, 2);
+    stall.add_column("C(0.25um)/C(0.8um)", analysis::align::right, 3);
+    stall.add_column("shrink pays?", analysis::align::left);
+    for (double x = 1.1; x <= 2.45; x += 0.15) {
+        core::scenario2 probe;
+        probe.wafer_cost = cost::wafer_cost_model{dollars{c0}, x};
+        probe.design_density = dd_logic;
+        probe.yield = yield::reference_die_yield{probability{y0}};
+        const double ratio =
+            probe.cost_per_transistor(microns{0.25}).value() /
+            probe.cost_per_transistor(microns{0.8}).value();
+        stall.begin_row();
+        stall.add_number(x);
+        stall.add_number(ratio);
+        stall.add_cell(ratio < 1.0 ? "yes" : "NO - cost rises");
+    }
+    std::cout << stall.to_string()
+              << "\nthe paper's message: for realistic X and yields, "
+                 "\"continuation of the trend towards\nsmaller feature "
+                 "size may become unhealthy or even damaging for some "
+                 "classes of ICs.\"\n";
+    return 0;
+}

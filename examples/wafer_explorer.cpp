@@ -1,0 +1,85 @@
+// wafer_explorer — interactive die-placement tool.  Pass a die edge (mm),
+// optionally a wafer radius (cm) and scribe width (mm), and get every
+// gross-die estimate, the placement map, and the per-die silicon cost at
+// a reference process.
+//
+// usage: wafer_explorer [die_edge_mm] [wafer_radius_cm] [scribe_mm]
+
+#include "analysis/table.hpp"
+#include "core/cost_model.hpp"
+#include "geometry/wafer_map.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+int main(int argc, char** argv) {
+    using namespace silicon;
+
+    const double edge = argc > 1 ? std::atof(argv[1]) : 12.0;
+    const double radius = argc > 2 ? std::atof(argv[2]) : 7.5;
+    const double scribe = argc > 3 ? std::atof(argv[3]) : 0.0;
+    if (edge <= 0.0 || radius <= 0.0 || scribe < 0.0) {
+        std::cerr << "usage: wafer_explorer [die_edge_mm] "
+                     "[wafer_radius_cm] [scribe_mm]\n";
+        return 1;
+    }
+
+    const geometry::wafer w{centimeters{radius}};
+    const geometry::die d = geometry::die::square(millimeters{edge});
+    std::cout << "wafer: R = " << radius << " cm (" << w.area().value()
+              << " cm^2); die: " << edge << " x " << edge << " mm ("
+              << d.area().value() << " mm^2); scribe: " << scribe
+              << " mm\n\n";
+
+    analysis::text_table table;
+    table.add_column("estimator", analysis::align::left);
+    table.add_column("N_ch", analysis::align::right, 0);
+    table.add_column("silicon used", analysis::align::right, 3);
+    const double wafer_mm2 = w.area().to_square_millimeters().value();
+    for (const geometry::gross_die_method method :
+         {geometry::gross_die_method::area_ratio,
+          geometry::gross_die_method::circumference,
+          geometry::gross_die_method::ferris_prabhu,
+          geometry::gross_die_method::maly_rows,
+          geometry::gross_die_method::maly_rows_best_orient,
+          geometry::gross_die_method::exact}) {
+        const long n = geometry::gross_dies(w, d, method,
+                                            millimeters{scribe});
+        table.begin_row();
+        table.add_cell(geometry::to_string(method));
+        table.add_integer(n);
+        table.add_number(static_cast<double>(n) * d.area().value() /
+                         wafer_mm2);
+    }
+    std::cout << table.to_string() << "\n";
+
+    std::cout << geometry::render_wafer_map(w, d, millimeters{scribe})
+              << "\n";
+
+    // Cost of this die on a reference 0.8 um process.
+    core::process_spec process{
+        cost::wafer_cost_model{dollars{700.0}, 1.8},
+        w, yield::reference_die_yield{probability{0.7}},
+        geometry::gross_die_method::maly_rows};
+    core::product_spec product;
+    product.name = "explorer die";
+    product.feature_size = microns{0.8};
+    product.design_density = 200.0;
+    // Pick the transistor count that fills the requested die.
+    product.transistors = d.area().value() * 1e6 /
+                          (product.design_density * 0.8 * 0.8);
+    try {
+        const core::cost_breakdown b =
+            core::cost_model{process}.evaluate(product);
+        std::cout << "at 0.8 um / d_d 200 / Y0 0.7 / C0 $700 / X 1.8:\n"
+                  << "  " << product.transistors / 1e6
+                  << "M transistors, yield " << b.yield.value() * 100.0
+                  << "%, $" << b.cost_per_good_die.value()
+                  << " per good die, "
+                  << b.cost_per_transistor_micro_dollars()
+                  << " u$/transistor\n";
+    } catch (const std::domain_error& e) {
+        std::cout << "cost model: " << e.what() << "\n";
+    }
+    return 0;
+}

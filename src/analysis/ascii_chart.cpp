@@ -1,0 +1,156 @@
+#include "analysis/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace silicon::analysis {
+
+namespace {
+
+constexpr const char* glyphs = "*o+x#@%&";
+
+double to_axis(double v, scale s) {
+    if (s == scale::log10) {
+        if (!(v > 0.0)) {
+            throw std::invalid_argument(
+                "ascii_chart: log axis requires positive values");
+        }
+        return std::log10(v);
+    }
+    return v;
+}
+
+std::string tick_label(double axis_value, scale s) {
+    char buffer[32];
+    const double v = s == scale::log10 ? std::pow(10.0, axis_value)
+                                       : axis_value;
+    std::snprintf(buffer, sizeof buffer, "%.3g", v);
+    return buffer;
+}
+
+}  // namespace
+
+std::string render_ascii_chart(const std::vector<series>& data,
+                               const ascii_chart_options& options) {
+    if (data.empty() ||
+        std::all_of(data.begin(), data.end(),
+                    [](const series& s) { return s.empty(); })) {
+        throw std::invalid_argument("ascii_chart: no data");
+    }
+    if (options.width < 16 || options.height < 4) {
+        throw std::invalid_argument("ascii_chart: plot area too small");
+    }
+
+    double x_lo = std::numeric_limits<double>::infinity();
+    double x_hi = -std::numeric_limits<double>::infinity();
+    double y_lo = std::numeric_limits<double>::infinity();
+    double y_hi = -std::numeric_limits<double>::infinity();
+    for (const series& s : data) {
+        for (const point& p : s.points()) {
+            x_lo = std::min(x_lo, to_axis(p.x, options.x_scale));
+            x_hi = std::max(x_hi, to_axis(p.x, options.x_scale));
+            y_lo = std::min(y_lo, to_axis(p.y, options.y_scale));
+            y_hi = std::max(y_hi, to_axis(p.y, options.y_scale));
+        }
+    }
+    if (x_hi <= x_lo) {
+        x_hi = x_lo + 1.0;
+        x_lo -= 1.0;
+    }
+    if (y_hi <= y_lo) {
+        y_hi = y_lo + 1.0;
+        y_lo -= 1.0;
+    }
+
+    const int w = options.width;
+    const int h = options.height;
+    std::vector<std::string> raster(static_cast<std::size_t>(h),
+                                    std::string(static_cast<std::size_t>(w),
+                                                ' '));
+
+    for (std::size_t si = 0; si < data.size(); ++si) {
+        const char glyph = glyphs[si % 8];
+        for (const point& p : data[si].points()) {
+            const double ax = to_axis(p.x, options.x_scale);
+            const double ay = to_axis(p.y, options.y_scale);
+            const int col = static_cast<int>(
+                std::lround((ax - x_lo) / (x_hi - x_lo) * (w - 1)));
+            const int row = static_cast<int>(
+                std::lround((ay - y_lo) / (y_hi - y_lo) * (h - 1)));
+            if (col >= 0 && col < w && row >= 0 && row < h) {
+                raster[static_cast<std::size_t>(h - 1 - row)]
+                      [static_cast<std::size_t>(col)] = glyph;
+            }
+        }
+    }
+
+    std::string out;
+    if (!options.title.empty()) {
+        out += options.title;
+        out += '\n';
+    }
+
+    const std::string top_tick = tick_label(y_hi, options.y_scale);
+    const std::string bottom_tick = tick_label(y_lo, options.y_scale);
+    const std::size_t label_width =
+        std::max(top_tick.size(), bottom_tick.size());
+
+    for (int r = 0; r < h; ++r) {
+        std::string label;
+        if (r == 0) {
+            label = top_tick;
+        } else if (r == h - 1) {
+            label = bottom_tick;
+        }
+        out += std::string(label_width - label.size(), ' ') + label;
+        out += " |";
+        out += raster[static_cast<std::size_t>(r)];
+        out += '\n';
+    }
+    out += std::string(label_width + 1, ' ');
+    out += '+';
+    out += std::string(static_cast<std::size_t>(w), '-');
+    out += '\n';
+
+    const std::string left_tick = tick_label(x_lo, options.x_scale);
+    const std::string right_tick = tick_label(x_hi, options.x_scale);
+    std::string axis_line(label_width + 2, ' ');
+    axis_line += left_tick;
+    const std::size_t target =
+        label_width + 2 + static_cast<std::size_t>(w) - right_tick.size();
+    if (axis_line.size() < target) {
+        axis_line += std::string(target - axis_line.size(), ' ');
+    }
+    axis_line += right_tick;
+    out += axis_line;
+    out += '\n';
+
+    if (!options.x_label.empty()) {
+        out += std::string(label_width + 2, ' ') + options.x_label + '\n';
+    }
+
+    bool any_name = false;
+    std::string legend = "legend: ";
+    for (std::size_t si = 0; si < data.size(); ++si) {
+        if (data[si].name().empty()) {
+            continue;
+        }
+        if (any_name) {
+            legend += "   ";
+        }
+        legend += glyphs[si % 8];
+        legend += " = ";
+        legend += data[si].name();
+        any_name = true;
+    }
+    if (any_name) {
+        out += legend;
+        out += '\n';
+    }
+    return out;
+}
+
+}  // namespace silicon::analysis

@@ -1,0 +1,37 @@
+// ascii_chart.hpp — terminal line charts.
+//
+// The benches replot the paper's figures directly into the terminal so the
+// shape claims (falling Fig. 6, rising Fig. 7, Fig. 8 valleys) can be
+// eyeballed without leaving the shell.  Supports multiple series (one glyph
+// each), linear or logarithmic axes, and axis tick labels.
+
+#pragma once
+
+#include "analysis/series.hpp"
+
+#include <string>
+#include <vector>
+
+namespace silicon::analysis {
+
+/// Axis scale.
+enum class scale { linear, log10 };
+
+/// Chart configuration.
+struct ascii_chart_options {
+    int width = 72;            ///< plot area columns (>= 16)
+    int height = 20;           ///< plot area rows (>= 4)
+    scale x_scale = scale::linear;
+    scale y_scale = scale::linear;
+    std::string title;
+    std::string x_label;
+    std::string y_label;
+};
+
+/// Render the series into a character raster with axes and a legend.
+/// Throws std::invalid_argument on empty input, non-positive data on a log
+/// axis, or degenerate options.
+[[nodiscard]] std::string render_ascii_chart(
+    const std::vector<series>& data, const ascii_chart_options& options = {});
+
+}  // namespace silicon::analysis

@@ -1,0 +1,273 @@
+#include "analysis/contour.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace silicon::analysis {
+
+namespace {
+
+struct segment {
+    point a;
+    point b;
+    bool used = false;
+};
+
+/// Quantized endpoint key for chaining segments into polylines.
+struct key {
+    std::int64_t qx;
+    std::int64_t qy;
+    friend bool operator==(const key&, const key&) = default;
+};
+
+struct key_hash {
+    std::size_t operator()(const key& k) const noexcept {
+        const auto h1 = std::hash<std::int64_t>{}(k.qx);
+        const auto h2 = std::hash<std::int64_t>{}(k.qy);
+        return h1 ^ (h2 * 0x9e3779b97f4a7c15ULL);
+    }
+};
+
+class endpoint_index {
+public:
+    endpoint_index(double x_span, double y_span)
+        : x_quant_{x_span > 0.0 ? x_span * 1e-9 : 1e-12},
+          y_quant_{y_span > 0.0 ? y_span * 1e-9 : 1e-12} {}
+
+    [[nodiscard]] key make_key(const point& p) const {
+        return {static_cast<std::int64_t>(std::llround(p.x / x_quant_)),
+                static_cast<std::int64_t>(std::llround(p.y / y_quant_))};
+    }
+
+    void add(const point& p, std::size_t segment_id) {
+        map_.emplace(make_key(p), segment_id);
+    }
+
+    /// Find an unused segment touching p, or npos.
+    [[nodiscard]] std::size_t find_unused(const point& p,
+                                          const std::vector<segment>& segs)
+        const {
+        auto [lo, hi] = map_.equal_range(make_key(p));
+        for (auto it = lo; it != hi; ++it) {
+            if (!segs[it->second].used) {
+                return it->second;
+            }
+        }
+        return npos;
+    }
+
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+private:
+    double x_quant_;
+    double y_quant_;
+    std::unordered_multimap<key, std::size_t, key_hash> map_;
+};
+
+enum class edge { bottom, right, top, left };
+
+point interpolate_edge(double level, double xa, double ya, double va,
+                       double xb, double yb, double vb) {
+    const double denom = vb - va;
+    const double t = denom == 0.0 ? 0.5 : (level - va) / denom;
+    const double tc = std::clamp(t, 0.0, 1.0);
+    return {xa + tc * (xb - xa), ya + tc * (yb - ya)};
+}
+
+}  // namespace
+
+std::vector<contour_line> extract_contours(const grid& g, double level) {
+    if (g.xs.size() < 2 || g.ys.size() < 2) {
+        throw std::invalid_argument(
+            "extract_contours: grid must be at least 2x2");
+    }
+    if (!std::is_sorted(g.xs.begin(), g.xs.end()) ||
+        !std::is_sorted(g.ys.begin(), g.ys.end())) {
+        throw std::invalid_argument(
+            "extract_contours: grid axes must be increasing");
+    }
+    if (g.values.size() != g.xs.size() * g.ys.size()) {
+        throw std::invalid_argument(
+            "extract_contours: value count does not match axes");
+    }
+
+    // Marching squares degenerates when the level passes exactly through
+    // grid vertices (zero-length segments, 4-way junctions that break the
+    // chains).  Nudge the *working* level off any colliding sample; the
+    // reported level stays the caller's.
+    double working_level = level;
+    {
+        double lo = g.values.front();
+        double hi = g.values.front();
+        for (double v : g.values) {
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+        }
+        const double span = hi - lo;
+        const double nudge = span > 0.0 ? span * 1e-9 : 1e-12;
+        bool collision = true;
+        for (int attempt = 0; attempt < 8 && collision; ++attempt) {
+            collision = false;
+            for (double v : g.values) {
+                if (std::abs(v - working_level) < 0.5 * nudge) {
+                    collision = true;
+                    break;
+                }
+            }
+            if (collision) {
+                working_level += nudge;
+            }
+        }
+    }
+
+    std::vector<segment> segments;
+
+    for (std::size_t j = 0; j + 1 < g.ys.size(); ++j) {
+        for (std::size_t i = 0; i + 1 < g.xs.size(); ++i) {
+            const double x0 = g.xs[i];
+            const double x1 = g.xs[i + 1];
+            const double y0 = g.ys[j];
+            const double y1 = g.ys[j + 1];
+            const double v_bl = g.at(i, j);
+            const double v_br = g.at(i + 1, j);
+            const double v_tr = g.at(i + 1, j + 1);
+            const double v_tl = g.at(i, j + 1);
+
+            unsigned mask = 0;
+            if (v_bl >= working_level) mask |= 1u;
+            if (v_br >= working_level) mask |= 2u;
+            if (v_tr >= working_level) mask |= 4u;
+            if (v_tl >= working_level) mask |= 8u;
+            if (mask == 0u || mask == 15u) {
+                continue;
+            }
+
+            const auto edge_point = [&](edge e) {
+                switch (e) {
+                    case edge::bottom:
+                        return interpolate_edge(working_level, x0, y0, v_bl,
+                                                x1, y0, v_br);
+                    case edge::right:
+                        return interpolate_edge(working_level, x1, y0, v_br,
+                                                x1, y1, v_tr);
+                    case edge::top:
+                        return interpolate_edge(working_level, x1, y1, v_tr,
+                                                x0, y1, v_tl);
+                    case edge::left:
+                        return interpolate_edge(working_level, x0, y0, v_bl,
+                                                x0, y1, v_tl);
+                }
+                return point{};
+            };
+            const auto emit = [&](edge ea, edge eb) {
+                segments.push_back({edge_point(ea), edge_point(eb), false});
+            };
+
+            switch (mask) {
+                case 1:  emit(edge::left, edge::bottom); break;
+                case 2:  emit(edge::bottom, edge::right); break;
+                case 3:  emit(edge::left, edge::right); break;
+                case 4:  emit(edge::right, edge::top); break;
+                case 6:  emit(edge::bottom, edge::top); break;
+                case 7:  emit(edge::left, edge::top); break;
+                case 8:  emit(edge::top, edge::left); break;
+                case 9:  emit(edge::bottom, edge::top); break;
+                case 11: emit(edge::right, edge::top); break;
+                case 12: emit(edge::left, edge::right); break;
+                case 13: emit(edge::bottom, edge::right); break;
+                case 14: emit(edge::left, edge::bottom); break;
+                case 5: {
+                    const double center =
+                        0.25 * (v_bl + v_br + v_tr + v_tl);
+                    if (center >= working_level) {
+                        emit(edge::bottom, edge::right);
+                        emit(edge::top, edge::left);
+                    } else {
+                        emit(edge::left, edge::bottom);
+                        emit(edge::right, edge::top);
+                    }
+                    break;
+                }
+                case 10: {
+                    const double center =
+                        0.25 * (v_bl + v_br + v_tr + v_tl);
+                    if (center >= working_level) {
+                        emit(edge::left, edge::bottom);
+                        emit(edge::right, edge::top);
+                    } else {
+                        emit(edge::bottom, edge::right);
+                        emit(edge::top, edge::left);
+                    }
+                    break;
+                }
+                default: break;
+            }
+        }
+    }
+
+    // Chain segments into polylines.
+    endpoint_index index{g.xs.back() - g.xs.front(),
+                         g.ys.back() - g.ys.front()};
+    for (std::size_t s = 0; s < segments.size(); ++s) {
+        index.add(segments[s].a, s);
+        index.add(segments[s].b, s);
+    }
+
+    std::vector<contour_line> lines;
+    for (std::size_t start = 0; start < segments.size(); ++start) {
+        if (segments[start].used) {
+            continue;
+        }
+        segments[start].used = true;
+        std::vector<point> chain{segments[start].a, segments[start].b};
+
+        // Extend forward from the back, then backward from the front.
+        for (int direction = 0; direction < 2; ++direction) {
+            for (;;) {
+                const point& tip =
+                    direction == 0 ? chain.back() : chain.front();
+                const std::size_t next = index.find_unused(tip, segments);
+                if (next == endpoint_index::npos) {
+                    break;
+                }
+                segments[next].used = true;
+                const key tip_key = index.make_key(tip);
+                const point other =
+                    index.make_key(segments[next].a) == tip_key
+                        ? segments[next].b
+                        : segments[next].a;
+                if (direction == 0) {
+                    chain.push_back(other);
+                } else {
+                    chain.insert(chain.begin(), other);
+                }
+            }
+        }
+
+        contour_line line;
+        line.level = level;
+        const bool closed =
+            chain.size() > 2 &&
+            index.make_key(chain.front()) == index.make_key(chain.back());
+        line.closed = closed;
+        line.points = std::move(chain);
+        lines.push_back(std::move(line));
+    }
+    return lines;
+}
+
+std::vector<contour_line> extract_contours(const grid& g,
+                                           const std::vector<double>& levels) {
+    std::vector<contour_line> all;
+    for (double level : levels) {
+        auto lines = extract_contours(g, level);
+        all.insert(all.end(), std::make_move_iterator(lines.begin()),
+                   std::make_move_iterator(lines.end()));
+    }
+    return all;
+}
+
+}  // namespace silicon::analysis

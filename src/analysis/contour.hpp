@@ -1,0 +1,34 @@
+// contour.hpp — iso-line extraction (marching squares).
+//
+// Fig. 8 of the paper plots constant-cost contours in the (lambda x N_tr)
+// plane.  This module extracts such iso-lines from a sampled grid using
+// the marching-squares algorithm with linear edge interpolation and joins
+// the segments into polylines.
+
+#pragma once
+
+#include "analysis/series.hpp"
+#include "analysis/sweep.hpp"
+
+#include <vector>
+
+namespace silicon::analysis {
+
+/// One extracted contour: an open or closed polyline at a fixed level.
+struct contour_line {
+    double level = 0.0;
+    std::vector<point> points;
+    bool closed = false;
+};
+
+/// Extract all contours of `g` at `level`.  Grid axes must be strictly
+/// monotonically increasing.  Saddle cells are resolved by the cell-center
+/// average rule.
+[[nodiscard]] std::vector<contour_line> extract_contours(const grid& g,
+                                                         double level);
+
+/// Extract contours for several levels (convenience for chart rendering).
+[[nodiscard]] std::vector<contour_line> extract_contours(
+    const grid& g, const std::vector<double>& levels);
+
+}  // namespace silicon::analysis

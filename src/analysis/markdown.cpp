@@ -1,0 +1,86 @@
+#include "analysis/markdown.hpp"
+
+#include <stdexcept>
+
+namespace silicon::analysis {
+
+markdown_document::markdown_document(std::string title) {
+    body_ = "# " + std::move(title) + "\n\n";
+}
+
+void markdown_document::heading(const std::string& text, int level) {
+    if (level < 2 || level > 4) {
+        throw std::invalid_argument(
+            "markdown_document: heading level must be 2..4");
+    }
+    body_ += std::string(static_cast<std::size_t>(level), '#') + " " +
+             text + "\n\n";
+}
+
+void markdown_document::paragraph(const std::string& text) {
+    body_ += text + "\n\n";
+}
+
+void markdown_document::key_value(const std::string& key,
+                                  const std::string& value) {
+    body_ += "- **" + key + "**: " + value + "\n";
+}
+
+void markdown_document::bullets(const std::vector<std::string>& items) {
+    for (const std::string& item : items) {
+        body_ += "- " + item + "\n";
+    }
+    body_ += "\n";
+}
+
+void markdown_document::table(const text_table& t) {
+    body_ += to_markdown(t) + "\n";
+}
+
+void markdown_document::code_block(const std::string& content,
+                                   const std::string& language) {
+    body_ += "```" + language + "\n" + content;
+    if (!content.empty() && content.back() != '\n') {
+        body_ += '\n';
+    }
+    body_ += "```\n\n";
+}
+
+std::string to_markdown(const text_table& t) {
+    const std::vector<std::string> headers = t.headers();
+    const std::vector<align> alignments = t.alignments();
+    if (headers.empty()) {
+        throw std::invalid_argument("to_markdown: table has no columns");
+    }
+    const auto escape = [](const std::string& cell) {
+        std::string out;
+        for (char ch : cell) {
+            if (ch == '|') {
+                out += "\\|";
+            } else {
+                out += ch;
+            }
+        }
+        return out;
+    };
+
+    std::string md = "|";
+    for (const std::string& h : headers) {
+        md += " " + escape(h) + " |";
+    }
+    md += "\n|";
+    for (const align a : alignments) {
+        md += a == align::right ? " ---: |" : " :--- |";
+    }
+    md += "\n";
+    for (const auto& row : t.cells()) {
+        md += "|";
+        for (const std::string& cell : row) {
+            md += " " + escape(cell) + " |";
+        }
+        md += "\n";
+    }
+    return md;
+}
+
+}  // namespace silicon::analysis

@@ -1,0 +1,50 @@
+// markdown.hpp — markdown document builder.
+//
+// The library's "cost study" deliverable (core/cost_study.hpp) renders a
+// complete analysis document; this is the small, dependency-free builder
+// it uses: headings, paragraphs, key-value lists, tables (rendered from
+// text_table's CSV-free grid), and fenced code blocks for ASCII charts
+// and wafer maps.
+
+#pragma once
+
+#include "analysis/table.hpp"
+
+#include <string>
+#include <vector>
+
+namespace silicon::analysis {
+
+/// Incremental markdown document.
+class markdown_document {
+public:
+    explicit markdown_document(std::string title);
+
+    /// `level` 2..4 (level 1 is the document title).
+    void heading(const std::string& text, int level = 2);
+
+    void paragraph(const std::string& text);
+
+    /// A bold key / value line in a definition list.
+    void key_value(const std::string& key, const std::string& value);
+
+    /// Bullet list.
+    void bullets(const std::vector<std::string>& items);
+
+    /// Render a text_table as a markdown pipe table.
+    void table(const text_table& t);
+
+    /// Fenced code block (ASCII charts, wafer maps).
+    void code_block(const std::string& content,
+                    const std::string& language = "");
+
+    [[nodiscard]] std::string str() const { return body_; }
+
+private:
+    std::string body_;
+};
+
+/// Markdown pipe-table rendering of a text_table (exposed for tests).
+[[nodiscard]] std::string to_markdown(const text_table& t);
+
+}  // namespace silicon::analysis

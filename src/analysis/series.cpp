@@ -1,0 +1,90 @@
+#include "analysis/series.hpp"
+
+#include <algorithm>
+
+namespace silicon::analysis {
+
+namespace {
+
+void require_nonempty(const std::vector<point>& pts) {
+    if (pts.empty()) {
+        throw std::domain_error("series: operation requires points");
+    }
+}
+
+}  // namespace
+
+double series::min_x() const {
+    require_nonempty(points_);
+    return std::min_element(points_.begin(), points_.end(),
+                            [](const point& a, const point& b) {
+                                return a.x < b.x;
+                            })
+        ->x;
+}
+
+double series::max_x() const {
+    require_nonempty(points_);
+    return std::max_element(points_.begin(), points_.end(),
+                            [](const point& a, const point& b) {
+                                return a.x < b.x;
+                            })
+        ->x;
+}
+
+double series::min_y() const {
+    require_nonempty(points_);
+    return std::min_element(points_.begin(), points_.end(),
+                            [](const point& a, const point& b) {
+                                return a.y < b.y;
+                            })
+        ->y;
+}
+
+double series::max_y() const {
+    require_nonempty(points_);
+    return std::max_element(points_.begin(), points_.end(),
+                            [](const point& a, const point& b) {
+                                return a.y < b.y;
+                            })
+        ->y;
+}
+
+point series::argmin_y() const {
+    require_nonempty(points_);
+    return *std::min_element(points_.begin(), points_.end(),
+                             [](const point& a, const point& b) {
+                                 return a.y < b.y;
+                             });
+}
+
+double series::interpolate(double x) const {
+    require_nonempty(points_);
+    if (!std::is_sorted(points_.begin(), points_.end(),
+                        [](const point& a, const point& b) {
+                            return a.x < b.x;
+                        })) {
+        throw std::domain_error("series: interpolate requires sorted x");
+    }
+    if (x < points_.front().x || x > points_.back().x) {
+        throw std::domain_error("series: interpolation point out of range");
+    }
+    const auto upper = std::lower_bound(
+        points_.begin(), points_.end(), x,
+        [](const point& p, double value) { return p.x < value; });
+    if (upper == points_.begin()) {
+        return points_.front().y;
+    }
+    const auto lower = std::prev(upper);
+    if (upper == points_.end()) {
+        return points_.back().y;
+    }
+    const double span = upper->x - lower->x;
+    if (span <= 0.0) {
+        return lower->y;
+    }
+    const double t = (x - lower->x) / span;
+    return lower->y + t * (upper->y - lower->y);
+}
+
+}  // namespace silicon::analysis

@@ -1,0 +1,59 @@
+// series.hpp — a named sequence of (x, y) points.
+//
+// The common currency of the sweep engine, chart renderers and CSV writer.
+// Deliberately a plain value type: benches build these, renderers consume
+// them.
+
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace silicon::analysis {
+
+/// One point of a series.
+struct point {
+    double x = 0.0;
+    double y = 0.0;
+
+    friend constexpr bool operator==(const point&, const point&) = default;
+};
+
+/// A named polyline / sampled function.
+class series {
+public:
+    series() = default;
+    explicit series(std::string name) : name_{std::move(name)} {}
+    series(std::string name, std::vector<point> points)
+        : name_{std::move(name)}, points_{std::move(points)} {}
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] const std::vector<point>& points() const noexcept {
+        return points_;
+    }
+    [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+
+    void add(double x, double y) { points_.push_back({x, y}); }
+
+    /// Min/max over a coordinate; throws std::domain_error when empty.
+    [[nodiscard]] double min_x() const;
+    [[nodiscard]] double max_x() const;
+    [[nodiscard]] double min_y() const;
+    [[nodiscard]] double max_y() const;
+
+    /// Point with the smallest y; throws std::domain_error when empty.
+    [[nodiscard]] point argmin_y() const;
+
+    /// Linear interpolation of y at x; requires points sorted by x and
+    /// x within [min_x, max_x], throws std::domain_error otherwise.
+    [[nodiscard]] double interpolate(double x) const;
+
+private:
+    std::string name_;
+    std::vector<point> points_;
+};
+
+}  // namespace silicon::analysis

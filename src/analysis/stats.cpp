@@ -1,0 +1,97 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::analysis {
+
+summary summarize(const std::vector<double>& sample) {
+    if (sample.empty()) {
+        throw std::invalid_argument("summarize: empty sample");
+    }
+    summary s;
+    s.count = sample.size();
+    s.min = sample.front();
+    s.max = sample.front();
+    double sum = 0.0;
+    for (double v : sample) {
+        sum += v;
+        s.min = std::min(s.min, v);
+        s.max = std::max(s.max, v);
+    }
+    s.mean = sum / static_cast<double>(sample.size());
+    if (sample.size() > 1) {
+        double ss = 0.0;
+        for (double v : sample) {
+            ss += (v - s.mean) * (v - s.mean);
+        }
+        s.stddev = std::sqrt(ss / static_cast<double>(sample.size() - 1));
+    }
+    return s;
+}
+
+linear_fit fit_line(const std::vector<double>& xs,
+                    const std::vector<double>& ys) {
+    if (xs.size() != ys.size()) {
+        throw std::invalid_argument("fit_line: size mismatch");
+    }
+    if (xs.size() < 2) {
+        throw std::invalid_argument("fit_line: need at least two points");
+    }
+    const double n = static_cast<double>(xs.size());
+    double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+        sxx += xs[i] * xs[i];
+        sxy += xs[i] * ys[i];
+        syy += ys[i] * ys[i];
+    }
+    const double var_x = sxx - sx * sx / n;
+    if (var_x <= 0.0) {
+        throw std::invalid_argument("fit_line: x values are all equal");
+    }
+    linear_fit fit;
+    fit.slope = (sxy - sx * sy / n) / var_x;
+    fit.intercept = (sy - fit.slope * sx) / n;
+    const double var_y = syy - sy * sy / n;
+    if (var_y > 0.0) {
+        const double cov = sxy - sx * sy / n;
+        fit.r_squared = cov * cov / (var_x * var_y);
+    } else {
+        fit.r_squared = 1.0;  // constant y fitted exactly
+    }
+    return fit;
+}
+
+linear_fit fit_exponential(const std::vector<double>& xs,
+                           const std::vector<double>& ys) {
+    std::vector<double> log_ys;
+    log_ys.reserve(ys.size());
+    for (double y : ys) {
+        if (!(y > 0.0)) {
+            throw std::invalid_argument(
+                "fit_exponential: y values must be positive");
+        }
+        log_ys.push_back(std::log(y));
+    }
+    return fit_line(xs, log_ys);
+}
+
+double quantile(std::vector<double> sample, double q) {
+    if (sample.empty()) {
+        throw std::invalid_argument("quantile: empty sample");
+    }
+    if (!(q >= 0.0 && q <= 1.0)) {
+        throw std::invalid_argument("quantile: q must be in [0,1]");
+    }
+    std::sort(sample.begin(), sample.end());
+    const double idx = q * static_cast<double>(sample.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(std::floor(idx));
+    const std::size_t hi = static_cast<std::size_t>(std::ceil(idx));
+    const double t = idx - static_cast<double>(lo);
+    return sample[lo] + t * (sample[hi] - sample[lo]);
+}
+
+}  // namespace silicon::analysis

@@ -1,0 +1,46 @@
+// stats.hpp — small statistics toolkit.
+//
+// Used by the Monte-Carlo validation (confidence intervals), the roadmap
+// trend fits (log-linear regression, as in the Fig. 1/Fig. 3 exponential
+// fits) and the sensitivity reports.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace silicon::analysis {
+
+/// Running summary of a sample.
+struct summary {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0;  ///< sample standard deviation (n-1)
+    double min = 0.0;
+    double max = 0.0;
+};
+
+/// Summarize a non-empty sample; throws std::invalid_argument when empty.
+[[nodiscard]] summary summarize(const std::vector<double>& sample);
+
+/// Result of an ordinary least squares line fit y = intercept + slope * x.
+struct linear_fit {
+    double slope = 0.0;
+    double intercept = 0.0;
+    double r_squared = 0.0;
+};
+
+/// OLS fit; requires at least two distinct x values.
+[[nodiscard]] linear_fit fit_line(const std::vector<double>& xs,
+                                  const std::vector<double>& ys);
+
+/// Fit y = a * exp(b x) by regressing ln(y) on x; requires positive ys.
+/// Returns {b, ln(a), r^2 of the log fit}; use exp(intercept) for a.
+[[nodiscard]] linear_fit fit_exponential(const std::vector<double>& xs,
+                                         const std::vector<double>& ys);
+
+/// Quantile of a sample by linear interpolation on the sorted order
+/// statistic (q in [0, 1]); throws std::invalid_argument on empty input.
+[[nodiscard]] double quantile(std::vector<double> sample, double q);
+
+}  // namespace silicon::analysis

@@ -1,0 +1,262 @@
+#include "analysis/svg_chart.hpp"
+
+#include "analysis/contour.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+namespace silicon::analysis {
+
+namespace {
+
+constexpr int margin_left = 64;
+constexpr int margin_right = 16;
+constexpr int margin_top = 36;
+constexpr int margin_bottom = 52;
+
+const char* palette(std::size_t i) {
+    static constexpr const char* colors[] = {
+        "#2266aa", "#cc4433", "#338844", "#886699",
+        "#bb8822", "#117788", "#994455", "#556622",
+    };
+    return colors[i % 8];
+}
+
+std::string fmt(double v) {
+    char buffer[48];
+    std::snprintf(buffer, sizeof buffer, "%.2f", v);
+    return buffer;
+}
+
+std::string fmt_tick(double v) {
+    char buffer[48];
+    std::snprintf(buffer, sizeof buffer, "%.3g", v);
+    return buffer;
+}
+
+double axis_transform(double v, bool log_axis) {
+    if (log_axis) {
+        if (!(v > 0.0)) {
+            throw std::invalid_argument(
+                "svg_chart: log axis requires positive values");
+        }
+        return std::log10(v);
+    }
+    return v;
+}
+
+struct frame {
+    double x_lo, x_hi, y_lo, y_hi;  // axis-space bounds
+    int px_lo, px_hi, py_lo, py_hi; // pixel bounds (py_lo is top)
+    bool x_log, y_log;
+
+    [[nodiscard]] double px(double x) const {
+        const double ax = axis_transform(x, x_log);
+        return px_lo + (ax - x_lo) / (x_hi - x_lo) * (px_hi - px_lo);
+    }
+    [[nodiscard]] double py(double y) const {
+        const double ay = axis_transform(y, y_log);
+        return py_hi - (ay - y_lo) / (y_hi - y_lo) * (py_hi - py_lo);
+    }
+};
+
+void append_axes(std::string& svg, const frame& f,
+                 const svg_chart_options& options) {
+    // Plot frame.
+    svg += "<rect x=\"" + std::to_string(f.px_lo) + "\" y=\"" +
+           std::to_string(f.py_lo) + "\" width=\"" +
+           std::to_string(f.px_hi - f.px_lo) + "\" height=\"" +
+           std::to_string(f.py_hi - f.py_lo) +
+           "\" fill=\"none\" stroke=\"#444444\"/>\n";
+
+    const int ticks = 5;
+    for (int t = 0; t <= ticks; ++t) {
+        const double fraction = static_cast<double>(t) / ticks;
+        // X ticks.
+        const double ax = f.x_lo + fraction * (f.x_hi - f.x_lo);
+        const double x_val = f.x_log ? std::pow(10.0, ax) : ax;
+        const double px = f.px_lo + fraction * (f.px_hi - f.px_lo);
+        svg += "<line x1=\"" + fmt(px) + "\" y1=\"" +
+               std::to_string(f.py_hi) + "\" x2=\"" + fmt(px) + "\" y2=\"" +
+               std::to_string(f.py_hi + 4) + "\" stroke=\"#444444\"/>\n";
+        svg += "<text x=\"" + fmt(px) + "\" y=\"" +
+               std::to_string(f.py_hi + 18) +
+               "\" font-size=\"11\" text-anchor=\"middle\" "
+               "font-family=\"sans-serif\">" +
+               fmt_tick(x_val) + "</text>\n";
+        // Y ticks.
+        const double ay = f.y_lo + fraction * (f.y_hi - f.y_lo);
+        const double y_val = f.y_log ? std::pow(10.0, ay) : ay;
+        const double py = f.py_hi - fraction * (f.py_hi - f.py_lo);
+        svg += "<line x1=\"" + std::to_string(f.px_lo - 4) + "\" y1=\"" +
+               fmt(py) + "\" x2=\"" + std::to_string(f.px_lo) + "\" y2=\"" +
+               fmt(py) + "\" stroke=\"#444444\"/>\n";
+        svg += "<text x=\"" + std::to_string(f.px_lo - 8) + "\" y=\"" +
+               fmt(py + 4) +
+               "\" font-size=\"11\" text-anchor=\"end\" "
+               "font-family=\"sans-serif\">" +
+               fmt_tick(y_val) + "</text>\n";
+    }
+
+    if (!options.title.empty()) {
+        svg += "<text x=\"" +
+               std::to_string((f.px_lo + f.px_hi) / 2) + "\" y=\"20\" "
+               "font-size=\"14\" text-anchor=\"middle\" "
+               "font-family=\"sans-serif\">" +
+               options.title + "</text>\n";
+    }
+    if (!options.x_label.empty()) {
+        svg += "<text x=\"" + std::to_string((f.px_lo + f.px_hi) / 2) +
+               "\" y=\"" + std::to_string(f.py_hi + 38) +
+               "\" font-size=\"12\" text-anchor=\"middle\" "
+               "font-family=\"sans-serif\">" +
+               options.x_label + "</text>\n";
+    }
+    if (!options.y_label.empty()) {
+        const int cy = (f.py_lo + f.py_hi) / 2;
+        svg += "<text x=\"14\" y=\"" + std::to_string(cy) +
+               "\" font-size=\"12\" text-anchor=\"middle\" "
+               "font-family=\"sans-serif\" transform=\"rotate(-90 14 " +
+               std::to_string(cy) + ")\">" + options.y_label + "</text>\n";
+    }
+}
+
+std::string polyline(const std::vector<point>& pts, const frame& f,
+                     const char* color) {
+    std::string path = "<polyline fill=\"none\" stroke=\"";
+    path += color;
+    path += "\" stroke-width=\"1.5\" points=\"";
+    for (const point& p : pts) {
+        path += fmt(f.px(p.x)) + "," + fmt(f.py(p.y)) + " ";
+    }
+    path += "\"/>\n";
+    return path;
+}
+
+std::string svg_header(int width, int height) {
+    return "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" +
+           std::to_string(width) + "\" height=\"" + std::to_string(height) +
+           "\" viewBox=\"0 0 " + std::to_string(width) + " " +
+           std::to_string(height) +
+           "\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+}
+
+frame make_frame(double x_lo, double x_hi, double y_lo, double y_hi,
+                 const svg_chart_options& options) {
+    if (x_hi <= x_lo) {
+        x_hi = x_lo + 1.0;
+    }
+    if (y_hi <= y_lo) {
+        y_hi = y_lo + 1.0;
+    }
+    return {x_lo,
+            x_hi,
+            y_lo,
+            y_hi,
+            margin_left,
+            options.width - margin_right,
+            margin_top,
+            options.height - margin_bottom,
+            options.x_log,
+            options.y_log};
+}
+
+}  // namespace
+
+std::string render_svg_line_chart(const std::vector<series>& data,
+                                  const svg_chart_options& options) {
+    if (data.empty() ||
+        std::all_of(data.begin(), data.end(),
+                    [](const series& s) { return s.empty(); })) {
+        throw std::invalid_argument("svg_chart: no data");
+    }
+
+    double x_lo = std::numeric_limits<double>::infinity();
+    double x_hi = -x_lo;
+    double y_lo = x_lo;
+    double y_hi = -x_lo;
+    for (const series& s : data) {
+        for (const point& p : s.points()) {
+            x_lo = std::min(x_lo, axis_transform(p.x, options.x_log));
+            x_hi = std::max(x_hi, axis_transform(p.x, options.x_log));
+            y_lo = std::min(y_lo, axis_transform(p.y, options.y_log));
+            y_hi = std::max(y_hi, axis_transform(p.y, options.y_log));
+        }
+    }
+    const frame f = make_frame(x_lo, x_hi, y_lo, y_hi, options);
+
+    std::string svg = svg_header(options.width, options.height);
+    append_axes(svg, f, options);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        if (data[i].empty()) {
+            continue;
+        }
+        svg += polyline(data[i].points(), f, palette(i));
+        if (!data[i].name().empty()) {
+            const int lx = f.px_lo + 10;
+            const int ly = f.py_lo + 16 + static_cast<int>(i) * 16;
+            svg += "<line x1=\"" + std::to_string(lx) + "\" y1=\"" +
+                   std::to_string(ly - 4) + "\" x2=\"" +
+                   std::to_string(lx + 18) + "\" y2=\"" +
+                   std::to_string(ly - 4) + "\" stroke=\"" +
+                   palette(i) + "\" stroke-width=\"2\"/>\n";
+            svg += "<text x=\"" + std::to_string(lx + 24) + "\" y=\"" +
+                   std::to_string(ly) +
+                   "\" font-size=\"11\" font-family=\"sans-serif\">" +
+                   data[i].name() + "</text>\n";
+        }
+    }
+    svg += "</svg>\n";
+    return svg;
+}
+
+std::string render_svg_contour_chart(const grid& g,
+                                     const std::vector<double>& levels,
+                                     const svg_chart_options& options) {
+    if (levels.empty()) {
+        throw std::invalid_argument("svg_chart: no contour levels");
+    }
+    const double x_lo = axis_transform(g.xs.front(), options.x_log);
+    const double x_hi = axis_transform(g.xs.back(), options.x_log);
+    const double y_lo = axis_transform(g.ys.front(), options.y_log);
+    const double y_hi = axis_transform(g.ys.back(), options.y_log);
+    const frame f = make_frame(x_lo, x_hi, y_lo, y_hi, options);
+
+    std::string svg = svg_header(options.width, options.height);
+    append_axes(svg, f, options);
+    for (std::size_t li = 0; li < levels.size(); ++li) {
+        const auto lines = extract_contours(g, levels[li]);
+        for (const contour_line& line : lines) {
+            svg += polyline(line.points, f, palette(li));
+        }
+        const int lx = f.px_lo + 10;
+        const int ly = f.py_lo + 16 + static_cast<int>(li) * 16;
+        svg += "<line x1=\"" + std::to_string(lx) + "\" y1=\"" +
+               std::to_string(ly - 4) + "\" x2=\"" + std::to_string(lx + 18) +
+               "\" y2=\"" + std::to_string(ly - 4) + "\" stroke=\"" +
+               palette(li) + "\" stroke-width=\"2\"/>\n";
+        svg += "<text x=\"" + std::to_string(lx + 24) + "\" y=\"" +
+               std::to_string(ly) +
+               "\" font-size=\"11\" font-family=\"sans-serif\">level " +
+               fmt_tick(levels[li]) + "</text>\n";
+    }
+    svg += "</svg>\n";
+    return svg;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+    std::ofstream out{path, std::ios::binary};
+    if (!out) {
+        throw std::runtime_error("write_file: cannot open " + path);
+    }
+    out << content;
+    if (!out) {
+        throw std::runtime_error("write_file: write failed for " + path);
+    }
+}
+
+}  // namespace silicon::analysis

@@ -1,0 +1,45 @@
+// svg_chart.hpp — standalone SVG renderer for line charts and contour maps.
+//
+// The repro hint for this paper flags "plotting/analysis less convenient"
+// as the main C++ friction; this renderer removes it: benches and examples
+// can emit publication-style SVG files with no external dependency.
+// Output is deterministic (fixed palette, fixed decimal formatting) so
+// golden tests can assert on it.
+
+#pragma once
+
+#include "analysis/series.hpp"
+#include "analysis/sweep.hpp"
+
+#include <string>
+#include <vector>
+
+namespace silicon::analysis {
+
+/// Options shared by the SVG chart kinds.
+struct svg_chart_options {
+    int width = 640;    ///< total pixel width
+    int height = 420;   ///< total pixel height
+    std::string title;
+    std::string x_label;
+    std::string y_label;
+    bool x_log = false; ///< log10 x axis (positive data required)
+    bool y_log = false; ///< log10 y axis
+};
+
+/// Render a multi-series line chart.  Throws std::invalid_argument on
+/// empty data or non-positive values on a log axis.
+[[nodiscard]] std::string render_svg_line_chart(
+    const std::vector<series>& data, const svg_chart_options& options = {});
+
+/// Render iso-value contour polylines (e.g. Fig. 8's constant-cost curves)
+/// on top of the grid's bounding box.  `levels` are the iso values; each
+/// gets one color and a legend entry.
+[[nodiscard]] std::string render_svg_contour_chart(
+    const grid& g, const std::vector<double>& levels,
+    const svg_chart_options& options = {});
+
+/// Write `content` to `path`; throws std::runtime_error on I/O failure.
+void write_file(const std::string& path, const std::string& content);
+
+}  // namespace silicon::analysis

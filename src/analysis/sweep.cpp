@@ -1,0 +1,86 @@
+#include "analysis/sweep.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::analysis {
+
+std::vector<double> linspace(double first, double last, int count) {
+    if (count < 1) {
+        throw std::invalid_argument("linspace: count must be >= 1");
+    }
+    if (count == 1) {
+        if (first != last) {
+            throw std::invalid_argument(
+                "linspace: a single sample needs first == last");
+        }
+        return {first};
+    }
+    std::vector<double> xs;
+    xs.reserve(static_cast<std::size_t>(count));
+    const double step = (last - first) / (count - 1);
+    for (int i = 0; i < count; ++i) {
+        xs.push_back(i + 1 == count ? last : first + step * i);
+    }
+    return xs;
+}
+
+std::vector<double> logspace(double first, double last, int count) {
+    if (!(first > 0.0) || !(last > 0.0)) {
+        throw std::invalid_argument(
+            "logspace: endpoints must be positive");
+    }
+    std::vector<double> xs =
+        linspace(std::log(first), std::log(last), count);
+    std::transform(xs.begin(), xs.end(), xs.begin(),
+                   [](double v) { return std::exp(v); });
+    if (!xs.empty()) {
+        xs.front() = first;  // kill rounding on the endpoints
+        xs.back() = last;
+    }
+    return xs;
+}
+
+series sweep(std::string name, const std::vector<double>& xs,
+             const std::function<double(double)>& f) {
+    series s{std::move(name)};
+    for (double x : xs) {
+        s.add(x, f(x));
+    }
+    return s;
+}
+
+double grid::min_value() const {
+    if (values.empty()) {
+        throw std::domain_error("grid: empty");
+    }
+    return *std::min_element(values.begin(), values.end());
+}
+
+double grid::max_value() const {
+    if (values.empty()) {
+        throw std::domain_error("grid: empty");
+    }
+    return *std::max_element(values.begin(), values.end());
+}
+
+grid evaluate_grid(const std::vector<double>& xs,
+                   const std::vector<double>& ys,
+                   const std::function<double(double, double)>& f) {
+    if (xs.empty() || ys.empty()) {
+        throw std::invalid_argument("evaluate_grid: empty axes");
+    }
+    grid g;
+    g.xs = xs;
+    g.ys = ys;
+    g.values.reserve(xs.size() * ys.size());
+    for (double y : ys) {
+        for (double x : xs) {
+            g.values.push_back(f(x, y));
+        }
+    }
+    return g;
+}
+
+}  // namespace silicon::analysis

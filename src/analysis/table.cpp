@@ -1,0 +1,164 @@
+#include "analysis/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace silicon::analysis {
+
+std::string format_number(double value, int precision) {
+    char buffer[64];
+    if (precision < 0) {
+        std::snprintf(buffer, sizeof buffer, "%g", value);
+    } else {
+        std::snprintf(buffer, sizeof buffer, "%.*f", precision, value);
+    }
+    return buffer;
+}
+
+void text_table::add_column(std::string header, align alignment,
+                            int precision) {
+    if (!rows_.empty()) {
+        throw std::logic_error(
+            "text_table: declare all columns before adding rows");
+    }
+    columns_.push_back({std::move(header), alignment, precision});
+}
+
+void text_table::begin_row() {
+    if (columns_.empty()) {
+        throw std::logic_error("text_table: no columns declared");
+    }
+    if (!rows_.empty() && rows_.back().size() != columns_.size()) {
+        throw std::logic_error("text_table: previous row is incomplete");
+    }
+    rows_.emplace_back();
+    rows_.back().reserve(columns_.size());
+}
+
+void text_table::add_cell(std::string text) {
+    if (rows_.empty()) {
+        throw std::logic_error("text_table: begin_row first");
+    }
+    if (rows_.back().size() >= columns_.size()) {
+        throw std::logic_error("text_table: row already full");
+    }
+    rows_.back().push_back(std::move(text));
+}
+
+void text_table::add_number(double value) {
+    if (rows_.empty()) {
+        throw std::logic_error("text_table: begin_row first");
+    }
+    const std::size_t index = rows_.back().size();
+    if (index >= columns_.size()) {
+        throw std::logic_error("text_table: row already full");
+    }
+    add_cell(format_number(value, columns_[index].precision));
+}
+
+void text_table::add_integer(long value) {
+    add_cell(std::to_string(value));
+}
+
+std::vector<std::string> text_table::headers() const {
+    std::vector<std::string> names;
+    names.reserve(columns_.size());
+    for (const column& c : columns_) {
+        names.push_back(c.header);
+    }
+    return names;
+}
+
+std::vector<align> text_table::alignments() const {
+    std::vector<align> result;
+    result.reserve(columns_.size());
+    for (const column& c : columns_) {
+        result.push_back(c.alignment);
+    }
+    return result;
+}
+
+std::string text_table::to_string() const {
+    if (!rows_.empty() && rows_.back().size() != columns_.size()) {
+        throw std::logic_error("text_table: last row is incomplete");
+    }
+    std::vector<std::size_t> widths(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+        widths[c] = columns_[c].header.size();
+        for (const auto& row : rows_) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    const auto pad = [](const std::string& text, std::size_t width,
+                        align alignment) {
+        const std::string fill(width - text.size(), ' ');
+        return alignment == align::left ? text + fill : fill + text;
+    };
+
+    std::string out;
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+        if (c != 0) {
+            out += "  ";
+        }
+        out += pad(columns_[c].header, widths[c], columns_[c].alignment);
+    }
+    out += '\n';
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+        total += widths[c] + (c != 0 ? 2 : 0);
+    }
+    out += std::string(total, '-');
+    out += '\n';
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < columns_.size(); ++c) {
+            if (c != 0) {
+                out += "  ";
+            }
+            out += pad(row[c], widths[c], columns_[c].alignment);
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+std::string text_table::to_csv() const {
+    if (!rows_.empty() && rows_.back().size() != columns_.size()) {
+        throw std::logic_error("text_table: last row is incomplete");
+    }
+    const auto escape = [](const std::string& cell) {
+        if (cell.find_first_of(",\"\n") == std::string::npos) {
+            return cell;
+        }
+        std::string quoted = "\"";
+        for (char ch : cell) {
+            if (ch == '"') {
+                quoted += '"';
+            }
+            quoted += ch;
+        }
+        quoted += '"';
+        return quoted;
+    };
+
+    std::string out;
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+        if (c != 0) {
+            out += ',';
+        }
+        out += escape(columns_[c].header);
+    }
+    out += '\n';
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < columns_.size(); ++c) {
+            if (c != 0) {
+                out += ',';
+            }
+            out += escape(row[c]);
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+}  // namespace silicon::analysis

@@ -1,0 +1,76 @@
+// table.hpp — fixed-width text table formatter.
+//
+// The benches print tables in the paper's style; this is the shared
+// formatter: named columns, per-column alignment and numeric precision,
+// box-drawing-free plain ASCII output so it diffs cleanly in logs.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace silicon::analysis {
+
+/// Column alignment.
+enum class align { left, right };
+
+/// A text table builder.  Columns are declared first, then rows are added;
+/// `to_string` lays everything out with two-space gutters.
+class text_table {
+public:
+    /// Declare a column.  `precision` applies to `add_number` cells
+    /// (negative means "use %g style shortest form").
+    void add_column(std::string header, align alignment = align::right,
+                    int precision = -1);
+
+    /// Start a new row; subsequent add_* calls fill it left to right.
+    void begin_row();
+
+    /// Add a preformatted cell to the current row.
+    void add_cell(std::string text);
+
+    /// Add a numeric cell using the column's precision.
+    void add_number(double value);
+
+    /// Add an integer cell.
+    void add_integer(long value);
+
+    /// Number of data rows so far.
+    [[nodiscard]] std::size_t row_count() const noexcept {
+        return rows_.size();
+    }
+
+    /// Column headers, in declaration order.
+    [[nodiscard]] std::vector<std::string> headers() const;
+
+    /// Per-column alignments, parallel to headers().
+    [[nodiscard]] std::vector<align> alignments() const;
+
+    /// The formatted cell grid (rows of cells as added).
+    [[nodiscard]] const std::vector<std::vector<std::string>>& cells()
+        const noexcept {
+        return rows_;
+    }
+
+    /// Render with header and a dash separator line.
+    [[nodiscard]] std::string to_string() const;
+
+    /// Render as CSV (no alignment, comma-separated, header row first).
+    [[nodiscard]] std::string to_csv() const;
+
+private:
+    struct column {
+        std::string header;
+        align alignment;
+        int precision;
+    };
+
+    std::vector<column> columns_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format one number with the table's conventions ("%.*f" or "%g").
+[[nodiscard]] std::string format_number(double value, int precision);
+
+}  // namespace silicon::analysis

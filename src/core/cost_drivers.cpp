@@ -1,0 +1,64 @@
+#include "core/cost_drivers.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::core {
+
+cost_driver_report analyze_cost_drivers(const process_spec& process,
+                                        const product_spec& product) {
+    const auto* reference =
+        std::get_if<yield::reference_die_yield>(&process.yield);
+    if (reference == nullptr) {
+        throw std::invalid_argument(
+            "analyze_cost_drivers: requires the reference (Y_0, A_0) "
+            "yield form");
+    }
+
+    cost_driver_report report;
+    report.nominal = cost_model{process}.evaluate(product);
+
+    const std::vector<opt::parameter> parameters = {
+        {"C_0 (reference wafer cost)",
+         process.wafer_cost.c0().value()},
+        {"X (cost escalation rate)", process.wafer_cost.x()},
+        {"lambda (feature size)", product.feature_size.value()},
+        {"d_d (design density)", product.design_density},
+        {"N_tr (transistor count)", product.transistors},
+        {"R_w (wafer radius)",
+         process.wafer.radius().value()},
+        {"Y_0 (reference yield)", reference->y0().value()},
+    };
+
+    const auto objective = [&](const std::vector<double>& v) {
+        const dollars c0{v[0]};
+        const double x = v[1];
+        const microns lambda{v[2]};
+        const double dd = v[3];
+        const double n_tr = v[4];
+        const centimeters rw{v[5]};
+        const probability y0 = probability::clamped(v[6]);
+
+        // Fully smooth closed form of Eq. (1): N_ch = A_w / A_die with
+        // no floor(), so the central differences see real derivatives
+        // instead of integer staircase plateaus.
+        const cost::wafer_cost_model wafer_cost{
+            c0, x, process.wafer_cost.generation_step()};
+        const double wafer_cm2 =
+            disc_area(rw).value();
+        const double die_cm2 =
+            n_tr * dd * lambda.value() * lambda.value() * 1e-8;
+        const yield::reference_die_yield yield_model{y0, reference->a0()};
+        const double y =
+            yield_model.yield(square_centimeters{die_cm2}).value();
+        const double dies = wafer_cm2 / die_cm2;
+        return wafer_cost.pure_wafer_cost(lambda).value() /
+               (dies * n_tr * y);
+    };
+
+    report.drivers =
+        opt::ranked(opt::elasticities(objective, parameters));
+    return report;
+}
+
+}  // namespace silicon::core

@@ -1,0 +1,37 @@
+// cost_drivers.hpp — what actually moves a product's transistor cost.
+//
+// Section III opens by promising to "demonstrate the complexity of the
+// IC manufacturing cost problem"; this module makes the complexity
+// navigable by ranking the cost drivers.  It wires the integrated Eq. (1)
+// model into the generic elasticity engine: for a given product it
+// reports d ln C_tr / d ln theta for every model input
+// (C_0, X, lambda, d_d, N_tr, wafer radius, Y_0), ranked by magnitude.
+//
+// The probes evaluate a fully smooth closed form of Eq. (1) (continuous
+// dies-per-wafer, no floor()) so the finite differences are not polluted
+// by the integer jumps of Eq. (4); the reported nominal cost uses the
+// configured estimator.
+
+#pragma once
+
+#include "core/cost_model.hpp"
+#include "opt/sensitivity.hpp"
+
+#include <vector>
+
+namespace silicon::core {
+
+/// Driver report for one product.
+struct cost_driver_report {
+    cost_breakdown nominal;                 ///< at the configured inputs
+    std::vector<opt::elasticity> drivers;   ///< ranked by |elasticity|
+};
+
+/// Compute the ranked elasticities of cost per transistor.  Only
+/// supports the reference_die_yield process form (Table 3's), because
+/// Y_0 is one of the probed drivers; throws std::invalid_argument for
+/// other yield_spec alternatives.
+[[nodiscard]] cost_driver_report analyze_cost_drivers(
+    const process_spec& process, const product_spec& product);
+
+}  // namespace silicon::core

@@ -1,0 +1,82 @@
+#include "core/cost_model.hpp"
+
+#include "opt/minimize.hpp"
+
+#include <stdexcept>
+
+namespace silicon::core {
+
+cost_model::cost_model(process_spec process) : process_{std::move(process)} {}
+
+cost_breakdown cost_model::evaluate(const product_spec& product,
+                                    const economics_spec& economics) const {
+    cost_breakdown breakdown;
+    breakdown.product_name = product.name;
+    breakdown.feature_size = product.feature_size;
+    breakdown.die_area = product.die_area();
+
+    const geometry::die die = product.make_die();
+    breakdown.gross_dies_per_wafer = geometry::gross_dies(
+        process_.wafer, die, process_.dies_per_wafer_method);
+    if (breakdown.gross_dies_per_wafer <= 0) {
+        throw std::domain_error("cost_model: product '" + product.name +
+                                "' does not fit on the wafer");
+    }
+
+    breakdown.yield =
+        process_.evaluate_yield(breakdown.die_area, product.feature_size);
+    if (breakdown.yield.value() <= 0.0) {
+        throw std::domain_error("cost_model: yield underflowed to zero for "
+                                "product '" +
+                                product.name + "'");
+    }
+    breakdown.good_dies_per_wafer =
+        static_cast<double>(breakdown.gross_dies_per_wafer) *
+        breakdown.yield.value();
+
+    breakdown.wafer_cost = process_.wafer_cost.wafer_cost_at_volume(
+        product.feature_size, economics.overhead, economics.volume_wafers);
+
+    breakdown.cost_per_good_die =
+        dollars{breakdown.wafer_cost.value() /
+                breakdown.good_dies_per_wafer};
+    breakdown.cost_per_transistor =
+        dollars{breakdown.cost_per_good_die.value() / product.transistors};
+    return breakdown;
+}
+
+dollars cost_model::cost_per_transistor(const product_spec& product,
+                                        const economics_spec& economics)
+    const {
+    return evaluate(product, economics).cost_per_transistor;
+}
+
+microns cost_model::optimal_feature_size(const product_spec& product,
+                                         microns lo, microns hi,
+                                         const economics_spec& economics)
+    const {
+    if (!(lo.value() > 0.0) || !(lo.value() < hi.value())) {
+        throw std::invalid_argument(
+            "cost_model: feature size interval must be positive and "
+            "non-empty");
+    }
+    const auto objective = [&](double lambda) {
+        product_spec probe = product;
+        probe.feature_size = microns{lambda};
+        try {
+            return cost_per_transistor(probe, economics).value();
+        } catch (const std::domain_error&) {
+            // Doesn't fit / yield underflow: price it out of the search.
+            return 1e300;
+        }
+    };
+    const opt::scalar_minimum best =
+        opt::grid_then_golden(objective, lo.value(), hi.value(), 96, 1e-6);
+    if (best.value >= 1e300) {
+        throw std::domain_error(
+            "cost_model: no feasible feature size in the interval");
+    }
+    return microns{best.x};
+}
+
+}  // namespace silicon::core

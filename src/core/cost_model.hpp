@@ -1,0 +1,70 @@
+// cost_model.hpp — the integrated transistor cost model (paper Eq. 1).
+//
+//     C_tr = C_w / (N_ch * N_tr * Y)
+//
+// with C_w from Eqs. (2)+(3), N_ch from Eq. (4), N_tr/A_ch from Eq. (5)
+// and Y from Eq. (6)/(7)/(9) depending on the configured yield_spec.
+// This is the class Table 3 and Fig. 8 are generated with, and the main
+// entry point of the library.
+
+#pragma once
+
+#include "core/specs.hpp"
+
+namespace silicon::core {
+
+/// Full decomposition of one evaluation — every intermediate the paper's
+/// equations produce, so tables can print any column.
+struct cost_breakdown {
+    std::string product_name;
+    microns feature_size{0.0};
+    square_millimeters die_area{0.0};
+    long gross_dies_per_wafer = 0;      ///< N_ch
+    probability yield{0.0};             ///< Y
+    double good_dies_per_wafer = 0.0;   ///< N_ch * Y
+    dollars wafer_cost{0.0};            ///< C_w at the configured volume
+    dollars cost_per_good_die{0.0};     ///< C_w / (N_ch * Y)
+    dollars cost_per_transistor{0.0};   ///< Eq. (1)
+
+    /// Cost per transistor in the paper's Table 3 unit, micro-dollars.
+    [[nodiscard]] double cost_per_transistor_micro_dollars() const {
+        return cost_per_transistor.value() * 1e6;
+    }
+};
+
+/// Evaluator binding a process to Eq. (1).
+class cost_model {
+public:
+    explicit cost_model(process_spec process);
+
+    [[nodiscard]] const process_spec& process() const noexcept {
+        return process_;
+    }
+
+    /// Evaluate the full breakdown for a product under the given
+    /// economics.  Throws std::domain_error when the die does not fit on
+    /// the wafer (N_ch = 0) or the yield underflows to zero.
+    [[nodiscard]] cost_breakdown evaluate(
+        const product_spec& product,
+        const economics_spec& economics = economics_spec::high_volume())
+        const;
+
+    /// Cost per transistor only — the objective used by optimizers.
+    [[nodiscard]] dollars cost_per_transistor(
+        const product_spec& product,
+        const economics_spec& economics = economics_spec::high_volume())
+        const;
+
+    /// The feature size in [lo, hi] minimizing cost per transistor for a
+    /// product at fixed transistor count (Sec. IV.B's lambda_opt).  Grid
+    /// scan plus golden-section refinement; returns the refined lambda.
+    [[nodiscard]] microns optimal_feature_size(
+        const product_spec& product, microns lo, microns hi,
+        const economics_spec& economics = economics_spec::high_volume())
+        const;
+
+private:
+    process_spec process_;
+};
+
+}  // namespace silicon::core

@@ -1,0 +1,182 @@
+#include "core/cost_study.hpp"
+
+#include "analysis/markdown.hpp"
+#include "analysis/svg_chart.hpp"
+#include "analysis/sweep.hpp"
+#include "geometry/wafer_map.hpp"
+
+#include <stdexcept>
+
+namespace silicon::core {
+
+namespace {
+
+std::string money(double v, int precision = 2) {
+    return "$" + analysis::format_number(v, precision);
+}
+
+}  // namespace
+
+std::string render_cost_study(const process_spec& process,
+                              const product_spec& product,
+                              const cost_study_options& options) {
+    const cost_model model{process};
+    const cost_breakdown b = model.evaluate(product);
+
+    analysis::markdown_document doc{"Cost study: " + product.name};
+
+    doc.heading("Inputs");
+    doc.key_value("transistors (N_tr)",
+                  analysis::format_number(product.transistors, -1));
+    doc.key_value("design density (d_d)",
+                  analysis::format_number(product.design_density, -1) +
+                      " lambda^2/transistor");
+    doc.key_value("feature size (lambda)",
+                  analysis::format_number(product.feature_size.value(), -1) +
+                      " um");
+    doc.key_value(
+        "wafer",
+        "R_w = " +
+            analysis::format_number(process.wafer.radius().value(), -1) +
+            " cm");
+    doc.key_value(
+        "wafer cost model",
+        "C_0 = " + money(process.wafer_cost.c0().value(), 0) +
+            ", X = " + analysis::format_number(process.wafer_cost.x(), -1) +
+            " per " +
+            analysis::format_number(
+                process.wafer_cost.generation_step().value(), -1) +
+            " um generation");
+    doc.paragraph("");
+
+    doc.heading("Silicon cost (Eq. 1)");
+    analysis::text_table silicon;
+    silicon.add_column("quantity", analysis::align::left);
+    silicon.add_column("value", analysis::align::right);
+    const auto add = [&](const std::string& k, const std::string& v) {
+        silicon.begin_row();
+        silicon.add_cell(k);
+        silicon.add_cell(v);
+    };
+    add("die area (Eq. 5)",
+        analysis::format_number(b.die_area.value(), 1) + " mm^2");
+    add("gross dies per wafer (Eq. 4)",
+        std::to_string(b.gross_dies_per_wafer));
+    add("functional yield",
+        analysis::format_number(b.yield.value() * 100.0, 1) + " %");
+    add("good dies per wafer",
+        analysis::format_number(b.good_dies_per_wafer, 1));
+    add("wafer cost", money(b.wafer_cost.value(), 0));
+    add("cost per good die", money(b.cost_per_good_die.value()));
+    add("cost per transistor",
+        analysis::format_number(b.cost_per_transistor_micro_dollars(), 3) +
+            " micro-dollars");
+    doc.table(silicon);
+
+    doc.heading("Wafer map");
+    doc.code_block(
+        geometry::render_wafer_map(process.wafer, product.make_die()));
+
+    if (options.include_lambda_sweep) {
+        doc.heading("Feature size sensitivity");
+        analysis::text_table sweep_table;
+        sweep_table.add_column("lambda [um]", analysis::align::right, 3);
+        sweep_table.add_column("C_tr [u$]", analysis::align::right, 3);
+        sweep_table.add_column("die [mm^2]", analysis::align::right, 1);
+        sweep_table.add_column("yield", analysis::align::right, 3);
+        for (double lambda :
+             analysis::linspace(options.sweep_lo.value(),
+                                options.sweep_hi.value(),
+                                options.sweep_points)) {
+            product_spec probe = product;
+            probe.feature_size = microns{lambda};
+            try {
+                const cost_breakdown pb = model.evaluate(probe);
+                sweep_table.begin_row();
+                sweep_table.add_number(lambda);
+                sweep_table.add_number(
+                    pb.cost_per_transistor_micro_dollars());
+                sweep_table.add_number(pb.die_area.value());
+                sweep_table.add_number(pb.yield.value());
+            } catch (const std::domain_error&) {
+                // infeasible point: skip the row
+            }
+        }
+        doc.table(sweep_table);
+        const microns best = model.optimal_feature_size(
+            product, options.sweep_lo, options.sweep_hi);
+        doc.paragraph("Cost-optimal feature size in the window: **" +
+                      analysis::format_number(best.value(), 3) + " um**.");
+    }
+
+    if (options.include_drivers &&
+        std::holds_alternative<yield::reference_die_yield>(process.yield)) {
+        doc.heading("Ranked cost drivers");
+        const cost_driver_report drivers =
+            analyze_cost_drivers(process, product);
+        analysis::text_table driver_table;
+        driver_table.add_column("driver", analysis::align::left);
+        driver_table.add_column("elasticity d lnC/d ln theta",
+                                analysis::align::right, 3);
+        for (const opt::elasticity& e : drivers.drivers) {
+            driver_table.begin_row();
+            driver_table.add_cell(e.name);
+            driver_table.add_number(e.value);
+        }
+        doc.table(driver_table);
+    }
+
+    dollars running_cost = b.cost_per_good_die;
+    if (options.include_test) {
+        doc.heading("Test economics");
+        cost::test_program program = options.test_program;
+        program.transistors = product.transistors;
+        const cost::test_economics test = cost::evaluate_test_economics(
+            options.tester, program, b.yield,
+            options.field_cost_per_escape);
+        analysis::text_table test_table;
+        test_table.add_column("quantity", analysis::align::left);
+        test_table.add_column("value", analysis::align::right);
+        const auto trow = [&](const std::string& k, const std::string& v) {
+            test_table.begin_row();
+            test_table.add_cell(k);
+            test_table.add_cell(v);
+        };
+        trow("probe cost per good die",
+             money(test.probe_per_good_die.value()));
+        trow("final test per good die",
+             money(test.final_per_good_die.value()));
+        trow("shipped defect level",
+             analysis::format_number(
+                 test.shipped_defect_level.value() * 1e6, 0) +
+                 " ppm");
+        trow("expected field cost per shipped die",
+             money(test.escape_cost_per_shipped_die.value()));
+        doc.table(test_table);
+        running_cost = running_cost + test.total_per_shipped_die;
+    }
+
+    if (options.include_packaging) {
+        doc.heading("Packaged part");
+        const dollars shipped =
+            cost::packaged_part_cost(running_cost, options.package);
+        doc.key_value("package",
+                      std::to_string(options.package.pins) + " pins, " +
+                          money(cost::package_cost(options.package)
+                                    .value()));
+        doc.key_value("cost per shipped part",
+                      money(shipped.value()));
+        doc.paragraph("");
+    }
+
+    return doc.str();
+}
+
+void write_cost_study(const std::string& path, const process_spec& process,
+                      const product_spec& product,
+                      const cost_study_options& options) {
+    analysis::write_file(path,
+                         render_cost_study(process, product, options));
+}
+
+}  // namespace silicon::core

@@ -1,0 +1,49 @@
+// cost_study.hpp — one-call product cost study document.
+//
+// The paper's closing ask is "tools performing system level design cost
+// optimization"; the entry ticket for such a tool is a readable cost
+// study.  `write_cost_study` runs the whole battery for one product —
+// Eq. (1) breakdown, dies-per-wafer estimator cross-check, lambda
+// sensitivity sweep, ranked cost drivers, test economics and packaged
+// cost — and renders it as a markdown document.
+
+#pragma once
+
+#include "core/cost_drivers.hpp"
+#include "core/cost_model.hpp"
+#include "cost/assembly.hpp"
+#include "cost/test_cost.hpp"
+
+#include <string>
+
+namespace silicon::core {
+
+/// Optional study stages beyond the silicon breakdown.
+struct cost_study_options {
+    bool include_test = true;
+    cost::tester_spec tester;
+    cost::test_program test_program;   ///< transistors auto-filled
+    dollars field_cost_per_escape{250.0};
+
+    bool include_packaging = true;
+    cost::package_spec package;
+
+    bool include_lambda_sweep = true;
+    microns sweep_lo{0.5};
+    microns sweep_hi{1.0};
+    int sweep_points = 11;
+
+    bool include_drivers = true;  ///< requires reference yield form
+};
+
+/// Produce the study as a markdown string.
+[[nodiscard]] std::string render_cost_study(
+    const process_spec& process, const product_spec& product,
+    const cost_study_options& options = {});
+
+/// Render and write to `path` (throws std::runtime_error on I/O error).
+void write_cost_study(const std::string& path, const process_spec& process,
+                      const product_spec& product,
+                      const cost_study_options& options = {});
+
+}  // namespace silicon::core

@@ -1,0 +1,88 @@
+#include "core/dft_case.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace silicon::core {
+
+double dft_response::coverage(double area_overhead) const {
+    if (area_overhead < 0.0) {
+        throw std::invalid_argument("dft_response: negative overhead");
+    }
+    const double gap = max_coverage - base_coverage;
+    return base_coverage +
+           gap * area_overhead / (area_overhead + coverage_area_50);
+}
+
+double dft_response::compression(double area_overhead) const {
+    if (area_overhead < 0.0) {
+        throw std::invalid_argument("dft_response: negative overhead");
+    }
+    return 1.0 + (max_compression - 1.0) * area_overhead /
+                     (area_overhead + compression_area_50);
+}
+
+dft_case_result evaluate_dft_case(const process_spec& process,
+                                  const product_spec& product,
+                                  const cost::tester_spec& tester,
+                                  const cost::test_program& base_program,
+                                  dollars field_cost_per_escape,
+                                  const dft_response& response,
+                                  const std::vector<double>& overheads) {
+    std::vector<double> sweep = overheads;
+    if (sweep.empty()) {
+        for (int i = 0; i <= 25; ++i) {
+            sweep.push_back(0.01 * i);
+        }
+    }
+
+    const cost_model model{process};
+    dft_case_result result;
+    result.best.total_per_shipped_die =
+        dollars{std::numeric_limits<double>::max()};
+
+    for (double overhead : sweep) {
+        // DFT area scales the effective design density: same transistor
+        // count, (1 + overhead) times the silicon.
+        product_spec padded = product;
+        padded.design_density = product.design_density * (1.0 + overhead);
+        const cost_breakdown silicon_cost = model.evaluate(padded);
+
+        cost::test_program program = base_program;
+        program.fault_coverage = response.coverage(overhead);
+        program.vectors_per_kilotransistor =
+            base_program.vectors_per_kilotransistor /
+            response.compression(overhead);
+
+        const cost::test_economics test = cost::evaluate_test_economics(
+            tester, program, silicon_cost.yield, field_cost_per_escape);
+
+        dft_point point;
+        point.area_overhead = overhead;
+        point.coverage = program.fault_coverage;
+        point.compression = response.compression(overhead);
+        point.silicon_per_good_die = silicon_cost.cost_per_good_die;
+        point.test_per_shipped_die =
+            test.probe_per_good_die + test.final_per_good_die;
+        point.escape_cost = test.escape_cost_per_shipped_die;
+        point.shipped_defect_level = test.shipped_defect_level;
+        point.total_per_shipped_die = point.silicon_per_good_die +
+                                      point.test_per_shipped_die +
+                                      point.escape_cost;
+        result.sweep.push_back(point);
+
+        if (point.total_per_shipped_die <
+            result.best.total_per_shipped_die) {
+            result.best = point;
+        }
+        if (overhead == sweep.front()) {
+            result.no_dft = point;
+        }
+    }
+    result.saving_fraction =
+        1.0 - result.best.total_per_shipped_die.value() /
+                  result.no_dft.total_per_shipped_die.value();
+    return result;
+}
+
+}  // namespace silicon::core

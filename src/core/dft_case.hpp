@@ -1,0 +1,75 @@
+// dft_case.hpp — the DFT/BIST business case (Sec. VI).
+//
+// "DFT and BIST techniques exist to minimize cost and complexity of test
+// generation.  But designers are wary to allocate the resources (such as
+// silicon area, and/or performance) ...  The problem is lack of adequate
+// procedure which quantifies the benefit."
+//
+// This module is that procedure: it composes the Eq. (1) silicon cost
+// model with the test economics model so that the *whole* consequence of
+// a DFT decision is priced at once —
+//
+//   costs of DFT:   area overhead -> larger die -> fewer dies per wafer
+//                   and lower yield (Eq. 6/7/9 all punish area);
+//   benefits:       higher fault coverage -> fewer shipped escapes, and
+//                   vector compression -> less tester time.
+//
+// The optimizer sweeps the overhead fraction (coverage and compression
+// modeled as saturating functions of invested area) and reports the
+// minimum total cost per shipped part.
+
+#pragma once
+
+#include "core/cost_model.hpp"
+#include "cost/test_cost.hpp"
+
+#include <vector>
+
+namespace silicon::core {
+
+/// How invested DFT area buys coverage and compression.
+struct dft_response {
+    double base_coverage = 0.90;   ///< coverage with no DFT
+    double max_coverage = 0.999;   ///< asymptote with heavy DFT
+    double coverage_area_50 = 0.05;///< overhead at which half the
+                                   ///< coverage gap is closed
+    double max_compression = 8.0;  ///< vector compression asymptote
+    double compression_area_50 = 0.08;
+
+    /// Coverage at a given area overhead (saturating).
+    [[nodiscard]] double coverage(double area_overhead) const;
+
+    /// Compression factor at a given area overhead (>= 1).
+    [[nodiscard]] double compression(double area_overhead) const;
+};
+
+/// One point of the sweep.
+struct dft_point {
+    double area_overhead = 0.0;       ///< fraction of base die area
+    double coverage = 0.0;
+    double compression = 1.0;
+    dollars silicon_per_good_die{0.0};
+    dollars test_per_shipped_die{0.0};
+    dollars escape_cost{0.0};
+    dollars total_per_shipped_die{0.0};
+    probability shipped_defect_level{0.0};
+};
+
+/// Result of the case study.
+struct dft_case_result {
+    std::vector<dft_point> sweep;
+    dft_point best;             ///< minimum total cost point
+    dft_point no_dft;           ///< the 0-overhead baseline
+    double saving_fraction = 0.0;  ///< 1 - best/no_dft
+};
+
+/// Evaluate the business case for a product on a process.  The field
+/// cost per escape is the lever that makes coverage valuable.
+/// `overheads` defaults to a 0..25% sweep.
+[[nodiscard]] dft_case_result evaluate_dft_case(
+    const process_spec& process, const product_spec& product,
+    const cost::tester_spec& tester, const cost::test_program& base_program,
+    dollars field_cost_per_escape, const dft_response& response = {},
+    const std::vector<double>& overheads = {});
+
+}  // namespace silicon::core

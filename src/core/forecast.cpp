@@ -1,0 +1,86 @@
+#include "core/forecast.hpp"
+
+#include "tech/roadmap.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::core {
+
+double x_schedule::at(int year) const {
+    if (year <= ramp_start) {
+        return x_early;
+    }
+    if (year >= ramp_end) {
+        return x_late;
+    }
+    const double t = static_cast<double>(year - ramp_start) /
+                     static_cast<double>(ramp_end - ramp_start);
+    return x_early + t * (x_late - x_early);
+}
+
+transistor_cost_forecast forecast_transistor_cost(
+    const scenario1& memory, const scenario2& logic, int first_year,
+    int last_year, const std::optional<x_schedule>& schedule) {
+    if (last_year < first_year) {
+        throw std::invalid_argument(
+            "forecast_transistor_cost: empty year range");
+    }
+    const tech::trend lambda_trend = tech::feature_size_trend();
+
+    transistor_cost_forecast forecast;
+    double previous_logic = -1.0;
+    for (int year = first_year; year <= last_year; ++year) {
+        const double lambda_um = lambda_trend.at(year);
+        if (!(lambda_um > 0.0)) {
+            continue;
+        }
+        forecast_point point;
+        point.year = year;
+        point.lambda = microns{lambda_um};
+        try {
+            point.memory_ctr =
+                memory.cost_per_transistor(point.lambda);
+            if (schedule.has_value()) {
+                scenario2 dated = logic;
+                dated.wafer_cost = cost::wafer_cost_model{
+                    logic.wafer_cost.c0(), schedule->at(year),
+                    logic.wafer_cost.generation_step()};
+                point.logic_ctr = dated.cost_per_transistor(point.lambda);
+            } else {
+                point.logic_ctr = logic.cost_per_transistor(point.lambda);
+            }
+        } catch (const std::exception&) {
+            continue;  // outside a scenario's valid domain
+        }
+        // Reversal detection is confined to the sub-micron domain where
+        // Eq. (3) is calibrated; extrapolating the wafer-cost model to
+        // multi-micron 1970s-80s features produces spurious wiggles.
+        if (point.lambda.value() <= 1.0) {
+            if (!forecast.logic_reversal_year.has_value() &&
+                previous_logic > 0.0 &&
+                point.logic_ctr.value() > previous_logic) {
+                forecast.logic_reversal_year = year;
+            }
+            previous_logic = point.logic_ctr.value();
+        }
+        forecast.points.push_back(point);
+    }
+    if (forecast.points.size() >= 2) {
+        const double years = static_cast<double>(
+            forecast.points.back().year - forecast.points.front().year);
+        forecast.memory_cagr =
+            std::pow(forecast.points.back().memory_ctr.value() /
+                         forecast.points.front().memory_ctr.value(),
+                     1.0 / years) -
+            1.0;
+        forecast.logic_cagr =
+            std::pow(forecast.points.back().logic_ctr.value() /
+                         forecast.points.front().logic_ctr.value(),
+                     1.0 / years) -
+            1.0;
+    }
+    return forecast;
+}
+
+}  // namespace silicon::core

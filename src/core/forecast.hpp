@@ -1,0 +1,62 @@
+// forecast.hpp — transistor cost trends projected onto calendar time.
+//
+// Section III states the analysis goal: "(a) determine whether transistor
+// cost trends known from the past will continue into the future".  The
+// scenarios answer in feature-size space; this module composes them with
+// the Fig. 1 feature-size-vs-year trend to answer in *time*: the cost per
+// transistor each scenario predicts for each roadmap year, the
+// year-over-year cost change, and the reversal year (if any) where the
+// historic decline stops — the paper's "cost per transistor may no longer
+// decrease" [10] moment.
+
+#pragma once
+
+#include "core/scenario.hpp"
+
+#include <optional>
+#include <vector>
+
+namespace silicon::core {
+
+/// One forecast year.
+struct forecast_point {
+    int year = 0;
+    microns lambda{0.0};         ///< trend feature size that year
+    dollars memory_ctr{0.0};     ///< Scenario #1 cost per transistor
+    dollars logic_ctr{0.0};      ///< Scenario #2 cost per transistor
+};
+
+/// The composed forecast.
+struct transistor_cost_forecast {
+    std::vector<forecast_point> points;
+    std::optional<int> logic_reversal_year;  ///< first year the logic
+                                             ///< C_tr rises, if any
+    double memory_cagr = 0.0;    ///< compound annual change of memory C_tr
+    double logic_cagr = 0.0;     ///< same for logic
+};
+
+/// Time-varying escalation rate: the paper's history has X near the
+/// benign 1.2-1.4 band (its own Fig. 2 extraction) and warns that "the
+/// value of X in the future is likely to grow" toward 2.4.  The default
+/// schedule ramps linearly across the early 90s.
+struct x_schedule {
+    double x_early = 1.3;
+    double x_late = 2.2;
+    int ramp_start = 1990;
+    int ramp_end = 1996;
+
+    /// X in effect during `year`.
+    [[nodiscard]] double at(int year) const;
+};
+
+/// Forecast from `first_year` to `last_year` (inclusive) using the
+/// roadmap feature-size trend and the given scenarios.  When `schedule`
+/// is provided, the logic scenario's X follows it year by year (C_0 and
+/// the rest of the scenario are kept).  Years where the trend lambda
+/// leaves a scenario's valid domain are skipped.
+/// Throws std::invalid_argument when the year range is empty.
+[[nodiscard]] transistor_cost_forecast forecast_transistor_cost(
+    const scenario1& memory, const scenario2& logic, int first_year,
+    int last_year, const std::optional<x_schedule>& schedule = {});
+
+}  // namespace silicon::core

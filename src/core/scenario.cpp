@@ -1,0 +1,49 @@
+#include "core/scenario.hpp"
+
+#include "tech/roadmap.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::core {
+
+dollars scenario1::cost_per_transistor(microns lambda) const {
+    if (!(lambda.value() > 0.0)) {
+        throw std::invalid_argument("scenario1: lambda must be positive");
+    }
+    const dollars cw = wafer_cost.pure_wafer_cost(lambda);
+    // Transistors per wafer: A_w / (d_d lambda^2); areas in um^2
+    // (1 cm^2 = 1e8 um^2).
+    const double wafer_um2 = wafer.area().value() * 1e8;
+    const double area_per_transistor_um2 =
+        design_density * lambda.value() * lambda.value();
+    return dollars{cw.value() * area_per_transistor_um2 / wafer_um2};
+}
+
+square_centimeters scenario2::die_area(microns lambda) const {
+    return tech::microprocessor_die_area(lambda);
+}
+
+double scenario2::transistors(microns lambda) const {
+    const double area_um2 = die_area(lambda).value() * 1e8;
+    return area_um2 /
+           (design_density * lambda.value() * lambda.value());
+}
+
+dollars scenario2::cost_per_transistor(microns lambda) const {
+    if (!(lambda.value() > 0.0)) {
+        throw std::invalid_argument("scenario2: lambda must be positive");
+    }
+    const dollars cw = wafer_cost.pure_wafer_cost(lambda);
+    const double wafer_um2 = wafer.area().value() * 1e8;
+    const double area_per_transistor_um2 =
+        design_density * lambda.value() * lambda.value();
+    const probability y = yield.yield(die_area(lambda));
+    if (y.value() <= 0.0) {
+        throw std::domain_error("scenario2: yield underflowed to zero");
+    }
+    return dollars{cw.value() * area_per_transistor_um2 /
+                   (wafer_um2 * y.value())};
+}
+
+}  // namespace silicon::core

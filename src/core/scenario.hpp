@@ -1,0 +1,63 @@
+// scenario.hpp — the paper's manufacturing scenarios (Eqs. 8 and 9).
+//
+// Scenario #1 (Sec. IV.A, Fig. 6) — the optimistic memory-style operation:
+//   S1.1  X in 1.1-1.3
+//   S1.2  product is a DRAM with working redundancy (d_d ~ 30)
+//   S1.3  mature yield is 100%
+//   S1.4  high volume, zero overhead
+// With Y = 1 the die partitioning cancels out of Eq. (1) and the cost per
+// transistor is Eq. (8):
+//
+//     C_tr = C'_w(lambda) * d_d * lambda^2 / A_w
+//
+// Scenario #2 (Fig. 7) — the realistic custom-microprocessor operation:
+//   S2.1  X in 1.8-2.4
+//   S2.2  die size follows the Fig. 3 trend A_ch(lambda) = 16.5 e^(-5.3 lambda)
+//   S2.3  yield is Y_0 = 70% for a 1 cm^2 die at every generation
+//   S2.4  high volume, zero overhead
+// which yields Eq. (9):
+//
+//     C_tr = C'_w(lambda) * d_d * lambda^2 / (A_w * Y_0^(A_ch(lambda)/A_0))
+//
+// The headline reproduction: under #1 cost per transistor *falls* as
+// lambda shrinks; under #2 it *rises* — "a decrease in the feature size
+// causes an increase in the transistor cost!".
+
+#pragma once
+
+#include "core/units.hpp"
+#include "cost/wafer_cost.hpp"
+#include "geometry/wafer.hpp"
+#include "yield/scaled.hpp"
+
+namespace silicon::core {
+
+/// Scenario #1 parameters with the paper's Fig. 6 defaults.
+struct scenario1 {
+    cost::wafer_cost_model wafer_cost{dollars{500.0}, 1.2};
+    geometry::wafer wafer = geometry::wafer::six_inch();
+    double design_density = 30.0;  ///< DRAM-class d_d
+
+    /// Eq. (8).
+    [[nodiscard]] dollars cost_per_transistor(microns lambda) const;
+};
+
+/// Scenario #2 parameters with the paper's Fig. 7 defaults.
+struct scenario2 {
+    cost::wafer_cost_model wafer_cost{dollars{500.0}, 1.8};
+    geometry::wafer wafer = geometry::wafer::six_inch();
+    double design_density = 200.0;  ///< custom-logic d_d
+    yield::reference_die_yield yield{probability{0.7}};  ///< S2.3
+
+    /// The die area the Fig. 3 trend dictates at this feature size.
+    [[nodiscard]] square_centimeters die_area(microns lambda) const;
+
+    /// Transistor count implied by the trend die at this feature size
+    /// (A_ch / (d_d lambda^2)) — grows as lambda shrinks, matching S2.2.
+    [[nodiscard]] double transistors(microns lambda) const;
+
+    /// Eq. (9).
+    [[nodiscard]] dollars cost_per_transistor(microns lambda) const;
+};
+
+}  // namespace silicon::core

@@ -1,0 +1,55 @@
+#include "core/shrink.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::core {
+
+shrink_analysis analyze_shrink(const process_spec& process,
+                               const product_spec& product,
+                               microns lambda_new) {
+    if (!(lambda_new.value() > 0.0)) {
+        throw std::invalid_argument(
+            "analyze_shrink: target feature size must be positive");
+    }
+    if (!(lambda_new.value() < product.feature_size.value())) {
+        throw std::invalid_argument(
+            "analyze_shrink: target must be finer than the current "
+            "feature size");
+    }
+
+    const cost_model model{process};
+    shrink_analysis analysis;
+    analysis.lambda_old = product.feature_size;
+    analysis.lambda_new = lambda_new;
+    analysis.before = model.evaluate(product);
+
+    product_spec shrunk = product;
+    shrunk.feature_size = lambda_new;
+    analysis.after = model.evaluate(shrunk);
+
+    analysis.area_ratio =
+        analysis.after.die_area.value() / analysis.before.die_area.value();
+    analysis.gross_die_ratio =
+        static_cast<double>(analysis.after.gross_dies_per_wafer) /
+        static_cast<double>(analysis.before.gross_dies_per_wafer);
+    analysis.wafer_cost_ratio = analysis.after.wafer_cost.value() /
+                                analysis.before.wafer_cost.value();
+    analysis.yield_ratio =
+        analysis.after.yield.value() / analysis.before.yield.value();
+    analysis.cost_ratio = analysis.after.cost_per_good_die.value() /
+                          analysis.before.cost_per_good_die.value();
+    analysis.shrink_pays = analysis.cost_ratio < 1.0;
+
+    // cost_ratio scales as (X_be / X)^generations for the wafer-cost
+    // part; solving cost_ratio_target = 1:
+    const double generations =
+        (product.feature_size.value() - lambda_new.value()) /
+        process.wafer_cost.generation_step().value();
+    analysis.breakeven_x =
+        process.wafer_cost.x() *
+        std::pow(analysis.cost_ratio, -1.0 / generations);
+    return analysis;
+}
+
+}  // namespace silicon::core

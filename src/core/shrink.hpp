@@ -1,0 +1,52 @@
+// shrink.hpp — product shrink (optical die shrink) economics.
+//
+// The yield model the paper builds on (ref [26]) is titled "Yield Model
+// for Manufacturing Strategy Planning and *Product Shrink* Applications":
+// the strategic question is whether to port an existing design to a finer
+// process.  A shrink multiplies every figure in Eq. (1) at once —
+//
+//   die area        falls as (lambda_new / lambda_old)^2,
+//   dies per wafer  rise accordingly,
+//   wafer cost      rises as X^(generations stepped),
+//   yield           moves by the configured yield model (under Eq. (7)
+//                   the smaller die fights a denser killer-defect
+//                   population; under the reference model the smaller
+//                   die simply yields better),
+//
+// and the verdict is the cost-per-good-die ratio.  `analyze_shrink`
+// reports every factor plus the break-even X: the escalation rate above
+// which the shrink stops paying.
+
+#pragma once
+
+#include "core/cost_model.hpp"
+
+namespace silicon::core {
+
+/// The decomposed outcome of a shrink.
+struct shrink_analysis {
+    microns lambda_old{0.0};
+    microns lambda_new{0.0};
+    cost_breakdown before;
+    cost_breakdown after;
+    double area_ratio = 0.0;        ///< new/old die area
+    double gross_die_ratio = 0.0;   ///< new/old dies per wafer
+    double wafer_cost_ratio = 0.0;  ///< new/old wafer cost
+    double yield_ratio = 0.0;       ///< new/old yield
+    double cost_ratio = 0.0;        ///< new/old cost per good die
+    bool shrink_pays = false;       ///< cost_ratio < 1
+
+    /// X at which the shrink would exactly break even, holding
+    /// everything else fixed: X_be = X * cost_ratio^(-1/generations).
+    double breakeven_x = 0.0;
+};
+
+/// Analyze porting `product` from its current feature size to
+/// `lambda_new` on the same process environment.  Throws
+/// std::invalid_argument when lambda_new >= the product's current
+/// feature size (that would be a reverse shrink) or is non-positive.
+[[nodiscard]] shrink_analysis analyze_shrink(const process_spec& process,
+                                             const product_spec& product,
+                                             microns lambda_new);
+
+}  // namespace silicon::core

@@ -1,0 +1,56 @@
+#include "core/specs.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::core {
+
+square_millimeters product_spec::die_area() const {
+    if (!(transistors > 0.0)) {
+        throw std::invalid_argument(
+            "product_spec: transistor count must be positive");
+    }
+    if (!(design_density > 0.0)) {
+        throw std::invalid_argument(
+            "product_spec: design density must be positive");
+    }
+    const double lambda = feature_size.value();
+    if (!(lambda > 0.0)) {
+        throw std::invalid_argument(
+            "product_spec: feature size must be positive");
+    }
+    // um^2 -> mm^2 is 1e-6.
+    return square_millimeters{transistors * design_density * lambda *
+                              lambda * 1e-6};
+}
+
+geometry::die product_spec::make_die() const {
+    if (!(die_aspect_ratio > 0.0)) {
+        throw std::invalid_argument(
+            "product_spec: die aspect ratio must be positive");
+    }
+    const double area_mm2 = die_area().value();
+    // a/b = aspect, a*b = area  =>  b = sqrt(area/aspect).
+    const double b = std::sqrt(area_mm2 / die_aspect_ratio);
+    const double a = die_aspect_ratio * b;
+    return geometry::die{millimeters{a}, millimeters{b}};
+}
+
+probability process_spec::evaluate_yield(square_millimeters die_area,
+                                         microns lambda) const {
+    return std::visit(
+        [&](const auto& model) -> probability {
+            using T = std::decay_t<decltype(model)>;
+            if constexpr (std::is_same_v<T, yield::reference_die_yield>) {
+                return model.yield(die_area.to_square_centimeters());
+            } else if constexpr (std::is_same_v<
+                                     T, yield::scaled_poisson_model>) {
+                return model.yield(die_area.to_square_centimeters(), lambda);
+            } else {
+                return model;  // fixed probability
+            }
+        },
+        yield);
+}
+
+}  // namespace silicon::core

@@ -1,0 +1,66 @@
+// specs.hpp — input specifications for the integrated cost model.
+//
+// Eq. (1), C_tr = C_w / (N_ch * N_tr * Y), needs three ingredient groups:
+// what is being built (product_spec), how (process_spec: wafer cost model,
+// wafer geometry, yield model) and under which business conditions
+// (economics_spec: volume, overhead).  These are plain value types; the
+// evaluator lives in cost_model.hpp.
+
+#pragma once
+
+#include "core/units.hpp"
+#include "cost/wafer_cost.hpp"
+#include "geometry/gross_die.hpp"
+#include "geometry/wafer.hpp"
+#include "yield/scaled.hpp"
+
+#include <string>
+#include <variant>
+
+namespace silicon::core {
+
+/// The IC being priced.
+struct product_spec {
+    std::string name;
+    double transistors = 1e6;       ///< N_tr
+    double design_density = 150.0;  ///< d_d, lambda^2 per transistor
+    microns feature_size{0.8};      ///< lambda
+    double die_aspect_ratio = 1.0;  ///< a/b of the die (1 = square)
+
+    /// Die area from Eq. (5): A_ch = N_tr * d_d * lambda^2.
+    [[nodiscard]] square_millimeters die_area() const;
+
+    /// Die rectangle with the requested aspect ratio.
+    [[nodiscard]] geometry::die make_die() const;
+};
+
+/// Yield model choice: the Table 3 / Eq. (9) reference form, the Eq. (7)
+/// lambda-scaled form, or a fixed probability (Scenario #1's "mature
+/// yield is 100%" is probability{1}).
+using yield_spec = std::variant<yield::reference_die_yield,
+                                yield::scaled_poisson_model, probability>;
+
+/// The manufacturing process and its wafer.
+struct process_spec {
+    cost::wafer_cost_model wafer_cost;
+    geometry::wafer wafer;
+    yield_spec yield;
+    geometry::gross_die_method dies_per_wafer_method =
+        geometry::gross_die_method::maly_rows;
+
+    /// Evaluate the configured yield model for a die.
+    [[nodiscard]] probability evaluate_yield(square_millimeters die_area,
+                                             microns lambda) const;
+};
+
+/// Business conditions for Eq. (2).  The paper's high-volume scenarios
+/// use overhead = 0 (assumption S.1.4).
+struct economics_spec {
+    dollars overhead{0.0};          ///< C_over, total per period
+    double volume_wafers = 1.0;     ///< wafers per period sharing it
+
+    /// Default: the paper's zero-overhead high-volume operation.
+    [[nodiscard]] static economics_spec high_volume() { return {}; }
+};
+
+}  // namespace silicon::core

@@ -1,0 +1,115 @@
+#include "core/system_optimizer.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace silicon::core {
+
+namespace {
+
+/// Merge blocks into one die description: counts add, density is the
+/// transistor-weighted mean (each block keeps its own layout style).
+std::pair<double, double> merge(const std::vector<opt::block>& group) {
+    double transistors = 0.0;
+    double weighted_density = 0.0;
+    for (const opt::block& b : group) {
+        transistors += b.transistors;
+        weighted_density += b.transistors * b.design_density;
+    }
+    const double density =
+        transistors > 0.0 ? weighted_density / transistors : 0.0;
+    return {transistors, density};
+}
+
+/// Best (cost, lambda) for one merged die, or +inf when nothing in range
+/// is feasible.
+std::pair<double, double> price_die(const cost_model& model,
+                                    const system_optimization_config& config,
+                                    double transistors, double density) {
+    product_spec product;
+    product.name = "partition";
+    product.transistors = transistors;
+    product.design_density = density;
+
+    try {
+        const microns best = model.optimal_feature_size(
+            product, config.lambda_lo, config.lambda_hi);
+        product.feature_size = best;
+        const cost_breakdown breakdown = model.evaluate(product);
+        return {breakdown.cost_per_good_die.value(), best.value()};
+    } catch (const std::domain_error&) {
+        return {std::numeric_limits<double>::infinity(), 0.0};
+    }
+}
+
+}  // namespace
+
+system_solution optimize_system(const std::vector<system_block>& blocks,
+                                const system_optimization_config& config) {
+    if (blocks.empty()) {
+        throw std::invalid_argument("optimize_system: no blocks");
+    }
+    const cost_model model{config.process};
+
+    std::vector<opt::block> opt_blocks;
+    opt_blocks.reserve(blocks.size());
+    for (const system_block& b : blocks) {
+        if (!(b.transistors > 0.0) || !(b.design_density > 0.0)) {
+            throw std::invalid_argument("optimize_system: block '" + b.name +
+                                        "' has non-positive size/density");
+        }
+        opt_blocks.push_back({b.name, b.transistors, b.design_density});
+    }
+
+    const opt::die_cost_fn die_cost =
+        [&](const std::vector<opt::block>& group) {
+            const auto [transistors, density] = merge(group);
+            return price_die(model, config, transistors, density);
+        };
+    const opt::packaging_cost_fn packaging_cost = [&](std::size_t dies) {
+        const double n = static_cast<double>(dies);
+        return config.packaging.per_system_base.value() +
+               config.packaging.per_die.value() * n +
+               config.packaging.integration_per_extra_die.value() *
+                   (n - 1.0);
+    };
+
+    const opt::partition_solution best =
+        opt::optimize_partitions(opt_blocks, die_cost, packaging_cost);
+
+    system_solution solution;
+    for (const opt::die_assignment& die : best.dies) {
+        optimized_die out;
+        std::vector<opt::block> group;
+        for (std::size_t bi : die.block_indices) {
+            out.block_names.push_back(blocks[bi].name);
+            group.push_back(opt_blocks[bi]);
+        }
+        const auto [transistors, density] = merge(group);
+        out.transistors = transistors;
+        out.design_density = density;
+        out.lambda = microns{die.chosen_lambda};
+        out.cost_per_good_die = dollars{die.cost};
+        solution.dies.push_back(std::move(out));
+    }
+    solution.silicon_cost = dollars{best.die_cost_total};
+    solution.packaging_cost = dollars{best.packaging_cost};
+    solution.total_cost = dollars{best.total_cost};
+
+    // Monolithic baseline: everything on one die.
+    const auto [all_tr, all_density] = merge(opt_blocks);
+    const auto [mono_cost, mono_lambda] =
+        price_die(model, config, all_tr, all_density);
+    (void)mono_lambda;
+    if (std::isfinite(mono_cost)) {
+        solution.monolithic_cost =
+            dollars{mono_cost + packaging_cost(1)};
+    } else {
+        solution.monolithic_cost =
+            dollars{std::numeric_limits<double>::max()};
+    }
+    return solution;
+}
+
+}  // namespace silicon::core

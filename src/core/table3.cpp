@@ -1,0 +1,84 @@
+#include "core/table3.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace silicon::core {
+
+const std::vector<table3_row>& table3_rows() {
+    // Columns: idx, type, N_tr, lambda, d_d, R_w, Y0, C0, X, printed C_tr,
+    // reconstructed.  Rows 4/15/16: N_tr reconstructed (see header).
+    static const std::vector<table3_row> rows = {
+        {1,  "BiCMOS uP",    3.1e6,  0.80, 150.0, 7.5, 0.9, 700,  1.4,   9.40, false},
+        {2,  "BiCMOS uP",    3.1e6,  0.80, 150.0, 7.5, 0.7, 700,  1.8,  25.50, false},
+        {3,  "BiCMOS uP",    3.1e6,  0.80, 150.0, 7.5, 0.6, 700,  2.2,  49.30, false},
+        {4,  "CMOS uP",      1.7e6,  0.80, 190.0, 7.5, 0.7, 700,  1.8,  21.80, true},
+        {5,  "CMOS uP",      0.85e6, 0.80, 370.0, 7.5, 0.7, 900,  1.8,  53.50, false},
+        {6,  "BiCMOS uP",    3.1e6,  0.80, 150.0, 7.5, 0.7, 700,  1.8,  25.50, false},
+        {7,  "CMOS uP",      2.8e6,  0.65, 102.0, 7.5, 0.7, 700,  1.8,   8.60, false},
+        {8,  "BiCMOS uP",    3.1e6,  0.70, 170.0, 7.5, 0.7, 900,  1.8,  32.60, false},
+        {9,  "CMOS uP",      1.2e6,  0.65, 250.0, 7.5, 0.7, 700,  1.8,  21.10, false},
+        {10, "BiCMOS VSP",   0.91e6, 0.80, 400.0, 7.5, 0.7, 1500, 1.8, 115.00, false},
+        {11, "SRAM, 1Mb",    6.2e6,  0.35,  36.0, 7.5, 0.9, 500,  1.8,   0.93, false},
+        {12, "DRAM, 4Mb",    4.1e6,  0.60,  35.0, 7.5, 0.9, 400,  1.8,   1.08, false},
+        {13, "DRAM, 256Mb",  264e6,  0.25,  29.0, 7.5, 0.9, 600,  1.8,   1.31, false},
+        {14, "DRAM, 256Mb",  264e6,  0.25,  29.0, 10.0, 0.7, 600, 1.8,   2.18, false},
+        {15, "G.A., 53kg",   85e3,   0.80, 500.0, 7.5, 0.7, 1200, 1.8,  43.10, true},
+        {16, "SOG, 177kg",   1.0e6,  0.80, 245.0, 7.5, 0.7, 1200, 1.8,  51.10, true},
+        {17, "PLD, 1.2kg",   7.2e3,  0.80, 2600.0, 7.5, 0.7, 1300, 1.8, 240.00, false},
+    };
+    return rows;
+}
+
+cost_breakdown reproduce_row(const table3_row& row) {
+    process_spec process{
+        cost::wafer_cost_model{dollars{row.c0_usd}, row.x},
+        geometry::wafer{centimeters{row.wafer_radius_cm}},
+        yield::reference_die_yield{probability{row.y0}},
+        geometry::gross_die_method::maly_rows,
+    };
+    product_spec product;
+    product.name = "Table 3 row " + std::to_string(row.index) + " (" +
+                   row.ic_type + ")";
+    product.transistors = row.transistors;
+    product.design_density = row.design_density;
+    product.feature_size = microns{row.lambda_um};
+
+    return cost_model{std::move(process)}.evaluate(product);
+}
+
+std::vector<table3_comparison> reproduce_table3() {
+    std::vector<table3_comparison> comparisons;
+    comparisons.reserve(table3_rows().size());
+    for (const table3_row& row : table3_rows()) {
+        table3_comparison comparison;
+        comparison.row = row;
+        comparison.computed = reproduce_row(row);
+        comparison.computed_ctr_micro =
+            comparison.computed.cost_per_transistor_micro_dollars();
+        comparison.ratio =
+            comparison.computed_ctr_micro / row.printed_ctr_micro;
+        comparisons.push_back(std::move(comparison));
+    }
+    return comparisons;
+}
+
+double memory_logic_separation() {
+    double min_logic = 1e300;
+    double max_memory = 0.0;
+    for (const table3_comparison& c : reproduce_table3()) {
+        const bool memory = c.row.index >= 11 && c.row.index <= 14;
+        if (memory) {
+            max_memory = std::max(max_memory, c.computed_ctr_micro);
+        } else {
+            min_logic = std::min(min_logic, c.computed_ctr_micro);
+        }
+    }
+    if (max_memory <= 0.0) {
+        throw std::domain_error(
+            "memory_logic_separation: no memory rows evaluated");
+    }
+    return min_logic / max_memory;
+}
+
+}  // namespace silicon::core

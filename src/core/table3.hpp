@@ -1,0 +1,68 @@
+// table3.hpp — the paper's Table 3: cost per transistor across products.
+//
+// Table 3 is the paper's central quantitative exhibit: 17
+// product/manufacturing scenarios priced with "the cost model constructed
+// of equations (1), (3), (4) and (7)" (with the yield entered through the
+// per-row (Y_0, A_0 = 1 cm^2) reference form, which is Eq. (7)'s Poisson
+// ancestor Eq. (6) reparameterized).  The printed input columns are
+//: N_tr, lambda, d_d, R_w, Y_0, C_0, X; the output column is C_tr in
+// micro-dollars.
+//
+// Reproduction status (full derivation in EXPERIMENTS.md):
+//   * With the wafer-cost exponent (1-lambda)/0.2 (see wafer_cost.hpp),
+//     rows 1-3, 5, 7-14 and 17 reproduce the printed C_tr to within the
+//     rounding of the printed inputs (a few percent; rows 1-3, 13, 14 to
+//     all printed digits).
+//   * Rows 4, 15 and 16 do not print N_tr legibly in the source scan;
+//     their `transistors` value here is reconstructed (from gate counts
+//     and printed utilization for 15/16, and by inversion of the printed
+//     C_tr for 4) and the rows are flagged `reconstructed`.
+
+#pragma once
+
+#include "core/cost_model.hpp"
+
+#include <string>
+#include <vector>
+
+namespace silicon::core {
+
+/// One row of Table 3 as printed (plus provenance flag).
+struct table3_row {
+    int index = 0;              ///< 1-based row number in the paper
+    std::string ic_type;        ///< last column
+    double transistors = 0.0;   ///< N_tr
+    double lambda_um = 0.0;     ///< minimum feature size
+    double design_density = 0.0;///< d_d
+    double wafer_radius_cm = 0.0;
+    double y0 = 0.0;            ///< reference yield for a 1 cm^2 die
+    double c0_usd = 0.0;        ///< 1 um reference wafer cost
+    double x = 0.0;             ///< cost escalation rate
+    double printed_ctr_micro = 0.0;  ///< paper's C_tr in 1e-6 dollars
+    bool reconstructed = false; ///< N_tr not legible; reconstructed input
+};
+
+/// All 17 rows in paper order.
+[[nodiscard]] const std::vector<table3_row>& table3_rows();
+
+/// Build the cost model a row describes and evaluate it.
+[[nodiscard]] cost_breakdown reproduce_row(const table3_row& row);
+
+/// One row's reproduction verdict.
+struct table3_comparison {
+    table3_row row;
+    cost_breakdown computed;
+    double computed_ctr_micro = 0.0;
+    double ratio = 0.0;  ///< computed / printed
+};
+
+/// Reproduce the whole table.
+[[nodiscard]] std::vector<table3_comparison> reproduce_table3();
+
+/// The paper's two Sec. IV.C conclusions, checkable from the rows:
+/// memory rows (11-14) are far cheaper per transistor than every logic
+/// row.  Returns min(logic C_tr) / max(memory C_tr) using computed
+/// values — > 1 confirms the separation.
+[[nodiscard]] double memory_logic_separation();
+
+}  // namespace silicon::core

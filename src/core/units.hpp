@@ -1,0 +1,258 @@
+// units.hpp — strong numeric types for the silicon cost model.
+//
+// The cost model of Maly (DAC 1994) mixes quantities whose raw
+// representations are all `double`: feature sizes in microns, die edges in
+// millimetres, wafer radii in centimetres, areas in mm^2 and cm^2, money in
+// dollars, and probabilities.  Mixing these up silently is the classic
+// failure mode of cost spreadsheets, so the public API trades exclusively in
+// the strong types defined here.  Construction is checked (no negative
+// lengths, probabilities clamped to [0,1] only through explicit helpers) and
+// conversions are spelled out by name.
+//
+// All types are trivially copyable value types; arithmetic that makes
+// dimensional sense is provided, everything else is a compile error.
+
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <stdexcept>
+#include <string>
+
+namespace silicon {
+
+namespace detail {
+
+// Shared implementation of a strongly typed non-negative double quantity.
+// `Derived` is the CRTP leaf (e.g. microns); `unit_name()` is used in
+// exception messages.
+template <typename Derived>
+class nonnegative_quantity {
+public:
+    constexpr nonnegative_quantity() noexcept = default;
+
+    [[nodiscard]] constexpr double value() const noexcept { return value_; }
+
+    friend constexpr auto operator<=>(const nonnegative_quantity&,
+                                      const nonnegative_quantity&) = default;
+
+    friend constexpr Derived operator+(Derived a, Derived b) {
+        return Derived{a.value_ + b.value_};
+    }
+    friend constexpr Derived operator-(Derived a, Derived b) {
+        return Derived{a.value_ - b.value_};
+    }
+    friend constexpr Derived operator*(Derived a, double s) {
+        return Derived{a.value_ * s};
+    }
+    friend constexpr Derived operator*(double s, Derived a) {
+        return Derived{s * a.value_};
+    }
+    friend constexpr Derived operator/(Derived a, double s) {
+        return Derived{a.value_ / s};
+    }
+    // Ratio of two like quantities is dimensionless.
+    friend constexpr double operator/(Derived a, Derived b) {
+        return a.value_ / b.value_;
+    }
+
+protected:
+    constexpr explicit nonnegative_quantity(double v) : value_{v} {
+        if (!(v >= 0.0) || std::isinf(v)) {  // catches NaN and -0 range errors
+            throw std::invalid_argument(std::string{Derived::unit_name()} +
+                                        ": value must be finite and >= 0");
+        }
+    }
+
+private:
+    double value_ = 0.0;
+};
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Lengths
+// ---------------------------------------------------------------------------
+
+class millimeters;
+class centimeters;
+
+/// Minimum feature size and other mask-scale lengths. 1 um = 1e-3 mm.
+class microns : public detail::nonnegative_quantity<microns> {
+public:
+    constexpr microns() noexcept = default;
+    constexpr explicit microns(double v) : nonnegative_quantity{v} {}
+    static constexpr const char* unit_name() noexcept { return "microns"; }
+
+    [[nodiscard]] constexpr millimeters to_millimeters() const;
+};
+
+/// Die-scale lengths (die edges, scribe lanes).
+class millimeters : public detail::nonnegative_quantity<millimeters> {
+public:
+    constexpr millimeters() noexcept = default;
+    constexpr explicit millimeters(double v) : nonnegative_quantity{v} {}
+    static constexpr const char* unit_name() noexcept { return "millimeters"; }
+
+    [[nodiscard]] constexpr microns to_microns() const {
+        return microns{value() * 1000.0};
+    }
+    [[nodiscard]] constexpr centimeters to_centimeters() const;
+};
+
+/// Wafer-scale lengths (wafer radius, edge exclusion).
+class centimeters : public detail::nonnegative_quantity<centimeters> {
+public:
+    constexpr centimeters() noexcept = default;
+    constexpr explicit centimeters(double v) : nonnegative_quantity{v} {}
+    static constexpr const char* unit_name() noexcept { return "centimeters"; }
+
+    [[nodiscard]] constexpr millimeters to_millimeters() const {
+        return millimeters{value() * 10.0};
+    }
+};
+
+constexpr millimeters microns::to_millimeters() const {
+    return millimeters{value() / 1000.0};
+}
+constexpr centimeters millimeters::to_centimeters() const {
+    return centimeters{value() / 10.0};
+}
+
+// ---------------------------------------------------------------------------
+// Areas
+// ---------------------------------------------------------------------------
+
+class square_centimeters;
+
+/// Die areas.  1 cm^2 = 100 mm^2.
+class square_millimeters
+    : public detail::nonnegative_quantity<square_millimeters> {
+public:
+    constexpr square_millimeters() noexcept = default;
+    constexpr explicit square_millimeters(double v) : nonnegative_quantity{v} {}
+    static constexpr const char* unit_name() noexcept {
+        return "square_millimeters";
+    }
+
+    [[nodiscard]] constexpr square_centimeters to_square_centimeters() const;
+};
+
+/// Wafer areas and the paper's reference die area A_0 = 1 cm^2.
+class square_centimeters
+    : public detail::nonnegative_quantity<square_centimeters> {
+public:
+    constexpr square_centimeters() noexcept = default;
+    constexpr explicit square_centimeters(double v) : nonnegative_quantity{v} {}
+    static constexpr const char* unit_name() noexcept {
+        return "square_centimeters";
+    }
+
+    [[nodiscard]] constexpr square_millimeters to_square_millimeters() const {
+        return square_millimeters{value() * 100.0};
+    }
+};
+
+constexpr square_centimeters square_millimeters::to_square_centimeters() const {
+    return square_centimeters{value() / 100.0};
+}
+
+/// Area of a rectangle with edges given in millimetres.
+[[nodiscard]] constexpr square_millimeters area_of(millimeters a,
+                                                   millimeters b) {
+    return square_millimeters{a.value() * b.value()};
+}
+
+/// Area of a disc of the given radius (used for wafer area A_w).
+[[nodiscard]] inline square_centimeters disc_area(centimeters radius) {
+    constexpr double pi = 3.14159265358979323846;
+    return square_centimeters{pi * radius.value() * radius.value()};
+}
+
+// ---------------------------------------------------------------------------
+// Money
+// ---------------------------------------------------------------------------
+
+/// US dollars (1994 dollars throughout, matching the paper's calibration).
+/// Negative amounts are permitted: cost deltas and margins can be negative.
+class dollars {
+public:
+    constexpr dollars() noexcept = default;
+    constexpr explicit dollars(double v) : value_{v} {
+        if (std::isnan(v) || std::isinf(v)) {
+            throw std::invalid_argument("dollars: value must be finite");
+        }
+    }
+
+    [[nodiscard]] constexpr double value() const noexcept { return value_; }
+
+    friend constexpr auto operator<=>(const dollars&, const dollars&) = default;
+    friend constexpr dollars operator+(dollars a, dollars b) {
+        return dollars{a.value_ + b.value_};
+    }
+    friend constexpr dollars operator-(dollars a, dollars b) {
+        return dollars{a.value_ - b.value_};
+    }
+    friend constexpr dollars operator-(dollars a) { return dollars{-a.value_}; }
+    friend constexpr dollars operator*(dollars a, double s) {
+        return dollars{a.value_ * s};
+    }
+    friend constexpr dollars operator*(double s, dollars a) {
+        return dollars{s * a.value_};
+    }
+    friend constexpr dollars operator/(dollars a, double s) {
+        return dollars{a.value_ / s};
+    }
+    friend constexpr double operator/(dollars a, dollars b) {
+        return a.value_ / b.value_;
+    }
+
+private:
+    double value_ = 0.0;
+};
+
+// ---------------------------------------------------------------------------
+// Probabilities / yields
+// ---------------------------------------------------------------------------
+
+/// A probability in [0, 1].  Used for yields and fault/escape probabilities.
+/// Construction outside [0,1] throws; `clamped` saturates instead (useful
+/// when composing models whose product may underflow the representable
+/// range only through rounding).
+class probability {
+public:
+    constexpr probability() noexcept = default;
+    constexpr explicit probability(double v) : value_{v} {
+        if (!(v >= 0.0 && v <= 1.0)) {  // rejects NaN
+            throw std::invalid_argument("probability: value must be in [0,1]");
+        }
+    }
+
+    /// Saturating factory: clamps v into [0,1]; NaN still throws.
+    [[nodiscard]] static constexpr probability clamped(double v) {
+        if (std::isnan(v)) {
+            throw std::invalid_argument("probability: NaN");
+        }
+        return probability{v < 0.0 ? 0.0 : (v > 1.0 ? 1.0 : v)};
+    }
+
+    [[nodiscard]] constexpr double value() const noexcept { return value_; }
+
+    /// Complement 1 - p.
+    [[nodiscard]] constexpr probability complement() const {
+        return probability{1.0 - value_};
+    }
+
+    friend constexpr auto operator<=>(const probability&,
+                                      const probability&) = default;
+
+    /// Product of independent probabilities (e.g. Y = Y_fnc * Y_par).
+    friend constexpr probability operator*(probability a, probability b) {
+        return probability{a.value_ * b.value_};
+    }
+
+private:
+    double value_ = 0.0;
+};
+
+}  // namespace silicon

@@ -1,0 +1,27 @@
+#include "cost/assembly.hpp"
+
+#include <stdexcept>
+
+namespace silicon::cost {
+
+dollars package_cost(const package_spec& spec) {
+    if (spec.pins < 0) {
+        throw std::invalid_argument("package_cost: negative pin count");
+    }
+    return spec.base_cost + spec.cost_per_pin * static_cast<double>(spec.pins);
+}
+
+dollars packaged_part_cost(dollars good_die_cost, const package_spec& spec) {
+    if (good_die_cost.value() < 0.0) {
+        throw std::invalid_argument(
+            "packaged_part_cost: die cost must be >= 0");
+    }
+    if (spec.assembly_yield.value() <= 0.0) {
+        throw std::domain_error(
+            "packaged_part_cost: assembly yield must be positive");
+    }
+    const dollars per_attempt = good_die_cost + package_cost(spec);
+    return dollars{per_attempt.value() / spec.assembly_yield.value()};
+}
+
+}  // namespace silicon::cost

@@ -1,0 +1,31 @@
+// assembly.hpp — packaging and assembly cost model.
+//
+// A thin but necessary substrate: die cost is not product cost.  The MCM
+// comparison (Sec. VI) and the system examples need a per-package cost
+// with a pin-count term and an assembly yield, both standard first-order
+// models.
+
+#pragma once
+
+#include "core/units.hpp"
+
+namespace silicon::cost {
+
+/// Single-chip package.
+struct package_spec {
+    dollars base_cost{1.0};        ///< leadframe/substrate base
+    dollars cost_per_pin{0.02};    ///< incremental pin cost
+    int pins = 64;
+    probability assembly_yield{0.99};  ///< per-die attach/bond success
+};
+
+/// Package piece cost (no yield effects).
+[[nodiscard]] dollars package_cost(const package_spec& spec);
+
+/// Cost of one *good packaged part*: (die cost + package cost) divided by
+/// the assembly yield — scrapping a packaged part loses both the die and
+/// the package.  Throws std::domain_error on zero assembly yield.
+[[nodiscard]] dollars packaged_part_cost(dollars good_die_cost,
+                                         const package_spec& spec);
+
+}  // namespace silicon::cost

@@ -1,0 +1,174 @@
+#include "cost/fabline.hpp"
+
+#include "tech/process.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::cost {
+
+fabline::fabline(std::vector<tool_group> groups, double hours_per_period)
+    : groups_{std::move(groups)}, hours_per_period_{hours_per_period} {
+    if (groups_.empty()) {
+        throw std::invalid_argument("fabline: need at least one tool group");
+    }
+    if (!(hours_per_period > 0.0)) {
+        throw std::invalid_argument(
+            "fabline: period length must be positive");
+    }
+    for (const tool_group& g : groups_) {
+        if (!(g.wafers_per_hour > 0.0)) {
+            throw std::invalid_argument("fabline: tool group '" + g.name +
+                                        "' needs positive throughput");
+        }
+        if (g.ownership_per_hour.value() < 0.0) {
+            throw std::invalid_argument("fabline: tool group '" + g.name +
+                                        "' needs non-negative ownership "
+                                        "cost");
+        }
+    }
+}
+
+std::vector<double> fabline::required_hours(
+    const std::vector<product_demand>& mix) const {
+    std::vector<double> hours(groups_.size(), 0.0);
+    for (const product_demand& demand : mix) {
+        if (demand.recipe.passes.size() != groups_.size()) {
+            throw std::invalid_argument(
+                "fabline: recipe '" + demand.recipe.name +
+                "' does not match the line's tool groups");
+        }
+        if (!(demand.wafers_per_period >= 0.0)) {
+            throw std::invalid_argument(
+                "fabline: wafer volume must be >= 0");
+        }
+        for (std::size_t g = 0; g < groups_.size(); ++g) {
+            const double passes = demand.recipe.passes[g];
+            if (passes < 0.0) {
+                throw std::invalid_argument(
+                    "fabline: negative pass count in recipe '" +
+                    demand.recipe.name + "'");
+            }
+            hours[g] += demand.wafers_per_period * passes /
+                        groups_[g].wafers_per_hour;
+        }
+    }
+    return hours;
+}
+
+std::vector<int> fabline::size_line(const std::vector<product_demand>& mix,
+                                    double max_utilization) const {
+    if (!(max_utilization > 0.0 && max_utilization <= 1.0)) {
+        throw std::invalid_argument(
+            "fabline: max utilization must be in (0,1]");
+    }
+    const std::vector<double> hours = required_hours(mix);
+    std::vector<int> tools(groups_.size(), 0);
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+        if (hours[g] > 0.0) {
+            tools[g] = static_cast<int>(std::ceil(
+                hours[g] / (hours_per_period_ * max_utilization)));
+        }
+    }
+    return tools;
+}
+
+fabline_report fabline::analyze(const std::vector<product_demand>& mix,
+                                const std::vector<int>& tools) const {
+    if (tools.size() != groups_.size()) {
+        throw std::invalid_argument(
+            "fabline: tool count vector does not match groups");
+    }
+    const std::vector<double> hours = required_hours(mix);
+
+    fabline_report report;
+    report.groups.reserve(groups_.size());
+    double owned_hours = 0.0;
+    double busy_hours = 0.0;
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+        if (tools[g] < 0) {
+            throw std::invalid_argument("fabline: negative tool count");
+        }
+        group_load load;
+        load.name = groups_[g].name;
+        load.tools = tools[g];
+        load.required_hours = hours[g];
+        load.capacity_hours = tools[g] * hours_per_period_;
+        if (hours[g] > 0.0 && load.capacity_hours <= 0.0) {
+            throw std::invalid_argument(
+                "fabline: group '" + groups_[g].name +
+                "' has demand but no tools");
+        }
+        load.utilization = load.capacity_hours > 0.0
+                               ? hours[g] / load.capacity_hours
+                               : 0.0;
+        if (load.utilization > 1.0 + 1e-9) {
+            throw std::invalid_argument(
+                "fabline: group '" + groups_[g].name +
+                "' is over capacity (utilization " +
+                std::to_string(load.utilization) + ")");
+        }
+        load.period_cost = dollars{load.capacity_hours *
+                                   groups_[g].ownership_per_hour.value()};
+        report.period_cost = report.period_cost + load.period_cost;
+        owned_hours += load.capacity_hours;
+        busy_hours += hours[g];
+        report.bottleneck_utilization =
+            std::max(report.bottleneck_utilization, load.utilization);
+        report.groups.push_back(std::move(load));
+    }
+    for (const product_demand& demand : mix) {
+        report.total_wafers += demand.wafers_per_period;
+    }
+    if (report.total_wafers > 0.0) {
+        report.cost_per_wafer =
+            dollars{report.period_cost.value() / report.total_wafers};
+    }
+    report.average_utilization =
+        owned_hours > 0.0 ? busy_hours / owned_hours : 0.0;
+    return report;
+}
+
+fabline_report fabline::analyze_sized(const std::vector<product_demand>& mix,
+                                      double max_utilization) const {
+    return analyze(mix, size_line(mix, max_utilization));
+}
+
+fabline fabline::generic_cmos(double hours_per_period) {
+    // Ownership cost per tool-hour amortizes purchase price, floor space,
+    // maintenance and staffing; early-90s figures (a $5M stepper over 5
+    // years with overheads lands near $250/h).
+    std::vector<tool_group> groups = {
+        {"lithography", dollars{250.0}, 20.0},
+        {"etch",        dollars{120.0}, 15.0},
+        {"implant",     dollars{150.0}, 25.0},
+        {"deposition",  dollars{110.0}, 12.0},
+        {"diffusion",   dollars{60.0},  40.0},
+        {"cmp",         dollars{100.0}, 18.0},
+        {"clean",       dollars{40.0},  60.0},
+        {"metrology",   dollars{80.0},  30.0},
+    };
+    return fabline{std::move(groups), hours_per_period};
+}
+
+wafer_recipe fabline::generic_recipe(double feature_um, int metal_layers) {
+    const tech::process_recipe process =
+        tech::synthesize_cmos_recipe(microns{feature_um}, metal_layers);
+    // Map step categories onto the generic_cmos group order.
+    wafer_recipe recipe;
+    recipe.name = process.name;
+    recipe.passes = {
+        static_cast<double>(process.count(tech::step_category::lithography)),
+        static_cast<double>(process.count(tech::step_category::etch)),
+        static_cast<double>(process.count(tech::step_category::implant)),
+        static_cast<double>(process.count(tech::step_category::deposition)),
+        static_cast<double>(process.count(tech::step_category::diffusion)),
+        static_cast<double>(process.count(tech::step_category::cmp)),
+        static_cast<double>(process.count(tech::step_category::clean)),
+        static_cast<double>(process.count(tech::step_category::metrology)),
+    };
+    return recipe;
+}
+
+}  // namespace silicon::cost

@@ -1,0 +1,119 @@
+// fabline.hpp — fabline capacity, utilization and cost-of-ownership model.
+//
+// Section III.A.d: wafer cost depends strongly on how well the fabline's
+// equipment is utilized, because "the cost of ownership for equipment may
+// be the same for active and inactive usage".  A mono-product high-volume
+// line can be sized so every tool group runs near capacity; a low-volume
+// multi-product line must own at least one of every tool its product mix
+// touches and pays for the idle time.  The detailed study the paper cites
+// [12] found the resulting wafer-cost ratio can reach 7x.
+//
+// Model: a fabline owns integer counts of tools in a set of tool groups.
+// Each wafer of product p makes `passes` visits to each group; a visit
+// consumes 1/throughput hours.  The line pays cost-of-ownership per owned
+// tool-hour regardless of usage, and allocates the period cost over the
+// wafers produced.
+
+#pragma once
+
+#include "core/units.hpp"
+
+#include <string>
+#include <vector>
+
+namespace silicon::cost {
+
+/// One equipment (tool) group.
+struct tool_group {
+    std::string name;
+    dollars ownership_per_hour{0.0};  ///< cost of owning one tool, per hour
+    double wafers_per_hour = 1.0;     ///< throughput of one tool, visits/hour
+};
+
+/// Number of visits one wafer of a product makes to each tool group
+/// (parallel to the fabline's group list).
+struct wafer_recipe {
+    std::string name;
+    std::vector<double> passes;
+};
+
+/// A product demand: recipe plus wafer starts per period.
+struct product_demand {
+    wafer_recipe recipe;
+    double wafers_per_period = 0.0;
+};
+
+/// Per-group line report.
+struct group_load {
+    std::string name;
+    int tools = 0;              ///< owned tool count
+    double required_hours = 0.0;///< demanded tool-hours in the period
+    double capacity_hours = 0.0;///< owned tool-hours in the period
+    double utilization = 0.0;   ///< required / capacity
+    dollars period_cost{0.0};   ///< ownership cost of the group
+};
+
+/// Whole-line report for one product mix.
+struct fabline_report {
+    std::vector<group_load> groups;
+    double total_wafers = 0.0;
+    dollars period_cost{0.0};
+    dollars cost_per_wafer{0.0};
+    double bottleneck_utilization = 0.0;  ///< max group utilization
+    double average_utilization = 0.0;     ///< tool-hour weighted mean
+};
+
+/// Fabline: tool groups, a period length, and a sizing policy.
+class fabline {
+public:
+    /// @param groups the tool set; throughputs must be positive.
+    /// @param hours_per_period scheduling period, e.g. 720 h/month.
+    fabline(std::vector<tool_group> groups, double hours_per_period);
+
+    [[nodiscard]] const std::vector<tool_group>& groups() const noexcept {
+        return groups_;
+    }
+    [[nodiscard]] double hours_per_period() const noexcept {
+        return hours_per_period_;
+    }
+
+    /// Tool-hours demanded per group by the mix (validates recipe widths).
+    [[nodiscard]] std::vector<double> required_hours(
+        const std::vector<product_demand>& mix) const;
+
+    /// Minimal integer tool counts covering the mix's demand (at most
+    /// `max_utilization` loading per group, default 95%).  Groups with no
+    /// demand get zero tools.
+    [[nodiscard]] std::vector<int> size_line(
+        const std::vector<product_demand>& mix,
+        double max_utilization = 0.95) const;
+
+    /// Analyze a mix running on a line with the given tool counts.
+    /// Throws std::invalid_argument when any group would exceed 100%
+    /// utilization (infeasible schedule) or when vector widths mismatch.
+    [[nodiscard]] fabline_report analyze(
+        const std::vector<product_demand>& mix,
+        const std::vector<int>& tools) const;
+
+    /// Convenience: size the line for the mix, then analyze it.
+    [[nodiscard]] fabline_report analyze_sized(
+        const std::vector<product_demand>& mix,
+        double max_utilization = 0.95) const;
+
+    /// A generic 8-group CMOS line with early-90s ownership costs and
+    /// throughputs (lithography most expensive, cleans cheapest).
+    [[nodiscard]] static fabline generic_cmos(double hours_per_period =
+                                                  720.0);
+
+    /// A recipe for the generic_cmos line derived from a synthesized
+    /// process (pass counts per group for a CMOS flow at the given
+    /// feature size / metal stack).
+    [[nodiscard]] static wafer_recipe generic_recipe(double feature_um,
+                                                     int metal_layers);
+
+private:
+    std::vector<tool_group> groups_;
+    double hours_per_period_;
+};
+
+}  // namespace silicon::cost

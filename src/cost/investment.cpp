@@ -1,0 +1,124 @@
+#include "cost/investment.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::cost {
+
+namespace {
+
+void validate(const fab_investment& plan) {
+    if (!(plan.capital.value() > 0.0)) {
+        throw std::invalid_argument(
+            "fab_investment: capital must be positive");
+    }
+    if (plan.life_quarters < 1) {
+        throw std::invalid_argument(
+            "fab_investment: horizon must be at least one quarter");
+    }
+    if (!(plan.wafers_per_quarter > 0.0)) {
+        throw std::invalid_argument(
+            "fab_investment: capacity must be positive");
+    }
+    if (plan.ramp_quarters < 0) {
+        throw std::invalid_argument(
+            "fab_investment: ramp must be >= 0 quarters");
+    }
+    if (!(plan.utilization > 0.0 && plan.utilization <= 1.0)) {
+        throw std::invalid_argument(
+            "fab_investment: utilization must be in (0, 1]");
+    }
+    if (!(plan.margin_erosion_per_quarter >= 0.0 &&
+          plan.margin_erosion_per_quarter < 1.0)) {
+        throw std::invalid_argument(
+            "fab_investment: erosion must be in [0, 1)");
+    }
+    if (!(plan.discount_rate_per_quarter >= 0.0 &&
+          plan.discount_rate_per_quarter < 1.0)) {
+        throw std::invalid_argument(
+            "fab_investment: discount rate must be in [0, 1)");
+    }
+}
+
+}  // namespace
+
+investment_result evaluate_investment(const fab_investment& plan) {
+    validate(plan);
+
+    investment_result result;
+    result.quarters.reserve(static_cast<std::size_t>(plan.life_quarters));
+    double cumulative = -plan.capital.value();
+    for (int q = 0; q < plan.life_quarters; ++q) {
+        quarter_cash_flow row;
+        row.quarter = q;
+        const double ramp =
+            plan.ramp_quarters == 0
+                ? 1.0
+                : std::min(1.0, static_cast<double>(q + 1) /
+                                    (plan.ramp_quarters + 1));
+        row.wafers = plan.wafers_per_quarter * plan.utilization * ramp;
+        row.margin_per_wafer =
+            plan.margin_per_wafer *
+            std::pow(1.0 - plan.margin_erosion_per_quarter, q);
+        row.cash = dollars{row.wafers * row.margin_per_wafer.value()};
+        row.discounted =
+            row.cash /
+            std::pow(1.0 + plan.discount_rate_per_quarter, q + 1);
+        cumulative += row.discounted.value();
+        row.cumulative_npv = dollars{cumulative};
+        if (result.payback_quarter < 0 && cumulative >= 0.0) {
+            result.payback_quarter = q;
+        }
+        result.quarters.push_back(row);
+    }
+    result.npv = dollars{cumulative};
+
+    // Utilization at which NPV crosses zero (bisection; monotone in
+    // utilization because cash is linear in it).
+    double lo = 0.0;
+    double hi = 1.0;
+    const auto npv_at = [&](double utilization) {
+        if (utilization <= 0.0) {
+            return -plan.capital.value();
+        }
+        fab_investment probe = plan;
+        probe.utilization = utilization;
+        return investment_npv(probe).value();
+    };
+    if (npv_at(1.0) <= 0.0) {
+        result.internal_utilization_breakeven = 1.0;  // never pays
+    } else {
+        for (int iter = 0; iter < 60; ++iter) {
+            const double mid = 0.5 * (lo + hi);
+            if (npv_at(mid) < 0.0) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        result.internal_utilization_breakeven = 0.5 * (lo + hi);
+    }
+    return result;
+}
+
+dollars investment_npv(const fab_investment& plan) {
+    validate(plan);
+    double cumulative = -plan.capital.value();
+    for (int q = 0; q < plan.life_quarters; ++q) {
+        const double ramp =
+            plan.ramp_quarters == 0
+                ? 1.0
+                : std::min(1.0, static_cast<double>(q + 1) /
+                                    (plan.ramp_quarters + 1));
+        const double wafers =
+            plan.wafers_per_quarter * plan.utilization * ramp;
+        const double margin =
+            plan.margin_per_wafer.value() *
+            std::pow(1.0 - plan.margin_erosion_per_quarter, q);
+        cumulative += wafers * margin /
+                      std::pow(1.0 + plan.discount_rate_per_quarter, q + 1);
+    }
+    return dollars{cumulative};
+}
+
+}  // namespace silicon::cost

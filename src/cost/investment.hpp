@@ -1,0 +1,64 @@
+// investment.hpp — fabline investment economics (Sec. V, Phase 1).
+//
+// The paper's Phase 1 describes the "invest-now-to-dominate-later"
+// strategy: spend toward $1B on a new-generation fabline, ramp volume,
+// and recover the capital from per-wafer margins.  This module prices
+// that bet: discounted cash flow of a fab over its depreciation life,
+// with a volume ramp, a wafer margin that erodes over time (the paper's
+// "decrease in previously lucrative profit margins" [5]), and the X-
+// scaled capital cost of the target generation.
+//
+// It answers the questions the Sec. V narrative hinges on: payback time,
+// NPV vs. escalation rate X, and the utilization level below which the
+// investment never pays — the mechanism that pushes low-volume players
+// out of manufacturing ("fabless") in Phases 2-3.
+
+#pragma once
+
+#include "core/units.hpp"
+
+#include <vector>
+
+namespace silicon::cost {
+
+/// Inputs to the fab investment case.
+struct fab_investment {
+    dollars capital{1000e6};        ///< fabline construction + equipment
+    int life_quarters = 20;         ///< evaluation horizon (5 years)
+    double wafers_per_quarter = 60000.0;  ///< capacity at full ramp
+    int ramp_quarters = 4;          ///< linear ramp to full volume
+    double utilization = 0.9;       ///< steady-state loading
+    dollars margin_per_wafer{900.0};///< initial revenue - variable cost
+    double margin_erosion_per_quarter = 0.03;  ///< competitive decay
+    double discount_rate_per_quarter = 0.03;   ///< cost of capital
+};
+
+/// One quarter of the cash flow.
+struct quarter_cash_flow {
+    int quarter = 0;
+    double wafers = 0.0;
+    dollars margin_per_wafer{0.0};
+    dollars cash{0.0};           ///< undiscounted
+    dollars discounted{0.0};
+    dollars cumulative_npv{0.0}; ///< including the upfront capital
+};
+
+/// Full evaluation.
+struct investment_result {
+    std::vector<quarter_cash_flow> quarters;
+    dollars npv{0.0};           ///< at the horizon
+    int payback_quarter = -1;   ///< first quarter with cumulative >= 0,
+                                ///< -1 if never within the horizon
+    double internal_utilization_breakeven = 0.0;  ///< utilization at
+                                ///< which NPV = 0 (bisection)
+};
+
+/// Evaluate the case.  Throws std::invalid_argument on non-positive
+/// capital/volume/horizon or out-of-range rates.
+[[nodiscard]] investment_result evaluate_investment(
+    const fab_investment& plan);
+
+/// NPV only (used by the breakeven search and benches).
+[[nodiscard]] dollars investment_npv(const fab_investment& plan);
+
+}  // namespace silicon::cost

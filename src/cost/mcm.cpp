@@ -1,0 +1,135 @@
+#include "cost/mcm.hpp"
+
+#include <stdexcept>
+
+namespace silicon::cost {
+
+namespace {
+
+void validate(const mcm_config& config) {
+    if (config.dies.empty()) {
+        throw std::invalid_argument("mcm: module has no dies");
+    }
+    if (config.substrate_cost.value() < 0.0 ||
+        config.smart_substrate_cost.value() < 0.0 ||
+        config.kgd_test_cost_per_die.value() < 0.0 ||
+        config.rework_cost_per_die.value() < 0.0 ||
+        config.module_test_cost.value() < 0.0) {
+        throw std::invalid_argument("mcm: costs must be >= 0");
+    }
+}
+
+}  // namespace
+
+mcm_result evaluate_mcm(const mcm_config& config, mcm_strategy strategy) {
+    validate(config);
+
+    mcm_result result;
+    result.strategy = strategy;
+
+    switch (strategy) {
+        case mcm_strategy::bare: {
+            // One attempt: substrate + all dies + module test.  The module
+            // works only if every slot got a truly good die attached.
+            probability module_yield{1.0};
+            dollars materials = config.substrate_cost;
+            for (const mcm_die& die : config.dies) {
+                module_yield = module_yield * die.slot_yield();
+                materials = materials + die.cost;
+            }
+            result.module_yield = module_yield;
+            result.cost_per_attempt = materials + config.module_test_cost;
+            if (module_yield.value() <= 0.0) {
+                throw std::domain_error(
+                    "mcm: bare module yield underflowed to zero");
+            }
+            result.cost_per_good_module = dollars{
+                result.cost_per_attempt.value() / module_yield.value()};
+            break;
+        }
+        case mcm_strategy::kgd: {
+            // Dies are screened to the KGD escape level before assembly;
+            // the per-die test bill is paid on every die.
+            probability module_yield{1.0};
+            dollars materials = config.substrate_cost;
+            for (const mcm_die& die : config.dies) {
+                const probability slot =
+                    config.kgd_escape.complement() * die.attach_yield;
+                module_yield = module_yield * slot;
+                materials = materials + die.cost +
+                            config.kgd_test_cost_per_die;
+            }
+            result.module_yield = module_yield;
+            result.cost_per_attempt = materials + config.module_test_cost;
+            if (module_yield.value() <= 0.0) {
+                throw std::domain_error(
+                    "mcm: KGD module yield underflowed to zero");
+            }
+            result.cost_per_good_module = dollars{
+                result.cost_per_attempt.value() / module_yield.value()};
+            break;
+        }
+        case mcm_strategy::smart_substrate: {
+            // The active substrate diagnoses bad slots after assembly, so
+            // a bad die is replaced (die + rework labor) instead of
+            // scrapping the module.  Expected attempts per slot with
+            // per-attempt success g is 1/g; the first attempt is part of
+            // the build, each extra one costs a die plus rework.
+            dollars expected_cost = config.smart_substrate_cost +
+                                    config.module_test_cost;
+            probability first_pass{1.0};
+            double rework_ops = 0.0;
+            for (const mcm_die& die : config.dies) {
+                const double g = die.slot_yield().value();
+                if (g <= 0.0) {
+                    throw std::domain_error(
+                        "mcm: a die slot can never succeed");
+                }
+                const double expected_attempts = 1.0 / g;
+                const double extra = expected_attempts - 1.0;
+                expected_cost =
+                    expected_cost +
+                    die.cost * expected_attempts +
+                    config.rework_cost_per_die * extra;
+                rework_ops += extra;
+                first_pass = first_pass * die.slot_yield();
+            }
+            // With diagnosis + rework every module is eventually good, so
+            // the expected cost *is* the cost per good module.
+            result.module_yield = first_pass;
+            result.cost_per_attempt = expected_cost;
+            result.cost_per_good_module = expected_cost;
+            result.expected_rework_operations = rework_ops;
+            break;
+        }
+    }
+    return result;
+}
+
+std::vector<mcm_result> compare_mcm_strategies(const mcm_config& config) {
+    return {evaluate_mcm(config, mcm_strategy::bare),
+            evaluate_mcm(config, mcm_strategy::kgd),
+            evaluate_mcm(config, mcm_strategy::smart_substrate)};
+}
+
+std::string to_string(mcm_strategy strategy) {
+    switch (strategy) {
+        case mcm_strategy::bare:            return "bare";
+        case mcm_strategy::kgd:             return "known-good-die";
+        case mcm_strategy::smart_substrate: return "smart substrate";
+    }
+    return "unknown";
+}
+
+mcm_config uniform_module(int count, const mcm_die& prototype,
+                          const mcm_config& base) {
+    if (count < 1) {
+        throw std::invalid_argument(
+            "uniform_module: need at least one die");
+    }
+    mcm_config config = base;
+    config.dies.assign(static_cast<std::size_t>(count), prototype);
+    return config;
+}
+
+}  // namespace silicon::cost

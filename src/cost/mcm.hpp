@@ -1,0 +1,87 @@
+// mcm.hpp — multi-chip module system cost and the known-good-die problem.
+//
+// Section VI's MCM argument ([30,31]): an MCM's economics are dominated by
+// the probability that *all* bare dies on the substrate are good.  Three
+// strategies are compared:
+//
+//   * bare      — assemble wafer-sorted dies as-is.  Sort coverage is
+//                 imperfect, so each die carries a defect level
+//                 (Williams-Brown); one escape scraps the module.
+//   * kgd       — pay for known-good-die testing (burn-in + full test)
+//                 per die before assembly: near-unity coverage, much
+//                 higher per-die test cost.
+//   * smart     — the paper's "smart substrate" [30]: an active (more
+//                 expensive) substrate with built-in self-test that can
+//                 diagnose bad dies after assembly, enabling rework
+//                 (replace just the bad die) instead of scrapping.
+//
+// The reproduction claim (bench_ablate_mcm): bare assembly collapses as
+// the die count grows, KGD pays a per-die premium that dominates small
+// modules, and the smart substrate wins for larger modules — which is why
+// the paper argues that judging MCMs by substrate cost alone ("traditional
+// MCM strategies focus on the cost of the substrate itself") misses
+// system-level gains.
+
+#pragma once
+
+#include "core/units.hpp"
+
+#include <string>
+#include <vector>
+
+namespace silicon::cost {
+
+/// One die type placed on the module.
+struct mcm_die {
+    std::string name;
+    dollars cost{10.0};            ///< cost of one sorted bare die
+    probability sort_escape{0.05}; ///< P(die is bad despite passing sort)
+    probability attach_yield{0.99};///< P(attach operation succeeds)
+
+    /// P(slot ends up with a working, attached die in one attempt).
+    [[nodiscard]] probability slot_yield() const {
+        return sort_escape.complement() * attach_yield;
+    }
+};
+
+/// Assembly strategy.
+enum class mcm_strategy { bare, kgd, smart_substrate };
+
+/// Module-level parameters.
+struct mcm_config {
+    std::vector<mcm_die> dies;
+    dollars substrate_cost{50.0};        ///< passive substrate
+    dollars smart_substrate_cost{150.0}; ///< active substrate premium
+    dollars kgd_test_cost_per_die{8.0};  ///< burn-in + full test per die
+    probability kgd_escape{0.002};       ///< residual escape after KGD
+    dollars rework_cost_per_die{5.0};    ///< remove + re-attach labor
+    dollars module_test_cost{3.0};       ///< post-assembly module test
+};
+
+/// Cost analysis of one strategy.
+struct mcm_result {
+    mcm_strategy strategy;
+    probability module_yield{0.0};     ///< P(first-pass module works)
+    dollars cost_per_attempt{0.0};     ///< materials + work per attempt
+    dollars cost_per_good_module{0.0}; ///< the figure of merit
+    double expected_rework_operations = 0.0;  ///< smart substrate only
+};
+
+/// Evaluate one strategy; throws std::invalid_argument on an empty die
+/// list or out-of-range parameters, std::domain_error when a strategy's
+/// module yield underflows to zero (cost would be unbounded).
+[[nodiscard]] mcm_result evaluate_mcm(const mcm_config& config,
+                                      mcm_strategy strategy);
+
+/// Evaluate all three strategies in enum order.
+[[nodiscard]] std::vector<mcm_result> compare_mcm_strategies(
+    const mcm_config& config);
+
+/// Strategy name for tables.
+[[nodiscard]] std::string to_string(mcm_strategy strategy);
+
+/// Convenience: a module of `count` identical dies.
+[[nodiscard]] mcm_config uniform_module(int count, const mcm_die& prototype,
+                                        const mcm_config& base = {});
+
+}  // namespace silicon::cost

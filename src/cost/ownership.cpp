@@ -1,0 +1,92 @@
+#include "cost/ownership.hpp"
+
+#include <stdexcept>
+
+namespace silicon::cost {
+
+dollars ownership_per_hour(const tool_cost_inputs& inputs) {
+    if (!(inputs.depreciation_years > 0.0)) {
+        throw std::invalid_argument(
+            "ownership_per_hour: depreciation life must be positive");
+    }
+    if (!(inputs.scheduled_hours_per_year > 0.0)) {
+        throw std::invalid_argument(
+            "ownership_per_hour: scheduled hours must be positive");
+    }
+    if (inputs.purchase_price.value() < 0.0) {
+        throw std::invalid_argument(
+            "ownership_per_hour: purchase price must be >= 0");
+    }
+    const double installed =
+        inputs.purchase_price.value() *
+        (1.0 + inputs.install_fraction.value());
+    const double depreciation_per_year =
+        installed / inputs.depreciation_years;
+    const double maintenance_per_year =
+        inputs.purchase_price.value() *
+        inputs.maintenance_fraction_per_year;
+    const double floor_per_year =
+        inputs.floor_space_m2 * inputs.floor_cost_per_m2_year.value();
+    const double fixed_per_hour =
+        (depreciation_per_year + maintenance_per_year + floor_per_year) /
+        inputs.scheduled_hours_per_year;
+    const double labor_per_hour =
+        inputs.operators_per_tool * inputs.operator_cost_per_hour.value();
+    return dollars{fixed_per_hour + labor_per_hour +
+                   inputs.consumables_per_hour.value()};
+}
+
+dollars cost_per_wafer_pass(const tool_cost_inputs& inputs) {
+    if (!(inputs.wafers_per_hour > 0.0)) {
+        throw std::invalid_argument(
+            "cost_per_wafer_pass: throughput must be positive");
+    }
+    return dollars{ownership_per_hour(inputs).value() /
+                   inputs.wafers_per_hour};
+}
+
+tool_group make_tool_group(const tool_cost_inputs& inputs) {
+    return tool_group{inputs.name, ownership_per_hour(inputs),
+                      inputs.wafers_per_hour};
+}
+
+std::vector<tool_cost_inputs> generic_cmos_tool_costs() {
+    // Purchase prices: early-90s ballpark from trade press; throughputs
+    // match fabline::generic_cmos so the two lines are comparable.
+    const auto make = [](std::string name, double price_musd,
+                         double wafers_per_hour, double floor_m2) {
+        tool_cost_inputs t;
+        t.name = std::move(name);
+        t.purchase_price = dollars{price_musd * 1e6};
+        t.wafers_per_hour = wafers_per_hour;
+        t.floor_space_m2 = floor_m2;
+        return t;
+    };
+    return {
+        make("lithography", 5.0, 20.0, 30.0),
+        make("etch", 2.0, 15.0, 25.0),
+        make("implant", 3.0, 25.0, 35.0),
+        make("deposition", 2.0, 12.0, 25.0),
+        make("diffusion", 1.0, 40.0, 20.0),
+        make("cmp", 1.5, 18.0, 20.0),
+        make("clean", 0.5, 60.0, 15.0),
+        make("metrology", 1.2, 30.0, 15.0),
+    };
+}
+
+fabline derived_cmos_fabline(double equipment_price_factor,
+                             double hours_per_period) {
+    if (!(equipment_price_factor > 0.0)) {
+        throw std::invalid_argument(
+            "derived_cmos_fabline: price factor must be positive");
+    }
+    std::vector<tool_group> groups;
+    for (tool_cost_inputs inputs : generic_cmos_tool_costs()) {
+        inputs.purchase_price =
+            inputs.purchase_price * equipment_price_factor;
+        groups.push_back(make_tool_group(inputs));
+    }
+    return fabline{std::move(groups), hours_per_period};
+}
+
+}  // namespace silicon::cost

@@ -1,0 +1,62 @@
+// ownership.hpp — equipment cost-of-ownership model.
+//
+// Section III.A.d's fabline argument rests on "the cost of 'ownership'
+// for some equipment may be the same for 'active' and 'inactive'
+// equipment usage."  This module derives that per-hour ownership rate
+// from first principles instead of taking it as a constant: purchase
+// price on a straight-line depreciation schedule, floor space,
+// maintenance, consumables, and operator labor, divided by scheduled
+// hours.  It feeds `fabline` with derived rather than assumed tool
+// rates, and lets benches show how equipment price escalation (the X
+// driver of Sec. III.A.b) propagates into wafer cost.
+
+#pragma once
+
+#include "core/units.hpp"
+#include "cost/fabline.hpp"
+
+#include <string>
+#include <vector>
+
+namespace silicon::cost {
+
+/// Cost-of-ownership inputs for one tool type.
+struct tool_cost_inputs {
+    std::string name;
+    dollars purchase_price{1e6};
+    double depreciation_years = 5.0;   ///< straight line
+    dollars install_fraction{0.15};    ///< install+facilitization as a
+                                       ///< fraction of purchase (value()
+                                       ///< used as the fraction)
+    double floor_space_m2 = 20.0;
+    dollars floor_cost_per_m2_year{2000.0};  ///< cleanroom space
+    double maintenance_fraction_per_year = 0.08;  ///< of purchase price
+    dollars consumables_per_hour{5.0};
+    double operators_per_tool = 0.25;  ///< fractional headcount
+    dollars operator_cost_per_hour{30.0};
+    double scheduled_hours_per_year = 8000.0;
+    double wafers_per_hour = 20.0;     ///< throughput when running
+};
+
+/// The derived ownership rate in dollars per scheduled hour.
+/// Throws std::invalid_argument on non-positive life/hours.
+[[nodiscard]] dollars ownership_per_hour(const tool_cost_inputs& inputs);
+
+/// Cost per wafer *pass* at full utilization (ownership / throughput).
+[[nodiscard]] dollars cost_per_wafer_pass(const tool_cost_inputs& inputs);
+
+/// Build a `tool_group` for the fabline model from the derived rate.
+[[nodiscard]] tool_group make_tool_group(const tool_cost_inputs& inputs);
+
+/// An early-90s CMOS tool set with public-ballpark purchase prices
+/// (stepper ~$5M dominating; cleans cheapest).  Ordered to match
+/// fabline::generic_cmos()'s groups.
+[[nodiscard]] std::vector<tool_cost_inputs> generic_cmos_tool_costs();
+
+/// Fabline whose tool rates come from the derived COO model; an
+/// `equipment_price_factor` scales every purchase price (the equipment
+/// escalation knob of Sec. III.A.b).
+[[nodiscard]] fabline derived_cmos_fabline(double equipment_price_factor = 1.0,
+                                           double hours_per_period = 720.0);
+
+}  // namespace silicon::cost

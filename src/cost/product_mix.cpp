@@ -1,0 +1,55 @@
+#include "cost/product_mix.hpp"
+
+#include <stdexcept>
+
+namespace silicon::cost {
+
+mix_comparison compare_mono_vs_multi(const fabline& line,
+                                     const wafer_recipe& mono,
+                                     double mono_volume,
+                                     const std::vector<product_demand>& mix,
+                                     double max_utilization) {
+    if (!(mono_volume > 0.0)) {
+        throw std::invalid_argument(
+            "compare_mono_vs_multi: mono volume must be positive");
+    }
+    if (mix.empty()) {
+        throw std::invalid_argument(
+            "compare_mono_vs_multi: the multi-product mix is empty");
+    }
+    mix_comparison result;
+    result.mono = line.analyze_sized({{mono, mono_volume}}, max_utilization);
+    result.multi = line.analyze_sized(mix, max_utilization);
+    if (result.mono.cost_per_wafer.value() <= 0.0) {
+        throw std::domain_error(
+            "compare_mono_vs_multi: mono line produced no cost baseline");
+    }
+    result.cost_ratio = result.multi.cost_per_wafer.value() /
+                        result.mono.cost_per_wafer.value();
+    return result;
+}
+
+std::vector<product_demand> diverse_mix(int products, double wafers_each) {
+    if (products < 1) {
+        throw std::invalid_argument("diverse_mix: need at least one product");
+    }
+    if (!(wafers_each > 0.0)) {
+        throw std::invalid_argument(
+            "diverse_mix: wafer volume must be positive");
+    }
+    // Rotate through process flavors so no two neighbors load the line the
+    // same way: metal stacks 1-4, features 1.2 um down to 0.5 um.
+    static constexpr double features[] = {1.2, 1.0, 0.8, 0.6, 0.5};
+    std::vector<product_demand> mix;
+    mix.reserve(static_cast<std::size_t>(products));
+    for (int p = 0; p < products; ++p) {
+        const double feature = features[p % 5];
+        const int metals = 1 + p % 4;
+        wafer_recipe recipe = fabline::generic_recipe(feature, metals);
+        recipe.name += " (variant " + std::to_string(p + 1) + ")";
+        mix.push_back({std::move(recipe), wafers_each});
+    }
+    return mix;
+}
+
+}  // namespace silicon::cost

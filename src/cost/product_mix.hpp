@@ -1,0 +1,43 @@
+// product_mix.hpp — mono-product vs. multi-product wafer cost comparison.
+//
+// Builds on the fabline model to reproduce the Sec. III.A.d claim from
+// [12]: "the ratio of the cost of the wafer fabricated with low volume
+// multi-product fabline and high volume mono-product environment may
+// reach as high value as 7".
+//
+// The mechanism: a mono-product line is sized so each tool group runs at
+// its utilization cap, while a diverse low-volume mix forces the line to
+// own at least one tool of every group each product touches — most of
+// which then idle — and cost of ownership accrues regardless.
+
+#pragma once
+
+#include "cost/fabline.hpp"
+
+#include <vector>
+
+namespace silicon::cost {
+
+/// Result of the comparison.
+struct mix_comparison {
+    fabline_report mono;   ///< high-volume single-product line
+    fabline_report multi;  ///< low-volume multi-product line
+    double cost_ratio = 0.0;  ///< multi cost/wafer over mono cost/wafer
+};
+
+/// Compare the per-wafer cost of `mono` produced at `mono_volume` wafers
+/// per period on a tightly sized line against `mix` on a line sized for
+/// the mix.  Both lines use the same fabline tool set and sizing cap.
+[[nodiscard]] mix_comparison compare_mono_vs_multi(
+    const fabline& line, const wafer_recipe& mono, double mono_volume,
+    const std::vector<product_demand>& mix, double max_utilization = 0.95);
+
+/// Synthesize a diverse low-volume mix of `products` distinct recipes
+/// with `wafers_each` wafer starts.  Recipes alternate between process
+/// flavors (different metal stacks and feature sizes) so tool demands are
+/// non-uniform across groups, the condition that produces poor
+/// utilization.  Recipes match the generic_cmos group order.
+[[nodiscard]] std::vector<product_demand> diverse_mix(int products,
+                                                      double wafers_each);
+
+}  // namespace silicon::cost

@@ -1,0 +1,127 @@
+#include "cost/test_cost.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::cost {
+
+double test_seconds(const tester_spec& tester, const test_program& program) {
+    if (!(program.transistors > 0.0)) {
+        throw std::invalid_argument(
+            "test_seconds: transistor count must be positive");
+    }
+    if (!(program.vectors_per_kilotransistor >= 0.0)) {
+        throw std::invalid_argument(
+            "test_seconds: vector density must be >= 0");
+    }
+    if (!(tester.seconds_fixed >= 0.0) ||
+        !(tester.seconds_per_megavector >= 0.0)) {
+        throw std::invalid_argument("test_seconds: negative tester times");
+    }
+    // Pattern count: vectors/ktr * ktr, each applied through a scan chain
+    // of depth ~log2(N_tr); expressed in megavectors of tester time.
+    const double kilotransistors = program.transistors / 1e3;
+    const double vectors =
+        program.vectors_per_kilotransistor * kilotransistors;
+    const double scan_depth = std::log2(program.transistors);
+    const double megavectors = vectors * scan_depth / 1e6;
+    return tester.seconds_fixed +
+           tester.seconds_per_megavector * megavectors;
+}
+
+dollars test_cost_per_die(const tester_spec& tester,
+                          const test_program& program) {
+    const double seconds = test_seconds(tester, program);
+    return dollars{tester.rate_per_hour.value() * seconds / 3600.0};
+}
+
+probability defect_level(probability yield, double coverage) {
+    if (!(coverage >= 0.0 && coverage <= 1.0)) {
+        throw std::invalid_argument(
+            "defect_level: coverage must be in [0,1]");
+    }
+    if (yield.value() <= 0.0) {
+        // Everything that passes an imperfect test on a zero-yield lot is
+        // an escape.
+        return probability{coverage < 1.0 ? 1.0 : 0.0};
+    }
+    return probability::clamped(
+        1.0 - std::pow(yield.value(), 1.0 - coverage));
+}
+
+dollars probe_cost_per_good_die(const tester_spec& tester,
+                                const test_program& program,
+                                probability yield) {
+    if (yield.value() <= 0.0) {
+        throw std::domain_error(
+            "probe_cost_per_good_die: yield must be positive to allocate "
+            "cost to good dies");
+    }
+    const dollars per_die = test_cost_per_die(tester, program);
+    return dollars{per_die.value() / yield.value()};
+}
+
+test_economics evaluate_test_economics(const tester_spec& tester,
+                                       const test_program& program,
+                                       probability yield,
+                                       dollars field_cost_per_escape) {
+    if (field_cost_per_escape.value() < 0.0) {
+        throw std::invalid_argument(
+            "evaluate_test_economics: field cost must be >= 0");
+    }
+    test_economics economics;
+    economics.probe_per_good_die =
+        probe_cost_per_good_die(tester, program, yield);
+
+    // Probe screens with coverage T; the packaged population's defect
+    // level is DL.  Final test re-screens with the same coverage, so the
+    // shipped defect level composes: a fault escapes only if it escapes
+    // both screens, each with probability Y^(1-T)-style survival.
+    const probability after_probe = defect_level(yield, program.fault_coverage);
+    // Population entering final test: fraction (1 - DL) truly good.
+    const probability good_fraction = after_probe.complement();
+
+    // Final test cost, allocated per truly good (shippable) part.
+    const dollars final_per_tested = test_cost_per_die(tester, program);
+    economics.final_per_good_die =
+        dollars{final_per_tested.value() / good_fraction.value()};
+
+    // Escapes after both screens: a faulty die passes both independent
+    // applications of coverage T: DL_total = 1 - Y^((1-T)^2) evaluated on
+    // the original yield.
+    const double residual_exponent =
+        (1.0 - program.fault_coverage) * (1.0 - program.fault_coverage);
+    economics.shipped_defect_level = probability::clamped(
+        yield.value() <= 0.0
+            ? 1.0
+            : 1.0 - std::pow(yield.value(), residual_exponent));
+
+    economics.escape_cost_per_shipped_die =
+        dollars{economics.shipped_defect_level.value() *
+                field_cost_per_escape.value()};
+    economics.total_per_shipped_die =
+        economics.probe_per_good_die + economics.final_per_good_die +
+        economics.escape_cost_per_shipped_die;
+    return economics;
+}
+
+test_program apply_dft(const test_program& base, double coverage_with_dft,
+                       double compression) {
+    if (!(coverage_with_dft >= base.fault_coverage &&
+          coverage_with_dft <= 1.0)) {
+        throw std::invalid_argument(
+            "apply_dft: DFT coverage must improve on the base and stay "
+            "within [0,1]");
+    }
+    if (!(compression >= 1.0)) {
+        throw std::invalid_argument(
+            "apply_dft: compression must be >= 1");
+    }
+    test_program with_dft = base;
+    with_dft.fault_coverage = coverage_with_dft;
+    with_dft.vectors_per_kilotransistor =
+        base.vectors_per_kilotransistor / compression;
+    return with_dft;
+}
+
+}  // namespace silicon::cost

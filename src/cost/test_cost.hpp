@@ -1,0 +1,85 @@
+// test_cost.hpp — test economics (Sec. III.A.e and Sec. VI).
+//
+// The paper stresses that "the cost of testing a wafer may be comparable
+// with the cost of manufacturing" and that adequate analytical test cost
+// models are missing; Sec. VI calls for models linking test cost to "the
+// probability of fault escapes" [32] and for quantifying what DFT/BIST
+// buys.  This module supplies the standard ingredients:
+//
+//   * a tester time/cost model: probe (wafer sort) tests every gross die,
+//     final test every packaged part; test time grows with transistor
+//     count (log-depth scan patterns: t = t0 + k * log2(N_tr) per vector
+//     burst — the conventional first-order model);
+//   * the Williams-Brown escape model: after a test with fault coverage
+//     T on a die with true yield Y, the shipped defect level is
+//     DL = 1 - Y^(1-T);
+//   * a DFT/BIST trade: area overhead shrinks yield a little but raises
+//     coverage and cuts tester seconds — exactly the "is DFT worth it"
+//     question the paper says designers cannot answer today.
+
+#pragma once
+
+#include "core/units.hpp"
+
+namespace silicon::cost {
+
+/// Tester characteristics.
+struct tester_spec {
+    dollars rate_per_hour{1000.0};  ///< fully loaded tester+handler rate
+    double seconds_fixed = 0.5;     ///< per-die handling/index time
+    double seconds_per_megavector = 1.0;  ///< raw pattern application time
+};
+
+/// Test program characteristics for one product.
+struct test_program {
+    double transistors = 1e6;     ///< device size (drives pattern count)
+    double fault_coverage = 0.95; ///< T in [0,1]
+    double vectors_per_kilotransistor = 2.0;  ///< pattern density
+};
+
+/// Seconds on the tester for one execution of the program.
+[[nodiscard]] double test_seconds(const tester_spec& tester,
+                                  const test_program& program);
+
+/// Dollars for one execution of the program.
+[[nodiscard]] dollars test_cost_per_die(const tester_spec& tester,
+                                        const test_program& program);
+
+/// Williams-Brown defect level: fraction of *passing* dies that are in
+/// fact faulty, DL = 1 - Y^(1-T).  `yield` is the true die yield, and
+/// `coverage` the test's fault coverage.
+[[nodiscard]] probability defect_level(probability yield, double coverage);
+
+/// Probe (wafer sort) cost allocated per *good* die: every gross die is
+/// tested but only the yielded fraction carries the bill.
+[[nodiscard]] dollars probe_cost_per_good_die(const tester_spec& tester,
+                                              const test_program& program,
+                                              probability yield);
+
+/// Combined probe + final-test economics for one product.
+struct test_economics {
+    dollars probe_per_good_die{0.0};
+    dollars final_per_good_die{0.0};
+    probability shipped_defect_level{0.0};
+    dollars escape_cost_per_shipped_die{0.0};  ///< expected field cost
+    dollars total_per_shipped_die{0.0};
+};
+
+/// Evaluate probe + final test for a die of true yield `yield`; the
+/// final test re-screens packaged parts with the same program.  Escaping
+/// defects cost `field_cost_per_escape` each (board rework / RMA),
+/// which is what makes low coverage expensive even though it is cheap on
+/// the tester.
+[[nodiscard]] test_economics evaluate_test_economics(
+    const tester_spec& tester, const test_program& program,
+    probability yield, dollars field_cost_per_escape);
+
+/// DFT/BIST variant of a program: adds `area_overhead` fractional die
+/// area (lowering yield slightly — the caller applies that), raises
+/// coverage to `coverage_with_dft` and divides vector count by
+/// `compression`.  Returns the modified program.
+[[nodiscard]] test_program apply_dft(const test_program& base,
+                                     double coverage_with_dft,
+                                     double compression);
+
+}  // namespace silicon::cost

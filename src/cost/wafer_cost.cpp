@@ -1,0 +1,72 @@
+#include "cost/wafer_cost.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::cost {
+
+wafer_cost_model::wafer_cost_model(dollars c0, double x,
+                                   microns generation_step)
+    : c0_{c0}, x_{x}, generation_step_{generation_step} {
+    if (!(c0.value() > 0.0)) {
+        throw std::invalid_argument("wafer_cost_model: C_0 must be positive");
+    }
+    if (!(x >= 1.0)) {
+        throw std::invalid_argument(
+            "wafer_cost_model: X must be >= 1 (cost escalation rate)");
+    }
+    if (!(generation_step.value() > 0.0)) {
+        throw std::invalid_argument(
+            "wafer_cost_model: generation step must be positive");
+    }
+}
+
+double wafer_cost_model::generations_from_reference(microns lambda) const {
+    if (!(lambda.value() > 0.0)) {
+        throw std::invalid_argument(
+            "wafer_cost_model: lambda must be positive");
+    }
+    return (1.0 - lambda.value()) / generation_step_.value();
+}
+
+dollars wafer_cost_model::pure_wafer_cost(microns lambda) const {
+    return dollars{c0_.value() *
+                   std::pow(x_, generations_from_reference(lambda))};
+}
+
+dollars wafer_cost_model::wafer_cost_at_volume(microns lambda,
+                                               dollars overhead,
+                                               double volume_wafers) const {
+    if (overhead.value() < 0.0) {
+        throw std::invalid_argument(
+            "wafer_cost_model: overhead must be >= 0");
+    }
+    if (overhead.value() > 0.0 && !(volume_wafers > 0.0)) {
+        throw std::invalid_argument(
+            "wafer_cost_model: positive overhead needs a positive volume");
+    }
+    const dollars pure = pure_wafer_cost(lambda);
+    if (overhead.value() == 0.0) {
+        return pure;
+    }
+    return pure + dollars{overhead.value() / volume_wafers};
+}
+
+double wafer_cost_model::extract_x(microns lambda_a, dollars cost_a,
+                                   microns lambda_b, dollars cost_b,
+                                   microns generation_step) {
+    if (!(cost_a.value() > 0.0) || !(cost_b.value() > 0.0)) {
+        throw std::invalid_argument(
+            "wafer_cost_model: costs must be positive");
+    }
+    const double generations =
+        (lambda_a.value() - lambda_b.value()) / generation_step.value();
+    if (generations == 0.0) {
+        throw std::invalid_argument(
+            "wafer_cost_model: observations are at the same feature size");
+    }
+    // cost_b / cost_a = X^generations.
+    return std::pow(cost_b.value() / cost_a.value(), 1.0 / generations);
+}
+
+}  // namespace silicon::cost

@@ -1,0 +1,22 @@
+#include "geometry/die.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::geometry {
+
+die::die(millimeters a, millimeters b) : a_{a}, b_{b} {
+    if (a.value() <= 0.0 || b.value() <= 0.0) {
+        throw std::invalid_argument("die: both edges must be positive");
+    }
+}
+
+die die::square_with_area(square_millimeters area) {
+    if (area.value() <= 0.0) {
+        throw std::invalid_argument("die: area must be positive");
+    }
+    const millimeters edge{std::sqrt(area.value())};
+    return die{edge, edge};
+}
+
+}  // namespace silicon::geometry

@@ -1,0 +1,47 @@
+// die.hpp — rectangular die geometry.
+//
+// The paper parameterizes dies by their edge lengths a and b (Eq. 4) or by
+// their area A_ch (Eqs. 5-9).  `die` stores both edges; square dies are the
+// common case and have a dedicated factory.
+
+#pragma once
+
+#include "core/units.hpp"
+
+namespace silicon::geometry {
+
+/// Immutable rectangular die.  Invariant: both edges > 0.
+class die {
+public:
+    /// Construct from edge lengths a x b.  Throws std::invalid_argument
+    /// when either edge is non-positive.
+    die(millimeters a, millimeters b);
+
+    /// Square die with the given area (the paper's A_ch, e.g. A_0 = 1 cm^2).
+    [[nodiscard]] static die square_with_area(square_millimeters area);
+
+    /// Square die with the given edge.
+    [[nodiscard]] static die square(millimeters edge) {
+        return die{edge, edge};
+    }
+
+    [[nodiscard]] millimeters width() const noexcept { return a_; }
+    [[nodiscard]] millimeters height() const noexcept { return b_; }
+
+    /// A_ch = a * b.
+    [[nodiscard]] square_millimeters area() const { return area_of(a_, b_); }
+
+    /// Aspect ratio a/b (>= the reciprocal of itself only for a >= b).
+    [[nodiscard]] double aspect_ratio() const noexcept {
+        return a_.value() / b_.value();
+    }
+
+    /// Die with the same area but edges swapped.
+    [[nodiscard]] die rotated() const { return die{b_, a_}; }
+
+private:
+    millimeters a_;
+    millimeters b_;
+};
+
+}  // namespace silicon::geometry

@@ -1,0 +1,64 @@
+#include "geometry/reticle.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::geometry {
+
+reticle_plan plan_reticle(const wafer& w, const die& d,
+                          const reticle_spec& spec) {
+    if (!(spec.field_width.value() > 0.0) ||
+        !(spec.field_height.value() > 0.0)) {
+        throw std::invalid_argument("plan_reticle: empty field");
+    }
+    if (!(spec.seconds_per_exposure > 0.0)) {
+        throw std::invalid_argument(
+            "plan_reticle: exposure time must be positive");
+    }
+
+    // Dice per field: n dice consume n*edge + (n-1)*scribe.
+    const auto fit = [&](double die_edge, double field_edge) {
+        const double pitch = die_edge + spec.scribe.value();
+        return static_cast<int>(
+            std::floor((field_edge + spec.scribe.value()) / pitch));
+    };
+    reticle_plan plan;
+    plan.cols = fit(d.width().value(), spec.field_width.value());
+    plan.rows = fit(d.height().value(), spec.field_height.value());
+    if (plan.cols < 1 || plan.rows < 1) {
+        throw std::invalid_argument(
+            "plan_reticle: die does not fit in the reticle field");
+    }
+    plan.dice_per_field = plan.cols * plan.rows;
+
+    // Fields per wafer: cover the wafer area with field-sized tiles; the
+    // stepper exposes partial edge fields too, so count tiles whose
+    // rectangle intersects the usable disc.
+    const double r = w.usable_radius().to_millimeters().value();
+    const double fw = spec.field_width.value();
+    const double fh = spec.field_height.value();
+    const double r2 = r * r;
+    long fields = 0;
+    const long half_cols = static_cast<long>(std::ceil(r / fw)) + 1;
+    const long half_rows = static_cast<long>(std::ceil(r / fh)) + 1;
+    for (long j = -half_rows; j < half_rows; ++j) {
+        for (long i = -half_cols; i < half_cols; ++i) {
+            const double x0 = static_cast<double>(i) * fw;
+            const double y0 = static_cast<double>(j) * fh;
+            // Closest point of the tile to the center inside the disc?
+            const double cx = std::max(x0, std::min(0.0, x0 + fw));
+            const double cy = std::max(y0, std::min(0.0, y0 + fh));
+            if (cx * cx + cy * cy <= r2) {
+                ++fields;
+            }
+        }
+    }
+    plan.fields_per_wafer = fields;
+    plan.seconds_per_wafer =
+        spec.seconds_overhead_per_wafer +
+        static_cast<double>(fields) * spec.seconds_per_exposure;
+    plan.wafers_per_hour = 3600.0 / plan.seconds_per_wafer;
+    return plan;
+}
+
+}  // namespace silicon::geometry

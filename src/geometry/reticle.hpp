@@ -1,0 +1,44 @@
+// reticle.hpp — stepper reticle field geometry.
+//
+// The lithography link between die geometry and fab economics: a stepper
+// exposes one reticle *field* at a time, a field holds an integer grid
+// of dice, and wafer throughput falls with the number of fields per
+// wafer.  This closes the loop from die size to the fabline model's
+// lithography pass time — the mechanism behind "high throughput ...
+// indirectly leads to very low utilization levels" (Sec. V) and part of
+// why small dies are cheap beyond pure area.
+
+#pragma once
+
+#include "geometry/die.hpp"
+#include "geometry/wafer.hpp"
+
+namespace silicon::geometry {
+
+/// Stepper field limits (e.g. a 22 x 22 mm early-90s field).
+struct reticle_spec {
+    millimeters field_width{22.0};
+    millimeters field_height{22.0};
+    millimeters scribe{0.1};     ///< spacing between dice in the field
+    double seconds_per_exposure = 0.6;  ///< expose + step time
+    double seconds_overhead_per_wafer = 30.0;  ///< load/align
+};
+
+/// Field packing result.
+struct reticle_plan {
+    int dice_per_field = 0;      ///< cols * rows inside the field
+    int cols = 0;
+    int rows = 0;
+    long fields_per_wafer = 0;   ///< exposures needed for full coverage
+    double seconds_per_wafer = 0.0;   ///< one mask layer's litho time
+    double wafers_per_hour = 0.0;     ///< stepper throughput, one layer
+};
+
+/// Pack the die into the field (how many columns/rows of dice fit with
+/// scribe spacing) and derive exposures per wafer and stepper
+/// throughput.  Throws std::invalid_argument when the die does not fit
+/// in the field at all.
+[[nodiscard]] reticle_plan plan_reticle(const wafer& w, const die& d,
+                                        const reticle_spec& spec = {});
+
+}  // namespace silicon::geometry

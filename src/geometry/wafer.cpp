@@ -1,0 +1,18 @@
+#include "geometry/wafer.hpp"
+
+#include <stdexcept>
+
+namespace silicon::geometry {
+
+wafer::wafer(centimeters radius, centimeters edge_exclusion)
+    : radius_{radius}, edge_exclusion_{edge_exclusion} {
+    if (radius.value() <= 0.0) {
+        throw std::invalid_argument("wafer: radius must be positive");
+    }
+    if (edge_exclusion.value() >= radius.value()) {
+        throw std::invalid_argument(
+            "wafer: edge exclusion must be smaller than the radius");
+    }
+}
+
+}  // namespace silicon::geometry

@@ -1,0 +1,63 @@
+// wafer.hpp — physical description of a silicon wafer.
+//
+// The cost model needs only a handful of wafer attributes: the radius R_w
+// (the paper works with R_w = 7.5 cm for 6-inch and 10 cm for 8-inch
+// wafers), an optional edge exclusion ring where dies may not be placed,
+// and the usable area A_w that enters Eq. (8)/(9).
+
+#pragma once
+
+#include "core/units.hpp"
+
+namespace silicon::geometry {
+
+/// Immutable wafer description.
+///
+/// Invariant: radius > 0 and edge_exclusion < radius.
+class wafer {
+public:
+    /// Construct a wafer with the given physical radius and edge exclusion
+    /// ring (defect-prone outer annulus where no dies are placed).
+    /// Throws std::invalid_argument when the invariant is violated.
+    explicit wafer(centimeters radius,
+                   centimeters edge_exclusion = centimeters{0.0});
+
+    /// Physical radius R_w.
+    [[nodiscard]] centimeters radius() const noexcept { return radius_; }
+
+    /// Width of the unusable outer annulus.
+    [[nodiscard]] centimeters edge_exclusion() const noexcept {
+        return edge_exclusion_;
+    }
+
+    /// Radius of the area usable for die placement.
+    [[nodiscard]] centimeters usable_radius() const noexcept {
+        return centimeters{radius_.value() - edge_exclusion_.value()};
+    }
+
+    /// Full physical area pi * R_w^2 (the A_w of Eqs. (8) and (9)).
+    [[nodiscard]] square_centimeters area() const {
+        return disc_area(radius_);
+    }
+
+    /// Area of the placement-usable disc.
+    [[nodiscard]] square_centimeters usable_area() const {
+        return disc_area(usable_radius());
+    }
+
+    /// The paper's default wafer: 6-inch, R_w = 7.5 cm, no edge exclusion.
+    [[nodiscard]] static wafer six_inch() {
+        return wafer{centimeters{7.5}};
+    }
+
+    /// 8-inch wafer (R_w = 10 cm), used in Table 3 row 14.
+    [[nodiscard]] static wafer eight_inch() {
+        return wafer{centimeters{10.0}};
+    }
+
+private:
+    centimeters radius_;
+    centimeters edge_exclusion_;
+};
+
+}  // namespace silicon::geometry

@@ -1,0 +1,70 @@
+#include "geometry/wafer_map.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace silicon::geometry {
+
+std::string render_wafer_map(const wafer& w, const die& d, millimeters scribe,
+                             int max_width) {
+    const placement_result placed = exact_count(w, d, scribe);
+    const double r = w.usable_radius().to_millimeters().value();
+    const double pitch_x = d.width().value() + scribe.value();
+    const double pitch_y = d.height().value() + scribe.value();
+    const double a = d.width().value();
+    const double b = d.height().value();
+    const double r2 = r * r;
+
+    const auto die_fits = [&](double x, double y) {
+        const auto in = [&](double px, double py) {
+            return px * px + py * py <= r2;
+        };
+        return in(x, y) && in(x + a, y) && in(x, y + b) && in(x + a, y + b);
+    };
+    const auto cell_touches_wafer = [&](double x, double y) {
+        // Any corner inside the physical wafer keeps the site on the map.
+        const double pr = w.radius().to_millimeters().value();
+        const double pr2 = pr * pr;
+        const auto in = [&](double px, double py) {
+            return px * px + py * py <= pr2;
+        };
+        return in(x, y) || in(x + a, y) || in(x, y + b) || in(x + a, y + b);
+    };
+
+    const long cols_half =
+        static_cast<long>(std::ceil(r / pitch_x)) + 1;
+    const long rows_half =
+        static_cast<long>(std::ceil(r / pitch_y)) + 1;
+
+    std::string out;
+    long col_step = 1;
+    if (2 * cols_half + 1 > max_width) {
+        col_step = (2 * cols_half + max_width) / max_width;
+    }
+
+    for (long j = rows_half; j >= -rows_half; --j) {
+        const double y = placed.offset_y + static_cast<double>(j) * pitch_y;
+        std::string line;
+        for (long i = -cols_half; i <= cols_half; i += col_step) {
+            const double x = placed.offset_x + static_cast<double>(i) * pitch_x;
+            if (die_fits(x, y)) {
+                line.push_back('#');
+            } else if (cell_touches_wafer(x, y)) {
+                line.push_back('.');
+            } else {
+                line.push_back(' ');
+            }
+        }
+        // Trim trailing spaces to keep the output compact.
+        while (!line.empty() && line.back() == ' ') {
+            line.pop_back();
+        }
+        if (!line.empty()) {
+            out += line;
+            out.push_back('\n');
+        }
+    }
+    return out;
+}
+
+}  // namespace silicon::geometry

@@ -1,0 +1,27 @@
+// wafer_map.hpp — ASCII rendering of die placements on a wafer.
+//
+// Purely a diagnostic/visualization aid: renders the exact_count placement
+// as a character raster (one cell per die site), marking sites inside the
+// usable area.  Used by examples and by humans sanity-checking the
+// gross-die estimators.
+
+#pragma once
+
+#include "geometry/die.hpp"
+#include "geometry/gross_die.hpp"
+#include "geometry/wafer.hpp"
+
+#include <string>
+
+namespace silicon::geometry {
+
+/// Render the dies of the best exact placement as an ASCII map.
+/// `#` marks a placed whole die, `.` marks a grid site whose die would
+/// cross the usable boundary, space is outside the wafer bounding box.
+/// `max_width` caps the number of character columns; the map is scaled by
+/// skipping rendering (not placement) when the grid is wider than that.
+[[nodiscard]] std::string render_wafer_map(const wafer& w, const die& d,
+                                           millimeters scribe = millimeters{0.0},
+                                           int max_width = 120);
+
+}  // namespace silicon::geometry

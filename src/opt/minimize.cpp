@@ -1,0 +1,142 @@
+#include "opt/minimize.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace silicon::opt {
+
+scalar_minimum golden_section(const std::function<double(double)>& f,
+                              double lo, double hi, double tolerance) {
+    if (!(lo < hi)) {
+        throw std::invalid_argument("golden_section: empty interval");
+    }
+    if (!(tolerance > 0.0)) {
+        throw std::invalid_argument(
+            "golden_section: tolerance must be positive");
+    }
+    constexpr double inv_phi = 0.6180339887498949;  // 1/phi
+
+    double a = lo;
+    double b = hi;
+    double x1 = b - inv_phi * (b - a);
+    double x2 = a + inv_phi * (b - a);
+    double f1 = f(x1);
+    double f2 = f(x2);
+    int evaluations = 2;
+
+    while (b - a > tolerance) {
+        if (f1 <= f2) {
+            b = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = b - inv_phi * (b - a);
+            f1 = f(x1);
+        } else {
+            a = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = a + inv_phi * (b - a);
+            f2 = f(x2);
+        }
+        ++evaluations;
+        if (evaluations > 10000) {
+            break;  // tolerance finer than double spacing; best effort
+        }
+    }
+    scalar_minimum result;
+    result.x = f1 <= f2 ? x1 : x2;
+    result.value = f1 <= f2 ? f1 : f2;
+    result.evaluations = evaluations;
+    return result;
+}
+
+scalar_minimum grid_then_golden(const std::function<double(double)>& f,
+                                double lo, double hi, int grid_points,
+                                double tolerance) {
+    if (grid_points < 3) {
+        throw std::invalid_argument(
+            "grid_then_golden: need at least 3 grid points");
+    }
+    if (!(lo < hi)) {
+        throw std::invalid_argument("grid_then_golden: empty interval");
+    }
+    const double step = (hi - lo) / (grid_points - 1);
+    int best = 0;
+    double best_value = f(lo);
+    int evaluations = 1;
+    for (int i = 1; i < grid_points; ++i) {
+        const double value = f(lo + step * i);
+        ++evaluations;
+        if (value < best_value) {
+            best_value = value;
+            best = i;
+        }
+    }
+    const double bracket_lo = lo + step * (best > 0 ? best - 1 : 0);
+    const double bracket_hi =
+        lo + step * (best < grid_points - 1 ? best + 1 : grid_points - 1);
+    scalar_minimum refined =
+        golden_section(f, bracket_lo, bracket_hi, tolerance);
+    refined.evaluations += evaluations;
+    if (best_value < refined.value) {
+        refined.x = lo + step * best;
+        refined.value = best_value;
+    }
+    return refined;
+}
+
+std::vector<scalar_minimum> local_minima_on_grid(
+    const std::function<double(double)>& f, double lo, double hi,
+    int grid_points) {
+    if (grid_points < 3) {
+        throw std::invalid_argument(
+            "local_minima_on_grid: need at least 3 grid points");
+    }
+    if (!(lo < hi)) {
+        throw std::invalid_argument("local_minima_on_grid: empty interval");
+    }
+    const double step = (hi - lo) / (grid_points - 1);
+    std::vector<double> values;
+    values.reserve(static_cast<std::size_t>(grid_points));
+    for (int i = 0; i < grid_points; ++i) {
+        values.push_back(f(lo + step * i));
+    }
+
+    std::vector<scalar_minimum> minima;
+    for (int i = 0; i < grid_points; ++i) {
+        // Walk over plateaus: compare against the nearest differing
+        // neighbors on each side.
+        int left = i - 1;
+        while (left >= 0 && values[static_cast<std::size_t>(left)] ==
+                                values[static_cast<std::size_t>(i)]) {
+            --left;
+        }
+        int right = i + 1;
+        while (right < grid_points &&
+               values[static_cast<std::size_t>(right)] ==
+                   values[static_cast<std::size_t>(i)]) {
+            ++right;
+        }
+        const bool falls_left =
+            left < 0 || values[static_cast<std::size_t>(left)] >
+                            values[static_cast<std::size_t>(i)];
+        const bool falls_right =
+            right >= grid_points ||
+            values[static_cast<std::size_t>(right)] >
+                values[static_cast<std::size_t>(i)];
+        const bool plateau_start =
+            i == 0 || values[static_cast<std::size_t>(i - 1)] !=
+                          values[static_cast<std::size_t>(i)];
+        if (falls_left && falls_right && plateau_start) {
+            scalar_minimum m;
+            m.x = lo + step * i;
+            m.value = values[static_cast<std::size_t>(i)];
+            m.evaluations = grid_points;
+            minima.push_back(m);
+        }
+    }
+    return minima;
+}
+
+}  // namespace silicon::opt

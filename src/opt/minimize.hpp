@@ -1,0 +1,47 @@
+// minimize.hpp — 1-D minimizers for lambda-opt searches.
+//
+// Section IV.B: "for each die size there is a different lambda_opt which
+// minimizes the cost per transistor".  The cost curves are smooth and
+// unimodal over the feature-size ranges of interest, so golden-section
+// search (derivative-free, robust) plus a Brent-style refinement is the
+// right tool.  A bracketing grid scan guards against multimodal inputs
+// (Fig. 8 *does* show several local optima along other slices).
+
+#pragma once
+
+#include <functional>
+
+namespace silicon::opt {
+
+/// Result of a scalar minimization.
+struct scalar_minimum {
+    double x = 0.0;
+    double value = 0.0;
+    int evaluations = 0;
+};
+
+/// Golden-section search on [lo, hi]; `tolerance` is the absolute x
+/// interval at which iteration stops.  The function is assumed unimodal
+/// on the interval; otherwise a local minimum is returned.
+/// Throws std::invalid_argument on an empty interval or non-positive
+/// tolerance.
+[[nodiscard]] scalar_minimum golden_section(
+    const std::function<double(double)>& f, double lo, double hi,
+    double tolerance = 1e-8);
+
+/// Global-ish minimizer: scan `grid_points` samples of [lo, hi], then
+/// refine around the best sample with golden-section on the bracketing
+/// sub-interval.  Finds the global minimum when the grid resolves every
+/// basin.  grid_points must be >= 3.
+[[nodiscard]] scalar_minimum grid_then_golden(
+    const std::function<double(double)>& f, double lo, double hi,
+    int grid_points = 64, double tolerance = 1e-8);
+
+/// All local minima of a sampled function: indices whose value is lower
+/// than both neighbors (plateau-aware: the first point of a flat valley
+/// is reported).  Used to count Fig. 8's local optima along a slice.
+[[nodiscard]] std::vector<scalar_minimum> local_minima_on_grid(
+    const std::function<double(double)>& f, double lo, double hi,
+    int grid_points);
+
+}  // namespace silicon::opt

@@ -1,0 +1,40 @@
+#include "opt/pareto.hpp"
+
+#include <algorithm>
+
+namespace silicon::opt {
+
+bool dominates(const design_point& other, const design_point& candidate) {
+    const bool no_worse = other.cost <= candidate.cost &&
+                          other.merit >= candidate.merit;
+    const bool strictly_better = other.cost < candidate.cost ||
+                                 other.merit > candidate.merit;
+    return no_worse && strictly_better;
+}
+
+std::vector<design_point> pareto_front(std::vector<design_point> points) {
+    std::sort(points.begin(), points.end(),
+              [](const design_point& a, const design_point& b) {
+                  if (a.cost != b.cost) {
+                      return a.cost < b.cost;
+                  }
+                  return a.merit > b.merit;
+              });
+    std::vector<design_point> front;
+    double best_merit = -1e300;
+    for (const design_point& p : points) {
+        // After the sort, a point is non-dominated iff its merit strictly
+        // exceeds every cheaper point's merit — except exact duplicates
+        // of the current frontier point, which are kept.
+        if (p.merit > best_merit) {
+            front.push_back(p);
+            best_merit = p.merit;
+        } else if (!front.empty() && p.cost == front.back().cost &&
+                   p.merit == front.back().merit) {
+            front.push_back(p);
+        }
+    }
+    return front;
+}
+
+}  // namespace silicon::opt

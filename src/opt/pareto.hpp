@@ -1,0 +1,38 @@
+// pareto.hpp — Pareto-front extraction for cost/performance trades.
+//
+// Section IV's message is that cost joins performance as a first-class
+// design objective; once both matter, the designer needs the
+// non-dominated set rather than a single optimum.  This is the generic
+// utility: given labeled (cost, merit) points — lower cost better,
+// higher merit better — return the Pareto-efficient subset in cost
+// order.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace silicon::opt {
+
+/// One candidate design point.
+struct design_point {
+    std::string label;
+    double cost = 0.0;   ///< minimize
+    double merit = 0.0;  ///< maximize
+
+    friend bool operator==(const design_point&,
+                           const design_point&) = default;
+};
+
+/// The Pareto-efficient subset, sorted by ascending cost (and therefore
+/// ascending merit).  A point is kept when no other point has both
+/// cost <= and merit >= with at least one strict.  Duplicate-valued
+/// points are all kept.
+[[nodiscard]] std::vector<design_point> pareto_front(
+    std::vector<design_point> points);
+
+/// True when `candidate` is dominated by `other`.
+[[nodiscard]] bool dominates(const design_point& other,
+                             const design_point& candidate);
+
+}  // namespace silicon::opt

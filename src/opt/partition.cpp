@@ -1,0 +1,114 @@
+#include "opt/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace silicon::opt {
+
+std::vector<std::vector<std::size_t>> set_partitions(std::size_t n) {
+    if (n == 0 || n > 12) {
+        throw std::invalid_argument(
+            "set_partitions: n must be in [1, 12]");
+    }
+    // Restricted growth strings: a[0] = 0, a[i] <= max(a[0..i-1]) + 1.
+    std::vector<std::vector<std::size_t>> all;
+    std::vector<std::size_t> current(n, 0);
+
+    const std::function<void(std::size_t, std::size_t)> recurse =
+        [&](std::size_t index, std::size_t max_so_far) {
+            if (index == n) {
+                all.push_back(current);
+                return;
+            }
+            for (std::size_t g = 0; g <= max_so_far + 1; ++g) {
+                current[index] = g;
+                recurse(index + 1, std::max(max_so_far, g));
+            }
+        };
+    current[0] = 0;
+    recurse(1, 0);
+    return all;
+}
+
+unsigned long long bell_number(unsigned n) {
+    if (n > 20) {
+        throw std::invalid_argument("bell_number: n too large for u64");
+    }
+    // Bell triangle.
+    std::vector<unsigned long long> row{1};
+    for (unsigned i = 1; i <= n; ++i) {
+        std::vector<unsigned long long> next;
+        next.reserve(i + 1);
+        next.push_back(row.back());
+        for (unsigned long long v : row) {
+            next.push_back(next.back() + v);
+        }
+        row = std::move(next);
+    }
+    return row.front();
+}
+
+partition_solution optimize_partitions(const std::vector<block>& blocks,
+                                       const die_cost_fn& die_cost,
+                                       const packaging_cost_fn& packaging_cost,
+                                       std::size_t max_blocks) {
+    if (blocks.empty()) {
+        throw std::invalid_argument("optimize_partitions: no blocks");
+    }
+    if (blocks.size() > max_blocks) {
+        throw std::invalid_argument(
+            "optimize_partitions: too many blocks for exhaustive "
+            "enumeration");
+    }
+
+    const auto partitions = set_partitions(blocks.size());
+    partition_solution best;
+    best.total_cost = std::numeric_limits<double>::infinity();
+
+    for (const std::vector<std::size_t>& labels : partitions) {
+        const std::size_t groups =
+            1 + *std::max_element(labels.begin(), labels.end());
+
+        partition_solution candidate;
+        candidate.dies.resize(groups);
+        for (std::size_t i = 0; i < labels.size(); ++i) {
+            candidate.dies[labels[i]].block_indices.push_back(i);
+        }
+
+        bool valid = true;
+        for (die_assignment& die : candidate.dies) {
+            std::vector<block> group;
+            group.reserve(die.block_indices.size());
+            for (std::size_t bi : die.block_indices) {
+                group.push_back(blocks[bi]);
+            }
+            const auto [cost, lambda] = die_cost(group);
+            if (!std::isfinite(cost) || cost < 0.0) {
+                valid = false;
+                break;
+            }
+            die.cost = cost;
+            die.chosen_lambda = lambda;
+            candidate.die_cost_total += cost;
+        }
+        if (!valid) {
+            continue;
+        }
+        candidate.packaging_cost = packaging_cost(groups);
+        candidate.total_cost =
+            candidate.die_cost_total + candidate.packaging_cost;
+        if (candidate.total_cost < best.total_cost) {
+            best = std::move(candidate);
+        }
+    }
+    if (!std::isfinite(best.total_cost)) {
+        throw std::domain_error(
+            "optimize_partitions: no valid partition (die cost functional "
+            "rejected every grouping)");
+    }
+    return best;
+}
+
+}  // namespace silicon::opt

@@ -1,0 +1,74 @@
+// partition.hpp — system partition optimization (Sec. IV.B).
+//
+// The paper's proposal: "by including in the IC system design process such
+// variables as sizes of the system's partitions and minimum feature sizes
+// of each partition one can minimize the overall system cost", and "the
+// optimum solution may not call for the smallest possible (and expensive)
+// feature size".
+//
+// This optimizer enumerates all set partitions of a block list (restricted
+// growth strings — fine up to ~10 blocks, Bell(10) = 115975), prices each
+// group with a caller-supplied die-cost functional (which internally picks
+// the group's optimal feature size), adds a per-system packaging/assembly
+// term that grows with the number of dies, and returns the cheapest
+// arrangement.  The functional design keeps `opt` independent of the core
+// cost model; `core::system_optimizer` provides the convenient glue.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace silicon::opt {
+
+/// A system block to be assigned to a die.
+struct block {
+    std::string name;
+    double transistors = 0.0;
+    double design_density = 100.0;  ///< lambda^2 per transistor
+};
+
+/// One die of a solution: the block indices placed on it and the cost
+/// details the functional reported.
+struct die_assignment {
+    std::vector<std::size_t> block_indices;
+    double cost = 0.0;          ///< cost of this die (all its blocks)
+    double chosen_lambda = 0.0; ///< feature size the functional selected
+};
+
+/// A fully priced partitioning.
+struct partition_solution {
+    std::vector<die_assignment> dies;
+    double die_cost_total = 0.0;
+    double packaging_cost = 0.0;
+    double total_cost = 0.0;
+};
+
+/// Cost of one die holding the given blocks; also reports the feature
+/// size it chose.  Returned cost must be finite and >= 0.
+using die_cost_fn =
+    std::function<std::pair<double, double>(const std::vector<block>&)>;
+
+/// Packaging/integration cost of a system built from `die_count` dies.
+using packaging_cost_fn = std::function<double(std::size_t)>;
+
+/// Exhaustively find the cheapest partition of `blocks`.
+/// Throws std::invalid_argument when blocks is empty or larger than
+/// `max_blocks` (enumeration guard, default 10).
+[[nodiscard]] partition_solution optimize_partitions(
+    const std::vector<block>& blocks, const die_cost_fn& die_cost,
+    const packaging_cost_fn& packaging_cost, std::size_t max_blocks = 10);
+
+/// Enumerate all set partitions of n elements as restricted growth
+/// strings (element i's value is its group id).  Exposed for testing and
+/// for callers wanting custom pricing.  Throws when n == 0 or n > 12.
+[[nodiscard]] std::vector<std::vector<std::size_t>> set_partitions(
+    std::size_t n);
+
+/// Bell number B(n) (number of set partitions); throws for n > 20.
+[[nodiscard]] unsigned long long bell_number(unsigned n);
+
+}  // namespace silicon::opt

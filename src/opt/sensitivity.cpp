@@ -1,0 +1,65 @@
+#include "opt/sensitivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::opt {
+
+std::vector<elasticity> elasticities(
+    const std::function<double(const std::vector<double>&)>& objective,
+    const std::vector<parameter>& parameters, double rel_step) {
+    if (!(rel_step > 0.0 && rel_step < 0.5)) {
+        throw std::invalid_argument(
+            "elasticities: relative step must be in (0, 0.5)");
+    }
+    std::vector<double> values;
+    values.reserve(parameters.size());
+    for (const parameter& p : parameters) {
+        values.push_back(p.value);
+    }
+    const double nominal = objective(values);
+    if (!(nominal > 0.0)) {
+        throw std::domain_error(
+            "elasticities: objective must be positive at the nominal "
+            "point");
+    }
+
+    std::vector<elasticity> rows;
+    rows.reserve(parameters.size());
+    for (std::size_t i = 0; i < parameters.size(); ++i) {
+        if (parameters[i].value == 0.0) {
+            continue;
+        }
+        std::vector<double> up = values;
+        std::vector<double> down = values;
+        up[i] = values[i] * (1.0 + rel_step);
+        down[i] = values[i] * (1.0 - rel_step);
+        const double f_up = objective(up);
+        const double f_down = objective(down);
+        if (!(f_up > 0.0) || !(f_down > 0.0)) {
+            throw std::domain_error(
+                "elasticities: objective must stay positive at probe "
+                "points for parameter '" +
+                parameters[i].name + "'");
+        }
+        elasticity row;
+        row.name = parameters[i].name;
+        row.nominal = parameters[i].value;
+        // d ln C / d ln theta by central difference in log space.
+        row.value = (std::log(f_up) - std::log(f_down)) /
+                    (std::log1p(rel_step) - std::log1p(-rel_step));
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+std::vector<elasticity> ranked(std::vector<elasticity> rows) {
+    std::sort(rows.begin(), rows.end(),
+              [](const elasticity& a, const elasticity& b) {
+                  return std::abs(a.value) > std::abs(b.value);
+              });
+    return rows;
+}
+
+}  // namespace silicon::opt

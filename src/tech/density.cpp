@@ -1,0 +1,125 @@
+#include "tech/density.hpp"
+
+#include <stdexcept>
+
+namespace silicon::tech {
+
+double design_density(square_millimeters area, double transistors,
+                      microns lambda) {
+    if (!(transistors > 0.0)) {
+        throw std::invalid_argument(
+            "design_density: transistor count must be positive");
+    }
+    if (!(lambda.value() > 0.0)) {
+        throw std::invalid_argument(
+            "design_density: lambda must be positive");
+    }
+    if (!(area.value() > 0.0)) {
+        throw std::invalid_argument("design_density: area must be positive");
+    }
+    // mm^2 -> um^2 is 1e6.
+    const double area_um2 = area.value() * 1e6;
+    return area_um2 / (transistors * lambda.value() * lambda.value());
+}
+
+double transistors_for_area(square_millimeters area, double density,
+                            microns lambda) {
+    if (!(density > 0.0) || !(lambda.value() > 0.0)) {
+        throw std::invalid_argument(
+            "transistors_for_area: density and lambda must be positive");
+    }
+    const double area_um2 = area.value() * 1e6;
+    return area_um2 / (density * lambda.value() * lambda.value());
+}
+
+square_millimeters area_for_transistors(double transistors, double density,
+                                        microns lambda) {
+    if (!(transistors >= 0.0) || !(density > 0.0) ||
+        !(lambda.value() > 0.0)) {
+        throw std::invalid_argument(
+            "area_for_transistors: invalid inputs");
+    }
+    const double area_um2 =
+        transistors * density * lambda.value() * lambda.value();
+    return square_millimeters{area_um2 * 1e-6};
+}
+
+double functional_block::computed_dd(microns lambda) const {
+    return design_density(square_millimeters{area_mm2}, transistors, lambda);
+}
+
+const std::vector<functional_block>& table1_blocks() {
+    static const std::vector<functional_block> blocks = {
+        {"I-cache",       33.2, 1200e3,  43.2},
+        {"D-cache",       35.7, 1100e3,  50.7},
+        {"F. point unit", 45.9,  323e3, 222.3},
+        {"Integer unit",  38.3,  232e3, 257.9},
+        {"MMU",           20.4,  118e3, 270.5},
+        {"Bus unit",      12.7,   50e3, 399.0},
+    };
+    return blocks;
+}
+
+microns table1_feature_size() {
+    return microns{0.8};
+}
+
+const std::vector<ic_product>& table2_products() {
+    // Transistor counts are the published figures for the named parts
+    // (ISSCC 1991-1993 digests, IEEE Spectrum Dec. 1993):
+    //   Alpha 21064 1.68M, R4400SC 2.3M, PA7100 0.85M, Pentium 3.1M,
+    //   PowerPC 601 2.8M, SuperSPARC 3.1M, 68040 1.2M.  Memory counts
+    //   include cell transistors (6T SRAM, 1T+periphery DRAM).  Gate
+    //   arrays/PLDs: usable-gate counts times ~4 transistors/gate scaled
+    //   by stated utilization.
+    static const std::vector<ic_product> products = {
+        {"uP, BiCMOS, 3M",            ic_category::microprocessor, 0.30, 3,  907.95, 2.0e6},
+        {"uP, CMOS, 3M, Alpha 21064", ic_category::microprocessor, 0.68, 3,  250.13, 1.68e6},
+        {"uP, CMOS, 2M, R4400SC",     ic_category::microprocessor, 0.60, 2,  224.64, 2.3e6},
+        {"uP, CMOS, 3M, PA7100",      ic_category::microprocessor, 0.80, 3,  370.66, 0.85e6},
+        {"uP, BiCMOS, 3M, Pentium",   ic_category::microprocessor, 0.80, 3,  149.11, 3.1e6},
+        {"uP, CMOS, 4M, PowerPC601",  ic_category::microprocessor, 0.65, 4,  102.28, 2.8e6},
+        {"uP, BiCMOS, 3M, 2P, SuperSparc", ic_category::microprocessor, 0.70, 3, 168.53, 3.1e6},
+        {"uP, CMOS, 2M, 68040",       ic_category::microprocessor, 0.65, 2,  249.23, 1.2e6},
+        {"1Mb SRAM, 2M, 2P",          ic_category::sram, 0.35, 2,   36.00, 6.2e6},
+        {"16Mb SRAM, 2M, 4P",         ic_category::sram, 0.25, 2,   17.80, 100e6},
+        {"64Mb DRAM, 2M",             ic_category::dram, 0.40, 2,   22.29, 70e6},
+        {"256Mb DRAM, 3M",            ic_category::dram, 0.25, 3,   20.18, 264e6},
+        {"GateArray, 53Kg, BiCMOS, 50%", ic_category::gate_array, 0.80, 2, 507.66, 106e3},
+        {"GateArray, BiCMOS",         ic_category::gate_array, 0.50, 2,  403.20, 300e3},
+        {"SOG, 177Kg, 35-70%, CMOS, 3M", ic_category::sea_of_gates, 0.80, 3, 249.44, 0.7e6},
+        {"SOG, 235Kg, 70%, CMOS, 3M", ic_category::sea_of_gates, 0.80, 3,  117.19, 0.66e6},
+        {"PLD, 1.2Kg, EEPROM, 2M, 2P", ic_category::pld, 0.80, 2, 2631.04, 7.2e3},
+    };
+    return products;
+}
+
+std::string to_string(ic_category category) {
+    switch (category) {
+        case ic_category::microprocessor: return "microprocessor";
+        case ic_category::sram:           return "SRAM";
+        case ic_category::dram:           return "DRAM";
+        case ic_category::gate_array:     return "gate array";
+        case ic_category::sea_of_gates:   return "sea of gates";
+        case ic_category::pld:            return "PLD";
+    }
+    return "unknown";
+}
+
+double mean_density(ic_category category) {
+    double sum = 0.0;
+    int count = 0;
+    for (const ic_product& p : table2_products()) {
+        if (p.category == category) {
+            sum += p.printed_dd;
+            ++count;
+        }
+    }
+    if (count == 0) {
+        throw std::invalid_argument(
+            "mean_density: no Table 2 rows in this category");
+    }
+    return sum / count;
+}
+
+}  // namespace silicon::tech

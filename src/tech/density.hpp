@@ -1,0 +1,91 @@
+// density.hpp — design density catalog (paper Tables 1 and 2).
+//
+// Design density d_d is the number of minimum-feature-size squares
+// (lambda^2) of die area consumed per "average" transistor — Eq. (5)
+// inverted:
+//
+//     d_d = A_ch / (N_tr * lambda^2)
+//
+// It varies by two orders of magnitude across design styles (Table 2:
+// DRAM ~20 to PLD ~2600), which is the quantitative heart of the paper's
+// "what is cost-effective for memories is not beneficial for non-memory
+// products" message.
+//
+// Table 1 digitizes the functional blocks of the 3.1M-transistor 0.8 um
+// BiCMOS microprocessor of [22]; Table 2 the IC spectrum of [23,24].
+// Table 2 prints lambda and d_d only; transistor counts (used by a few
+// benches to reconstruct die areas) are the published figures for the
+// named parts and are documented per entry.
+
+#pragma once
+
+#include "core/units.hpp"
+
+#include <string>
+#include <vector>
+
+namespace silicon::tech {
+
+/// Eq. (5) solved for d_d: lambda-squares per transistor.
+/// Throws std::invalid_argument on non-positive inputs.
+[[nodiscard]] double design_density(square_millimeters area,
+                                    double transistors, microns lambda);
+
+/// Eq. (5): transistors that fit in `area` at the given density.
+[[nodiscard]] double transistors_for_area(square_millimeters area,
+                                          double density, microns lambda);
+
+/// Eq. (5) solved for area: A_ch = N_tr * d_d * lambda^2.
+[[nodiscard]] square_millimeters area_for_transistors(double transistors,
+                                                      double density,
+                                                      microns lambda);
+
+/// A row of Table 1: one functional block of the uP of [22] (0.8 um).
+struct functional_block {
+    std::string name;
+    double area_mm2;      ///< block area as printed
+    double transistors;   ///< transistor count as printed
+    double printed_dd;    ///< d_d column as printed in the paper
+
+    /// d_d recomputed from area and count at the given feature size.
+    [[nodiscard]] double computed_dd(microns lambda) const;
+};
+
+/// Table 1 rows, in paper order.  All blocks are at 0.8 um.
+[[nodiscard]] const std::vector<functional_block>& table1_blocks();
+
+/// The feature size Table 1's printed densities correspond to.
+[[nodiscard]] microns table1_feature_size();
+
+/// IC categories of Table 2.
+enum class ic_category {
+    microprocessor,
+    sram,
+    dram,
+    gate_array,
+    sea_of_gates,
+    pld,
+};
+
+/// A row of Table 2: a product and its design density.
+struct ic_product {
+    std::string name;       ///< as printed (part name or description)
+    ic_category category;
+    double feature_um;      ///< F. size column
+    int metal_layers;       ///< from the description string
+    double printed_dd;      ///< d_d column as printed
+    double transistors;     ///< published count for the named part
+                            ///< (reconstruction input, not printed)
+};
+
+/// Table 2 rows, in paper order.
+[[nodiscard]] const std::vector<ic_product>& table2_products();
+
+/// Category name for table output.
+[[nodiscard]] std::string to_string(ic_category category);
+
+/// Mean printed d_d of the Table 2 rows in a category — e.g. "memory d_d
+/// is ~10-20x denser than logic", the paper's Sec. IV.D argument.
+[[nodiscard]] double mean_density(ic_category category);
+
+}  // namespace silicon::tech

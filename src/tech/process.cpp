@@ -1,0 +1,150 @@
+#include "tech/process.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::tech {
+
+double process_recipe::cost_index() const {
+    double index = 0.0;
+    for (const process_step& step : steps) {
+        index += step.relative_cost;
+    }
+    return index;
+}
+
+int process_recipe::count(step_category category) const {
+    int n = 0;
+    for (const process_step& step : steps) {
+        if (step.category == category) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+namespace {
+
+void add_steps(process_recipe& recipe, const std::string& base_name,
+               step_category category, int count, double relative_cost) {
+    for (int i = 0; i < count; ++i) {
+        recipe.steps.push_back({base_name + " #" + std::to_string(i + 1),
+                                category, relative_cost});
+    }
+}
+
+}  // namespace
+
+process_recipe synthesize_cmos_recipe(microns feature, int metal_layers) {
+    const double f = feature.value();
+    if (!(f > 0.0)) {
+        throw std::invalid_argument(
+            "synthesize_cmos_recipe: feature size must be positive");
+    }
+    if (metal_layers < 1 || metal_layers > 8) {
+        throw std::invalid_argument(
+            "synthesize_cmos_recipe: metal layers must be in [1,8]");
+    }
+
+    process_recipe recipe;
+    recipe.feature_um = f;
+    recipe.metal_layers = metal_layers;
+    {
+        char name[64];
+        std::snprintf(name, sizeof name, "CMOS %.2fum %dLM", f,
+                      metal_layers);
+        recipe.name = name;
+    }
+
+    // Front end: mask layers for wells, active, poly, implants.  Finer
+    // features add LDD spacers (the paper's hot-electron example),
+    // silicide and extra implants.
+    const bool sub_micron = f < 1.0;
+    const bool deep_sub_micron = f < 0.5;
+    const int front_end_masks =
+        8 + (sub_micron ? 3 : 0) + (deep_sub_micron ? 3 : 0);
+    // Back end: each metal layer is roughly via + metal mask.
+    const int back_end_masks = 2 * metal_layers;
+
+    // Per mask layer: litho (resist, expose, develop counted as one
+    // weighted step), etch, strip/clean, metrology sample.
+    add_steps(recipe, "litho", step_category::lithography,
+              front_end_masks + back_end_masks, 4.0);
+    add_steps(recipe, "etch", step_category::etch,
+              front_end_masks + back_end_masks, 2.0);
+    add_steps(recipe, "clean", step_category::clean,
+              2 * (front_end_masks + back_end_masks), 1.0);
+    add_steps(recipe, "inspect", step_category::metrology,
+              (front_end_masks + back_end_masks + 1) / 2, 1.5);
+
+    // Implants: wells, channel stops, S/D, LDD below 1 um, halo below 0.5.
+    add_steps(recipe, "implant", step_category::implant,
+              6 + (sub_micron ? 4 : 0) + (deep_sub_micron ? 4 : 0), 2.5);
+
+    // Depositions: gate oxide, poly, dielectric and metal per layer,
+    // plus spacer and silicide films below 1 um.
+    add_steps(recipe, "deposition", step_category::deposition,
+              4 + 2 * metal_layers + (sub_micron ? 3 : 0) +
+                  (deep_sub_micron ? 2 : 0),
+              2.0);
+
+    // Thermal: anneals and drives; count shrinks slightly with RTP at
+    // finer nodes but stays roughly constant.
+    add_steps(recipe, "thermal", step_category::diffusion, 6, 1.2);
+
+    // Planarization: CMP enters below 0.8 um, one pass per metal level.
+    if (f <= 0.8) {
+        add_steps(recipe, "cmp", step_category::cmp, metal_layers, 2.2);
+    }
+
+    return recipe;
+}
+
+double equipment_escalation::factor(step_category category) const {
+    switch (category) {
+        case step_category::lithography: return lithography;
+        case step_category::etch:        return etch;
+        case step_category::implant:     return implant;
+        case step_category::deposition:  return deposition;
+        case step_category::diffusion:   return diffusion;
+        case step_category::cmp:         return cmp;
+        case step_category::clean:       return clean;
+        case step_category::metrology:   return metrology;
+    }
+    throw std::invalid_argument("equipment_escalation: unknown category");
+}
+
+double estimate_x_factor(const process_recipe& previous,
+                         const process_recipe& next,
+                         const equipment_escalation& escalation) {
+    if (!(previous.feature_um > next.feature_um)) {
+        throw std::invalid_argument(
+            "estimate_x_factor: `previous` must be the older, larger "
+            "feature-size recipe");
+    }
+    const double base = previous.cost_index();
+    if (base <= 0.0) {
+        throw std::invalid_argument(
+            "estimate_x_factor: previous recipe has no cost");
+    }
+    // The next generation runs its (larger) step set on escalated
+    // equipment: weight each step by its category's escalation.
+    double escalated = 0.0;
+    for (const process_step& step : next.steps) {
+        escalated += step.relative_cost * escalation.factor(step.category);
+    }
+    return escalated / base;
+}
+
+const std::vector<x_calibration_point>& quoted_x_values() {
+    static const std::vector<x_calibration_point> values = {
+        {"Intel [14]",            1.6, 1.6},
+        {"Mitsubishi [1]",        1.6, 2.4},
+        {"Hitachi [18]",          1.5, 2.0},
+        {"IEDM-93 study [12]",    1.79, 1.79},
+        {"Fig. 2 extraction",     1.2, 1.4},
+    };
+    return values;
+}
+
+}  // namespace silicon::tech

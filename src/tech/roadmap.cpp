@@ -1,0 +1,108 @@
+#include "tech/roadmap.hpp"
+
+#include "analysis/stats.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::tech {
+
+const std::vector<technology_generation>& standard_roadmap() {
+    // Columns: year, feature, DRAM, wafer mm, masks, steps, fab M$,
+    // wafer $, DRAM die mm^2, uP die mm^2.  Values are the public
+    // per-generation industry figures current in the early 1990s
+    // ([1,6,7,8,9] of the paper; ICE "Status" reports); die areas are at
+    // introduction.
+    static const std::vector<technology_generation> roadmap = {
+        {1971, 8.00, "1Kb",   51, 5,   60,    4,    30,  10,  13},
+        {1974, 6.00, "4Kb",   76, 6,   70,    8,    45,  15,  20},
+        {1977, 4.00, "16Kb",  76, 7,   85,   15,    70,  20,  25},
+        {1980, 3.00, "64Kb", 100, 8,  100,   40,   110,  25,  35},
+        {1983, 2.00, "256Kb",125, 9,  130,   85,   170,  35,  50},
+        {1986, 1.20, "1Mb",  125, 10, 180,  150,   280,  50,  75},
+        {1989, 0.80, "4Mb",  150, 12, 250,  300,   500,  90, 120},
+        {1992, 0.50, "16Mb", 150, 14, 350,  600,   900, 130, 200},
+        {1995, 0.35, "64Mb", 200, 16, 450, 1000,  1400, 190, 300},
+        {1998, 0.25, "256Mb",200, 18, 550, 1700,  2000, 280, 400},
+        {2001, 0.18, "1Gb",  300, 20, 650, 2800,  2800, 400, 520},
+    };
+    return roadmap;
+}
+
+square_centimeters microprocessor_die_area(microns lambda) {
+    if (lambda.value() <= 0.0) {
+        throw std::invalid_argument(
+            "microprocessor_die_area: lambda must be positive");
+    }
+    return square_centimeters{16.5 * std::exp(-5.3 * lambda.value())};
+}
+
+std::optional<technology_generation> generation_for_feature(microns lambda) {
+    // A design drawn at `lambda` needs a process whose minimum feature is
+    // at least as fine; return the *earliest* (cheapest) such generation.
+    for (const technology_generation& g : standard_roadmap()) {
+        if (g.feature_um <= lambda.value()) {
+            return g;  // roadmap is ordered by shrinking feature size
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<technology_generation> generation_for_year(int year) {
+    std::optional<technology_generation> found;
+    for (const technology_generation& g : standard_roadmap()) {
+        if (g.year <= year) {
+            found = g;
+        }
+    }
+    return found;
+}
+
+double trend::at(int year) const {
+    return a * std::exp(b * static_cast<double>(year - year0));
+}
+
+double trend::doubling_time_years() const {
+    if (b == 0.0) {
+        throw std::domain_error("trend: flat trend has no doubling time");
+    }
+    return std::log(2.0) / std::abs(b);
+}
+
+namespace {
+
+trend fit_column(double technology_generation::*column) {
+    const auto& roadmap = standard_roadmap();
+    std::vector<double> years;
+    std::vector<double> values;
+    years.reserve(roadmap.size());
+    values.reserve(roadmap.size());
+    const int year0 = roadmap.front().year;
+    for (const technology_generation& g : roadmap) {
+        years.push_back(static_cast<double>(g.year - year0));
+        values.push_back(g.*column);
+    }
+    const analysis::linear_fit fit = analysis::fit_exponential(years, values);
+    trend t;
+    t.year0 = year0;
+    t.a = std::exp(fit.intercept);
+    t.b = fit.slope;
+    t.r_squared = fit.r_squared;
+    return t;
+}
+
+}  // namespace
+
+trend feature_size_trend() {
+    return fit_column(&technology_generation::feature_um);
+}
+
+trend fab_cost_trend() {
+    return fit_column(&technology_generation::fab_cost_musd);
+}
+
+trend wafer_cost_trend() {
+    return fit_column(&technology_generation::wafer_cost_usd);
+}
+
+}  // namespace silicon::tech

@@ -1,0 +1,88 @@
+// roadmap.hpp — technology generation roadmap (paper Figs. 1-4).
+//
+// Section II of the paper frames the cost discussion with four trend
+// charts: minimum feature size vs. year (Fig. 1), fabline and wafer cost
+// vs. year (Fig. 2), die size vs. feature size (Fig. 3), and process step
+// count plus required defect density per generation (Fig. 4).  The paper
+// plots survey data from [1,6,7,8,9]; this module carries the equivalent
+// public trend values (DRAM-generation cadence, one row per generation)
+// and the analytical fits the paper itself uses:
+//
+//   * A_ch(lambda) = 16.5 * exp(-5.3 * lambda) cm^2  (microprocessor die
+//     size fit extracted from Fig. 3 and used in Eq. (9)), and
+//   * exponential feature-size and fab-cost trends, recovered from the
+//     table by log-linear regression (analysis::fit_exponential).
+//
+// Substitution note (DESIGN.md Sec. 4): the numeric columns are the widely
+// published industry values for each DRAM generation, not the paper's
+// exact (unlabeled) plot points; the benches reproduce the *trends*, which
+// is what the cost model consumes.
+
+#pragma once
+
+#include "core/units.hpp"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace silicon::tech {
+
+/// One technology generation (DRAM cadence).
+struct technology_generation {
+    int year;                      ///< volume production year
+    double feature_um;             ///< minimum feature size, microns
+    std::string dram_generation;   ///< e.g. "4Mb"
+    double wafer_diameter_mm;      ///< mainstream wafer size
+    int mask_layers;               ///< lithography mask count
+    int process_steps;             ///< total manufacturing steps (Fig. 4)
+    double fab_cost_musd;          ///< fabline cost, millions of dollars
+    double wafer_cost_usd;         ///< processed wafer cost, dollars
+    double dram_die_mm2;           ///< representative DRAM die size
+    double microprocessor_die_mm2; ///< representative leading uP die size
+};
+
+/// The standard roadmap, 1971 (4 Kb) through 2001 (1 Gb), one row per
+/// DRAM generation, ordered by year.
+[[nodiscard]] const std::vector<technology_generation>& standard_roadmap();
+
+/// The paper's Fig. 3 microprocessor die size fit used in Eq. (9):
+/// A_ch(lambda) = 16.5 * exp(-5.3 * lambda) square centimetres.
+[[nodiscard]] square_centimeters microprocessor_die_area(microns lambda);
+
+/// Earliest (cheapest) generation whose minimum feature size is fine
+/// enough to print a design drawn at `lambda`; nullopt when lambda is
+/// finer than the roadmap's last entry.
+[[nodiscard]] std::optional<technology_generation> generation_for_feature(
+    microns lambda);
+
+/// Generation in production during `year` (the last generation whose year
+/// is <= `year`); nullopt before the roadmap starts.
+[[nodiscard]] std::optional<technology_generation> generation_for_year(
+    int year);
+
+/// Exponential trend parameters y = a * exp(b * (year - year0)) recovered
+/// from a roadmap column; used by the Fig. 1 and Fig. 2 benches.
+struct trend {
+    int year0 = 0;       ///< reference year (first roadmap year)
+    double a = 0.0;      ///< value at year0 according to the fit
+    double b = 0.0;      ///< exponential rate per year
+    double r_squared = 0.0;
+
+    /// Evaluate the trend at a year.
+    [[nodiscard]] double at(int year) const;
+
+    /// Doubling (b > 0) or halving (b < 0) time in years.
+    [[nodiscard]] double doubling_time_years() const;
+};
+
+/// Fit the feature-size column: Fig. 1's straight line on a log axis.
+[[nodiscard]] trend feature_size_trend();
+
+/// Fit the fabline-cost column: Fig. 2's exponential facility cost growth.
+[[nodiscard]] trend fab_cost_trend();
+
+/// Fit the wafer-cost column of Fig. 2.
+[[nodiscard]] trend wafer_cost_trend();
+
+}  // namespace silicon::tech

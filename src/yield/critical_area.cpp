@@ -1,0 +1,169 @@
+#include "yield/critical_area.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::yield {
+
+void wire_array_layout::validate() const {
+    if (!(line_width > 0.0) || !(line_spacing > 0.0) ||
+        !(line_length > 0.0)) {
+        throw std::invalid_argument(
+            "wire_array_layout: dimensions must be positive");
+    }
+    if (line_count < 1) {
+        throw std::invalid_argument(
+            "wire_array_layout: need at least one line");
+    }
+}
+
+namespace {
+
+/// Slope m and threshold t of the linear branch of A_c(x) = m * (x - t).
+struct linear_band {
+    double slope = 0.0;
+    double threshold = 0.0;
+};
+
+linear_band band_for(const wire_array_layout& layout, fault_kind kind) {
+    layout.validate();
+    switch (kind) {
+        case fault_kind::short_circuit:
+            return {static_cast<double>(layout.line_count - 1) *
+                        layout.line_length,
+                    layout.line_spacing};
+        case fault_kind::open_circuit:
+            return {static_cast<double>(layout.line_count) *
+                        layout.line_length,
+                    layout.line_width};
+    }
+    throw std::invalid_argument("critical_area: unknown fault kind");
+}
+
+/// Definite integral of the survival function of `d` over [a, b].
+double integral_survival(const defect_size_distribution& d, double a,
+                         double b) {
+    if (b <= a) {
+        return 0.0;
+    }
+    const double r0 = d.r0();
+    const double p = d.p();
+    const double q = d.q();
+    // Normalization constant recovered from the pdf at r0 (body branch):
+    // pdf(r0) = k * r0^q.
+    const double k = d.pdf(r0) / std::pow(r0, q);
+
+    // Antiderivative of S on the body branch (x <= r0):
+    //   S(x) = 1 - k x^(q+1)/(q+1)
+    const auto body_anti = [&](double x) {
+        return x - k * std::pow(x, q + 2.0) / ((q + 1.0) * (q + 2.0));
+    };
+    // Antiderivative of S on the tail branch (x > r0):
+    //   S(x) = k r0^(q+p) x^(1-p) / (p-1)
+    const auto tail_anti = [&](double x) {
+        const double c = k * std::pow(r0, q + p) / (p - 1.0);
+        if (std::abs(p - 2.0) < 1e-12) {
+            return c * std::log(x);
+        }
+        return c * std::pow(x, 2.0 - p) / (2.0 - p);
+    };
+
+    double total = 0.0;
+    const double body_hi = std::min(b, r0);
+    if (a < r0) {
+        total += body_anti(body_hi) - body_anti(a);
+    }
+    const double tail_lo = std::max(a, r0);
+    if (b > r0) {
+        total += tail_anti(b) - tail_anti(tail_lo);
+    }
+    return total;
+}
+
+}  // namespace
+
+double critical_area(const wire_array_layout& layout, fault_kind kind,
+                     double defect_diameter) {
+    const linear_band band = band_for(layout, kind);
+    if (defect_diameter <= band.threshold) {
+        return 0.0;
+    }
+    const double linear = band.slope * (defect_diameter - band.threshold);
+    const double cap = layout.area();
+    return linear < cap ? linear : cap;
+}
+
+double average_critical_area(const wire_array_layout& layout, fault_kind kind,
+                             const defect_size_distribution& d) {
+    const linear_band band = band_for(layout, kind);
+    if (band.slope <= 0.0) {
+        return 0.0;  // single wire has no short mechanism
+    }
+    // With A_c linear in x up to the cap, integration by parts collapses
+    // the expectation to  m * integral_{t}^{x_cap} S(x) dx  (the boundary
+    // terms cancel exactly against the capped branch; see header).
+    const double x_cap = band.threshold + layout.area() / band.slope;
+    return band.slope * integral_survival(d, band.threshold, x_cap);
+}
+
+double average_critical_area_numeric(const wire_array_layout& layout,
+                                     fault_kind kind,
+                                     const defect_size_distribution& d,
+                                     int steps) {
+    if (steps < 2) {
+        throw std::invalid_argument(
+            "average_critical_area_numeric: need at least 2 panels");
+    }
+    const linear_band band = band_for(layout, kind);
+    if (band.slope <= 0.0) {
+        return 0.0;
+    }
+    const double x_cap = band.threshold + layout.area() / band.slope;
+
+    // Simpson over [threshold, x_cap] of A_c(x) f(x).
+    const int n = steps % 2 == 0 ? steps : steps + 1;
+    const double a = band.threshold;
+    const double h = (x_cap - a) / n;
+    const auto g = [&](double x) {
+        return critical_area(layout, kind, x) * d.pdf(x);
+    };
+    double sum = g(a) + g(x_cap);
+    for (int i = 1; i < n; ++i) {
+        sum += (i % 2 == 1 ? 4.0 : 2.0) * g(a + h * i);
+    }
+    const double finite_part = sum * h / 3.0;
+
+    // Above the cap A_c is constant: contributes area * P(X > x_cap).
+    return finite_part + layout.area() * d.survival(x_cap);
+}
+
+double expected_faults(const wire_array_layout& layout,
+                       const defect_size_distribution& d,
+                       double defects_per_um2,
+                       double extra_material_fraction) {
+    if (!(defects_per_um2 >= 0.0)) {
+        throw std::invalid_argument(
+            "expected_faults: defect density must be >= 0");
+    }
+    if (!(extra_material_fraction >= 0.0 && extra_material_fraction <= 1.0)) {
+        throw std::invalid_argument(
+            "expected_faults: extra-material fraction must be in [0,1]");
+    }
+    const double ca_short =
+        average_critical_area(layout, fault_kind::short_circuit, d);
+    const double ca_open =
+        average_critical_area(layout, fault_kind::open_circuit, d);
+    return defects_per_um2 * (extra_material_fraction * ca_short +
+                              (1.0 - extra_material_fraction) * ca_open);
+}
+
+double layout_yield(const wire_array_layout& layout,
+                    const defect_size_distribution& d,
+                    double defects_per_um2,
+                    double extra_material_fraction) {
+    return std::exp(
+        -expected_faults(layout, d, defects_per_um2,
+                         extra_material_fraction));
+}
+
+}  // namespace silicon::yield

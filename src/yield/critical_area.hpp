@@ -1,0 +1,102 @@
+// critical_area.hpp — analytical critical-area yield analysis.
+//
+// The link between the defect size distribution of Fig. 5 and the
+// fault-causing defect density D/lambda^p of Eq. (7) is *critical area*:
+// for a defect of size x, the critical area A_c(x) is the region of the
+// layout where the center of that defect causes a fault.  The expected
+// fault count of a die is then
+//
+//     E[faults] = D_total * integral A_c(x) f(x) dx / A_layout
+//               = D_total_density * A_c_avg
+//
+// This module implements the canonical test structure of the critical-area
+// literature (and of Maly's own defect work): an array of N parallel wires
+// of width w, spacing s and length L.
+//
+//   * extra-material defects short adjacent wires:  band height (x - s)
+//     per gap once x > s,
+//   * missing-material defects open a wire:         band height (x - w)
+//     per wire once x > w.
+//
+// Both A_c(x) curves are piecewise linear and capped at the layout area
+// (a defect larger than the structure cannot have more critical area than
+// the structure).  The average critical area integral has a closed form
+// for the power-law tail and is also exposed through numeric quadrature so
+// the two can be cross-checked in tests.
+//
+// All lengths are microns; defect "size" x is the defect *diameter*,
+// matching the convention of the analytic band heights above.
+
+#pragma once
+
+#include "yield/defect.hpp"
+
+#include <functional>
+
+namespace silicon::yield {
+
+/// Parallel-wire test structure.
+struct wire_array_layout {
+    double line_width = 1.0;   ///< w, microns
+    double line_spacing = 1.0; ///< s, microns
+    double line_length = 100.0;///< L, microns
+    int line_count = 10;       ///< N >= 1
+
+    /// Total bounding area: L * (N*w + (N-1)*s), um^2.
+    [[nodiscard]] double area() const noexcept {
+        return line_length *
+               (static_cast<double>(line_count) * line_width +
+                static_cast<double>(line_count - 1) * line_spacing);
+    }
+
+    /// Wire pitch w + s.
+    [[nodiscard]] double pitch() const noexcept {
+        return line_width + line_spacing;
+    }
+
+    /// Throws std::invalid_argument if any dimension is non-positive or
+    /// line_count < 1.
+    void validate() const;
+};
+
+/// Fault mechanisms distinguished by the extractor.
+enum class fault_kind {
+    short_circuit,  ///< extra conducting material bridging adjacent wires
+    open_circuit,   ///< missing material severing a wire
+};
+
+/// Critical area A_c(x) in um^2 for a defect of diameter x on the layout.
+/// Piecewise linear in x, zero below the threshold (s for shorts, w for
+/// opens), capped at layout.area().
+[[nodiscard]] double critical_area(const wire_array_layout& layout,
+                                   fault_kind kind, double defect_diameter);
+
+/// Average critical area integral A_c_avg = E[A_c(X)] against the given
+/// defect size (diameter) distribution, evaluated in closed form for the
+/// linear-then-capped A_c and two-branch power-law f.
+[[nodiscard]] double average_critical_area(const wire_array_layout& layout,
+                                           fault_kind kind,
+                                           const defect_size_distribution& d);
+
+/// Same integral by adaptive Simpson quadrature (validation path; `steps`
+/// panels over the finite support plus the analytic tail above the cap).
+[[nodiscard]] double average_critical_area_numeric(
+    const wire_array_layout& layout, fault_kind kind,
+    const defect_size_distribution& d, int steps = 4096);
+
+/// Expected fault count for the layout exposed to `defects_per_um2`
+/// defects (all sizes), of which `extra_material_fraction` are
+/// extra-material (short-causing) and the rest missing-material
+/// (open-causing).
+[[nodiscard]] double expected_faults(const wire_array_layout& layout,
+                                     const defect_size_distribution& d,
+                                     double defects_per_um2,
+                                     double extra_material_fraction = 0.5);
+
+/// Poisson functional yield of the layout: exp(-expected_faults).
+[[nodiscard]] double layout_yield(const wire_array_layout& layout,
+                                  const defect_size_distribution& d,
+                                  double defects_per_um2,
+                                  double extra_material_fraction = 0.5);
+
+}  // namespace silicon::yield

@@ -1,0 +1,44 @@
+#include "yield/extraction.hpp"
+
+#include "analysis/stats.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::yield {
+
+scaled_model_fit fit_scaled_poisson(
+    const std::vector<yield_observation>& observations) {
+    if (observations.size() < 2) {
+        throw std::invalid_argument(
+            "fit_scaled_poisson: need at least two observations");
+    }
+    std::vector<double> log_lambda;
+    std::vector<double> log_density;
+    log_lambda.reserve(observations.size());
+    log_density.reserve(observations.size());
+    for (const yield_observation& obs : observations) {
+        const double y = obs.yield.value();
+        if (!(y > 0.0 && y < 1.0)) {
+            throw std::invalid_argument(
+                "fit_scaled_poisson: yields must be strictly inside "
+                "(0, 1)");
+        }
+        if (!(obs.lambda.value() > 0.0) || !(obs.die_area.value() > 0.0)) {
+            throw std::invalid_argument(
+                "fit_scaled_poisson: lambda and area must be positive");
+        }
+        // -ln Y / A = D / lambda^p  =>  ln(.) = ln D - p ln lambda.
+        log_lambda.push_back(std::log(obs.lambda.value()));
+        log_density.push_back(std::log(-std::log(y) / obs.die_area.value()));
+    }
+    const analysis::linear_fit fit =
+        analysis::fit_line(log_lambda, log_density);
+    scaled_model_fit result;
+    result.d = std::exp(fit.intercept);
+    result.p = -fit.slope;
+    result.r_squared = fit.r_squared;
+    return result;
+}
+
+}  // namespace silicon::yield

@@ -1,0 +1,43 @@
+// extraction.hpp — fitting Eq. (7)'s (D, p) parameters from yield data.
+//
+// The paper's Fig. 8 calibration "D = 1.72 and p = 4.07 ... extracted
+// from a real manufacturing operation [26]".  This module implements that
+// extraction: given yield observations at several feature sizes and die
+// areas, recover D and p of
+//
+//     Y = exp(-A * D / lambda^p)
+//
+// by log-log regression:  ln(-ln Y / A) = ln D - p ln lambda.
+//
+// Closes the loop with the Monte-Carlo substrate: simulate yields with a
+// known ground truth, extract, and compare (tested in test_extraction).
+
+#pragma once
+
+#include "core/units.hpp"
+
+#include <vector>
+
+namespace silicon::yield {
+
+/// One yield observation.
+struct yield_observation {
+    microns lambda{1.0};
+    square_centimeters die_area{1.0};
+    probability yield{0.5};
+};
+
+/// Extraction result.
+struct scaled_model_fit {
+    double d = 0.0;          ///< defects/cm^2 at lambda = 1 um
+    double p = 0.0;          ///< size-distribution exponent
+    double r_squared = 0.0;  ///< of the log-log regression
+};
+
+/// Fit (D, p).  Requires >= 2 observations at distinct feature sizes
+/// with yields strictly inside (0, 1); throws std::invalid_argument
+/// otherwise.
+[[nodiscard]] scaled_model_fit fit_scaled_poisson(
+    const std::vector<yield_observation>& observations);
+
+}  // namespace silicon::yield

@@ -1,0 +1,68 @@
+#include "yield/memory_design.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace silicon::yield {
+
+redundancy_choice optimize_redundancy(const memory_design& design,
+                                      double defects_per_cm2,
+                                      int max_spares) {
+    if (!(design.base_array_area.value() > 0.0)) {
+        throw std::invalid_argument(
+            "optimize_redundancy: array area must be positive");
+    }
+    if (!(design.area_per_spare_fraction >= 0.0)) {
+        throw std::invalid_argument(
+            "optimize_redundancy: spare area fraction must be >= 0");
+    }
+    if (!(defects_per_cm2 >= 0.0)) {
+        throw std::invalid_argument(
+            "optimize_redundancy: defect density must be >= 0");
+    }
+    if (max_spares < 0) {
+        throw std::invalid_argument(
+            "optimize_redundancy: max spares must be >= 0");
+    }
+
+    redundancy_choice choice;
+    choice.best.area_per_good_die_cm2 =
+        std::numeric_limits<double>::max();
+    for (int spares = 0; spares <= max_spares; ++spares) {
+        const double array_cm2 =
+            design.base_array_area.value() *
+            (1.0 + design.area_per_spare_fraction * spares);
+        const redundant_memory_model model{
+            square_centimeters{array_cm2}, design.periphery_area, spares};
+
+        redundancy_point point;
+        point.spares = spares;
+        point.total_area = square_centimeters{
+            array_cm2 + design.periphery_area.value()};
+        point.yield = model.yield(defects_per_cm2);
+        if (point.yield.value() <= 0.0) {
+            continue;  // hopeless configuration; skip
+        }
+        point.area_per_good_die_cm2 =
+            point.total_area.value() / point.yield.value();
+        choice.sweep.push_back(point);
+        if (point.area_per_good_die_cm2 <
+            choice.best.area_per_good_die_cm2) {
+            choice.best = point;
+        }
+        if (spares == 0) {
+            choice.none = point;
+        }
+    }
+    if (choice.sweep.empty()) {
+        throw std::domain_error(
+            "optimize_redundancy: every configuration yielded zero");
+    }
+    if (choice.none.area_per_good_die_cm2 > 0.0) {
+        choice.improvement = 1.0 - choice.best.area_per_good_die_cm2 /
+                                       choice.none.area_per_good_die_cm2;
+    }
+    return choice;
+}
+
+}  // namespace silicon::yield

@@ -1,0 +1,53 @@
+// memory_design.hpp — choosing the redundancy level of a memory.
+//
+// Assumption S.1.2 speaks of "appropriately designed redundant
+// components": spares are not free (each spare row/column adds cell
+// area), so there is an optimal spare count — too few and yield
+// collapses, too many and every good die carries dead silicon.  This
+// optimizer sweeps the spare count and minimizes the *cost per good die*
+// proxy: effective area per good die = total area / yield.
+//
+// The paper's broader point falls out of the same computation: the
+// optimal redundancy level rises with defect density and die size, which
+// is why big commodity memories invest heavily in spares while logic
+// (which cannot use them) is stuck with raw Poisson yield.
+
+#pragma once
+
+#include "yield/redundancy.hpp"
+
+#include <vector>
+
+namespace silicon::yield {
+
+/// Memory design parameters.
+struct memory_design {
+    square_centimeters base_array_area{1.0};  ///< array without spares
+    square_centimeters periphery_area{0.2};   ///< non-repairable logic
+    double area_per_spare_fraction = 0.005;   ///< array area added per
+                                              ///< spare (row or column)
+};
+
+/// One point of the spare sweep.
+struct redundancy_point {
+    int spares = 0;
+    square_centimeters total_area{0.0};
+    probability yield{0.0};
+    double area_per_good_die_cm2 = 0.0;  ///< total / yield: cost proxy
+};
+
+/// Sweep result.
+struct redundancy_choice {
+    std::vector<redundancy_point> sweep;
+    redundancy_point best;   ///< minimum area per good die
+    redundancy_point none;   ///< zero-spare baseline
+    double improvement = 0.0;///< 1 - best/none (fraction saved)
+};
+
+/// Sweep spares 0..max_spares at the given defect density and pick the
+/// cost-optimal count.  Throws std::invalid_argument on bad inputs.
+[[nodiscard]] redundancy_choice optimize_redundancy(
+    const memory_design& design, double defects_per_cm2,
+    int max_spares = 64);
+
+}  // namespace silicon::yield

@@ -1,0 +1,90 @@
+#include "yield/models.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::yield {
+
+namespace {
+
+void require_nonnegative(double expected_faults) {
+    if (!(expected_faults >= 0.0)) {
+        throw std::invalid_argument(
+            "yield_model: expected fault count must be >= 0");
+    }
+}
+
+}  // namespace
+
+probability poisson_model::yield(double expected_faults) const {
+    require_nonnegative(expected_faults);
+    return probability{std::exp(-expected_faults)};
+}
+
+probability murphy_model::yield(double expected_faults) const {
+    require_nonnegative(expected_faults);
+    if (expected_faults < 1e-9) {
+        // (1 - e^-l)/l -> 1 - l/2 as l -> 0; squaring keeps full precision.
+        const double lin = 1.0 - 0.5 * expected_faults;
+        return probability{lin * lin};
+    }
+    const double t = (1.0 - std::exp(-expected_faults)) / expected_faults;
+    return probability{t * t};
+}
+
+probability seeds_model::yield(double expected_faults) const {
+    require_nonnegative(expected_faults);
+    return probability{1.0 / (1.0 + expected_faults)};
+}
+
+bose_einstein_model::bose_einstein_model(int critical_steps)
+    : steps_{critical_steps} {
+    if (critical_steps < 1) {
+        throw std::invalid_argument(
+            "bose_einstein_model: critical step count must be >= 1");
+    }
+}
+
+probability bose_einstein_model::yield(double expected_faults) const {
+    require_nonnegative(expected_faults);
+    const double per_step =
+        expected_faults / static_cast<double>(steps_);
+    return probability{
+        std::pow(1.0 + per_step, -static_cast<double>(steps_))};
+}
+
+std::string bose_einstein_model::name() const {
+    return "bose_einstein(n=" + std::to_string(steps_) + ")";
+}
+
+negative_binomial_model::negative_binomial_model(double alpha)
+    : alpha_{alpha} {
+    if (!(alpha > 0.0)) {
+        throw std::invalid_argument(
+            "negative_binomial_model: alpha must be positive");
+    }
+}
+
+probability negative_binomial_model::yield(double expected_faults) const {
+    require_nonnegative(expected_faults);
+    return probability{std::pow(1.0 + expected_faults / alpha_, -alpha_)};
+}
+
+std::string negative_binomial_model::name() const {
+    return "neg_binomial(alpha=" + std::to_string(alpha_) + ")";
+}
+
+std::vector<std::unique_ptr<yield_model>> standard_model_family(
+    int bose_einstein_steps, double clustering_alpha) {
+    std::vector<std::unique_ptr<yield_model>> family;
+    family.push_back(std::make_unique<poisson_model>());
+    family.push_back(std::make_unique<murphy_model>());
+    family.push_back(std::make_unique<seeds_model>());
+    family.push_back(std::make_unique<bose_einstein_model>(
+        bose_einstein_steps));
+    family.push_back(std::make_unique<negative_binomial_model>(
+        clustering_alpha));
+    return family;
+}
+
+}  // namespace silicon::yield

@@ -1,0 +1,108 @@
+// models.hpp — classic functional-yield models.
+//
+// All of these map the expected fault count lambda0 = A_ch * D_0 (die area
+// times effective defect density) to a yield.  They differ in the assumed
+// spatial distribution of defect density across wafers and lots:
+//
+//   poisson        Y = exp(-l)                    (uniform density; Eq. 6)
+//   murphy         Y = ((1 - exp(-l)) / l)^2      (triangular density mix)
+//   seeds          Y = 1 / (1 + l)                (exponential density mix)
+//   bose_einstein  Y = 1 / (1 + l/n)^n            (n critical process steps)
+//   neg_binomial   Y = (1 + l/alpha)^-alpha       (gamma mix, clustering)
+//
+// The negative binomial model degenerates to Poisson as alpha -> inf and to
+// Seeds at alpha = 1, which the tests exploit as properties.
+//
+// The polymorphic interface exists because the comparison across models *is*
+// one of the reproduction ablations (bench_ablate_yield); most library code
+// uses the concrete classes directly.
+
+#pragma once
+
+#include "core/units.hpp"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace silicon::yield {
+
+/// Abstract yield model over the expected fault count per die.
+class yield_model {
+public:
+    virtual ~yield_model() = default;
+
+    /// Yield for an expected fault count lambda0 >= 0.
+    [[nodiscard]] virtual probability yield(double expected_faults) const = 0;
+
+    /// Short identifier for tables and benches.
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    /// Convenience: yield for die area * defect density.
+    [[nodiscard]] probability yield(square_centimeters area,
+                                    double defects_per_cm2) const {
+        return yield(area.value() * defects_per_cm2);
+    }
+};
+
+/// Eq. (6): Y = exp(-A D0).
+class poisson_model final : public yield_model {
+public:
+    using yield_model::yield;
+    [[nodiscard]] probability yield(double expected_faults) const override;
+    [[nodiscard]] std::string name() const override { return "poisson"; }
+};
+
+/// Murphy's bell-shaped (double triangular) compounding.
+class murphy_model final : public yield_model {
+public:
+    using yield_model::yield;
+    [[nodiscard]] probability yield(double expected_faults) const override;
+    [[nodiscard]] std::string name() const override { return "murphy"; }
+};
+
+/// Seeds' exponential compounding: optimistic for large dies.
+class seeds_model final : public yield_model {
+public:
+    using yield_model::yield;
+    [[nodiscard]] probability yield(double expected_faults) const override;
+    [[nodiscard]] std::string name() const override { return "seeds"; }
+};
+
+/// Bose-Einstein: n identically critical process steps.
+class bose_einstein_model final : public yield_model {
+public:
+    /// @param critical_steps number of critical layers n >= 1.
+    explicit bose_einstein_model(int critical_steps);
+
+    using yield_model::yield;
+    [[nodiscard]] probability yield(double expected_faults) const override;
+    [[nodiscard]] std::string name() const override;
+
+    [[nodiscard]] int critical_steps() const noexcept { return steps_; }
+
+private:
+    int steps_;
+};
+
+/// Negative binomial with clustering parameter alpha > 0.
+class negative_binomial_model final : public yield_model {
+public:
+    explicit negative_binomial_model(double alpha);
+
+    using yield_model::yield;
+    [[nodiscard]] probability yield(double expected_faults) const override;
+    [[nodiscard]] std::string name() const override;
+
+    [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+private:
+    double alpha_;
+};
+
+/// The model family used by the ablation bench, in canonical order.
+[[nodiscard]] std::vector<std::unique_ptr<yield_model>>
+standard_model_family(int bose_einstein_steps = 10,
+                      double clustering_alpha = 2.0);
+
+}  // namespace silicon::yield

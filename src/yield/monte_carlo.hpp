@@ -1,0 +1,68 @@
+// monte_carlo.hpp — Monte-Carlo defect-injection yield simulation.
+//
+// Validates the analytical critical-area / Eq. (7) chain end-to-end:
+// defects are thrown onto the wire-array layout with Poisson-distributed
+// counts, uniform positions and Fig. 5-distributed sizes, each defect is
+// classified geometrically as benign / short / open, and the surviving die
+// fraction estimates the yield.  Agreement with the closed form (within
+// binomial error) is asserted by tests and reported by
+// bench_ablate_mc_yield.
+//
+// The simulator alternates extra-material and missing-material defect
+// populations with a configurable split (real lines see both kinds).
+
+#pragma once
+
+#include "yield/critical_area.hpp"
+#include "yield/defect.hpp"
+
+#include <cstdint>
+
+namespace silicon::yield {
+
+/// Outcome of a Monte-Carlo yield run.
+struct monte_carlo_result {
+    std::size_t dies = 0;          ///< simulated dies
+    std::size_t good_dies = 0;     ///< dies with no fault
+    std::size_t defects_thrown = 0;///< total defects generated
+    std::size_t shorts = 0;        ///< defects classified as shorts
+    std::size_t opens = 0;         ///< defects classified as opens
+    double yield = 0.0;            ///< good_dies / dies
+    double std_error = 0.0;        ///< binomial standard error of `yield`
+
+    /// Expected faults per die implied by the observed fault count.
+    [[nodiscard]] double observed_faults_per_die() const {
+        return dies == 0 ? 0.0
+                         : static_cast<double>(shorts + opens) /
+                               static_cast<double>(dies);
+    }
+};
+
+/// Simulation parameters.
+struct monte_carlo_config {
+    std::size_t dies = 10000;            ///< number of dies to simulate
+    double defects_per_um2 = 0.0;        ///< all-size defect density
+    double extra_material_fraction = 0.5;///< share of defects that are
+                                         ///< extra-material (short-causing)
+    std::uint64_t seed = 0x5eedu;        ///< RNG seed
+};
+
+/// Classify a single defect: does a disc of the given diameter centered at
+/// (x, y) — coordinates in microns, origin at the layout's lower-left
+/// corner, wires running along +x — cause the given fault kind?
+/// Exposed for direct testing of the geometry predicate.
+[[nodiscard]] bool defect_causes_fault(const wire_array_layout& layout,
+                                       fault_kind kind, double x, double y,
+                                       double diameter);
+
+/// Run the simulation.  Throws std::invalid_argument on a non-positive die
+/// count, negative density, or a material fraction outside [0, 1].
+[[nodiscard]] monte_carlo_result simulate_layout_yield(
+    const wire_array_layout& layout, const defect_size_distribution& sizes,
+    const monte_carlo_config& config);
+
+/// Draw from Poisson(mean) using the given generator.  Deterministic,
+/// exact (Knuth with recursive halving for large means).
+[[nodiscard]] std::size_t poisson_sample(double mean, splitmix64& rng);
+
+}  // namespace silicon::yield

@@ -1,0 +1,60 @@
+#include "yield/parametric.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::yield {
+
+double standard_normal_cdf(double z) {
+    return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+probability parameter_spec::pass_probability() const {
+    if (!(sigma > 0.0)) {
+        throw std::invalid_argument(
+            "parameter_spec: sigma must be positive");
+    }
+    const double hi = standard_normal_cdf((upper - mean) / sigma);
+    const double lo = standard_normal_cdf((lower - mean) / sigma);
+    return probability::clamped(hi - lo);
+}
+
+double parameter_spec::cpk() const {
+    if (!(sigma > 0.0)) {
+        throw std::invalid_argument(
+            "parameter_spec: sigma must be positive");
+    }
+    return std::min(upper - mean, mean - lower) / (3.0 * sigma);
+}
+
+void parametric_yield_model::add_parameter(parameter_spec spec) {
+    if (!(spec.sigma > 0.0)) {
+        throw std::invalid_argument(
+            "parametric_yield_model: sigma must be positive");
+    }
+    if (!(spec.lower < spec.upper)) {
+        throw std::invalid_argument(
+            "parametric_yield_model: spec window is empty");
+    }
+    parameters_.push_back(std::move(spec));
+}
+
+probability parametric_yield_model::yield() const {
+    probability y{1.0};
+    for (const parameter_spec& spec : parameters_) {
+        y = y * spec.pass_probability();
+    }
+    return y;
+}
+
+const parameter_spec* parametric_yield_model::dominant_loss() const {
+    const auto worst = std::min_element(
+        parameters_.begin(), parameters_.end(),
+        [](const parameter_spec& a, const parameter_spec& b) {
+            return a.pass_probability() < b.pass_probability();
+        });
+    return worst == parameters_.end() ? nullptr : &*worst;
+}
+
+}  // namespace silicon::yield

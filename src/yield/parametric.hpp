@@ -1,0 +1,72 @@
+// parametric.hpp — parametric yield (Y_par) from global process spread.
+//
+// Section III.C: total yield factors as Y = Y_fnc * Y_par, where Y_par
+// captures dies that function but miss their performance window (delay,
+// power) because of "global process disturbances".  The standard model
+// treats each electrical parameter as Gaussian across the wafer population
+// with a two-sided spec window; independent parameters multiply.
+//
+// This module supplies that model plus the composition helper, so the core
+// cost model can be driven with either the paper's pure-functional
+// assumption (Y_par = 1) or a full composite yield.
+
+#pragma once
+
+#include "core/units.hpp"
+
+#include <string>
+#include <vector>
+
+namespace silicon::yield {
+
+/// Standard normal CDF.
+[[nodiscard]] double standard_normal_cdf(double z);
+
+/// One monitored electrical parameter with a Gaussian population and a
+/// spec window.  An unbounded side is expressed with infinity.
+struct parameter_spec {
+    std::string name;       ///< e.g. "ring oscillator delay"
+    double mean = 0.0;      ///< population mean
+    double sigma = 1.0;     ///< population standard deviation (> 0)
+    double lower = -1e300;  ///< lower spec limit
+    double upper = 1e300;   ///< upper spec limit
+
+    /// Probability that a die's parameter lands inside the window.
+    [[nodiscard]] probability pass_probability() const;
+
+    /// Process capability index Cpk = min(USL-mu, mu-LSL) / (3 sigma).
+    [[nodiscard]] double cpk() const;
+};
+
+/// Independent-parameter parametric yield model.
+class parametric_yield_model {
+public:
+    parametric_yield_model() = default;
+
+    /// Add a parameter; throws std::invalid_argument on sigma <= 0 or an
+    /// empty spec window (lower >= upper).
+    void add_parameter(parameter_spec spec);
+
+    [[nodiscard]] const std::vector<parameter_spec>& parameters()
+        const noexcept {
+        return parameters_;
+    }
+
+    /// Product of the per-parameter pass probabilities.
+    [[nodiscard]] probability yield() const;
+
+    /// The single worst (lowest pass probability) parameter, or nullptr
+    /// when the model is empty.  Useful for "which spec dominates loss".
+    [[nodiscard]] const parameter_spec* dominant_loss() const;
+
+private:
+    std::vector<parameter_spec> parameters_;
+};
+
+/// Y = Y_fnc * Y_par (Sec. III.C).
+[[nodiscard]] inline probability composite_yield(probability functional,
+                                                 probability parametric) {
+    return functional * parametric;
+}
+
+}  // namespace silicon::yield

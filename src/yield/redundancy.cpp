@@ -1,0 +1,73 @@
+#include "yield/redundancy.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::yield {
+
+double poisson_cdf(int k, double mu) {
+    if (!(mu >= 0.0)) {
+        throw std::invalid_argument("poisson_cdf: mean must be >= 0");
+    }
+    if (k < 0) {
+        return 0.0;
+    }
+    // Work with per-term logarithms: exp(-mu) underflows for mu > ~700,
+    // but the terms near i = mu are O(1/sqrt(mu)) and must survive.
+    double log_term = -mu;  // ln P(N = 0)
+    double sum = std::exp(log_term);
+    for (int i = 1; i <= k; ++i) {
+        log_term += std::log(mu / static_cast<double>(i));
+        sum += std::exp(log_term);
+    }
+    return sum > 1.0 ? 1.0 : sum;
+}
+
+redundant_memory_model::redundant_memory_model(
+    square_centimeters array_area, square_centimeters periphery_area,
+    int spares)
+    : array_area_{array_area}, periphery_area_{periphery_area},
+      spares_{spares} {
+    if (array_area.value() <= 0.0) {
+        throw std::invalid_argument(
+            "redundant_memory_model: array area must be positive");
+    }
+    if (spares < 0) {
+        throw std::invalid_argument(
+            "redundant_memory_model: spare count must be >= 0");
+    }
+}
+
+probability redundant_memory_model::yield(double defects_per_cm2) const {
+    if (!(defects_per_cm2 >= 0.0)) {
+        throw std::invalid_argument(
+            "redundant_memory_model: defect density must be >= 0");
+    }
+    const double mu_array = array_area_.value() * defects_per_cm2;
+    const double mu_periph = periphery_area_.value() * defects_per_cm2;
+    const double repairable = poisson_cdf(spares_, mu_array);
+    return probability::clamped(repairable * std::exp(-mu_periph));
+}
+
+probability redundant_memory_model::yield_without_repair(
+    double defects_per_cm2) const {
+    if (!(defects_per_cm2 >= 0.0)) {
+        throw std::invalid_argument(
+            "redundant_memory_model: defect density must be >= 0");
+    }
+    const double mu =
+        (array_area_.value() + periphery_area_.value()) * defects_per_cm2;
+    return probability{std::exp(-mu)};
+}
+
+double redundant_memory_model::repair_gain(double defects_per_cm2) const {
+    const double base = yield_without_repair(defects_per_cm2).value();
+    if (base == 0.0) {
+        throw std::domain_error(
+            "redundant_memory_model: unrepaired yield underflowed to zero; "
+            "gain is unbounded");
+    }
+    return yield(defects_per_cm2).value() / base;
+}
+
+}  // namespace silicon::yield

@@ -1,0 +1,63 @@
+// redundancy.hpp — yield of memories with repairable redundancy.
+//
+// Assumption S.1.2 of the paper rests on DRAMs shipping with "appropriately
+// designed redundant components": spare rows and columns let a die with a
+// few spot defects be laser-repaired to full function, which is why memory
+// yield (and hence memory transistor cost, Table 3 rows 11-14) is so much
+// better than logic yield.  Section IV.A's criticism S.1.2 notes that
+// *only* memories enjoy this benefit.
+//
+// Model: the cell array accumulates faults as a Poisson process; a die is
+// shippable when the fault count does not exceed the number of repairs the
+// spare set can absorb (each fault consumes one spare row or column — the
+// standard single-fault-per-spare first-order model).  Peripheral logic
+// (decoders, sense amps, pads) has no redundancy and multiplies in as a
+// plain Poisson yield.
+
+#pragma once
+
+#include "core/units.hpp"
+
+namespace silicon::yield {
+
+/// Poisson CDF P(N <= k) for mean mu — exposed because several modules
+/// (redundancy, test economics) need it and the standard library has none.
+[[nodiscard]] double poisson_cdf(int k, double mu);
+
+/// Memory die with repairable array and unprotected periphery.
+class redundant_memory_model {
+public:
+    /// @param array_area      cell array area (repairable)
+    /// @param periphery_area  support logic area (not repairable)
+    /// @param spares          number of faults the spare rows+columns can
+    ///                        absorb; 0 means no redundancy.
+    redundant_memory_model(square_centimeters array_area,
+                           square_centimeters periphery_area, int spares);
+
+    [[nodiscard]] square_centimeters array_area() const noexcept {
+        return array_area_;
+    }
+    [[nodiscard]] square_centimeters periphery_area() const noexcept {
+        return periphery_area_;
+    }
+    [[nodiscard]] int spares() const noexcept { return spares_; }
+
+    /// Yield at the given defect density (defects/cm^2):
+    ///   P(array faults <= spares) * exp(-periphery_area * D).
+    [[nodiscard]] probability yield(double defects_per_cm2) const;
+
+    /// Yield of the identical die with redundancy ignored (all faults
+    /// fatal) — the comparison that quantifies the redundancy benefit.
+    [[nodiscard]] probability yield_without_repair(
+        double defects_per_cm2) const;
+
+    /// Multiplicative yield benefit of the spares at this density.
+    [[nodiscard]] double repair_gain(double defects_per_cm2) const;
+
+private:
+    square_centimeters array_area_;
+    square_centimeters periphery_area_;
+    int spares_;
+};
+
+}  // namespace silicon::yield

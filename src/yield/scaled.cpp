@@ -1,0 +1,89 @@
+#include "yield/scaled.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::yield {
+
+scaled_poisson_model::scaled_poisson_model(double d, double p)
+    : d_{d}, p_{p} {
+    if (!(d >= 0.0)) {
+        throw std::invalid_argument("scaled_poisson_model: D must be >= 0");
+    }
+    if (!(p > 2.0)) {
+        throw std::invalid_argument(
+            "scaled_poisson_model: p must exceed 2 (paper range 4-5)");
+    }
+}
+
+double scaled_poisson_model::effective_defect_density(microns lambda) const {
+    if (lambda.value() <= 0.0) {
+        throw std::invalid_argument(
+            "scaled_poisson_model: lambda must be positive");
+    }
+    return d_ / std::pow(lambda.value(), p_);
+}
+
+probability scaled_poisson_model::yield(square_centimeters die_area,
+                                        microns lambda) const {
+    const double expected_faults =
+        die_area.value() * effective_defect_density(lambda);
+    return probability{std::exp(-expected_faults)};
+}
+
+probability scaled_poisson_model::yield_for_transistors(
+    double n_tr, double design_density, microns lambda) const {
+    if (!(n_tr >= 0.0) || !(design_density > 0.0)) {
+        throw std::invalid_argument(
+            "scaled_poisson_model: transistor count must be >= 0 and design "
+            "density positive");
+    }
+    // Die area in cm^2: n_tr * d_d * lambda^2 [um^2] * 1e-8 [cm^2/um^2].
+    const double area_cm2 =
+        n_tr * design_density * lambda.value() * lambda.value() * 1e-8;
+    return yield(square_centimeters{area_cm2}, lambda);
+}
+
+double scaled_poisson_model::required_d(probability target,
+                                        square_centimeters die_area,
+                                        microns lambda, double p) {
+    if (target.value() <= 0.0) {
+        throw std::domain_error(
+            "scaled_poisson_model: cannot hit a zero yield target with "
+            "finite defect density");
+    }
+    if (die_area.value() <= 0.0 || lambda.value() <= 0.0) {
+        throw std::invalid_argument(
+            "scaled_poisson_model: area and lambda must be positive");
+    }
+    // exp(-A * D / lambda^p) = Y  =>  D = -ln(Y) lambda^p / A.
+    return -std::log(target.value()) * std::pow(lambda.value(), p) /
+           die_area.value();
+}
+
+reference_die_yield::reference_die_yield(probability y0, square_centimeters a0)
+    : y0_{y0}, a0_{a0} {
+    if (y0.value() <= 0.0) {
+        throw std::invalid_argument(
+            "reference_die_yield: Y_0 must be positive");
+    }
+    if (a0.value() <= 0.0) {
+        throw std::invalid_argument(
+            "reference_die_yield: A_0 must be positive");
+    }
+}
+
+probability reference_die_yield::yield(square_centimeters die_area) const {
+    if (die_area.value() < 0.0) {
+        throw std::invalid_argument(
+            "reference_die_yield: die area must be >= 0");
+    }
+    return probability{
+        std::pow(y0_.value(), die_area.value() / a0_.value())};
+}
+
+double reference_die_yield::equivalent_defect_density() const {
+    return -std::log(y0_.value()) / a0_.value();
+}
+
+}  // namespace silicon::yield

@@ -1,0 +1,93 @@
+// scaled.hpp — the paper's feature-size-scaled yield models.
+//
+// Two concrete models built on the Poisson form of Eq. (6):
+//
+// 1. scaled_poisson_model — Eq. (7).  The defect density that matters grows
+//    as the feature size shrinks because an ever larger share of the defect
+//    size distribution (Fig. 5, 1/R^p tail) becomes fault-causing:
+//
+//        D_eff(lambda) = D / lambda^p        [defects / cm^2, lambda in um]
+//        Y = exp(-A_ch * D_eff(lambda))
+//          = exp(-N_tr * d_d * D * 1e-8 / lambda^(p-2))
+//
+//    The 1e-8 converts the die area N_tr*d_d*lambda^2 from um^2 to cm^2 so
+//    that D keeps its defects/cm^2 meaning (the printed equation leaves the
+//    unit conversion implicit).  Fig. 8 calibration: D = 1.72, p = 4.07.
+//
+// 2. reference_die_yield — assumption S.2.3 / Eq. (9): a yield Y_0 is known
+//    for a reference die of area A_0 (1 cm^2 in the paper) and scales as
+//    Y = Y_0^(A/A_0).  This is exactly a Poisson model with
+//    D_0 = -ln(Y_0)/A_0, and Table 3 is computed with it.
+
+#pragma once
+
+#include "core/units.hpp"
+
+namespace silicon::yield {
+
+/// Eq. (7): lambda-scaled Poisson functional yield.
+class scaled_poisson_model {
+public:
+    /// @param d defect characterization parameter D (defects per cm^2 for a
+    ///          1 um process); must be >= 0.
+    /// @param p defect size distribution tail exponent; must be > 2 so the
+    ///          exponent lambda^(p-2) scales the right way.
+    scaled_poisson_model(double d, double p);
+
+    [[nodiscard]] double d() const noexcept { return d_; }
+    [[nodiscard]] double p() const noexcept { return p_; }
+
+    /// Effective fault-causing defect density D / lambda^p in defects/cm^2.
+    [[nodiscard]] double effective_defect_density(microns lambda) const;
+
+    /// Yield of a die of the given area built at feature size lambda.
+    [[nodiscard]] probability yield(square_centimeters die_area,
+                                    microns lambda) const;
+
+    /// Yield in the paper's native variables: transistor count and design
+    /// density (die area = n_tr * d_d * lambda^2).
+    [[nodiscard]] probability yield_for_transistors(double n_tr,
+                                                    double design_density,
+                                                    microns lambda) const;
+
+    /// The defect density D required (at this p) so that a die of
+    /// `die_area` at `lambda` yields `target`.  Used by the Fig. 4
+    /// reproduction (required defect density per technology generation).
+    [[nodiscard]] static double required_d(probability target,
+                                           square_centimeters die_area,
+                                           microns lambda, double p);
+
+    /// The Fig. 8 calibration from a real manufacturing line [26].
+    [[nodiscard]] static scaled_poisson_model fig8_calibration() {
+        return scaled_poisson_model{1.72, 4.07};
+    }
+
+private:
+    double d_;
+    double p_;
+};
+
+/// Assumption S.2.3: yield referenced to a known (Y_0, A_0) pair,
+/// Y(A) = Y_0^(A/A_0).  Equivalent to Poisson with D_0 = -ln(Y_0)/A_0.
+class reference_die_yield {
+public:
+    /// @param y0 yield of the reference die; must be in (0, 1].
+    /// @param a0 reference die area; must be positive (paper: 1 cm^2).
+    explicit reference_die_yield(
+        probability y0, square_centimeters a0 = square_centimeters{1.0});
+
+    [[nodiscard]] probability y0() const noexcept { return y0_; }
+    [[nodiscard]] square_centimeters a0() const noexcept { return a0_; }
+
+    /// Y = Y_0^(A/A_0).
+    [[nodiscard]] probability yield(square_centimeters die_area) const;
+
+    /// The equivalent Poisson defect density -ln(Y_0)/A_0 in defects/cm^2.
+    [[nodiscard]] double equivalent_defect_density() const;
+
+private:
+    probability y0_;
+    square_centimeters a0_;
+};
+
+}  // namespace silicon::yield

@@ -1,0 +1,127 @@
+#include "yield/spatial.hpp"
+
+#include "geometry/gross_die.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::yield {
+
+double radial_defect_profile::density_at(centimeters r,
+                                         centimeters rw) const {
+    if (!(rw.value() > 0.0)) {
+        throw std::invalid_argument(
+            "radial_defect_profile: wafer radius must be positive");
+    }
+    if (!(center_density >= 0.0) || !(edge_severity >= 0.0) ||
+        !(exponent >= 1.0)) {
+        throw std::invalid_argument(
+            "radial_defect_profile: invalid profile parameters");
+    }
+    const double normalized = r.value() / rw.value();
+    return center_density *
+           (1.0 + edge_severity * std::pow(normalized, exponent));
+}
+
+spatial_yield_result evaluate_spatial_yield(
+    const geometry::wafer& w, const geometry::die& d,
+    const radial_defect_profile& profile) {
+    const geometry::placement_result placement = geometry::exact_count(w, d);
+    if (placement.count <= 0) {
+        throw std::invalid_argument(
+            "evaluate_spatial_yield: the die does not fit on the wafer");
+    }
+
+    const double r = w.usable_radius().to_millimeters().value();
+    const double a = d.width().value();
+    const double b = d.height().value();
+    const double r2 = r * r;
+    const double die_cm2 = d.area().to_square_centimeters().value();
+    const auto fits = [&](double x, double y) {
+        const auto in = [&](double px, double py) {
+            return px * px + py * py <= r2;
+        };
+        return in(x, y) && in(x + a, y) && in(x, y + b) && in(x + a, y + b);
+    };
+
+    spatial_yield_result result;
+    const long half_cols = static_cast<long>(std::ceil(r / a)) + 1;
+    const long half_rows = static_cast<long>(std::ceil(r / b)) + 1;
+    double best = 0.0;
+    double worst = 1.0;
+    for (long j = -half_rows; j <= half_rows; ++j) {
+        for (long i = -half_cols; i <= half_cols; ++i) {
+            const double x =
+                placement.offset_x + static_cast<double>(i) * a;
+            const double y =
+                placement.offset_y + static_cast<double>(j) * b;
+            if (!fits(x, y)) {
+                continue;
+            }
+            positioned_die_yield die;
+            die.center_x_mm = x + 0.5 * a;
+            die.center_y_mm = y + 0.5 * b;
+            die.radius_mm =
+                std::hypot(die.center_x_mm, die.center_y_mm);
+            const double density = profile.density_at(
+                centimeters{die.radius_mm / 10.0}, w.radius());
+            die.yield = probability{std::exp(-die_cm2 * density)};
+            best = std::max(best, die.yield.value());
+            worst = std::min(worst, die.yield.value());
+            result.expected_good_dies += die.yield.value();
+            result.dies.push_back(die);
+        }
+    }
+    result.gross_dies = static_cast<long>(result.dies.size());
+    result.average_yield =
+        result.expected_good_dies / static_cast<double>(result.gross_dies);
+    result.center_yield = best;
+    result.edge_yield = worst;
+    return result;
+}
+
+edge_exclusion_choice choose_edge_exclusion(
+    const geometry::wafer& w, const geometry::die& d,
+    const radial_defect_profile& profile, double bad_die_penalty,
+    centimeters max_exclusion, int steps) {
+    if (steps < 2) {
+        throw std::invalid_argument(
+            "choose_edge_exclusion: need at least 2 steps");
+    }
+    if (!(bad_die_penalty >= 0.0)) {
+        throw std::invalid_argument(
+            "choose_edge_exclusion: penalty must be >= 0");
+    }
+    if (!(max_exclusion.value() < w.radius().value())) {
+        throw std::invalid_argument(
+            "choose_edge_exclusion: exclusion must stay below the "
+            "radius");
+    }
+
+    edge_exclusion_choice choice;
+    choice.best_objective = -1e300;
+    for (int s = 0; s < steps; ++s) {
+        const double exclusion =
+            max_exclusion.value() * static_cast<double>(s) /
+            static_cast<double>(steps - 1);
+        const geometry::wafer trimmed{w.radius(), centimeters{exclusion}};
+        double objective;
+        try {
+            const spatial_yield_result r =
+                evaluate_spatial_yield(trimmed, d, profile);
+            const double bad =
+                static_cast<double>(r.gross_dies) - r.expected_good_dies;
+            objective = r.expected_good_dies - bad_die_penalty * bad;
+        } catch (const std::invalid_argument&) {
+            objective = 0.0;  // nothing fits at this exclusion
+        }
+        choice.sweep.emplace_back(exclusion, objective);
+        if (objective > choice.best_objective) {
+            choice.best_objective = objective;
+            choice.best_exclusion = centimeters{exclusion};
+        }
+    }
+    return choice;
+}
+
+}  // namespace silicon::yield

@@ -1,0 +1,77 @@
+// spatial.hpp — within-wafer radial yield variation and edge exclusion.
+//
+// Real wafers yield worse near the rim (process uniformity, handling
+// damage — the Sec. III.A.c "process uniformity and stability issues"
+// that make larger wafers hard).  This module models a radial defect
+// density profile
+//
+//     D(r) = D_center * (1 + k * (r / R_w)^m)
+//
+// (k >= 0 the edge severity, m >= 1 the profile sharpness), evaluates
+// per-die yields by die position, aggregates the wafer-average yield over
+// an exact placement, and answers the design question the profile poses:
+// what edge exclusion maximizes *good dies* per wafer — placing dies on
+// the rim costs processing money for dies that mostly die.
+
+#pragma once
+
+#include "core/units.hpp"
+#include "geometry/die.hpp"
+#include "geometry/wafer.hpp"
+
+#include <vector>
+
+namespace silicon::yield {
+
+/// Radial defect density profile.
+struct radial_defect_profile {
+    double center_density = 0.5;  ///< D at wafer center [1/cm^2]
+    double edge_severity = 2.0;   ///< k: D(edge)/D(center) - 1
+    double exponent = 4.0;        ///< m: how sharply the rim degrades
+
+    /// Density at radial position r on a wafer of radius rw.
+    [[nodiscard]] double density_at(centimeters r, centimeters rw) const;
+};
+
+/// One placed die with its position-dependent yield.
+struct positioned_die_yield {
+    double center_x_mm = 0.0;   ///< die center, mm from wafer center
+    double center_y_mm = 0.0;
+    double radius_mm = 0.0;     ///< die-center radial position
+    probability yield{0.0};
+};
+
+/// Wafer-level aggregation.
+struct spatial_yield_result {
+    std::vector<positioned_die_yield> dies;
+    long gross_dies = 0;
+    double expected_good_dies = 0.0;
+    double average_yield = 0.0;     ///< expected_good / gross
+    double center_yield = 0.0;      ///< best die
+    double edge_yield = 0.0;        ///< worst die
+};
+
+/// Evaluate per-die Poisson yields under the profile for the exact
+/// placement of `d` on `w`.  Throws std::invalid_argument when no die
+/// fits or the profile is invalid.
+[[nodiscard]] spatial_yield_result evaluate_spatial_yield(
+    const geometry::wafer& w, const geometry::die& d,
+    const radial_defect_profile& profile);
+
+/// Expected *good dies per wafer* as a function of edge exclusion, and
+/// the exclusion (searched over [0, max_exclusion], `steps` samples)
+/// that maximizes good dies minus a per-die processing cost penalty for
+/// placing dies that will fail.  With zero penalty more dies is always
+/// weakly better; the penalty models probe-test time wasted on rim dies.
+struct edge_exclusion_choice {
+    centimeters best_exclusion{0.0};
+    double best_objective = 0.0;    ///< good dies - penalty * bad dies
+    std::vector<std::pair<double, double>> sweep;  ///< (exclusion cm, obj)
+};
+
+[[nodiscard]] edge_exclusion_choice choose_edge_exclusion(
+    const geometry::wafer& w, const geometry::die& d,
+    const radial_defect_profile& profile, double bad_die_penalty = 0.2,
+    centimeters max_exclusion = centimeters{1.5}, int steps = 16);
+
+}  // namespace silicon::yield

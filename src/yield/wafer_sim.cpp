@@ -1,0 +1,202 @@
+#include "yield/wafer_sim.hpp"
+
+#include "geometry/gross_die.hpp"
+#include "yield/monte_carlo.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::yield {
+
+double gamma_sample(double shape, splitmix64& rng) {
+    if (!(shape > 0.0)) {
+        throw std::invalid_argument("gamma_sample: shape must be positive");
+    }
+    if (shape < 1.0) {
+        // Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+        const double u = rng.next_double();
+        return gamma_sample(shape + 1.0, rng) *
+               std::pow(u > 0.0 ? u : 1e-300, 1.0 / shape);
+    }
+    // Marsaglia-Tsang squeeze method.
+    const double d = shape - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    for (;;) {
+        // Normal via Box-Muller on the deterministic stream.
+        const double u1 = rng.next_double();
+        const double u2 = rng.next_double();
+        const double r = std::sqrt(-2.0 * std::log(u1 > 0.0 ? u1 : 1e-300));
+        const double x = r * std::cos(2.0 * 3.14159265358979323846 * u2);
+        const double v_cubed = 1.0 + c * x;
+        if (v_cubed <= 0.0) {
+            continue;
+        }
+        const double v = v_cubed * v_cubed * v_cubed;
+        const double u = rng.next_double();
+        if (u < 1.0 - 0.0331 * x * x * x * x) {
+            return d * v;
+        }
+        if (std::log(u > 0.0 ? u : 1e-300) <
+            0.5 * x * x + d * (1.0 - v + std::log(v))) {
+            return d * v;
+        }
+    }
+}
+
+wafer_sim_result simulate_wafers(const geometry::wafer& w,
+                                 const geometry::die& d,
+                                 const wafer_sim_config& config) {
+    if (config.wafers == 0) {
+        throw std::invalid_argument("simulate_wafers: need wafers >= 1");
+    }
+    if (!(config.defects_per_cm2 >= 0.0)) {
+        throw std::invalid_argument(
+            "simulate_wafers: defect density must be >= 0");
+    }
+    if (!(config.fault_probability >= 0.0 &&
+          config.fault_probability <= 1.0)) {
+        throw std::invalid_argument(
+            "simulate_wafers: fault probability must be in [0,1]");
+    }
+    if (config.process == defect_process::clustered &&
+        !(config.cluster_alpha > 0.0)) {
+        throw std::invalid_argument(
+            "simulate_wafers: cluster alpha must be positive");
+    }
+
+    const geometry::placement_result placement = geometry::exact_count(w, d);
+    if (placement.count <= 0) {
+        throw std::invalid_argument(
+            "simulate_wafers: the die does not fit on the wafer");
+    }
+
+    // Reconstruct the die sites of the winning placement for mapping and
+    // defect-to-die assignment.
+    const double r = w.usable_radius().to_millimeters().value();
+    const double a = d.width().value();
+    const double b = d.height().value();
+    const double r2 = r * r;
+    const auto fits = [&](double x, double y) {
+        const auto in = [&](double px, double py) {
+            return px * px + py * py <= r2;
+        };
+        return in(x, y) && in(x + a, y) && in(x, y + b) && in(x + a, y + b);
+    };
+    struct site {
+        double x, y;   // lower-left corner, mm from wafer center
+        long col, row; // grid coordinates for the map
+    };
+    std::vector<site> sites;
+    const long half_cols = static_cast<long>(std::ceil(r / a)) + 1;
+    const long half_rows = static_cast<long>(std::ceil(r / b)) + 1;
+    for (long j = -half_rows; j <= half_rows; ++j) {
+        for (long i = -half_cols; i <= half_cols; ++i) {
+            const double x =
+                placement.offset_x + static_cast<double>(i) * a;
+            const double y =
+                placement.offset_y + static_cast<double>(j) * b;
+            if (fits(x, y)) {
+                sites.push_back({x, y, i, j});
+            }
+        }
+    }
+
+    // Defect count statistics over the *usable* wafer area.
+    const double area_cm2 = w.usable_area().value();
+    const double mean_defects = config.defects_per_cm2 * area_cm2;
+
+    splitmix64 rng{config.seed};
+    wafer_sim_result result;
+    result.wafers = config.wafers;
+    result.dies_per_wafer = static_cast<long>(sites.size());
+    result.wafer_yields.reserve(config.wafers);
+
+    std::vector<bool> die_good(sites.size(), true);
+    for (std::size_t wi = 0; wi < config.wafers; ++wi) {
+        // Per-wafer defect intensity.
+        double intensity = mean_defects;
+        if (config.process == defect_process::clustered) {
+            // Gamma(alpha, mean/alpha)-distributed density: compound
+            // Poisson-gamma = negative binomial marginal.
+            intensity = mean_defects / config.cluster_alpha *
+                        gamma_sample(config.cluster_alpha, rng);
+        }
+        const std::size_t defects = poisson_sample(intensity, rng);
+        result.total_defects += defects;
+
+        std::fill(die_good.begin(), die_good.end(), true);
+        for (std::size_t k = 0; k < defects; ++k) {
+            // Uniform position in the usable disc by rejection.
+            double px;
+            double py;
+            do {
+                px = (2.0 * rng.next_double() - 1.0) * r;
+                py = (2.0 * rng.next_double() - 1.0) * r;
+            } while (px * px + py * py > r2);
+            if (config.fault_probability < 1.0 &&
+                rng.next_double() >= config.fault_probability) {
+                continue;  // benign defect
+            }
+            // Which die site contains it?  Grid lookup via the offsets.
+            const long i = static_cast<long>(
+                std::floor((px - placement.offset_x) / a));
+            const long j = static_cast<long>(
+                std::floor((py - placement.offset_y) / b));
+            for (std::size_t s = 0; s < sites.size(); ++s) {
+                if (sites[s].col == i && sites[s].row == j) {
+                    die_good[s] = false;
+                    break;
+                }
+            }
+        }
+        std::size_t good = 0;
+        for (bool ok : die_good) {
+            good += ok ? 1u : 0u;
+        }
+        result.wafer_yields.push_back(static_cast<double>(good) /
+                                      static_cast<double>(sites.size()));
+
+        if (wi + 1 == config.wafers) {
+            // Render the last wafer's pass/fail map.
+            std::string map;
+            for (long j = half_rows; j >= -half_rows; --j) {
+                std::string line;
+                for (long i = -half_cols; i <= half_cols; ++i) {
+                    char ch = ' ';
+                    for (std::size_t s = 0; s < sites.size(); ++s) {
+                        if (sites[s].col == i && sites[s].row == j) {
+                            ch = die_good[s] ? '#' : 'x';
+                            break;
+                        }
+                    }
+                    line.push_back(ch);
+                }
+                while (!line.empty() && line.back() == ' ') {
+                    line.pop_back();
+                }
+                if (!line.empty()) {
+                    map += line;
+                    map.push_back('\n');
+                }
+            }
+            result.last_wafer_map = std::move(map);
+        }
+    }
+
+    double sum = 0.0;
+    for (double y : result.wafer_yields) {
+        sum += y;
+    }
+    result.mean_yield = sum / static_cast<double>(result.wafer_yields.size());
+    if (result.wafer_yields.size() > 1) {
+        double ss = 0.0;
+        for (double y : result.wafer_yields) {
+            ss += (y - result.mean_yield) * (y - result.mean_yield);
+        }
+        result.yield_stddev = std::sqrt(
+            ss / static_cast<double>(result.wafer_yields.size() - 1));
+    }
+    return result;
+}
+
+}  // namespace silicon::yield

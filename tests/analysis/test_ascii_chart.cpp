@@ -1,0 +1,91 @@
+// Tests for the ASCII chart renderer.
+
+#include "analysis/ascii_chart.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::analysis {
+namespace {
+
+series line(const std::string& name) {
+    series s{name};
+    for (int i = 0; i <= 10; ++i) {
+        s.add(i, 2.0 * i + 1.0);
+    }
+    return s;
+}
+
+TEST(AsciiChart, RendersGlyphsAndLegend) {
+    const std::string out = render_ascii_chart({line("rising")});
+    EXPECT_NE(out.find('*'), std::string::npos);
+    EXPECT_NE(out.find("legend: * = rising"), std::string::npos);
+}
+
+TEST(AsciiChart, TitleAndLabels) {
+    ascii_chart_options options;
+    options.title = "My Title";
+    options.x_label = "lambda [um]";
+    const std::string out = render_ascii_chart({line("s")}, options);
+    EXPECT_EQ(out.rfind("My Title", 0), 0u);
+    EXPECT_NE(out.find("lambda [um]"), std::string::npos);
+}
+
+TEST(AsciiChart, MultipleSeriesDistinctGlyphs) {
+    series a{"a"};
+    series b{"b"};
+    for (int i = 0; i <= 10; ++i) {
+        a.add(i, i);
+        b.add(i, 10 - i);
+    }
+    const std::string out = render_ascii_chart({a, b});
+    EXPECT_NE(out.find('*'), std::string::npos);
+    EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(AsciiChart, LogAxisRejectsNonPositive) {
+    series s{"bad"};
+    s.add(1.0, 0.0);
+    s.add(2.0, 1.0);
+    ascii_chart_options options;
+    options.y_scale = scale::log10;
+    EXPECT_THROW((void)render_ascii_chart({s}, options), std::invalid_argument);
+}
+
+TEST(AsciiChart, LogAxisRendersDecades) {
+    series s{"decades"};
+    for (int i = 0; i <= 6; ++i) {
+        s.add(i, std::pow(10.0, i));
+    }
+    ascii_chart_options options;
+    options.y_scale = scale::log10;
+    const std::string out = render_ascii_chart({s}, options);
+    // On a log axis the decade points land on a straight diagonal: the
+    // top row holds exactly one glyph.
+    EXPECT_NE(out.find("1e+06"), std::string::npos);
+}
+
+TEST(AsciiChart, EmptyInputRejected) {
+    EXPECT_THROW((void)render_ascii_chart({}), std::invalid_argument);
+    EXPECT_THROW((void)render_ascii_chart({series{"empty"}}),
+                 std::invalid_argument);
+}
+
+TEST(AsciiChart, TooSmallPlotAreaRejected) {
+    ascii_chart_options options;
+    options.width = 4;
+    EXPECT_THROW((void)render_ascii_chart({line("s")}, options),
+                 std::invalid_argument);
+}
+
+TEST(AsciiChart, ConstantSeriesStillRenders) {
+    series s{"flat"};
+    s.add(0.0, 5.0);
+    s.add(1.0, 5.0);
+    EXPECT_NO_THROW(render_ascii_chart({s}));
+}
+
+}  // namespace
+}  // namespace silicon::analysis

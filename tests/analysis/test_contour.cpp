@@ -1,0 +1,111 @@
+// Tests for marching-squares contour extraction.
+
+#include "analysis/contour.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::analysis {
+namespace {
+
+grid radial_grid(int n) {
+    // z = x^2 + y^2 over [-2, 2]^2: contours are circles.
+    std::vector<double> axis;
+    for (int i = 0; i < n; ++i) {
+        axis.push_back(-2.0 + 4.0 * i / (n - 1));
+    }
+    return evaluate_grid(axis, axis,
+                         [](double x, double y) { return x * x + y * y; });
+}
+
+TEST(Contour, CircleLevelSetIsClosedAndRoundish) {
+    const grid g = radial_grid(81);
+    const auto lines = extract_contours(g, 1.0);
+    ASSERT_EQ(lines.size(), 1u);
+    const contour_line& circle = lines.front();
+    EXPECT_TRUE(circle.closed);
+    EXPECT_GT(circle.points.size(), 20u);
+    // All points near radius 1.
+    for (const point& p : circle.points) {
+        EXPECT_NEAR(std::hypot(p.x, p.y), 1.0, 0.01);
+    }
+}
+
+TEST(Contour, LevelOutsideRangeGivesNothing) {
+    const grid g = radial_grid(21);
+    EXPECT_TRUE(extract_contours(g, 100.0).empty());
+    EXPECT_TRUE(extract_contours(g, -1.0).empty());
+}
+
+TEST(Contour, LinearFieldGivesStraightLine) {
+    const grid g = evaluate_grid(
+        {0.0, 1.0, 2.0, 3.0}, {0.0, 1.0, 2.0, 3.0},
+        [](double x, double) { return x; });
+    const auto lines = extract_contours(g, 1.5);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_FALSE(lines.front().closed);
+    for (const point& p : lines.front().points) {
+        EXPECT_NEAR(p.x, 1.5, 1e-9);
+    }
+    // Spans the full y range.
+    double min_y = 1e9;
+    double max_y = -1e9;
+    for (const point& p : lines.front().points) {
+        min_y = std::min(min_y, p.y);
+        max_y = std::max(max_y, p.y);
+    }
+    EXPECT_NEAR(min_y, 0.0, 1e-9);
+    EXPECT_NEAR(max_y, 3.0, 1e-9);
+}
+
+TEST(Contour, SaddleDoesNotCrash) {
+    // z = x*y has a saddle at the origin.
+    const grid g = evaluate_grid(
+        {-1.0, -0.5, 0.0, 0.5, 1.0}, {-1.0, -0.5, 0.0, 0.5, 1.0},
+        [](double x, double y) { return x * y; });
+    const auto lines = extract_contours(g, 0.1);
+    EXPECT_GE(lines.size(), 2u);  // two hyperbola branches
+}
+
+TEST(Contour, MultipleLevels) {
+    const grid g = radial_grid(61);
+    const auto lines = extract_contours(g, std::vector<double>{0.5, 1.0, 2.0});
+    // One closed circle per level.
+    EXPECT_EQ(lines.size(), 3u);
+    EXPECT_NEAR(lines[0].level, 0.5, 1e-12);
+    EXPECT_NEAR(lines[2].level, 2.0, 1e-12);
+}
+
+TEST(Contour, RejectsDegenerateGrids) {
+    grid g;
+    g.xs = {0.0};
+    g.ys = {0.0, 1.0};
+    g.values = {0.0, 0.0};
+    EXPECT_THROW((void)extract_contours(g, 0.5), std::invalid_argument);
+
+    grid bad = radial_grid(5);
+    bad.values.pop_back();
+    EXPECT_THROW((void)extract_contours(bad, 0.5), std::invalid_argument);
+}
+
+TEST(Contour, NonMonotoneAxesRejected) {
+    grid g = radial_grid(5);
+    std::swap(g.xs[0], g.xs[1]);
+    EXPECT_THROW((void)extract_contours(g, 0.5), std::invalid_argument);
+}
+
+TEST(Contour, ContourInterpolatesBetweenSamples) {
+    // 1-D ramp in y: contour at 0.25 sits a quarter of the way up.
+    const grid g = evaluate_grid(
+        {0.0, 1.0}, {0.0, 1.0}, [](double, double y) { return y; });
+    const auto lines = extract_contours(g, 0.25);
+    ASSERT_EQ(lines.size(), 1u);
+    for (const point& p : lines.front().points) {
+        EXPECT_NEAR(p.y, 0.25, 1e-12);
+    }
+}
+
+}  // namespace
+}  // namespace silicon::analysis

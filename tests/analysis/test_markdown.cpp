@@ -1,0 +1,73 @@
+// Tests for the markdown document builder.
+
+#include "analysis/markdown.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace silicon::analysis {
+namespace {
+
+TEST(Markdown, TitleAndHeadings) {
+    markdown_document doc{"My Study"};
+    doc.heading("Section", 2);
+    doc.heading("Subsection", 3);
+    const std::string md = doc.str();
+    EXPECT_EQ(md.rfind("# My Study\n", 0), 0u);
+    EXPECT_NE(md.find("\n## Section\n"), std::string::npos);
+    EXPECT_NE(md.find("\n### Subsection\n"), std::string::npos);
+}
+
+TEST(Markdown, RejectsBadHeadingLevel) {
+    markdown_document doc{"t"};
+    EXPECT_THROW(doc.heading("x", 1), std::invalid_argument);
+    EXPECT_THROW(doc.heading("x", 5), std::invalid_argument);
+}
+
+TEST(Markdown, KeyValueAndBullets) {
+    markdown_document doc{"t"};
+    doc.key_value("yield", "73%");
+    doc.bullets({"first", "second"});
+    const std::string md = doc.str();
+    EXPECT_NE(md.find("- **yield**: 73%"), std::string::npos);
+    EXPECT_NE(md.find("- first\n- second\n"), std::string::npos);
+}
+
+TEST(Markdown, CodeBlockFenced) {
+    markdown_document doc{"t"};
+    doc.code_block("###\n##", "text");
+    const std::string md = doc.str();
+    EXPECT_NE(md.find("```text\n###\n##\n```"), std::string::npos);
+}
+
+TEST(Markdown, TableRendering) {
+    text_table t;
+    t.add_column("name", align::left);
+    t.add_column("value", align::right, 1);
+    t.begin_row();
+    t.add_cell("alpha|beta");
+    t.add_number(2.5);
+    const std::string md = to_markdown(t);
+    EXPECT_NE(md.find("| name | value |"), std::string::npos);
+    EXPECT_NE(md.find("| :--- | ---: |"), std::string::npos);
+    EXPECT_NE(md.find("| alpha\\|beta | 2.5 |"), std::string::npos);
+}
+
+TEST(Markdown, EmptyTableRejected) {
+    text_table t;
+    EXPECT_THROW((void)to_markdown(t), std::invalid_argument);
+}
+
+TEST(Markdown, DocumentEmbedsTable) {
+    markdown_document doc{"t"};
+    text_table t;
+    t.add_column("c");
+    t.begin_row();
+    t.add_cell("v");
+    doc.table(t);
+    EXPECT_NE(doc.str().find("| c |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace silicon::analysis

@@ -1,0 +1,76 @@
+// Tests for the series container.
+
+#include "analysis/series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace silicon::analysis {
+namespace {
+
+series ramp() {
+    series s{"ramp"};
+    s.add(0.0, 10.0);
+    s.add(1.0, 20.0);
+    s.add(2.0, 15.0);
+    s.add(3.0, 5.0);
+    return s;
+}
+
+TEST(Series, BasicAccessors) {
+    const series s = ramp();
+    EXPECT_EQ(s.name(), "ramp");
+    EXPECT_EQ(s.size(), 4u);
+    EXPECT_FALSE(s.empty());
+    EXPECT_EQ(s.points()[1], (point{1.0, 20.0}));
+}
+
+TEST(Series, Extremes) {
+    const series s = ramp();
+    EXPECT_DOUBLE_EQ(s.min_x(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max_x(), 3.0);
+    EXPECT_DOUBLE_EQ(s.min_y(), 5.0);
+    EXPECT_DOUBLE_EQ(s.max_y(), 20.0);
+}
+
+TEST(Series, ArgminY) {
+    const point p = ramp().argmin_y();
+    EXPECT_DOUBLE_EQ(p.x, 3.0);
+    EXPECT_DOUBLE_EQ(p.y, 5.0);
+}
+
+TEST(Series, EmptyThrowsOnStatistics) {
+    const series s{"empty"};
+    EXPECT_THROW((void)s.min_x(), std::domain_error);
+    EXPECT_THROW((void)s.argmin_y(), std::domain_error);
+    EXPECT_THROW((void)s.interpolate(0.0), std::domain_error);
+}
+
+TEST(Series, InterpolateAtKnots) {
+    const series s = ramp();
+    EXPECT_DOUBLE_EQ(s.interpolate(1.0), 20.0);
+    EXPECT_DOUBLE_EQ(s.interpolate(3.0), 5.0);
+}
+
+TEST(Series, InterpolateBetweenKnots) {
+    const series s = ramp();
+    EXPECT_DOUBLE_EQ(s.interpolate(0.5), 15.0);
+    EXPECT_DOUBLE_EQ(s.interpolate(2.5), 10.0);
+}
+
+TEST(Series, InterpolateOutOfRangeThrows) {
+    const series s = ramp();
+    EXPECT_THROW((void)s.interpolate(-0.1), std::domain_error);
+    EXPECT_THROW((void)s.interpolate(3.1), std::domain_error);
+}
+
+TEST(Series, InterpolateUnsortedThrows) {
+    series s{"unsorted"};
+    s.add(2.0, 1.0);
+    s.add(1.0, 2.0);
+    EXPECT_THROW((void)s.interpolate(1.5), std::domain_error);
+}
+
+}  // namespace
+}  // namespace silicon::analysis

@@ -1,0 +1,90 @@
+// Tests for the statistics helpers.
+
+#include "analysis/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::analysis {
+namespace {
+
+TEST(Summarize, BasicMoments) {
+    const summary s = summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+    EXPECT_EQ(s.count, 8u);
+    EXPECT_DOUBLE_EQ(s.mean, 5.0);
+    EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_DOUBLE_EQ(s.min, 2.0);
+    EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Summarize, SingleValue) {
+    const summary s = summarize({3.0});
+    EXPECT_DOUBLE_EQ(s.mean, 3.0);
+    EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Summarize, EmptyThrows) {
+    EXPECT_THROW((void)summarize({}), std::invalid_argument);
+}
+
+TEST(FitLine, ExactLineRecovered) {
+    const std::vector<double> xs = {0.0, 1.0, 2.0, 3.0};
+    const std::vector<double> ys = {1.0, 3.0, 5.0, 7.0};
+    const linear_fit fit = fit_line(xs, ys);
+    EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+    EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+    EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLine, NoisyLineRSquaredBelowOne) {
+    const std::vector<double> xs = {0.0, 1.0, 2.0, 3.0, 4.0};
+    const std::vector<double> ys = {0.1, 0.9, 2.2, 2.8, 4.1};
+    const linear_fit fit = fit_line(xs, ys);
+    EXPECT_NEAR(fit.slope, 1.0, 0.1);
+    EXPECT_LT(fit.r_squared, 1.0);
+    EXPECT_GT(fit.r_squared, 0.95);
+}
+
+TEST(FitLine, RejectsDegenerateInput) {
+    EXPECT_THROW((void)fit_line({1.0}, {1.0}), std::invalid_argument);
+    EXPECT_THROW((void)fit_line({1.0, 2.0}, {1.0}), std::invalid_argument);
+    EXPECT_THROW((void)fit_line({1.0, 1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(FitExponential, RecoversRate) {
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (int i = 0; i <= 10; ++i) {
+        xs.push_back(i);
+        ys.push_back(3.0 * std::exp(0.4 * i));
+    }
+    const linear_fit fit = fit_exponential(xs, ys);
+    EXPECT_NEAR(fit.slope, 0.4, 1e-9);
+    EXPECT_NEAR(std::exp(fit.intercept), 3.0, 1e-9);
+}
+
+TEST(FitExponential, RejectsNonPositiveY) {
+    EXPECT_THROW((void)fit_exponential({0.0, 1.0}, {1.0, 0.0}),
+                 std::invalid_argument);
+}
+
+TEST(Quantile, MedianAndExtremes) {
+    const std::vector<double> sample = {5.0, 1.0, 3.0, 2.0, 4.0};
+    EXPECT_DOUBLE_EQ(quantile(sample, 0.5), 3.0);
+    EXPECT_DOUBLE_EQ(quantile(sample, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(sample, 1.0), 5.0);
+}
+
+TEST(Quantile, InterpolatesBetweenOrderStatistics) {
+    EXPECT_DOUBLE_EQ(quantile({0.0, 10.0}, 0.25), 2.5);
+}
+
+TEST(Quantile, RejectsBadInput) {
+    EXPECT_THROW((void)quantile({}, 0.5), std::invalid_argument);
+    EXPECT_THROW((void)quantile({1.0}, 1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace silicon::analysis

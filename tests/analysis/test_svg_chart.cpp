@@ -1,0 +1,101 @@
+// Tests for the SVG chart renderer.
+
+#include "analysis/svg_chart.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace silicon::analysis {
+namespace {
+
+series sample_series(const std::string& name) {
+    series s{name};
+    for (int i = 1; i <= 10; ++i) {
+        s.add(i, i * i);
+    }
+    return s;
+}
+
+TEST(SvgLineChart, WellFormedDocument) {
+    const std::string svg = render_svg_line_chart({sample_series("sq")});
+    EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+    EXPECT_NE(svg.find("</svg>"), std::string::npos);
+    EXPECT_NE(svg.find("<polyline"), std::string::npos);
+}
+
+TEST(SvgLineChart, LegendShowsSeriesNames) {
+    const std::string svg = render_svg_line_chart(
+        {sample_series("alpha"), sample_series("beta")});
+    EXPECT_NE(svg.find(">alpha</text>"), std::string::npos);
+    EXPECT_NE(svg.find(">beta</text>"), std::string::npos);
+}
+
+TEST(SvgLineChart, TitleAndAxisLabels) {
+    svg_chart_options options;
+    options.title = "Cost per transistor";
+    options.x_label = "lambda [um]";
+    options.y_label = "C_tr [$]";
+    const std::string svg =
+        render_svg_line_chart({sample_series("s")}, options);
+    EXPECT_NE(svg.find("Cost per transistor"), std::string::npos);
+    EXPECT_NE(svg.find("lambda [um]"), std::string::npos);
+    EXPECT_NE(svg.find("C_tr [$]"), std::string::npos);
+}
+
+TEST(SvgLineChart, Deterministic) {
+    const std::string a = render_svg_line_chart({sample_series("s")});
+    const std::string b = render_svg_line_chart({sample_series("s")});
+    EXPECT_EQ(a, b);
+}
+
+TEST(SvgLineChart, LogAxisRejectsNonPositive) {
+    series s{"bad"};
+    s.add(1.0, -1.0);
+    s.add(2.0, 1.0);
+    svg_chart_options options;
+    options.y_log = true;
+    EXPECT_THROW((void)render_svg_line_chart({s}, options),
+                 std::invalid_argument);
+}
+
+TEST(SvgLineChart, EmptyRejected) {
+    EXPECT_THROW((void)render_svg_line_chart({}), std::invalid_argument);
+}
+
+TEST(SvgContourChart, RendersLevels) {
+    const grid g = evaluate_grid(
+        linspace(-2.0, 2.0, 41), linspace(-2.0, 2.0, 41),
+        [](double x, double y) { return x * x + y * y; });
+    const std::string svg =
+        render_svg_contour_chart(g, {0.5, 1.0, 2.0});
+    EXPECT_NE(svg.find("level 0.5"), std::string::npos);
+    EXPECT_NE(svg.find("level 2"), std::string::npos);
+    EXPECT_NE(svg.find("<polyline"), std::string::npos);
+}
+
+TEST(SvgContourChart, RejectsEmptyLevels) {
+    const grid g = evaluate_grid(
+        {0.0, 1.0}, {0.0, 1.0}, [](double x, double) { return x; });
+    EXPECT_THROW((void)render_svg_contour_chart(g, {}), std::invalid_argument);
+}
+
+TEST(WriteFile, RoundTrips) {
+    const std::string path = ::testing::TempDir() + "/svg_chart_test.svg";
+    write_file(path, "<svg>content</svg>");
+    std::ifstream in{path};
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_EQ(content, "<svg>content</svg>");
+    std::remove(path.c_str());
+}
+
+TEST(WriteFile, FailsOnBadPath) {
+    EXPECT_THROW((void)write_file("/nonexistent-dir-xyz/file.svg", "x"),
+                 std::runtime_error);
+}
+
+}  // namespace
+}  // namespace silicon::analysis

@@ -1,0 +1,93 @@
+// Tests for the text table formatter.
+
+#include "analysis/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace silicon::analysis {
+namespace {
+
+text_table small_table() {
+    text_table t;
+    t.add_column("name", align::left);
+    t.add_column("value", align::right, 2);
+    t.begin_row();
+    t.add_cell("alpha");
+    t.add_number(3.14159);
+    t.begin_row();
+    t.add_cell("b");
+    t.add_number(10.0);
+    return t;
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+    const std::string out = small_table().to_string();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("3.14"), std::string::npos);
+    EXPECT_NE(out.find("10.00"), std::string::npos);
+    // Separator line of dashes present.
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTable, LeftAndRightAlignment) {
+    const std::string out = small_table().to_string();
+    // "alpha" starts its line (left aligned); numbers right aligned means
+    // the shorter "b" row has padding before 10.00.
+    EXPECT_EQ(out.find("alpha"), out.find('\n', out.find("----")) + 1);
+}
+
+TEST(TextTable, CsvEscapesSpecials) {
+    text_table t;
+    t.add_column("a");
+    t.add_column("b");
+    t.begin_row();
+    t.add_cell("plain");
+    t.add_cell("needs,\"quotes\"");
+    const std::string csv = t.to_csv();
+    EXPECT_NE(csv.find("a,b\n"), std::string::npos);
+    EXPECT_NE(csv.find("\"needs,\"\"quotes\"\"\""), std::string::npos);
+}
+
+TEST(TextTable, RowCountTracksRows) {
+    EXPECT_EQ(small_table().row_count(), 2u);
+}
+
+TEST(TextTable, IntegerCells) {
+    text_table t;
+    t.add_column("n");
+    t.begin_row();
+    t.add_integer(42);
+    EXPECT_NE(t.to_string().find("42"), std::string::npos);
+}
+
+TEST(TextTable, MisuseThrows) {
+    text_table t;
+    EXPECT_THROW((void)t.begin_row(), std::logic_error);  // no columns yet
+    t.add_column("only");
+    EXPECT_THROW((void)t.add_cell("x"), std::logic_error);  // no row started
+    t.begin_row();
+    t.add_cell("x");
+    EXPECT_THROW((void)t.add_cell("y"), std::logic_error);  // row full
+    EXPECT_THROW((void)t.add_column("late"), std::logic_error);
+}
+
+TEST(TextTable, IncompleteRowRejectedAtRender) {
+    text_table t;
+    t.add_column("a");
+    t.add_column("b");
+    t.begin_row();
+    t.add_cell("only one");
+    EXPECT_THROW((void)t.to_string(), std::logic_error);
+    EXPECT_THROW((void)t.to_csv(), std::logic_error);
+}
+
+TEST(FormatNumber, PrecisionModes) {
+    EXPECT_EQ(format_number(3.14159, 2), "3.14");
+    EXPECT_EQ(format_number(3.0, -1), "3");
+    EXPECT_EQ(format_number(0.000123, -1), "0.000123");
+}
+
+}  // namespace
+}  // namespace silicon::analysis

@@ -1,0 +1,108 @@
+// Tests for the ranked cost-driver (elasticity) report.
+
+#include "core/cost_drivers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::core {
+namespace {
+
+process_spec reference_process() {
+    return process_spec{
+        cost::wafer_cost_model{dollars{700.0}, 1.8},
+        geometry::wafer::six_inch(),
+        yield::reference_die_yield{probability{0.7}},
+        geometry::gross_die_method::maly_rows};
+}
+
+product_spec reference_product() {
+    product_spec p;
+    p.name = "uP";
+    p.transistors = 2.0e6;
+    p.design_density = 180.0;
+    p.feature_size = microns{0.7};
+    return p;
+}
+
+TEST(CostDrivers, ReportsAllSevenDrivers) {
+    const cost_driver_report report =
+        analyze_cost_drivers(reference_process(), reference_product());
+    EXPECT_EQ(report.drivers.size(), 7u);
+    EXPECT_GT(report.nominal.cost_per_transistor.value(), 0.0);
+}
+
+TEST(CostDrivers, RankedByMagnitude) {
+    const cost_driver_report report =
+        analyze_cost_drivers(reference_process(), reference_product());
+    for (std::size_t i = 1; i < report.drivers.size(); ++i) {
+        EXPECT_GE(std::abs(report.drivers[i - 1].value),
+                  std::abs(report.drivers[i].value));
+    }
+}
+
+TEST(CostDrivers, KnownSignsAndExactValues) {
+    const cost_driver_report report =
+        analyze_cost_drivers(reference_process(), reference_product());
+    for (const opt::elasticity& e : report.drivers) {
+        if (e.name.find("C_0") != std::string::npos) {
+            // C_tr is exactly proportional to C_0.
+            EXPECT_NEAR(e.value, 1.0, 1e-6);
+        } else if (e.name.find("X (") != std::string::npos) {
+            // d ln C / d ln X = generations * X... positive, equal to
+            // (1-lambda)/step = 1.5 at lambda = 0.7.
+            EXPECT_NEAR(e.value, 1.5, 1e-4);
+        } else if (e.name.find("R_w") != std::string::npos) {
+            // More wafer area, more dies: strongly negative (~ -2 with
+            // the smooth estimator).
+            EXPECT_NEAR(e.value, -2.0, 1e-3);
+        } else if (e.name.find("Y_0") != std::string::npos) {
+            // Better reference yield lowers cost.
+            EXPECT_LT(e.value, 0.0);
+        } else if (e.name.find("N_tr") != std::string::npos) {
+            // With the smooth estimator, N_ch ~ 1/A and A ~ N_tr: the
+            // per-transistor wafer share cancels, leaving only the
+            // yield penalty of the bigger die: positive.
+            EXPECT_GT(e.value, 0.0);
+        }
+    }
+}
+
+TEST(CostDrivers, DenserDesignHasSmallerDensityElasticity) {
+    // Elasticity of d_d contains the yield term A*ln(1/Y0) which grows
+    // with die area: bigger product -> d_d matters more.
+    product_spec small = reference_product();
+    small.transistors = 0.5e6;
+    product_spec large = reference_product();
+    large.transistors = 4.0e6;
+    const auto report_small =
+        analyze_cost_drivers(reference_process(), small);
+    const auto report_large =
+        analyze_cost_drivers(reference_process(), large);
+    const auto density_elasticity = [](const cost_driver_report& r) {
+        for (const opt::elasticity& e : r.drivers) {
+            if (e.name.find("d_d") != std::string::npos) {
+                return e.value;
+            }
+        }
+        return 0.0;
+    };
+    EXPECT_GT(density_elasticity(report_large),
+              density_elasticity(report_small));
+}
+
+TEST(CostDrivers, RequiresReferenceYieldForm) {
+    process_spec scaled{
+        cost::wafer_cost_model{dollars{700.0}, 1.8},
+        geometry::wafer::six_inch(),
+        yield::scaled_poisson_model::fig8_calibration(),
+        geometry::gross_die_method::maly_rows};
+    EXPECT_THROW(
+        (void)analyze_cost_drivers(scaled, reference_product()),
+        std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace silicon::core

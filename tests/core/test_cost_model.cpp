@@ -1,0 +1,169 @@
+// Tests for the integrated Eq. (1) cost model.
+
+#include "core/cost_model.hpp"
+#include "opt/minimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::core {
+namespace {
+
+process_spec pentium_process() {
+    return process_spec{
+        cost::wafer_cost_model{dollars{700.0}, 1.4},
+        geometry::wafer::six_inch(),
+        yield::reference_die_yield{probability{0.9}},
+        geometry::gross_die_method::maly_rows};
+}
+
+product_spec pentium_product() {
+    product_spec p;
+    p.name = "BiCMOS uP";
+    p.transistors = 3.1e6;
+    p.design_density = 150.0;
+    p.feature_size = microns{0.8};
+    return p;
+}
+
+TEST(CostModel, Table3Row1FullBreakdown) {
+    const cost_model model{pentium_process()};
+    const cost_breakdown b = model.evaluate(pentium_product());
+
+    EXPECT_NEAR(b.die_area.value(), 297.6, 1e-9);
+    EXPECT_EQ(b.gross_dies_per_wafer, 46);
+    EXPECT_NEAR(b.yield.value(), std::pow(0.9, 2.976), 1e-9);
+    EXPECT_NEAR(b.wafer_cost.value(), 980.0, 1e-9);
+    // The paper prints 9.40e-6 $ for this row.
+    EXPECT_NEAR(b.cost_per_transistor_micro_dollars(), 9.40, 0.05);
+}
+
+TEST(CostModel, BreakdownInternallyConsistent) {
+    const cost_model model{pentium_process()};
+    const cost_breakdown b = model.evaluate(pentium_product());
+    EXPECT_NEAR(b.good_dies_per_wafer,
+                b.gross_dies_per_wafer * b.yield.value(), 1e-9);
+    EXPECT_NEAR(b.cost_per_good_die.value(),
+                b.wafer_cost.value() / b.good_dies_per_wafer, 1e-12);
+    EXPECT_NEAR(b.cost_per_transistor.value(),
+                b.cost_per_good_die.value() / 3.1e6, 1e-15);
+}
+
+TEST(CostModel, OverheadRaisesCost) {
+    const cost_model model{pentium_process()};
+    economics_spec economics;
+    economics.overhead = dollars{10e6};
+    economics.volume_wafers = 10000.0;
+    const cost_breakdown with = model.evaluate(pentium_product(), economics);
+    const cost_breakdown without = model.evaluate(pentium_product());
+    EXPECT_NEAR(with.wafer_cost.value() - without.wafer_cost.value(),
+                1000.0, 1e-9);
+    EXPECT_GT(with.cost_per_transistor.value(),
+              without.cost_per_transistor.value());
+}
+
+TEST(CostModel, HugeDieThrows) {
+    const cost_model model{pentium_process()};
+    product_spec monster = pentium_product();
+    monster.transistors = 1e9;  // ~96000 mm^2 die
+    EXPECT_THROW((void)model.evaluate(monster), std::domain_error);
+}
+
+TEST(CostModel, GrossDieMethodMatters) {
+    process_spec area = pentium_process();
+    area.dies_per_wafer_method = geometry::gross_die_method::area_ratio;
+    const cost_breakdown via_rows =
+        cost_model{pentium_process()}.evaluate(pentium_product());
+    const cost_breakdown via_area =
+        cost_model{area}.evaluate(pentium_product());
+    // The area-ratio bound always dominates the row count, and the cost
+    // moves the opposite way.
+    EXPECT_GT(via_area.gross_dies_per_wafer,
+              via_rows.gross_dies_per_wafer);
+    EXPECT_LT(via_area.cost_per_transistor.value(),
+              via_rows.cost_per_transistor.value());
+}
+
+TEST(CostModel, CostPerTransistorShortcutMatchesBreakdown) {
+    const cost_model model{pentium_process()};
+    EXPECT_DOUBLE_EQ(
+        model.cost_per_transistor(pentium_product()).value(),
+        model.evaluate(pentium_product()).cost_per_transistor.value());
+}
+
+TEST(OptimalFeatureSize, Fig8LocalOptimaFromDieQuantization) {
+    // Fig. 8: "there are a number of local optima".  Over the paper's
+    // plotted feature-size window the smooth part of C_tr(lambda) is
+    // monotone, but the integer dies-per-wafer count N_ch jumps at
+    // discrete lambdas and carves local minima into the curve.
+    process_spec process{
+        cost::wafer_cost_model{dollars{500.0}, 1.4},
+        geometry::wafer::six_inch(),
+        yield::scaled_poisson_model::fig8_calibration(),
+        geometry::gross_die_method::maly_rows};
+    const cost_model model{process};
+
+    product_spec p;
+    p.name = "mid-size ASIC";
+    p.transistors = 1e6;
+    p.design_density = 152.0;
+
+    const auto cost_at = [&](double lambda) {
+        product_spec probe = p;
+        probe.feature_size = microns{lambda};
+        return model.cost_per_transistor(probe).value();
+    };
+    const auto minima =
+        opt::local_minima_on_grid(cost_at, 0.5, 1.0, 400);
+    EXPECT_GE(minima.size(), 2u);
+
+    // And the global optimum in the window beats both window edges.
+    const microns best =
+        model.optimal_feature_size(p, microns{0.5}, microns{1.0});
+    const double at_best = [&] {
+        product_spec probe = p;
+        probe.feature_size = best;
+        return model.cost_per_transistor(probe).value();
+    }();
+    EXPECT_LE(at_best, cost_at(0.5));
+    EXPECT_LE(at_best, cost_at(1.0));
+}
+
+TEST(OptimalFeatureSize, LargerDiesPreferCoarserOrEqualLambda) {
+    // Sec. IV.B: lambda_opt depends on die size.  Under the scaled yield
+    // model, bigger dies are hit harder by defect scaling, so their
+    // optimum shifts to coarser features (or stays equal).
+    process_spec process{
+        cost::wafer_cost_model{dollars{500.0}, 1.4},
+        geometry::wafer::six_inch(),
+        yield::scaled_poisson_model::fig8_calibration(),
+        geometry::gross_die_method::maly_rows};
+    const cost_model model{process};
+
+    product_spec small;
+    small.transistors = 2e5;
+    small.design_density = 152.0;
+    product_spec large;
+    large.transistors = 2e6;
+    large.design_density = 152.0;
+
+    const double small_opt =
+        model.optimal_feature_size(small, microns{0.3}, microns{1.5})
+            .value();
+    const double large_opt =
+        model.optimal_feature_size(large, microns{0.3}, microns{1.5})
+            .value();
+    EXPECT_GE(large_opt, small_opt - 1e-6);
+}
+
+TEST(OptimalFeatureSize, RejectsBadInterval) {
+    const cost_model model{pentium_process()};
+    EXPECT_THROW((void)model.optimal_feature_size(pentium_product(),
+                                            microns{0.8}, microns{0.5}),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace silicon::core

@@ -1,0 +1,88 @@
+// Tests for the cost study document generator.
+
+#include "core/cost_study.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace silicon::core {
+namespace {
+
+process_spec study_process() {
+    return process_spec{
+        cost::wafer_cost_model{dollars{700.0}, 1.4},
+        geometry::wafer::six_inch(),
+        yield::reference_die_yield{probability{0.9}},
+        geometry::gross_die_method::maly_rows};
+}
+
+product_spec study_product() {
+    product_spec p;
+    p.name = "BiCMOS uP";
+    p.transistors = 3.1e6;
+    p.design_density = 150.0;
+    p.feature_size = microns{0.8};
+    return p;
+}
+
+TEST(CostStudy, ContainsEverySection) {
+    const std::string md =
+        render_cost_study(study_process(), study_product());
+    EXPECT_NE(md.find("# Cost study: BiCMOS uP"), std::string::npos);
+    EXPECT_NE(md.find("## Inputs"), std::string::npos);
+    EXPECT_NE(md.find("## Silicon cost (Eq. 1)"), std::string::npos);
+    EXPECT_NE(md.find("## Wafer map"), std::string::npos);
+    EXPECT_NE(md.find("## Feature size sensitivity"), std::string::npos);
+    EXPECT_NE(md.find("## Ranked cost drivers"), std::string::npos);
+    EXPECT_NE(md.find("## Test economics"), std::string::npos);
+    EXPECT_NE(md.find("## Packaged part"), std::string::npos);
+}
+
+TEST(CostStudy, ReportsTheTable3Row1Number) {
+    const std::string md =
+        render_cost_study(study_process(), study_product());
+    // 9.40 micro-dollars per transistor, as in Table 3 row 1.
+    EXPECT_NE(md.find("9.40"), std::string::npos);
+}
+
+TEST(CostStudy, OptionalSectionsCanBeDisabled) {
+    cost_study_options options;
+    options.include_test = false;
+    options.include_packaging = false;
+    options.include_lambda_sweep = false;
+    options.include_drivers = false;
+    const std::string md =
+        render_cost_study(study_process(), study_product(), options);
+    EXPECT_EQ(md.find("## Test economics"), std::string::npos);
+    EXPECT_EQ(md.find("## Packaged part"), std::string::npos);
+    EXPECT_EQ(md.find("## Feature size sensitivity"), std::string::npos);
+    EXPECT_EQ(md.find("## Ranked cost drivers"), std::string::npos);
+    EXPECT_NE(md.find("## Silicon cost"), std::string::npos);
+}
+
+TEST(CostStudy, DriversSkippedForScaledYieldForm) {
+    process_spec scaled = study_process();
+    scaled.yield = yield::scaled_poisson_model::fig8_calibration();
+    product_spec small = study_product();
+    small.transistors = 2e5;  // keep the scaled yield alive
+    small.design_density = 152.0;
+    const std::string md = render_cost_study(scaled, small);
+    EXPECT_EQ(md.find("## Ranked cost drivers"), std::string::npos);
+    EXPECT_NE(md.find("## Silicon cost"), std::string::npos);
+}
+
+TEST(CostStudy, WriteCreatesFile) {
+    const std::string path = ::testing::TempDir() + "/study.md";
+    write_cost_study(path, study_process(), study_product());
+    std::ifstream in{path};
+    ASSERT_TRUE(in.good());
+    std::string first_line;
+    std::getline(in, first_line);
+    EXPECT_EQ(first_line, "# Cost study: BiCMOS uP");
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace silicon::core

@@ -1,0 +1,128 @@
+// Tests for the DFT/BIST business case (Sec. VI).
+
+#include "core/dft_case.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace silicon::core {
+namespace {
+
+process_spec default_process() {
+    return process_spec{
+        cost::wafer_cost_model{dollars{700.0}, 1.8},
+        geometry::wafer::six_inch(),
+        yield::reference_die_yield{probability{0.7}},
+        geometry::gross_die_method::maly_rows};
+}
+
+product_spec default_product() {
+    product_spec p;
+    p.name = "ASIC";
+    p.transistors = 1.5e6;
+    p.design_density = 200.0;
+    p.feature_size = microns{0.65};
+    return p;
+}
+
+cost::tester_spec default_tester() {
+    cost::tester_spec tester;
+    tester.rate_per_hour = dollars{1800.0};
+    tester.seconds_fixed = 0.5;
+    tester.seconds_per_megavector = 1.0;
+    return tester;
+}
+
+cost::test_program default_program() {
+    cost::test_program program;
+    program.transistors = 1.5e6;
+    program.fault_coverage = 0.90;
+    program.vectors_per_kilotransistor = 4.0;
+    return program;
+}
+
+TEST(DftResponse, SaturatingCoverage) {
+    const dft_response r;
+    EXPECT_DOUBLE_EQ(r.coverage(0.0), r.base_coverage);
+    EXPECT_LT(r.coverage(1.0), r.max_coverage);
+    EXPECT_GT(r.coverage(0.10), r.coverage(0.02));
+    // Half the gap closed at the 50% point.
+    EXPECT_NEAR(r.coverage(r.coverage_area_50),
+                r.base_coverage +
+                    0.5 * (r.max_coverage - r.base_coverage),
+                1e-12);
+}
+
+TEST(DftResponse, CompressionStartsAtOne) {
+    const dft_response r;
+    EXPECT_DOUBLE_EQ(r.compression(0.0), 1.0);
+    EXPECT_GT(r.compression(0.2), 2.0);
+    EXPECT_THROW((void)r.coverage(-0.1), std::invalid_argument);
+}
+
+TEST(DftCase, SweepCoversRequestedOverheads) {
+    const dft_case_result result = evaluate_dft_case(
+        default_process(), default_product(), default_tester(),
+        default_program(), dollars{300.0}, {}, {0.0, 0.05, 0.10});
+    ASSERT_EQ(result.sweep.size(), 3u);
+    EXPECT_DOUBLE_EQ(result.no_dft.area_overhead, 0.0);
+}
+
+TEST(DftCase, OverheadRaisesSiliconCost) {
+    const dft_case_result result = evaluate_dft_case(
+        default_process(), default_product(), default_tester(),
+        default_program(), dollars{300.0});
+    const auto& sweep = result.sweep;
+    for (std::size_t i = 1; i < sweep.size(); ++i) {
+        EXPECT_GT(sweep[i].silicon_per_good_die.value(),
+                  sweep[i - 1].silicon_per_good_die.value());
+        EXPECT_LE(sweep[i].shipped_defect_level.value(),
+                  sweep[i - 1].shipped_defect_level.value());
+    }
+}
+
+TEST(DftCase, ExpensiveEscapesJustifyDft) {
+    // With $1000 field cost per escape the optimum invests real area.
+    const dft_case_result result = evaluate_dft_case(
+        default_process(), default_product(), default_tester(),
+        default_program(), dollars{1000.0});
+    EXPECT_GT(result.best.area_overhead, 0.0);
+    EXPECT_GT(result.saving_fraction, 0.0);
+}
+
+TEST(DftCase, FreeEscapesMakeDftAPureCost) {
+    // With no field cost, escapes are free, and DFT only helps through
+    // tester-time compression; savings are small or zero, and the best
+    // overhead is small.
+    const dft_case_result result = evaluate_dft_case(
+        default_process(), default_product(), default_tester(),
+        default_program(), dollars{0.0});
+    EXPECT_LE(result.best.area_overhead, 0.05);
+}
+
+TEST(DftCase, TotalsAreComposedCorrectly) {
+    const dft_case_result result = evaluate_dft_case(
+        default_process(), default_product(), default_tester(),
+        default_program(), dollars{300.0});
+    for (const dft_point& point : result.sweep) {
+        EXPECT_NEAR(point.total_per_shipped_die.value(),
+                    point.silicon_per_good_die.value() +
+                        point.test_per_shipped_die.value() +
+                        point.escape_cost.value(),
+                    1e-9);
+    }
+}
+
+TEST(DftCase, BestIsMinimumOfSweep) {
+    const dft_case_result result = evaluate_dft_case(
+        default_process(), default_product(), default_tester(),
+        default_program(), dollars{500.0});
+    for (const dft_point& point : result.sweep) {
+        EXPECT_GE(point.total_per_shipped_die.value(),
+                  result.best.total_per_shipped_die.value() - 1e-12);
+    }
+}
+
+}  // namespace
+}  // namespace silicon::core

@@ -1,0 +1,94 @@
+// Tests for the calendar-time transistor cost forecast.
+
+#include "core/forecast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace silicon::core {
+namespace {
+
+scenario1 memory_scenario() {
+    scenario1 s;
+    s.wafer_cost = cost::wafer_cost_model{dollars{500.0}, 1.2};
+    return s;
+}
+
+scenario2 logic_scenario(double x = 2.0) {
+    scenario2 s;
+    s.wafer_cost = cost::wafer_cost_model{dollars{500.0}, x};
+    return s;
+}
+
+TEST(Forecast, CoversTheRequestedYears) {
+    const transistor_cost_forecast f = forecast_transistor_cost(
+        memory_scenario(), logic_scenario(), 1986, 1998);
+    ASSERT_FALSE(f.points.empty());
+    EXPECT_GE(f.points.front().year, 1986);
+    EXPECT_LE(f.points.back().year, 1998);
+    // Lambda falls over time along the Fig. 1 trend.
+    EXPECT_GT(f.points.front().lambda.value(),
+              f.points.back().lambda.value());
+}
+
+TEST(Forecast, MemoryCostKeepsFalling) {
+    const transistor_cost_forecast f = forecast_transistor_cost(
+        memory_scenario(), logic_scenario(), 1986, 2000);
+    for (std::size_t i = 1; i < f.points.size(); ++i) {
+        EXPECT_LT(f.points[i].memory_ctr.value(),
+                  f.points[i - 1].memory_ctr.value());
+    }
+    EXPECT_LT(f.memory_cagr, 0.0);
+}
+
+TEST(Forecast, LogicCostReversesWithinTheNineties) {
+    // With the default X schedule (benign 1.3 historically, ramping to
+    // 2.2 through the early 90s) the logic decline must reverse inside
+    // the ramp window -- the paper's mid-90s warning.
+    const transistor_cost_forecast f = forecast_transistor_cost(
+        memory_scenario(), logic_scenario(), 1980, 2000, x_schedule{});
+    ASSERT_TRUE(f.logic_reversal_year.has_value());
+    EXPECT_GE(*f.logic_reversal_year, 1988);
+    EXPECT_LE(*f.logic_reversal_year, 1997);
+    EXPECT_GT(f.logic_cagr, f.memory_cagr);
+}
+
+TEST(Forecast, XScheduleInterpolatesLinearly) {
+    const x_schedule schedule;
+    EXPECT_DOUBLE_EQ(schedule.at(1985), 1.3);
+    EXPECT_DOUBLE_EQ(schedule.at(1990), 1.3);
+    EXPECT_DOUBLE_EQ(schedule.at(1996), 2.2);
+    EXPECT_DOUBLE_EQ(schedule.at(2000), 2.2);
+    EXPECT_NEAR(schedule.at(1993), 1.3 + 0.5 * 0.9, 1e-12);
+}
+
+TEST(Forecast, GentleXRampDelaysTheReversal) {
+    x_schedule harsh_ramp;
+    harsh_ramp.x_late = 2.4;
+    harsh_ramp.ramp_start = 1988;
+    harsh_ramp.ramp_end = 1992;
+    x_schedule gentle_ramp;
+    gentle_ramp.x_late = 1.9;
+    gentle_ramp.ramp_start = 1992;
+    gentle_ramp.ramp_end = 1998;
+    const transistor_cost_forecast harsh = forecast_transistor_cost(
+        memory_scenario(), logic_scenario(), 1980, 2000, harsh_ramp);
+    const transistor_cost_forecast gentle = forecast_transistor_cost(
+        memory_scenario(), logic_scenario(), 1980, 2000, gentle_ramp);
+    ASSERT_TRUE(harsh.logic_reversal_year.has_value());
+    if (gentle.logic_reversal_year.has_value()) {
+        EXPECT_GT(*gentle.logic_reversal_year,
+                  *harsh.logic_reversal_year);
+    }
+    EXPECT_GT(harsh.logic_cagr, gentle.logic_cagr);
+}
+
+TEST(Forecast, RejectsEmptyRange) {
+    EXPECT_THROW((void)forecast_transistor_cost(
+                     memory_scenario(), logic_scenario(), 1995, 1990),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace silicon::core

@@ -1,0 +1,157 @@
+// Property tests: monotonicity and scaling invariants of the integrated
+// cost model across the Table-3 parameter envelope.  These are the
+// contracts a downstream user would assume when sweeping the model, so
+// they are asserted over a parameter grid rather than at single points.
+
+#include "core/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+namespace silicon::core {
+namespace {
+
+cost_breakdown evaluate(double c0, double x, double y0, double lambda,
+                        double n_tr, double dd,
+                        double wafer_radius_cm = 7.5) {
+    process_spec process{
+        cost::wafer_cost_model{dollars{c0}, x},
+        geometry::wafer{centimeters{wafer_radius_cm}},
+        yield::reference_die_yield{probability{y0}},
+        geometry::gross_die_method::maly_rows};
+    product_spec product;
+    product.name = "probe";
+    product.transistors = n_tr;
+    product.design_density = dd;
+    product.feature_size = microns{lambda};
+    return cost_model{process}.evaluate(product);
+}
+
+// Grid over (X, Y0, lambda) at Table-3-like product scale.
+class ModelGrid
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {
+protected:
+    static constexpr double n_tr = 2.0e6;
+    static constexpr double dd = 150.0;
+};
+
+TEST_P(ModelGrid, CostLinearInC0) {
+    const auto [x, y0, lambda] = GetParam();
+    const double base =
+        evaluate(500.0, x, y0, lambda, n_tr, dd)
+            .cost_per_transistor.value();
+    const double doubled =
+        evaluate(1000.0, x, y0, lambda, n_tr, dd)
+            .cost_per_transistor.value();
+    EXPECT_NEAR(doubled / base, 2.0, 1e-12);
+}
+
+TEST_P(ModelGrid, CostDecreasesInY0) {
+    const auto [x, y0, lambda] = GetParam();
+    const double worse =
+        evaluate(500.0, x, y0 - 0.1, lambda, n_tr, dd)
+            .cost_per_transistor.value();
+    const double better =
+        evaluate(500.0, x, y0, lambda, n_tr, dd)
+            .cost_per_transistor.value();
+    EXPECT_LT(better, worse);
+}
+
+TEST_P(ModelGrid, CostIncreasesInXBelowOneMicron) {
+    const auto [x, y0, lambda] = GetParam();
+    const double base =
+        evaluate(500.0, x, y0, lambda, n_tr, dd)
+            .cost_per_transistor.value();
+    const double escalated =
+        evaluate(500.0, x + 0.2, y0, lambda, n_tr, dd)
+            .cost_per_transistor.value();
+    EXPECT_GT(escalated, base);
+}
+
+TEST_P(ModelGrid, BiggerWaferNeverCostsMorePerTransistor) {
+    const auto [x, y0, lambda] = GetParam();
+    const double six =
+        evaluate(500.0, x, y0, lambda, n_tr, dd, 7.5)
+            .cost_per_transistor.value();
+    const double eight =
+        evaluate(500.0, x, y0, lambda, n_tr, dd, 10.0)
+            .cost_per_transistor.value();
+    // Same C_0 assumed (the paper folds the size premium into X):
+    // geometry alone can only help.
+    EXPECT_LE(eight, six * 1.0001);
+}
+
+TEST_P(ModelGrid, YieldMatchesClosedForm) {
+    const auto [x, y0, lambda] = GetParam();
+    const cost_breakdown b = evaluate(500.0, x, y0, lambda, n_tr, dd);
+    const double area_cm2 = n_tr * dd * lambda * lambda * 1e-8;
+    EXPECT_NEAR(b.yield.value(), std::pow(y0, area_cm2), 1e-12);
+}
+
+TEST_P(ModelGrid, DoublingDensityDoublesDieArea) {
+    const auto [x, y0, lambda] = GetParam();
+    const cost_breakdown thin = evaluate(500.0, x, y0, lambda, n_tr, dd);
+    const cost_breakdown fat =
+        evaluate(500.0, x, y0, lambda, n_tr, 2.0 * dd);
+    EXPECT_NEAR(fat.die_area.value() / thin.die_area.value(), 2.0,
+                1e-12);
+    // And the cost per transistor strictly rises (more silicon, lower
+    // yield, fewer dies).
+    EXPECT_GT(fat.cost_per_transistor.value(),
+              thin.cost_per_transistor.value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Envelope, ModelGrid,
+    ::testing::Combine(::testing::Values(1.2, 1.8, 2.4),   // X
+                       ::testing::Values(0.6, 0.9),        // Y0
+                       ::testing::Values(0.35, 0.65, 0.8)  // lambda
+                       ));
+
+TEST(ModelShape, AspectRatioOnlyChangesPlacement) {
+    // A 2:1 die has the same area and yield as the square one; only
+    // N_ch moves (and not by much on a 6-inch wafer for mid-size dies).
+    process_spec process{
+        cost::wafer_cost_model{dollars{500.0}, 1.8},
+        geometry::wafer::six_inch(),
+        yield::reference_die_yield{probability{0.8}},
+        geometry::gross_die_method::maly_rows};
+    product_spec square;
+    square.transistors = 1.5e6;
+    square.design_density = 150.0;
+    square.feature_size = microns{0.7};
+    product_spec wide = square;
+    wide.die_aspect_ratio = 2.0;
+
+    const cost_model model{process};
+    const cost_breakdown sq = model.evaluate(square);
+    const cost_breakdown wd = model.evaluate(wide);
+    EXPECT_NEAR(sq.die_area.value(), wd.die_area.value(), 1e-9);
+    EXPECT_DOUBLE_EQ(sq.yield.value(), wd.yield.value());
+    EXPECT_NEAR(static_cast<double>(wd.gross_dies_per_wafer) /
+                    static_cast<double>(sq.gross_dies_per_wafer),
+                1.0, 0.15);
+}
+
+TEST(ModelShape, ExtremeAspectRatioLosesDies) {
+    process_spec process{
+        cost::wafer_cost_model{dollars{500.0}, 1.8},
+        geometry::wafer::six_inch(),
+        yield::reference_die_yield{probability{0.8}},
+        geometry::gross_die_method::maly_rows};
+    product_spec square;
+    square.transistors = 1.5e6;
+    square.design_density = 150.0;
+    square.feature_size = microns{0.7};
+    product_spec sliver = square;
+    sliver.die_aspect_ratio = 12.0;
+
+    const cost_model model{process};
+    EXPECT_LT(model.evaluate(sliver).gross_dies_per_wafer,
+              model.evaluate(square).gross_dies_per_wafer);
+}
+
+}  // namespace
+}  // namespace silicon::core

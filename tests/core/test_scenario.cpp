@@ -1,0 +1,121 @@
+// Tests for Scenarios #1 and #2 (Eqs. 8 and 9, Figs. 6 and 7).
+
+#include "core/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::core {
+namespace {
+
+TEST(Scenario1, CostFallsAsFeatureShrinks) {
+    // The Fig. 6 headline: under optimistic assumptions C_tr decreases
+    // monotonically with lambda for every X in 1.1-1.3.
+    for (double x : {1.1, 1.2, 1.3}) {
+        scenario1 s;
+        s.wafer_cost = cost::wafer_cost_model{dollars{500.0}, x};
+        double previous = 1e300;
+        for (double lambda = 1.0; lambda >= 0.25; lambda -= 0.05) {
+            const double c =
+                s.cost_per_transistor(microns{lambda}).value();
+            EXPECT_LT(c, previous) << "X=" << x << " lambda=" << lambda;
+            previous = c;
+        }
+    }
+}
+
+TEST(Scenario1, HandComputedValue) {
+    // At lambda = 1 um: C_tr = 500 * 30 * 1 um^2 / (pi * 7.5cm^2 in um^2).
+    scenario1 s;
+    const double wafer_um2 = M_PI * 7.5 * 7.5 * 1e8;
+    EXPECT_NEAR(s.cost_per_transistor(microns{1.0}).value(),
+                500.0 * 30.0 / wafer_um2, 1e-15);
+}
+
+TEST(Scenario1, HigherXMeansHigherCostAtFineFeatures) {
+    scenario1 low;
+    low.wafer_cost = cost::wafer_cost_model{dollars{500.0}, 1.1};
+    scenario1 high;
+    high.wafer_cost = cost::wafer_cost_model{dollars{500.0}, 1.3};
+    EXPECT_LT(low.cost_per_transistor(microns{0.25}).value(),
+              high.cost_per_transistor(microns{0.25}).value());
+    // At the 1 um reference they coincide.
+    EXPECT_NEAR(low.cost_per_transistor(microns{1.0}).value(),
+                high.cost_per_transistor(microns{1.0}).value(), 1e-18);
+}
+
+TEST(Scenario1, RejectsZeroLambda) {
+    scenario1 s;
+    EXPECT_THROW((void)s.cost_per_transistor(microns{0.0}),
+                 std::invalid_argument);
+}
+
+TEST(Scenario2, DieAreaFollowsFig3Trend) {
+    scenario2 s;
+    EXPECT_NEAR(s.die_area(microns{0.8}).value(),
+                16.5 * std::exp(-5.3 * 0.8), 1e-12);
+    EXPECT_GT(s.die_area(microns{0.4}).value(),
+              s.die_area(microns{0.8}).value());
+}
+
+TEST(Scenario2, TransistorCountGrowsAsFeatureShrinks) {
+    scenario2 s;
+    EXPECT_GT(s.transistors(microns{0.4}), s.transistors(microns{0.8}));
+}
+
+TEST(Scenario2, CostRisesAsFeatureShrinks) {
+    // The Fig. 7 headline: "A decrease in the feature size causes an
+    // increase in the transistor cost!"  Holds for all X in 1.8-2.4 over
+    // the sub-micron range plotted.
+    for (double x : {1.8, 2.1, 2.4}) {
+        scenario2 s;
+        s.wafer_cost = cost::wafer_cost_model{dollars{500.0}, x};
+        double previous = 0.0;
+        for (double lambda = 0.9; lambda >= 0.25; lambda -= 0.05) {
+            const double c =
+                s.cost_per_transistor(microns{lambda}).value();
+            EXPECT_GT(c, previous) << "X=" << x << " lambda=" << lambda;
+            previous = c;
+        }
+    }
+}
+
+TEST(Scenario2, YieldTermDrivesTheReversal) {
+    // With Y_0 = 1 (no yield penalty) scenario 2's shape reverts to
+    // scenario-1-like decline over coarse lambdas; the 70% yield at
+    // 1 cm^2 is what flips the trend.
+    scenario2 punished;
+    scenario2 blessed;
+    blessed.yield = yield::reference_die_yield{probability{0.99999}};
+    const double punished_ratio =
+        punished.cost_per_transistor(microns{0.3}).value() /
+        punished.cost_per_transistor(microns{0.8}).value();
+    const double blessed_ratio =
+        blessed.cost_per_transistor(microns{0.3}).value() /
+        blessed.cost_per_transistor(microns{0.8}).value();
+    EXPECT_GT(punished_ratio, blessed_ratio);
+}
+
+TEST(Scenario2, Scenario2CostExceedsScenario1AtSameX) {
+    // Same C_0 and X: the yield penalty plus denser d_d makes the custom
+    // product strictly more expensive per transistor.
+    scenario1 s1;
+    s1.wafer_cost = cost::wafer_cost_model{dollars{500.0}, 1.8};
+    scenario2 s2;
+    for (double lambda : {0.8, 0.5, 0.35}) {
+        EXPECT_GT(s2.cost_per_transistor(microns{lambda}).value(),
+                  s1.cost_per_transistor(microns{lambda}).value())
+            << lambda;
+    }
+}
+
+TEST(Scenario2, RejectsZeroLambda) {
+    scenario2 s;
+    EXPECT_THROW((void)s.cost_per_transistor(microns{0.0}),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace silicon::core

@@ -1,0 +1,107 @@
+// Tests for the product shrink analysis.
+
+#include "core/shrink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::core {
+namespace {
+
+process_spec reference_process(double x = 1.4) {
+    return process_spec{
+        cost::wafer_cost_model{dollars{700.0}, x},
+        geometry::wafer::six_inch(),
+        yield::reference_die_yield{probability{0.8}},
+        geometry::gross_die_method::maly_rows};
+}
+
+product_spec big_product() {
+    product_spec p;
+    p.name = "uP";
+    p.transistors = 3.0e6;
+    p.design_density = 150.0;
+    p.feature_size = microns{0.8};
+    return p;
+}
+
+TEST(Shrink, FactorsAreConsistent) {
+    const shrink_analysis a = analyze_shrink(
+        reference_process(), big_product(), microns{0.6});
+    EXPECT_NEAR(a.area_ratio, 0.36 / 0.64, 1e-9);
+    EXPECT_GT(a.gross_die_ratio, 1.5);  // more, smaller dies
+    EXPECT_NEAR(a.wafer_cost_ratio, std::pow(1.4, 1.0), 1e-9);
+    EXPECT_GT(a.yield_ratio, 1.0);  // reference model: smaller die yields
+    EXPECT_NEAR(a.cost_ratio,
+                a.after.cost_per_good_die.value() /
+                    a.before.cost_per_good_die.value(),
+                1e-12);
+}
+
+TEST(Shrink, PaysAtModestXUnderReferenceYield) {
+    const shrink_analysis a = analyze_shrink(
+        reference_process(1.4), big_product(), microns{0.6});
+    EXPECT_TRUE(a.shrink_pays);
+    EXPECT_LT(a.cost_ratio, 0.75);
+}
+
+TEST(Shrink, StopsPayingAtHighX) {
+    // The breakeven for this die sits near X = 2.5; above it the wafer
+    // cost escalation eats the whole geometric gain.
+    const shrink_analysis a = analyze_shrink(
+        reference_process(2.7), big_product(), microns{0.6});
+    EXPECT_FALSE(a.shrink_pays);
+    EXPECT_GT(a.cost_ratio, 1.0);
+}
+
+TEST(Shrink, BreakevenXSeparatesTheRegimes) {
+    // The break-even X computed at one X must predict the flip.
+    const shrink_analysis cheap = analyze_shrink(
+        reference_process(1.4), big_product(), microns{0.6});
+    const double x_be = cheap.breakeven_x;
+    EXPECT_GT(x_be, 1.4);  // pays at 1.4, so breakeven is above
+
+    const shrink_analysis just_below = analyze_shrink(
+        reference_process(x_be * 0.98), big_product(), microns{0.6});
+    const shrink_analysis just_above = analyze_shrink(
+        reference_process(x_be * 1.02), big_product(), microns{0.6});
+    EXPECT_TRUE(just_below.shrink_pays);
+    EXPECT_FALSE(just_above.shrink_pays);
+}
+
+TEST(Shrink, ScaledYieldPenalizesTheShrink) {
+    // Under Eq. (7) the shrink walks into a denser killer-defect
+    // population: the yield ratio is < 1 and the payback worse than
+    // under the reference model.
+    process_spec scaled{
+        cost::wafer_cost_model{dollars{700.0}, 1.4},
+        geometry::wafer::six_inch(),
+        yield::scaled_poisson_model{0.2, 4.07},
+        geometry::gross_die_method::maly_rows};
+    product_spec p = big_product();
+    p.transistors = 5e5;
+    p.design_density = 152.0;
+    const shrink_analysis scaled_case =
+        analyze_shrink(scaled, p, microns{0.6});
+    const shrink_analysis reference_case =
+        analyze_shrink(reference_process(1.4), p, microns{0.6});
+    EXPECT_LT(scaled_case.yield_ratio, 1.0);
+    EXPECT_GT(scaled_case.cost_ratio, reference_case.cost_ratio);
+}
+
+TEST(Shrink, RejectsBadTargets) {
+    EXPECT_THROW((void)analyze_shrink(reference_process(), big_product(),
+                                      microns{0.8}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)analyze_shrink(reference_process(), big_product(),
+                                      microns{0.9}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)analyze_shrink(reference_process(), big_product(),
+                                      microns{0.0}),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace silicon::core

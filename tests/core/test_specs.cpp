@@ -1,0 +1,93 @@
+// Tests for the core input specifications.
+
+#include "core/specs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::core {
+namespace {
+
+TEST(ProductSpec, DieAreaFollowsEq5) {
+    product_spec p;
+    p.transistors = 3.1e6;
+    p.design_density = 150.0;
+    p.feature_size = microns{0.8};
+    // 3.1e6 * 150 * 0.64 um^2 = 297.6 mm^2.
+    EXPECT_NEAR(p.die_area().value(), 297.6, 1e-9);
+}
+
+TEST(ProductSpec, SquareDieByDefault) {
+    product_spec p;
+    p.transistors = 1e6;
+    p.design_density = 100.0;
+    p.feature_size = microns{1.0};
+    const geometry::die d = p.make_die();
+    EXPECT_NEAR(d.aspect_ratio(), 1.0, 1e-12);
+    EXPECT_NEAR(d.area().value(), p.die_area().value(), 1e-9);
+}
+
+TEST(ProductSpec, AspectRatioPreservesArea) {
+    product_spec p;
+    p.transistors = 1e6;
+    p.design_density = 100.0;
+    p.feature_size = microns{1.0};
+    p.die_aspect_ratio = 2.0;
+    const geometry::die d = p.make_die();
+    EXPECT_NEAR(d.aspect_ratio(), 2.0, 1e-12);
+    EXPECT_NEAR(d.area().value(), p.die_area().value(), 1e-9);
+}
+
+TEST(ProductSpec, RejectsBadInputs) {
+    product_spec p;
+    p.transistors = 0.0;
+    EXPECT_THROW((void)p.die_area(), std::invalid_argument);
+    p.transistors = 1e6;
+    p.design_density = 0.0;
+    EXPECT_THROW((void)p.die_area(), std::invalid_argument);
+    p.design_density = 100.0;
+    p.die_aspect_ratio = 0.0;
+    EXPECT_THROW((void)p.make_die(), std::invalid_argument);
+}
+
+process_spec reference_process(yield_spec y) {
+    return process_spec{
+        cost::wafer_cost_model{dollars{500.0}, 1.8},
+        geometry::wafer::six_inch(), std::move(y),
+        geometry::gross_die_method::maly_rows};
+}
+
+TEST(ProcessSpec, ReferenceYieldVariant) {
+    const process_spec p = reference_process(
+        yield::reference_die_yield{probability{0.7}});
+    EXPECT_NEAR(
+        p.evaluate_yield(square_millimeters{100.0}, microns{0.8}).value(),
+        0.7, 1e-12);
+}
+
+TEST(ProcessSpec, ScaledPoissonVariantUsesLambda) {
+    const process_spec p = reference_process(
+        yield::scaled_poisson_model{1.72, 4.07});
+    const double y08 =
+        p.evaluate_yield(square_millimeters{50.0}, microns{0.8}).value();
+    const double y05 =
+        p.evaluate_yield(square_millimeters{50.0}, microns{0.5}).value();
+    EXPECT_GT(y08, y05);  // same area, finer feature -> worse yield
+}
+
+TEST(ProcessSpec, FixedProbabilityVariant) {
+    const process_spec p = reference_process(probability{1.0});
+    EXPECT_DOUBLE_EQ(
+        p.evaluate_yield(square_millimeters{500.0}, microns{0.5}).value(),
+        1.0);
+}
+
+TEST(EconomicsSpec, HighVolumeDefaults) {
+    const economics_spec e = economics_spec::high_volume();
+    EXPECT_DOUBLE_EQ(e.overhead.value(), 0.0);
+}
+
+}  // namespace
+}  // namespace silicon::core

@@ -1,0 +1,117 @@
+// Tests for the system-level partition optimizer.
+
+#include "core/system_optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace silicon::core {
+namespace {
+
+system_optimization_config default_config() {
+    return system_optimization_config{
+        process_spec{
+            cost::wafer_cost_model{dollars{500.0}, 1.8},
+            geometry::wafer::six_inch(),
+            yield::scaled_poisson_model::fig8_calibration(),
+            geometry::gross_die_method::maly_rows},
+        microns{0.3},
+        microns{1.2},
+        packaging_spec{},
+        1e5};
+}
+
+std::vector<system_block> cpu_blocks() {
+    // Table 1-flavored system: dense caches, sparse logic.
+    return {
+        {"I-cache", 1.2e6, 43.2},
+        {"D-cache", 1.1e6, 50.7},
+        {"FPU", 323e3, 222.3},
+        {"Integer unit", 232e3, 257.9},
+    };
+}
+
+TEST(SystemOptimizer, ProducesAValidPartition) {
+    const system_solution solution =
+        optimize_system(cpu_blocks(), default_config());
+    ASSERT_FALSE(solution.dies.empty());
+    std::size_t assigned = 0;
+    for (const optimized_die& die : solution.dies) {
+        assigned += die.block_names.size();
+        EXPECT_GT(die.transistors, 0.0);
+        EXPECT_GT(die.lambda.value(), 0.0);
+        EXPECT_GT(die.cost_per_good_die.value(), 0.0);
+    }
+    EXPECT_EQ(assigned, cpu_blocks().size());
+}
+
+TEST(SystemOptimizer, TotalIsSiliconPlusPackaging) {
+    const system_solution solution =
+        optimize_system(cpu_blocks(), default_config());
+    EXPECT_NEAR(solution.total_cost.value(),
+                solution.silicon_cost.value() +
+                    solution.packaging_cost.value(),
+                1e-9);
+}
+
+TEST(SystemOptimizer, NeverWorseThanMonolithic) {
+    const system_solution solution =
+        optimize_system(cpu_blocks(), default_config());
+    EXPECT_LE(solution.total_cost.value(),
+              solution.monolithic_cost.value() + 1e-9);
+}
+
+TEST(SystemOptimizer, ExpensivePackagingForcesMonolithic) {
+    system_optimization_config config = default_config();
+    config.packaging.per_die = dollars{1e6};
+    config.packaging.integration_per_extra_die = dollars{1e6};
+    const system_solution solution =
+        optimize_system(cpu_blocks(), config);
+    EXPECT_EQ(solution.dies.size(), 1u);
+}
+
+TEST(SystemOptimizer, FreePackagingSplitsAggressively) {
+    // With zero packaging cost and a yield model punishing big dies,
+    // splitting is never worse, and for these blocks strictly better.
+    system_optimization_config config = default_config();
+    config.packaging = packaging_spec{dollars{0.0}, dollars{0.0},
+                                      dollars{0.0}};
+    const system_solution solution =
+        optimize_system(cpu_blocks(), config);
+    EXPECT_GT(solution.dies.size(), 1u);
+    EXPECT_LT(solution.total_cost.value(),
+              solution.monolithic_cost.value());
+}
+
+TEST(SystemOptimizer, PerDieLambdasAreWithinSearchRange) {
+    const system_optimization_config config = default_config();
+    const system_solution solution =
+        optimize_system(cpu_blocks(), config);
+    for (const optimized_die& die : solution.dies) {
+        EXPECT_GE(die.lambda.value(), config.lambda_lo.value() - 1e-9);
+        EXPECT_LE(die.lambda.value(), config.lambda_hi.value() + 1e-9);
+    }
+}
+
+TEST(SystemOptimizer, RejectsEmptyAndInvalidBlocks) {
+    EXPECT_THROW((void)optimize_system({}, default_config()),
+                 std::invalid_argument);
+    EXPECT_THROW((void)optimize_system({{"bad", 0.0, 100.0}}, default_config()),
+                 std::invalid_argument);
+}
+
+TEST(SystemOptimizer, DensityIsTransistorWeightedMean) {
+    // Two equal blocks with densities 100 and 300 merged on one die give
+    // density 200; force the merge via huge packaging costs.
+    system_optimization_config config = default_config();
+    config.packaging.per_die = dollars{1e9};
+    const std::vector<system_block> blocks = {
+        {"a", 1e5, 100.0}, {"b", 1e5, 300.0}};
+    const system_solution solution = optimize_system(blocks, config);
+    ASSERT_EQ(solution.dies.size(), 1u);
+    EXPECT_NEAR(solution.dies[0].design_density, 200.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace silicon::core

@@ -1,0 +1,105 @@
+// Tests reproducing the paper's Table 3.
+
+#include "core/table3.hpp"
+
+#include <gtest/gtest.h>
+
+namespace silicon::core {
+namespace {
+
+TEST(Table3, SeventeenRowsInOrder) {
+    const auto& rows = table3_rows();
+    ASSERT_EQ(rows.size(), 17u);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        EXPECT_EQ(rows[i].index, static_cast<int>(i) + 1);
+    }
+}
+
+TEST(Table3, DuplicateRowsTwoAndSixAgree) {
+    const auto& rows = table3_rows();
+    EXPECT_DOUBLE_EQ(rows[1].printed_ctr_micro, rows[5].printed_ctr_micro);
+    EXPECT_DOUBLE_EQ(
+        reproduce_row(rows[1]).cost_per_transistor.value(),
+        reproduce_row(rows[5]).cost_per_transistor.value());
+}
+
+TEST(Table3, RowOneMatchesAllPrintedDigits) {
+    const auto& row = table3_rows()[0];
+    const cost_breakdown b = reproduce_row(row);
+    EXPECT_NEAR(b.cost_per_transistor_micro_dollars(), 9.40, 0.01);
+}
+
+TEST(Table3, RowThirteenAndFourteenMatchAllPrintedDigits) {
+    EXPECT_NEAR(reproduce_row(table3_rows()[12])
+                    .cost_per_transistor_micro_dollars(),
+                1.31, 0.01);
+    EXPECT_NEAR(reproduce_row(table3_rows()[13])
+                    .cost_per_transistor_micro_dollars(),
+                2.18, 0.01);
+}
+
+// Parameterized reproduction across the whole table: rows with printed
+// inputs must land within 8% of the printed output (rounding of the
+// printed N_ch-free inputs); reconstructed rows within 35%.
+class Table3Row : public ::testing::TestWithParam<int> {};
+
+TEST_P(Table3Row, ReproducesPrintedCostPerTransistor) {
+    const table3_row& row =
+        table3_rows()[static_cast<std::size_t>(GetParam())];
+    const cost_breakdown b = reproduce_row(row);
+    const double computed = b.cost_per_transistor_micro_dollars();
+    const double tolerance = row.reconstructed ? 0.35 : 0.08;
+    EXPECT_NEAR(computed / row.printed_ctr_micro, 1.0, tolerance)
+        << "row " << row.index << " (" << row.ic_type << "): printed "
+        << row.printed_ctr_micro << ", computed " << computed;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRows, Table3Row, ::testing::Range(0, 17));
+
+TEST(Table3, ReproduceAllProducesSeventeenComparisons) {
+    const auto comparisons = reproduce_table3();
+    ASSERT_EQ(comparisons.size(), 17u);
+    for (const table3_comparison& c : comparisons) {
+        EXPECT_GT(c.computed_ctr_micro, 0.0);
+        EXPECT_GT(c.ratio, 0.0);
+    }
+}
+
+TEST(Table3, MemoryRowsFarCheaperThanLogicRows) {
+    // Sec. IV.C conclusion #1: "the cost per transistor of a memory is
+    // very different and much lower than for all other IC types."
+    EXPECT_GT(memory_logic_separation(), 2.0);
+}
+
+TEST(Table3, CostDiversitySpansTwoOrdersOfMagnitude) {
+    // Sec. IV.C conclusion #2 (rows 11 vs 17: 0.93 vs 240).
+    const auto comparisons = reproduce_table3();
+    double min_c = 1e300;
+    double max_c = 0.0;
+    for (const auto& c : comparisons) {
+        min_c = std::min(min_c, c.computed_ctr_micro);
+        max_c = std::max(max_c, c.computed_ctr_micro);
+    }
+    EXPECT_GT(max_c / min_c, 100.0);
+}
+
+TEST(Table3, XEscalationOrdersRowsOneToThree) {
+    // Rows 1-3 differ only in (Y_0, X); cost rises monotonically.
+    const auto comparisons = reproduce_table3();
+    EXPECT_LT(comparisons[0].computed_ctr_micro,
+              comparisons[1].computed_ctr_micro);
+    EXPECT_LT(comparisons[1].computed_ctr_micro,
+              comparisons[2].computed_ctr_micro);
+}
+
+TEST(Table3, BiggerWaferWithWorseYieldStillCostsMore) {
+    // Rows 13 vs 14: moving to 8-inch wafers at lower Y_0 raises C_tr by
+    // the printed 1.66x.
+    const auto comparisons = reproduce_table3();
+    const double ratio = comparisons[13].computed_ctr_micro /
+                         comparisons[12].computed_ctr_micro;
+    EXPECT_NEAR(ratio, 2.18 / 1.31, 0.05);
+}
+
+}  // namespace
+}  // namespace silicon::core

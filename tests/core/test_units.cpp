@@ -1,0 +1,124 @@
+// Unit tests for the strong unit types (core/units.hpp).
+
+#include "core/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace silicon {
+namespace {
+
+TEST(Microns, StoresValue) {
+    EXPECT_DOUBLE_EQ(microns{0.8}.value(), 0.8);
+}
+
+TEST(Microns, DefaultIsZero) {
+    EXPECT_DOUBLE_EQ(microns{}.value(), 0.0);
+}
+
+TEST(Microns, RejectsNegative) {
+    EXPECT_THROW((void)microns{-0.1}, std::invalid_argument);
+}
+
+TEST(Microns, RejectsNaN) {
+    EXPECT_THROW((void)microns{std::nan("")}, std::invalid_argument);
+}
+
+TEST(Microns, RejectsInfinity) {
+    EXPECT_THROW((void)microns{std::numeric_limits<double>::infinity()},
+                 std::invalid_argument);
+}
+
+TEST(Microns, ArithmeticWithinType) {
+    const microns a{0.5};
+    const microns b{0.3};
+    EXPECT_DOUBLE_EQ((a + b).value(), 0.8);
+    EXPECT_DOUBLE_EQ((a - b).value(), 0.2);
+    EXPECT_DOUBLE_EQ((a * 2.0).value(), 1.0);
+    EXPECT_DOUBLE_EQ((2.0 * a).value(), 1.0);
+    EXPECT_DOUBLE_EQ((a / 2.0).value(), 0.25);
+    EXPECT_DOUBLE_EQ(a / b, 0.5 / 0.3);
+}
+
+TEST(Microns, SubtractionBelowZeroThrows) {
+    EXPECT_THROW((void)(microns{0.1} - microns{0.2}),
+                 std::invalid_argument);
+}
+
+TEST(Microns, Ordering) {
+    EXPECT_LT(microns{0.25}, microns{0.8});
+    EXPECT_EQ(microns{0.5}, microns{0.5});
+}
+
+TEST(LengthConversions, RoundTrip) {
+    const microns um{1500.0};
+    EXPECT_DOUBLE_EQ(um.to_millimeters().value(), 1.5);
+    EXPECT_DOUBLE_EQ(um.to_millimeters().to_microns().value(), 1500.0);
+    const millimeters mm{25.0};
+    EXPECT_DOUBLE_EQ(mm.to_centimeters().value(), 2.5);
+    EXPECT_DOUBLE_EQ(centimeters{7.5}.to_millimeters().value(), 75.0);
+}
+
+TEST(AreaConversions, RoundTrip) {
+    const square_millimeters mm2{250.0};
+    EXPECT_DOUBLE_EQ(mm2.to_square_centimeters().value(), 2.5);
+    EXPECT_DOUBLE_EQ(
+        square_centimeters{1.0}.to_square_millimeters().value(), 100.0);
+}
+
+TEST(AreaHelpers, RectangleArea) {
+    EXPECT_DOUBLE_EQ(
+        area_of(millimeters{10.0}, millimeters{15.0}).value(), 150.0);
+}
+
+TEST(AreaHelpers, DiscAreaOfSixInchWafer) {
+    // pi * 7.5^2 = 176.714...
+    EXPECT_NEAR(disc_area(centimeters{7.5}).value(), 176.7146, 1e-3);
+}
+
+TEST(Dollars, AllowsNegative) {
+    EXPECT_DOUBLE_EQ(dollars{-5.0}.value(), -5.0);
+}
+
+TEST(Dollars, RejectsNaN) {
+    EXPECT_THROW((void)dollars{std::nan("")}, std::invalid_argument);
+}
+
+TEST(Dollars, Arithmetic) {
+    const dollars a{700.0};
+    const dollars b{300.0};
+    EXPECT_DOUBLE_EQ((a + b).value(), 1000.0);
+    EXPECT_DOUBLE_EQ((a - b).value(), 400.0);
+    EXPECT_DOUBLE_EQ((-a).value(), -700.0);
+    EXPECT_DOUBLE_EQ((a * 2.0).value(), 1400.0);
+    EXPECT_DOUBLE_EQ((a / 2.0).value(), 350.0);
+    EXPECT_DOUBLE_EQ(a / b, 7.0 / 3.0);
+}
+
+TEST(Probability, AcceptsBounds) {
+    EXPECT_DOUBLE_EQ(probability{0.0}.value(), 0.0);
+    EXPECT_DOUBLE_EQ(probability{1.0}.value(), 1.0);
+}
+
+TEST(Probability, RejectsOutOfRange) {
+    EXPECT_THROW((void)probability{-0.01}, std::invalid_argument);
+    EXPECT_THROW((void)probability{1.01}, std::invalid_argument);
+    EXPECT_THROW((void)probability{std::nan("")}, std::invalid_argument);
+}
+
+TEST(Probability, ClampedSaturates) {
+    EXPECT_DOUBLE_EQ(probability::clamped(-3.0).value(), 0.0);
+    EXPECT_DOUBLE_EQ(probability::clamped(42.0).value(), 1.0);
+    EXPECT_DOUBLE_EQ(probability::clamped(0.25).value(), 0.25);
+    EXPECT_THROW((void)probability::clamped(std::nan("")), std::invalid_argument);
+}
+
+TEST(Probability, ComplementAndProduct) {
+    const probability y{0.7};
+    EXPECT_NEAR(y.complement().value(), 0.3, 1e-15);
+    EXPECT_NEAR((y * probability{0.5}).value(), 0.35, 1e-15);
+}
+
+}  // namespace
+}  // namespace silicon

@@ -1,0 +1,59 @@
+// Tests for the packaging cost model.
+
+#include "cost/assembly.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace silicon::cost {
+namespace {
+
+TEST(PackageCost, BasePlusPins) {
+    package_spec spec;
+    spec.base_cost = dollars{2.0};
+    spec.cost_per_pin = dollars{0.05};
+    spec.pins = 100;
+    EXPECT_NEAR(package_cost(spec).value(), 7.0, 1e-12);
+}
+
+TEST(PackageCost, RejectsNegativePins) {
+    package_spec spec;
+    spec.pins = -1;
+    EXPECT_THROW((void)package_cost(spec), std::invalid_argument);
+}
+
+TEST(PackagedPart, AssemblyYieldInflatesCost) {
+    package_spec spec;
+    spec.base_cost = dollars{1.0};
+    spec.cost_per_pin = dollars{0.0};
+    spec.pins = 0;
+    spec.assembly_yield = probability{0.5};
+    EXPECT_NEAR(packaged_part_cost(dollars{9.0}, spec).value(), 20.0,
+                1e-12);
+}
+
+TEST(PackagedPart, PerfectAssemblyAddsOnlyPackage) {
+    package_spec spec;
+    spec.base_cost = dollars{3.0};
+    spec.cost_per_pin = dollars{0.02};
+    spec.pins = 50;
+    spec.assembly_yield = probability{1.0};
+    EXPECT_NEAR(packaged_part_cost(dollars{10.0}, spec).value(), 14.0,
+                1e-12);
+}
+
+TEST(PackagedPart, RejectsZeroAssemblyYield) {
+    package_spec spec;
+    spec.assembly_yield = probability{0.0};
+    EXPECT_THROW((void)packaged_part_cost(dollars{10.0}, spec),
+                 std::domain_error);
+}
+
+TEST(PackagedPart, RejectsNegativeDieCost) {
+    EXPECT_THROW((void)packaged_part_cost(dollars{-1.0}, package_spec{}),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace silicon::cost

@@ -1,0 +1,133 @@
+// Tests for the fabline capacity/utilization model.
+
+#include "cost/fabline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace silicon::cost {
+namespace {
+
+fabline tiny_line() {
+    return fabline{{{"litho", dollars{100.0}, 10.0},
+                    {"etch", dollars{50.0}, 20.0}},
+                   100.0};
+}
+
+wafer_recipe tiny_recipe(double litho_passes, double etch_passes) {
+    return {"tiny", {litho_passes, etch_passes}};
+}
+
+TEST(Fabline, RejectsBadConstruction) {
+    EXPECT_THROW((void)(fabline{{}, 100.0}), std::invalid_argument);
+    EXPECT_THROW((void)(fabline{{{"a", dollars{1.0}, 0.0}}, 100.0}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)(fabline{{{"a", dollars{1.0}, 1.0}}, 0.0}),
+                 std::invalid_argument);
+}
+
+TEST(Fabline, RequiredHoursAccumulateAcrossProducts) {
+    const fabline line = tiny_line();
+    const std::vector<product_demand> mix = {
+        {tiny_recipe(10.0, 5.0), 100.0},  // 100 wafers
+        {tiny_recipe(20.0, 0.0), 50.0},
+    };
+    const auto hours = line.required_hours(mix);
+    // litho: 100*10/10 + 50*20/10 = 100 + 100 = 200 h.
+    EXPECT_DOUBLE_EQ(hours[0], 200.0);
+    // etch: 100*5/20 = 25 h.
+    EXPECT_DOUBLE_EQ(hours[1], 25.0);
+}
+
+TEST(Fabline, RejectsMismatchedRecipe) {
+    const fabline line = tiny_line();
+    const std::vector<product_demand> mix = {
+        {{"bad", {1.0}}, 10.0}};
+    EXPECT_THROW((void)line.required_hours(mix), std::invalid_argument);
+}
+
+TEST(Fabline, SizeLineCoversDemand) {
+    const fabline line = tiny_line();
+    const std::vector<product_demand> mix = {
+        {tiny_recipe(10.0, 5.0), 100.0}};
+    // litho needs 100 h / (100 h * 0.95) = 1.05 -> 2 tools.
+    const auto tools = line.size_line(mix);
+    EXPECT_EQ(tools[0], 2);
+    EXPECT_EQ(tools[1], 1);
+}
+
+TEST(Fabline, SizeLineZeroToolsForUnusedGroups) {
+    const fabline line = tiny_line();
+    const std::vector<product_demand> mix = {
+        {tiny_recipe(10.0, 0.0), 10.0}};
+    const auto tools = line.size_line(mix);
+    EXPECT_EQ(tools[1], 0);
+}
+
+TEST(Fabline, AnalyzeComputesUtilizationAndCost) {
+    const fabline line = tiny_line();
+    const std::vector<product_demand> mix = {
+        {tiny_recipe(10.0, 5.0), 100.0}};
+    const fabline_report report = line.analyze(mix, {2, 1});
+    EXPECT_DOUBLE_EQ(report.total_wafers, 100.0);
+    // Owned: litho 2*100 h * $100 + etch 1*100 h * $50 = $25000.
+    EXPECT_DOUBLE_EQ(report.period_cost.value(), 25000.0);
+    EXPECT_DOUBLE_EQ(report.cost_per_wafer.value(), 250.0);
+    EXPECT_NEAR(report.groups[0].utilization, 0.5, 1e-12);
+    EXPECT_NEAR(report.groups[1].utilization, 0.25, 1e-12);
+    EXPECT_NEAR(report.bottleneck_utilization, 0.5, 1e-12);
+}
+
+TEST(Fabline, AnalyzeRejectsOverCapacity) {
+    const fabline line = tiny_line();
+    const std::vector<product_demand> mix = {
+        {tiny_recipe(100.0, 0.0), 100.0}};  // 1000 litho hours needed
+    EXPECT_THROW((void)line.analyze(mix, {1, 1}), std::invalid_argument);
+}
+
+TEST(Fabline, AnalyzeRejectsDemandWithNoTools) {
+    const fabline line = tiny_line();
+    const std::vector<product_demand> mix = {
+        {tiny_recipe(1.0, 1.0), 10.0}};
+    EXPECT_THROW((void)line.analyze(mix, {1, 0}), std::invalid_argument);
+}
+
+TEST(Fabline, HigherVolumeLowersCostPerWafer) {
+    const fabline line = tiny_line();
+    const fabline_report small = line.analyze_sized(
+        {{tiny_recipe(10.0, 5.0), 20.0}});
+    const fabline_report large = line.analyze_sized(
+        {{tiny_recipe(10.0, 5.0), 2000.0}});
+    EXPECT_GT(small.cost_per_wafer.value(),
+              large.cost_per_wafer.value());
+}
+
+TEST(GenericCmos, HasEightGroups) {
+    const fabline line = fabline::generic_cmos();
+    EXPECT_EQ(line.groups().size(), 8u);
+    EXPECT_EQ(line.groups().front().name, "lithography");
+}
+
+TEST(GenericRecipe, MatchesGenericLineWidth) {
+    const wafer_recipe recipe = fabline::generic_recipe(0.8, 3);
+    EXPECT_EQ(recipe.passes.size(),
+              fabline::generic_cmos().groups().size());
+    // Litho passes dominate and must be positive.
+    EXPECT_GT(recipe.passes[0], 10.0);
+}
+
+TEST(GenericRecipe, FinerProcessDemandsMore) {
+    const wafer_recipe coarse = fabline::generic_recipe(1.2, 2);
+    const wafer_recipe fine = fabline::generic_recipe(0.35, 4);
+    double coarse_total = 0.0;
+    double fine_total = 0.0;
+    for (std::size_t i = 0; i < coarse.passes.size(); ++i) {
+        coarse_total += coarse.passes[i];
+        fine_total += fine.passes[i];
+    }
+    EXPECT_GT(fine_total, coarse_total);
+}
+
+}  // namespace
+}  // namespace silicon::cost

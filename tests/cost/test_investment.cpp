@@ -1,0 +1,116 @@
+// Tests for the fab investment NPV model.
+
+#include "cost/investment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::cost {
+namespace {
+
+fab_investment healthy_plan() {
+    fab_investment plan;
+    plan.capital = dollars{1000e6};
+    plan.life_quarters = 24;
+    plan.wafers_per_quarter = 60000.0;
+    plan.ramp_quarters = 4;
+    plan.utilization = 0.9;
+    plan.margin_per_wafer = dollars{2200.0};
+    plan.margin_erosion_per_quarter = 0.03;
+    plan.discount_rate_per_quarter = 0.03;
+    return plan;
+}
+
+TEST(Investment, HealthyPlanPaysBack) {
+    const investment_result r = evaluate_investment(healthy_plan());
+    EXPECT_GT(r.npv.value(), 0.0);
+    EXPECT_GE(r.payback_quarter, 4);   // not instantaneous
+    EXPECT_LT(r.payback_quarter, 24);  // but within the horizon
+    EXPECT_EQ(r.quarters.size(), 24u);
+}
+
+TEST(Investment, QuartersAreInternallyConsistent) {
+    const investment_result r = evaluate_investment(healthy_plan());
+    double cumulative = -1000e6;
+    for (const quarter_cash_flow& q : r.quarters) {
+        cumulative += q.discounted.value();
+        EXPECT_NEAR(q.cumulative_npv.value(), cumulative, 1.0);
+        EXPECT_LE(q.discounted.value(), q.cash.value());
+    }
+    EXPECT_NEAR(r.npv.value(), cumulative, 1.0);
+}
+
+TEST(Investment, RampLimitsEarlyVolume) {
+    const investment_result r = evaluate_investment(healthy_plan());
+    EXPECT_LT(r.quarters[0].wafers, r.quarters[6].wafers);
+    EXPECT_NEAR(r.quarters[10].wafers, 60000.0 * 0.9, 1.0);
+}
+
+TEST(Investment, MarginErosionCompounds) {
+    const investment_result r = evaluate_investment(healthy_plan());
+    EXPECT_NEAR(r.quarters[1].margin_per_wafer.value(),
+                2200.0 * 0.97, 1e-9);
+    EXPECT_LT(r.quarters.back().margin_per_wafer.value(),
+              r.quarters.front().margin_per_wafer.value());
+}
+
+TEST(Investment, ThinMarginsNeverPayBack) {
+    fab_investment thin = healthy_plan();
+    thin.margin_per_wafer = dollars{150.0};
+    const investment_result r = evaluate_investment(thin);
+    EXPECT_LT(r.npv.value(), 0.0);
+    EXPECT_EQ(r.payback_quarter, -1);
+    EXPECT_DOUBLE_EQ(r.internal_utilization_breakeven, 1.0);
+}
+
+TEST(Investment, BreakevenUtilizationIsConsistent) {
+    const investment_result r = evaluate_investment(healthy_plan());
+    ASSERT_GT(r.internal_utilization_breakeven, 0.0);
+    ASSERT_LT(r.internal_utilization_breakeven, 0.9);
+    fab_investment at_breakeven = healthy_plan();
+    at_breakeven.utilization = r.internal_utilization_breakeven;
+    EXPECT_NEAR(investment_npv(at_breakeven).value(), 0.0, 1e4);
+}
+
+TEST(Investment, NpvMonotoneInUtilization) {
+    double previous = -2e9;
+    for (double u : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+        fab_investment plan = healthy_plan();
+        plan.utilization = u;
+        const double npv = investment_npv(plan).value();
+        EXPECT_GT(npv, previous);
+        previous = npv;
+    }
+}
+
+TEST(Investment, HigherDiscountRateLowersNpv) {
+    fab_investment cheap_capital = healthy_plan();
+    cheap_capital.discount_rate_per_quarter = 0.01;
+    fab_investment dear_capital = healthy_plan();
+    dear_capital.discount_rate_per_quarter = 0.06;
+    EXPECT_GT(investment_npv(cheap_capital).value(),
+              investment_npv(dear_capital).value());
+}
+
+TEST(Investment, RejectsBadInputs) {
+    fab_investment plan = healthy_plan();
+    plan.capital = dollars{0.0};
+    EXPECT_THROW((void)evaluate_investment(plan), std::invalid_argument);
+    plan = healthy_plan();
+    plan.life_quarters = 0;
+    EXPECT_THROW((void)evaluate_investment(plan), std::invalid_argument);
+    plan = healthy_plan();
+    plan.utilization = 0.0;
+    EXPECT_THROW((void)evaluate_investment(plan), std::invalid_argument);
+    plan = healthy_plan();
+    plan.margin_erosion_per_quarter = 1.0;
+    EXPECT_THROW((void)evaluate_investment(plan), std::invalid_argument);
+    plan = healthy_plan();
+    plan.discount_rate_per_quarter = -0.1;
+    EXPECT_THROW((void)evaluate_investment(plan), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace silicon::cost

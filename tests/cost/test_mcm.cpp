@@ -1,0 +1,141 @@
+// Tests for the MCM / known-good-die system cost model.
+
+#include "cost/mcm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::cost {
+namespace {
+
+mcm_die typical_die() {
+    mcm_die die;
+    die.name = "asic";
+    die.cost = dollars{15.0};
+    die.sort_escape = probability{0.05};
+    die.attach_yield = probability{0.99};
+    return die;
+}
+
+TEST(McmDie, SlotYieldComposes) {
+    const mcm_die die = typical_die();
+    EXPECT_NEAR(die.slot_yield().value(), 0.95 * 0.99, 1e-12);
+}
+
+TEST(Mcm, RejectsEmptyModule) {
+    mcm_config config;
+    EXPECT_THROW((void)evaluate_mcm(config, mcm_strategy::bare),
+                 std::invalid_argument);
+}
+
+TEST(Mcm, BareYieldIsProductOfSlotYields) {
+    const mcm_config config = uniform_module(4, typical_die());
+    const mcm_result result = evaluate_mcm(config, mcm_strategy::bare);
+    EXPECT_NEAR(result.module_yield.value(),
+                std::pow(0.95 * 0.99, 4.0), 1e-12);
+}
+
+TEST(Mcm, BareCostPerGoodExceedsAttempt) {
+    const mcm_config config = uniform_module(4, typical_die());
+    const mcm_result result = evaluate_mcm(config, mcm_strategy::bare);
+    EXPECT_GT(result.cost_per_good_module.value(),
+              result.cost_per_attempt.value());
+}
+
+TEST(Mcm, KgdImprovesYieldOverBare) {
+    const mcm_config config = uniform_module(6, typical_die());
+    const mcm_result bare = evaluate_mcm(config, mcm_strategy::bare);
+    const mcm_result kgd = evaluate_mcm(config, mcm_strategy::kgd);
+    EXPECT_GT(kgd.module_yield.value(), bare.module_yield.value());
+    // But KGD pays the tester bill on every die.
+    EXPECT_GT(kgd.cost_per_attempt.value(), bare.cost_per_attempt.value());
+}
+
+TEST(Mcm, SmartSubstrateAlwaysEventuallyGood) {
+    const mcm_config config = uniform_module(6, typical_die());
+    const mcm_result smart =
+        evaluate_mcm(config, mcm_strategy::smart_substrate);
+    EXPECT_DOUBLE_EQ(smart.cost_per_attempt.value(),
+                     smart.cost_per_good_module.value());
+    EXPECT_GT(smart.expected_rework_operations, 0.0);
+}
+
+TEST(Mcm, BareCollapsesForLargeModules) {
+    // With 5% escapes per die, a 20-die bare module is hopeless and the
+    // smart substrate wins decisively.
+    const mcm_config config = uniform_module(20, typical_die());
+    const mcm_result bare = evaluate_mcm(config, mcm_strategy::bare);
+    const mcm_result smart =
+        evaluate_mcm(config, mcm_strategy::smart_substrate);
+    EXPECT_GT(bare.cost_per_good_module.value(),
+              2.0 * smart.cost_per_good_module.value());
+}
+
+TEST(Mcm, KgdPremiumDominatesSmallModules) {
+    // For a 2-die module with good dies, bare assembly is cheapest.
+    mcm_die reliable = typical_die();
+    reliable.sort_escape = probability{0.01};
+    const mcm_config config = uniform_module(2, reliable);
+    const mcm_result bare = evaluate_mcm(config, mcm_strategy::bare);
+    const mcm_result kgd = evaluate_mcm(config, mcm_strategy::kgd);
+    EXPECT_LT(bare.cost_per_good_module.value(),
+              kgd.cost_per_good_module.value());
+}
+
+TEST(Mcm, CompareReturnsAllThreeStrategies) {
+    const auto results = compare_mcm_strategies(
+        uniform_module(4, typical_die()));
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_EQ(results[0].strategy, mcm_strategy::bare);
+    EXPECT_EQ(results[1].strategy, mcm_strategy::kgd);
+    EXPECT_EQ(results[2].strategy, mcm_strategy::smart_substrate);
+}
+
+TEST(Mcm, StrategyNames) {
+    EXPECT_EQ(to_string(mcm_strategy::bare), "bare");
+    EXPECT_EQ(to_string(mcm_strategy::kgd), "known-good-die");
+    EXPECT_EQ(to_string(mcm_strategy::smart_substrate), "smart substrate");
+}
+
+TEST(Mcm, UniformModuleRejectsZeroCount) {
+    EXPECT_THROW((void)uniform_module(0, typical_die()), std::invalid_argument);
+}
+
+TEST(Mcm, ImpossibleSlotThrows) {
+    mcm_die dead = typical_die();
+    dead.attach_yield = probability{0.0};
+    const mcm_config config = uniform_module(2, dead);
+    EXPECT_THROW((void)evaluate_mcm(config, mcm_strategy::smart_substrate),
+                 std::domain_error);
+    EXPECT_THROW((void)evaluate_mcm(config, mcm_strategy::bare),
+                 std::domain_error);
+}
+
+// Property: there is a crossover die count where smart substrate becomes
+// cheaper than bare.
+TEST(Mcm, CrossoverExistsInDieCount) {
+    bool bare_wins_somewhere = false;
+    bool smart_wins_somewhere = false;
+    for (int n = 1; n <= 16; ++n) {
+        const mcm_config config = uniform_module(n, typical_die());
+        const double bare =
+            evaluate_mcm(config, mcm_strategy::bare)
+                .cost_per_good_module.value();
+        const double smart =
+            evaluate_mcm(config, mcm_strategy::smart_substrate)
+                .cost_per_good_module.value();
+        if (bare < smart) {
+            bare_wins_somewhere = true;
+        }
+        if (smart < bare) {
+            smart_wins_somewhere = true;
+        }
+    }
+    EXPECT_TRUE(bare_wins_somewhere);
+    EXPECT_TRUE(smart_wins_somewhere);
+}
+
+}  // namespace
+}  // namespace silicon::cost

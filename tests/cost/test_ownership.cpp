@@ -1,0 +1,115 @@
+// Tests for the equipment cost-of-ownership model.
+
+#include "cost/ownership.hpp"
+
+#include "cost/product_mix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace silicon::cost {
+namespace {
+
+tool_cost_inputs stepper() {
+    tool_cost_inputs t;
+    t.name = "stepper";
+    t.purchase_price = dollars{5e6};
+    t.depreciation_years = 5.0;
+    t.install_fraction = dollars{0.15};
+    t.floor_space_m2 = 30.0;
+    t.floor_cost_per_m2_year = dollars{2000.0};
+    t.maintenance_fraction_per_year = 0.08;
+    t.consumables_per_hour = dollars{5.0};
+    t.operators_per_tool = 0.25;
+    t.operator_cost_per_hour = dollars{30.0};
+    t.scheduled_hours_per_year = 8000.0;
+    t.wafers_per_hour = 20.0;
+    return t;
+}
+
+TEST(Ownership, HandComputedRate) {
+    // depreciation: 5M * 1.15 / 5y = 1.15M/y; maintenance 0.4M/y;
+    // floor 60k/y; total fixed 1.61M / 8000h = 201.25/h;
+    // + labor 7.50 + consumables 5 = 213.75/h.
+    EXPECT_NEAR(ownership_per_hour(stepper()).value(), 213.75, 1e-9);
+}
+
+TEST(Ownership, CostPerWaferPass) {
+    EXPECT_NEAR(cost_per_wafer_pass(stepper()).value(), 213.75 / 20.0,
+                1e-9);
+}
+
+TEST(Ownership, RateScalesWithPurchasePrice) {
+    tool_cost_inputs cheap = stepper();
+    cheap.purchase_price = dollars{1e6};
+    EXPECT_LT(ownership_per_hour(cheap).value(),
+              ownership_per_hour(stepper()).value());
+}
+
+TEST(Ownership, MoreScheduledHoursLowerRate) {
+    tool_cost_inputs lazy = stepper();
+    lazy.scheduled_hours_per_year = 4000.0;
+    EXPECT_GT(ownership_per_hour(lazy).value(),
+              ownership_per_hour(stepper()).value());
+}
+
+TEST(Ownership, RejectsBadInputs) {
+    tool_cost_inputs bad = stepper();
+    bad.depreciation_years = 0.0;
+    EXPECT_THROW((void)ownership_per_hour(bad), std::invalid_argument);
+    bad = stepper();
+    bad.scheduled_hours_per_year = 0.0;
+    EXPECT_THROW((void)ownership_per_hour(bad), std::invalid_argument);
+    bad = stepper();
+    bad.wafers_per_hour = 0.0;
+    EXPECT_THROW((void)cost_per_wafer_pass(bad), std::invalid_argument);
+}
+
+TEST(Ownership, MakeToolGroupCarriesRateAndThroughput) {
+    const tool_group group = make_tool_group(stepper());
+    EXPECT_EQ(group.name, "stepper");
+    EXPECT_NEAR(group.ownership_per_hour.value(), 213.75, 1e-9);
+    EXPECT_DOUBLE_EQ(group.wafers_per_hour, 20.0);
+}
+
+TEST(Ownership, GenericToolSetMatchesFablineGroups) {
+    const auto tools = generic_cmos_tool_costs();
+    const fabline reference = fabline::generic_cmos();
+    ASSERT_EQ(tools.size(), reference.groups().size());
+    for (std::size_t i = 0; i < tools.size(); ++i) {
+        EXPECT_EQ(tools[i].name, reference.groups()[i].name);
+        EXPECT_DOUBLE_EQ(tools[i].wafers_per_hour,
+                         reference.groups()[i].wafers_per_hour);
+    }
+}
+
+TEST(Ownership, DerivedRatesInSameBallparkAsAssumed) {
+    // The derived COO line should price wafers within ~2x of the
+    // hand-assumed generic line (its rates were picked to be realistic).
+    const fabline derived = derived_cmos_fabline();
+    const fabline assumed = fabline::generic_cmos();
+    const wafer_recipe recipe = fabline::generic_recipe(0.8, 2);
+    const auto d = derived.analyze_sized({{recipe, 20000.0}});
+    const auto a = assumed.analyze_sized({{recipe, 20000.0}});
+    EXPECT_GT(d.cost_per_wafer.value(), 0.4 * a.cost_per_wafer.value());
+    EXPECT_LT(d.cost_per_wafer.value(), 2.5 * a.cost_per_wafer.value());
+}
+
+TEST(Ownership, EquipmentPriceEscalationRaisesWaferCost) {
+    // The Sec. III.A.b mechanism: pricier equipment -> pricier wafers.
+    const wafer_recipe recipe = fabline::generic_recipe(0.5, 3);
+    const auto base = derived_cmos_fabline(1.0).analyze_sized(
+        {{recipe, 20000.0}});
+    const auto escalated = derived_cmos_fabline(1.6).analyze_sized(
+        {{recipe, 20000.0}});
+    EXPECT_GT(escalated.cost_per_wafer.value(),
+              1.2 * base.cost_per_wafer.value());
+}
+
+TEST(Ownership, RejectsNonPositiveFactor) {
+    EXPECT_THROW((void)derived_cmos_fabline(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace silicon::cost

@@ -1,0 +1,71 @@
+// Tests for the mono-vs-multi product mix comparison.
+
+#include "cost/product_mix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace silicon::cost {
+namespace {
+
+TEST(DiverseMix, ProducesRequestedCount) {
+    const auto mix = diverse_mix(5, 100.0);
+    ASSERT_EQ(mix.size(), 5u);
+    for (const product_demand& demand : mix) {
+        EXPECT_DOUBLE_EQ(demand.wafers_per_period, 100.0);
+        EXPECT_EQ(demand.recipe.passes.size(), 8u);
+    }
+}
+
+TEST(DiverseMix, RecipesDiffer) {
+    const auto mix = diverse_mix(4, 10.0);
+    EXPECT_NE(mix[0].recipe.passes, mix[1].recipe.passes);
+    EXPECT_NE(mix[1].recipe.passes, mix[2].recipe.passes);
+}
+
+TEST(DiverseMix, RejectsBadInputs) {
+    EXPECT_THROW((void)diverse_mix(0, 10.0), std::invalid_argument);
+    EXPECT_THROW((void)diverse_mix(3, 0.0), std::invalid_argument);
+}
+
+TEST(MonoVsMulti, LowVolumeMixCostsMore) {
+    const fabline line = fabline::generic_cmos();
+    const wafer_recipe mono = fabline::generic_recipe(0.8, 2);
+    const mix_comparison cmp = compare_mono_vs_multi(
+        line, mono, 20000.0, diverse_mix(8, 60.0));
+    EXPECT_GT(cmp.cost_ratio, 1.5);
+    EXPECT_GT(cmp.mono.average_utilization,
+              cmp.multi.average_utilization);
+}
+
+TEST(MonoVsMulti, PaperSevenXReachableAtVeryLowVolume) {
+    // [12]'s extreme: very low-volume diverse mix vs. a tuned mega line.
+    const fabline line = fabline::generic_cmos();
+    const wafer_recipe mono = fabline::generic_recipe(0.8, 2);
+    const mix_comparison cmp = compare_mono_vs_multi(
+        line, mono, 50000.0, diverse_mix(10, 8.0));
+    EXPECT_GT(cmp.cost_ratio, 4.0);
+    EXPECT_LT(cmp.cost_ratio, 40.0);
+}
+
+TEST(MonoVsMulti, HighVolumeMixApproachesMonoCost) {
+    const fabline line = fabline::generic_cmos();
+    const wafer_recipe mono = fabline::generic_recipe(0.8, 2);
+    const mix_comparison cmp = compare_mono_vs_multi(
+        line, mono, 20000.0, diverse_mix(4, 20000.0));
+    EXPECT_LT(cmp.cost_ratio, 1.6);
+}
+
+TEST(MonoVsMulti, RejectsEmptyMix) {
+    const fabline line = fabline::generic_cmos();
+    const wafer_recipe mono = fabline::generic_recipe(0.8, 2);
+    EXPECT_THROW((void)compare_mono_vs_multi(line, mono, 100.0, {}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)
+        compare_mono_vs_multi(line, mono, 0.0, diverse_mix(2, 10.0)),
+        std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace silicon::cost

@@ -1,0 +1,168 @@
+// Tests for the test economics model.
+
+#include "cost/test_cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::cost {
+namespace {
+
+tester_spec default_tester() {
+    tester_spec tester;
+    tester.rate_per_hour = dollars{1800.0};  // $0.50 per second
+    tester.seconds_fixed = 0.5;
+    tester.seconds_per_megavector = 1.0;
+    return tester;
+}
+
+test_program default_program() {
+    test_program program;
+    program.transistors = 1e6;
+    program.fault_coverage = 0.95;
+    program.vectors_per_kilotransistor = 2.0;
+    return program;
+}
+
+TEST(TestSeconds, GrowsWithTransistorCount) {
+    const tester_spec tester = default_tester();
+    test_program small = default_program();
+    small.transistors = 1e5;
+    test_program large = default_program();
+    large.transistors = 1e7;
+    EXPECT_GT(test_seconds(tester, large), test_seconds(tester, small));
+}
+
+TEST(TestSeconds, FixedTimeFloorsTheCost) {
+    const tester_spec tester = default_tester();
+    test_program tiny = default_program();
+    tiny.transistors = 100.0;
+    tiny.vectors_per_kilotransistor = 0.0;
+    EXPECT_NEAR(test_seconds(tester, tiny), tester.seconds_fixed, 1e-12);
+}
+
+TEST(TestSeconds, RejectsBadInputs) {
+    const tester_spec tester = default_tester();
+    test_program program = default_program();
+    program.transistors = 0.0;
+    EXPECT_THROW((void)test_seconds(tester, program), std::invalid_argument);
+}
+
+TEST(TestCostPerDie, ScalesWithTesterRate) {
+    test_program program = default_program();
+    tester_spec cheap = default_tester();
+    tester_spec pricey = default_tester();
+    pricey.rate_per_hour = dollars{3600.0};
+    EXPECT_NEAR(test_cost_per_die(pricey, program).value(),
+                test_cost_per_die(cheap, program).value() * 2.0, 1e-12);
+}
+
+TEST(DefectLevel, WilliamsBrownKnownValues) {
+    // DL = 1 - Y^(1-T).
+    EXPECT_NEAR(defect_level(probability{0.5}, 0.0).value(), 0.5, 1e-12);
+    EXPECT_NEAR(defect_level(probability{0.5}, 1.0).value(), 0.0, 1e-12);
+    EXPECT_NEAR(defect_level(probability{0.9}, 0.9).value(),
+                1.0 - std::pow(0.9, 0.1), 1e-12);
+}
+
+TEST(DefectLevel, HigherCoverageFewerEscapes) {
+    double previous = 1.0;
+    for (double t : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+        const double dl = defect_level(probability{0.6}, t).value();
+        EXPECT_LE(dl, previous);
+        previous = dl;
+    }
+}
+
+TEST(DefectLevel, RejectsBadCoverage) {
+    EXPECT_THROW((void)defect_level(probability{0.5}, -0.1),
+                 std::invalid_argument);
+    EXPECT_THROW((void)defect_level(probability{0.5}, 1.1),
+                 std::invalid_argument);
+}
+
+TEST(ProbeCost, AllocatedOverGoodDiesOnly) {
+    const tester_spec tester = default_tester();
+    const test_program program = default_program();
+    const dollars per_die = test_cost_per_die(tester, program);
+    const dollars per_good =
+        probe_cost_per_good_die(tester, program, probability{0.5});
+    EXPECT_NEAR(per_good.value(), per_die.value() * 2.0, 1e-12);
+}
+
+TEST(ProbeCost, RejectsZeroYield) {
+    EXPECT_THROW((void)probe_cost_per_good_die(default_tester(),
+                                         default_program(),
+                                         probability{0.0}),
+                 std::domain_error);
+}
+
+TEST(Economics, LowCoverageCheapOnTesterExpensiveInField) {
+    const tester_spec tester = default_tester();
+    const probability yield{0.6};
+    const dollars field{200.0};
+
+    test_program sloppy = default_program();
+    sloppy.fault_coverage = 0.5;
+    test_program thorough = default_program();
+    thorough.fault_coverage = 0.999;
+    thorough.vectors_per_kilotransistor = 8.0;  // more patterns
+
+    const test_economics cheap =
+        evaluate_test_economics(tester, sloppy, yield, field);
+    const test_economics good =
+        evaluate_test_economics(tester, thorough, yield, field);
+
+    EXPECT_LT(cheap.probe_per_good_die.value(),
+              good.probe_per_good_die.value());
+    EXPECT_GT(cheap.shipped_defect_level.value(),
+              good.shipped_defect_level.value());
+    EXPECT_GT(cheap.escape_cost_per_shipped_die.value(),
+              good.escape_cost_per_shipped_die.value());
+}
+
+TEST(Economics, TotalIsSumOfComponents) {
+    const test_economics e = evaluate_test_economics(
+        default_tester(), default_program(), probability{0.7},
+        dollars{100.0});
+    EXPECT_NEAR(e.total_per_shipped_die.value(),
+                e.probe_per_good_die.value() +
+                    e.final_per_good_die.value() +
+                    e.escape_cost_per_shipped_die.value(),
+                1e-12);
+}
+
+TEST(ApplyDft, ImprovesCoverageAndCompressesVectors) {
+    const test_program base = default_program();
+    const test_program dft = apply_dft(base, 0.999, 4.0);
+    EXPECT_DOUBLE_EQ(dft.fault_coverage, 0.999);
+    EXPECT_DOUBLE_EQ(dft.vectors_per_kilotransistor,
+                     base.vectors_per_kilotransistor / 4.0);
+}
+
+TEST(ApplyDft, RejectsRegression) {
+    const test_program base = default_program();
+    EXPECT_THROW((void)apply_dft(base, 0.5, 2.0), std::invalid_argument);
+    EXPECT_THROW((void)apply_dft(base, 0.99, 0.5), std::invalid_argument);
+}
+
+TEST(Economics, DftCutsTotalCostOfTest) {
+    // The Sec. VI question: does BIST/DFT pay?  With escape costs in the
+    // model, the higher-coverage compressed program wins.
+    const tester_spec tester = default_tester();
+    const probability yield{0.6};
+    const dollars field{500.0};
+    const test_program base = default_program();
+    const test_program dft = apply_dft(base, 0.999, 4.0);
+    const test_economics before =
+        evaluate_test_economics(tester, base, yield, field);
+    const test_economics after =
+        evaluate_test_economics(tester, dft, yield, field);
+    EXPECT_LT(after.total_per_shipped_die.value(),
+              before.total_per_shipped_die.value());
+}
+
+}  // namespace
+}  // namespace silicon::cost

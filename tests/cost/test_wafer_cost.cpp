@@ -1,0 +1,123 @@
+// Tests for the Eq. (2)/(3) wafer cost model.
+
+#include "cost/wafer_cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::cost {
+namespace {
+
+TEST(WaferCost, ReferencePointIsC0) {
+    const wafer_cost_model m{dollars{500.0}, 1.8};
+    EXPECT_DOUBLE_EQ(m.pure_wafer_cost(microns{1.0}).value(), 500.0);
+}
+
+TEST(WaferCost, OneGenerationCostsOneX) {
+    // 1.0 um -> 0.8 um is exactly one 0.2 um generation: cost = C_0 * X.
+    const wafer_cost_model m{dollars{700.0}, 1.4};
+    EXPECT_NEAR(m.pure_wafer_cost(microns{0.8}).value(), 700.0 * 1.4,
+                1e-9);
+}
+
+TEST(WaferCost, Table3Row13WaferCost) {
+    // Row 13: C_0 = 600, X = 1.8, lambda = 0.25 -> 3.75 generations.
+    const wafer_cost_model m{dollars{600.0}, 1.8};
+    EXPECT_NEAR(m.pure_wafer_cost(microns{0.25}).value(),
+                600.0 * std::pow(1.8, 3.75), 1e-6);
+}
+
+TEST(WaferCost, OlderTechnologyIsCheaper) {
+    const wafer_cost_model m{dollars{500.0}, 1.8};
+    EXPECT_LT(m.pure_wafer_cost(microns{1.5}).value(), 500.0);
+}
+
+TEST(WaferCost, GenerationsFromReference) {
+    const wafer_cost_model m{dollars{500.0}, 1.5};
+    EXPECT_NEAR(m.generations_from_reference(microns{0.6}), 2.0, 1e-12);
+    EXPECT_NEAR(m.generations_from_reference(microns{1.4}), -2.0, 1e-12);
+}
+
+TEST(WaferCost, CustomGenerationStep) {
+    const wafer_cost_model m{dollars{500.0}, 2.0, microns{0.25}};
+    EXPECT_NEAR(m.pure_wafer_cost(microns{0.5}).value(),
+                500.0 * std::pow(2.0, 2.0), 1e-9);
+}
+
+TEST(WaferCost, XOneIsFlat) {
+    const wafer_cost_model m{dollars{500.0}, 1.0};
+    EXPECT_DOUBLE_EQ(m.pure_wafer_cost(microns{0.25}).value(), 500.0);
+}
+
+TEST(WaferCost, VolumeSpreadsOverhead) {
+    const wafer_cost_model m{dollars{500.0}, 1.8};
+    const dollars with_overhead = m.wafer_cost_at_volume(
+        microns{1.0}, dollars{1e6}, 10000.0);
+    EXPECT_NEAR(with_overhead.value(), 500.0 + 100.0, 1e-9);
+}
+
+TEST(WaferCost, ZeroOverheadIgnoresVolume) {
+    const wafer_cost_model m{dollars{500.0}, 1.8};
+    EXPECT_DOUBLE_EQ(
+        m.wafer_cost_at_volume(microns{1.0}, dollars{0.0}, 0.0).value(),
+        500.0);
+}
+
+TEST(WaferCost, OverheadDominatesAtLowVolume) {
+    // The ASIC-vs-uP overhead span the paper quotes ($100K-$100M): at
+    // 1000 wafers, a $100M overhead adds $100K per wafer.
+    const wafer_cost_model m{dollars{800.0}, 1.8};
+    const dollars low = m.wafer_cost_at_volume(
+        microns{0.8}, dollars{100e6}, 1000.0);
+    EXPECT_GT(low.value(), 100000.0);
+}
+
+TEST(WaferCost, RejectsBadConstruction) {
+    EXPECT_THROW((void)(wafer_cost_model{dollars{0.0}, 1.5}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)(wafer_cost_model{dollars{500.0}, 0.9}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)(wafer_cost_model{dollars{500.0}, 1.5, microns{0.0}}),
+                 std::invalid_argument);
+}
+
+TEST(WaferCost, RejectsBadVolume) {
+    const wafer_cost_model m{dollars{500.0}, 1.8};
+    EXPECT_THROW((void)m.wafer_cost_at_volume(microns{1.0}, dollars{1.0}, 0.0),
+                 std::invalid_argument);
+}
+
+TEST(ExtractX, RecoversTheRate) {
+    const wafer_cost_model m{dollars{500.0}, 1.7};
+    const double x = wafer_cost_model::extract_x(
+        microns{1.0}, m.pure_wafer_cost(microns{1.0}),
+        microns{0.5}, m.pure_wafer_cost(microns{0.5}));
+    EXPECT_NEAR(x, 1.7, 1e-9);
+}
+
+TEST(ExtractX, RejectsDegenerateObservations) {
+    EXPECT_THROW((void)wafer_cost_model::extract_x(microns{0.5}, dollars{100.0},
+                                             microns{0.5}, dollars{200.0}),
+                 std::invalid_argument);
+}
+
+// Property: cost is monotone non-increasing in lambda for X > 1.
+class WaferCostMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(WaferCostMonotone, ShrinkingFeatureRaisesCost) {
+    const wafer_cost_model m{dollars{500.0}, GetParam()};
+    double previous = 0.0;
+    for (double lambda = 1.2; lambda >= 0.2; lambda -= 0.1) {
+        const double c = m.pure_wafer_cost(microns{lambda}).value();
+        EXPECT_GT(c, previous) << lambda;
+        previous = c;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(XValues, WaferCostMonotone,
+                         ::testing::Values(1.1, 1.4, 1.8, 2.4));
+
+}  // namespace
+}  // namespace silicon::cost

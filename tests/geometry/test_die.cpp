@@ -1,0 +1,54 @@
+// Unit tests for geometry::die.
+
+#include "geometry/die.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace silicon::geometry {
+namespace {
+
+TEST(Die, StoresEdges) {
+    const die d{millimeters{10.0}, millimeters{5.0}};
+    EXPECT_DOUBLE_EQ(d.width().value(), 10.0);
+    EXPECT_DOUBLE_EQ(d.height().value(), 5.0);
+    EXPECT_DOUBLE_EQ(d.area().value(), 50.0);
+    EXPECT_DOUBLE_EQ(d.aspect_ratio(), 2.0);
+}
+
+TEST(Die, SquareFactory) {
+    const die d = die::square(millimeters{7.0});
+    EXPECT_DOUBLE_EQ(d.width().value(), 7.0);
+    EXPECT_DOUBLE_EQ(d.height().value(), 7.0);
+    EXPECT_DOUBLE_EQ(d.aspect_ratio(), 1.0);
+}
+
+TEST(Die, SquareWithAreaRecoversEdge) {
+    const die d = die::square_with_area(square_millimeters{100.0});
+    EXPECT_DOUBLE_EQ(d.width().value(), 10.0);
+    EXPECT_DOUBLE_EQ(d.area().value(), 100.0);
+}
+
+TEST(Die, RotatedSwapsEdges) {
+    const die d{millimeters{12.0}, millimeters{8.0}};
+    const die r = d.rotated();
+    EXPECT_DOUBLE_EQ(r.width().value(), 8.0);
+    EXPECT_DOUBLE_EQ(r.height().value(), 12.0);
+    EXPECT_DOUBLE_EQ(r.area().value(), d.area().value());
+}
+
+TEST(Die, RejectsNonPositiveEdges) {
+    EXPECT_THROW((void)(die{millimeters{0.0}, millimeters{5.0}}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)(die{millimeters{5.0}, millimeters{0.0}}),
+                 std::invalid_argument);
+}
+
+TEST(Die, RejectsNonPositiveArea) {
+    EXPECT_THROW((void)die::square_with_area(square_millimeters{0.0}),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace silicon::geometry

@@ -1,0 +1,83 @@
+// Tests for the reticle field planner.
+
+#include "geometry/reticle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace silicon::geometry {
+namespace {
+
+TEST(Reticle, PacksSmallDiceDensely) {
+    const reticle_plan plan = plan_reticle(
+        wafer::six_inch(), die::square(millimeters{5.0}));
+    // 22 mm field, 5 mm dice + 0.1 scribe: floor(22.1/5.1) = 4 per axis.
+    EXPECT_EQ(plan.cols, 4);
+    EXPECT_EQ(plan.rows, 4);
+    EXPECT_EQ(plan.dice_per_field, 16);
+}
+
+TEST(Reticle, BigDieOnePerField) {
+    const reticle_plan plan = plan_reticle(
+        wafer::six_inch(), die::square(millimeters{18.0}));
+    EXPECT_EQ(plan.dice_per_field, 1);
+}
+
+TEST(Reticle, OversizedDieRejected) {
+    EXPECT_THROW((void)plan_reticle(wafer::six_inch(),
+                                    die::square(millimeters{25.0})),
+                 std::invalid_argument);
+}
+
+TEST(Reticle, FieldCountCoversWafer) {
+    const reticle_spec spec;
+    const reticle_plan plan =
+        plan_reticle(wafer::six_inch(), die::square(millimeters{5.0}), spec);
+    // Wafer area / field area is a lower bound on intersecting tiles.
+    const double wafer_mm2 =
+        wafer::six_inch().area().to_square_millimeters().value();
+    const double field_mm2 =
+        spec.field_width.value() * spec.field_height.value();
+    EXPECT_GE(plan.fields_per_wafer,
+              static_cast<long>(wafer_mm2 / field_mm2));
+    EXPECT_LT(plan.fields_per_wafer,
+              static_cast<long>(wafer_mm2 / field_mm2 * 1.8));
+}
+
+TEST(Reticle, BiggerWaferNeedsMoreFields) {
+    const die d = die::square(millimeters{8.0});
+    EXPECT_GT(plan_reticle(wafer::eight_inch(), d).fields_per_wafer,
+              plan_reticle(wafer::six_inch(), d).fields_per_wafer);
+}
+
+TEST(Reticle, ThroughputFollowsFieldCount) {
+    const reticle_spec spec;
+    const reticle_plan plan =
+        plan_reticle(wafer::six_inch(), die::square(millimeters{8.0}), spec);
+    EXPECT_NEAR(plan.seconds_per_wafer,
+                spec.seconds_overhead_per_wafer +
+                    plan.fields_per_wafer * spec.seconds_per_exposure,
+                1e-12);
+    EXPECT_NEAR(plan.wafers_per_hour, 3600.0 / plan.seconds_per_wafer,
+                1e-12);
+    // An early-90s stepper does tens of wafers per hour.
+    EXPECT_GT(plan.wafers_per_hour, 10.0);
+    EXPECT_LT(plan.wafers_per_hour, 80.0);
+}
+
+TEST(Reticle, RejectsBadSpec) {
+    reticle_spec spec;
+    spec.field_width = millimeters{0.0};
+    EXPECT_THROW((void)plan_reticle(wafer::six_inch(),
+                                    die::square(millimeters{5.0}), spec),
+                 std::invalid_argument);
+    spec = reticle_spec{};
+    spec.seconds_per_exposure = 0.0;
+    EXPECT_THROW((void)plan_reticle(wafer::six_inch(),
+                                    die::square(millimeters{5.0}), spec),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace silicon::geometry

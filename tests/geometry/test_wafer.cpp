@@ -1,0 +1,45 @@
+// Unit tests for geometry::wafer.
+
+#include "geometry/wafer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace silicon::geometry {
+namespace {
+
+TEST(Wafer, SixInchDefaults) {
+    const wafer w = wafer::six_inch();
+    EXPECT_DOUBLE_EQ(w.radius().value(), 7.5);
+    EXPECT_DOUBLE_EQ(w.edge_exclusion().value(), 0.0);
+    EXPECT_DOUBLE_EQ(w.usable_radius().value(), 7.5);
+}
+
+TEST(Wafer, EightInch) {
+    EXPECT_DOUBLE_EQ(wafer::eight_inch().radius().value(), 10.0);
+}
+
+TEST(Wafer, AreaMatchesDisc) {
+    EXPECT_NEAR(wafer::six_inch().area().value(), 176.7146, 1e-3);
+}
+
+TEST(Wafer, EdgeExclusionShrinksUsableArea) {
+    const wafer w{centimeters{7.5}, centimeters{0.5}};
+    EXPECT_DOUBLE_EQ(w.usable_radius().value(), 7.0);
+    EXPECT_LT(w.usable_area().value(), w.area().value());
+}
+
+TEST(Wafer, RejectsZeroRadius) {
+    EXPECT_THROW((void)wafer{centimeters{0.0}}, std::invalid_argument);
+}
+
+TEST(Wafer, RejectsExclusionAsLargeAsRadius) {
+    EXPECT_THROW((void)(wafer{centimeters{5.0}, centimeters{5.0}}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)(wafer{centimeters{5.0}, centimeters{6.0}}),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace silicon::geometry

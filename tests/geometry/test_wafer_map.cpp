@@ -1,0 +1,51 @@
+// Tests for the ASCII wafer map renderer.
+
+#include "geometry/wafer_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace silicon::geometry {
+namespace {
+
+TEST(WaferMap, ContainsOneHashPerPlacedDie) {
+    const wafer w = wafer::six_inch();
+    const die d = die::square(millimeters{15.0});
+    const std::string map = render_wafer_map(w, d);
+    const long hashes =
+        std::count(map.begin(), map.end(), '#');
+    EXPECT_EQ(hashes, exact_count(w, d).count);
+}
+
+TEST(WaferMap, EndsWithNewlineAndHasMultipleRows) {
+    const std::string map =
+        render_wafer_map(wafer::six_inch(), die::square(millimeters{20.0}));
+    ASSERT_FALSE(map.empty());
+    EXPECT_EQ(map.back(), '\n');
+    EXPECT_GT(std::count(map.begin(), map.end(), '\n'), 3);
+}
+
+TEST(WaferMap, BoundarySitesMarkedAsDots) {
+    const std::string map =
+        render_wafer_map(wafer::six_inch(), die::square(millimeters{18.0}));
+    EXPECT_NE(map.find('.'), std::string::npos);
+}
+
+TEST(WaferMap, WidthCapRespected) {
+    const std::string map = render_wafer_map(
+        wafer::six_inch(), die::square(millimeters{1.0}),
+        millimeters{0.0}, 60);
+    std::size_t longest = 0;
+    std::size_t line_start = 0;
+    for (std::size_t i = 0; i <= map.size(); ++i) {
+        if (i == map.size() || map[i] == '\n') {
+            longest = std::max(longest, i - line_start);
+            line_start = i + 1;
+        }
+    }
+    EXPECT_LE(longest, 70u);  // cap plus slack for rounding of step
+}
+
+}  // namespace
+}  // namespace silicon::geometry

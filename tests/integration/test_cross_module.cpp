@@ -1,0 +1,145 @@
+// Cross-module integration tests for the extension substrates: reticle
+// geometry feeding the fabline, derived cost-of-ownership feeding wafer
+// cost, the extraction loop closing over wafer simulation, and the
+// forecast agreeing with the scenario modules it composes.
+
+#include "core/forecast.hpp"
+#include "core/shrink.hpp"
+#include "cost/ownership.hpp"
+#include "cost/product_mix.hpp"
+#include "geometry/reticle.hpp"
+#include "yield/extraction.hpp"
+#include "yield/spatial.hpp"
+#include "yield/wafer_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace silicon {
+namespace {
+
+TEST(CrossModule, ReticleThroughputFeedsLithographyEconomics) {
+    // Smaller dies need no more exposures (fields are die-independent in
+    // count), but per-die litho cost falls with dice per field.  Derive
+    // the litho tool's effective per-die cost through the reticle plan
+    // and a COO-derived stepper rate.
+    cost::tool_cost_inputs stepper =
+        cost::generic_cmos_tool_costs().front();
+    const dollars rate = cost::ownership_per_hour(stepper);
+
+    const auto per_die_litho = [&](double die_edge_mm) {
+        const geometry::reticle_plan plan = geometry::plan_reticle(
+            geometry::wafer::six_inch(),
+            geometry::die::square(millimeters{die_edge_mm}));
+        const double wafer_seconds = plan.seconds_per_wafer;
+        const double dies =
+            static_cast<double>(plan.fields_per_wafer) *
+            plan.dice_per_field;
+        return rate.value() * wafer_seconds / 3600.0 / dies;
+    };
+    // 5 mm dice pack 16 per field; 18 mm dice 1: per-die exposure cost
+    // differs by an order of magnitude.
+    EXPECT_GT(per_die_litho(18.0), 8.0 * per_die_litho(5.0));
+}
+
+TEST(CrossModule, ExtractionRecoversWaferSimGroundTruth) {
+    // Close the loop: simulate wafers whose per-die fault probability
+    // follows Eq. (7) exactly (thin the defect population by
+    // lambda^-p scaling), then extract (D, p) from the simulated mean
+    // yields.
+    const double d_true = 0.8;
+    const double p_true = 4.07;
+    std::vector<yield::yield_observation> observations;
+    const geometry::die die = geometry::die::square(millimeters{10.0});
+    const double area_cm2 = die.area().to_square_centimeters().value();
+    for (double lambda : {1.0, 0.9, 0.8, 0.7}) {
+        const double d_eff =
+            d_true / std::pow(lambda, p_true);
+        yield::wafer_sim_config config;
+        config.wafers = 400;
+        config.defects_per_cm2 = d_eff;
+        config.seed = 31u + static_cast<std::uint64_t>(lambda * 100);
+        const yield::wafer_sim_result sim = yield::simulate_wafers(
+            geometry::wafer::six_inch(), die, config);
+        yield::yield_observation obs;
+        obs.lambda = microns{lambda};
+        obs.die_area = square_centimeters{area_cm2};
+        obs.yield = probability{
+            std::clamp(sim.mean_yield, 1e-4, 1.0 - 1e-4)};
+        observations.push_back(obs);
+    }
+    const yield::scaled_model_fit fit =
+        yield::fit_scaled_poisson(observations);
+    EXPECT_NEAR(fit.d, d_true, 0.12);
+    EXPECT_NEAR(fit.p, p_true, 0.45);
+    EXPECT_GT(fit.r_squared, 0.98);
+}
+
+TEST(CrossModule, ForecastMatchesScenarioEvaluations) {
+    core::scenario1 memory;
+    core::scenario2 logic;
+    const core::transistor_cost_forecast f =
+        core::forecast_transistor_cost(memory, logic, 1990, 1995);
+    for (const core::forecast_point& point : f.points) {
+        EXPECT_NEAR(point.memory_ctr.value(),
+                    memory.cost_per_transistor(point.lambda).value(),
+                    1e-18);
+        EXPECT_NEAR(point.logic_ctr.value(),
+                    logic.cost_per_transistor(point.lambda).value(),
+                    1e-18);
+    }
+}
+
+TEST(CrossModule, ShrinkAgreesWithDirectEvaluations) {
+    core::process_spec process{
+        cost::wafer_cost_model{dollars{700.0}, 1.6},
+        geometry::wafer::six_inch(),
+        yield::reference_die_yield{probability{0.8}},
+        geometry::gross_die_method::maly_rows};
+    core::product_spec product;
+    product.transistors = 2e6;
+    product.design_density = 160.0;
+    product.feature_size = microns{0.8};
+
+    const core::shrink_analysis a =
+        core::analyze_shrink(process, product, microns{0.5});
+    const core::cost_model model{process};
+    core::product_spec shrunk = product;
+    shrunk.feature_size = microns{0.5};
+    EXPECT_DOUBLE_EQ(
+        a.after.cost_per_good_die.value(),
+        model.evaluate(shrunk).cost_per_good_die.value());
+    EXPECT_DOUBLE_EQ(
+        a.before.cost_per_good_die.value(),
+        model.evaluate(product).cost_per_good_die.value());
+}
+
+TEST(CrossModule, SpatialYieldBracketsUniformYield) {
+    // The radial profile's wafer-average yield lies between the center
+    // (best) and edge (worst) Poisson yields, and below the yield a
+    // uniform center-density wafer would give.
+    yield::radial_defect_profile profile;
+    profile.center_density = 0.6;
+    profile.edge_severity = 2.5;
+    const geometry::die die = geometry::die::square(millimeters{9.0});
+    const yield::spatial_yield_result r = yield::evaluate_spatial_yield(
+        geometry::wafer::six_inch(), die, profile);
+    const double uniform_center = std::exp(
+        -die.area().to_square_centimeters().value() * 0.6);
+    EXPECT_LT(r.average_yield, uniform_center);
+    EXPECT_GT(r.average_yield, r.edge_yield);
+    EXPECT_LE(r.center_yield, uniform_center + 1e-12);
+}
+
+TEST(CrossModule, DerivedFablineSupportsMixComparison) {
+    // The COO-derived line plugs into the product-mix machinery.
+    const cost::fabline line = cost::derived_cmos_fabline(1.3);
+    const cost::wafer_recipe mono = cost::fabline::generic_recipe(0.8, 2);
+    const cost::mix_comparison cmp = cost::compare_mono_vs_multi(
+        line, mono, 30000.0, cost::diverse_mix(6, 25.0));
+    EXPECT_GT(cmp.cost_ratio, 1.5);
+}
+
+}  // namespace
+}  // namespace silicon

@@ -1,0 +1,170 @@
+// End-to-end integration tests chaining several subsystems the way a
+// downstream user would: yield chain (distribution -> critical area ->
+// Eq. 7), full product costing with test and packaging, and the analysis
+// pipeline (sweep -> chart/table rendering).
+
+#include "analysis/ascii_chart.hpp"
+#include "analysis/contour.hpp"
+#include "analysis/svg_chart.hpp"
+#include "analysis/table.hpp"
+#include "core/cost_model.hpp"
+#include "cost/assembly.hpp"
+#include "cost/test_cost.hpp"
+#include "yield/critical_area.hpp"
+#include "yield/monte_carlo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace silicon {
+namespace {
+
+TEST(EndToEnd, DefectChainFromDistributionToEq7Shape) {
+    // Build the Eq. (7) lambda-scaling empirically: shrink a layout's
+    // geometry (wire width/spacing proportional to lambda) and watch the
+    // average critical area of a *fixed* defect population grow roughly
+    // like lambda^-(p-2) per unit layout area, the scaling Eq. (7)
+    // asserts.
+    const yield::defect_size_distribution sizes{0.6, 4.07};
+    const auto faults_per_area = [&](double lambda) {
+        yield::wire_array_layout layout;
+        layout.line_width = lambda;
+        layout.line_spacing = lambda;
+        layout.line_length = 400.0;
+        layout.line_count = 40;
+        return yield::expected_faults(layout, sizes, 1e-4) /
+               layout.area();
+    };
+    const double at_10 = faults_per_area(1.0);
+    const double at_05 = faults_per_area(0.5);
+    // Ratio should exceed the no-scaling value 1 decisively and be of the
+    // order 2^(p-2) ~ 4.2 (boundary effects move it somewhat).
+    EXPECT_GT(at_05 / at_10, 2.0);
+    EXPECT_LT(at_05 / at_10, 9.0);
+}
+
+TEST(EndToEnd, MonteCarloAgreesWithAnalyticAcrossDensities) {
+    const yield::defect_size_distribution sizes{0.6, 4.07};
+    yield::wire_array_layout layout;
+    layout.line_width = 1.0;
+    layout.line_spacing = 1.2;
+    layout.line_length = 120.0;
+    layout.line_count = 12;
+
+    for (double density : {5e-5, 2e-4, 6e-4}) {
+        yield::monte_carlo_config config;
+        config.dies = 20000;
+        config.defects_per_um2 = density;
+        config.seed = 99;
+        const auto mc =
+            yield::simulate_layout_yield(layout, sizes, config);
+        const double analytic =
+            yield::layout_yield(layout, sizes, density);
+        EXPECT_NEAR(mc.yield, analytic, 4.0 * mc.std_error + 0.015)
+            << density;
+    }
+}
+
+TEST(EndToEnd, FullProductCostWithTestAndPackage) {
+    // Price a 2.8M-transistor CMOS uP end to end: silicon (Eq. 1), probe
+    // and final test, packaging.  Checks the composition stays coherent
+    // (every stage adds cost) and lands in a sane mid-90s range.
+    core::process_spec process{
+        cost::wafer_cost_model{dollars{700.0}, 1.8},
+        geometry::wafer::six_inch(),
+        yield::reference_die_yield{probability{0.7}},
+        geometry::gross_die_method::maly_rows};
+    core::product_spec product;
+    product.name = "CMOS uP";
+    product.transistors = 2.8e6;
+    product.design_density = 102.0;
+    product.feature_size = microns{0.65};
+
+    const core::cost_breakdown silicon_cost =
+        core::cost_model{process}.evaluate(product);
+
+    cost::tester_spec tester;
+    tester.rate_per_hour = dollars{1800.0};
+    cost::test_program program;
+    program.transistors = product.transistors;
+    program.fault_coverage = 0.95;
+    const cost::test_economics test = cost::evaluate_test_economics(
+        tester, program, silicon_cost.yield, dollars{250.0});
+
+    cost::package_spec package;
+    package.pins = 273;
+    package.cost_per_pin = dollars{0.03};
+    const dollars die_plus_test =
+        silicon_cost.cost_per_good_die + test.total_per_shipped_die;
+    const dollars shipped = cost::packaged_part_cost(die_plus_test, package);
+
+    EXPECT_GT(test.total_per_shipped_die.value(), 0.0);
+    EXPECT_GT(shipped.value(), silicon_cost.cost_per_good_die.value());
+    EXPECT_GT(shipped.value(), 10.0);
+    EXPECT_LT(shipped.value(), 500.0);
+}
+
+TEST(EndToEnd, SweepToAsciiAndSvgPipeline) {
+    core::process_spec process{
+        cost::wafer_cost_model{dollars{500.0}, 1.4},
+        geometry::wafer::six_inch(),
+        yield::scaled_poisson_model::fig8_calibration(),
+        geometry::gross_die_method::maly_rows};
+    const core::cost_model model{process};
+    core::product_spec product;
+    product.transistors = 5e5;
+    product.design_density = 152.0;
+
+    analysis::series curve{"C_tr vs lambda"};
+    for (double lambda : analysis::linspace(0.4, 1.2, 33)) {
+        product.feature_size = microns{lambda};
+        curve.add(lambda,
+                  model.cost_per_transistor(product).value() * 1e6);
+    }
+    ASSERT_EQ(curve.size(), 33u);
+
+    // Both renderers accept the series and produce non-trivial output.
+    const std::string ascii = analysis::render_ascii_chart({curve});
+    EXPECT_GT(ascii.size(), 200u);
+    const std::string svg = analysis::render_svg_line_chart({curve});
+    EXPECT_NE(svg.find("<polyline"), std::string::npos);
+
+    // And a table of the same sweep.
+    analysis::text_table table;
+    table.add_column("lambda", analysis::align::right, 2);
+    table.add_column("C_tr [u$]", analysis::align::right, 3);
+    for (const analysis::point& p : curve.points()) {
+        table.begin_row();
+        table.add_number(p.x);
+        table.add_number(p.y);
+    }
+    EXPECT_EQ(table.row_count(), curve.size());
+    EXPECT_GT(table.to_string().size(), 300u);
+}
+
+TEST(EndToEnd, ContourGridOfCostSurfaceHasClosedOrOpenLines) {
+    // A small Fig. 8-style surface through the real cost model.
+    core::process_spec process{
+        cost::wafer_cost_model{dollars{500.0}, 1.4},
+        geometry::wafer::six_inch(),
+        yield::scaled_poisson_model::fig8_calibration(),
+        geometry::gross_die_method::area_ratio};
+    const core::cost_model model{process};
+
+    const auto cost_micro = [&](double lambda, double n_tr) {
+        core::product_spec p;
+        p.transistors = n_tr;
+        p.design_density = 152.0;
+        p.feature_size = microns{lambda};
+        return model.cost_per_transistor(p).value() * 1e6;
+    };
+    const analysis::grid g = analysis::evaluate_grid(
+        analysis::linspace(0.4, 1.2, 25),
+        analysis::linspace(5e4, 5e5, 25), cost_micro);
+    const double mid =
+        0.5 * (g.min_value() + g.max_value());
+    const auto lines = analysis::extract_contours(g, mid);
+    EXPECT_FALSE(lines.empty());
+}
+
+}  // namespace
+}  // namespace silicon

@@ -1,0 +1,120 @@
+// Integration tests asserting the paper's cross-cutting claims, each
+// exercised through the public API exactly the way the benches are.
+
+#include "core/scenario.hpp"
+#include "core/table3.hpp"
+#include "cost/product_mix.hpp"
+#include "opt/minimize.hpp"
+#include "tech/roadmap.hpp"
+#include "yield/scaled.hpp"
+
+#include <gtest/gtest.h>
+
+namespace silicon {
+namespace {
+
+TEST(PaperClaims, Fig6VersusFig7Reversal) {
+    // The central contrast of Sec. IV: Scenario #1 cost falls ~5x from
+    // 1 um to 0.25 um; Scenario #2 cost *rises* over the same range.
+    core::scenario1 s1;
+    s1.wafer_cost = cost::wafer_cost_model{dollars{500.0}, 1.2};
+    const double s1_ratio =
+        s1.cost_per_transistor(microns{0.25}).value() /
+        s1.cost_per_transistor(microns{1.0}).value();
+    EXPECT_LT(s1_ratio, 0.5);
+
+    core::scenario2 s2;
+    s2.wafer_cost = cost::wafer_cost_model{dollars{500.0}, 2.0};
+    const double s2_ratio =
+        s2.cost_per_transistor(microns{0.25}).value() /
+        s2.cost_per_transistor(microns{0.8}).value();
+    EXPECT_GT(s2_ratio, 1.5);
+}
+
+TEST(PaperClaims, RequiredDefectDensityFallsEachGeneration) {
+    // Fig. 4's second curve: holding yield at 60% for the generation's
+    // uP die forces D down monotonically with lambda.
+    double previous = 1e300;
+    for (double lambda : {1.0, 0.8, 0.5, 0.35, 0.25}) {
+        const auto area = tech::microprocessor_die_area(microns{lambda});
+        const double d_required = yield::scaled_poisson_model::required_d(
+            probability{0.6}, area, microns{lambda}, 4.07);
+        EXPECT_LT(d_required, previous) << lambda;
+        previous = d_required;
+    }
+}
+
+TEST(PaperClaims, Fig8LambdaOptDependsOnDieSize) {
+    // "for each die size there is different lambda_opt which minimizes
+    // the cost per transistor."  Sweep N_tr and collect optima: they are
+    // not all equal.
+    const yield::scaled_poisson_model defects =
+        yield::scaled_poisson_model::fig8_calibration();
+    const cost::wafer_cost_model wafer_cost{dollars{500.0}, 1.4};
+    const double wafer_um2 = 3.14159265358979 * 7.5 * 7.5 * 1e8;
+
+    const auto cost_tr = [&](double n_tr, double lambda) {
+        // Area-ratio form of Eq. (1) keeps this test independent of the
+        // die-placement module.
+        const double area_um2 = n_tr * 152.0 * lambda * lambda;
+        const double n_ch = wafer_um2 / area_um2;
+        const double y =
+            defects
+                .yield_for_transistors(n_tr, 152.0, microns{lambda})
+                .value();
+        return wafer_cost.pure_wafer_cost(microns{lambda}).value() /
+               (n_ch * n_tr * y);
+    };
+
+    double opt_small = 0.0;
+    double opt_large = 0.0;
+    for (double* target : {&opt_small, &opt_large}) {
+        const double n_tr = target == &opt_small ? 5e4 : 2e6;
+        const auto m = opt::grid_then_golden(
+            [&](double lambda) { return cost_tr(n_tr, lambda); }, 0.3,
+            1.5, 128);
+        *target = m.x;
+    }
+    EXPECT_GT(opt_large, opt_small + 0.05);
+}
+
+TEST(PaperClaims, ProductMixPenaltyWithinPaperEnvelope) {
+    // Sec. III.A.d / [12]: low-volume multi-product wafer cost ratio "may
+    // reach as high value as 7".
+    const cost::fabline line = cost::fabline::generic_cmos();
+    const cost::wafer_recipe mono = cost::fabline::generic_recipe(0.8, 2);
+    const cost::mix_comparison cmp = cost::compare_mono_vs_multi(
+        line, mono, 50000.0, cost::diverse_mix(10, 10.0));
+    EXPECT_GT(cmp.cost_ratio, 3.0);
+    EXPECT_LT(cmp.cost_ratio, 30.0);
+}
+
+TEST(PaperClaims, MemoryCostDataMustNotBeExtrapolatedToLogic) {
+    // Sec. IV.D: pricing logic with memory economics understates cost.
+    const auto comparisons = core::reproduce_table3();
+    // Mean memory C_tr vs mean logic C_tr differ by > 10x.
+    double memory_sum = 0.0;
+    int memory_n = 0;
+    double logic_sum = 0.0;
+    int logic_n = 0;
+    for (const auto& c : comparisons) {
+        if (c.row.index >= 11 && c.row.index <= 14) {
+            memory_sum += c.computed_ctr_micro;
+            ++memory_n;
+        } else {
+            logic_sum += c.computed_ctr_micro;
+            ++logic_n;
+        }
+    }
+    EXPECT_GT((logic_sum / logic_n) / (memory_sum / memory_n), 10.0);
+}
+
+TEST(PaperClaims, FablineCostApproachesBillionDollars) {
+    // Sec. I: facilities "estimated soon to reach 1 billion dollars".
+    const tech::trend fabs = tech::fab_cost_trend();
+    EXPECT_GT(fabs.at(1996), 800.0);   // $M
+    EXPECT_LT(fabs.at(1990), 800.0);
+}
+
+}  // namespace
+}  // namespace silicon

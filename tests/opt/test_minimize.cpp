@@ -1,0 +1,113 @@
+// Tests for the 1-D minimizers.
+
+#include "opt/minimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::opt {
+namespace {
+
+TEST(GoldenSection, FindsParabolaMinimum) {
+    const auto f = [](double x) { return (x - 2.5) * (x - 2.5) + 1.0; };
+    const scalar_minimum m = golden_section(f, 0.0, 10.0);
+    EXPECT_NEAR(m.x, 2.5, 1e-6);
+    EXPECT_NEAR(m.value, 1.0, 1e-10);
+    EXPECT_GT(m.evaluations, 2);
+}
+
+TEST(GoldenSection, BoundaryMinimum) {
+    const auto f = [](double x) { return x; };
+    const scalar_minimum m = golden_section(f, 1.0, 5.0);
+    EXPECT_NEAR(m.x, 1.0, 1e-6);
+}
+
+TEST(GoldenSection, RejectsBadInterval) {
+    const auto f = [](double x) { return x; };
+    EXPECT_THROW((void)golden_section(f, 2.0, 1.0), std::invalid_argument);
+    EXPECT_THROW((void)golden_section(f, 1.0, 2.0, 0.0), std::invalid_argument);
+}
+
+TEST(GridThenGolden, FindsGlobalMinimumOfBimodal) {
+    // Two basins: local min near 1.2 (value ~ -0.5) and a deeper one near
+    // 4.0 (value ~ -1.0); the grid must find the deep one.
+    const auto f = [](double x) {
+        return -0.5 * std::exp(-8.0 * (x - 1.2) * (x - 1.2)) -
+               1.0 * std::exp(-8.0 * (x - 4.0) * (x - 4.0));
+    };
+    const scalar_minimum m = grid_then_golden(f, 0.0, 5.0, 128);
+    EXPECT_NEAR(m.x, 4.0, 1e-4);
+    EXPECT_NEAR(m.value, -1.0, 1e-6);
+}
+
+TEST(GridThenGolden, RejectsBadGrid) {
+    const auto f = [](double x) { return x; };
+    EXPECT_THROW((void)grid_then_golden(f, 0.0, 1.0, 2), std::invalid_argument);
+}
+
+TEST(GridThenGolden, RefinementNeverWorseThanGrid) {
+    const auto f = [](double x) { return std::sin(5.0 * x) + 0.3 * x; };
+    const scalar_minimum refined = grid_then_golden(f, 0.0, 6.0, 64);
+    // Raw grid best:
+    double grid_best = 1e300;
+    for (int i = 0; i < 64; ++i) {
+        grid_best = std::min(grid_best, f(0.0 + 6.0 * i / 63.0));
+    }
+    EXPECT_LE(refined.value, grid_best + 1e-12);
+}
+
+TEST(LocalMinima, FindsBothBasins) {
+    const auto f = [](double x) {
+        return -0.5 * std::exp(-8.0 * (x - 1.2) * (x - 1.2)) -
+               1.0 * std::exp(-8.0 * (x - 4.0) * (x - 4.0));
+    };
+    const auto minima = local_minima_on_grid(f, 0.0, 5.0, 201);
+    ASSERT_EQ(minima.size(), 2u);
+    EXPECT_NEAR(minima[0].x, 1.2, 0.05);
+    EXPECT_NEAR(minima[1].x, 4.0, 0.05);
+}
+
+TEST(LocalMinima, MonotoneFunctionHasEndpointMinimum) {
+    const auto f = [](double x) { return x; };
+    const auto minima = local_minima_on_grid(f, 0.0, 1.0, 11);
+    ASSERT_EQ(minima.size(), 1u);
+    EXPECT_NEAR(minima[0].x, 0.0, 1e-12);
+}
+
+TEST(LocalMinima, PlateauReportedOnce) {
+    const auto f = [](double x) {
+        return x < 1.0 ? 1.0 - x : (x > 2.0 ? x - 2.0 : 0.0);
+    };
+    const auto minima = local_minima_on_grid(f, 0.0, 3.0, 31);
+    ASSERT_EQ(minima.size(), 1u);
+    EXPECT_NEAR(minima[0].value, 0.0, 1e-12);
+}
+
+TEST(LocalMinima, RejectsBadInput) {
+    const auto f = [](double x) { return x; };
+    EXPECT_THROW((void)local_minima_on_grid(f, 0.0, 1.0, 2),
+                 std::invalid_argument);
+    EXPECT_THROW((void)local_minima_on_grid(f, 1.0, 0.0, 10),
+                 std::invalid_argument);
+}
+
+// Property: golden section converges for a family of shifted quartics.
+class GoldenSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GoldenSweep, ConvergesToShiftedMinimum) {
+    const double shift = GetParam();
+    const auto f = [shift](double x) {
+        return std::pow(x - shift, 4.0) + 2.0;
+    };
+    const scalar_minimum m = golden_section(f, shift - 3.0, shift + 5.0);
+    EXPECT_NEAR(m.x, shift, 1e-2);  // quartic is flat at the bottom
+    EXPECT_NEAR(m.value, 2.0, 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, GoldenSweep,
+                         ::testing::Values(-2.0, 0.0, 0.7, 3.3, 10.0));
+
+}  // namespace
+}  // namespace silicon::opt

@@ -1,0 +1,77 @@
+// Tests for Pareto-front extraction.
+
+#include "opt/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+namespace silicon::opt {
+namespace {
+
+TEST(Dominates, StrictAndWeakCases) {
+    const design_point cheap_good{"a", 1.0, 5.0};
+    const design_point pricey_bad{"b", 2.0, 3.0};
+    EXPECT_TRUE(dominates(cheap_good, pricey_bad));
+    EXPECT_FALSE(dominates(pricey_bad, cheap_good));
+    // Equal points do not dominate each other.
+    EXPECT_FALSE(dominates(cheap_good, cheap_good));
+    // Equal cost, better merit dominates.
+    const design_point same_cost_better{"c", 1.0, 6.0};
+    EXPECT_TRUE(dominates(same_cost_better, cheap_good));
+}
+
+TEST(ParetoFront, ExtractsNonDominatedSet) {
+    const std::vector<design_point> points = {
+        {"cheap-slow", 1.0, 1.0},  {"mid", 2.0, 3.0},
+        {"dominated", 2.5, 2.0},   {"fast", 4.0, 5.0},
+        {"bad-deal", 5.0, 4.0},
+    };
+    const auto front = pareto_front(points);
+    ASSERT_EQ(front.size(), 3u);
+    EXPECT_EQ(front[0].label, "cheap-slow");
+    EXPECT_EQ(front[1].label, "mid");
+    EXPECT_EQ(front[2].label, "fast");
+}
+
+TEST(ParetoFront, SortedByCost) {
+    const std::vector<design_point> points = {
+        {"z", 9.0, 9.0}, {"a", 1.0, 1.0}, {"m", 5.0, 5.0}};
+    const auto front = pareto_front(points);
+    ASSERT_EQ(front.size(), 3u);
+    EXPECT_LT(front[0].cost, front[1].cost);
+    EXPECT_LT(front[1].cost, front[2].cost);
+}
+
+TEST(ParetoFront, SinglePointAndEmpty) {
+    EXPECT_TRUE(pareto_front({}).empty());
+    const auto one = pareto_front({{"only", 2.0, 2.0}});
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0].label, "only");
+}
+
+TEST(ParetoFront, DuplicateFrontierPointsKept) {
+    const std::vector<design_point> points = {
+        {"a", 1.0, 2.0}, {"a-clone", 1.0, 2.0}, {"worse", 1.5, 1.0}};
+    const auto front = pareto_front(points);
+    EXPECT_EQ(front.size(), 2u);
+}
+
+TEST(ParetoFront, EqualCostKeepsOnlyBestMerit) {
+    const std::vector<design_point> points = {
+        {"good", 1.0, 5.0}, {"bad", 1.0, 2.0}};
+    const auto front = pareto_front(points);
+    ASSERT_EQ(front.size(), 1u);
+    EXPECT_EQ(front[0].label, "good");
+}
+
+TEST(ParetoFront, MonotoneChainAllKept) {
+    std::vector<design_point> points;
+    for (int i = 0; i < 10; ++i) {
+        points.push_back({"p" + std::to_string(i),
+                          static_cast<double>(i),
+                          static_cast<double>(i)});
+    }
+    EXPECT_EQ(pareto_front(points).size(), 10u);
+}
+
+}  // namespace
+}  // namespace silicon::opt

@@ -1,0 +1,175 @@
+// Tests for set-partition enumeration and the partition optimizer.
+
+#include "opt/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+#include <stdexcept>
+
+namespace silicon::opt {
+namespace {
+
+TEST(BellNumber, KnownValues) {
+    EXPECT_EQ(bell_number(0), 1ULL);
+    EXPECT_EQ(bell_number(1), 1ULL);
+    EXPECT_EQ(bell_number(2), 2ULL);
+    EXPECT_EQ(bell_number(3), 5ULL);
+    EXPECT_EQ(bell_number(5), 52ULL);
+    EXPECT_EQ(bell_number(10), 115975ULL);
+}
+
+TEST(BellNumber, RejectsTooLarge) {
+    EXPECT_THROW((void)bell_number(21), std::invalid_argument);
+}
+
+TEST(SetPartitions, CountsMatchBellNumbers) {
+    for (std::size_t n : {1u, 2u, 3u, 4u, 5u, 6u}) {
+        EXPECT_EQ(set_partitions(n).size(), bell_number(static_cast<unsigned>(n)))
+            << n;
+    }
+}
+
+TEST(SetPartitions, AllDistinctAndCanonical) {
+    const auto partitions = set_partitions(4);
+    std::set<std::vector<std::size_t>> unique(partitions.begin(),
+                                              partitions.end());
+    EXPECT_EQ(unique.size(), partitions.size());
+    for (const auto& labels : partitions) {
+        EXPECT_EQ(labels[0], 0u);  // restricted growth property
+        std::size_t max_so_far = 0;
+        for (std::size_t v : labels) {
+            EXPECT_LE(v, max_so_far + 1);
+            max_so_far = std::max(max_so_far, v);
+        }
+    }
+}
+
+TEST(SetPartitions, RejectsBadSize) {
+    EXPECT_THROW((void)set_partitions(0), std::invalid_argument);
+    EXPECT_THROW((void)set_partitions(13), std::invalid_argument);
+}
+
+TEST(OptimizePartitions, MergesWhenMergingIsCheap) {
+    // Die cost = constant 10 regardless of content: fewer dies win.
+    const std::vector<block> blocks = {
+        {"a", 100.0, 1.0}, {"b", 100.0, 1.0}, {"c", 100.0, 1.0}};
+    const die_cost_fn die_cost = [](const std::vector<block>&) {
+        return std::make_pair(10.0, 0.5);
+    };
+    const packaging_cost_fn packaging = [](std::size_t dies) {
+        return 1.0 * static_cast<double>(dies);
+    };
+    const partition_solution best =
+        optimize_partitions(blocks, die_cost, packaging);
+    EXPECT_EQ(best.dies.size(), 1u);
+    EXPECT_NEAR(best.total_cost, 11.0, 1e-12);
+}
+
+TEST(OptimizePartitions, SplitsWhenCostIsSuperlinear) {
+    // Die cost = (total transistors)^2: splitting always helps; with
+    // cheap packaging the optimizer should use one die per block.
+    const std::vector<block> blocks = {
+        {"a", 3.0, 1.0}, {"b", 4.0, 1.0}, {"c", 5.0, 1.0}};
+    const die_cost_fn die_cost = [](const std::vector<block>& group) {
+        double transistors = 0.0;
+        for (const block& b : group) {
+            transistors += b.transistors;
+        }
+        return std::make_pair(transistors * transistors, 0.5);
+    };
+    const packaging_cost_fn packaging = [](std::size_t dies) {
+        return 0.1 * static_cast<double>(dies);
+    };
+    const partition_solution best =
+        optimize_partitions(blocks, die_cost, packaging);
+    EXPECT_EQ(best.dies.size(), 3u);
+    EXPECT_NEAR(best.die_cost_total, 9.0 + 16.0 + 25.0, 1e-12);
+}
+
+TEST(OptimizePartitions, PackagingPenaltyForcesMerge) {
+    // Same superlinear silicon, but packaging is so expensive that the
+    // monolithic die wins anyway.
+    const std::vector<block> blocks = {{"a", 3.0, 1.0}, {"b", 4.0, 1.0}};
+    const die_cost_fn die_cost = [](const std::vector<block>& group) {
+        double transistors = 0.0;
+        for (const block& b : group) {
+            transistors += b.transistors;
+        }
+        return std::make_pair(transistors * transistors, 0.5);
+    };
+    const packaging_cost_fn packaging = [](std::size_t dies) {
+        return dies > 1 ? 1000.0 : 0.0;
+    };
+    const partition_solution best =
+        optimize_partitions(blocks, die_cost, packaging);
+    EXPECT_EQ(best.dies.size(), 1u);
+}
+
+TEST(OptimizePartitions, InfeasibleGroupingsAreSkipped) {
+    // Groupings holding both "a" and "b" are rejected (infinite cost);
+    // the optimizer must pick a split solution.
+    const std::vector<block> blocks = {{"a", 1.0, 1.0}, {"b", 1.0, 1.0}};
+    const die_cost_fn die_cost = [](const std::vector<block>& group) {
+        if (group.size() > 1) {
+            return std::make_pair(
+                std::numeric_limits<double>::infinity(), 0.0);
+        }
+        return std::make_pair(5.0, 0.5);
+    };
+    const packaging_cost_fn packaging = [](std::size_t dies) {
+        return static_cast<double>(dies);
+    };
+    const partition_solution best =
+        optimize_partitions(blocks, die_cost, packaging);
+    EXPECT_EQ(best.dies.size(), 2u);
+}
+
+TEST(OptimizePartitions, ThrowsWhenNothingFeasible) {
+    const std::vector<block> blocks = {{"a", 1.0, 1.0}};
+    const die_cost_fn die_cost = [](const std::vector<block>&) {
+        return std::make_pair(std::numeric_limits<double>::infinity(),
+                              0.0);
+    };
+    const packaging_cost_fn packaging = [](std::size_t) { return 0.0; };
+    EXPECT_THROW((void)optimize_partitions(blocks, die_cost, packaging),
+                 std::domain_error);
+}
+
+TEST(OptimizePartitions, RejectsEmptyAndOversized) {
+    const die_cost_fn die_cost = [](const std::vector<block>&) {
+        return std::make_pair(1.0, 0.5);
+    };
+    const packaging_cost_fn packaging = [](std::size_t) { return 0.0; };
+    EXPECT_THROW((void)optimize_partitions({}, die_cost, packaging),
+                 std::invalid_argument);
+    const std::vector<block> many(11, block{"x", 1.0, 1.0});
+    EXPECT_THROW((void)optimize_partitions(many, die_cost, packaging),
+                 std::invalid_argument);
+}
+
+TEST(OptimizePartitions, EveryBlockAssignedExactlyOnce) {
+    const std::vector<block> blocks = {
+        {"a", 3.0, 1.0}, {"b", 4.0, 1.0}, {"c", 5.0, 1.0},
+        {"d", 2.0, 1.0}};
+    const die_cost_fn die_cost = [](const std::vector<block>& group) {
+        return std::make_pair(static_cast<double>(group.size()) * 3.0, 0.5);
+    };
+    const packaging_cost_fn packaging = [](std::size_t dies) {
+        return static_cast<double>(dies) * 2.0;
+    };
+    const partition_solution best =
+        optimize_partitions(blocks, die_cost, packaging);
+    std::set<std::size_t> seen;
+    for (const die_assignment& die : best.dies) {
+        for (std::size_t bi : die.block_indices) {
+            EXPECT_TRUE(seen.insert(bi).second) << "duplicate block";
+        }
+    }
+    EXPECT_EQ(seen.size(), blocks.size());
+}
+
+}  // namespace
+}  // namespace silicon::opt

@@ -1,0 +1,116 @@
+// Tests for the process recipe synthesizer and X-factor derivation.
+
+#include "tech/process.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace silicon::tech {
+namespace {
+
+TEST(Recipe, StepCountGrowsWithMetalLayers) {
+    const auto two = synthesize_cmos_recipe(microns{0.8}, 2);
+    const auto four = synthesize_cmos_recipe(microns{0.8}, 4);
+    EXPECT_GT(four.step_count(), two.step_count());
+    EXPECT_GT(four.cost_index(), two.cost_index());
+}
+
+TEST(Recipe, StepCountGrowsAsFeatureShrinks) {
+    // The Fig. 4 staircase: each finer node adds steps.
+    const auto um20 = synthesize_cmos_recipe(microns{2.0}, 2);
+    const auto um08 = synthesize_cmos_recipe(microns{0.8}, 2);
+    const auto um035 = synthesize_cmos_recipe(microns{0.35}, 3);
+    EXPECT_LT(um20.step_count(), um08.step_count());
+    EXPECT_LT(um08.step_count(), um035.step_count());
+}
+
+TEST(Recipe, StepCountsInFig4Range) {
+    // Fig. 4 shows roughly 100-600 steps across generations.
+    const auto coarse = synthesize_cmos_recipe(microns{2.0}, 1);
+    const auto fine = synthesize_cmos_recipe(microns{0.25}, 4);
+    EXPECT_GE(coarse.step_count(), 50);
+    EXPECT_LE(fine.step_count(), 700);
+    EXPECT_GT(fine.step_count(), 2 * coarse.step_count());
+}
+
+TEST(Recipe, CmpOnlyBelowPointEight) {
+    EXPECT_EQ(synthesize_cmos_recipe(microns{1.0}, 2)
+                  .count(step_category::cmp),
+              0);
+    EXPECT_GT(synthesize_cmos_recipe(microns{0.5}, 2)
+                  .count(step_category::cmp),
+              0);
+}
+
+TEST(Recipe, RejectsBadInputs) {
+    EXPECT_THROW((void)synthesize_cmos_recipe(microns{0.0}, 2),
+                 std::invalid_argument);
+    EXPECT_THROW((void)synthesize_cmos_recipe(microns{0.5}, 0),
+                 std::invalid_argument);
+    EXPECT_THROW((void)synthesize_cmos_recipe(microns{0.5}, 9),
+                 std::invalid_argument);
+}
+
+TEST(Recipe, CategoryCountsSumToTotal) {
+    const auto recipe = synthesize_cmos_recipe(microns{0.5}, 3);
+    int sum = 0;
+    for (const step_category c :
+         {step_category::lithography, step_category::etch,
+          step_category::implant, step_category::deposition,
+          step_category::diffusion, step_category::cmp,
+          step_category::clean, step_category::metrology}) {
+        sum += recipe.count(c);
+    }
+    EXPECT_EQ(sum, recipe.step_count());
+}
+
+TEST(XFactor, DerivedValueLandsInQuotedEnvelope) {
+    // One generation step, e.g. 0.8 um 2LM -> 0.6 um 3LM: the derived X
+    // must fall inside the paper's quoted 1.2-2.4 envelope.
+    const auto previous = synthesize_cmos_recipe(microns{0.8}, 2);
+    const auto next = synthesize_cmos_recipe(microns{0.6}, 3);
+    const double x = estimate_x_factor(previous, next);
+    EXPECT_GT(x, 1.2);
+    EXPECT_LT(x, 2.4);
+}
+
+TEST(XFactor, LargerEscalationRaisesX) {
+    const auto previous = synthesize_cmos_recipe(microns{0.8}, 2);
+    const auto next = synthesize_cmos_recipe(microns{0.6}, 3);
+    equipment_escalation aggressive;
+    aggressive.lithography = 2.0;
+    const double base = estimate_x_factor(previous, next);
+    const double high = estimate_x_factor(previous, next, aggressive);
+    EXPECT_GT(high, base);
+}
+
+TEST(XFactor, RejectsReversedOrder) {
+    const auto older = synthesize_cmos_recipe(microns{0.8}, 2);
+    const auto newer = synthesize_cmos_recipe(microns{0.6}, 3);
+    EXPECT_THROW((void)estimate_x_factor(newer, older), std::invalid_argument);
+}
+
+TEST(QuotedX, ContainsTheFourSources) {
+    const auto& values = quoted_x_values();
+    ASSERT_EQ(values.size(), 5u);
+    for (const auto& v : values) {
+        EXPECT_GE(v.x_low, 1.0);
+        EXPECT_LE(v.x_low, v.x_high);
+        EXPECT_LE(v.x_high, 2.5);
+    }
+}
+
+TEST(Escalation, FactorCoversEveryCategory) {
+    const equipment_escalation esc;
+    for (const step_category c :
+         {step_category::lithography, step_category::etch,
+          step_category::implant, step_category::deposition,
+          step_category::diffusion, step_category::cmp,
+          step_category::clean, step_category::metrology}) {
+        EXPECT_GE(esc.factor(c), 1.0);
+    }
+}
+
+}  // namespace
+}  // namespace silicon::tech

@@ -1,0 +1,141 @@
+// Tests for the technology roadmap (Figs. 1-4 substrate).
+
+#include "tech/roadmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace silicon::tech {
+namespace {
+
+TEST(Roadmap, OrderedAndShrinking) {
+    const auto& roadmap = standard_roadmap();
+    ASSERT_GE(roadmap.size(), 10u);
+    for (std::size_t i = 1; i < roadmap.size(); ++i) {
+        EXPECT_GT(roadmap[i].year, roadmap[i - 1].year);
+        EXPECT_LT(roadmap[i].feature_um, roadmap[i - 1].feature_um);
+        EXPECT_GE(roadmap[i].process_steps, roadmap[i - 1].process_steps);
+        EXPECT_GT(roadmap[i].fab_cost_musd, roadmap[i - 1].fab_cost_musd);
+    }
+}
+
+TEST(Roadmap, DramGenerationsQuadruple) {
+    // Spot-check the well-known cadence entries.
+    const auto& roadmap = standard_roadmap();
+    bool found_1mb = false;
+    bool found_256mb = false;
+    for (const auto& g : roadmap) {
+        if (g.dram_generation == "1Mb") {
+            found_1mb = true;
+            EXPECT_NEAR(g.feature_um, 1.2, 0.4);
+        }
+        if (g.dram_generation == "256Mb") {
+            found_256mb = true;
+            EXPECT_NEAR(g.feature_um, 0.25, 0.05);
+        }
+    }
+    EXPECT_TRUE(found_1mb);
+    EXPECT_TRUE(found_256mb);
+}
+
+TEST(MicroprocessorDieArea, MatchesPaperFit) {
+    // A_ch(lambda) = 16.5 exp(-5.3 lambda) cm^2; paper spot values.
+    EXPECT_NEAR(microprocessor_die_area(microns{0.8}).value(),
+                16.5 * std::exp(-5.3 * 0.8), 1e-12);
+    // At 0.8 um this is ~0.24 cm^2 = 24 mm^2... (trend line, not a
+    // specific product); at 0.25 um it grows to ~4.4 cm^2.
+    EXPECT_NEAR(microprocessor_die_area(microns{0.25}).value(), 4.383,
+                0.01);
+}
+
+TEST(MicroprocessorDieArea, GrowsAsFeatureShrinks) {
+    double previous = 0.0;
+    for (double lambda = 1.0; lambda >= 0.2; lambda -= 0.1) {
+        const double area =
+            microprocessor_die_area(microns{lambda}).value();
+        EXPECT_GT(area, previous);
+        previous = area;
+    }
+}
+
+TEST(GenerationLookups, ByFeature) {
+    // A 0.6 um design needs at least the 0.5 um process generation.
+    const auto g = generation_for_feature(microns{0.6});
+    ASSERT_TRUE(g.has_value());
+    EXPECT_NEAR(g->feature_um, 0.5, 1e-9);
+    // Exact match uses that generation itself.
+    const auto exact = generation_for_feature(microns{0.8});
+    ASSERT_TRUE(exact.has_value());
+    EXPECT_NEAR(exact->feature_um, 0.8, 1e-9);
+    // Finer than anything on the roadmap: no process can print it.
+    EXPECT_FALSE(generation_for_feature(microns{0.01}).has_value());
+}
+
+TEST(GenerationLookups, ByYear) {
+    const auto g = generation_for_year(1994);
+    ASSERT_TRUE(g.has_value());
+    EXPECT_EQ(g->dram_generation, "16Mb");
+    EXPECT_FALSE(generation_for_year(1960).has_value());
+}
+
+TEST(FeatureSizeTrend, ExponentialDeclineFitsWell) {
+    const trend t = feature_size_trend();
+    EXPECT_LT(t.b, 0.0);  // shrinking
+    EXPECT_GT(t.r_squared, 0.97);
+    // Halving time of roughly 5-7 years (Fig. 1's slope).
+    EXPECT_GT(t.doubling_time_years(), 4.0);
+    EXPECT_LT(t.doubling_time_years(), 8.0);
+}
+
+TEST(FabCostTrend, ExponentialGrowthTowardBillionDollarFab) {
+    const trend t = fab_cost_trend();
+    EXPECT_GT(t.b, 0.0);
+    EXPECT_GT(t.r_squared, 0.95);
+    // The paper's headline: fabs approach $1B in the mid-90s.
+    const double fab_1995 = t.at(1995);
+    EXPECT_GT(fab_1995, 500.0);
+    EXPECT_LT(fab_1995, 2500.0);
+}
+
+TEST(WaferCostTrend, GrowsSlowerThanFabCost) {
+    EXPECT_LT(wafer_cost_trend().b, fab_cost_trend().b);
+}
+
+TEST(Trend, EvaluationAtReferenceYear) {
+    const trend t = feature_size_trend();
+    EXPECT_NEAR(t.at(t.year0), t.a, 1e-12);
+}
+
+TEST(Trend, FlatTrendHasNoDoublingTime) {
+    trend t;
+    t.b = 0.0;
+    EXPECT_THROW((void)t.doubling_time_years(), std::domain_error);
+}
+
+TEST(Roadmap, WaferCostConsistentWithX12to14) {
+    // The paper extracts X in 1.2-1.4 from Fig. 2; check the roadmap's
+    // wafer-cost column implies roughly that rate per 0.2 um generation
+    // over the sub-micron portion.
+    const auto& roadmap = standard_roadmap();
+    const technology_generation* um08 = nullptr;
+    const technology_generation* um025 = nullptr;
+    for (const auto& g : roadmap) {
+        if (std::abs(g.feature_um - 0.8) < 1e-9) {
+            um08 = &g;
+        }
+        if (std::abs(g.feature_um - 0.25) < 1e-9) {
+            um025 = &g;
+        }
+    }
+    ASSERT_NE(um08, nullptr);
+    ASSERT_NE(um025, nullptr);
+    const double generations = (0.8 - 0.25) / 0.2;
+    const double x = std::pow(um025->wafer_cost_usd / um08->wafer_cost_usd,
+                              1.0 / generations);
+    EXPECT_GT(x, 1.1);
+    EXPECT_LT(x, 2.0);
+}
+
+}  // namespace
+}  // namespace silicon::tech

@@ -1,0 +1,155 @@
+// Tests for analytical critical-area extraction.
+
+#include "yield/critical_area.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::yield {
+namespace {
+
+wire_array_layout standard_layout() {
+    wire_array_layout layout;
+    layout.line_width = 1.0;
+    layout.line_spacing = 1.5;
+    layout.line_length = 200.0;
+    layout.line_count = 20;
+    return layout;
+}
+
+TEST(WireArrayLayout, AreaAndPitch) {
+    const wire_array_layout layout = standard_layout();
+    EXPECT_DOUBLE_EQ(layout.pitch(), 2.5);
+    // 20 lines * 1.0 + 19 gaps * 1.5 = 48.5 height.
+    EXPECT_DOUBLE_EQ(layout.area(), 200.0 * 48.5);
+}
+
+TEST(WireArrayLayout, ValidationRejectsBadDimensions) {
+    wire_array_layout layout = standard_layout();
+    layout.line_width = 0.0;
+    EXPECT_THROW((void)layout.validate(), std::invalid_argument);
+    layout = standard_layout();
+    layout.line_count = 0;
+    EXPECT_THROW((void)layout.validate(), std::invalid_argument);
+}
+
+TEST(CriticalArea, ZeroBelowThreshold) {
+    const wire_array_layout layout = standard_layout();
+    EXPECT_DOUBLE_EQ(
+        critical_area(layout, fault_kind::short_circuit, 1.5), 0.0);
+    EXPECT_DOUBLE_EQ(
+        critical_area(layout, fault_kind::open_circuit, 1.0), 0.0);
+}
+
+TEST(CriticalArea, LinearAboveThreshold) {
+    const wire_array_layout layout = standard_layout();
+    // Shorts: slope (N-1) * L = 19 * 200 = 3800 per um above s = 1.5.
+    EXPECT_NEAR(critical_area(layout, fault_kind::short_circuit, 2.0),
+                3800.0 * 0.5, 1e-9);
+    // Opens: slope N * L = 4000 above w = 1.0.
+    EXPECT_NEAR(critical_area(layout, fault_kind::open_circuit, 1.4),
+                4000.0 * 0.4, 1e-6);
+}
+
+TEST(CriticalArea, CappedAtLayoutArea) {
+    const wire_array_layout layout = standard_layout();
+    const double giant = 1e6;
+    EXPECT_DOUBLE_EQ(
+        critical_area(layout, fault_kind::short_circuit, giant),
+        layout.area());
+}
+
+TEST(CriticalArea, SingleWireHasNoShortMechanism) {
+    wire_array_layout layout = standard_layout();
+    layout.line_count = 1;
+    EXPECT_DOUBLE_EQ(
+        critical_area(layout, fault_kind::short_circuit, 100.0), 0.0);
+    EXPECT_DOUBLE_EQ(
+        average_critical_area(layout, fault_kind::short_circuit,
+                              defect_size_distribution{0.5, 4.0}),
+        0.0);
+}
+
+TEST(AverageCriticalArea, ClosedFormMatchesQuadrature) {
+    const wire_array_layout layout = standard_layout();
+    for (double p : {3.0, 4.07, 5.0}) {
+        const defect_size_distribution d{0.8, p};
+        for (const fault_kind kind :
+             {fault_kind::short_circuit, fault_kind::open_circuit}) {
+            const double analytic =
+                average_critical_area(layout, kind, d);
+            const double numeric =
+                average_critical_area_numeric(layout, kind, d, 1 << 15);
+            EXPECT_NEAR(numeric / analytic, 1.0, 2e-4)
+                << "p=" << p << " kind=" << static_cast<int>(kind);
+        }
+    }
+}
+
+TEST(AverageCriticalArea, HandlesPEqualTwoTail) {
+    // p = 2 triggers the logarithmic antiderivative branch.
+    const wire_array_layout layout = standard_layout();
+    const defect_size_distribution d{0.8, 2.0};
+    const double analytic =
+        average_critical_area(layout, fault_kind::short_circuit, d);
+    const double numeric = average_critical_area_numeric(
+        layout, fault_kind::short_circuit, d, 1 << 15);
+    EXPECT_NEAR(numeric / analytic, 1.0, 2e-4);
+}
+
+TEST(AverageCriticalArea, GrowsWhenSpacingShrinks) {
+    const defect_size_distribution d{0.8, 4.0};
+    wire_array_layout tight = standard_layout();
+    tight.line_spacing = 0.8;
+    wire_array_layout loose = standard_layout();
+    loose.line_spacing = 2.5;
+    EXPECT_GT(
+        average_critical_area(tight, fault_kind::short_circuit, d),
+        average_critical_area(loose, fault_kind::short_circuit, d));
+}
+
+TEST(AverageCriticalArea, BoundedByLayoutArea) {
+    const wire_array_layout layout = standard_layout();
+    const defect_size_distribution d{50.0, 3.0};  // huge defects
+    const double avg =
+        average_critical_area(layout, fault_kind::short_circuit, d);
+    EXPECT_LE(avg, layout.area() * (1.0 + 1e-12));
+    EXPECT_GT(avg, 0.0);
+}
+
+TEST(ExpectedFaults, ScalesLinearlyWithDensity) {
+    const wire_array_layout layout = standard_layout();
+    const defect_size_distribution d{0.8, 4.0};
+    const double one = expected_faults(layout, d, 1e-6);
+    const double ten = expected_faults(layout, d, 1e-5);
+    EXPECT_NEAR(ten / one, 10.0, 1e-9);
+}
+
+TEST(ExpectedFaults, FractionInterpolatesMechanisms) {
+    const wire_array_layout layout = standard_layout();
+    const defect_size_distribution d{0.8, 4.0};
+    const double all_shorts = expected_faults(layout, d, 1e-5, 1.0);
+    const double all_opens = expected_faults(layout, d, 1e-5, 0.0);
+    const double half = expected_faults(layout, d, 1e-5, 0.5);
+    EXPECT_NEAR(half, 0.5 * (all_shorts + all_opens), 1e-12);
+}
+
+TEST(LayoutYield, ExponentialInFaults) {
+    const wire_array_layout layout = standard_layout();
+    const defect_size_distribution d{0.8, 4.0};
+    const double mu = expected_faults(layout, d, 2e-6);
+    EXPECT_NEAR(layout_yield(layout, d, 2e-6), std::exp(-mu), 1e-12);
+}
+
+TEST(ExpectedFaults, RejectsBadInputs) {
+    const wire_array_layout layout = standard_layout();
+    const defect_size_distribution d{0.8, 4.0};
+    EXPECT_THROW((void)expected_faults(layout, d, -1.0), std::invalid_argument);
+    EXPECT_THROW((void)expected_faults(layout, d, 1.0, 1.5),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace silicon::yield

@@ -1,0 +1,158 @@
+// Tests for the defect size distribution (Fig. 5).
+
+#include "yield/defect.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::yield {
+namespace {
+
+TEST(DefectDistribution, RejectsBadParameters) {
+    EXPECT_THROW((void)(defect_size_distribution{0.0, 3.0}), std::invalid_argument);
+    EXPECT_THROW((void)(defect_size_distribution{1.0, 1.0}), std::invalid_argument);
+    EXPECT_THROW((void)(defect_size_distribution{1.0, 3.0, -1.0}),
+                 std::invalid_argument);
+}
+
+TEST(DefectDistribution, PdfIsContinuousAtR0) {
+    const defect_size_distribution d{0.5, 4.0};
+    const double below = d.pdf(0.5 - 1e-12);
+    const double above = d.pdf(0.5 + 1e-12);
+    EXPECT_NEAR(below, above, 1e-6 * below);
+}
+
+TEST(DefectDistribution, PdfZeroForNonPositiveRadius) {
+    const defect_size_distribution d{0.5, 4.0};
+    EXPECT_DOUBLE_EQ(d.pdf(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(d.pdf(-1.0), 0.0);
+}
+
+TEST(DefectDistribution, PdfIntegratesToOne) {
+    const defect_size_distribution d{0.8, 4.07};
+    // Trapezoid over the body + analytic tail check via cdf at a large r.
+    EXPECT_NEAR(d.cdf(1e6), 1.0, 1e-9);
+}
+
+TEST(DefectDistribution, CdfMonotone) {
+    const defect_size_distribution d{0.6, 3.5};
+    double previous = -1.0;
+    for (double r = 0.0; r < 10.0; r += 0.05) {
+        const double c = d.cdf(r);
+        EXPECT_GE(c, previous);
+        previous = c;
+    }
+}
+
+TEST(DefectDistribution, SurvivalComplementsCdf) {
+    const defect_size_distribution d{0.6, 4.5};
+    for (double r : {0.1, 0.4, 0.6, 1.0, 3.0, 10.0}) {
+        EXPECT_NEAR(d.survival(r), 1.0 - d.cdf(r), 1e-12) << r;
+    }
+}
+
+TEST(DefectDistribution, TailDecaysAsPowerLaw) {
+    const defect_size_distribution d{0.5, 4.0};
+    // f(2r)/f(r) = 2^-p on the tail.
+    const double ratio = d.pdf(4.0) / d.pdf(2.0);
+    EXPECT_NEAR(ratio, std::pow(2.0, -4.0), 1e-12);
+}
+
+TEST(DefectDistribution, MassesSumToOne) {
+    const defect_size_distribution d{0.7, 4.2, 1.0};
+    EXPECT_NEAR(d.tail_mass() + d.cdf(d.r0()), 1.0, 1e-12);
+}
+
+TEST(DefectDistribution, MomentZeroIsOne) {
+    const defect_size_distribution d{0.5, 4.0};
+    EXPECT_DOUBLE_EQ(d.moment(0), 1.0);
+}
+
+TEST(DefectDistribution, MeanMatchesQuadrature) {
+    const defect_size_distribution d{0.5, 4.07};
+    // Simpson over [0, 200] captures essentially all mass for p > 2.
+    double integral = 0.0;
+    const int n = 200000;
+    const double h = 200.0 / n;
+    for (int i = 0; i <= n; ++i) {
+        const double r = i * h;
+        const double w = (i == 0 || i == n) ? 1.0 : (i % 2 == 1 ? 4.0 : 2.0);
+        integral += w * r * d.pdf(r);
+    }
+    integral *= h / 3.0;
+    EXPECT_NEAR(d.mean(), integral, 1e-3 * d.mean());
+}
+
+TEST(DefectDistribution, MomentDivergesWhenPTooSmall) {
+    const defect_size_distribution d{0.5, 2.5};
+    EXPECT_NO_THROW((void)d.moment(1));
+    EXPECT_THROW((void)d.moment(2), std::domain_error);
+}
+
+TEST(DefectDistribution, QuantileInvertsCdf) {
+    const defect_size_distribution d{0.5, 4.0};
+    for (double u : {0.01, 0.2, 0.5, 0.8, 0.99, 0.9999}) {
+        const double r = d.quantile(u);
+        EXPECT_NEAR(d.cdf(r), u, 1e-10) << u;
+    }
+}
+
+TEST(DefectDistribution, QuantileRejectsOutOfRange) {
+    const defect_size_distribution d{0.5, 4.0};
+    EXPECT_THROW((void)d.quantile(-0.1), std::invalid_argument);
+    EXPECT_THROW((void)d.quantile(1.0), std::invalid_argument);
+}
+
+TEST(DefectDistribution, SamplingMatchesMean) {
+    const defect_size_distribution d{0.5, 4.5};
+    const auto radii = d.sample(200000, 42);
+    double sum = 0.0;
+    for (double r : radii) {
+        sum += r;
+    }
+    const double sample_mean = sum / static_cast<double>(radii.size());
+    EXPECT_NEAR(sample_mean, d.mean(), 0.01 * d.mean());
+}
+
+TEST(DefectDistribution, SamplingIsDeterministic) {
+    const defect_size_distribution d{0.5, 4.0};
+    EXPECT_EQ(d.sample(100, 7), d.sample(100, 7));
+    EXPECT_NE(d.sample(100, 7), d.sample(100, 8));
+}
+
+TEST(SplitMix64, KnownFirstValue) {
+    // Reference value of SplitMix64 seeded with 0 (public test vector).
+    splitmix64 rng{0};
+    EXPECT_EQ(rng.next(), 0xe220a8397b1dcdafULL);
+}
+
+TEST(SplitMix64, DoublesInUnitInterval) {
+    splitmix64 rng{123};
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.next_double();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+// Parameterized property: normalization holds across the (r0, p, q) space.
+class DefectNormalization
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(DefectNormalization, CdfReachesOne) {
+    const auto [r0, p, q] = GetParam();
+    const defect_size_distribution d{r0, p, q};
+    EXPECT_NEAR(d.cdf(1e9), 1.0, 1e-6);
+    EXPECT_NEAR(d.tail_mass() + d.cdf(d.r0()), 1.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterSpace, DefectNormalization,
+    ::testing::Combine(::testing::Values(0.1, 0.5, 2.0),
+                       ::testing::Values(2.5, 4.07, 5.0),
+                       ::testing::Values(0.0, 1.0, 2.0)));
+
+}  // namespace
+}  // namespace silicon::yield

@@ -1,0 +1,132 @@
+// Deeper statistical property tests: Kolmogorov-style agreement between
+// the defect sampler and its analytic CDF, and structural properties of
+// the critical-area integrals the benches depend on.
+
+#include "yield/critical_area.hpp"
+#include "yield/defect.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace silicon::yield {
+namespace {
+
+TEST(DefectSampling, EmpiricalCdfMatchesAnalytic) {
+    // Kolmogorov-Smirnov style: for n = 100k inverse-CDF samples the
+    // empirical CDF must stay within ~5/sqrt(n) of the analytic one
+    // everywhere (generous bound, the sampler is exact).
+    const defect_size_distribution d{0.6, 4.07};
+    const std::size_t n = 100000;
+    std::vector<double> radii = d.sample(n, 12345);
+    std::sort(radii.begin(), radii.end());
+    double worst = 0.0;
+    for (std::size_t i = 0; i < n; i += 97) {
+        const double empirical =
+            static_cast<double>(i + 1) / static_cast<double>(n);
+        worst = std::max(worst,
+                         std::abs(empirical - d.cdf(radii[i])));
+    }
+    EXPECT_LT(worst, 5.0 / std::sqrt(static_cast<double>(n)));
+}
+
+TEST(DefectSampling, TailFractionMatchesSurvival) {
+    const defect_size_distribution d{0.5, 4.5};
+    const std::size_t n = 200000;
+    const auto radii = d.sample(n, 777);
+    const double threshold = 1.5;
+    std::size_t above = 0;
+    for (double r : radii) {
+        if (r > threshold) {
+            ++above;
+        }
+    }
+    const double fraction = static_cast<double>(above) / n;
+    EXPECT_NEAR(fraction, d.survival(threshold),
+                4.0 * std::sqrt(d.survival(threshold) / n) + 1e-4);
+}
+
+TEST(CriticalArea, MonotoneInLineCount) {
+    const defect_size_distribution d{0.6, 4.07};
+    double previous = 0.0;
+    for (int lines : {2, 5, 10, 20, 40}) {
+        wire_array_layout layout;
+        layout.line_width = 1.0;
+        layout.line_spacing = 1.2;
+        layout.line_length = 100.0;
+        layout.line_count = lines;
+        const double ca =
+            average_critical_area(layout, fault_kind::short_circuit, d);
+        EXPECT_GT(ca, previous) << lines;
+        previous = ca;
+    }
+}
+
+TEST(CriticalArea, ScalesLinearlyWithLineLength) {
+    const defect_size_distribution d{0.6, 4.07};
+    wire_array_layout layout;
+    layout.line_width = 1.0;
+    layout.line_spacing = 1.2;
+    layout.line_count = 10;
+    layout.line_length = 100.0;
+    const double base =
+        average_critical_area(layout, fault_kind::open_circuit, d);
+    layout.line_length = 300.0;
+    const double tripled =
+        average_critical_area(layout, fault_kind::open_circuit, d);
+    EXPECT_NEAR(tripled / base, 3.0, 0.02);
+}
+
+TEST(CriticalArea, SmallerDefectsMeanFewerFaults) {
+    // Shrinking R_0 (finer contamination control) cuts the average
+    // critical area monotonically — the Fig. 4 "required defect size
+    // control" mechanism at the layout level.
+    wire_array_layout layout;
+    layout.line_width = 1.0;
+    layout.line_spacing = 1.2;
+    layout.line_length = 100.0;
+    layout.line_count = 10;
+    double previous = 1e300;
+    for (double r0 : {1.2, 0.9, 0.6, 0.4, 0.25}) {
+        const defect_size_distribution d{r0, 4.07};
+        const double faults = expected_faults(layout, d, 1e-4);
+        EXPECT_LT(faults, previous) << r0;
+        previous = faults;
+    }
+}
+
+TEST(CriticalArea, HeavierTailMeansMoreFaults) {
+    // Smaller p = fatter tail of large defects = more critical area.
+    wire_array_layout layout;
+    layout.line_width = 1.0;
+    layout.line_spacing = 1.2;
+    layout.line_length = 100.0;
+    layout.line_count = 10;
+    double previous = 0.0;
+    for (double p : {5.0, 4.07, 3.0, 2.5}) {
+        const defect_size_distribution d{0.6, p};
+        const double faults = expected_faults(layout, d, 1e-4);
+        EXPECT_GT(faults, previous) << p;
+        previous = faults;
+    }
+}
+
+TEST(CriticalArea, QExponentShiftsMassBelowR0) {
+    // Higher q pushes probability mass toward R_0 (bigger "small"
+    // defects): more short-critical area for sub-threshold-heavy
+    // layouts whose spacing sits below R_0.
+    wire_array_layout layout;
+    layout.line_width = 0.4;
+    layout.line_spacing = 0.3;  // below r0: the body branch matters
+    layout.line_length = 100.0;
+    layout.line_count = 10;
+    const defect_size_distribution flat{0.6, 4.07, 0.0};
+    const defect_size_distribution rising{0.6, 4.07, 2.0};
+    EXPECT_GT(
+        average_critical_area(layout, fault_kind::short_circuit, rising),
+        average_critical_area(layout, fault_kind::short_circuit, flat));
+}
+
+}  // namespace
+}  // namespace silicon::yield

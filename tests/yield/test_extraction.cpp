@@ -1,0 +1,97 @@
+// Tests for (D, p) extraction from yield observations.
+
+#include "yield/extraction.hpp"
+
+#include "yield/scaled.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace silicon::yield {
+namespace {
+
+TEST(Extraction, RecoversExactGroundTruth) {
+    // Generate noiseless observations from the Fig. 8 calibration and
+    // extract: D and p must come back exactly.
+    const scaled_poisson_model truth =
+        scaled_poisson_model::fig8_calibration();
+    std::vector<yield_observation> observations;
+    for (double lambda : {1.0, 0.8, 0.65, 0.5, 0.35}) {
+        yield_observation obs;
+        obs.lambda = microns{lambda};
+        obs.die_area = square_centimeters{0.08};
+        obs.yield = truth.yield(obs.die_area, obs.lambda);
+        observations.push_back(obs);
+    }
+    const scaled_model_fit fit = fit_scaled_poisson(observations);
+    EXPECT_NEAR(fit.d, 1.72, 1e-9);
+    EXPECT_NEAR(fit.p, 4.07, 1e-9);
+    EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Extraction, MixedDieAreasStillRecover) {
+    const scaled_poisson_model truth{0.9, 4.5};
+    std::vector<yield_observation> observations;
+    double area = 0.02;
+    for (double lambda : {1.0, 0.8, 0.6, 0.4}) {
+        yield_observation obs;
+        obs.lambda = microns{lambda};
+        obs.die_area = square_centimeters{area};
+        obs.yield = truth.yield(obs.die_area, obs.lambda);
+        observations.push_back(obs);
+        area *= 1.7;  // different product per node, as in real data
+    }
+    const scaled_model_fit fit = fit_scaled_poisson(observations);
+    EXPECT_NEAR(fit.d, 0.9, 1e-9);
+    EXPECT_NEAR(fit.p, 4.5, 1e-9);
+}
+
+TEST(Extraction, ToleratesMultiplicativeNoise) {
+    const scaled_poisson_model truth{1.5, 4.0};
+    std::vector<yield_observation> observations;
+    // +-10% perturbation of the fault count, alternating sign.
+    double sign = 1.0;
+    for (double lambda : {1.0, 0.85, 0.7, 0.55, 0.45, 0.35}) {
+        const square_centimeters area{0.05};
+        const double faults =
+            -std::log(truth.yield(area, microns{lambda}).value());
+        yield_observation obs;
+        obs.lambda = microns{lambda};
+        obs.die_area = area;
+        obs.yield = probability{std::exp(-faults * (1.0 + 0.1 * sign))};
+        observations.push_back(obs);
+        sign = -sign;
+    }
+    const scaled_model_fit fit = fit_scaled_poisson(observations);
+    EXPECT_NEAR(fit.d, 1.5, 0.3);
+    EXPECT_NEAR(fit.p, 4.0, 0.45);
+    EXPECT_GT(fit.r_squared, 0.97);
+}
+
+TEST(Extraction, RejectsDegenerateInput) {
+    EXPECT_THROW((void)fit_scaled_poisson({}), std::invalid_argument);
+    yield_observation one;
+    one.yield = probability{0.5};
+    EXPECT_THROW((void)fit_scaled_poisson({one}), std::invalid_argument);
+
+    yield_observation saturated = one;
+    saturated.yield = probability{1.0};
+    EXPECT_THROW((void)fit_scaled_poisson({one, saturated}),
+                 std::invalid_argument);
+
+    yield_observation dead = one;
+    dead.yield = probability{0.0};
+    EXPECT_THROW((void)fit_scaled_poisson({one, dead}),
+                 std::invalid_argument);
+
+    // Two observations at the same lambda: the regression cannot
+    // identify p.
+    yield_observation same = one;
+    same.yield = probability{0.4};
+    EXPECT_THROW((void)fit_scaled_poisson({one, same}),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace silicon::yield

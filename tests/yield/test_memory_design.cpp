@@ -1,0 +1,86 @@
+// Tests for the redundancy design optimizer.
+
+#include "yield/memory_design.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace silicon::yield {
+namespace {
+
+memory_design dram_design() {
+    memory_design design;
+    design.base_array_area = square_centimeters{1.2};
+    design.periphery_area = square_centimeters{0.2};
+    design.area_per_spare_fraction = 0.004;
+    return design;
+}
+
+TEST(MemoryDesign, OptimumIsInteriorAtRealisticDensity) {
+    const redundancy_choice choice =
+        optimize_redundancy(dram_design(), 1.5);
+    EXPECT_GT(choice.best.spares, 0);
+    EXPECT_LT(choice.best.spares, 64);
+    EXPECT_GT(choice.improvement, 0.1);  // spares save real silicon
+}
+
+TEST(MemoryDesign, ZeroDensityWantsNoSpares) {
+    const redundancy_choice choice =
+        optimize_redundancy(dram_design(), 0.0);
+    EXPECT_EQ(choice.best.spares, 0);
+    EXPECT_DOUBLE_EQ(choice.improvement, 0.0);
+}
+
+TEST(MemoryDesign, HigherDensityWantsMoreSpares) {
+    const redundancy_choice low =
+        optimize_redundancy(dram_design(), 0.5);
+    const redundancy_choice high =
+        optimize_redundancy(dram_design(), 3.0);
+    EXPECT_GE(high.best.spares, low.best.spares);
+}
+
+TEST(MemoryDesign, ExpensiveSparesLowerTheOptimum) {
+    memory_design cheap = dram_design();
+    cheap.area_per_spare_fraction = 0.001;
+    memory_design pricey = dram_design();
+    pricey.area_per_spare_fraction = 0.05;
+    const redundancy_choice with_cheap = optimize_redundancy(cheap, 1.5);
+    const redundancy_choice with_pricey =
+        optimize_redundancy(pricey, 1.5);
+    EXPECT_GE(with_cheap.best.spares, with_pricey.best.spares);
+}
+
+TEST(MemoryDesign, SweepIsConsistent) {
+    const redundancy_choice choice =
+        optimize_redundancy(dram_design(), 1.0, 16);
+    ASSERT_EQ(choice.sweep.size(), 17u);
+    for (const redundancy_point& point : choice.sweep) {
+        EXPECT_NEAR(point.area_per_good_die_cm2,
+                    point.total_area.value() / point.yield.value(),
+                    1e-12);
+        EXPECT_GE(point.area_per_good_die_cm2,
+                  choice.best.area_per_good_die_cm2 - 1e-12);
+    }
+    // Area grows monotonically with spares.
+    for (std::size_t i = 1; i < choice.sweep.size(); ++i) {
+        EXPECT_GT(choice.sweep[i].total_area.value(),
+                  choice.sweep[i - 1].total_area.value());
+        EXPECT_GE(choice.sweep[i].yield.value(),
+                  choice.sweep[i - 1].yield.value());
+    }
+}
+
+TEST(MemoryDesign, RejectsBadInputs) {
+    memory_design bad = dram_design();
+    bad.base_array_area = square_centimeters{0.0};
+    EXPECT_THROW((void)optimize_redundancy(bad, 1.0),
+                 std::invalid_argument);
+    EXPECT_THROW((void)optimize_redundancy(dram_design(), -1.0),
+                 std::invalid_argument);
+    EXPECT_THROW((void)optimize_redundancy(dram_design(), 1.0, -1),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace silicon::yield

@@ -1,0 +1,144 @@
+// Tests for the classic yield model family.
+
+#include "yield/models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::yield {
+namespace {
+
+TEST(Poisson, MatchesExponential) {
+    const poisson_model m;
+    EXPECT_DOUBLE_EQ(m.yield(0.0).value(), 1.0);
+    EXPECT_NEAR(m.yield(1.0).value(), std::exp(-1.0), 1e-15);
+    EXPECT_NEAR(m.yield(2.5).value(), std::exp(-2.5), 1e-15);
+}
+
+TEST(Poisson, AreaDensityOverloadMultiplies) {
+    const poisson_model m;
+    EXPECT_NEAR(
+        m.yield(square_centimeters{2.0}, 0.5).value(),
+        std::exp(-1.0), 1e-15);
+}
+
+TEST(Murphy, KnownValues) {
+    const murphy_model m;
+    EXPECT_DOUBLE_EQ(m.yield(0.0).value(), 1.0);
+    const double l = 2.0;
+    const double expected =
+        std::pow((1.0 - std::exp(-l)) / l, 2.0);
+    EXPECT_NEAR(m.yield(l).value(), expected, 1e-15);
+}
+
+TEST(Murphy, SmallLambdaSeriesLimit) {
+    const murphy_model m;
+    // For tiny l, Y ~ (1 - l/2)^2.
+    const double l = 1e-12;
+    EXPECT_NEAR(m.yield(l).value(), 1.0 - l, 1e-13);
+}
+
+TEST(Seeds, KnownValues) {
+    const seeds_model m;
+    EXPECT_DOUBLE_EQ(m.yield(0.0).value(), 1.0);
+    EXPECT_DOUBLE_EQ(m.yield(1.0).value(), 0.5);
+    EXPECT_DOUBLE_EQ(m.yield(3.0).value(), 0.25);
+}
+
+TEST(BoseEinstein, OneStepEqualsSeeds) {
+    const bose_einstein_model be{1};
+    const seeds_model seeds;
+    for (double l : {0.1, 0.5, 1.0, 3.0}) {
+        EXPECT_NEAR(be.yield(l).value(), seeds.yield(l).value(), 1e-15);
+    }
+}
+
+TEST(BoseEinstein, ManyStepsApproachPoisson) {
+    const bose_einstein_model be{100000};
+    const poisson_model poisson;
+    for (double l : {0.1, 0.5, 1.0, 2.0}) {
+        EXPECT_NEAR(be.yield(l).value(), poisson.yield(l).value(), 1e-4);
+    }
+}
+
+TEST(BoseEinstein, RejectsNonPositiveSteps) {
+    EXPECT_THROW((void)bose_einstein_model{0}, std::invalid_argument);
+}
+
+TEST(NegativeBinomial, AlphaOneEqualsSeeds) {
+    const negative_binomial_model nb{1.0};
+    const seeds_model seeds;
+    for (double l : {0.1, 1.0, 4.0}) {
+        EXPECT_NEAR(nb.yield(l).value(), seeds.yield(l).value(), 1e-15);
+    }
+}
+
+TEST(NegativeBinomial, LargeAlphaApproachesPoisson) {
+    const negative_binomial_model nb{1e7};
+    const poisson_model poisson;
+    for (double l : {0.2, 1.0, 2.0}) {
+        EXPECT_NEAR(nb.yield(l).value(), poisson.yield(l).value(), 1e-5);
+    }
+}
+
+TEST(NegativeBinomial, RejectsNonPositiveAlpha) {
+    EXPECT_THROW((void)negative_binomial_model{0.0}, std::invalid_argument);
+    EXPECT_THROW((void)negative_binomial_model{-1.0}, std::invalid_argument);
+}
+
+TEST(AllModels, RejectNegativeFaultCount) {
+    for (const auto& model : standard_model_family()) {
+        EXPECT_THROW((void)model->yield(-0.1), std::invalid_argument)
+            << model->name();
+    }
+}
+
+TEST(AllModels, OrderingAtFixedLambda) {
+    // Clustered models are always at least as optimistic as Poisson:
+    // Y_poisson <= Y_murphy <= Y_neg_binomial(alpha) <= Y_seeds for l > 0.
+    const poisson_model poisson;
+    const murphy_model murphy;
+    const seeds_model seeds;
+    const negative_binomial_model nb{2.0};
+    for (double l : {0.3, 1.0, 2.0, 5.0}) {
+        EXPECT_LT(poisson.yield(l).value(), murphy.yield(l).value()) << l;
+        EXPECT_LT(murphy.yield(l).value(), seeds.yield(l).value()) << l;
+        EXPECT_LT(poisson.yield(l).value(), nb.yield(l).value()) << l;
+        EXPECT_LT(nb.yield(l).value(), seeds.yield(l).value()) << l;
+    }
+}
+
+TEST(StandardFamily, HasFiveMembersWithDistinctNames) {
+    const auto family = standard_model_family();
+    ASSERT_EQ(family.size(), 5u);
+    for (std::size_t i = 0; i < family.size(); ++i) {
+        for (std::size_t j = i + 1; j < family.size(); ++j) {
+            EXPECT_NE(family[i]->name(), family[j]->name());
+        }
+    }
+}
+
+// Property: every model is monotone non-increasing in the fault count and
+// maps 0 to certainty.
+class YieldModelProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(YieldModelProperty, MonotoneAndNormalized) {
+    const auto family = standard_model_family();
+    const auto& model = family[static_cast<std::size_t>(GetParam())];
+    EXPECT_DOUBLE_EQ(model->yield(0.0).value(), 1.0);
+    double previous = 1.0;
+    for (double l = 0.0; l <= 20.0; l += 0.25) {
+        const double y = model->yield(l).value();
+        EXPECT_LE(y, previous + 1e-15) << model->name() << " at " << l;
+        EXPECT_GE(y, 0.0);
+        previous = y;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Family, YieldModelProperty,
+                         ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace silicon::yield

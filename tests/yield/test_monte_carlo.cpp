@@ -1,0 +1,191 @@
+// Tests for the Monte-Carlo defect-injection simulator.
+
+#include "yield/monte_carlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::yield {
+namespace {
+
+wire_array_layout small_layout() {
+    wire_array_layout layout;
+    layout.line_width = 1.0;
+    layout.line_spacing = 1.5;
+    layout.line_length = 100.0;
+    layout.line_count = 10;
+    return layout;
+}
+
+TEST(DefectPredicate, ShortRequiresBridgingBothWires) {
+    const wire_array_layout layout = small_layout();
+    // Gap between wire 0 ([0,1]) and wire 1 ([2.5,3.5]); center of gap at
+    // y = 1.75.  Diameter 1.5 exactly spans the gap boundary-to-boundary.
+    EXPECT_FALSE(defect_causes_fault(layout, fault_kind::short_circuit,
+                                     50.0, 1.75, 1.4));
+    EXPECT_TRUE(defect_causes_fault(layout, fault_kind::short_circuit,
+                                    50.0, 1.75, 1.8));
+}
+
+TEST(DefectPredicate, OpenRequiresCoveringFullWireWidth) {
+    const wire_array_layout layout = small_layout();
+    // Wire 0 spans y in [0, 1]; a defect centered at 0.5 must have
+    // diameter >= 1 to sever it.
+    EXPECT_FALSE(defect_causes_fault(layout, fault_kind::open_circuit,
+                                     50.0, 0.5, 0.9));
+    EXPECT_TRUE(defect_causes_fault(layout, fault_kind::open_circuit,
+                                    50.0, 0.5, 1.1));
+}
+
+TEST(DefectPredicate, OutsideWireLengthIsBenign) {
+    const wire_array_layout layout = small_layout();
+    EXPECT_FALSE(defect_causes_fault(layout, fault_kind::short_circuit,
+                                     -1.0, 1.75, 5.0));
+    EXPECT_FALSE(defect_causes_fault(layout, fault_kind::short_circuit,
+                                     101.0, 1.75, 5.0));
+}
+
+TEST(PoissonSample, MeanZeroAlwaysZero) {
+    splitmix64 rng{1};
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(poisson_sample(0.0, rng), 0u);
+    }
+}
+
+TEST(PoissonSample, RejectsNegativeMean) {
+    splitmix64 rng{1};
+    EXPECT_THROW((void)poisson_sample(-1.0, rng), std::invalid_argument);
+}
+
+TEST(PoissonSample, SampleMomentsMatchSmallMean) {
+    splitmix64 rng{99};
+    const double mu = 3.0;
+    const int n = 200000;
+    double sum = 0.0;
+    double sum2 = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double k = static_cast<double>(poisson_sample(mu, rng));
+        sum += k;
+        sum2 += k * k;
+    }
+    const double mean = sum / n;
+    const double var = sum2 / n - mean * mean;
+    EXPECT_NEAR(mean, mu, 0.03);
+    EXPECT_NEAR(var, mu, 0.06);
+}
+
+TEST(PoissonSample, SampleMomentsMatchLargeMean) {
+    // Exercises the recursive halving path (mu > 30).
+    splitmix64 rng{7};
+    const double mu = 250.0;
+    const int n = 20000;
+    double sum = 0.0;
+    double sum2 = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double k = static_cast<double>(poisson_sample(mu, rng));
+        sum += k;
+        sum2 += k * k;
+    }
+    const double mean = sum / n;
+    const double var = sum2 / n - mean * mean;
+    EXPECT_NEAR(mean, mu, 0.5);
+    EXPECT_NEAR(var, mu, 8.0);
+}
+
+TEST(Simulation, RejectsBadConfig) {
+    const wire_array_layout layout = small_layout();
+    const defect_size_distribution sizes{0.5, 4.0};
+    monte_carlo_config config;
+    config.dies = 0;
+    EXPECT_THROW((void)simulate_layout_yield(layout, sizes, config),
+                 std::invalid_argument);
+    config.dies = 10;
+    config.defects_per_um2 = -1.0;
+    EXPECT_THROW((void)simulate_layout_yield(layout, sizes, config),
+                 std::invalid_argument);
+    config.defects_per_um2 = 1e-6;
+    config.extra_material_fraction = 1.5;
+    EXPECT_THROW((void)simulate_layout_yield(layout, sizes, config),
+                 std::invalid_argument);
+}
+
+TEST(Simulation, ZeroDensityYieldsEverything) {
+    const wire_array_layout layout = small_layout();
+    const defect_size_distribution sizes{0.5, 4.0};
+    monte_carlo_config config;
+    config.dies = 500;
+    config.defects_per_um2 = 0.0;
+    const monte_carlo_result result =
+        simulate_layout_yield(layout, sizes, config);
+    EXPECT_EQ(result.good_dies, result.dies);
+    EXPECT_DOUBLE_EQ(result.yield, 1.0);
+    EXPECT_EQ(result.defects_thrown, 0u);
+}
+
+TEST(Simulation, Deterministic) {
+    const wire_array_layout layout = small_layout();
+    const defect_size_distribution sizes{0.5, 4.0};
+    monte_carlo_config config;
+    config.dies = 2000;
+    config.defects_per_um2 = 5e-5;
+    const auto a = simulate_layout_yield(layout, sizes, config);
+    const auto b = simulate_layout_yield(layout, sizes, config);
+    EXPECT_EQ(a.good_dies, b.good_dies);
+    EXPECT_EQ(a.defects_thrown, b.defects_thrown);
+    config.seed = 777;
+    const auto c = simulate_layout_yield(layout, sizes, config);
+    EXPECT_NE(a.good_dies, c.good_dies);
+}
+
+TEST(Simulation, MatchesAnalyticYieldWithinError) {
+    // The headline validation: MC yield agrees with exp(-D * A_crit_avg).
+    const wire_array_layout layout = small_layout();
+    const defect_size_distribution sizes{0.6, 4.07};
+    monte_carlo_config config;
+    config.dies = 40000;
+    config.defects_per_um2 = 2e-4;
+    config.extra_material_fraction = 0.5;
+    config.seed = 2024;
+
+    const monte_carlo_result mc =
+        simulate_layout_yield(layout, sizes, config);
+    const double analytic = layout_yield(
+        layout, sizes, config.defects_per_um2,
+        config.extra_material_fraction);
+    EXPECT_NEAR(mc.yield, analytic, 4.0 * mc.std_error + 0.01);
+}
+
+TEST(Simulation, ObservedFaultRateMatchesExpectedFaults) {
+    const wire_array_layout layout = small_layout();
+    const defect_size_distribution sizes{0.6, 4.07};
+    monte_carlo_config config;
+    config.dies = 40000;
+    config.defects_per_um2 = 2e-4;
+    config.seed = 5;
+
+    const monte_carlo_result mc =
+        simulate_layout_yield(layout, sizes, config);
+    const double expected = expected_faults(
+        layout, sizes, config.defects_per_um2,
+        config.extra_material_fraction);
+    EXPECT_NEAR(mc.observed_faults_per_die(), expected,
+                0.08 * expected + 0.003);
+}
+
+TEST(Simulation, AllShortsConfigurationProducesNoOpens) {
+    const wire_array_layout layout = small_layout();
+    const defect_size_distribution sizes{0.6, 4.0};
+    monte_carlo_config config;
+    config.dies = 5000;
+    config.defects_per_um2 = 1e-4;
+    config.extra_material_fraction = 1.0;
+    const monte_carlo_result mc =
+        simulate_layout_yield(layout, sizes, config);
+    EXPECT_EQ(mc.opens, 0u);
+    EXPECT_GT(mc.shorts, 0u);
+}
+
+}  // namespace
+}  // namespace silicon::yield

@@ -1,0 +1,112 @@
+// Tests for the parametric yield model.
+
+#include "yield/parametric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::yield {
+namespace {
+
+TEST(NormalCdf, KnownValues) {
+    EXPECT_NEAR(standard_normal_cdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(standard_normal_cdf(1.0), 0.8413447460685429, 1e-9);
+    EXPECT_NEAR(standard_normal_cdf(-1.0), 1.0 - 0.8413447460685429, 1e-9);
+    EXPECT_NEAR(standard_normal_cdf(3.0), 0.9986501019683699, 1e-9);
+}
+
+TEST(ParameterSpec, CenteredWindowPassProbability) {
+    // +-3 sigma window: ~99.73%.
+    parameter_spec spec;
+    spec.mean = 0.0;
+    spec.sigma = 1.0;
+    spec.lower = -3.0;
+    spec.upper = 3.0;
+    EXPECT_NEAR(spec.pass_probability().value(), 0.9973002039367398, 1e-9);
+    EXPECT_NEAR(spec.cpk(), 1.0, 1e-12);
+}
+
+TEST(ParameterSpec, OneSidedWindow) {
+    parameter_spec spec;
+    spec.mean = 10.0;
+    spec.sigma = 2.0;
+    spec.upper = 12.0;  // lower unbounded
+    EXPECT_NEAR(spec.pass_probability().value(),
+                standard_normal_cdf(1.0), 1e-9);
+}
+
+TEST(ParameterSpec, OffCenterMeanLowersYield) {
+    parameter_spec centered;
+    centered.lower = -3.0;
+    centered.upper = 3.0;
+    parameter_spec shifted = centered;
+    shifted.mean = 1.5;
+    EXPECT_GT(centered.pass_probability().value(),
+              shifted.pass_probability().value());
+    EXPECT_GT(centered.cpk(), shifted.cpk());
+}
+
+TEST(ParameterSpec, RejectsNonPositiveSigma) {
+    parameter_spec spec;
+    spec.sigma = 0.0;
+    EXPECT_THROW((void)spec.pass_probability(), std::invalid_argument);
+    EXPECT_THROW((void)spec.cpk(), std::invalid_argument);
+}
+
+TEST(ParametricModel, EmptyModelYieldsOne) {
+    const parametric_yield_model model;
+    EXPECT_DOUBLE_EQ(model.yield().value(), 1.0);
+    EXPECT_EQ(model.dominant_loss(), nullptr);
+}
+
+TEST(ParametricModel, IndependentParametersMultiply) {
+    parametric_yield_model model;
+    parameter_spec a;
+    a.name = "delay";
+    a.lower = -2.0;
+    a.upper = 2.0;
+    parameter_spec b;
+    b.name = "power";
+    b.lower = -1.0;
+    b.upper = 1.0;
+    model.add_parameter(a);
+    model.add_parameter(b);
+    EXPECT_NEAR(model.yield().value(),
+                a.pass_probability().value() * b.pass_probability().value(),
+                1e-12);
+}
+
+TEST(ParametricModel, DominantLossIsTightestWindow) {
+    parametric_yield_model model;
+    parameter_spec loose;
+    loose.name = "loose";
+    loose.lower = -4.0;
+    loose.upper = 4.0;
+    parameter_spec tight;
+    tight.name = "tight";
+    tight.lower = -0.5;
+    tight.upper = 0.5;
+    model.add_parameter(loose);
+    model.add_parameter(tight);
+    ASSERT_NE(model.dominant_loss(), nullptr);
+    EXPECT_EQ(model.dominant_loss()->name, "tight");
+}
+
+TEST(ParametricModel, RejectsEmptyWindow) {
+    parametric_yield_model model;
+    parameter_spec spec;
+    spec.lower = 1.0;
+    spec.upper = 1.0;
+    EXPECT_THROW((void)model.add_parameter(spec), std::invalid_argument);
+}
+
+TEST(CompositeYield, MultipliesComponents) {
+    EXPECT_NEAR(
+        composite_yield(probability{0.8}, probability{0.9}).value(), 0.72,
+        1e-12);
+}
+
+}  // namespace
+}  // namespace silicon::yield

@@ -1,0 +1,125 @@
+// Tests for the repairable-memory yield model.
+
+#include "yield/redundancy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::yield {
+namespace {
+
+TEST(PoissonCdf, KnownValues) {
+    EXPECT_NEAR(poisson_cdf(0, 1.0), std::exp(-1.0), 1e-12);
+    EXPECT_NEAR(poisson_cdf(1, 1.0), 2.0 * std::exp(-1.0), 1e-12);
+    EXPECT_NEAR(poisson_cdf(2, 2.0), std::exp(-2.0) * (1.0 + 2.0 + 2.0),
+                1e-12);
+}
+
+TEST(PoissonCdf, NegativeKIsZero) {
+    EXPECT_DOUBLE_EQ(poisson_cdf(-1, 2.0), 0.0);
+}
+
+TEST(PoissonCdf, LargeKApproachesOne) {
+    EXPECT_NEAR(poisson_cdf(100, 5.0), 1.0, 1e-12);
+}
+
+TEST(PoissonCdf, LargeMeanDoesNotOverflow) {
+    const double cdf = poisson_cdf(1000, 1000.0);
+    EXPECT_GT(cdf, 0.4);
+    EXPECT_LT(cdf, 0.6);  // median of Poisson(1000) is ~1000
+}
+
+TEST(PoissonCdf, RejectsNegativeMean) {
+    EXPECT_THROW((void)poisson_cdf(1, -0.5), std::invalid_argument);
+}
+
+TEST(RedundantMemory, NoSparesEqualsPlainPoisson) {
+    const redundant_memory_model m{square_centimeters{1.0},
+                                   square_centimeters{0.2}, 0};
+    const double d = 0.8;
+    EXPECT_NEAR(m.yield(d).value(),
+                std::exp(-1.0 * d) * std::exp(-0.2 * d), 1e-12);
+    EXPECT_NEAR(m.yield(d).value(), m.yield_without_repair(d).value(),
+                1e-12);
+}
+
+TEST(RedundantMemory, SparesImproveYield) {
+    const square_centimeters array{1.5};
+    const square_centimeters periphery{0.3};
+    const double d = 1.0;
+    double previous = 0.0;
+    for (int spares : {0, 1, 2, 4, 8}) {
+        const redundant_memory_model m{array, periphery, spares};
+        const double y = m.yield(d).value();
+        EXPECT_GT(y, previous) << spares;
+        previous = y;
+    }
+}
+
+TEST(RedundantMemory, RepairGainAboveOne) {
+    const redundant_memory_model m{square_centimeters{2.0},
+                                   square_centimeters{0.2}, 4};
+    EXPECT_GT(m.repair_gain(1.0), 1.0);
+}
+
+TEST(RedundantMemory, PeripheryFaultsAreFatal) {
+    // Same total area; moving area from array to periphery hurts when
+    // spares exist.
+    const double d = 1.0;
+    const redundant_memory_model protected_mostly{
+        square_centimeters{1.8}, square_centimeters{0.2}, 4};
+    const redundant_memory_model exposed{
+        square_centimeters{0.2}, square_centimeters{1.8}, 4};
+    EXPECT_GT(protected_mostly.yield(d).value(),
+              exposed.yield(d).value());
+}
+
+TEST(RedundantMemory, ZeroDensityPerfectYield) {
+    const redundant_memory_model m{square_centimeters{1.0},
+                                   square_centimeters{0.5}, 2};
+    EXPECT_DOUBLE_EQ(m.yield(0.0).value(), 1.0);
+}
+
+TEST(RedundantMemory, ManySparesApproachPeripheryLimit) {
+    // With unlimited repair the array no longer matters.
+    const redundant_memory_model m{square_centimeters{3.0},
+                                   square_centimeters{0.4}, 200};
+    const double d = 1.2;
+    EXPECT_NEAR(m.yield(d).value(), std::exp(-0.4 * d), 1e-9);
+}
+
+TEST(RedundantMemory, RejectsBadConstruction) {
+    EXPECT_THROW((void)(redundant_memory_model{square_centimeters{0.0},
+                                         square_centimeters{0.1}, 1}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)(redundant_memory_model{square_centimeters{1.0},
+                                         square_centimeters{0.1}, -1}),
+                 std::invalid_argument);
+}
+
+TEST(RedundantMemory, RejectsNegativeDensity) {
+    const redundant_memory_model m{square_centimeters{1.0},
+                                   square_centimeters{0.1}, 1};
+    EXPECT_THROW((void)m.yield(-0.1), std::invalid_argument);
+}
+
+// Property: the S.1.2 story — redundancy keeps memory yield high where an
+// equal-area logic die collapses.
+class RedundancySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RedundancySweep, MemoryBeatsEqualAreaLogicDie) {
+    const double defect_density = GetParam();
+    const redundant_memory_model memory{square_centimeters{2.0},
+                                        square_centimeters{0.3}, 8};
+    const double logic =
+        std::exp(-2.3 * defect_density);  // same 2.3 cm^2, no repair
+    EXPECT_GT(memory.yield(defect_density).value(), logic);
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, RedundancySweep,
+                         ::testing::Values(0.25, 0.5, 1.0, 2.0, 3.0));
+
+}  // namespace
+}  // namespace silicon::yield

@@ -1,0 +1,138 @@
+// Tests for the lambda-scaled Eq. (7) model and the reference yield form.
+
+#include "yield/scaled.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::yield {
+namespace {
+
+TEST(ScaledPoisson, RejectsBadParameters) {
+    EXPECT_THROW((void)(scaled_poisson_model{-1.0, 4.0}), std::invalid_argument);
+    EXPECT_THROW((void)(scaled_poisson_model{1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(ScaledPoisson, EffectiveDensityScalesAsLambdaToMinusP) {
+    const scaled_poisson_model m{1.72, 4.07};
+    const double d1 = m.effective_defect_density(microns{1.0});
+    const double d05 = m.effective_defect_density(microns{0.5});
+    EXPECT_NEAR(d1, 1.72, 1e-12);
+    EXPECT_NEAR(d05 / d1, std::pow(2.0, 4.07), 1e-9);
+}
+
+TEST(ScaledPoisson, YieldAtUnitLambdaIsPlainPoisson) {
+    const scaled_poisson_model m{2.0, 4.0};
+    EXPECT_NEAR(m.yield(square_centimeters{0.5}, microns{1.0}).value(),
+                std::exp(-1.0), 1e-12);
+}
+
+TEST(ScaledPoisson, TransistorFormMatchesAreaForm) {
+    const scaled_poisson_model m = scaled_poisson_model::fig8_calibration();
+    const double n_tr = 1e5;
+    const double dd = 152.0;
+    const microns lambda{0.8};
+    const double area_cm2 = n_tr * dd * 0.8 * 0.8 * 1e-8;
+    EXPECT_NEAR(
+        m.yield_for_transistors(n_tr, dd, lambda).value(),
+        m.yield(square_centimeters{area_cm2}, lambda).value(), 1e-12);
+}
+
+TEST(ScaledPoisson, ShrinkingLambdaAtFixedTransistorCountCutsYield) {
+    // Eq. (7): exponent ~ 1/lambda^(p-2); with N_tr fixed, smaller
+    // lambda means smaller die but disproportionately more killer
+    // defects.
+    const scaled_poisson_model m = scaled_poisson_model::fig8_calibration();
+    const double y08 =
+        m.yield_for_transistors(1e6, 152.0, microns{0.8}).value();
+    const double y05 =
+        m.yield_for_transistors(1e6, 152.0, microns{0.5}).value();
+    EXPECT_GT(y08, y05);
+}
+
+TEST(ScaledPoisson, RequiredDInvertsYield) {
+    const double p = 4.07;
+    const square_centimeters area{2.0};
+    const microns lambda{0.5};
+    const double d =
+        scaled_poisson_model::required_d(probability{0.6}, area, lambda, p);
+    const scaled_poisson_model m{d, p};
+    EXPECT_NEAR(m.yield(area, lambda).value(), 0.6, 1e-12);
+}
+
+TEST(ScaledPoisson, RequiredDRejectsZeroTarget) {
+    EXPECT_THROW((void)scaled_poisson_model::required_d(
+                     probability{0.0}, square_centimeters{1.0},
+                     microns{0.5}, 4.0),
+                 std::domain_error);
+}
+
+TEST(ReferenceYield, ReproducesY0AtReferenceArea) {
+    const reference_die_yield m{probability{0.7}};
+    EXPECT_NEAR(m.yield(square_centimeters{1.0}).value(), 0.7, 1e-15);
+}
+
+TEST(ReferenceYield, PowerLawInArea) {
+    const reference_die_yield m{probability{0.7}};
+    EXPECT_NEAR(m.yield(square_centimeters{2.0}).value(), 0.49, 1e-12);
+    EXPECT_NEAR(m.yield(square_centimeters{0.5}).value(),
+                std::sqrt(0.7), 1e-12);
+}
+
+TEST(ReferenceYield, ZeroAreaYieldsCertainty) {
+    const reference_die_yield m{probability{0.5}};
+    EXPECT_DOUBLE_EQ(m.yield(square_centimeters{0.0}).value(), 1.0);
+}
+
+TEST(ReferenceYield, EquivalentPoissonDensityRoundTrips) {
+    const reference_die_yield m{probability{0.7},
+                                square_centimeters{2.0}};
+    const double d0 = m.equivalent_defect_density();
+    // Y(A) = exp(-A * D0).
+    for (double a : {0.5, 1.0, 2.0, 4.0}) {
+        EXPECT_NEAR(m.yield(square_centimeters{a}).value(),
+                    std::exp(-a * d0), 1e-12)
+            << a;
+    }
+}
+
+TEST(ReferenceYield, RejectsZeroY0) {
+    EXPECT_THROW((void)reference_die_yield{probability{0.0}},
+                 std::invalid_argument);
+}
+
+TEST(ReferenceYield, CustomReferenceArea) {
+    const reference_die_yield m{probability{0.9},
+                                square_centimeters{0.5}};
+    EXPECT_NEAR(m.yield(square_centimeters{0.5}).value(), 0.9, 1e-15);
+    EXPECT_NEAR(m.yield(square_centimeters{1.0}).value(), 0.81, 1e-12);
+}
+
+// Property: Eq. (7) yield is monotone in every argument direction that
+// the physics dictates.
+class ScaledPoissonSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ScaledPoissonSweep, MonotoneInAreaAndDensity) {
+    const double lambda = GetParam();
+    const scaled_poisson_model m{1.72, 4.07};
+    double previous = 2.0;
+    for (double area = 0.0; area <= 3.0; area += 0.25) {
+        const double y =
+            m.yield(square_centimeters{area}, microns{lambda}).value();
+        if (previous == 0.0) {
+            // Underflowed to zero already; monotonicity is saturated.
+            EXPECT_DOUBLE_EQ(y, 0.0);
+            continue;
+        }
+        EXPECT_LT(y, previous) << "area " << area;
+        previous = y;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, ScaledPoissonSweep,
+                         ::testing::Values(0.25, 0.5, 0.8, 1.0));
+
+}  // namespace
+}  // namespace silicon::yield

@@ -1,0 +1,123 @@
+// Tests for the radial yield profile and edge-exclusion optimizer.
+
+#include "yield/spatial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::yield {
+namespace {
+
+geometry::wafer six_inch() { return geometry::wafer::six_inch(); }
+geometry::die small_die() {
+    return geometry::die::square(millimeters{8.0});
+}
+
+TEST(RadialProfile, CenterAndEdgeValues) {
+    radial_defect_profile profile;
+    profile.center_density = 0.5;
+    profile.edge_severity = 2.0;
+    profile.exponent = 4.0;
+    EXPECT_DOUBLE_EQ(
+        profile.density_at(centimeters{0.0}, centimeters{7.5}), 0.5);
+    EXPECT_NEAR(profile.density_at(centimeters{7.5}, centimeters{7.5}),
+                1.5, 1e-12);
+    // Halfway out: 0.5 * (1 + 2 * 0.5^4) = 0.5625.
+    EXPECT_NEAR(profile.density_at(centimeters{3.75}, centimeters{7.5}),
+                0.5625, 1e-12);
+}
+
+TEST(RadialProfile, RejectsBadParameters) {
+    radial_defect_profile profile;
+    profile.exponent = 0.5;
+    EXPECT_THROW(
+        (void)profile.density_at(centimeters{1.0}, centimeters{7.5}),
+        std::invalid_argument);
+}
+
+TEST(SpatialYield, CenterDiesBeatEdgeDies) {
+    radial_defect_profile profile;
+    profile.center_density = 0.5;
+    profile.edge_severity = 3.0;
+    const spatial_yield_result r =
+        evaluate_spatial_yield(six_inch(), small_die(), profile);
+    EXPECT_GT(r.gross_dies, 100);
+    EXPECT_GT(r.center_yield, r.edge_yield);
+    EXPECT_GT(r.average_yield, r.edge_yield);
+    EXPECT_LT(r.average_yield, r.center_yield);
+}
+
+TEST(SpatialYield, FlatProfileGivesUniformYield) {
+    radial_defect_profile profile;
+    profile.center_density = 0.8;
+    profile.edge_severity = 0.0;
+    const spatial_yield_result r =
+        evaluate_spatial_yield(six_inch(), small_die(), profile);
+    const double expected = std::exp(
+        -small_die().area().to_square_centimeters().value() * 0.8);
+    EXPECT_NEAR(r.center_yield, expected, 1e-12);
+    EXPECT_NEAR(r.edge_yield, expected, 1e-12);
+    EXPECT_NEAR(r.average_yield, expected, 1e-12);
+}
+
+TEST(SpatialYield, ExpectedGoodIsSumOfDieYields) {
+    radial_defect_profile profile;
+    const spatial_yield_result r =
+        evaluate_spatial_yield(six_inch(), small_die(), profile);
+    double sum = 0.0;
+    for (const positioned_die_yield& die : r.dies) {
+        sum += die.yield.value();
+        EXPECT_LE(die.radius_mm, 76.0);  // inside the wafer
+    }
+    EXPECT_NEAR(sum, r.expected_good_dies, 1e-9);
+}
+
+TEST(SpatialYield, RejectsOversizedDie) {
+    radial_defect_profile profile;
+    EXPECT_THROW(
+        (void)evaluate_spatial_yield(
+            six_inch(), geometry::die::square(millimeters{400.0}),
+            profile),
+        std::invalid_argument);
+}
+
+TEST(EdgeExclusion, SteepProfileFavorsExclusion) {
+    // With a savage rim and a real penalty for probing dead dies, the
+    // optimizer must trim something.
+    radial_defect_profile profile;
+    profile.center_density = 0.3;
+    profile.edge_severity = 30.0;
+    profile.exponent = 8.0;
+    const edge_exclusion_choice choice = choose_edge_exclusion(
+        six_inch(), small_die(), profile, /*bad_die_penalty=*/1.0);
+    EXPECT_GT(choice.best_exclusion.value(), 0.0);
+    EXPECT_EQ(choice.sweep.size(), 16u);
+}
+
+TEST(EdgeExclusion, ZeroPenaltyFlatProfileKeepsEverything) {
+    radial_defect_profile profile;
+    profile.edge_severity = 0.0;
+    const edge_exclusion_choice choice = choose_edge_exclusion(
+        six_inch(), small_die(), profile, /*bad_die_penalty=*/0.0);
+    EXPECT_DOUBLE_EQ(choice.best_exclusion.value(), 0.0);
+}
+
+TEST(EdgeExclusion, RejectsBadArguments) {
+    radial_defect_profile profile;
+    EXPECT_THROW((void)choose_edge_exclusion(six_inch(), small_die(),
+                                             profile, -1.0),
+                 std::invalid_argument);
+    EXPECT_THROW((void)choose_edge_exclusion(six_inch(), small_die(),
+                                             profile, 0.2,
+                                             centimeters{7.5}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)choose_edge_exclusion(six_inch(), small_die(),
+                                             profile, 0.2,
+                                             centimeters{1.0}, 1),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace silicon::yield

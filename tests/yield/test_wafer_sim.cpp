@@ -1,0 +1,171 @@
+// Tests for the whole-wafer Monte-Carlo yield simulation.
+
+#include "yield/wafer_sim.hpp"
+
+#include "yield/models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silicon::yield {
+namespace {
+
+geometry::wafer six_inch() { return geometry::wafer::six_inch(); }
+geometry::die medium_die() {
+    return geometry::die::square(millimeters{12.0});
+}
+
+TEST(GammaSample, MeanAndVarianceMatchShape) {
+    splitmix64 rng{11};
+    for (double shape : {0.5, 1.0, 2.0, 8.0}) {
+        const int n = 40000;
+        double sum = 0.0;
+        double sum2 = 0.0;
+        for (int i = 0; i < n; ++i) {
+            const double g = gamma_sample(shape, rng);
+            sum += g;
+            sum2 += g * g;
+        }
+        const double mean = sum / n;
+        const double var = sum2 / n - mean * mean;
+        EXPECT_NEAR(mean, shape, 0.05 * shape + 0.02) << shape;
+        EXPECT_NEAR(var, shape, 0.12 * shape + 0.05) << shape;
+    }
+}
+
+TEST(GammaSample, RejectsNonPositiveShape) {
+    splitmix64 rng{1};
+    EXPECT_THROW((void)gamma_sample(0.0, rng), std::invalid_argument);
+}
+
+TEST(WaferSim, ZeroDensityYieldsEverything) {
+    wafer_sim_config config;
+    config.wafers = 10;
+    config.defects_per_cm2 = 0.0;
+    const wafer_sim_result result =
+        simulate_wafers(six_inch(), medium_die(), config);
+    EXPECT_DOUBLE_EQ(result.mean_yield, 1.0);
+    EXPECT_DOUBLE_EQ(result.yield_stddev, 0.0);
+    EXPECT_EQ(result.total_defects, 0u);
+}
+
+TEST(WaferSim, UniformProcessMatchesPoissonModel) {
+    // Per-die expected faults = D * A_die (fault probability 1); mean
+    // yield over many wafers approaches exp(-D A).
+    wafer_sim_config config;
+    config.wafers = 300;
+    config.defects_per_cm2 = 0.5;
+    config.seed = 42;
+    const geometry::die d = medium_die();
+    const wafer_sim_result result =
+        simulate_wafers(six_inch(), d, config);
+    const double area_cm2 =
+        d.area().to_square_centimeters().value();
+    const double expected = std::exp(-config.defects_per_cm2 * area_cm2);
+    EXPECT_NEAR(result.mean_yield, expected, 0.02);
+}
+
+TEST(WaferSim, FaultProbabilityThinsDefects) {
+    wafer_sim_config all;
+    all.wafers = 200;
+    all.defects_per_cm2 = 0.5;
+    all.fault_probability = 1.0;
+    wafer_sim_config half = all;
+    half.fault_probability = 0.5;
+    const auto y_all = simulate_wafers(six_inch(), medium_die(), all);
+    const auto y_half = simulate_wafers(six_inch(), medium_die(), half);
+    EXPECT_GT(y_half.mean_yield, y_all.mean_yield);
+    const double area_cm2 =
+        medium_die().area().to_square_centimeters().value();
+    EXPECT_NEAR(y_half.mean_yield, std::exp(-0.25 * area_cm2), 0.02);
+}
+
+TEST(WaferSim, ClusteringRaisesMeanYieldAndSpread) {
+    // The negative-binomial prediction: at equal mean density, clustered
+    // defects concentrate on fewer wafers, raising mean yield while
+    // widening the wafer-to-wafer spread.
+    wafer_sim_config uniform;
+    uniform.wafers = 400;
+    uniform.defects_per_cm2 = 1.0;
+    uniform.seed = 7;
+    wafer_sim_config clustered = uniform;
+    clustered.process = defect_process::clustered;
+    clustered.cluster_alpha = 1.0;
+
+    const auto u = simulate_wafers(six_inch(), medium_die(), uniform);
+    const auto c = simulate_wafers(six_inch(), medium_die(), clustered);
+    EXPECT_GT(c.mean_yield, u.mean_yield);
+    EXPECT_GT(c.yield_stddev, 2.0 * u.yield_stddev);
+}
+
+TEST(WaferSim, ClusteredMeanMatchesNegativeBinomial) {
+    wafer_sim_config config;
+    config.wafers = 600;
+    config.defects_per_cm2 = 1.0;
+    config.process = defect_process::clustered;
+    config.cluster_alpha = 2.0;
+    config.seed = 99;
+    const geometry::die d = medium_die();
+    const auto result = simulate_wafers(six_inch(), d, config);
+
+    const double area_cm2 = d.area().to_square_centimeters().value();
+    const negative_binomial_model nb{config.cluster_alpha};
+    const double predicted =
+        nb.yield(config.defects_per_cm2 * area_cm2).value();
+    EXPECT_NEAR(result.mean_yield, predicted, 0.03);
+}
+
+TEST(WaferSim, MapCountsMatchDieGrid) {
+    wafer_sim_config config;
+    config.wafers = 1;
+    config.defects_per_cm2 = 1.0;
+    config.seed = 3;
+    const auto result =
+        simulate_wafers(six_inch(), medium_die(), config);
+    long mapped = 0;
+    for (char ch : result.last_wafer_map) {
+        if (ch == '#' || ch == 'x') {
+            ++mapped;
+        }
+    }
+    EXPECT_EQ(mapped, result.dies_per_wafer);
+    EXPECT_GT(result.dies_per_wafer, 50);
+}
+
+TEST(WaferSim, Deterministic) {
+    wafer_sim_config config;
+    config.wafers = 20;
+    config.defects_per_cm2 = 0.8;
+    const auto a = simulate_wafers(six_inch(), medium_die(), config);
+    const auto b = simulate_wafers(six_inch(), medium_die(), config);
+    EXPECT_EQ(a.wafer_yields, b.wafer_yields);
+}
+
+TEST(WaferSim, RejectsBadInputs) {
+    wafer_sim_config config;
+    config.wafers = 0;
+    EXPECT_THROW(
+        (void)simulate_wafers(six_inch(), medium_die(), config),
+        std::invalid_argument);
+    config.wafers = 1;
+    config.defects_per_cm2 = -1.0;
+    EXPECT_THROW(
+        (void)simulate_wafers(six_inch(), medium_die(), config),
+        std::invalid_argument);
+    config.defects_per_cm2 = 1.0;
+    config.fault_probability = 2.0;
+    EXPECT_THROW(
+        (void)simulate_wafers(six_inch(), medium_die(), config),
+        std::invalid_argument);
+    config.fault_probability = 1.0;
+    EXPECT_THROW(
+        (void)simulate_wafers(six_inch(),
+                              geometry::die::square(millimeters{500.0}),
+                              config),
+        std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace silicon::yield
