@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_clustering.dir/bench_ablate_clustering.cpp.o"
+  "CMakeFiles/bench_ablate_clustering.dir/bench_ablate_clustering.cpp.o.d"
+  "bench_ablate_clustering"
+  "bench_ablate_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

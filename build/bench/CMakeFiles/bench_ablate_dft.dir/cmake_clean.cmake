@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_dft.dir/bench_ablate_dft.cpp.o"
+  "CMakeFiles/bench_ablate_dft.dir/bench_ablate_dft.cpp.o.d"
+  "bench_ablate_dft"
+  "bench_ablate_dft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_dft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_grossdie.dir/bench_ablate_grossdie.cpp.o"
+  "CMakeFiles/bench_ablate_grossdie.dir/bench_ablate_grossdie.cpp.o.d"
+  "bench_ablate_grossdie"
+  "bench_ablate_grossdie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_grossdie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_mcm.dir/bench_ablate_mcm.cpp.o"
+  "CMakeFiles/bench_ablate_mcm.dir/bench_ablate_mcm.cpp.o.d"
+  "bench_ablate_mcm"
+  "bench_ablate_mcm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_mcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

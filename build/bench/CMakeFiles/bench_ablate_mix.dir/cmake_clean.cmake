@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_mix.dir/bench_ablate_mix.cpp.o"
+  "CMakeFiles/bench_ablate_mix.dir/bench_ablate_mix.cpp.o.d"
+  "bench_ablate_mix"
+  "bench_ablate_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_overhead.dir/bench_ablate_overhead.cpp.o"
+  "CMakeFiles/bench_ablate_overhead.dir/bench_ablate_overhead.cpp.o.d"
+  "bench_ablate_overhead"
+  "bench_ablate_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_redundancy.dir/bench_ablate_redundancy.cpp.o"
+  "CMakeFiles/bench_ablate_redundancy.dir/bench_ablate_redundancy.cpp.o.d"
+  "bench_ablate_redundancy"
+  "bench_ablate_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_shrink.dir/bench_ablate_shrink.cpp.o"
+  "CMakeFiles/bench_ablate_shrink.dir/bench_ablate_shrink.cpp.o.d"
+  "bench_ablate_shrink"
+  "bench_ablate_shrink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_shrink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_yield.dir/bench_ablate_yield.cpp.o"
+  "CMakeFiles/bench_ablate_yield.dir/bench_ablate_yield.cpp.o.d"
+  "bench_ablate_yield"
+  "bench_ablate_yield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_yield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

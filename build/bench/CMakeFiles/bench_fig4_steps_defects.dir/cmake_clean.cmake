@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_steps_defects.dir/bench_fig4_steps_defects.cpp.o"
+  "CMakeFiles/bench_fig4_steps_defects.dir/bench_fig4_steps_defects.cpp.o.d"
+  "bench_fig4_steps_defects"
+  "bench_fig4_steps_defects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_steps_defects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8_contours.cpp" "bench/CMakeFiles/bench_fig8_contours.dir/bench_fig8_contours.cpp.o" "gcc" "bench/CMakeFiles/bench_fig8_contours.dir/bench_fig8_contours.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/silicon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/yield/CMakeFiles/silicon_yield.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/silicon_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/silicon_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/silicon_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/silicon_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/silicon_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

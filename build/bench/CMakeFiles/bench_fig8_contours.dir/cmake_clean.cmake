@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_contours.dir/bench_fig8_contours.cpp.o"
+  "CMakeFiles/bench_fig8_contours.dir/bench_fig8_contours.cpp.o.d"
+  "bench_fig8_contours"
+  "bench_fig8_contours.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_contours.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_densities.dir/bench_table2_densities.cpp.o"
+  "CMakeFiles/bench_table2_densities.dir/bench_table2_densities.cpp.o.d"
+  "bench_table2_densities"
+  "bench_table2_densities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_densities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

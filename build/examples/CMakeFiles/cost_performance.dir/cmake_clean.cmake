@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_performance.dir/cost_performance.cpp.o"
+  "CMakeFiles/cost_performance.dir/cost_performance.cpp.o.d"
+  "cost_performance"
+  "cost_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_study.dir/cost_study.cpp.o"
+  "CMakeFiles/cost_study.dir/cost_study.cpp.o.d"
+  "cost_study"
+  "cost_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fab_investment.dir/fab_investment.cpp.o"
+  "CMakeFiles/fab_investment.dir/fab_investment.cpp.o.d"
+  "fab_investment"
+  "fab_investment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fab_investment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/industry_phases.dir/industry_phases.cpp.o"
+  "CMakeFiles/industry_phases.dir/industry_phases.cpp.o.d"
+  "industry_phases"
+  "industry_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/industry_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_vs_logic.dir/memory_vs_logic.cpp.o"
+  "CMakeFiles/memory_vs_logic.dir/memory_vs_logic.cpp.o.d"
+  "memory_vs_logic"
+  "memory_vs_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_vs_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_partitioning.dir/system_partitioning.cpp.o"
+  "CMakeFiles/system_partitioning.dir/system_partitioning.cpp.o.d"
+  "system_partitioning"
+  "system_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yield_learning.dir/yield_learning.cpp.o"
+  "CMakeFiles/yield_learning.dir/yield_learning.cpp.o.d"
+  "yield_learning"
+  "yield_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yield_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silicon_analysis.dir/ascii_chart.cpp.o"
+  "CMakeFiles/silicon_analysis.dir/ascii_chart.cpp.o.d"
+  "CMakeFiles/silicon_analysis.dir/contour.cpp.o"
+  "CMakeFiles/silicon_analysis.dir/contour.cpp.o.d"
+  "CMakeFiles/silicon_analysis.dir/markdown.cpp.o"
+  "CMakeFiles/silicon_analysis.dir/markdown.cpp.o.d"
+  "CMakeFiles/silicon_analysis.dir/series.cpp.o"
+  "CMakeFiles/silicon_analysis.dir/series.cpp.o.d"
+  "CMakeFiles/silicon_analysis.dir/stats.cpp.o"
+  "CMakeFiles/silicon_analysis.dir/stats.cpp.o.d"
+  "CMakeFiles/silicon_analysis.dir/svg_chart.cpp.o"
+  "CMakeFiles/silicon_analysis.dir/svg_chart.cpp.o.d"
+  "CMakeFiles/silicon_analysis.dir/sweep.cpp.o"
+  "CMakeFiles/silicon_analysis.dir/sweep.cpp.o.d"
+  "CMakeFiles/silicon_analysis.dir/table.cpp.o"
+  "CMakeFiles/silicon_analysis.dir/table.cpp.o.d"
+  "libsilicon_analysis.a"
+  "libsilicon_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silicon_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

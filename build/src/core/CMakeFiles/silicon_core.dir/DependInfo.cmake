@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost_drivers.cpp" "src/core/CMakeFiles/silicon_core.dir/cost_drivers.cpp.o" "gcc" "src/core/CMakeFiles/silicon_core.dir/cost_drivers.cpp.o.d"
+  "/root/repo/src/core/cost_model.cpp" "src/core/CMakeFiles/silicon_core.dir/cost_model.cpp.o" "gcc" "src/core/CMakeFiles/silicon_core.dir/cost_model.cpp.o.d"
+  "/root/repo/src/core/cost_study.cpp" "src/core/CMakeFiles/silicon_core.dir/cost_study.cpp.o" "gcc" "src/core/CMakeFiles/silicon_core.dir/cost_study.cpp.o.d"
+  "/root/repo/src/core/dft_case.cpp" "src/core/CMakeFiles/silicon_core.dir/dft_case.cpp.o" "gcc" "src/core/CMakeFiles/silicon_core.dir/dft_case.cpp.o.d"
+  "/root/repo/src/core/forecast.cpp" "src/core/CMakeFiles/silicon_core.dir/forecast.cpp.o" "gcc" "src/core/CMakeFiles/silicon_core.dir/forecast.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/core/CMakeFiles/silicon_core.dir/scenario.cpp.o" "gcc" "src/core/CMakeFiles/silicon_core.dir/scenario.cpp.o.d"
+  "/root/repo/src/core/shrink.cpp" "src/core/CMakeFiles/silicon_core.dir/shrink.cpp.o" "gcc" "src/core/CMakeFiles/silicon_core.dir/shrink.cpp.o.d"
+  "/root/repo/src/core/specs.cpp" "src/core/CMakeFiles/silicon_core.dir/specs.cpp.o" "gcc" "src/core/CMakeFiles/silicon_core.dir/specs.cpp.o.d"
+  "/root/repo/src/core/system_optimizer.cpp" "src/core/CMakeFiles/silicon_core.dir/system_optimizer.cpp.o" "gcc" "src/core/CMakeFiles/silicon_core.dir/system_optimizer.cpp.o.d"
+  "/root/repo/src/core/table3.cpp" "src/core/CMakeFiles/silicon_core.dir/table3.cpp.o" "gcc" "src/core/CMakeFiles/silicon_core.dir/table3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/silicon_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/yield/CMakeFiles/silicon_yield.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/silicon_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/silicon_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/silicon_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/silicon_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silicon_core.dir/cost_drivers.cpp.o"
+  "CMakeFiles/silicon_core.dir/cost_drivers.cpp.o.d"
+  "CMakeFiles/silicon_core.dir/cost_model.cpp.o"
+  "CMakeFiles/silicon_core.dir/cost_model.cpp.o.d"
+  "CMakeFiles/silicon_core.dir/cost_study.cpp.o"
+  "CMakeFiles/silicon_core.dir/cost_study.cpp.o.d"
+  "CMakeFiles/silicon_core.dir/dft_case.cpp.o"
+  "CMakeFiles/silicon_core.dir/dft_case.cpp.o.d"
+  "CMakeFiles/silicon_core.dir/forecast.cpp.o"
+  "CMakeFiles/silicon_core.dir/forecast.cpp.o.d"
+  "CMakeFiles/silicon_core.dir/scenario.cpp.o"
+  "CMakeFiles/silicon_core.dir/scenario.cpp.o.d"
+  "CMakeFiles/silicon_core.dir/shrink.cpp.o"
+  "CMakeFiles/silicon_core.dir/shrink.cpp.o.d"
+  "CMakeFiles/silicon_core.dir/specs.cpp.o"
+  "CMakeFiles/silicon_core.dir/specs.cpp.o.d"
+  "CMakeFiles/silicon_core.dir/system_optimizer.cpp.o"
+  "CMakeFiles/silicon_core.dir/system_optimizer.cpp.o.d"
+  "CMakeFiles/silicon_core.dir/table3.cpp.o"
+  "CMakeFiles/silicon_core.dir/table3.cpp.o.d"
+  "libsilicon_core.a"
+  "libsilicon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silicon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

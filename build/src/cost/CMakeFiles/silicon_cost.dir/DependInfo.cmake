@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cost/assembly.cpp" "src/cost/CMakeFiles/silicon_cost.dir/assembly.cpp.o" "gcc" "src/cost/CMakeFiles/silicon_cost.dir/assembly.cpp.o.d"
+  "/root/repo/src/cost/fabline.cpp" "src/cost/CMakeFiles/silicon_cost.dir/fabline.cpp.o" "gcc" "src/cost/CMakeFiles/silicon_cost.dir/fabline.cpp.o.d"
+  "/root/repo/src/cost/investment.cpp" "src/cost/CMakeFiles/silicon_cost.dir/investment.cpp.o" "gcc" "src/cost/CMakeFiles/silicon_cost.dir/investment.cpp.o.d"
+  "/root/repo/src/cost/mcm.cpp" "src/cost/CMakeFiles/silicon_cost.dir/mcm.cpp.o" "gcc" "src/cost/CMakeFiles/silicon_cost.dir/mcm.cpp.o.d"
+  "/root/repo/src/cost/ownership.cpp" "src/cost/CMakeFiles/silicon_cost.dir/ownership.cpp.o" "gcc" "src/cost/CMakeFiles/silicon_cost.dir/ownership.cpp.o.d"
+  "/root/repo/src/cost/product_mix.cpp" "src/cost/CMakeFiles/silicon_cost.dir/product_mix.cpp.o" "gcc" "src/cost/CMakeFiles/silicon_cost.dir/product_mix.cpp.o.d"
+  "/root/repo/src/cost/test_cost.cpp" "src/cost/CMakeFiles/silicon_cost.dir/test_cost.cpp.o" "gcc" "src/cost/CMakeFiles/silicon_cost.dir/test_cost.cpp.o.d"
+  "/root/repo/src/cost/wafer_cost.cpp" "src/cost/CMakeFiles/silicon_cost.dir/wafer_cost.cpp.o" "gcc" "src/cost/CMakeFiles/silicon_cost.dir/wafer_cost.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tech/CMakeFiles/silicon_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/silicon_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

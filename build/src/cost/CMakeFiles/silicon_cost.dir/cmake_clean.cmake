@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silicon_cost.dir/assembly.cpp.o"
+  "CMakeFiles/silicon_cost.dir/assembly.cpp.o.d"
+  "CMakeFiles/silicon_cost.dir/fabline.cpp.o"
+  "CMakeFiles/silicon_cost.dir/fabline.cpp.o.d"
+  "CMakeFiles/silicon_cost.dir/investment.cpp.o"
+  "CMakeFiles/silicon_cost.dir/investment.cpp.o.d"
+  "CMakeFiles/silicon_cost.dir/mcm.cpp.o"
+  "CMakeFiles/silicon_cost.dir/mcm.cpp.o.d"
+  "CMakeFiles/silicon_cost.dir/ownership.cpp.o"
+  "CMakeFiles/silicon_cost.dir/ownership.cpp.o.d"
+  "CMakeFiles/silicon_cost.dir/product_mix.cpp.o"
+  "CMakeFiles/silicon_cost.dir/product_mix.cpp.o.d"
+  "CMakeFiles/silicon_cost.dir/test_cost.cpp.o"
+  "CMakeFiles/silicon_cost.dir/test_cost.cpp.o.d"
+  "CMakeFiles/silicon_cost.dir/wafer_cost.cpp.o"
+  "CMakeFiles/silicon_cost.dir/wafer_cost.cpp.o.d"
+  "libsilicon_cost.a"
+  "libsilicon_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silicon_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

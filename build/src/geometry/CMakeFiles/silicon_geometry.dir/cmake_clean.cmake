@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silicon_geometry.dir/die.cpp.o"
+  "CMakeFiles/silicon_geometry.dir/die.cpp.o.d"
+  "CMakeFiles/silicon_geometry.dir/gross_die.cpp.o"
+  "CMakeFiles/silicon_geometry.dir/gross_die.cpp.o.d"
+  "CMakeFiles/silicon_geometry.dir/reticle.cpp.o"
+  "CMakeFiles/silicon_geometry.dir/reticle.cpp.o.d"
+  "CMakeFiles/silicon_geometry.dir/wafer.cpp.o"
+  "CMakeFiles/silicon_geometry.dir/wafer.cpp.o.d"
+  "CMakeFiles/silicon_geometry.dir/wafer_map.cpp.o"
+  "CMakeFiles/silicon_geometry.dir/wafer_map.cpp.o.d"
+  "libsilicon_geometry.a"
+  "libsilicon_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silicon_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

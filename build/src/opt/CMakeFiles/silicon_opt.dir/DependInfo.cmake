@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/minimize.cpp" "src/opt/CMakeFiles/silicon_opt.dir/minimize.cpp.o" "gcc" "src/opt/CMakeFiles/silicon_opt.dir/minimize.cpp.o.d"
+  "/root/repo/src/opt/pareto.cpp" "src/opt/CMakeFiles/silicon_opt.dir/pareto.cpp.o" "gcc" "src/opt/CMakeFiles/silicon_opt.dir/pareto.cpp.o.d"
+  "/root/repo/src/opt/partition.cpp" "src/opt/CMakeFiles/silicon_opt.dir/partition.cpp.o" "gcc" "src/opt/CMakeFiles/silicon_opt.dir/partition.cpp.o.d"
+  "/root/repo/src/opt/sensitivity.cpp" "src/opt/CMakeFiles/silicon_opt.dir/sensitivity.cpp.o" "gcc" "src/opt/CMakeFiles/silicon_opt.dir/sensitivity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

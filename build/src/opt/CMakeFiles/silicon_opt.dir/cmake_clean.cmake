@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silicon_opt.dir/minimize.cpp.o"
+  "CMakeFiles/silicon_opt.dir/minimize.cpp.o.d"
+  "CMakeFiles/silicon_opt.dir/pareto.cpp.o"
+  "CMakeFiles/silicon_opt.dir/pareto.cpp.o.d"
+  "CMakeFiles/silicon_opt.dir/partition.cpp.o"
+  "CMakeFiles/silicon_opt.dir/partition.cpp.o.d"
+  "CMakeFiles/silicon_opt.dir/sensitivity.cpp.o"
+  "CMakeFiles/silicon_opt.dir/sensitivity.cpp.o.d"
+  "libsilicon_opt.a"
+  "libsilicon_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silicon_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

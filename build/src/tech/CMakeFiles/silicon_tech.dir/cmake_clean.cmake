@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silicon_tech.dir/density.cpp.o"
+  "CMakeFiles/silicon_tech.dir/density.cpp.o.d"
+  "CMakeFiles/silicon_tech.dir/process.cpp.o"
+  "CMakeFiles/silicon_tech.dir/process.cpp.o.d"
+  "CMakeFiles/silicon_tech.dir/roadmap.cpp.o"
+  "CMakeFiles/silicon_tech.dir/roadmap.cpp.o.d"
+  "libsilicon_tech.a"
+  "libsilicon_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silicon_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

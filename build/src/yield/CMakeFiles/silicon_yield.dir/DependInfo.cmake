@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/yield/critical_area.cpp" "src/yield/CMakeFiles/silicon_yield.dir/critical_area.cpp.o" "gcc" "src/yield/CMakeFiles/silicon_yield.dir/critical_area.cpp.o.d"
+  "/root/repo/src/yield/defect.cpp" "src/yield/CMakeFiles/silicon_yield.dir/defect.cpp.o" "gcc" "src/yield/CMakeFiles/silicon_yield.dir/defect.cpp.o.d"
+  "/root/repo/src/yield/extraction.cpp" "src/yield/CMakeFiles/silicon_yield.dir/extraction.cpp.o" "gcc" "src/yield/CMakeFiles/silicon_yield.dir/extraction.cpp.o.d"
+  "/root/repo/src/yield/memory_design.cpp" "src/yield/CMakeFiles/silicon_yield.dir/memory_design.cpp.o" "gcc" "src/yield/CMakeFiles/silicon_yield.dir/memory_design.cpp.o.d"
+  "/root/repo/src/yield/models.cpp" "src/yield/CMakeFiles/silicon_yield.dir/models.cpp.o" "gcc" "src/yield/CMakeFiles/silicon_yield.dir/models.cpp.o.d"
+  "/root/repo/src/yield/monte_carlo.cpp" "src/yield/CMakeFiles/silicon_yield.dir/monte_carlo.cpp.o" "gcc" "src/yield/CMakeFiles/silicon_yield.dir/monte_carlo.cpp.o.d"
+  "/root/repo/src/yield/parametric.cpp" "src/yield/CMakeFiles/silicon_yield.dir/parametric.cpp.o" "gcc" "src/yield/CMakeFiles/silicon_yield.dir/parametric.cpp.o.d"
+  "/root/repo/src/yield/redundancy.cpp" "src/yield/CMakeFiles/silicon_yield.dir/redundancy.cpp.o" "gcc" "src/yield/CMakeFiles/silicon_yield.dir/redundancy.cpp.o.d"
+  "/root/repo/src/yield/scaled.cpp" "src/yield/CMakeFiles/silicon_yield.dir/scaled.cpp.o" "gcc" "src/yield/CMakeFiles/silicon_yield.dir/scaled.cpp.o.d"
+  "/root/repo/src/yield/spatial.cpp" "src/yield/CMakeFiles/silicon_yield.dir/spatial.cpp.o" "gcc" "src/yield/CMakeFiles/silicon_yield.dir/spatial.cpp.o.d"
+  "/root/repo/src/yield/wafer_sim.cpp" "src/yield/CMakeFiles/silicon_yield.dir/wafer_sim.cpp.o" "gcc" "src/yield/CMakeFiles/silicon_yield.dir/wafer_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/silicon_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/silicon_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silicon_yield.dir/critical_area.cpp.o"
+  "CMakeFiles/silicon_yield.dir/critical_area.cpp.o.d"
+  "CMakeFiles/silicon_yield.dir/defect.cpp.o"
+  "CMakeFiles/silicon_yield.dir/defect.cpp.o.d"
+  "CMakeFiles/silicon_yield.dir/extraction.cpp.o"
+  "CMakeFiles/silicon_yield.dir/extraction.cpp.o.d"
+  "CMakeFiles/silicon_yield.dir/memory_design.cpp.o"
+  "CMakeFiles/silicon_yield.dir/memory_design.cpp.o.d"
+  "CMakeFiles/silicon_yield.dir/models.cpp.o"
+  "CMakeFiles/silicon_yield.dir/models.cpp.o.d"
+  "CMakeFiles/silicon_yield.dir/monte_carlo.cpp.o"
+  "CMakeFiles/silicon_yield.dir/monte_carlo.cpp.o.d"
+  "CMakeFiles/silicon_yield.dir/parametric.cpp.o"
+  "CMakeFiles/silicon_yield.dir/parametric.cpp.o.d"
+  "CMakeFiles/silicon_yield.dir/redundancy.cpp.o"
+  "CMakeFiles/silicon_yield.dir/redundancy.cpp.o.d"
+  "CMakeFiles/silicon_yield.dir/scaled.cpp.o"
+  "CMakeFiles/silicon_yield.dir/scaled.cpp.o.d"
+  "CMakeFiles/silicon_yield.dir/spatial.cpp.o"
+  "CMakeFiles/silicon_yield.dir/spatial.cpp.o.d"
+  "CMakeFiles/silicon_yield.dir/wafer_sim.cpp.o"
+  "CMakeFiles/silicon_yield.dir/wafer_sim.cpp.o.d"
+  "libsilicon_yield.a"
+  "libsilicon_yield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silicon_yield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/test_ascii_chart.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/test_ascii_chart.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_ascii_chart.cpp.o.d"
+  "/root/repo/tests/analysis/test_contour.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/test_contour.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_contour.cpp.o.d"
+  "/root/repo/tests/analysis/test_markdown.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/test_markdown.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_markdown.cpp.o.d"
+  "/root/repo/tests/analysis/test_series.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/test_series.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_series.cpp.o.d"
+  "/root/repo/tests/analysis/test_stats.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_stats.cpp.o.d"
+  "/root/repo/tests/analysis/test_svg_chart.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/test_svg_chart.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_svg_chart.cpp.o.d"
+  "/root/repo/tests/analysis/test_sweep.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/test_sweep.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_sweep.cpp.o.d"
+  "/root/repo/tests/analysis/test_table.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/test_table.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/silicon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/yield/CMakeFiles/silicon_yield.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/silicon_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/silicon_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/silicon_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/silicon_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/silicon_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

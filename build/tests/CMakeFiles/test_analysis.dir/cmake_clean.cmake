@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis.dir/analysis/test_ascii_chart.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_ascii_chart.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_contour.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_contour.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_markdown.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_markdown.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_series.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_series.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_stats.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_stats.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_svg_chart.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_svg_chart.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_sweep.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_sweep.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_table.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_table.cpp.o.d"
+  "test_analysis"
+  "test_analysis.pdb"
+  "test_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

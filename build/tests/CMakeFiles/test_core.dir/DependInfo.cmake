@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_cost_drivers.cpp" "tests/CMakeFiles/test_core.dir/core/test_cost_drivers.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_cost_drivers.cpp.o.d"
+  "/root/repo/tests/core/test_cost_model.cpp" "tests/CMakeFiles/test_core.dir/core/test_cost_model.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_cost_model.cpp.o.d"
+  "/root/repo/tests/core/test_cost_study.cpp" "tests/CMakeFiles/test_core.dir/core/test_cost_study.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_cost_study.cpp.o.d"
+  "/root/repo/tests/core/test_dft_case.cpp" "tests/CMakeFiles/test_core.dir/core/test_dft_case.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_dft_case.cpp.o.d"
+  "/root/repo/tests/core/test_forecast.cpp" "tests/CMakeFiles/test_core.dir/core/test_forecast.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_forecast.cpp.o.d"
+  "/root/repo/tests/core/test_model_properties.cpp" "tests/CMakeFiles/test_core.dir/core/test_model_properties.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_model_properties.cpp.o.d"
+  "/root/repo/tests/core/test_scenario.cpp" "tests/CMakeFiles/test_core.dir/core/test_scenario.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_scenario.cpp.o.d"
+  "/root/repo/tests/core/test_shrink.cpp" "tests/CMakeFiles/test_core.dir/core/test_shrink.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_shrink.cpp.o.d"
+  "/root/repo/tests/core/test_specs.cpp" "tests/CMakeFiles/test_core.dir/core/test_specs.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_specs.cpp.o.d"
+  "/root/repo/tests/core/test_system_optimizer.cpp" "tests/CMakeFiles/test_core.dir/core/test_system_optimizer.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_system_optimizer.cpp.o.d"
+  "/root/repo/tests/core/test_table3.cpp" "tests/CMakeFiles/test_core.dir/core/test_table3.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_table3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/silicon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/yield/CMakeFiles/silicon_yield.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/silicon_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/silicon_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/silicon_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/silicon_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/silicon_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_cost_drivers.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_cost_drivers.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_cost_model.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_cost_model.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_cost_study.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_cost_study.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_dft_case.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_dft_case.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_forecast.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_forecast.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_model_properties.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_model_properties.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_scenario.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_scenario.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_shrink.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_shrink.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_specs.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_specs.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_system_optimizer.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_system_optimizer.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_table3.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_table3.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

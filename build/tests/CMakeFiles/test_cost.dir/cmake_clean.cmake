@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cost.dir/cost/test_assembly.cpp.o"
+  "CMakeFiles/test_cost.dir/cost/test_assembly.cpp.o.d"
+  "CMakeFiles/test_cost.dir/cost/test_fabline.cpp.o"
+  "CMakeFiles/test_cost.dir/cost/test_fabline.cpp.o.d"
+  "CMakeFiles/test_cost.dir/cost/test_investment.cpp.o"
+  "CMakeFiles/test_cost.dir/cost/test_investment.cpp.o.d"
+  "CMakeFiles/test_cost.dir/cost/test_mcm.cpp.o"
+  "CMakeFiles/test_cost.dir/cost/test_mcm.cpp.o.d"
+  "CMakeFiles/test_cost.dir/cost/test_ownership.cpp.o"
+  "CMakeFiles/test_cost.dir/cost/test_ownership.cpp.o.d"
+  "CMakeFiles/test_cost.dir/cost/test_product_mix.cpp.o"
+  "CMakeFiles/test_cost.dir/cost/test_product_mix.cpp.o.d"
+  "CMakeFiles/test_cost.dir/cost/test_test_cost.cpp.o"
+  "CMakeFiles/test_cost.dir/cost/test_test_cost.cpp.o.d"
+  "CMakeFiles/test_cost.dir/cost/test_wafer_cost.cpp.o"
+  "CMakeFiles/test_cost.dir/cost/test_wafer_cost.cpp.o.d"
+  "test_cost"
+  "test_cost.pdb"
+  "test_cost[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geometry.dir/geometry/test_die.cpp.o"
+  "CMakeFiles/test_geometry.dir/geometry/test_die.cpp.o.d"
+  "CMakeFiles/test_geometry.dir/geometry/test_gross_die.cpp.o"
+  "CMakeFiles/test_geometry.dir/geometry/test_gross_die.cpp.o.d"
+  "CMakeFiles/test_geometry.dir/geometry/test_reticle.cpp.o"
+  "CMakeFiles/test_geometry.dir/geometry/test_reticle.cpp.o.d"
+  "CMakeFiles/test_geometry.dir/geometry/test_wafer.cpp.o"
+  "CMakeFiles/test_geometry.dir/geometry/test_wafer.cpp.o.d"
+  "CMakeFiles/test_geometry.dir/geometry/test_wafer_map.cpp.o"
+  "CMakeFiles/test_geometry.dir/geometry/test_wafer_map.cpp.o.d"
+  "test_geometry"
+  "test_geometry.pdb"
+  "test_geometry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

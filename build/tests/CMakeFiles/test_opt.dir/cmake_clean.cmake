@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opt.dir/opt/test_minimize.cpp.o"
+  "CMakeFiles/test_opt.dir/opt/test_minimize.cpp.o.d"
+  "CMakeFiles/test_opt.dir/opt/test_pareto.cpp.o"
+  "CMakeFiles/test_opt.dir/opt/test_pareto.cpp.o.d"
+  "CMakeFiles/test_opt.dir/opt/test_partition.cpp.o"
+  "CMakeFiles/test_opt.dir/opt/test_partition.cpp.o.d"
+  "CMakeFiles/test_opt.dir/opt/test_sensitivity.cpp.o"
+  "CMakeFiles/test_opt.dir/opt/test_sensitivity.cpp.o.d"
+  "test_opt"
+  "test_opt.pdb"
+  "test_opt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/yield/test_critical_area.cpp" "tests/CMakeFiles/test_yield.dir/yield/test_critical_area.cpp.o" "gcc" "tests/CMakeFiles/test_yield.dir/yield/test_critical_area.cpp.o.d"
+  "/root/repo/tests/yield/test_defect.cpp" "tests/CMakeFiles/test_yield.dir/yield/test_defect.cpp.o" "gcc" "tests/CMakeFiles/test_yield.dir/yield/test_defect.cpp.o.d"
+  "/root/repo/tests/yield/test_distribution_properties.cpp" "tests/CMakeFiles/test_yield.dir/yield/test_distribution_properties.cpp.o" "gcc" "tests/CMakeFiles/test_yield.dir/yield/test_distribution_properties.cpp.o.d"
+  "/root/repo/tests/yield/test_extraction.cpp" "tests/CMakeFiles/test_yield.dir/yield/test_extraction.cpp.o" "gcc" "tests/CMakeFiles/test_yield.dir/yield/test_extraction.cpp.o.d"
+  "/root/repo/tests/yield/test_memory_design.cpp" "tests/CMakeFiles/test_yield.dir/yield/test_memory_design.cpp.o" "gcc" "tests/CMakeFiles/test_yield.dir/yield/test_memory_design.cpp.o.d"
+  "/root/repo/tests/yield/test_models.cpp" "tests/CMakeFiles/test_yield.dir/yield/test_models.cpp.o" "gcc" "tests/CMakeFiles/test_yield.dir/yield/test_models.cpp.o.d"
+  "/root/repo/tests/yield/test_monte_carlo.cpp" "tests/CMakeFiles/test_yield.dir/yield/test_monte_carlo.cpp.o" "gcc" "tests/CMakeFiles/test_yield.dir/yield/test_monte_carlo.cpp.o.d"
+  "/root/repo/tests/yield/test_parametric.cpp" "tests/CMakeFiles/test_yield.dir/yield/test_parametric.cpp.o" "gcc" "tests/CMakeFiles/test_yield.dir/yield/test_parametric.cpp.o.d"
+  "/root/repo/tests/yield/test_redundancy.cpp" "tests/CMakeFiles/test_yield.dir/yield/test_redundancy.cpp.o" "gcc" "tests/CMakeFiles/test_yield.dir/yield/test_redundancy.cpp.o.d"
+  "/root/repo/tests/yield/test_scaled.cpp" "tests/CMakeFiles/test_yield.dir/yield/test_scaled.cpp.o" "gcc" "tests/CMakeFiles/test_yield.dir/yield/test_scaled.cpp.o.d"
+  "/root/repo/tests/yield/test_spatial.cpp" "tests/CMakeFiles/test_yield.dir/yield/test_spatial.cpp.o" "gcc" "tests/CMakeFiles/test_yield.dir/yield/test_spatial.cpp.o.d"
+  "/root/repo/tests/yield/test_wafer_sim.cpp" "tests/CMakeFiles/test_yield.dir/yield/test_wafer_sim.cpp.o" "gcc" "tests/CMakeFiles/test_yield.dir/yield/test_wafer_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/silicon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/yield/CMakeFiles/silicon_yield.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/silicon_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/silicon_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/silicon_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/silicon_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/silicon_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

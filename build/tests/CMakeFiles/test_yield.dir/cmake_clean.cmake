@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_yield.dir/yield/test_critical_area.cpp.o"
+  "CMakeFiles/test_yield.dir/yield/test_critical_area.cpp.o.d"
+  "CMakeFiles/test_yield.dir/yield/test_defect.cpp.o"
+  "CMakeFiles/test_yield.dir/yield/test_defect.cpp.o.d"
+  "CMakeFiles/test_yield.dir/yield/test_distribution_properties.cpp.o"
+  "CMakeFiles/test_yield.dir/yield/test_distribution_properties.cpp.o.d"
+  "CMakeFiles/test_yield.dir/yield/test_extraction.cpp.o"
+  "CMakeFiles/test_yield.dir/yield/test_extraction.cpp.o.d"
+  "CMakeFiles/test_yield.dir/yield/test_memory_design.cpp.o"
+  "CMakeFiles/test_yield.dir/yield/test_memory_design.cpp.o.d"
+  "CMakeFiles/test_yield.dir/yield/test_models.cpp.o"
+  "CMakeFiles/test_yield.dir/yield/test_models.cpp.o.d"
+  "CMakeFiles/test_yield.dir/yield/test_monte_carlo.cpp.o"
+  "CMakeFiles/test_yield.dir/yield/test_monte_carlo.cpp.o.d"
+  "CMakeFiles/test_yield.dir/yield/test_parametric.cpp.o"
+  "CMakeFiles/test_yield.dir/yield/test_parametric.cpp.o.d"
+  "CMakeFiles/test_yield.dir/yield/test_redundancy.cpp.o"
+  "CMakeFiles/test_yield.dir/yield/test_redundancy.cpp.o.d"
+  "CMakeFiles/test_yield.dir/yield/test_scaled.cpp.o"
+  "CMakeFiles/test_yield.dir/yield/test_scaled.cpp.o.d"
+  "CMakeFiles/test_yield.dir/yield/test_spatial.cpp.o"
+  "CMakeFiles/test_yield.dir/yield/test_spatial.cpp.o.d"
+  "CMakeFiles/test_yield.dir/yield/test_wafer_sim.cpp.o"
+  "CMakeFiles/test_yield.dir/yield/test_wafer_sim.cpp.o.d"
+  "test_yield"
+  "test_yield.pdb"
+  "test_yield[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_yield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
