@@ -15,6 +15,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstdint>
+
 namespace {
 
 using namespace silicon;
@@ -92,6 +95,30 @@ void bm_monte_carlo_1k_dies(benchmark::State& state) {
 }
 BENCHMARK(bm_monte_carlo_1k_dies);
 
+// Serial-vs-parallel throughput of the 100k-die Monte-Carlo run on the
+// exec engine; the range argument is the thread count (0 = hardware
+// concurrency).  Results are bit-identical across thread counts by the
+// determinism contract, so the rows differ only in wall-clock.
+void bm_monte_carlo_100k_dies(benchmark::State& state) {
+    yield::wire_array_layout layout;
+    layout.line_width = 1.0;
+    layout.line_spacing = 1.2;
+    layout.line_length = 100.0;
+    layout.line_count = 10;
+    const yield::defect_size_distribution sizes{0.6, 4.07};
+    yield::monte_carlo_config config;
+    config.dies = 100000;
+    config.defects_per_um2 = 2e-4;
+    config.parallelism = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            yield::simulate_layout_yield(layout, sizes, config));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(config.dies));
+}
+BENCHMARK(bm_monte_carlo_100k_dies)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(0);
+
 void bm_contour_extraction(benchmark::State& state) {
     const analysis::grid g = analysis::evaluate_grid(
         analysis::linspace(-2.0, 2.0, 101),
@@ -109,11 +136,27 @@ void bm_wafer_sim_100_wafers(benchmark::State& state) {
     yield::wafer_sim_config config;
     config.wafers = 100;
     config.defects_per_cm2 = 1.0;
+    config.parallelism = static_cast<unsigned>(state.range(0));
     for (auto _ : state) {
         benchmark::DoNotOptimize(yield::simulate_wafers(w, d, config));
     }
 }
-BENCHMARK(bm_wafer_sim_100_wafers);
+BENCHMARK(bm_wafer_sim_100_wafers)->Arg(1)->Arg(0);
+
+void bm_grid_evaluate_101x101(benchmark::State& state) {
+    const std::vector<double> xs = analysis::linspace(-2.0, 2.0, 101);
+    const std::vector<double> ys = analysis::linspace(-2.0, 2.0, 101);
+    const unsigned parallelism = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(analysis::grid::evaluate(
+            xs, ys,
+            [](double x, double y) {
+                return std::exp(-x * x - y * y) * std::cos(4.0 * x * y);
+            },
+            parallelism));
+    }
+}
+BENCHMARK(bm_grid_evaluate_101x101)->Arg(1)->Arg(0);
 
 void bm_set_partitions_8(benchmark::State& state) {
     for (auto _ : state) {

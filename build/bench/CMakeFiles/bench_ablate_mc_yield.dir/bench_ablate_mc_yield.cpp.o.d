@@ -197,6 +197,8 @@ bench/CMakeFiles/bench_ablate_mc_yield.dir/bench_ablate_mc_yield.cpp.o: \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bits/fs_dir.h \
  /usr/include/c++/12/bits/fs_ops.h /usr/include/c++/12/iostream \
+ /root/repo/src/core/../exec/thread_pool.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/core/../yield/critical_area.hpp \
  /root/repo/src/core/../yield/defect.hpp \
- /root/repo/src/core/../yield/monte_carlo.hpp
+ /root/repo/src/core/../yield/monte_carlo.hpp /usr/include/c++/12/chrono

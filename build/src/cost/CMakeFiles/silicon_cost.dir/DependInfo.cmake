@@ -22,6 +22,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/tech/CMakeFiles/silicon_tech.dir/DependInfo.cmake"
   "/root/repo/build/src/analysis/CMakeFiles/silicon_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/silicon_exec.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

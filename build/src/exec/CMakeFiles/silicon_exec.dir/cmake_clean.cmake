@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silicon_exec.dir/thread_pool.cpp.o"
+  "CMakeFiles/silicon_exec.dir/thread_pool.cpp.o.d"
+  "libsilicon_exec.a"
+  "libsilicon_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silicon_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -25,6 +25,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/geometry/CMakeFiles/silicon_geometry.dir/DependInfo.cmake"
   "/root/repo/build/src/analysis/CMakeFiles/silicon_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/silicon_exec.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

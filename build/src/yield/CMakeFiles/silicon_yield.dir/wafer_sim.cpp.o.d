@@ -153,9 +153,7 @@ src/yield/CMakeFiles/silicon_yield.dir/wafer_sim.cpp.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
- /root/repo/src/yield/../geometry/gross_die.hpp \
- /root/repo/src/yield/../yield/monte_carlo.hpp \
- /root/repo/src/yield/../yield/critical_area.hpp \
+ /root/repo/src/yield/../exec/thread_pool.hpp /usr/include/c++/12/cstddef \
  /usr/include/c++/12/functional /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/std_function.h \
@@ -171,4 +169,8 @@ src/yield/CMakeFiles/silicon_yield.dir/wafer_sim.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
- /usr/include/c++/12/bits/uniform_int_dist.h
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/yield/../geometry/gross_die.hpp \
+ /root/repo/src/yield/../yield/monte_carlo.hpp \
+ /root/repo/src/yield/../yield/critical_area.hpp

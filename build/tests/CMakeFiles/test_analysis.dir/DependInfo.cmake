@@ -27,6 +27,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/tech/CMakeFiles/silicon_tech.dir/DependInfo.cmake"
   "/root/repo/build/src/opt/CMakeFiles/silicon_opt.dir/DependInfo.cmake"
   "/root/repo/build/src/analysis/CMakeFiles/silicon_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/silicon_exec.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

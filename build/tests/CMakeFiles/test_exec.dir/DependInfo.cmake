@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/exec/test_parallel_for.cpp" "tests/CMakeFiles/test_exec.dir/exec/test_parallel_for.cpp.o" "gcc" "tests/CMakeFiles/test_exec.dir/exec/test_parallel_for.cpp.o.d"
+  "/root/repo/tests/exec/test_thread_pool.cpp" "tests/CMakeFiles/test_exec.dir/exec/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/test_exec.dir/exec/test_thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/silicon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/yield/CMakeFiles/silicon_yield.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/silicon_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/silicon_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/silicon_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/silicon_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/silicon_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/silicon_exec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/yield/test_defect.cpp" "tests/CMakeFiles/test_yield.dir/yield/test_defect.cpp.o" "gcc" "tests/CMakeFiles/test_yield.dir/yield/test_defect.cpp.o.d"
   "/root/repo/tests/yield/test_distribution_properties.cpp" "tests/CMakeFiles/test_yield.dir/yield/test_distribution_properties.cpp.o" "gcc" "tests/CMakeFiles/test_yield.dir/yield/test_distribution_properties.cpp.o.d"
   "/root/repo/tests/yield/test_extraction.cpp" "tests/CMakeFiles/test_yield.dir/yield/test_extraction.cpp.o" "gcc" "tests/CMakeFiles/test_yield.dir/yield/test_extraction.cpp.o.d"
+  "/root/repo/tests/yield/test_mc_determinism.cpp" "tests/CMakeFiles/test_yield.dir/yield/test_mc_determinism.cpp.o" "gcc" "tests/CMakeFiles/test_yield.dir/yield/test_mc_determinism.cpp.o.d"
   "/root/repo/tests/yield/test_memory_design.cpp" "tests/CMakeFiles/test_yield.dir/yield/test_memory_design.cpp.o" "gcc" "tests/CMakeFiles/test_yield.dir/yield/test_memory_design.cpp.o.d"
   "/root/repo/tests/yield/test_models.cpp" "tests/CMakeFiles/test_yield.dir/yield/test_models.cpp.o" "gcc" "tests/CMakeFiles/test_yield.dir/yield/test_models.cpp.o.d"
   "/root/repo/tests/yield/test_monte_carlo.cpp" "tests/CMakeFiles/test_yield.dir/yield/test_monte_carlo.cpp.o" "gcc" "tests/CMakeFiles/test_yield.dir/yield/test_monte_carlo.cpp.o.d"
@@ -31,6 +32,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/tech/CMakeFiles/silicon_tech.dir/DependInfo.cmake"
   "/root/repo/build/src/opt/CMakeFiles/silicon_opt.dir/DependInfo.cmake"
   "/root/repo/build/src/analysis/CMakeFiles/silicon_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/silicon_exec.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/test_yield.dir/yield/test_distribution_properties.cpp.o.d"
   "CMakeFiles/test_yield.dir/yield/test_extraction.cpp.o"
   "CMakeFiles/test_yield.dir/yield/test_extraction.cpp.o.d"
+  "CMakeFiles/test_yield.dir/yield/test_mc_determinism.cpp.o"
+  "CMakeFiles/test_yield.dir/yield/test_mc_determinism.cpp.o.d"
   "CMakeFiles/test_yield.dir/yield/test_memory_design.cpp.o"
   "CMakeFiles/test_yield.dir/yield/test_memory_design.cpp.o.d"
   "CMakeFiles/test_yield.dir/yield/test_models.cpp.o"

@@ -5,6 +5,7 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 include("/root/repo/build/tests/test_units[1]_include.cmake")
+include("/root/repo/build/tests/test_exec[1]_include.cmake")
 include("/root/repo/build/tests/test_geometry[1]_include.cmake")
 include("/root/repo/build/tests/test_yield[1]_include.cmake")
 include("/root/repo/build/tests/test_tech[1]_include.cmake")

@@ -1,5 +1,7 @@
 #include "analysis/sweep.hpp"
 
+#include "exec/thread_pool.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
@@ -43,10 +45,21 @@ std::vector<double> logspace(double first, double last, int count) {
 }
 
 series sweep(std::string name, const std::vector<double>& xs,
-             const std::function<double(double)>& f) {
+             const std::function<double(double)>& f,
+             unsigned parallelism) {
+    // Index-addressed slots keep the output ordering independent of
+    // which thread evaluates which point.
+    std::vector<double> ys(xs.size());
+    exec::parallel_for(xs.size(), parallelism,
+                       [&](const exec::shard_range& shard) {
+                           for (std::size_t i = shard.begin;
+                                i < shard.end; ++i) {
+                               ys[i] = f(xs[i]);
+                           }
+                       });
     series s{std::move(name)};
-    for (double x : xs) {
-        s.add(x, f(x));
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        s.add(xs[i], ys[i]);
     }
     return s;
 }
@@ -65,22 +78,34 @@ double grid::max_value() const {
     return *std::max_element(values.begin(), values.end());
 }
 
-grid evaluate_grid(const std::vector<double>& xs,
-                   const std::vector<double>& ys,
-                   const std::function<double(double, double)>& f) {
+grid grid::evaluate(const std::vector<double>& xs,
+                    const std::vector<double>& ys,
+                    const std::function<double(double, double)>& f,
+                    unsigned parallelism) {
     if (xs.empty() || ys.empty()) {
-        throw std::invalid_argument("evaluate_grid: empty axes");
+        throw std::invalid_argument("grid::evaluate: empty axes");
     }
     grid g;
     g.xs = xs;
     g.ys = ys;
-    g.values.reserve(xs.size() * ys.size());
-    for (double y : ys) {
-        for (double x : xs) {
-            g.values.push_back(f(x, y));
-        }
-    }
+    g.values.assign(xs.size() * ys.size(), 0.0);
+    const std::size_t nx = xs.size();
+    exec::parallel_for(g.values.size(), parallelism,
+                       [&](const exec::shard_range& shard) {
+                           for (std::size_t idx = shard.begin;
+                                idx < shard.end; ++idx) {
+                               g.values[idx] =
+                                   f(g.xs[idx % nx], g.ys[idx / nx]);
+                           }
+                       });
     return g;
+}
+
+grid evaluate_grid(const std::vector<double>& xs,
+                   const std::vector<double>& ys,
+                   const std::function<double(double, double)>& f,
+                   unsigned parallelism) {
+    return grid::evaluate(xs, ys, f, parallelism);
 }
 
 }  // namespace silicon::analysis

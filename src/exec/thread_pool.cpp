@@ -1,0 +1,239 @@
+#include "exec/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace silicon::exec {
+
+namespace {
+
+/// Set while the current thread executes a pool task (any pool); used to
+/// reject nested thread_pool::run and to degrade nested parallel_for to
+/// serial execution.
+thread_local bool in_pool_task = false;
+
+/// RAII flag for in_pool_task so exceptions unwind it correctly.
+struct task_scope {
+    task_scope() noexcept { in_pool_task = true; }
+    ~task_scope() { in_pool_task = false; }
+    task_scope(const task_scope&) = delete;
+    task_scope& operator=(const task_scope&) = delete;
+};
+
+}  // namespace
+
+std::size_t shard_count_for(std::size_t items) noexcept {
+    constexpr std::size_t max_shards = 64;
+    return std::min(items, max_shards);
+}
+
+shard_range shard_of(std::size_t items, std::size_t shards,
+                     std::size_t index) {
+    if (shards == 0) {
+        throw std::invalid_argument("shard_of: need at least one shard");
+    }
+    if (index >= shards) {
+        throw std::invalid_argument("shard_of: shard index out of range");
+    }
+    const std::size_t base = items / shards;
+    const std::size_t extra = items % shards;
+    const std::size_t begin = index * base + std::min(index, extra);
+    const std::size_t size = base + (index < extra ? 1 : 0);
+    return {begin, begin + size, index, shards};
+}
+
+unsigned resolve_parallelism(unsigned requested) noexcept {
+    return requested == 0 ? thread_pool::hardware_threads() : requested;
+}
+
+/// One run() invocation.  Heap-allocated and shared with the workers so
+/// a worker that wakes late (or drains the counter after completion) only
+/// ever touches its own job's state, never a successor's.
+struct thread_pool::job {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t total = 0;
+    std::atomic<std::size_t> next{0};
+    std::size_t completed = 0;     // guarded by impl::mutex
+    std::exception_ptr error;      // guarded by impl::mutex
+};
+
+struct thread_pool::impl {
+    std::vector<std::thread> workers;
+    unsigned thread_count = 1;
+
+    std::mutex mutex;
+    std::condition_variable work_cv;
+    std::condition_variable done_cv;
+    std::shared_ptr<job> current;  // guarded by mutex
+    std::uint64_t generation = 0;  // guarded by mutex
+    bool stop = false;             // guarded by mutex
+
+    std::mutex submit_mutex;       // serializes concurrent run() callers
+};
+
+thread_pool::thread_pool(unsigned threads) : impl_{new impl} {
+    const unsigned resolved = resolve_parallelism(threads);
+    impl_->thread_count = resolved;
+    impl_->workers.reserve(resolved - 1);
+    try {
+        for (unsigned i = 0; i + 1 < resolved; ++i) {
+            impl_->workers.emplace_back([this] { worker_loop(); });
+        }
+    } catch (...) {
+        {
+            const std::lock_guard<std::mutex> lock(impl_->mutex);
+            impl_->stop = true;
+        }
+        impl_->work_cv.notify_all();
+        for (std::thread& t : impl_->workers) {
+            t.join();
+        }
+        delete impl_;
+        throw;
+    }
+}
+
+thread_pool::~thread_pool() {
+    {
+        const std::lock_guard<std::mutex> lock(impl_->mutex);
+        impl_->stop = true;
+    }
+    impl_->work_cv.notify_all();
+    for (std::thread& t : impl_->workers) {
+        t.join();
+    }
+    delete impl_;
+}
+
+unsigned thread_pool::thread_count() const noexcept {
+    return impl_->thread_count;
+}
+
+unsigned thread_pool::hardware_threads() noexcept {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1u : hw;
+}
+
+bool thread_pool::on_worker_thread() noexcept { return in_pool_task; }
+
+thread_pool& thread_pool::shared() {
+    static thread_pool pool{hardware_threads()};
+    return pool;
+}
+
+void thread_pool::execute(job& j) {
+    const task_scope scope;
+    for (;;) {
+        const std::size_t i = j.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= j.total) {
+            break;
+        }
+        std::exception_ptr err;
+        try {
+            (*j.fn)(i);
+        } catch (...) {
+            err = std::current_exception();
+        }
+        const std::lock_guard<std::mutex> lock(impl_->mutex);
+        if (err && !j.error) {
+            j.error = err;
+        }
+        if (++j.completed == j.total) {
+            impl_->done_cv.notify_all();
+        }
+    }
+}
+
+void thread_pool::worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+        std::shared_ptr<job> j;
+        {
+            std::unique_lock<std::mutex> lock(impl_->mutex);
+            impl_->work_cv.wait(lock, [&] {
+                return impl_->stop || impl_->generation != seen;
+            });
+            if (impl_->stop) {
+                return;
+            }
+            seen = impl_->generation;
+            j = impl_->current;
+        }
+        if (j) {
+            execute(*j);
+        }
+    }
+}
+
+void thread_pool::run(std::size_t tasks,
+                      const std::function<void(std::size_t)>& fn) {
+    if (in_pool_task) {
+        throw std::logic_error(
+            "thread_pool::run: nested use from inside a pool task");
+    }
+    if (tasks == 0) {
+        return;
+    }
+    if (impl_->workers.empty()) {
+        // Width-1 pool: execute inline, same nesting guard as workers.
+        const task_scope scope;
+        for (std::size_t i = 0; i < tasks; ++i) {
+            fn(i);
+        }
+        return;
+    }
+
+    const std::lock_guard<std::mutex> submit(impl_->submit_mutex);
+    auto j = std::make_shared<job>();
+    j->fn = &fn;
+    j->total = tasks;
+    {
+        const std::lock_guard<std::mutex> lock(impl_->mutex);
+        impl_->current = j;
+        ++impl_->generation;
+    }
+    impl_->work_cv.notify_all();
+    execute(*j);  // the caller participates
+    {
+        std::unique_lock<std::mutex> lock(impl_->mutex);
+        impl_->done_cv.wait(lock, [&] { return j->completed == j->total; });
+        impl_->current.reset();
+    }
+    if (j->error) {
+        std::rethrow_exception(j->error);
+    }
+}
+
+void parallel_for(std::size_t items, unsigned parallelism,
+                  const std::function<void(const shard_range&)>& body) {
+    const std::size_t shards = shard_count_for(items);
+    if (shards == 0) {
+        return;
+    }
+    const unsigned threads = resolve_parallelism(parallelism);
+    if (threads <= 1 || shards == 1 || thread_pool::on_worker_thread()) {
+        // Serial path — the SAME shard decomposition, run in index order
+        // on the calling thread (also the nested-use safety fallback).
+        for (std::size_t s = 0; s < shards; ++s) {
+            body(shard_of(items, shards, s));
+        }
+        return;
+    }
+    const std::function<void(std::size_t)> task = [&](std::size_t s) {
+        body(shard_of(items, shards, s));
+    };
+    if (threads >= thread_pool::hardware_threads()) {
+        thread_pool::shared().run(shards, task);
+    } else {
+        thread_pool local{threads};
+        local.run(shards, task);
+    }
+}
+
+}  // namespace silicon::exec

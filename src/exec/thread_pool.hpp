@@ -1,0 +1,159 @@
+// thread_pool.hpp — deterministic parallel execution engine.
+//
+// Every stochastic hot path in the library (Monte-Carlo yield, the wafer
+// simulator, the sweep/grid engines behind the figure benches) runs on
+// this small chunk-sharded thread pool.  The design goal is *thread-count
+// invariance*: a run with N threads and a run with 1 thread must produce
+// bit-identical results, so the statistical tests stay meaningful no
+// matter where they execute.
+//
+// The contract that guarantees it:
+//
+//   1. Work over `items` elements is split into `shard_count_for(items)`
+//      contiguous shards.  The decomposition depends ONLY on the item
+//      count — never on the thread count or the hardware.
+//   2. Each shard owns a private RNG stream seeded with
+//      `shard_seed(seed, shard_index)` (a double SplitMix64 finalizer of
+//      the pair), so the streams are fixed by (seed, shard) regardless of
+//      which thread executes the shard or in which order.
+//   3. Shard results are merged by shard index (parallel_reduce folds in
+//      index order; callers that write into preallocated slots index by
+//      item).  No merge ever depends on completion order.
+//
+// Threads only decide *when* a shard runs, never *what* it computes, so
+// `parallelism ∈ {1, 2, 7, hw}` all reproduce the same streams and the
+// same merged result.  There is no work stealing and no dynamic
+// re-chunking — determinism is bought with static sharding, and the 64x
+// shard budget (see shard_count_for) keeps load balance good anyway.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace silicon::exec {
+
+/// Derive the RNG seed of one shard from the run seed and the shard
+/// index: two rounds of the SplitMix64 finalizer over the mixed pair,
+/// so adjacent (seed, shard) pairs give decorrelated streams.  This is
+/// the single seeding helper used by serial AND parallel code paths.
+[[nodiscard]] constexpr std::uint64_t shard_seed(
+    std::uint64_t seed, std::uint64_t shard_index) noexcept {
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (shard_index + 1);
+    for (int round = 0; round < 2; ++round) {
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        z ^= z >> 31;
+    }
+    return z;
+}
+
+/// One contiguous chunk of a sharded index range.
+struct shard_range {
+    std::size_t begin = 0;  ///< first item (inclusive)
+    std::size_t end = 0;    ///< last item (exclusive)
+    std::size_t index = 0;  ///< shard index in [0, count)
+    std::size_t count = 0;  ///< total shards of the decomposition
+
+    [[nodiscard]] std::size_t size() const noexcept { return end - begin; }
+};
+
+/// Number of shards used for `items` work items: min(items, 64).  A
+/// fixed budget (not a function of the thread count) is what makes the
+/// decomposition hardware-independent; 64 shards give good load balance
+/// for any realistic core count while keeping merge cost negligible.
+[[nodiscard]] std::size_t shard_count_for(std::size_t items) noexcept;
+
+/// The `index`-th of `shards` near-equal contiguous chunks of [0, items):
+/// the first items % shards chunks hold one extra item.  More shards than
+/// items is allowed (the tail shards are empty).  Throws
+/// std::invalid_argument when shards == 0 or index >= shards.
+[[nodiscard]] shard_range shard_of(std::size_t items, std::size_t shards,
+                                   std::size_t index);
+
+/// Resolve a `parallelism` knob: 0 means hardware concurrency, anything
+/// else is taken literally.
+[[nodiscard]] unsigned resolve_parallelism(unsigned requested) noexcept;
+
+/// A fixed-size pool of worker threads executing indexed task batches.
+///
+/// `run(tasks, fn)` calls fn(0) … fn(tasks-1) exactly once each across
+/// the workers plus the calling thread, blocks until all complete, and
+/// rethrows the first exception thrown by any task (remaining tasks
+/// still run).  Tasks are claimed from a shared atomic counter; callers
+/// needing determinism must make each task independent of execution
+/// order — the sharding helpers above exist for exactly that.
+///
+/// Nested use is rejected: calling run() from inside any pool task
+/// throws std::logic_error (the higher-level parallel_for degrades to
+/// serial instead, see below).
+class thread_pool {
+public:
+    /// Spawns threads-1 workers (the caller participates in run()).
+    /// threads == 0 means hardware concurrency.
+    explicit thread_pool(unsigned threads = 0);
+    ~thread_pool();
+
+    thread_pool(const thread_pool&) = delete;
+    thread_pool& operator=(const thread_pool&) = delete;
+
+    /// Total execution width: workers + the calling thread.
+    [[nodiscard]] unsigned thread_count() const noexcept;
+
+    /// Execute fn(i) for i in [0, tasks); blocks until done.
+    void run(std::size_t tasks, const std::function<void(std::size_t)>& fn);
+
+    /// std::thread::hardware_concurrency(), never less than 1.
+    [[nodiscard]] static unsigned hardware_threads() noexcept;
+
+    /// True while the current thread is executing a pool task (of any
+    /// pool) — used for nested-use detection.
+    [[nodiscard]] static bool on_worker_thread() noexcept;
+
+    /// Lazily constructed process-wide pool sized to the hardware.
+    [[nodiscard]] static thread_pool& shared();
+
+private:
+    struct job;
+    struct impl;
+    void worker_loop();
+    void execute(job& j);
+
+    impl* impl_;
+};
+
+/// Run `body` over the deterministic shard decomposition of [0, items)
+/// using up to `parallelism` threads (0 = hardware concurrency).  The
+/// decomposition — and therefore any per-shard RNG stream seeded via
+/// shard_seed — is identical for every parallelism value; only the
+/// wall-clock changes.  parallelism <= 1 executes the same shards
+/// serially on the calling thread.  Called from inside a pool task it
+/// degrades to serial execution (nested-use safety).  Exceptions from
+/// `body` propagate to the caller.
+void parallel_for(std::size_t items, unsigned parallelism,
+                  const std::function<void(const shard_range&)>& body);
+
+/// Map/fold over the shard decomposition: `map(shard)` produces one
+/// partial result per shard (in parallel), then `combine(acc, partial)`
+/// folds the partials **in shard-index order** starting from `init`.
+/// The fold order is fixed, so non-associative-in-floating-point merges
+/// still give bit-identical results at every parallelism level.
+template <typename T, typename Map, typename Combine>
+[[nodiscard]] T parallel_reduce(std::size_t items, unsigned parallelism,
+                                T init, Map&& map, Combine&& combine) {
+    const std::size_t shards = shard_count_for(items);
+    std::vector<T> partial(shards);
+    parallel_for(items, parallelism, [&](const shard_range& r) {
+        partial[r.index] = map(r);
+    });
+    T acc = std::move(init);
+    for (T& p : partial) {
+        acc = combine(std::move(acc), std::move(p));
+    }
+    return acc;
+}
+
+}  // namespace silicon::exec

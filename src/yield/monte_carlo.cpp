@@ -1,5 +1,7 @@
 #include "yield/monte_carlo.hpp"
 
+#include "exec/thread_pool.hpp"
+
 #include <cmath>
 #include <stdexcept>
 
@@ -115,35 +117,66 @@ monte_carlo_result simulate_layout_yield(const wire_array_layout& layout,
     const double mean_defects =
         config.defects_per_um2 * layout.line_length * sample_height;
 
-    splitmix64 rng{config.seed};
+    // Shard the dies; each shard draws from its own shard_seed-ed stream
+    // and the integer counters merge in shard order, so the result is
+    // bit-identical at every parallelism level (see monte_carlo_config).
+    struct counters {
+        std::size_t good = 0;
+        std::size_t thrown = 0;
+        std::size_t shorts = 0;
+        std::size_t opens = 0;
+    };
+    const counters merged = exec::parallel_reduce(
+        config.dies, config.parallelism, counters{},
+        [&](const exec::shard_range& shard) {
+            splitmix64 rng{exec::shard_seed(config.seed, shard.index)};
+            counters c;
+            for (std::size_t die = shard.begin; die < shard.end; ++die) {
+                const std::size_t n = poisson_sample(mean_defects, rng);
+                c.thrown += n;
+                bool good = true;
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double y =
+                        -margin + rng.next_double() * sample_height;
+                    const double diameter =
+                        sizes.quantile(rng.next_double());
+                    const bool extra = rng.next_double() <
+                                       config.extra_material_fraction;
+                    // x is uniform over the wire length; the band
+                    // criterion does not depend on it, so it is not
+                    // drawn explicitly.
+                    if (extra) {
+                        const int events =
+                            bridged_pairs(layout, y, diameter);
+                        c.shorts += static_cast<std::size_t>(events);
+                        good = good && events == 0;
+                    } else {
+                        const int events =
+                            severed_wires(layout, y, diameter);
+                        c.opens += static_cast<std::size_t>(events);
+                        good = good && events == 0;
+                    }
+                }
+                if (good) {
+                    ++c.good;
+                }
+            }
+            return c;
+        },
+        [](counters a, counters b) {
+            a.good += b.good;
+            a.thrown += b.thrown;
+            a.shorts += b.shorts;
+            a.opens += b.opens;
+            return a;
+        });
+
     monte_carlo_result result;
     result.dies = config.dies;
-
-    for (std::size_t die = 0; die < config.dies; ++die) {
-        const std::size_t n = poisson_sample(mean_defects, rng);
-        result.defects_thrown += n;
-        bool good = true;
-        for (std::size_t k = 0; k < n; ++k) {
-            const double y = -margin + rng.next_double() * sample_height;
-            const double diameter = sizes.quantile(rng.next_double());
-            const bool extra =
-                rng.next_double() < config.extra_material_fraction;
-            // x is uniform over the wire length; the band criterion does
-            // not depend on it, so it is not drawn explicitly.
-            if (extra) {
-                const int events = bridged_pairs(layout, y, diameter);
-                result.shorts += static_cast<std::size_t>(events);
-                good = good && events == 0;
-            } else {
-                const int events = severed_wires(layout, y, diameter);
-                result.opens += static_cast<std::size_t>(events);
-                good = good && events == 0;
-            }
-        }
-        if (good) {
-            ++result.good_dies;
-        }
-    }
+    result.good_dies = merged.good;
+    result.defects_thrown = merged.thrown;
+    result.shorts = merged.shorts;
+    result.opens = merged.opens;
 
     result.yield = static_cast<double>(result.good_dies) /
                    static_cast<double>(result.dies);

@@ -39,12 +39,21 @@ struct monte_carlo_result {
 };
 
 /// Simulation parameters.
+///
+/// Determinism contract: dies are split into `exec::shard_count_for(dies)`
+/// chunks, each with its own `exec::shard_seed(seed, chunk)`-seeded RNG
+/// stream, and the per-chunk counters are merged in chunk order.  The
+/// decomposition depends only on `dies`, so the result is bit-identical
+/// for every `parallelism` value (including 1, which runs the same
+/// chunks serially).
 struct monte_carlo_config {
     std::size_t dies = 10000;            ///< number of dies to simulate
     double defects_per_um2 = 0.0;        ///< all-size defect density
     double extra_material_fraction = 0.5;///< share of defects that are
                                          ///< extra-material (short-causing)
     std::uint64_t seed = 0x5eedu;        ///< RNG seed
+    unsigned parallelism = 0;            ///< threads; 0 = hardware
+                                         ///< concurrency, 1 = serial
 };
 
 /// Classify a single defect: does a disc of the given diameter centered at

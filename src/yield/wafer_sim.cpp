@@ -1,5 +1,6 @@
 #include "yield/wafer_sim.hpp"
 
+#include "exec/thread_pool.hpp"
 #include "geometry/gross_die.hpp"
 #include "yield/monte_carlo.hpp"
 
@@ -105,83 +106,112 @@ wafer_sim_result simulate_wafers(const geometry::wafer& w,
     const double area_cm2 = w.usable_area().value();
     const double mean_defects = config.defects_per_cm2 * area_cm2;
 
-    splitmix64 rng{config.seed};
     wafer_sim_result result;
     result.wafers = config.wafers;
     result.dies_per_wafer = static_cast<long>(sites.size());
-    result.wafer_yields.reserve(config.wafers);
+    result.wafer_yields.assign(config.wafers, 0.0);
 
-    std::vector<bool> die_good(sites.size(), true);
-    for (std::size_t wi = 0; wi < config.wafers; ++wi) {
-        // Per-wafer defect intensity.
-        double intensity = mean_defects;
-        if (config.process == defect_process::clustered) {
-            // Gamma(alpha, mean/alpha)-distributed density: compound
-            // Poisson-gamma = negative binomial marginal.
-            intensity = mean_defects / config.cluster_alpha *
-                        gamma_sample(config.cluster_alpha, rng);
-        }
-        const std::size_t defects = poisson_sample(intensity, rng);
-        result.total_defects += defects;
-
-        std::fill(die_good.begin(), die_good.end(), true);
-        for (std::size_t k = 0; k < defects; ++k) {
-            // Uniform position in the usable disc by rejection.
-            double px;
-            double py;
-            do {
-                px = (2.0 * rng.next_double() - 1.0) * r;
-                py = (2.0 * rng.next_double() - 1.0) * r;
-            } while (px * px + py * py > r2);
-            if (config.fault_probability < 1.0 &&
-                rng.next_double() >= config.fault_probability) {
-                continue;  // benign defect
-            }
-            // Which die site contains it?  Grid lookup via the offsets.
-            const long i = static_cast<long>(
-                std::floor((px - placement.offset_x) / a));
-            const long j = static_cast<long>(
-                std::floor((py - placement.offset_y) / b));
-            for (std::size_t s = 0; s < sites.size(); ++s) {
-                if (sites[s].col == i && sites[s].row == j) {
-                    die_good[s] = false;
-                    break;
+    // Shard the wafers; each shard draws from its own shard_seed-ed
+    // stream, writes yields into index-addressed slots (disjoint across
+    // shards), and the totals merge in shard order — bit-identical at
+    // every parallelism level (see wafer_sim_config).
+    struct totals {
+        std::size_t defects = 0;
+        std::string last_map;  // set only by the shard owning wafer N-1
+    };
+    const totals merged = exec::parallel_reduce(
+        config.wafers, config.parallelism, totals{},
+        [&](const exec::shard_range& shard) {
+            splitmix64 rng{exec::shard_seed(config.seed, shard.index)};
+            totals t;
+            std::vector<bool> die_good(sites.size(), true);
+            for (std::size_t wi = shard.begin; wi < shard.end; ++wi) {
+                // Per-wafer defect intensity.
+                double intensity = mean_defects;
+                if (config.process == defect_process::clustered) {
+                    // Gamma(alpha, mean/alpha)-distributed density:
+                    // compound Poisson-gamma = negative binomial
+                    // marginal.
+                    intensity = mean_defects / config.cluster_alpha *
+                                gamma_sample(config.cluster_alpha, rng);
                 }
-            }
-        }
-        std::size_t good = 0;
-        for (bool ok : die_good) {
-            good += ok ? 1u : 0u;
-        }
-        result.wafer_yields.push_back(static_cast<double>(good) /
-                                      static_cast<double>(sites.size()));
+                const std::size_t defects =
+                    poisson_sample(intensity, rng);
+                t.defects += defects;
 
-        if (wi + 1 == config.wafers) {
-            // Render the last wafer's pass/fail map.
-            std::string map;
-            for (long j = half_rows; j >= -half_rows; --j) {
-                std::string line;
-                for (long i = -half_cols; i <= half_cols; ++i) {
-                    char ch = ' ';
+                std::fill(die_good.begin(), die_good.end(), true);
+                for (std::size_t k = 0; k < defects; ++k) {
+                    // Uniform position in the usable disc by rejection.
+                    double px;
+                    double py;
+                    do {
+                        px = (2.0 * rng.next_double() - 1.0) * r;
+                        py = (2.0 * rng.next_double() - 1.0) * r;
+                    } while (px * px + py * py > r2);
+                    if (config.fault_probability < 1.0 &&
+                        rng.next_double() >= config.fault_probability) {
+                        continue;  // benign defect
+                    }
+                    // Which die site contains it?  Grid lookup via the
+                    // offsets.
+                    const long i = static_cast<long>(
+                        std::floor((px - placement.offset_x) / a));
+                    const long j = static_cast<long>(
+                        std::floor((py - placement.offset_y) / b));
                     for (std::size_t s = 0; s < sites.size(); ++s) {
                         if (sites[s].col == i && sites[s].row == j) {
-                            ch = die_good[s] ? '#' : 'x';
+                            die_good[s] = false;
                             break;
                         }
                     }
-                    line.push_back(ch);
                 }
-                while (!line.empty() && line.back() == ' ') {
-                    line.pop_back();
+                std::size_t good = 0;
+                for (bool ok : die_good) {
+                    good += ok ? 1u : 0u;
                 }
-                if (!line.empty()) {
-                    map += line;
-                    map.push_back('\n');
+                result.wafer_yields[wi] =
+                    static_cast<double>(good) /
+                    static_cast<double>(sites.size());
+
+                if (wi + 1 == config.wafers) {
+                    // Render the last wafer's pass/fail map.
+                    std::string map;
+                    for (long j = half_rows; j >= -half_rows; --j) {
+                        std::string line;
+                        for (long i = -half_cols; i <= half_cols; ++i) {
+                            char ch = ' ';
+                            for (std::size_t s = 0; s < sites.size();
+                                 ++s) {
+                                if (sites[s].col == i &&
+                                    sites[s].row == j) {
+                                    ch = die_good[s] ? '#' : 'x';
+                                    break;
+                                }
+                            }
+                            line.push_back(ch);
+                        }
+                        while (!line.empty() && line.back() == ' ') {
+                            line.pop_back();
+                        }
+                        if (!line.empty()) {
+                            map += line;
+                            map.push_back('\n');
+                        }
+                    }
+                    t.last_map = std::move(map);
                 }
             }
-            result.last_wafer_map = std::move(map);
-        }
-    }
+            return t;
+        },
+        [](totals a, totals b) {
+            a.defects += b.defects;
+            if (!b.last_map.empty()) {
+                a.last_map = std::move(b.last_map);
+            }
+            return a;
+        });
+    result.total_defects = merged.defects;
+    result.last_wafer_map = merged.last_map;
 
     double sum = 0.0;
     for (double y : result.wafer_yields) {

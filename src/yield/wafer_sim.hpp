@@ -33,6 +33,12 @@ enum class defect_process {
 };
 
 /// Simulation parameters.
+///
+/// Determinism contract: wafers are split into
+/// `exec::shard_count_for(wafers)` chunks, each drawing from its own
+/// `exec::shard_seed(seed, chunk)`-seeded stream; per-wafer yields are
+/// written into index-addressed slots and the totals merge in chunk
+/// order, so the result is bit-identical for every `parallelism` value.
 struct wafer_sim_config {
     std::size_t wafers = 100;           ///< wafers to simulate
     double defects_per_cm2 = 1.0;       ///< mean all-size defect density
@@ -40,6 +46,8 @@ struct wafer_sim_config {
     defect_process process = defect_process::uniform;
     double cluster_alpha = 2.0;         ///< gamma shape for `clustered`
     std::uint64_t seed = 0x5eedu;
+    unsigned parallelism = 0;           ///< threads; 0 = hardware
+                                        ///< concurrency, 1 = serial
 };
 
 /// Result of one run.

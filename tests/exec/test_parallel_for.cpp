@@ -1,0 +1,205 @@
+// Tests for the sharding helpers, parallel_for and parallel_reduce.
+
+#include "exec/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace silicon::exec {
+namespace {
+
+TEST(ShardSeed, DistinctForAdjacentInputs) {
+    std::set<std::uint64_t> seeds;
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+        for (std::uint64_t shard = 0; shard < 64; ++shard) {
+            seeds.insert(shard_seed(seed, shard));
+        }
+    }
+    EXPECT_EQ(seeds.size(), 8u * 64u);
+    // And it is a pure function.
+    EXPECT_EQ(shard_seed(42, 3), shard_seed(42, 3));
+}
+
+TEST(ShardCount, CapsAtSixtyFourAndNeverExceedsItems) {
+    EXPECT_EQ(shard_count_for(0), 0u);
+    EXPECT_EQ(shard_count_for(1), 1u);
+    EXPECT_EQ(shard_count_for(5), 5u);
+    EXPECT_EQ(shard_count_for(64), 64u);
+    EXPECT_EQ(shard_count_for(65), 64u);
+    EXPECT_EQ(shard_count_for(1000000), 64u);
+}
+
+TEST(ShardOf, CoversRangeDisjointlyInOrder) {
+    for (std::size_t items : {1u, 7u, 64u, 65u, 1000u}) {
+        const std::size_t shards = shard_count_for(items);
+        std::size_t expected_begin = 0;
+        for (std::size_t s = 0; s < shards; ++s) {
+            const shard_range r = shard_of(items, shards, s);
+            EXPECT_EQ(r.begin, expected_begin);
+            EXPECT_EQ(r.index, s);
+            EXPECT_EQ(r.count, shards);
+            EXPECT_GE(r.size(), items / shards);
+            EXPECT_LE(r.size(), items / shards + 1);
+            expected_begin = r.end;
+        }
+        EXPECT_EQ(expected_begin, items);
+    }
+}
+
+TEST(ShardOf, MoreShardsThanItemsLeavesEmptyTail) {
+    // 3 items over 5 shards: the first three shards hold one item each.
+    std::size_t covered = 0;
+    for (std::size_t s = 0; s < 5; ++s) {
+        const shard_range r = shard_of(3, 5, s);
+        covered += r.size();
+        EXPECT_EQ(r.size(), s < 3 ? 1u : 0u);
+    }
+    EXPECT_EQ(covered, 3u);
+}
+
+TEST(ShardOf, RejectsBadArguments) {
+    EXPECT_THROW((void)shard_of(10, 0, 0), std::invalid_argument);
+    EXPECT_THROW((void)shard_of(10, 4, 4), std::invalid_argument);
+}
+
+TEST(ParallelFor, EmptyRangeNeverInvokesBody) {
+    std::atomic<int> calls{0};
+    parallel_for(0, 4, [&](const shard_range&) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, SingleElementIsOneShard) {
+    std::atomic<int> calls{0};
+    parallel_for(1, 4, [&](const shard_range& r) {
+        ++calls;
+        EXPECT_EQ(r.begin, 0u);
+        EXPECT_EQ(r.end, 1u);
+        EXPECT_EQ(r.count, 1u);
+    });
+    EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ParallelFor, ShardDecompositionIsIndependentOfParallelism) {
+    // The set of shard ranges a body observes must be the same at every
+    // thread count — that is the determinism contract.
+    const auto observe = [](unsigned parallelism) {
+        std::mutex mutex;
+        std::vector<shard_range> ranges;
+        parallel_for(1000, parallelism, [&](const shard_range& r) {
+            const std::lock_guard<std::mutex> lock(mutex);
+            ranges.push_back(r);
+        });
+        std::sort(ranges.begin(), ranges.end(),
+                  [](const shard_range& a, const shard_range& b) {
+                      return a.index < b.index;
+                  });
+        return ranges;
+    };
+    const std::vector<shard_range> serial = observe(1);
+    for (unsigned parallelism : {2u, 7u, 0u}) {
+        const std::vector<shard_range> parallel = observe(parallelism);
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (std::size_t s = 0; s < serial.size(); ++s) {
+            EXPECT_EQ(parallel[s].begin, serial[s].begin);
+            EXPECT_EQ(parallel[s].end, serial[s].end);
+            EXPECT_EQ(parallel[s].index, serial[s].index);
+            EXPECT_EQ(parallel[s].count, serial[s].count);
+        }
+    }
+}
+
+TEST(ParallelFor, EveryItemVisitedExactlyOnce) {
+    for (unsigned parallelism : {1u, 2u, 7u, 0u}) {
+        std::vector<int> hits(517, 0);
+        parallel_for(hits.size(), parallelism, [&](const shard_range& r) {
+            for (std::size_t i = r.begin; i < r.end; ++i) {
+                ++hits[i];  // disjoint across shards
+            }
+        });
+        EXPECT_EQ(std::count(hits.begin(), hits.end(), 1),
+                  static_cast<long>(hits.size()))
+            << "parallelism=" << parallelism;
+    }
+}
+
+TEST(ParallelFor, ExceptionPropagatesFromSerialAndParallelPaths) {
+    for (unsigned parallelism : {1u, 4u}) {
+        EXPECT_THROW(parallel_for(100, parallelism,
+                                  [](const shard_range& r) {
+                                      if (r.index == 2) {
+                                          throw std::runtime_error("shard 2");
+                                      }
+                                  }),
+                     std::runtime_error)
+            << "parallelism=" << parallelism;
+    }
+}
+
+TEST(ParallelFor, NestedUseDegradesToSerialSafely) {
+    std::atomic<std::size_t> inner_total{0};
+    parallel_for(8, 4, [&](const shard_range& outer) {
+        // A nested parallel_for must not deadlock or throw; it runs the
+        // same decomposition serially on this thread.
+        std::size_t local = 0;
+        parallel_for(10, 4, [&](const shard_range& inner) {
+            local += inner.size();
+        });
+        EXPECT_EQ(local, 10u);
+        inner_total += local * outer.size();
+    });
+    EXPECT_EQ(inner_total.load(), 80u);
+}
+
+TEST(ParallelReduce, SumsMatchSerialFoldAtEveryParallelism) {
+    const std::size_t n = 12345;
+    const auto run = [&](unsigned parallelism) {
+        return parallel_reduce(
+            n, parallelism, std::size_t{0},
+            [](const shard_range& r) {
+                std::size_t s = 0;
+                for (std::size_t i = r.begin; i < r.end; ++i) {
+                    s += i;
+                }
+                return s;
+            },
+            [](std::size_t a, std::size_t b) { return a + b; });
+    };
+    const std::size_t expected = n * (n - 1) / 2;
+    for (unsigned parallelism : {1u, 2u, 7u, 0u}) {
+        EXPECT_EQ(run(parallelism), expected)
+            << "parallelism=" << parallelism;
+    }
+}
+
+TEST(ParallelReduce, FoldsInShardIndexOrder) {
+    // Concatenation is non-commutative, so the folded string proves the
+    // merge order is by shard index, not completion order.
+    const auto run = [](unsigned parallelism) {
+        return parallel_reduce(
+            8, parallelism, std::string{},
+            [](const shard_range& r) {
+                return std::string(1, static_cast<char>('a' + r.index));
+            },
+            [](std::string a, std::string b) { return a + b; });
+    };
+    EXPECT_EQ(run(1), "abcdefgh");
+    EXPECT_EQ(run(3), "abcdefgh");
+    EXPECT_EQ(run(0), "abcdefgh");
+}
+
+TEST(ParallelReduce, EmptyRangeReturnsInit) {
+    const int result = parallel_reduce(
+        0, 4, 42, [](const shard_range&) { return 0; },
+        [](int a, int b) { return a + b; });
+    EXPECT_EQ(result, 42);
+}
+
+}  // namespace
+}  // namespace silicon::exec

@@ -1,0 +1,112 @@
+// Tests for the deterministic thread-pool engine.
+
+#include "exec/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace silicon::exec {
+namespace {
+
+TEST(ThreadPool, ZeroResolvesToHardwareConcurrency) {
+    thread_pool pool{0};
+    EXPECT_EQ(pool.thread_count(), thread_pool::hardware_threads());
+    EXPECT_GE(thread_pool::hardware_threads(), 1u);
+}
+
+TEST(ThreadPool, RunExecutesEachTaskExactlyOnce) {
+    thread_pool pool{4};
+    std::vector<int> hits(257, 0);
+    pool.run(hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (int h : hits) {
+        EXPECT_EQ(h, 1);
+    }
+}
+
+TEST(ThreadPool, ZeroTasksIsANoOp) {
+    thread_pool pool{4};
+    std::atomic<int> calls{0};
+    pool.run(0, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline) {
+    thread_pool pool{1};
+    EXPECT_EQ(pool.thread_count(), 1u);
+    std::vector<std::size_t> order;
+    pool.run(5, [&](std::size_t i) { order.push_back(i); });
+    EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ManyTasksOnFewThreads) {
+    thread_pool pool{2};
+    std::atomic<std::size_t> sum{0};
+    pool.run(1000, [&](std::size_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 1000u * 999u / 2u);
+}
+
+TEST(ThreadPool, PoolIsReusableAcrossRuns) {
+    thread_pool pool{3};
+    for (int round = 0; round < 20; ++round) {
+        std::atomic<int> calls{0};
+        pool.run(17, [&](std::size_t) { ++calls; });
+        EXPECT_EQ(calls.load(), 17);
+    }
+}
+
+TEST(ThreadPool, ExceptionFromWorkerPropagates) {
+    thread_pool pool{4};
+    EXPECT_THROW(pool.run(32,
+                          [&](std::size_t i) {
+                              if (i == 7) {
+                                  throw std::runtime_error("task 7 failed");
+                              }
+                          }),
+                 std::runtime_error);
+    // The pool survives a throwing batch.
+    std::atomic<int> calls{0};
+    pool.run(8, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 8);
+}
+
+TEST(ThreadPool, ExceptionFromSingleThreadPoolPropagates) {
+    thread_pool pool{1};
+    EXPECT_THROW(
+        pool.run(4, [](std::size_t) { throw std::domain_error("boom"); }),
+        std::domain_error);
+}
+
+TEST(ThreadPool, NestedRunIsRejected) {
+    thread_pool pool{4};
+    std::atomic<int> rejections{0};
+    pool.run(8, [&](std::size_t) {
+        try {
+            pool.run(1, [](std::size_t) {});
+        } catch (const std::logic_error&) {
+            ++rejections;
+        }
+    });
+    EXPECT_EQ(rejections.load(), 8);
+}
+
+TEST(ThreadPool, NestedRunOnSingleThreadPoolIsRejected) {
+    thread_pool pool{1};
+    EXPECT_THROW(
+        pool.run(1, [&](std::size_t) { pool.run(1, [](std::size_t) {}); }),
+        std::logic_error);
+}
+
+TEST(ThreadPool, SharedPoolMatchesHardware) {
+    thread_pool& pool = thread_pool::shared();
+    EXPECT_EQ(pool.thread_count(), thread_pool::hardware_threads());
+    std::atomic<int> calls{0};
+    pool.run(11, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 11);
+}
+
+}  // namespace
+}  // namespace silicon::exec

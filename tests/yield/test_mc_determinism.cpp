@@ -1,0 +1,166 @@
+// Thread-count-invariance tests: the deterministic execution engine must
+// make Monte-Carlo yield, the wafer simulator and grid evaluation return
+// *bit-identical* results for every parallelism level, plus the 100k-die
+// statistical regression against the closed form of Eqs. (6)/(7).
+
+#include "analysis/sweep.hpp"
+#include "exec/thread_pool.hpp"
+#include "yield/critical_area.hpp"
+#include "yield/monte_carlo.hpp"
+#include "yield/wafer_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace silicon::yield {
+namespace {
+
+// 0 resolves to hardware concurrency, so this covers {1, 2, 7, hw}.
+const std::vector<unsigned> kParallelisms{1, 2, 7, 0};
+
+wire_array_layout test_layout() {
+    wire_array_layout layout;
+    layout.line_width = 1.0;
+    layout.line_spacing = 1.5;
+    layout.line_length = 100.0;
+    layout.line_count = 10;
+    return layout;
+}
+
+TEST(ThreadCountInvariance, MonteCarloIsBitIdentical) {
+    const wire_array_layout layout = test_layout();
+    const defect_size_distribution sizes{0.6, 4.07};
+    monte_carlo_config config;
+    config.dies = 20000;
+    config.defects_per_um2 = 2e-4;
+    config.seed = 9001;
+
+    config.parallelism = 1;
+    const monte_carlo_result serial =
+        simulate_layout_yield(layout, sizes, config);
+    for (unsigned parallelism : kParallelisms) {
+        config.parallelism = parallelism;
+        const monte_carlo_result run =
+            simulate_layout_yield(layout, sizes, config);
+        EXPECT_EQ(run.dies, serial.dies) << "parallelism=" << parallelism;
+        EXPECT_EQ(run.good_dies, serial.good_dies)
+            << "parallelism=" << parallelism;
+        EXPECT_EQ(run.defects_thrown, serial.defects_thrown)
+            << "parallelism=" << parallelism;
+        EXPECT_EQ(run.shorts, serial.shorts)
+            << "parallelism=" << parallelism;
+        EXPECT_EQ(run.opens, serial.opens)
+            << "parallelism=" << parallelism;
+        // Exact double comparison on purpose: the contract is
+        // bit-identity, not closeness.
+        EXPECT_EQ(run.yield, serial.yield)
+            << "parallelism=" << parallelism;
+        EXPECT_EQ(run.std_error, serial.std_error)
+            << "parallelism=" << parallelism;
+    }
+}
+
+TEST(ThreadCountInvariance, MonteCarloSeedStillMatters) {
+    const wire_array_layout layout = test_layout();
+    const defect_size_distribution sizes{0.6, 4.07};
+    monte_carlo_config config;
+    config.dies = 5000;
+    config.defects_per_um2 = 2e-4;
+    config.seed = 1;
+    const monte_carlo_result a =
+        simulate_layout_yield(layout, sizes, config);
+    config.seed = 2;
+    const monte_carlo_result b =
+        simulate_layout_yield(layout, sizes, config);
+    EXPECT_NE(a.defects_thrown, b.defects_thrown);
+}
+
+TEST(ThreadCountInvariance, WaferSimIsBitIdentical) {
+    const geometry::wafer w = geometry::wafer::six_inch();
+    const geometry::die d = geometry::die::square(millimeters{12.0});
+    wafer_sim_config config;
+    config.wafers = 150;
+    config.defects_per_cm2 = 1.2;
+    config.process = defect_process::clustered;
+    config.cluster_alpha = 2.0;
+    config.seed = 77;
+
+    config.parallelism = 1;
+    const wafer_sim_result serial = simulate_wafers(w, d, config);
+    for (unsigned parallelism : kParallelisms) {
+        config.parallelism = parallelism;
+        const wafer_sim_result run = simulate_wafers(w, d, config);
+        EXPECT_EQ(run.total_defects, serial.total_defects)
+            << "parallelism=" << parallelism;
+        ASSERT_EQ(run.wafer_yields.size(), serial.wafer_yields.size());
+        for (std::size_t i = 0; i < serial.wafer_yields.size(); ++i) {
+            EXPECT_EQ(run.wafer_yields[i], serial.wafer_yields[i])
+                << "parallelism=" << parallelism << " wafer=" << i;
+        }
+        EXPECT_EQ(run.mean_yield, serial.mean_yield)
+            << "parallelism=" << parallelism;
+        EXPECT_EQ(run.yield_stddev, serial.yield_stddev)
+            << "parallelism=" << parallelism;
+        EXPECT_EQ(run.last_wafer_map, serial.last_wafer_map)
+            << "parallelism=" << parallelism;
+    }
+}
+
+TEST(ThreadCountInvariance, GridEvaluateIsBitIdentical) {
+    const std::vector<double> xs = analysis::linspace(0.1, 2.0, 37);
+    const std::vector<double> ys = analysis::linspace(-1.0, 1.0, 29);
+    const auto f = [](double x, double y) {
+        return std::exp(-x * y) * std::sin(3.0 * x + y) / x;
+    };
+    const analysis::grid serial = analysis::grid::evaluate(xs, ys, f, 1);
+    for (unsigned parallelism : kParallelisms) {
+        const analysis::grid run =
+            analysis::grid::evaluate(xs, ys, f, parallelism);
+        ASSERT_EQ(run.values.size(), serial.values.size());
+        for (std::size_t i = 0; i < serial.values.size(); ++i) {
+            EXPECT_EQ(run.values[i], serial.values[i])
+                << "parallelism=" << parallelism << " index=" << i;
+        }
+    }
+}
+
+TEST(ThreadCountInvariance, SweepIsBitIdentical) {
+    const std::vector<double> xs = analysis::logspace(0.5, 50.0, 101);
+    const auto f = [](double x) { return std::log(x) / (1.0 + x * x); };
+    const analysis::series serial = analysis::sweep("s", xs, f, 1);
+    for (unsigned parallelism : kParallelisms) {
+        const analysis::series run = analysis::sweep("s", xs, f, parallelism);
+        ASSERT_EQ(run.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            EXPECT_EQ(run.points()[i], serial.points()[i])
+                << "parallelism=" << parallelism << " index=" << i;
+        }
+    }
+}
+
+TEST(StatisticalRegression, ParallelMonteCarloMatchesClosedFormAt100kDies) {
+    // Tightened agreement assertion on the new fast path: at 100k dies
+    // the parallel MC yield must sit within 3 binomial standard errors
+    // of the analytical critical-area / Eq. (6)-(7) closed form.
+    const wire_array_layout layout = test_layout();
+    const defect_size_distribution sizes{0.6, 4.07};
+    monte_carlo_config config;
+    config.dies = 100000;
+    config.defects_per_um2 = 2e-4;
+    config.extra_material_fraction = 0.5;
+    config.seed = 2026;
+    config.parallelism = 0;  // hardware concurrency
+
+    const monte_carlo_result mc =
+        simulate_layout_yield(layout, sizes, config);
+    const double analytic =
+        layout_yield(layout, sizes, config.defects_per_um2,
+                     config.extra_material_fraction);
+    ASSERT_GT(mc.std_error, 0.0);
+    EXPECT_NEAR(mc.yield, analytic, 3.0 * mc.std_error);
+}
+
+}  // namespace
+}  // namespace silicon::yield

@@ -154,7 +154,7 @@ TEST(Simulation, MatchesAnalyticYieldWithinError) {
     const double analytic = layout_yield(
         layout, sizes, config.defects_per_um2,
         config.extra_material_fraction);
-    EXPECT_NEAR(mc.yield, analytic, 4.0 * mc.std_error + 0.01);
+    EXPECT_NEAR(mc.yield, analytic, 3.0 * mc.std_error);
 }
 
 TEST(Simulation, ObservedFaultRateMatchesExpectedFaults) {
