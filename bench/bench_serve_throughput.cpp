@@ -1,0 +1,129 @@
+// Serving throughput: requests/second through serve::engine for a
+// mixed batch of unique queries, measured three ways:
+//
+//   serial cold  - parallelism 1, empty cache (every request computed)
+//   pooled cold  - parallelism 0 (hardware), empty cache
+//   cache warm   - same engine as "pooled cold", same batch again, so
+//                  every request is a memoization hit
+//
+// The warm pass exercises the cache splice path only (canonicalize,
+// lookup, envelope) and should beat the serial cold pass by >= 5x.
+
+#include "serve/engine.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace {
+
+std::string num(double v) { return silicon::serve::json::format_number(v); }
+
+/// A deterministic mixed workload: every line unique, every endpoint
+/// except stats represented.  Weighted toward evaluation-heavy
+/// requests (Monte-Carlo yield, multi-point sweeps) — the realistic
+/// serving mix, and the work memoization actually saves.  `n` should
+/// be a multiple of 8.
+std::vector<std::string> make_requests(std::size_t n) {
+    std::vector<std::string> lines;
+    lines.reserve(n);
+    for (std::size_t i = 0; lines.size() < n; ++i) {
+        const double lambda = 0.35 + 0.0001 * static_cast<double>(i);
+        switch (i % 8) {
+        case 0:
+            lines.push_back(R"({"op":"scenario1","lambda_um":)" + num(lambda) +
+                            "}");
+            break;
+        case 1:
+            lines.push_back(R"({"op":"scenario2","lambda_um":)" + num(lambda) +
+                            "}");
+            break;
+        case 2:
+            lines.push_back(R"({"op":"cost_tr","product":{"transistors":)" +
+                            num(1e6 + static_cast<double>(i)) + "}}");
+            break;
+        case 3:
+            lines.push_back(R"({"op":"gross_die","die_width_mm":)" +
+                            num(5.0 + 0.001 * static_cast<double>(i)) +
+                            R"(,"die_height_mm":8.0})");
+            break;
+        case 4:
+            lines.push_back(R"({"op":"yield","model":"murphy","die_area_cm2":)" +
+                            num(0.5 + 0.0001 * static_cast<double>(i)) +
+                            R"(,"defects_per_cm2":0.8})");
+            break;
+        case 5:
+            lines.push_back(R"({"op":"mc_yield","dies":1500,"seed":)" +
+                            std::to_string(i) + "}");
+            break;
+        case 6:
+            lines.push_back(R"({"op":"mc_yield","dies":1500,"line_count":)" +
+                            std::to_string(10 + i % 20) + R"(,"seed":)" +
+                            std::to_string(i) + "}");
+            break;
+        default:
+            lines.push_back(
+                R"({"op":"sweep","param":"lambda_um","from":)" + num(lambda) +
+                R"(,"to":)" + num(lambda + 0.4) +
+                R"(,"count":16,"target":{"op":"scenario2"}})");
+            break;
+        }
+    }
+    return lines;
+}
+
+double run_pass(silicon::serve::engine& engine,
+                const std::vector<std::string>& lines) {
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<std::string> responses = engine.handle_batch(lines);
+    const auto stop = std::chrono::steady_clock::now();
+    const double seconds =
+        std::chrono::duration<double>(stop - start).count();
+    return static_cast<double>(responses.size()) / seconds;
+}
+
+}  // namespace
+
+int main() {
+    constexpr std::size_t kRequests = 8192;
+    const std::vector<std::string> lines = make_requests(kRequests);
+
+    silicon::serve::engine_config serial_config;
+    serial_config.parallelism = 1;
+    silicon::serve::engine serial_engine{serial_config};
+    const double serial_cold = run_pass(serial_engine, lines);
+
+    silicon::serve::engine_config pooled_config;
+    pooled_config.parallelism = 0;
+    silicon::serve::engine pooled_engine{pooled_config};
+    const double pooled_cold = run_pass(pooled_engine, lines);
+    const double cache_warm = run_pass(pooled_engine, lines);
+
+    const silicon::serve::memo_cache::stats cache =
+        pooled_engine.cache_stats();
+
+    std::printf("bench_serve_throughput (%zu unique mixed requests)\n",
+                kRequests);
+    std::printf("  %-22s %12.0f req/s\n", "serial cold", serial_cold);
+    std::printf("  %-22s %12.0f req/s  (%.2fx serial)\n", "pooled cold",
+                pooled_cold, pooled_cold / serial_cold);
+    std::printf("  %-22s %12.0f req/s  (%.2fx serial)\n", "cache warm",
+                cache_warm, cache_warm / serial_cold);
+    std::printf("  cache: %zu hits / %zu misses / %zu entries\n",
+                static_cast<std::size_t>(cache.hits),
+                static_cast<std::size_t>(cache.misses),
+                static_cast<std::size_t>(cache.entries));
+
+    if (cache.hits < kRequests) {
+        std::printf("FAIL: warm pass was not fully cached\n");
+        return 1;
+    }
+    if (cache_warm < 5.0 * serial_cold) {
+        std::printf("FAIL: cache warm %.2fx serial, want >= 5x\n",
+                    cache_warm / serial_cold);
+        return 1;
+    }
+    std::printf("OK: cache warm >= 5x serial cold\n");
+    return 0;
+}

@@ -53,8 +53,8 @@ dollars cost_model::cost_per_transistor(const product_spec& product,
 
 microns cost_model::optimal_feature_size(const product_spec& product,
                                          microns lo, microns hi,
-                                         const economics_spec& economics)
-    const {
+                                         const economics_spec& economics,
+                                         unsigned parallelism) const {
     if (!(lo.value() > 0.0) || !(lo.value() < hi.value())) {
         throw std::invalid_argument(
             "cost_model: feature size interval must be positive and "
@@ -70,8 +70,8 @@ microns cost_model::optimal_feature_size(const product_spec& product,
             return 1e300;
         }
     };
-    const opt::scalar_minimum best =
-        opt::grid_then_golden(objective, lo.value(), hi.value(), 96, 1e-6);
+    const opt::scalar_minimum best = opt::grid_then_golden(
+        objective, lo.value(), hi.value(), 96, 1e-6, parallelism);
     if (best.value >= 1e300) {
         throw std::domain_error(
             "cost_model: no feasible feature size in the interval");

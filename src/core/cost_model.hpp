@@ -58,10 +58,12 @@ public:
     /// The feature size in [lo, hi] minimizing cost per transistor for a
     /// product at fixed transistor count (Sec. IV.B's lambda_opt).  Grid
     /// scan plus golden-section refinement; returns the refined lambda.
+    /// `parallelism` fans the grid scan across the exec engine
+    /// (0 = hardware, 1 = serial); the result is identical either way.
     [[nodiscard]] microns optimal_feature_size(
         const product_spec& product, microns lo, microns hi,
-        const economics_spec& economics = economics_spec::high_volume())
-        const;
+        const economics_spec& economics = economics_spec::high_volume(),
+        unsigned parallelism = 1) const;
 
 private:
     process_spec process_;

@@ -33,8 +33,11 @@ std::pair<double, double> price_die(const cost_model& model,
     product.design_density = density;
 
     try {
+        // Nested use inside the partition fan-out degrades to serial
+        // per the exec rules; the monolithic baseline still benefits.
         const microns best = model.optimal_feature_size(
-            product, config.lambda_lo, config.lambda_hi);
+            product, config.lambda_lo, config.lambda_hi,
+            economics_spec::high_volume(), config.parallelism);
         product.feature_size = best;
         const cost_breakdown breakdown = model.evaluate(product);
         return {breakdown.cost_per_good_die.value(), best.value()};
@@ -75,8 +78,9 @@ system_solution optimize_system(const std::vector<system_block>& blocks,
                    (n - 1.0);
     };
 
-    const opt::partition_solution best =
-        opt::optimize_partitions(opt_blocks, die_cost, packaging_cost);
+    const opt::partition_solution best = opt::optimize_partitions(
+        opt_blocks, die_cost, packaging_cost, /*max_blocks=*/10,
+        config.parallelism);
 
     system_solution solution;
     for (const opt::die_assignment& die : best.dies) {

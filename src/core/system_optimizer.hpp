@@ -43,6 +43,10 @@ struct system_optimization_config {
     microns lambda_hi{1.0};
     packaging_spec packaging;
     double volume_systems = 1e5;    ///< (reserved for overhead spreading)
+    /// Fan the candidate-die pricing across the exec engine
+    /// (0 = hardware concurrency, 1 = serial).  The solution is
+    /// bit-identical at every value — only wall-clock changes.
+    unsigned parallelism = 0;
 };
 
 /// A solved die.

@@ -1,10 +1,44 @@
 #include "opt/minimize.hpp"
 
+#include "exec/thread_pool.hpp"
+
 #include <cmath>
+#include <exception>
 #include <stdexcept>
 #include <vector>
 
 namespace silicon::opt {
+
+namespace {
+
+/// Evaluate f at the `grid_points` samples lo + step*i into a slot
+/// vector via the deterministic shard decomposition.  When the
+/// objective throws, the exception from the lowest-index shard is
+/// rethrown, so the failure mode is independent of the thread count.
+std::vector<double> evaluate_grid(const std::function<double(double)>& f,
+                                  double lo, double step, int grid_points,
+                                  unsigned parallelism) {
+    const auto items = static_cast<std::size_t>(grid_points);
+    std::vector<double> values(items);
+    std::vector<std::exception_ptr> failures(exec::shard_count_for(items));
+    exec::parallel_for(items, parallelism, [&](const exec::shard_range& r) {
+        try {
+            for (std::size_t i = r.begin; i < r.end; ++i) {
+                values[i] = f(lo + step * static_cast<double>(i));
+            }
+        } catch (...) {
+            failures[r.index] = std::current_exception();
+        }
+    });
+    for (const std::exception_ptr& failure : failures) {
+        if (failure) {
+            std::rethrow_exception(failure);
+        }
+    }
+    return values;
+}
+
+}  // namespace
 
 scalar_minimum golden_section(const std::function<double(double)>& f,
                               double lo, double hi, double tolerance) {
@@ -53,7 +87,7 @@ scalar_minimum golden_section(const std::function<double(double)>& f,
 
 scalar_minimum grid_then_golden(const std::function<double(double)>& f,
                                 double lo, double hi, int grid_points,
-                                double tolerance) {
+                                double tolerance, unsigned parallelism) {
     if (grid_points < 3) {
         throw std::invalid_argument(
             "grid_then_golden: need at least 3 grid points");
@@ -62,17 +96,20 @@ scalar_minimum grid_then_golden(const std::function<double(double)>& f,
         throw std::invalid_argument("grid_then_golden: empty interval");
     }
     const double step = (hi - lo) / (grid_points - 1);
+    const std::vector<double> values =
+        evaluate_grid(f, lo, step, grid_points, parallelism);
+    // Serial argmin keeps the earliest strictly-lower sample, so grid
+    // ties resolve identically at every parallelism value.
     int best = 0;
-    double best_value = f(lo);
-    int evaluations = 1;
+    double best_value = values[0];
     for (int i = 1; i < grid_points; ++i) {
-        const double value = f(lo + step * i);
-        ++evaluations;
+        const double value = values[static_cast<std::size_t>(i)];
         if (value < best_value) {
             best_value = value;
             best = i;
         }
     }
+    int evaluations = grid_points;
     const double bracket_lo = lo + step * (best > 0 ? best - 1 : 0);
     const double bracket_hi =
         lo + step * (best < grid_points - 1 ? best + 1 : grid_points - 1);
@@ -88,7 +125,7 @@ scalar_minimum grid_then_golden(const std::function<double(double)>& f,
 
 std::vector<scalar_minimum> local_minima_on_grid(
     const std::function<double(double)>& f, double lo, double hi,
-    int grid_points) {
+    int grid_points, unsigned parallelism) {
     if (grid_points < 3) {
         throw std::invalid_argument(
             "local_minima_on_grid: need at least 3 grid points");
@@ -97,11 +134,8 @@ std::vector<scalar_minimum> local_minima_on_grid(
         throw std::invalid_argument("local_minima_on_grid: empty interval");
     }
     const double step = (hi - lo) / (grid_points - 1);
-    std::vector<double> values;
-    values.reserve(static_cast<std::size_t>(grid_points));
-    for (int i = 0; i < grid_points; ++i) {
-        values.push_back(f(lo + step * i));
-    }
+    const std::vector<double> values =
+        evaluate_grid(f, lo, step, grid_points, parallelism);
 
     std::vector<scalar_minimum> minima;
     for (int i = 0; i < grid_points; ++i) {

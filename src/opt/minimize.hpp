@@ -6,10 +6,18 @@
 // search (derivative-free, robust) plus a Brent-style refinement is the
 // right tool.  A bracketing grid scan guards against multimodal inputs
 // (Fig. 8 *does* show several local optima along other slices).
+//
+// Grid scans take a `parallelism` knob (0 = hardware concurrency,
+// 1 = serial, the default) and fan the sample evaluations across the
+// exec engine's deterministic shard decomposition: results — including
+// tie-breaks and which exception propagates when the objective throws —
+// are bit-identical at every parallelism value.  The objective must be
+// a pure function of its argument and safe to call concurrently.
 
 #pragma once
 
 #include <functional>
+#include <vector>
 
 namespace silicon::opt {
 
@@ -35,13 +43,14 @@ struct scalar_minimum {
 /// basin.  grid_points must be >= 3.
 [[nodiscard]] scalar_minimum grid_then_golden(
     const std::function<double(double)>& f, double lo, double hi,
-    int grid_points = 64, double tolerance = 1e-8);
+    int grid_points = 64, double tolerance = 1e-8,
+    unsigned parallelism = 1);
 
 /// All local minima of a sampled function: indices whose value is lower
 /// than both neighbors (plateau-aware: the first point of a flat valley
 /// is reported).  Used to count Fig. 8's local optima along a slice.
 [[nodiscard]] std::vector<scalar_minimum> local_minima_on_grid(
     const std::function<double(double)>& f, double lo, double hi,
-    int grid_points);
+    int grid_points, unsigned parallelism = 1);
 
 }  // namespace silicon::opt

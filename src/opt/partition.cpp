@@ -1,7 +1,10 @@
 #include "opt/partition.hpp"
 
+#include "exec/thread_pool.hpp"
+
 #include <algorithm>
 #include <cmath>
+#include <exception>
 #include <limits>
 #include <stdexcept>
 
@@ -53,7 +56,8 @@ unsigned long long bell_number(unsigned n) {
 partition_solution optimize_partitions(const std::vector<block>& blocks,
                                        const die_cost_fn& die_cost,
                                        const packaging_cost_fn& packaging_cost,
-                                       std::size_t max_blocks) {
+                                       std::size_t max_blocks,
+                                       unsigned parallelism) {
     if (blocks.empty()) {
         throw std::invalid_argument("optimize_partitions: no blocks");
     }
@@ -63,7 +67,42 @@ partition_solution optimize_partitions(const std::vector<block>& blocks,
             "enumeration");
     }
 
-    const auto partitions = set_partitions(blocks.size());
+    const std::size_t n = blocks.size();
+
+    // Every group of every partition is one of the 2^n - 1 non-empty
+    // block subsets, and every subset does occur (alongside singleton
+    // dies), so price each exactly once up front.  Each subset is
+    // independent: fan the pricing across the shard decomposition;
+    // pricing failures rethrow from the lowest-index shard so errors
+    // are thread-count invariant too.  Subset mask m is stored at
+    // priced[m]; bit i set = block i on the die.
+    const std::size_t subsets = (std::size_t{1} << n) - 1;
+    std::vector<std::pair<double, double>> priced(subsets + 1);
+    std::vector<std::exception_ptr> failures(exec::shard_count_for(subsets));
+    exec::parallel_for(
+        subsets, parallelism, [&](const exec::shard_range& r) {
+            try {
+                for (std::size_t s = r.begin; s < r.end; ++s) {
+                    const std::size_t mask = s + 1;
+                    std::vector<block> group;
+                    for (std::size_t i = 0; i < n; ++i) {
+                        if ((mask >> i) & 1u) {
+                            group.push_back(blocks[i]);
+                        }
+                    }
+                    priced[mask] = die_cost(group);
+                }
+            } catch (...) {
+                failures[r.index] = std::current_exception();
+            }
+        });
+    for (const std::exception_ptr& failure : failures) {
+        if (failure) {
+            std::rethrow_exception(failure);
+        }
+    }
+
+    const auto partitions = set_partitions(n);
     partition_solution best;
     best.total_cost = std::numeric_limits<double>::infinity();
 
@@ -79,12 +118,11 @@ partition_solution optimize_partitions(const std::vector<block>& blocks,
 
         bool valid = true;
         for (die_assignment& die : candidate.dies) {
-            std::vector<block> group;
-            group.reserve(die.block_indices.size());
+            std::size_t mask = 0;
             for (std::size_t bi : die.block_indices) {
-                group.push_back(blocks[bi]);
+                mask |= std::size_t{1} << bi;
             }
-            const auto [cost, lambda] = die_cost(group);
+            const auto [cost, lambda] = priced[mask];
             if (!std::isfinite(cost) || cost < 0.0) {
                 valid = false;
                 break;

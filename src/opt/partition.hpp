@@ -13,6 +13,15 @@
 // term that grows with the number of dies, and returns the cheapest
 // arrangement.  The functional design keeps `opt` independent of the core
 // cost model; `core::system_optimizer` provides the convenient glue.
+//
+// Although Bell(10) = 115975 partitions exist, their groups draw from at
+// most 2^10 - 1 = 1023 distinct block subsets, so the functional is
+// invoked once per subset (optionally fanned across the exec engine via
+// the `parallelism` knob) and the partition scan just sums memoized
+// prices.  The die-cost functional must therefore be a pure function of
+// its group and safe to call concurrently; the selected partition —
+// including ties, which resolve to the earliest enumeration — is
+// bit-identical at every parallelism value.
 
 #pragma once
 
@@ -57,10 +66,13 @@ using packaging_cost_fn = std::function<double(std::size_t)>;
 
 /// Exhaustively find the cheapest partition of `blocks`.
 /// Throws std::invalid_argument when blocks is empty or larger than
-/// `max_blocks` (enumeration guard, default 10).
+/// `max_blocks` (enumeration guard, default 10).  `parallelism` spreads
+/// the per-subset die pricing across the exec engine (0 = hardware
+/// concurrency, 1 = serial); the result is identical either way.
 [[nodiscard]] partition_solution optimize_partitions(
     const std::vector<block>& blocks, const die_cost_fn& die_cost,
-    const packaging_cost_fn& packaging_cost, std::size_t max_blocks = 10);
+    const packaging_cost_fn& packaging_cost, std::size_t max_blocks = 10,
+    unsigned parallelism = 1);
 
 /// Enumerate all set partitions of n elements as restricted growth
 /// strings (element i's value is its group id).  Exposed for testing and

@@ -35,9 +35,15 @@ struct elasticity {
 /// step `rel_step`.  Parameters with value 0 are skipped (elasticity is
 /// undefined there).  The objective must be positive at the nominal point
 /// and at the probe points; throws std::domain_error otherwise.
+///
+/// `parallelism` fans the per-parameter probes across the exec engine
+/// (0 = hardware concurrency, 1 = serial).  The objective must be pure
+/// and thread-safe; rows — and which parameter's error propagates on
+/// failure — are identical at every parallelism value.
 [[nodiscard]] std::vector<elasticity> elasticities(
     const std::function<double(const std::vector<double>&)>& objective,
-    const std::vector<parameter>& parameters, double rel_step = 1e-4);
+    const std::vector<parameter>& parameters, double rel_step = 1e-4,
+    unsigned parallelism = 1);
 
 /// Sort a copy of the rows by |value| descending — "what matters most".
 [[nodiscard]] std::vector<elasticity> ranked(std::vector<elasticity> rows);

@@ -1,0 +1,77 @@
+// cache.hpp — sharded LRU memoization cache for serve results.
+//
+// The engine memoizes evaluated responses keyed by the *canonical*
+// serialization of the request (see json::canonical and
+// request::canonical_key), so a repeated query — byte-identical or
+// merely member-order-shuffled — is answered from memory.  Correctness
+// rests on every endpoint being a pure function of its canonical
+// request: the cached bytes are exactly what a fresh evaluation would
+// produce, so cache hits can never change a response, only its
+// latency.
+//
+// Concurrency: the key space is split across `shards` independent
+// LRU structures (shard = hash(key) % shards), each behind its own
+// mutex, so parallel batch workers rarely contend.  Values are
+// returned as shared_ptr<const string> — a hit stays valid even if the
+// entry is evicted a microsecond later by another thread.
+//
+// Capacity is interpreted as a total entry budget distributed evenly
+// across shards (per-shard ceil(capacity/shards), so the effective
+// total may exceed `capacity` by up to shards-1 entries).  A capacity
+// of 0 disables caching entirely (every get misses, puts are dropped).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace silicon::serve {
+
+/// Sharded least-recently-used string -> string cache.
+class memo_cache {
+public:
+    /// Aggregate statistics across all shards (counters are cumulative
+    /// since construction, never reset by eviction).
+    struct stats {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+        std::size_t entries = 0;   ///< current resident entries
+        std::size_t capacity = 0;  ///< configured total budget
+        std::size_t shards = 0;    ///< shard count actually in use
+    };
+
+    /// @param capacity total entry budget; 0 disables the cache.
+    /// @param shards   requested shard count (clamped to [1, capacity]).
+    explicit memo_cache(std::size_t capacity, std::size_t shards = 16);
+    ~memo_cache();
+
+    memo_cache(const memo_cache&) = delete;
+    memo_cache& operator=(const memo_cache&) = delete;
+
+    /// The cached value for `key`, or nullptr on a miss.  A hit moves
+    /// the entry to most-recently-used position.
+    [[nodiscard]] std::shared_ptr<const std::string> get(
+        std::string_view key);
+
+    /// Insert or refresh `key`; evicts the least-recently-used entry of
+    /// the key's shard when that shard is full.
+    void put(std::string_view key, std::string value);
+
+    /// Drop every entry (counters are preserved).
+    void clear();
+
+    [[nodiscard]] stats snapshot() const;
+
+private:
+    struct shard;
+    shard* shards_ = nullptr;
+    std::size_t shard_count_ = 0;
+    std::size_t capacity_ = 0;
+    std::size_t per_shard_capacity_ = 0;
+};
+
+}  // namespace silicon::serve

@@ -1,0 +1,535 @@
+#include "serve/engine.hpp"
+
+#include "core/cost_model.hpp"
+#include "core/scenario.hpp"
+#include "core/table3.hpp"
+#include "exec/thread_pool.hpp"
+#include "geometry/gross_die.hpp"
+#include "yield/models.hpp"
+#include "yield/monte_carlo.hpp"
+#include "yield/scaled.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+namespace silicon::serve {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Endpoint evaluators: typed request -> result JSON.  Each routes into
+// the library exactly as a direct caller would; invalid/infeasible
+// inputs surface as the library's own exceptions and become error
+// responses upstream.
+// ---------------------------------------------------------------------------
+
+geometry::gross_die_method method_from_string(const std::string& name) {
+    using geometry::gross_die_method;
+    for (const gross_die_method m :
+         {gross_die_method::maly_rows, gross_die_method::maly_rows_best_orient,
+          gross_die_method::area_ratio, gross_die_method::circumference,
+          gross_die_method::ferris_prabhu, gross_die_method::exact}) {
+        if (geometry::to_string(m) == name) {
+            return m;
+        }
+    }
+    throw request_error("bad_param",
+                        "unknown gross-die method '" + name + "'");
+}
+
+core::process_spec build_process(const process_params& p) {
+    core::yield_spec yield{probability{1.0}};
+    switch (p.yield.model) {
+        case yield_spec_params::kind::reference:
+            yield = yield::reference_die_yield{
+                probability{p.yield.y0},
+                square_centimeters{p.yield.a0_cm2}};
+            break;
+        case yield_spec_params::kind::scaled:
+            yield = yield::scaled_poisson_model{p.yield.d, p.yield.p};
+            break;
+        case yield_spec_params::kind::fixed:
+            yield = probability{p.yield.fixed};
+            break;
+    }
+    return core::process_spec{
+        cost::wafer_cost_model{dollars{p.c0_usd}, p.x,
+                               microns{p.generation_step_um}},
+        geometry::wafer{centimeters{p.wafer_radius_cm},
+                        centimeters{p.edge_exclusion_cm}},
+        std::move(yield),
+        method_from_string(p.gross_die_method),
+    };
+}
+
+json::value eval_cost_tr(const cost_tr_request& q) {
+    const core::cost_model model{build_process(q.process)};
+
+    core::product_spec product;
+    product.name = q.product.name;
+    product.transistors = q.product.transistors;
+    product.design_density = q.product.design_density;
+    product.feature_size = microns{q.product.feature_size_um};
+    product.die_aspect_ratio = q.product.die_aspect_ratio;
+
+    core::economics_spec economics;
+    economics.overhead = dollars{q.economics.overhead_usd};
+    economics.volume_wafers = q.economics.volume_wafers;
+
+    const core::cost_breakdown b = model.evaluate(product, economics);
+
+    json::object o;
+    o.set("product", b.product_name);
+    o.set("feature_size_um", b.feature_size.value());
+    o.set("die_area_mm2", b.die_area.value());
+    o.set("gross_dies_per_wafer", static_cast<double>(b.gross_dies_per_wafer));
+    o.set("yield", b.yield.value());
+    o.set("good_dies_per_wafer", b.good_dies_per_wafer);
+    o.set("wafer_cost_usd", b.wafer_cost.value());
+    o.set("cost_per_good_die_usd", b.cost_per_good_die.value());
+    o.set("cost_per_transistor_usd", b.cost_per_transistor.value());
+    o.set("cost_per_transistor_micro_usd",
+          b.cost_per_transistor_micro_dollars());
+    return json::value{std::move(o)};
+}
+
+json::value eval_gross_die(const gross_die_request& q) {
+    const geometry::wafer w{centimeters{q.wafer_radius_cm},
+                            centimeters{q.edge_exclusion_cm}};
+    const geometry::die d{millimeters{q.die_width_mm},
+                          millimeters{q.die_height_mm}};
+    const long count = geometry::gross_dies(w, d, method_from_string(q.method),
+                                            millimeters{q.scribe_mm});
+    json::object o;
+    o.set("count", static_cast<double>(count));
+    o.set("method", q.method);
+    o.set("die_area_mm2", d.area().value());
+    o.set("wafer_area_cm2", w.area().value());
+    return json::value{std::move(o)};
+}
+
+json::value eval_yield(const yield_request& q) {
+    json::object o;
+    o.set("model", q.model);
+
+    if (q.model == "scaled_poisson") {
+        const yield::scaled_poisson_model model{q.d, q.p};
+        o.set("yield", model.yield(square_centimeters{q.die_area_cm2},
+                                   microns{q.lambda_um})
+                           .value());
+        o.set("effective_defects_per_cm2",
+              model.effective_defect_density(microns{q.lambda_um}));
+        return json::value{std::move(o)};
+    }
+    if (q.model == "reference") {
+        const yield::reference_die_yield model{probability{q.y0},
+                                               square_centimeters{q.a0_cm2}};
+        o.set("yield",
+              model.yield(square_centimeters{q.die_area_cm2}).value());
+        o.set("equivalent_defects_per_cm2",
+              model.equivalent_defect_density());
+        return json::value{std::move(o)};
+    }
+
+    const double faults = q.expected_faults >= 0.0
+                              ? q.expected_faults
+                              : q.die_area_cm2 * q.defects_per_cm2;
+    if (!(faults >= 0.0) || !std::isfinite(faults)) {
+        throw request_error("bad_param",
+                            "yield: expected fault count must be finite "
+                            "and non-negative");
+    }
+    probability y{0.0};
+    if (q.model == "poisson") {
+        y = yield::poisson_model{}.yield(faults);
+    } else if (q.model == "murphy") {
+        y = yield::murphy_model{}.yield(faults);
+    } else if (q.model == "seeds") {
+        y = yield::seeds_model{}.yield(faults);
+    } else if (q.model == "bose_einstein") {
+        y = yield::bose_einstein_model{q.critical_steps}.yield(faults);
+    } else if (q.model == "neg_binomial") {
+        y = yield::negative_binomial_model{q.alpha}.yield(faults);
+    } else {
+        throw request_error("bad_param",
+                            "yield: unknown model '" + q.model + "'");
+    }
+    o.set("expected_faults", faults);
+    o.set("yield", y.value());
+    return json::value{std::move(o)};
+}
+
+json::value eval_scenario1(const scenario1_request& q) {
+    core::scenario1 s;
+    s.wafer_cost = cost::wafer_cost_model{dollars{q.c0_usd}, q.x};
+    s.wafer = geometry::wafer{centimeters{q.wafer_radius_cm}};
+    s.design_density = q.design_density;
+    const dollars ctr = s.cost_per_transistor(microns{q.lambda_um});
+
+    json::object o;
+    o.set("cost_per_transistor_usd", ctr.value());
+    o.set("cost_per_transistor_micro_usd", ctr.value() * 1e6);
+    return json::value{std::move(o)};
+}
+
+json::value eval_scenario2(const scenario2_request& q) {
+    core::scenario2 s;
+    s.wafer_cost = cost::wafer_cost_model{dollars{q.c0_usd}, q.x};
+    s.wafer = geometry::wafer{centimeters{q.wafer_radius_cm}};
+    s.design_density = q.design_density;
+    s.yield = yield::reference_die_yield{probability{q.y0}};
+    const microns lambda{q.lambda_um};
+    const dollars ctr = s.cost_per_transistor(lambda);
+
+    json::object o;
+    o.set("cost_per_transistor_usd", ctr.value());
+    o.set("cost_per_transistor_micro_usd", ctr.value() * 1e6);
+    o.set("die_area_cm2", s.die_area(lambda).value());
+    o.set("transistors", s.transistors(lambda));
+    return json::value{std::move(o)};
+}
+
+json::value comparison_to_json(const core::table3_comparison& c) {
+    json::object o;
+    o.set("row", c.row.index);
+    o.set("ic_type", c.row.ic_type);
+    o.set("printed_ctr_micro", c.row.printed_ctr_micro);
+    o.set("computed_ctr_micro", c.computed_ctr_micro);
+    o.set("ratio", c.ratio);
+    o.set("reconstructed", c.row.reconstructed);
+    return json::value{std::move(o)};
+}
+
+json::value eval_table3(const table3_request& q) {
+    const std::vector<core::table3_comparison> all = core::reproduce_table3();
+    if (q.row != 0) {
+        for (const core::table3_comparison& c : all) {
+            if (c.row.index == q.row) {
+                return comparison_to_json(c);
+            }
+        }
+        throw request_error("bad_param", "table3: no row " +
+                                             std::to_string(q.row));
+    }
+    json::array rows;
+    rows.reserve(all.size());
+    for (const core::table3_comparison& c : all) {
+        rows.push_back(comparison_to_json(c));
+    }
+    json::object o;
+    o.set("rows", std::move(rows));
+    o.set("memory_logic_separation", core::memory_logic_separation());
+    return json::value{std::move(o)};
+}
+
+json::value eval_mc_yield(const mc_yield_request& q, unsigned parallelism) {
+    yield::wire_array_layout layout;
+    layout.line_width = q.line_width_um;
+    layout.line_spacing = q.line_spacing_um;
+    layout.line_length = q.line_length_um;
+    layout.line_count = q.line_count;
+
+    const yield::defect_size_distribution sizes{q.defect_r0_um, q.defect_p,
+                                                q.defect_q};
+
+    yield::monte_carlo_config config;
+    config.dies = static_cast<std::size_t>(q.dies);
+    config.defects_per_um2 = q.defects_per_um2;
+    config.extra_material_fraction = q.extra_material_fraction;
+    config.seed = q.seed;
+    config.parallelism = parallelism;
+
+    const yield::monte_carlo_result r =
+        yield::simulate_layout_yield(layout, sizes, config);
+
+    json::object o;
+    o.set("dies", static_cast<double>(r.dies));
+    o.set("good_dies", static_cast<double>(r.good_dies));
+    o.set("defects_thrown", static_cast<double>(r.defects_thrown));
+    o.set("shorts", static_cast<double>(r.shorts));
+    o.set("opens", static_cast<double>(r.opens));
+    o.set("yield", r.yield);
+    o.set("std_error", r.std_error);
+    o.set("observed_faults_per_die", r.observed_faults_per_die());
+    return json::value{std::move(o)};
+}
+
+/// Grid points of a sweep: linear or geometric, endpoints inclusive.
+std::vector<double> sweep_grid(const sweep_request& q) {
+    std::vector<double> xs;
+    xs.reserve(static_cast<std::size_t>(q.count));
+    if (q.count == 1) {
+        xs.push_back(q.from);
+        return xs;
+    }
+    for (int i = 0; i < q.count; ++i) {
+        const double t = static_cast<double>(i) /
+                         static_cast<double>(q.count - 1);
+        if (q.scale == "log") {
+            xs.push_back(q.from *
+                         std::exp(t * std::log(q.to / q.from)));
+        } else {
+            xs.push_back(q.from + t * (q.to - q.from));
+        }
+    }
+    return xs;
+}
+
+/// Find the dotted-path member in a (mutable) document.
+json::value* walk(json::value& root, std::string_view path) {
+    json::value* node = &root;
+    std::size_t begin = 0;
+    for (;;) {
+        const std::size_t dot = path.find('.', begin);
+        const std::string_view segment =
+            path.substr(begin,
+                        dot == std::string_view::npos ? path.size() - begin
+                                                      : dot - begin);
+        if (!node->is_object()) {
+            return nullptr;
+        }
+        node = node->as_object().find(segment);
+        if (node == nullptr || dot == std::string_view::npos) {
+            return node;
+        }
+        begin = dot + 1;
+    }
+}
+
+std::string error_code_for(const std::exception& e) {
+    if (const auto* schema = dynamic_cast<const request_error*>(&e)) {
+        return schema->code();
+    }
+    if (dynamic_cast<const std::domain_error*>(&e) != nullptr) {
+        return "domain_error";
+    }
+    if (dynamic_cast<const std::invalid_argument*>(&e) != nullptr) {
+        return "bad_param";
+    }
+    return "internal_error";
+}
+
+/// Assemble a response line.  The envelope is built by concatenation so
+/// a cache-hit result splices in verbatim and the bytes are identical
+/// to a fresh evaluation's.
+std::string envelope(const json::value* id, bool ok,
+                     std::string_view body_key, std::string_view body) {
+    std::string out = "{";
+    if (id != nullptr) {
+        out += "\"id\":";
+        out += json::dump(*id);
+        out += ",";
+    }
+    out += "\"ok\":";
+    out += ok ? "true" : "false";
+    out += ",\"";
+    out += body_key;
+    out += "\":";
+    out += body;
+    out += "}";
+    return out;
+}
+
+std::string error_body(std::string_view code, std::string_view message) {
+    json::object e;
+    e.set("code", std::string{code});
+    e.set("message", std::string{message});
+    return json::dump(json::value{std::move(e)});
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// engine
+// ---------------------------------------------------------------------------
+
+engine::engine(engine_config config)
+    : config_{config},
+      cache_{config.cache_capacity, config.cache_shards} {}
+
+json::value engine::evaluate(const request& req) {
+    switch (req.op) {
+        case op_code::cost_tr:
+            return eval_cost_tr(std::get<cost_tr_request>(req.payload));
+        case op_code::gross_die:
+            return eval_gross_die(std::get<gross_die_request>(req.payload));
+        case op_code::yield:
+            return eval_yield(std::get<yield_request>(req.payload));
+        case op_code::scenario1:
+            return eval_scenario1(std::get<scenario1_request>(req.payload));
+        case op_code::scenario2:
+            return eval_scenario2(std::get<scenario2_request>(req.payload));
+        case op_code::table3:
+            return eval_table3(std::get<table3_request>(req.payload));
+        case op_code::mc_yield:
+            return eval_mc_yield(std::get<mc_yield_request>(req.payload),
+                                 config_.parallelism);
+        case op_code::sweep:
+            return eval_sweep(std::get<sweep_request>(req.payload));
+        case op_code::stats:
+            return stats_json();
+    }
+    throw std::logic_error("engine: unhandled op");
+}
+
+std::shared_ptr<const std::string> engine::result_for(const request& req) {
+    if (auto hit = cache_.get(req.canonical_key)) {
+        metrics_.at(req.op).cache_hits.fetch_add(1,
+                                                 std::memory_order_relaxed);
+        return hit;
+    }
+    auto result = std::make_shared<const std::string>(
+        json::dump(evaluate(req)));
+    cache_.put(req.canonical_key, *result);
+    return result;
+}
+
+json::value engine::eval_sweep(const sweep_request& q) {
+    const std::vector<double> xs = sweep_grid(q);
+    std::vector<json::value> ys(xs.size());
+
+    // Grid points are independent; inside a batch worker this degrades
+    // to serial with the identical decomposition (exec contract), so
+    // sweep responses are byte-stable at every nesting/thread level.
+    exec::parallel_for(
+        xs.size(), config_.parallelism, [&](const exec::shard_range& r) {
+            for (std::size_t i = r.begin; i < r.end; ++i) {
+                json::value doc{q.target_params};
+                json::value* slot = walk(doc, q.param);
+                if (slot == nullptr) {
+                    continue;  // validated at parse time; cannot happen
+                }
+                *slot = json::value{xs[i]};
+                try {
+                    const request point = parse_request(doc);
+                    const std::shared_ptr<const std::string> result =
+                        result_for(point);
+                    const json::value parsed = json::parse(*result);
+                    const json::value* metric =
+                        parsed.as_object().find(primary_metric(point.op));
+                    if (metric != nullptr) {
+                        ys[i] = *metric;
+                    }
+                } catch (const std::exception&) {
+                    // Infeasible point (die does not fit, yield
+                    // underflow, negative parameter): null slot.
+                    ys[i] = json::value{nullptr};
+                }
+            }
+        });
+
+    json::array xs_json;
+    xs_json.reserve(xs.size());
+    for (const double x : xs) {
+        xs_json.emplace_back(x);
+    }
+    json::object o;
+    o.set("target_op", std::string{to_string(q.target->op)});
+    o.set("param", q.param);
+    o.set("metric", primary_metric(q.target->op));
+    o.set("scale", q.scale);
+    o.set("xs", std::move(xs_json));
+    o.set("ys", std::move(ys));
+    return json::value{std::move(o)};
+}
+
+json::value engine::stats_json() {
+    const memo_cache::stats c = cache_.snapshot();
+    json::object cache;
+    cache.set("hits", static_cast<double>(c.hits));
+    cache.set("misses", static_cast<double>(c.misses));
+    cache.set("evictions", static_cast<double>(c.evictions));
+    cache.set("entries", static_cast<double>(c.entries));
+    cache.set("capacity", static_cast<double>(c.capacity));
+    cache.set("shards", static_cast<double>(c.shards));
+
+    json::object o;
+    o.set("cache", json::value{std::move(cache)});
+    o.set("endpoints", metrics_.to_json());
+    o.set("parallelism",
+          static_cast<double>(exec::resolve_parallelism(config_.parallelism)));
+    o.set("parse_errors",
+          static_cast<double>(parse_errors_.load(std::memory_order_relaxed)));
+    return json::value{std::move(o)};
+}
+
+std::string engine::handle_line(std::string_view line) {
+    const auto start = std::chrono::steady_clock::now();
+    const json::value* id = nullptr;
+    json::value id_storage;
+    std::string response;
+    op_code op = op_code::stats;
+    bool op_known = false;
+    bool failed = false;
+
+    try {
+        const json::value doc = json::parse(line);
+        // Best-effort id/op extraction so even schema errors echo the
+        // caller's correlation id.
+        if (doc.is_object()) {
+            if (const json::value* raw_id = doc.as_object().find("id")) {
+                id_storage = *raw_id;
+                id = &id_storage;
+            }
+            if (const json::value* raw_op = doc.as_object().find("op")) {
+                if (raw_op->is_string()) {
+                    if (const auto known =
+                            op_from_string(raw_op->as_string())) {
+                        op = *known;
+                        op_known = true;
+                    }
+                }
+            }
+        }
+        const request req = parse_request(doc);
+        op = req.op;
+        op_known = true;
+
+        if (req.op == op_code::stats) {
+            // Stats are a live snapshot: never cached, never golden.
+            response = envelope(id, true, "result",
+                                json::dump(stats_json()));
+        } else {
+            response = envelope(id, true, "result", *result_for(req));
+        }
+    } catch (const json::parse_error& e) {
+        parse_errors_.fetch_add(1, std::memory_order_relaxed);
+        failed = true;
+        response =
+            envelope(id, false, "error", error_body("parse_error", e.what()));
+    } catch (const std::exception& e) {
+        failed = true;
+        response = envelope(id, false, "error",
+                            error_body(error_code_for(e), e.what()));
+    }
+
+    if (op_known || !failed) {
+        endpoint_metrics& m = metrics_.at(op);
+        m.requests.fetch_add(1, std::memory_order_relaxed);
+        if (failed) {
+            m.errors.fetch_add(1, std::memory_order_relaxed);
+        }
+        const auto elapsed = std::chrono::steady_clock::now() - start;
+        m.latency.record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()));
+    }
+    return response;
+}
+
+std::vector<std::string> engine::handle_batch(
+    const std::vector<std::string>& lines) {
+    std::vector<std::string> responses(lines.size());
+    exec::parallel_for(lines.size(), config_.parallelism,
+                       [&](const exec::shard_range& r) {
+                           for (std::size_t i = r.begin; i < r.end; ++i) {
+                               responses[i] = handle_line(lines[i]);
+                           }
+                       });
+    return responses;
+}
+
+}  // namespace silicon::serve

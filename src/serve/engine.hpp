@@ -1,0 +1,102 @@
+// engine.hpp — the batched cost-query engine.
+//
+// The engine is the dispatcher behind `silicond`: it turns request
+// lines (see request.hpp for the schema) into response lines, routing
+// each endpoint into the model library — core/ (cost model, scenarios,
+// Table 3), geometry/ (gross die), yield/ (model family, Monte-Carlo),
+// cost/ (wafer cost) — and running batches on the src/exec thread
+// pool.
+//
+// Three layers of speed, none of which may change a byte of output:
+//
+//   * Batching: `handle_batch` fans request lines across
+//     exec::parallel_for with the configured `parallelism` knob
+//     (0 = hardware concurrency, 1 = serial).  Every response depends
+//     only on its own request line, and responses are written into
+//     index-addressed slots, so the output is bit-identical at every
+//     thread count — the same determinism contract as the rest of the
+//     library (DESIGN.md §7/§8).
+//   * Memoization: evaluated results are cached in a sharded LRU
+//     (cache.hpp) keyed by the request's canonical serialization;
+//     endpoints are pure functions of their canonical request, so a
+//     hit returns exactly the bytes a fresh evaluation would produce.
+//     Sweep grid points share the same cache as top-level requests.
+//   * Parallel kernels: endpoints that are themselves parallel
+//     (mc_yield) inherit the engine parallelism; nested use inside a
+//     batch degrades to serial per the exec engine rules, with
+//     identical results either way.
+//
+// Error handling: every failure — malformed JSON, schema violations,
+// infeasible model inputs (die does not fit, yield underflow) — maps
+// to a structured `{"ok":false,"error":{"code","message"}}` response
+// on the request's own line.  `handle_line` never throws.
+
+#pragma once
+
+#include "serve/cache.hpp"
+#include "serve/metrics.hpp"
+#include "serve/request.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace silicon::serve {
+
+struct engine_config {
+    /// Batch fan-out width: 0 = hardware concurrency, 1 = serial.
+    unsigned parallelism = 0;
+    /// Total memoization-cache entry budget; 0 disables caching.
+    std::size_t cache_capacity = 65536;
+    /// Cache shard count (see memo_cache).
+    std::size_t cache_shards = 16;
+};
+
+class engine {
+public:
+    explicit engine(engine_config config = {});
+
+    /// Serve one request line: parse, validate, evaluate (or hit the
+    /// cache) and return the response line (no trailing newline).
+    /// Never throws; every failure becomes an error response.
+    [[nodiscard]] std::string handle_line(std::string_view line);
+
+    /// Serve a batch of lines on the exec pool; response i answers
+    /// line i.  Output is bit-identical for every parallelism value.
+    [[nodiscard]] std::vector<std::string> handle_batch(
+        const std::vector<std::string>& lines);
+
+    /// Evaluate a parsed request directly, bypassing cache, metrics
+    /// and the response envelope — the reference path golden tests
+    /// compare cached/batched responses against.  Throws on
+    /// infeasible inputs exactly like the underlying library.
+    [[nodiscard]] json::value evaluate(const request& req);
+
+    [[nodiscard]] memo_cache::stats cache_stats() const {
+        return cache_.snapshot();
+    }
+    [[nodiscard]] const metrics_registry& metrics() const noexcept {
+        return metrics_;
+    }
+    [[nodiscard]] const engine_config& config() const noexcept {
+        return config_;
+    }
+
+private:
+    /// Cached result JSON for a request (everything except `stats`).
+    [[nodiscard]] std::shared_ptr<const std::string> result_for(
+        const request& req);
+
+    [[nodiscard]] json::value eval_sweep(const sweep_request& q);
+    [[nodiscard]] json::value stats_json();
+
+    engine_config config_;
+    memo_cache cache_;
+    metrics_registry metrics_;
+    std::atomic<std::uint64_t> parse_errors_{0};
+};
+
+}  // namespace silicon::serve

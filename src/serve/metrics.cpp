@@ -1,0 +1,97 @@
+#include "serve/metrics.hpp"
+
+namespace silicon::serve {
+
+namespace {
+
+/// Bucket index for a latency: floor(log2(us)), clamped to the range.
+int bucket_for(std::uint64_t nanoseconds) noexcept {
+    const std::uint64_t us = nanoseconds / 1000;
+    if (us == 0) {
+        return 0;
+    }
+    int b = 0;
+    std::uint64_t v = us;
+    while (v > 1 && b < latency_histogram::bucket_count - 1) {
+        v >>= 1;
+        ++b;
+    }
+    return b;
+}
+
+}  // namespace
+
+void latency_histogram::record(std::uint64_t nanoseconds) noexcept {
+    buckets_[static_cast<std::size_t>(bucket_for(nanoseconds))].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    total_ns_.fetch_add(nanoseconds, std::memory_order_relaxed);
+    std::uint64_t seen = max_ns_.load(std::memory_order_relaxed);
+    while (nanoseconds > seen &&
+           !max_ns_.compare_exchange_weak(seen, nanoseconds,
+                                          std::memory_order_relaxed)) {
+    }
+}
+
+std::uint64_t latency_histogram::count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t latency_histogram::total_nanoseconds() const noexcept {
+    return total_ns_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t latency_histogram::max_nanoseconds() const noexcept {
+    return max_ns_.load(std::memory_order_relaxed);
+}
+
+json::value latency_histogram::to_json() const {
+    const std::uint64_t n = count();
+    json::object o;
+    o.set("count", static_cast<double>(n));
+    o.set("mean_us",
+          n == 0 ? 0.0
+                 : static_cast<double>(total_nanoseconds()) /
+                       (1000.0 * static_cast<double>(n)));
+    o.set("max_us", static_cast<double>(max_nanoseconds()) / 1000.0);
+
+    int last_nonzero = -1;
+    for (int b = 0; b < bucket_count; ++b) {
+        if (buckets_[static_cast<std::size_t>(b)].load(
+                std::memory_order_relaxed) != 0) {
+            last_nonzero = b;
+        }
+    }
+    json::array buckets;
+    for (int b = 0; b <= last_nonzero; ++b) {
+        buckets.emplace_back(static_cast<double>(
+            buckets_[static_cast<std::size_t>(b)].load(
+                std::memory_order_relaxed)));
+    }
+    o.set("buckets_us", std::move(buckets));
+    return json::value{std::move(o)};
+}
+
+json::value metrics_registry::to_json() const {
+    json::object o;
+    for (int i = 0; i < op_count; ++i) {
+        const op_code op = static_cast<op_code>(i);
+        const endpoint_metrics& m = at(op);
+        const std::uint64_t requests =
+            m.requests.load(std::memory_order_relaxed);
+        if (requests == 0) {
+            continue;
+        }
+        json::object endpoint;
+        endpoint.set("requests", static_cast<double>(requests));
+        endpoint.set("errors", static_cast<double>(m.errors.load(
+                                   std::memory_order_relaxed)));
+        endpoint.set("cache_hits", static_cast<double>(m.cache_hits.load(
+                                       std::memory_order_relaxed)));
+        endpoint.set("latency", m.latency.to_json());
+        o.set(std::string{to_string(op)}, json::value{std::move(endpoint)});
+    }
+    return json::value{std::move(o)};
+}
+
+}  // namespace silicon::serve

@@ -1,0 +1,79 @@
+// metrics.hpp — per-endpoint counters and latency histograms.
+//
+// Every request the engine handles increments lock-free counters for
+// its endpoint (requests, errors, cache hits) and records its
+// wall-clock service time into a power-of-two-bucketed latency
+// histogram (bucket k counts latencies in [2^k, 2^(k+1)) microseconds,
+// bucket 0 additionally holding sub-microsecond calls).  Everything is
+// relaxed atomics: recording never takes a lock, never allocates, and
+// never perturbs the hot path by more than a few nanoseconds.
+//
+// `metrics_registry::to_json()` dumps the whole registry — counts,
+// totals, histogram buckets and derived mean/max — as a JSON object,
+// which is what the `stats` endpoint and `silicond --metrics` print.
+// Metrics are observability, not results: they are deliberately
+// excluded from response payloads so the determinism contract (same
+// requests, same bytes, any thread count) is untouched.
+
+#pragma once
+
+#include "serve/json.hpp"
+#include "serve/request.hpp"
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace silicon::serve {
+
+/// Lock-free latency histogram over power-of-two microsecond buckets.
+class latency_histogram {
+public:
+    static constexpr int bucket_count = 24;  ///< up to ~2.3 hours
+
+    /// Record one observation (relaxed atomics, thread-safe).
+    void record(std::uint64_t nanoseconds) noexcept;
+
+    [[nodiscard]] std::uint64_t count() const noexcept;
+    [[nodiscard]] std::uint64_t total_nanoseconds() const noexcept;
+    [[nodiscard]] std::uint64_t max_nanoseconds() const noexcept;
+
+    /// {"count":..,"mean_us":..,"max_us":..,"buckets_us":[...]} with
+    /// buckets trimmed after the last non-zero entry.
+    [[nodiscard]] json::value to_json() const;
+
+private:
+    std::array<std::atomic<std::uint64_t>, bucket_count> buckets_{};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> total_ns_{0};
+    std::atomic<std::uint64_t> max_ns_{0};
+};
+
+/// Counters for one endpoint.
+struct endpoint_metrics {
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> errors{0};
+    std::atomic<std::uint64_t> cache_hits{0};
+    latency_histogram latency;
+};
+
+/// Fixed registry: one endpoint_metrics per op_code.
+class metrics_registry {
+public:
+    [[nodiscard]] endpoint_metrics& at(op_code op) noexcept {
+        return endpoints_[static_cast<std::size_t>(op)];
+    }
+    [[nodiscard]] const endpoint_metrics& at(op_code op) const noexcept {
+        return endpoints_[static_cast<std::size_t>(op)];
+    }
+
+    /// One member per endpoint that has seen traffic:
+    /// {"cost_tr":{"requests":..,"errors":..,"cache_hits":..,
+    ///             "latency":{...}}, ...}
+    [[nodiscard]] json::value to_json() const;
+
+private:
+    std::array<endpoint_metrics, op_count> endpoints_{};
+};
+
+}  // namespace silicon::serve

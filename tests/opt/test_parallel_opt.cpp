@@ -1,0 +1,211 @@
+// Thread-count invariance of the parallelized optimizers: every knob
+// value must produce bit-identical results (the exec determinism
+// contract extended to opt/ and the system optimizer).
+
+#include "core/system_optimizer.hpp"
+#include "cost/wafer_cost.hpp"
+#include "geometry/wafer.hpp"
+#include "opt/minimize.hpp"
+#include "opt/partition.hpp"
+#include "opt/sensitivity.hpp"
+#include "yield/scaled.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+constexpr unsigned kParallelisms[] = {1, 2, 4, 0};
+
+double wavy(double x) { return std::sin(5.0 * x) + 0.1 * x * x; }
+
+TEST(ParallelOpt, GridThenGoldenBitIdentical) {
+    const silicon::opt::scalar_minimum serial =
+        silicon::opt::grid_then_golden(wavy, -3.0, 3.0, 97, 1e-9, 1);
+    for (const unsigned parallelism : kParallelisms) {
+        const silicon::opt::scalar_minimum m = silicon::opt::grid_then_golden(
+            wavy, -3.0, 3.0, 97, 1e-9, parallelism);
+        EXPECT_EQ(m.x, serial.x) << parallelism;
+        EXPECT_EQ(m.value, serial.value) << parallelism;
+        EXPECT_EQ(m.evaluations, serial.evaluations) << parallelism;
+    }
+}
+
+TEST(ParallelOpt, GridTieBreaksKeepEarliestSample) {
+    // Constant function: every sample ties; the first grid point wins
+    // regardless of thread count.
+    const auto flat = [](double) { return 1.0; };
+    for (const unsigned parallelism : kParallelisms) {
+        const silicon::opt::scalar_minimum m =
+            silicon::opt::grid_then_golden(flat, 0.0, 1.0, 33, 1e-9,
+                                           parallelism);
+        EXPECT_EQ(m.value, 1.0);
+        EXPECT_LE(m.x, 1.0 / 32.0) << parallelism;
+    }
+}
+
+TEST(ParallelOpt, LocalMinimaBitIdentical) {
+    const std::vector<silicon::opt::scalar_minimum> serial =
+        silicon::opt::local_minima_on_grid(wavy, -3.0, 3.0, 301, 1);
+    ASSERT_GE(serial.size(), 2u);
+    for (const unsigned parallelism : kParallelisms) {
+        const std::vector<silicon::opt::scalar_minimum> minima =
+            silicon::opt::local_minima_on_grid(wavy, -3.0, 3.0, 301,
+                                               parallelism);
+        ASSERT_EQ(minima.size(), serial.size()) << parallelism;
+        for (std::size_t i = 0; i < minima.size(); ++i) {
+            EXPECT_EQ(minima[i].x, serial[i].x);
+            EXPECT_EQ(minima[i].value, serial[i].value);
+        }
+    }
+}
+
+TEST(ParallelOpt, GridObjectiveErrorIsThreadCountInvariant) {
+    // The objective fails past x = 2; the same exception (from the
+    // lowest failing sample) must surface at every parallelism.
+    const auto partial = [](double x) -> double {
+        if (x > 2.0) {
+            throw std::domain_error("objective undefined past 2");
+        }
+        return x * x;
+    };
+    for (const unsigned parallelism : kParallelisms) {
+        EXPECT_THROW((void)silicon::opt::grid_then_golden(
+                         partial, 0.0, 3.0, 61, 1e-9, parallelism),
+                     std::domain_error)
+            << parallelism;
+    }
+}
+
+TEST(ParallelOpt, ElasticitiesBitIdentical) {
+    const auto objective = [](const std::vector<double>& v) {
+        return v[0] * v[0] * v[1] / (1.0 + v[2]);
+    };
+    const std::vector<silicon::opt::parameter> params = {
+        {"a", 2.0}, {"b", 3.0}, {"zero", 0.0}, {"c", 0.5}};
+
+    const std::vector<silicon::opt::elasticity> serial =
+        silicon::opt::elasticities(objective, params, 1e-4, 1);
+    ASSERT_EQ(serial.size(), 3u);  // "zero" skipped
+    for (const unsigned parallelism : kParallelisms) {
+        const std::vector<silicon::opt::elasticity> rows =
+            silicon::opt::elasticities(objective, params, 1e-4, parallelism);
+        ASSERT_EQ(rows.size(), serial.size()) << parallelism;
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            EXPECT_EQ(rows[i].name, serial[i].name);
+            EXPECT_EQ(rows[i].value, serial[i].value);
+            EXPECT_EQ(rows[i].nominal, serial[i].nominal);
+        }
+    }
+}
+
+TEST(ParallelOpt, ElasticitiesProbeErrorIsThreadCountInvariant) {
+    // The probe for "bad" drives the objective non-positive; the error
+    // must name that parameter at every thread count.
+    const auto objective = [](const std::vector<double>& v) {
+        return v[1] > 1.05 ? -1.0 : 1.0 + v[0];
+    };
+    const std::vector<silicon::opt::parameter> params = {{"good", 1.0},
+                                                        {"bad", 1.0}};
+    for (const unsigned parallelism : kParallelisms) {
+        try {
+            (void)silicon::opt::elasticities(objective, params, 0.1,
+                                             parallelism);
+            FAIL() << "expected domain_error at parallelism "
+                   << parallelism;
+        } catch (const std::domain_error& e) {
+            EXPECT_NE(std::string{e.what()}.find("'bad'"),
+                      std::string::npos)
+                << e.what();
+        }
+    }
+}
+
+TEST(ParallelOpt, OptimizePartitionsBitIdentical) {
+    const std::vector<silicon::opt::block> blocks = {
+        {"cpu", 1e6, 150.0}, {"cache", 4e6, 60.0},  {"dsp", 5e5, 120.0},
+        {"io", 2e5, 300.0},  {"analog", 1e5, 400.0}};
+
+    // Pricing rewards homogeneous-density dies; drives a non-trivial
+    // partition.
+    const silicon::opt::die_cost_fn die_cost =
+        [](const std::vector<silicon::opt::block>& group) {
+            double transistors = 0.0;
+            double lo = 1e9;
+            double hi = 0.0;
+            for (const silicon::opt::block& b : group) {
+                transistors += b.transistors;
+                lo = std::min(lo, b.design_density);
+                hi = std::max(hi, b.design_density);
+            }
+            const double mismatch = hi / lo;
+            return std::make_pair(1e-6 * transistors * mismatch + 2.0,
+                                  0.5 * mismatch);
+        };
+    const silicon::opt::packaging_cost_fn packaging =
+        [](std::size_t dies) { return 4.0 * static_cast<double>(dies); };
+
+    const silicon::opt::partition_solution serial =
+        silicon::opt::optimize_partitions(blocks, die_cost, packaging, 10, 1);
+    for (const unsigned parallelism : kParallelisms) {
+        const silicon::opt::partition_solution solution =
+            silicon::opt::optimize_partitions(blocks, die_cost, packaging,
+                                              10, parallelism);
+        EXPECT_EQ(solution.total_cost, serial.total_cost) << parallelism;
+        EXPECT_EQ(solution.die_cost_total, serial.die_cost_total);
+        EXPECT_EQ(solution.packaging_cost, serial.packaging_cost);
+        ASSERT_EQ(solution.dies.size(), serial.dies.size());
+        for (std::size_t i = 0; i < solution.dies.size(); ++i) {
+            EXPECT_EQ(solution.dies[i].block_indices,
+                      serial.dies[i].block_indices);
+            EXPECT_EQ(solution.dies[i].cost, serial.dies[i].cost);
+            EXPECT_EQ(solution.dies[i].chosen_lambda,
+                      serial.dies[i].chosen_lambda);
+        }
+    }
+}
+
+TEST(ParallelOpt, OptimizeSystemBitIdentical) {
+    const std::vector<silicon::core::system_block> blocks = {
+        {"cpu", 8e5, 180.0}, {"cache", 3e6, 60.0}, {"io", 1.5e5, 350.0}};
+
+    silicon::core::system_optimization_config config{
+        silicon::core::process_spec{
+            silicon::cost::wafer_cost_model{silicon::dollars{500.0}, 1.8},
+            silicon::geometry::wafer::six_inch(),
+            silicon::yield::scaled_poisson_model::fig8_calibration(),
+            silicon::geometry::gross_die_method::maly_rows},
+        silicon::microns{0.3},
+        silicon::microns{1.2},
+        silicon::core::packaging_spec{},
+        1e5,
+        /*parallelism=*/1};
+    const silicon::core::system_solution serial =
+        silicon::core::optimize_system(blocks, config);
+
+    for (const unsigned parallelism : kParallelisms) {
+        config.parallelism = parallelism;
+        const silicon::core::system_solution solution =
+            silicon::core::optimize_system(blocks, config);
+        EXPECT_EQ(solution.total_cost.value(), serial.total_cost.value())
+            << parallelism;
+        EXPECT_EQ(solution.silicon_cost.value(),
+                  serial.silicon_cost.value());
+        EXPECT_EQ(solution.monolithic_cost.value(),
+                  serial.monolithic_cost.value());
+        ASSERT_EQ(solution.dies.size(), serial.dies.size());
+        for (std::size_t i = 0; i < solution.dies.size(); ++i) {
+            EXPECT_EQ(solution.dies[i].lambda.value(),
+                      serial.dies[i].lambda.value());
+            EXPECT_EQ(solution.dies[i].cost_per_good_die.value(),
+                      serial.dies[i].cost_per_good_die.value());
+            EXPECT_EQ(solution.dies[i].block_names,
+                      serial.dies[i].block_names);
+        }
+    }
+}
+
+}  // namespace

@@ -1,0 +1,27 @@
+# End-to-end smoke test: pipe the checked-in mixed request batch
+# through the silicond binary at several thread counts and require the
+# output to match the checked-in golden responses byte for byte.
+#
+# Expects: SILICOND (binary path), REQUESTS, GOLDEN, THREADS.
+
+foreach(var SILICOND REQUESTS GOLDEN THREADS)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "smoke_test.cmake: ${var} not set")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${SILICOND} --threads ${THREADS} --batch 7
+  INPUT_FILE ${REQUESTS}
+  OUTPUT_VARIABLE actual
+  RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "silicond exited with status ${status}")
+endif()
+
+file(READ ${GOLDEN} expected)
+if(NOT actual STREQUAL expected)
+  message(FATAL_ERROR
+    "silicond --threads ${THREADS} output differs from ${GOLDEN}\n"
+    "--- actual ---\n${actual}")
+endif()

@@ -1,0 +1,216 @@
+#include "serve/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace serve = silicon::serve;
+namespace json = silicon::serve::json;
+
+namespace {
+
+serve::engine_config config_with(unsigned parallelism,
+                                 std::size_t cache_capacity = 65536) {
+    serve::engine_config c;
+    c.parallelism = parallelism;
+    c.cache_capacity = cache_capacity;
+    return c;
+}
+
+/// Every cacheable endpoint with non-default parameters, exercising the
+/// full routing surface.
+const std::vector<std::string>& endpoint_lines() {
+    static const std::vector<std::string> lines = {
+        R"({"op":"cost_tr"})",
+        R"({"op":"cost_tr","product":{"transistors":4e6,"feature_size_um":0.6},
+            "process":{"yield":{"model":"scaled","d":1.72,"p":4.07}},
+            "economics":{"overhead_usd":2e6,"volume_wafers":500}})",
+        R"({"op":"gross_die","die_width_mm":7.5,"die_height_mm":9,
+            "method":"area_ratio"})",
+        R"({"op":"yield","model":"poisson","die_area_cm2":0.8})",
+        R"({"op":"yield","model":"murphy","defects_per_cm2":0.6})",
+        R"({"op":"yield","model":"seeds"})",
+        R"({"op":"yield","model":"bose_einstein","critical_steps":12})",
+        R"({"op":"yield","model":"neg_binomial","alpha":1.5})",
+        R"({"op":"yield","model":"scaled_poisson","lambda_um":0.6})",
+        R"({"op":"yield","model":"reference","y0":0.6,"a0_cm2":0.9})",
+        R"({"op":"scenario1","lambda_um":0.5})",
+        R"({"op":"scenario2","lambda_um":1.1,"y0":0.8})",
+        R"({"op":"table3","row":0})",
+        R"({"op":"table3","row":5})",
+        R"({"op":"mc_yield","dies":400,"seed":11})",
+        R"({"op":"sweep","param":"lambda_um","from":0.5,"to":1.5,"count":5,
+            "target":{"op":"scenario2"}})",
+        R"({"op":"sweep","param":"product.transistors","from":1e6,"to":1e8,
+            "count":3,"scale":"log","target":{"op":"cost_tr"}})",
+    };
+    return lines;
+}
+
+TEST(Engine, GoldenEquivalenceWithDirectEvaluation) {
+    // The served response must be byte-identical to evaluating the
+    // parsed request through the reference path (no cache, no batch).
+    serve::engine served{config_with(0)};
+    serve::engine reference{config_with(1, /*cache_capacity=*/0)};
+
+    for (const std::string& line : endpoint_lines()) {
+        const serve::request req = serve::parse_request(json::parse(line));
+        const std::string expected =
+            "{\"ok\":true,\"result\":" + json::dump(reference.evaluate(req)) +
+            "}";
+        EXPECT_EQ(served.handle_line(line), expected) << line;
+    }
+}
+
+TEST(Engine, BatchBitIdenticalAcrossParallelism) {
+    std::vector<std::string> lines;
+    for (int copy = 0; copy < 40; ++copy) {
+        for (const std::string& line : endpoint_lines()) {
+            lines.push_back(line);
+        }
+    }
+    lines.push_back(R"({"op":"nope"})");
+    lines.push_back("}{ garbage");
+    lines.push_back(R"({"op":"scenario1","id":[1,"two",{"three":3}]})");
+
+    serve::engine serial{config_with(1)};
+    const std::vector<std::string> expected = serial.handle_batch(lines);
+    ASSERT_EQ(expected.size(), lines.size());
+
+    for (unsigned parallelism : {4u, 0u}) {
+        serve::engine pooled{config_with(parallelism)};
+        EXPECT_EQ(pooled.handle_batch(lines), expected)
+            << "parallelism=" << parallelism;
+    }
+}
+
+TEST(Engine, CacheHitReturnsIdenticalBytes) {
+    serve::engine engine{config_with(1)};
+    const std::string line = R"({"op":"scenario2","lambda_um":0.9})";
+    const std::string cold = engine.handle_line(line);
+    const std::string warm = engine.handle_line(line);
+    EXPECT_EQ(cold, warm);
+
+    const serve::memo_cache::stats s = engine.cache_stats();
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u);
+}
+
+TEST(Engine, CacheHitsAcrossMemberOrderAndIds) {
+    serve::engine engine{config_with(1)};
+    (void)engine.handle_line(R"({"op":"table3","row":4})");
+    (void)engine.handle_line(R"({"row":4,"op":"table3","id":9})");
+    (void)engine.handle_line(R"({"op":"table3","row":4,"id":"again"})");
+    const serve::memo_cache::stats s = engine.cache_stats();
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.hits, 2u);
+}
+
+TEST(Engine, IdEchoedVerbatim) {
+    serve::engine engine{config_with(1)};
+    EXPECT_EQ(engine.handle_line(R"({"op":"table3","row":1,"id":42})")
+                  .substr(0, 9),
+              R"({"id":42,)");
+    const std::string nested =
+        engine.handle_line(R"({"id":{"a":[1]},"op":"table3","row":1})");
+    EXPECT_EQ(nested.substr(0, 16), R"({"id":{"a":[1]},)");
+}
+
+TEST(Engine, ErrorEnvelopes) {
+    serve::engine engine{config_with(1)};
+
+    const std::string parse = engine.handle_line("not json");
+    EXPECT_NE(parse.find(R"("ok":false)"), std::string::npos);
+    EXPECT_NE(parse.find(R"("code":"parse_error")"), std::string::npos);
+
+    const std::string unknown = engine.handle_line(R"({"op":"warp"})");
+    EXPECT_NE(unknown.find(R"("code":"unknown_op")"), std::string::npos);
+
+    const std::string field =
+        engine.handle_line(R"({"op":"scenario1","lambda":1})");
+    EXPECT_NE(field.find(R"("code":"unknown_field")"), std::string::npos);
+
+    // Infeasible model input: scenario1 rejects non-positive lambda.
+    const std::string domain =
+        engine.handle_line(R"({"op":"scenario1","lambda_um":-1})");
+    EXPECT_NE(domain.find(R"("ok":false)"), std::string::npos) << domain;
+
+    // Errors keep their id.
+    const std::string with_id =
+        engine.handle_line(R"({"op":"warp","id":"e1"})");
+    EXPECT_EQ(with_id.substr(0, 12), R"({"id":"e1",")");
+}
+
+TEST(Engine, ErrorsAreNeverCached) {
+    serve::engine engine{config_with(1)};
+    const std::string line = R"({"op":"scenario1","lambda_um":-1})";
+    (void)engine.handle_line(line);
+    (void)engine.handle_line(line);
+    EXPECT_EQ(engine.cache_stats().entries, 0u);
+}
+
+TEST(Engine, MetricsCountRequestsAndErrors) {
+    serve::engine engine{config_with(1)};
+    (void)engine.handle_line(R"({"op":"scenario1"})");
+    (void)engine.handle_line(R"({"op":"scenario1"})");
+    (void)engine.handle_line(R"({"op":"scenario1","lambda":1})");
+
+    const serve::endpoint_metrics& m =
+        engine.metrics().at(serve::op_code::scenario1);
+    EXPECT_EQ(m.requests.load(), 3u);
+    EXPECT_EQ(m.errors.load(), 1u);
+    EXPECT_EQ(m.cache_hits.load(), 1u);
+}
+
+TEST(Engine, StatsEndpointIsLive) {
+    serve::engine engine{config_with(1)};
+    (void)engine.handle_line(R"({"op":"table3","row":2})");
+    const std::string first = engine.handle_line(R"({"op":"stats"})");
+    (void)engine.handle_line(R"({"op":"table3","row":3})");
+    const std::string second = engine.handle_line(R"({"op":"stats"})");
+    EXPECT_NE(first, second);  // live snapshot, not cached
+    EXPECT_EQ(engine.cache_stats().entries, 2u);  // stats never stored
+
+    const json::value doc = json::parse(second);
+    const json::object& result =
+        doc.as_object().find("result")->as_object();
+    ASSERT_NE(result.find("cache"), nullptr);
+    ASSERT_NE(result.find("endpoints"), nullptr);
+}
+
+TEST(Engine, SweepSharesCacheWithPointQueries) {
+    serve::engine engine{config_with(1)};
+    // Pre-answer one grid point as a standalone request.
+    (void)engine.handle_line(R"({"op":"scenario1","lambda_um":0.5})");
+    const auto before = engine.cache_stats();
+
+    (void)engine.handle_line(
+        R"({"op":"sweep","param":"lambda_um","from":0.5,"to":1.0,"count":2,
+            "target":{"op":"scenario1"}})");
+    const auto after = engine.cache_stats();
+    // The sweep hit the pre-warmed 0.5 point.
+    EXPECT_GT(after.hits, before.hits);
+}
+
+TEST(Engine, SweepInfeasiblePointsAreNull) {
+    serve::engine engine{config_with(1)};
+    // Lambda swept through zero: non-positive grid points infeasible.
+    const std::string response = engine.handle_line(
+        R"({"op":"sweep","param":"lambda_um","from":0.5,"to":-0.5,
+            "count":3,"target":{"op":"scenario1"}})");
+    const json::value doc = json::parse(response);
+    const json::object& result =
+        doc.as_object().find("result")->as_object();
+    const json::array& ys = result.find("ys")->as_array();
+    ASSERT_EQ(ys.size(), 3u);
+    EXPECT_TRUE(ys[0].is_number());
+    EXPECT_TRUE(ys[2].is_null());
+}
+
+TEST(Engine, EmptyBatch) {
+    serve::engine engine{config_with(0)};
+    EXPECT_TRUE(engine.handle_batch({}).empty());
+}
+
+}  // namespace

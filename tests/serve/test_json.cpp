@@ -1,0 +1,165 @@
+#include "serve/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace json = silicon::serve::json;
+
+namespace {
+
+std::string round_trip(const std::string& text) {
+    return json::dump(json::parse(text));
+}
+
+TEST(JsonParse, Scalars) {
+    EXPECT_TRUE(json::parse("null").is_null());
+    EXPECT_TRUE(json::parse("true").as_bool());
+    EXPECT_FALSE(json::parse("false").as_bool());
+    EXPECT_DOUBLE_EQ(json::parse("42").as_number(), 42.0);
+    EXPECT_DOUBLE_EQ(json::parse("-0.5e2").as_number(), -50.0);
+    EXPECT_EQ(json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, WhitespaceAroundDocument) {
+    EXPECT_DOUBLE_EQ(json::parse(" \t\r\n 7 \n").as_number(), 7.0);
+}
+
+TEST(JsonParse, NestedContainers) {
+    const json::value v = json::parse(R"({"a":[1,{"b":[true,null]}],"c":{}})");
+    const json::object& o = v.as_object();
+    ASSERT_NE(o.find("a"), nullptr);
+    const json::array& a = o.find("a")->as_array();
+    ASSERT_EQ(a.size(), 2u);
+    EXPECT_DOUBLE_EQ(a[0].as_number(), 1.0);
+    EXPECT_TRUE(a[1].as_object().find("b")->as_array()[1].is_null());
+    EXPECT_TRUE(o.find("c")->as_object().empty());
+}
+
+TEST(JsonParse, StringEscapes) {
+    EXPECT_EQ(json::parse(R"("\"\\\/\b\f\n\r\t")").as_string(),
+              "\"\\/\b\f\n\r\t");
+    EXPECT_EQ(json::parse(R"("\u0041\u00e9")").as_string(), "A\xc3\xa9");
+    // Surrogate pair: U+1D11E (musical G clef) -> 4-byte UTF-8.
+    EXPECT_EQ(json::parse(R"("\ud834\udd1e")").as_string(),
+              "\xf0\x9d\x84\x9e");
+}
+
+TEST(JsonParse, MalformedInputsThrow) {
+    const char* bad[] = {
+        "",          "{",          "[1,]",      "{\"a\":}",  "nul",
+        "01",        "1.",         ".5",        "+1",        "\"\\q\"",
+        "\"\\ud834\"",  // lone high surrogate
+        "\"unterminated",
+        "{\"a\":1,}",
+        "{'a':1}",
+        "[1] trailing",
+        "{\"a\":1 \"b\":2}",
+        "\"tab\tliteral\"",  // raw control character in string
+    };
+    for (const char* text : bad) {
+        EXPECT_THROW((void)json::parse(text), json::parse_error) << text;
+    }
+}
+
+TEST(JsonParse, DuplicateKeysRejected) {
+    EXPECT_THROW((void)json::parse(R"({"a":1,"a":2})"), json::parse_error);
+}
+
+TEST(JsonParse, ErrorCarriesOffset) {
+    try {
+        (void)json::parse("[1, x]");
+        FAIL() << "expected parse_error";
+    } catch (const json::parse_error& e) {
+        EXPECT_EQ(e.offset(), 4u);
+    }
+}
+
+TEST(JsonParse, DepthGuard) {
+    std::string deep(200, '[');
+    deep += std::string(200, ']');
+    EXPECT_THROW((void)json::parse(deep), json::parse_error);
+    std::string ok(100, '[');
+    ok += "1";
+    ok += std::string(100, ']');
+    EXPECT_NO_THROW((void)json::parse(ok));
+}
+
+TEST(JsonParse, HugeAndTinyNumbers) {
+    // Out-of-range magnitudes follow IEEE strtod semantics.
+    EXPECT_TRUE(std::isinf(json::parse("1e999").as_number()));
+    EXPECT_DOUBLE_EQ(json::parse("1e-999").as_number(), 0.0);
+}
+
+TEST(JsonDump, RoundTripPreservesBytes) {
+    const char* docs[] = {
+        "null",
+        "true",
+        R"(["a",1,null,{"k":false}])",
+        R"({"b":1,"a":2})",  // insertion order preserved by dump
+        "0.1",
+        "1e-300",
+        "123456789012345683968",  // > 2^53, shortest-round-trip form
+    };
+    for (const char* text : docs) {
+        EXPECT_EQ(round_trip(text), text) << text;
+        // A dump re-parses to an equal document (full round trip).
+        EXPECT_EQ(json::parse(round_trip(text)), json::parse(text));
+    }
+}
+
+TEST(JsonDump, StringEscaping) {
+    EXPECT_EQ(json::dump(json::value{"a\"b\\c\n\x01"}),
+              R"("a\"b\\c\n\u0001")");
+}
+
+TEST(JsonDump, NonFiniteNumbersAreNull) {
+    EXPECT_EQ(json::dump(json::value{std::nan("")}), "null");
+    EXPECT_EQ(json::dump(json::value{
+                  std::numeric_limits<double>::infinity()}),
+              "null");
+}
+
+TEST(JsonDump, IntegersHaveNoExponent) {
+    EXPECT_EQ(json::format_number(154.0), "154");
+    EXPECT_EQ(json::format_number(-2.0), "-2");
+    EXPECT_EQ(json::format_number(0.5), "0.5");
+}
+
+TEST(JsonCanonical, SortsKeysAtEveryLevel) {
+    const json::value v = json::parse(R"({"b":{"d":1,"c":2},"a":[{"z":0,"y":1}]})");
+    EXPECT_EQ(json::canonical(v), R"({"a":[{"y":1,"z":0}],"b":{"c":2,"d":1}})");
+    // dump keeps insertion order; canonical must not mutate the value.
+    EXPECT_EQ(json::dump(v), R"({"b":{"d":1,"c":2},"a":[{"z":0,"y":1}]})");
+}
+
+TEST(JsonCanonical, MemberOrderInsensitiveKey) {
+    EXPECT_EQ(json::canonical(json::parse(R"({"x":1,"op":"s"})")),
+              json::canonical(json::parse(R"({"op":"s","x":1})")));
+}
+
+TEST(JsonValue, EqualityIsOrderInsensitiveForObjects) {
+    EXPECT_EQ(json::parse(R"({"a":1,"b":2})"), json::parse(R"({"b":2,"a":1})"));
+    EXPECT_NE(json::parse(R"([1,2])"), json::parse(R"([2,1])"));
+    EXPECT_NE(json::parse(R"({"a":1})"), json::parse(R"({"a":2})"));
+}
+
+TEST(JsonObject, SetReplacesInPlace) {
+    json::object o;
+    o.set("a", json::value{1.0});
+    o.set("b", json::value{2.0});
+    o.set("a", json::value{3.0});
+    ASSERT_EQ(o.size(), 2u);
+    EXPECT_DOUBLE_EQ(o.find("a")->as_number(), 3.0);
+    EXPECT_EQ(o.members()[0].first, "a");  // position preserved
+}
+
+TEST(JsonValue, TypeErrorsOnMismatch) {
+    EXPECT_THROW((void)json::parse("1").as_string(), json::type_error);
+    EXPECT_THROW((void)json::parse("\"s\"").as_number(), json::type_error);
+    EXPECT_THROW((void)json::parse("[]").as_object(), json::type_error);
+}
+
+}  // namespace

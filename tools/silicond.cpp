@@ -1,0 +1,284 @@
+// silicond — the silicon cost-query server.
+//
+// Speaks the serve JSONL protocol (one request per line, one response
+// per line, same order — see DESIGN.md §8) over two transports:
+//
+//   * stdin/stdout (default): read requests, answer them, exit at EOF.
+//     Lines are collected into batches of --batch and fanned across
+//     the exec thread pool; output order always matches input order
+//     and is bit-identical for every --threads value, which is what
+//     the golden smoke test pins down.
+//
+//       echo '{"op":"scenario1","lambda_um":0.5}' | silicond
+//
+//   * TCP (--port N): accept connections and serve each one the same
+//     JSONL protocol, one thread per connection over a shared engine
+//     (the memoization cache and metrics are process-wide; the exec
+//     pool serializes batch submissions).  Intended for driving the
+//     engine from long-lived clients; determinism per connection is
+//     the same as stdin mode.
+//
+// Flags:
+//   --threads N         batch fan-out width (0 = hardware, 1 = serial)
+//   --batch N           max lines per engine batch (default 1024)
+//   --cache-capacity N  memoization entries (0 disables; default 65536)
+//   --cache-shards N    cache shard count (default 16)
+//   --port N            serve TCP on 127.0.0.1:N instead of stdin
+//   --metrics           dump the metrics/cache JSON to stderr on exit
+//   --help
+
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace {
+
+struct options {
+    unsigned threads = 0;
+    std::size_t batch = 1024;
+    std::size_t cache_capacity = 65536;
+    std::size_t cache_shards = 16;
+    int port = -1;
+    bool metrics = false;
+};
+
+void usage(std::ostream& out) {
+    out << "silicond - Maly silicon cost model query server (JSONL)\n"
+           "\n"
+           "  silicond [--threads N] [--batch N] [--cache-capacity N]\n"
+           "           [--cache-shards N] [--port N] [--metrics]\n"
+           "\n"
+           "Reads one JSON request per line from stdin (or a TCP\n"
+           "connection with --port) and writes one JSON response per\n"
+           "line in the same order.  Example:\n"
+           "\n"
+           "  echo '{\"op\":\"scenario1\",\"lambda_um\":0.5}' | silicond\n"
+           "\n"
+           "Endpoints: cost_tr gross_die yield scenario1 scenario2\n"
+           "           table3 mc_yield sweep stats\n";
+}
+
+bool parse_size(const char* text, std::size_t& out) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0') {
+        return false;
+    }
+    out = static_cast<std::size_t>(v);
+    return true;
+}
+
+bool parse_options(int argc, char** argv, options& opt) {
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char* {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        std::size_t v = 0;
+        if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            std::exit(0);
+        } else if (arg == "--metrics") {
+            opt.metrics = true;
+        } else if (arg == "--threads") {
+            const char* t = next();
+            if (t == nullptr || !parse_size(t, v)) {
+                return false;
+            }
+            opt.threads = static_cast<unsigned>(v);
+        } else if (arg == "--batch") {
+            const char* t = next();
+            if (t == nullptr || !parse_size(t, v) || v == 0) {
+                return false;
+            }
+            opt.batch = v;
+        } else if (arg == "--cache-capacity") {
+            const char* t = next();
+            if (t == nullptr || !parse_size(t, v)) {
+                return false;
+            }
+            opt.cache_capacity = v;
+        } else if (arg == "--cache-shards") {
+            const char* t = next();
+            if (t == nullptr || !parse_size(t, v) || v == 0) {
+                return false;
+            }
+            opt.cache_shards = v;
+        } else if (arg == "--port") {
+            const char* t = next();
+            if (t == nullptr || !parse_size(t, v) || v > 65535) {
+                return false;
+            }
+            opt.port = static_cast<int>(v);
+        } else {
+            return false;
+        }
+    }
+    return true;
+}
+
+void flush_batch(silicon::serve::engine& engine,
+                 std::vector<std::string>& lines, std::ostream& out) {
+    if (lines.empty()) {
+        return;
+    }
+    for (const std::string& response : engine.handle_batch(lines)) {
+        out << response << '\n';
+    }
+    out.flush();
+    lines.clear();
+}
+
+int run_stdio(silicon::serve::engine& engine, const options& opt) {
+    std::vector<std::string> lines;
+    lines.reserve(opt.batch);
+    std::string line;
+    while (std::getline(std::cin, line)) {
+        if (line.empty()) {
+            continue;  // blank lines are keep-alives, not requests
+        }
+        lines.push_back(std::move(line));
+        if (lines.size() >= opt.batch) {
+            flush_batch(engine, lines, std::cout);
+        }
+    }
+    flush_batch(engine, lines, std::cout);
+    return 0;
+}
+
+/// Serve one TCP connection: buffer bytes, split on '\n', answer every
+/// complete batch of lines currently available.
+void serve_connection(silicon::serve::engine& engine, int fd,
+                      std::size_t batch) {
+    std::string buffer;
+    std::vector<std::string> lines;
+    char chunk[4096];
+    for (;;) {
+        const ssize_t got = ::read(fd, chunk, sizeof chunk);
+        if (got <= 0) {
+            break;
+        }
+        buffer.append(chunk, static_cast<std::size_t>(got));
+        std::size_t begin = 0;
+        for (;;) {
+            const std::size_t nl = buffer.find('\n', begin);
+            if (nl == std::string::npos) {
+                break;
+            }
+            if (nl > begin) {
+                lines.emplace_back(buffer.substr(begin, nl - begin));
+            }
+            begin = nl + 1;
+            if (lines.size() >= batch) {
+                break;
+            }
+        }
+        buffer.erase(0, begin);
+        if (!lines.empty()) {
+            std::string out;
+            for (const std::string& response : engine.handle_batch(lines)) {
+                out += response;
+                out += '\n';
+            }
+            lines.clear();
+            std::size_t sent = 0;
+            while (sent < out.size()) {
+                const ssize_t n =
+                    ::write(fd, out.data() + sent, out.size() - sent);
+                if (n <= 0) {
+                    ::close(fd);
+                    return;
+                }
+                sent += static_cast<std::size_t>(n);
+            }
+        }
+    }
+    ::close(fd);
+}
+
+int run_tcp(silicon::serve::engine& engine, const options& opt) {
+    const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listener < 0) {
+        std::cerr << "silicond: socket: " << std::strerror(errno) << "\n";
+        return 1;
+    }
+    const int enable = 1;
+    ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof enable);
+
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    address.sin_port = htons(static_cast<std::uint16_t>(opt.port));
+    if (::bind(listener, reinterpret_cast<const sockaddr*>(&address),
+               sizeof address) != 0 ||
+        ::listen(listener, 64) != 0) {
+        std::cerr << "silicond: bind/listen on port " << opt.port << ": "
+                  << std::strerror(errno) << "\n";
+        ::close(listener);
+        return 1;
+    }
+    std::cerr << "silicond: listening on 127.0.0.1:" << opt.port << "\n";
+
+    for (;;) {
+        const int fd = ::accept(listener, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            break;
+        }
+        std::thread{[&engine, fd, batch = opt.batch] {
+            serve_connection(engine, fd, batch);
+        }}.detach();
+    }
+    ::close(listener);
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    options opt;
+    if (!parse_options(argc, argv, opt)) {
+        usage(std::cerr);
+        return 2;
+    }
+
+    std::ios::sync_with_stdio(false);
+
+    silicon::serve::engine_config config;
+    config.parallelism = opt.threads;
+    config.cache_capacity = opt.cache_capacity;
+    config.cache_shards = opt.cache_shards;
+    silicon::serve::engine engine{config};
+
+    const int status =
+        opt.port >= 0 ? run_tcp(engine, opt) : run_stdio(engine, opt);
+
+    if (opt.metrics) {
+        silicon::serve::json::object dump;
+        dump.set("endpoints", engine.metrics().to_json());
+        const silicon::serve::memo_cache::stats c = engine.cache_stats();
+        silicon::serve::json::object cache;
+        cache.set("hits", static_cast<double>(c.hits));
+        cache.set("misses", static_cast<double>(c.misses));
+        cache.set("evictions", static_cast<double>(c.evictions));
+        cache.set("entries", static_cast<double>(c.entries));
+        dump.set("cache", silicon::serve::json::value{std::move(cache)});
+        std::cerr << silicon::serve::json::dump(
+                         silicon::serve::json::value{std::move(dump)})
+                  << "\n";
+    }
+    return status;
+}
