@@ -1,5 +1,8 @@
 #include "exec/thread_pool.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
@@ -25,6 +28,31 @@ struct task_scope {
     task_scope(const task_scope&) = delete;
     task_scope& operator=(const task_scope&) = delete;
 };
+
+// Pool metrics live in the global obs registry: tasks ever executed,
+// instantaneous queued-but-unclaimed tasks, and the pool width.  All
+// lazily registered so a program that never runs parallel work never
+// creates them.
+obs::counter& tasks_total() {
+    static obs::counter& c = obs::metrics_registry::global().get_counter(
+        "silicon_exec_tasks_total",
+        "Tasks executed by the exec thread pool");
+    return c;
+}
+
+obs::gauge& queue_depth() {
+    static obs::gauge& g = obs::metrics_registry::global().get_gauge(
+        "silicon_exec_queue_depth",
+        "Submitted pool tasks not yet claimed by a worker");
+    return g;
+}
+
+obs::gauge& pool_threads() {
+    static obs::gauge& g = obs::metrics_registry::global().get_gauge(
+        "silicon_exec_pool_threads",
+        "Execution width of the most recently constructed pool");
+    return g;
+}
 
 }  // namespace
 
@@ -58,6 +86,7 @@ unsigned resolve_parallelism(unsigned requested) noexcept {
 struct thread_pool::job {
     const std::function<void(std::size_t)>* fn = nullptr;
     std::size_t total = 0;
+    std::uint64_t submit_ns = 0;   ///< tracer timestamp; 0 = untraced
     std::atomic<std::size_t> next{0};
     std::size_t completed = 0;     // guarded by impl::mutex
     std::exception_ptr error;      // guarded by impl::mutex
@@ -80,6 +109,7 @@ struct thread_pool::impl {
 thread_pool::thread_pool(unsigned threads) : impl_{new impl} {
     const unsigned resolved = resolve_parallelism(threads);
     impl_->thread_count = resolved;
+    pool_threads().set(static_cast<double>(resolved));
     impl_->workers.reserve(resolved - 1);
     try {
         for (unsigned i = 0; i + 1 < resolved; ++i) {
@@ -129,17 +159,26 @@ thread_pool& thread_pool::shared() {
 
 void thread_pool::execute(job& j) {
     const task_scope scope;
+    obs::tracer& tracer = obs::tracer::instance();
     for (;;) {
         const std::size_t i = j.next.fetch_add(1, std::memory_order_relaxed);
         if (i >= j.total) {
             break;
         }
+        if (j.submit_ns != 0 && tracer.enabled()) {
+            // Queue wait: submission until this worker claimed the task.
+            tracer.record("exec.queue_wait", "exec", j.submit_ns,
+                          tracer.now_ns() - j.submit_ns);
+        }
+        queue_depth().add(-1.0);
         std::exception_ptr err;
         try {
+            const obs::trace_span span{"exec.task", "exec"};
             (*j.fn)(i);
         } catch (...) {
             err = std::current_exception();
         }
+        tasks_total().add(1);
         const std::lock_guard<std::mutex> lock(impl_->mutex);
         if (err && !j.error) {
             j.error = err;
@@ -184,7 +223,9 @@ void thread_pool::run(std::size_t tasks,
         // Width-1 pool: execute inline, same nesting guard as workers.
         const task_scope scope;
         for (std::size_t i = 0; i < tasks; ++i) {
+            const obs::trace_span span{"exec.task", "exec"};
             fn(i);
+            tasks_total().add(1);
         }
         return;
     }
@@ -193,6 +234,13 @@ void thread_pool::run(std::size_t tasks,
     auto j = std::make_shared<job>();
     j->fn = &fn;
     j->total = tasks;
+    {
+        obs::tracer& tracer = obs::tracer::instance();
+        if (tracer.enabled()) {
+            j->submit_ns = tracer.now_ns();
+        }
+    }
+    queue_depth().add(static_cast<double>(tasks));
     {
         const std::lock_guard<std::mutex> lock(impl_->mutex);
         impl_->current = j;
@@ -221,7 +269,9 @@ void parallel_for(std::size_t items, unsigned parallelism,
         // Serial path — the SAME shard decomposition, run in index order
         // on the calling thread (also the nested-use safety fallback).
         for (std::size_t s = 0; s < shards; ++s) {
+            const obs::trace_span span{"exec.task", "exec"};
             body(shard_of(items, shards, s));
+            tasks_total().add(1);
         }
         return;
     }

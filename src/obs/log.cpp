@@ -1,0 +1,136 @@
+#include "obs/log.hpp"
+
+#include <array>
+#include <atomic>
+#include <charconv>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <mutex>
+
+namespace silicon::obs {
+
+namespace {
+
+std::atomic<int> threshold{static_cast<int>(log_level::info)};
+std::atomic<std::ostream*> sink{nullptr};  // nullptr = stderr
+std::mutex write_mutex;
+
+void append_double(std::string& out, double v) {
+    std::array<char, 32> buf{};
+    const auto [end, ec] =
+        std::to_chars(buf.data(), buf.data() + buf.size(), v);
+    if (ec == std::errc{}) {
+        out.append(buf.data(), static_cast<std::size_t>(end - buf.data()));
+    } else {
+        out += "0";
+    }
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+    out += '"';
+    for (const char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (c == '\n') {
+            out += "\\n";
+        } else if (c == '\t') {
+            out += "\\t";
+        } else if (c == '\r') {
+            out += "\\r";
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char hex[8];
+            std::snprintf(hex, sizeof hex, "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out += hex;
+        } else {
+            out += c;
+        }
+    }
+    out += '"';
+}
+
+}  // namespace
+
+std::string_view to_string(log_level level) noexcept {
+    switch (level) {
+        case log_level::trace:
+            return "trace";
+        case log_level::debug:
+            return "debug";
+        case log_level::info:
+            return "info";
+        case log_level::warn:
+            return "warn";
+        case log_level::error:
+            return "error";
+        case log_level::off:
+            return "off";
+    }
+    return "unknown";
+}
+
+void log_field::append_to(std::string& out) const {
+    append_escaped(out, key_);
+    out += ':';
+    switch (kind_) {
+        case kind::string:
+            append_escaped(out, string_);
+            break;
+        case kind::number:
+            append_double(out, number_);
+            break;
+        case kind::boolean:
+            out += boolean_ ? "true" : "false";
+            break;
+    }
+}
+
+log_level log_threshold() noexcept {
+    return static_cast<log_level>(threshold.load(std::memory_order_relaxed));
+}
+
+void set_log_threshold(log_level level) noexcept {
+    threshold.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void set_log_sink(std::ostream* s) noexcept {
+    sink.store(s, std::memory_order_release);
+}
+
+void log(log_level level, std::string_view event,
+         std::initializer_list<log_field> fields) {
+    if (static_cast<int>(level) <
+        threshold.load(std::memory_order_relaxed)) {
+        return;
+    }
+
+    const double ts =
+        std::chrono::duration<double>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+
+    std::string line = "{\"ts\":";
+    append_double(line, ts);
+    line += ",\"level\":\"";
+    line += to_string(level);
+    line += "\",\"event\":";
+    append_escaped(line, event);
+    for (const log_field& f : fields) {
+        line += ',';
+        f.append_to(line);
+    }
+    line += "}\n";
+
+    const std::lock_guard<std::mutex> lock(write_mutex);
+    if (std::ostream* s = sink.load(std::memory_order_acquire)) {
+        *s << line;
+        s->flush();
+    } else {
+        std::fwrite(line.data(), 1, line.size(), stderr);
+        std::fflush(stderr);
+    }
+}
+
+}  // namespace silicon::obs

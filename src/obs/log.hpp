@@ -1,0 +1,131 @@
+// log.hpp — leveled structured logging (JSONL to stderr).
+//
+// One event per line, machine-parseable, replacing ad-hoc stderr
+// writes in silicond and the engine:
+//
+//     {"ts":1754500000.123,"level":"info","event":"silicond.start",
+//      "threads":4,"port":9000}
+//
+// Levels: trace < debug < info < warn < error.  Two thresholds apply:
+//
+//   * Compile-time floor `SILICON_LOG_MIN_LEVEL` (0=trace … 4=error;
+//     default 0): the convenience wrappers are `if constexpr`-elided
+//     below it, so a release build can compile debug logging out
+//     entirely.
+//   * Runtime threshold `set_log_threshold` (default info): cheaper
+//     events are dropped with a single relaxed atomic load.
+//
+// The sink defaults to stderr (never stdout — the serve protocol owns
+// stdout and its bytes are golden-tested); tests may redirect it with
+// `set_log_sink`.  Each event is rendered into one string and written
+// with a single call under a mutex, so concurrent events never
+// interleave mid-line.  Timestamps are wall-clock (system_clock)
+// seconds — logs are for operators and never feed back into results.
+
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#ifndef SILICON_LOG_MIN_LEVEL
+#define SILICON_LOG_MIN_LEVEL 0
+#endif
+
+namespace silicon::obs {
+
+enum class log_level : int {
+    trace = 0,
+    debug = 1,
+    info = 2,
+    warn = 3,
+    error = 4,
+    off = 5,  ///< threshold only: suppress everything
+};
+
+[[nodiscard]] std::string_view to_string(log_level level) noexcept;
+
+/// One "key":value member of a log event.
+class log_field {
+public:
+    log_field(std::string_view key, std::string_view v)
+        : key_{key}, kind_{kind::string}, string_{v} {}
+    log_field(std::string_view key, const char* v)
+        : log_field{key, std::string_view{v}} {}
+    log_field(std::string_view key, const std::string& v)
+        : log_field{key, std::string_view{v}} {}
+    log_field(std::string_view key, double v)
+        : key_{key}, kind_{kind::number}, number_{v} {}
+    log_field(std::string_view key, int v)
+        : log_field{key, static_cast<double>(v)} {}
+    log_field(std::string_view key, long v)
+        : log_field{key, static_cast<double>(v)} {}
+    log_field(std::string_view key, unsigned v)
+        : log_field{key, static_cast<double>(v)} {}
+    log_field(std::string_view key, unsigned long v)
+        : log_field{key, static_cast<double>(v)} {}
+    log_field(std::string_view key, unsigned long long v)
+        : log_field{key, static_cast<double>(v)} {}
+    log_field(std::string_view key, bool v)
+        : key_{key}, kind_{kind::boolean}, boolean_{v} {}
+
+    void append_to(std::string& out) const;
+
+private:
+    enum class kind { string, number, boolean };
+
+    std::string_view key_;
+    kind kind_;
+    std::string_view string_{};
+    double number_ = 0.0;
+    bool boolean_ = false;
+};
+
+/// Runtime threshold (default info).
+[[nodiscard]] log_level log_threshold() noexcept;
+void set_log_threshold(log_level level) noexcept;
+
+/// Redirect the sink (nullptr restores stderr).  The stream must
+/// outlive every subsequent log call; intended for tests.
+void set_log_sink(std::ostream* sink) noexcept;
+
+/// Emit one event if `level` passes the runtime threshold.
+void log(log_level level, std::string_view event,
+         std::initializer_list<log_field> fields = {});
+
+// Convenience wrappers; levels below SILICON_LOG_MIN_LEVEL compile to
+// nothing.
+inline void log_trace(std::string_view event,
+                      std::initializer_list<log_field> fields = {}) {
+    if constexpr (SILICON_LOG_MIN_LEVEL <= 0) {
+        log(log_level::trace, event, fields);
+    }
+}
+inline void log_debug(std::string_view event,
+                      std::initializer_list<log_field> fields = {}) {
+    if constexpr (SILICON_LOG_MIN_LEVEL <= 1) {
+        log(log_level::debug, event, fields);
+    }
+}
+inline void log_info(std::string_view event,
+                     std::initializer_list<log_field> fields = {}) {
+    if constexpr (SILICON_LOG_MIN_LEVEL <= 2) {
+        log(log_level::info, event, fields);
+    }
+}
+inline void log_warn(std::string_view event,
+                     std::initializer_list<log_field> fields = {}) {
+    if constexpr (SILICON_LOG_MIN_LEVEL <= 3) {
+        log(log_level::warn, event, fields);
+    }
+}
+inline void log_error(std::string_view event,
+                      std::initializer_list<log_field> fields = {}) {
+    if constexpr (SILICON_LOG_MIN_LEVEL <= 4) {
+        log(log_level::error, event, fields);
+    }
+}
+
+}  // namespace silicon::obs

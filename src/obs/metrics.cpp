@@ -1,0 +1,303 @@
+#include "obs/metrics.hpp"
+
+#include <array>
+#include <charconv>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace silicon::obs {
+
+namespace {
+
+/// Bucket index for a latency: floor(log2(us)), clamped to the range.
+int bucket_for(std::uint64_t nanoseconds) noexcept {
+    const std::uint64_t us = nanoseconds / 1000;
+    if (us == 0) {
+        return 0;
+    }
+    int b = 0;
+    std::uint64_t v = us;
+    while (v > 1 && b < latency_histogram::bucket_count - 1) {
+        v >>= 1;
+        ++b;
+    }
+    return b;
+}
+
+void append_double(std::string& out, double v) {
+    std::array<char, 32> buf{};
+    const auto [end, ec] =
+        std::to_chars(buf.data(), buf.data() + buf.size(), v);
+    if (ec == std::errc{}) {
+        out.append(buf.data(), static_cast<std::size_t>(end - buf.data()));
+    } else {
+        out += "0";
+    }
+}
+
+/// Split "base{a="b"}" into base and the inner label list (no braces).
+struct split_name {
+    std::string_view base;
+    std::string_view labels;
+};
+
+split_name split(std::string_view name) noexcept {
+    const std::size_t brace = name.find('{');
+    if (brace == std::string_view::npos) {
+        return {name, {}};
+    }
+    std::string_view labels = name.substr(brace + 1);
+    if (!labels.empty() && labels.back() == '}') {
+        labels.remove_suffix(1);
+    }
+    return {name.substr(0, brace), labels};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// latency_histogram
+// ---------------------------------------------------------------------------
+
+void latency_histogram::record(std::uint64_t nanoseconds) noexcept {
+    buckets_[static_cast<std::size_t>(bucket_for(nanoseconds))].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    total_ns_.fetch_add(nanoseconds, std::memory_order_relaxed);
+    // CAS-max: a failed exchange reloads `seen`, so a concurrent larger
+    // observation can never be overwritten by a smaller one.
+    std::uint64_t seen = max_ns_.load(std::memory_order_relaxed);
+    while (nanoseconds > seen &&
+           !max_ns_.compare_exchange_weak(seen, nanoseconds,
+                                          std::memory_order_relaxed)) {
+    }
+}
+
+std::uint64_t latency_histogram::count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t latency_histogram::total_nanoseconds() const noexcept {
+    return total_ns_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t latency_histogram::max_nanoseconds() const noexcept {
+    return max_ns_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t latency_histogram::bucket(int b) const noexcept {
+    if (b < 0 || b >= bucket_count) {
+        return 0;
+    }
+    return buckets_[static_cast<std::size_t>(b)].load(
+        std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// metrics_registry
+// ---------------------------------------------------------------------------
+
+struct metrics_registry::impl {
+    enum class kind { counter_k, gauge_k, histogram_k };
+
+    struct entry {
+        std::string name;
+        std::string help;
+        kind k = kind::counter_k;
+        std::unique_ptr<counter> c;
+        std::unique_ptr<gauge> g;
+        std::unique_ptr<latency_histogram> h;
+    };
+
+    mutable std::mutex mutex;
+    std::vector<std::unique_ptr<entry>> entries;  // registration order
+    std::unordered_map<std::string_view, entry*> index;  // views into names
+
+    entry& get(std::string_view name, std::string_view help, kind k) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        if (const auto it = index.find(name); it != index.end()) {
+            if (it->second->k != k) {
+                throw std::logic_error(
+                    "metrics_registry: '" + std::string{name} +
+                    "' already registered with a different type");
+            }
+            return *it->second;
+        }
+        auto e = std::make_unique<entry>();
+        e->name = std::string{name};
+        e->help = std::string{help};
+        e->k = k;
+        switch (k) {
+            case kind::counter_k:
+                e->c = std::make_unique<counter>();
+                break;
+            case kind::gauge_k:
+                e->g = std::make_unique<gauge>();
+                break;
+            case kind::histogram_k:
+                e->h = std::make_unique<latency_histogram>();
+                break;
+        }
+        entries.push_back(std::move(e));
+        entry& stored = *entries.back();
+        index.emplace(std::string_view{stored.name}, &stored);
+        return stored;
+    }
+};
+
+metrics_registry::metrics_registry() : impl_{new impl} {}
+metrics_registry::~metrics_registry() { delete impl_; }
+
+counter& metrics_registry::get_counter(std::string_view name,
+                                       std::string_view help) {
+    return *impl_->get(name, help, impl::kind::counter_k).c;
+}
+
+gauge& metrics_registry::get_gauge(std::string_view name,
+                                   std::string_view help) {
+    return *impl_->get(name, help, impl::kind::gauge_k).g;
+}
+
+latency_histogram& metrics_registry::get_histogram(std::string_view name,
+                                                   std::string_view help) {
+    return *impl_->get(name, help, impl::kind::histogram_k).h;
+}
+
+std::string metrics_registry::to_prometheus() const {
+    std::string out;
+    std::unordered_set<std::string_view> headed;
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    for (const auto& e : impl_->entries) {
+        const std::string_view base = prometheus_base_name(e->name);
+        const char* type = e->k == impl::kind::counter_k   ? "counter"
+                           : e->k == impl::kind::gauge_k   ? "gauge"
+                                                           : "histogram";
+        if (headed.insert(base).second) {
+            prometheus_header(out, base, type, e->help);
+        }
+        switch (e->k) {
+            case impl::kind::counter_k:
+                prometheus_sample(out, e->name, e->c->value());
+                break;
+            case impl::kind::gauge_k:
+                prometheus_sample(out, e->name, e->g->value());
+                break;
+            case impl::kind::histogram_k:
+                prometheus_histogram(out, e->name, *e->h);
+                break;
+        }
+    }
+    return out;
+}
+
+metrics_registry& metrics_registry::global() {
+    // Leaked: pool worker threads may touch counters during static
+    // destruction of other translation units.
+    static metrics_registry* r = new metrics_registry;
+    return *r;
+}
+
+// ---------------------------------------------------------------------------
+// exposition helpers
+// ---------------------------------------------------------------------------
+
+std::string_view prometheus_base_name(std::string_view name) noexcept {
+    return split(name).base;
+}
+
+void prometheus_header(std::string& out, std::string_view base_name,
+                       std::string_view type, std::string_view help) {
+    if (!help.empty()) {
+        out += "# HELP ";
+        out += base_name;
+        out += ' ';
+        out += help;
+        out += '\n';
+    }
+    out += "# TYPE ";
+    out += base_name;
+    out += ' ';
+    out += type;
+    out += '\n';
+}
+
+void prometheus_sample(std::string& out, std::string_view name,
+                       double value) {
+    out += name;
+    out += ' ';
+    append_double(out, value);
+    out += '\n';
+}
+
+void prometheus_sample(std::string& out, std::string_view name,
+                       std::uint64_t value) {
+    out += name;
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+}
+
+void prometheus_histogram(std::string& out, std::string_view name,
+                          const latency_histogram& h) {
+    const split_name parts = split(name);
+    const auto bucket_line = [&](std::string_view le_text,
+                                 std::uint64_t cumulative) {
+        out += parts.base;
+        out += "_bucket{";
+        if (!parts.labels.empty()) {
+            out += parts.labels;
+            out += ',';
+        }
+        out += "le=\"";
+        out += le_text;
+        out += "\"} ";
+        out += std::to_string(cumulative);
+        out += '\n';
+    };
+
+    int last_nonzero = -1;
+    for (int b = 0; b < latency_histogram::bucket_count; ++b) {
+        if (h.bucket(b) != 0) {
+            last_nonzero = b;
+        }
+    }
+    std::uint64_t cumulative = 0;
+    for (int b = 0; b <= last_nonzero; ++b) {
+        cumulative += h.bucket(b);
+        std::string le;
+        append_double(le,
+                      static_cast<double>(
+                          latency_histogram::bucket_upper_us(b)) /
+                          1e6);
+        bucket_line(le, cumulative);
+    }
+    bucket_line("+Inf", h.count());
+
+    out += parts.base;
+    out += "_sum";
+    if (!parts.labels.empty()) {
+        out += '{';
+        out += parts.labels;
+        out += '}';
+    }
+    out += ' ';
+    append_double(out, static_cast<double>(h.total_nanoseconds()) / 1e9);
+    out += '\n';
+
+    out += parts.base;
+    out += "_count";
+    if (!parts.labels.empty()) {
+        out += '{';
+        out += parts.labels;
+        out += '}';
+    }
+    out += ' ';
+    out += std::to_string(h.count());
+    out += '\n';
+}
+
+}  // namespace silicon::obs

@@ -1,0 +1,157 @@
+// metrics.hpp — runtime metrics primitives and the named registry.
+//
+// Promoted out of serve/metrics (PR 2) into a general observability
+// building block: lock-free counters, gauges and power-of-two latency
+// histograms that any subsystem can register under a stable name and
+// expose through the Prometheus text exposition format
+// (https://prometheus.io/docs/instrumenting/exposition_formats/).
+//
+// Concurrency model: every mutation is a relaxed atomic — recording
+// never takes a lock, never allocates, never perturbs the hot path by
+// more than a few nanoseconds.  `latency_histogram::record` maintains
+// the running maximum with a CAS-max loop so concurrent recorders can
+// never lose a larger observation (stress-asserted by
+// tests/obs/test_metrics.cpp).  Registration (name → metric) takes a
+// mutex, so callers hold the returned reference instead of re-looking
+// it up per event; references stay valid for the registry's lifetime.
+//
+// Metrics are observability, not results: nothing here feeds back into
+// any computation, so the bit-identical-across-thread-counts contract
+// (DESIGN.md §7/§8) is untouched.
+//
+// Naming: a metric name may carry Prometheus labels inline, e.g.
+// `serve_requests_total{op="cost_tr"}` — the exposition writer splits
+// the base name at the first `{` and emits one # HELP/# TYPE header
+// per base-name family.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace silicon::obs {
+
+/// Monotonically increasing event count (relaxed atomics).
+class counter {
+public:
+    void add(std::uint64_t n = 1) noexcept {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/// Settable instantaneous value (queue depth, occupancy, ratios).
+class gauge {
+public:
+    void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+    void add(double delta) noexcept {
+        double seen = value_.load(std::memory_order_relaxed);
+        while (!value_.compare_exchange_weak(seen, seen + delta,
+                                             std::memory_order_relaxed)) {
+        }
+    }
+    [[nodiscard]] double value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<double> value_{0.0};
+};
+
+/// Lock-free latency histogram over power-of-two microsecond buckets:
+/// bucket k counts observations in [2^k, 2^(k+1)) microseconds, with
+/// bucket 0 additionally holding sub-microsecond observations.
+class latency_histogram {
+public:
+    static constexpr int bucket_count = 24;  ///< up to ~2.3 hours
+
+    /// Record one observation (relaxed atomics, thread-safe; the max is
+    /// maintained with a CAS-max loop so no concurrent larger value is
+    /// ever lost).
+    void record(std::uint64_t nanoseconds) noexcept;
+
+    [[nodiscard]] std::uint64_t count() const noexcept;
+    [[nodiscard]] std::uint64_t total_nanoseconds() const noexcept;
+    [[nodiscard]] std::uint64_t max_nanoseconds() const noexcept;
+
+    /// Raw count of bucket `b` in [0, bucket_count).
+    [[nodiscard]] std::uint64_t bucket(int b) const noexcept;
+
+    /// Exclusive upper bound of bucket `b` in microseconds (2^(b+1)).
+    [[nodiscard]] static std::uint64_t bucket_upper_us(int b) noexcept {
+        return std::uint64_t{1} << (b + 1);
+    }
+
+private:
+    std::array<std::atomic<std::uint64_t>, bucket_count> buckets_{};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> total_ns_{0};
+    std::atomic<std::uint64_t> max_ns_{0};
+};
+
+/// Named metrics, node-stable: get_* returns a reference that lives as
+/// long as the registry; the same name always returns the same object.
+/// A process-wide instance hangs off `global()` for library-internal
+/// metrics (the exec pool registers there); servers may also own local
+/// registries.
+class metrics_registry {
+public:
+    metrics_registry();
+    ~metrics_registry();
+    metrics_registry(const metrics_registry&) = delete;
+    metrics_registry& operator=(const metrics_registry&) = delete;
+
+    [[nodiscard]] counter& get_counter(std::string_view name,
+                                       std::string_view help = "");
+    [[nodiscard]] gauge& get_gauge(std::string_view name,
+                                   std::string_view help = "");
+    [[nodiscard]] latency_histogram& get_histogram(std::string_view name,
+                                                   std::string_view help = "");
+
+    /// Full Prometheus text exposition of every registered metric, in
+    /// registration order, one # HELP/# TYPE header per base name.
+    [[nodiscard]] std::string to_prometheus() const;
+
+    /// Process-wide registry (leaked singleton, safe from any thread).
+    [[nodiscard]] static metrics_registry& global();
+
+private:
+    struct impl;
+    impl* impl_;
+};
+
+// ---------------------------------------------------------------------------
+// Prometheus text-exposition building blocks (used by the registry and
+// by subsystems that expose non-registered snapshots, e.g. the serve
+// cache).  `name` may carry inline labels; headers take the base name.
+// ---------------------------------------------------------------------------
+
+/// "# HELP name help\n# TYPE name type\n" (help omitted when empty).
+void prometheus_header(std::string& out, std::string_view base_name,
+                       std::string_view type, std::string_view help);
+
+/// "name value\n" with shortest-round-trip number formatting.
+void prometheus_sample(std::string& out, std::string_view name, double value);
+void prometheus_sample(std::string& out, std::string_view name,
+                       std::uint64_t value);
+
+/// Cumulative-bucket histogram exposition: `name_bucket{le="..."}`
+/// lines (upper bounds in seconds, ending at `+Inf`), then `name_sum`
+/// (seconds) and `name_count`.  Inline labels in `name` are merged
+/// into each bucket's label set.
+void prometheus_histogram(std::string& out, std::string_view name,
+                          const latency_histogram& h);
+
+/// The base name of a possibly-labeled metric name (prefix before '{').
+[[nodiscard]] std::string_view prometheus_base_name(
+    std::string_view name) noexcept;
+
+}  // namespace silicon::obs

@@ -1,0 +1,215 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <array>
+#include <charconv>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace silicon::obs {
+
+namespace {
+
+std::uint64_t steady_now_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/// Shortest round-trip double (the ts/dur microsecond fields).
+void append_double(std::string& out, double v) {
+    std::array<char, 32> buf{};
+    const auto [end, ec] =
+        std::to_chars(buf.data(), buf.data() + buf.size(), v);
+    if (ec == std::errc{}) {
+        out.append(buf.data(), static_cast<std::size_t>(end - buf.data()));
+    } else {
+        out += "0";
+    }
+}
+
+/// Minimal JSON string escaping — span names are controlled literals,
+/// but a stray quote must never corrupt the export.
+void append_escaped(std::string& out, const char* s) {
+    out += '"';
+    for (; *s != '\0'; ++s) {
+        const char c = *s;
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char hex[8];
+            std::snprintf(hex, sizeof hex, "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out += hex;
+        } else {
+            out += c;
+        }
+    }
+    out += '"';
+}
+
+}  // namespace
+
+/// One thread's event ring.  The owning thread is the only writer;
+/// `head` counts events ever written and is published with release
+/// semantics after each slot write, so an exporter that acquire-loads
+/// `head` observes every slot below it.
+struct tracer::ring {
+    std::array<trace_event, tracer::ring_capacity> events{};
+    std::atomic<std::uint64_t> head{0};
+    std::size_t tid = 0;
+};
+
+struct tracer::registry {
+    std::mutex mutex;
+    std::vector<std::unique_ptr<ring>> rings;  // guarded by mutex (growth)
+};
+
+tracer::tracer() : epoch_ns_{steady_now_ns()}, registry_{new registry} {}
+
+tracer::~tracer() { delete registry_; }
+
+tracer& tracer::instance() {
+    // Deliberately leaked: pool worker threads may outlive static
+    // destruction order, and a dangling tracer would turn a shutdown
+    // span into a crash.
+    static tracer* t = new tracer;
+    return *t;
+}
+
+void tracer::enable() noexcept {
+    enabled_.store(true, std::memory_order_release);
+}
+
+void tracer::disable() noexcept {
+    enabled_.store(false, std::memory_order_release);
+}
+
+std::uint64_t tracer::now_ns() const noexcept {
+    return steady_now_ns() - epoch_ns_;
+}
+
+tracer::ring& tracer::local_ring() {
+    thread_local ring* local = nullptr;
+    if (local == nullptr) {
+        auto owned = std::make_unique<ring>();
+        const std::lock_guard<std::mutex> lock(registry_->mutex);
+        owned->tid = registry_->rings.size();
+        registry_->rings.push_back(std::move(owned));
+        local = registry_->rings.back().get();
+    }
+    return *local;
+}
+
+void tracer::record(const char* name, const char* category,
+                    std::uint64_t start_ns,
+                    std::uint64_t duration_ns) noexcept {
+    if (!enabled()) {
+        return;  // spans that end after disable() are dropped
+    }
+    ring& r = local_ring();
+    const std::uint64_t h = r.head.load(std::memory_order_relaxed);
+    trace_event& slot = r.events[h % ring_capacity];
+    slot.name = name;
+    slot.category = category;
+    slot.start_ns = start_ns;
+    slot.duration_ns = duration_ns;
+    r.head.store(h + 1, std::memory_order_release);
+}
+
+tracer::stats tracer::snapshot() const {
+    stats out;
+    const std::lock_guard<std::mutex> lock(registry_->mutex);
+    out.threads = registry_->rings.size();
+    for (const auto& r : registry_->rings) {
+        const std::uint64_t head = r->head.load(std::memory_order_acquire);
+        out.recorded += head;
+        if (head > ring_capacity) {
+            out.dropped += head - ring_capacity;
+        }
+    }
+    return out;
+}
+
+void tracer::clear() noexcept {
+    const std::lock_guard<std::mutex> lock(registry_->mutex);
+    for (const auto& r : registry_->rings) {
+        r->head.store(0, std::memory_order_release);
+    }
+}
+
+std::string tracer::export_chrome_json() const {
+    std::string out = "[";
+    bool first = true;
+    const auto emit = [&](const std::string& event) {
+        if (!first) {
+            out += ",";
+        }
+        out += "\n";
+        out += event;
+        first = false;
+    };
+
+    const std::lock_guard<std::mutex> lock(registry_->mutex);
+    for (const auto& r : registry_->rings) {
+        const std::uint64_t head = r->head.load(std::memory_order_acquire);
+        const std::uint64_t n = std::min<std::uint64_t>(head, ring_capacity);
+        if (n == 0) {
+            continue;
+        }
+        std::string meta = R"({"name":"thread_name","ph":"M","pid":1,"tid":)";
+        meta += std::to_string(r->tid);
+        meta += R"(,"args":{"name":"thread-)";
+        meta += std::to_string(r->tid);
+        meta += R"("}})";
+        emit(meta);
+
+        std::vector<trace_event> events;
+        events.reserve(static_cast<std::size_t>(n));
+        for (std::uint64_t i = head - n; i < head; ++i) {
+            events.push_back(r->events[i % ring_capacity]);
+        }
+        // Spans are recorded at scope exit, so nested spans land after
+        // their parent ends; re-sort by start so each thread's track
+        // reads in wall-clock order (and the export tests can assert
+        // per-thread monotonicity).
+        std::stable_sort(events.begin(), events.end(),
+                         [](const trace_event& a, const trace_event& b) {
+                             return a.start_ns < b.start_ns;
+                         });
+        for (const trace_event& e : events) {
+            std::string line = R"({"name":)";
+            append_escaped(line, e.name);
+            line += R"(,"cat":)";
+            append_escaped(line, e.category);
+            line += R"(,"ph":"X","pid":1,"tid":)";
+            line += std::to_string(r->tid);
+            line += R"(,"ts":)";
+            append_double(line, static_cast<double>(e.start_ns) / 1000.0);
+            line += R"(,"dur":)";
+            append_double(line, static_cast<double>(e.duration_ns) / 1000.0);
+            line += "}";
+            emit(line);
+        }
+    }
+    out += "\n]\n";
+    return out;
+}
+
+bool tracer::write_chrome_json(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        return false;
+    }
+    const std::string text = export_chrome_json();
+    const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+    const bool ok = std::fclose(f) == 0 && written == text.size();
+    return ok;
+}
+
+}  // namespace silicon::obs

@@ -1,0 +1,144 @@
+// trace.hpp — span-based tracing with lock-free per-thread ring buffers.
+//
+// The tracer answers "where does a slow batch spend its time" for the
+// serve dispatcher (parse → canonicalize → cache → exec → serialize)
+// and the exec engine (per-task runtime, queue wait) without touching
+// the determinism contract: spans carry steady-clock timestamps that
+// are *observed*, never fed back into any computation, so a traced run
+// produces byte-identical responses to an untraced one (asserted by
+// tests/obs/test_trace.cpp).
+//
+// Hot-path design:
+//
+//   * `trace_span` is an RAII guard.  When tracing is disabled it costs
+//     one relaxed atomic load at construction and one at destruction —
+//     no clock read, no allocation, no branch beyond the flag check.
+//     bench_obs_overhead gates this at < 2% of serve throughput.
+//   * When enabled, each thread appends finished spans to its own
+//     fixed-capacity ring buffer (drop-oldest on overflow).  The owning
+//     thread is the only writer; publication is a release store of the
+//     ring head, so recording never takes a lock and never allocates
+//     after the ring's one-time registration.
+//   * Span names/categories are `const char*` with static storage
+//     duration (string literals) — the ring stores the pointer only.
+//
+// Export (`export_chrome_json` / `write_chrome_json`) renders every
+// ring as a Chrome `trace_event`-format JSON array of complete ("ph":
+// "X") events, sorted by start timestamp within each thread, loadable
+// in chrome://tracing or https://ui.perfetto.dev.  Export acquires the
+// published heads; it is intended to run while recording is quiescent
+// (tracing disabled or workload drained) — an in-flight span recorded
+// concurrently with an export may be dropped from that export but is
+// never torn into the next one.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace silicon::obs {
+
+/// One finished span as stored in a ring slot.  `name`/`category` must
+/// point at static-storage strings (the ring keeps only the pointers).
+struct trace_event {
+    const char* name = nullptr;
+    const char* category = nullptr;
+    std::uint64_t start_ns = 0;     ///< steady-clock ns since tracer epoch
+    std::uint64_t duration_ns = 0;  ///< span wall time
+};
+
+/// Process-wide tracer: a registry of per-thread event rings behind a
+/// single runtime enable flag.
+class tracer {
+public:
+    /// Events retained per thread; older events are dropped (the tail
+    /// of a long run is what a hang/latency investigation needs).
+    static constexpr std::size_t ring_capacity = 16384;
+
+    [[nodiscard]] static tracer& instance();
+
+    void enable() noexcept;
+    void disable() noexcept;
+    [[nodiscard]] bool enabled() const noexcept {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /// Steady-clock nanoseconds since the tracer was constructed.
+    [[nodiscard]] std::uint64_t now_ns() const noexcept;
+
+    /// Append one finished span to the calling thread's ring.  Callers
+    /// normally go through trace_span; direct use must also pass
+    /// static-storage strings.  No-op while disabled.
+    void record(const char* name, const char* category,
+                std::uint64_t start_ns, std::uint64_t duration_ns) noexcept;
+
+    struct stats {
+        std::uint64_t recorded = 0;  ///< events ever written (all threads)
+        std::uint64_t dropped = 0;   ///< events overwritten by drop-oldest
+        std::size_t threads = 0;     ///< rings registered so far
+    };
+    [[nodiscard]] stats snapshot() const;
+
+    /// Chrome trace_event JSON: an array of thread-name metadata events
+    /// followed by every retained span as a complete event, sorted by
+    /// start timestamp within each thread.
+    [[nodiscard]] std::string export_chrome_json() const;
+
+    /// export_chrome_json() to `path`; false (with no partial file kept
+    /// open) when the file cannot be written.
+    bool write_chrome_json(const std::string& path) const;
+
+    /// Drop every retained event (ring registrations survive).  Like
+    /// export, intended for quiescent points.
+    void clear() noexcept;
+
+private:
+    struct ring;
+
+    tracer();
+    ~tracer();
+    tracer(const tracer&) = delete;
+    tracer& operator=(const tracer&) = delete;
+
+    [[nodiscard]] ring& local_ring();
+
+    std::atomic<bool> enabled_{false};
+    std::uint64_t epoch_ns_ = 0;  ///< steady-clock at construction
+
+    struct registry;
+    registry* registry_;
+};
+
+/// RAII span guard: times its own scope and records on destruction.
+/// `name` and `category` must be string literals (or otherwise static).
+class trace_span {
+public:
+    explicit trace_span(const char* name,
+                        const char* category = "app") noexcept {
+        tracer& t = tracer::instance();
+        if (t.enabled()) {
+            name_ = name;
+            category_ = category;
+            start_ns_ = t.now_ns();
+        }
+    }
+
+    ~trace_span() {
+        if (name_ != nullptr) {
+            tracer& t = tracer::instance();
+            t.record(name_, category_, start_ns_, t.now_ns() - start_ns_);
+        }
+    }
+
+    trace_span(const trace_span&) = delete;
+    trace_span& operator=(const trace_span&) = delete;
+
+private:
+    const char* name_ = nullptr;  ///< nullptr = tracing was off at entry
+    const char* category_ = nullptr;
+    std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace silicon::obs

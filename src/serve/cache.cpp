@@ -94,6 +94,7 @@ memo_cache::stats memo_cache::snapshot() const {
     stats out;
     out.capacity = capacity_;
     out.shards = shard_count_;
+    out.shard_entries.reserve(shard_count_);
     for (std::size_t i = 0; i < shard_count_; ++i) {
         const shard& s = shards_[i];
         const std::lock_guard<std::mutex> lock(s.mutex);
@@ -101,6 +102,7 @@ memo_cache::stats memo_cache::snapshot() const {
         out.misses += s.misses;
         out.evictions += s.evictions;
         out.entries += s.lru.size();
+        out.shard_entries.push_back(s.lru.size());
     }
     return out;
 }

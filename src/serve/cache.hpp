@@ -27,6 +27,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace silicon::serve {
 
@@ -42,6 +43,9 @@ public:
         std::size_t entries = 0;   ///< current resident entries
         std::size_t capacity = 0;  ///< configured total budget
         std::size_t shards = 0;    ///< shard count actually in use
+        /// Resident entries per shard (size == shards) — the occupancy
+        /// skew the Prometheus exposition reports per shard.
+        std::vector<std::size_t> shard_entries;
     };
 
     /// @param capacity total entry budget; 0 disables the cache.

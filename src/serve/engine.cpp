@@ -1,6 +1,7 @@
 #include "serve/engine.hpp"
 
 #include "core/cost_model.hpp"
+#include "obs/trace.hpp"
 #include "core/scenario.hpp"
 #include "core/table3.hpp"
 #include "exec/thread_pool.hpp"
@@ -376,13 +377,20 @@ json::value engine::evaluate(const request& req) {
 }
 
 std::shared_ptr<const std::string> engine::result_for(const request& req) {
-    if (auto hit = cache_.get(req.canonical_key)) {
-        metrics_.at(req.op).cache_hits.fetch_add(1,
-                                                 std::memory_order_relaxed);
-        return hit;
+    {
+        const obs::trace_span span{"serve.cache", "serve"};
+        if (auto hit = cache_.get(req.canonical_key)) {
+            metrics_.at(req.op).cache_hits.fetch_add(
+                1, std::memory_order_relaxed);
+            return hit;
+        }
     }
-    auto result = std::make_shared<const std::string>(
-        json::dump(evaluate(req)));
+    std::shared_ptr<const std::string> result;
+    {
+        const obs::trace_span span{"serve.exec", "serve"};
+        result = std::make_shared<const std::string>(
+            json::dump(evaluate(req)));
+    }
     cache_.put(req.canonical_key, *result);
     return result;
 }
@@ -456,7 +464,65 @@ json::value engine::stats_json() {
     return json::value{std::move(o)};
 }
 
+std::string engine::prometheus_text() const {
+    std::string out;
+    metrics_.to_prometheus(out);
+
+    const memo_cache::stats c = cache_.snapshot();
+    obs::prometheus_header(out, "silicon_cache_hits_total", "counter",
+                           "Memoization-cache hits");
+    obs::prometheus_sample(out, "silicon_cache_hits_total", c.hits);
+    obs::prometheus_header(out, "silicon_cache_misses_total", "counter",
+                           "Memoization-cache misses");
+    obs::prometheus_sample(out, "silicon_cache_misses_total", c.misses);
+    obs::prometheus_header(out, "silicon_cache_evictions_total", "counter",
+                           "Memoization-cache LRU evictions");
+    obs::prometheus_sample(out, "silicon_cache_evictions_total",
+                           c.evictions);
+    obs::prometheus_header(out, "silicon_cache_entries", "gauge",
+                           "Resident memoization-cache entries");
+    obs::prometheus_sample(out, "silicon_cache_entries",
+                           static_cast<std::uint64_t>(c.entries));
+    obs::prometheus_header(out, "silicon_cache_capacity", "gauge",
+                           "Configured memoization-cache entry budget");
+    obs::prometheus_sample(out, "silicon_cache_capacity",
+                           static_cast<std::uint64_t>(c.capacity));
+    obs::prometheus_header(out, "silicon_cache_hit_ratio", "gauge",
+                           "hits / (hits + misses) since start");
+    const std::uint64_t lookups = c.hits + c.misses;
+    obs::prometheus_sample(
+        out, "silicon_cache_hit_ratio",
+        lookups == 0 ? 0.0
+                     : static_cast<double>(c.hits) /
+                           static_cast<double>(lookups));
+    obs::prometheus_header(out, "silicon_cache_shard_entries", "gauge",
+                           "Resident entries per cache shard");
+    for (std::size_t i = 0; i < c.shard_entries.size(); ++i) {
+        std::string name = "silicon_cache_shard_entries{shard=\"";
+        name += std::to_string(i);
+        name += "\"}";
+        obs::prometheus_sample(
+            out, name, static_cast<std::uint64_t>(c.shard_entries[i]));
+    }
+
+    obs::prometheus_header(out, "silicon_serve_parse_errors_total",
+                           "counter", "Lines that failed JSON parsing");
+    obs::prometheus_sample(out, "silicon_serve_parse_errors_total",
+                           parse_errors_.load(std::memory_order_relaxed));
+    obs::prometheus_header(out, "silicon_serve_parallelism", "gauge",
+                           "Resolved batch fan-out width");
+    obs::prometheus_sample(
+        out, "silicon_serve_parallelism",
+        static_cast<std::uint64_t>(
+            exec::resolve_parallelism(config_.parallelism)));
+
+    // Process-global metrics (exec pool counters/gauges).
+    out += obs::metrics_registry::global().to_prometheus();
+    return out;
+}
+
 std::string engine::handle_line(std::string_view line) {
+    const obs::trace_span line_span{"serve.handle_line", "serve"};
     const auto start = std::chrono::steady_clock::now();
     const json::value* id = nullptr;
     json::value id_storage;
@@ -466,7 +532,11 @@ std::string engine::handle_line(std::string_view line) {
     bool failed = false;
 
     try {
-        const json::value doc = json::parse(line);
+        json::value doc;
+        {
+            const obs::trace_span span{"serve.parse", "serve"};
+            doc = json::parse(line);
+        }
         // Best-effort id/op extraction so even schema errors echo the
         // caller's correlation id.
         if (doc.is_object()) {
@@ -484,7 +554,12 @@ std::string engine::handle_line(std::string_view line) {
                 }
             }
         }
-        const request req = parse_request(doc);
+        request req;
+        {
+            // Schema validation + canonical cache-key serialization.
+            const obs::trace_span span{"serve.canonicalize", "serve"};
+            req = parse_request(doc);
+        }
         op = req.op;
         op_known = true;
 
@@ -493,7 +568,10 @@ std::string engine::handle_line(std::string_view line) {
             response = envelope(id, true, "result",
                                 json::dump(stats_json()));
         } else {
-            response = envelope(id, true, "result", *result_for(req));
+            const std::shared_ptr<const std::string> result =
+                result_for(req);
+            const obs::trace_span span{"serve.serialize", "serve"};
+            response = envelope(id, true, "result", *result);
         }
     } catch (const json::parse_error& e) {
         parse_errors_.fetch_add(1, std::memory_order_relaxed);
@@ -522,6 +600,7 @@ std::string engine::handle_line(std::string_view line) {
 
 std::vector<std::string> engine::handle_batch(
     const std::vector<std::string>& lines) {
+    const obs::trace_span span{"serve.batch", "serve"};
     std::vector<std::string> responses(lines.size());
     exec::parallel_for(lines.size(), config_.parallelism,
                        [&](const exec::shard_range& r) {

@@ -75,6 +75,13 @@ public:
     /// infeasible inputs exactly like the underlying library.
     [[nodiscard]] json::value evaluate(const request& req);
 
+    /// Prometheus text exposition of everything observable about this
+    /// engine: per-endpoint counters and latency histograms, cache
+    /// totals + per-shard occupancy + hit ratio, parse errors, and the
+    /// process-global obs registry (exec pool gauges).  Served by the
+    /// `GET /metrics` transport op and `silicond --metrics-interval`.
+    [[nodiscard]] std::string prometheus_text() const;
+
     [[nodiscard]] memo_cache::stats cache_stats() const {
         return cache_.snapshot();
     }

@@ -4,73 +4,40 @@ namespace silicon::serve {
 
 namespace {
 
-/// Bucket index for a latency: floor(log2(us)), clamped to the range.
-int bucket_for(std::uint64_t nanoseconds) noexcept {
-    const std::uint64_t us = nanoseconds / 1000;
-    if (us == 0) {
-        return 0;
-    }
-    int b = 0;
-    std::uint64_t v = us;
-    while (v > 1 && b < latency_histogram::bucket_count - 1) {
-        v >>= 1;
-        ++b;
-    }
-    return b;
-}
-
-}  // namespace
-
-void latency_histogram::record(std::uint64_t nanoseconds) noexcept {
-    buckets_[static_cast<std::size_t>(bucket_for(nanoseconds))].fetch_add(
-        1, std::memory_order_relaxed);
-    count_.fetch_add(1, std::memory_order_relaxed);
-    total_ns_.fetch_add(nanoseconds, std::memory_order_relaxed);
-    std::uint64_t seen = max_ns_.load(std::memory_order_relaxed);
-    while (nanoseconds > seen &&
-           !max_ns_.compare_exchange_weak(seen, nanoseconds,
-                                          std::memory_order_relaxed)) {
-    }
-}
-
-std::uint64_t latency_histogram::count() const noexcept {
-    return count_.load(std::memory_order_relaxed);
-}
-
-std::uint64_t latency_histogram::total_nanoseconds() const noexcept {
-    return total_ns_.load(std::memory_order_relaxed);
-}
-
-std::uint64_t latency_histogram::max_nanoseconds() const noexcept {
-    return max_ns_.load(std::memory_order_relaxed);
-}
-
-json::value latency_histogram::to_json() const {
-    const std::uint64_t n = count();
+json::value histogram_to_json(const latency_histogram& h) {
+    const std::uint64_t n = h.count();
     json::object o;
     o.set("count", static_cast<double>(n));
     o.set("mean_us",
           n == 0 ? 0.0
-                 : static_cast<double>(total_nanoseconds()) /
+                 : static_cast<double>(h.total_nanoseconds()) /
                        (1000.0 * static_cast<double>(n)));
-    o.set("max_us", static_cast<double>(max_nanoseconds()) / 1000.0);
+    o.set("max_us", static_cast<double>(h.max_nanoseconds()) / 1000.0);
 
     int last_nonzero = -1;
-    for (int b = 0; b < bucket_count; ++b) {
-        if (buckets_[static_cast<std::size_t>(b)].load(
-                std::memory_order_relaxed) != 0) {
+    for (int b = 0; b < latency_histogram::bucket_count; ++b) {
+        if (h.bucket(b) != 0) {
             last_nonzero = b;
         }
     }
     json::array buckets;
     for (int b = 0; b <= last_nonzero; ++b) {
-        buckets.emplace_back(static_cast<double>(
-            buckets_[static_cast<std::size_t>(b)].load(
-                std::memory_order_relaxed)));
+        buckets.emplace_back(static_cast<double>(h.bucket(b)));
     }
     o.set("buckets_us", std::move(buckets));
     return json::value{std::move(o)};
 }
+
+/// "silicon_serve_requests_total{op=\"cost_tr\"}" and friends.
+std::string labeled(std::string_view family, op_code op) {
+    std::string name{family};
+    name += "{op=\"";
+    name += to_string(op);
+    name += "\"}";
+    return name;
+}
+
+}  // namespace
 
 json::value metrics_registry::to_json() const {
     json::object o;
@@ -88,10 +55,59 @@ json::value metrics_registry::to_json() const {
                                    std::memory_order_relaxed)));
         endpoint.set("cache_hits", static_cast<double>(m.cache_hits.load(
                                        std::memory_order_relaxed)));
-        endpoint.set("latency", m.latency.to_json());
+        endpoint.set("latency", histogram_to_json(m.latency));
         o.set(std::string{to_string(op)}, json::value{std::move(endpoint)});
     }
     return json::value{std::move(o)};
+}
+
+void metrics_registry::to_prometheus(std::string& out) const {
+    // Family-major so each # TYPE header precedes all of its samples.
+    const auto each_active = [&](const auto& fn) {
+        for (int i = 0; i < op_count; ++i) {
+            const op_code op = static_cast<op_code>(i);
+            const endpoint_metrics& m = at(op);
+            if (m.requests.load(std::memory_order_relaxed) != 0) {
+                fn(op, m);
+            }
+        }
+    };
+
+    bool any = false;
+    each_active([&](op_code, const endpoint_metrics&) { any = true; });
+    if (!any) {
+        return;
+    }
+
+    obs::prometheus_header(out, "silicon_serve_requests_total", "counter",
+                           "Requests handled per endpoint");
+    each_active([&](op_code op, const endpoint_metrics& m) {
+        obs::prometheus_sample(
+            out, labeled("silicon_serve_requests_total", op),
+            m.requests.load(std::memory_order_relaxed));
+    });
+
+    obs::prometheus_header(out, "silicon_serve_errors_total", "counter",
+                           "Error responses per endpoint");
+    each_active([&](op_code op, const endpoint_metrics& m) {
+        obs::prometheus_sample(out, labeled("silicon_serve_errors_total", op),
+                               m.errors.load(std::memory_order_relaxed));
+    });
+
+    obs::prometheus_header(out, "silicon_serve_cache_hits_total", "counter",
+                           "Memoization-cache hits per endpoint");
+    each_active([&](op_code op, const endpoint_metrics& m) {
+        obs::prometheus_sample(
+            out, labeled("silicon_serve_cache_hits_total", op),
+            m.cache_hits.load(std::memory_order_relaxed));
+    });
+
+    obs::prometheus_header(out, "silicon_serve_latency_seconds", "histogram",
+                           "Request service time per endpoint");
+    each_active([&](op_code op, const endpoint_metrics& m) {
+        obs::prometheus_histogram(
+            out, labeled("silicon_serve_latency_seconds", op), m.latency);
+    });
 }
 
 }  // namespace silicon::serve

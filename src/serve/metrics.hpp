@@ -2,52 +2,42 @@
 //
 // Every request the engine handles increments lock-free counters for
 // its endpoint (requests, errors, cache hits) and records its
-// wall-clock service time into a power-of-two-bucketed latency
-// histogram (bucket k counts latencies in [2^k, 2^(k+1)) microseconds,
-// bucket 0 additionally holding sub-microsecond calls).  Everything is
-// relaxed atomics: recording never takes a lock, never allocates, and
-// never perturbs the hot path by more than a few nanoseconds.
+// wall-clock service time into an obs::latency_histogram (promoted to
+// src/obs in PR 3; bucket k counts latencies in [2^k, 2^(k+1))
+// microseconds).  Everything is relaxed atomics: recording never takes
+// a lock, never allocates, and never perturbs the hot path by more
+// than a few nanoseconds.
 //
-// `metrics_registry::to_json()` dumps the whole registry — counts,
-// totals, histogram buckets and derived mean/max — as a JSON object,
-// which is what the `stats` endpoint and `silicond --metrics` print.
+// Two read paths:
+//
+//   * `metrics_registry::to_json()` dumps the whole registry — counts,
+//     totals, histogram buckets and derived mean/max — as a JSON
+//     object, which is what the `stats` endpoint prints.
+//   * `metrics_registry::to_prometheus()` appends the same data in
+//     Prometheus text exposition format (one labeled sample family per
+//     counter, cumulative-bucket histograms), which is what the
+//     `GET /metrics` transport op and `silicond --metrics-interval`
+//     emit (see obs/metrics.hpp for the format helpers).
+//
 // Metrics are observability, not results: they are deliberately
 // excluded from response payloads so the determinism contract (same
 // requests, same bytes, any thread count) is untouched.
 
 #pragma once
 
+#include "obs/metrics.hpp"
 #include "serve/json.hpp"
 #include "serve/request.hpp"
 
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <string>
 
 namespace silicon::serve {
 
-/// Lock-free latency histogram over power-of-two microsecond buckets.
-class latency_histogram {
-public:
-    static constexpr int bucket_count = 24;  ///< up to ~2.3 hours
-
-    /// Record one observation (relaxed atomics, thread-safe).
-    void record(std::uint64_t nanoseconds) noexcept;
-
-    [[nodiscard]] std::uint64_t count() const noexcept;
-    [[nodiscard]] std::uint64_t total_nanoseconds() const noexcept;
-    [[nodiscard]] std::uint64_t max_nanoseconds() const noexcept;
-
-    /// {"count":..,"mean_us":..,"max_us":..,"buckets_us":[...]} with
-    /// buckets trimmed after the last non-zero entry.
-    [[nodiscard]] json::value to_json() const;
-
-private:
-    std::array<std::atomic<std::uint64_t>, bucket_count> buckets_{};
-    std::atomic<std::uint64_t> count_{0};
-    std::atomic<std::uint64_t> total_ns_{0};
-    std::atomic<std::uint64_t> max_ns_{0};
-};
+/// Promoted to obs (PR 3); the alias keeps the serve-era name working.
+using latency_histogram = obs::latency_histogram;
 
 /// Counters for one endpoint.
 struct endpoint_metrics {
@@ -71,6 +61,11 @@ public:
     /// {"cost_tr":{"requests":..,"errors":..,"cache_hits":..,
     ///             "latency":{...}}, ...}
     [[nodiscard]] json::value to_json() const;
+
+    /// Append the registry as Prometheus text exposition:
+    /// silicon_serve_requests_total{op="..."} etc. plus a
+    /// silicon_serve_latency_seconds histogram per active endpoint.
+    void to_prometheus(std::string& out) const;
 
 private:
     std::array<endpoint_metrics, op_count> endpoints_{};

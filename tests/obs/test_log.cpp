@@ -1,0 +1,140 @@
+// obs/log: JSONL rendering, level thresholds, escaping, concurrency.
+//
+// The sink and threshold are process-global; a fixture captures into a
+// stringstream and restores stderr + the default threshold afterwards.
+
+#include "obs/log.hpp"
+
+#include "serve/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace obs = silicon::obs;
+namespace json = silicon::serve::json;
+
+namespace {
+
+class LogTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        obs::set_log_sink(&captured_);
+        obs::set_log_threshold(obs::log_level::trace);
+    }
+    void TearDown() override {
+        obs::set_log_sink(nullptr);
+        obs::set_log_threshold(obs::log_level::info);
+    }
+
+    std::vector<std::string> lines() const {
+        std::vector<std::string> out;
+        std::istringstream in{captured_.str()};
+        std::string line;
+        while (std::getline(in, line)) {
+            out.push_back(line);
+        }
+        return out;
+    }
+
+    std::ostringstream captured_;
+};
+
+TEST_F(LogTest, EventRendersAsOneJsonLine) {
+    obs::log_info("unit.test", {{"answer", 42},
+                                {"name", "widget"},
+                                {"ratio", 0.5},
+                                {"flag", true}});
+
+    const std::vector<std::string> got = lines();
+    ASSERT_EQ(got.size(), 1u);
+
+    const json::value doc = json::parse(got[0]);
+    ASSERT_TRUE(doc.is_object());
+    const json::object& o = doc.as_object();
+    ASSERT_NE(o.find("ts"), nullptr);
+    EXPECT_TRUE(o.find("ts")->is_number());
+    EXPECT_GT(o.find("ts")->as_number(), 1.7e9);  // sane wall clock
+    EXPECT_EQ(o.find("level")->as_string(), "info");
+    EXPECT_EQ(o.find("event")->as_string(), "unit.test");
+    EXPECT_DOUBLE_EQ(o.find("answer")->as_number(), 42.0);
+    EXPECT_EQ(o.find("name")->as_string(), "widget");
+    EXPECT_DOUBLE_EQ(o.find("ratio")->as_number(), 0.5);
+    EXPECT_EQ(o.find("flag")->as_bool(), true);
+}
+
+TEST_F(LogTest, RuntimeThresholdFilters) {
+    obs::set_log_threshold(obs::log_level::warn);
+    obs::log_debug("dropped.debug");
+    obs::log_info("dropped.info");
+    obs::log_warn("kept.warn");
+    obs::log_error("kept.error");
+
+    const std::vector<std::string> got = lines();
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_NE(got[0].find("kept.warn"), std::string::npos);
+    EXPECT_NE(got[1].find("kept.error"), std::string::npos);
+
+    obs::set_log_threshold(obs::log_level::off);
+    obs::log_error("dropped.even.error");
+    EXPECT_EQ(lines().size(), 2u);
+}
+
+TEST_F(LogTest, StringsAreEscaped) {
+    obs::log_info("escape \"quotes\"", {{"path", "C:\\tmp\n"}});
+
+    const std::vector<std::string> got = lines();
+    ASSERT_EQ(got.size(), 1u);
+    const json::value doc = json::parse(got[0]);  // must stay valid JSON
+    const json::object& o = doc.as_object();
+    EXPECT_EQ(o.find("event")->as_string(), "escape \"quotes\"");
+    EXPECT_EQ(o.find("path")->as_string(), "C:\\tmp\n");
+}
+
+TEST_F(LogTest, LevelNames) {
+    obs::log(obs::log_level::trace, "a");
+    obs::log(obs::log_level::debug, "b");
+    obs::log(obs::log_level::warn, "c");
+    obs::log(obs::log_level::error, "d");
+    const std::vector<std::string> got = lines();
+    ASSERT_EQ(got.size(), 4u);
+    EXPECT_NE(got[0].find("\"level\":\"trace\""), std::string::npos);
+    EXPECT_NE(got[1].find("\"level\":\"debug\""), std::string::npos);
+    EXPECT_NE(got[2].find("\"level\":\"warn\""), std::string::npos);
+    EXPECT_NE(got[3].find("\"level\":\"error\""), std::string::npos);
+}
+
+// Concurrent events must never interleave mid-line: every captured
+// line parses as a standalone JSON object.
+TEST_F(LogTest, ConcurrentEventsStayLineAtomic) {
+    constexpr int threads = 4;
+    constexpr int per_thread = 200;
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([t] {
+            for (int i = 0; i < per_thread; ++i) {
+                obs::log_info("concurrent.event",
+                              {{"thread", t}, {"i", i}});
+            }
+        });
+    }
+    for (std::thread& w : workers) {
+        w.join();
+    }
+
+    const std::vector<std::string> got = lines();
+    ASSERT_EQ(got.size(),
+              static_cast<std::size_t>(threads) * per_thread);
+    for (const std::string& line : got) {
+        const json::value doc = json::parse(line);
+        EXPECT_TRUE(doc.is_object());
+        EXPECT_EQ(doc.as_object().find("event")->as_string(),
+                  "concurrent.event");
+    }
+}
+
+}  // namespace

@@ -1,0 +1,319 @@
+// obs/metrics: counters, gauges, the latency histogram (including the
+// CAS-max loop under concurrent recorders), the named registry, and
+// the Prometheus text-exposition grammar.
+
+#include "obs/metrics.hpp"
+
+#include "serve/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace obs = silicon::obs;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// counter / gauge
+// ---------------------------------------------------------------------------
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+    obs::counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, SetAndAdd) {
+    obs::gauge g;
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+    g.set(7.5);
+    EXPECT_DOUBLE_EQ(g.value(), 7.5);
+    g.add(-2.5);
+    EXPECT_DOUBLE_EQ(g.value(), 5.0);
+}
+
+TEST(Gauge, ConcurrentAddsAllLand) {
+    obs::gauge g;
+    constexpr int threads = 8;
+    constexpr int per_thread = 10000;
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&g] {
+            for (int i = 0; i < per_thread; ++i) {
+                g.add(1.0);
+            }
+        });
+    }
+    for (std::thread& w : workers) {
+        w.join();
+    }
+    EXPECT_DOUBLE_EQ(g.value(), static_cast<double>(threads * per_thread));
+}
+
+// ---------------------------------------------------------------------------
+// latency_histogram
+// ---------------------------------------------------------------------------
+
+TEST(LatencyHistogram, BucketMapping) {
+    obs::latency_histogram h;
+    h.record(500);        // 0 us -> bucket 0
+    h.record(1500);       // 1 us -> bucket 0
+    h.record(2500);       // 2 us -> bucket 1
+    h.record(9000);       // 9 us -> bucket 3
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.total_nanoseconds(), 500u + 1500u + 2500u + 9000u);
+    EXPECT_EQ(h.max_nanoseconds(), 9000u);
+}
+
+TEST(LatencyHistogram, BucketUpperBoundsArePowersOfTwo) {
+    EXPECT_EQ(obs::latency_histogram::bucket_upper_us(0), 2u);
+    EXPECT_EQ(obs::latency_histogram::bucket_upper_us(3), 16u);
+}
+
+// Satellite: the max update must be a CAS-max loop — concurrent
+// recorders can never lose the largest observation, and count/total
+// must equal the exact sums.
+TEST(LatencyHistogram, ConcurrentRecordInvariants) {
+    obs::latency_histogram h;
+    constexpr int threads = 8;
+    constexpr std::uint64_t per_thread = 50000;
+
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&h, t] {
+            for (std::uint64_t i = 1; i <= per_thread; ++i) {
+                // Thread t's largest value is unique per thread; the
+                // global max comes from thread threads-1.
+                h.record(i * 1000 + static_cast<std::uint64_t>(t));
+            }
+        });
+    }
+    for (std::thread& w : workers) {
+        w.join();
+    }
+
+    const std::uint64_t n = threads * per_thread;
+    EXPECT_EQ(h.count(), n);
+
+    std::uint64_t expected_total = 0;
+    for (int t = 0; t < threads; ++t) {
+        for (std::uint64_t i = 1; i <= per_thread; ++i) {
+            expected_total += i * 1000 + static_cast<std::uint64_t>(t);
+        }
+    }
+    EXPECT_EQ(h.total_nanoseconds(), expected_total);
+    EXPECT_EQ(h.max_nanoseconds(),
+              per_thread * 1000 + static_cast<std::uint64_t>(threads - 1));
+
+    std::uint64_t bucket_sum = 0;
+    for (int b = 0; b < obs::latency_histogram::bucket_count; ++b) {
+        bucket_sum += h.bucket(b);
+    }
+    EXPECT_EQ(bucket_sum, n);
+}
+
+// ---------------------------------------------------------------------------
+// metrics_registry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, SameNameSameObject) {
+    obs::metrics_registry r;
+    obs::counter& a = r.get_counter("requests_total", "help");
+    obs::counter& b = r.get_counter("requests_total");
+    EXPECT_EQ(&a, &b);
+    a.add(3);
+    EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(MetricsRegistry, TypeMismatchThrows) {
+    obs::metrics_registry r;
+    (void)r.get_counter("x");
+    EXPECT_THROW((void)r.get_gauge("x"), std::logic_error);
+}
+
+TEST(MetricsRegistry, GlobalIsStable) {
+    obs::counter& a = obs::metrics_registry::global().get_counter(
+        "test_obs_global_counter");
+    obs::counter& b = obs::metrics_registry::global().get_counter(
+        "test_obs_global_counter");
+    EXPECT_EQ(&a, &b);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition grammar
+// ---------------------------------------------------------------------------
+
+/// Validate one exposition body line: `name{labels} value` where value
+/// parses as a float and the name is a legal metric identifier.
+void expect_valid_sample_line(const std::string& line) {
+    ASSERT_FALSE(line.empty());
+    std::size_t i = 0;
+    ASSERT_TRUE(std::isalpha(static_cast<unsigned char>(line[0])) ||
+                line[0] == '_')
+        << line;
+    while (i < line.size() &&
+           (std::isalnum(static_cast<unsigned char>(line[i])) ||
+            line[i] == '_' || line[i] == ':')) {
+        ++i;
+    }
+    if (i < line.size() && line[i] == '{') {
+        const std::size_t close = line.find('}', i);
+        ASSERT_NE(close, std::string::npos) << line;
+        i = close + 1;
+    }
+    ASSERT_LT(i, line.size()) << line;
+    ASSERT_EQ(line[i], ' ') << line;
+    const std::string value = line.substr(i + 1);
+    std::size_t parsed = 0;
+    if (value == "+Inf" || value == "-Inf" || value == "NaN") {
+        return;
+    }
+    EXPECT_NO_THROW({
+        (void)std::stod(value, &parsed);
+        EXPECT_EQ(parsed, value.size()) << line;
+    }) << line;
+}
+
+void expect_valid_exposition(const std::string& text) {
+    std::istringstream in{text};
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty()) {
+            continue;
+        }
+        if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+            continue;
+        }
+        ASSERT_NE(line[0], '#') << "unknown comment form: " << line;
+        expect_valid_sample_line(line);
+    }
+}
+
+TEST(Prometheus, RegistryExpositionIsWellFormed) {
+    obs::metrics_registry r;
+    r.get_counter("jobs_total", "jobs ever").add(5);
+    r.get_gauge("queue_depth").set(3.25);
+    obs::latency_histogram& h = r.get_histogram("latency_seconds", "svc");
+    h.record(1500);
+    h.record(2'000'000);
+
+    const std::string text = r.to_prometheus();
+    expect_valid_exposition(text);
+    EXPECT_NE(text.find("# TYPE jobs_total counter"), std::string::npos);
+    EXPECT_NE(text.find("jobs_total 5"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE queue_depth gauge"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE latency_seconds histogram"),
+              std::string::npos);
+    EXPECT_NE(text.find("latency_seconds_count 2"), std::string::npos);
+}
+
+TEST(Prometheus, HistogramBucketsAreCumulativeAndEndAtInf) {
+    obs::latency_histogram h;
+    h.record(1'000);      // 1 us
+    h.record(3'000);      // 3 us
+    h.record(3'500);      // 3 us
+    h.record(100'000);    // 100 us
+
+    std::string out;
+    obs::prometheus_histogram(out, "lat{op=\"x\"}", h);
+
+    std::istringstream in{out};
+    std::string line;
+    std::uint64_t last = 0;
+    bool saw_inf = false;
+    while (std::getline(in, line)) {
+        if (line.rfind("lat_bucket", 0) == 0) {
+            const std::size_t space = line.rfind(' ');
+            const std::uint64_t v = std::stoull(line.substr(space + 1));
+            EXPECT_GE(v, last) << "buckets must be cumulative: " << line;
+            last = v;
+            EXPECT_NE(line.find("op=\"x\""), std::string::npos) << line;
+            if (line.find("le=\"+Inf\"") != std::string::npos) {
+                saw_inf = true;
+                EXPECT_EQ(v, h.count());
+            }
+        }
+    }
+    EXPECT_TRUE(saw_inf);
+    EXPECT_NE(out.find("lat_sum{op=\"x\"}"), std::string::npos);
+    EXPECT_NE(out.find("lat_count{op=\"x\"} 4"), std::string::npos);
+}
+
+TEST(Prometheus, BaseNameSplitsAtBrace) {
+    EXPECT_EQ(obs::prometheus_base_name("a_total{op=\"x\"}"), "a_total");
+    EXPECT_EQ(obs::prometheus_base_name("plain"), "plain");
+}
+
+// ---------------------------------------------------------------------------
+// engine exposition (the serve promotion end-to-end)
+// ---------------------------------------------------------------------------
+
+TEST(Prometheus, EngineExpositionCoversEndpointsCacheAndPool) {
+    silicon::serve::engine_config config;
+    config.parallelism = 2;
+    config.cache_shards = 4;
+    silicon::serve::engine engine{config};
+
+    const std::vector<std::string> batch{
+        R"({"op":"scenario1","lambda_um":0.5})",
+        R"({"op":"table3","row":0})",
+        R"(this is not json)",
+    };
+    (void)engine.handle_batch(batch);
+    // Sequential replays of the already-cached request: deterministic
+    // cache hits (inside a parallel batch identical lines could race
+    // to a double miss).
+    (void)engine.handle_line(R"({"op":"scenario1","lambda_um":0.5})");
+    (void)engine.handle_line(R"({"op":"scenario1","lambda_um":0.5})");
+
+    const std::string text = engine.prometheus_text();
+    expect_valid_exposition(text);
+    EXPECT_NE(text.find("silicon_serve_requests_total{op=\"scenario1\"} 3"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find("silicon_serve_cache_hits_total{op=\"scenario1\"} 2"),
+        std::string::npos);
+    EXPECT_NE(
+        text.find("silicon_serve_latency_seconds_count{op=\"scenario1\"} 3"),
+        std::string::npos);
+    EXPECT_NE(text.find("silicon_cache_hit_ratio"), std::string::npos);
+    EXPECT_NE(text.find("silicon_cache_shard_entries{shard=\"0\"}"),
+              std::string::npos);
+    EXPECT_NE(text.find("silicon_serve_parse_errors_total 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("silicon_exec_tasks_total"), std::string::npos);
+}
+
+// The per-shard occupancy snapshot must agree with the aggregate.
+TEST(CacheStats, ShardEntriesSumToEntries) {
+    silicon::serve::engine_config config;
+    config.cache_shards = 8;
+    silicon::serve::engine engine{config};
+    for (int i = 0; i < 50; ++i) {
+        (void)engine.handle_line(
+            R"({"op":"scenario1","lambda_um":)" +
+            std::to_string(0.5 + 0.01 * i) + "}");
+    }
+    const silicon::serve::memo_cache::stats s = engine.cache_stats();
+    ASSERT_EQ(s.shard_entries.size(), s.shards);
+    std::size_t sum = 0;
+    for (const std::size_t e : s.shard_entries) {
+        sum += e;
+    }
+    EXPECT_EQ(sum, s.entries);
+}
+
+}  // namespace

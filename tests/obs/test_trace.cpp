@@ -1,0 +1,230 @@
+// obs/trace: the span tracer and its Chrome trace_event export.
+//
+// The tracer is a process-wide singleton, so every test here fully
+// resets it (disable + clear) on entry and exit via a fixture; tests
+// still share ring *registrations* (threads counter only grows), which
+// the assertions account for.
+
+#include "obs/trace.hpp"
+
+#include "serve/engine.hpp"
+#include "serve/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace obs = silicon::obs;
+namespace json = silicon::serve::json;
+
+namespace {
+
+class TraceTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        obs::tracer::instance().disable();
+        obs::tracer::instance().clear();
+    }
+    void TearDown() override {
+        obs::tracer::instance().disable();
+        obs::tracer::instance().clear();
+    }
+};
+
+/// Parse an export with the serve JSON parser and return the events.
+json::array parse_events(const std::string& exported) {
+    const json::value doc = json::parse(exported);
+    EXPECT_TRUE(doc.is_array());
+    return doc.as_array();
+}
+
+/// Required member of an event object (fails the test when absent).
+const json::value& field(const json::value& event, const char* key) {
+    const json::value* v = event.as_object().find(key);
+    EXPECT_NE(v, nullptr) << "event missing key: " << key;
+    static const json::value null_value{};
+    return v != nullptr ? *v : null_value;
+}
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+    obs::tracer& t = obs::tracer::instance();
+    ASSERT_FALSE(t.enabled());
+    {
+        const obs::trace_span span{"should_not_appear", "test"};
+    }
+    t.record("direct", "test", 0, 1);
+    const obs::tracer::stats s = t.snapshot();
+    EXPECT_EQ(s.recorded, 0u);
+    EXPECT_EQ(s.dropped, 0u);
+    EXPECT_EQ(parse_events(t.export_chrome_json()).size(), 0u);
+}
+
+TEST_F(TraceTest, SpansExportAsChromeCompleteEvents) {
+    obs::tracer& t = obs::tracer::instance();
+    t.enable();
+    {
+        const obs::trace_span outer{"outer", "test"};
+        const obs::trace_span inner{"inner", "test"};
+    }
+    t.disable();
+
+    bool saw_outer = false;
+    bool saw_inner = false;
+    for (const json::value& e : parse_events(t.export_chrome_json())) {
+        const std::string& ph = field(e, "ph").as_string();
+        if (ph == "M") {
+            EXPECT_EQ(field(e, "name").as_string(), "thread_name");
+            continue;
+        }
+        ASSERT_EQ(ph, "X");
+        EXPECT_TRUE(field(e, "ts").is_number());
+        EXPECT_TRUE(field(e, "dur").is_number());
+        EXPECT_TRUE(field(e, "pid").is_number());
+        EXPECT_TRUE(field(e, "tid").is_number());
+        EXPECT_EQ(field(e, "cat").as_string(), "test");
+        const std::string& name = field(e, "name").as_string();
+        saw_outer = saw_outer || name == "outer";
+        saw_inner = saw_inner || name == "inner";
+    }
+    EXPECT_TRUE(saw_outer);
+    EXPECT_TRUE(saw_inner);
+}
+
+// Nested spans finish outer-last, so raw ring order is not start
+// order; the exporter must re-sort so each thread's timeline is
+// monotone in ts (the satellite golden-trace requirement).
+TEST_F(TraceTest, TimestampsMonotonePerThread) {
+    obs::tracer& t = obs::tracer::instance();
+    t.enable();
+    for (int i = 0; i < 50; ++i) {
+        const obs::trace_span outer{"outer", "test"};
+        const obs::trace_span mid{"mid", "test"};
+        const obs::trace_span inner{"inner", "test"};
+    }
+    t.disable();
+
+    std::map<double, double> last_ts_by_tid;
+    for (const json::value& e : parse_events(t.export_chrome_json())) {
+        if (field(e, "ph").as_string() != "X") {
+            continue;
+        }
+        const double tid = field(e, "tid").as_number();
+        const double ts = field(e, "ts").as_number();
+        const auto it = last_ts_by_tid.find(tid);
+        if (it != last_ts_by_tid.end()) {
+            EXPECT_GE(ts, it->second) << "out-of-order span on tid " << tid;
+        }
+        last_ts_by_tid[tid] = ts;
+    }
+    EXPECT_FALSE(last_ts_by_tid.empty());
+}
+
+TEST_F(TraceTest, DropOldestKeepsRingCapacity) {
+    obs::tracer& t = obs::tracer::instance();
+    t.enable();
+    const std::uint64_t n = obs::tracer::ring_capacity + 100;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        // 2 us apart so drop order is visible at export's us precision.
+        t.record("evt", "test", i * 2000, 1);
+    }
+    t.disable();
+
+    const obs::tracer::stats s = t.snapshot();
+    EXPECT_EQ(s.recorded, n);
+    EXPECT_EQ(s.dropped, 100u);
+
+    std::size_t retained = 0;
+    std::uint64_t min_ts = UINT64_MAX;
+    for (const json::value& e : parse_events(t.export_chrome_json())) {
+        if (field(e, "ph").as_string() == "X") {
+            ++retained;
+            min_ts = std::min(min_ts, static_cast<std::uint64_t>(
+                                          field(e, "ts").as_number()));
+        }
+    }
+    EXPECT_EQ(retained, obs::tracer::ring_capacity);
+    // Drop-oldest: the 100 events with the smallest timestamps are gone.
+    EXPECT_EQ(min_ts, 100u * 2);
+}
+
+TEST_F(TraceTest, ThreadsGetDistinctTids) {
+    obs::tracer& t = obs::tracer::instance();
+    t.enable();
+    constexpr int threads = 4;
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (int w = 0; w < threads; ++w) {
+        workers.emplace_back([] {
+            for (int i = 0; i < 10; ++i) {
+                const obs::trace_span span{"worker", "test"};
+            }
+        });
+    }
+    for (std::thread& w : workers) {
+        w.join();
+    }
+    t.disable();
+
+    std::set<double> tids;
+    std::size_t events = 0;
+    for (const json::value& e : parse_events(t.export_chrome_json())) {
+        if (field(e, "ph").as_string() == "X" &&
+            field(e, "name").as_string() == "worker") {
+            tids.insert(field(e, "tid").as_number());
+            ++events;
+        }
+    }
+    EXPECT_EQ(events, static_cast<std::size_t>(threads) * 10);
+    EXPECT_EQ(tids.size(), static_cast<std::size_t>(threads));
+}
+
+TEST_F(TraceTest, ClearDropsRetainedEvents) {
+    obs::tracer& t = obs::tracer::instance();
+    t.enable();
+    t.record("evt", "test", 1, 1);
+    t.clear();
+    t.disable();
+    EXPECT_EQ(t.snapshot().recorded, 0u);
+    EXPECT_EQ(parse_events(t.export_chrome_json()).size(), 0u);
+}
+
+// The determinism contract: tracing observes, never feeds back.
+// Responses must be byte-identical with tracing on and off.
+TEST_F(TraceTest, TracedResponsesAreByteIdentical) {
+    const std::vector<std::string> batch{
+        R"({"op":"scenario1","lambda_um":0.7})",
+        R"({"op":"table3","row":3})",
+        R"({"op":"mc_yield","dies":200,"seed":5})",
+        R"({"op":"yield","model":"murphy","defects_per_cm2":0.8})",
+    };
+
+    silicon::serve::engine untraced{{.parallelism = 2}};
+    const std::vector<std::string> baseline = untraced.handle_batch(batch);
+
+    obs::tracer& t = obs::tracer::instance();
+    t.enable();
+    silicon::serve::engine traced{{.parallelism = 2}};
+    const std::vector<std::string> observed = traced.handle_batch(batch);
+    t.disable();
+
+    EXPECT_EQ(observed, baseline);
+
+    // And the trace actually captured the dispatcher stages.
+    const std::string exported = t.export_chrome_json();
+    EXPECT_NE(exported.find("\"serve.handle_line\""), std::string::npos);
+    EXPECT_NE(exported.find("\"serve.parse\""), std::string::npos);
+    EXPECT_NE(exported.find("\"serve.canonicalize\""), std::string::npos);
+    EXPECT_NE(exported.find("\"serve.cache\""), std::string::npos);
+    EXPECT_NE(exported.find("\"serve.exec\""), std::string::npos);
+    EXPECT_NE(exported.find("\"serve.serialize\""), std::string::npos);
+    EXPECT_NE(exported.find("\"serve.batch\""), std::string::npos);
+    EXPECT_NE(exported.find("\"exec.task\""), std::string::npos);
+}
+
+}  // namespace

@@ -3,6 +3,9 @@
 # output to match the checked-in golden responses byte for byte.
 #
 # Expects: SILICOND (binary path), REQUESTS, GOLDEN, THREADS.
+# Optional: TRACE (a path) — pass --trace and require a well-formed
+# Chrome trace with dispatcher-stage and exec-task spans; the golden
+# byte comparison still applies (tracing must not perturb output).
 
 foreach(var SILICOND REQUESTS GOLDEN THREADS)
   if(NOT DEFINED ${var})
@@ -10,8 +13,14 @@ foreach(var SILICOND REQUESTS GOLDEN THREADS)
   endif()
 endforeach()
 
+set(extra_args)
+if(DEFINED TRACE)
+  file(REMOVE ${TRACE})
+  list(APPEND extra_args --trace ${TRACE})
+endif()
+
 execute_process(
-  COMMAND ${SILICOND} --threads ${THREADS} --batch 7
+  COMMAND ${SILICOND} --threads ${THREADS} --batch 7 ${extra_args}
   INPUT_FILE ${REQUESTS}
   OUTPUT_VARIABLE actual
   RESULT_VARIABLE status)
@@ -24,4 +33,24 @@ if(NOT actual STREQUAL expected)
   message(FATAL_ERROR
     "silicond --threads ${THREADS} output differs from ${GOLDEN}\n"
     "--- actual ---\n${actual}")
+endif()
+
+if(DEFINED TRACE)
+  if(NOT EXISTS ${TRACE})
+    message(FATAL_ERROR "--trace ${TRACE} did not produce a file")
+  endif()
+  file(READ ${TRACE} trace)
+  string(STRIP "${trace}" trace_stripped)
+  if(NOT trace_stripped MATCHES "^\\[")
+    message(FATAL_ERROR "trace is not a JSON array (no leading '[')")
+  endif()
+  if(NOT trace_stripped MATCHES "\\]$")
+    message(FATAL_ERROR "trace is not a JSON array (no trailing ']')")
+  endif()
+  foreach(span serve.handle_line serve.parse serve.canonicalize
+               serve.cache serve.exec serve.serialize serve.batch exec.task)
+    if(NOT trace MATCHES "\"${span}\"")
+      message(FATAL_ERROR "trace is missing expected span: ${span}")
+    endif()
+  endforeach()
 endif()

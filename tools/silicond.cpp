@@ -18,21 +18,43 @@
 //     engine from long-lived clients; determinism per connection is
 //     the same as stdin mode.
 //
+// Observability (DESIGN.md §9): a line starting with `GET /metrics`
+// answers with the Prometheus text exposition instead of JSONL (over
+// TCP it is a minimal HTTP response, so `curl localhost:N/metrics`
+// works); `--metrics-interval S` dumps the same exposition to stderr
+// every S seconds; `--trace FILE` enables the span tracer and writes a
+// Chrome trace_event JSON file at shutdown (load it in chrome://tracing
+// or https://ui.perfetto.dev).  Operational events are structured JSONL
+// on stderr (obs/log) — stdout carries protocol bytes only.  SIGINT /
+// SIGTERM shut down cleanly: pending metrics and the trace file are
+// flushed before exit.
+//
 // Flags:
-//   --threads N         batch fan-out width (0 = hardware, 1 = serial)
-//   --batch N           max lines per engine batch (default 1024)
-//   --cache-capacity N  memoization entries (0 disables; default 65536)
-//   --cache-shards N    cache shard count (default 16)
-//   --port N            serve TCP on 127.0.0.1:N instead of stdin
-//   --metrics           dump the metrics/cache JSON to stderr on exit
+//   --threads N           batch fan-out width (0 = hardware, 1 = serial)
+//   --batch N             max lines per engine batch (default 1024)
+//   --cache-capacity N    memoization entries (0 disables; default 65536)
+//   --cache-shards N      cache shard count (default 16)
+//   --port N              serve TCP on 127.0.0.1:N instead of stdin
+//   --metrics             dump the metrics/cache JSON to stderr on exit
+//   --metrics-interval S  dump Prometheus text to stderr every S seconds
+//   --trace FILE          enable tracing; write Chrome trace JSON on exit
+//   --log-level LEVEL     trace|debug|info|warn|error (default info)
 //   --help
 
+#include "exec/thread_pool.hpp"
+#include "obs/log.hpp"
+#include "obs/trace.hpp"
 #include "serve/engine.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -42,7 +64,26 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#ifndef SILICON_VERSION
+#define SILICON_VERSION "dev"
+#endif
+
 namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+/// Install SIGINT/SIGTERM handlers WITHOUT SA_RESTART so blocking
+/// reads/accepts return EINTR and the main loops can exit cleanly.
+void install_signal_handlers() {
+    struct sigaction sa{};
+    sa.sa_handler = on_signal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+}
 
 struct options {
     unsigned threads = 0;
@@ -51,6 +92,8 @@ struct options {
     std::size_t cache_shards = 16;
     int port = -1;
     bool metrics = false;
+    unsigned metrics_interval = 0;  ///< seconds; 0 = off
+    std::string trace_path;         ///< empty = tracing off
 };
 
 void usage(std::ostream& out) {
@@ -58,12 +101,19 @@ void usage(std::ostream& out) {
            "\n"
            "  silicond [--threads N] [--batch N] [--cache-capacity N]\n"
            "           [--cache-shards N] [--port N] [--metrics]\n"
+           "           [--metrics-interval S] [--trace FILE]\n"
+           "           [--log-level LEVEL]\n"
            "\n"
            "Reads one JSON request per line from stdin (or a TCP\n"
            "connection with --port) and writes one JSON response per\n"
            "line in the same order.  Example:\n"
            "\n"
            "  echo '{\"op\":\"scenario1\",\"lambda_um\":0.5}' | silicond\n"
+           "\n"
+           "A line starting with 'GET /metrics' answers with the\n"
+           "Prometheus text exposition (an HTTP response over TCP, so\n"
+           "curl works).  --trace FILE writes a Chrome trace_event\n"
+           "JSON file at shutdown.\n"
            "\n"
            "Endpoints: cost_tr gross_die yield scenario1 scenario2\n"
            "           table3 mc_yield sweep stats\n";
@@ -77,6 +127,19 @@ bool parse_size(const char* text, std::size_t& out) {
     }
     out = static_cast<std::size_t>(v);
     return true;
+}
+
+bool parse_log_level(const std::string& name, silicon::obs::log_level& out) {
+    using silicon::obs::log_level;
+    for (const log_level level :
+         {log_level::trace, log_level::debug, log_level::info,
+          log_level::warn, log_level::error}) {
+        if (silicon::obs::to_string(level) == name) {
+            out = level;
+            return true;
+        }
+    }
+    return false;
 }
 
 bool parse_options(int argc, char** argv, options& opt) {
@@ -121,11 +184,34 @@ bool parse_options(int argc, char** argv, options& opt) {
                 return false;
             }
             opt.port = static_cast<int>(v);
+        } else if (arg == "--metrics-interval") {
+            const char* t = next();
+            if (t == nullptr || !parse_size(t, v) || v == 0) {
+                return false;
+            }
+            opt.metrics_interval = static_cast<unsigned>(v);
+        } else if (arg == "--trace") {
+            const char* t = next();
+            if (t == nullptr || *t == '\0') {
+                return false;
+            }
+            opt.trace_path = t;
+        } else if (arg == "--log-level") {
+            const char* t = next();
+            silicon::obs::log_level level{};
+            if (t == nullptr || !parse_log_level(t, level)) {
+                return false;
+            }
+            silicon::obs::set_log_threshold(level);
         } else {
             return false;
         }
     }
     return true;
+}
+
+[[nodiscard]] bool is_metrics_request(std::string_view line) {
+    return line.rfind("GET /metrics", 0) == 0;
 }
 
 void flush_batch(silicon::serve::engine& engine,
@@ -144,9 +230,17 @@ int run_stdio(silicon::serve::engine& engine, const options& opt) {
     std::vector<std::string> lines;
     lines.reserve(opt.batch);
     std::string line;
-    while (std::getline(std::cin, line)) {
+    while (g_stop == 0 && std::getline(std::cin, line)) {
         if (line.empty()) {
             continue;  // blank lines are keep-alives, not requests
+        }
+        if (is_metrics_request(line)) {
+            // Scrape op: answer everything pending first so the
+            // exposition reflects it, then emit the text inline.
+            flush_batch(engine, lines, std::cout);
+            std::cout << engine.prometheus_text();
+            std::cout.flush();
+            continue;
         }
         lines.push_back(std::move(line));
         if (lines.size() >= opt.batch) {
@@ -158,9 +252,23 @@ int run_stdio(silicon::serve::engine& engine, const options& opt) {
 }
 
 /// Serve one TCP connection: buffer bytes, split on '\n', answer every
-/// complete batch of lines currently available.
+/// complete batch of lines currently available.  A `GET /metrics` line
+/// turns the connection into a one-shot HTTP metrics scrape.
 void serve_connection(silicon::serve::engine& engine, int fd,
                       std::size_t batch) {
+    const auto send_all = [fd](std::string_view bytes) {
+        std::size_t sent = 0;
+        while (sent < bytes.size()) {
+            const ssize_t n =
+                ::write(fd, bytes.data() + sent, bytes.size() - sent);
+            if (n <= 0) {
+                return false;
+            }
+            sent += static_cast<std::size_t>(n);
+        }
+        return true;
+    };
+
     std::string buffer;
     std::vector<std::string> lines;
     char chunk[4096];
@@ -171,13 +279,23 @@ void serve_connection(silicon::serve::engine& engine, int fd,
         }
         buffer.append(chunk, static_cast<std::size_t>(got));
         std::size_t begin = 0;
+        bool scrape = false;
         for (;;) {
             const std::size_t nl = buffer.find('\n', begin);
             if (nl == std::string::npos) {
                 break;
             }
             if (nl > begin) {
-                lines.emplace_back(buffer.substr(begin, nl - begin));
+                std::string line = buffer.substr(begin, nl - begin);
+                if (!line.empty() && line.back() == '\r') {
+                    line.pop_back();  // tolerate HTTP-style CRLF
+                }
+                if (is_metrics_request(line)) {
+                    scrape = true;
+                    begin = nl + 1;
+                    break;
+                }
+                lines.push_back(std::move(line));
             }
             begin = nl + 1;
             if (lines.size() >= batch) {
@@ -192,16 +310,21 @@ void serve_connection(silicon::serve::engine& engine, int fd,
                 out += '\n';
             }
             lines.clear();
-            std::size_t sent = 0;
-            while (sent < out.size()) {
-                const ssize_t n =
-                    ::write(fd, out.data() + sent, out.size() - sent);
-                if (n <= 0) {
-                    ::close(fd);
-                    return;
-                }
-                sent += static_cast<std::size_t>(n);
+            if (!send_all(out)) {
+                ::close(fd);
+                return;
             }
+        }
+        if (scrape) {
+            const std::string body = engine.prometheus_text();
+            std::string response =
+                "HTTP/1.0 200 OK\r\n"
+                "Content-Type: text/plain; version=0.0.4\r\n"
+                "Content-Length: " +
+                std::to_string(body.size()) + "\r\n\r\n";
+            response += body;
+            send_all(response);
+            break;  // one-shot scrape connection
         }
     }
     ::close(fd);
@@ -210,7 +333,8 @@ void serve_connection(silicon::serve::engine& engine, int fd,
 int run_tcp(silicon::serve::engine& engine, const options& opt) {
     const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
     if (listener < 0) {
-        std::cerr << "silicond: socket: " << std::strerror(errno) << "\n";
+        silicon::obs::log_error("silicond.socket",
+                                {{"error", std::strerror(errno)}});
         return 1;
     }
     const int enable = 1;
@@ -223,17 +347,19 @@ int run_tcp(silicon::serve::engine& engine, const options& opt) {
     if (::bind(listener, reinterpret_cast<const sockaddr*>(&address),
                sizeof address) != 0 ||
         ::listen(listener, 64) != 0) {
-        std::cerr << "silicond: bind/listen on port " << opt.port << ": "
-                  << std::strerror(errno) << "\n";
+        silicon::obs::log_error("silicond.bind",
+                                {{"port", opt.port},
+                                 {"error", std::strerror(errno)}});
         ::close(listener);
         return 1;
     }
-    std::cerr << "silicond: listening on 127.0.0.1:" << opt.port << "\n";
+    silicon::obs::log_info("silicond.listening",
+                           {{"address", "127.0.0.1"}, {"port", opt.port}});
 
-    for (;;) {
+    while (g_stop == 0) {
         const int fd = ::accept(listener, nullptr, nullptr);
         if (fd < 0) {
-            if (errno == EINTR) {
+            if (errno == EINTR && g_stop == 0) {
                 continue;
             }
             break;
@@ -246,6 +372,62 @@ int run_tcp(silicon::serve::engine& engine, const options& opt) {
     return 0;
 }
 
+/// Background Prometheus dumper: one stderr exposition every
+/// `interval` seconds until stopped (condition variable so shutdown
+/// never waits out a full period).
+class metrics_dumper {
+public:
+    metrics_dumper(silicon::serve::engine& engine, unsigned interval)
+        : engine_{engine}, interval_{interval} {
+        if (interval_ > 0) {
+            thread_ = std::thread{[this] { loop(); }};
+        }
+    }
+
+    ~metrics_dumper() { stop(); }
+
+    void stop() {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            if (done_) {
+                return;
+            }
+            done_ = true;
+        }
+        cv_.notify_all();
+        if (thread_.joinable()) {
+            thread_.join();
+        }
+        if (interval_ > 0) {
+            dump();  // final flush so shutdown always records totals
+        }
+    }
+
+private:
+    void loop() {
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (!cv_.wait_for(lock, std::chrono::seconds{interval_},
+                             [this] { return done_; })) {
+            lock.unlock();
+            dump();
+            lock.lock();
+        }
+    }
+
+    void dump() {
+        const std::string text = engine_.prometheus_text();
+        std::fwrite(text.data(), 1, text.size(), stderr);
+        std::fflush(stderr);
+    }
+
+    silicon::serve::engine& engine_;
+    unsigned interval_;
+    std::thread thread_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool done_ = false;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -256,6 +438,12 @@ int main(int argc, char** argv) {
     }
 
     std::ios::sync_with_stdio(false);
+    install_signal_handlers();
+
+    namespace obs = silicon::obs;
+    if (!opt.trace_path.empty()) {
+        obs::tracer::instance().enable();
+    }
 
     silicon::serve::engine_config config;
     config.parallelism = opt.threads;
@@ -263,8 +451,42 @@ int main(int argc, char** argv) {
     config.cache_shards = opt.cache_shards;
     silicon::serve::engine engine{config};
 
+    obs::log_info(
+        "silicond.start",
+        {{"version", SILICON_VERSION},
+         {"threads",
+          silicon::exec::resolve_parallelism(opt.threads)},
+         {"batch", opt.batch},
+         {"cache_capacity", opt.cache_capacity},
+         {"cache_shards", opt.cache_shards},
+         {"mode", opt.port >= 0 ? "tcp" : "stdio"},
+         {"port", opt.port},
+         {"trace", !opt.trace_path.empty()},
+         {"metrics_interval", opt.metrics_interval}});
+
+    metrics_dumper dumper{engine, opt.metrics_interval};
+
     const int status =
         opt.port >= 0 ? run_tcp(engine, opt) : run_stdio(engine, opt);
+
+    // Clean shutdown (EOF or SIGINT/SIGTERM): stop the periodic dumper
+    // (which flushes a final exposition), write the trace, then the
+    // legacy JSON metrics dump.
+    dumper.stop();
+
+    if (!opt.trace_path.empty()) {
+        obs::tracer::instance().disable();
+        if (obs::tracer::instance().write_chrome_json(opt.trace_path)) {
+            const obs::tracer::stats t = obs::tracer::instance().snapshot();
+            obs::log_info("silicond.trace_written",
+                          {{"path", opt.trace_path},
+                           {"events", t.recorded},
+                           {"dropped", t.dropped}});
+        } else {
+            obs::log_error("silicond.trace_write_failed",
+                           {{"path", opt.trace_path}});
+        }
+    }
 
     if (opt.metrics) {
         silicon::serve::json::object dump;
@@ -280,5 +502,8 @@ int main(int argc, char** argv) {
                          silicon::serve::json::value{std::move(dump)})
                   << "\n";
     }
+
+    obs::log_info("silicond.stop",
+                  {{"signal", g_stop != 0}, {"status", status}});
     return status;
 }
