@@ -1,0 +1,350 @@
+// bench_batch_kernels.cpp — throughput of the SoA batch kernels
+// (yield/batch.hpp, cost/batch.hpp) against the per-point paths they
+// replaced, plus the bit-exactness check that makes the speedup
+// meaningful.
+//
+// Two scalar baselines are measured for every kernel:
+//
+//   engine per-point  - the generic sweep path the kernels replaced
+//                       (still present behind sweep_kernels=false, see
+//                       engine::eval_sweep): per grid point, clone the
+//                       target JSON doc, poke the swept member,
+//                       re-canonicalize through parse_request, evaluate,
+//                       dump the result, and re-parse it to extract the
+//                       primary metric.  This is the gated comparison
+//                       (>= 4x).
+//   library scalar    - the scalar model API called per lane (model
+//                       construction + unit-typed evaluation).  Not
+//                       gated; reported for context, and used as the
+//                       bit-exactness reference.
+//
+// Results land in BENCH_kernels.json (machine readable, git-tracked).
+// SILICON_BENCH_TINY=1 shrinks the workload and skips the speedup gate
+// so CI smoke runs stay cheap and unflaky.
+
+#include "core/scenario.hpp"
+#include "core/units.hpp"
+#include "cost/batch.hpp"
+#include "cost/wafer_cost.hpp"
+#include "geometry/wafer.hpp"
+#include "serve/engine.hpp"
+#include "serve/json.hpp"
+#include "serve/request.hpp"
+#include "yield/batch.hpp"
+#include "yield/models.hpp"
+#include "yield/scaled.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace core = silicon::core;
+namespace cost = silicon::cost;
+namespace geometry = silicon::geometry;
+namespace serve = silicon::serve;
+namespace json = silicon::serve::json;
+namespace yield = silicon::yield;
+using silicon::centimeters;
+using silicon::dollars;
+using silicon::microns;
+using silicon::probability;
+using silicon::square_centimeters;
+
+namespace {
+
+bool tiny_mode() {
+    const char* v = std::getenv("SILICON_BENCH_TINY");
+    return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+/// Time `work(lanes)` repeatedly until `min_seconds` elapses; returns
+/// lanes per second.
+double rate_lanes_per_s(std::size_t lanes, double min_seconds,
+                        const std::function<void()>& work) {
+    using clock = std::chrono::steady_clock;
+    std::size_t reps = 0;
+    const auto start = clock::now();
+    double elapsed = 0.0;
+    do {
+        work();
+        ++reps;
+        elapsed = std::chrono::duration<double>(clock::now() - start).count();
+    } while (elapsed < min_seconds);
+    return static_cast<double>(lanes) * static_cast<double>(reps) / elapsed;
+}
+
+/// One kernel under test: the SoA call, the per-lane library call, and
+/// the serve target line + swept parameter for the engine baseline.
+struct kernel_case {
+    std::string name;
+    std::function<void(const std::vector<double>& xs,
+                       std::vector<double>& out)>
+        kernel;
+    std::function<double(double)> library_scalar;
+    std::string target_line;  ///< serve request evaluated per point
+    std::string param;        ///< numeric field swept over xs
+};
+
+std::vector<kernel_case> make_cases() {
+    std::vector<kernel_case> cases;
+
+    {
+        kernel_case c;
+        c.name = "scenario1";
+        c.kernel = [](const std::vector<double>& xs,
+                      std::vector<double>& out) {
+            const std::vector<double> c0(xs.size(), 500.0);
+            const std::vector<double> x(xs.size(), 1.2);
+            const std::vector<double> r(xs.size(), 7.5);
+            const std::vector<double> dd(xs.size(), 30.0);
+            cost::batch::scenario_columns cols;
+            cols.lambda_um = xs.data();
+            cols.c0_usd = c0.data();
+            cols.x = x.data();
+            cols.wafer_radius_cm = r.data();
+            cols.design_density = dd.data();
+            cost::batch::scenario1_cost_per_transistor(cols, out.data(),
+                                                       xs.size());
+        };
+        c.library_scalar = [](double lambda) {
+            core::scenario1 s;
+            s.wafer_cost = cost::wafer_cost_model{dollars{500.0}, 1.2};
+            s.wafer = geometry::wafer{centimeters{7.5}};
+            s.design_density = 30.0;
+            return s.cost_per_transistor(microns{lambda}).value();
+        };
+        c.target_line = R"({"op":"scenario1"})";
+        c.param = "lambda_um";
+        cases.push_back(std::move(c));
+    }
+    {
+        kernel_case c;
+        c.name = "scenario2";
+        c.kernel = [](const std::vector<double>& xs,
+                      std::vector<double>& out) {
+            const std::vector<double> c0(xs.size(), 500.0);
+            const std::vector<double> x(xs.size(), 1.8);
+            const std::vector<double> r(xs.size(), 7.5);
+            const std::vector<double> dd(xs.size(), 200.0);
+            const std::vector<double> y0(xs.size(), 0.7);
+            cost::batch::scenario_columns cols;
+            cols.lambda_um = xs.data();
+            cols.c0_usd = c0.data();
+            cols.x = x.data();
+            cols.wafer_radius_cm = r.data();
+            cols.design_density = dd.data();
+            cols.y0 = y0.data();
+            cost::batch::scenario2_cost_per_transistor(cols, out.data(),
+                                                       xs.size());
+        };
+        c.library_scalar = [](double lambda) {
+            core::scenario2 s;
+            s.wafer_cost = cost::wafer_cost_model{dollars{500.0}, 1.8};
+            s.wafer = geometry::wafer{centimeters{7.5}};
+            s.design_density = 200.0;
+            s.yield = yield::reference_die_yield{probability{0.7}};
+            return s.cost_per_transistor(microns{lambda}).value();
+        };
+        c.target_line = R"({"op":"scenario2","x":1.8})";
+        c.param = "lambda_um";
+        cases.push_back(std::move(c));
+    }
+    {
+        kernel_case c;
+        c.name = "poisson_yield";
+        c.kernel = [](const std::vector<double>& xs,
+                      std::vector<double>& out) {
+            yield::batch::poisson_yield(xs.data(), out.data(), xs.size());
+        };
+        c.library_scalar = [](double f) {
+            const yield::poisson_model model;
+            return model.yield(f).value();
+        };
+        c.target_line = R"({"op":"yield","model":"poisson"})";
+        c.param = "expected_faults";
+        cases.push_back(std::move(c));
+    }
+    {
+        kernel_case c;
+        c.name = "scaled_poisson_yield";
+        c.kernel = [](const std::vector<double>& xs,
+                      std::vector<double>& out) {
+            const std::vector<double> a(xs.size(), 1.0);
+            const std::vector<double> d(xs.size(), 1.72);
+            const std::vector<double> p(xs.size(), 4.07);
+            yield::batch::scaled_poisson_yield(a.data(), xs.data(),
+                                               d.data(), p.data(),
+                                               out.data(), xs.size());
+        };
+        c.library_scalar = [](double lambda) {
+            const yield::scaled_poisson_model model{1.72, 4.07};
+            return model.yield(square_centimeters{1.0}, microns{lambda})
+                .value();
+        };
+        c.target_line = R"({"op":"yield","model":"scaled_poisson"})";
+        c.param = "lambda_um";
+        cases.push_back(std::move(c));
+    }
+    return cases;
+}
+
+/// Grid of valid lanes for the swept parameter (all cases accept
+/// values in [0.3, 1.5]).
+std::vector<double> make_grid(std::size_t n) {
+    std::vector<double> xs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        xs[i] = 0.3 + 1.2 * static_cast<double>(i) /
+                          static_cast<double>(n > 1 ? n - 1 : 1);
+    }
+    return xs;
+}
+
+struct case_result {
+    std::string name;
+    std::size_t lanes = 0;
+    double kernel_rate = 0.0;
+    double library_rate = 0.0;
+    double engine_rate = 0.0;
+    bool bit_exact = false;
+};
+
+}  // namespace
+
+int main() {
+    const bool tiny = tiny_mode();
+    const std::size_t kernel_lanes = tiny ? 4096 : std::size_t{1} << 19;
+    const std::size_t engine_lanes = tiny ? 128 : 8192;
+    const double min_seconds = tiny ? 0.01 : 0.2;
+    constexpr double required_speedup = 4.0;
+
+    serve::engine_config config;
+    config.parallelism = 1;
+    config.cache_capacity = 0;  // honest cold per-point evaluation
+    serve::engine engine{config};
+
+    std::vector<case_result> results;
+    bool all_exact = true;
+
+    for (const kernel_case& c : make_cases()) {
+        case_result r;
+        r.name = c.name;
+        r.lanes = kernel_lanes;
+
+        // Bit-exactness first: the speedup is only meaningful if the
+        // kernel reproduces the scalar library bits.
+        {
+            const std::vector<double> xs = make_grid(2048);
+            std::vector<double> kernel_out(xs.size());
+            c.kernel(xs, kernel_out);
+            r.bit_exact = true;
+            for (std::size_t i = 0; i < xs.size(); ++i) {
+                const double expected = c.library_scalar(xs[i]);
+                if (std::memcmp(&expected, &kernel_out[i],
+                                sizeof expected) != 0) {
+                    r.bit_exact = false;
+                    std::printf("FAIL: %s lane %zu differs\n",
+                                c.name.c_str(), i);
+                    break;
+                }
+            }
+            all_exact = all_exact && r.bit_exact;
+        }
+
+        const std::vector<double> xs = make_grid(kernel_lanes);
+        std::vector<double> out(xs.size());
+        r.kernel_rate = rate_lanes_per_s(kernel_lanes, min_seconds,
+                                         [&] { c.kernel(xs, out); });
+        r.library_rate =
+            rate_lanes_per_s(kernel_lanes, min_seconds, [&] {
+                for (std::size_t i = 0; i < xs.size(); ++i) {
+                    out[i] = c.library_scalar(xs[i]);
+                }
+            });
+
+        // The replaced path, reproduced step for step from the generic
+        // eval_sweep loop: JSON clone -> member poke -> parse_request
+        // (canonicalization included) -> evaluate -> dump -> re-parse ->
+        // metric extraction.
+        const json::value target_doc = json::parse(c.target_line);
+        const std::vector<double> exs = make_grid(engine_lanes);
+        std::vector<double> eout(exs.size());
+        r.engine_rate = rate_lanes_per_s(engine_lanes, min_seconds, [&] {
+            for (std::size_t i = 0; i < exs.size(); ++i) {
+                json::value doc = target_doc;
+                doc.as_object().set(c.param, json::value{exs[i]});
+                const serve::request point = serve::parse_request(doc);
+                const std::string result = json::dump(engine.evaluate(point));
+                const json::value parsed = json::parse(result);
+                eout[i] = parsed.as_object()
+                              .find(serve::primary_metric(point.op))
+                              ->as_number();
+            }
+        });
+
+        std::printf(
+            "%-22s kernel %12.0f lanes/s | library %12.0f (%5.1fx) | "
+            "engine per-point %10.0f (%5.1fx) | bit-exact %s\n",
+            c.name.c_str(), r.kernel_rate, r.library_rate,
+            r.kernel_rate / r.library_rate, r.engine_rate,
+            r.kernel_rate / r.engine_rate, r.bit_exact ? "yes" : "NO");
+        results.push_back(std::move(r));
+    }
+
+    // Machine-readable results.
+    json::object doc;
+    doc.set("bench", json::value{std::string{"bench_batch_kernels"}});
+    doc.set("tiny", json::value{tiny});
+    doc.set("required_speedup_vs_engine", json::value{required_speedup});
+    json::array rows;
+    bool gate_pass = true;
+    for (const case_result& r : results) {
+        json::object row;
+        row.set("name", json::value{r.name});
+        row.set("lanes", json::value{static_cast<double>(r.lanes)});
+        row.set("kernel_lanes_per_s", json::value{r.kernel_rate});
+        row.set("library_scalar_lanes_per_s", json::value{r.library_rate});
+        row.set("engine_perpoint_lanes_per_s", json::value{r.engine_rate});
+        row.set("speedup_vs_library",
+                json::value{r.kernel_rate / r.library_rate});
+        row.set("speedup_vs_engine",
+                json::value{r.kernel_rate / r.engine_rate});
+        row.set("bit_exact", json::value{r.bit_exact});
+        rows.push_back(json::value{std::move(row)});
+        if (r.kernel_rate < required_speedup * r.engine_rate) {
+            gate_pass = false;
+        }
+    }
+    doc.set("kernels", json::value{std::move(rows)});
+    json::object gate;
+    gate.set("skipped", json::value{tiny});
+    gate.set("pass", json::value{tiny || (gate_pass && all_exact)});
+    doc.set("gate", json::value{std::move(gate)});
+
+    const std::string path = "BENCH_kernels.json";
+    std::ofstream file{path, std::ios::binary | std::ios::trunc};
+    file << json::dump(json::value{std::move(doc)}) << "\n";
+    file.close();
+    std::printf("[json] wrote %s\n", path.c_str());
+
+    if (!all_exact) {
+        std::printf("FAIL: kernel output not bit-exact\n");
+        return 1;
+    }
+    if (tiny) {
+        std::printf("OK: tiny mode, speedup gate skipped\n");
+        return 0;
+    }
+    if (!gate_pass) {
+        std::printf("FAIL: kernel < %.0fx engine per-point rate\n",
+                    required_speedup);
+        return 1;
+    }
+    std::printf("OK: every kernel >= %.0fx the per-point path it replaced\n",
+                required_speedup);
+    return 0;
+}

@@ -1,0 +1,60 @@
+// batch.hpp — structure-of-arrays cost kernels for sweep evaluation.
+//
+// Companions to yield/batch.hpp on the money side: contiguous-array
+// kernels for the pure wafer cost C_w(lambda) = C_0 X^((1-lambda)/step)
+// and the paper's Scenario #1 / Scenario #2 cost-per-transistor curves
+// (Eqs. (8) and (9)), which are what the serve engine's `sweep`
+// endpoint spends its time on (Figs. 6 and 7 are exactly these curves).
+//
+// Bit-exactness contract (pinned by tests/cost/test_batch.cpp and the
+// serve sweep equivalence tests): each lane performs exactly the
+// floating-point operations, in the same association order, as
+// wafer_cost_model::pure_wafer_cost / scenario1::cost_per_transistor /
+// scenario2::cost_per_transistor through the serve endpoint's
+// constructor chain.  Lanes whose inputs would make the scalar path
+// throw (C_0 <= 0, X < 1, radius <= 0, lambda <= 0, Y_0 outside (0,1],
+// overflow to infinity, yield underflow to zero, ...) produce quiet
+// NaN, which the engine serializes as JSON null — the bytes the
+// per-point error path yields.  Kernels never throw, and lanes are
+// independent (sub-range calls compose bit-identically).
+
+#pragma once
+
+#include <cstddef>
+
+namespace silicon::cost::batch {
+
+/// Pure wafer cost C_0 * X^((1 - lambda)/step) per lane, mirroring
+/// wafer_cost_model{c0, x, step}.pure_wafer_cost(lambda).  Lane NaN
+/// when the model constructor would reject (c0 non-positive or
+/// non-finite, x < 1, step not strictly positive), lambda is not
+/// strictly positive and finite, or the cost overflows.
+void pure_wafer_cost(const double* c0_usd, const double* x,
+                     const double* lambda_um, double generation_step_um,
+                     double* out, std::size_t n);
+
+/// Parameter columns for the scenario kernels; every pointer spans n
+/// lanes.  `y0` is only read by scenario #2.
+struct scenario_columns {
+    const double* lambda_um = nullptr;
+    const double* c0_usd = nullptr;
+    const double* x = nullptr;
+    const double* wafer_radius_cm = nullptr;
+    const double* design_density = nullptr;
+    const double* y0 = nullptr;
+};
+
+/// Scenario #1 (Eq. (8)): C_tr = C_w(lambda) d_d lambda^2 / A_w in
+/// dollars per lane, the serve `scenario1` endpoint's
+/// cost_per_transistor_usd.
+void scenario1_cost_per_transistor(const scenario_columns& in, double* out,
+                                   std::size_t n);
+
+/// Scenario #2 (Eq. (9)): Scenario #1 divided by the reference-die
+/// yield Y_0^A(lambda) of the roadmap microprocessor die area
+/// A(lambda) = 16.5 exp(-5.3 lambda) cm^2 (A_0 = 1 cm^2), the serve
+/// `scenario2` endpoint's cost_per_transistor_usd.
+void scenario2_cost_per_transistor(const scenario_columns& in, double* out,
+                                   std::size_t n);
+
+}  // namespace silicon::cost::batch

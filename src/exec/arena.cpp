@@ -1,0 +1,87 @@
+#include "exec/arena.hpp"
+
+#include <cstdint>
+#include <cstring>
+
+namespace silicon::exec {
+
+namespace {
+
+[[nodiscard]] std::uintptr_t align_up(std::uintptr_t p,
+                                      std::size_t alignment) noexcept {
+    return (p + alignment - 1) & ~(static_cast<std::uintptr_t>(alignment) - 1);
+}
+
+}  // namespace
+
+void* arena::allocate(std::size_t bytes, std::size_t alignment) {
+    if (bytes == 0) {
+        bytes = 1;  // distinct non-null pointers, like operator new
+    }
+    if (active_ < chunks_.size()) {
+        // Alignment is on the *address* (chunk bases only carry the
+        // default operator-new alignment), so compute the padded offset
+        // from the actual base pointer.
+        const chunk& c = chunks_[active_];
+        const auto base = reinterpret_cast<std::uintptr_t>(c.data.get());
+        const std::size_t aligned =
+            static_cast<std::size_t>(align_up(base + cursor_, alignment) -
+                                     base);
+        if (aligned <= c.size && bytes <= c.size - aligned) {
+            cursor_ = aligned + bytes;
+            allocated_since_reset_ += bytes;
+            lifetime_bytes_ += bytes;
+            return chunks_[active_].data.get() + aligned;
+        }
+    }
+    return allocate_slow(bytes, alignment);
+}
+
+void* arena::allocate_slow(std::size_t bytes, std::size_t alignment) {
+    // Advance through retained chunks first; a chunk created earlier as an
+    // oversize fallback is reused here like any other.
+    while (active_ + 1 < chunks_.size()) {
+        ++active_;
+        cursor_ = 0;
+        const chunk& c = chunks_[active_];
+        const auto base = reinterpret_cast<std::uintptr_t>(c.data.get());
+        const std::size_t aligned =
+            static_cast<std::size_t>(align_up(base, alignment) - base);
+        if (aligned <= c.size && bytes <= c.size - aligned) {
+            cursor_ = aligned + bytes;
+            allocated_since_reset_ += bytes;
+            lifetime_bytes_ += bytes;
+            return chunks_[active_].data.get() + aligned;
+        }
+    }
+    // No retained chunk fits: reserve a new one.  Oversize requests get a
+    // dedicated chunk sized for the request (plus alignment slack).
+    std::size_t want = bytes + alignment;
+    if (want < chunk_bytes_) {
+        want = chunk_bytes_;
+    }
+    chunk c;
+    c.data = std::make_unique<std::byte[]>(want);
+    c.size = want;
+    reserved_ += want;
+    chunks_.push_back(std::move(c));
+    active_ = chunks_.size() - 1;
+    const auto base =
+        reinterpret_cast<std::uintptr_t>(chunks_[active_].data.get());
+    const std::size_t aligned =
+        static_cast<std::size_t>(align_up(base, alignment) - base);
+    cursor_ = aligned + bytes;
+    allocated_since_reset_ += bytes;
+    lifetime_bytes_ += bytes;
+    return chunks_[active_].data.get() + aligned;
+}
+
+const char* arena::copy(const char* data, std::size_t n) {
+    char* dst = static_cast<char*>(allocate(n == 0 ? 1 : n, 1));
+    if (n != 0) {
+        std::memcpy(dst, data, n);
+    }
+    return dst;
+}
+
+}  // namespace silicon::exec

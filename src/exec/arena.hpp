@@ -1,0 +1,131 @@
+#pragma once
+
+/// \file
+/// Monotonic per-batch arena allocator.
+///
+/// The serve hot path parses a request, canonicalizes it, probes the memo
+/// cache, and assembles a response.  All transient storage for one line is
+/// bump-allocated from an arena owned by the worker thread; between lines the
+/// arena is reset (cursor rewind, chunks retained), so a warm request touches
+/// no global allocator at all.  The arena is strictly monotonic: allocations
+/// never free individually, destructors never run, and `reset()` recycles the
+/// memory wholesale.
+///
+/// Design points:
+///  - Chunked: memory is grabbed from `operator new` in chunks (default
+///    64 KiB).  `reset()` rewinds to the first chunk but keeps every chunk
+///    alive, so a steady-state workload stops allocating after warm-up.
+///  - Oversize fallback: a request larger than the chunk size gets a
+///    dedicated chunk sized exactly for it; subsequent allocations continue
+///    from the following chunks (the dedicated chunk is retained and reused
+///    on later passes like any other).
+///  - Alignment: every allocation is aligned to the caller's requirement
+///    (power of two, up to `alignof(std::max_align_t)` guaranteed by the
+///    underlying `new`; stricter requests are honoured by over-aligning the
+///    cursor within the chunk).
+///  - Counters: bytes handed out since the last reset, bytes reserved in
+///    chunks, chunk count, and lifetime totals for observability.
+///
+/// Not thread-safe: one arena per thread (the engine keeps one in a
+/// `thread_local` line state).
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace silicon::exec {
+
+class arena {
+  public:
+    static constexpr std::size_t default_chunk_bytes = 64 * 1024;
+
+    explicit arena(std::size_t chunk_bytes = default_chunk_bytes)
+        : chunk_bytes_{chunk_bytes == 0 ? default_chunk_bytes : chunk_bytes} {}
+
+    arena(const arena&) = delete;
+    arena& operator=(const arena&) = delete;
+
+    /// Returns `bytes` of storage aligned to `alignment` (a power of two).
+    /// Never returns nullptr; throws std::bad_alloc on exhaustion like `new`.
+    void* allocate(std::size_t bytes,
+                   std::size_t alignment = alignof(std::max_align_t));
+
+    /// Rewinds the cursor to the start of the first chunk.  All previously
+    /// returned pointers become invalid; every chunk stays allocated so a
+    /// warmed arena serves the next batch without touching the heap.
+    void reset() noexcept {
+        allocated_since_reset_ = 0;
+        active_ = 0;
+        cursor_ = 0;
+    }
+
+    /// Frees every chunk (used by tests; normal operation only resets).
+    void release() noexcept {
+        chunks_.clear();
+        reserved_ = 0;
+        reset();
+    }
+
+    /// Constructs a trivially-destructible T inside the arena.
+    template <class T, class... Args>
+    T* make(Args&&... args) {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena never runs destructors");
+        void* p = allocate(sizeof(T), alignof(T));
+        return ::new (p) T(std::forward<Args>(args)...);
+    }
+
+    /// Uninitialized array of trivially-destructible T.
+    template <class T>
+    T* make_array(std::size_t n) {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena never runs destructors");
+        if (n == 0) {
+            return nullptr;
+        }
+        return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+    }
+
+    /// Copies `[data, data+n)` into the arena and returns the copy.
+    const char* copy(const char* data, std::size_t n);
+
+    /// User bytes handed out since the last reset (excludes alignment pad).
+    [[nodiscard]] std::size_t bytes_allocated() const noexcept {
+        return allocated_since_reset_;
+    }
+    /// Total chunk capacity currently reserved from the heap.
+    [[nodiscard]] std::size_t bytes_reserved() const noexcept {
+        return reserved_;
+    }
+    [[nodiscard]] std::size_t chunk_count() const noexcept {
+        return chunks_.size();
+    }
+    /// Lifetime total of user bytes handed out (monotonic; survives reset).
+    [[nodiscard]] std::uint64_t lifetime_bytes() const noexcept {
+        return lifetime_bytes_;
+    }
+
+  private:
+    struct chunk {
+        std::unique_ptr<std::byte[]> data;
+        std::size_t size = 0;
+    };
+
+    /// Finds or creates a chunk able to hold `bytes` and points the cursor
+    /// at it.  Out-of-line so the fast bump path stays inlineable.
+    void* allocate_slow(std::size_t bytes, std::size_t alignment);
+
+    std::size_t chunk_bytes_;
+    std::vector<chunk> chunks_;
+    std::size_t active_ = 0;  // index of the chunk the cursor lives in
+    std::size_t cursor_ = 0;  // offset into chunks_[active_]
+    std::size_t reserved_ = 0;
+    std::size_t allocated_since_reset_ = 0;
+    std::uint64_t lifetime_bytes_ = 0;
+};
+
+}  // namespace silicon::exec

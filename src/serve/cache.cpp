@@ -58,6 +58,22 @@ std::shared_ptr<const std::string> memo_cache::get(std::string_view key) {
     return it->second->second;
 }
 
+std::shared_ptr<const std::string> memo_cache::get_if_present(
+    std::string_view key) {
+    if (shards_ == nullptr) {
+        return nullptr;
+    }
+    shard& s = shards_[shard_for(key, shard_count_)];
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    const auto it = s.index.find(key);
+    if (it == s.index.end()) {
+        return nullptr;
+    }
+    ++s.hits;
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return it->second->second;
+}
+
 void memo_cache::put(std::string_view key, std::string value) {
     if (shards_ == nullptr) {
         return;

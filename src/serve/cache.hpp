@@ -61,6 +61,14 @@ public:
     [[nodiscard]] std::shared_ptr<const std::string> get(
         std::string_view key);
 
+    /// Speculative probe used by the engine's hot path: behaves like
+    /// `get` on a hit (counts it, promotes to MRU) but does NOT count a
+    /// miss — the hot path falls back to the legacy pipeline whose `get`
+    /// records the single authoritative miss, keeping hit/miss stats
+    /// identical whether or not the fast path is enabled.
+    [[nodiscard]] std::shared_ptr<const std::string> get_if_present(
+        std::string_view key);
+
     /// Insert or refresh `key`; evicts the least-recently-used entry of
     /// the key's shard when that shard is full.
     void put(std::string_view key, std::string value);

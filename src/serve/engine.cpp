@@ -1,19 +1,28 @@
 #include "serve/engine.hpp"
 
 #include "core/cost_model.hpp"
+#include "cost/batch.hpp"
+#include "exec/arena.hpp"
 #include "obs/trace.hpp"
 #include "core/scenario.hpp"
 #include "core/table3.hpp"
 #include "exec/thread_pool.hpp"
 #include "geometry/gross_die.hpp"
+#include "serve/json_arena.hpp"
+#include "serve/request_fast.hpp"
+#include "yield/batch.hpp"
 #include "yield/models.hpp"
 #include "yield/monte_carlo.hpp"
 #include "yield/scaled.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <exception>
+#include <limits>
 #include <stdexcept>
+#include <unordered_map>
 #include <utility>
 
 namespace silicon::serve {
@@ -341,6 +350,41 @@ std::string error_body(std::string_view code, std::string_view message) {
     return json::dump(json::value{std::move(e)});
 }
 
+/// `envelope` for the allocation-free path: identical bytes, appended
+/// to a reused buffer, with the `id` spliced straight from the arena
+/// document view.
+void envelope_into(const json::aview* id, bool ok, std::string_view body_key,
+                   std::string_view body, std::string& out) {
+    out += '{';
+    if (id != nullptr) {
+        out += "\"id\":";
+        json::dump_into(*id, out);
+        out += ',';
+    }
+    out += "\"ok\":";
+    out += ok ? "true" : "false";
+    out += ",\"";
+    out += body_key;
+    out += "\":";
+    out += body;
+    out += '}';
+}
+
+/// Per-thread hot-path scratch: the parse arena, the arena-view parser
+/// and the reused request.  Engine instances share it safely — it holds
+/// no engine state, only per-line storage that is fully rewritten by
+/// each parse.
+struct line_state {
+    exec::arena arena;
+    json::arena_parser parser;
+    fast_parse_state parsed;
+};
+
+line_state& tls_line_state() {
+    thread_local line_state state;
+    return state;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -395,6 +439,172 @@ std::shared_ptr<const std::string> engine::result_for(const request& req) {
     return result;
 }
 
+bool engine::eval_sweep_fast(const sweep_request& q,
+                             const std::vector<double>& xs,
+                             std::vector<json::value>& ys) {
+    if (q.target == nullptr) {
+        return false;
+    }
+    const request& tgt = *q.target;
+    // mc_yield points are expensive and benefit from per-point
+    // memoization + nested parallelism; table3/stats/sweep targets
+    // have no double parameters worth kernelizing.
+    if (tgt.op == op_code::mc_yield || tgt.op == op_code::table3 ||
+        tgt.op == op_code::sweep || tgt.op == op_code::stats) {
+        return false;
+    }
+
+    const std::size_t n = xs.size();
+    request tmp = tgt;
+    double* slot = numeric_param_ptr(tmp, q.param);
+    if (slot == nullptr) {
+        return false;  // integer-typed parameter: generic path
+    }
+
+    // Expand one payload member into a parameter column: the swept
+    // member carries the grid, everything else is a constant lane.
+    const auto col = [&](const double& member) {
+        std::vector<double> v(n, member);
+        if (&member == slot) {
+            std::copy(xs.begin(), xs.end(), v.begin());
+        }
+        return v;
+    };
+    const auto shard = [&](auto&& body) {
+        exec::parallel_for(n, config_.parallelism,
+                           [&](const exec::shard_range& r) {
+                               body(r.begin, r.end - r.begin);
+                           });
+    };
+    const auto emit = [&](const std::vector<double>& out) {
+        for (std::size_t i = 0; i < n; ++i) {
+            ys[i] = std::isnan(out[i]) ? json::value{nullptr}
+                                       : json::value{out[i]};
+        }
+    };
+
+    switch (tgt.op) {
+        case op_code::scenario1: {
+            const auto& t = std::get<scenario1_request>(tmp.payload);
+            const auto lambda = col(t.lambda_um), c0 = col(t.c0_usd),
+                       x = col(t.x), r = col(t.wafer_radius_cm),
+                       dd = col(t.design_density);
+            std::vector<double> out(n);
+            shard([&](std::size_t b, std::size_t len) {
+                cost::batch::scenario_columns cols;
+                cols.lambda_um = lambda.data() + b;
+                cols.c0_usd = c0.data() + b;
+                cols.x = x.data() + b;
+                cols.wafer_radius_cm = r.data() + b;
+                cols.design_density = dd.data() + b;
+                cost::batch::scenario1_cost_per_transistor(
+                    cols, out.data() + b, len);
+            });
+            emit(out);
+            return true;
+        }
+        case op_code::scenario2: {
+            const auto& t = std::get<scenario2_request>(tmp.payload);
+            const auto lambda = col(t.lambda_um), c0 = col(t.c0_usd),
+                       x = col(t.x), r = col(t.wafer_radius_cm),
+                       dd = col(t.design_density), y0 = col(t.y0);
+            std::vector<double> out(n);
+            shard([&](std::size_t b, std::size_t len) {
+                cost::batch::scenario_columns cols;
+                cols.lambda_um = lambda.data() + b;
+                cols.c0_usd = c0.data() + b;
+                cols.x = x.data() + b;
+                cols.wafer_radius_cm = r.data() + b;
+                cols.design_density = dd.data() + b;
+                cols.y0 = y0.data() + b;
+                cost::batch::scenario2_cost_per_transistor(
+                    cols, out.data() + b, len);
+            });
+            emit(out);
+            return true;
+        }
+        case op_code::yield: {
+            const auto& t = std::get<yield_request>(tmp.payload);
+            if (t.model == "poisson") {
+                const auto ef = col(t.expected_faults),
+                           area = col(t.die_area_cm2),
+                           dpc = col(t.defects_per_cm2);
+                std::vector<double> out(n);
+                shard([&](std::size_t b, std::size_t len) {
+                    // Serve-level fault derivation (eval_yield): the
+                    // explicit count wins, else area * density, both
+                    // gated by the finite/non-negative request check.
+                    std::vector<double> faults(len);
+                    for (std::size_t i = 0; i < len; ++i) {
+                        const double f = ef[b + i] >= 0.0
+                                             ? ef[b + i]
+                                             : area[b + i] * dpc[b + i];
+                        faults[i] =
+                            (!(f >= 0.0) || !std::isfinite(f))
+                                ? std::numeric_limits<
+                                      double>::quiet_NaN()
+                                : f;
+                    }
+                    yield::batch::poisson_yield(faults.data(),
+                                                out.data() + b, len);
+                });
+                emit(out);
+                return true;
+            }
+            if (t.model == "scaled_poisson") {
+                const auto area = col(t.die_area_cm2),
+                           lambda = col(t.lambda_um), d = col(t.d),
+                           p = col(t.p);
+                std::vector<double> out(n);
+                shard([&](std::size_t b, std::size_t len) {
+                    yield::batch::scaled_poisson_yield(
+                        area.data() + b, lambda.data() + b, d.data() + b,
+                        p.data() + b, out.data() + b, len);
+                });
+                emit(out);
+                return true;
+            }
+            if (t.model == "reference") {
+                const auto area = col(t.die_area_cm2), y0 = col(t.y0),
+                           a0 = col(t.a0_cm2);
+                std::vector<double> out(n);
+                shard([&](std::size_t b, std::size_t len) {
+                    yield::batch::reference_yield(area.data() + b,
+                                                  y0.data() + b,
+                                                  a0.data() + b,
+                                                  out.data() + b, len);
+                });
+                emit(out);
+                return true;
+            }
+            break;  // murphy/seeds/bose_einstein/neg_binomial: typed lanes
+        }
+        default:
+            break;
+    }
+
+    // Typed per-lane evaluation (cost_tr, gross_die, remaining yield
+    // models): still skips the per-point JSON clone/parse/cache round
+    // trip; each shard pokes its own copy of the target request.
+    exec::parallel_for(
+        n, config_.parallelism, [&](const exec::shard_range& r) {
+            request local = tgt;
+            double* lslot = numeric_param_ptr(local, q.param);
+            for (std::size_t i = r.begin; i < r.end; ++i) {
+                *lslot = xs[i];
+                try {
+                    const json::value res = evaluate(local);
+                    const json::value* metric =
+                        res.as_object().find(primary_metric(local.op));
+                    ys[i] = metric != nullptr ? *metric : json::value{};
+                } catch (const std::exception&) {
+                    ys[i] = json::value{nullptr};
+                }
+            }
+        });
+    return true;
+}
+
 json::value engine::eval_sweep(const sweep_request& q) {
     const std::vector<double> xs = sweep_grid(q);
     std::vector<json::value> ys(xs.size());
@@ -402,32 +612,37 @@ json::value engine::eval_sweep(const sweep_request& q) {
     // Grid points are independent; inside a batch worker this degrades
     // to serial with the identical decomposition (exec contract), so
     // sweep responses are byte-stable at every nesting/thread level.
-    exec::parallel_for(
-        xs.size(), config_.parallelism, [&](const exec::shard_range& r) {
-            for (std::size_t i = r.begin; i < r.end; ++i) {
-                json::value doc{q.target_params};
-                json::value* slot = walk(doc, q.param);
-                if (slot == nullptr) {
-                    continue;  // validated at parse time; cannot happen
-                }
-                *slot = json::value{xs[i]};
-                try {
-                    const request point = parse_request(doc);
-                    const std::shared_ptr<const std::string> result =
-                        result_for(point);
-                    const json::value parsed = json::parse(*result);
-                    const json::value* metric =
-                        parsed.as_object().find(primary_metric(point.op));
-                    if (metric != nullptr) {
-                        ys[i] = *metric;
+    // The SoA kernel path is lane-for-lane bit-identical to the
+    // per-point path below (tests/serve/test_engine.cpp pins this) but
+    // does not populate the per-point memoization cache.
+    if (!config_.sweep_kernels || !eval_sweep_fast(q, xs, ys)) {
+        exec::parallel_for(
+            xs.size(), config_.parallelism, [&](const exec::shard_range& r) {
+                for (std::size_t i = r.begin; i < r.end; ++i) {
+                    json::value doc{q.target_params};
+                    json::value* slot = walk(doc, q.param);
+                    if (slot == nullptr) {
+                        continue;  // validated at parse time; cannot happen
                     }
-                } catch (const std::exception&) {
-                    // Infeasible point (die does not fit, yield
-                    // underflow, negative parameter): null slot.
-                    ys[i] = json::value{nullptr};
+                    *slot = json::value{xs[i]};
+                    try {
+                        const request point = parse_request(doc);
+                        const std::shared_ptr<const std::string> result =
+                            result_for(point);
+                        const json::value parsed = json::parse(*result);
+                        const json::value* metric =
+                            parsed.as_object().find(primary_metric(point.op));
+                        if (metric != nullptr) {
+                            ys[i] = *metric;
+                        }
+                    } catch (const std::exception&) {
+                        // Infeasible point (die does not fit, yield
+                        // underflow, negative parameter): null slot.
+                        ys[i] = json::value{nullptr};
+                    }
                 }
-            }
-        });
+            });
+    }
 
     json::array xs_json;
     xs_json.reserve(xs.size());
@@ -461,6 +676,10 @@ json::value engine::stats_json() {
           static_cast<double>(exec::resolve_parallelism(config_.parallelism)));
     o.set("parse_errors",
           static_cast<double>(parse_errors_.load(std::memory_order_relaxed)));
+    o.set("dedup_hits",
+          static_cast<double>(dedup_hits_.load(std::memory_order_relaxed)));
+    o.set("arena_bytes",
+          static_cast<double>(arena_bytes_.load(std::memory_order_relaxed)));
     return json::value{std::move(o)};
 }
 
@@ -509,6 +728,15 @@ std::string engine::prometheus_text() const {
                            "counter", "Lines that failed JSON parsing");
     obs::prometheus_sample(out, "silicon_serve_parse_errors_total",
                            parse_errors_.load(std::memory_order_relaxed));
+    obs::prometheus_header(out, "silicon_serve_dedup_hits_total", "counter",
+                           "In-batch duplicate lines coalesced behind a "
+                           "representative evaluation");
+    obs::prometheus_sample(out, "silicon_serve_dedup_hits_total",
+                           dedup_hits_.load(std::memory_order_relaxed));
+    obs::prometheus_header(out, "silicon_serve_arena_bytes_total", "counter",
+                           "Arena bytes consumed by hot-path cache hits");
+    obs::prometheus_sample(out, "silicon_serve_arena_bytes_total",
+                           arena_bytes_.load(std::memory_order_relaxed));
     obs::prometheus_header(out, "silicon_serve_parallelism", "gauge",
                            "Resolved batch fan-out width");
     obs::prometheus_sample(
@@ -522,8 +750,76 @@ std::string engine::prometheus_text() const {
 }
 
 std::string engine::handle_line(std::string_view line) {
+    std::string out;
+    handle_line_into(line, out);
+    return out;
+}
+
+void engine::handle_line_into(std::string_view line, std::string& out) {
     const obs::trace_span line_span{"serve.handle_line", "serve"};
     const auto start = std::chrono::steady_clock::now();
+    out.clear();
+    if (config_.hot_path && try_handle_line_hot(line, start, out)) {
+        return;
+    }
+    handle_line_slow(line, start, out);
+}
+
+bool engine::try_handle_line_hot(
+    std::string_view line, std::chrono::steady_clock::time_point start,
+    std::string& out) {
+    line_state& st = tls_line_state();
+    try {
+        st.arena.reset();
+        const json::aview* doc = nullptr;
+        {
+            const obs::trace_span span{"serve.parse", "serve"};
+            doc = &st.parser.parse(line, st.arena);
+        }
+        {
+            const obs::trace_span span{"serve.canonicalize", "serve"};
+            parse_request_fast(*doc, st.parsed);
+        }
+        const request& req = st.parsed.req;
+        if (req.op == op_code::stats) {
+            return false;  // live snapshot: never cached, never hot
+        }
+        std::shared_ptr<const std::string> hit;
+        {
+            const obs::trace_span span{"serve.cache", "serve"};
+            // Probe only: a miss is *not* counted here — the slow path
+            // re-probes with get() and owns the authoritative miss.
+            hit = cache_.get_if_present(req.canonical_key);
+        }
+        if (hit == nullptr) {
+            return false;
+        }
+        arena_bytes_.fetch_add(st.arena.bytes_allocated(),
+                               std::memory_order_relaxed);
+        {
+            const obs::trace_span span{"serve.serialize", "serve"};
+            envelope_into(st.parsed.id_view, true, "result", *hit, out);
+        }
+        endpoint_metrics& m = metrics_.at(req.op);
+        m.requests.fetch_add(1, std::memory_order_relaxed);
+        m.cache_hits.fetch_add(1, std::memory_order_relaxed);
+        const auto elapsed = std::chrono::steady_clock::now() - start;
+        m.latency.record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()));
+        return true;
+    } catch (...) {
+        // Unsupported shape, schema error, anything: the legacy path
+        // re-parses from scratch and produces the authoritative
+        // response (and error accounting).
+        out.clear();
+        return false;
+    }
+}
+
+void engine::handle_line_slow(std::string_view line,
+                              std::chrono::steady_clock::time_point start,
+                              std::string& out) {
     const json::value* id = nullptr;
     json::value id_storage;
     std::string response;
@@ -595,17 +891,93 @@ std::string engine::handle_line(std::string_view line) {
             std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
                 .count()));
     }
-    return response;
+    out = std::move(response);
 }
 
 std::vector<std::string> engine::handle_batch(
     const std::vector<std::string>& lines) {
     const obs::trace_span span{"serve.batch", "serve"};
     std::vector<std::string> responses(lines.size());
+
+    if (!config_.batch_dedup || config_.cache_capacity == 0 ||
+        lines.size() < 2) {
+        exec::parallel_for(lines.size(), config_.parallelism,
+                           [&](const exec::shard_range& r) {
+                               for (std::size_t i = r.begin; i < r.end; ++i) {
+                                   handle_line_into(lines[i], responses[i]);
+                               }
+                           });
+        return responses;
+    }
+
+    // Phase A: canonicalize every line with the fast parser — no
+    // metrics or cache side effects.  Lines the fast parser declines
+    // (malformed, unsupported shape, stats) are simply not dedupable
+    // and evaluate individually.
+    constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
+    std::vector<std::string> keys(lines.size());
+    std::vector<char> dedupable(lines.size(), 0);
+    exec::parallel_for(
+        lines.size(), config_.parallelism, [&](const exec::shard_range& r) {
+            line_state& st = tls_line_state();
+            for (std::size_t i = r.begin; i < r.end; ++i) {
+                try {
+                    st.arena.reset();
+                    const json::aview& doc =
+                        st.parser.parse(lines[i], st.arena);
+                    parse_request_fast(doc, st.parsed);
+                    if (st.parsed.req.op != op_code::stats) {
+                        keys[i] = st.parsed.req.canonical_key;
+                        dedupable[i] = 1;
+                    }
+                } catch (...) {
+                    // Not dedupable; the real parse error (if any) is
+                    // produced when the line evaluates below.
+                }
+            }
+        });
+
+    // The first occurrence of each canonical key is the representative;
+    // later twins wait for it and answer from the cache.  Sequential in
+    // line order so the choice is deterministic.
+    std::vector<std::size_t> rep(lines.size(), npos);
+    std::unordered_map<std::string_view, std::size_t> first;
+    first.reserve(lines.size());
+    std::uint64_t twins = 0;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (dedupable[i] == 0) {
+            continue;
+        }
+        const auto [it, inserted] =
+            first.try_emplace(std::string_view{keys[i]}, i);
+        if (!inserted) {
+            rep[i] = it->second;
+            ++twins;
+        }
+    }
+    dedup_hits_.fetch_add(twins, std::memory_order_relaxed);
+
+    // Phase B: evaluate representatives and non-dedupable lines.
     exec::parallel_for(lines.size(), config_.parallelism,
                        [&](const exec::shard_range& r) {
                            for (std::size_t i = r.begin; i < r.end; ++i) {
-                               responses[i] = handle_line(lines[i]);
+                               if (rep[i] == npos) {
+                                   handle_line_into(lines[i], responses[i]);
+                               }
+                           }
+                       });
+
+    // Phase C: twins.  A successful representative left its result in
+    // the cache, so these are warm (with hot_path: allocation-free)
+    // hits that splice each line's own id; a representative that
+    // *errored* cached nothing and each twin re-evaluates individually
+    // — error responses are never coalesced.
+    exec::parallel_for(lines.size(), config_.parallelism,
+                       [&](const exec::shard_range& r) {
+                           for (std::size_t i = r.begin; i < r.end; ++i) {
+                               if (rep[i] != npos) {
+                                   handle_line_into(lines[i], responses[i]);
+                               }
                            }
                        });
     return responses;

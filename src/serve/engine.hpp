@@ -7,7 +7,7 @@
 // cost/ (wafer cost) — and running batches on the src/exec thread
 // pool.
 //
-// Three layers of speed, none of which may change a byte of output:
+// Six layers of speed, none of which may change a byte of output:
 //
 //   * Batching: `handle_batch` fans request lines across
 //     exec::parallel_for with the configured `parallelism` knob
@@ -20,7 +20,30 @@
 //     (cache.hpp) keyed by the request's canonical serialization;
 //     endpoints are pure functions of their canonical request, so a
 //     hit returns exactly the bytes a fresh evaluation would produce.
-//     Sweep grid points share the same cache as top-level requests.
+//     With `sweep_kernels` off, sweep grid points share the same
+//     cache as top-level requests (see engine_config).
+//   * Hot path (`hot_path`): a warm cache hit is answered without a
+//     single heap allocation — the line is parsed into a per-thread
+//     monotonic arena (json_arena.hpp), canonicalized by the
+//     allocation-free twin parser (request_fast.hpp), probed with
+//     memo_cache::get_if_present, and the response envelope is spliced
+//     into a reused buffer.  Any surprise (miss, unsupported shape,
+//     exception) falls back to the legacy pipeline, which re-parses
+//     from scratch, so bytes, error messages and cache accounting are
+//     exactly the legacy ones (DESIGN.md §10).
+//   * Intra-batch dedup (`batch_dedup`): identical canonical keys
+//     within one `handle_batch` call evaluate once; the twins answer
+//     from the cache after the representative completes.  Error
+//     responses are never coalesced — a twin whose representative
+//     failed re-evaluates individually, and every response keeps its
+//     own `id`.
+//   * SoA sweep kernels (`sweep_kernels`): eligible sweep targets
+//     (scenario #1/#2, poisson / scaled_poisson / reference yield)
+//     evaluate on the structure-of-arrays batch kernels in
+//     yield/batch.hpp and cost/batch.hpp, bit-identical to the
+//     per-point path; other targets with a swept double parameter use
+//     a typed per-lane evaluation that skips the per-point JSON round
+//     trip.
 //   * Parallel kernels: endpoints that are themselves parallel
 //     (mc_yield) inherit the engine parallelism; nested use inside a
 //     batch degrades to serial per the exec engine rules, with
@@ -38,6 +61,7 @@
 #include "serve/request.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -53,6 +77,19 @@ struct engine_config {
     std::size_t cache_capacity = 65536;
     /// Cache shard count (see memo_cache).
     std::size_t cache_shards = 16;
+    /// Arena-backed allocation-free parse/canonicalize/probe fast path
+    /// for `handle_line`; warm cache hits allocate nothing.  Off =
+    /// always take the legacy pipeline (A/B ablation knob; bytes are
+    /// identical either way).
+    bool hot_path = true;
+    /// Coalesce identical canonical keys within one `handle_batch`
+    /// call (requires a non-zero cache_capacity).  Off = every line
+    /// evaluates independently, exactly as before.
+    bool batch_dedup = true;
+    /// Evaluate eligible sweep targets on the SoA batch kernels.
+    /// Kernel-evaluated grid points do not populate the memoization
+    /// cache; turn this off to restore point/sweep cache sharing.
+    bool sweep_kernels = true;
 };
 
 class engine {
@@ -63,6 +100,12 @@ public:
     /// cache) and return the response line (no trailing newline).
     /// Never throws; every failure becomes an error response.
     [[nodiscard]] std::string handle_line(std::string_view line);
+
+    /// `handle_line` into a caller-owned buffer (cleared first, but its
+    /// capacity is reused) — with `hot_path` on, a warm cache hit
+    /// through here performs zero heap allocations (gated by
+    /// tests/serve/test_hotpath.cpp with a counting allocator).
+    void handle_line_into(std::string_view line, std::string& out);
 
     /// Serve a batch of lines on the exec pool; response i answers
     /// line i.  Output is bit-identical for every parallelism value.
@@ -92,18 +135,44 @@ public:
         return config_;
     }
 
+    /// In-batch duplicate lines coalesced behind a representative
+    /// evaluation since start (see `batch_dedup`).
+    [[nodiscard]] std::uint64_t dedup_hits() const noexcept {
+        return dedup_hits_.load(std::memory_order_relaxed);
+    }
+    /// Arena bytes consumed by hot-path cache hits since start.
+    [[nodiscard]] std::uint64_t arena_bytes() const noexcept {
+        return arena_bytes_.load(std::memory_order_relaxed);
+    }
+
 private:
     /// Cached result JSON for a request (everything except `stats`).
     [[nodiscard]] std::shared_ptr<const std::string> result_for(
         const request& req);
 
+    /// Allocation-free warm-hit attempt; false = caller must run the
+    /// legacy path (which owns all miss/error accounting).
+    bool try_handle_line_hot(std::string_view line,
+                             std::chrono::steady_clock::time_point start,
+                             std::string& out);
+    void handle_line_slow(std::string_view line,
+                          std::chrono::steady_clock::time_point start,
+                          std::string& out);
+
     [[nodiscard]] json::value eval_sweep(const sweep_request& q);
+    /// SoA-kernel / typed per-lane sweep evaluation; false = target
+    /// shape not eligible, use the generic per-point path.
+    bool eval_sweep_fast(const sweep_request& q,
+                         const std::vector<double>& xs,
+                         std::vector<json::value>& ys);
     [[nodiscard]] json::value stats_json();
 
     engine_config config_;
     memo_cache cache_;
     metrics_registry metrics_;
     std::atomic<std::uint64_t> parse_errors_{0};
+    std::atomic<std::uint64_t> dedup_hits_{0};
+    std::atomic<std::uint64_t> arena_bytes_{0};
 };
 
 }  // namespace silicon::serve

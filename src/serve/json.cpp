@@ -452,18 +452,23 @@ value parse(std::string_view text) { return parser{text}.run(); }
 // ---------------------------------------------------------------------------
 
 std::string format_number(double d) {
+    std::string out;
+    format_number_into(d, out);
+    return out;
+}
+
+void format_number_into(double d, std::string& out) {
     if (!std::isfinite(d)) {
-        return "null";
+        out += "null";
+        return;
     }
     char buffer[32];
     const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof buffer, d);
     (void)ec;  // 32 bytes always suffice for shortest round-trip doubles
-    return std::string(buffer, ptr);
+    out.append(buffer, static_cast<std::size_t>(ptr - buffer));
 }
 
-namespace {
-
-void write_string(std::string& out, std::string_view s) {
+void write_string_into(std::string& out, std::string_view s) {
     out.push_back('"');
     for (const char c : s) {
         switch (c) {
@@ -488,6 +493,8 @@ void write_string(std::string& out, std::string_view s) {
     out.push_back('"');
 }
 
+namespace {
+
 void write_value(std::string& out, const value& v, bool sort_keys) {
     if (v.is_null()) {
         out += "null";
@@ -496,7 +503,7 @@ void write_value(std::string& out, const value& v, bool sort_keys) {
     } else if (v.is_number()) {
         out += format_number(v.as_number());
     } else if (v.is_string()) {
-        write_string(out, v.as_string());
+        write_string_into(out, v.as_string());
     } else if (v.is_array()) {
         out.push_back('[');
         bool first = true;
@@ -528,7 +535,7 @@ void write_value(std::string& out, const value& v, bool sort_keys) {
                 out.push_back(',');
             }
             first = false;
-            write_string(out, m->first);
+            write_string_into(out, m->first);
             out.push_back(':');
             write_value(out, m->second, sort_keys);
         }
@@ -548,6 +555,10 @@ std::string canonical(const value& v) {
     std::string out;
     write_value(out, v, /*sort_keys=*/true);
     return out;
+}
+
+void canonical_into(const value& v, std::string& out) {
+    write_value(out, v, /*sort_keys=*/true);
 }
 
 }  // namespace silicon::serve::json

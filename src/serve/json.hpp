@@ -138,9 +138,18 @@ private:
 /// string formatting is identical to `dump`.
 [[nodiscard]] std::string canonical(const value& v);
 
+/// Append-style `canonical` (same bytes, appended to `out`).
+void canonical_into(const value& v, std::string& out);
+
 /// Shortest round-trip formatting of a double (std::to_chars); the
 /// single number formatter used by both writers.  Non-finite values
 /// return "null".
 [[nodiscard]] std::string format_number(double d);
+
+/// Append-style variants used by the allocation-free hot path: same bytes
+/// as `format_number` / the writers' string escaping, appended to `out`
+/// (which only allocates if it must grow).
+void format_number_into(double d, std::string& out);
+void write_string_into(std::string& out, std::string_view s);
 
 }  // namespace silicon::serve::json

@@ -1,0 +1,73 @@
+// request_fast.hpp — allocation-free request parsing for the serve hot path.
+//
+// `parse_request` (request.hpp) builds heap-owned `json::value` trees and
+// strings per line; that cost dominates a warm cache hit.  This module is
+// its allocation-free twin: it parses an arena-backed `json::aview`
+// document into a *reused* `request` (string members keep their capacity,
+// the payload variant keeps its alternative when the op repeats) and emits
+// the canonical cache key directly into a reused buffer through
+// hand-ordered sorted-key emitters — no DOM, no sort, no temporaries.
+//
+// Equivalence contract (pinned by tests/serve/test_hotpath.cpp): for every
+// input document, `parse_request_fast` either
+//   - succeeds producing the byte-identical `canonical_key` that
+//     `parse_request(json::parse(line))` would produce, or
+//   - throws a `request_error` with the same code and message.
+// The engine additionally tolerates divergence defensively: any hot-path
+// failure falls back to the legacy pipeline, so a bug here can cost
+// speed, never bytes.
+//
+// `numeric_param_exists` / `numeric_param_ptr` are compile-time member
+// tables mirroring parse_sweep's walk over the canonical target JSON; the
+// pointer variant is what the engine's batched sweep evaluation pokes per
+// grid point instead of cloning and re-parsing a JSON document.
+
+#pragma once
+
+#include "serve/json_arena.hpp"
+#include "serve/request.hpp"
+
+#include <string>
+#include <string_view>
+
+namespace silicon::serve {
+
+/// Reusable parse storage; keep one per thread (the engine embeds it in
+/// its thread-local line state).
+struct fast_parse_state {
+    /// Parsed result: op, payload, has_id and canonical_key are filled.
+    /// `id` is NOT copied into `req.id` (that would allocate) — the raw
+    /// view is left in `id_view` for the caller to serialize directly.
+    request req;
+    const json::aview* id_view = nullptr;
+
+    /// Sweep scratch: the parsed target and its canonical key.  A fast-
+    /// parsed sweep carries no evaluable payload (`sweep_request::target`
+    /// stays null) — the hot path only needs its canonical key; a cache
+    /// miss re-parses through the legacy path before evaluating.
+    request target_req;
+    std::string target_key;
+};
+
+/// Parse and validate one arena-view document into `st` (in place,
+/// allocation-free once warm).  Throws request_error exactly like
+/// parse_request; leaves `st` in an unspecified (but reusable) state on
+/// throw.
+void parse_request_fast(const json::aview& doc, fast_parse_state& st);
+
+/// Appends the canonical cache key of a fully-parsed non-sweep request.
+/// (Sweeps need the target key; parse_request_fast splices it inline.)
+void canonical_key_into(const request& r, std::string& out);
+
+/// True when dotted `path` addresses a numeric parameter of `r`'s
+/// canonical serialization — the exact acceptance set of parse_sweep's
+/// walk over request_to_json (integer-typed parameters included).
+[[nodiscard]] bool numeric_param_exists(const request& r,
+                                        std::string_view path);
+
+/// Pointer to the double member of `r` addressed by `path`; nullptr when
+/// the path is invalid or addresses an integer-typed parameter (those
+/// sweeps take the generic path).
+[[nodiscard]] double* numeric_param_ptr(request& r, std::string_view path);
+
+}  // namespace silicon::serve

@@ -1,0 +1,67 @@
+#include "yield/batch.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace silicon::yield::batch {
+
+namespace {
+
+constexpr double nan_lane = std::numeric_limits<double>::quiet_NaN();
+
+}  // namespace
+
+void poisson_yield(const double* expected_faults, double* out,
+                   std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+        const double f = expected_faults[i];
+        // poisson_model::yield's require_nonnegative guard.
+        out[i] = !(f >= 0.0) ? nan_lane : std::exp(-f);
+    }
+}
+
+void scaled_poisson_yield(const double* die_area_cm2,
+                          const double* lambda_um, const double* d,
+                          const double* p, double* out, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+        const double a = die_area_cm2[i];
+        const double l = lambda_um[i];
+        const double di = d[i];
+        const double pi = p[i];
+        // Constructor guards: scaled_poisson_model{d, p},
+        // square_centimeters{area}, microns{lambda}, then the model's
+        // own lambda > 0 requirement.
+        if (!(di >= 0.0) || !(pi > 2.0) || !(a >= 0.0) || std::isinf(a) ||
+            !(l >= 0.0) || std::isinf(l) || l <= 0.0) {
+            out[i] = nan_lane;
+            continue;
+        }
+        // Exact scalar association: area * (D / lambda^p), then
+        // exp(-faults); the probability constructor's range check maps
+        // to the NaN lane (0 * inf fault counts).
+        const double expected_faults = a * (di / std::pow(l, pi));
+        const double y = std::exp(-expected_faults);
+        out[i] = !(y >= 0.0 && y <= 1.0) ? nan_lane : y;
+    }
+}
+
+void reference_yield(const double* die_area_cm2, const double* y0,
+                     const double* a0_cm2, double* out, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+        const double a = die_area_cm2[i];
+        const double y0i = y0[i];
+        const double a0i = a0_cm2[i];
+        // Constructor guards: probability{y0}, square_centimeters{a0},
+        // reference_die_yield{y0, a0} (y0 > 0, a0 > 0), then the area
+        // argument's own unit check.
+        if (!(y0i >= 0.0 && y0i <= 1.0) || y0i <= 0.0 || !(a0i >= 0.0) ||
+            std::isinf(a0i) || a0i <= 0.0 || !(a >= 0.0) || std::isinf(a)) {
+            out[i] = nan_lane;
+            continue;
+        }
+        const double y = std::pow(y0i, a / a0i);
+        out[i] = !(y >= 0.0 && y <= 1.0) ? nan_lane : y;
+    }
+}
+
+}  // namespace silicon::yield::batch

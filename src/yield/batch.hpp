@@ -1,0 +1,55 @@
+// batch.hpp — structure-of-arrays yield kernels for sweep evaluation.
+//
+// The serve engine's sweep endpoint evaluates the same yield model at
+// hundreds of grid points; going through the scalar API costs a JSON
+// round trip, a cache probe and an exception frame per point.  These
+// kernels take contiguous parameter arrays and write one output lane
+// per point, restructured so the compiler can auto-vectorize the
+// straight-line arithmetic (lane validity is decided by branchless-ish
+// guard chains, not exceptions).
+//
+// Bit-exactness contract (pinned by tests/yield/test_batch.cpp and the
+// serve sweep equivalence tests): every lane performs *exactly* the
+// floating-point operations, in exactly the association order, of the
+// scalar path it mirrors — poisson_model::yield,
+// scaled_poisson_model::yield, reference_die_yield::yield — including
+// the serve layer's constructor validation.  A lane whose inputs would
+// make the scalar path throw (negative fault count, lambda <= 0,
+// Y_0 outside (0,1], ...) produces quiet NaN instead, which the engine
+// serializes as JSON null — the same bytes the per-point error path
+// yields.  Kernels never throw.
+//
+// All kernels are lane-independent: splitting [0, n) into sub-ranges
+// and calling the kernel per range produces bit-identical output, which
+// is what lets the engine shard them over exec::parallel_for while
+// keeping the serve determinism contract.
+
+#pragma once
+
+#include <cstddef>
+
+namespace silicon::yield::batch {
+
+/// Poisson yield exp(-faults) per lane (Eq. (5) family).  Lane i is
+/// NaN when !(expected_faults[i] >= 0) — the scalar model's
+/// require_nonnegative guard (NaN inputs propagate).
+void poisson_yield(const double* expected_faults, double* out,
+                   std::size_t n);
+
+/// Lambda-scaled Poisson yield (Eq. (7)): exp(-A * D / lambda^p) per
+/// lane, mirroring scaled_poisson_model{d,p}.yield(area, lambda) plus
+/// the unit-type constructor guards: lane NaN when !(d >= 0), !(p > 2),
+/// area is negative/infinite/NaN, or lambda is not strictly positive
+/// and finite.
+void scaled_poisson_yield(const double* die_area_cm2,
+                          const double* lambda_um, const double* d,
+                          const double* p, double* out, std::size_t n);
+
+/// Reference-die yield (Eq. (9)): Y_0^(A/A_0) per lane, mirroring
+/// reference_die_yield{y0, a0}.yield(area).  Lane NaN when y0 is not
+/// in (0, 1], a0 is not strictly positive and finite, or area is
+/// negative/infinite/NaN.
+void reference_yield(const double* die_area_cm2, const double* y0,
+                     const double* a0_cm2, double* out, std::size_t n);
+
+}  // namespace silicon::yield::batch

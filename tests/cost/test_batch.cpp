@@ -1,0 +1,239 @@
+// test_batch.cpp — bit-exactness of the SoA cost kernels against the
+// scalar wafer-cost model and scenario evaluators.
+//
+// Contract (cost/batch.hpp): kernel lanes are bit-identical to the
+// scalar path; inputs the scalar path rejects (by throwing) come back
+// as quiet NaN lanes.
+
+#include "cost/batch.hpp"
+
+#include "core/scenario.hpp"
+#include "core/units.hpp"
+#include "cost/wafer_cost.hpp"
+#include "geometry/wafer.hpp"
+#include "yield/scaled.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <vector>
+
+namespace core = silicon::core;
+namespace cost = silicon::cost;
+namespace geometry = silicon::geometry;
+namespace yield = silicon::yield;
+using silicon::centimeters;
+using silicon::dollars;
+using silicon::microns;
+using silicon::probability;
+
+namespace {
+
+constexpr double knan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kinf = std::numeric_limits<double>::infinity();
+
+template <typename Fn>
+double scalar_or_nan(Fn&& fn) {
+    try {
+        return fn();
+    } catch (...) {
+        return knan;
+    }
+}
+
+::testing::AssertionResult lanes_bit_equal(double expected, double actual,
+                                           std::size_t lane) {
+    if (std::isnan(expected) && std::isnan(actual)) {
+        return ::testing::AssertionSuccess();
+    }
+    std::uint64_t eb = 0;
+    std::uint64_t ab = 0;
+    std::memcpy(&eb, &expected, sizeof eb);
+    std::memcpy(&ab, &actual, sizeof ab);
+    if (eb == ab) {
+        return ::testing::AssertionSuccess();
+    }
+    return ::testing::AssertionFailure()
+           << "lane " << lane << ": expected " << expected << " (0x"
+           << std::hex << eb << "), got " << actual << " (0x" << ab << ")";
+}
+
+struct scenario_lane {
+    double lambda = 0.5;
+    double c0 = 500.0;
+    double x = 1.2;
+    double radius = 7.5;
+    double density = 30.0;
+    double y0 = 0.7;
+};
+
+std::vector<scenario_lane> scenario_lanes() {
+    std::vector<scenario_lane> lanes;
+    lanes.push_back({});                                   // paper defaults
+    lanes.push_back({1.0, 500.0, 1.2, 7.5, 30.0, 0.7});    // reference node
+    lanes.push_back({0.35, 1500.0, 2.4, 10.0, 200.0, 0.5});
+    lanes.push_back({2.0, 500.0, 1.1, 7.5, 30.0, 0.9});    // older node
+    lanes.push_back({0.5, 500.0, 1.0, 7.5, 30.0, 0.7});    // X = 1 flat cost
+    lanes.push_back({0.5, 500.0, 1.2, 7.5, 0.0, 0.7});     // zero density
+    // Lanes the scalar path rejects.
+    lanes.push_back({0.0, 500.0, 1.2, 7.5, 30.0, 0.7});    // lambda = 0
+    lanes.push_back({-0.5, 500.0, 1.2, 7.5, 30.0, 0.7});   // lambda < 0
+    lanes.push_back({0.5, 0.0, 1.2, 7.5, 30.0, 0.7});      // c0 = 0
+    lanes.push_back({0.5, -10.0, 1.2, 7.5, 30.0, 0.7});    // c0 < 0
+    lanes.push_back({0.5, 500.0, 0.9, 7.5, 30.0, 0.7});    // x < 1
+    lanes.push_back({0.5, 500.0, 1.2, 0.0, 30.0, 0.7});    // radius = 0
+    lanes.push_back({0.5, 500.0, 1.2, -1.0, 30.0, 0.7});   // radius < 0
+    lanes.push_back({0.5, 500.0, 1.2, 7.5, 30.0, 0.0});    // y0 = 0
+    lanes.push_back({0.5, 500.0, 1.2, 7.5, 30.0, 1.5});    // y0 > 1
+    lanes.push_back({knan, 500.0, 1.2, 7.5, 30.0, 0.7});
+    lanes.push_back({0.5, knan, 1.2, 7.5, 30.0, 0.7});
+    lanes.push_back({0.5, 500.0, knan, 7.5, 30.0, 0.7});
+    lanes.push_back({0.5, 500.0, 1.2, knan, 30.0, 0.7});
+    lanes.push_back({0.5, 500.0, 1.2, 7.5, knan, 0.7});
+    lanes.push_back({0.5, 500.0, 1.2, 7.5, 30.0, knan});
+    lanes.push_back({kinf, 500.0, 1.2, 7.5, 30.0, 0.7});
+    lanes.push_back({0.5, kinf, 1.2, 7.5, 30.0, 0.7});
+    // Overflow in the wafer-cost escalation: pow blows up to inf.
+    lanes.push_back({1e-6, 1e300, 2.4, 7.5, 30.0, 0.7});
+    // Tiny lambda under scenario 2: yield underflows toward 1 (die area
+    // shrinks to ~0) while cost escalates.
+    lanes.push_back({0.05, 500.0, 1.8, 7.5, 200.0, 0.7});
+
+    std::mt19937_64 rng{0xc057u};
+    std::uniform_real_distribution<double> lam{0.05, 2.5};
+    std::uniform_real_distribution<double> c0{50.0, 5000.0};
+    std::uniform_real_distribution<double> x{1.0, 2.5};
+    std::uniform_real_distribution<double> r{2.0, 15.0};
+    std::uniform_real_distribution<double> dd{1.0, 400.0};
+    std::uniform_real_distribution<double> y{0.05, 1.0};
+    for (int i = 0; i < 200; ++i) {
+        lanes.push_back(
+            {lam(rng), c0(rng), x(rng), r(rng), dd(rng), y(rng)});
+    }
+    return lanes;
+}
+
+struct soa {
+    std::vector<double> lambda, c0, x, radius, density, y0;
+    cost::batch::scenario_columns columns() const {
+        cost::batch::scenario_columns c;
+        c.lambda_um = lambda.data();
+        c.c0_usd = c0.data();
+        c.x = x.data();
+        c.wafer_radius_cm = radius.data();
+        c.design_density = density.data();
+        c.y0 = y0.data();
+        return c;
+    }
+};
+
+soa to_soa(const std::vector<scenario_lane>& lanes) {
+    soa s;
+    for (const scenario_lane& lane : lanes) {
+        s.lambda.push_back(lane.lambda);
+        s.c0.push_back(lane.c0);
+        s.x.push_back(lane.x);
+        s.radius.push_back(lane.radius);
+        s.density.push_back(lane.density);
+        s.y0.push_back(lane.y0);
+    }
+    return s;
+}
+
+TEST(CostBatch, PureWaferCostMatchesScalarBitForBit) {
+    struct lane {
+        double c0, x, lambda;
+    };
+    std::vector<lane> lanes = {
+        {500.0, 1.2, 1.0},  {500.0, 1.2, 0.5},  {1500.0, 2.4, 0.35},
+        {500.0, 1.0, 0.2},  {500.0, 1.2, 2.0},  {0.0, 1.2, 0.5},
+        {-5.0, 1.2, 0.5},   {500.0, 0.5, 0.5},  {500.0, 1.2, -1.0},
+        {knan, 1.2, 0.5},   {500.0, knan, 0.5}, {500.0, 1.2, knan},
+        {1e300, 2.4, 1e-6}, {kinf, 1.2, 0.5},   {500.0, 1.2, kinf},
+    };
+    std::mt19937_64 rng{0xc0ffeeu};
+    std::uniform_real_distribution<double> c0{50.0, 5000.0};
+    std::uniform_real_distribution<double> x{1.0, 2.5};
+    std::uniform_real_distribution<double> lam{0.05, 2.5};
+    for (int i = 0; i < 200; ++i) {
+        lanes.push_back({c0(rng), x(rng), lam(rng)});
+    }
+
+    std::vector<double> c0s, xs, ls;
+    for (const lane& l : lanes) {
+        c0s.push_back(l.c0);
+        xs.push_back(l.x);
+        ls.push_back(l.lambda);
+    }
+    std::vector<double> out(lanes.size(), 0.0);
+    cost::batch::pure_wafer_cost(c0s.data(), xs.data(), ls.data(), 0.2,
+                                 out.data(), lanes.size());
+
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+        const lane& l = lanes[i];
+        const double expected = scalar_or_nan([&] {
+            const cost::wafer_cost_model model{dollars{l.c0}, l.x};
+            return model.pure_wafer_cost(microns{l.lambda}).value();
+        });
+        EXPECT_TRUE(lanes_bit_equal(expected, out[i], i))
+            << "c0=" << l.c0 << " x=" << l.x << " lambda=" << l.lambda;
+    }
+}
+
+TEST(CostBatch, Scenario1MatchesScalarBitForBit) {
+    const std::vector<scenario_lane> lanes = scenario_lanes();
+    const soa s = to_soa(lanes);
+    std::vector<double> out(lanes.size(), 0.0);
+    cost::batch::scenario1_cost_per_transistor(s.columns(), out.data(),
+                                               lanes.size());
+
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+        const scenario_lane& lane = lanes[i];
+        const double expected = scalar_or_nan([&] {
+            core::scenario1 scenario;
+            scenario.wafer_cost =
+                cost::wafer_cost_model{dollars{lane.c0}, lane.x};
+            scenario.wafer = geometry::wafer{centimeters{lane.radius}};
+            scenario.design_density = lane.density;
+            return scenario.cost_per_transistor(microns{lane.lambda})
+                .value();
+        });
+        EXPECT_TRUE(lanes_bit_equal(expected, out[i], i))
+            << "lambda=" << lane.lambda << " c0=" << lane.c0
+            << " x=" << lane.x << " r=" << lane.radius
+            << " dd=" << lane.density;
+    }
+}
+
+TEST(CostBatch, Scenario2MatchesScalarBitForBit) {
+    const std::vector<scenario_lane> lanes = scenario_lanes();
+    const soa s = to_soa(lanes);
+    std::vector<double> out(lanes.size(), 0.0);
+    cost::batch::scenario2_cost_per_transistor(s.columns(), out.data(),
+                                               lanes.size());
+
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+        const scenario_lane& lane = lanes[i];
+        const double expected = scalar_or_nan([&] {
+            core::scenario2 scenario;
+            scenario.wafer_cost =
+                cost::wafer_cost_model{dollars{lane.c0}, lane.x};
+            scenario.wafer = geometry::wafer{centimeters{lane.radius}};
+            scenario.design_density = lane.density;
+            scenario.yield =
+                yield::reference_die_yield{probability{lane.y0}};
+            return scenario.cost_per_transistor(microns{lane.lambda})
+                .value();
+        });
+        EXPECT_TRUE(lanes_bit_equal(expected, out[i], i))
+            << "lambda=" << lane.lambda << " c0=" << lane.c0
+            << " x=" << lane.x << " r=" << lane.radius
+            << " dd=" << lane.density << " y0=" << lane.y0;
+    }
+}
+
+}  // namespace

@@ -1,0 +1,173 @@
+#include "exec/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <set>
+#include <vector>
+
+namespace {
+
+using silicon::exec::arena;
+
+TEST(Arena, AllocationsAreDistinctAndWritable) {
+    arena a{256};
+    char* p = static_cast<char*>(a.allocate(16));
+    char* q = static_cast<char*>(a.allocate(16));
+    ASSERT_NE(p, nullptr);
+    ASSERT_NE(q, nullptr);
+    EXPECT_NE(p, q);
+    std::memset(p, 0xab, 16);
+    std::memset(q, 0xcd, 16);
+    EXPECT_EQ(static_cast<unsigned char>(p[15]), 0xab);
+    EXPECT_EQ(static_cast<unsigned char>(q[0]), 0xcd);
+}
+
+TEST(Arena, ZeroByteAllocationReturnsUniquePointers) {
+    arena a;
+    void* p = a.allocate(0);
+    void* q = a.allocate(0);
+    EXPECT_NE(p, nullptr);
+    EXPECT_NE(p, q);
+}
+
+TEST(Arena, RespectsAlignment) {
+    arena a{512};
+    a.allocate(1);  // misalign the cursor
+    for (std::size_t align : {2u, 4u, 8u, 16u, 32u, 64u}) {
+        auto addr = reinterpret_cast<std::uintptr_t>(a.allocate(3, align));
+        EXPECT_EQ(addr % align, 0u) << "alignment " << align;
+        a.allocate(1);  // re-misalign for the next round
+    }
+}
+
+TEST(Arena, ResetRewindsWithoutReleasingChunks) {
+    arena a{128};
+    for (int i = 0; i < 100; ++i) {
+        a.allocate(32);
+    }
+    const std::size_t reserved = a.bytes_reserved();
+    const std::size_t chunks = a.chunk_count();
+    EXPECT_GT(chunks, 1u);
+    EXPECT_EQ(a.bytes_allocated(), 3200u);
+
+    a.reset();
+    EXPECT_EQ(a.bytes_allocated(), 0u);
+    EXPECT_EQ(a.bytes_reserved(), reserved);
+    EXPECT_EQ(a.chunk_count(), chunks);
+
+    // The same workload after reset reuses the retained chunks: no growth.
+    for (int i = 0; i < 100; ++i) {
+        a.allocate(32);
+    }
+    EXPECT_EQ(a.bytes_reserved(), reserved);
+    EXPECT_EQ(a.chunk_count(), chunks);
+}
+
+TEST(Arena, ResetRecyclesAddresses) {
+    arena a{256};
+    void* first = a.allocate(64);
+    a.allocate(64);
+    a.reset();
+    void* again = a.allocate(64);
+    EXPECT_EQ(first, again);
+}
+
+TEST(Arena, OversizeAllocationGetsDedicatedChunk) {
+    arena a{128};
+    a.allocate(16);
+    // Far larger than the chunk size: must still succeed.
+    char* big = static_cast<char*>(a.allocate(4096));
+    ASSERT_NE(big, nullptr);
+    std::memset(big, 0x5a, 4096);
+    EXPECT_GE(a.bytes_reserved(), 4096u + 128u);
+
+    // Small allocations keep working after the oversize one.
+    void* small = a.allocate(16);
+    EXPECT_NE(small, nullptr);
+
+    // After reset the dedicated chunk is retained and reused.
+    const std::size_t reserved = a.bytes_reserved();
+    a.reset();
+    a.allocate(16);
+    char* big2 = static_cast<char*>(a.allocate(4096));
+    ASSERT_NE(big2, nullptr);
+    EXPECT_EQ(a.bytes_reserved(), reserved);
+}
+
+TEST(Arena, CountersTrackUserBytes) {
+    arena a{1024};
+    EXPECT_EQ(a.bytes_allocated(), 0u);
+    EXPECT_EQ(a.lifetime_bytes(), 0u);
+    a.allocate(10);
+    a.allocate(20);
+    EXPECT_EQ(a.bytes_allocated(), 30u);
+    EXPECT_EQ(a.lifetime_bytes(), 30u);
+    a.reset();
+    EXPECT_EQ(a.bytes_allocated(), 0u);
+    EXPECT_EQ(a.lifetime_bytes(), 30u);  // lifetime counter is monotonic
+    a.allocate(5);
+    EXPECT_EQ(a.bytes_allocated(), 5u);
+    EXPECT_EQ(a.lifetime_bytes(), 35u);
+}
+
+TEST(Arena, ReleaseFreesEverything) {
+    arena a{128};
+    a.allocate(1000);
+    EXPECT_GT(a.bytes_reserved(), 0u);
+    a.release();
+    EXPECT_EQ(a.bytes_reserved(), 0u);
+    EXPECT_EQ(a.chunk_count(), 0u);
+    // Still usable afterwards.
+    EXPECT_NE(a.allocate(64), nullptr);
+}
+
+TEST(Arena, MakeConstructsInPlace) {
+    struct pod {
+        int a;
+        double b;
+    };
+    arena a;
+    pod* p = a.make<pod>(pod{7, 2.5});
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->a, 7);
+    EXPECT_EQ(p->b, 2.5);
+
+    double* xs = a.make_array<double>(16);
+    ASSERT_NE(xs, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(xs) % alignof(double), 0u);
+    EXPECT_EQ(a.make_array<double>(0), nullptr);
+}
+
+TEST(Arena, CopyDuplicatesBytes) {
+    arena a;
+    const char src[] = "hello arena";
+    const char* dup = a.copy(src, sizeof(src));
+    ASSERT_NE(dup, nullptr);
+    EXPECT_NE(dup, src);
+    EXPECT_EQ(std::memcmp(dup, src, sizeof(src)), 0);
+}
+
+TEST(Arena, ManyMixedAllocationsStayDisjoint) {
+    arena a{256};
+    std::vector<std::pair<char*, std::size_t>> blocks;
+    std::size_t want = 1;
+    for (int i = 0; i < 200; ++i) {
+        auto* p = static_cast<char*>(a.allocate(want, 8));
+        std::memset(p, i & 0xff, want);
+        blocks.emplace_back(p, want);
+        want = (want * 7 + 3) % 97 + 1;
+    }
+    // Verify no block was overwritten by a later one.
+    std::size_t i = 0;
+    want = 1;
+    for (auto& [p, n] : blocks) {
+        for (std::size_t j = 0; j < n; ++j) {
+            ASSERT_EQ(static_cast<unsigned char>(p[j]), i & 0xff);
+        }
+        ++i;
+    }
+}
+
+}  // namespace

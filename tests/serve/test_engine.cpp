@@ -180,7 +180,12 @@ TEST(Engine, StatsEndpointIsLive) {
 }
 
 TEST(Engine, SweepSharesCacheWithPointQueries) {
-    serve::engine engine{config_with(1)};
+    // Point/sweep cache sharing is a property of the generic per-point
+    // sweep path; the SoA kernel path (sweep_kernels = true) evaluates
+    // grid points without touching the cache.
+    serve::engine_config config = config_with(1);
+    config.sweep_kernels = false;
+    serve::engine engine{config};
     // Pre-answer one grid point as a standalone request.
     (void)engine.handle_line(R"({"op":"scenario1","lambda_um":0.5})");
     const auto before = engine.cache_stats();
@@ -211,6 +216,119 @@ TEST(Engine, SweepInfeasiblePointsAreNull) {
 TEST(Engine, EmptyBatch) {
     serve::engine engine{config_with(0)};
     EXPECT_TRUE(engine.handle_batch({}).empty());
+}
+
+TEST(Engine, BatchDedupCoalescesDuplicates) {
+    serve::engine engine{config_with(1)};
+    const std::vector<std::string> lines = {
+        R"({"op":"scenario1","lambda_um":0.5})",
+        R"({"op":"scenario1","lambda_um":0.5})",
+        R"({"op":"scenario2","lambda_um":0.8})",
+        R"({"lambda_um":0.5,"op":"scenario1"})",  // same canonical key
+    };
+    const std::vector<std::string> responses = engine.handle_batch(lines);
+    ASSERT_EQ(responses.size(), 4u);
+    EXPECT_EQ(responses[0], responses[1]);
+    EXPECT_EQ(responses[0], responses[3]);
+    EXPECT_NE(responses[0], responses[2]);
+
+    // Two twins spliced from one representative evaluation.
+    EXPECT_EQ(engine.dedup_hits(), 2u);
+    const serve::endpoint_metrics& m =
+        engine.metrics().at(serve::op_code::scenario1);
+    EXPECT_EQ(m.requests.load(), 3u);
+    EXPECT_EQ(m.cache_hits.load(), 2u);  // twins answered from cache
+}
+
+TEST(Engine, BatchDedupPreservesOrderAndIds) {
+    serve::engine engine{config_with(0)};
+    std::vector<std::string> lines;
+    for (int i = 0; i < 24; ++i) {
+        lines.push_back(R"({"id":)" + std::to_string(i) +
+                        R"(,"op":"scenario1","lambda_um":0.5})");
+    }
+    const std::vector<std::string> responses = engine.handle_batch(lines);
+    ASSERT_EQ(responses.size(), lines.size());
+    for (int i = 0; i < 24; ++i) {
+        const std::string prefix = R"({"id":)" + std::to_string(i) + ",";
+        EXPECT_EQ(responses[i].substr(0, prefix.size()), prefix) << i;
+    }
+    EXPECT_EQ(engine.dedup_hits(), 23u);
+}
+
+TEST(Engine, BatchDedupDoesNotCoalesceErrors) {
+    serve::engine engine{config_with(1)};
+    const std::vector<std::string> lines = {
+        R"({"op":"scenario1","lambda_um":-1})",
+        R"({"op":"scenario1","lambda_um":-1})",
+    };
+    const std::vector<std::string> responses = engine.handle_batch(lines);
+    ASSERT_EQ(responses.size(), 2u);
+    EXPECT_NE(responses[0].find(R"("ok":false)"), std::string::npos);
+    EXPECT_EQ(responses[0], responses[1]);
+
+    // Errors are never cached, so the twin re-evaluated instead of
+    // splicing a coalesced result: both attempts show up as errors.
+    const serve::endpoint_metrics& m =
+        engine.metrics().at(serve::op_code::scenario1);
+    EXPECT_EQ(m.errors.load(), 2u);
+    EXPECT_EQ(engine.cache_stats().entries, 0u);
+}
+
+TEST(Engine, BatchDedupDisabledLeavesBehaviorIntact) {
+    serve::engine_config config = config_with(1);
+    config.batch_dedup = false;
+    serve::engine engine{config};
+    const std::vector<std::string> lines = {
+        R"({"op":"scenario1","lambda_um":0.5})",
+        R"({"op":"scenario1","lambda_um":0.5})",
+    };
+    const std::vector<std::string> responses = engine.handle_batch(lines);
+    EXPECT_EQ(responses[0], responses[1]);
+    EXPECT_EQ(engine.dedup_hits(), 0u);
+}
+
+TEST(Engine, SweepKernelMatchesGenericPath) {
+    // The SoA kernel sweep path must be byte-identical to the generic
+    // per-point path for every kernel-eligible target, at every thread
+    // count, including infeasible (null) lanes.
+    const std::vector<std::string> sweeps = {
+        R"({"op":"sweep","param":"lambda_um","from":0.5,"to":1.5,"count":7,
+            "target":{"op":"scenario1"}})",
+        R"({"op":"sweep","param":"lambda_um","from":0.5,"to":-0.5,"count":5,
+            "target":{"op":"scenario2","y0":0.85}})",
+        R"({"op":"sweep","param":"y0","from":0.05,"to":1,"count":6,
+            "scale":"log","target":{"op":"scenario2"}})",
+        R"({"op":"sweep","param":"expected_faults","from":0,"to":4,"count":9,
+            "target":{"op":"yield","model":"poisson"}})",
+        R"({"op":"sweep","param":"die_area_cm2","from":0.2,"to":3,"count":5,
+            "target":{"op":"yield","model":"poisson","defects_per_cm2":0.5}})",
+        R"({"op":"sweep","param":"lambda_um","from":0.4,"to":1.2,"count":6,
+            "target":{"op":"yield","model":"scaled_poisson"}})",
+        R"({"op":"sweep","param":"d","from":0,"to":3,"count":5,
+            "target":{"op":"yield","model":"scaled_poisson"}})",
+        R"({"op":"sweep","param":"a0_cm2","from":0.5,"to":2,"count":4,
+            "target":{"op":"yield","model":"reference","y0":0.7}})",
+        R"({"op":"sweep","param":"expected_faults","from":0,"to":5,"count":8,
+            "target":{"op":"yield","model":"murphy"}})",
+        R"({"op":"sweep","param":"alpha","from":-1,"to":3,"count":5,
+            "target":{"op":"yield","model":"neg_binomial"}})",
+        R"({"op":"sweep","param":"process.c0_usd","from":100,"to":3000,
+            "count":5,"scale":"log","target":{"op":"cost_tr"}})",
+        R"({"op":"sweep","param":"die_width_mm","from":2,"to":30,"count":5,
+            "target":{"op":"gross_die"}})",
+    };
+    for (unsigned parallelism : {1u, 4u, 0u}) {
+        serve::engine_config on = config_with(parallelism);
+        serve::engine_config off = config_with(parallelism);
+        off.sweep_kernels = false;
+        serve::engine kernel{on};
+        serve::engine generic{off};
+        for (const std::string& line : sweeps) {
+            EXPECT_EQ(generic.handle_line(line), kernel.handle_line(line))
+                << "parallelism=" << parallelism << " line=" << line;
+        }
+    }
 }
 
 }  // namespace

@@ -1,0 +1,494 @@
+// test_hotpath.cpp — the zero-allocation gate and fast/legacy
+// equivalence fuzz for the serve hot path (DESIGN.md §10).
+//
+// This file lives in its own test binary (test_serve_hotpath) because
+// it replaces the global allocation functions with counting versions:
+// the tentpole contract "a warm cache hit performs zero heap
+// allocations" is enforced by literally counting operator-new calls
+// around `engine::handle_line_into`.
+//
+// The other half is differential testing: the allocation-free parser
+// (json_arena.hpp) and request canonicalizer (request_fast.hpp) are
+// deliberate twins of the legacy DOM pipeline, so every test here
+// drives both sides with the same corpus and requires byte-identical
+// documents, canonical keys, error codes/messages and response lines.
+
+#include "exec/arena.hpp"
+#include "serve/engine.hpp"
+#include "serve/json.hpp"
+#include "serve/json_arena.hpp"
+#include "serve/request.hpp"
+#include "serve/request_fast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <random>
+#include <string>
+#include <vector>
+
+// ---------------------------------------------------------------------------
+// Counting allocator: every global allocation bumps a thread-local
+// counter.  Deallocation is deliberately not counted (returning memory
+// is allowed on the hot path; taking it is not).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+thread_local std::uint64_t t_allocations = 0;
+
+void* counted_alloc(std::size_t n) {
+    ++t_allocations;
+    if (void* p = std::malloc(n == 0 ? 1 : n)) {
+        return p;
+    }
+    throw std::bad_alloc{};
+}
+
+void* counted_aligned_alloc(std::size_t n, std::size_t alignment) {
+    ++t_allocations;
+    void* p = nullptr;
+    if (posix_memalign(&p, alignment < sizeof(void*) ? sizeof(void*)
+                                                     : alignment,
+                       n == 0 ? 1 : n) != 0) {
+        throw std::bad_alloc{};
+    }
+    return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+    ++t_allocations;
+    return std::malloc(n == 0 ? 1 : n);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+    ++t_allocations;
+    return std::malloc(n == 0 ? 1 : n);
+}
+void* operator new(std::size_t n, std::align_val_t al) {
+    return counted_aligned_alloc(n, static_cast<std::size_t>(al));
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+    return counted_aligned_alloc(n, static_cast<std::size_t>(al));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+    std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+    std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+    std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+    std::free(p);
+}
+
+namespace {
+
+using namespace silicon;
+
+// ---------------------------------------------------------------------------
+// Shared corpus: one entry per endpoint shape plus schema errors,
+// shuffled key orders, string/object/array ids, unicode and numeric
+// edge values.  Everything here must behave identically on the fast
+// and legacy pipelines.
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> corpus() {
+    return {
+        // Every endpoint with defaults and with explicit parameters.
+        R"({"op":"scenario1"})",
+        R"({"op":"scenario1","lambda_um":0.5})",
+        R"({"lambda_um":0.35,"op":"scenario1","c0_usd":800,"x":1.4})",
+        R"({"op":"scenario1","id":17,"wafer_radius_cm":10,"design_density":42.5})",
+        R"({"op":"scenario2"})",
+        R"({"op":"scenario2","id":"s2","y0":0.9,"lambda_um":0.8})",
+        R"({"op":"yield"})",
+        R"({"op":"yield","model":"poisson","expected_faults":0.5})",
+        R"({"op":"yield","model":"poisson","die_area_cm2":2.5,"defects_per_cm2":0.4})",
+        R"({"op":"yield","model":"murphy","expected_faults":1.25})",
+        R"({"op":"yield","model":"seeds","die_area_cm2":1.2})",
+        R"({"op":"yield","model":"bose_einstein","critical_steps":12})",
+        R"({"op":"yield","model":"neg_binomial","alpha":2.5,"expected_faults":3})",
+        R"({"op":"yield","model":"scaled_poisson","d":1.72,"p":4.07,"lambda_um":0.8})",
+        R"({"op":"yield","model":"reference","y0":0.7,"a0_cm2":1.0,"die_area_cm2":1.9})",
+        R"({"op":"cost_tr"})",
+        R"({"op":"cost_tr","product":{"name":"dram","transistors":4.2e6},)"
+        R"("process":{"c0_usd":900,"x":1.3,"yield":{"model":"fixed","fixed":0.8}}})",
+        R"({"op":"cost_tr","process":{"gross_die_method":"area_ratio"},)"
+        R"("economics":{"overhead_usd":1e6,"volume_wafers":1e4}})",
+        R"({"op":"gross_die"})",
+        R"({"op":"gross_die","die_width_mm":12,"die_height_mm":9,)"
+        R"("method":"ferris_prabhu","scribe_mm":0.1})",
+        R"({"op":"table3"})",
+        R"({"op":"table3","row":5})",
+        R"({"op":"mc_yield","dies":64,"seed":7})",
+        R"({"op":"stats"})",
+        R"({"op":"sweep","param":"lambda_um","from":0.5,"to":1.0,)"
+        R"("count":4,"target":{"op":"scenario1"}})",
+        R"({"op":"sweep","param":"y0","from":0.2,"to":0.9,"count":3,)"
+        R"("scale":"log","target":{"op":"scenario2"}})",
+        R"({"op":"sweep","param":"process.c0_usd","from":100,"to":1000,)"
+        R"("count":3,"target":{"op":"cost_tr"}})",
+        // ids of every JSON kind; keys out of order.
+        R"({"id":null,"op":"scenario1"})",
+        R"({"id":true,"op":"scenario1"})",
+        R"({"id":-12.75,"op":"scenario1"})",
+        R"({"id":"req-é☃","op":"scenario1"})",
+        R"({"id":[1,"two",{"three":3}],"op":"scenario1"})",
+        R"({"id":{"trace":"abc","span":9},"op":"scenario1"})",
+        // Numeric edge values.
+        R"({"op":"scenario1","lambda_um":1e-300})",
+        R"({"op":"scenario1","lambda_um":5e-324})",
+        R"({"op":"scenario1","c0_usd":1.7976931348623157e308})",
+        R"({"op":"yield","expected_faults":-0.0})",
+        // Schema errors (messages must match byte for byte).
+        R"({"op":"nope"})",
+        R"({"op":42})",
+        R"({})",
+        R"(17)",
+        R"([1,2,3])",
+        R"({"op":"scenario1","lambda_um":"half"})",
+        R"({"op":"scenario1","bogus":1})",
+        R"({"op":"yield","model":"voodoo"})",
+        R"({"op":"gross_die","method":"voodoo"})",
+        R"({"op":"table3","row":99})",
+        R"({"op":"table3","row":2.5})",
+        R"({"op":"mc_yield","dies":0})",
+        R"({"op":"sweep","param":"lambda_um","from":0.5,"to":1.0,"count":0,)"
+        R"("target":{"op":"scenario1"}})",
+        R"({"op":"sweep","param":"nope","target":{"op":"scenario1"}})",
+        R"({"op":"sweep","param":"lambda_um","scale":"cubic",)"
+        R"("target":{"op":"scenario1"}})",
+        R"({"op":"sweep","param":"lambda_um","target":{"op":"scenario1",)"
+        R"("lambda_um":"x"}})",
+        // Parse errors.
+        R"({"op":"scenario1")",
+        R"({"op":"scenario1",})",
+        R"({"op":"scenario1","lambda_um":01})",
+        R"({"op" "scenario1"})",
+        R"({"op":"scenario1"} trailing)",
+        R"({"a":1,"a":2,"op":"scenario1"})",
+        "",
+        "   ",
+        // Evaluation errors (parse fine, evaluate throws).
+        R"({"op":"scenario1","lambda_um":0})",
+        R"({"op":"scenario2","y0":0})",
+        R"({"op":"gross_die","die_width_mm":1000})",
+        R"({"op":"cost_tr","process":{"wafer_radius_cm":0}})",
+    };
+}
+
+/// Deterministic pseudo-random request lines: scenario1/yield with
+/// randomized values (including negatives and huge magnitudes) and
+/// randomized key presence.
+std::vector<std::string> fuzz_corpus(std::size_t count) {
+    std::mt19937_64 rng{0x5eedu};
+    std::uniform_real_distribution<double> uni{-2.0, 2.0};
+    std::vector<std::string> lines;
+    lines.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const double magnitude =
+            std::pow(10.0, static_cast<double>(rng() % 13) - 6.0);
+        std::string line = "{\"op\":";
+        if (rng() % 2 == 0) {
+            line += "\"scenario1\"";
+            if (rng() % 2 == 0) {
+                line += ",\"lambda_um\":" +
+                        serve::json::format_number(uni(rng) * magnitude);
+            }
+            if (rng() % 2 == 0) {
+                line += ",\"c0_usd\":" +
+                        serve::json::format_number(uni(rng) * magnitude);
+            }
+            if (rng() % 3 == 0) {
+                line += ",\"x\":" + serve::json::format_number(
+                                        1.0 + uni(rng) * 0.5);
+            }
+        } else {
+            line += "\"yield\"";
+            const char* models[] = {"poisson",        "murphy",
+                                    "seeds",          "bose_einstein",
+                                    "neg_binomial",   "scaled_poisson",
+                                    "reference"};
+            line += ",\"model\":\"";
+            line += models[rng() % 7];
+            line += "\"";
+            if (rng() % 2 == 0) {
+                line += ",\"expected_faults\":" +
+                        serve::json::format_number(uni(rng) * magnitude);
+            }
+            if (rng() % 2 == 0) {
+                line += ",\"die_area_cm2\":" +
+                        serve::json::format_number(uni(rng) * magnitude);
+            }
+        }
+        if (rng() % 3 == 0) {
+            line += ",\"id\":" + std::to_string(rng() % 100000);
+        }
+        line += "}";
+        lines.push_back(std::move(line));
+    }
+    return lines;
+}
+
+serve::engine_config fast_config() {
+    serve::engine_config config;
+    config.parallelism = 1;
+    return config;
+}
+
+serve::engine_config legacy_config() {
+    serve::engine_config config;
+    config.parallelism = 1;
+    config.hot_path = false;
+    config.batch_dedup = false;
+    config.sweep_kernels = false;
+    return config;
+}
+
+// ---------------------------------------------------------------------------
+// The zero-allocation gate.
+// ---------------------------------------------------------------------------
+
+class HotPathAllocations : public ::testing::Test {
+protected:
+    /// Warm a request line until the hot path is primed (evaluation
+    /// cached, arena chunks and buffers grown), then count allocations
+    /// across several further warm hits.
+    static std::uint64_t warm_hit_allocations(serve::engine& engine,
+                                              const std::string& line,
+                                              std::string& out) {
+        for (int i = 0; i < 3; ++i) {
+            engine.handle_line_into(line, out);
+        }
+        const std::uint64_t before = t_allocations;
+        for (int i = 0; i < 5; ++i) {
+            engine.handle_line_into(line, out);
+        }
+        return t_allocations - before;
+    }
+};
+
+TEST_F(HotPathAllocations, WarmScenario1HitAllocatesNothing) {
+    serve::engine engine{fast_config()};
+    const std::string line = R"({"id":7,"op":"scenario1","lambda_um":0.5})";
+    std::string out;
+    engine.handle_line_into(line, out);
+    const std::string expected = out;
+    EXPECT_EQ(warm_hit_allocations(engine, line, out), 0u);
+    EXPECT_EQ(out, expected);
+    EXPECT_GT(engine.arena_bytes(), 0u);
+}
+
+TEST_F(HotPathAllocations, WarmHitsAcrossEndpointsAllocateNothing) {
+    serve::engine engine{fast_config()};
+    const std::vector<std::string> lines = {
+        R"({"op":"scenario1","lambda_um":0.5})",
+        R"({"op":"scenario2","id":"abc","y0":0.9})",
+        R"({"op":"yield","model":"murphy","expected_faults":1.5})",
+        R"({"op":"yield","model":"reference","y0":0.7,"die_area_cm2":2})",
+        R"({"op":"cost_tr","product":{"transistors":1e6},)"
+        R"("process":{"c0_usd":900}})",
+        R"({"op":"gross_die","die_width_mm":12,"die_height_mm":9})",
+        R"({"id":[1,2],"op":"table3","row":3})",
+        R"({"op":"mc_yield","dies":32,"seed":3})",
+        R"({"op":"sweep","param":"lambda_um","from":0.5,"to":1.0,)"
+        R"("count":3,"target":{"op":"scenario1"}})",
+    };
+    std::string out;
+    for (const std::string& line : lines) {
+        SCOPED_TRACE(line);
+        serve::engine* e = &engine;
+        EXPECT_EQ(warm_hit_allocations(*e, line, out), 0u);
+    }
+}
+
+TEST_F(HotPathAllocations, ColdAndLegacyPathsStillWork) {
+    // Sanity: the counter itself sees the cold path allocate.
+    serve::engine engine{fast_config()};
+    std::string out;
+    const std::uint64_t before = t_allocations;
+    engine.handle_line_into(R"({"op":"scenario1","lambda_um":0.61})", out);
+    EXPECT_GT(t_allocations, before);
+}
+
+TEST_F(HotPathAllocations, HotPathOffStillAnswersCorrectly) {
+    serve::engine fast{fast_config()};
+    serve::engine legacy{legacy_config()};
+    const std::string line = R"({"id":1,"op":"scenario1","lambda_um":0.5})";
+    std::string a;
+    std::string b;
+    for (int i = 0; i < 3; ++i) {
+        fast.handle_line_into(line, a);
+        legacy.handle_line_into(line, b);
+        EXPECT_EQ(a, b);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential: arena-view parser vs DOM parser.
+// ---------------------------------------------------------------------------
+
+TEST(ArenaParser, MatchesDomParserOnCorpus) {
+    exec::arena arena;
+    serve::json::arena_parser parser;
+    std::vector<std::string> lines = corpus();
+    const std::vector<std::string> extra = fuzz_corpus(500);
+    lines.insert(lines.end(), extra.begin(), extra.end());
+
+    for (const std::string& line : lines) {
+        SCOPED_TRACE(line);
+        std::string dom_dump;
+        std::string dom_error;
+        try {
+            dom_dump = serve::json::dump(serve::json::parse(line));
+        } catch (const serve::json::parse_error& e) {
+            dom_error = e.what();
+        }
+
+        arena.reset();
+        std::string view_dump;
+        std::string view_error;
+        try {
+            const serve::json::aview& doc = parser.parse(line, arena);
+            serve::json::dump_into(doc, view_dump);
+        } catch (const serve::json::parse_error& e) {
+            view_error = e.what();
+        }
+
+        EXPECT_EQ(dom_error, view_error);
+        EXPECT_EQ(dom_dump, view_dump);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential: fast request parser vs legacy request parser.
+// ---------------------------------------------------------------------------
+
+TEST(FastParse, CanonicalKeysAndErrorsMatchLegacy) {
+    exec::arena arena;
+    serve::json::arena_parser parser;
+    serve::fast_parse_state state;
+    std::vector<std::string> lines = corpus();
+    const std::vector<std::string> extra = fuzz_corpus(1000);
+    lines.insert(lines.end(), extra.begin(), extra.end());
+
+    std::size_t declined = 0;
+    for (const std::string& line : lines) {
+        SCOPED_TRACE(line);
+
+        std::string legacy_key;
+        std::string legacy_error;
+        try {
+            const serve::request req =
+                serve::parse_request(serve::json::parse(line));
+            legacy_key = req.canonical_key;
+        } catch (const serve::request_error& e) {
+            legacy_error = std::string{e.code()} + ": " + e.what();
+        } catch (const serve::json::parse_error&) {
+            continue;  // parser equivalence is pinned above
+        }
+
+        std::string fast_key;
+        std::string fast_error;
+        try {
+            arena.reset();
+            const serve::json::aview& doc = parser.parse(line, arena);
+            serve::parse_request_fast(doc, state);
+            fast_key = state.req.canonical_key;
+        } catch (const serve::request_error& e) {
+            fast_error = std::string{e.code()} + ": " + e.what();
+        } catch (...) {
+            // fast_parse_unsupported: the fast parser may decline any
+            // shape (the engine falls back to legacy), but it must
+            // never *disagree*.
+            ++declined;
+            continue;
+        }
+
+        EXPECT_EQ(legacy_error, fast_error);
+        EXPECT_EQ(legacy_key, fast_key);
+    }
+    // The corpus is overwhelmingly supported; declines are the rare
+    // exception (nested-sweep error shapes), not the rule.
+    EXPECT_LT(declined, lines.size() / 20);
+}
+
+// ---------------------------------------------------------------------------
+// Differential: whole-engine responses, fast stack vs legacy stack.
+// ---------------------------------------------------------------------------
+
+TEST(HotPathEquivalence, ResponsesMatchLegacyColdAndWarm) {
+    serve::engine fast{fast_config()};
+    serve::engine legacy{legacy_config()};
+    std::vector<std::string> lines = corpus();
+    const std::vector<std::string> extra = fuzz_corpus(300);
+    lines.insert(lines.end(), extra.begin(), extra.end());
+
+    for (const std::string& line : lines) {
+        SCOPED_TRACE(line);
+        if (line.find("\"stats\"") != std::string::npos) {
+            continue;  // live snapshot: legitimately differs
+        }
+        // Cold, then warm (warm exercises the allocation-free splice).
+        EXPECT_EQ(legacy.handle_line(line), fast.handle_line(line));
+        EXPECT_EQ(legacy.handle_line(line), fast.handle_line(line));
+    }
+}
+
+TEST(HotPathEquivalence, BatchesMatchLegacyAtEveryParallelism) {
+    std::vector<std::string> lines = corpus();
+    const std::vector<std::string> extra = fuzz_corpus(200);
+    lines.insert(lines.end(), extra.begin(), extra.end());
+    // Duplicate a slice so intra-batch dedup actually triggers.
+    for (std::size_t i = 0; i < 50 && i < lines.size(); ++i) {
+        lines.push_back(lines[i]);
+    }
+
+    std::vector<std::vector<std::string>> outputs;
+    for (const unsigned parallelism : {1u, 4u, 0u}) {
+        serve::engine_config on = fast_config();
+        on.parallelism = parallelism;
+        serve::engine_config off = legacy_config();
+        off.parallelism = parallelism;
+        serve::engine fast{on};
+        serve::engine legacy{off};
+
+        std::vector<std::string> fast_out = fast.handle_batch(lines);
+        const std::vector<std::string> legacy_out =
+            legacy.handle_batch(lines);
+        ASSERT_EQ(fast_out.size(), legacy_out.size());
+        for (std::size_t i = 0; i < fast_out.size(); ++i) {
+            if (lines[i].find("\"stats\"") != std::string::npos) {
+                continue;
+            }
+            SCOPED_TRACE(lines[i]);
+            EXPECT_EQ(legacy_out[i], fast_out[i]) << "line " << i;
+        }
+        outputs.push_back(std::move(fast_out));
+    }
+    // Thread-count determinism of the fast stack itself.
+    for (std::size_t i = 0; i < outputs[0].size(); ++i) {
+        if (lines[i].find("\"stats\"") != std::string::npos) {
+            continue;
+        }
+        EXPECT_EQ(outputs[0][i], outputs[1][i]);
+        EXPECT_EQ(outputs[0][i], outputs[2][i]);
+    }
+}
+
+}  // namespace

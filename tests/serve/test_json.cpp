@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <limits>
+#include <random>
 #include <string>
 
 namespace json = silicon::serve::json;
@@ -154,6 +157,71 @@ TEST(JsonObject, SetReplacesInPlace) {
     ASSERT_EQ(o.size(), 2u);
     EXPECT_DOUBLE_EQ(o.find("a")->as_number(), 3.0);
     EXPECT_EQ(o.members()[0].first, "a");  // position preserved
+}
+
+TEST(JsonFormatNumber, RoundTripsRandomDoublesBitExactly) {
+    // Fuzz the shortest-round-trip formatter: 10k doubles drawn as raw
+    // bit patterns (covering subnormals, huge magnitudes, -0.0, and both
+    // non-finite classes), formatted and parsed back.  Finite values
+    // must survive parse(format(x)) with the exact same bits; the wire
+    // policy maps NaN and +/-inf to "null".
+    std::mt19937_64 rng{0x51c1u};
+    std::size_t finite = 0;
+    std::size_t subnormal = 0;
+    for (int i = 0; i < 10000; ++i) {
+        std::uint64_t bits = rng();
+        if (i % 10 == 0) {
+            bits &= ~(0x7ffull << 52);  // force a subnormal (or zero)
+        }
+        double x = 0.0;
+        std::memcpy(&x, &bits, sizeof x);
+
+        const std::string text = json::format_number(x);
+        if (!std::isfinite(x)) {
+            EXPECT_EQ(text, "null") << "bits=0x" << std::hex << bits;
+            continue;
+        }
+        ++finite;
+        if (x != 0.0 && std::fpclassify(x) == FP_SUBNORMAL) {
+            ++subnormal;
+        }
+        const double back = json::parse(text).as_number();
+        std::uint64_t back_bits = 0;
+        std::memcpy(&back_bits, &back, sizeof back_bits);
+        EXPECT_EQ(back_bits, bits)
+            << "x=" << x << " formatted as \"" << text << "\"";
+        // Idempotence: formatting the reparsed value changes nothing.
+        EXPECT_EQ(json::format_number(back), text);
+    }
+    // The corpus genuinely exercised both classes.
+    EXPECT_GT(finite, 4000u);
+    EXPECT_GT(subnormal, 500u);
+}
+
+TEST(JsonFormatNumber, SignedZeroAndExtremesRoundTrip) {
+    const double cases[] = {
+        0.0,
+        -0.0,
+        std::numeric_limits<double>::min(),          // smallest normal
+        std::numeric_limits<double>::denorm_min(),   // 5e-324
+        -std::numeric_limits<double>::denorm_min(),
+        std::numeric_limits<double>::max(),
+        -std::numeric_limits<double>::max(),
+        std::numeric_limits<double>::epsilon(),
+        1.0 + std::numeric_limits<double>::epsilon(),
+    };
+    for (const double x : cases) {
+        const std::string text = json::format_number(x);
+        const double back = json::parse(text).as_number();
+        std::uint64_t xb = 0;
+        std::uint64_t bb = 0;
+        std::memcpy(&xb, &x, sizeof xb);
+        std::memcpy(&bb, &back, sizeof bb);
+        EXPECT_EQ(bb, xb) << "x=" << x << " text=" << text;
+    }
+    // -0.0 keeps its sign on the wire.
+    EXPECT_EQ(json::format_number(-0.0), "-0");
+    EXPECT_TRUE(std::signbit(json::parse("-0").as_number()));
 }
 
 TEST(JsonValue, TypeErrorsOnMismatch) {

@@ -1,0 +1,186 @@
+// test_batch.cpp — bit-exactness of the SoA yield kernels against the
+// scalar models.
+//
+// Contract (yield/batch.hpp): for every lane, the kernel output is
+// bit-identical to the scalar model's result, and lanes whose inputs
+// would make the scalar path throw come back as quiet NaN instead.
+
+#include "yield/batch.hpp"
+
+#include "core/units.hpp"
+#include "yield/models.hpp"
+#include "yield/scaled.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <vector>
+
+namespace yield = silicon::yield;
+using silicon::microns;
+using silicon::probability;
+using silicon::square_centimeters;
+
+namespace {
+
+constexpr double knan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kinf = std::numeric_limits<double>::infinity();
+
+/// Scalar reference evaluation: the kernel contract maps every scalar
+/// throw to a NaN lane.
+template <typename Fn>
+double scalar_or_nan(Fn&& fn) {
+    try {
+        return fn();
+    } catch (...) {
+        return knan;
+    }
+}
+
+::testing::AssertionResult lanes_bit_equal(double expected, double actual,
+                                           std::size_t lane) {
+    if (std::isnan(expected) && std::isnan(actual)) {
+        return ::testing::AssertionSuccess();
+    }
+    std::uint64_t eb = 0;
+    std::uint64_t ab = 0;
+    std::memcpy(&eb, &expected, sizeof eb);
+    std::memcpy(&ab, &actual, sizeof ab);
+    if (eb == ab) {
+        return ::testing::AssertionSuccess();
+    }
+    return ::testing::AssertionFailure()
+           << "lane " << lane << ": expected " << expected << " (0x"
+           << std::hex << eb << "), got " << actual << " (0x" << ab << ")";
+}
+
+TEST(YieldBatch, PoissonMatchesScalarBitForBit) {
+    const std::vector<double> faults = {
+        0.0,   -0.0,  1e-300, 5e-324, 0.5,  1.0,  2.75, 700.0,
+        745.0, 746.0, 1000.0, kinf,   -1.0, -0.5, knan, 1e308,
+    };
+    std::vector<double> out(faults.size(), 0.0);
+    yield::batch::poisson_yield(faults.data(), out.data(), faults.size());
+
+    const yield::poisson_model model;
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        const double expected = scalar_or_nan(
+            [&] { return model.yield(faults[i]).value(); });
+        EXPECT_TRUE(lanes_bit_equal(expected, out[i], i))
+            << "expected_faults=" << faults[i];
+    }
+}
+
+TEST(YieldBatch, ScaledPoissonMatchesScalarBitForBit) {
+    struct lane {
+        double area, lambda, d, p;
+    };
+    std::vector<lane> lanes = {
+        {1.0, 1.0, 1.72, 4.07},   // Fig. 8 calibration at the reference
+        {2.5, 0.5, 1.72, 4.07},   // small feature: huge D_eff
+        {0.0, 0.8, 1.72, 4.07},   // zero area -> Y = 1
+        {1.0, 0.8, 0.0, 4.07},    // perfect line -> Y = 1
+        {1.0, 1e-3, 1.72, 4.07},  // underflowing yield
+        {1.0, -0.5, 1.72, 4.07},  // invalid lambda
+        {1.0, 0.0, 1.72, 4.07},   // lambda = 0 invalid
+        {1.0, 0.8, -1.0, 4.07},   // invalid d
+        {1.0, 0.8, 1.72, 2.0},    // p must exceed 2
+        {1.0, 0.8, 1.72, 1.5},    // p must exceed 2
+        {-1.0, 0.8, 1.72, 4.07},  // negative area
+        {knan, 0.8, 1.72, 4.07},  // NaN area
+        {1.0, knan, 1.72, 4.07},  // NaN lambda
+        {1.0, kinf, 1.72, 4.07},  // infinite lambda
+        {kinf, 0.8, 1.72, 4.07},  // infinite area
+        {1.0, 0.8, kinf, 4.07},   // infinite d
+    };
+    std::mt19937_64 rng{0xba7c4u};
+    std::uniform_real_distribution<double> area{0.0, 4.0};
+    std::uniform_real_distribution<double> lam{0.05, 2.0};
+    std::uniform_real_distribution<double> dd{0.0, 5.0};
+    std::uniform_real_distribution<double> pp{2.1, 6.0};
+    for (int i = 0; i < 200; ++i) {
+        lanes.push_back({area(rng), lam(rng), dd(rng), pp(rng)});
+    }
+
+    std::vector<double> a, l, d, p;
+    for (const lane& x : lanes) {
+        a.push_back(x.area);
+        l.push_back(x.lambda);
+        d.push_back(x.d);
+        p.push_back(x.p);
+    }
+    std::vector<double> out(lanes.size(), 0.0);
+    yield::batch::scaled_poisson_yield(a.data(), l.data(), d.data(),
+                                       p.data(), out.data(), lanes.size());
+
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+        const lane& x = lanes[i];
+        const double expected = scalar_or_nan([&] {
+            const yield::scaled_poisson_model model{x.d, x.p};
+            return model
+                .yield(square_centimeters{x.area}, microns{x.lambda})
+                .value();
+        });
+        EXPECT_TRUE(lanes_bit_equal(expected, out[i], i))
+            << "area=" << x.area << " lambda=" << x.lambda << " d=" << x.d
+            << " p=" << x.p;
+    }
+}
+
+TEST(YieldBatch, ReferenceYieldMatchesScalarBitForBit) {
+    struct lane {
+        double area, y0, a0;
+    };
+    std::vector<lane> lanes = {
+        {1.0, 0.7, 1.0},    // the paper's S2.3 anchor
+        {2.5, 0.7, 1.0},    //
+        {0.0, 0.7, 1.0},    // zero area -> Y = 1
+        {1.0, 1.0, 1.0},    // perfect reference yield
+        {500.0, 0.1, 1.0},  // deep underflow
+        {1.0, 0.0, 1.0},    // y0 must be > 0
+        {1.0, -0.2, 1.0},   // y0 out of range
+        {1.0, 1.2, 1.0},    // y0 out of range
+        {1.0, 0.7, 0.0},    // a0 must be > 0
+        {1.0, 0.7, -1.0},   // a0 negative
+        {-1.0, 0.7, 1.0},   // negative area
+        {knan, 0.7, 1.0},   //
+        {1.0, knan, 1.0},   //
+        {1.0, 0.7, knan},   //
+        {kinf, 0.7, 1.0},   //
+        {1.0, 0.7, kinf},   //
+    };
+    std::mt19937_64 rng{0x4ef0u};
+    std::uniform_real_distribution<double> area{0.0, 6.0};
+    std::uniform_real_distribution<double> y{0.01, 1.0};
+    std::uniform_real_distribution<double> ref{0.1, 3.0};
+    for (int i = 0; i < 200; ++i) {
+        lanes.push_back({area(rng), y(rng), ref(rng)});
+    }
+
+    std::vector<double> a, y0, a0;
+    for (const lane& x : lanes) {
+        a.push_back(x.area);
+        y0.push_back(x.y0);
+        a0.push_back(x.a0);
+    }
+    std::vector<double> out(lanes.size(), 0.0);
+    yield::batch::reference_yield(a.data(), y0.data(), a0.data(), out.data(),
+                                  lanes.size());
+
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+        const lane& x = lanes[i];
+        const double expected = scalar_or_nan([&] {
+            const yield::reference_die_yield model{
+                probability{x.y0}, square_centimeters{x.a0}};
+            return model.yield(square_centimeters{x.area}).value();
+        });
+        EXPECT_TRUE(lanes_bit_equal(expected, out[i], i))
+            << "area=" << x.area << " y0=" << x.y0 << " a0=" << x.a0;
+    }
+}
+
+}  // namespace

@@ -43,6 +43,7 @@
 
 #include "exec/thread_pool.hpp"
 #include "obs/log.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/engine.hpp"
 
@@ -214,21 +215,49 @@ bool parse_options(int argc, char** argv, options& opt) {
     return line.rfind("GET /metrics", 0) == 0;
 }
 
+silicon::obs::counter& flushes_counter() {
+    static silicon::obs::counter& c =
+        silicon::obs::metrics_registry::global().get_counter(
+            "silicond_flushes_total",
+            "Gathered response flushes written to the transport");
+    return c;
+}
+
+silicon::obs::counter& flushed_bytes_counter() {
+    static silicon::obs::counter& c =
+        silicon::obs::metrics_registry::global().get_counter(
+            "silicond_flushed_bytes_total",
+            "Response bytes written through gathered flushes");
+    return c;
+}
+
+/// Gather a batch's responses (and their newlines) into one buffer and
+/// write it with a single stream write + flush — a writev-style flush
+/// instead of one small write per line, which is where stdio time went
+/// on cache-hot batches.  The buffer is reused across batches.
 void flush_batch(silicon::serve::engine& engine,
-                 std::vector<std::string>& lines, std::ostream& out) {
+                 std::vector<std::string>& lines, std::string& gather,
+                 std::ostream& out) {
     if (lines.empty()) {
         return;
     }
+    gather.clear();
     for (const std::string& response : engine.handle_batch(lines)) {
-        out << response << '\n';
+        gather += response;
+        gather += '\n';
     }
+    out.write(gather.data(),
+              static_cast<std::streamsize>(gather.size()));
     out.flush();
+    flushes_counter().add(1);
+    flushed_bytes_counter().add(gather.size());
     lines.clear();
 }
 
 int run_stdio(silicon::serve::engine& engine, const options& opt) {
     std::vector<std::string> lines;
     lines.reserve(opt.batch);
+    std::string gather;
     std::string line;
     while (g_stop == 0 && std::getline(std::cin, line)) {
         if (line.empty()) {
@@ -237,17 +266,17 @@ int run_stdio(silicon::serve::engine& engine, const options& opt) {
         if (is_metrics_request(line)) {
             // Scrape op: answer everything pending first so the
             // exposition reflects it, then emit the text inline.
-            flush_batch(engine, lines, std::cout);
+            flush_batch(engine, lines, gather, std::cout);
             std::cout << engine.prometheus_text();
             std::cout.flush();
             continue;
         }
         lines.push_back(std::move(line));
         if (lines.size() >= opt.batch) {
-            flush_batch(engine, lines, std::cout);
+            flush_batch(engine, lines, gather, std::cout);
         }
     }
-    flush_batch(engine, lines, std::cout);
+    flush_batch(engine, lines, gather, std::cout);
     return 0;
 }
 
@@ -314,6 +343,8 @@ void serve_connection(silicon::serve::engine& engine, int fd,
                 ::close(fd);
                 return;
             }
+            flushes_counter().add(1);
+            flushed_bytes_counter().add(out.size());
         }
         if (scrape) {
             const std::string body = engine.prometheus_text();

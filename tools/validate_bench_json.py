@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Schema check for the machine-readable bench artifacts.
+
+Usage: validate_bench_json.py BENCH_serve.json BENCH_kernels.json ...
+
+Each file must be valid JSON with the fields the perf quickstart
+(README) documents.  CI runs this after the tiny bench-smoke pass; it
+is intentionally dependency-free (stdlib json only).
+"""
+
+import json
+import sys
+
+
+def fail(path, message):
+    print(f"{path}: {message}", file=sys.stderr)
+    return 1
+
+
+def require(doc, path, key, kind):
+    if key not in doc:
+        return fail(path, f"missing key '{key}'")
+    if not isinstance(doc[key], kind):
+        return fail(path, f"key '{key}' should be {kind}, got "
+                          f"{type(doc[key]).__name__}")
+    return 0
+
+
+def check_gate(doc, path):
+    errors = require(doc, path, "gate", dict)
+    if errors:
+        return errors
+    gate = doc["gate"]
+    errors += require(gate, path, "skipped", bool)
+    errors += require(gate, path, "pass", bool)
+    if not gate.get("skipped", False) and not gate.get("pass", True):
+        errors += fail(path, "gate ran and did not pass")
+    return errors
+
+
+def check_serve(doc, path):
+    errors = 0
+    errors += require(doc, path, "memoization", dict)
+    errors += require(doc, path, "cold_batch_ablation", dict)
+    if errors:
+        return errors
+    for key in ("serial_cold_req_per_s", "cache_warm_req_per_s",
+                "warm_speedup_vs_serial", "required_speedup"):
+        errors += require(doc["memoization"], path, key, (int, float))
+    cold = doc["cold_batch_ablation"]
+    for key in ("flags_off_req_per_s", "flags_on_req_per_s", "speedup",
+                "required_speedup", "dedup_hits", "arena_bytes"):
+        errors += require(cold, path, key, (int, float))
+    errors += require(cold, path, "responses_identical", bool)
+    if cold.get("responses_identical") is False:
+        errors += fail(path, "ablation responses were not byte-identical")
+    return errors
+
+
+def check_kernels(doc, path):
+    errors = require(doc, path, "kernels", list)
+    if errors:
+        return errors
+    if not doc["kernels"]:
+        return fail(path, "no kernel rows")
+    for row in doc["kernels"]:
+        for key in ("kernel_lanes_per_s", "library_scalar_lanes_per_s",
+                    "engine_perpoint_lanes_per_s", "speedup_vs_engine"):
+            errors += require(row, path, key, (int, float))
+        errors += require(row, path, "name", str)
+        errors += require(row, path, "bit_exact", bool)
+        if row.get("bit_exact") is False:
+            errors += fail(path, f"kernel {row.get('name')} not bit-exact")
+    return errors
+
+
+CHECKS = {
+    "bench_serve_throughput": check_serve,
+    "bench_batch_kernels": check_kernels,
+}
+
+
+def main(paths):
+    if not paths:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors = 0
+    for path in paths:
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            errors += fail(path, str(e))
+            continue
+        name = doc.get("bench")
+        if name not in CHECKS:
+            errors += fail(path, f"unknown bench name {name!r}")
+            continue
+        errors += require(doc, path, "tiny", bool)
+        errors += CHECKS[name](doc, path)
+        errors += check_gate(doc, path)
+        if not errors:
+            print(f"{path}: ok ({name}, tiny={doc.get('tiny')})")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
