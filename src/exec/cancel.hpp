@@ -1,0 +1,101 @@
+// cancel.hpp — cooperative cancellation and deadlines for exec tasks.
+//
+// The serving layer needs a way to stop long sweeps and Monte-Carlo
+// runs when a request's deadline expires, without giving up the
+// determinism contract (DESIGN.md §7).  The resolution: cancellation
+// is *cooperative* and only observed at task boundaries — a shard that
+// has started always runs to completion, so every piece of completed
+// work is bit-identical to an uncancelled run; cancellation only
+// decides whether the remaining shards run at all.  A cancelled
+// computation never returns partial results: the cancellable
+// `parallel_for` overload (thread_pool.hpp) throws `cancelled_error`
+// after the join, and callers surface that as a structured
+// `deadline_exceeded` error.
+//
+// A token combines two triggers behind one `expired()` query:
+//
+//   * an explicit `cancel()` call (client disconnect, shutdown), and
+//   * a steady-clock deadline set with `set_deadline`.
+//
+// Expiry is *sticky*: once `expired()` has observed the deadline in
+// the past it latches the cancelled flag, so every later query agrees
+// — a computation can never flip back to "not cancelled" because a
+// clock read raced.  All state is relaxed atomics; tokens are safe to
+// query from any number of worker threads concurrently.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+
+namespace silicon::exec {
+
+/// Thrown by cancellable operations after cooperative cancellation
+/// took effect.  The message is deliberately fixed so the serving
+/// layer's `deadline_exceeded` error envelopes are byte-deterministic.
+class cancelled_error : public std::runtime_error {
+public:
+    cancelled_error() : std::runtime_error{"deadline exceeded"} {}
+};
+
+/// Cooperative cancellation token with an optional steady-clock
+/// deadline.  One token per cancellable operation; reusable after
+/// `reset()`.
+class cancel_token {
+public:
+    cancel_token() = default;
+    cancel_token(const cancel_token&) = delete;
+    cancel_token& operator=(const cancel_token&) = delete;
+
+    /// Request cancellation explicitly (idempotent, thread-safe).
+    void cancel() noexcept {
+        cancelled_.store(true, std::memory_order_relaxed);
+    }
+
+    /// Arm the deadline; `expired()` latches once `when` has passed.
+    void set_deadline(std::chrono::steady_clock::time_point when) noexcept {
+        deadline_ns_.store(when.time_since_epoch().count(),
+                           std::memory_order_relaxed);
+    }
+
+    /// True once a deadline is armed (used to skip clock reads).
+    [[nodiscard]] bool has_deadline() const noexcept {
+        return deadline_ns_.load(std::memory_order_relaxed) != 0;
+    }
+
+    /// Disarm and un-cancel (for token reuse between operations).
+    void reset() noexcept {
+        cancelled_.store(false, std::memory_order_relaxed);
+        deadline_ns_.store(0, std::memory_order_relaxed);
+    }
+
+    /// True when cancelled explicitly or the deadline has passed.
+    /// Sticky: the first expiry observation latches the token.
+    [[nodiscard]] bool expired() const noexcept {
+        if (cancelled_.load(std::memory_order_relaxed)) {
+            return true;
+        }
+        const std::int64_t deadline =
+            deadline_ns_.load(std::memory_order_relaxed);
+        if (deadline != 0 &&
+            std::chrono::steady_clock::now().time_since_epoch().count() >=
+                deadline) {
+            cancelled_.store(true, std::memory_order_relaxed);
+            return true;
+        }
+        return false;
+    }
+
+    /// `expired()` minus the latch — for observability-only probes.
+    [[nodiscard]] bool cancelled() const noexcept {
+        return cancelled_.load(std::memory_order_relaxed);
+    }
+
+private:
+    mutable std::atomic<bool> cancelled_{false};
+    std::atomic<std::int64_t> deadline_ns_{0};  // 0 = no deadline armed
+};
+
+}  // namespace silicon::exec

@@ -1,5 +1,6 @@
 #include "exec/thread_pool.hpp"
 
+#include "exec/cancel.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -283,6 +284,28 @@ void parallel_for(std::size_t items, unsigned parallelism,
     } else {
         thread_pool local{threads};
         local.run(shards, task);
+    }
+}
+
+void parallel_for(std::size_t items, unsigned parallelism,
+                  const std::function<void(const shard_range&)>& body,
+                  const cancel_token* cancel) {
+    if (cancel == nullptr) {
+        parallel_for(items, parallelism, body);
+        return;
+    }
+    // Cancellation point at every shard boundary: a shard either runs
+    // to completion or not at all, so whatever completed is identical
+    // to the uncancelled run.  The throw happens after the join so no
+    // worker is abandoned mid-task.
+    parallel_for(items, parallelism, [&](const shard_range& r) {
+        if (cancel->expired()) {
+            return;
+        }
+        body(r);
+    });
+    if (cancel->expired()) {
+        throw cancelled_error{};
     }
 }
 

@@ -136,6 +136,19 @@ private:
 void parallel_for(std::size_t items, unsigned parallelism,
                   const std::function<void(const shard_range&)>& body);
 
+class cancel_token;
+
+/// Cancellable `parallel_for`: identical decomposition and semantics,
+/// plus a cooperative cancellation point before each shard.  A shard
+/// that has started always completes (so completed work is bit-identical
+/// to an uncancelled run); once `cancel->expired()` the remaining shards
+/// are skipped and `cancelled_error` is thrown after the join — a
+/// cancelled call never returns normally with partial work.  A null
+/// token degrades to the plain overload.
+void parallel_for(std::size_t items, unsigned parallelism,
+                  const std::function<void(const shard_range&)>& body,
+                  const cancel_token* cancel);
+
 /// Map/fold over the shard decomposition: `map(shard)` produces one
 /// partial result per shard (in parallel), then `combine(acc, partial)`
 /// folds the partials **in shard-index order** starting from `init`.

@@ -97,6 +97,25 @@ void memo_cache::put(std::string_view key, std::string value) {
     s.index.emplace(s.lru.front().first, s.lru.begin());
 }
 
+std::size_t memo_cache::shed_shards(std::size_t count) {
+    if (shards_ == nullptr) {
+        return 0;
+    }
+    if (count > shard_count_) {
+        count = shard_count_;
+    }
+    std::size_t dropped = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        shard& s = shards_[i];
+        const std::lock_guard<std::mutex> lock(s.mutex);
+        dropped += s.lru.size();
+        s.evictions += s.lru.size();
+        s.index.clear();
+        s.lru.clear();
+    }
+    return dropped;
+}
+
 void memo_cache::clear() {
     for (std::size_t i = 0; i < shard_count_; ++i) {
         shard& s = shards_[i];

@@ -76,6 +76,13 @@ public:
     /// Drop every entry (counters are preserved).
     void clear();
 
+    /// Memory-pressure shedding: drop every resident entry of the first
+    /// `count` shards (clamped to the shard count) and return how many
+    /// entries were released.  Shed entries count as evictions; shards
+    /// stay usable, so this trades hit rate for immediate memory, not
+    /// capacity.  Safe under concurrent get/put.
+    std::size_t shed_shards(std::size_t count);
+
     [[nodiscard]] stats snapshot() const;
 
 private:

@@ -8,6 +8,7 @@
 #include "core/table3.hpp"
 #include "exec/thread_pool.hpp"
 #include "geometry/gross_die.hpp"
+#include "serve/faults.hpp"
 #include "serve/json_arena.hpp"
 #include "serve/request_fast.hpp"
 #include "yield/batch.hpp"
@@ -235,7 +236,8 @@ json::value eval_table3(const table3_request& q) {
     return json::value{std::move(o)};
 }
 
-json::value eval_mc_yield(const mc_yield_request& q, unsigned parallelism) {
+json::value eval_mc_yield(const mc_yield_request& q, unsigned parallelism,
+                          const exec::cancel_token* cancel) {
     yield::wire_array_layout layout;
     layout.line_width = q.line_width_um;
     layout.line_spacing = q.line_spacing_um;
@@ -251,6 +253,7 @@ json::value eval_mc_yield(const mc_yield_request& q, unsigned parallelism) {
     config.extra_material_fraction = q.extra_material_fraction;
     config.seed = q.seed;
     config.parallelism = parallelism;
+    config.cancel = cancel;
 
     const yield::monte_carlo_result r =
         yield::simulate_layout_yield(layout, sizes, config);
@@ -313,6 +316,12 @@ std::string error_code_for(const std::exception& e) {
     if (const auto* schema = dynamic_cast<const request_error*>(&e)) {
         return schema->code();
     }
+    if (dynamic_cast<const exec::cancelled_error*>(&e) != nullptr) {
+        // Before the generic buckets: cancelled_error is a
+        // runtime_error, and its fixed what() keeps the envelope
+        // byte-deterministic.
+        return "deadline_exceeded";
+    }
     if (dynamic_cast<const std::domain_error*>(&e) != nullptr) {
         return "domain_error";
     }
@@ -370,6 +379,20 @@ void envelope_into(const json::aview* id, bool ok, std::string_view body_key,
     out += '}';
 }
 
+/// Deadline instant for a request that started at `start`.  The budget
+/// is clamped far below the time_point's representable range (~31
+/// years) so arithmetic never overflows; a clamped deadline never
+/// expires in practice, which is the right reading of an absurd value.
+std::chrono::steady_clock::time_point deadline_from(
+    std::chrono::steady_clock::time_point start, std::uint64_t budget_ms) {
+    constexpr std::uint64_t max_ms = 1'000'000'000'000;
+    if (budget_ms > max_ms) {
+        budget_ms = max_ms;
+    }
+    return start +
+           std::chrono::milliseconds{static_cast<std::int64_t>(budget_ms)};
+}
+
 /// Per-thread hot-path scratch: the parse arena, the arena-view parser
 /// and the reused request.  Engine instances share it safely — it holds
 /// no engine state, only per-line storage that is fully rewritten by
@@ -396,6 +419,36 @@ engine::engine(engine_config config)
       cache_{config.cache_capacity, config.cache_shards} {}
 
 json::value engine::evaluate(const request& req) {
+    return evaluate_impl(req, nullptr);
+}
+
+json::value engine::evaluate_impl(const request& req,
+                                  const exec::cancel_token* cancel) {
+    // Structural budget checks (too_large): properties of the request
+    // alone, so the same request is rejected identically every time —
+    // the deterministic half of the rejection taxonomy.
+    if (req.op == op_code::sweep && config_.limits.max_sweep_points != 0) {
+        const auto& q = std::get<sweep_request>(req.payload);
+        if (static_cast<std::size_t>(q.count) >
+            config_.limits.max_sweep_points) {
+            admission_.note_rejection(reject_reason::sweep_too_large);
+            throw request_error(
+                "too_large",
+                "sweep: count exceeds max_sweep_points " +
+                    std::to_string(config_.limits.max_sweep_points));
+        }
+    }
+    if (req.op == op_code::mc_yield && config_.limits.max_mc_dies != 0) {
+        const auto& q = std::get<mc_yield_request>(req.payload);
+        if (static_cast<std::size_t>(q.dies) > config_.limits.max_mc_dies) {
+            admission_.note_rejection(reject_reason::mc_too_large);
+            throw request_error(
+                "too_large",
+                "mc_yield: dies exceeds max_mc_dies " +
+                    std::to_string(config_.limits.max_mc_dies));
+        }
+    }
+
     switch (req.op) {
         case op_code::cost_tr:
             return eval_cost_tr(std::get<cost_tr_request>(req.payload));
@@ -411,16 +464,17 @@ json::value engine::evaluate(const request& req) {
             return eval_table3(std::get<table3_request>(req.payload));
         case op_code::mc_yield:
             return eval_mc_yield(std::get<mc_yield_request>(req.payload),
-                                 config_.parallelism);
+                                 config_.parallelism, cancel);
         case op_code::sweep:
-            return eval_sweep(std::get<sweep_request>(req.payload));
+            return eval_sweep(std::get<sweep_request>(req.payload), cancel);
         case op_code::stats:
             return stats_json();
     }
     throw std::logic_error("engine: unhandled op");
 }
 
-std::shared_ptr<const std::string> engine::result_for(const request& req) {
+std::shared_ptr<const std::string> engine::result_for(
+    const request& req, const exec::cancel_token* cancel) {
     {
         const obs::trace_span span{"serve.cache", "serve"};
         if (auto hit = cache_.get(req.canonical_key)) {
@@ -429,19 +483,29 @@ std::shared_ptr<const std::string> engine::result_for(const request& req) {
             return hit;
         }
     }
+    if (faults::enabled()) {
+        faults::maybe_delay("serve.eval");
+        if (faults::should_fail("serve.eval")) {
+            throw std::bad_alloc{};
+        }
+    }
     std::shared_ptr<const std::string> result;
     {
         const obs::trace_span span{"serve.exec", "serve"};
         result = std::make_shared<const std::string>(
-            json::dump(evaluate(req)));
+            json::dump(evaluate_impl(req, cancel)));
     }
+    // A cancelled evaluation threw above, so deadline errors are never
+    // cached; a result that *did* complete is bit-identical to an
+    // uncancelled run (shard-boundary cancellation) and safe to keep.
     cache_.put(req.canonical_key, *result);
     return result;
 }
 
 bool engine::eval_sweep_fast(const sweep_request& q,
                              const std::vector<double>& xs,
-                             std::vector<json::value>& ys) {
+                             std::vector<json::value>& ys,
+                             const exec::cancel_token* cancel) {
     if (q.target == nullptr) {
         return false;
     }
@@ -471,10 +535,12 @@ bool engine::eval_sweep_fast(const sweep_request& q,
         return v;
     };
     const auto shard = [&](auto&& body) {
-        exec::parallel_for(n, config_.parallelism,
-                           [&](const exec::shard_range& r) {
-                               body(r.begin, r.end - r.begin);
-                           });
+        exec::parallel_for(
+            n, config_.parallelism,
+            [&](const exec::shard_range& r) {
+                body(r.begin, r.end - r.begin);
+            },
+            cancel);
     };
     const auto emit = [&](const std::vector<double>& out) {
         for (std::size_t i = 0; i < n; ++i) {
@@ -525,10 +591,15 @@ bool engine::eval_sweep_fast(const sweep_request& q,
         }
         case op_code::yield: {
             const auto& t = std::get<yield_request>(tmp.payload);
-            if (t.model == "poisson") {
+            if (t.model == "poisson" || t.model == "murphy" ||
+                t.model == "seeds" || t.model == "bose_einstein" ||
+                t.model == "neg_binomial") {
                 const auto ef = col(t.expected_faults),
                            area = col(t.die_area_cm2),
                            dpc = col(t.defects_per_cm2);
+                const std::vector<double> alpha =
+                    t.model == "neg_binomial" ? col(t.alpha)
+                                              : std::vector<double>{};
                 std::vector<double> out(n);
                 shard([&](std::size_t b, std::size_t len) {
                     // Serve-level fault derivation (eval_yield): the
@@ -545,8 +616,24 @@ bool engine::eval_sweep_fast(const sweep_request& q,
                                       double>::quiet_NaN()
                                 : f;
                     }
-                    yield::batch::poisson_yield(faults.data(),
-                                                out.data() + b, len);
+                    if (t.model == "poisson") {
+                        yield::batch::poisson_yield(faults.data(),
+                                                    out.data() + b, len);
+                    } else if (t.model == "murphy") {
+                        yield::batch::murphy_yield(faults.data(),
+                                                   out.data() + b, len);
+                    } else if (t.model == "seeds") {
+                        yield::batch::seeds_yield(faults.data(),
+                                                  out.data() + b, len);
+                    } else if (t.model == "bose_einstein") {
+                        yield::batch::bose_einstein_yield(
+                            faults.data(), t.critical_steps,
+                            out.data() + b, len);
+                    } else {
+                        yield::batch::negative_binomial_yield(
+                            faults.data(), alpha.data() + b,
+                            out.data() + b, len);
+                    }
                 });
                 emit(out);
                 return true;
@@ -577,17 +664,21 @@ bool engine::eval_sweep_fast(const sweep_request& q,
                 emit(out);
                 return true;
             }
-            break;  // murphy/seeds/bose_einstein/neg_binomial: typed lanes
+            break;  // unreachable: every validated model has a lane
         }
         default:
             break;
     }
 
-    // Typed per-lane evaluation (cost_tr, gross_die, remaining yield
-    // models): still skips the per-point JSON clone/parse/cache round
-    // trip; each shard pokes its own copy of the target request.
+    // Typed per-lane evaluation (cost_tr, gross_die, swept-integer
+    // parameters): still skips the per-point JSON clone/parse/cache
+    // round trip; each shard pokes its own copy of the target request.
+    // The per-point catch never swallows cancellation: mc_yield targets
+    // were excluded above, so nothing inside a point can throw
+    // cancelled_error — the cancellable parallel_for owns the deadline.
     exec::parallel_for(
-        n, config_.parallelism, [&](const exec::shard_range& r) {
+        n, config_.parallelism,
+        [&](const exec::shard_range& r) {
             request local = tgt;
             double* lslot = numeric_param_ptr(local, q.param);
             for (std::size_t i = r.begin; i < r.end; ++i) {
@@ -601,11 +692,13 @@ bool engine::eval_sweep_fast(const sweep_request& q,
                     ys[i] = json::value{nullptr};
                 }
             }
-        });
+        },
+        cancel);
     return true;
 }
 
-json::value engine::eval_sweep(const sweep_request& q) {
+json::value engine::eval_sweep(const sweep_request& q,
+                               const exec::cancel_token* cancel) {
     const std::vector<double> xs = sweep_grid(q);
     std::vector<json::value> ys(xs.size());
 
@@ -615,9 +708,15 @@ json::value engine::eval_sweep(const sweep_request& q) {
     // The SoA kernel path is lane-for-lane bit-identical to the
     // per-point path below (tests/serve/test_engine.cpp pins this) but
     // does not populate the per-point memoization cache.
-    if (!config_.sweep_kernels || !eval_sweep_fast(q, xs, ys)) {
+    if (!config_.sweep_kernels || !eval_sweep_fast(q, xs, ys, cancel)) {
+        // A point's catch may swallow a cancelled_error thrown by a
+        // nested mc_yield evaluation (null slot), but the cancellable
+        // parallel_for re-raises after the join — the expired token is
+        // sticky — so a deadline always surfaces as deadline_exceeded,
+        // never as a response with nondeterministic nulls.
         exec::parallel_for(
-            xs.size(), config_.parallelism, [&](const exec::shard_range& r) {
+            xs.size(), config_.parallelism,
+            [&](const exec::shard_range& r) {
                 for (std::size_t i = r.begin; i < r.end; ++i) {
                     json::value doc{q.target_params};
                     json::value* slot = walk(doc, q.param);
@@ -628,7 +727,7 @@ json::value engine::eval_sweep(const sweep_request& q) {
                     try {
                         const request point = parse_request(doc);
                         const std::shared_ptr<const std::string> result =
-                            result_for(point);
+                            result_for(point, cancel);
                         const json::value parsed = json::parse(*result);
                         const json::value* metric =
                             parsed.as_object().find(primary_metric(point.op));
@@ -641,7 +740,8 @@ json::value engine::eval_sweep(const sweep_request& q) {
                         ys[i] = json::value{nullptr};
                     }
                 }
-            });
+            },
+            cancel);
     }
 
     json::array xs_json;
@@ -680,6 +780,27 @@ json::value engine::stats_json() {
           static_cast<double>(dedup_hits_.load(std::memory_order_relaxed)));
     o.set("arena_bytes",
           static_cast<double>(arena_bytes_.load(std::memory_order_relaxed)));
+
+    json::object rejected;
+    for (int i = 0; i < reject_reason_count; ++i) {
+        const auto reason = static_cast<reject_reason>(i);
+        rejected.set(std::string{to_string(reason)},
+                     static_cast<double>(admission_.rejected(reason)));
+    }
+    json::object overload;
+    overload.set("rejected", json::value{std::move(rejected)});
+    overload.set("inflight_bytes",
+                 static_cast<double>(admission_.inflight_bytes()));
+    overload.set("deadline_exceeded",
+                 static_cast<double>(
+                     deadline_exceeded_.load(std::memory_order_relaxed)));
+    overload.set("hot_declines",
+                 static_cast<double>(
+                     hot_declines_.load(std::memory_order_relaxed)));
+    overload.set("cache_shed_entries",
+                 static_cast<double>(
+                     cache_shed_entries_.load(std::memory_order_relaxed)));
+    o.set("overload", json::value{std::move(overload)});
     return json::value{std::move(o)};
 }
 
@@ -744,6 +865,37 @@ std::string engine::prometheus_text() const {
         static_cast<std::uint64_t>(
             exec::resolve_parallelism(config_.parallelism)));
 
+    obs::prometheus_header(out, "silicon_serve_rejected_total", "counter",
+                           "Lines rejected by admission control, by reason");
+    for (int i = 0; i < reject_reason_count; ++i) {
+        const auto reason = static_cast<reject_reason>(i);
+        std::string name = "silicon_serve_rejected_total{reason=\"";
+        name += to_string(reason);
+        name += "\"}";
+        obs::prometheus_sample(out, name, admission_.rejected(reason));
+    }
+    obs::prometheus_header(out, "silicon_serve_deadline_exceeded_total",
+                           "counter",
+                           "Lines answered deadline_exceeded");
+    obs::prometheus_sample(out, "silicon_serve_deadline_exceeded_total",
+                           deadline_exceeded_.load(std::memory_order_relaxed));
+    obs::prometheus_header(out, "silicon_serve_inflight_bytes", "gauge",
+                           "Request bytes currently admitted against the "
+                           "in-flight budget");
+    obs::prometheus_sample(out, "silicon_serve_inflight_bytes",
+                           admission_.inflight_bytes());
+    obs::prometheus_header(out, "silicon_serve_hot_declines_total", "counter",
+                           "Hot-path declines forced by the arena byte "
+                           "budget");
+    obs::prometheus_sample(out, "silicon_serve_hot_declines_total",
+                           hot_declines_.load(std::memory_order_relaxed));
+    obs::prometheus_header(out, "silicon_serve_cache_shed_entries_total",
+                           "counter",
+                           "Memoization-cache entries shed under overload");
+    obs::prometheus_sample(
+        out, "silicon_serve_cache_shed_entries_total",
+        cache_shed_entries_.load(std::memory_order_relaxed));
+
     // Process-global metrics (exec pool counters/gauges).
     out += obs::metrics_registry::global().to_prometheus();
     return out;
@@ -756,19 +908,72 @@ std::string engine::handle_line(std::string_view line) {
 }
 
 void engine::handle_line_into(std::string_view line, std::string& out) {
+    out.clear();
+    // Admission against the in-flight byte budget happens only at the
+    // public entry points (here and handle_batch), never per batch
+    // line, so a batch is admitted exactly once.
+    admission_controller::ticket ticket =
+        admission_.admit(line.size(), config_.limits.max_inflight_bytes);
+    if (!ticket) {
+        on_overload();
+        append_overloaded(out);
+        return;
+    }
+    serve_line(line, out, nullptr);
+}
+
+void engine::on_overload() {
+    if (config_.limits.shed_on_overload) {
+        // Reclaim memory exactly when pressure is observed: drop the
+        // resident entries of half the cache shards (counted as
+        // evictions); capacity is untouched, so the cache refills.
+        const std::size_t dropped =
+            cache_.shed_shards((config_.cache_shards + 1) / 2);
+        cache_shed_entries_.fetch_add(dropped, std::memory_order_relaxed);
+    }
+}
+
+void engine::serve_line(
+    std::string_view line, std::string& out,
+    const std::chrono::steady_clock::time_point* batch_deadline) {
     const obs::trace_span line_span{"serve.handle_line", "serve"};
     const auto start = std::chrono::steady_clock::now();
     out.clear();
-    if (config_.hot_path && try_handle_line_hot(line, start, out)) {
+    if (config_.limits.max_line_bytes != 0 &&
+        line.size() > config_.limits.max_line_bytes) {
+        admission_.note_rejection(reject_reason::line_too_large);
+        append_line_too_large(config_.limits.max_line_bytes, out);
         return;
     }
-    handle_line_slow(line, start, out);
+    if (faults::enabled()) {
+        faults::maybe_delay("serve.line");
+    }
+    if (config_.hot_path &&
+        try_handle_line_hot(line, start, batch_deadline, out)) {
+        return;
+    }
+    handle_line_slow(line, start, batch_deadline, out);
 }
 
 bool engine::try_handle_line_hot(
     std::string_view line, std::chrono::steady_clock::time_point start,
+    const std::chrono::steady_clock::time_point* batch_deadline,
     std::string& out) {
     line_state& st = tls_line_state();
+    if (config_.limits.max_arena_reserved_bytes != 0 &&
+        st.arena.bytes_reserved() > config_.limits.max_arena_reserved_bytes) {
+        // Graceful degradation under memory pressure: hand the arena's
+        // chunks back and let the legacy allocator path serve this
+        // line.  The next hot line starts over with a small arena.
+        st.arena.release();
+        hot_declines_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    if (faults::enabled() && faults::should_fail("serve.arena")) {
+        // Injected arena allocation failure: same decline, no throw.
+        hot_declines_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
     try {
         st.arena.reset();
         const json::aview* doc = nullptr;
@@ -783,6 +988,24 @@ bool engine::try_handle_line_hot(
         const request& req = st.parsed.req;
         if (req.op == op_code::stats) {
             return false;  // live snapshot: never cached, never hot
+        }
+        if (req.has_deadline || batch_deadline != nullptr ||
+            config_.limits.default_deadline_ms != 0) {
+            // A warm hit under a live deadline is fine; an expired one
+            // (deadline_ms: 0 always is) declines so the slow path
+            // produces the authoritative deadline_exceeded error.
+            exec::cancel_token deadline;
+            if (req.has_deadline) {
+                deadline.set_deadline(deadline_from(start, req.deadline_ms));
+            } else if (batch_deadline != nullptr) {
+                deadline.set_deadline(*batch_deadline);
+            } else {
+                deadline.set_deadline(
+                    deadline_from(start, config_.limits.default_deadline_ms));
+            }
+            if (deadline.expired()) {
+                return false;
+            }
         }
         std::shared_ptr<const std::string> hit;
         {
@@ -817,9 +1040,10 @@ bool engine::try_handle_line_hot(
     }
 }
 
-void engine::handle_line_slow(std::string_view line,
-                              std::chrono::steady_clock::time_point start,
-                              std::string& out) {
+void engine::handle_line_slow(
+    std::string_view line, std::chrono::steady_clock::time_point start,
+    const std::chrono::steady_clock::time_point* batch_deadline,
+    std::string& out) {
     const json::value* id = nullptr;
     json::value id_storage;
     std::string response;
@@ -828,6 +1052,12 @@ void engine::handle_line_slow(std::string_view line,
     bool failed = false;
 
     try {
+        if (faults::enabled() && faults::should_fail("serve.line")) {
+            // Injected allocation failure while handling the line: the
+            // generic catch below answers internal_error — one valid
+            // reply per line even when memory is gone.
+            throw std::bad_alloc{};
+        }
         json::value doc;
         {
             const obs::trace_span span{"serve.parse", "serve"};
@@ -859,13 +1089,36 @@ void engine::handle_line_slow(std::string_view line,
         op = req.op;
         op_known = true;
 
+        // Arm the deadline: the request's own budget (from its line
+        // start) wins; otherwise the batch-level deadline; otherwise
+        // the configured default.  Checked here (so a zero budget
+        // deterministically errors even on a warm cache) and at every
+        // task boundary inside cancellable endpoints.
+        exec::cancel_token deadline;
+        const exec::cancel_token* cancel = nullptr;
+        if (req.has_deadline || batch_deadline != nullptr ||
+            config_.limits.default_deadline_ms != 0) {
+            if (req.has_deadline) {
+                deadline.set_deadline(deadline_from(start, req.deadline_ms));
+            } else if (batch_deadline != nullptr) {
+                deadline.set_deadline(*batch_deadline);
+            } else {
+                deadline.set_deadline(
+                    deadline_from(start, config_.limits.default_deadline_ms));
+            }
+            cancel = &deadline;
+            if (deadline.expired()) {
+                throw exec::cancelled_error{};
+            }
+        }
+
         if (req.op == op_code::stats) {
             // Stats are a live snapshot: never cached, never golden.
             response = envelope(id, true, "result",
                                 json::dump(stats_json()));
         } else {
             const std::shared_ptr<const std::string> result =
-                result_for(req);
+                result_for(req, cancel);
             const obs::trace_span span{"serve.serialize", "serve"};
             response = envelope(id, true, "result", *result);
         }
@@ -875,6 +1128,9 @@ void engine::handle_line_slow(std::string_view line,
         response =
             envelope(id, false, "error", error_body("parse_error", e.what()));
     } catch (const std::exception& e) {
+        if (dynamic_cast<const exec::cancelled_error*>(&e) != nullptr) {
+            deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+        }
         failed = true;
         response = envelope(id, false, "error",
                             error_body(error_code_for(e), e.what()));
@@ -899,12 +1155,50 @@ std::vector<std::string> engine::handle_batch(
     const obs::trace_span span{"serve.batch", "serve"};
     std::vector<std::string> responses(lines.size());
 
+    // Batch-level budgets first: every line still gets exactly one
+    // well-formed reply, without parsing a byte of an over-budget batch.
+    if (config_.limits.max_batch_lines != 0 &&
+        lines.size() > config_.limits.max_batch_lines) {
+        admission_.note_rejection(reject_reason::batch_too_large,
+                                  lines.size());
+        for (std::string& r : responses) {
+            append_batch_too_large(config_.limits.max_batch_lines, r);
+        }
+        return responses;
+    }
+    std::size_t batch_bytes = 0;
+    for (const std::string& l : lines) {
+        batch_bytes += l.size();
+    }
+    admission_controller::ticket ticket = admission_.admit(
+        batch_bytes, config_.limits.max_inflight_bytes, lines.size());
+    if (!ticket) {
+        on_overload();
+        for (std::string& r : responses) {
+            append_overloaded(r);
+        }
+        return responses;
+    }
+
+    // One deadline instant for the whole batch (a request's own
+    // deadline_ms still wins per line): lines evaluated late in an
+    // overlong batch are cancelled at task boundaries, not stretched.
+    const std::chrono::steady_clock::time_point* batch_deadline = nullptr;
+    std::chrono::steady_clock::time_point batch_deadline_storage;
+    if (config_.limits.default_deadline_ms != 0) {
+        batch_deadline_storage = deadline_from(
+            std::chrono::steady_clock::now(),
+            config_.limits.default_deadline_ms);
+        batch_deadline = &batch_deadline_storage;
+    }
+
     if (!config_.batch_dedup || config_.cache_capacity == 0 ||
         lines.size() < 2) {
         exec::parallel_for(lines.size(), config_.parallelism,
                            [&](const exec::shard_range& r) {
                                for (std::size_t i = r.begin; i < r.end; ++i) {
-                                   handle_line_into(lines[i], responses[i]);
+                                   serve_line(lines[i], responses[i],
+                                              batch_deadline);
                                }
                            });
         return responses;
@@ -962,7 +1256,8 @@ std::vector<std::string> engine::handle_batch(
                        [&](const exec::shard_range& r) {
                            for (std::size_t i = r.begin; i < r.end; ++i) {
                                if (rep[i] == npos) {
-                                   handle_line_into(lines[i], responses[i]);
+                                   serve_line(lines[i], responses[i],
+                                              batch_deadline);
                                }
                            }
                        });
@@ -976,7 +1271,8 @@ std::vector<std::string> engine::handle_batch(
                        [&](const exec::shard_range& r) {
                            for (std::size_t i = r.begin; i < r.end; ++i) {
                                if (rep[i] != npos) {
-                                   handle_line_into(lines[i], responses[i]);
+                                   serve_line(lines[i], responses[i],
+                                              batch_deadline);
                                }
                            }
                        });

@@ -38,8 +38,8 @@
 //     failed re-evaluates individually, and every response keeps its
 //     own `id`.
 //   * SoA sweep kernels (`sweep_kernels`): eligible sweep targets
-//     (scenario #1/#2, poisson / scaled_poisson / reference yield)
-//     evaluate on the structure-of-arrays batch kernels in
+//     (scenario #1/#2, every yield model) evaluate on the
+//     structure-of-arrays batch kernels in
 //     yield/batch.hpp and cost/batch.hpp, bit-identical to the
 //     per-point path; other targets with a swept double parameter use
 //     a typed per-lane evaluation that skips the per-point JSON round
@@ -56,7 +56,9 @@
 
 #pragma once
 
+#include "exec/cancel.hpp"
 #include "serve/cache.hpp"
+#include "serve/limits.hpp"
 #include "serve/metrics.hpp"
 #include "serve/request.hpp"
 
@@ -90,6 +92,10 @@ struct engine_config {
     /// Kernel-evaluated grid points do not populate the memoization
     /// cache; turn this off to restore point/sweep cache sharing.
     bool sweep_kernels = true;
+    /// Resource budgets and overload behavior (limits.hpp); all
+    /// defaults are 0/off, so an unconfigured engine is byte-identical
+    /// to one built before limits existed.
+    limits_config limits;
 };
 
 class engine {
@@ -145,34 +151,79 @@ public:
         return arena_bytes_.load(std::memory_order_relaxed);
     }
 
+    /// Bytes-in-flight ledger + per-reason rejection counters (the
+    /// overload observability surface; also in stats/Prometheus).
+    [[nodiscard]] const admission_controller& admission() const noexcept {
+        return admission_;
+    }
+    /// Lines answered `deadline_exceeded` since start.
+    [[nodiscard]] std::uint64_t deadline_exceeded_total() const noexcept {
+        return deadline_exceeded_.load(std::memory_order_relaxed);
+    }
+    /// Hot-path declines forced by the arena byte budget (graceful
+    /// degradation to the legacy allocator path) since start.
+    [[nodiscard]] std::uint64_t hot_declines() const noexcept {
+        return hot_declines_.load(std::memory_order_relaxed);
+    }
+    /// Memoization-cache entries shed under overload since start.
+    [[nodiscard]] std::uint64_t cache_shed_entries() const noexcept {
+        return cache_shed_entries_.load(std::memory_order_relaxed);
+    }
+
 private:
     /// Cached result JSON for a request (everything except `stats`).
     [[nodiscard]] std::shared_ptr<const std::string> result_for(
-        const request& req);
+        const request& req, const exec::cancel_token* cancel);
+
+    /// `evaluate` with an optional cooperative deadline token threaded
+    /// into the cancellable endpoints (sweep, mc_yield) plus the
+    /// structural too_large budget checks.
+    [[nodiscard]] json::value evaluate_impl(const request& req,
+                                            const exec::cancel_token* cancel);
+
+    /// Size-checked line dispatch shared by the single-line and batch
+    /// entry points (admission against the in-flight byte budget is the
+    /// caller's job — once per public entry, never per batch line).
+    void serve_line(std::string_view line, std::string& out,
+                    const std::chrono::steady_clock::time_point*
+                        batch_deadline);
 
     /// Allocation-free warm-hit attempt; false = caller must run the
     /// legacy path (which owns all miss/error accounting).
     bool try_handle_line_hot(std::string_view line,
                              std::chrono::steady_clock::time_point start,
+                             const std::chrono::steady_clock::time_point*
+                                 batch_deadline,
                              std::string& out);
     void handle_line_slow(std::string_view line,
                           std::chrono::steady_clock::time_point start,
+                          const std::chrono::steady_clock::time_point*
+                              batch_deadline,
                           std::string& out);
 
-    [[nodiscard]] json::value eval_sweep(const sweep_request& q);
+    /// Shed cache shards if configured (called on overloaded rejects).
+    void on_overload();
+
+    [[nodiscard]] json::value eval_sweep(const sweep_request& q,
+                                         const exec::cancel_token* cancel);
     /// SoA-kernel / typed per-lane sweep evaluation; false = target
     /// shape not eligible, use the generic per-point path.
     bool eval_sweep_fast(const sweep_request& q,
                          const std::vector<double>& xs,
-                         std::vector<json::value>& ys);
+                         std::vector<json::value>& ys,
+                         const exec::cancel_token* cancel);
     [[nodiscard]] json::value stats_json();
 
     engine_config config_;
     memo_cache cache_;
     metrics_registry metrics_;
+    admission_controller admission_;
     std::atomic<std::uint64_t> parse_errors_{0};
     std::atomic<std::uint64_t> dedup_hits_{0};
     std::atomic<std::uint64_t> arena_bytes_{0};
+    std::atomic<std::uint64_t> deadline_exceeded_{0};
+    std::atomic<std::uint64_t> hot_declines_{0};
+    std::atomic<std::uint64_t> cache_shed_entries_{0};
 };
 
 }  // namespace silicon::serve

@@ -1,0 +1,225 @@
+#include "serve/faults.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace silicon::serve::faults {
+
+namespace {
+
+enum class fault_kind { alloc_fail, slow_task, short_write, eintr };
+
+struct rule {
+    fault_kind kind{};
+    std::string site;
+    std::uint64_t arg = 1;      ///< period / millis / byte cap
+    std::uint64_t arrivals = 0; ///< calls seen (under the registry mutex)
+    std::uint64_t injected = 0; ///< faults actually fired
+};
+
+/// One-branch hot-path guard; flipped by configure()/reset().
+std::atomic<bool> g_enabled{false};
+
+/// Rule registry.  Site queries are off the warm hot path (guarded by
+/// g_enabled) and chaos runs are not performance runs, so a plain mutex
+/// keeps arrival counting exact — which is what makes period-based
+/// triggering reproducible in serial runs.
+std::mutex g_mutex;
+std::vector<rule>& registry() {
+    static std::vector<rule> rules;
+    return rules;
+}
+
+[[noreturn]] void bad_spec(std::string_view spec, const char* what) {
+    throw std::invalid_argument("SILICON_FAULTS: " + std::string{what} +
+                                " in '" + std::string{spec} + "'");
+}
+
+std::uint64_t parse_arg(std::string_view text, std::string_view spec) {
+    if (text.empty()) {
+        bad_spec(spec, "empty argument");
+    }
+    std::uint64_t value = 0;
+    for (const char c : text) {
+        if (c < '0' || c > '9') {
+            bad_spec(spec, "non-numeric argument");
+        }
+        value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return value;
+}
+
+rule parse_rule(std::string_view text, std::string_view spec) {
+    const std::size_t at = text.find('@');
+    if (at == std::string_view::npos || at == 0) {
+        bad_spec(spec, "missing 'kind@site'");
+    }
+    const std::string_view kind_name = text.substr(0, at);
+    std::string_view rest = text.substr(at + 1);
+    rule out;
+    const std::size_t colon = rest.find(':');
+    if (colon != std::string_view::npos) {
+        out.arg = parse_arg(rest.substr(colon + 1), spec);
+        rest = rest.substr(0, colon);
+    }
+    if (rest.empty()) {
+        bad_spec(spec, "empty site");
+    }
+    out.site = std::string{rest};
+
+    if (kind_name == "alloc_fail") {
+        out.kind = fault_kind::alloc_fail;
+    } else if (kind_name == "slow_task") {
+        out.kind = fault_kind::slow_task;
+    } else if (kind_name == "short_write") {
+        out.kind = fault_kind::short_write;
+    } else if (kind_name == "eintr") {
+        out.kind = fault_kind::eintr;
+    } else {
+        bad_spec(spec, "unknown fault kind");
+    }
+    if (out.arg == 0) {
+        bad_spec(spec, "argument must be >= 1");
+    }
+    return out;
+}
+
+/// Finds the armed rule of `kind` for `site` (first match wins) and
+/// advances its arrival counter; returns the fired argument via `arg`.
+/// Caller decides what "fired" means per kind.
+bool fire(fault_kind kind, std::string_view site, std::uint64_t& arg) {
+    const std::lock_guard<std::mutex> lock(g_mutex);
+    for (rule& r : registry()) {
+        if (r.kind != kind || r.site != site) {
+            continue;
+        }
+        const std::uint64_t arrival = r.arrivals++;
+        bool fired = false;
+        switch (kind) {
+            case fault_kind::alloc_fail:
+                fired = arrival % r.arg == r.arg - 1;
+                break;
+            case fault_kind::slow_task:
+            case fault_kind::short_write:
+                fired = true;
+                break;
+            case fault_kind::eintr:
+                // N failures, then one success, cycling: a storm that
+                // always lets a retry loop through eventually.
+                fired = arrival % (r.arg + 1) < r.arg;
+                break;
+        }
+        if (fired) {
+            ++r.injected;
+            arg = r.arg;
+            return true;
+        }
+        return false;
+    }
+    return false;
+}
+
+}  // namespace
+
+void configure(std::string_view spec) {
+    std::vector<rule> rules;
+    if (!spec.empty() && spec.back() == ',') {
+        bad_spec(spec, "empty rule");  // trailing comma: a typo'd spec
+    }
+    std::size_t begin = 0;
+    while (begin < spec.size()) {
+        std::size_t end = spec.find(',', begin);
+        if (end == std::string_view::npos) {
+            end = spec.size();
+        }
+        const std::string_view part = spec.substr(begin, end - begin);
+        if (part.empty()) {
+            // "a,,b" or a trailing comma: almost certainly a typo'd rule
+            // — failing loudly beats silently testing less than asked.
+            bad_spec(spec, "empty rule");
+        }
+        rules.push_back(parse_rule(part, spec));
+        begin = end + 1;
+    }
+    {
+        const std::lock_guard<std::mutex> lock(g_mutex);
+        registry() = std::move(rules);
+    }
+    g_enabled.store(!registry().empty(), std::memory_order_release);
+}
+
+void configure_from_env() {
+    const char* spec = std::getenv("SILICON_FAULTS");
+    configure(spec == nullptr ? std::string_view{} : std::string_view{spec});
+}
+
+void reset() { configure({}); }
+
+bool enabled() noexcept {
+    return g_enabled.load(std::memory_order_acquire);
+}
+
+bool should_fail(std::string_view site) {
+    if (!enabled()) {
+        return false;
+    }
+    std::uint64_t arg = 0;
+    return fire(fault_kind::alloc_fail, site, arg);
+}
+
+void maybe_delay(std::string_view site) {
+    if (!enabled()) {
+        return;
+    }
+    std::uint64_t millis = 0;
+    if (fire(fault_kind::slow_task, site, millis)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds{millis});
+    }
+}
+
+std::size_t write_cap(std::string_view site) {
+    if (!enabled()) {
+        return 0;
+    }
+    std::uint64_t cap = 0;
+    if (fire(fault_kind::short_write, site, cap)) {
+        return static_cast<std::size_t>(cap);
+    }
+    return 0;
+}
+
+bool take_eintr(std::string_view site) {
+    if (!enabled()) {
+        return false;
+    }
+    std::uint64_t arg = 0;
+    return fire(fault_kind::eintr, site, arg);
+}
+
+std::uint64_t injected(std::string_view site) {
+    const std::lock_guard<std::mutex> lock(g_mutex);
+    std::uint64_t total = 0;
+    for (const rule& r : registry()) {
+        if (r.site == site) {
+            total += r.injected;
+        }
+    }
+    return total;
+}
+
+std::uint64_t injected_total() {
+    const std::lock_guard<std::mutex> lock(g_mutex);
+    std::uint64_t total = 0;
+    for (const rule& r : registry()) {
+        total += r.injected;
+    }
+    return total;
+}
+
+}  // namespace silicon::serve::faults

@@ -1,0 +1,84 @@
+// faults.hpp — deterministic fault injection for overload testing.
+//
+// Production serving stacks earn their overload behavior through
+// failure injection: you cannot claim "never crashes, never OOMs, every
+// line gets exactly one reply" without making allocators fail, tasks
+// stall, writes return short, and syscalls take EINTR storms on
+// purpose.  This module is the single switchboard: named *sites* in the
+// serving stack ask it whether to misbehave, and a spec string —
+// usually the `SILICON_FAULTS` environment variable, or
+// `faults::configure` in tests — arms rules against those sites.
+//
+// Spec grammar (comma-separated rules):
+//
+//     kind@site[:arg][,kind@site:arg...]
+//
+//     alloc_fail@SITE:N    every Nth arrival at SITE fails (throws
+//                          std::bad_alloc at the call site); default 1
+//     slow_task@SITE:MS    every arrival at SITE sleeps MS ms; default 1
+//     short_write@SITE:CAP writes at SITE are capped to CAP bytes;
+//                          default 1
+//     eintr@SITE:N         each write/read attempt at SITE fails with
+//                          EINTR N times before succeeding once
+//                          (cycling); default 1
+//
+// Example:
+//
+//     SILICON_FAULTS='alloc_fail@serve.arena:3,eintr@silicond.write:2'
+//
+// Sites in this repo: serve.line, serve.eval, serve.arena,
+// silicond.write, silicond.read (DESIGN.md §11 keeps the registry).
+//
+// Determinism: triggering is counter-based (no RNG), so with period 1
+// every arrival misbehaves and chaos runs are reproducible per line.
+// Periods > 1 under parallel batches trigger by *arrival order*, which
+// is deliberately racy — that is the chaos.  `enabled()` is a single
+// relaxed atomic load, so the un-injected hot path pays one branch and
+// the zero-allocation warm-hit gate is untouched.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace silicon::serve::faults {
+
+/// Arm the given spec (replacing any previous one).  An empty spec
+/// disarms everything.  Throws std::invalid_argument on a malformed
+/// spec — a typo'd chaos run must fail loudly, not silently test
+/// nothing.
+void configure(std::string_view spec);
+
+/// `configure(getenv("SILICON_FAULTS"))`; absent/empty disarms.
+void configure_from_env();
+
+/// Disarm all rules (equivalent to configure("")).
+void reset();
+
+/// True when any rule is armed — the one-branch hot-path guard; all
+/// site queries below are meaningful (but safe) either way.
+[[nodiscard]] bool enabled() noexcept;
+
+/// alloc_fail: true when this arrival at `site` should fail; the call
+/// site is expected to throw std::bad_alloc (or decline its fast path).
+[[nodiscard]] bool should_fail(std::string_view site);
+
+/// slow_task: sleep this arrival's configured delay (no-op unarmed).
+void maybe_delay(std::string_view site);
+
+/// short_write: byte cap for writes at `site`; 0 = uncapped.
+[[nodiscard]] std::size_t write_cap(std::string_view site);
+
+/// eintr: true when this attempt at `site` must fail with EINTR.
+[[nodiscard]] bool take_eintr(std::string_view site);
+
+/// Total faults injected at `site` since the last configure/reset
+/// (asserted by the chaos tests to prove the fault actually fired).
+[[nodiscard]] std::uint64_t injected(std::string_view site);
+
+/// Total across all sites.
+[[nodiscard]] std::uint64_t injected_total();
+
+}  // namespace silicon::serve::faults

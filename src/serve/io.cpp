@@ -1,0 +1,106 @@
+#include "serve/io.hpp"
+
+#include "serve/faults.hpp"
+
+#include <cerrno>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace silicon::serve::io {
+
+bool write_all(std::string_view data, const write_fn& write) {
+    std::size_t offset = 0;
+    while (offset < data.size()) {
+        const long n = write(data.data() + offset, data.size() - offset);
+        if (n > 0) {
+            offset += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR) {
+            continue;  // interrupted before any byte moved: retry
+        }
+        return false;  // 0 or a real error: peer is gone
+    }
+    return true;
+}
+
+bool write_all_fd(int fd, std::string_view data, bool is_socket) {
+    return write_all(data, [fd, is_socket](const char* p, std::size_t size) {
+        if (faults::enabled()) {
+            if (faults::take_eintr("silicond.write")) {
+                errno = EINTR;
+                return -1L;
+            }
+            const std::size_t cap = faults::write_cap("silicond.write");
+            if (cap != 0 && cap < size) {
+                size = cap;  // injected short write; write_all resumes
+            }
+        }
+        if (is_socket) {
+            return static_cast<long>(::send(fd, p, size, MSG_NOSIGNAL));
+        }
+        return static_cast<long>(::write(fd, p, size));
+    });
+}
+
+void line_splitter::feed(
+    std::string_view chunk,
+    const std::function<void(std::string_view line, bool oversized)>& on_line) {
+    while (!chunk.empty()) {
+        const std::size_t nl = chunk.find('\n');
+        if (discarding_) {
+            // Drop bytes of the already-condemned line up to its '\n'.
+            if (nl == std::string_view::npos) {
+                return;
+            }
+            discarding_ = false;
+            chunk.remove_prefix(nl + 1);
+            continue;
+        }
+        if (nl == std::string_view::npos) {
+            buffer_.append(chunk.data(), chunk.size());
+            if (max_line_bytes_ != 0 && buffer_.size() > max_line_bytes_) {
+                buffer_.clear();
+                buffer_.shrink_to_fit();  // do not hold the spike
+                discarding_ = true;
+                on_line({}, true);
+            }
+            return;
+        }
+        std::string_view line = chunk.substr(0, nl);
+        chunk.remove_prefix(nl + 1);
+        if (!buffer_.empty()) {
+            buffer_.append(line.data(), line.size());
+            line = buffer_;
+        }
+        if (max_line_bytes_ != 0 && line.size() > max_line_bytes_) {
+            on_line({}, true);
+        } else {
+            if (!line.empty() && line.back() == '\r') {
+                line.remove_suffix(1);
+            }
+            on_line(line, false);
+        }
+        buffer_.clear();
+    }
+}
+
+void line_splitter::finish(
+    const std::function<void(std::string_view line, bool oversized)>& on_line) {
+    if (discarding_) {
+        // The oversized event already fired when the budget broke.
+        discarding_ = false;
+        return;
+    }
+    if (!buffer_.empty()) {
+        std::string_view line = buffer_;
+        if (max_line_bytes_ != 0 && line.size() > max_line_bytes_) {
+            on_line({}, true);
+        } else {
+            on_line(line, false);
+        }
+        buffer_.clear();
+    }
+}
+
+}  // namespace silicon::serve::io

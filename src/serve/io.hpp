@@ -1,0 +1,80 @@
+// io.hpp — EINTR-safe stream I/O and bounded line framing for silicond.
+//
+// The JSONL transport has two classic robustness holes this module
+// closes in one testable place:
+//
+//   * Partial/interrupted writes.  `write(2)` may return short or fail
+//     with EINTR (signal delivery without SA_RESTART — exactly what our
+//     SIGTERM handler does); treating either as fatal drops replies.
+//     `write_all` retries both against a pluggable `write_fn`, so the
+//     retry logic is unit-testable with shims and fault-injectable
+//     without a real socket.
+//
+//   * Unbounded line buffering.  A client that never sends a newline
+//     used to grow the per-connection std::string without limit.
+//     `line_splitter` frames incoming bytes into lines under a byte
+//     budget: an over-budget line is *discarded* (bytes dropped until
+//     its terminating newline) and surfaced once as an oversized event,
+//     so the transport can answer a `too_large` envelope instead of
+//     OOMing.  Completed in-budget lines queued before the oversized
+//     one are still delivered first — replies stay in request order.
+//
+// Framing matches the previous transport exactly for in-budget input:
+// lines split on '\n', a single trailing '\r' stripped (CRLF
+// tolerance), final unterminated line delivered by `finish()`.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace silicon::serve::io {
+
+/// One write attempt: returns bytes written (> 0), 0/negative on error.
+/// `errno` is consulted for EINTR when the result is negative.
+using write_fn = std::function<long(const char* data, std::size_t size)>;
+
+/// Write all of `data`, retrying short writes and EINTR.  Returns false
+/// on any other error (connection dead).  Never throws.
+bool write_all(std::string_view data, const write_fn& write);
+
+/// EINTR-safe `write_all` over a file descriptor (uses send with
+/// MSG_NOSIGNAL when `is_socket`, plain write otherwise, so a dead peer
+/// yields EPIPE instead of killing the process with SIGPIPE).
+bool write_all_fd(int fd, std::string_view data, bool is_socket);
+
+/// Incremental newline framer with a per-line byte budget.
+class line_splitter {
+public:
+    /// `max_line_bytes` = 0 means unbounded (legacy behavior).
+    explicit line_splitter(std::size_t max_line_bytes = 0)
+        : max_line_bytes_{max_line_bytes} {}
+
+    /// Feed a chunk of received bytes.  For each framed event, calls
+    /// `on_line(line, oversized)` in arrival order: `oversized` false
+    /// delivers a complete in-budget line ('\n' removed, one trailing
+    /// '\r' stripped); `oversized` true reports a line whose byte count
+    /// exceeded the budget (its content is dropped, the event fires
+    /// once per offending line, at the position the line occupied).
+    void feed(std::string_view chunk,
+              const std::function<void(std::string_view line, bool oversized)>&
+                  on_line);
+
+    /// Deliver the final unterminated line, if any (end of stream).
+    void finish(const std::function<void(std::string_view line,
+                                         bool oversized)>& on_line);
+
+    /// Bytes currently buffered for the in-progress line.
+    [[nodiscard]] std::size_t buffered_bytes() const noexcept {
+        return buffer_.size();
+    }
+
+private:
+    std::size_t max_line_bytes_;
+    std::string buffer_;
+    bool discarding_ = false;  ///< dropping bytes until the next '\n'
+};
+
+}  // namespace silicon::serve::io

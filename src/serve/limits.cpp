@@ -1,0 +1,89 @@
+#include "serve/limits.hpp"
+
+#include <charconv>
+
+namespace silicon::serve {
+
+std::string_view to_string(reject_reason reason) {
+    switch (reason) {
+        case reject_reason::line_too_large: return "line_too_large";
+        case reject_reason::batch_too_large: return "batch_too_large";
+        case reject_reason::sweep_too_large: return "sweep_too_large";
+        case reject_reason::mc_too_large: return "mc_too_large";
+        case reject_reason::overloaded: return "overloaded";
+    }
+    return "unknown";
+}
+
+void admission_controller::ticket::release() noexcept {
+    if (owner_ != nullptr) {
+        owner_->inflight_bytes_.fetch_sub(bytes_,
+                                          std::memory_order_relaxed);
+        owner_ = nullptr;
+        bytes_ = 0;
+    }
+}
+
+admission_controller::ticket admission_controller::admit(
+    std::size_t bytes, std::size_t budget, std::uint64_t rejected_lines) {
+    if (budget == 0) {
+        return ticket{this, 0};  // unlimited: admitted, ledger untouched
+    }
+    const std::uint64_t before =
+        inflight_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    if (before != 0 && before + bytes > budget) {
+        // Over budget with other work in flight: roll back and refuse.
+        // An oversized-but-alone request is admitted (before == 0) so a
+        // budget smaller than one batch still makes progress.
+        inflight_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+        note_rejection(reject_reason::overloaded, rejected_lines);
+        return ticket{};
+    }
+    return ticket{this, bytes};
+}
+
+std::uint64_t admission_controller::rejected_total() const noexcept {
+    std::uint64_t total = 0;
+    for (const std::atomic<std::uint64_t>& r : rejected_) {
+        total += r.load(std::memory_order_relaxed);
+    }
+    return total;
+}
+
+namespace {
+
+/// Appends a fixed-shape error envelope without heap allocation (the
+/// caller's buffer capacity is reused; numbers go through to_chars).
+void append_reject(std::string_view code, std::string_view message,
+                   std::size_t limit, bool with_limit, std::string& out) {
+    out += "{\"ok\":false,\"error\":{\"code\":\"";
+    out += code;
+    out += "\",\"message\":\"";
+    out += message;
+    if (with_limit) {
+        char digits[24];
+        const auto [end, ec] = std::to_chars(
+            digits, digits + sizeof digits, static_cast<std::uint64_t>(limit));
+        out.append(digits, static_cast<std::size_t>(end - digits));
+    }
+    out += "\"}}";
+}
+
+}  // namespace
+
+void append_line_too_large(std::size_t limit, std::string& out) {
+    append_reject("too_large", "line exceeds max_line_bytes ", limit, true,
+                  out);
+}
+
+void append_batch_too_large(std::size_t limit, std::string& out) {
+    append_reject("too_large", "batch exceeds max_batch_lines ", limit, true,
+                  out);
+}
+
+void append_overloaded(std::string& out) {
+    append_reject("overloaded", "server over byte budget, retry", 0, false,
+                  out);
+}
+
+}  // namespace silicon::serve

@@ -450,6 +450,10 @@ sweep_request parse_sweep(field_reader& r) {
         throw request_error("bad_param",
                             "sweep.target: must not carry an 'id'");
     }
+    if (target_obj.find("deadline_ms") != nullptr) {
+        throw request_error("bad_param",
+                            "sweep.target: must not carry a 'deadline_ms'");
+    }
 
     auto parsed = std::make_shared<request>(parse_request(*target));
     if (parsed->op == op_code::sweep || parsed->op == op_code::stats ||
@@ -616,6 +620,13 @@ request parse_request(const json::value& doc) {
     if (const json::value* id = r.raw("id")) {
         out.id = *id;
         out.has_id = true;
+    }
+    if (r.raw("deadline_ms") != nullptr) {
+        // Envelope-level like `id`: validated here, excluded from the
+        // canonical key (request_to_json) so deadlines never split the
+        // memoization cache.
+        out.deadline_ms = r.uinteger("deadline_ms", 0);
+        out.has_deadline = true;
     }
 
     switch (*op) {

@@ -231,8 +231,14 @@ struct request {
     request_payload payload;
     json::value id;        ///< echoed in the response
     bool has_id = false;
+    /// Per-request deadline budget in milliseconds, measured from the
+    /// moment the serving layer starts the line.  Envelope-level like
+    /// `id` (excluded from the canonical key); 0 with has_deadline set
+    /// means "already expired".
+    std::uint64_t deadline_ms = 0;
+    bool has_deadline = false;
     /// Canonical serialization of (op, fully-explicit params) — the
-    /// memoization cache key.  Excludes `id`.
+    /// memoization cache key.  Excludes `id` and `deadline_ms`.
     std::string canonical_key;
 };
 

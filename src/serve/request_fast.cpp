@@ -120,7 +120,7 @@ class fast_reader {
 
     const aview& o_;
     const char* context_;
-    std::array<std::string_view, 16> consumed_{};
+    std::array<std::string_view, 24> consumed_{};
     std::size_t consumed_count_ = 0;
 };
 
@@ -565,6 +565,12 @@ void parse_request_fast_inner(const aview& doc, request& out,
             sweep_state->id_view = id;
         }
     }
+    out.has_deadline = false;
+    out.deadline_ms = 0;
+    if (r.raw("deadline_ms") != nullptr) {
+        out.deadline_ms = r.uinteger("deadline_ms", 0);
+        out.has_deadline = true;
+    }
 
     switch (*op) {
         case op_code::cost_tr: parse_cost_tr_fast(r, out); break;
@@ -612,6 +618,10 @@ void parse_sweep_fast(fast_reader& r, fast_parse_state& st) {
     if (target->find("id") != nullptr) {
         throw request_error("bad_param",
                             "sweep.target: must not carry an 'id'");
+    }
+    if (target->find("deadline_ms") != nullptr) {
+        throw request_error("bad_param",
+                            "sweep.target: must not carry a 'deadline_ms'");
     }
 
     parse_request_fast_inner(*target, st.target_req, st.target_key,

@@ -20,6 +20,76 @@ void poisson_yield(const double* expected_faults, double* out,
     }
 }
 
+void murphy_yield(const double* expected_faults, double* out,
+                  std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+        const double f = expected_faults[i];
+        if (!(f >= 0.0)) {
+            out[i] = nan_lane;
+            continue;
+        }
+        // murphy_model::yield: linearized below 1e-9 to keep full
+        // precision (same branch, same association).
+        double y;
+        if (f < 1e-9) {
+            const double lin = 1.0 - 0.5 * f;
+            y = lin * lin;
+        } else {
+            const double t = (1.0 - std::exp(-f)) / f;
+            y = t * t;
+        }
+        out[i] = !(y >= 0.0 && y <= 1.0) ? nan_lane : y;
+    }
+}
+
+void seeds_yield(const double* expected_faults, double* out,
+                 std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+        const double f = expected_faults[i];
+        out[i] = !(f >= 0.0) ? nan_lane : 1.0 / (1.0 + f);
+    }
+}
+
+void bose_einstein_yield(const double* expected_faults, int critical_steps,
+                         double* out, std::size_t n) {
+    if (critical_steps < 1) {
+        // bose_einstein_model's constructor throw: every lane invalid.
+        for (std::size_t i = 0; i < n; ++i) {
+            out[i] = nan_lane;
+        }
+        return;
+    }
+    const double steps = static_cast<double>(critical_steps);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double f = expected_faults[i];
+        if (!(f >= 0.0)) {
+            out[i] = nan_lane;
+            continue;
+        }
+        const double per_step = f / steps;
+        const double y = std::pow(1.0 + per_step, -steps);
+        out[i] = !(y >= 0.0 && y <= 1.0) ? nan_lane : y;
+    }
+}
+
+void negative_binomial_yield(const double* expected_faults,
+                             const double* alpha, double* out,
+                             std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+        const double f = expected_faults[i];
+        const double a = alpha[i];
+        // Constructor guard (alpha > 0) before the fault-count guard —
+        // matching negative_binomial_model{alpha}.yield(f) order is
+        // irrelevant to the NaN lane, which collapses both throws.
+        if (!(a > 0.0) || !(f >= 0.0)) {
+            out[i] = nan_lane;
+            continue;
+        }
+        const double y = std::pow(1.0 + f / a, -a);
+        out[i] = !(y >= 0.0 && y <= 1.0) ? nan_lane : y;
+    }
+}
+
 void scaled_poisson_yield(const double* die_area_cm2,
                           const double* lambda_um, const double* d,
                           const double* p, double* out, std::size_t n) {

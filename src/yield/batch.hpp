@@ -36,6 +36,30 @@ namespace silicon::yield::batch {
 void poisson_yield(const double* expected_faults, double* out,
                    std::size_t n);
 
+/// Murphy yield ((1 - e^-l)/l)^2 per lane, including the scalar
+/// model's small-l linearization (l < 1e-9 evaluates (1 - l/2)^2).
+/// Lane i is NaN when !(expected_faults[i] >= 0).
+void murphy_yield(const double* expected_faults, double* out,
+                  std::size_t n);
+
+/// Seeds yield 1/(1 + l) per lane.  Lane i is NaN when
+/// !(expected_faults[i] >= 0).
+void seeds_yield(const double* expected_faults, double* out,
+                 std::size_t n);
+
+/// Bose-Einstein yield (1 + l/n)^-n per lane for a constant critical
+/// step count (integer-typed, so never a swept column).  Every lane is
+/// NaN when critical_steps < 1 — the scalar constructor's throw.
+void bose_einstein_yield(const double* expected_faults, int critical_steps,
+                         double* out, std::size_t n);
+
+/// Negative-binomial yield (1 + l/a)^-a per lane with a per-lane
+/// clustering parameter.  Lane i is NaN when !(alpha[i] > 0) — the
+/// scalar constructor's throw — or !(expected_faults[i] >= 0).
+void negative_binomial_yield(const double* expected_faults,
+                             const double* alpha, double* out,
+                             std::size_t n);
+
 /// Lambda-scaled Poisson yield (Eq. (7)): exp(-A * D / lambda^p) per
 /// lane, mirroring scaled_poisson_model{d,p}.yield(area, lambda) plus
 /// the unit-type constructor guards: lane NaN when !(d >= 0), !(p > 2),

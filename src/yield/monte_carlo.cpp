@@ -129,8 +129,14 @@ monte_carlo_result simulate_layout_yield(const wire_array_layout& layout,
     const counters merged = exec::parallel_reduce(
         config.dies, config.parallelism, counters{},
         [&](const exec::shard_range& shard) {
-            splitmix64 rng{exec::shard_seed(config.seed, shard.index)};
             counters c;
+            // Cooperative cancellation at shard granularity: a skipped
+            // shard contributes nothing and the throw below discards
+            // the merge, so no partial result ever escapes.
+            if (config.cancel != nullptr && config.cancel->expired()) {
+                return c;
+            }
+            splitmix64 rng{exec::shard_seed(config.seed, shard.index)};
             for (std::size_t die = shard.begin; die < shard.end; ++die) {
                 const std::size_t n = poisson_sample(mean_defects, rng);
                 c.thrown += n;
@@ -170,6 +176,10 @@ monte_carlo_result simulate_layout_yield(const wire_array_layout& layout,
             a.opens += b.opens;
             return a;
         });
+
+    if (config.cancel != nullptr && config.cancel->expired()) {
+        throw exec::cancelled_error{};
+    }
 
     monte_carlo_result result;
     result.dies = config.dies;

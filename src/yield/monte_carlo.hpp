@@ -13,6 +13,7 @@
 
 #pragma once
 
+#include "exec/cancel.hpp"
 #include "yield/critical_area.hpp"
 #include "yield/defect.hpp"
 
@@ -54,6 +55,11 @@ struct monte_carlo_config {
     std::uint64_t seed = 0x5eedu;        ///< RNG seed
     unsigned parallelism = 0;            ///< threads; 0 = hardware
                                          ///< concurrency, 1 = serial
+    /// Optional cooperative cancellation (deadline) token.  Checked at
+    /// shard boundaries only: a run either completes every shard
+    /// bit-identically or throws exec::cancelled_error — never a
+    /// partial result.
+    const exec::cancel_token* cancel = nullptr;
 };
 
 /// Classify a single defect: does a disc of the given diameter centered at

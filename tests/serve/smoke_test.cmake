@@ -6,6 +6,8 @@
 # Optional: TRACE (a path) — pass --trace and require a well-formed
 # Chrome trace with dispatcher-stage and exec-task spans; the golden
 # byte comparison still applies (tracing must not perturb output).
+# Optional: SERVER_ARGS — extra silicond flags (space-separated), used
+# by the overload smoke to arm deterministic resource limits.
 
 foreach(var SILICOND REQUESTS GOLDEN THREADS)
   if(NOT DEFINED ${var})
@@ -17,6 +19,10 @@ set(extra_args)
 if(DEFINED TRACE)
   file(REMOVE ${TRACE})
   list(APPEND extra_args --trace ${TRACE})
+endif()
+if(DEFINED SERVER_ARGS)
+  separate_arguments(server_args UNIX_COMMAND "${SERVER_ARGS}")
+  list(APPEND extra_args ${server_args})
 endif()
 
 execute_process(

@@ -1,0 +1,567 @@
+// Overload, deadline, fault-injection and transport-robustness tests
+// (DESIGN.md §11).  Lives in its own test binary: the fault switchboard
+// (serve/faults) is process-global state, and these tests arm it — they
+// must not share a process with the rest of the serve suite.
+
+#include "exec/cancel.hpp"
+#include "serve/engine.hpp"
+#include "serve/faults.hpp"
+#include "serve/io.hpp"
+#include "serve/json.hpp"
+#include "serve/limits.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <string>
+#include <vector>
+
+namespace faults = silicon::serve::faults;
+namespace io = silicon::serve::io;
+using silicon::serve::admission_controller;
+using silicon::serve::engine;
+using silicon::serve::engine_config;
+using silicon::serve::reject_reason;
+
+namespace {
+
+/// Every test leaves the global switchboard disarmed.
+struct faults_guard {
+    ~faults_guard() { faults::reset(); }
+};
+
+std::string error_code(const std::string& response) {
+    const silicon::serve::json::value v =
+        silicon::serve::json::parse(response);
+    const auto* ok = v.as_object().find("ok");
+    if (ok == nullptr || !ok->is_bool() || ok->as_bool()) {
+        return "";
+    }
+    return std::string{
+        v.as_object().find("error")->as_object().find("code")->as_string()};
+}
+
+// ---------------------------------------------------------------------------
+// Fault switchboard
+// ---------------------------------------------------------------------------
+
+TEST(Faults, MalformedSpecsThrowLoudly) {
+    const faults_guard guard;
+    EXPECT_THROW(faults::configure("nonsense"), std::invalid_argument);
+    EXPECT_THROW(faults::configure("explode@serve.line"),
+                 std::invalid_argument);
+    EXPECT_THROW(faults::configure("alloc_fail@"), std::invalid_argument);
+    EXPECT_THROW(faults::configure("alloc_fail@serve.line:0"),
+                 std::invalid_argument);
+    EXPECT_THROW(faults::configure("alloc_fail@serve.line:x"),
+                 std::invalid_argument);
+    EXPECT_THROW(faults::configure("alloc_fail@serve.line,"),
+                 std::invalid_argument);
+    EXPECT_FALSE(faults::enabled());
+}
+
+TEST(Faults, EmptySpecDisarms) {
+    const faults_guard guard;
+    faults::configure("alloc_fail@serve.line");
+    EXPECT_TRUE(faults::enabled());
+    faults::configure("");
+    EXPECT_FALSE(faults::enabled());
+    EXPECT_FALSE(faults::should_fail("serve.line"));
+}
+
+TEST(Faults, AllocFailPeriodicity) {
+    const faults_guard guard;
+    faults::configure("alloc_fail@serve.arena:3");
+    int fired = 0;
+    for (int i = 0; i < 9; ++i) {
+        if (faults::should_fail("serve.arena")) {
+            ++fired;
+        }
+    }
+    EXPECT_EQ(fired, 3);  // every 3rd arrival
+    EXPECT_EQ(faults::injected("serve.arena"), 3u);
+    EXPECT_EQ(faults::injected_total(), 3u);
+    // Other sites are untouched.
+    EXPECT_FALSE(faults::should_fail("serve.line"));
+}
+
+TEST(Faults, EintrCyclesNFailuresThenSuccess) {
+    const faults_guard guard;
+    faults::configure("eintr@silicond.write:2");
+    EXPECT_TRUE(faults::take_eintr("silicond.write"));
+    EXPECT_TRUE(faults::take_eintr("silicond.write"));
+    EXPECT_FALSE(faults::take_eintr("silicond.write"));  // the success
+    EXPECT_TRUE(faults::take_eintr("silicond.write"));   // cycle repeats
+    EXPECT_EQ(faults::injected("silicond.write"), 3u);
+}
+
+TEST(Faults, ShortWriteCapAndReset) {
+    const faults_guard guard;
+    faults::configure("short_write@silicond.write:7");
+    EXPECT_EQ(faults::write_cap("silicond.write"), 7u);
+    EXPECT_EQ(faults::write_cap("silicond.read"), 0u);
+    faults::reset();
+    EXPECT_EQ(faults::write_cap("silicond.write"), 0u);
+    EXPECT_EQ(faults::injected_total(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// EINTR-safe writes
+// ---------------------------------------------------------------------------
+
+TEST(WriteAll, RetriesShortWritesAndEintr) {
+    std::string sink;
+    int eintrs_left = 3;
+    const io::write_fn shim = [&](const char* data, std::size_t size) -> long {
+        if (eintrs_left > 0) {
+            --eintrs_left;
+            errno = EINTR;
+            return -1;
+        }
+        // Accept at most 2 bytes per call: forces short-write retries.
+        const std::size_t take = size < 2 ? size : 2;
+        sink.append(data, take);
+        return static_cast<long>(take);
+    };
+    EXPECT_TRUE(io::write_all("hello, world", shim));
+    EXPECT_EQ(sink, "hello, world");
+    EXPECT_EQ(eintrs_left, 0);
+}
+
+TEST(WriteAll, HardErrorReturnsFalse) {
+    int calls = 0;
+    const io::write_fn shim = [&](const char*, std::size_t) -> long {
+        ++calls;
+        errno = EPIPE;
+        return -1;
+    };
+    EXPECT_FALSE(io::write_all("data", shim));
+    EXPECT_EQ(calls, 1);  // no retry on a dead peer
+}
+
+TEST(WriteAll, EmptyDataSucceedsWithoutWriting) {
+    const io::write_fn shim = [](const char*, std::size_t) -> long {
+        ADD_FAILURE() << "write_fn called for empty data";
+        return -1;
+    };
+    EXPECT_TRUE(io::write_all("", shim));
+}
+
+// ---------------------------------------------------------------------------
+// Bounded line framing
+// ---------------------------------------------------------------------------
+
+struct framed {
+    std::string line;
+    bool oversized;
+};
+
+std::vector<framed> frame(io::line_splitter& splitter,
+                          const std::vector<std::string>& chunks,
+                          bool finish = true) {
+    std::vector<framed> out;
+    const auto on_line = [&](std::string_view line, bool oversized) {
+        out.push_back({std::string{line}, oversized});
+    };
+    for (const std::string& chunk : chunks) {
+        splitter.feed(chunk, on_line);
+    }
+    if (finish) {
+        splitter.finish(on_line);
+    }
+    return out;
+}
+
+TEST(LineSplitter, SplitsAcrossChunkBoundaries) {
+    io::line_splitter splitter{64};
+    const std::vector<framed> lines =
+        frame(splitter, {"ab", "c\nde", "f\n", "tail"});
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_EQ(lines[0].line, "abc");
+    EXPECT_EQ(lines[1].line, "def");
+    EXPECT_EQ(lines[2].line, "tail");  // finish() delivers the remainder
+    for (const framed& f : lines) {
+        EXPECT_FALSE(f.oversized);
+    }
+}
+
+TEST(LineSplitter, StripsOneTrailingCarriageReturn) {
+    io::line_splitter splitter{64};
+    const std::vector<framed> lines = frame(splitter, {"a\r\nb\r\r\n"});
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0].line, "a");
+    EXPECT_EQ(lines[1].line, "b\r");  // only one CR stripped
+}
+
+TEST(LineSplitter, OversizedLineIsDiscardedOnceInOrder) {
+    io::line_splitter splitter{6};
+    const std::vector<framed> lines =
+        frame(splitter, {"ok\n", std::string(10, 'x') + "\nafter\n"});
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_EQ(lines[0].line, "ok");
+    EXPECT_TRUE(lines[1].oversized);
+    EXPECT_TRUE(lines[1].line.empty());  // content dropped, not delivered
+    EXPECT_EQ(lines[2].line, "after");
+    EXPECT_FALSE(lines[2].oversized);
+}
+
+TEST(LineSplitter, NewlineFreeFloodIsBoundedAndReportedOnce) {
+    io::line_splitter splitter{8};
+    std::vector<framed> events;
+    const auto on_line = [&](std::string_view line, bool oversized) {
+        events.push_back({std::string{line}, oversized});
+    };
+    // 1 MiB without a newline must not buffer more than the budget.
+    const std::string chunk(4096, 'y');
+    for (int i = 0; i < 256; ++i) {
+        splitter.feed(chunk, on_line);
+        EXPECT_LE(splitter.buffered_bytes(), 8u);
+    }
+    ASSERT_EQ(events.size(), 1u);  // one event for the whole flood
+    EXPECT_TRUE(events[0].oversized);
+    // The flood's eventual newline ends the discard; framing recovers.
+    splitter.feed("\nok\n", on_line);
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[1].line, "ok");
+    EXPECT_FALSE(events[1].oversized);
+}
+
+TEST(LineSplitter, FinishReportsOversizedPartial) {
+    io::line_splitter splitter{4};
+    const std::vector<framed> lines = frame(splitter, {"toolongtail"});
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_TRUE(lines[0].oversized);
+}
+
+TEST(LineSplitter, ZeroBudgetIsUnbounded) {
+    io::line_splitter splitter{0};
+    const std::string big(1 << 20, 'z');
+    const std::vector<framed> lines = frame(splitter, {big + "\n"});
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_FALSE(lines[0].oversized);
+    EXPECT_EQ(lines[0].line.size(), big.size());
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+TEST(Admission, ZeroBudgetAdmitsWithoutLedger) {
+    admission_controller ac;
+    const auto ticket = ac.admit(1 << 30, 0);
+    EXPECT_TRUE(static_cast<bool>(ticket));
+    EXPECT_EQ(ac.inflight_bytes(), 0u);
+}
+
+TEST(Admission, TicketReleasesItsBytes) {
+    admission_controller ac;
+    {
+        const auto ticket = ac.admit(100, 1000);
+        EXPECT_TRUE(static_cast<bool>(ticket));
+        EXPECT_EQ(ac.inflight_bytes(), 100u);
+    }
+    EXPECT_EQ(ac.inflight_bytes(), 0u);
+}
+
+TEST(Admission, OverBudgetRejectsAndRollsBack) {
+    admission_controller ac;
+    const auto held = ac.admit(900, 1000);
+    const auto rejected = ac.admit(200, 1000, /*rejected_lines=*/3);
+    EXPECT_FALSE(static_cast<bool>(rejected));
+    EXPECT_EQ(ac.inflight_bytes(), 900u);  // rollback left no residue
+    EXPECT_EQ(ac.rejected(reject_reason::overloaded), 3u);
+    EXPECT_EQ(ac.rejected_total(), 3u);
+}
+
+TEST(Admission, OversizedButAloneIsAdmitted) {
+    // A request bigger than the whole budget must still run when the
+    // server is idle — budgets shed load, they do not ban inputs.
+    admission_controller ac;
+    const auto ticket = ac.admit(5000, 1000);
+    EXPECT_TRUE(static_cast<bool>(ticket));
+    // ...but it blocks everything else until it releases.
+    const auto second = ac.admit(1, 1000);
+    EXPECT_FALSE(static_cast<bool>(second));
+}
+
+// ---------------------------------------------------------------------------
+// Engine limits: structural too_large rejections
+// ---------------------------------------------------------------------------
+
+engine_config limited_config() {
+    engine_config config;
+    config.parallelism = 1;
+    config.limits.max_line_bytes = 96;
+    config.limits.max_batch_lines = 3;
+    config.limits.max_sweep_points = 8;
+    config.limits.max_mc_dies = 100;
+    return config;
+}
+
+TEST(EngineLimits, LongLineAnsweredTooLarge) {
+    engine e{limited_config()};
+    const std::string line =
+        "{\"op\":\"scenario1\",\"note\":\"" + std::string(200, 'x') + "\"}";
+    const std::string response = e.handle_line(line);
+    EXPECT_EQ(error_code(response), "too_large");
+    EXPECT_NE(response.find("max_line_bytes 96"), std::string::npos);
+    EXPECT_EQ(e.admission().rejected(reject_reason::line_too_large), 1u);
+}
+
+TEST(EngineLimits, OversizedBatchRejectsEveryLine) {
+    engine e{limited_config()};
+    const std::vector<std::string> lines(5, "{\"op\":\"scenario1\"}");
+    const std::vector<std::string> responses = e.handle_batch(lines);
+    ASSERT_EQ(responses.size(), 5u);
+    for (const std::string& response : responses) {
+        EXPECT_EQ(error_code(response), "too_large");
+        EXPECT_NE(response.find("max_batch_lines 3"), std::string::npos);
+    }
+    EXPECT_EQ(e.admission().rejected(reject_reason::batch_too_large), 5u);
+}
+
+TEST(EngineLimits, SweepAndMcBudgets) {
+    engine e{limited_config()};
+    const std::string sweep = e.handle_line(
+        "{\"op\":\"sweep\",\"param\":\"lambda_um\",\"from\":0.1,\"to\":1.0,"
+        "\"count\":9,\"target\":{\"op\":\"scenario1\"}}");
+    EXPECT_EQ(error_code(sweep), "too_large");
+    EXPECT_EQ(e.admission().rejected(reject_reason::sweep_too_large), 1u);
+
+    const std::string mc =
+        e.handle_line("{\"op\":\"mc_yield\",\"dies\":101,\"seed\":1}");
+    EXPECT_EQ(error_code(mc), "too_large");
+    EXPECT_EQ(e.admission().rejected(reject_reason::mc_too_large), 1u);
+
+    // At the budget is fine.
+    const std::string ok =
+        e.handle_line("{\"op\":\"mc_yield\",\"dies\":100,\"seed\":1}");
+    EXPECT_EQ(error_code(ok), "");
+}
+
+TEST(EngineLimits, InflightBudgetAnswersOverloadedWithoutResidue) {
+    engine_config config;
+    config.parallelism = 1;
+    config.limits.max_inflight_bytes = 1;
+    engine tight{config};
+    // The first admit always passes (alone), so issue two lines and use
+    // the admission ledger to prove the reject + rollback shape instead
+    // of racing real concurrency: handle_line admits, serves, releases —
+    // serially each line is alone, so both succeed...
+    EXPECT_EQ(error_code(tight.handle_line("{\"op\":\"scenario1\"}")), "");
+    EXPECT_EQ(tight.admission().inflight_bytes(), 0u);
+    // ...and the overloaded envelope itself is exercised at the
+    // admission-controller layer (Admission.OverBudgetRejectsAndRollsBack)
+    // plus end-to-end by tools/chaosclient.
+}
+
+TEST(EngineLimits, UnlimitedConfigBytesIdenticalToLimited) {
+    // A request under every budget must serialize byte-identically with
+    // and without limits armed (the golden-compatibility contract).
+    engine_config plain;
+    plain.parallelism = 1;
+    engine unlimited{plain};
+    engine limited{limited_config()};
+    for (const char* line :
+         {"{\"op\":\"scenario1\"}", "{\"op\":\"mc_yield\",\"dies\":50}",
+          "{\"op\":\"gross_die\"}", "not json"}) {
+        EXPECT_EQ(unlimited.handle_line(line), limited.handle_line(line))
+            << line;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines
+// ---------------------------------------------------------------------------
+
+TEST(Deadlines, ZeroDeadlineAnswersDeadlineExceeded) {
+    engine_config config;
+    config.parallelism = 1;
+    engine e{config};
+    const std::string response = e.handle_line(
+        "{\"op\":\"mc_yield\",\"dies\":50,\"seed\":3,\"deadline_ms\":0,"
+        "\"id\":\"z\"}");
+    EXPECT_EQ(error_code(response), "deadline_exceeded");
+    EXPECT_NE(response.find("\"id\":\"z\""), std::string::npos);
+    EXPECT_EQ(e.deadline_exceeded_total(), 1u);
+}
+
+TEST(Deadlines, ZeroDeadlineIsByteDeterministicAcrossThreads) {
+    const std::vector<std::string> lines{
+        "{\"op\":\"mc_yield\",\"dies\":50,\"seed\":3,\"deadline_ms\":0}",
+        "{\"op\":\"sweep\",\"param\":\"lambda_um\",\"from\":0.1,\"to\":1.0,"
+        "\"count\":4,\"target\":{\"op\":\"scenario1\"},\"deadline_ms\":0}",
+        "{\"op\":\"scenario1\",\"deadline_ms\":0}",
+    };
+    std::vector<std::vector<std::string>> outputs;
+    for (const unsigned threads : {1u, 4u, 0u}) {
+        engine_config config;
+        config.parallelism = threads;
+        engine e{config};
+        outputs.push_back(e.handle_batch(lines));
+    }
+    EXPECT_EQ(outputs[0], outputs[1]);
+    EXPECT_EQ(outputs[0], outputs[2]);
+    for (const std::string& response : outputs[0]) {
+        EXPECT_EQ(error_code(response), "deadline_exceeded") << response;
+    }
+}
+
+TEST(Deadlines, ExpiredResultIsNeverCached) {
+    engine_config config;
+    config.parallelism = 1;
+    engine e{config};
+    const std::string expired = e.handle_line(
+        "{\"op\":\"mc_yield\",\"dies\":50,\"seed\":3,\"deadline_ms\":0}");
+    EXPECT_EQ(error_code(expired), "deadline_exceeded");
+    // The same request without a deadline must evaluate fresh — a
+    // cached deadline error would poison every future query.
+    const std::string fresh =
+        e.handle_line("{\"op\":\"mc_yield\",\"dies\":50,\"seed\":3}");
+    EXPECT_EQ(error_code(fresh), "");
+    // And a warm cache must not mask an expired deadline either.
+    const std::string still_expired = e.handle_line(
+        "{\"op\":\"mc_yield\",\"dies\":50,\"seed\":3,\"deadline_ms\":0}");
+    EXPECT_EQ(error_code(still_expired), "deadline_exceeded");
+}
+
+TEST(Deadlines, GenerousDeadlineDoesNotPerturbResults) {
+    engine_config plain;
+    plain.parallelism = 1;
+    engine reference{plain};
+    engine_config with_deadline = plain;
+    with_deadline.limits.default_deadline_ms = 60000;
+    engine deadlined{with_deadline};
+    for (const char* line :
+         {"{\"op\":\"scenario1\"}", "{\"op\":\"mc_yield\",\"dies\":200}",
+          "{\"op\":\"table3\",\"row\":3}"}) {
+        EXPECT_EQ(reference.handle_line(line), deadlined.handle_line(line))
+            << line;
+    }
+    // deadline_ms is envelope-level: it must not split the cache key.
+    const std::string warm = deadlined.handle_line(
+        "{\"op\":\"scenario1\",\"deadline_ms\":60000}");
+    EXPECT_EQ(warm, reference.handle_line("{\"op\":\"scenario1\"}"));
+}
+
+TEST(Deadlines, SweepTargetMayNotCarryDeadline) {
+    engine_config config;
+    config.parallelism = 1;
+    engine e{config};
+    const std::string response = e.handle_line(
+        "{\"op\":\"sweep\",\"param\":\"lambda_um\",\"from\":0.1,\"to\":1.0,"
+        "\"count\":3,\"target\":{\"op\":\"scenario1\",\"deadline_ms\":5}}");
+    EXPECT_EQ(error_code(response), "bad_param");
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection through the engine
+// ---------------------------------------------------------------------------
+
+TEST(EngineFaults, AllocFailAtServeLineAnswersInternalError) {
+    const faults_guard guard;
+    engine_config config;
+    config.parallelism = 1;
+    engine e{config};
+    faults::configure("alloc_fail@serve.line");
+    // The fault fires before the parse, so the envelope carries no id —
+    // but it is still exactly one well-formed reply for the line.
+    const std::string response =
+        e.handle_line("{\"op\":\"scenario1\",\"id\":\"f\"}");
+    EXPECT_EQ(error_code(response), "internal_error");
+    EXPECT_GE(faults::injected("serve.line"), 1u);
+    faults::reset();
+    EXPECT_EQ(error_code(e.handle_line("{\"op\":\"scenario1\"}")), "");
+}
+
+TEST(EngineFaults, AllocFailAtServeEvalAnswersInternalError) {
+    const faults_guard guard;
+    engine_config config;
+    config.parallelism = 1;
+    config.hot_path = false;  // route through the legacy pipeline
+    engine e{config};
+    faults::configure("alloc_fail@serve.eval");
+    EXPECT_EQ(error_code(e.handle_line("{\"op\":\"scenario1\"}")),
+              "internal_error");
+    EXPECT_GE(faults::injected("serve.eval"), 1u);
+}
+
+TEST(EngineFaults, ArenaFaultDegradesToLegacyPathSameBytes) {
+    const faults_guard guard;
+    engine_config config;
+    config.parallelism = 1;
+    engine e{config};
+    const std::string line = "{\"op\":\"scenario1\"}";
+    const std::string reference = e.handle_line(line);  // warm the cache
+    faults::configure("alloc_fail@serve.arena");
+    const std::string degraded = e.handle_line(line);
+    EXPECT_EQ(degraded, reference);  // decline, not a failure
+    EXPECT_GE(e.hot_declines(), 1u);
+}
+
+TEST(EngineFaults, ArenaBudgetDegradesHotPath) {
+    engine_config config;
+    config.parallelism = 1;
+    config.limits.max_arena_reserved_bytes = 1;  // nothing fits
+    engine e{config};
+    const std::string line = "{\"op\":\"scenario1\"}";
+    const std::string first = e.handle_line(line);
+    const std::string warm = e.handle_line(line);  // would be a hot hit
+    EXPECT_EQ(first, warm);
+    EXPECT_GE(e.hot_declines(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Cache shedding
+// ---------------------------------------------------------------------------
+
+TEST(CacheShedding, ShedShardsDropsEntriesAndCountsEvictions) {
+    silicon::serve::memo_cache cache{64, 4};
+    for (int i = 0; i < 16; ++i) {
+        cache.put("key" + std::to_string(i), "value");
+    }
+    const auto before = cache.snapshot();
+    ASSERT_EQ(before.entries, 16u);
+    const std::size_t dropped = cache.shed_shards(2);
+    const auto after = cache.snapshot();
+    EXPECT_EQ(after.entries, before.entries - dropped);
+    EXPECT_EQ(after.evictions, before.evictions + dropped);
+    // Shed shards stay usable.
+    cache.put("fresh", "value");
+    EXPECT_NE(cache.get("fresh"), nullptr);
+}
+
+TEST(CacheShedding, CountClampedToShardCount) {
+    silicon::serve::memo_cache cache{16, 2};
+    cache.put("a", "1");
+    cache.put("b", "2");
+    EXPECT_EQ(cache.shed_shards(100), 2u);
+    EXPECT_EQ(cache.snapshot().entries, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Observability of the overload surface
+// ---------------------------------------------------------------------------
+
+TEST(OverloadObservability, StatsAndPrometheusExposeRejections) {
+    engine e{limited_config()};
+    (void)e.handle_line(
+        "{\"op\":\"scenario1\",\"note\":\"" + std::string(200, 'x') + "\"}");
+    (void)e.handle_line("{\"op\":\"mc_yield\",\"dies\":101,\"seed\":1}");
+
+    const std::string stats = e.handle_line("{\"op\":\"stats\"}");
+    EXPECT_NE(stats.find("\"overload\""), std::string::npos);
+    EXPECT_NE(stats.find("\"line_too_large\":1"), std::string::npos);
+    EXPECT_NE(stats.find("\"mc_too_large\":1"), std::string::npos);
+
+    const std::string text = e.prometheus_text();
+    EXPECT_NE(
+        text.find(
+            "silicon_serve_rejected_total{reason=\"line_too_large\"} 1"),
+        std::string::npos);
+    EXPECT_NE(text.find("silicon_serve_deadline_exceeded_total"),
+              std::string::npos);
+    EXPECT_NE(text.find("silicon_serve_inflight_bytes"), std::string::npos);
+}
+
+}  // namespace

@@ -313,6 +313,18 @@ TEST(Engine, SweepKernelMatchesGenericPath) {
             "target":{"op":"yield","model":"murphy"}})",
         R"({"op":"sweep","param":"alpha","from":-1,"to":3,"count":5,
             "target":{"op":"yield","model":"neg_binomial"}})",
+        R"({"op":"sweep","param":"expected_faults","from":0,"to":6,"count":7,
+            "target":{"op":"yield","model":"seeds"}})",
+        R"({"op":"sweep","param":"die_area_cm2","from":0.1,"to":2,"count":6,
+            "target":{"op":"yield","model":"seeds","defects_per_cm2":0.8}})",
+        R"({"op":"sweep","param":"expected_faults","from":0,"to":4,"count":6,
+            "target":{"op":"yield","model":"bose_einstein",
+                      "critical_steps":12}})",
+        R"({"op":"sweep","param":"defects_per_cm2","from":-0.5,"to":1.5,
+            "count":5,"target":{"op":"yield","model":"bose_einstein",
+                                "die_area_cm2":0.8}})",
+        R"({"op":"sweep","param":"expected_faults","from":-1,"to":3,"count":5,
+            "target":{"op":"yield","model":"murphy"}})",
         R"({"op":"sweep","param":"process.c0_usd","from":100,"to":3000,
             "count":5,"scale":"log","target":{"op":"cost_tr"}})",
         R"({"op":"sweep","param":"die_width_mm","from":2,"to":30,"count":5,

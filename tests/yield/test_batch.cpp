@@ -131,6 +131,122 @@ TEST(YieldBatch, ScaledPoissonMatchesScalarBitForBit) {
     }
 }
 
+/// Shared adversarial fault grid for the single-column models: edge
+/// values around the murphy linearization knee, overflow/underflow,
+/// and every invalid shape the scalar guard rejects.
+std::vector<double> fault_grid() {
+    std::vector<double> faults = {
+        0.0,   -0.0,  1e-300, 5e-324, 1e-10, 1e-9,  2e-9, 0.5,
+        1.0,   2.75,  700.0,  745.0,  746.0, 1000.0, kinf, -1.0,
+        -0.5,  knan,  1e308,  0.1,
+    };
+    std::mt19937_64 rng{0xfa017u};
+    std::uniform_real_distribution<double> f{0.0, 20.0};
+    for (int i = 0; i < 200; ++i) {
+        faults.push_back(f(rng));
+    }
+    return faults;
+}
+
+TEST(YieldBatch, MurphyMatchesScalarBitForBit) {
+    const std::vector<double> faults = fault_grid();
+    std::vector<double> out(faults.size(), 0.0);
+    yield::batch::murphy_yield(faults.data(), out.data(), faults.size());
+
+    const yield::murphy_model model;
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        const double expected =
+            scalar_or_nan([&] { return model.yield(faults[i]).value(); });
+        EXPECT_TRUE(lanes_bit_equal(expected, out[i], i))
+            << "expected_faults=" << faults[i];
+    }
+}
+
+TEST(YieldBatch, SeedsMatchesScalarBitForBit) {
+    const std::vector<double> faults = fault_grid();
+    std::vector<double> out(faults.size(), 0.0);
+    yield::batch::seeds_yield(faults.data(), out.data(), faults.size());
+
+    const yield::seeds_model model;
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        const double expected =
+            scalar_or_nan([&] { return model.yield(faults[i]).value(); });
+        EXPECT_TRUE(lanes_bit_equal(expected, out[i], i))
+            << "expected_faults=" << faults[i];
+    }
+}
+
+TEST(YieldBatch, BoseEinsteinMatchesScalarBitForBit) {
+    const std::vector<double> faults = fault_grid();
+    std::vector<double> out(faults.size(), 0.0);
+    for (const int steps : {1, 10, 37}) {
+        yield::batch::bose_einstein_yield(faults.data(), steps, out.data(),
+                                          faults.size());
+        const yield::bose_einstein_model model{steps};
+        for (std::size_t i = 0; i < faults.size(); ++i) {
+            const double expected =
+                scalar_or_nan([&] { return model.yield(faults[i]).value(); });
+            EXPECT_TRUE(lanes_bit_equal(expected, out[i], i))
+                << "steps=" << steps << " expected_faults=" << faults[i];
+        }
+    }
+}
+
+TEST(YieldBatch, BoseEinsteinInvalidStepsYieldsAllNaN) {
+    const std::vector<double> faults = {0.0, 0.5, 1.0};
+    std::vector<double> out(faults.size(), 0.0);
+    yield::batch::bose_einstein_yield(faults.data(), 0, out.data(),
+                                      faults.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        EXPECT_TRUE(std::isnan(out[i])) << "lane " << i;
+    }
+}
+
+TEST(YieldBatch, NegativeBinomialMatchesScalarBitForBit) {
+    struct lane {
+        double faults, alpha;
+    };
+    std::vector<lane> lanes = {
+        {0.5, 2.0},    // the classic clustering midpoint
+        {0.0, 1.0},    // zero faults -> Y = 1
+        {1.0, 1e-12},  // tiny alpha
+        {1.0, 1e12},   // huge alpha (approaches Poisson)
+        {1.0, 0.0},    // alpha must be > 0
+        {1.0, -2.0},   // negative alpha
+        {-1.0, 2.0},   // negative faults
+        {knan, 2.0},   //
+        {1.0, knan},   //
+        {kinf, 2.0},   //
+        {1.0, kinf},   //
+        {746.0, 0.5},  // deep underflow
+    };
+    std::mt19937_64 rng{0xa1b2u};
+    std::uniform_real_distribution<double> f{0.0, 20.0};
+    std::uniform_real_distribution<double> a{0.05, 8.0};
+    for (int i = 0; i < 200; ++i) {
+        lanes.push_back({f(rng), a(rng)});
+    }
+
+    std::vector<double> faults, alpha;
+    for (const lane& x : lanes) {
+        faults.push_back(x.faults);
+        alpha.push_back(x.alpha);
+    }
+    std::vector<double> out(lanes.size(), 0.0);
+    yield::batch::negative_binomial_yield(faults.data(), alpha.data(),
+                                          out.data(), lanes.size());
+
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+        const lane& x = lanes[i];
+        const double expected = scalar_or_nan([&] {
+            const yield::negative_binomial_model model{x.alpha};
+            return model.yield(x.faults).value();
+        });
+        EXPECT_TRUE(lanes_bit_equal(expected, out[i], i))
+            << "faults=" << x.faults << " alpha=" << x.alpha;
+    }
+}
+
 TEST(YieldBatch, ReferenceYieldMatchesScalarBitForBit) {
     struct lane {
         double area, y0, a0;

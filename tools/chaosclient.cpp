@@ -1,0 +1,648 @@
+// chaosclient — adversarial smoke driver for silicond's TCP transport.
+//
+// Spawns a silicond child on an ephemeral port (--port 0, parsing the
+// chosen port out of the structured `silicond.listening` log line on
+// the child's stderr), then plays a battery of hostile-client
+// scenarios against it and asserts the one protocol invariant that
+// matters under fire (DESIGN.md §11):
+//
+//     every accepted line gets exactly one well-formed JSON reply,
+//     in order — or the connection closes cleanly.  Never a hang,
+//     never a torn line, never a dead server.
+//
+// Scenarios:
+//   1. valid burst        — 100 requests, 100 ok replies, ids in order
+//   2. malformed garbage  — junk lines still get one error envelope each
+//   3. oversized line     — answered `too_large`, then connection close
+//   4. slow loris         — a request dribbled one byte at a time is
+//                           still answered (framing is stateful)
+//   5. over-budget work   — sweep/mc beyond --max-sweep-points /
+//                           --max-mc-dies answered `too_large`
+//   6. zero deadline      — deadline_ms:0 answered `deadline_exceeded`
+//   7. half line + close  — a torn request aborts that connection only;
+//                           the server must answer the next connection
+//   8. metrics scrape     — `GET /metrics` gets an HTTP 200 exposition
+//
+// Replies are validated with the real serve JSON parser (an invalid
+// byte stream fails the run, not just a string compare).  Exit code 0
+// = every scenario held; anything else prints the first violation.
+// Run under ASan in CI to double as a leak/UB probe of the transport.
+//
+// Usage: chaosclient /path/to/silicond [extra silicond args...]
+
+#include "serve/json.hpp"
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace {
+
+namespace json = silicon::serve::json;
+
+constexpr int kReplyTimeoutMs = 30000;  // generous: CI + ASan are slow
+
+int g_failures = 0;
+
+void fail(const std::string& scenario, const std::string& what) {
+    std::cerr << "FAIL [" << scenario << "] " << what << "\n";
+    ++g_failures;
+}
+
+// ---------------------------------------------------------------------------
+// Child process management
+// ---------------------------------------------------------------------------
+
+struct server {
+    pid_t pid = -1;
+    int stderr_fd = -1;  ///< read side of the child's stderr
+    int port = 0;
+};
+
+/// Spawn `silicond --port 0 <extra...>` with stderr piped back to us.
+server spawn_silicond(const char* binary,
+                      const std::vector<std::string>& extra) {
+    server s;
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0) {
+        std::perror("pipe");
+        return s;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        std::perror("fork");
+        ::close(pipe_fds[0]);
+        ::close(pipe_fds[1]);
+        return s;
+    }
+    if (pid == 0) {
+        ::close(pipe_fds[0]);
+        ::dup2(pipe_fds[1], STDERR_FILENO);
+        ::close(pipe_fds[1]);
+        std::vector<std::string> args{binary, "--port", "0"};
+        args.insert(args.end(), extra.begin(), extra.end());
+        std::vector<char*> argv;
+        argv.reserve(args.size() + 1);
+        for (std::string& a : args) {
+            argv.push_back(a.data());
+        }
+        argv.push_back(nullptr);
+        ::execv(binary, argv.data());
+        std::perror("execv");
+        std::_Exit(127);
+    }
+    ::close(pipe_fds[1]);
+    s.pid = pid;
+    s.stderr_fd = pipe_fds[0];
+    return s;
+}
+
+/// Read the child's stderr until the `silicond.listening` log line
+/// appears and extract the bound port from its `"port":N` field.
+int await_port(server& s) {
+    std::string log;
+    char buf[512];
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds{kReplyTimeoutMs};
+    while (std::chrono::steady_clock::now() < deadline) {
+        pollfd p{s.stderr_fd, POLLIN, 0};
+        const int ready = ::poll(&p, 1, 100);
+        if (ready <= 0) {
+            continue;
+        }
+        const ssize_t got = ::read(s.stderr_fd, buf, sizeof buf);
+        if (got <= 0) {
+            break;
+        }
+        log.append(buf, static_cast<std::size_t>(got));
+        const std::size_t at = log.find("silicond.listening");
+        if (at == std::string::npos) {
+            continue;
+        }
+        const std::size_t key = log.find("\"port\":", at);
+        if (key == std::string::npos) {
+            continue;  // field not fully received yet
+        }
+        int port = 0;
+        std::size_t i = key + 7;
+        while (i < log.size() && log[i] >= '0' && log[i] <= '9') {
+            port = port * 10 + (log[i] - '0');
+            ++i;
+        }
+        if (i < log.size() && port > 0) {
+            return port;
+        }
+    }
+    std::cerr << "chaosclient: server never reported a port; stderr so far:\n"
+              << log << "\n";
+    return 0;
+}
+
+void stop_silicond(server& s) {
+    if (s.pid <= 0) {
+        return;
+    }
+    ::kill(s.pid, SIGTERM);
+    int status = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (::waitpid(s.pid, &status, WNOHANG) == s.pid) {
+            s.pid = -1;
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds{50});
+    }
+    if (s.pid > 0) {
+        std::cerr << "chaosclient: server ignored SIGTERM, killing\n";
+        ::kill(s.pid, SIGKILL);
+        ::waitpid(s.pid, &status, 0);
+        s.pid = -1;
+        ++g_failures;
+    }
+    if (s.stderr_fd >= 0) {
+        ::close(s.stderr_fd);
+        s.stderr_fd = -1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client-side socket helpers
+// ---------------------------------------------------------------------------
+
+int connect_to(int port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        return -1;
+    }
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    address.sin_port = htons(static_cast<std::uint16_t>(port));
+    for (int attempt = 0; attempt < 50; ++attempt) {
+        if (::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                      sizeof address) == 0) {
+            return fd;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds{20});
+    }
+    ::close(fd);
+    return -1;
+}
+
+bool send_bytes(int fd, std::string_view data) {
+    const char* p = data.data();
+    std::size_t left = data.size();
+    while (left > 0) {
+        const ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL);
+        if (n > 0) {
+            p += n;
+            left -= static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR) {
+            continue;
+        }
+        return false;
+    }
+    return true;
+}
+
+struct reply_stream {
+    std::vector<std::string> lines;
+    bool closed = false;
+    std::string partial;  ///< trailing bytes without a newline
+};
+
+/// Read reply lines until `expected` lines arrived, the peer closed,
+/// or the timeout expired.
+reply_stream read_replies(int fd, std::size_t expected,
+                          int timeout_ms = kReplyTimeoutMs) {
+    reply_stream out;
+    std::string buffer;
+    char chunk[4096];
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds{timeout_ms};
+    while (out.lines.size() < expected) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) {
+            break;
+        }
+        const int wait = static_cast<int>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                  now)
+                .count());
+        pollfd p{fd, POLLIN, 0};
+        const int ready = ::poll(&p, 1, wait);
+        if (ready <= 0) {
+            continue;
+        }
+        const ssize_t got = ::read(fd, chunk, sizeof chunk);
+        if (got == 0) {
+            out.closed = true;
+            break;
+        }
+        if (got < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            out.closed = true;
+            break;
+        }
+        buffer.append(chunk, static_cast<std::size_t>(got));
+        std::size_t begin = 0;
+        for (std::size_t nl = buffer.find('\n', begin);
+             nl != std::string::npos; nl = buffer.find('\n', begin)) {
+            out.lines.emplace_back(buffer.substr(begin, nl - begin));
+            begin = nl + 1;
+        }
+        buffer.erase(0, begin);
+    }
+    out.partial = buffer;
+    return out;
+}
+
+/// Parse one reply line with the real serve JSON parser and check the
+/// envelope shape.  Returns the error code ("" for ok replies,
+/// "<invalid>" when the line is not a valid envelope at all).
+std::string envelope_code(const std::string& scenario,
+                          const std::string& line) {
+    try {
+        json::value v = json::parse(line);
+        if (!v.is_object()) {
+            fail(scenario, "reply is not a JSON object: " + line);
+            return "<invalid>";
+        }
+        const json::value* ok = v.as_object().find("ok");
+        if (ok == nullptr || !ok->is_bool()) {
+            fail(scenario, "reply lacks boolean 'ok': " + line);
+            return "<invalid>";
+        }
+        if (ok->as_bool()) {
+            return "";
+        }
+        const json::value* error = v.as_object().find("error");
+        if (error == nullptr || !error->is_object()) {
+            fail(scenario, "error reply lacks 'error' object: " + line);
+            return "<invalid>";
+        }
+        const json::value* code = error->as_object().find("code");
+        if (code == nullptr || !code->is_string()) {
+            fail(scenario, "error reply lacks 'error.code': " + line);
+            return "<invalid>";
+        }
+        return std::string{code->as_string()};
+    } catch (const std::exception& e) {
+        fail(scenario,
+             std::string{"reply is not valid JSON ("} + e.what() +
+                 "): " + line);
+        return "<invalid>";
+    }
+}
+
+/// Expect exactly `count` replies on `fd`; returns their error codes.
+std::vector<std::string> expect_replies(const std::string& scenario, int fd,
+                                        std::size_t count) {
+    const reply_stream replies = read_replies(fd, count);
+    std::vector<std::string> codes;
+    if (replies.lines.size() != count) {
+        fail(scenario, "expected " + std::to_string(count) + " replies, got " +
+                           std::to_string(replies.lines.size()) +
+                           (replies.closed ? " (connection closed)" : ""));
+        return codes;
+    }
+    if (!replies.partial.empty()) {
+        fail(scenario, "torn reply line: " + replies.partial);
+    }
+    codes.reserve(count);
+    for (const std::string& line : replies.lines) {
+        codes.push_back(envelope_code(scenario, line));
+    }
+    return codes;
+}
+
+// ---------------------------------------------------------------------------
+// Scenarios
+// ---------------------------------------------------------------------------
+
+void scenario_valid_burst(int port) {
+    const std::string name = "valid burst";
+    const int fd = connect_to(port);
+    if (fd < 0) {
+        fail(name, "connect failed");
+        return;
+    }
+    constexpr int kCount = 100;
+    std::string payload;
+    for (int i = 0; i < kCount; ++i) {
+        payload += "{\"op\":\"scenario1\",\"lambda_um\":0.5,\"id\":" +
+                   std::to_string(i) + "}\n";
+    }
+    if (!send_bytes(fd, payload)) {
+        fail(name, "send failed");
+        ::close(fd);
+        return;
+    }
+    const reply_stream replies = read_replies(fd, kCount);
+    if (replies.lines.size() != kCount) {
+        fail(name, "expected 100 replies, got " +
+                       std::to_string(replies.lines.size()));
+    }
+    for (std::size_t i = 0; i < replies.lines.size(); ++i) {
+        if (!envelope_code(name, replies.lines[i]).empty()) {
+            fail(name, "reply " + std::to_string(i) + " not ok: " +
+                           replies.lines[i]);
+            break;
+        }
+        const std::string id = "\"id\":" + std::to_string(i);
+        if (replies.lines[i].find(id) == std::string::npos) {
+            fail(name, "reply " + std::to_string(i) +
+                           " out of order: " + replies.lines[i]);
+            break;
+        }
+    }
+    ::close(fd);
+}
+
+void scenario_malformed(int port) {
+    const std::string name = "malformed garbage";
+    const int fd = connect_to(port);
+    if (fd < 0) {
+        fail(name, "connect failed");
+        return;
+    }
+    const std::vector<std::string> garbage{
+        "not json at all",
+        "{\"op\":",
+        "[]",
+        "{\"op\":\"no_such_op\"}",
+        "{\"op\":\"scenario1\",\"lambda_um\":\"NaN\"}",
+        "\x01\x02\x03",
+    };
+    std::string payload;
+    for (const std::string& g : garbage) {
+        payload += g;
+        payload += '\n';
+    }
+    if (!send_bytes(fd, payload)) {
+        fail(name, "send failed");
+        ::close(fd);
+        return;
+    }
+    for (const std::string& code :
+         expect_replies(name, fd, garbage.size())) {
+        if (code.empty() || code == "<invalid>") {
+            fail(name, "garbage line answered ok or with a bad envelope");
+            break;
+        }
+    }
+    ::close(fd);
+}
+
+void scenario_oversized(int port, std::size_t max_line_bytes) {
+    const std::string name = "oversized line";
+    const int fd = connect_to(port);
+    if (fd < 0) {
+        fail(name, "connect failed");
+        return;
+    }
+    // One in-budget request first: its reply must come back *before*
+    // the rejection, proving order is preserved around the oversize.
+    std::string payload = "{\"op\":\"scenario1\",\"id\":\"pre\"}\n";
+    payload += std::string(max_line_bytes * 2, 'x');
+    payload += '\n';
+    if (!send_bytes(fd, payload)) {
+        fail(name, "send failed");
+        ::close(fd);
+        return;
+    }
+    const reply_stream replies = read_replies(fd, 2);
+    if (replies.lines.size() != 2) {
+        fail(name, "expected 2 replies, got " +
+                       std::to_string(replies.lines.size()));
+        ::close(fd);
+        return;
+    }
+    if (replies.lines[0].find("\"id\":\"pre\"") == std::string::npos ||
+        !envelope_code(name, replies.lines[0]).empty()) {
+        fail(name, "in-budget request not answered first: " +
+                       replies.lines[0]);
+    }
+    if (envelope_code(name, replies.lines[1]) != "too_large") {
+        fail(name, "oversized line not answered too_large: " +
+                       replies.lines[1]);
+    }
+    // The server must then drop the connection (framing is suspect).
+    const reply_stream rest = read_replies(fd, 1, 5000);
+    if (!rest.closed || !rest.lines.empty()) {
+        fail(name, "connection not closed after oversized line");
+    }
+    ::close(fd);
+}
+
+void scenario_slow_loris(int port) {
+    const std::string name = "slow loris";
+    const int fd = connect_to(port);
+    if (fd < 0) {
+        fail(name, "connect failed");
+        return;
+    }
+    const std::string request =
+        "{\"op\":\"scenario1\",\"lambda_um\":0.5,\"id\":\"drip\"}\n";
+    for (const char byte : request) {
+        if (!send_bytes(fd, {&byte, 1})) {
+            fail(name, "send failed mid-drip");
+            ::close(fd);
+            return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds{2});
+    }
+    const std::vector<std::string> codes = expect_replies(name, fd, 1);
+    if (codes.size() == 1 && !codes[0].empty()) {
+        fail(name, "dripped request not answered ok (code '" + codes[0] +
+                       "')");
+    }
+    ::close(fd);
+}
+
+void scenario_over_budget(int port) {
+    const std::string name = "over-budget work";
+    const int fd = connect_to(port);
+    if (fd < 0) {
+        fail(name, "connect failed");
+        return;
+    }
+    const std::string payload =
+        "{\"op\":\"sweep\",\"param\":\"lambda_um\",\"from\":0.1,\"to\":1.0,"
+        "\"count\":1000,\"target\":{\"op\":\"scenario1\"},\"id\":\"sw\"}\n"
+        "{\"op\":\"mc_yield\",\"dies\":100000000,\"seed\":1,\"id\":\"mc\"}\n";
+    if (!send_bytes(fd, payload)) {
+        fail(name, "send failed");
+        ::close(fd);
+        return;
+    }
+    for (const std::string& code : expect_replies(name, fd, 2)) {
+        if (code != "too_large") {
+            fail(name, "over-budget request answered '" + code +
+                           "', want too_large");
+        }
+    }
+    ::close(fd);
+}
+
+void scenario_zero_deadline(int port) {
+    const std::string name = "zero deadline";
+    const int fd = connect_to(port);
+    if (fd < 0) {
+        fail(name, "connect failed");
+        return;
+    }
+    const std::string payload =
+        "{\"op\":\"mc_yield\",\"dies\":1000,\"seed\":7,\"deadline_ms\":0,"
+        "\"id\":\"dl\"}\n";
+    if (!send_bytes(fd, payload)) {
+        fail(name, "send failed");
+        ::close(fd);
+        return;
+    }
+    const std::vector<std::string> codes = expect_replies(name, fd, 1);
+    if (codes.size() == 1 && codes[0] != "deadline_exceeded") {
+        fail(name, "deadline_ms:0 answered '" + codes[0] +
+                       "', want deadline_exceeded");
+    }
+    ::close(fd);
+}
+
+void scenario_half_line_close(int port) {
+    const std::string name = "half line + close";
+    const int fd = connect_to(port);
+    if (fd < 0) {
+        fail(name, "connect failed");
+        return;
+    }
+    // A torn line at EOF is still a (complete-as-far-as-we-know) line:
+    // the server answers its parse error before closing.
+    send_bytes(fd, "{\"op\":\"scena");
+    ::shutdown(fd, SHUT_WR);
+    const reply_stream replies = read_replies(fd, 1, 10000);
+    if (replies.lines.size() == 1) {
+        const std::string code = envelope_code(name, replies.lines[0]);
+        if (code.empty() || code == "<invalid>") {
+            fail(name, "torn line answered ok or malformed: " +
+                           replies.lines[0]);
+        }
+    } else if (!replies.closed) {
+        fail(name, "torn line neither answered nor closed");
+    }
+    ::close(fd);
+
+    // Whatever happened to that connection, the server must survive it.
+    const int fd2 = connect_to(port);
+    if (fd2 < 0) {
+        fail(name, "server dead after torn connection");
+        return;
+    }
+    if (!send_bytes(fd2, "{\"op\":\"scenario1\",\"id\":\"alive\"}\n")) {
+        fail(name, "send failed after torn connection");
+        ::close(fd2);
+        return;
+    }
+    const std::vector<std::string> codes = expect_replies(name, fd2, 1);
+    if (codes.size() == 1 && !codes[0].empty()) {
+        fail(name, "server unhealthy after torn connection");
+    }
+    ::close(fd2);
+}
+
+void scenario_metrics_scrape(int port) {
+    const std::string name = "metrics scrape";
+    const int fd = connect_to(port);
+    if (fd < 0) {
+        fail(name, "connect failed");
+        return;
+    }
+    if (!send_bytes(fd, "GET /metrics HTTP/1.0\r\n\r\n")) {
+        fail(name, "send failed");
+        ::close(fd);
+        return;
+    }
+    // Read until close; the response must be an HTTP 200 carrying the
+    // rejection counters this run has been generating.
+    std::string body;
+    char chunk[4096];
+    for (;;) {
+        pollfd p{fd, POLLIN, 0};
+        if (::poll(&p, 1, kReplyTimeoutMs) <= 0) {
+            break;
+        }
+        const ssize_t got = ::read(fd, chunk, sizeof chunk);
+        if (got <= 0) {
+            break;
+        }
+        body.append(chunk, static_cast<std::size_t>(got));
+    }
+    if (body.rfind("HTTP/1.0 200 OK", 0) != 0) {
+        fail(name, "scrape did not return HTTP 200");
+    }
+    if (body.find("silicon_serve_rejected_total") == std::string::npos) {
+        fail(name, "exposition lacks silicon_serve_rejected_total");
+    }
+    ::close(fd);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        std::cerr << "usage: chaosclient /path/to/silicond [extra args...]\n";
+        return 2;
+    }
+    constexpr std::size_t kMaxLineBytes = 2048;
+    std::vector<std::string> extra{
+        "--threads",         "2",
+        "--max-line-bytes",  std::to_string(kMaxLineBytes),
+        "--max-sweep-points", "64",
+        "--max-mc-dies",     "100000",
+    };
+    for (int i = 2; i < argc; ++i) {
+        extra.emplace_back(argv[i]);
+    }
+
+    server s = spawn_silicond(argv[1], extra);
+    if (s.pid < 0) {
+        return 2;
+    }
+    s.port = await_port(s);
+    if (s.port == 0) {
+        stop_silicond(s);
+        return 2;
+    }
+    std::cerr << "chaosclient: server up on port " << s.port << "\n";
+
+    scenario_valid_burst(s.port);
+    scenario_malformed(s.port);
+    scenario_oversized(s.port, kMaxLineBytes);
+    scenario_slow_loris(s.port);
+    scenario_over_budget(s.port);
+    scenario_zero_deadline(s.port);
+    scenario_half_line_close(s.port);
+    scenario_metrics_scrape(s.port);
+
+    stop_silicond(s);
+    if (g_failures != 0) {
+        std::cerr << "chaosclient: " << g_failures << " failure(s)\n";
+        return 1;
+    }
+    std::cerr << "chaosclient: all scenarios passed\n";
+    return 0;
+}

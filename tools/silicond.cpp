@@ -14,9 +14,22 @@
 //   * TCP (--port N): accept connections and serve each one the same
 //     JSONL protocol, one thread per connection over a shared engine
 //     (the memoization cache and metrics are process-wide; the exec
-//     pool serializes batch submissions).  Intended for driving the
-//     engine from long-lived clients; determinism per connection is
-//     the same as stdin mode.
+//     pool serializes batch submissions).  --port 0 binds an ephemeral
+//     port and logs the chosen one.  Intended for driving the engine
+//     from long-lived clients; determinism per connection is the same
+//     as stdin mode.
+//
+// Overload behavior (DESIGN.md §11): both transports frame lines
+// through a bounded splitter (serve/io) — a line over --max-line-bytes
+// is answered with a `too_large` envelope after the pending batch
+// flushes (replies stay in order); over TCP the connection then
+// closes.  --max-batch-lines / --max-sweep-points / --max-mc-dies /
+// --max-inflight-bytes / --deadline-ms / --shed-on-overload configure
+// the engine's admission control and deadline budgets.  All writes
+// retry EINTR and short writes; SIGPIPE is ignored, so a vanished
+// client costs one connection, never the process.  --faults SPEC (or
+// the SILICON_FAULTS environment variable) arms the deterministic
+// fault-injection switchboard (serve/faults) for chaos testing.
 //
 // Observability (DESIGN.md §9): a line starting with `GET /metrics`
 // answers with the Prometheus text exposition instead of JSONL (over
@@ -35,6 +48,15 @@
 //   --cache-capacity N    memoization entries (0 disables; default 65536)
 //   --cache-shards N      cache shard count (default 16)
 //   --port N              serve TCP on 127.0.0.1:N instead of stdin
+//                         (0 = ephemeral; the chosen port is logged)
+//   --max-line-bytes N    per-line byte bound (default 16 MiB; 0 = off)
+//   --max-batch-lines N   per-batch line bound (default 0 = off)
+//   --max-sweep-points N  largest accepted sweep grid (0 = off)
+//   --max-mc-dies N       largest accepted Monte-Carlo die count (0 = off)
+//   --max-inflight-bytes N  admission byte budget (0 = off)
+//   --deadline-ms N       default per-batch deadline (0 = off)
+//   --shed-on-overload    shed cache shards on overloaded rejections
+//   --faults SPEC         arm fault injection (see serve/faults.hpp)
 //   --metrics             dump the metrics/cache JSON to stderr on exit
 //   --metrics-interval S  dump Prometheus text to stderr every S seconds
 //   --trace FILE          enable tracing; write Chrome trace JSON on exit
@@ -46,6 +68,9 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/engine.hpp"
+#include "serve/faults.hpp"
+#include "serve/io.hpp"
+#include "serve/limits.hpp"
 
 #include <algorithm>
 #include <atomic>
@@ -77,6 +102,8 @@ void on_signal(int) { g_stop = 1; }
 
 /// Install SIGINT/SIGTERM handlers WITHOUT SA_RESTART so blocking
 /// reads/accepts return EINTR and the main loops can exit cleanly.
+/// SIGPIPE is ignored: a client that vanishes mid-reply must surface
+/// as an EPIPE write error on that connection, not kill the server.
 void install_signal_handlers() {
     struct sigaction sa{};
     sa.sa_handler = on_signal;
@@ -84,6 +111,7 @@ void install_signal_handlers() {
     sa.sa_flags = 0;
     sigaction(SIGINT, &sa, nullptr);
     sigaction(SIGTERM, &sa, nullptr);
+    std::signal(SIGPIPE, SIG_IGN);
 }
 
 struct options {
@@ -92,6 +120,14 @@ struct options {
     std::size_t cache_capacity = 65536;
     std::size_t cache_shards = 16;
     int port = -1;
+    std::size_t max_line_bytes = 16u << 20;  ///< 16 MiB; 0 = unbounded
+    std::size_t max_batch_lines = 0;
+    std::size_t max_sweep_points = 0;
+    std::size_t max_mc_dies = 0;
+    std::size_t max_inflight_bytes = 0;
+    std::size_t deadline_ms = 0;
+    bool shed_on_overload = false;
+    std::string faults_spec;
     bool metrics = false;
     unsigned metrics_interval = 0;  ///< seconds; 0 = off
     std::string trace_path;         ///< empty = tracing off
@@ -101,7 +137,11 @@ void usage(std::ostream& out) {
     out << "silicond - Maly silicon cost model query server (JSONL)\n"
            "\n"
            "  silicond [--threads N] [--batch N] [--cache-capacity N]\n"
-           "           [--cache-shards N] [--port N] [--metrics]\n"
+           "           [--cache-shards N] [--port N]\n"
+           "           [--max-line-bytes N] [--max-batch-lines N]\n"
+           "           [--max-sweep-points N] [--max-mc-dies N]\n"
+           "           [--max-inflight-bytes N] [--deadline-ms N]\n"
+           "           [--shed-on-overload] [--faults SPEC] [--metrics]\n"
            "           [--metrics-interval S] [--trace FILE]\n"
            "           [--log-level LEVEL]\n"
            "\n"
@@ -114,7 +154,11 @@ void usage(std::ostream& out) {
            "A line starting with 'GET /metrics' answers with the\n"
            "Prometheus text exposition (an HTTP response over TCP, so\n"
            "curl works).  --trace FILE writes a Chrome trace_event\n"
-           "JSON file at shutdown.\n"
+           "JSON file at shutdown.  Lines over --max-line-bytes are\n"
+           "answered with a too_large error envelope (and the\n"
+           "connection closes over TCP); requests over the sweep/MC/\n"
+           "byte budgets get too_large or overloaded envelopes; every\n"
+           "accepted line still gets exactly one reply.\n"
            "\n"
            "Endpoints: cost_tr gross_die yield scenario1 scenario2\n"
            "           table3 mc_yield sweep stats\n";
@@ -155,6 +199,8 @@ bool parse_options(int argc, char** argv, options& opt) {
             std::exit(0);
         } else if (arg == "--metrics") {
             opt.metrics = true;
+        } else if (arg == "--shed-on-overload") {
+            opt.shed_on_overload = true;
         } else if (arg == "--threads") {
             const char* t = next();
             if (t == nullptr || !parse_size(t, v)) {
@@ -185,6 +231,48 @@ bool parse_options(int argc, char** argv, options& opt) {
                 return false;
             }
             opt.port = static_cast<int>(v);
+        } else if (arg == "--max-line-bytes") {
+            const char* t = next();
+            if (t == nullptr || !parse_size(t, v)) {
+                return false;
+            }
+            opt.max_line_bytes = v;
+        } else if (arg == "--max-batch-lines") {
+            const char* t = next();
+            if (t == nullptr || !parse_size(t, v)) {
+                return false;
+            }
+            opt.max_batch_lines = v;
+        } else if (arg == "--max-sweep-points") {
+            const char* t = next();
+            if (t == nullptr || !parse_size(t, v)) {
+                return false;
+            }
+            opt.max_sweep_points = v;
+        } else if (arg == "--max-mc-dies") {
+            const char* t = next();
+            if (t == nullptr || !parse_size(t, v)) {
+                return false;
+            }
+            opt.max_mc_dies = v;
+        } else if (arg == "--max-inflight-bytes") {
+            const char* t = next();
+            if (t == nullptr || !parse_size(t, v)) {
+                return false;
+            }
+            opt.max_inflight_bytes = v;
+        } else if (arg == "--deadline-ms") {
+            const char* t = next();
+            if (t == nullptr || !parse_size(t, v)) {
+                return false;
+            }
+            opt.deadline_ms = v;
+        } else if (arg == "--faults") {
+            const char* t = next();
+            if (t == nullptr || *t == '\0') {
+                return false;
+            }
+            opt.faults_spec = t;
         } else if (arg == "--metrics-interval") {
             const char* t = next();
             if (t == nullptr || !parse_size(t, v) || v == 0) {
@@ -231,133 +319,204 @@ silicon::obs::counter& flushed_bytes_counter() {
     return c;
 }
 
+silicon::obs::counter& oversized_lines_counter() {
+    static silicon::obs::counter& c =
+        silicon::obs::metrics_registry::global().get_counter(
+            "silicond_oversized_lines_total",
+            "Transport lines rejected by the max-line-bytes bound");
+    return c;
+}
+
+namespace io = silicon::serve::io;
+namespace faults = silicon::serve::faults;
+
+/// One read attempt with EINTR retry (real — a signal without
+/// SA_RESTART — or injected via the `silicond.read` fault site).
+/// Returns bytes read, 0 on EOF or shutdown, negative on a dead
+/// stream.
+long read_some(int fd, char* buf, std::size_t cap) {
+    for (;;) {
+        if (faults::enabled() && faults::take_eintr("silicond.read")) {
+            continue;  // simulated EINTR storm: retry
+        }
+        const ssize_t got = ::read(fd, buf, cap);
+        if (got < 0 && errno == EINTR) {
+            if (g_stop != 0) {
+                return 0;  // interrupted by shutdown: drain and exit
+            }
+            continue;
+        }
+        return static_cast<long>(got);
+    }
+}
+
 /// Gather a batch's responses (and their newlines) into one buffer and
-/// write it with a single stream write + flush — a writev-style flush
-/// instead of one small write per line, which is where stdio time went
-/// on cache-hot batches.  The buffer is reused across batches.
-void flush_batch(silicon::serve::engine& engine,
+/// write it with a single EINTR-safe gathered write — a writev-style
+/// flush instead of one small write per line.  The buffer is reused
+/// across batches.  Returns false when the peer is gone.
+bool flush_batch(silicon::serve::engine& engine,
                  std::vector<std::string>& lines, std::string& gather,
-                 std::ostream& out) {
+                 int fd, bool is_socket) {
     if (lines.empty()) {
-        return;
+        return true;
     }
     gather.clear();
     for (const std::string& response : engine.handle_batch(lines)) {
         gather += response;
         gather += '\n';
     }
-    out.write(gather.data(),
-              static_cast<std::streamsize>(gather.size()));
-    out.flush();
+    lines.clear();
+    if (!io::write_all_fd(fd, gather, is_socket)) {
+        return false;
+    }
     flushes_counter().add(1);
     flushed_bytes_counter().add(gather.size());
-    lines.clear();
+    return true;
 }
 
-int run_stdio(silicon::serve::engine& engine, const options& opt) {
+/// Shared per-connection/per-stream line loop: frame bytes through the
+/// bounded splitter, batch complete lines, answer oversized lines with
+/// a `too_large` envelope *after* the pending batch (replies stay in
+/// request order).  Transport-specific behavior (metrics scrape shape,
+/// close-on-oversize) is parameterized.
+struct line_loop {
+    silicon::serve::engine& engine;
+    int in_fd;
+    int out_fd;
+    bool is_socket;
+    std::size_t batch;
+    std::size_t max_line_bytes;
+    bool close_on_oversize;
+    bool close_on_scrape;
+
+    io::line_splitter splitter{0};
     std::vector<std::string> lines;
-    lines.reserve(opt.batch);
     std::string gather;
-    std::string line;
-    while (g_stop == 0 && std::getline(std::cin, line)) {
-        if (line.empty()) {
-            continue;  // blank lines are keep-alives, not requests
+    std::string reject;
+    bool dead = false;  ///< write failed or close requested
+
+    void run() {
+        splitter = io::line_splitter{max_line_bytes};
+        lines.reserve(batch);
+        char chunk[4096];
+        const auto on_line = [this](std::string_view line, bool oversized) {
+            handle(line, oversized);
+        };
+        while (!dead && g_stop == 0) {
+            const long got = read_some(in_fd, chunk, sizeof chunk);
+            if (got <= 0) {
+                break;
+            }
+            splitter.feed({chunk, static_cast<std::size_t>(got)}, on_line);
+            // Answer everything complete in this chunk: a client that
+            // sends one request and waits must not stall behind the
+            // batch-size threshold.
+            if (!dead &&
+                !flush_batch(engine, lines, gather, out_fd, is_socket)) {
+                dead = true;
+            }
         }
-        if (is_metrics_request(line)) {
-            // Scrape op: answer everything pending first so the
-            // exposition reflects it, then emit the text inline.
-            flush_batch(engine, lines, gather, std::cout);
-            std::cout << engine.prometheus_text();
-            std::cout.flush();
-            continue;
+        if (!dead) {
+            splitter.finish(on_line);
         }
-        lines.push_back(std::move(line));
-        if (lines.size() >= opt.batch) {
-            flush_batch(engine, lines, gather, std::cout);
+        if (!dead) {
+            flush_batch(engine, lines, gather, out_fd, is_socket);
         }
     }
-    flush_batch(engine, lines, gather, std::cout);
-    return 0;
-}
 
-/// Serve one TCP connection: buffer bytes, split on '\n', answer every
-/// complete batch of lines currently available.  A `GET /metrics` line
-/// turns the connection into a one-shot HTTP metrics scrape.
-void serve_connection(silicon::serve::engine& engine, int fd,
-                      std::size_t batch) {
-    const auto send_all = [fd](std::string_view bytes) {
-        std::size_t sent = 0;
-        while (sent < bytes.size()) {
-            const ssize_t n =
-                ::write(fd, bytes.data() + sent, bytes.size() - sent);
-            if (n <= 0) {
-                return false;
-            }
-            sent += static_cast<std::size_t>(n);
+private:
+    void handle(std::string_view line, bool oversized) {
+        if (dead) {
+            return;
         }
-        return true;
-    };
-
-    std::string buffer;
-    std::vector<std::string> lines;
-    char chunk[4096];
-    for (;;) {
-        const ssize_t got = ::read(fd, chunk, sizeof chunk);
-        if (got <= 0) {
-            break;
-        }
-        buffer.append(chunk, static_cast<std::size_t>(got));
-        std::size_t begin = 0;
-        bool scrape = false;
-        for (;;) {
-            const std::size_t nl = buffer.find('\n', begin);
-            if (nl == std::string::npos) {
-                break;
-            }
-            if (nl > begin) {
-                std::string line = buffer.substr(begin, nl - begin);
-                if (!line.empty() && line.back() == '\r') {
-                    line.pop_back();  // tolerate HTTP-style CRLF
-                }
-                if (is_metrics_request(line)) {
-                    scrape = true;
-                    begin = nl + 1;
-                    break;
-                }
-                lines.push_back(std::move(line));
-            }
-            begin = nl + 1;
-            if (lines.size() >= batch) {
-                break;
-            }
-        }
-        buffer.erase(0, begin);
-        if (!lines.empty()) {
-            std::string out;
-            for (const std::string& response : engine.handle_batch(lines)) {
-                out += response;
-                out += '\n';
-            }
-            lines.clear();
-            if (!send_all(out)) {
-                ::close(fd);
+        if (oversized) {
+            // Answer pending work first so the rejection lands at the
+            // position the oversized line occupied.
+            if (!flush_batch(engine, lines, gather, out_fd, is_socket)) {
+                dead = true;
                 return;
             }
-            flushes_counter().add(1);
-            flushed_bytes_counter().add(out.size());
+            oversized_lines_counter().add(1);
+            reject.clear();
+            silicon::serve::append_line_too_large(max_line_bytes, reject);
+            reject += '\n';
+            if (!io::write_all_fd(out_fd, reject, is_socket)) {
+                dead = true;
+                return;
+            }
+            if (close_on_oversize) {
+                dead = true;  // protocol framing is suspect: drop the peer
+            }
+            return;
         }
-        if (scrape) {
-            const std::string body = engine.prometheus_text();
+        if (line.empty()) {
+            return;  // blank lines are keep-alives, not requests
+        }
+        if (is_metrics_request(line)) {
+            // Scrape: answer pending work first, then the exposition
+            // (an HTTP one-shot over TCP, inline text over stdio).
+            if (!flush_batch(engine, lines, gather, out_fd, is_socket)) {
+                dead = true;
+                return;
+            }
+            emit_metrics();
+            if (close_on_scrape) {
+                dead = true;
+            }
+            return;
+        }
+        lines.emplace_back(line);
+        if (lines.size() >= batch) {
+            if (!flush_batch(engine, lines, gather, out_fd, is_socket)) {
+                dead = true;
+            }
+        }
+    }
+
+    void emit_metrics() {
+        const std::string body = engine.prometheus_text();
+        if (is_socket) {
+            // One-shot HTTP response so `curl :port/metrics` works.
             std::string response =
                 "HTTP/1.0 200 OK\r\n"
                 "Content-Type: text/plain; version=0.0.4\r\n"
                 "Content-Length: " +
                 std::to_string(body.size()) + "\r\n\r\n";
             response += body;
-            send_all(response);
-            break;  // one-shot scrape connection
+            io::write_all_fd(out_fd, response, is_socket);
+        } else {
+            io::write_all_fd(out_fd, body, is_socket);
         }
     }
+};
+
+int run_stdio(silicon::serve::engine& engine, const options& opt) {
+    // stdio is a long-lived session: an oversized line is answered and
+    // discarded, the stream continues; a metrics line emits the
+    // exposition inline and the loop resumes.
+    line_loop loop{engine,
+                   STDIN_FILENO,
+                   STDOUT_FILENO,
+                   /*is_socket=*/false,
+                   opt.batch,
+                   opt.max_line_bytes,
+                   /*close_on_oversize=*/false,
+                   /*close_on_scrape=*/false};
+    loop.run();
+    return 0;
+}
+
+void serve_connection(silicon::serve::engine& engine, int fd,
+                      std::size_t batch, std::size_t max_line_bytes) {
+    line_loop loop{engine,
+                   fd,
+                   fd,
+                   /*is_socket=*/true,
+                   batch,
+                   max_line_bytes,
+                   /*close_on_oversize=*/true,
+                   /*close_on_scrape=*/true};
+    loop.run();
     ::close(fd);
 }
 
@@ -384,8 +543,19 @@ int run_tcp(silicon::serve::engine& engine, const options& opt) {
         ::close(listener);
         return 1;
     }
+    // --port 0 binds an ephemeral port; report the one the kernel chose
+    // so test harnesses (tools/chaosclient) can parse it from the log.
+    int bound_port = opt.port;
+    {
+        sockaddr_in actual{};
+        socklen_t len = sizeof actual;
+        if (::getsockname(listener, reinterpret_cast<sockaddr*>(&actual),
+                          &len) == 0) {
+            bound_port = static_cast<int>(ntohs(actual.sin_port));
+        }
+    }
     silicon::obs::log_info("silicond.listening",
-                           {{"address", "127.0.0.1"}, {"port", opt.port}});
+                           {{"address", "127.0.0.1"}, {"port", bound_port}});
 
     while (g_stop == 0) {
         const int fd = ::accept(listener, nullptr, nullptr);
@@ -395,8 +565,9 @@ int run_tcp(silicon::serve::engine& engine, const options& opt) {
             }
             break;
         }
-        std::thread{[&engine, fd, batch = opt.batch] {
-            serve_connection(engine, fd, batch);
+        std::thread{[&engine, fd, batch = opt.batch,
+                     max_line = opt.max_line_bytes] {
+            serve_connection(engine, fd, batch, max_line);
         }}.detach();
     }
     ::close(listener);
@@ -471,6 +642,17 @@ int main(int argc, char** argv) {
     std::ios::sync_with_stdio(false);
     install_signal_handlers();
 
+    try {
+        if (!opt.faults_spec.empty()) {
+            faults::configure(opt.faults_spec);
+        } else {
+            faults::configure_from_env();
+        }
+    } catch (const std::invalid_argument& e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+    }
+
     namespace obs = silicon::obs;
     if (!opt.trace_path.empty()) {
         obs::tracer::instance().enable();
@@ -480,6 +662,16 @@ int main(int argc, char** argv) {
     config.parallelism = opt.threads;
     config.cache_capacity = opt.cache_capacity;
     config.cache_shards = opt.cache_shards;
+    // max_line_bytes is enforced by the transport's bounded splitter;
+    // mirroring it into the engine costs one compare per line and keeps
+    // direct library users of this config equally bounded.
+    config.limits.max_line_bytes = opt.max_line_bytes;
+    config.limits.max_batch_lines = opt.max_batch_lines;
+    config.limits.max_sweep_points = opt.max_sweep_points;
+    config.limits.max_mc_dies = opt.max_mc_dies;
+    config.limits.max_inflight_bytes = opt.max_inflight_bytes;
+    config.limits.default_deadline_ms = opt.deadline_ms;
+    config.limits.shed_on_overload = opt.shed_on_overload;
     silicon::serve::engine engine{config};
 
     obs::log_info(
@@ -492,6 +684,9 @@ int main(int argc, char** argv) {
          {"cache_shards", opt.cache_shards},
          {"mode", opt.port >= 0 ? "tcp" : "stdio"},
          {"port", opt.port},
+         {"max_line_bytes", opt.max_line_bytes},
+         {"deadline_ms", opt.deadline_ms},
+         {"faults", faults::enabled()},
          {"trace", !opt.trace_path.empty()},
          {"metrics_interval", opt.metrics_interval}});
 

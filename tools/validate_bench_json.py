@@ -74,9 +74,28 @@ def check_kernels(doc, path):
     return errors
 
 
+def check_overload(doc, path):
+    errors = require(doc, path, "rejections", dict)
+    if errors:
+        return errors
+    rejections = doc["rejections"]
+    for key in ("line_too_large_ns", "overloaded_ns", "batch_too_large_ns",
+                "served_warm_ns", "allocs_per_line_reject",
+                "allocs_per_overload_reject", "reject_speedup_vs_served",
+                "required_speedup"):
+        errors += require(rejections, path, key, (int, float))
+    # The zero-allocation reject contract is deterministic: it must hold
+    # even when the timing gate is skipped (tiny mode).
+    for key in ("allocs_per_line_reject", "allocs_per_overload_reject"):
+        if rejections.get(key, 0) != 0:
+            errors += fail(path, f"{key} is {rejections[key]}, want 0")
+    return errors
+
+
 CHECKS = {
     "bench_serve_throughput": check_serve,
     "bench_batch_kernels": check_kernels,
+    "bench_overload": check_overload,
 }
 
 
