@@ -1,0 +1,336 @@
+#include "serve/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace silicon::serve::http {
+
+namespace {
+
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b) noexcept {
+    if (a.size() != b.size()) {
+        return false;
+    }
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i]))) {
+            return false;
+        }
+    }
+    return true;
+}
+
+/// RFC 7230 token characters (header names, methods).
+[[nodiscard]] bool is_token_char(char c) noexcept {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+        return true;
+    }
+    switch (c) {
+        case '!': case '#': case '$': case '%': case '&': case '\'':
+        case '*': case '+': case '-': case '.': case '^': case '_':
+        case '`': case '|': case '~':
+            return true;
+        default:
+            return false;
+    }
+}
+
+[[nodiscard]] bool is_token(std::string_view s) noexcept {
+    return !s.empty() &&
+           std::all_of(s.begin(), s.end(),
+                       [](char c) { return is_token_char(c); });
+}
+
+[[nodiscard]] std::string_view trim_ows(std::string_view s) noexcept {
+    while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+        s.remove_prefix(1);
+    }
+    while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+        s.remove_suffix(1);
+    }
+    return s;
+}
+
+/// Case-insensitive comma-list membership test (Connection header).
+[[nodiscard]] bool list_contains(std::string_view list,
+                                 std::string_view token) noexcept {
+    while (!list.empty()) {
+        const std::size_t comma = list.find(',');
+        const std::string_view item =
+            trim_ows(comma == std::string_view::npos ? list
+                                                     : list.substr(0, comma));
+        if (iequals(item, token)) {
+            return true;
+        }
+        if (comma == std::string_view::npos) {
+            break;
+        }
+        list.remove_prefix(comma + 1);
+    }
+    return false;
+}
+
+}  // namespace
+
+const std::string* request::header(std::string_view name) const {
+    for (const auto& [key, value] : headers) {
+        if (iequals(key, name)) {
+            return &value;
+        }
+    }
+    return nullptr;
+}
+
+bool is_request_line(std::string_view line) noexcept {
+    // METHOD SP target SP HTTP/1.x — the version suffix is what keeps a
+    // JSON request from ever matching.
+    const std::size_t sp1 = line.find(' ');
+    if (sp1 == std::string_view::npos || sp1 == 0) {
+        return false;
+    }
+    if (!is_token(line.substr(0, sp1))) {
+        return false;
+    }
+    const std::size_t sp2 = line.find(' ', sp1 + 1);
+    if (sp2 == std::string_view::npos || sp2 == sp1 + 1) {
+        return false;
+    }
+    const std::string_view version = line.substr(sp2 + 1);
+    return version.size() == 8 && version.rfind("HTTP/", 0) == 0;
+}
+
+void parser::fail(int status_code, std::string_view reason) {
+    state_ = status::error;
+    error_status_ = status_code;
+    error_reason_.assign(reason.data(), reason.size());
+}
+
+void parser::reset() {
+    state_ = status::need_more;
+    phase_ = phase::headers;
+    buffer_.clear();
+    scanned_ = 0;
+    content_length_ = 0;
+    saw_content_length_ = false;
+    error_status_ = 0;
+    error_reason_.clear();
+    request_ = request{};
+}
+
+std::size_t parser::consume(std::string_view data) {
+    if (state_ != status::need_more) {
+        return 0;  // caller must reset() first
+    }
+    if (phase_ == phase::headers) {
+        buffer_.append(data.data(), data.size());
+        // Find the end of the header block ("\r\n\r\n", tolerating bare
+        // "\n\n").  Resume the scan one byte back so a terminator split
+        // across feeds is still found.
+        std::size_t head_end = std::string_view::npos;
+        std::size_t body_start = 0;
+        const std::size_t from = scanned_ > 3 ? scanned_ - 3 : 0;
+        for (std::size_t i = from; i < buffer_.size(); ++i) {
+            if (buffer_[i] != '\n') {
+                continue;
+            }
+            if (i + 1 < buffer_.size() && buffer_[i + 1] == '\n') {
+                head_end = i + 1;
+                body_start = i + 2;
+                break;
+            }
+            if (i + 2 < buffer_.size() && buffer_[i + 1] == '\r' &&
+                buffer_[i + 2] == '\n') {
+                head_end = i + 2;
+                body_start = i + 3;
+                break;
+            }
+        }
+        if (head_end == std::string_view::npos) {
+            scanned_ = buffer_.size();
+            if (buffer_.size() > config_.max_header_bytes) {
+                fail(431, "request header block too large");
+            }
+            return data.size();
+        }
+        if (head_end > config_.max_header_bytes) {
+            fail(431, "request header block too large");
+            return data.size();
+        }
+        const std::size_t surplus = buffer_.size() - body_start;
+        const std::size_t consumed = data.size() - surplus;
+        parse_head(std::string_view{buffer_}.substr(0, head_end));
+        if (state_ == status::error) {
+            return data.size();  // stream is desynced; caller closes
+        }
+        buffer_.clear();
+        scanned_ = 0;
+        if (content_length_ == 0) {
+            finalize();
+            return consumed;
+        }
+        phase_ = phase::body;
+        // Fall through: the surplus bytes belong to the body.
+        data = data.substr(consumed);
+        return consumed + consume_body_bytes(data);
+    }
+    return consume_body_bytes(data);
+}
+
+/// Body phase: take up to the remaining Content-Length bytes.
+std::size_t parser::consume_body_bytes(std::string_view data) {
+    const std::size_t need = content_length_ - request_.body.size();
+    const std::size_t take = std::min(need, data.size());
+    request_.body.append(data.data(), take);
+    if (request_.body.size() == content_length_) {
+        finalize();
+    }
+    return take;
+}
+
+void parser::parse_head(std::string_view head) {
+    bool first = true;
+    while (!head.empty()) {
+        std::size_t nl = head.find('\n');
+        std::string_view line =
+            nl == std::string_view::npos ? head : head.substr(0, nl);
+        head = nl == std::string_view::npos ? std::string_view{}
+                                            : head.substr(nl + 1);
+        if (!line.empty() && line.back() == '\r') {
+            line.remove_suffix(1);
+        }
+        if (line.empty()) {
+            break;  // blank line ends the header block
+        }
+        if (first) {
+            if (!parse_request_line(line)) {
+                return;
+            }
+            first = false;
+        } else if (!parse_header_line(line)) {
+            return;
+        }
+    }
+    if (first) {
+        fail(400, "empty request");
+    }
+}
+
+bool parser::parse_request_line(std::string_view line) {
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+    if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+        line.find(' ', sp2 + 1) != std::string_view::npos) {
+        fail(400, "malformed request line");
+        return false;
+    }
+    const std::string_view method = line.substr(0, sp1);
+    const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::string_view version = line.substr(sp2 + 1);
+    if (!is_token(method) || target.empty()) {
+        fail(400, "malformed request line");
+        return false;
+    }
+    if (version == "HTTP/1.1") {
+        request_.minor_version = 1;
+    } else if (version == "HTTP/1.0") {
+        request_.minor_version = 0;
+    } else if (version.rfind("HTTP/", 0) == 0 && version.size() >= 6) {
+        fail(505, "HTTP version not supported");
+        return false;
+    } else {
+        fail(400, "malformed request line");
+        return false;
+    }
+    request_.method.assign(method.data(), method.size());
+    request_.target.assign(target.data(), target.size());
+    return true;
+}
+
+bool parser::parse_header_line(std::string_view line) {
+    if (line.front() == ' ' || line.front() == '\t') {
+        // obs-fold: a folded continuation of the previous header.  A
+        // classic smuggling vector; RFC 7230 §3.2.4 says reject.
+        fail(400, "header folding rejected");
+        return false;
+    }
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+        fail(400, "header line lacks ':'");
+        return false;
+    }
+    const std::string_view name = line.substr(0, colon);
+    const std::string_view value = trim_ows(line.substr(colon + 1));
+    if (!is_token(name)) {
+        // Covers empty names and whitespace before the colon (another
+        // smuggling vector per RFC 7230 §3.2.4).
+        fail(400, "malformed header name");
+        return false;
+    }
+    if (iequals(name, "Content-Length")) {
+        if (saw_content_length_) {
+            // Even agreeing duplicates are rejected: two sources of
+            // truth for the body length is how desyncs start.
+            fail(400, "duplicate Content-Length");
+            return false;
+        }
+        if (value.empty() || value.size() > 19 ||
+            !std::all_of(value.begin(), value.end(), [](char c) {
+                return c >= '0' && c <= '9';
+            })) {
+            fail(400, "malformed Content-Length");
+            return false;
+        }
+        std::size_t n = 0;
+        for (const char c : value) {
+            n = n * 10 + static_cast<std::size_t>(c - '0');
+        }
+        if (n > config_.max_body_bytes) {
+            fail(413, "body exceeds max_body_bytes");
+            return false;
+        }
+        saw_content_length_ = true;
+        content_length_ = n;
+    } else if (iequals(name, "Transfer-Encoding")) {
+        fail(501, "Transfer-Encoding not supported");
+        return false;
+    }
+    request_.headers.emplace_back(std::string{name}, std::string{value});
+    return true;
+}
+
+void parser::finalize() {
+    bool keep_alive = request_.minor_version >= 1;
+    if (const std::string* connection = request_.header("Connection")) {
+        if (list_contains(*connection, "close")) {
+            keep_alive = false;
+        } else if (list_contains(*connection, "keep-alive")) {
+            keep_alive = true;
+        }
+    }
+    request_.keep_alive = keep_alive;
+    state_ = status::complete;
+}
+
+std::string simple_response(int status_code, std::string_view reason,
+                            std::string_view content_type,
+                            std::string_view body, bool keep_alive,
+                            bool head_only) {
+    std::string out = "HTTP/1.1 ";
+    out += std::to_string(status_code);
+    out += ' ';
+    out += reason;
+    out += "\r\nContent-Type: ";
+    out += content_type;
+    out += "\r\nContent-Length: ";
+    out += std::to_string(body.size());
+    out += "\r\nConnection: ";
+    out += keep_alive ? "keep-alive" : "close";
+    out += "\r\n\r\n";
+    if (!head_only) {
+        out += body;
+    }
+    return out;
+}
+
+}  // namespace silicon::serve::http

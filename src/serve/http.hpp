@@ -1,0 +1,126 @@
+// http.hpp — a minimal, incremental HTTP/1.1 request parser.
+//
+// PR 5's transport answered a line starting with `GET /metrics` with a
+// one-shot HTTP/1.0 response and closed the connection.  That hack
+// cannot coexist with keep-alive scrapers (Prometheus reuses its
+// connection), so this module graduates it into a real — deliberately
+// small — parser: request line + headers + optional Content-Length
+// body, keep-alive semantics, and a strict error taxonomy.  It is fed
+// incrementally (whatever bytes the socket produced) and never
+// over-consumes: bytes after a complete message are left to the caller,
+// which is what lets JSONL requests and pipelined HTTP requests
+// interleave on one connection (serve/conn).
+//
+// Strictness (each is unit-tested in tests/serve/test_http.cpp):
+//
+//   * obs-fold (header folding, a continuation line starting with
+//     SP/HT) is rejected with 400 per RFC 7230 §3.2.4 — folding is a
+//     classic request-smuggling vector.
+//   * Content-Length must be a pure digit string; duplicates (even
+//     agreeing ones), signs, overflow and junk are 400.
+//   * Transfer-Encoding is 501 (chunked bodies are out of scope for a
+//     metrics/JSONL port; refusing loudly beats desyncing).
+//   * Header block over `max_header_bytes` is 431, body over
+//     `max_body_bytes` is 413 — both bound memory per connection.
+//   * Only HTTP/1.0 and HTTP/1.1 are accepted; anything else is 505.
+//
+// The parser never throws and holds no global state; one instance per
+// connection, `reset()` between keep-alive requests.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace silicon::serve::http {
+
+/// A parsed request.  Header names keep their wire spelling; lookup is
+/// case-insensitive via `header()`.
+struct request {
+    std::string method;
+    std::string target;
+    int minor_version = 1;  ///< HTTP/1.<minor_version>
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+    bool keep_alive = true;  ///< resolved from version + Connection
+
+    /// Case-insensitive header lookup; nullptr when absent.
+    [[nodiscard]] const std::string* header(std::string_view name) const;
+};
+
+/// True when `line` (one transport line, '\r' already stripped) looks
+/// like an HTTP/1.x request line — the trigger for a JSONL connection
+/// to hand its stream to the parser.
+[[nodiscard]] bool is_request_line(std::string_view line) noexcept;
+
+class parser {
+public:
+    enum class status { need_more, complete, error };
+
+    struct config {
+        /// Request line + header block byte bound (431 beyond).
+        std::size_t max_header_bytes = 16384;
+        /// Content-Length bound (413 beyond).
+        std::size_t max_body_bytes = 1 << 20;
+    };
+
+    parser() : parser(config{}) {}
+    explicit parser(config cfg) : config_{cfg} {}
+
+    /// Consume bytes from the stream.  Returns how many of `data` were
+    /// taken; on a complete message (or an error) the surplus is left
+    /// for the caller.  Call `state()` after every feed.
+    std::size_t consume(std::string_view data);
+
+    [[nodiscard]] status state() const noexcept { return state_; }
+
+    /// The parsed request; valid only when state() == complete.
+    [[nodiscard]] const request& result() const noexcept { return request_; }
+
+    /// HTTP status code for the failure (400/413/431/501/505); valid
+    /// only when state() == error.
+    [[nodiscard]] int error_status() const noexcept { return error_status_; }
+    [[nodiscard]] std::string_view error_reason() const noexcept {
+        return error_reason_;
+    }
+
+    /// Ready the parser for the next keep-alive request.
+    void reset();
+
+private:
+    enum class phase { headers, body };
+
+    void fail(int status_code, std::string_view reason);
+    std::size_t consume_body_bytes(std::string_view data);
+    void parse_head(std::string_view head);
+    bool parse_request_line(std::string_view line);
+    bool parse_header_line(std::string_view line);
+    void finalize();
+
+    config config_;
+    status state_ = status::need_more;
+    phase phase_ = phase::headers;
+    std::string buffer_;        ///< unparsed head (or body) bytes
+    std::size_t scanned_ = 0;   ///< buffer_ prefix already scanned for CRLFCRLF
+    std::size_t content_length_ = 0;
+    bool saw_content_length_ = false;
+    int error_status_ = 0;
+    std::string error_reason_;
+    request request_;
+};
+
+/// Serialize a simple response: status line, Content-Type,
+/// Content-Length, Connection header, CRLF, body.  `head_only` elides
+/// the body bytes (HEAD) while keeping the Content-Length of the full
+/// representation.
+[[nodiscard]] std::string simple_response(int status_code,
+                                          std::string_view reason,
+                                          std::string_view content_type,
+                                          std::string_view body,
+                                          bool keep_alive,
+                                          bool head_only = false);
+
+}  // namespace silicon::serve::http

@@ -3,6 +3,7 @@
 #include "serve/faults.hpp"
 
 #include <cerrno>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -24,65 +25,134 @@ bool write_all(std::string_view data, const write_fn& write) {
     return true;
 }
 
+namespace {
+
+/// One raw write attempt with the silicond.write fault sites applied.
+long write_attempt(int fd, const char* p, std::size_t size, bool is_socket) {
+    if (faults::enabled()) {
+        if (faults::take_eintr("silicond.write")) {
+            errno = EINTR;
+            return -1;
+        }
+        const std::size_t cap = faults::write_cap("silicond.write");
+        if (cap != 0 && cap < size) {
+            size = cap;  // injected short write; the caller resumes
+        }
+    }
+    if (is_socket) {
+        return static_cast<long>(::send(fd, p, size, MSG_NOSIGNAL));
+    }
+    return static_cast<long>(::write(fd, p, size));
+}
+
+}  // namespace
+
+write_result write_some_fd(int fd, std::string_view data, bool is_socket) {
+    write_result r;
+    while (r.written < data.size()) {
+        const long n = write_attempt(fd, data.data() + r.written,
+                                     data.size() - r.written, is_socket);
+        if (n > 0) {
+            r.written += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR) {
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            r.would_block = true;
+            return r;
+        }
+        r.dead = true;  // 0 or a real error: peer is gone
+        return r;
+    }
+    return r;
+}
+
 bool write_all_fd(int fd, std::string_view data, bool is_socket) {
-    return write_all(data, [fd, is_socket](const char* p, std::size_t size) {
-        if (faults::enabled()) {
-            if (faults::take_eintr("silicond.write")) {
-                errno = EINTR;
-                return -1L;
-            }
-            const std::size_t cap = faults::write_cap("silicond.write");
-            if (cap != 0 && cap < size) {
-                size = cap;  // injected short write; write_all resumes
+    std::size_t offset = 0;
+    while (offset < data.size()) {
+        const write_result r =
+            write_some_fd(fd, data.substr(offset), is_socket);
+        offset += r.written;
+        if (r.dead) {
+            return false;
+        }
+        if (r.would_block) {
+            // Non-blocking fd with a full buffer: park in poll(2) until
+            // writable instead of declaring the peer dead (the PR 5 bug
+            // class) or busy-spinning.
+            pollfd p{fd, POLLOUT, 0};
+            while (::poll(&p, 1, -1) < 0) {
+                if (errno != EINTR) {
+                    return false;
+                }
             }
         }
-        if (is_socket) {
-            return static_cast<long>(::send(fd, p, size, MSG_NOSIGNAL));
+    }
+    return true;
+}
+
+std::size_t line_splitter::feed_some(
+    std::string_view chunk,
+    const std::function<bool(std::string_view line, bool oversized)>&
+        on_line) {
+    std::size_t consumed = 0;
+    while (consumed < chunk.size()) {
+        std::string_view rest = chunk.substr(consumed);
+        const std::size_t nl = rest.find('\n');
+        if (discarding_) {
+            // Drop bytes of the already-condemned line up to its '\n'.
+            if (nl == std::string_view::npos) {
+                return chunk.size();
+            }
+            discarding_ = false;
+            consumed += nl + 1;
+            continue;
         }
-        return static_cast<long>(::write(fd, p, size));
-    });
+        if (nl == std::string_view::npos) {
+            buffer_.append(rest.data(), rest.size());
+            consumed = chunk.size();
+            if (max_line_bytes_ != 0 && buffer_.size() > max_line_bytes_) {
+                buffer_.clear();
+                buffer_.shrink_to_fit();  // do not hold the spike
+                discarding_ = true;
+                if (!on_line({}, true)) {
+                    return consumed;
+                }
+            }
+            return consumed;
+        }
+        std::string_view line = rest.substr(0, nl);
+        consumed += nl + 1;
+        if (!buffer_.empty()) {
+            buffer_.append(line.data(), line.size());
+            line = buffer_;
+        }
+        bool keep_going = true;
+        if (max_line_bytes_ != 0 && line.size() > max_line_bytes_) {
+            keep_going = on_line({}, true);
+        } else {
+            if (!line.empty() && line.back() == '\r') {
+                line.remove_suffix(1);
+            }
+            keep_going = on_line(line, false);
+        }
+        buffer_.clear();
+        if (!keep_going) {
+            return consumed;
+        }
+    }
+    return consumed;
 }
 
 void line_splitter::feed(
     std::string_view chunk,
     const std::function<void(std::string_view line, bool oversized)>& on_line) {
-    while (!chunk.empty()) {
-        const std::size_t nl = chunk.find('\n');
-        if (discarding_) {
-            // Drop bytes of the already-condemned line up to its '\n'.
-            if (nl == std::string_view::npos) {
-                return;
-            }
-            discarding_ = false;
-            chunk.remove_prefix(nl + 1);
-            continue;
-        }
-        if (nl == std::string_view::npos) {
-            buffer_.append(chunk.data(), chunk.size());
-            if (max_line_bytes_ != 0 && buffer_.size() > max_line_bytes_) {
-                buffer_.clear();
-                buffer_.shrink_to_fit();  // do not hold the spike
-                discarding_ = true;
-                on_line({}, true);
-            }
-            return;
-        }
-        std::string_view line = chunk.substr(0, nl);
-        chunk.remove_prefix(nl + 1);
-        if (!buffer_.empty()) {
-            buffer_.append(line.data(), line.size());
-            line = buffer_;
-        }
-        if (max_line_bytes_ != 0 && line.size() > max_line_bytes_) {
-            on_line({}, true);
-        } else {
-            if (!line.empty() && line.back() == '\r') {
-                line.remove_suffix(1);
-            }
-            on_line(line, false);
-        }
-        buffer_.clear();
-    }
+    (void)feed_some(chunk, [&on_line](std::string_view line, bool oversized) {
+        on_line(line, oversized);
+        return true;
+    });
 }
 
 void line_splitter::finish(

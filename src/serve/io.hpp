@@ -37,13 +37,41 @@ namespace silicon::serve::io {
 using write_fn = std::function<long(const char* data, std::size_t size)>;
 
 /// Write all of `data`, retrying short writes and EINTR.  Returns false
-/// on any other error (connection dead).  Never throws.
+/// on any other error (connection dead).  Never throws.  Assumes a
+/// *blocking* write_fn: EAGAIN is treated as fatal here, because a
+/// non-blocking sink would busy-spin — non-blocking callers use
+/// `write_some_fd` (below) and park the rest behind poll/epoll.
 bool write_all(std::string_view data, const write_fn& write);
 
 /// EINTR-safe `write_all` over a file descriptor (uses send with
 /// MSG_NOSIGNAL when `is_socket`, plain write otherwise, so a dead peer
 /// yields EPIPE instead of killing the process with SIGPIPE).
+///
+/// Safe on non-blocking fds too: EAGAIN/EWOULDBLOCK parks in poll(2)
+/// until the fd is writable instead of reporting the peer dead (the
+/// PR 5 retry loop assumed blocking sockets and dropped the connection
+/// on the first full socket buffer — regression-tested with a tiny
+/// SO_SNDBUF in tests/serve/test_event_loop.cpp).
 bool write_all_fd(int fd, std::string_view data, bool is_socket);
+
+/// Result of one best-effort write pass on a (possibly non-blocking)
+/// fd: `written` bytes left the process; `would_block` reports a clean
+/// EAGAIN/EWOULDBLOCK stop (caller re-arms for writability); `dead`
+/// reports a real error (EPIPE, ECONNRESET, ...).  At most one of
+/// would_block/dead is set.
+struct write_result {
+    std::size_t written = 0;
+    bool would_block = false;
+    bool dead = false;
+};
+
+/// Write as much of `data` as the fd accepts without blocking: retries
+/// EINTR, stops on EAGAIN/EWOULDBLOCK, never busy-waits.  Honors the
+/// `silicond.write` fault sites (eintr / short_write) exactly like
+/// `write_all_fd`, so the chaos switchboard covers the event-loop
+/// write queue too.
+[[nodiscard]] write_result write_some_fd(int fd, std::string_view data,
+                                         bool is_socket);
 
 /// Incremental newline framer with a per-line byte budget.
 class line_splitter {
@@ -61,6 +89,16 @@ public:
     void feed(std::string_view chunk,
               const std::function<void(std::string_view line, bool oversized)>&
                   on_line);
+
+    /// Like `feed`, but the callback returns false to stop framing: the
+    /// bytes after that event's newline are left unconsumed and the
+    /// number of consumed `chunk` bytes is returned.  The event-loop
+    /// connection uses this to hand the rest of the stream to the HTTP
+    /// parser when a line turns out to be an HTTP request line.
+    std::size_t feed_some(
+        std::string_view chunk,
+        const std::function<bool(std::string_view line, bool oversized)>&
+            on_line);
 
     /// Deliver the final unterminated line, if any (end of stream).
     void finish(const std::function<void(std::string_view line,

@@ -5,6 +5,7 @@
 
 #include "exec/cancel.hpp"
 #include "serve/engine.hpp"
+#include "serve/event_loop.hpp"
 #include "serve/faults.hpp"
 #include "serve/io.hpp"
 #include "serve/json.hpp"
@@ -12,8 +13,16 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <cerrno>
+#include <cstring>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace faults = silicon::serve::faults;
@@ -562,6 +571,182 @@ TEST(OverloadObservability, StatsAndPrometheusExposeRejections) {
     EXPECT_NE(text.find("silicon_serve_deadline_exceeded_total"),
               std::string::npos);
     EXPECT_NE(text.find("silicon_serve_inflight_bytes"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Fault switchboard on the epoll transport (serve/event_loop): the
+// `silicond.read` / `silicond.write` sites moved from the blocking
+// thread-per-connection loop onto the reactor, and these tests prove
+// the faults still *fire* there (via the injected() counters) while the
+// response stream stays byte-identical — the level-triggered retry
+// contract from event_loop.hpp.
+// ---------------------------------------------------------------------------
+
+namespace loop_fixture {
+
+int make_listener(std::uint16_t* port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    EXPECT_GE(fd, 0) << std::strerror(errno);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    EXPECT_EQ(::listen(fd, 64), 0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+    *port = ntohs(addr.sin_port);
+    return fd;
+}
+
+struct harness {
+    harness() {
+        const int listener = make_listener(&port);
+        loop = std::make_unique<silicon::serve::event_loop>(
+            eng, listener, silicon::serve::event_loop_config{});
+        runner = std::thread{[this] { loop->run(); }};
+    }
+    ~harness() {
+        loop->stop();
+        runner.join();
+    }
+    engine eng;
+    std::uint16_t port = 0;
+    std::unique_ptr<silicon::serve::event_loop> loop;
+    std::thread runner;
+};
+
+int connect_client(std::uint16_t port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    EXPECT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    timeval tv{};
+    tv.tv_sec = 30;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    return fd;
+}
+
+void send_all(int fd, std::string_view data) {
+    while (!data.empty()) {
+        const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+        ASSERT_GT(n, 0) << std::strerror(errno);
+        data.remove_prefix(static_cast<std::size_t>(n));
+    }
+}
+
+std::vector<std::string> read_lines(int fd, std::size_t count) {
+    std::vector<std::string> lines;
+    std::string buf;
+    char chunk[8192];
+    while (lines.size() < count) {
+        const std::size_t nl = buf.find('\n');
+        if (nl != std::string::npos) {
+            lines.push_back(buf.substr(0, nl));
+            buf.erase(0, nl + 1);
+            continue;
+        }
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0) {
+            ADD_FAILURE() << "stream ended after " << lines.size() << " of "
+                          << count << " replies";
+            return lines;
+        }
+        buf.append(chunk, static_cast<std::size_t>(n));
+    }
+    return lines;
+}
+
+}  // namespace loop_fixture
+
+TEST(EventLoopFaults, InjectedReadEintrFiresAndStreamSurvives) {
+    const faults_guard guard;
+    faults::configure("eintr@silicond.read:3");
+    ASSERT_EQ(faults::injected("silicond.read"), 0u);
+
+    loop_fixture::harness h;
+    engine reference;
+    const std::string line = "{\"op\":\"table3\"}";
+    const std::string want = reference.handle_line(line);
+    const int fd = loop_fixture::connect_client(h.port);
+    // Every 3rd read pass on the reactor aborts with a synthetic
+    // EINTR; level-triggered epoll must re-deliver and no line may be
+    // lost or reordered.
+    for (int round = 0; round < 32; ++round) {
+        loop_fixture::send_all(fd, line + "\n");
+        const std::vector<std::string> got =
+            loop_fixture::read_lines(fd, 1);
+        ASSERT_EQ(got.size(), 1u) << "round " << round;
+        EXPECT_EQ(got[0], want) << "round " << round;
+    }
+    ::close(fd);
+    EXPECT_GT(faults::injected("silicond.read"), 0u)
+        << "eintr@silicond.read never fired on the epoll read path";
+}
+
+TEST(EventLoopFaults, InjectedShortWritesFireAndBytesStayIdentical) {
+    const faults_guard guard;
+    // Cap every transport write at 7 bytes: each reply needs dozens of
+    // write passes through the queue's resumption arithmetic.
+    faults::configure("short_write@silicond.write:7");
+    ASSERT_EQ(faults::injected("silicond.write"), 0u);
+
+    loop_fixture::harness h;
+    engine reference;
+    std::vector<std::string> lines;
+    lines.emplace_back("{\"op\":\"table3\"}");
+    lines.emplace_back("{\"op\":\"scenario1\"}");
+    lines.emplace_back("not even json");
+    const std::vector<std::string> want = reference.handle_batch(lines);
+
+    const int fd = loop_fixture::connect_client(h.port);
+    std::string wire;
+    for (const std::string& l : lines) {
+        wire += l;
+        wire += '\n';
+    }
+    loop_fixture::send_all(fd, wire);
+    const std::vector<std::string> got =
+        loop_fixture::read_lines(fd, lines.size());
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(got[i], want[i]) << "line " << i;
+    }
+    ::close(fd);
+    EXPECT_GT(faults::injected("silicond.write"), 0u)
+        << "short_write@silicond.write never fired on the epoll write path";
+}
+
+TEST(EventLoopFaults, AbruptCloseDuringPendingWriteDoesNotKillLoop) {
+    const faults_guard guard;
+    // Short writes guarantee the reply is still queued when the client
+    // vanishes, so the reactor takes EPOLLHUP/EPIPE with a non-empty
+    // write queue — the hardest teardown ordering.
+    faults::configure("short_write@silicond.write:1");
+
+    loop_fixture::harness h;
+    for (int round = 0; round < 8; ++round) {
+        const int fd = loop_fixture::connect_client(h.port);
+        loop_fixture::send_all(fd, "{\"op\":\"table3\"}\n");
+        // RST instead of FIN: pending server writes hit ECONNRESET.
+        linger hard{1, 0};
+        ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+        ::close(fd);
+    }
+    faults::reset();
+    // The loop must still be alive and serving correctly.
+    engine reference;
+    const int fd = loop_fixture::connect_client(h.port);
+    loop_fixture::send_all(fd, "{\"op\":\"table3\"}\n");
+    const std::vector<std::string> got = loop_fixture::read_lines(fd, 1);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], reference.handle_line("{\"op\":\"table3\"}"));
+    ::close(fd);
 }
 
 }  // namespace

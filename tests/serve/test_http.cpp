@@ -1,0 +1,345 @@
+// HTTP/1.1 parser unit tests (serve/http): strictness, incremental
+// feeding, pipelining, keep-alive resolution, and a seeded malformed
+// fuzz loop.  The parser guards the multiplexed silicond port, so every
+// rejection here is a request-smuggling or resource-exhaustion vector
+// closed (see the header of serve/http.hpp for the taxonomy).
+
+#include "serve/http.hpp"
+#include "yield/defect.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+
+namespace http = silicon::serve::http;
+using silicon::yield::splitmix64;
+
+namespace {
+
+/// Feed the whole message; expect a complete parse consuming exactly
+/// `data` (unless trailing surplus is expected by the caller).
+http::parser parse_ok(std::string_view data, std::size_t* consumed = nullptr) {
+    http::parser p;
+    const std::size_t n = p.consume(data);
+    EXPECT_EQ(p.state(), http::parser::status::complete) << data;
+    if (consumed != nullptr) {
+        *consumed = n;
+    }
+    return p;
+}
+
+int parse_error_status(std::string_view data) {
+    http::parser p;
+    (void)p.consume(data);
+    EXPECT_EQ(p.state(), http::parser::status::error) << data;
+    return p.error_status();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Request-line trigger (the JSONL/HTTP mode switch)
+// ---------------------------------------------------------------------------
+
+TEST(HttpRequestLine, RecognizesHttpRequestLines) {
+    EXPECT_TRUE(http::is_request_line("GET /metrics HTTP/1.1"));
+    EXPECT_TRUE(http::is_request_line("HEAD / HTTP/1.0"));
+    EXPECT_TRUE(http::is_request_line("POST /evaluate HTTP/1.1"));
+    EXPECT_TRUE(http::is_request_line("GET /x HTTP/2.0"));  // parser 505s it
+}
+
+TEST(HttpRequestLine, NeverMatchesJsonlOrLegacyLines) {
+    EXPECT_FALSE(http::is_request_line("{\"op\":\"scenario1\"}"));
+    EXPECT_FALSE(http::is_request_line(""));
+    EXPECT_FALSE(http::is_request_line("GET /metrics"));  // legacy one-shot
+    EXPECT_FALSE(http::is_request_line("GET  HTTP/1.1"));
+    EXPECT_FALSE(http::is_request_line("not a request at all"));
+    EXPECT_FALSE(http::is_request_line("GET /x HTTP/11"));
+}
+
+// ---------------------------------------------------------------------------
+// Happy paths
+// ---------------------------------------------------------------------------
+
+TEST(HttpParser, SimpleGet) {
+    const http::parser p =
+        parse_ok("GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n");
+    EXPECT_EQ(p.result().method, "GET");
+    EXPECT_EQ(p.result().target, "/metrics");
+    EXPECT_EQ(p.result().minor_version, 1);
+    EXPECT_TRUE(p.result().keep_alive);
+    ASSERT_NE(p.result().header("host"), nullptr);
+    EXPECT_EQ(*p.result().header("HOST"), "localhost");
+}
+
+TEST(HttpParser, BareLfLineEndingsTolerated) {
+    const http::parser p = parse_ok("GET / HTTP/1.1\nHost: x\n\n");
+    EXPECT_EQ(p.result().target, "/");
+}
+
+TEST(HttpParser, ByteAtATimeFeedIsIncremental) {
+    const std::string message =
+        "GET /metrics HTTP/1.1\r\nAccept: text/plain\r\n\r\n";
+    http::parser p;
+    for (std::size_t i = 0; i < message.size(); ++i) {
+        ASSERT_EQ(p.consume({&message[i], 1}), 1u) << "byte " << i;
+        if (i + 1 < message.size()) {
+            ASSERT_EQ(p.state(), http::parser::status::need_more)
+                << "byte " << i;
+        }
+    }
+    EXPECT_EQ(p.state(), http::parser::status::complete);
+    EXPECT_EQ(p.result().target, "/metrics");
+}
+
+TEST(HttpParser, ContentLengthBodyParsed) {
+    const http::parser p = parse_ok(
+        "POST /evaluate HTTP/1.1\r\nContent-Length: 11\r\n\r\nhello world");
+    EXPECT_EQ(p.result().body, "hello world");
+}
+
+TEST(HttpParser, ZeroContentLengthCompletesAtHeaderEnd) {
+    const http::parser p =
+        parse_ok("POST /x HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+    EXPECT_TRUE(p.result().body.empty());
+}
+
+TEST(HttpParser, BodySplitAcrossFeeds) {
+    http::parser p;
+    (void)p.consume("POST /x HTTP/1.1\r\nContent-Length: 6\r\n\r\nabc");
+    ASSERT_EQ(p.state(), http::parser::status::need_more);
+    EXPECT_EQ(p.consume("def"), 3u);
+    ASSERT_EQ(p.state(), http::parser::status::complete);
+    EXPECT_EQ(p.result().body, "abcdef");
+}
+
+// ---------------------------------------------------------------------------
+// Pipelining: the parser must never consume past one message
+// ---------------------------------------------------------------------------
+
+TEST(HttpParser, PipelinedRequestsLeaveSurplus) {
+    const std::string two =
+        "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+    http::parser p;
+    const std::size_t first = p.consume(two);
+    ASSERT_EQ(p.state(), http::parser::status::complete);
+    EXPECT_EQ(p.result().target, "/a");
+    EXPECT_EQ(first, std::string{"GET /a HTTP/1.1\r\n\r\n"}.size());
+    p.reset();
+    const std::size_t second =
+        p.consume(std::string_view{two}.substr(first));
+    ASSERT_EQ(p.state(), http::parser::status::complete);
+    EXPECT_EQ(p.result().target, "/b");
+    EXPECT_EQ(first + second, two.size());
+}
+
+TEST(HttpParser, BodySurplusStaysUnconsumed) {
+    http::parser p;
+    const std::string msg =
+        "POST /x HTTP/1.1\r\nContent-Length: 3\r\n\r\nabcJUNK";
+    const std::size_t n = p.consume(msg);
+    ASSERT_EQ(p.state(), http::parser::status::complete);
+    EXPECT_EQ(p.result().body, "abc");
+    EXPECT_EQ(msg.substr(n), "JUNK");
+}
+
+TEST(HttpParser, CompleteParserConsumesNothingMore) {
+    http::parser p;
+    (void)p.consume("GET / HTTP/1.1\r\n\r\n");
+    ASSERT_EQ(p.state(), http::parser::status::complete);
+    EXPECT_EQ(p.consume("GET /next HTTP/1.1\r\n\r\n"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Strictness: smuggling vectors and malformed input
+// ---------------------------------------------------------------------------
+
+TEST(HttpParser, HeaderFoldingRejected) {
+    EXPECT_EQ(parse_error_status(
+                  "GET / HTTP/1.1\r\nX-A: 1\r\n folded\r\n\r\n"),
+              400);
+    EXPECT_EQ(parse_error_status(
+                  "GET / HTTP/1.1\r\nX-A: 1\r\n\tfolded\r\n\r\n"),
+              400);
+}
+
+TEST(HttpParser, WhitespaceBeforeColonRejected) {
+    EXPECT_EQ(parse_error_status("GET / HTTP/1.1\r\nX-A : 1\r\n\r\n"), 400);
+}
+
+TEST(HttpParser, HeaderWithoutColonRejected) {
+    EXPECT_EQ(parse_error_status("GET / HTTP/1.1\r\nnocolon\r\n\r\n"), 400);
+}
+
+TEST(HttpParser, ContentLengthEdgeCases) {
+    // Duplicates — even agreeing ones — are rejected.
+    EXPECT_EQ(parse_error_status("POST /x HTTP/1.1\r\nContent-Length: 3\r\n"
+                                 "Content-Length: 3\r\n\r\nabc"),
+              400);
+    EXPECT_EQ(parse_error_status(
+                  "POST /x HTTP/1.1\r\nContent-Length: +3\r\n\r\nabc"),
+              400);
+    EXPECT_EQ(parse_error_status(
+                  "POST /x HTTP/1.1\r\nContent-Length: 3x\r\n\r\nabc"),
+              400);
+    EXPECT_EQ(parse_error_status(
+                  "POST /x HTTP/1.1\r\nContent-Length:\r\n\r\n"),
+              400);
+    // 20 digits cannot fit a sane length; rejected before overflow.
+    EXPECT_EQ(parse_error_status("POST /x HTTP/1.1\r\nContent-Length: "
+                                 "99999999999999999999\r\n\r\n"),
+              400);
+}
+
+TEST(HttpParser, OverlongBodyIs413) {
+    http::parser::config cfg;
+    cfg.max_body_bytes = 16;
+    http::parser p{cfg};
+    (void)p.consume("POST /x HTTP/1.1\r\nContent-Length: 17\r\n\r\n");
+    ASSERT_EQ(p.state(), http::parser::status::error);
+    EXPECT_EQ(p.error_status(), 413);
+}
+
+TEST(HttpParser, OversizedHeaderBlockIs431) {
+    http::parser::config cfg;
+    cfg.max_header_bytes = 128;
+    http::parser p{cfg};
+    std::string huge = "GET / HTTP/1.1\r\nX-Pad: ";
+    huge.append(256, 'x');
+    (void)p.consume(huge);  // no terminator yet: bound applies anyway
+    ASSERT_EQ(p.state(), http::parser::status::error);
+    EXPECT_EQ(p.error_status(), 431);
+}
+
+TEST(HttpParser, TransferEncodingIs501) {
+    EXPECT_EQ(parse_error_status("POST /x HTTP/1.1\r\n"
+                                 "Transfer-Encoding: chunked\r\n\r\n"),
+              501);
+}
+
+TEST(HttpParser, UnsupportedVersionIs505) {
+    EXPECT_EQ(parse_error_status("GET / HTTP/2.0\r\n\r\n"), 505);
+    EXPECT_EQ(parse_error_status("GET / HTTP/9.9\r\n\r\n"), 505);
+}
+
+TEST(HttpParser, MalformedRequestLineIs400) {
+    EXPECT_EQ(parse_error_status("GET\r\n\r\n"), 400);
+    EXPECT_EQ(parse_error_status("GET /\r\n\r\n"), 400);
+    EXPECT_EQ(parse_error_status("GET / HTTP/1.1 extra\r\n\r\n"), 400);
+    EXPECT_EQ(parse_error_status("GET / FTP/1.1\r\n\r\n"), 400);
+    EXPECT_EQ(parse_error_status("\r\n\r\n"), 400);
+    EXPECT_EQ(parse_error_status("G@T / HTTP/1.1\r\n\r\n"), 400);
+}
+
+// ---------------------------------------------------------------------------
+// Keep-alive resolution
+// ---------------------------------------------------------------------------
+
+TEST(HttpParser, KeepAliveDefaultsByVersion) {
+    EXPECT_TRUE(parse_ok("GET / HTTP/1.1\r\n\r\n").result().keep_alive);
+    EXPECT_FALSE(parse_ok("GET / HTTP/1.0\r\n\r\n").result().keep_alive);
+}
+
+TEST(HttpParser, ConnectionHeaderOverridesDefault) {
+    EXPECT_FALSE(parse_ok("GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+                     .result()
+                     .keep_alive);
+    EXPECT_FALSE(parse_ok("GET / HTTP/1.1\r\nConnection: Close\r\n\r\n")
+                     .result()
+                     .keep_alive);
+    EXPECT_TRUE(parse_ok("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+                    .result()
+                    .keep_alive);
+    EXPECT_FALSE(
+        parse_ok("GET / HTTP/1.1\r\nConnection: x, close, y\r\n\r\n")
+            .result()
+            .keep_alive);
+}
+
+// ---------------------------------------------------------------------------
+// Reset / reuse
+// ---------------------------------------------------------------------------
+
+TEST(HttpParser, ResetReadiesForNextKeepAliveRequest) {
+    http::parser p;
+    (void)p.consume("POST /a HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi");
+    ASSERT_EQ(p.state(), http::parser::status::complete);
+    p.reset();
+    (void)p.consume("GET /b HTTP/1.1\r\n\r\n");
+    ASSERT_EQ(p.state(), http::parser::status::complete);
+    EXPECT_EQ(p.result().target, "/b");
+    EXPECT_TRUE(p.result().body.empty());
+    EXPECT_EQ(p.result().method, "GET");
+}
+
+// ---------------------------------------------------------------------------
+// Response serialization
+// ---------------------------------------------------------------------------
+
+TEST(HttpSimpleResponse, CarriesLengthAndConnection) {
+    const std::string r = http::simple_response(
+        200, "OK", "text/plain", "body\n", /*keep_alive=*/true);
+    EXPECT_EQ(r.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+    EXPECT_NE(r.find("Content-Length: 5\r\n"), std::string::npos);
+    EXPECT_NE(r.find("Connection: keep-alive\r\n"), std::string::npos);
+    EXPECT_EQ(r.substr(r.size() - 5), "body\n");
+}
+
+TEST(HttpSimpleResponse, HeadElidesBodyButKeepsLength) {
+    const std::string r = http::simple_response(
+        200, "OK", "text/plain", "body\n", /*keep_alive=*/false,
+        /*head_only=*/true);
+    EXPECT_NE(r.find("Content-Length: 5\r\n"), std::string::npos);
+    EXPECT_NE(r.find("Connection: close\r\n"), std::string::npos);
+    EXPECT_EQ(r.substr(r.size() - 4), "\r\n\r\n");
+}
+
+// ---------------------------------------------------------------------------
+// Seeded malformed fuzz: the parser must never crash and must land in a
+// clean terminal (or need-more) state with a known error status.
+// ---------------------------------------------------------------------------
+
+TEST(HttpParserFuzz, TenThousandMalformedMessagesNeverCrash) {
+    splitmix64 rng{0xF00DF00Du};
+    // Fragments biased toward "almost HTTP": random splices of valid
+    // structure hit far more parser branches than raw noise.
+    const std::string_view fragments[] = {
+        "GET ", "POST ", "/metrics ", "/ ", "HTTP/1.1", "HTTP/1.0",
+        "HTTP/9.9", "\r\n", "\n", "\r", ": ", "Content-Length",
+        "Transfer-Encoding", "Connection", "close", "keep-alive",
+        " folded", "\t", "0", "99999999999999999999", "-1", "chunked",
+        "Host", "localhost", "{\"op\":\"scenario1\"}", "\x01\x02",
+        "\xff\xfe", " ", "::", "X-A", "\r\n\r\n",
+    };
+    constexpr int kIterations = 10000;
+    for (int iteration = 0; iteration < kIterations; ++iteration) {
+        std::string message;
+        const int pieces = 1 + static_cast<int>(rng.next() % 12);
+        for (int piece = 0; piece < pieces; ++piece) {
+            message += fragments[rng.next() % std::size(fragments)];
+        }
+        http::parser p;
+        // Feed in random-sized slices to stress resumption paths too.
+        std::size_t offset = 0;
+        while (offset < message.size() &&
+               p.state() == http::parser::status::need_more) {
+            const std::size_t step =
+                1 + rng.next() % (message.size() - offset);
+            offset += p.consume(
+                std::string_view{message}.substr(offset, step));
+            if (p.state() != http::parser::status::need_more) {
+                break;
+            }
+        }
+        if (p.state() == http::parser::status::error) {
+            const int status = p.error_status();
+            EXPECT_TRUE(status == 400 || status == 413 || status == 431 ||
+                        status == 501 || status == 505)
+                << "iteration " << iteration << " status " << status;
+            EXPECT_FALSE(p.error_reason().empty());
+        }
+        p.reset();
+        EXPECT_EQ(p.state(), http::parser::status::need_more);
+    }
+}

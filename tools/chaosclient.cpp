@@ -23,6 +23,19 @@
 //                           the server must answer the next connection
 //   8. metrics scrape     — `GET /metrics` gets an HTTP 200 exposition
 //
+// A second battery runs against a fresh server with `--max-conns 32`
+// and the fault switchboard armed on the epoll transport sites
+// (`eintr@silicond.read`, `short_write@silicond.write`), so every
+// read/write below takes injected faults while the invariant holds:
+//   9.  valid burst under faults — same 100-in-order contract as #1
+//   10. connection flood   — accepts beyond --max-conns are closed
+//                            immediately; admitted ones still serve
+//   11. half-close mid-batch — shutdown(SHUT_WR) right behind a batch;
+//                            every reply still arrives, then clean EOF
+//   12. abrupt close, pending write — RST while replies are queued
+//                            (short writes keep the queue non-empty);
+//                            the server must survive to the next conn
+//
 // Replies are validated with the real serve JSON parser (an invalid
 // byte stream fails the run, not just a string compare).  Exit code 0
 // = every scenario held; anything else prints the first violation.
@@ -591,11 +604,164 @@ void scenario_metrics_scrape(int port) {
         }
         body.append(chunk, static_cast<std::size_t>(got));
     }
-    if (body.rfind("HTTP/1.0 200 OK", 0) != 0) {
+    // The multiplexed transport answers HTTP/1.1 (with Connection:
+    // close for a 1.0 client); only the status matters here.
+    if (body.rfind("HTTP/1.", 0) != 0 ||
+        body.find(" 200 OK") == std::string::npos ||
+        body.find(" 200 OK") > 10) {
         fail(name, "scrape did not return HTTP 200");
     }
     if (body.find("silicon_serve_rejected_total") == std::string::npos) {
         fail(name, "exposition lacks silicon_serve_rejected_total");
+    }
+    ::close(fd);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-armed battery (epoll transport under the switchboard)
+// ---------------------------------------------------------------------------
+
+void scenario_connection_flood(int port, std::size_t max_conns) {
+    const std::string name = "connection flood";
+    // Let the loop reap connections closed by earlier scenarios; a
+    // straggler would otherwise occupy a slot and skew the count.
+    std::this_thread::sleep_for(std::chrono::milliseconds{200});
+    // Open well past the accept limit while holding every fd: the
+    // event loop must close the surplus accepts immediately (no reply,
+    // no hang) and keep serving the admitted ones.
+    const std::size_t total = max_conns + 16;
+    std::vector<int> fds;
+    fds.reserve(total);
+    for (std::size_t i = 0; i < total; ++i) {
+        const int fd = connect_to(port);
+        if (fd < 0) {
+            fail(name, "connect " + std::to_string(i) + " failed");
+            break;
+        }
+        fds.push_back(fd);
+    }
+    // Give the loop a beat to accept (and shed) the whole backlog.
+    std::this_thread::sleep_for(std::chrono::milliseconds{200});
+    std::size_t dropped = 0;
+    std::vector<int> admitted;
+    for (const int fd : fds) {
+        pollfd p{fd, POLLIN, 0};
+        char byte = 0;
+        if (::poll(&p, 1, 0) > 0 &&
+            ::recv(fd, &byte, 1, MSG_DONTWAIT) == 0) {
+            ++dropped;
+            ::close(fd);
+        } else {
+            admitted.push_back(fd);
+        }
+    }
+    // At least the surplus must be shed; a couple extra are legal if a
+    // prior scenario's close raced the flood into the same epoll batch.
+    if (dropped < total - max_conns || dropped > total - max_conns + 2) {
+        fail(name, "expected ~" + std::to_string(total - max_conns) +
+                       " shed accepts, saw " + std::to_string(dropped));
+    }
+    // Every admitted connection still gets real service.
+    for (std::size_t i = 0; i < admitted.size(); ++i) {
+        if (!send_bytes(admitted[i],
+                        "{\"op\":\"scenario1\",\"id\":\"flood\"}\n")) {
+            fail(name, "send failed on admitted conn " + std::to_string(i));
+            break;
+        }
+    }
+    for (std::size_t i = 0; i < admitted.size(); ++i) {
+        const std::vector<std::string> codes =
+            expect_replies(name, admitted[i], 1);
+        if (codes.size() == 1 && !codes[0].empty()) {
+            fail(name, "admitted conn " + std::to_string(i) +
+                           " answered '" + codes[0] + "'");
+            break;
+        }
+    }
+    for (const int fd : admitted) {
+        ::close(fd);
+    }
+}
+
+void scenario_half_close_mid_batch(int port) {
+    const std::string name = "half-close mid-batch";
+    const int fd = connect_to(port);
+    if (fd < 0) {
+        fail(name, "connect failed");
+        return;
+    }
+    constexpr int kCount = 50;
+    std::string payload;
+    for (int i = 0; i < kCount; ++i) {
+        payload += "{\"op\":\"scenario1\",\"lambda_um\":0.5,\"id\":" +
+                   std::to_string(i) + "}\n";
+    }
+    if (!send_bytes(fd, payload)) {
+        fail(name, "send failed");
+        ::close(fd);
+        return;
+    }
+    // EOF lands while the batch is still being evaluated: the server
+    // must flush all 50 replies in order and only then close.
+    ::shutdown(fd, SHUT_WR);
+    const reply_stream replies = read_replies(fd, kCount);
+    if (replies.lines.size() != kCount) {
+        fail(name, "expected 50 replies after half-close, got " +
+                       std::to_string(replies.lines.size()));
+        ::close(fd);
+        return;
+    }
+    for (std::size_t i = 0; i < replies.lines.size(); ++i) {
+        if (!envelope_code(name, replies.lines[i]).empty() ||
+            replies.lines[i].find("\"id\":" + std::to_string(i)) ==
+                std::string::npos) {
+            fail(name, "reply " + std::to_string(i) +
+                           " wrong after half-close: " + replies.lines[i]);
+            break;
+        }
+    }
+    const reply_stream rest = read_replies(fd, 1, 10000);
+    if (!rest.closed || !rest.lines.empty()) {
+        fail(name, "connection not closed after half-close batch");
+    }
+    ::close(fd);
+}
+
+void scenario_abrupt_close_pending_write(int port) {
+    const std::string name = "abrupt close, pending write";
+    // The armed short_write cap guarantees replies are still queued in
+    // the event loop when the RST arrives (EPOLLHUP/ECONNRESET with a
+    // non-empty write queue — the nastiest teardown ordering).
+    for (int round = 0; round < 4; ++round) {
+        const int fd = connect_to(port);
+        if (fd < 0) {
+            fail(name, "connect failed on round " + std::to_string(round));
+            return;
+        }
+        std::string payload;
+        for (int i = 0; i < 20; ++i) {
+            payload += "{\"op\":\"scenario1\",\"id\":" + std::to_string(i) +
+                       "}\n";
+        }
+        send_bytes(fd, payload);
+        const linger hard{1, 0};  // close() sends RST, not FIN
+        ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard, sizeof hard);
+        ::close(fd);
+    }
+    // The server must have shrugged all four off.
+    const int fd = connect_to(port);
+    if (fd < 0) {
+        fail(name, "server dead after aborted connections");
+        return;
+    }
+    if (!send_bytes(fd, "{\"op\":\"scenario1\",\"id\":\"alive\"}\n")) {
+        fail(name, "send failed after aborted connections");
+        ::close(fd);
+        return;
+    }
+    const std::vector<std::string> codes = expect_replies(name, fd, 1);
+    if (codes.size() == 1 && !codes[0].empty()) {
+        fail(name, "server unhealthy after aborted connections");
     }
     ::close(fd);
 }
@@ -639,6 +805,34 @@ int main(int argc, char** argv) {
     scenario_metrics_scrape(s.port);
 
     stop_silicond(s);
+
+    // Second battery: a capped server with the fault switchboard armed
+    // on the epoll transport sites, so every scenario below exercises
+    // the injected-EINTR retry and short-write resumption paths.
+    constexpr std::size_t kMaxConns = 32;
+    const std::vector<std::string> armed{
+        "--threads", "2",
+        "--max-conns", std::to_string(kMaxConns),
+        "--faults", "eintr@silicond.read:3,short_write@silicond.write:7",
+    };
+    server s2 = spawn_silicond(argv[1], armed);
+    if (s2.pid < 0) {
+        return 2;
+    }
+    s2.port = await_port(s2);
+    if (s2.port == 0) {
+        stop_silicond(s2);
+        return 2;
+    }
+    std::cerr << "chaosclient: fault-armed server up on port " << s2.port
+              << "\n";
+
+    scenario_valid_burst(s2.port);
+    scenario_connection_flood(s2.port, kMaxConns);
+    scenario_half_close_mid_batch(s2.port);
+    scenario_abrupt_close_pending_write(s2.port);
+
+    stop_silicond(s2);
     if (g_failures != 0) {
         std::cerr << "chaosclient: " << g_failures << " failure(s)\n";
         return 1;

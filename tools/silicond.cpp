@@ -11,13 +11,17 @@
 //
 //       echo '{"op":"scenario1","lambda_um":0.5}' | silicond
 //
-//   * TCP (--port N): accept connections and serve each one the same
-//     JSONL protocol, one thread per connection over a shared engine
-//     (the memoization cache and metrics are process-wide; the exec
-//     pool serializes batch submissions).  --port 0 binds an ephemeral
-//     port and logs the chosen one.  Intended for driving the engine
-//     from long-lived clients; determinism per connection is the same
-//     as stdin mode.
+//   * TCP (--port N): a single-threaded epoll event loop (serve/
+//     event_loop) multiplexes every connection over a shared engine —
+//     no thread per client, so thousands of concurrent connections
+//     cost file descriptors, not stacks.  Each connection batches its
+//     lines through the engine exactly like stdin mode (responses stay
+//     in order and bit-identical per connection for every --threads
+//     value); parallelism lives in the exec pool the batches fan
+//     across.  --port 0 binds an ephemeral port and logs the chosen
+//     one.  Slow readers are backpressured (the loop stops reading a
+//     connection whose write queue passes its high watermark) and
+//     bounded by --max-conns / --idle-timeout-ms / --write-timeout-ms.
 //
 // Overload behavior (DESIGN.md §11): both transports frame lines
 // through a bounded splitter (serve/io) — a line over --max-line-bytes
@@ -31,10 +35,13 @@
 // the SILICON_FAULTS environment variable) arms the deterministic
 // fault-injection switchboard (serve/faults) for chaos testing.
 //
-// Observability (DESIGN.md §9): a line starting with `GET /metrics`
-// answers with the Prometheus text exposition instead of JSONL (over
-// TCP it is a minimal HTTP response, so `curl localhost:N/metrics`
-// works); `--metrics-interval S` dumps the same exposition to stderr
+// Observability (DESIGN.md §9): over TCP the port also speaks real
+// HTTP/1.1 with keep-alive — `GET /metrics HTTP/1.1` (what Prometheus
+// and `curl localhost:N/metrics` send) answers the text exposition and
+// keeps the connection open for the next scrape *or* the next JSONL
+// line; the PR 5 one-shot `GET /metrics` bare line still answers and
+// closes.  Over stdin a `GET /metrics` line emits the exposition
+// inline; `--metrics-interval S` dumps the same exposition to stderr
 // every S seconds; `--trace FILE` enables the span tracer and writes a
 // Chrome trace_event JSON file at shutdown (load it in chrome://tracing
 // or https://ui.perfetto.dev).  Operational events are structured JSONL
@@ -49,6 +56,11 @@
 //   --cache-shards N      cache shard count (default 16)
 //   --port N              serve TCP on 127.0.0.1:N instead of stdin
 //                         (0 = ephemeral; the chosen port is logged)
+//   --max-conns N         most simultaneous TCP connections; beyond it
+//                         accepts are closed immediately (0 = unlimited)
+//   --idle-timeout-ms N   close connections idle this long (0 = never)
+//   --write-timeout-ms N  close connections whose replies a slow reader
+//                         leaves unread this long (0 = never)
 //   --max-line-bytes N    per-line byte bound (default 16 MiB; 0 = off)
 //   --max-batch-lines N   per-batch line bound (default 0 = off)
 //   --max-sweep-points N  largest accepted sweep grid (0 = off)
@@ -68,6 +80,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/engine.hpp"
+#include "serve/event_loop.hpp"
 #include "serve/faults.hpp"
 #include "serve/io.hpp"
 #include "serve/limits.hpp"
@@ -120,6 +133,9 @@ struct options {
     std::size_t cache_capacity = 65536;
     std::size_t cache_shards = 16;
     int port = -1;
+    std::size_t max_conns = 0;           ///< 0 = unlimited
+    std::size_t idle_timeout_ms = 0;     ///< 0 = never
+    std::size_t write_timeout_ms = 0;    ///< 0 = never
     std::size_t max_line_bytes = 16u << 20;  ///< 16 MiB; 0 = unbounded
     std::size_t max_batch_lines = 0;
     std::size_t max_sweep_points = 0;
@@ -137,7 +153,8 @@ void usage(std::ostream& out) {
     out << "silicond - Maly silicon cost model query server (JSONL)\n"
            "\n"
            "  silicond [--threads N] [--batch N] [--cache-capacity N]\n"
-           "           [--cache-shards N] [--port N]\n"
+           "           [--cache-shards N] [--port N] [--max-conns N]\n"
+           "           [--idle-timeout-ms N] [--write-timeout-ms N]\n"
            "           [--max-line-bytes N] [--max-batch-lines N]\n"
            "           [--max-sweep-points N] [--max-mc-dies N]\n"
            "           [--max-inflight-bytes N] [--deadline-ms N]\n"
@@ -152,8 +169,9 @@ void usage(std::ostream& out) {
            "  echo '{\"op\":\"scenario1\",\"lambda_um\":0.5}' | silicond\n"
            "\n"
            "A line starting with 'GET /metrics' answers with the\n"
-           "Prometheus text exposition (an HTTP response over TCP, so\n"
-           "curl works).  --trace FILE writes a Chrome trace_event\n"
+           "Prometheus text exposition; over TCP the port speaks\n"
+           "HTTP/1.1 with keep-alive too, so curl and Prometheus\n"
+           "scrape it directly.  --trace FILE writes a Chrome trace\n"
            "JSON file at shutdown.  Lines over --max-line-bytes are\n"
            "answered with a too_large error envelope (and the\n"
            "connection closes over TCP); requests over the sweep/MC/\n"
@@ -231,6 +249,24 @@ bool parse_options(int argc, char** argv, options& opt) {
                 return false;
             }
             opt.port = static_cast<int>(v);
+        } else if (arg == "--max-conns") {
+            const char* t = next();
+            if (t == nullptr || !parse_size(t, v)) {
+                return false;
+            }
+            opt.max_conns = v;
+        } else if (arg == "--idle-timeout-ms") {
+            const char* t = next();
+            if (t == nullptr || !parse_size(t, v)) {
+                return false;
+            }
+            opt.idle_timeout_ms = v;
+        } else if (arg == "--write-timeout-ms") {
+            const char* t = next();
+            if (t == nullptr || !parse_size(t, v)) {
+                return false;
+            }
+            opt.write_timeout_ms = v;
         } else if (arg == "--max-line-bytes") {
             const char* t = next();
             if (t == nullptr || !parse_size(t, v)) {
@@ -506,20 +542,6 @@ int run_stdio(silicon::serve::engine& engine, const options& opt) {
     return 0;
 }
 
-void serve_connection(silicon::serve::engine& engine, int fd,
-                      std::size_t batch, std::size_t max_line_bytes) {
-    line_loop loop{engine,
-                   fd,
-                   fd,
-                   /*is_socket=*/true,
-                   batch,
-                   max_line_bytes,
-                   /*close_on_oversize=*/true,
-                   /*close_on_scrape=*/true};
-    loop.run();
-    ::close(fd);
-}
-
 int run_tcp(silicon::serve::engine& engine, const options& opt) {
     const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
     if (listener < 0) {
@@ -557,20 +579,25 @@ int run_tcp(silicon::serve::engine& engine, const options& opt) {
     silicon::obs::log_info("silicond.listening",
                            {{"address", "127.0.0.1"}, {"port", bound_port}});
 
-    while (g_stop == 0) {
-        const int fd = ::accept(listener, nullptr, nullptr);
-        if (fd < 0) {
-            if (errno == EINTR && g_stop == 0) {
-                continue;
-            }
-            break;
-        }
-        std::thread{[&engine, fd, batch = opt.batch,
-                     max_line = opt.max_line_bytes] {
-            serve_connection(engine, fd, batch, max_line);
-        }}.detach();
+    silicon::serve::event_loop_config loop_config;
+    loop_config.max_conns = opt.max_conns;
+    loop_config.idle_timeout_ms = opt.idle_timeout_ms;
+    loop_config.write_timeout_ms = opt.write_timeout_ms;
+    loop_config.conn.batch = opt.batch;
+    loop_config.conn.max_line_bytes = opt.max_line_bytes;
+    loop_config.conn.close_on_oversize = true;
+    try {
+        // The loop owns the listener from here on.  SIGINT/SIGTERM
+        // interrupt epoll_wait (no SA_RESTART) and the should_stop
+        // check exits the loop, dropping open connections.
+        silicon::serve::event_loop loop{engine, listener,
+                                        std::move(loop_config)};
+        loop.run([] { return g_stop != 0; });
+    } catch (const std::system_error& e) {
+        silicon::obs::log_error("silicond.event_loop",
+                                {{"error", e.what()}});
+        return 1;
     }
-    ::close(listener);
     return 0;
 }
 

@@ -92,10 +92,34 @@ def check_overload(doc, path):
     return errors
 
 
+def check_load(doc, path):
+    errors = require(doc, path, "capacity_req_per_s", (int, float))
+    errors += require(doc, path, "levels", list)
+    if errors:
+        return errors
+    if not doc["levels"]:
+        return fail(path, "no load levels")
+    for level in doc["levels"]:
+        for key in ("target_ratio", "offered_req_per_s",
+                    "achieved_req_per_s", "goodput_req_per_s",
+                    "p50_ms", "p99_ms", "p999_ms"):
+            # Percentiles must be numbers: loadgen writes non-finite
+            # values as null, so this type check is the finiteness gate.
+            errors += require(level, path, key, (int, float))
+        for key in ("sent", "answered", "unanswered"):
+            errors += require(level, path, key, int)
+        errors += require(level, path, "errors", dict)
+    ratios = [level.get("target_ratio") for level in doc["levels"]]
+    if 2.0 not in ratios:
+        errors += fail(path, "missing the 2x overload level")
+    return errors
+
+
 CHECKS = {
     "bench_serve_throughput": check_serve,
     "bench_batch_kernels": check_kernels,
     "bench_overload": check_overload,
+    "bench_load": check_load,
 }
 
 
