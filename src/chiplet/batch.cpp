@@ -1,0 +1,21 @@
+#include "chiplet/batch.hpp"
+
+#include <limits>
+
+namespace silicon::chiplet::batch {
+
+void cost_per_good_system(const chiplet_spec& base, int chiplets,
+                          const double* total_area_mm2, double* out,
+                          std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+        try {
+            chiplet_spec spec = scaled_to_total(base, total_area_mm2[i]);
+            spec.chiplets = chiplets;
+            out[i] = evaluate_chiplet(spec).cost_per_good_system_usd;
+        } catch (...) {
+            out[i] = std::numeric_limits<double>::quiet_NaN();
+        }
+    }
+}
+
+}  // namespace silicon::chiplet::batch

@@ -1,0 +1,34 @@
+// batch.hpp — SoA kernel for partition_explore grids.
+//
+// Same contract as cost/batch.hpp and yield/batch.hpp: each lane
+// performs exactly the floating-point operations of the scalar path in
+// the same association order; inputs the scalar path would throw on
+// become quiet NaN lanes; kernels never throw; lanes are independent,
+// so evaluating any sub-range produces bit-identical results (which is
+// what lets the engine shard a grid across threads and stay
+// deterministic at any thread count).
+//
+// Unlike the closed-form cost/yield kernels, the per-lane work here is
+// dominated by the Maly-row gross-die scan, so the lane body simply
+// calls the scalar core (`evaluate_chiplet`) — bit-identity with the
+// scalar path is by construction, and the kernel's win over the
+// engine's per-point path is skipping the parse/canonicalize/
+// serialize round-trip per grid point, not the arithmetic itself.
+
+#pragma once
+
+#include "chiplet/model.hpp"
+
+#include <cstddef>
+
+namespace silicon::chiplet::batch {
+
+/// For each lane i: rescale `base` so its logic+memory+IO budget sums
+/// to total_area_mm2[i] (ratios preserved), split it across `chiplets`
+/// dies, and write cost_per_good_system_usd to out[i].  Lanes where
+/// the scalar path throws become quiet NaN.
+void cost_per_good_system(const chiplet_spec& base, int chiplets,
+                          const double* total_area_mm2, double* out,
+                          std::size_t n);
+
+}  // namespace silicon::chiplet::batch

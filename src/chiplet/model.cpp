@@ -1,0 +1,177 @@
+#include "chiplet/model.hpp"
+
+#include "core/units.hpp"
+#include "cost/test_cost.hpp"
+#include "cost/wafer_cost.hpp"
+#include "geometry/die.hpp"
+#include "geometry/gross_die.hpp"
+#include "geometry/wafer.hpp"
+#include "yield/models.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace silicon::chiplet {
+
+namespace {
+
+void require_nonneg(double v, const char* what) {
+    if (!std::isfinite(v) || v < 0.0) {
+        throw std::invalid_argument(std::string{"chiplet: "} + what +
+                                    " must be finite and >= 0");
+    }
+}
+
+}  // namespace
+
+chiplet_breakdown evaluate_chiplet(const chiplet_spec& s) {
+    if (s.chiplets < 1 || s.chiplets > 16) {
+        throw std::invalid_argument("chiplet: chiplets must be in [1, 16]");
+    }
+    require_nonneg(s.logic_area_mm2, "logic_area_mm2");
+    require_nonneg(s.memory_area_mm2, "memory_area_mm2");
+    require_nonneg(s.io_area_mm2, "io_area_mm2");
+    const double total = s.logic_area_mm2 + s.memory_area_mm2 + s.io_area_mm2;
+    if (!(total > 0.0)) {
+        throw std::invalid_argument(
+            "chiplet: total area budget must be positive");
+    }
+    require_nonneg(s.d2d_area_mm2, "d2d_area_mm2");
+    require_nonneg(s.defects_per_cm2, "defects_per_cm2");
+    require_nonneg(s.memory_defect_factor, "memory_defect_factor");
+    require_nonneg(s.io_defect_factor, "io_defect_factor");
+    require_nonneg(s.tester_rate_per_hour, "tester_rate_per_hour");
+    require_nonneg(s.test_seconds_fixed, "test_seconds_fixed");
+    require_nonneg(s.test_seconds_per_cm2, "test_seconds_per_cm2");
+    require_nonneg(s.substrate_cost_per_cm2, "substrate_cost_per_cm2");
+    require_nonneg(s.rdl_cost_per_cm2, "rdl_cost_per_cm2");
+    require_nonneg(s.rdl_defects_per_cm2, "rdl_defects_per_cm2");
+    require_nonneg(s.interposer_cost_per_cm2, "interposer_cost_per_cm2");
+    require_nonneg(s.interposer_defects_per_cm2, "interposer_defects_per_cm2");
+    require_nonneg(s.bonding_cost_per_chiplet, "bonding_cost_per_chiplet");
+    if (!std::isfinite(s.package_area_factor) ||
+        s.package_area_factor < 1.0) {
+        throw std::invalid_argument(
+            "chiplet: package_area_factor must be >= 1");
+    }
+    if (!std::isfinite(s.bond_yield) || !(s.bond_yield > 0.0) ||
+        s.bond_yield > 1.0) {
+        throw std::invalid_argument("chiplet: bond_yield must be in (0, 1]");
+    }
+
+    const double n = static_cast<double>(s.chiplets);
+    const double d2d_per_die = s.d2d_area_mm2 * (n - 1.0);
+    const double chip_mm2 = total / n + d2d_per_die;
+    const double chip_cm2 = chip_mm2 / 100.0;
+
+    // Geometry and process parameters are validated by the library
+    // types themselves (wafer/die invariants, wafer cost model ranges)
+    // exactly as a direct caller would see them.
+    const geometry::wafer w{centimeters{s.wafer_radius_cm},
+                            centimeters{s.edge_exclusion_cm}};
+    const geometry::die d =
+        geometry::die::square(millimeters{std::sqrt(chip_mm2)});
+    const long gross =
+        geometry::gross_dies(w, d, geometry::gross_die_method::maly_rows);
+    if (gross <= 0) {
+        throw std::domain_error(
+            "chiplet: chiplet die does not fit on the wafer");
+    }
+
+    // Heterogeneous fault density: memory and IO area carry scaled
+    // fractions of the logic defect density; the D2D interface area is
+    // full-density logic-class silicon.
+    const double d0 = s.defects_per_cm2;
+    const double budget_faults =
+        (s.logic_area_mm2 / 100.0) * d0 +
+        (s.memory_area_mm2 / 100.0) * (d0 * s.memory_defect_factor) +
+        (s.io_area_mm2 / 100.0) * (d0 * s.io_defect_factor);
+    const double faults = budget_faults / n + (d2d_per_die / 100.0) * d0;
+    const yield::negative_binomial_model model{s.clustering_alpha};
+    const double y_die = model.yield(faults).value();
+    if (!(y_die > 0.0)) {
+        throw std::domain_error("chiplet: die yield underflows to zero");
+    }
+
+    const cost::wafer_cost_model wafer_cost{
+        dollars{s.c0_usd}, s.x, microns{s.generation_step_um}};
+    const double wafer_usd =
+        wafer_cost.pure_wafer_cost(microns{s.lambda_um}).value();
+    const double die_usd = wafer_usd / (static_cast<double>(gross) * y_die);
+
+    // Known-good-die test: every gross die is probed at a flat rate,
+    // the bill lands on the yielded fraction; Williams-Brown gives the
+    // escape fraction that survives into assembly.
+    const double test_usd =
+        (s.tester_rate_per_hour / 3600.0) *
+        (s.test_seconds_fixed + s.test_seconds_per_cm2 * chip_cm2);
+    const double test_per_good_usd = test_usd / y_die;
+    const double dl =
+        cost::defect_level(probability{y_die}, s.test_coverage).value();
+    const double known_good = 1.0 - dl;  // P(good | passed test)
+
+    const double pkg_cm2 = s.package_area_factor * (total / 100.0);
+    double sub_usd = 0.0;
+    double sub_yield = 1.0;
+    switch (s.substrate) {
+        case substrate_kind::organic:
+            sub_usd = s.substrate_cost_per_cm2 * pkg_cm2;
+            sub_yield = 1.0;
+            break;
+        case substrate_kind::rdl:
+            sub_usd = s.rdl_cost_per_cm2 * pkg_cm2;
+            sub_yield = std::exp(-pkg_cm2 * s.rdl_defects_per_cm2);
+            break;
+        case substrate_kind::interposer:
+            sub_usd = s.interposer_cost_per_cm2 * pkg_cm2;
+            sub_yield = std::exp(-pkg_cm2 * s.interposer_defects_per_cm2);
+            break;
+    }
+
+    const double assembly = std::pow(s.bond_yield, n) * sub_yield;
+    const double module = assembly * std::pow(known_good, n);
+    if (!(module > 0.0)) {
+        throw std::domain_error("chiplet: module yield underflows to zero");
+    }
+
+    const double dies_usd = n * (die_usd + test_per_good_usd);
+    const double bonding_usd = n * s.bonding_cost_per_chiplet;
+    const double system_usd = dies_usd + sub_usd + bonding_usd;
+    const double good_usd = system_usd / module;
+    if (!std::isfinite(good_usd)) {
+        throw std::domain_error("chiplet: system cost overflows");
+    }
+
+    chiplet_breakdown out;
+    out.chiplets = s.chiplets;
+    out.total_area_mm2 = total;
+    out.chiplet_area_mm2 = chip_mm2;
+    out.die_yield = y_die;
+    out.gross_dies_per_wafer = static_cast<double>(gross);
+    out.wafer_cost_usd = wafer_usd;
+    out.die_cost_usd = die_usd;
+    out.test_cost_per_die_usd = test_per_good_usd;
+    out.defect_level = dl;
+    out.package_area_cm2 = pkg_cm2;
+    out.substrate_cost_usd = sub_usd;
+    out.substrate_yield = sub_yield;
+    out.assembly_yield = assembly;
+    out.module_yield = module;
+    out.bonding_cost_usd = bonding_usd;
+    out.cost_per_system_usd = system_usd;
+    out.cost_per_good_system_usd = good_usd;
+    return out;
+}
+
+chiplet_spec scaled_to_total(chiplet_spec spec, double total_area_mm2) {
+    const double base = spec.logic_area_mm2 + spec.memory_area_mm2 +
+                        spec.io_area_mm2;
+    const double factor = total_area_mm2 / base;
+    spec.logic_area_mm2 *= factor;
+    spec.memory_area_mm2 *= factor;
+    spec.io_area_mm2 *= factor;
+    return spec;
+}
+
+}  // namespace silicon::chiplet

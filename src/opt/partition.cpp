@@ -3,12 +3,28 @@
 #include "exec/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <exception>
 #include <limits>
 #include <stdexcept>
 
 namespace silicon::opt {
+
+namespace {
+
+std::atomic<std::uint64_t> pricer_hits_total{0};
+std::atomic<std::uint64_t> pricer_entries_total{0};
+
+}  // namespace
+
+std::uint64_t partition_pricer_hits() noexcept {
+    return pricer_hits_total.load(std::memory_order_relaxed);
+}
+
+std::uint64_t partition_pricer_entries() noexcept {
+    return pricer_entries_total.load(std::memory_order_relaxed);
+}
 
 std::vector<std::vector<std::size_t>> set_partitions(std::size_t n) {
     if (n == 0 || n > 12) {
@@ -101,8 +117,10 @@ partition_solution optimize_partitions(const std::vector<block>& blocks,
             std::rethrow_exception(failure);
         }
     }
+    pricer_entries_total.fetch_add(subsets, std::memory_order_relaxed);
 
     const auto partitions = set_partitions(n);
+    std::uint64_t lookups = 0;
     partition_solution best;
     best.total_cost = std::numeric_limits<double>::infinity();
 
@@ -123,6 +141,7 @@ partition_solution optimize_partitions(const std::vector<block>& blocks,
                 mask |= std::size_t{1} << bi;
             }
             const auto [cost, lambda] = priced[mask];
+            ++lookups;
             if (!std::isfinite(cost) || cost < 0.0) {
                 valid = false;
                 break;
@@ -141,6 +160,7 @@ partition_solution optimize_partitions(const std::vector<block>& blocks,
             best = std::move(candidate);
         }
     }
+    pricer_hits_total.fetch_add(lookups, std::memory_order_relaxed);
     if (!std::isfinite(best.total_cost)) {
         throw std::domain_error(
             "optimize_partitions: no valid partition (die cost functional "

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <utility>
@@ -82,5 +83,15 @@ using packaging_cost_fn = std::function<double(std::size_t)>;
 
 /// Bell number B(n) (number of set partitions); throws for n > 20.
 [[nodiscard]] unsigned long long bell_number(unsigned n);
+
+/// Process-global mask-memoization statistics for `optimize_partitions`:
+/// `partition_pricer_entries` counts subsets priced into the 2^n - 1
+/// memo table, `partition_pricer_hits` counts memoized lookups the
+/// partition scan performed instead of re-invoking the functional.
+/// Cumulative relaxed atomics, observability only — the serve engine
+/// exports them through `stats` and the Prometheus text exposition so
+/// exploration cost is visible in production.
+[[nodiscard]] std::uint64_t partition_pricer_hits() noexcept;
+[[nodiscard]] std::uint64_t partition_pricer_entries() noexcept;
 
 }  // namespace silicon::opt

@@ -1,5 +1,7 @@
 #include "serve/engine.hpp"
 
+#include "chiplet/batch.hpp"
+#include "chiplet/model.hpp"
 #include "core/cost_model.hpp"
 #include "cost/batch.hpp"
 #include "exec/arena.hpp"
@@ -8,6 +10,7 @@
 #include "core/table3.hpp"
 #include "exec/thread_pool.hpp"
 #include "geometry/gross_die.hpp"
+#include "opt/partition.hpp"
 #include "serve/faults.hpp"
 #include "serve/json_arena.hpp"
 #include "serve/request_fast.hpp"
@@ -270,25 +273,128 @@ json::value eval_mc_yield(const mc_yield_request& q, unsigned parallelism,
     return json::value{std::move(o)};
 }
 
-/// Grid points of a sweep: linear or geometric, endpoints inclusive.
-std::vector<double> sweep_grid(const sweep_request& q) {
+chiplet::substrate_kind substrate_from_string(const std::string& name) {
+    if (name == "rdl") {
+        return chiplet::substrate_kind::rdl;
+    }
+    if (name == "interposer") {
+        return chiplet::substrate_kind::interposer;
+    }
+    return chiplet::substrate_kind::organic;  // parse validated the enum
+}
+
+chiplet::chiplet_spec spec_from(const chiplet_request& q) {
+    chiplet::chiplet_spec s;
+    s.logic_area_mm2 = q.logic_area_mm2;
+    s.memory_area_mm2 = q.memory_area_mm2;
+    s.io_area_mm2 = q.io_area_mm2;
+    s.chiplets = q.chiplets;
+    s.d2d_area_mm2 = q.d2d_area_mm2;
+    s.lambda_um = q.lambda_um;
+    s.c0_usd = q.c0_usd;
+    s.x = q.x;
+    s.generation_step_um = q.generation_step_um;
+    s.wafer_radius_cm = q.wafer_radius_cm;
+    s.edge_exclusion_cm = q.edge_exclusion_cm;
+    s.defects_per_cm2 = q.defects_per_cm2;
+    s.memory_defect_factor = q.memory_defect_factor;
+    s.io_defect_factor = q.io_defect_factor;
+    s.clustering_alpha = q.clustering_alpha;
+    s.test_coverage = q.test_coverage;
+    s.tester_rate_per_hour = q.tester_rate_per_hour;
+    s.test_seconds_fixed = q.test_seconds_fixed;
+    s.test_seconds_per_cm2 = q.test_seconds_per_cm2;
+    s.substrate = substrate_from_string(q.substrate);
+    s.substrate_cost_per_cm2 = q.substrate_cost_per_cm2;
+    s.rdl_cost_per_cm2 = q.rdl_cost_per_cm2;
+    s.rdl_defects_per_cm2 = q.rdl_defects_per_cm2;
+    s.interposer_cost_per_cm2 = q.interposer_cost_per_cm2;
+    s.interposer_defects_per_cm2 = q.interposer_defects_per_cm2;
+    s.package_area_factor = q.package_area_factor;
+    s.bond_yield = q.bond_yield;
+    s.bonding_cost_per_chiplet = q.bonding_cost_per_chiplet;
+    return s;
+}
+
+json::value eval_chiplet(const chiplet_request& q) {
+    const chiplet::chiplet_breakdown b =
+        chiplet::evaluate_chiplet(spec_from(q));
+    json::object o;
+    o.set("chiplets", static_cast<double>(b.chiplets));
+    o.set("total_area_mm2", b.total_area_mm2);
+    o.set("chiplet_area_mm2", b.chiplet_area_mm2);
+    o.set("die_yield", b.die_yield);
+    o.set("gross_dies_per_wafer", b.gross_dies_per_wafer);
+    o.set("wafer_cost_usd", b.wafer_cost_usd);
+    o.set("die_cost_usd", b.die_cost_usd);
+    o.set("test_cost_per_die_usd", b.test_cost_per_die_usd);
+    o.set("defect_level", b.defect_level);
+    o.set("substrate", q.substrate);
+    o.set("package_area_cm2", b.package_area_cm2);
+    o.set("substrate_cost_usd", b.substrate_cost_usd);
+    o.set("substrate_yield", b.substrate_yield);
+    o.set("assembly_yield", b.assembly_yield);
+    o.set("module_yield", b.module_yield);
+    o.set("bonding_cost_usd", b.bonding_cost_usd);
+    o.set("cost_per_system_usd", b.cost_per_system_usd);
+    o.set("cost_per_good_system_usd", b.cost_per_good_system_usd);
+    return json::value{std::move(o)};
+}
+
+/// The split counts of a validated partition_explore `splits` list
+/// ("1,2,4" -> {1, 2, 4}).  Parse already enforced the grammar, so
+/// this cannot fail.
+std::vector<int> parse_splits(const std::string& splits) {
+    std::vector<int> out;
+    int value = 0;
+    for (const char c : splits) {
+        if (c == ',') {
+            out.push_back(value);
+            value = 0;
+        } else {
+            value = value * 10 + (c - '0');
+        }
+    }
+    out.push_back(value);
+    return out;
+}
+
+/// Grid cells a partition_explore request evaluates (splits x points);
+/// the structural budget check charges against max_sweep_points.
+std::size_t explore_cells(const partition_explore_request& q) {
+    std::size_t split_count = 1;
+    for (const char c : q.splits) {
+        split_count += c == ',' ? 1 : 0;
+    }
+    return static_cast<std::size_t>(q.count) * split_count;
+}
+
+/// Grid points on [from, to], endpoints inclusive, linear or geometric.
+/// Shared by sweep and partition_explore so both produce bit-identical
+/// grids for the same bounds.
+std::vector<double> grid_points(double from, double to, int count,
+                                bool log_scale) {
     std::vector<double> xs;
-    xs.reserve(static_cast<std::size_t>(q.count));
-    if (q.count == 1) {
-        xs.push_back(q.from);
+    xs.reserve(static_cast<std::size_t>(count));
+    if (count == 1) {
+        xs.push_back(from);
         return xs;
     }
-    for (int i = 0; i < q.count; ++i) {
+    for (int i = 0; i < count; ++i) {
         const double t = static_cast<double>(i) /
-                         static_cast<double>(q.count - 1);
-        if (q.scale == "log") {
-            xs.push_back(q.from *
-                         std::exp(t * std::log(q.to / q.from)));
+                         static_cast<double>(count - 1);
+        if (log_scale) {
+            xs.push_back(from * std::exp(t * std::log(to / from)));
         } else {
-            xs.push_back(q.from + t * (q.to - q.from));
+            xs.push_back(from + t * (to - from));
         }
     }
     return xs;
+}
+
+/// Grid points of a sweep: linear or geometric, endpoints inclusive.
+std::vector<double> sweep_grid(const sweep_request& q) {
+    return grid_points(q.from, q.to, q.count, q.scale == "log");
 }
 
 /// Find the dotted-path member in a (mutable) document.
@@ -448,6 +554,17 @@ json::value engine::evaluate_impl(const request& req,
                     std::to_string(config_.limits.max_mc_dies));
         }
     }
+    if (req.op == op_code::partition_explore &&
+        config_.limits.max_sweep_points != 0) {
+        const auto& q = std::get<partition_explore_request>(req.payload);
+        if (explore_cells(q) > config_.limits.max_sweep_points) {
+            admission_.note_rejection(reject_reason::explore_too_large);
+            throw request_error(
+                "too_large",
+                "partition_explore: grid cells exceed max_sweep_points " +
+                    std::to_string(config_.limits.max_sweep_points));
+        }
+    }
 
     switch (req.op) {
         case op_code::cost_tr:
@@ -469,6 +586,11 @@ json::value engine::evaluate_impl(const request& req,
             return eval_sweep(std::get<sweep_request>(req.payload), cancel);
         case op_code::stats:
             return stats_json();
+        case op_code::chiplet:
+            return eval_chiplet(std::get<chiplet_request>(req.payload));
+        case op_code::partition_explore:
+            return eval_partition_explore(
+                std::get<partition_explore_request>(req.payload), cancel);
     }
     throw std::logic_error("engine: unhandled op");
 }
@@ -548,6 +670,33 @@ bool engine::eval_sweep_fast(const sweep_request& q,
                                        : json::value{out[i]};
         }
     };
+    // Share kernel lanes with the point cache: each successful lane is
+    // stored under the canonical key of its point request with bytes
+    // identical to a fresh scalar evaluation (`lane_result` rebuilds
+    // the endpoint's exact result object from kernel output + lane
+    // parameters), so a post-sweep point query is a warm hit.  NaN
+    // (scalar-throw) lanes are never cached — errors never are.
+    const auto populate = [&](const std::vector<double>& out,
+                              auto&& lane_result) {
+        if (config_.cache_capacity == 0) {
+            return;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            if (std::isnan(out[i])) {
+                continue;
+            }
+            if (cancel != nullptr && cancel->expired()) {
+                return;  // best effort: the response needs no cache
+            }
+            *slot = xs[i];
+            try {
+                cache_.put(json::canonical(request_to_json(tmp)),
+                           json::dump(lane_result(i)));
+            } catch (const std::exception&) {
+                // Side values threw where the metric did not: skip.
+            }
+        }
+    };
 
     switch (tgt.op) {
         case op_code::scenario1: {
@@ -567,6 +716,12 @@ bool engine::eval_sweep_fast(const sweep_request& q,
                     cols, out.data() + b, len);
             });
             emit(out);
+            populate(out, [&](std::size_t i) {
+                json::object o;
+                o.set("cost_per_transistor_usd", out[i]);
+                o.set("cost_per_transistor_micro_usd", out[i] * 1e6);
+                return json::value{std::move(o)};
+            });
             return true;
         }
         case op_code::scenario2: {
@@ -587,6 +742,21 @@ bool engine::eval_sweep_fast(const sweep_request& q,
                     cols, out.data() + b, len);
             });
             emit(out);
+            populate(out, [&](std::size_t i) {
+                core::scenario2 s;
+                s.wafer_cost =
+                    cost::wafer_cost_model{dollars{c0[i]}, x[i]};
+                s.wafer = geometry::wafer{centimeters{r[i]}};
+                s.design_density = dd[i];
+                s.yield = yield::reference_die_yield{probability{y0[i]}};
+                const microns l{lambda[i]};
+                json::object o;
+                o.set("cost_per_transistor_usd", out[i]);
+                o.set("cost_per_transistor_micro_usd", out[i] * 1e6);
+                o.set("die_area_cm2", s.die_area(l).value());
+                o.set("transistors", s.transistors(l));
+                return json::value{std::move(o)};
+            });
             return true;
         }
         case op_code::yield: {
@@ -636,6 +806,15 @@ bool engine::eval_sweep_fast(const sweep_request& q,
                     }
                 });
                 emit(out);
+                populate(out, [&](std::size_t i) {
+                    const double f = ef[i] >= 0.0 ? ef[i]
+                                                  : area[i] * dpc[i];
+                    json::object o;
+                    o.set("model", t.model);
+                    o.set("expected_faults", f);
+                    o.set("yield", out[i]);
+                    return json::value{std::move(o)};
+                });
                 return true;
             }
             if (t.model == "scaled_poisson") {
@@ -649,6 +828,16 @@ bool engine::eval_sweep_fast(const sweep_request& q,
                         p.data() + b, out.data() + b, len);
                 });
                 emit(out);
+                populate(out, [&](std::size_t i) {
+                    const yield::scaled_poisson_model model{d[i], p[i]};
+                    json::object o;
+                    o.set("model", t.model);
+                    o.set("yield", out[i]);
+                    o.set("effective_defects_per_cm2",
+                          model.effective_defect_density(
+                              microns{lambda[i]}));
+                    return json::value{std::move(o)};
+                });
                 return true;
             }
             if (t.model == "reference") {
@@ -662,6 +851,16 @@ bool engine::eval_sweep_fast(const sweep_request& q,
                                                   out.data() + b, len);
                 });
                 emit(out);
+                populate(out, [&](std::size_t i) {
+                    const yield::reference_die_yield model{
+                        probability{y0[i]}, square_centimeters{a0[i]}};
+                    json::object o;
+                    o.set("model", t.model);
+                    o.set("yield", out[i]);
+                    o.set("equivalent_defects_per_cm2",
+                          model.equivalent_defect_density());
+                    return json::value{std::move(o)};
+                });
                 return true;
             }
             break;  // unreachable: every validated model has a lane
@@ -670,12 +869,15 @@ bool engine::eval_sweep_fast(const sweep_request& q,
             break;
     }
 
-    // Typed per-lane evaluation (cost_tr, gross_die, swept-integer
-    // parameters): still skips the per-point JSON clone/parse/cache
+    // Typed per-lane evaluation (cost_tr, gross_die, chiplet,
+    // swept-integer parameters): skips the per-point JSON clone/parse
     // round trip; each shard pokes its own copy of the target request.
-    // The per-point catch never swallows cancellation: mc_yield targets
-    // were excluded above, so nothing inside a point can throw
-    // cancelled_error — the cancellable parallel_for owns the deadline.
+    // Successful lanes still land in the point cache under their
+    // canonical key, same as the generic path, so post-sweep point
+    // queries are warm hits.  The per-point catch never swallows
+    // cancellation: mc_yield targets were excluded above, so nothing
+    // inside a point can throw cancelled_error — the cancellable
+    // parallel_for owns the deadline.
     exec::parallel_for(
         n, config_.parallelism,
         [&](const exec::shard_range& r) {
@@ -688,6 +890,10 @@ bool engine::eval_sweep_fast(const sweep_request& q,
                     const json::value* metric =
                         res.as_object().find(primary_metric(local.op));
                     ys[i] = metric != nullptr ? *metric : json::value{};
+                    if (config_.cache_capacity != 0) {
+                        cache_.put(json::canonical(request_to_json(local)),
+                                   json::dump(res));
+                    }
                 } catch (const std::exception&) {
                     ys[i] = json::value{nullptr};
                 }
@@ -706,8 +912,8 @@ json::value engine::eval_sweep(const sweep_request& q,
     // to serial with the identical decomposition (exec contract), so
     // sweep responses are byte-stable at every nesting/thread level.
     // The SoA kernel path is lane-for-lane bit-identical to the
-    // per-point path below (tests/serve/test_engine.cpp pins this) but
-    // does not populate the per-point memoization cache.
+    // per-point path below (tests/serve/test_engine.cpp pins this) and
+    // populates the same per-point memoization cache.
     if (!config_.sweep_kernels || !eval_sweep_fast(q, xs, ys, cancel)) {
         // A point's catch may swallow a cancelled_error thrown by a
         // nested mc_yield evaluation (null slot), but the cancellable
@@ -759,6 +965,116 @@ json::value engine::eval_sweep(const sweep_request& q,
     return json::value{std::move(o)};
 }
 
+json::value engine::eval_partition_explore(
+    const partition_explore_request& q, const exec::cancel_token* cancel) {
+    const std::vector<double> xs = grid_points(
+        q.area_from_mm2, q.area_to_mm2, q.count, q.scale == "log");
+    const std::vector<int> splits = parse_splits(q.splits);
+    const chiplet::chiplet_spec base = spec_from(q.base);
+    const std::size_t n = xs.size();
+
+    // One cost matrix, filled split-by-split (the outer list is <= 8
+    // entries; the per-split grid is where the work is).  Both paths
+    // run the identical scalar core per cell — the kernel only batches
+    // lanes — so the matrix is bit-identical for either flag value and
+    // any thread count, and infeasible cells are NaN, never a throw.
+    std::vector<std::vector<double>> cost(splits.size(),
+                                          std::vector<double>(n));
+    for (std::size_t s = 0; s < splits.size(); ++s) {
+        double* out = cost[s].data();
+        const int split = splits[s];
+        if (config_.sweep_kernels) {
+            exec::parallel_for(
+                n, config_.parallelism,
+                [&](const exec::shard_range& r) {
+                    chiplet::batch::cost_per_good_system(
+                        base, split, xs.data() + r.begin, out + r.begin,
+                        r.end - r.begin);
+                },
+                cancel);
+        } else {
+            exec::parallel_for(
+                n, config_.parallelism,
+                [&](const exec::shard_range& r) {
+                    for (std::size_t i = r.begin; i < r.end; ++i) {
+                        try {
+                            chiplet::chiplet_spec spec =
+                                chiplet::scaled_to_total(base, xs[i]);
+                            spec.chiplets = split;
+                            out[i] = chiplet::evaluate_chiplet(spec)
+                                         .cost_per_good_system_usd;
+                        } catch (const std::exception&) {
+                            out[i] = std::numeric_limits<
+                                double>::quiet_NaN();
+                        }
+                    }
+                },
+                cancel);
+        }
+    }
+
+    // Shared post-processing: per grid point, the cheapest feasible
+    // split (ties break to the coarser split, so the monolithic
+    // baseline wins exact draws), and the first area where a real
+    // multi-die split beats it — the published crossover.
+    json::array best_split;
+    best_split.reserve(n);
+    json::value crossover{nullptr};
+    for (std::size_t i = 0; i < n; ++i) {
+        int best = 0;
+        double best_cost = 0.0;
+        for (std::size_t s = 0; s < splits.size(); ++s) {
+            const double c = cost[s][i];
+            if (std::isnan(c)) {
+                continue;
+            }
+            if (best == 0 || c < best_cost) {
+                best = splits[s];
+                best_cost = c;
+            }
+        }
+        best_split.push_back(best == 0
+                                 ? json::value{nullptr}
+                                 : json::value{static_cast<double>(best)});
+        if (crossover.is_null() && best > 1) {
+            crossover = json::value{xs[i]};
+        }
+    }
+
+    json::array xs_json;
+    xs_json.reserve(n);
+    for (const double x : xs) {
+        xs_json.emplace_back(x);
+    }
+    json::array splits_json;
+    splits_json.reserve(splits.size());
+    for (const int split : splits) {
+        splits_json.emplace_back(static_cast<double>(split));
+    }
+    json::array ys;
+    ys.reserve(splits.size());
+    for (std::size_t s = 0; s < splits.size(); ++s) {
+        json::array row;
+        row.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            row.push_back(std::isnan(cost[s][i])
+                              ? json::value{nullptr}
+                              : json::value{cost[s][i]});
+        }
+        ys.emplace_back(std::move(row));
+    }
+
+    json::object o;
+    o.set("metric", "cost_per_good_system_usd");
+    o.set("scale", q.scale);
+    o.set("splits", std::move(splits_json));
+    o.set("xs", std::move(xs_json));
+    o.set("ys", std::move(ys));
+    o.set("best_split", std::move(best_split));
+    o.set("crossover_area_mm2", std::move(crossover));
+    return json::value{std::move(o)};
+}
+
 json::value engine::stats_json() {
     const memo_cache::stats c = cache_.snapshot();
     json::object cache;
@@ -780,6 +1096,15 @@ json::value engine::stats_json() {
           static_cast<double>(dedup_hits_.load(std::memory_order_relaxed)));
     o.set("arena_bytes",
           static_cast<double>(arena_bytes_.load(std::memory_order_relaxed)));
+
+    // Mask-memoization statistics of the 2^n - 1 partition pricer
+    // (process-global, like the exec gauges: the optimizer is a
+    // library-level component, not per-engine).
+    json::object pricer;
+    pricer.set("hits", static_cast<double>(opt::partition_pricer_hits()));
+    pricer.set("entries",
+               static_cast<double>(opt::partition_pricer_entries()));
+    o.set("partition_pricer", json::value{std::move(pricer)});
 
     json::object rejected;
     for (int i = 0; i < reject_reason_count; ++i) {
@@ -895,6 +1220,18 @@ std::string engine::prometheus_text() const {
     obs::prometheus_sample(
         out, "silicon_serve_cache_shed_entries_total",
         cache_shed_entries_.load(std::memory_order_relaxed));
+
+    obs::prometheus_header(out, "silicon_partition_pricer_hits_total",
+                           "counter",
+                           "Partition-pricer mask-memo lookups served "
+                           "from the priced table");
+    obs::prometheus_sample(out, "silicon_partition_pricer_hits_total",
+                           opt::partition_pricer_hits());
+    obs::prometheus_header(out, "silicon_partition_pricer_entries_total",
+                           "counter",
+                           "Subset masks priced into the memo table");
+    obs::prometheus_sample(out, "silicon_partition_pricer_entries_total",
+                           opt::partition_pricer_entries());
 
     // Process-global metrics (exec pool counters/gauges).
     out += obs::metrics_registry::global().to_prometheus();

@@ -20,8 +20,8 @@
 //     (cache.hpp) keyed by the request's canonical serialization;
 //     endpoints are pure functions of their canonical request, so a
 //     hit returns exactly the bytes a fresh evaluation would produce.
-//     With `sweep_kernels` off, sweep grid points share the same
-//     cache as top-level requests (see engine_config).
+//     Sweep grid points share the same cache as top-level requests on
+//     both the kernel and the per-point path (see engine_config).
 //   * Hot path (`hot_path`): a warm cache hit is answered without a
 //     single heap allocation — the line is parsed into a per-thread
 //     monotonic arena (json_arena.hpp), canonicalized by the
@@ -89,8 +89,9 @@ struct engine_config {
     /// evaluates independently, exactly as before.
     bool batch_dedup = true;
     /// Evaluate eligible sweep targets on the SoA batch kernels.
-    /// Kernel-evaluated grid points do not populate the memoization
-    /// cache; turn this off to restore point/sweep cache sharing.
+    /// Kernel lanes populate the per-point memoization cache just like
+    /// the per-point path (a post-sweep point query is a warm hit), so
+    /// this knob changes throughput only, never bytes or cache sharing.
     bool sweep_kernels = true;
     /// Resource budgets and overload behavior (limits.hpp); all
     /// defaults are 0/off, so an unconfigured engine is byte-identical
@@ -212,6 +213,12 @@ private:
                          const std::vector<double>& xs,
                          std::vector<json::value>& ys,
                          const exec::cancel_token* cancel);
+    /// Monolithic-vs-N-way split exploration over a total-area grid:
+    /// SoA chiplet kernel when `sweep_kernels` is on, per-point
+    /// library evaluation otherwise — bit-identical either way.
+    [[nodiscard]] json::value eval_partition_explore(
+        const partition_explore_request& q,
+        const exec::cancel_token* cancel);
     [[nodiscard]] json::value stats_json();
 
     engine_config config_;

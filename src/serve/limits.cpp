@@ -11,6 +11,7 @@ std::string_view to_string(reject_reason reason) {
         case reject_reason::sweep_too_large: return "sweep_too_large";
         case reject_reason::mc_too_large: return "mc_too_large";
         case reject_reason::overloaded: return "overloaded";
+        case reject_reason::explore_too_large: return "explore_too_large";
     }
     return "unknown";
 }

@@ -69,16 +69,18 @@ struct limits_config {
     }
 };
 
-/// Stable rejection reason labels (metrics + tests index by these).
+/// Stable rejection reason labels (metrics + tests index by these;
+/// append only — the order is the counter-array index).
 enum class reject_reason {
     line_too_large,
     batch_too_large,
     sweep_too_large,
     mc_too_large,
     overloaded,
+    explore_too_large,
 };
 
-inline constexpr int reject_reason_count = 5;
+inline constexpr int reject_reason_count = 6;
 
 /// The Prometheus label value ("line_too_large", ...).
 [[nodiscard]] std::string_view to_string(reject_reason reason);

@@ -18,6 +18,8 @@ std::string_view to_string(op_code op) {
         case op_code::mc_yield: return "mc_yield";
         case op_code::sweep: return "sweep";
         case op_code::stats: return "stats";
+        case op_code::chiplet: return "chiplet";
+        case op_code::partition_explore: return "partition_explore";
     }
     return "unknown";
 }
@@ -40,9 +42,11 @@ const char* primary_metric(op_code op) {
         case op_code::scenario1: return "cost_per_transistor_usd";
         case op_code::scenario2: return "cost_per_transistor_usd";
         case op_code::mc_yield: return "yield";
+        case op_code::chiplet: return "cost_per_good_system_usd";
         case op_code::table3:
         case op_code::sweep:
         case op_code::stats:
+        case op_code::partition_explore:
             return nullptr;
     }
     return nullptr;
@@ -191,6 +195,64 @@ void validate_yield_model(const std::string& name) {
         "yield.model: unknown model '" + name +
             "' (poisson | murphy | seeds | bose_einstein | neg_binomial | "
             "scaled_poisson | reference)");
+}
+
+void validate_substrate(const std::string& name) {
+    for (const char* known : {"organic", "rdl", "interposer"}) {
+        if (name == known) {
+            return;
+        }
+    }
+    throw request_error("bad_param",
+                        "substrate: unknown substrate '" + name +
+                            "' (organic | rdl | interposer)");
+}
+
+/// Strict `splits` grammar: comma-separated decimal split counts with
+/// no spaces, signs or leading zeros, at most 8 entries, each in
+/// [1, 16], strictly ascending, and the monolithic baseline 1 must be
+/// present.  The strictness makes the string its own canonical form,
+/// so equivalent grids never split the memoization cache over
+/// formatting.
+void validate_splits(const std::string& s) {
+    static constexpr const char* bad_splits =
+        "partition_explore: splits must be a strictly ascending "
+        "comma-separated list of split counts in [1, 16] including 1 "
+        "(e.g. '1,2,4')";
+    int entries = 0;
+    int prev = 0;
+    bool has_one = false;
+    std::size_t i = 0;
+    while (true) {
+        if (i >= s.size() || s[i] < '1' || s[i] > '9') {
+            throw request_error("bad_param", bad_splits);
+        }
+        int value = 0;
+        while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+            value = value * 10 + (s[i] - '0');
+            if (value > 16) {
+                throw request_error("bad_param", bad_splits);
+            }
+            ++i;
+        }
+        if (value <= prev || ++entries > 8) {
+            throw request_error("bad_param", bad_splits);
+        }
+        if (value == 1) {
+            has_one = true;
+        }
+        prev = value;
+        if (i == s.size()) {
+            break;
+        }
+        if (s[i] != ',') {
+            throw request_error("bad_param", bad_splits);
+        }
+        ++i;
+    }
+    if (!has_one) {
+        throw request_error("bad_param", bad_splits);
+    }
 }
 
 yield_spec_params parse_yield_spec(const json::value* v) {
@@ -515,6 +577,92 @@ sweep_request parse_sweep(field_reader& r) {
     return out;
 }
 
+/// The shared chiplet configuration block: everything except
+/// `chiplets` (a `chiplet` request reads it, `partition_explore` takes
+/// split counts from `splits` instead).  Numeric-range validation is
+/// deliberately left to the model layer at eval time (library
+/// constructor throws map to bad_param/domain_error), matching the
+/// other endpoints.
+void parse_chiplet_base(field_reader& r, chiplet_request& out) {
+    out.logic_area_mm2 = r.number("logic_area_mm2", out.logic_area_mm2);
+    out.memory_area_mm2 = r.number("memory_area_mm2", out.memory_area_mm2);
+    out.io_area_mm2 = r.number("io_area_mm2", out.io_area_mm2);
+    out.d2d_area_mm2 = r.number("d2d_area_mm2", out.d2d_area_mm2);
+    out.lambda_um = r.number("lambda_um", out.lambda_um);
+    out.c0_usd = r.number("c0_usd", out.c0_usd);
+    out.x = r.number("x", out.x);
+    out.generation_step_um =
+        r.number("generation_step_um", out.generation_step_um);
+    out.wafer_radius_cm = r.number("wafer_radius_cm", out.wafer_radius_cm);
+    out.edge_exclusion_cm =
+        r.number("edge_exclusion_cm", out.edge_exclusion_cm);
+    out.defects_per_cm2 = r.number("defects_per_cm2", out.defects_per_cm2);
+    out.memory_defect_factor =
+        r.number("memory_defect_factor", out.memory_defect_factor);
+    out.io_defect_factor = r.number("io_defect_factor", out.io_defect_factor);
+    out.clustering_alpha = r.number("clustering_alpha", out.clustering_alpha);
+    out.test_coverage = r.number("test_coverage", out.test_coverage);
+    out.tester_rate_per_hour =
+        r.number("tester_rate_per_hour", out.tester_rate_per_hour);
+    out.test_seconds_fixed =
+        r.number("test_seconds_fixed", out.test_seconds_fixed);
+    out.test_seconds_per_cm2 =
+        r.number("test_seconds_per_cm2", out.test_seconds_per_cm2);
+    out.substrate = r.text("substrate", out.substrate.c_str());
+    validate_substrate(out.substrate);
+    out.substrate_cost_per_cm2 =
+        r.number("substrate_cost_per_cm2", out.substrate_cost_per_cm2);
+    out.rdl_cost_per_cm2 = r.number("rdl_cost_per_cm2", out.rdl_cost_per_cm2);
+    out.rdl_defects_per_cm2 =
+        r.number("rdl_defects_per_cm2", out.rdl_defects_per_cm2);
+    out.interposer_cost_per_cm2 =
+        r.number("interposer_cost_per_cm2", out.interposer_cost_per_cm2);
+    out.interposer_defects_per_cm2 =
+        r.number("interposer_defects_per_cm2", out.interposer_defects_per_cm2);
+    out.package_area_factor =
+        r.number("package_area_factor", out.package_area_factor);
+    out.bond_yield = r.number("bond_yield", out.bond_yield);
+    out.bonding_cost_per_chiplet =
+        r.number("bonding_cost_per_chiplet", out.bonding_cost_per_chiplet);
+}
+
+chiplet_request parse_chiplet(field_reader& r) {
+    chiplet_request out;
+    out.chiplets = r.integer("chiplets", out.chiplets);
+    if (out.chiplets < 1 || out.chiplets > 16) {
+        throw request_error("bad_param",
+                            "chiplet: chiplets must be in [1, 16]");
+    }
+    parse_chiplet_base(r, out);
+    return out;
+}
+
+partition_explore_request parse_partition_explore(field_reader& r) {
+    partition_explore_request out;
+    parse_chiplet_base(r, out.base);
+    out.splits = r.text("splits", out.splits.c_str());
+    validate_splits(out.splits);
+    out.area_from_mm2 = r.number("area_from_mm2", out.area_from_mm2);
+    out.area_to_mm2 = r.number("area_to_mm2", out.area_to_mm2);
+    if (!std::isfinite(out.area_from_mm2) || !(out.area_from_mm2 > 0.0) ||
+        !std::isfinite(out.area_to_mm2) || !(out.area_to_mm2 > 0.0)) {
+        throw request_error("bad_param",
+                            "partition_explore: area_from_mm2/area_to_mm2 "
+                            "must be finite and positive");
+    }
+    out.count = r.integer("count", out.count);
+    if (out.count < 1 || out.count > 65536) {
+        throw request_error("bad_param",
+                            "partition_explore: count must be in [1, 65536]");
+    }
+    out.scale = r.text("scale", out.scale.c_str());
+    if (out.scale != "linear" && out.scale != "log") {
+        throw request_error(
+            "bad_param", "partition_explore: scale must be 'linear' or 'log'");
+    }
+    return out;
+}
+
 // ---------------------------------------------------------------------------
 // Payload serializers (fields appended onto the top-level object)
 // ---------------------------------------------------------------------------
@@ -592,6 +740,51 @@ void sweep_to_json(const sweep_request& q, json::object& o) {
     o.set("scale", q.scale);
 }
 
+void chiplet_base_to_json(const chiplet_request& q, json::object& o) {
+    o.set("logic_area_mm2", q.logic_area_mm2);
+    o.set("memory_area_mm2", q.memory_area_mm2);
+    o.set("io_area_mm2", q.io_area_mm2);
+    o.set("d2d_area_mm2", q.d2d_area_mm2);
+    o.set("lambda_um", q.lambda_um);
+    o.set("c0_usd", q.c0_usd);
+    o.set("x", q.x);
+    o.set("generation_step_um", q.generation_step_um);
+    o.set("wafer_radius_cm", q.wafer_radius_cm);
+    o.set("edge_exclusion_cm", q.edge_exclusion_cm);
+    o.set("defects_per_cm2", q.defects_per_cm2);
+    o.set("memory_defect_factor", q.memory_defect_factor);
+    o.set("io_defect_factor", q.io_defect_factor);
+    o.set("clustering_alpha", q.clustering_alpha);
+    o.set("test_coverage", q.test_coverage);
+    o.set("tester_rate_per_hour", q.tester_rate_per_hour);
+    o.set("test_seconds_fixed", q.test_seconds_fixed);
+    o.set("test_seconds_per_cm2", q.test_seconds_per_cm2);
+    o.set("substrate", q.substrate);
+    o.set("substrate_cost_per_cm2", q.substrate_cost_per_cm2);
+    o.set("rdl_cost_per_cm2", q.rdl_cost_per_cm2);
+    o.set("rdl_defects_per_cm2", q.rdl_defects_per_cm2);
+    o.set("interposer_cost_per_cm2", q.interposer_cost_per_cm2);
+    o.set("interposer_defects_per_cm2", q.interposer_defects_per_cm2);
+    o.set("package_area_factor", q.package_area_factor);
+    o.set("bond_yield", q.bond_yield);
+    o.set("bonding_cost_per_chiplet", q.bonding_cost_per_chiplet);
+}
+
+void chiplet_to_json(const chiplet_request& q, json::object& o) {
+    o.set("chiplets", q.chiplets);
+    chiplet_base_to_json(q, o);
+}
+
+void partition_explore_to_json(const partition_explore_request& q,
+                               json::object& o) {
+    chiplet_base_to_json(q.base, o);
+    o.set("splits", q.splits);
+    o.set("area_from_mm2", q.area_from_mm2);
+    o.set("area_to_mm2", q.area_to_mm2);
+    o.set("count", q.count);
+    o.set("scale", q.scale);
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -639,6 +832,10 @@ request parse_request(const json::value& doc) {
         case op_code::mc_yield: out.payload = parse_mc_yield(r); break;
         case op_code::sweep: out.payload = parse_sweep(r); break;
         case op_code::stats: out.payload = stats_request{}; break;
+        case op_code::chiplet: out.payload = parse_chiplet(r); break;
+        case op_code::partition_explore:
+            out.payload = parse_partition_explore(r);
+            break;
     }
     r.forbid_unknown();
 
@@ -668,6 +865,11 @@ json::value request_to_json(const request& r) {
                 mc_yield_to_json(payload, o);
             } else if constexpr (std::is_same_v<T, sweep_request>) {
                 sweep_to_json(payload, o);
+            } else if constexpr (std::is_same_v<T, chiplet_request>) {
+                chiplet_to_json(payload, o);
+            } else if constexpr (std::is_same_v<T,
+                                                partition_explore_request>) {
+                partition_explore_to_json(payload, o);
             }
             // stats_request: no parameters.
         },

@@ -29,6 +29,8 @@
 //   mc_yield   Monte-Carlo defect-injection yield on a wire array
 //   sweep      evaluate any endpoint above over a 1-D parameter grid
 //   stats      engine cache/metrics snapshot (never cached, no golden)
+//   chiplet    multi-die system cost breakdown (src/chiplet composition)
+//   partition_explore  monolithic-vs-N-way split cost over a total-area grid
 
 #pragma once
 
@@ -56,9 +58,11 @@ enum class op_code {
     mc_yield,
     sweep,
     stats,
+    chiplet,
+    partition_explore,
 };
 
-inline constexpr int op_count = 9;
+inline constexpr int op_count = 11;
 
 /// Wire name of an endpoint ("cost_tr", "gross_die", ...).
 [[nodiscard]] std::string_view to_string(op_code op);
@@ -217,6 +221,58 @@ struct sweep_request {
 
 struct stats_request {};
 
+/// chiplet::chiplet_spec mirror (src/chiplet/model.hpp documents the
+/// model).  Flat scalars + SSO strings only, so the hot path's
+/// capacity-preserving payload reset keeps warm point queries
+/// allocation-free.
+struct chiplet_request {
+    int chiplets = 1;  ///< [1, 16]; 1 = monolithic baseline
+    double logic_area_mm2 = 350.0;
+    double memory_area_mm2 = 150.0;
+    double io_area_mm2 = 100.0;
+    double d2d_area_mm2 = 5.0;
+    double lambda_um = 0.5;
+    double c0_usd = 5000.0;
+    double x = 1.5;
+    double generation_step_um = 0.2;
+    double wafer_radius_cm = 15.0;
+    double edge_exclusion_cm = 0.0;
+    double defects_per_cm2 = 0.5;
+    double memory_defect_factor = 0.5;
+    double io_defect_factor = 0.3;
+    double clustering_alpha = 2.0;
+    double test_coverage = 0.98;
+    double tester_rate_per_hour = 3600.0;
+    double test_seconds_fixed = 0.5;
+    double test_seconds_per_cm2 = 1.0;
+    std::string substrate = "organic";  ///< organic | rdl | interposer
+    double substrate_cost_per_cm2 = 0.5;
+    double rdl_cost_per_cm2 = 2.0;
+    double rdl_defects_per_cm2 = 0.05;
+    double interposer_cost_per_cm2 = 8.0;
+    double interposer_defects_per_cm2 = 0.2;
+    double package_area_factor = 1.1;
+    double bond_yield = 0.99;
+    double bonding_cost_per_chiplet = 0.5;
+};
+
+/// Sweep monolithic-vs-N-way chiplet splits of one configuration over
+/// a total-area grid.  `base.chiplets` is fixed at 1 and not part of
+/// the schema — the split counts come from `splits`, a strict
+/// comma-separated ascending list that must include 1 (the monolithic
+/// baseline every crossover is measured against).  The grid rescales
+/// the base logic+memory+IO budget to each total area, preserving
+/// ratios.  Admission-budgeted like `sweep`: splits x count grid cells
+/// count against max_sweep_points.
+struct partition_explore_request {
+    chiplet_request base;
+    std::string splits = "1,2,4";  ///< ascending, in [1,16], includes 1
+    double area_from_mm2 = 40.0;
+    double area_to_mm2 = 1000.0;
+    int count = 32;                ///< [1, 65536]
+    std::string scale = "linear";  ///< linear | log
+};
+
 // ---------------------------------------------------------------------------
 // The request envelope
 // ---------------------------------------------------------------------------
@@ -224,7 +280,8 @@ struct stats_request {};
 using request_payload =
     std::variant<cost_tr_request, gross_die_request, yield_request,
                  scenario1_request, scenario2_request, table3_request,
-                 mc_yield_request, sweep_request, stats_request>;
+                 mc_yield_request, sweep_request, stats_request,
+                 chiplet_request, partition_explore_request>;
 
 struct request {
     op_code op = op_code::stats;

@@ -106,7 +106,7 @@ class fast_reader {
   private:
     const aview* get(const char* key) {
         if (consumed_count_ >= consumed_.size()) {
-            throw fast_parse_unsupported{};  // no endpoint has this many
+            throw fast_parse_unsupported{};  // no endpoint reads this many
         }
         consumed_[consumed_count_++] = key;
         return o_.find(key);
@@ -120,7 +120,9 @@ class fast_reader {
 
     const aview& o_;
     const char* context_;
-    std::array<std::string_view, 24> consumed_{};
+    // Sized for the widest reader: partition_explore consumes
+    // op + id + deadline_ms + 27 base fields + splits/area/count/scale.
+    std::array<std::string_view, 40> consumed_{};
     std::size_t consumed_count_ = 0;
 };
 
@@ -163,6 +165,58 @@ void validate_yield_model_fast(const std::string& name) {
         "yield.model: unknown model '" + name +
             "' (poisson | murphy | seeds | bose_einstein | neg_binomial | "
             "scaled_poisson | reference)");
+}
+
+void validate_substrate_fast(const std::string& name) {
+    for (const char* known : {"organic", "rdl", "interposer"}) {
+        if (name == known) {
+            return;
+        }
+    }
+    throw request_error("bad_param",
+                        "substrate: unknown substrate '" + name +
+                            "' (organic | rdl | interposer)");
+}
+
+void validate_splits_fast(const std::string& s) {
+    static constexpr const char* bad_splits =
+        "partition_explore: splits must be a strictly ascending "
+        "comma-separated list of split counts in [1, 16] including 1 "
+        "(e.g. '1,2,4')";
+    int entries = 0;
+    int prev = 0;
+    bool has_one = false;
+    std::size_t i = 0;
+    while (true) {
+        if (i >= s.size() || s[i] < '1' || s[i] > '9') {
+            throw request_error("bad_param", bad_splits);
+        }
+        int value = 0;
+        while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+            value = value * 10 + (s[i] - '0');
+            if (value > 16) {
+                throw request_error("bad_param", bad_splits);
+            }
+            ++i;
+        }
+        if (value <= prev || ++entries > 8) {
+            throw request_error("bad_param", bad_splits);
+        }
+        if (value == 1) {
+            has_one = true;
+        }
+        prev = value;
+        if (i == s.size()) {
+            break;
+        }
+        if (s[i] != ',') {
+            throw request_error("bad_param", bad_splits);
+        }
+        ++i;
+    }
+    if (!has_one) {
+        throw request_error("bad_param", bad_splits);
+    }
 }
 
 /// Reuses the payload alternative when the op repeats (preserving string
@@ -338,6 +392,85 @@ void parse_mc_yield_fast(fast_reader& r, request& req) {
     if (out.dies < 1 || out.dies > 100000000) {
         throw request_error("bad_param",
                             "mc_yield: dies must be in [1, 1e8]");
+    }
+}
+
+void parse_chiplet_base_fast(fast_reader& r, chiplet_request& out) {
+    out.logic_area_mm2 = r.number("logic_area_mm2", out.logic_area_mm2);
+    out.memory_area_mm2 = r.number("memory_area_mm2", out.memory_area_mm2);
+    out.io_area_mm2 = r.number("io_area_mm2", out.io_area_mm2);
+    out.d2d_area_mm2 = r.number("d2d_area_mm2", out.d2d_area_mm2);
+    out.lambda_um = r.number("lambda_um", out.lambda_um);
+    out.c0_usd = r.number("c0_usd", out.c0_usd);
+    out.x = r.number("x", out.x);
+    out.generation_step_um =
+        r.number("generation_step_um", out.generation_step_um);
+    out.wafer_radius_cm = r.number("wafer_radius_cm", out.wafer_radius_cm);
+    out.edge_exclusion_cm =
+        r.number("edge_exclusion_cm", out.edge_exclusion_cm);
+    out.defects_per_cm2 = r.number("defects_per_cm2", out.defects_per_cm2);
+    out.memory_defect_factor =
+        r.number("memory_defect_factor", out.memory_defect_factor);
+    out.io_defect_factor = r.number("io_defect_factor", out.io_defect_factor);
+    out.clustering_alpha = r.number("clustering_alpha", out.clustering_alpha);
+    out.test_coverage = r.number("test_coverage", out.test_coverage);
+    out.tester_rate_per_hour =
+        r.number("tester_rate_per_hour", out.tester_rate_per_hour);
+    out.test_seconds_fixed =
+        r.number("test_seconds_fixed", out.test_seconds_fixed);
+    out.test_seconds_per_cm2 =
+        r.number("test_seconds_per_cm2", out.test_seconds_per_cm2);
+    r.text_into("substrate", out.substrate);
+    validate_substrate_fast(out.substrate);
+    out.substrate_cost_per_cm2 =
+        r.number("substrate_cost_per_cm2", out.substrate_cost_per_cm2);
+    out.rdl_cost_per_cm2 = r.number("rdl_cost_per_cm2", out.rdl_cost_per_cm2);
+    out.rdl_defects_per_cm2 =
+        r.number("rdl_defects_per_cm2", out.rdl_defects_per_cm2);
+    out.interposer_cost_per_cm2 =
+        r.number("interposer_cost_per_cm2", out.interposer_cost_per_cm2);
+    out.interposer_defects_per_cm2 =
+        r.number("interposer_defects_per_cm2", out.interposer_defects_per_cm2);
+    out.package_area_factor =
+        r.number("package_area_factor", out.package_area_factor);
+    out.bond_yield = r.number("bond_yield", out.bond_yield);
+    out.bonding_cost_per_chiplet =
+        r.number("bonding_cost_per_chiplet", out.bonding_cost_per_chiplet);
+}
+
+void parse_chiplet_fast(fast_reader& r, request& req) {
+    chiplet_request& out = ensure_payload<chiplet_request>(req);
+    out.chiplets = r.integer("chiplets", out.chiplets);
+    if (out.chiplets < 1 || out.chiplets > 16) {
+        throw request_error("bad_param",
+                            "chiplet: chiplets must be in [1, 16]");
+    }
+    parse_chiplet_base_fast(r, out);
+}
+
+void parse_partition_explore_fast(fast_reader& r, request& req) {
+    partition_explore_request& out =
+        ensure_payload<partition_explore_request>(req);
+    parse_chiplet_base_fast(r, out.base);
+    r.text_into("splits", out.splits);
+    validate_splits_fast(out.splits);
+    out.area_from_mm2 = r.number("area_from_mm2", out.area_from_mm2);
+    out.area_to_mm2 = r.number("area_to_mm2", out.area_to_mm2);
+    if (!std::isfinite(out.area_from_mm2) || !(out.area_from_mm2 > 0.0) ||
+        !std::isfinite(out.area_to_mm2) || !(out.area_to_mm2 > 0.0)) {
+        throw request_error("bad_param",
+                            "partition_explore: area_from_mm2/area_to_mm2 "
+                            "must be finite and positive");
+    }
+    out.count = r.integer("count", out.count);
+    if (out.count < 1 || out.count > 65536) {
+        throw request_error("bad_param",
+                            "partition_explore: count must be in [1, 65536]");
+    }
+    r.text_into("scale", out.scale);
+    if (out.scale != "linear" && out.scale != "log") {
+        throw request_error(
+            "bad_param", "partition_explore: scale must be 'linear' or 'log'");
     }
 }
 
@@ -528,6 +661,121 @@ void emit_sweep_key(const sweep_request& q, std::string_view target_key,
     out += '}';
 }
 
+/// The sorted run of chiplet configuration keys from "bond_yield"
+/// through "clustering_alpha"; both chiplet-family emitters start with
+/// it (partition_explore's "area_*" / "count" keys interleave around
+/// it and are emitted by the caller).
+void emit_chiplet_run_bond_to_c0(const chiplet_request& q, std::string& out) {
+    out += "\"bond_yield\":";
+    emit_number(q.bond_yield, out);
+    out += ",\"bonding_cost_per_chiplet\":";
+    emit_number(q.bonding_cost_per_chiplet, out);
+    out += ",\"c0_usd\":";
+    emit_number(q.c0_usd, out);
+}
+
+/// Sorted keys "d2d_area_mm2" .. "memory_defect_factor" — identical in
+/// both chiplet-family canonical forms.
+void emit_chiplet_run_d2d_to_memory(const chiplet_request& q,
+                                    std::string& out) {
+    out += ",\"d2d_area_mm2\":";
+    emit_number(q.d2d_area_mm2, out);
+    out += ",\"defects_per_cm2\":";
+    emit_number(q.defects_per_cm2, out);
+    out += ",\"edge_exclusion_cm\":";
+    emit_number(q.edge_exclusion_cm, out);
+    out += ",\"generation_step_um\":";
+    emit_number(q.generation_step_um, out);
+    out += ",\"interposer_cost_per_cm2\":";
+    emit_number(q.interposer_cost_per_cm2, out);
+    out += ",\"interposer_defects_per_cm2\":";
+    emit_number(q.interposer_defects_per_cm2, out);
+    out += ",\"io_area_mm2\":";
+    emit_number(q.io_area_mm2, out);
+    out += ",\"io_defect_factor\":";
+    emit_number(q.io_defect_factor, out);
+    out += ",\"lambda_um\":";
+    emit_number(q.lambda_um, out);
+    out += ",\"logic_area_mm2\":";
+    emit_number(q.logic_area_mm2, out);
+    out += ",\"memory_area_mm2\":";
+    emit_number(q.memory_area_mm2, out);
+    out += ",\"memory_defect_factor\":";
+    emit_number(q.memory_defect_factor, out);
+}
+
+/// Sorted keys "package_area_factor" .. "rdl_defects_per_cm2" (the run
+/// right after "op" in both chiplet-family canonical forms).
+void emit_chiplet_run_package_to_rdl(const chiplet_request& q,
+                                     std::string& out) {
+    out += ",\"package_area_factor\":";
+    emit_number(q.package_area_factor, out);
+    out += ",\"rdl_cost_per_cm2\":";
+    emit_number(q.rdl_cost_per_cm2, out);
+    out += ",\"rdl_defects_per_cm2\":";
+    emit_number(q.rdl_defects_per_cm2, out);
+}
+
+/// Sorted keys "substrate" .. "x" — the shared tail of both
+/// chiplet-family canonical forms (partition_explore's "scale" and
+/// "splits" sort immediately before "substrate" and are emitted by the
+/// caller).
+void emit_chiplet_run_substrate_to_x(const chiplet_request& q,
+                                     std::string& out) {
+    out += ",\"substrate\":";
+    json::write_string_into(out, q.substrate);
+    out += ",\"substrate_cost_per_cm2\":";
+    emit_number(q.substrate_cost_per_cm2, out);
+    out += ",\"test_coverage\":";
+    emit_number(q.test_coverage, out);
+    out += ",\"test_seconds_fixed\":";
+    emit_number(q.test_seconds_fixed, out);
+    out += ",\"test_seconds_per_cm2\":";
+    emit_number(q.test_seconds_per_cm2, out);
+    out += ",\"tester_rate_per_hour\":";
+    emit_number(q.tester_rate_per_hour, out);
+    out += ",\"wafer_radius_cm\":";
+    emit_number(q.wafer_radius_cm, out);
+    out += ",\"x\":";
+    emit_number(q.x, out);
+    out += '}';
+}
+
+void emit_chiplet_key(const chiplet_request& q, std::string& out) {
+    out += '{';
+    emit_chiplet_run_bond_to_c0(q, out);
+    out += ",\"chiplets\":";
+    emit_number(static_cast<double>(q.chiplets), out);
+    out += ",\"clustering_alpha\":";
+    emit_number(q.clustering_alpha, out);
+    emit_chiplet_run_d2d_to_memory(q, out);
+    out += ",\"op\":\"chiplet\"";
+    emit_chiplet_run_package_to_rdl(q, out);
+    emit_chiplet_run_substrate_to_x(q, out);
+}
+
+void emit_partition_explore_key(const partition_explore_request& q,
+                                std::string& out) {
+    out += "{\"area_from_mm2\":";
+    emit_number(q.area_from_mm2, out);
+    out += ",\"area_to_mm2\":";
+    emit_number(q.area_to_mm2, out);
+    out += ',';
+    emit_chiplet_run_bond_to_c0(q.base, out);
+    out += ",\"clustering_alpha\":";
+    emit_number(q.base.clustering_alpha, out);
+    out += ",\"count\":";
+    emit_number(static_cast<double>(q.count), out);
+    emit_chiplet_run_d2d_to_memory(q.base, out);
+    out += ",\"op\":\"partition_explore\"";
+    emit_chiplet_run_package_to_rdl(q.base, out);
+    out += ",\"scale\":";
+    json::write_string_into(out, q.scale);
+    out += ",\"splits\":";
+    json::write_string_into(out, q.splits);
+    emit_chiplet_run_substrate_to_x(q.base, out);
+}
+
 // ---------------------------------------------------------------------------
 // Top-level parse
 // ---------------------------------------------------------------------------
@@ -591,6 +839,10 @@ void parse_request_fast_inner(const aview& doc, request& out,
             break;
         case op_code::stats:
             ensure_payload<stats_request>(out);
+            break;
+        case op_code::chiplet: parse_chiplet_fast(r, out); break;
+        case op_code::partition_explore:
+            parse_partition_explore_fast(r, out);
             break;
     }
     r.forbid_unknown();
@@ -725,6 +977,13 @@ void canonical_key_into(const request& r, std::string& out) {
         case op_code::stats:
             out += "{\"op\":\"stats\"}";
             break;
+        case op_code::chiplet:
+            emit_chiplet_key(std::get<chiplet_request>(r.payload), out);
+            break;
+        case op_code::partition_explore:
+            emit_partition_explore_key(
+                std::get<partition_explore_request>(r.payload), out);
+            break;
     }
 }
 
@@ -795,6 +1054,38 @@ double* scenario2_param(scenario2_request& q, std::string_view p) {
     return nullptr;
 }
 
+double* chiplet_param(chiplet_request& q, std::string_view p) {
+    if (p == "logic_area_mm2") return &q.logic_area_mm2;
+    if (p == "memory_area_mm2") return &q.memory_area_mm2;
+    if (p == "io_area_mm2") return &q.io_area_mm2;
+    if (p == "d2d_area_mm2") return &q.d2d_area_mm2;
+    if (p == "lambda_um") return &q.lambda_um;
+    if (p == "c0_usd") return &q.c0_usd;
+    if (p == "x") return &q.x;
+    if (p == "generation_step_um") return &q.generation_step_um;
+    if (p == "wafer_radius_cm") return &q.wafer_radius_cm;
+    if (p == "edge_exclusion_cm") return &q.edge_exclusion_cm;
+    if (p == "defects_per_cm2") return &q.defects_per_cm2;
+    if (p == "memory_defect_factor") return &q.memory_defect_factor;
+    if (p == "io_defect_factor") return &q.io_defect_factor;
+    if (p == "clustering_alpha") return &q.clustering_alpha;
+    if (p == "test_coverage") return &q.test_coverage;
+    if (p == "tester_rate_per_hour") return &q.tester_rate_per_hour;
+    if (p == "test_seconds_fixed") return &q.test_seconds_fixed;
+    if (p == "test_seconds_per_cm2") return &q.test_seconds_per_cm2;
+    if (p == "substrate_cost_per_cm2") return &q.substrate_cost_per_cm2;
+    if (p == "rdl_cost_per_cm2") return &q.rdl_cost_per_cm2;
+    if (p == "rdl_defects_per_cm2") return &q.rdl_defects_per_cm2;
+    if (p == "interposer_cost_per_cm2") return &q.interposer_cost_per_cm2;
+    if (p == "interposer_defects_per_cm2") {
+        return &q.interposer_defects_per_cm2;
+    }
+    if (p == "package_area_factor") return &q.package_area_factor;
+    if (p == "bond_yield") return &q.bond_yield;
+    if (p == "bonding_cost_per_chiplet") return &q.bonding_cost_per_chiplet;
+    return nullptr;
+}
+
 double* mc_yield_param(mc_yield_request& q, std::string_view p) {
     if (p == "line_width_um") return &q.line_width_um;
     if (p == "line_spacing_um") return &q.line_spacing_um;
@@ -817,6 +1108,8 @@ bool integer_param_exists(const request& r, std::string_view p) {
             return p == "line_count" || p == "dies" || p == "seed";
         case op_code::table3:
             return p == "row";
+        case op_code::chiplet:
+            return p == "chiplets";
         default:
             return false;
     }
@@ -842,9 +1135,12 @@ double* numeric_param_ptr(request& r, std::string_view path) {
         case op_code::mc_yield:
             return mc_yield_param(std::get<mc_yield_request>(r.payload),
                                   path);
+        case op_code::chiplet:
+            return chiplet_param(std::get<chiplet_request>(r.payload), path);
         case op_code::table3:
         case op_code::sweep:
         case op_code::stats:
+        case op_code::partition_explore:
             return nullptr;
     }
     return nullptr;

@@ -1,0 +1,297 @@
+// test_model.cpp — the multi-die cost composition (chiplet/model.hpp)
+// and its SoA batch kernel (chiplet/batch.hpp).
+//
+// Three layers of contract:
+//   * model identities — the breakdown's fields compose exactly as the
+//     header documents (bill = dies + substrate + bonding, module
+//     yield divides it, monolithic is the n = 1 special-case-free
+//     path);
+//   * validation taxonomy — invalid_argument for out-of-range
+//     parameters, domain_error for infeasible configurations (the
+//     serve layer maps these to bad_param / domain_error);
+//   * kernel bit-exactness — lanes equal the scalar path bit for bit,
+//     scalar throws become quiet NaN, and sub-ranges compose.
+
+#include "chiplet/batch.hpp"
+#include "chiplet/model.hpp"
+
+#include "cost/test_cost.hpp"
+#include "cost/wafer_cost.hpp"
+#include "core/units.hpp"
+#include "geometry/gross_die.hpp"
+#include "geometry/wafer.hpp"
+#include "yield/models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace chiplet = silicon::chiplet;
+namespace cost = silicon::cost;
+namespace geometry = silicon::geometry;
+namespace yield = silicon::yield;
+using silicon::centimeters;
+using silicon::dollars;
+using silicon::microns;
+using silicon::millimeters;
+using silicon::probability;
+
+namespace {
+
+constexpr double knan = std::numeric_limits<double>::quiet_NaN();
+
+::testing::AssertionResult bits_equal(double expected, double actual,
+                                      std::size_t lane) {
+    if (std::isnan(expected) && std::isnan(actual)) {
+        return ::testing::AssertionSuccess();
+    }
+    std::uint64_t eb = 0;
+    std::uint64_t ab = 0;
+    std::memcpy(&eb, &expected, sizeof eb);
+    std::memcpy(&ab, &actual, sizeof ab);
+    if (eb == ab) {
+        return ::testing::AssertionSuccess();
+    }
+    return ::testing::AssertionFailure()
+           << "lane " << lane << ": expected " << expected << " got "
+           << actual;
+}
+
+TEST(ChipletModel, MonolithicBaselineHasNoMultiDieOverheads) {
+    chiplet::chiplet_spec spec;  // defaults: chiplets = 1
+    const chiplet::chiplet_breakdown b = chiplet::evaluate_chiplet(spec);
+
+    EXPECT_EQ(b.chiplets, 1);
+    EXPECT_DOUBLE_EQ(b.total_area_mm2,
+                     spec.logic_area_mm2 + spec.memory_area_mm2 +
+                         spec.io_area_mm2);
+    // n = 1: no D2D interface area, the die IS the budget.
+    EXPECT_DOUBLE_EQ(b.chiplet_area_mm2, b.total_area_mm2);
+    EXPECT_DOUBLE_EQ(b.bonding_cost_usd, spec.bonding_cost_per_chiplet);
+    EXPECT_DOUBLE_EQ(b.assembly_yield, spec.bond_yield);
+}
+
+TEST(ChipletModel, BreakdownComposesExactly) {
+    chiplet::chiplet_spec spec;
+    spec.chiplets = 4;
+    const chiplet::chiplet_breakdown b = chiplet::evaluate_chiplet(spec);
+
+    const double n = static_cast<double>(b.chiplets);
+    EXPECT_DOUBLE_EQ(b.cost_per_system_usd,
+                     n * (b.die_cost_usd + b.test_cost_per_die_usd) +
+                         b.substrate_cost_usd + b.bonding_cost_usd);
+    EXPECT_DOUBLE_EQ(b.cost_per_good_system_usd,
+                     b.cost_per_system_usd / b.module_yield);
+    EXPECT_DOUBLE_EQ(b.module_yield,
+                     b.assembly_yield *
+                         std::pow(1.0 - b.defect_level, n));
+    EXPECT_DOUBLE_EQ(b.assembly_yield,
+                     std::pow(spec.bond_yield, n) * b.substrate_yield);
+    EXPECT_DOUBLE_EQ(b.bonding_cost_usd,
+                     n * spec.bonding_cost_per_chiplet);
+    // Each chiplet carries (n - 1) D2D links of interface area.
+    EXPECT_DOUBLE_EQ(b.chiplet_area_mm2,
+                     b.total_area_mm2 / n +
+                         spec.d2d_area_mm2 * (n - 1.0));
+}
+
+TEST(ChipletModel, DieYieldIsNegativeBinomialOverBlendedDensity) {
+    chiplet::chiplet_spec spec;
+    spec.chiplets = 2;
+    const chiplet::chiplet_breakdown b = chiplet::evaluate_chiplet(spec);
+
+    const double d2d_mm2 = spec.d2d_area_mm2 * (spec.chiplets - 1.0);
+    const double budget_faults =
+        (spec.logic_area_mm2 / 100.0) * spec.defects_per_cm2 +
+        (spec.memory_area_mm2 / 100.0) *
+            (spec.defects_per_cm2 * spec.memory_defect_factor) +
+        (spec.io_area_mm2 / 100.0) *
+            (spec.defects_per_cm2 * spec.io_defect_factor);
+    const double faults = budget_faults / spec.chiplets +
+                          (d2d_mm2 / 100.0) * spec.defects_per_cm2;
+    const yield::negative_binomial_model model{spec.clustering_alpha};
+    EXPECT_DOUBLE_EQ(b.die_yield, model.yield(faults).value());
+
+    // Known-good-die escapes are Williams-Brown at the spec coverage.
+    EXPECT_DOUBLE_EQ(b.defect_level,
+                     cost::defect_level(probability{b.die_yield},
+                                        spec.test_coverage)
+                         .value());
+}
+
+TEST(ChipletModel, DieCostAmortizesWaferOverYieldedGrossDies) {
+    chiplet::chiplet_spec spec;
+    const chiplet::chiplet_breakdown b = chiplet::evaluate_chiplet(spec);
+
+    const cost::wafer_cost_model wafer_cost{
+        dollars{spec.c0_usd}, spec.x, microns{spec.generation_step_um}};
+    EXPECT_DOUBLE_EQ(
+        b.wafer_cost_usd,
+        wafer_cost.pure_wafer_cost(microns{spec.lambda_um}).value());
+
+    const geometry::wafer w{centimeters{spec.wafer_radius_cm},
+                            centimeters{spec.edge_exclusion_cm}};
+    const long gross = geometry::gross_dies(
+        w, geometry::die::square(millimeters{std::sqrt(b.chiplet_area_mm2)}),
+        geometry::gross_die_method::maly_rows);
+    EXPECT_DOUBLE_EQ(b.gross_dies_per_wafer, static_cast<double>(gross));
+    EXPECT_DOUBLE_EQ(b.die_cost_usd,
+                     b.wafer_cost_usd /
+                         (b.gross_dies_per_wafer * b.die_yield));
+}
+
+TEST(ChipletModel, SubstrateOptionsPriceAndYieldTheirArea) {
+    chiplet::chiplet_spec spec;
+
+    spec.substrate = chiplet::substrate_kind::organic;
+    const chiplet::chiplet_breakdown organic =
+        chiplet::evaluate_chiplet(spec);
+    EXPECT_DOUBLE_EQ(organic.substrate_yield, 1.0);
+    EXPECT_DOUBLE_EQ(
+        organic.substrate_cost_usd,
+        spec.substrate_cost_per_cm2 * organic.package_area_cm2);
+    EXPECT_DOUBLE_EQ(organic.package_area_cm2,
+                     spec.package_area_factor *
+                         (organic.total_area_mm2 / 100.0));
+
+    spec.substrate = chiplet::substrate_kind::rdl;
+    const chiplet::chiplet_breakdown rdl = chiplet::evaluate_chiplet(spec);
+    EXPECT_DOUBLE_EQ(rdl.substrate_yield,
+                     std::exp(-rdl.package_area_cm2 *
+                              spec.rdl_defects_per_cm2));
+    EXPECT_DOUBLE_EQ(rdl.substrate_cost_usd,
+                     spec.rdl_cost_per_cm2 * rdl.package_area_cm2);
+
+    spec.substrate = chiplet::substrate_kind::interposer;
+    const chiplet::chiplet_breakdown si = chiplet::evaluate_chiplet(spec);
+    EXPECT_DOUBLE_EQ(si.substrate_yield,
+                     std::exp(-si.package_area_cm2 *
+                              spec.interposer_defects_per_cm2));
+    EXPECT_DOUBLE_EQ(si.substrate_cost_usd,
+                     spec.interposer_cost_per_cm2 * si.package_area_cm2);
+
+    // Ascending substrate sophistication is monotonically pricier.
+    EXPECT_LT(organic.cost_per_good_system_usd,
+              rdl.cost_per_good_system_usd);
+    EXPECT_LT(rdl.cost_per_good_system_usd, si.cost_per_good_system_usd);
+}
+
+TEST(ChipletModel, OutOfRangeParametersThrowInvalidArgument) {
+    const auto rejects = [](auto&& mutate) {
+        chiplet::chiplet_spec spec;
+        mutate(spec);
+        EXPECT_THROW((void)chiplet::evaluate_chiplet(spec),
+                     std::invalid_argument);
+    };
+    rejects([](chiplet::chiplet_spec& s) { s.chiplets = 0; });
+    rejects([](chiplet::chiplet_spec& s) { s.chiplets = 17; });
+    rejects([](chiplet::chiplet_spec& s) { s.logic_area_mm2 = -1.0; });
+    rejects([](chiplet::chiplet_spec& s) {
+        s.logic_area_mm2 = s.memory_area_mm2 = s.io_area_mm2 = 0.0;
+    });
+    rejects([](chiplet::chiplet_spec& s) { s.d2d_area_mm2 = knan; });
+    rejects([](chiplet::chiplet_spec& s) { s.bond_yield = 0.0; });
+    rejects([](chiplet::chiplet_spec& s) { s.bond_yield = 1.5; });
+    rejects([](chiplet::chiplet_spec& s) { s.package_area_factor = 0.5; });
+    rejects([](chiplet::chiplet_spec& s) { s.test_coverage = 1.5; });
+}
+
+TEST(ChipletModel, InfeasibleConfigurationsThrowDomainError) {
+    chiplet::chiplet_spec spec;
+    spec.logic_area_mm2 = 90000.0;  // 30 cm die: never fits a 15 cm wafer
+    EXPECT_THROW((void)chiplet::evaluate_chiplet(spec), std::domain_error);
+}
+
+TEST(ChipletModel, ScaledToTotalPreservesAreaRatios) {
+    chiplet::chiplet_spec base;  // 350 / 150 / 100 = 600 total
+    const chiplet::chiplet_spec scaled =
+        chiplet::scaled_to_total(base, 150.0);
+    EXPECT_DOUBLE_EQ(scaled.logic_area_mm2 + scaled.memory_area_mm2 +
+                         scaled.io_area_mm2,
+                     150.0);
+    EXPECT_DOUBLE_EQ(scaled.logic_area_mm2 / scaled.memory_area_mm2,
+                     base.logic_area_mm2 / base.memory_area_mm2);
+    EXPECT_DOUBLE_EQ(scaled.logic_area_mm2 / scaled.io_area_mm2,
+                     base.logic_area_mm2 / base.io_area_mm2);
+}
+
+TEST(ChipletModel, CrossoverMatchesChipletActuaryQualitatively) {
+    // arXiv:2203.12268's headline result: below a total-area threshold
+    // the monolithic die is cheaper; above it the N-way split wins.
+    const auto cost_at = [](double total_mm2, int n) {
+        chiplet::chiplet_spec spec =
+            chiplet::scaled_to_total(chiplet::chiplet_spec{}, total_mm2);
+        spec.chiplets = n;
+        return chiplet::evaluate_chiplet(spec).cost_per_good_system_usd;
+    };
+    // Small system: packaging + D2D overheads dominate, mono wins.
+    EXPECT_LT(cost_at(50.0, 1), cost_at(50.0, 2));
+    EXPECT_LT(cost_at(50.0, 1), cost_at(50.0, 4));
+    // Large system: yield loss dominates, finer splits win in order.
+    EXPECT_LT(cost_at(600.0, 2), cost_at(600.0, 1));
+    EXPECT_LT(cost_at(600.0, 4), cost_at(600.0, 2));
+}
+
+TEST(ChipletBatch, KernelLanesBitEqualScalarPath) {
+    const chiplet::chiplet_spec base;
+    std::vector<double> areas;
+    for (double a = 40.0; a <= 1200.0; a += 37.0) {
+        areas.push_back(a);
+    }
+    for (const int n : {1, 2, 4, 8, 16}) {
+        std::vector<double> out(areas.size());
+        chiplet::batch::cost_per_good_system(base, n, areas.data(),
+                                             out.data(), areas.size());
+        for (std::size_t i = 0; i < areas.size(); ++i) {
+            chiplet::chiplet_spec spec =
+                chiplet::scaled_to_total(base, areas[i]);
+            spec.chiplets = n;
+            const double expected =
+                chiplet::evaluate_chiplet(spec).cost_per_good_system_usd;
+            EXPECT_TRUE(bits_equal(expected, out[i], i)) << "n=" << n;
+        }
+    }
+}
+
+TEST(ChipletBatch, ScalarThrowsBecomeQuietNaNLanes) {
+    const chiplet::chiplet_spec base;
+    // Zero/negative/NaN totals throw in the scalar path; a huge total
+    // does not fit the wafer (domain_error).  All become NaN lanes.
+    const std::vector<double> areas{0.0, -5.0, knan, 1e9, 600.0};
+    std::vector<double> out(areas.size(), 0.0);
+    chiplet::batch::cost_per_good_system(base, 2, areas.data(), out.data(),
+                                         areas.size());
+    EXPECT_TRUE(std::isnan(out[0]));
+    EXPECT_TRUE(std::isnan(out[1]));
+    EXPECT_TRUE(std::isnan(out[2]));
+    EXPECT_TRUE(std::isnan(out[3]));
+    EXPECT_TRUE(std::isfinite(out[4]));
+}
+
+TEST(ChipletBatch, SubRangesComposeBitIdentically) {
+    const chiplet::chiplet_spec base;
+    std::vector<double> areas;
+    for (double a = 40.0; a <= 1000.0; a += 12.5) {
+        areas.push_back(a);
+    }
+    std::vector<double> whole(areas.size());
+    chiplet::batch::cost_per_good_system(base, 4, areas.data(),
+                                         whole.data(), areas.size());
+    std::vector<double> pieces(areas.size());
+    const std::size_t split = areas.size() / 3;
+    chiplet::batch::cost_per_good_system(base, 4, areas.data(),
+                                         pieces.data(), split);
+    chiplet::batch::cost_per_good_system(
+        base, 4, areas.data() + split, pieces.data() + split,
+        areas.size() - split);
+    for (std::size_t i = 0; i < areas.size(); ++i) {
+        EXPECT_TRUE(bits_equal(whole[i], pieces[i], i));
+    }
+}
+
+}  // namespace

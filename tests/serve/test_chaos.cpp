@@ -348,6 +348,22 @@ TEST(EngineLimits, SweepAndMcBudgets) {
     EXPECT_EQ(error_code(ok), "");
 }
 
+TEST(EngineLimits, PartitionExploreGridChargesCellsAgainstSweepBudget) {
+    engine e{limited_config()};  // max_sweep_points = 8
+    // 3 splits x 3 grid points = 9 cells: one past the budget.
+    const std::string over = e.handle_line(
+        "{\"op\":\"partition_explore\",\"splits\":\"1,2,4\",\"count\":3}");
+    EXPECT_EQ(error_code(over), "too_large");
+    EXPECT_NE(over.find("max_sweep_points 8"), std::string::npos);
+    EXPECT_EQ(e.admission().rejected(reject_reason::explore_too_large), 1u);
+
+    // 2 splits x 4 grid points = 8 cells: exactly at the budget.
+    const std::string ok = e.handle_line(
+        "{\"op\":\"partition_explore\",\"splits\":\"1,2\",\"count\":4}");
+    EXPECT_EQ(error_code(ok), "");
+    EXPECT_EQ(e.admission().rejected(reject_reason::explore_too_large), 1u);
+}
+
 TEST(EngineLimits, InflightBudgetAnswersOverloadedWithoutResidue) {
     engine_config config;
     config.parallelism = 1;
@@ -401,6 +417,9 @@ TEST(Deadlines, ZeroDeadlineIsByteDeterministicAcrossThreads) {
         "{\"op\":\"sweep\",\"param\":\"lambda_um\",\"from\":0.1,\"to\":1.0,"
         "\"count\":4,\"target\":{\"op\":\"scenario1\"},\"deadline_ms\":0}",
         "{\"op\":\"scenario1\",\"deadline_ms\":0}",
+        "{\"op\":\"chiplet\",\"deadline_ms\":0}",
+        "{\"op\":\"partition_explore\",\"splits\":\"1,2,4\",\"count\":5,"
+        "\"deadline_ms\":0}",
     };
     std::vector<std::vector<std::string>> outputs;
     for (const unsigned threads : {1u, 4u, 0u}) {
@@ -493,6 +512,29 @@ TEST(EngineFaults, AllocFailAtServeEvalAnswersInternalError) {
     EXPECT_EQ(error_code(e.handle_line("{\"op\":\"scenario1\"}")),
               "internal_error");
     EXPECT_GE(faults::injected("serve.eval"), 1u);
+}
+
+TEST(EngineFaults, AllocFailAtServeEvalCoversChipletEndpoints) {
+    const faults_guard guard;
+    engine_config config;
+    config.parallelism = 1;
+    config.hot_path = false;  // route through the legacy pipeline
+    engine e{config};
+    faults::configure("alloc_fail@serve.eval");
+    EXPECT_EQ(error_code(e.handle_line("{\"op\":\"chiplet\"}")),
+              "internal_error");
+    EXPECT_EQ(error_code(e.handle_line(
+                  "{\"op\":\"partition_explore\",\"splits\":\"1,2\","
+                  "\"count\":4}")),
+              "internal_error");
+    EXPECT_GE(faults::injected("serve.eval"), 2u);
+    faults::reset();
+    // Neither internal_error may have been cached: both evaluate fresh.
+    EXPECT_EQ(error_code(e.handle_line("{\"op\":\"chiplet\"}")), "");
+    EXPECT_EQ(error_code(e.handle_line(
+                  "{\"op\":\"partition_explore\",\"splits\":\"1,2\","
+                  "\"count\":4}")),
+              "");
 }
 
 TEST(EngineFaults, ArenaFaultDegradesToLegacyPathSameBytes) {

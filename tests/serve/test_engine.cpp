@@ -1,8 +1,13 @@
 #include "serve/engine.hpp"
 
+#include "opt/partition.hpp"
+
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace serve = silicon::serve;
@@ -180,9 +185,10 @@ TEST(Engine, StatsEndpointIsLive) {
 }
 
 TEST(Engine, SweepSharesCacheWithPointQueries) {
-    // Point/sweep cache sharing is a property of the generic per-point
-    // sweep path; the SoA kernel path (sweep_kernels = true) evaluates
-    // grid points without touching the cache.
+    // Point/sweep cache sharing holds on the generic per-point path
+    // (which answers pre-warmed points from the cache) — and the SoA
+    // kernel path populates the same cache from its lanes, so the
+    // sharing is bidirectional under either flag.
     serve::engine_config config = config_with(1);
     config.sweep_kernels = false;
     serve::engine engine{config};
@@ -196,6 +202,48 @@ TEST(Engine, SweepSharesCacheWithPointQueries) {
     const auto after = engine.cache_stats();
     // The sweep hit the pre-warmed 0.5 point.
     EXPECT_GT(after.hits, before.hits);
+}
+
+TEST(Engine, SweepKernelLanesPopulateThePointCache) {
+    // PR 4 follow-up: kernel-evaluated grid points land in the
+    // memoization cache under their point-request canonical keys, with
+    // bytes identical to a fresh scalar evaluation — so a post-sweep
+    // point query is a warm hit, for SoA-kernel and typed-per-lane
+    // targets alike.
+    const std::vector<std::pair<std::string, std::string>> cases = {
+        {R"({"op":"sweep","param":"lambda_um","from":0.5,"to":1.0,
+             "count":2,"target":{"op":"scenario1"}})",
+         R"({"op":"scenario1","lambda_um":1.0})"},
+        {R"({"op":"sweep","param":"lambda_um","from":0.6,"to":1.2,
+             "count":2,"target":{"op":"scenario2","y0":0.8}})",
+         R"({"op":"scenario2","lambda_um":1.2,"y0":0.8})"},
+        {R"({"op":"sweep","param":"expected_faults","from":0.5,"to":2,
+             "count":2,"target":{"op":"yield","model":"murphy"}})",
+         R"({"op":"yield","model":"murphy","expected_faults":2})"},
+        {R"({"op":"sweep","param":"die_area_cm2","from":0.5,"to":1.5,
+             "count":2,"target":{"op":"yield","model":"reference"}})",
+         R"({"op":"yield","model":"reference","die_area_cm2":1.5})"},
+        // Typed per-lane targets (no SoA kernel) share the cache too.
+        {R"({"op":"sweep","param":"die_width_mm","from":5,"to":9,
+             "count":2,"target":{"op":"gross_die"}})",
+         R"({"op":"gross_die","die_width_mm":9})"},
+        {R"({"op":"sweep","param":"d2d_area_mm2","from":2,"to":6,
+             "count":2,"target":{"op":"chiplet","chiplets":4}})",
+         R"({"op":"chiplet","chiplets":4,"d2d_area_mm2":6})"},
+    };
+    for (const auto& [sweep, point] : cases) {
+        serve::engine engine{config_with(1)};  // sweep_kernels default on
+        (void)engine.handle_line(sweep);
+        const auto before = engine.cache_stats();
+        const std::string warm = engine.handle_line(point);
+        const auto after = engine.cache_stats();
+        EXPECT_EQ(after.hits, before.hits + 1) << point;
+        EXPECT_EQ(after.misses, before.misses) << point;
+
+        // The cached bytes equal a fresh evaluation's.
+        serve::engine cold{config_with(1)};
+        EXPECT_EQ(warm, cold.handle_line(point)) << point;
+    }
 }
 
 TEST(Engine, SweepInfeasiblePointsAreNull) {
@@ -329,6 +377,10 @@ TEST(Engine, SweepKernelMatchesGenericPath) {
             "count":5,"scale":"log","target":{"op":"cost_tr"}})",
         R"({"op":"sweep","param":"die_width_mm","from":2,"to":30,"count":5,
             "target":{"op":"gross_die"}})",
+        R"({"op":"sweep","param":"logic_area_mm2","from":50,"to":800,
+            "count":5,"target":{"op":"chiplet","chiplets":2}})",
+        R"({"op":"sweep","param":"bond_yield","from":0.5,"to":1.5,"count":5,
+            "target":{"op":"chiplet","chiplets":8}})",
     };
     for (unsigned parallelism : {1u, 4u, 0u}) {
         serve::engine_config on = config_with(parallelism);
@@ -341,6 +393,158 @@ TEST(Engine, SweepKernelMatchesGenericPath) {
                 << "parallelism=" << parallelism << " line=" << line;
         }
     }
+}
+
+TEST(Engine, PartitionExploreBitIdenticalAcrossKernelsAndThreads) {
+    // The crossover response is golden material: the SoA chiplet kernel
+    // and the per-point fallback must agree byte for byte at every
+    // thread count (the acceptance property the silicond smoke pins
+    // end-to-end).
+    const std::vector<std::string> lines = {
+        R"({"op":"partition_explore"})",
+        R"({"op":"partition_explore","splits":"1,2,4,8","count":17,
+            "scale":"log","area_from_mm2":30,"area_to_mm2":1500})",
+        R"({"op":"partition_explore","splits":"1,3","count":9,
+            "substrate":"interposer","d2d_area_mm2":12})",
+        // Tiny areas make fine splits infeasible (die smaller than a
+        // grid cell never happens, but zero/negative per-die faults
+        // regions exercise NaN lanes via the huge-area tail).
+        R"({"op":"partition_explore","splits":"1,16","count":8,
+            "area_from_mm2":5,"area_to_mm2":70000,"scale":"log"})",
+    };
+    serve::engine reference{[] {
+        serve::engine_config c = config_with(1);
+        c.sweep_kernels = false;
+        return c;
+    }()};
+    std::vector<std::string> expected;
+    expected.reserve(lines.size());
+    for (const std::string& line : lines) {
+        expected.push_back(reference.handle_line(line));
+    }
+    for (unsigned parallelism : {1u, 4u, 0u}) {
+        for (const bool kernels : {true, false}) {
+            serve::engine_config config = config_with(parallelism);
+            config.sweep_kernels = kernels;
+            serve::engine engine{config};
+            for (std::size_t i = 0; i < lines.size(); ++i) {
+                EXPECT_EQ(engine.handle_line(lines[i]), expected[i])
+                    << "parallelism=" << parallelism
+                    << " kernels=" << kernels << " line=" << lines[i];
+            }
+        }
+    }
+}
+
+TEST(Engine, PartitionExploreFindsTheCrossover) {
+    // The Chiplet Actuary qualitative result through the endpoint: the
+    // monolithic die wins the small-area end of the default grid, a
+    // multi-die split wins the large end, and crossover_area_mm2 marks
+    // the first grid area where a split is cheaper.
+    serve::engine engine{config_with(1)};
+    const std::string response = engine.handle_line(
+        R"({"op":"partition_explore","splits":"1,2,4","area_from_mm2":40,
+            "area_to_mm2":1000,"count":25})");
+    const json::value doc = json::parse(response);
+    const json::object& result =
+        doc.as_object().find("result")->as_object();
+
+    const json::array& best = result.find("best_split")->as_array();
+    ASSERT_EQ(best.size(), 25u);
+    EXPECT_EQ(best.front().as_number(), 1.0);   // small: monolithic
+    EXPECT_GT(best.back().as_number(), 1.0);    // large: split wins
+
+    const json::value* crossover = result.find("crossover_area_mm2");
+    ASSERT_NE(crossover, nullptr);
+    ASSERT_TRUE(crossover->is_number());
+    const json::array& xs = result.find("xs")->as_array();
+    EXPECT_GT(crossover->as_number(), xs.front().as_number());
+    EXPECT_LE(crossover->as_number(), xs.back().as_number());
+
+    // ys is one cost row per split, null-padded where infeasible.
+    const json::array& ys = result.find("ys")->as_array();
+    ASSERT_EQ(ys.size(), 3u);
+    for (const json::value& row : ys) {
+        EXPECT_EQ(row.as_array().size(), 25u);
+    }
+}
+
+TEST(Engine, PartitionExploreBudgetChargesGridCells) {
+    // splits x count grid cells charge against max_sweep_points, under
+    // the dedicated explore_too_large reason — structural, so the same
+    // request is rejected identically every time.
+    serve::engine_config config = config_with(1);
+    config.limits.max_sweep_points = 32;
+    serve::engine engine{config};
+
+    // 3 splits x 10 points = 30 cells: admitted.
+    const std::string ok = engine.handle_line(
+        R"({"op":"partition_explore","splits":"1,2,4","count":10})");
+    EXPECT_NE(ok.find(R"("ok":true)"), std::string::npos);
+
+    // 3 splits x 11 points = 33 cells: rejected.
+    const std::string rejected = engine.handle_line(
+        R"({"op":"partition_explore","splits":"1,2,4","count":11})");
+    EXPECT_NE(rejected.find(R"("code":"too_large")"), std::string::npos);
+    EXPECT_NE(rejected.find("max_sweep_points"), std::string::npos);
+    EXPECT_EQ(engine.admission().rejected(
+                  serve::reject_reason::explore_too_large),
+              1u);
+
+    // A plain sweep still charges its own reason, not the explore one.
+    const std::string sweep = engine.handle_line(
+        R"({"op":"sweep","param":"lambda_um","from":0.5,"to":1,"count":40,
+            "target":{"op":"scenario1"}})");
+    EXPECT_NE(sweep.find(R"("code":"too_large")"), std::string::npos);
+    EXPECT_EQ(engine.admission().rejected(
+                  serve::reject_reason::sweep_too_large),
+              1u);
+}
+
+TEST(Engine, StatsAndPrometheusExposePartitionPricerCounters) {
+    // The 2^n - 1 partition pricer's mask-memoization stats surface
+    // through both observability channels.  The counters are
+    // process-global and cumulative, so drive the optimizer first and
+    // check the exposed values against the library accessors.
+    const std::vector<silicon::opt::block> blocks = {
+        {"a", 1e6, 100.0}, {"b", 2e6, 100.0}, {"c", 3e6, 100.0},
+        {"d", 4e6, 100.0},
+    };
+    (void)silicon::opt::optimize_partitions(
+        blocks,
+        [](const std::vector<silicon::opt::block>& group) {
+            double t = 0.0;
+            for (const silicon::opt::block& b : group) {
+                t += b.transistors;
+            }
+            return std::pair<double, double>{t * 1e-6, 0.5};
+        },
+        [](std::size_t dies) { return 2.0 * static_cast<double>(dies); });
+    const std::uint64_t hits = silicon::opt::partition_pricer_hits();
+    const std::uint64_t entries = silicon::opt::partition_pricer_entries();
+    EXPECT_GE(entries, 15u);  // 2^4 - 1 subsets priced at least once
+    EXPECT_GT(hits, entries); // every partition scan is memoized lookups
+
+    serve::engine engine{config_with(1)};
+    const std::string response =
+        engine.handle_line(R"({"op":"stats"})");
+    const json::value doc = json::parse(response);
+    const json::object& pricer = doc.as_object()
+                                     .find("result")
+                                     ->as_object()
+                                     .find("partition_pricer")
+                                     ->as_object();
+    EXPECT_EQ(pricer.find("hits")->as_number(),
+              static_cast<double>(silicon::opt::partition_pricer_hits()));
+    EXPECT_EQ(
+        pricer.find("entries")->as_number(),
+        static_cast<double>(silicon::opt::partition_pricer_entries()));
+
+    const std::string text = engine.prometheus_text();
+    EXPECT_NE(text.find("silicon_partition_pricer_hits_total"),
+              std::string::npos);
+    EXPECT_NE(text.find("silicon_partition_pricer_entries_total"),
+              std::string::npos);
 }
 
 }  // namespace

@@ -136,6 +136,14 @@ std::vector<std::string> corpus() {
         R"({"op":"table3"})",
         R"({"op":"table3","row":5})",
         R"({"op":"mc_yield","dies":64,"seed":7})",
+        R"({"op":"chiplet"})",
+        R"({"op":"chiplet","chiplets":4,"substrate":"interposer",)"
+        R"("d2d_area_mm2":8,"bond_yield":0.995})",
+        R"({"chiplets":2,"op":"chiplet","logic_area_mm2":200,)"
+        R"("test_coverage":0.9,"id":"kgd"})",
+        R"({"op":"partition_explore"})",
+        R"({"op":"partition_explore","splits":"1,2,4,8","count":9,)"
+        R"("scale":"log","area_from_mm2":30,"area_to_mm2":1500})",
         R"({"op":"stats"})",
         R"({"op":"sweep","param":"lambda_um","from":0.5,"to":1.0,)"
         R"("count":4,"target":{"op":"scenario1"}})",
@@ -175,6 +183,17 @@ std::vector<std::string> corpus() {
         R"("target":{"op":"scenario1"}})",
         R"({"op":"sweep","param":"lambda_um","target":{"op":"scenario1",)"
         R"("lambda_um":"x"}})",
+        R"({"op":"chiplet","chiplets":0})",
+        R"({"op":"chiplet","chiplets":2.5})",
+        R"({"op":"chiplet","substrate":"glass"})",
+        R"({"op":"chiplet","bogus":1})",
+        R"({"op":"partition_explore","splits":"4,2,1"})",
+        R"({"op":"partition_explore","splits":"2,4"})",
+        R"({"op":"partition_explore","splits":"1,02"})",
+        R"({"op":"partition_explore","splits":"1,17"})",
+        R"({"op":"partition_explore","count":0})",
+        R"({"op":"partition_explore","scale":"cubic"})",
+        R"({"op":"partition_explore","area_from_mm2":-5})",
         // Parse errors.
         R"({"op":"scenario1")",
         R"({"op":"scenario1",})",
@@ -189,6 +208,8 @@ std::vector<std::string> corpus() {
         R"({"op":"scenario2","y0":0})",
         R"({"op":"gross_die","die_width_mm":1000})",
         R"({"op":"cost_tr","process":{"wafer_radius_cm":0}})",
+        R"({"op":"chiplet","logic_area_mm2":90000})",
+        R"({"op":"chiplet","clustering_alpha":-1})",
     };
 }
 
@@ -308,6 +329,11 @@ TEST_F(HotPathAllocations, WarmHitsAcrossEndpointsAllocateNothing) {
         R"({"op":"mc_yield","dies":32,"seed":3})",
         R"({"op":"sweep","param":"lambda_um","from":0.5,"to":1.0,)"
         R"("count":3,"target":{"op":"scenario1"}})",
+        // The acceptance gate for the chiplet endpoint: a warm point
+        // query allocates nothing (all strings in the payload are SSO).
+        R"({"id":9,"op":"chiplet","chiplets":4,"substrate":"rdl",)"
+        R"("d2d_area_mm2":8})",
+        R"({"op":"partition_explore","splits":"1,2,4","count":5})",
     };
     std::string out;
     for (const std::string& line : lines) {

@@ -16,9 +16,12 @@
 //   3. oversized line     — answered `too_large`, then connection close
 //   4. slow loris         — a request dribbled one byte at a time is
 //                           still answered (framing is stateful)
-//   5. over-budget work   — sweep/mc beyond --max-sweep-points /
-//                           --max-mc-dies answered `too_large`
+//   5. over-budget work   — sweep/mc/partition_explore beyond
+//                           --max-sweep-points / --max-mc-dies answered
+//                           `too_large` (explore grids charge
+//                           count x splits cells against the budget)
 //   6. zero deadline      — deadline_ms:0 answered `deadline_exceeded`
+//                           on mc_yield, chiplet and partition_explore
 //   7. half line + close  — a torn request aborts that connection only;
 //                           the server must answer the next connection
 //   8. metrics scrape     — `GET /metrics` gets an HTTP 200 exposition
@@ -32,7 +35,10 @@
 //                            immediately; admitted ones still serve
 //   11. half-close mid-batch — shutdown(SHUT_WR) right behind a batch;
 //                            every reply still arrives, then clean EOF
-//   12. abrupt close, pending write — RST while replies are queued
+//   12. chiplet burst under faults — alternating chiplet and
+//                            partition_explore replies (the largest the
+//                            server emits) through the short-write cap
+//   13. abrupt close, pending write — RST while replies are queued
 //                            (short writes keep the queue non-empty);
 //                            the server must survive to the next conn
 //
@@ -495,16 +501,19 @@ void scenario_over_budget(int port) {
         fail(name, "connect failed");
         return;
     }
+    // 3 splits x 30 grid points = 90 cells, past --max-sweep-points 64.
     const std::string payload =
         "{\"op\":\"sweep\",\"param\":\"lambda_um\",\"from\":0.1,\"to\":1.0,"
         "\"count\":1000,\"target\":{\"op\":\"scenario1\"},\"id\":\"sw\"}\n"
-        "{\"op\":\"mc_yield\",\"dies\":100000000,\"seed\":1,\"id\":\"mc\"}\n";
+        "{\"op\":\"mc_yield\",\"dies\":100000000,\"seed\":1,\"id\":\"mc\"}\n"
+        "{\"op\":\"partition_explore\",\"splits\":\"1,2,4\",\"count\":30,"
+        "\"id\":\"pe\"}\n";
     if (!send_bytes(fd, payload)) {
         fail(name, "send failed");
         ::close(fd);
         return;
     }
-    for (const std::string& code : expect_replies(name, fd, 2)) {
+    for (const std::string& code : expect_replies(name, fd, 3)) {
         if (code != "too_large") {
             fail(name, "over-budget request answered '" + code +
                            "', want too_large");
@@ -522,16 +531,20 @@ void scenario_zero_deadline(int port) {
     }
     const std::string payload =
         "{\"op\":\"mc_yield\",\"dies\":1000,\"seed\":7,\"deadline_ms\":0,"
-        "\"id\":\"dl\"}\n";
+        "\"id\":\"dl\"}\n"
+        "{\"op\":\"chiplet\",\"deadline_ms\":0,\"id\":\"cd\"}\n"
+        "{\"op\":\"partition_explore\",\"splits\":\"1,2\",\"count\":4,"
+        "\"deadline_ms\":0,\"id\":\"pd\"}\n";
     if (!send_bytes(fd, payload)) {
         fail(name, "send failed");
         ::close(fd);
         return;
     }
-    const std::vector<std::string> codes = expect_replies(name, fd, 1);
-    if (codes.size() == 1 && codes[0] != "deadline_exceeded") {
-        fail(name, "deadline_ms:0 answered '" + codes[0] +
-                       "', want deadline_exceeded");
+    for (const std::string& code : expect_replies(name, fd, 3)) {
+        if (code != "deadline_exceeded") {
+            fail(name, "deadline_ms:0 answered '" + code +
+                           "', want deadline_exceeded");
+        }
     }
     ::close(fd);
 }
@@ -727,6 +740,52 @@ void scenario_half_close_mid_batch(int port) {
     ::close(fd);
 }
 
+void scenario_chiplet_burst_under_faults(int port) {
+    const std::string name = "chiplet burst under faults";
+    const int fd = connect_to(port);
+    if (fd < 0) {
+        fail(name, "connect failed");
+        return;
+    }
+    // partition_explore replies are the largest the server emits (grid
+    // rows per split), so the armed short-write cap forces dozens of
+    // resumption passes per reply while order must still hold.
+    constexpr int kCount = 20;
+    std::string payload;
+    for (int i = 0; i < kCount; ++i) {
+        if (i % 2 == 0) {
+            payload += "{\"op\":\"chiplet\",\"chiplets\":4,\"id\":" +
+                       std::to_string(i) + "}\n";
+        } else {
+            payload += "{\"op\":\"partition_explore\",\"splits\":\"1,2,4\","
+                       "\"count\":9,\"id\":" +
+                       std::to_string(i) + "}\n";
+        }
+    }
+    if (!send_bytes(fd, payload)) {
+        fail(name, "send failed");
+        ::close(fd);
+        return;
+    }
+    const reply_stream replies = read_replies(fd, kCount);
+    if (replies.lines.size() != kCount) {
+        fail(name, "expected 20 replies, got " +
+                       std::to_string(replies.lines.size()));
+        ::close(fd);
+        return;
+    }
+    for (std::size_t i = 0; i < replies.lines.size(); ++i) {
+        if (!envelope_code(name, replies.lines[i]).empty() ||
+            replies.lines[i].find("\"id\":" + std::to_string(i)) ==
+                std::string::npos) {
+            fail(name, "reply " + std::to_string(i) + " wrong: " +
+                           replies.lines[i]);
+            break;
+        }
+    }
+    ::close(fd);
+}
+
 void scenario_abrupt_close_pending_write(int port) {
     const std::string name = "abrupt close, pending write";
     // The armed short_write cap guarantees replies are still queued in
@@ -830,6 +889,7 @@ int main(int argc, char** argv) {
     scenario_valid_burst(s2.port);
     scenario_connection_flood(s2.port, kMaxConns);
     scenario_half_close_mid_batch(s2.port);
+    scenario_chiplet_burst_under_faults(s2.port);
     scenario_abrupt_close_pending_write(s2.port);
 
     stop_silicond(s2);

@@ -179,7 +179,8 @@ void usage(std::ostream& out) {
            "accepted line still gets exactly one reply.\n"
            "\n"
            "Endpoints: cost_tr gross_die yield scenario1 scenario2\n"
-           "           table3 mc_yield sweep stats\n";
+           "           table3 mc_yield sweep chiplet partition_explore\n"
+           "           stats\n";
 }
 
 bool parse_size(const char* text, std::size_t& out) {

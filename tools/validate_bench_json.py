@@ -74,6 +74,34 @@ def check_kernels(doc, path):
     return errors
 
 
+def check_chiplet(doc, path):
+    errors = require(doc, path, "kernel", dict)
+    errors += require(doc, path, "crossover", dict)
+    if errors:
+        return errors
+    kernel = doc["kernel"]
+    for key in ("kernel_lanes_per_s", "library_scalar_lanes_per_s",
+                "engine_perpoint_lanes_per_s", "speedup_vs_engine"):
+        errors += require(kernel, path, key, (int, float))
+    errors += require(kernel, path, "bit_exact", bool)
+    if kernel.get("bit_exact") is False:
+        errors += fail(path, "chiplet kernel not bit-exact")
+    # The crossover is deterministic, so it is enforced even when the
+    # timing gate is skipped: monolithic wins the low end, a split the
+    # high end, and every thread-count/kernel-flag combination agrees
+    # bytewise.
+    crossover = doc["crossover"]
+    errors += require(crossover, path, "area_mm2", (int, float))
+    if crossover.get("area_mm2", 0) <= 0:
+        errors += fail(path, "no die-size crossover found")
+    for key in ("monolithic_wins_low_end", "split_wins_high_end",
+                "responses_identical"):
+        errors += require(crossover, path, key, bool)
+        if crossover.get(key) is False:
+            errors += fail(path, f"crossover check '{key}' failed")
+    return errors
+
+
 def check_overload(doc, path):
     errors = require(doc, path, "rejections", dict)
     if errors:
@@ -118,6 +146,7 @@ def check_load(doc, path):
 CHECKS = {
     "bench_serve_throughput": check_serve,
     "bench_batch_kernels": check_kernels,
+    "bench_chiplet": check_chiplet,
     "bench_overload": check_overload,
     "bench_load": check_load,
 }
