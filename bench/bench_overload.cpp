@@ -169,7 +169,7 @@ int main() {
                 std::abort();  // the bench premise broke
             }
             o.clear();
-            serve::append_overloaded(o);
+            serve::append_overloaded({}, o);
         });
 
     // --- batch_too_large ----------------------------------------------

@@ -1,0 +1,272 @@
+#include "obs/flight.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace silicon::obs {
+
+namespace {
+
+/// Unique per-recorder-configuration stamp; lets threads cache their
+/// ring pointer in a thread_local without ever dereferencing a ring of
+/// a destroyed or reconfigured recorder.
+std::atomic<std::uint64_t> g_generation{1};
+
+/// Minimal JSON string escaping (mirrors obs/trace.cpp): record text
+/// comes from client-supplied ids/trace_ids, so a stray quote or
+/// control byte must never corrupt the dump.
+void append_escaped(std::string& out, const char* s) {
+    out += '"';
+    for (; *s != '\0'; ++s) {
+        const char c = *s;
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char hex[8];
+            std::snprintf(hex, sizeof hex, "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out += hex;
+        } else {
+            out += c;
+        }
+    }
+    out += '"';
+}
+
+void append_record(std::string& out, const flight_record& r) {
+    out += "{\"seq\":";
+    out += std::to_string(r.seq);
+    out += ",\"endpoint\":";
+    append_escaped(out, r.endpoint);
+    out += ",\"id\":";
+    append_escaped(out, r.id);
+    out += ",\"trace_id\":";
+    append_escaped(out, r.trace);
+    out += ",\"code\":";
+    append_escaped(out, r.code);
+    out += ",\"cache_hit\":";
+    out += r.cache_hit ? "true" : "false";
+    out += ",\"anomaly\":";
+    out += r.anomaly ? "true" : "false";
+    out += ",\"parse_us\":";
+    out += std::to_string(r.parse_us);
+    out += ",\"cache_us\":";
+    out += std::to_string(r.cache_us);
+    out += ",\"exec_us\":";
+    out += std::to_string(r.exec_us);
+    out += ",\"serialize_us\":";
+    out += std::to_string(r.serialize_us);
+    out += ",\"total_us\":";
+    out += std::to_string(r.total_us);
+    out += ",\"deadline_slack_us\":";
+    if (r.deadline_slack_us == flight_record::no_deadline) {
+        out += "null";
+    } else {
+        out += std::to_string(r.deadline_slack_us);
+    }
+    out += "}\n";
+}
+
+}  // namespace
+
+/// One thread's record ring: single writer, release-published head.
+struct flight_recorder::ring {
+    explicit ring(std::size_t cap) : records(cap) {}
+    std::vector<flight_record> records;
+    std::atomic<std::uint64_t> head{0};
+    std::thread::id owner;
+};
+
+struct flight_recorder::registry {
+    mutable std::mutex mutex;
+    std::vector<std::unique_ptr<ring>> rings;  // guarded by mutex (growth)
+    std::size_t capacity = flight_recorder::default_capacity;
+    std::string armed_path;  // guarded by mutex
+};
+
+namespace {
+/// Per-thread ring cache; `r` is really a flight_recorder::ring* (the
+/// nested type is private, so the cache holds it type-erased).
+struct tl_ring_cache {
+    std::uint64_t generation = 0;
+    void* r = nullptr;
+};
+thread_local tl_ring_cache t_ring_cache;
+}  // namespace
+
+flight_recorder::flight_recorder(std::size_t capacity)
+    : generation_{g_generation.fetch_add(1, std::memory_order_relaxed)},
+      registry_{new registry} {
+    registry_->capacity = capacity;
+}
+
+flight_recorder::~flight_recorder() { delete registry_; }
+
+flight_recorder& flight_recorder::instance() {
+    // Deliberately leaked, like the tracer: worker threads may outlive
+    // static destruction order.
+    static flight_recorder* f = new flight_recorder;
+    return *f;
+}
+
+void flight_recorder::configure(std::size_t capacity) {
+    const std::lock_guard<std::mutex> lock(registry_->mutex);
+    registry_->rings.clear();
+    registry_->capacity = capacity;
+    // New generation: every thread's cached ring pointer is now stale
+    // and will re-register on its next append.
+    generation_.store(g_generation.fetch_add(1, std::memory_order_relaxed),
+                      std::memory_order_release);
+    seq_.store(0, std::memory_order_relaxed);
+}
+
+std::size_t flight_recorder::capacity() const noexcept {
+    const std::lock_guard<std::mutex> lock(registry_->mutex);
+    return registry_->capacity;
+}
+
+void flight_recorder::set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_release);
+}
+
+void flight_recorder::set_deterministic(bool on) noexcept {
+    deterministic_.store(on, std::memory_order_release);
+}
+
+flight_recorder::ring* flight_recorder::local_ring() {
+    const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    if (t_ring_cache.generation == gen) {
+        return static_cast<ring*>(t_ring_cache.r);
+    }
+    const std::lock_guard<std::mutex> lock(registry_->mutex);
+    ring* mine = nullptr;
+    if (registry_->capacity > 0) {
+        const std::thread::id self = std::this_thread::get_id();
+        for (const auto& r : registry_->rings) {
+            if (r->owner == self) {
+                mine = r.get();
+                break;
+            }
+        }
+        if (mine == nullptr) {
+            auto owned = std::make_unique<ring>(registry_->capacity);
+            owned->owner = self;
+            registry_->rings.push_back(std::move(owned));
+            mine = registry_->rings.back().get();
+        }
+    }
+    t_ring_cache = {gen, mine};
+    return mine;
+}
+
+void flight_recorder::append(flight_record r) noexcept {
+    if (!enabled()) {
+        return;
+    }
+    ring* ours = local_ring();
+    if (ours == nullptr) {
+        return;  // capacity 0: recording disabled
+    }
+    r.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    if (deterministic()) {
+        r.parse_us = 0;
+        r.cache_us = 0;
+        r.exec_us = 0;
+        r.serialize_us = 0;
+        r.total_us = 0;
+        if (r.deadline_slack_us != flight_record::no_deadline) {
+            r.deadline_slack_us = 0;
+        }
+    }
+    const std::uint64_t h = ours->head.load(std::memory_order_relaxed);
+    ours->records[h % ours->records.size()] = r;
+    ours->head.store(h + 1, std::memory_order_release);
+}
+
+void flight_recorder::note_anomaly() noexcept {
+    anomalies_.fetch_add(1, std::memory_order_relaxed);
+    if (dump_armed_.exchange(false, std::memory_order_acq_rel)) {
+        std::string path;
+        {
+            const std::lock_guard<std::mutex> lock(registry_->mutex);
+            path = registry_->armed_path;
+        }
+        if (!path.empty()) {
+            (void)write_jsonl(path);
+        }
+    }
+}
+
+void flight_recorder::arm_dump(std::string path) {
+    {
+        const std::lock_guard<std::mutex> lock(registry_->mutex);
+        registry_->armed_path = std::move(path);
+    }
+    dump_armed_.store(true, std::memory_order_release);
+}
+
+flight_recorder::stats flight_recorder::snapshot() const {
+    stats out;
+    out.anomalies = anomalies_.load(std::memory_order_relaxed);
+    out.enabled = enabled();
+    const std::lock_guard<std::mutex> lock(registry_->mutex);
+    out.capacity = registry_->capacity;
+    out.threads = registry_->rings.size();
+    for (const auto& r : registry_->rings) {
+        const std::uint64_t head = r->head.load(std::memory_order_acquire);
+        out.appended += head;
+        if (head > r->records.size()) {
+            out.dropped += head - r->records.size();
+        }
+    }
+    return out;
+}
+
+void flight_recorder::export_jsonl(std::string& out) const {
+    std::vector<flight_record> merged;
+    {
+        const std::lock_guard<std::mutex> lock(registry_->mutex);
+        for (const auto& r : registry_->rings) {
+            const std::uint64_t head = r->head.load(std::memory_order_acquire);
+            const std::uint64_t n =
+                std::min<std::uint64_t>(head, r->records.size());
+            for (std::uint64_t i = head - n; i < head; ++i) {
+                merged.push_back(r->records[i % r->records.size()]);
+            }
+        }
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const flight_record& a, const flight_record& b) {
+                  return a.seq < b.seq;
+              });
+    for (const flight_record& r : merged) {
+        append_record(out, r);
+    }
+}
+
+bool flight_recorder::write_jsonl(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        return false;
+    }
+    std::string text;
+    export_jsonl(text);
+    const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+    const bool ok = std::fclose(f) == 0 && written == text.size();
+    return ok;
+}
+
+void flight_recorder::clear() noexcept {
+    const std::lock_guard<std::mutex> lock(registry_->mutex);
+    for (const auto& r : registry_->rings) {
+        r->head.store(0, std::memory_order_release);
+    }
+    seq_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace silicon::obs

@@ -1,0 +1,153 @@
+// flight.hpp — an always-on flight recorder of per-request records.
+//
+// The tracer (obs/trace) answers "where does a slow batch spend its
+// time" after the operator turns tracing on; the flight recorder
+// answers "what were the last N requests doing" *retroactively* — it is
+// cheap enough to leave on in production (bench_flight gates < 2% of
+// warm serve throughput), so when a deadline blows or admission sheds,
+// the ring already holds the evidence.
+//
+// Each record is a fixed-size POD: endpoint, best-effort id/trace_id,
+// the response code, cache hit/miss, per-stage timings
+// (parse/cache/exec/serialize), and the deadline slack at completion.
+// Recording follows the tracer's hot-path design: per-thread rings with
+// a single writer each, drop-oldest on overflow, release-published
+// heads — no locks, no allocation after the ring's one-time
+// registration.  A process-wide `seq` counter stamps every record so a
+// dump merges the rings back into append order.
+//
+// Dumps are JSONL (one record object per line, fixed key order, seq
+// ascending) and fire three ways: on the first anomaly after
+// `arm_dump` (deadline_exceeded, overloaded, internal_error — see
+// engine dispatch), on SIGUSR1 (silicond), or on demand
+// (`GET /flightz`, shutdown).  `set_deterministic` zeroes the timing
+// fields at append so a fixed input corpus produces a byte-identical
+// dump at any thread count (the serving layer appends records in line
+// order regardless of worker parallelism).
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace silicon::obs {
+
+/// One completed (or shed) request.  Text fields are NUL-terminated and
+/// silently truncated to the field width; `assign_field` does the copy.
+struct flight_record {
+    std::uint64_t seq = 0;       ///< stamped by append(); merge key
+    char endpoint[20] = {};      ///< op wire name ("" = shed pre-parse)
+    char id[32] = {};            ///< best-effort `id` rendering
+    char trace[48] = {};         ///< client trace_id ("" = none)
+    char code[20] = {};          ///< "ok" or the error-taxonomy code
+    bool cache_hit = false;
+    bool anomaly = false;        ///< this record tripped an anomaly trigger
+    std::uint32_t parse_us = 0;
+    std::uint32_t cache_us = 0;
+    std::uint32_t exec_us = 0;
+    std::uint32_t serialize_us = 0;
+    std::uint32_t total_us = 0;
+    /// Remaining deadline budget at completion in microseconds
+    /// (negative = finished late); no_deadline when the request had none.
+    std::int64_t deadline_slack_us = no_deadline;
+
+    static constexpr std::int64_t no_deadline = INT64_MIN;
+};
+
+/// NUL-truncating copy into a fixed record field.
+template <std::size_t N>
+inline void assign_field(char (&dst)[N], std::string_view s) noexcept {
+    const std::size_t n = s.size() < N - 1 ? s.size() : N - 1;
+    if (n > 0) {
+        std::memcpy(dst, s.data(), n);
+    }
+    dst[n] = '\0';
+}
+
+/// The recorder: a registry of per-thread record rings.  `instance()`
+/// is the process-wide recorder silicond and the engine use; tests may
+/// construct private instances (capacity is fixed per instance's rings
+/// once a thread first appends).
+class flight_recorder {
+public:
+    static constexpr std::size_t default_capacity = 4096;
+
+    explicit flight_recorder(std::size_t capacity = default_capacity);
+    ~flight_recorder();
+    flight_recorder(const flight_recorder&) = delete;
+    flight_recorder& operator=(const flight_recorder&) = delete;
+
+    [[nodiscard]] static flight_recorder& instance();
+
+    /// Records retained per appending thread.  Must be called before
+    /// the first append (silicond does so while single-threaded);
+    /// capacity 0 disables recording entirely.
+    void configure(std::size_t capacity);
+    [[nodiscard]] std::size_t capacity() const noexcept;
+
+    void set_enabled(bool on) noexcept;
+    [[nodiscard]] bool enabled() const noexcept {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /// Zero every timing field at append: a fixed input corpus then
+    /// dumps byte-identically at any `--threads` value.
+    void set_deterministic(bool on) noexcept;
+    [[nodiscard]] bool deterministic() const noexcept {
+        return deterministic_.load(std::memory_order_relaxed);
+    }
+
+    /// Stamp `r.seq` and append to the calling thread's ring
+    /// (drop-oldest).  No-op while disabled.
+    void append(flight_record r) noexcept;
+
+    /// Count an anomaly trigger; the first one after `arm_dump` writes
+    /// the armed dump file (once per arming).
+    void note_anomaly() noexcept;
+
+    /// Write a JSONL dump to `path` on the first subsequent anomaly.
+    void arm_dump(std::string path);
+
+    struct stats {
+        std::uint64_t appended = 0;   ///< records ever appended
+        std::uint64_t dropped = 0;    ///< overwritten by drop-oldest
+        std::uint64_t anomalies = 0;  ///< note_anomaly() calls
+        std::size_t threads = 0;      ///< rings registered
+        std::size_t capacity = 0;     ///< per-thread ring capacity
+        bool enabled = false;
+    };
+    [[nodiscard]] stats snapshot() const;
+
+    /// Append the retained records as JSONL, seq ascending.  Like the
+    /// tracer's export: intended for quiescent points; records appended
+    /// concurrently may be missed but never torn.
+    void export_jsonl(std::string& out) const;
+
+    /// export_jsonl() to `path`; false when the file cannot be written.
+    bool write_jsonl(const std::string& path) const;
+
+    /// Drop retained records and restart seq at 0 (quiescent only).
+    void clear() noexcept;
+
+private:
+    struct ring;
+    struct registry;
+
+    [[nodiscard]] ring* local_ring();
+
+    std::atomic<bool> enabled_{true};
+    std::atomic<bool> deterministic_{false};
+    std::atomic<std::uint64_t> seq_{0};
+    std::atomic<std::uint64_t> anomalies_{0};
+    std::atomic<bool> dump_armed_{false};
+    /// Unique per instance and per configure() call; keys the
+    /// thread-local ring cache so stale pointers are never followed.
+    std::atomic<std::uint64_t> generation_;
+    registry* registry_;
+};
+
+}  // namespace silicon::obs

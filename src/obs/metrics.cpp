@@ -259,15 +259,24 @@ void prometheus_histogram(std::string& out, std::string_view name,
         out += '\n';
     };
 
+    // Snapshot every bucket once, then derive `+Inf` and `_count` from
+    // the snapshot's sum.  record() increments the bucket before the
+    // shared count, so reading h.count() separately mid-burst could
+    // show `_count` *behind* the cumulative `_bucket` totals — a scrape
+    // must never expose that inversion.
+    std::array<std::uint64_t, latency_histogram::bucket_count> snap{};
+    std::uint64_t total = 0;
     int last_nonzero = -1;
     for (int b = 0; b < latency_histogram::bucket_count; ++b) {
-        if (h.bucket(b) != 0) {
+        snap[static_cast<std::size_t>(b)] = h.bucket(b);
+        total += snap[static_cast<std::size_t>(b)];
+        if (snap[static_cast<std::size_t>(b)] != 0) {
             last_nonzero = b;
         }
     }
     std::uint64_t cumulative = 0;
     for (int b = 0; b <= last_nonzero; ++b) {
-        cumulative += h.bucket(b);
+        cumulative += snap[static_cast<std::size_t>(b)];
         std::string le;
         append_double(le,
                       static_cast<double>(
@@ -275,7 +284,7 @@ void prometheus_histogram(std::string& out, std::string_view name,
                           1e6);
         bucket_line(le, cumulative);
     }
-    bucket_line("+Inf", h.count());
+    bucket_line("+Inf", total);
 
     out += parts.base;
     out += "_sum";
@@ -296,7 +305,7 @@ void prometheus_histogram(std::string& out, std::string_view name,
         out += '}';
     }
     out += ' ';
-    out += std::to_string(h.count());
+    out += std::to_string(total);
     out += '\n';
 }
 

@@ -18,6 +18,7 @@ namespace {
         case 413: return "Payload Too Large";
         case 431: return "Request Header Fields Too Large";
         case 501: return "Not Implemented";
+        case 503: return "Service Unavailable";
         case 505: return "HTTP Version Not Supported";
         default:  return "Error";
     }
@@ -58,9 +59,11 @@ conn::conn(int fd, conn_shared& shared)
       splitter_{shared.config.max_line_bytes},
       http_{shared.config.http} {
     lines_.reserve(shared_.config.batch < 256 ? shared_.config.batch : 256);
+    shared_.open_conns.fetch_add(1, std::memory_order_relaxed);
 }
 
 conn::~conn() {
+    shared_.open_conns.fetch_sub(1, std::memory_order_relaxed);
     set_paused(false);
     if (queued_bytes_ != 0) {
         shared_.queued_bytes.fetch_sub(queued_bytes_,
@@ -249,6 +252,53 @@ void conn::respond_http(const http::request& req) {
             response = http::simple_response(
                 200, reason_phrase(200), "text/plain; version=0.0.4",
                 shared_.eng.prometheus_text(), keep_alive, head_only);
+        } else if (target == "/healthz") {
+            // Liveness stays cheap on purpose (no JSON, no engine
+            // walk): it must answer within its deadline even while the
+            // engine sheds work.  Admission state is reflected in the
+            // status: over the in-flight byte budget = 503.
+            const std::size_t budget =
+                shared_.eng.config().limits.max_inflight_bytes;
+            const bool overloaded =
+                budget != 0 &&
+                shared_.eng.admission().inflight_bytes() >= budget;
+            response = overloaded
+                           ? http::simple_response(
+                                 503, reason_phrase(503), "text/plain",
+                                 "overloaded\n", keep_alive, head_only)
+                           : http::simple_response(
+                                 200, reason_phrase(200), "text/plain",
+                                 "ok\n", keep_alive, head_only);
+        } else if (target == "/statusz") {
+            json::value status = shared_.eng.statusz_json();
+            json::object transport;
+            const double uptime =
+                std::chrono::duration_cast<std::chrono::duration<double>>(
+                    std::chrono::steady_clock::now() - shared_.started)
+                    .count();
+            transport.set("uptime_seconds", uptime);
+            transport.set("open_conns",
+                          static_cast<double>(shared_.open_conns.load(
+                              std::memory_order_relaxed)));
+            transport.set("queued_bytes",
+                          static_cast<double>(shared_.queued_bytes.load(
+                              std::memory_order_relaxed)));
+            transport.set("paused_conns",
+                          static_cast<double>(shared_.paused_conns.load(
+                              std::memory_order_relaxed)));
+            status.as_object().set("transport",
+                                   json::value{std::move(transport)});
+            std::string body = json::dump(status);
+            body += '\n';
+            response = http::simple_response(200, reason_phrase(200),
+                                             "application/json", body,
+                                             keep_alive, head_only);
+        } else if (target == "/flightz") {
+            std::string body;
+            obs::flight_recorder::instance().export_jsonl(body);
+            response = http::simple_response(200, reason_phrase(200),
+                                             "application/x-ndjson", body,
+                                             keep_alive, head_only);
         } else {
             response = http::simple_response(404, reason_phrase(404),
                                              "text/plain", "not found\n",

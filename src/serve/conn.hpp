@@ -40,6 +40,7 @@
 #include "serve/limits.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -80,6 +81,10 @@ struct conn_shared {
     admission_controller ledger;  ///< buffered-response bytes
     std::atomic<std::uint64_t> queued_bytes{0};
     std::atomic<std::size_t> paused_conns{0};
+    /// Transport-level debug state for `GET /statusz`.
+    std::chrono::steady_clock::time_point started =
+        std::chrono::steady_clock::now();
+    std::atomic<std::size_t> open_conns{0};
 
     obs::counter& flushes;
     obs::counter& flushed_bytes;

@@ -20,6 +20,7 @@
 #include "yield/scaled.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <chrono>
 #include <cmath>
 #include <cstring>
@@ -439,13 +440,21 @@ std::string error_code_for(const std::exception& e) {
 
 /// Assemble a response line.  The envelope is built by concatenation so
 /// a cache-hit result splices in verbatim and the bytes are identical
-/// to a fresh evaluation's.
-std::string envelope(const json::value* id, bool ok,
-                     std::string_view body_key, std::string_view body) {
+/// to a fresh evaluation's.  `trace` (the client's trace_id, nullptr =
+/// none) echoes right after the id, so envelopes without one are
+/// byte-identical to the pre-trace format.
+std::string envelope(const json::value* id, const std::string* trace,
+                     bool ok, std::string_view body_key,
+                     std::string_view body) {
     std::string out = "{";
     if (id != nullptr) {
         out += "\"id\":";
         out += json::dump(*id);
+        out += ",";
+    }
+    if (trace != nullptr) {
+        out += "\"trace_id\":";
+        json::write_string_into(out, *trace);
         out += ",";
     }
     out += "\"ok\":";
@@ -466,14 +475,21 @@ std::string error_body(std::string_view code, std::string_view message) {
 }
 
 /// `envelope` for the allocation-free path: identical bytes, appended
-/// to a reused buffer, with the `id` spliced straight from the arena
-/// document view.
-void envelope_into(const json::aview* id, bool ok, std::string_view body_key,
-                   std::string_view body, std::string& out) {
+/// to a reused buffer, with the `id` and `trace_id` spliced straight
+/// from the arena document views (write_string_into escapes exactly
+/// like json::dump, so both paths echo identical trace bytes).
+void envelope_into(const json::aview* id, const json::aview* trace, bool ok,
+                   std::string_view body_key, std::string_view body,
+                   std::string& out) {
     out += '{';
     if (id != nullptr) {
         out += "\"id\":";
         json::dump_into(*id, out);
+        out += ',';
+    }
+    if (trace != nullptr) {
+        out += "\"trace_id\":";
+        json::write_string_into(out, trace->string);
         out += ',';
     }
     out += "\"ok\":";
@@ -483,6 +499,62 @@ void envelope_into(const json::aview* id, bool ok, std::string_view body_key,
     out += "\":";
     out += body;
     out += '}';
+}
+
+/// Best-effort `id` rendering for a flight record: strings verbatim,
+/// numbers via shortest-round-trip to_chars (no allocation — the hot
+/// path fills records too), everything else elided (records are
+/// fixed-size; a composite id would truncate arbitrarily).
+void flight_number_field(char (&dst)[32], double v) noexcept {
+    char buf[40];
+    const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+    if (ec == std::errc{}) {
+        obs::assign_field(
+            dst, std::string_view{buf, static_cast<std::size_t>(end - buf)});
+    }
+}
+
+void flight_id_field(char (&dst)[32], const json::value* id) {
+    if (id == nullptr) {
+        return;
+    }
+    if (id->is_string()) {
+        obs::assign_field(dst, id->as_string());
+    } else if (id->is_number()) {
+        flight_number_field(dst, id->as_number());
+    }
+}
+
+void flight_id_field_view(char (&dst)[32], const json::aview* id) {
+    if (id == nullptr) {
+        return;
+    }
+    if (id->is_string()) {
+        obs::assign_field(dst, id->string);
+    } else if (id->is_number()) {
+        flight_number_field(dst, id->number);
+    }
+}
+
+std::uint32_t ns_to_us_u32(std::uint64_t ns) noexcept {
+    const std::uint64_t us = ns / 1000;
+    return us > UINT32_MAX ? UINT32_MAX
+                           : static_cast<std::uint32_t>(us);
+}
+
+std::uint64_t ns_between(std::chrono::steady_clock::time_point a,
+                         std::chrono::steady_clock::time_point b) noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+
+/// Anomaly trigger set (DESIGN.md §14): transient failures worth a
+/// flight dump.  deadline_exceeded and overloaded are self-describing;
+/// internal_error is how an injected (or real) allocation failure
+/// surfaces, so "fault fired" lands here.
+bool anomalous_code(std::string_view code) noexcept {
+    return code == "deadline_exceeded" || code == "overloaded" ||
+           code == "internal_error";
 }
 
 /// Deadline instant for a request that started at `start`.  The budget
@@ -596,10 +668,19 @@ json::value engine::evaluate_impl(const request& req,
 }
 
 std::shared_ptr<const std::string> engine::result_for(
-    const request& req, const exec::cancel_token* cancel) {
+    const request& req, const exec::cancel_token* cancel,
+    line_probe* probe) {
     {
         const obs::trace_span span{"serve.cache", "serve"};
-        if (auto hit = cache_.get(req.canonical_key)) {
+        const auto t0 = std::chrono::steady_clock::now();
+        auto hit = cache_.get(req.canonical_key);
+        if (probe != nullptr) {
+            probe->cache_probed = true;
+            probe->cache_ns =
+                ns_between(t0, std::chrono::steady_clock::now());
+            probe->cache_hit = hit != nullptr;
+        }
+        if (hit) {
             metrics_.at(req.op).cache_hits.fetch_add(
                 1, std::memory_order_relaxed);
             return hit;
@@ -614,8 +695,16 @@ std::shared_ptr<const std::string> engine::result_for(
     std::shared_ptr<const std::string> result;
     {
         const obs::trace_span span{"serve.exec", "serve"};
+        const auto t0 = std::chrono::steady_clock::now();
+        if (probe != nullptr) {
+            probe->exec_ran = true;
+        }
         result = std::make_shared<const std::string>(
             json::dump(evaluate_impl(req, cancel)));
+        if (probe != nullptr) {
+            probe->exec_ns =
+                ns_between(t0, std::chrono::steady_clock::now());
+        }
     }
     // A cancelled evaluation threw above, so deadline errors are never
     // cached; a result that *did* complete is bit-identical to an
@@ -1126,6 +1215,81 @@ json::value engine::stats_json() {
                  static_cast<double>(
                      cache_shed_entries_.load(std::memory_order_relaxed)));
     o.set("overload", json::value{std::move(overload)});
+
+    const obs::flight_recorder::stats f =
+        obs::flight_recorder::instance().snapshot();
+    json::object flight;
+    flight.set("enabled", f.enabled);
+    flight.set("capacity", static_cast<double>(f.capacity));
+    flight.set("threads", static_cast<double>(f.threads));
+    flight.set("appended", static_cast<double>(f.appended));
+    flight.set("dropped", static_cast<double>(f.dropped));
+    flight.set("anomalies", static_cast<double>(f.anomalies));
+    o.set("flight", json::value{std::move(flight)});
+    return json::value{std::move(o)};
+}
+
+json::value engine::statusz_json() const {
+    json::object config;
+    config.set("parallelism",
+               static_cast<double>(
+                   exec::resolve_parallelism(config_.parallelism)));
+    config.set("cache_capacity",
+               static_cast<double>(config_.cache_capacity));
+    config.set("cache_shards", static_cast<double>(config_.cache_shards));
+    config.set("hot_path", config_.hot_path);
+    config.set("batch_dedup", config_.batch_dedup);
+    config.set("sweep_kernels", config_.sweep_kernels);
+
+    const limits_config& l = config_.limits;
+    json::object limits;
+    limits.set("max_line_bytes", static_cast<double>(l.max_line_bytes));
+    limits.set("max_batch_lines", static_cast<double>(l.max_batch_lines));
+    limits.set("max_sweep_points", static_cast<double>(l.max_sweep_points));
+    limits.set("max_mc_dies", static_cast<double>(l.max_mc_dies));
+    limits.set("max_inflight_bytes",
+               static_cast<double>(l.max_inflight_bytes));
+    limits.set("default_deadline_ms",
+               static_cast<double>(l.default_deadline_ms));
+    limits.set("max_arena_reserved_bytes",
+               static_cast<double>(l.max_arena_reserved_bytes));
+    limits.set("shed_on_overload", l.shed_on_overload);
+
+    const memo_cache::stats c = cache_.snapshot();
+    json::object cache;
+    cache.set("entries", static_cast<double>(c.entries));
+    cache.set("capacity", static_cast<double>(c.capacity));
+    cache.set("hits", static_cast<double>(c.hits));
+    cache.set("misses", static_cast<double>(c.misses));
+    cache.set("evictions", static_cast<double>(c.evictions));
+
+    json::object overload;
+    overload.set("inflight_bytes",
+                 static_cast<double>(admission_.inflight_bytes()));
+    overload.set("rejected_total",
+                 static_cast<double>(admission_.rejected_total()));
+    overload.set("deadline_exceeded",
+                 static_cast<double>(
+                     deadline_exceeded_.load(std::memory_order_relaxed)));
+
+    const obs::flight_recorder::stats f =
+        obs::flight_recorder::instance().snapshot();
+    json::object flight;
+    flight.set("enabled", f.enabled);
+    flight.set("capacity", static_cast<double>(f.capacity));
+    flight.set("threads", static_cast<double>(f.threads));
+    flight.set("appended", static_cast<double>(f.appended));
+    flight.set("dropped", static_cast<double>(f.dropped));
+    flight.set("anomalies", static_cast<double>(f.anomalies));
+
+    json::object o;
+    o.set("config", json::value{std::move(config)});
+    o.set("limits", json::value{std::move(limits)});
+    o.set("cache", json::value{std::move(cache)});
+    o.set("overload", json::value{std::move(overload)});
+    o.set("flight", json::value{std::move(flight)});
+    o.set("parse_errors",
+          static_cast<double>(parse_errors_.load(std::memory_order_relaxed)));
     return json::value{std::move(o)};
 }
 
@@ -1246,6 +1410,8 @@ std::string engine::handle_line(std::string_view line) {
 
 void engine::handle_line_into(std::string_view line, std::string& out) {
     out.clear();
+    obs::flight_recorder& flight = obs::flight_recorder::instance();
+    const bool record_flight = flight.enabled() && flight.capacity() != 0;
     // Admission against the in-flight byte budget happens only at the
     // public entry points (here and handle_batch), never per batch
     // line, so a batch is admitted exactly once.
@@ -1253,10 +1419,33 @@ void engine::handle_line_into(std::string_view line, std::string& out) {
         admission_.admit(line.size(), config_.limits.max_inflight_bytes);
     if (!ticket) {
         on_overload();
-        append_overloaded(out);
+        // Shed without parsing, but keep trace correlation alive: the
+        // raw-scan echo costs O(4 KiB) on a path that is already
+        // answering "go away".
+        const std::string_view trace_raw = scan_trace_id(line);
+        append_overloaded(trace_raw, out);
+        if (record_flight) {
+            obs::flight_record rec;
+            obs::assign_field(rec.trace, trace_raw);
+            obs::assign_field(rec.code, "overloaded");
+            rec.anomaly = true;
+            flight.append(rec);
+            flight.note_anomaly();
+        }
         return;
     }
-    serve_line(line, out, nullptr);
+    if (!record_flight) {
+        serve_line(line, out, nullptr, nullptr);
+        return;
+    }
+    obs::flight_record rec;
+    serve_line(line, out, nullptr, &rec);
+    if (rec.code[0] != '\0') {
+        flight.append(rec);
+        if (rec.anomaly) {
+            flight.note_anomaly();
+        }
+    }
 }
 
 void engine::on_overload() {
@@ -1272,7 +1461,8 @@ void engine::on_overload() {
 
 void engine::serve_line(
     std::string_view line, std::string& out,
-    const std::chrono::steady_clock::time_point* batch_deadline) {
+    const std::chrono::steady_clock::time_point* batch_deadline,
+    obs::flight_record* rec) {
     const obs::trace_span line_span{"serve.handle_line", "serve"};
     const auto start = std::chrono::steady_clock::now();
     out.clear();
@@ -1280,22 +1470,27 @@ void engine::serve_line(
         line.size() > config_.limits.max_line_bytes) {
         admission_.note_rejection(reject_reason::line_too_large);
         append_line_too_large(config_.limits.max_line_bytes, out);
+        if (rec != nullptr) {
+            // No endpoint/id/trace: an over-long line's framing is
+            // suspect, so nothing scanned out of it is trustworthy.
+            obs::assign_field(rec->code, "too_large");
+        }
         return;
     }
     if (faults::enabled()) {
         faults::maybe_delay("serve.line");
     }
     if (config_.hot_path &&
-        try_handle_line_hot(line, start, batch_deadline, out)) {
+        try_handle_line_hot(line, start, batch_deadline, out, rec)) {
         return;
     }
-    handle_line_slow(line, start, batch_deadline, out);
+    handle_line_slow(line, start, batch_deadline, out, rec);
 }
 
 bool engine::try_handle_line_hot(
     std::string_view line, std::chrono::steady_clock::time_point start,
     const std::chrono::steady_clock::time_point* batch_deadline,
-    std::string& out) {
+    std::string& out, obs::flight_record* rec) {
     line_state& st = tls_line_state();
     if (config_.limits.max_arena_reserved_bytes != 0 &&
         st.arena.bytes_reserved() > config_.limits.max_arena_reserved_bytes) {
@@ -1322,24 +1517,29 @@ bool engine::try_handle_line_hot(
             const obs::trace_span span{"serve.canonicalize", "serve"};
             parse_request_fast(*doc, st.parsed);
         }
+        const auto t_parsed = std::chrono::steady_clock::now();
         const request& req = st.parsed.req;
         if (req.op == op_code::stats) {
             return false;  // live snapshot: never cached, never hot
         }
+        bool have_deadline = false;
+        std::chrono::steady_clock::time_point deadline_at{};
         if (req.has_deadline || batch_deadline != nullptr ||
             config_.limits.default_deadline_ms != 0) {
             // A warm hit under a live deadline is fine; an expired one
             // (deadline_ms: 0 always is) declines so the slow path
             // produces the authoritative deadline_exceeded error.
-            exec::cancel_token deadline;
             if (req.has_deadline) {
-                deadline.set_deadline(deadline_from(start, req.deadline_ms));
+                deadline_at = deadline_from(start, req.deadline_ms);
             } else if (batch_deadline != nullptr) {
-                deadline.set_deadline(*batch_deadline);
+                deadline_at = *batch_deadline;
             } else {
-                deadline.set_deadline(
-                    deadline_from(start, config_.limits.default_deadline_ms));
+                deadline_at =
+                    deadline_from(start, config_.limits.default_deadline_ms);
             }
+            have_deadline = true;
+            exec::cancel_token deadline;
+            deadline.set_deadline(deadline_at);
             if (deadline.expired()) {
                 return false;
             }
@@ -1351,6 +1551,7 @@ bool engine::try_handle_line_hot(
             // re-probes with get() and owns the authoritative miss.
             hit = cache_.get_if_present(req.canonical_key);
         }
+        const auto t_probed = std::chrono::steady_clock::now();
         if (hit == nullptr) {
             return false;
         }
@@ -1358,15 +1559,42 @@ bool engine::try_handle_line_hot(
                                std::memory_order_relaxed);
         {
             const obs::trace_span span{"serve.serialize", "serve"};
-            envelope_into(st.parsed.id_view, true, "result", *hit, out);
+            envelope_into(st.parsed.id_view, st.parsed.trace_view, true,
+                          "result", *hit, out);
         }
+        const auto t_done = std::chrono::steady_clock::now();
         endpoint_metrics& m = metrics_.at(req.op);
         m.requests.fetch_add(1, std::memory_order_relaxed);
         m.cache_hits.fetch_add(1, std::memory_order_relaxed);
-        const auto elapsed = std::chrono::steady_clock::now() - start;
-        m.latency.record(static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
-                .count()));
+        const std::uint64_t total_ns = ns_between(start, t_done);
+        m.latency.record(total_ns);
+        // Stage breakdown (all allocation-free): parse covers
+        // parse+canonicalize, cache the probe, serialize the splice.
+        m.stage_parse.record(ns_between(start, t_parsed));
+        m.stage_cache.record(ns_between(t_parsed, t_probed));
+        m.stage_serialize.record(ns_between(t_probed, t_done));
+        if (st.parsed.trace_view != nullptr) {
+            note_tail_exemplar(m, total_ns, st.parsed.trace_view->string);
+        }
+        if (rec != nullptr) {
+            obs::assign_field(rec->endpoint, to_string(req.op));
+            flight_id_field_view(rec->id, st.parsed.id_view);
+            if (st.parsed.trace_view != nullptr) {
+                obs::assign_field(rec->trace, st.parsed.trace_view->string);
+            }
+            obs::assign_field(rec->code, "ok");
+            rec->cache_hit = true;
+            rec->parse_us = ns_to_us_u32(ns_between(start, t_parsed));
+            rec->cache_us = ns_to_us_u32(ns_between(t_parsed, t_probed));
+            rec->serialize_us = ns_to_us_u32(ns_between(t_probed, t_done));
+            rec->total_us = ns_to_us_u32(total_ns);
+            if (have_deadline) {
+                rec->deadline_slack_us =
+                    std::chrono::duration_cast<std::chrono::microseconds>(
+                        deadline_at - t_done)
+                        .count();
+            }
+        }
         return true;
     } catch (...) {
         // Unsupported shape, schema error, anything: the legacy path
@@ -1380,13 +1608,23 @@ bool engine::try_handle_line_hot(
 void engine::handle_line_slow(
     std::string_view line, std::chrono::steady_clock::time_point start,
     const std::chrono::steady_clock::time_point* batch_deadline,
-    std::string& out) {
+    std::string& out, obs::flight_record* rec) {
     const json::value* id = nullptr;
     json::value id_storage;
+    const std::string* trace = nullptr;
+    std::string trace_storage;
     std::string response;
     op_code op = op_code::stats;
     bool op_known = false;
     bool failed = false;
+    std::string err_code;
+    line_probe probe;
+    bool parsed = false;
+    std::chrono::steady_clock::time_point t_parsed{};
+    std::uint64_t serialize_ns = 0;
+    bool serialized = false;
+    bool have_deadline = false;
+    std::chrono::steady_clock::time_point deadline_at{};
 
     try {
         if (faults::enabled() && faults::should_fail("serve.line")) {
@@ -1400,12 +1638,19 @@ void engine::handle_line_slow(
             const obs::trace_span span{"serve.parse", "serve"};
             doc = json::parse(line);
         }
-        // Best-effort id/op extraction so even schema errors echo the
-        // caller's correlation id.
+        // Best-effort id/op/trace extraction so even schema errors echo
+        // the caller's correlation id and trace_id.
         if (doc.is_object()) {
             if (const json::value* raw_id = doc.as_object().find("id")) {
                 id_storage = *raw_id;
                 id = &id_storage;
+            }
+            if (const json::value* raw_trace =
+                    doc.as_object().find("trace_id")) {
+                if (raw_trace->is_string()) {
+                    trace_storage = raw_trace->as_string();
+                    trace = &trace_storage;
+                }
             }
             if (const json::value* raw_op = doc.as_object().find("op")) {
                 if (raw_op->is_string()) {
@@ -1423,6 +1668,8 @@ void engine::handle_line_slow(
             const obs::trace_span span{"serve.canonicalize", "serve"};
             req = parse_request(doc);
         }
+        t_parsed = std::chrono::steady_clock::now();
+        parsed = true;
         op = req.op;
         op_known = true;
 
@@ -1436,13 +1683,15 @@ void engine::handle_line_slow(
         if (req.has_deadline || batch_deadline != nullptr ||
             config_.limits.default_deadline_ms != 0) {
             if (req.has_deadline) {
-                deadline.set_deadline(deadline_from(start, req.deadline_ms));
+                deadline_at = deadline_from(start, req.deadline_ms);
             } else if (batch_deadline != nullptr) {
-                deadline.set_deadline(*batch_deadline);
+                deadline_at = *batch_deadline;
             } else {
-                deadline.set_deadline(
-                    deadline_from(start, config_.limits.default_deadline_ms));
+                deadline_at =
+                    deadline_from(start, config_.limits.default_deadline_ms);
             }
+            have_deadline = true;
+            deadline.set_deadline(deadline_at);
             cancel = &deadline;
             if (deadline.expired()) {
                 throw exec::cancelled_error{};
@@ -1451,38 +1700,83 @@ void engine::handle_line_slow(
 
         if (req.op == op_code::stats) {
             // Stats are a live snapshot: never cached, never golden.
-            response = envelope(id, true, "result",
+            response = envelope(id, trace, true, "result",
                                 json::dump(stats_json()));
         } else {
             const std::shared_ptr<const std::string> result =
-                result_for(req, cancel);
+                result_for(req, cancel, &probe);
             const obs::trace_span span{"serve.serialize", "serve"};
-            response = envelope(id, true, "result", *result);
+            const auto t0 = std::chrono::steady_clock::now();
+            response = envelope(id, trace, true, "result", *result);
+            serialize_ns = ns_between(t0, std::chrono::steady_clock::now());
+            serialized = true;
         }
     } catch (const json::parse_error& e) {
         parse_errors_.fetch_add(1, std::memory_order_relaxed);
         failed = true;
-        response =
-            envelope(id, false, "error", error_body("parse_error", e.what()));
+        err_code = "parse_error";
+        response = envelope(id, trace, false, "error",
+                            error_body("parse_error", e.what()));
     } catch (const std::exception& e) {
         if (dynamic_cast<const exec::cancelled_error*>(&e) != nullptr) {
             deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
         }
         failed = true;
-        response = envelope(id, false, "error",
-                            error_body(error_code_for(e), e.what()));
+        err_code = error_code_for(e);
+        response = envelope(id, trace, false, "error",
+                            error_body(err_code, e.what()));
     }
 
+    const auto t_done = std::chrono::steady_clock::now();
+    const std::uint64_t total_ns = ns_between(start, t_done);
     if (op_known || !failed) {
         endpoint_metrics& m = metrics_.at(op);
         m.requests.fetch_add(1, std::memory_order_relaxed);
         if (failed) {
             m.errors.fetch_add(1, std::memory_order_relaxed);
         }
-        const auto elapsed = std::chrono::steady_clock::now() - start;
-        m.latency.record(static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
-                .count()));
+        m.latency.record(total_ns);
+        if (parsed) {
+            m.stage_parse.record(ns_between(start, t_parsed));
+        }
+        if (probe.cache_probed) {
+            m.stage_cache.record(probe.cache_ns);
+        }
+        if (probe.exec_ran) {
+            m.stage_exec.record(probe.exec_ns);
+        }
+        if (serialized) {
+            m.stage_serialize.record(serialize_ns);
+        }
+        if (trace != nullptr) {
+            note_tail_exemplar(m, total_ns, *trace);
+        }
+    }
+    if (rec != nullptr) {
+        if (op_known) {
+            obs::assign_field(rec->endpoint, to_string(op));
+        }
+        flight_id_field(rec->id, id);
+        if (trace != nullptr) {
+            obs::assign_field(rec->trace, *trace);
+        }
+        obs::assign_field(rec->code, failed ? std::string_view{err_code}
+                                            : std::string_view{"ok"});
+        rec->cache_hit = probe.cache_hit;
+        if (parsed) {
+            rec->parse_us = ns_to_us_u32(ns_between(start, t_parsed));
+        }
+        rec->cache_us = ns_to_us_u32(probe.cache_ns);
+        rec->exec_us = ns_to_us_u32(probe.exec_ns);
+        rec->serialize_us = ns_to_us_u32(serialize_ns);
+        rec->total_us = ns_to_us_u32(total_ns);
+        if (have_deadline) {
+            rec->deadline_slack_us =
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    deadline_at - t_done)
+                    .count();
+        }
+        rec->anomaly = failed && anomalous_code(err_code);
     }
     out = std::move(response);
 }
@@ -1492,15 +1786,53 @@ std::vector<std::string> engine::handle_batch(
     const obs::trace_span span{"serve.batch", "serve"};
     std::vector<std::string> responses(lines.size());
 
+    obs::flight_recorder& flight = obs::flight_recorder::instance();
+    const bool record_flight = flight.enabled() && flight.capacity() != 0;
+    // One record slot per line, filled wherever the line completes and
+    // appended *in line order* afterwards — that ordering (plus the
+    // deterministic timing mode) is what makes dumps byte-identical at
+    // every thread count.  An unfilled slot (code "") is skipped.
+    std::vector<obs::flight_record> recs;
+    if (record_flight) {
+        recs.resize(lines.size());
+    }
+    const auto flush_records = [&] {
+        if (!record_flight) {
+            return;
+        }
+        std::uint64_t anomalies = 0;
+        for (obs::flight_record& r : recs) {
+            if (r.code[0] == '\0') {
+                continue;
+            }
+            if (r.anomaly) {
+                ++anomalies;
+            }
+            flight.append(r);
+        }
+        // Triggers fire after every record landed, so an armed dump
+        // always contains the batch that tripped it.
+        for (std::uint64_t a = 0; a < anomalies; ++a) {
+            flight.note_anomaly();
+        }
+    };
+
     // Batch-level budgets first: every line still gets exactly one
     // well-formed reply, without parsing a byte of an over-budget batch.
     if (config_.limits.max_batch_lines != 0 &&
         lines.size() > config_.limits.max_batch_lines) {
         admission_.note_rejection(reject_reason::batch_too_large,
                                   lines.size());
-        for (std::string& r : responses) {
-            append_batch_too_large(config_.limits.max_batch_lines, r);
+        for (std::size_t i = 0; i < lines.size(); ++i) {
+            const std::string_view trace_raw = scan_trace_id(lines[i]);
+            append_batch_too_large(config_.limits.max_batch_lines, trace_raw,
+                                   responses[i]);
+            if (record_flight) {
+                obs::assign_field(recs[i].trace, trace_raw);
+                obs::assign_field(recs[i].code, "too_large");
+            }
         }
+        flush_records();
         return responses;
     }
     std::size_t batch_bytes = 0;
@@ -1511,9 +1843,16 @@ std::vector<std::string> engine::handle_batch(
         batch_bytes, config_.limits.max_inflight_bytes, lines.size());
     if (!ticket) {
         on_overload();
-        for (std::string& r : responses) {
-            append_overloaded(r);
+        for (std::size_t i = 0; i < lines.size(); ++i) {
+            const std::string_view trace_raw = scan_trace_id(lines[i]);
+            append_overloaded(trace_raw, responses[i]);
+            if (record_flight) {
+                obs::assign_field(recs[i].trace, trace_raw);
+                obs::assign_field(recs[i].code, "overloaded");
+                recs[i].anomaly = true;
+            }
         }
+        flush_records();
         return responses;
     }
 
@@ -1529,15 +1868,20 @@ std::vector<std::string> engine::handle_batch(
         batch_deadline = &batch_deadline_storage;
     }
 
+    const auto rec_at = [&](std::size_t i) -> obs::flight_record* {
+        return record_flight ? &recs[i] : nullptr;
+    };
+
     if (!config_.batch_dedup || config_.cache_capacity == 0 ||
         lines.size() < 2) {
         exec::parallel_for(lines.size(), config_.parallelism,
                            [&](const exec::shard_range& r) {
                                for (std::size_t i = r.begin; i < r.end; ++i) {
                                    serve_line(lines[i], responses[i],
-                                              batch_deadline);
+                                              batch_deadline, rec_at(i));
                                }
                            });
+        flush_records();
         return responses;
     }
 
@@ -1594,7 +1938,7 @@ std::vector<std::string> engine::handle_batch(
                            for (std::size_t i = r.begin; i < r.end; ++i) {
                                if (rep[i] == npos) {
                                    serve_line(lines[i], responses[i],
-                                              batch_deadline);
+                                              batch_deadline, rec_at(i));
                                }
                            }
                        });
@@ -1609,10 +1953,11 @@ std::vector<std::string> engine::handle_batch(
                            for (std::size_t i = r.begin; i < r.end; ++i) {
                                if (rep[i] != npos) {
                                    serve_line(lines[i], responses[i],
-                                              batch_deadline);
+                                              batch_deadline, rec_at(i));
                                }
                            }
                        });
+    flush_records();
     return responses;
 }
 

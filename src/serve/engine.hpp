@@ -57,6 +57,7 @@
 #pragma once
 
 #include "exec/cancel.hpp"
+#include "obs/flight.hpp"
 #include "serve/cache.hpp"
 #include "serve/limits.hpp"
 #include "serve/metrics.hpp"
@@ -132,6 +133,11 @@ public:
     /// `GET /metrics` transport op and `silicond --metrics-interval`.
     [[nodiscard]] std::string prometheus_text() const;
 
+    /// Debug snapshot for `GET /statusz`: effective configuration,
+    /// limit budgets, cache occupancy, overload counters and the
+    /// flight-recorder summary.  Live data, never cached, never golden.
+    [[nodiscard]] json::value statusz_json() const;
+
     [[nodiscard]] memo_cache::stats cache_stats() const {
         return cache_.snapshot();
     }
@@ -172,9 +178,22 @@ public:
     }
 
 private:
+    /// Cache/exec stage capture for one line, filled by result_for and
+    /// folded into the stage histograms + flight record afterwards.
+    struct line_probe {
+        std::uint64_t cache_ns = 0;
+        std::uint64_t exec_ns = 0;
+        bool cache_probed = false;
+        bool exec_ran = false;
+        bool cache_hit = false;
+    };
+
     /// Cached result JSON for a request (everything except `stats`).
+    /// `probe` (optional) captures the cache/exec stage timings for the
+    /// top-level line; sweep grid points pass nullptr.
     [[nodiscard]] std::shared_ptr<const std::string> result_for(
-        const request& req, const exec::cancel_token* cancel);
+        const request& req, const exec::cancel_token* cancel,
+        line_probe* probe = nullptr);
 
     /// `evaluate` with an optional cooperative deadline token threaded
     /// into the cancellable endpoints (sweep, mc_yield) plus the
@@ -185,9 +204,14 @@ private:
     /// Size-checked line dispatch shared by the single-line and batch
     /// entry points (admission against the in-flight byte budget is the
     /// caller's job — once per public entry, never per batch line).
+    /// `rec` non-null = the flight recorder is enabled and the caller
+    /// will append the filled record *in line order* (which is what
+    /// keeps dumps byte-identical at any thread count) and fire the
+    /// anomaly trigger afterwards.
     void serve_line(std::string_view line, std::string& out,
                     const std::chrono::steady_clock::time_point*
-                        batch_deadline);
+                        batch_deadline,
+                    obs::flight_record* rec);
 
     /// Allocation-free warm-hit attempt; false = caller must run the
     /// legacy path (which owns all miss/error accounting).
@@ -195,12 +219,12 @@ private:
                              std::chrono::steady_clock::time_point start,
                              const std::chrono::steady_clock::time_point*
                                  batch_deadline,
-                             std::string& out);
+                             std::string& out, obs::flight_record* rec);
     void handle_line_slow(std::string_view line,
                           std::chrono::steady_clock::time_point start,
                           const std::chrono::steady_clock::time_point*
                               batch_deadline,
-                          std::string& out);
+                          std::string& out, obs::flight_record* rec);
 
     /// Shed cache shards if configured (called on overloaded rejects).
     void on_overload();

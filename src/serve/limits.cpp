@@ -55,9 +55,19 @@ namespace {
 
 /// Appends a fixed-shape error envelope without heap allocation (the
 /// caller's buffer capacity is reused; numbers go through to_chars).
+/// `trace_raw` is already-escaped string bytes from scan_trace_id, so
+/// it splices verbatim between quotes; empty emits the historical
+/// trace-free bytes.
 void append_reject(std::string_view code, std::string_view message,
-                   std::size_t limit, bool with_limit, std::string& out) {
-    out += "{\"ok\":false,\"error\":{\"code\":\"";
+                   std::size_t limit, bool with_limit,
+                   std::string_view trace_raw, std::string& out) {
+    out += '{';
+    if (!trace_raw.empty()) {
+        out += "\"trace_id\":\"";
+        out += trace_raw;
+        out += "\",";
+    }
+    out += "\"ok\":false,\"error\":{\"code\":\"";
     out += code;
     out += "\",\"message\":\"";
     out += message;
@@ -74,17 +84,85 @@ void append_reject(std::string_view code, std::string_view message,
 
 void append_line_too_large(std::size_t limit, std::string& out) {
     append_reject("too_large", "line exceeds max_line_bytes ", limit, true,
-                  out);
+                  {}, out);
 }
 
-void append_batch_too_large(std::size_t limit, std::string& out) {
+void append_batch_too_large(std::size_t limit, std::string_view trace_raw,
+                            std::string& out) {
     append_reject("too_large", "batch exceeds max_batch_lines ", limit, true,
-                  out);
+                  trace_raw, out);
 }
 
-void append_overloaded(std::string& out) {
+void append_overloaded(std::string_view trace_raw, std::string& out) {
     append_reject("overloaded", "server over byte budget, retry", 0, false,
-                  out);
+                  trace_raw, out);
+}
+
+std::string_view scan_trace_id(std::string_view line) noexcept {
+    // Bounded: envelope-level fields live at the front of a request
+    // line, and shed paths must stay O(small) even for huge lines.
+    constexpr std::size_t scan_cap = 4096;
+    constexpr std::string_view key = "\"trace_id\"";
+    const std::string_view window =
+        line.substr(0, line.size() < scan_cap ? line.size() : scan_cap);
+    const std::size_t at = window.find(key);
+    if (at == std::string_view::npos) {
+        return {};
+    }
+    const auto is_ws = [](char c) noexcept {
+        return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+    };
+    std::size_t i = at + key.size();
+    while (i < window.size() && is_ws(window[i])) {
+        ++i;
+    }
+    if (i >= window.size() || window[i] != ':') {
+        return {};
+    }
+    ++i;
+    while (i < window.size() && is_ws(window[i])) {
+        ++i;
+    }
+    if (i >= window.size() || window[i] != '"') {
+        return {};
+    }
+    ++i;
+    const std::size_t begin = i;
+    const auto is_hex = [](char c) noexcept {
+        return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
+               (c >= 'A' && c <= 'F');
+    };
+    while (i < window.size()) {
+        const unsigned char c = static_cast<unsigned char>(window[i]);
+        if (c == '"') {
+            return window.substr(begin, i - begin);
+        }
+        if (c < 0x20) {
+            return {};  // raw control byte: not a valid JSON string
+        }
+        if (c == '\\') {
+            if (i + 1 >= window.size()) {
+                return {};
+            }
+            const char e = window[i + 1];
+            if (e == 'u') {
+                if (i + 5 >= window.size() || !is_hex(window[i + 2]) ||
+                    !is_hex(window[i + 3]) || !is_hex(window[i + 4]) ||
+                    !is_hex(window[i + 5])) {
+                    return {};
+                }
+                i += 6;
+            } else if (e == '"' || e == '\\' || e == '/' || e == 'b' ||
+                       e == 'f' || e == 'n' || e == 'r' || e == 't') {
+                i += 2;
+            } else {
+                return {};
+            }
+        } else {
+            ++i;
+        }
+    }
+    return {};  // unterminated within the scan window
 }
 
 }  // namespace silicon::serve

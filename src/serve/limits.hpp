@@ -171,14 +171,28 @@ private:
 // bench_overload gates.
 
 /// {"ok":false,"error":{"code":"too_large","message":"line exceeds
-/// max_line_bytes <limit>"}} appended to `out`.
+/// max_line_bytes <limit>"}} appended to `out`.  Deliberately never
+/// carries a trace_id: an over-long line's framing is suspect, so
+/// nothing scanned out of it is trustworthy.
 void append_line_too_large(std::size_t limit, std::string& out);
 
-/// Same shape for an over-count batch.
-void append_batch_too_large(std::size_t limit, std::string& out);
+/// Same shape for an over-count batch.  `trace_raw` (from
+/// scan_trace_id; may be empty) echoes as a leading
+/// `"trace_id":"<raw>"` member — empty keeps the bytes identical to
+/// the pre-trace envelope.
+void append_batch_too_large(std::size_t limit, std::string_view trace_raw,
+                            std::string& out);
 
 /// {"ok":false,"error":{"code":"overloaded","message":"server over
-/// byte budget, retry"}} appended to `out`.
-void append_overloaded(std::string& out);
+/// byte budget, retry"}} appended to `out`, with the same optional
+/// trace echo as append_batch_too_large.
+void append_overloaded(std::string_view trace_raw, std::string& out);
+
+/// Best-effort, allocation-free scan for a `"trace_id":"..."` member in
+/// a raw (unparsed) request line, used to keep trace correlation alive
+/// on shed paths that never parse.  Returns the *still-escaped* string
+/// bytes (a subview of `line`) so they can be spliced verbatim between
+/// quotes, or empty when absent/malformed/beyond the first 4 KiB.
+[[nodiscard]] std::string_view scan_trace_id(std::string_view line) noexcept;
 
 }  // namespace silicon::serve

@@ -1,5 +1,8 @@
 #include "serve/metrics.hpp"
 
+#include <cmath>
+#include <cstring>
+
 namespace silicon::serve {
 
 namespace {
@@ -37,7 +40,76 @@ std::string labeled(std::string_view family, op_code op) {
     return name;
 }
 
+/// Prometheus label-value escaping (client-supplied trace_ids).
+void append_label_value(std::string& out, std::string_view v) {
+    for (const char c : v) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (c == '\n') {
+            out += "\\n";
+        } else {
+            out += c;
+        }
+    }
+}
+
+using bucket_snapshot =
+    std::array<std::uint64_t, latency_histogram::bucket_count>;
+
+/// Interpolated quantile in seconds over a bucket-delta window.
+/// Bucket 0 spans [0, 2) us, bucket b >= 1 spans [2^b, 2^(b+1)) us;
+/// linear interpolation within the winning bucket.
+double window_quantile(const bucket_snapshot& delta, std::uint64_t total,
+                       double q) {
+    std::uint64_t need =
+        static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total)));
+    if (need == 0) {
+        need = 1;
+    }
+    std::uint64_t cumulative = 0;
+    for (int b = 0; b < latency_histogram::bucket_count; ++b) {
+        const std::uint64_t n = delta[static_cast<std::size_t>(b)];
+        if (n == 0) {
+            continue;
+        }
+        if (cumulative + n >= need) {
+            const double lower_us =
+                b == 0 ? 0.0
+                       : static_cast<double>(std::uint64_t{1} << b);
+            const double upper_us = static_cast<double>(
+                latency_histogram::bucket_upper_us(b));
+            const double frac = static_cast<double>(need - cumulative) /
+                                static_cast<double>(n);
+            return (lower_us + frac * (upper_us - lower_us)) / 1e6;
+        }
+        cumulative += n;
+    }
+    return static_cast<double>(latency_histogram::bucket_upper_us(
+               latency_histogram::bucket_count - 1)) /
+           1e6;
+}
+
 }  // namespace
+
+void note_tail_exemplar(endpoint_metrics& m, std::uint64_t nanoseconds,
+                        std::string_view trace) noexcept {
+    if (trace.empty() ||
+        nanoseconds <= m.tail_ns.load(std::memory_order_relaxed)) {
+        return;
+    }
+    if (m.tail_lock.test_and_set(std::memory_order_acquire)) {
+        return;  // contended: drop — exemplars are best-effort
+    }
+    if (nanoseconds > m.tail_ns.load(std::memory_order_relaxed)) {
+        const std::size_t cap = sizeof m.tail_trace - 1;
+        const std::size_t n = trace.size() < cap ? trace.size() : cap;
+        std::memcpy(m.tail_trace, trace.data(), n);
+        m.tail_trace[n] = '\0';
+        m.tail_ns.store(nanoseconds, std::memory_order_relaxed);
+    }
+    m.tail_lock.clear(std::memory_order_release);
+}
 
 json::value metrics_registry::to_json() const {
     json::object o;
@@ -56,6 +128,15 @@ json::value metrics_registry::to_json() const {
         endpoint.set("cache_hits", static_cast<double>(m.cache_hits.load(
                                        std::memory_order_relaxed)));
         endpoint.set("latency", histogram_to_json(m.latency));
+        if (m.stage_parse.count() != 0 || m.stage_cache.count() != 0 ||
+            m.stage_exec.count() != 0 || m.stage_serialize.count() != 0) {
+            json::object stages;
+            stages.set("parse", histogram_to_json(m.stage_parse));
+            stages.set("cache", histogram_to_json(m.stage_cache));
+            stages.set("exec", histogram_to_json(m.stage_exec));
+            stages.set("serialize", histogram_to_json(m.stage_serialize));
+            endpoint.set("stages", json::value{std::move(stages)});
+        }
         o.set(std::string{to_string(op)}, json::value{std::move(endpoint)});
     }
     return json::value{std::move(o)};
@@ -107,6 +188,105 @@ void metrics_registry::to_prometheus(std::string& out) const {
     each_active([&](op_code op, const endpoint_metrics& m) {
         obs::prometheus_histogram(
             out, labeled("silicon_serve_latency_seconds", op), m.latency);
+    });
+
+    struct stage_family {
+        const char* name;
+        latency_histogram endpoint_metrics::*member;
+    };
+    static constexpr stage_family stages[] = {
+        {"parse", &endpoint_metrics::stage_parse},
+        {"cache", &endpoint_metrics::stage_cache},
+        {"exec", &endpoint_metrics::stage_exec},
+        {"serialize", &endpoint_metrics::stage_serialize},
+    };
+    obs::prometheus_header(out, "silicon_serve_stage_seconds", "histogram",
+                           "Dispatcher stage time per endpoint");
+    each_active([&](op_code op, const endpoint_metrics& m) {
+        for (const stage_family& s : stages) {
+            const latency_histogram& h = m.*(s.member);
+            if (h.count() == 0) {
+                continue;
+            }
+            std::string name = "silicon_serve_stage_seconds{op=\"";
+            name += to_string(op);
+            name += "\",stage=\"";
+            name += s.name;
+            name += "\"}";
+            obs::prometheus_histogram(out, name, h);
+        }
+    });
+
+    // Sliding-window quantiles + tail exemplars.  Each scrape closes
+    // one window: quantiles interpolate over the bucket deltas since
+    // the previous scrape, and the exemplar (slowest trace-carrying
+    // request in the window) is consumed.
+    const std::lock_guard<std::mutex> lock(scrape_mutex_);
+    bool window_headed = false;
+    each_active([&](op_code op, const endpoint_metrics& m) {
+        window_state& w = windows_[static_cast<std::size_t>(op)];
+        bucket_snapshot delta{};
+        std::uint64_t total = 0;
+        for (int b = 0; b < latency_histogram::bucket_count; ++b) {
+            const auto i = static_cast<std::size_t>(b);
+            const std::uint64_t now = m.latency.bucket(b);
+            delta[i] = now - w.last[i];
+            total += delta[i];
+            w.last[i] = now;
+        }
+        if (total == 0) {
+            return;  // idle endpoint: no samples this window
+        }
+        if (!window_headed) {
+            obs::prometheus_header(
+                out, "silicon_serve_latency_window_seconds", "gauge",
+                "Latency quantiles over the window since the last scrape");
+            window_headed = true;
+        }
+        static constexpr struct {
+            double q;
+            const char* text;
+        } quantiles[] = {{0.5, "0.5"}, {0.99, "0.99"}, {0.999, "0.999"}};
+        for (const auto& q : quantiles) {
+            std::string name = "silicon_serve_latency_window_seconds{op=\"";
+            name += to_string(op);
+            name += "\",quantile=\"";
+            name += q.text;
+            name += "\"}";
+            obs::prometheus_sample(out, name,
+                                   window_quantile(delta, total, q.q));
+        }
+    });
+    bool exemplar_headed = false;
+    each_active([&](op_code op, const endpoint_metrics& m) {
+        if (m.tail_ns.load(std::memory_order_relaxed) == 0) {
+            return;
+        }
+        while (m.tail_lock.test_and_set(std::memory_order_acquire)) {
+            // Writers only hold the flag for a bounded copy.
+        }
+        const std::uint64_t ns = m.tail_ns.load(std::memory_order_relaxed);
+        char trace[sizeof m.tail_trace];
+        std::memcpy(trace, m.tail_trace, sizeof trace);
+        m.tail_ns.store(0, std::memory_order_relaxed);
+        m.tail_trace[0] = '\0';
+        m.tail_lock.clear(std::memory_order_release);
+        if (ns == 0 || trace[0] == '\0') {
+            return;
+        }
+        if (!exemplar_headed) {
+            obs::prometheus_header(
+                out, "silicon_serve_latency_tail_exemplar_seconds", "gauge",
+                "Slowest trace-carrying request since the last scrape");
+            exemplar_headed = true;
+        }
+        std::string name =
+            "silicon_serve_latency_tail_exemplar_seconds{op=\"";
+        name += to_string(op);
+        name += "\",trace_id=\"";
+        append_label_value(name, trace);
+        name += "\"}";
+        obs::prometheus_sample(out, name, static_cast<double>(ns) / 1e9);
     });
 }
 

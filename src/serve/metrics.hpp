@@ -32,7 +32,9 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <string_view>
 
 namespace silicon::serve {
 
@@ -45,7 +47,28 @@ struct endpoint_metrics {
     std::atomic<std::uint64_t> errors{0};
     std::atomic<std::uint64_t> cache_hits{0};
     latency_histogram latency;
+    /// Stage breakdown of `latency`, recorded at the dispatcher's span
+    /// sites (serve.parse+canonicalize, serve.cache, serve.exec,
+    /// serve.serialize).  Shed requests record nothing here.
+    latency_histogram stage_parse;
+    latency_histogram stage_cache;
+    latency_histogram stage_exec;
+    latency_histogram stage_serialize;
+
+    /// Tail exemplar: the slowest trace-carrying request since the last
+    /// Prometheus scrape.  `tail_ns` is the fast-reject filter; the
+    /// trace bytes are guarded by `tail_lock` (contended writers drop
+    /// their update — an exemplar is best-effort by definition).
+    /// Mutable: the scrape consumes the exemplar through const access.
+    mutable std::atomic<std::uint64_t> tail_ns{0};
+    mutable std::atomic_flag tail_lock = ATOMIC_FLAG_INIT;
+    mutable char tail_trace[48] = {};
 };
+
+/// Record `trace` as the endpoint's tail exemplar when `nanoseconds`
+/// beats the current one.  No-op for empty traces; never blocks.
+void note_tail_exemplar(endpoint_metrics& m, std::uint64_t nanoseconds,
+                        std::string_view trace) noexcept;
 
 /// Fixed registry: one endpoint_metrics per op_code.
 class metrics_registry {
@@ -63,12 +86,24 @@ public:
     [[nodiscard]] json::value to_json() const;
 
     /// Append the registry as Prometheus text exposition:
-    /// silicon_serve_requests_total{op="..."} etc. plus a
-    /// silicon_serve_latency_seconds histogram per active endpoint.
+    /// silicon_serve_requests_total{op="..."} etc., a
+    /// silicon_serve_latency_seconds histogram + stage-breakdown
+    /// histograms per active endpoint, sliding-window
+    /// p50/p99/p999 gauges (interpolated over the bucket deltas since
+    /// the previous scrape — each scrape is one window), and the tail
+    /// trace_id exemplar gauge (consumed by the scrape).
     void to_prometheus(std::string& out) const;
 
 private:
     std::array<endpoint_metrics, op_count> endpoints_{};
+
+    /// Previous-scrape bucket snapshot per endpoint (window quantiles);
+    /// only the scrape path touches it.
+    struct window_state {
+        std::array<std::uint64_t, latency_histogram::bucket_count> last{};
+    };
+    mutable std::array<window_state, op_count> windows_{};
+    mutable std::mutex scrape_mutex_;
 };
 
 }  // namespace silicon::serve

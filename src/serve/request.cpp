@@ -516,6 +516,10 @@ sweep_request parse_sweep(field_reader& r) {
         throw request_error("bad_param",
                             "sweep.target: must not carry a 'deadline_ms'");
     }
+    if (target_obj.find("trace_id") != nullptr) {
+        throw request_error("bad_param",
+                            "sweep.target: must not carry a 'trace_id'");
+    }
 
     auto parsed = std::make_shared<request>(parse_request(*target));
     if (parsed->op == op_code::sweep || parsed->op == op_code::stats ||
@@ -820,6 +824,12 @@ request parse_request(const json::value& doc) {
         // memoization cache.
         out.deadline_ms = r.uinteger("deadline_ms", 0);
         out.has_deadline = true;
+    }
+    if (r.raw("trace_id") != nullptr) {
+        // Envelope-level like `id` and `deadline_ms`: echoed in the
+        // response, never part of the canonical key.
+        out.trace_id = r.text("trace_id", "");
+        out.has_trace = true;
     }
 
     switch (*op) {

@@ -294,6 +294,12 @@ struct request {
     /// means "already expired".
     std::uint64_t deadline_ms = 0;
     bool has_deadline = false;
+    /// Client-supplied trace identifier, echoed as `trace_id` in the
+    /// response envelope (success and error alike).  Envelope-level
+    /// like `id` and `deadline_ms`: excluded from the canonical key so
+    /// tracing never splits the memoization cache.
+    std::string trace_id;
+    bool has_trace = false;
     /// Canonical serialization of (op, fully-explicit params) — the
     /// memoization cache key.  Excludes `id` and `deadline_ms`.
     std::string canonical_key;

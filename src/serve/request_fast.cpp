@@ -121,7 +121,8 @@ class fast_reader {
     const aview& o_;
     const char* context_;
     // Sized for the widest reader: partition_explore consumes
-    // op + id + deadline_ms + 27 base fields + splits/area/count/scale.
+    // op + id + deadline_ms + trace_id + 27 base fields +
+    // splits/area/count/scale.
     std::array<std::string_view, 40> consumed_{};
     std::size_t consumed_count_ = 0;
 };
@@ -819,6 +820,19 @@ void parse_request_fast_inner(const aview& doc, request& out,
         out.deadline_ms = r.uinteger("deadline_ms", 0);
         out.has_deadline = true;
     }
+    out.has_trace = false;
+    if (const aview* trace = r.raw("trace_id")) {
+        if (!trace->is_string()) {
+            throw request_error("bad_param",
+                                "request: field 'trace_id' must be a string");
+        }
+        // `request::trace_id` stays untouched on the fast path (assigning
+        // could allocate); the echo reads the arena-backed view instead.
+        out.has_trace = true;
+        if (sweep_state != nullptr) {
+            sweep_state->trace_view = trace;
+        }
+    }
 
     switch (*op) {
         case op_code::cost_tr: parse_cost_tr_fast(r, out); break;
@@ -874,6 +888,10 @@ void parse_sweep_fast(fast_reader& r, fast_parse_state& st) {
     if (target->find("deadline_ms") != nullptr) {
         throw request_error("bad_param",
                             "sweep.target: must not carry a 'deadline_ms'");
+    }
+    if (target->find("trace_id") != nullptr) {
+        throw request_error("bad_param",
+                            "sweep.target: must not carry a 'trace_id'");
     }
 
     parse_request_fast_inner(*target, st.target_req, st.target_key,
@@ -939,6 +957,7 @@ void parse_sweep_fast(fast_reader& r, fast_parse_state& st) {
 
 void parse_request_fast(const json::aview& doc, fast_parse_state& st) {
     st.id_view = nullptr;
+    st.trace_view = nullptr;
     parse_request_fast_inner(doc, st.req, st.req.canonical_key, &st);
 }
 

@@ -40,6 +40,10 @@ struct fast_parse_state {
     /// view is left in `id_view` for the caller to serialize directly.
     request req;
     const json::aview* id_view = nullptr;
+    /// Like `id_view`: `req.trace_id` is NOT assigned on the fast path
+    /// (that could allocate) — the envelope echo serializes this view.
+    /// Non-null iff `req.has_trace`.
+    const json::aview* trace_view = nullptr;
 
     /// Sweep scratch: the parsed target and its canonical key.  A fast-
     /// parsed sweep carries no evaluable payload (`sweep_request::target`

@@ -1,0 +1,223 @@
+// Flight-recorder tests (obs/flight): per-thread rings, drop-oldest
+// overflow, the seq-merged JSONL export, deterministic mode, and the
+// one-shot armed anomaly dump.  Private recorder instances throughout —
+// the process-global instance() belongs to the serve suite.
+
+#include "obs/flight.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace obs = silicon::obs;
+
+namespace {
+
+obs::flight_record make_record(const char* endpoint, const char* code,
+                               std::uint32_t total_us = 0) {
+    obs::flight_record r;
+    obs::assign_field(r.endpoint, endpoint);
+    obs::assign_field(r.code, code);
+    r.total_us = total_us;
+    return r;
+}
+
+std::vector<std::string> export_lines(const obs::flight_recorder& rec) {
+    std::string text;
+    rec.export_jsonl(text);
+    std::vector<std::string> lines;
+    std::size_t begin = 0;
+    for (std::size_t nl = text.find('\n', begin); nl != std::string::npos;
+         nl = text.find('\n', begin)) {
+        lines.push_back(text.substr(begin, nl - begin));
+        begin = nl + 1;
+    }
+    EXPECT_EQ(begin, text.size()) << "dump not newline-terminated";
+    return lines;
+}
+
+std::uint64_t seq_of(const std::string& line) {
+    EXPECT_EQ(line.rfind("{\"seq\":", 0), 0u) << line;
+    return std::strtoull(line.c_str() + 7, nullptr, 10);
+}
+
+TEST(FlightRecorder, ExportKeepsKeyOrderAndEscapes) {
+    obs::flight_recorder rec{8};
+    obs::flight_record r = make_record("scenario1", "ok", 42);
+    obs::assign_field(r.id, "7");
+    obs::assign_field(r.trace, "say \"hi\"\n");
+    r.cache_hit = true;
+    r.parse_us = 1;
+    r.cache_us = 2;
+    r.exec_us = 3;
+    r.serialize_us = 4;
+    r.deadline_slack_us = -9;
+    rec.append(r);
+
+    const std::vector<std::string> lines = export_lines(rec);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0],
+              "{\"seq\":0,\"endpoint\":\"scenario1\",\"id\":\"7\","
+              "\"trace_id\":\"say \\\"hi\\\"\\u000a\",\"code\":\"ok\","
+              "\"cache_hit\":true,\"anomaly\":false,\"parse_us\":1,"
+              "\"cache_us\":2,\"exec_us\":3,\"serialize_us\":4,"
+              "\"total_us\":42,\"deadline_slack_us\":-9}");
+}
+
+TEST(FlightRecorder, NoDeadlineSlackExportsNull) {
+    obs::flight_recorder rec{4};
+    rec.append(make_record("table3", "ok"));
+    const std::vector<std::string> lines = export_lines(rec);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_NE(lines[0].find("\"deadline_slack_us\":null"), std::string::npos);
+}
+
+TEST(FlightRecorder, DropOldestKeepsTheNewest) {
+    obs::flight_recorder rec{4};
+    for (int i = 0; i < 10; ++i) {
+        rec.append(make_record("scenario1", "ok"));
+    }
+    const obs::flight_recorder::stats s = rec.snapshot();
+    EXPECT_EQ(s.appended, 10u);
+    EXPECT_EQ(s.dropped, 6u);
+    EXPECT_EQ(s.threads, 1u);
+    EXPECT_EQ(s.capacity, 4u);
+
+    const std::vector<std::string> lines = export_lines(rec);
+    ASSERT_EQ(lines.size(), 4u);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        EXPECT_EQ(seq_of(lines[i]), 6u + i);  // only the newest survive
+    }
+}
+
+TEST(FlightRecorder, DropOldestUnderThreadStress) {
+    // 8 writers hammer their private rings far past capacity; the
+    // recorder must never tear, and the merged dump must hold exactly
+    // capacity records per thread in strictly ascending seq order.
+    constexpr std::size_t kThreads = 8;
+    constexpr std::size_t kAppendsPerThread = 5000;
+    constexpr std::size_t kCapacity = 64;
+    obs::flight_recorder rec{kCapacity};
+
+    std::vector<std::thread> writers;
+    writers.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        writers.emplace_back([&rec] {
+            for (std::size_t i = 0; i < kAppendsPerThread; ++i) {
+                rec.append(make_record("scenario1", "ok"));
+            }
+        });
+    }
+    for (std::thread& w : writers) {
+        w.join();
+    }
+
+    const obs::flight_recorder::stats s = rec.snapshot();
+    EXPECT_EQ(s.appended, kThreads * kAppendsPerThread);
+    EXPECT_EQ(s.dropped, kThreads * (kAppendsPerThread - kCapacity));
+    EXPECT_EQ(s.threads, kThreads);
+
+    const std::vector<std::string> lines = export_lines(rec);
+    ASSERT_EQ(lines.size(), kThreads * kCapacity);
+    std::uint64_t last = seq_of(lines[0]);
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+        const std::uint64_t seq = seq_of(lines[i]);
+        EXPECT_GT(seq, last) << "dump not seq-sorted at line " << i;
+        last = seq;
+    }
+    // The globally newest record always survives drop-oldest.
+    EXPECT_EQ(last, kThreads * kAppendsPerThread - 1);
+}
+
+TEST(FlightRecorder, DeterministicModeZeroesTimings) {
+    obs::flight_recorder rec{8};
+    rec.set_deterministic(true);
+    obs::flight_record timed = make_record("mc_yield", "ok", 99);
+    timed.parse_us = 1;
+    timed.cache_us = 2;
+    timed.exec_us = 3;
+    timed.serialize_us = 4;
+    timed.deadline_slack_us = 1234;
+    rec.append(timed);
+    rec.append(make_record("table3", "ok", 55));  // no deadline
+
+    const std::vector<std::string> lines = export_lines(rec);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_NE(lines[0].find("\"parse_us\":0,\"cache_us\":0,\"exec_us\":0,"
+                            "\"serialize_us\":0,\"total_us\":0,"
+                            "\"deadline_slack_us\":0"),
+              std::string::npos)
+        << lines[0];
+    // A request that had no deadline keeps the null marker (zeroing it
+    // would fabricate a deadline that never existed).
+    EXPECT_NE(lines[1].find("\"deadline_slack_us\":null"), std::string::npos);
+}
+
+TEST(FlightRecorder, DisabledAndZeroCapacityRecordNothing) {
+    obs::flight_recorder rec{8};
+    rec.set_enabled(false);
+    rec.append(make_record("scenario1", "ok"));
+    EXPECT_EQ(rec.snapshot().appended, 0u);
+
+    obs::flight_recorder off{0};
+    off.append(make_record("scenario1", "ok"));
+    EXPECT_EQ(off.snapshot().appended, 0u);
+    EXPECT_TRUE(export_lines(off).empty());
+}
+
+TEST(FlightRecorder, ClearRestartsSequenceNumbers) {
+    obs::flight_recorder rec{8};
+    rec.append(make_record("scenario1", "ok"));
+    rec.append(make_record("scenario1", "ok"));
+    rec.clear();
+    EXPECT_EQ(rec.snapshot().appended, 0u);
+    rec.append(make_record("table3", "ok"));
+    const std::vector<std::string> lines = export_lines(rec);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(seq_of(lines[0]), 0u);
+}
+
+TEST(FlightRecorder, ArmedDumpFiresOnceOnFirstAnomaly) {
+    char path[] = "/tmp/silicon_flight_test_XXXXXX";
+    const int fd = ::mkstemp(path);
+    ASSERT_GE(fd, 0);
+    ::close(fd);
+
+    obs::flight_recorder rec{8};
+    obs::flight_record bad = make_record("mc_yield", "deadline_exceeded");
+    bad.anomaly = true;
+    rec.append(bad);
+    rec.arm_dump(path);
+    rec.note_anomaly();
+    EXPECT_EQ(rec.snapshot().anomalies, 1u);
+
+    std::FILE* f = std::fopen(path, "r");
+    ASSERT_NE(f, nullptr) << "armed dump was not written";
+    char buf[256] = {};
+    const std::size_t got = std::fread(buf, 1, sizeof buf - 1, f);
+    std::fclose(f);
+    const std::string dumped(buf, got);
+    EXPECT_NE(dumped.find("\"anomaly\":true"), std::string::npos);
+
+    // One-shot: a second anomaly must not rewrite the (now removed)
+    // file until arm_dump is called again.
+    ASSERT_EQ(std::remove(path), 0);
+    rec.note_anomaly();
+    EXPECT_EQ(rec.snapshot().anomalies, 2u);
+    EXPECT_EQ(std::fopen(path, "r"), nullptr);
+
+    rec.arm_dump(path);
+    rec.note_anomaly();
+    f = std::fopen(path, "r");
+    EXPECT_NE(f, nullptr) << "re-armed dump was not written";
+    if (f != nullptr) {
+        std::fclose(f);
+    }
+    std::remove(path);
+}
+
+}  // namespace

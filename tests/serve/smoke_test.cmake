@@ -8,6 +8,10 @@
 # byte comparison still applies (tracing must not perturb output).
 # Optional: SERVER_ARGS — extra silicond flags (space-separated), used
 # by the overload smoke to arm deterministic resource limits.
+# Optional: FLIGHT_DUMP + FLIGHT_GOLDEN — pass
+# `--flight-deterministic --flight-dump ${FLIGHT_DUMP}` and require the
+# shutdown dump to match the checked-in golden byte for byte; at every
+# thread count, because handle_batch appends records in line order.
 
 foreach(var SILICOND REQUESTS GOLDEN THREADS)
   if(NOT DEFINED ${var})
@@ -24,6 +28,15 @@ if(DEFINED SERVER_ARGS)
   separate_arguments(server_args UNIX_COMMAND "${SERVER_ARGS}")
   list(APPEND extra_args ${server_args})
 endif()
+if(DEFINED FLIGHT_DUMP)
+  if(NOT DEFINED FLIGHT_GOLDEN)
+    message(FATAL_ERROR "smoke_test.cmake: FLIGHT_DUMP needs FLIGHT_GOLDEN")
+  endif()
+  file(REMOVE ${FLIGHT_DUMP})
+  list(APPEND extra_args
+       --flight-deterministic --flight-records 256
+       --flight-dump ${FLIGHT_DUMP})
+endif()
 
 execute_process(
   COMMAND ${SILICOND} --threads ${THREADS} --batch 7 ${extra_args}
@@ -39,6 +52,19 @@ if(NOT actual STREQUAL expected)
   message(FATAL_ERROR
     "silicond --threads ${THREADS} output differs from ${GOLDEN}\n"
     "--- actual ---\n${actual}")
+endif()
+
+if(DEFINED FLIGHT_DUMP)
+  if(NOT EXISTS ${FLIGHT_DUMP})
+    message(FATAL_ERROR "--flight-dump ${FLIGHT_DUMP} did not produce a file")
+  endif()
+  file(READ ${FLIGHT_DUMP} flight_actual)
+  file(READ ${FLIGHT_GOLDEN} flight_expected)
+  if(NOT flight_actual STREQUAL flight_expected)
+    message(FATAL_ERROR
+      "flight dump at --threads ${THREADS} differs from ${FLIGHT_GOLDEN}\n"
+      "--- actual ---\n${flight_actual}")
+  endif()
 endif()
 
 if(DEFINED TRACE)

@@ -28,6 +28,10 @@
 namespace faults = silicon::serve::faults;
 namespace io = silicon::serve::io;
 using silicon::serve::admission_controller;
+using silicon::serve::append_batch_too_large;
+using silicon::serve::append_line_too_large;
+using silicon::serve::append_overloaded;
+using silicon::serve::scan_trace_id;
 using silicon::serve::engine;
 using silicon::serve::engine_config;
 using silicon::serve::reject_reason;
@@ -291,6 +295,63 @@ TEST(Admission, OversizedButAloneIsAdmitted) {
     // ...but it blocks everything else until it releases.
     const auto second = ac.admit(1, 1000);
     EXPECT_FALSE(static_cast<bool>(second));
+}
+
+// ---------------------------------------------------------------------------
+// Shed-path trace correlation: scan_trace_id + the rejection envelopes
+// ---------------------------------------------------------------------------
+
+TEST(ScanTraceId, FindsTheStillEscapedMember) {
+    EXPECT_EQ(scan_trace_id(R"({"op":"x","trace_id":"t-1"})"), "t-1");
+    EXPECT_EQ(scan_trace_id(R"({"trace_id" : "a b","op":"x"})"), "a b");
+    // Escapes are returned raw so they can be spliced verbatim.
+    EXPECT_EQ(scan_trace_id(R"({"trace_id":"say \"hi\"\n"})"),
+              R"(say \"hi\"\n)");
+    EXPECT_EQ(scan_trace_id(R"({"trace_id":"é☃"})"),
+              R"(é☃)");
+}
+
+TEST(ScanTraceId, RejectsMalformedOrMissing) {
+    EXPECT_EQ(scan_trace_id(R"({"op":"x"})"), "");
+    EXPECT_EQ(scan_trace_id(R"({"trace_id":42})"), "");
+    EXPECT_EQ(scan_trace_id(R"({"trace_id":"unterminated)"), "");
+    EXPECT_EQ(scan_trace_id("{\"trace_id\":\"ctrl\x01byte\"}"), "");
+    EXPECT_EQ(scan_trace_id(R"({"trace_id":"bad \q escape"})"), "");
+    EXPECT_EQ(scan_trace_id(R"({"trace_id":"bad \u12g4 hex"})"), "");
+    // Beyond the bounded scan window the member is ignored.
+    const std::string far = "{\"pad\":\"" + std::string(5000, 'x') +
+                            "\",\"trace_id\":\"t-far\"}";
+    EXPECT_EQ(scan_trace_id(far), "");
+}
+
+TEST(RejectionEnvelopes, OverloadedEchoesScannedTrace) {
+    std::string out;
+    append_overloaded(scan_trace_id(R"({"op":"x","trace_id":"t-o"})"), out);
+    EXPECT_EQ(out.rfind(R"({"trace_id":"t-o","ok":false)", 0), 0u) << out;
+    EXPECT_NE(out.find(R"("code":"overloaded")"), std::string::npos);
+
+    // No trace in the line: the envelope is byte-identical to the
+    // pre-trace format (the golden-compatibility contract).
+    std::string bare;
+    append_overloaded(scan_trace_id(R"({"op":"x"})"), bare);
+    EXPECT_EQ(bare.rfind(R"({"ok":false)", 0), 0u) << bare;
+    EXPECT_EQ(bare.find("trace_id"), std::string::npos);
+}
+
+TEST(RejectionEnvelopes, BatchTooLargeEchoesScannedTrace) {
+    std::string out;
+    append_batch_too_large(64, scan_trace_id(R"({"trace_id":"t-b"})"), out);
+    EXPECT_EQ(out.rfind(R"({"trace_id":"t-b","ok":false)", 0), 0u) << out;
+    EXPECT_NE(out.find("max_batch_lines 64"), std::string::npos);
+}
+
+TEST(RejectionEnvelopes, LineTooLargeStaysTraceFree) {
+    // An over-long line's framing is suspect; nothing scanned out of
+    // it is trustworthy, so the envelope never carries a trace.
+    std::string out;
+    append_line_too_large(128, out);
+    EXPECT_EQ(out.find("trace_id"), std::string::npos);
+    EXPECT_NE(out.find("max_line_bytes 128"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

@@ -147,6 +147,75 @@ TEST(Engine, ErrorEnvelopes) {
     EXPECT_EQ(with_id.substr(0, 12), R"({"id":"e1",")");
 }
 
+TEST(Engine, TraceIdEchoedOnEveryErrorTaxonomyEnvelope) {
+    // The trace must survive every failure class reachable from a
+    // parsed request — that is exactly when the operator needs the
+    // correlation most.  (`parse_error` is the deliberate exception: a
+    // line that failed to parse has no trustworthy members, so nothing
+    // is scanned out of it; `overloaded`/`batch_too_large` splice a
+    // raw-scanned trace and are pinned in the limits suite.)
+    serve::engine_config cfg = config_with(1);
+    cfg.limits.max_mc_dies = 100;
+    serve::engine engine{cfg};
+
+    const std::pair<const char*, const char*> cases[] = {
+        {"unknown_op", R"({"op":"nope","trace_id":"t-x"})"},
+        {"bad_request", R"({"op":42,"trace_id":"t-x"})"},
+        {"unknown_field", R"({"op":"scenario1","bogus":1,"trace_id":"t-x"})"},
+        {"bad_param",
+         R"({"op":"scenario1","lambda_um":"half","trace_id":"t-x"})"},
+        {"bad_param", R"({"op":"scenario1","lambda_um":0,"trace_id":"t-x"})"},
+        {"too_large", R"({"op":"mc_yield","dies":1000,"trace_id":"t-x"})"},
+        {"deadline_exceeded",
+         R"({"op":"mc_yield","dies":50,"deadline_ms":0,"trace_id":"t-x"})"},
+    };
+    for (const auto& [code, line] : cases) {
+        const std::string response = engine.handle_line(line);
+        EXPECT_NE(response.find(std::string{"\"code\":\""} + code + "\""),
+                  std::string::npos)
+            << line << " -> " << response;
+        EXPECT_EQ(response.rfind(R"({"trace_id":"t-x","ok":false)", 0), 0u)
+            << line << " -> " << response;
+    }
+
+    // A non-string trace_id is itself a schema error (echoing a
+    // non-string would corrupt the envelope).
+    const std::string bad =
+        engine.handle_line(R"({"op":"scenario1","trace_id":42})");
+    EXPECT_NE(bad.find(R"("code":"bad_param")"), std::string::npos) << bad;
+    EXPECT_EQ(bad.find("\"trace_id\":"), std::string::npos)
+        << "non-string trace must not be echoed: " << bad;
+
+    // And a parse error stays trace-free even when the broken bytes
+    // happen to contain the member.
+    const std::string torn =
+        engine.handle_line(R"({"trace_id":"t-torn","op":)");
+    EXPECT_NE(torn.find(R"("code":"parse_error")"), std::string::npos);
+    EXPECT_EQ(torn.find("t-torn"), std::string::npos) << torn;
+}
+
+TEST(Engine, TraceIdEchoPositionAndBytes) {
+    serve::engine engine{config_with(1)};
+    // With an id: id first, trace second — the envelope key order is
+    // part of the wire contract.
+    const std::string both = engine.handle_line(
+        R"({"id":9,"op":"scenario1","lambda_um":0.5,"trace_id":"t-a"})");
+    EXPECT_EQ(both.rfind(R"({"id":9,"trace_id":"t-a","ok":true)", 0), 0u)
+        << both;
+    // Escapes round-trip exactly like json::dump.
+    const std::string escaped = engine.handle_line(
+        R"({"op":"table3","row":1,"trace_id":"say \"hi\"\n"})");
+    EXPECT_NE(escaped.find(R"("trace_id":"say \"hi\"\n")"),
+              std::string::npos)
+        << escaped;
+    // Absent trace: the response is byte-identical to the pre-trace
+    // format (golden compatibility).
+    const std::string bare =
+        engine.handle_line(R"({"op":"scenario1","lambda_um":0.5})");
+    EXPECT_EQ(bare.find("trace_id"), std::string::npos);
+    EXPECT_EQ(bare.rfind(R"({"ok":true,"result":)", 0), 0u);
+}
+
 TEST(Engine, ErrorsAreNeverCached) {
     serve::engine engine{config_with(1)};
     const std::string line = R"({"op":"scenario1","lambda_um":-1})";

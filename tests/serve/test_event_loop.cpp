@@ -493,6 +493,128 @@ TEST(EventLoop, PipelinedHttpRequestsAllAnswered) {
     ::close(fd);
 }
 
+TEST(EventLoop, HealthzIsCheapAndKeepAlive) {
+    loop_harness h;
+    serve::engine reference;
+    const std::string line = R"({"op":"table3"})";
+    const std::string want = reference.handle_line(line);
+    const int fd = connect_client(h.port);
+    // JSONL, then two pipelined health probes, then JSONL again — the
+    // debug surface must multiplex with request traffic on one
+    // connection, exactly like /metrics.
+    send_all(fd, line +
+                     "\nGET /healthz HTTP/1.1\r\n\r\n"
+                     "GET /healthz HTTP/1.1\r\n\r\n" +
+                     line + "\n");
+    std::string buf;
+    char chunk[16384];
+    const auto read_more = [&] {
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        ASSERT_GT(n, 0) << std::strerror(errno);
+        buf.append(chunk, static_cast<std::size_t>(n));
+    };
+    // Reply 1: the JSONL answer.
+    while (buf.find('\n') == std::string::npos) {
+        read_more();
+    }
+    EXPECT_EQ(buf.substr(0, buf.find('\n')), want);
+    buf.erase(0, buf.find('\n') + 1);
+    // Replies 2+3: framed 200s with the literal body "ok\n".
+    for (int probe = 0; probe < 2; ++probe) {
+        while (buf.find("\r\n\r\n") == std::string::npos) {
+            read_more();
+        }
+        EXPECT_EQ(buf.rfind("HTTP/1.1 200 OK\r\n", 0), 0u) << buf;
+        EXPECT_NE(buf.find("Connection: keep-alive\r\n"), std::string::npos);
+        const std::size_t body_start = buf.find("\r\n\r\n") + 4;
+        while (buf.size() < body_start + 3) {
+            read_more();
+        }
+        EXPECT_EQ(buf.substr(body_start, 3), "ok\n");
+        buf.erase(0, body_start + 3);
+    }
+    // Reply 4: JSONL service resumed.
+    while (buf.find('\n') == std::string::npos) {
+        read_more();
+    }
+    EXPECT_EQ(buf.substr(0, buf.find('\n')), want);
+    ::close(fd);
+}
+
+TEST(EventLoop, StatuszExposesEngineAndTransportState) {
+    serve::engine_config engine_cfg;
+    engine_cfg.limits.max_mc_dies = 12345;
+    loop_harness h{engine_cfg};
+    const int fd = connect_client(h.port);
+    // Serve one line first so the snapshot has something to show.
+    send_all(fd, "{\"op\":\"table3\"}\n");
+    ASSERT_EQ(read_lines(fd, 1).size(), 1u);
+    send_all(fd, "GET /statusz HTTP/1.1\r\nConnection: close\r\n\r\n");
+    const std::string response = read_to_eof(fd);
+    EXPECT_EQ(response.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+    EXPECT_NE(response.find("Content-Type: application/json"),
+              std::string::npos);
+    const std::size_t body_start = response.find("\r\n\r\n");
+    ASSERT_NE(body_start, std::string::npos);
+
+    const serve::json::value doc =
+        serve::json::parse(response.substr(body_start + 4));
+    ASSERT_TRUE(doc.is_object());
+    const auto& status = doc.as_object();
+    for (const char* section : {"config", "limits", "cache", "overload",
+                                "flight", "transport"}) {
+        const serve::json::value* v = status.find(section);
+        ASSERT_NE(v, nullptr) << "missing /statusz section " << section;
+        EXPECT_TRUE(v->is_object()) << section;
+    }
+    EXPECT_EQ(
+        status.find("limits")->as_object().find("max_mc_dies")->as_number(),
+        12345.0);
+    const auto& transport = status.find("transport")->as_object();
+    EXPECT_GE(transport.find("open_conns")->as_number(), 1.0);
+    EXPECT_GE(transport.find("uptime_seconds")->as_number(), 0.0);
+    const auto& flight = status.find("flight")->as_object();
+    ASSERT_NE(flight.find("enabled"), nullptr);
+    ASSERT_NE(flight.find("appended"), nullptr);
+    ::close(fd);
+}
+
+TEST(EventLoop, FlightzDumpsRecordsForServedRequests) {
+    loop_harness h;
+    const int fd = connect_client(h.port);
+    send_all(fd, "{\"op\":\"table3\",\"trace_id\":\"t-flightz\"}\n");
+    ASSERT_EQ(read_lines(fd, 1).size(), 1u);
+    send_all(fd, "GET /flightz HTTP/1.1\r\nConnection: close\r\n\r\n");
+    const std::string response = read_to_eof(fd);
+    EXPECT_EQ(response.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+    EXPECT_NE(response.find("Content-Type: application/x-ndjson"),
+              std::string::npos);
+    const std::size_t body_start = response.find("\r\n\r\n");
+    ASSERT_NE(body_start, std::string::npos);
+    const std::string body = response.substr(body_start + 4);
+    // Every dump line is one well-formed record object; the request we
+    // just served must be in there with its trace.
+    ASSERT_FALSE(body.empty());
+    std::size_t begin = 0;
+    std::size_t records = 0;
+    for (std::size_t nl = body.find('\n', begin); nl != std::string::npos;
+         nl = body.find('\n', begin)) {
+        const std::string record_line = body.substr(begin, nl - begin);
+        begin = nl + 1;
+        const serve::json::value record = serve::json::parse(record_line);
+        ASSERT_TRUE(record.is_object()) << record_line;
+        for (const char* key : {"seq", "endpoint", "trace_id", "code",
+                                "cache_hit", "anomaly", "total_us"}) {
+            ASSERT_NE(record.as_object().find(key), nullptr)
+                << "record missing " << key << ": " << record_line;
+        }
+        ++records;
+    }
+    EXPECT_GT(records, 0u);
+    EXPECT_NE(body.find("\"trace_id\":\"t-flightz\""), std::string::npos);
+    ::close(fd);
+}
+
 TEST(EventLoop, LegacyBareScrapeStaysOneShot) {
     loop_harness h;
     const int fd = connect_client(h.port);

@@ -151,6 +151,17 @@ std::vector<std::string> corpus() {
         R"("scale":"log","target":{"op":"scenario2"}})",
         R"({"op":"sweep","param":"process.c0_usd","from":100,"to":1000,)"
         R"("count":3,"target":{"op":"cost_tr"}})",
+        // trace_id: echoed on success and error envelopes, rejected
+        // when non-string, banned inside sweep targets — all of which
+        // must behave identically on both pipelines.
+        R"({"op":"scenario1","trace_id":"t-1"})",
+        R"({"trace_id":"req-é☃","op":"yield","model":"murphy"})",
+        R"({"id":3,"trace_id":"say \"hi\"","op":"table3","row":1})",
+        R"({"op":"scenario1","trace_id":42})",
+        R"({"op":"scenario1","trace_id":null})",
+        R"({"op":"nope","trace_id":"t-err"})",
+        R"({"op":"sweep","param":"lambda_um","from":0.5,"to":1.0,)"
+        R"("count":3,"target":{"op":"scenario1","trace_id":"x"}})",
         // ids of every JSON kind; keys out of order.
         R"({"id":null,"op":"scenario1"})",
         R"({"id":true,"op":"scenario1"})",
@@ -313,6 +324,29 @@ TEST_F(HotPathAllocations, WarmScenario1HitAllocatesNothing) {
     EXPECT_EQ(warm_hit_allocations(engine, line, out), 0u);
     EXPECT_EQ(out, expected);
     EXPECT_GT(engine.arena_bytes(), 0u);
+}
+
+TEST_F(HotPathAllocations, WarmHitWithTraceIdAllocatesNothing) {
+    // The observability tentpole's gate: echoing a client trace_id —
+    // envelope splice, flight-recorder append, tail-exemplar note —
+    // must not cost the warm path a single allocation.  The warm-up
+    // passes inside warm_hit_allocations also pre-register this
+    // thread's flight ring, so only steady-state work is counted.
+    serve::engine engine{fast_config()};
+    const std::string line =
+        R"({"id":7,"op":"scenario1","lambda_um":0.5,)"
+        R"("trace_id":"req-abc-123-def-456"})";
+    std::string out;
+    engine.handle_line_into(line, out);
+    const std::string expected = out;
+    EXPECT_EQ(warm_hit_allocations(engine, line, out), 0u);
+    EXPECT_EQ(out, expected);
+    EXPECT_NE(out.find("\"trace_id\":\"req-abc-123-def-456\""),
+              std::string::npos);
+    // And a line without one still answers with the legacy bytes.
+    const std::string bare = R"({"id":7,"op":"scenario1","lambda_um":0.5})";
+    EXPECT_EQ(warm_hit_allocations(engine, bare, out), 0u);
+    EXPECT_EQ(out.find("trace_id"), std::string::npos);
 }
 
 TEST_F(HotPathAllocations, WarmHitsAcrossEndpointsAllocateNothing) {

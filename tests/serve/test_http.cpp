@@ -73,6 +73,22 @@ TEST(HttpParser, SimpleGet) {
     EXPECT_EQ(*p.result().header("HOST"), "localhost");
 }
 
+TEST(HttpParser, DebugSurfaceTargetsParse) {
+    // The conn router splits a query string off the target before
+    // matching, so /healthz, /statusz and /flightz must come through
+    // the parser verbatim, query and all.
+    for (const std::string target : {"/healthz", "/statusz", "/flightz"}) {
+        const http::parser p =
+            parse_ok("GET " + target + " HTTP/1.1\r\nHost: x\r\n\r\n");
+        EXPECT_EQ(p.result().target, target);
+        EXPECT_TRUE(p.result().keep_alive) << target;
+    }
+    const http::parser q =
+        parse_ok("HEAD /healthz?probe=lb HTTP/1.1\r\nHost: x\r\n\r\n");
+    EXPECT_EQ(q.result().method, "HEAD");
+    EXPECT_EQ(q.result().target, "/healthz?probe=lb");
+}
+
 TEST(HttpParser, BareLfLineEndingsTolerated) {
     const http::parser p = parse_ok("GET / HTTP/1.1\nHost: x\n\n");
     EXPECT_EQ(p.result().target, "/");

@@ -825,6 +825,143 @@ void scenario_abrupt_close_pending_write(int port) {
     ::close(fd);
 }
 
+// ---------------------------------------------------------------------------
+// Observability battery (debug surface under a shedding burst)
+// ---------------------------------------------------------------------------
+
+/// GET `target` and read to close.  Returns the raw response ("" on
+/// transport failure) and reports the wall time via `elapsed_ms`.
+std::string http_get(const std::string& scenario, int port,
+                     const std::string& target, double& elapsed_ms) {
+    elapsed_ms = -1.0;
+    const int fd = connect_to(port);
+    if (fd < 0) {
+        fail(scenario, "connect failed for GET " + target);
+        return "";
+    }
+    const auto start = std::chrono::steady_clock::now();
+    if (!send_bytes(fd, "GET " + target +
+                            " HTTP/1.1\r\nConnection: close\r\n\r\n")) {
+        fail(scenario, "send failed for GET " + target);
+        ::close(fd);
+        return "";
+    }
+    std::string response;
+    char chunk[16384];
+    for (;;) {
+        pollfd p{fd, POLLIN, 0};
+        if (::poll(&p, 1, kReplyTimeoutMs) <= 0) {
+            break;
+        }
+        const ssize_t got = ::read(fd, chunk, sizeof chunk);
+        if (got <= 0) {
+            break;
+        }
+        response.append(chunk, static_cast<std::size_t>(got));
+    }
+    elapsed_ms = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+    ::close(fd);
+    return response;
+}
+
+/// A heavy burst must shed (tight --deadline-ms budget, expensive
+/// mc_yield lines) while a bystander /healthz answers within a hard
+/// deadline: liveness must not queue behind the work it reports on.
+void scenario_health_under_shedding_burst(int port) {
+    const std::string name = "health under shedding burst";
+    const int fd = connect_to(port);
+    if (fd < 0) {
+        fail(name, "connect failed");
+        return;
+    }
+    constexpr int kCount = 60;
+    std::string payload;
+    for (int i = 0; i < kCount; ++i) {
+        // Unique seeds defeat the cache; every line costs real work.
+        payload += "{\"op\":\"mc_yield\",\"dies\":90000,\"seed\":" +
+                   std::to_string(i) + ",\"trace_id\":\"burst-" +
+                   std::to_string(i) + "\",\"id\":" + std::to_string(i) +
+                   "}\n";
+    }
+    if (!send_bytes(fd, payload)) {
+        fail(name, "send failed");
+        ::close(fd);
+        return;
+    }
+
+    // Probe liveness while the burst is queued/executing.
+    constexpr double kHealthDeadlineMs = 2000.0;
+    double health_ms = -1.0;
+    const std::string health = http_get(name, port, "/healthz", health_ms);
+    if (health.rfind("HTTP/1.1 200 OK\r\n", 0) != 0 &&
+        health.rfind("HTTP/1.1 503 ", 0) != 0) {
+        fail(name, "/healthz answered neither 200 nor 503: " +
+                       health.substr(0, 40));
+    } else if (health.find("\r\n\r\nok\n") == std::string::npos &&
+               health.find("\r\n\r\noverloaded\n") == std::string::npos) {
+        fail(name, "/healthz body is neither ok nor overloaded");
+    }
+    if (health_ms < 0.0 || health_ms > kHealthDeadlineMs) {
+        fail(name, "/healthz took " + std::to_string(health_ms) +
+                       " ms, deadline " + std::to_string(kHealthDeadlineMs));
+    }
+
+    // Every burst line is answered — and the tight budget sheds work.
+    std::size_t shed = 0;
+    for (const std::string& code : expect_replies(name, fd, kCount)) {
+        if (code == "deadline_exceeded") {
+            ++shed;
+        } else if (!code.empty()) {
+            fail(name, "burst line answered '" + code +
+                           "', want ok or deadline_exceeded");
+            break;
+        }
+    }
+    if (shed == 0) {
+        fail(name, "no burst line was shed under a 5 ms budget");
+    }
+    ::close(fd);
+}
+
+/// After the shedding burst, the debug surface must tell the story:
+/// /flightz carries anomaly records with the burst's trace IDs and
+/// /statusz counts the anomalies.
+void scenario_flightz_records_sheds(int port) {
+    const std::string name = "flightz records sheds";
+    double elapsed_ms = -1.0;
+    const std::string response =
+        http_get(name, port, "/flightz", elapsed_ms);
+    if (response.rfind("HTTP/1.1 200 OK\r\n", 0) != 0 ||
+        response.find("Content-Type: application/x-ndjson") ==
+            std::string::npos) {
+        fail(name, "/flightz is not a 200 x-ndjson response");
+        return;
+    }
+    const std::size_t body_at = response.find("\r\n\r\n");
+    const std::string body =
+        body_at == std::string::npos ? "" : response.substr(body_at + 4);
+    if (body.find("{\"seq\":") != 0) {
+        fail(name, "/flightz body does not start with a record");
+    }
+    for (const char* marker :
+         {"\"code\":\"deadline_exceeded\"", "\"anomaly\":true",
+          "\"trace_id\":\"burst-"}) {
+        if (body.find(marker) == std::string::npos) {
+            fail(name, std::string{"/flightz lacks "} + marker);
+        }
+    }
+
+    const std::string status =
+        http_get(name, port, "/statusz", elapsed_ms);
+    if (status.rfind("HTTP/1.1 200 OK\r\n", 0) != 0 ||
+        status.find("\"flight\":") == std::string::npos ||
+        status.find("\"anomalies\":") == std::string::npos) {
+        fail(name, "/statusz lacks the flight-recorder section");
+    }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -893,6 +1030,31 @@ int main(int argc, char** argv) {
     scenario_abrupt_close_pending_write(s2.port);
 
     stop_silicond(s2);
+
+    // Third battery: a tight per-request deadline budget forces a heavy
+    // burst to shed while the debug surface (/healthz, /flightz,
+    // /statusz) stays live and records the sheds.
+    const std::vector<std::string> shedding{
+        "--threads", "2",
+        "--deadline-ms", "5",
+        "--max-mc-dies", "100000",
+    };
+    server s3 = spawn_silicond(argv[1], shedding);
+    if (s3.pid < 0) {
+        return 2;
+    }
+    s3.port = await_port(s3);
+    if (s3.port == 0) {
+        stop_silicond(s3);
+        return 2;
+    }
+    std::cerr << "chaosclient: shedding server up on port " << s3.port
+              << "\n";
+
+    scenario_health_under_shedding_burst(s3.port);
+    scenario_flightz_records_sheds(s3.port);
+
+    stop_silicond(s3);
     if (g_failures != 0) {
         std::cerr << "chaosclient: " << g_failures << " failure(s)\n";
         return 1;

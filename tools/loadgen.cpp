@@ -219,21 +219,42 @@ int connect_nonblocking(int port) {
     return -1;
 }
 
+/// One corpus request plus the index of its endpoint (top-level "op")
+/// in the shared op-name table, so every reply can be attributed to a
+/// per-endpoint latency series.
+struct corpus_entry {
+    std::string line;
+    std::uint32_t op = 0;
+};
+
+struct corpus_set {
+    std::vector<corpus_entry> entries;
+    std::vector<std::string> ops;  ///< distinct endpoint names, by index
+};
+
+/// One in-flight request: when it was scheduled to arrive (open-loop
+/// latency is measured from the schedule, not the send) and which
+/// endpoint it targets.
+struct pending_req {
+    std::uint64_t scheduled_ns = 0;
+    std::uint32_t op = 0;
+};
+
 /// One persistent load connection: a pending send buffer, an inbound
-/// line splitter, and the FIFO of scheduled-arrival timestamps whose
-/// replies have not come back yet.
+/// line splitter, and the FIFO of in-flight requests whose replies
+/// have not come back yet.
 struct lconn {
     int fd = -1;
     std::string out;
     std::size_t out_off = 0;
     std::string in;
-    std::deque<std::uint64_t> pending_ns;
+    std::deque<pending_req> pending_ns;
     bool dead = false;
 
-    void queue(std::string_view line, std::uint64_t scheduled_ns) {
-        out.append(line.data(), line.size());
+    void queue(const corpus_entry& entry, std::uint64_t scheduled_ns) {
+        out.append(entry.line.data(), entry.line.size());
         out += '\n';
-        pending_ns.push_back(scheduled_ns);
+        pending_ns.push_back(pending_req{scheduled_ns, entry.op});
     }
 
     /// Send as much buffered output as the socket takes right now.
@@ -279,6 +300,9 @@ struct level_result {
     double window_s = 0.0;        ///< goodput denominator
     double duration_s = 0.0;      ///< total wall time incl. drain
     std::vector<double> latencies_ms;
+    /// Same samples split by endpoint (indexed like corpus_set::ops);
+    /// the per-endpoint tables expose which op carries the tail.
+    std::vector<std::vector<double>> endpoint_latencies_ms;
     std::map<std::string, std::uint64_t> error_codes;
 };
 
@@ -329,11 +353,16 @@ void pump_in(lconn& c, clock_type::time_point t0, level_result& r) {
             if (c.pending_ns.empty()) {
                 continue;  // protocol violation; surfaces as unanswered
             }
-            const std::uint64_t scheduled = c.pending_ns.front();
+            const pending_req pending = c.pending_ns.front();
             c.pending_ns.pop_front();
             ++r.answered;
-            r.latencies_ms.push_back(
-                static_cast<double>(now - scheduled) / 1e6);
+            const double latency_ms =
+                static_cast<double>(now - pending.scheduled_ns) / 1e6;
+            r.latencies_ms.push_back(latency_ms);
+            if (r.endpoint_latencies_ms.size() <= pending.op) {
+                r.endpoint_latencies_ms.resize(pending.op + 1);
+            }
+            r.endpoint_latencies_ms[pending.op].push_back(latency_ms);
             const std::string code = reply_code(line);
             if (code.empty()) {
                 ++r.ok;
@@ -357,7 +386,7 @@ void pump_in(lconn& c, clock_type::time_point t0, level_result& r) {
 
 /// Closed-loop, pipelined capacity probe: keep `window` requests
 /// outstanding per connection for `seconds`, return replies/second.
-double calibrate_capacity(int port, const std::vector<std::string>& corpus,
+double calibrate_capacity(int port, const corpus_set& corpus,
                           std::size_t conns, std::size_t window,
                           double seconds, splitmix64& rng) {
     std::vector<lconn> fleet(conns);
@@ -373,7 +402,7 @@ double calibrate_capacity(int port, const std::vector<std::string>& corpus,
         static_cast<std::uint64_t>(seconds * 1e9);
     for (lconn& c : fleet) {
         for (std::size_t i = 0; i < window; ++i) {
-            c.queue(corpus[rng.next() % corpus.size()], 0);
+            c.queue(corpus.entries[rng.next() % corpus.entries.size()], 0);
             ++r.sent;
         }
         c.pump_out();
@@ -400,7 +429,8 @@ double calibrate_capacity(int port, const std::vector<std::string>& corpus,
             // window full.
             const std::uint64_t replies = r.answered - before;
             for (std::uint64_t i = 0; i < replies; ++i) {
-                c.queue(corpus[rng.next() % corpus.size()], 0);
+                c.queue(corpus.entries[rng.next() % corpus.entries.size()],
+                        0);
                 ++r.sent;
             }
             c.pump_out();
@@ -416,7 +446,7 @@ double calibrate_capacity(int port, const std::vector<std::string>& corpus,
 
 /// One open-loop level: Poisson arrivals at `rate` req/s for `seconds`,
 /// then a bounded drain of the in-flight tail.
-level_result run_level(int port, const std::vector<std::string>& corpus,
+level_result run_level(int port, const corpus_set& corpus,
                        std::size_t conns, double rate, double seconds,
                        double drain_limit_s, splitmix64& rng) {
     level_result r;
@@ -449,7 +479,7 @@ level_result run_level(int port, const std::vector<std::string>& corpus,
                static_cast<double>(now) >= next_arrival_ns) {
             lconn& c = fleet[rr++ % conns];
             if (!c.dead) {
-                c.queue(corpus[rng.next() % corpus.size()],
+                c.queue(corpus.entries[rng.next() % corpus.entries.size()],
                         static_cast<std::uint64_t>(next_arrival_ns));
                 ++r.sent;
             }
@@ -508,20 +538,45 @@ level_result run_level(int port, const std::vector<std::string>& corpus,
 // Corpus
 // ---------------------------------------------------------------------------
 
+/// Endpoint of a request line: the first (top-level) "op" member.  The
+/// corpus is the golden request file, so a raw scan is reliable —
+/// nested ops (a sweep target) always come after the outer one.
+std::string request_op(std::string_view line) {
+    const std::size_t at = line.find("\"op\":\"");
+    if (at == std::string_view::npos) {
+        return "unknown";
+    }
+    const std::size_t begin = at + 6;
+    const std::size_t end = line.find('"', begin);
+    if (end == std::string_view::npos) {
+        return "unknown";
+    }
+    return std::string{line.substr(begin, end - begin)};
+}
+
 /// Requests whose paired golden response is ok: a realistic op mix with
 /// known-good replies, so goodput means "useful work completed".
-std::vector<std::string> load_corpus(const std::string& requests_path,
-                                     const std::string& responses_path) {
+corpus_set load_corpus(const std::string& requests_path,
+                       const std::string& responses_path) {
     std::ifstream requests{requests_path};
     std::ifstream responses{responses_path};
-    std::vector<std::string> corpus;
+    corpus_set corpus;
+    std::map<std::string, std::uint32_t> op_index;
     std::string request_line;
     std::string response_line;
     while (std::getline(requests, request_line) &&
            std::getline(responses, response_line)) {
-        if (response_line.find("\"ok\":true") != std::string::npos) {
-            corpus.push_back(request_line);
+        if (response_line.find("\"ok\":true") == std::string::npos) {
+            continue;
         }
+        const std::string op = request_op(request_line);
+        const auto [it, fresh] =
+            op_index.emplace(op, static_cast<std::uint32_t>(
+                                     corpus.ops.size()));
+        if (fresh) {
+            corpus.ops.push_back(op);
+        }
+        corpus.entries.push_back(corpus_entry{request_line, it->second});
     }
     return corpus;
 }
@@ -593,12 +648,13 @@ int main(int argc, char** argv) {
 
     std::signal(SIGPIPE, SIG_IGN);
 
-    std::vector<std::string> corpus =
-        load_corpus(requests_path, responses_path);
-    if (corpus.empty()) {
+    corpus_set corpus = load_corpus(requests_path, responses_path);
+    if (corpus.entries.empty()) {
         std::cerr << "loadgen: corpus empty (looked in " << requests_path
                   << "); falling back to a fixed request\n";
-        corpus.push_back("{\"op\":\"scenario1\",\"lambda_um\":0.5}");
+        corpus.ops.push_back("scenario1");
+        corpus.entries.push_back(corpus_entry{
+            "{\"op\":\"scenario1\",\"lambda_um\":0.5}", 0});
     }
 
     server s = spawn_silicond(argv[1], {});
@@ -611,7 +667,8 @@ int main(int argc, char** argv) {
         return 2;
     }
     std::cerr << "loadgen: server on port " << s.port << ", corpus "
-              << corpus.size() << " requests, "
+              << corpus.entries.size() << " requests across "
+              << corpus.ops.size() << " endpoints, "
               << (tiny ? "tiny" : "full") << " mode\n";
 
     splitmix64 rng{seed};
@@ -685,7 +742,32 @@ int main(int argc, char** argv) {
         json_number(out, quantile_ms(r.latencies_ms, 0.99));
         out << ",\"p999_ms\":";
         json_number(out, quantile_ms(r.latencies_ms, 0.999));
-        out << ",\"errors\":{";
+        // Per-endpoint percentile table: which op carries the tail at
+        // this level.  Only endpoints that got at least one reply are
+        // listed (a quantile of nothing is not a number).
+        out << ",\"endpoints\":{";
+        bool first_ep = true;
+        for (std::size_t op = 0; op < r.endpoint_latencies_ms.size();
+             ++op) {
+            const std::vector<double>& samples =
+                r.endpoint_latencies_ms[op];
+            if (samples.empty()) {
+                continue;
+            }
+            if (!first_ep) {
+                out << ",";
+            }
+            first_ep = false;
+            out << "\"" << corpus.ops[op]
+                << "\":{\"count\":" << samples.size() << ",\"p50_ms\":";
+            json_number(out, quantile_ms(samples, 0.50));
+            out << ",\"p99_ms\":";
+            json_number(out, quantile_ms(samples, 0.99));
+            out << ",\"p999_ms\":";
+            json_number(out, quantile_ms(samples, 0.999));
+            out << "}";
+        }
+        out << "},\"errors\":{";
         bool first = true;
         for (const auto& [code, count] : r.error_codes) {
             if (!first) {

@@ -72,10 +72,22 @@
 //   --metrics             dump the metrics/cache JSON to stderr on exit
 //   --metrics-interval S  dump Prometheus text to stderr every S seconds
 //   --trace FILE          enable tracing; write Chrome trace JSON on exit
+//   --flight-records N    per-thread flight-recorder ring capacity
+//                         (default 4096; 0 disables recording)
+//   --flight-dump FILE    write the flight-recorder JSONL to FILE on the
+//                         first anomaly (deadline_exceeded / overloaded /
+//                         internal_error), on SIGUSR1, and at shutdown
+//   --flight-deterministic  zero record timings so a fixed corpus dumps
+//                         byte-identically at any --threads value
 //   --log-level LEVEL     trace|debug|info|warn|error (default info)
 //   --help
+//
+// SIGUSR1 dumps the flight recorder on demand: to --flight-dump FILE
+// when given, to stderr otherwise.  `GET /flightz` over the TCP port
+// answers the same JSONL without touching the filesystem.
 
 #include "exec/thread_pool.hpp"
+#include "obs/flight.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -110,13 +122,18 @@
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_dump_flight = 0;
 
 void on_signal(int) { g_stop = 1; }
+void on_sigusr1(int) { g_dump_flight = 1; }
 
 /// Install SIGINT/SIGTERM handlers WITHOUT SA_RESTART so blocking
 /// reads/accepts return EINTR and the main loops can exit cleanly.
-/// SIGPIPE is ignored: a client that vanishes mid-reply must surface
-/// as an EPIPE write error on that connection, not kill the server.
+/// SIGUSR1 (flight-recorder dump request) is handled the same way: the
+/// EINTR wakes the transport loop, which performs the dump outside
+/// signal context.  SIGPIPE is ignored: a client that vanishes
+/// mid-reply must surface as an EPIPE write error on that connection,
+/// not kill the server.
 void install_signal_handlers() {
     struct sigaction sa{};
     sa.sa_handler = on_signal;
@@ -124,7 +141,40 @@ void install_signal_handlers() {
     sa.sa_flags = 0;
     sigaction(SIGINT, &sa, nullptr);
     sigaction(SIGTERM, &sa, nullptr);
+    struct sigaction usr1{};
+    usr1.sa_handler = on_sigusr1;
+    sigemptyset(&usr1.sa_mask);
+    usr1.sa_flags = 0;
+    sigaction(SIGUSR1, &usr1, nullptr);
     std::signal(SIGPIPE, SIG_IGN);
+}
+
+/// The --flight-dump path (empty = dump to stderr on SIGUSR1).
+std::string g_flight_dump_path;  // NOLINT: set once in main
+
+/// Honor a pending SIGUSR1 outside signal context.  Called from the
+/// transport loops' wakeup points.
+void process_flight_dump_request() {
+    if (g_dump_flight == 0) {
+        return;
+    }
+    g_dump_flight = 0;
+    silicon::obs::flight_recorder& flight =
+        silicon::obs::flight_recorder::instance();
+    if (!g_flight_dump_path.empty()) {
+        if (flight.write_jsonl(g_flight_dump_path)) {
+            silicon::obs::log_info("silicond.flight_dump",
+                                   {{"path", g_flight_dump_path}});
+        } else {
+            silicon::obs::log_error("silicond.flight_dump_failed",
+                                    {{"path", g_flight_dump_path}});
+        }
+    } else {
+        std::string text;
+        flight.export_jsonl(text);
+        std::fwrite(text.data(), 1, text.size(), stderr);
+        std::fflush(stderr);
+    }
 }
 
 struct options {
@@ -147,6 +197,10 @@ struct options {
     bool metrics = false;
     unsigned metrics_interval = 0;  ///< seconds; 0 = off
     std::string trace_path;         ///< empty = tracing off
+    std::size_t flight_records =
+        silicon::obs::flight_recorder::default_capacity;  ///< 0 = off
+    std::string flight_dump;        ///< empty = no dump file
+    bool flight_deterministic = false;
 };
 
 void usage(std::ostream& out) {
@@ -160,7 +214,8 @@ void usage(std::ostream& out) {
            "           [--max-inflight-bytes N] [--deadline-ms N]\n"
            "           [--shed-on-overload] [--faults SPEC] [--metrics]\n"
            "           [--metrics-interval S] [--trace FILE]\n"
-           "           [--log-level LEVEL]\n"
+           "           [--flight-records N] [--flight-dump FILE]\n"
+           "           [--flight-deterministic] [--log-level LEVEL]\n"
            "\n"
            "Reads one JSON request per line from stdin (or a TCP\n"
            "connection with --port) and writes one JSON response per\n"
@@ -177,6 +232,20 @@ void usage(std::ostream& out) {
            "connection closes over TCP); requests over the sweep/MC/\n"
            "byte budgets get too_large or overloaded envelopes; every\n"
            "accepted line still gets exactly one reply.\n"
+           "\n"
+           "A request may carry a \"trace_id\" string; it is echoed in\n"
+           "the response envelope (success and error alike) and shows\n"
+           "up in the flight recorder, the Prometheus tail exemplars,\n"
+           "and /flightz.  The flight recorder keeps the last\n"
+           "--flight-records requests per thread (0 disables) and\n"
+           "dumps JSONL to --flight-dump on the first anomaly\n"
+           "(deadline_exceeded / overloaded / internal_error), on\n"
+           "SIGUSR1, and at shutdown; --flight-deterministic zeroes\n"
+           "timings so fixed corpora dump byte-identically at any\n"
+           "--threads.  Over TCP the port also answers GET /healthz\n"
+           "(liveness; 503 when over the admission budget),\n"
+           "GET /statusz (config/limits/cache/flight JSON) and\n"
+           "GET /flightz (recent flight records, JSONL).\n"
            "\n"
            "Endpoints: cost_tr gross_die yield scenario1 scenario2\n"
            "           table3 mc_yield sweep chiplet partition_explore\n"
@@ -322,6 +391,20 @@ bool parse_options(int argc, char** argv, options& opt) {
                 return false;
             }
             opt.trace_path = t;
+        } else if (arg == "--flight-records") {
+            const char* t = next();
+            if (t == nullptr || !parse_size(t, v)) {
+                return false;
+            }
+            opt.flight_records = v;
+        } else if (arg == "--flight-dump") {
+            const char* t = next();
+            if (t == nullptr || *t == '\0') {
+                return false;
+            }
+            opt.flight_dump = t;
+        } else if (arg == "--flight-deterministic") {
+            opt.flight_deterministic = true;
         } else if (arg == "--log-level") {
             const char* t = next();
             silicon::obs::log_level level{};
@@ -381,6 +464,7 @@ long read_some(int fd, char* buf, std::size_t cap) {
             if (g_stop != 0) {
                 return 0;  // interrupted by shutdown: drain and exit
             }
+            process_flight_dump_request();  // SIGUSR1 woke the read
             continue;
         }
         return static_cast<long>(got);
@@ -593,7 +677,12 @@ int run_tcp(silicon::serve::engine& engine, const options& opt) {
         // check exits the loop, dropping open connections.
         silicon::serve::event_loop loop{engine, listener,
                                         std::move(loop_config)};
-        loop.run([] { return g_stop != 0; });
+        loop.run([] {
+            // Piggyback on the loop's wakeup check: SIGUSR1 interrupts
+            // epoll_wait, the dump happens here, serving continues.
+            process_flight_dump_request();
+            return g_stop != 0;
+        });
     } catch (const std::system_error& e) {
         silicon::obs::log_error("silicond.event_loop",
                                 {{"error", e.what()}});
@@ -702,6 +791,17 @@ int main(int argc, char** argv) {
     config.limits.shed_on_overload = opt.shed_on_overload;
     silicon::serve::engine engine{config};
 
+    // Flight recorder: configured while still single-threaded (ring
+    // capacity is fixed at a thread's first append).
+    obs::flight_recorder& flight = obs::flight_recorder::instance();
+    flight.configure(opt.flight_records);
+    flight.set_enabled(opt.flight_records != 0);
+    flight.set_deterministic(opt.flight_deterministic);
+    g_flight_dump_path = opt.flight_dump;
+    if (!opt.flight_dump.empty()) {
+        flight.arm_dump(opt.flight_dump);
+    }
+
     obs::log_info(
         "silicond.start",
         {{"version", SILICON_VERSION},
@@ -716,7 +816,9 @@ int main(int argc, char** argv) {
          {"deadline_ms", opt.deadline_ms},
          {"faults", faults::enabled()},
          {"trace", !opt.trace_path.empty()},
-         {"metrics_interval", opt.metrics_interval}});
+         {"metrics_interval", opt.metrics_interval},
+         {"flight_records", opt.flight_records},
+         {"flight_dump", opt.flight_dump}});
 
     metrics_dumper dumper{engine, opt.metrics_interval};
 
@@ -724,9 +826,24 @@ int main(int argc, char** argv) {
         opt.port >= 0 ? run_tcp(engine, opt) : run_stdio(engine, opt);
 
     // Clean shutdown (EOF or SIGINT/SIGTERM): stop the periodic dumper
-    // (which flushes a final exposition), write the trace, then the
-    // legacy JSON metrics dump.
+    // (which flushes a final exposition), write the flight dump and the
+    // trace, then the legacy JSON metrics dump.
     dumper.stop();
+
+    process_flight_dump_request();  // a SIGUSR1 racing shutdown still dumps
+    if (!opt.flight_dump.empty()) {
+        if (flight.write_jsonl(opt.flight_dump)) {
+            const obs::flight_recorder::stats f = flight.snapshot();
+            obs::log_info("silicond.flight_written",
+                          {{"path", opt.flight_dump},
+                           {"appended", f.appended},
+                           {"dropped", f.dropped},
+                           {"anomalies", f.anomalies}});
+        } else {
+            obs::log_error("silicond.flight_write_failed",
+                           {{"path", opt.flight_dump}});
+        }
+    }
 
     if (!opt.trace_path.empty()) {
         obs::tracer::instance().disable();

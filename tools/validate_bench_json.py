@@ -137,9 +137,37 @@ def check_load(doc, path):
         for key in ("sent", "answered", "unanswered"):
             errors += require(level, path, key, int)
         errors += require(level, path, "errors", dict)
+        errors += require(level, path, "endpoints", dict)
+        if not level.get("endpoints"):
+            errors += fail(path, "level has an empty endpoints table")
+        for name, table in level.get("endpoints", {}).items():
+            if not isinstance(table, dict):
+                errors += fail(path, f"endpoint {name!r} is not an object")
+                continue
+            errors += require(table, path, "count", int)
+            if table.get("count", 0) < 1:
+                errors += fail(path, f"endpoint {name!r} has no samples")
+            for key in ("p50_ms", "p99_ms", "p999_ms"):
+                errors += require(table, path, key, (int, float))
     ratios = [level.get("target_ratio") for level in doc["levels"]]
     if 2.0 not in ratios:
         errors += fail(path, "missing the 2x overload level")
+    return errors
+
+
+def check_flight(doc, path):
+    """BENCH_flight.json: flight-recorder hot-path overhead."""
+    errors = require(doc, path, "flight", dict)
+    if errors:
+        return errors
+    flight = doc["flight"]
+    for key in ("baseline_req_per_s", "recording_req_per_s",
+                "ns_per_request_baseline", "ns_per_append",
+                "overhead_fraction", "max_overhead_fraction"):
+        errors += require(flight, path, key, (int, float))
+    errors += require(flight, path, "records_appended", int)
+    if flight.get("records_appended", 0) < 1:
+        errors += fail(path, "bench appended no flight records")
     return errors
 
 
@@ -149,6 +177,7 @@ CHECKS = {
     "bench_chiplet": check_chiplet,
     "bench_overload": check_overload,
     "bench_load": check_load,
+    "bench_flight": check_flight,
 }
 
 
