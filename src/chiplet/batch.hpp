@@ -31,4 +31,18 @@ void cost_per_good_system(const chiplet_spec& base, int chiplets,
                           const double* total_area_mm2, double* out,
                           std::size_t n);
 
+/// fast_math variant: same lane classification (a lane is NaN for
+/// exactly the inputs that make evaluate_chiplet throw), but the
+/// transcendental tail — negative-binomial die yield, Williams-Brown
+/// escape, RDL/interposer substrate yield, module-yield pow — runs
+/// through the dispatched vector math in simd/math.hpp in blocked
+/// array passes, so results agree with the scalar kernel only to the
+/// ULP bounds in DESIGN.md §15.  The Maly-row gross-die scan and the
+/// cost composition stay scalar and op-identical.  Lanes remain
+/// independent (sub-range calls compose bit-identically); selected by
+/// the engine only when engine_config::fast_math is set.
+void cost_per_good_system_fast(const chiplet_spec& base, int chiplets,
+                               const double* total_area_mm2, double* out,
+                               std::size_t n);
+
 }  // namespace silicon::chiplet::batch

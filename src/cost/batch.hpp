@@ -57,4 +57,30 @@ void scenario1_cost_per_transistor(const scenario_columns& in, double* out,
 void scenario2_cost_per_transistor(const scenario_columns& in, double* out,
                                    std::size_t n);
 
+// ---- fast_math variants --------------------------------------------
+//
+// Same lane-validity classification as the scalar kernels above, but
+// X^((1-lambda)/step), exp(-5.3 lambda) and Y_0^A go through the
+// dispatched vector math in simd/math.hpp, so results agree with the
+// scalar kernels only to the ULP bounds in DESIGN.md §15 — not
+// bitwise.  Invalid lanes are masked to benign arguments before the
+// transcendental and serialize as the same JSON nulls; lanes stay
+// independent, so sub-range calls compose bit-identically and
+// fast_math sweeps are deterministic across thread counts.  Selected
+// by the engine only when engine_config::fast_math is set.
+
+/// Vector-path pure_wafer_cost (same NaN classification).
+void pure_wafer_cost_fast(const double* c0_usd, const double* x,
+                          const double* lambda_um,
+                          double generation_step_um, double* out,
+                          std::size_t n);
+
+/// Vector-path scenario1_cost_per_transistor.
+void scenario1_cost_per_transistor_fast(const scenario_columns& in,
+                                        double* out, std::size_t n);
+
+/// Vector-path scenario2_cost_per_transistor.
+void scenario2_cost_per_transistor_fast(const scenario_columns& in,
+                                        double* out, std::size_t n);
+
 }  // namespace silicon::cost::batch

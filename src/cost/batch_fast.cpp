@@ -1,0 +1,94 @@
+// batch_fast.cpp — fast_math variants of the SoA cost kernels.
+//
+// Same block structure as yield/batch_fast.cpp: classify lanes with
+// the scalar kernels' guard chains, mask invalid lanes to benign
+// arguments *before* the vector transcendental, then apply the scalar
+// post-guards.  See cost/batch.hpp for the fast_math contract.
+//
+// The kernel bodies live in batch_fast_impl.hpp and are compiled with
+// the portable baseline flags here (namespace `baseline`) and — on
+// x86-64 — with AVX2 flags in batch_fast_avx2.cpp (namespace `avx2`),
+// bit-identically; each public kernel picks the variant once from
+// simd::active_target().
+
+#include "cost/batch.hpp"
+
+#include <cstddef>
+#include <limits>
+
+#include "simd/dispatch.hpp"
+
+#define SILICON_FAST_IMPL_NS baseline
+#include "cost/batch_fast_impl.hpp"
+#undef SILICON_FAST_IMPL_NS
+
+namespace silicon::cost::batch {
+
+#if defined(__x86_64__) || defined(_M_X64)
+// Defined in batch_fast_avx2.cpp from the same impl header.
+namespace avx2 {
+void pure_wafer_cost_fast(const double*, const double*, const double*,
+                          double, double*, std::size_t);
+void scenario1_cost_per_transistor_fast(const scenario_columns&, double*,
+                                        std::size_t);
+void scenario2_cost_per_transistor_fast(const scenario_columns&, double*,
+                                        std::size_t);
+}  // namespace avx2
+#endif
+
+namespace {
+
+inline bool wide_passes() {
+#if defined(__x86_64__) || defined(_M_X64)
+    return simd::active_target() == simd::target::avx2;
+#else
+    return false;
+#endif
+}
+
+}  // namespace
+
+void pure_wafer_cost_fast(const double* c0_usd, const double* x,
+                          const double* lambda_um,
+                          double generation_step_um, double* out,
+                          std::size_t n) {
+    if (!(generation_step_um > 0.0)) {
+        for (std::size_t i = 0; i < n; ++i) {
+            out[i] = std::numeric_limits<double>::quiet_NaN();
+        }
+        return;
+    }
+#if defined(__x86_64__) || defined(_M_X64)
+    if (wide_passes()) {
+        avx2::pure_wafer_cost_fast(c0_usd, x, lambda_um,
+                                   generation_step_um, out, n);
+        return;
+    }
+#endif
+    baseline::pure_wafer_cost_fast(c0_usd, x, lambda_um,
+                                   generation_step_um, out, n);
+}
+
+void scenario1_cost_per_transistor_fast(const scenario_columns& in,
+                                        double* out, std::size_t n) {
+#if defined(__x86_64__) || defined(_M_X64)
+    if (wide_passes()) {
+        avx2::scenario1_cost_per_transistor_fast(in, out, n);
+        return;
+    }
+#endif
+    baseline::scenario1_cost_per_transistor_fast(in, out, n);
+}
+
+void scenario2_cost_per_transistor_fast(const scenario_columns& in,
+                                        double* out, std::size_t n) {
+#if defined(__x86_64__) || defined(_M_X64)
+    if (wide_passes()) {
+        avx2::scenario2_cost_per_transistor_fast(in, out, n);
+        return;
+    }
+#endif
+    baseline::scenario2_cost_per_transistor_fast(in, out, n);
+}
+
+}  // namespace silicon::cost::batch

@@ -1,0 +1,14 @@
+// batch_fast_avx2.cpp — AVX2 compilation of the fast cost kernel
+// bodies (see cost/batch_fast_impl.hpp and yield/batch_fast_impl.hpp
+// for the per-ISA pass-compilation scheme and the bit-identity
+// argument).  Compiled with -mavx2 -mfma -ffp-contract=off on x86-64
+// only; nothing here runs unless simd::active_target() resolved to
+// avx2.
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#define SILICON_FAST_IMPL_NS avx2
+#include "cost/batch_fast_impl.hpp"
+#undef SILICON_FAST_IMPL_NS
+
+#endif  // x86-64

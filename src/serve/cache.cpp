@@ -44,6 +44,7 @@ memo_cache::~memo_cache() { delete[] shards_; }
 
 std::shared_ptr<const std::string> memo_cache::get(std::string_view key) {
     if (shards_ == nullptr) {
+        disabled_misses_.fetch_add(1, std::memory_order_relaxed);
         return nullptr;
     }
     shard& s = shards_[shard_for(key, shard_count_)];
@@ -129,6 +130,7 @@ memo_cache::stats memo_cache::snapshot() const {
     stats out;
     out.capacity = capacity_;
     out.shards = shard_count_;
+    out.misses = disabled_misses_.load(std::memory_order_relaxed);
     out.shard_entries.reserve(shard_count_);
     for (std::size_t i = 0; i < shard_count_; ++i) {
         const shard& s = shards_[i];

@@ -22,6 +22,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -91,6 +92,10 @@ private:
     std::size_t shard_count_ = 0;
     std::size_t capacity_ = 0;
     std::size_t per_shard_capacity_ = 0;
+    /// Miss count when the cache is disabled (capacity 0): there are no
+    /// shards to carry the counter, but every get() is still a miss and
+    /// the stats must say so.
+    std::atomic<std::uint64_t> disabled_misses_{0};
 };
 
 }  // namespace silicon::serve

@@ -14,6 +14,7 @@
 #include "serve/faults.hpp"
 #include "serve/json_arena.hpp"
 #include "serve/request_fast.hpp"
+#include "simd/dispatch.hpp"
 #include "yield/batch.hpp"
 #include "yield/models.hpp"
 #include "yield/monte_carlo.hpp"
@@ -579,11 +580,169 @@ struct line_state {
     exec::arena arena;
     json::arena_parser parser;
     fast_parse_state parsed;
+    /// Cold-miss result body, serialized in place (capacity reused).
+    std::string cold;
 };
 
 line_state& tls_line_state() {
     thread_local line_state state;
     return state;
+}
+
+/// Allocation-free twin of method_from_string for the cold-miss fast
+/// path (the generic helper builds std::strings while matching).
+bool method_from_view(std::string_view name, geometry::gross_die_method& m) {
+    using geometry::gross_die_method;
+    if (name == "maly_rows") {
+        m = gross_die_method::maly_rows;
+    } else if (name == "maly_rows_best_orient") {
+        m = gross_die_method::maly_rows_best_orient;
+    } else if (name == "area_ratio") {
+        m = gross_die_method::area_ratio;
+    } else if (name == "circumference") {
+        m = gross_die_method::circumference;
+    } else if (name == "ferris_prabhu") {
+        m = gross_die_method::ferris_prabhu;
+    } else if (name == "exact") {
+        m = gross_die_method::exact;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+/// Cold-miss fast path: evaluate a closed-form point op straight from
+/// the typed payload and serialize the result body into `out` —
+/// byte-identical to json::dump(eval_*(q)) (same field order, same
+/// format_number_into/write_string_into bytes) without building a
+/// json::value tree, so a warm-capacity serve performs zero heap
+/// allocations end to end.  Returns false for ops whose evaluation
+/// allocates or needs the engine (the slow path serves those); inputs
+/// the scalar library rejects throw out of here exactly like eval_*,
+/// and the caller declines to the slow path for authoritative error
+/// accounting.
+bool cold_result_into(const request& req, std::string& out) {
+    switch (req.op) {
+        case op_code::scenario1: {
+            const auto& q = std::get<scenario1_request>(req.payload);
+            core::scenario1 s;
+            s.wafer_cost = cost::wafer_cost_model{dollars{q.c0_usd}, q.x};
+            s.wafer = geometry::wafer{centimeters{q.wafer_radius_cm}};
+            s.design_density = q.design_density;
+            const dollars ctr = s.cost_per_transistor(microns{q.lambda_um});
+            out += "{\"cost_per_transistor_usd\":";
+            json::format_number_into(ctr.value(), out);
+            out += ",\"cost_per_transistor_micro_usd\":";
+            json::format_number_into(ctr.value() * 1e6, out);
+            out += '}';
+            return true;
+        }
+        case op_code::scenario2: {
+            const auto& q = std::get<scenario2_request>(req.payload);
+            core::scenario2 s;
+            s.wafer_cost = cost::wafer_cost_model{dollars{q.c0_usd}, q.x};
+            s.wafer = geometry::wafer{centimeters{q.wafer_radius_cm}};
+            s.design_density = q.design_density;
+            s.yield = yield::reference_die_yield{probability{q.y0}};
+            const microns lambda{q.lambda_um};
+            const dollars ctr = s.cost_per_transistor(lambda);
+            out += "{\"cost_per_transistor_usd\":";
+            json::format_number_into(ctr.value(), out);
+            out += ",\"cost_per_transistor_micro_usd\":";
+            json::format_number_into(ctr.value() * 1e6, out);
+            out += ",\"die_area_cm2\":";
+            json::format_number_into(s.die_area(lambda).value(), out);
+            out += ",\"transistors\":";
+            json::format_number_into(s.transistors(lambda), out);
+            out += '}';
+            return true;
+        }
+        case op_code::yield: {
+            const auto& q = std::get<yield_request>(req.payload);
+            out += "{\"model\":";
+            json::write_string_into(out, q.model);
+            if (q.model == "scaled_poisson") {
+                const yield::scaled_poisson_model model{q.d, q.p};
+                out += ",\"yield\":";
+                json::format_number_into(
+                    model.yield(square_centimeters{q.die_area_cm2},
+                                microns{q.lambda_um})
+                        .value(),
+                    out);
+                out += ",\"effective_defects_per_cm2\":";
+                json::format_number_into(
+                    model.effective_defect_density(microns{q.lambda_um}),
+                    out);
+                out += '}';
+                return true;
+            }
+            if (q.model == "reference") {
+                const yield::reference_die_yield model{
+                    probability{q.y0}, square_centimeters{q.a0_cm2}};
+                out += ",\"yield\":";
+                json::format_number_into(
+                    model.yield(square_centimeters{q.die_area_cm2}).value(),
+                    out);
+                out += ",\"equivalent_defects_per_cm2\":";
+                json::format_number_into(model.equivalent_defect_density(),
+                                         out);
+                out += '}';
+                return true;
+            }
+            const double faults = q.expected_faults >= 0.0
+                                      ? q.expected_faults
+                                      : q.die_area_cm2 * q.defects_per_cm2;
+            if (!(faults >= 0.0) || !std::isfinite(faults)) {
+                return false;  // slow path owns the bad_param error
+            }
+            probability y{0.0};
+            if (q.model == "poisson") {
+                y = yield::poisson_model{}.yield(faults);
+            } else if (q.model == "murphy") {
+                y = yield::murphy_model{}.yield(faults);
+            } else if (q.model == "seeds") {
+                y = yield::seeds_model{}.yield(faults);
+            } else if (q.model == "bose_einstein") {
+                y = yield::bose_einstein_model{q.critical_steps}.yield(
+                    faults);
+            } else if (q.model == "neg_binomial") {
+                y = yield::negative_binomial_model{q.alpha}.yield(faults);
+            } else {
+                return false;  // unknown model: slow path owns the error
+            }
+            out += ",\"expected_faults\":";
+            json::format_number_into(faults, out);
+            out += ",\"yield\":";
+            json::format_number_into(y.value(), out);
+            out += '}';
+            return true;
+        }
+        case op_code::gross_die: {
+            const auto& q = std::get<gross_die_request>(req.payload);
+            geometry::gross_die_method m{};
+            if (!method_from_view(q.method, m)) {
+                return false;  // slow path owns the bad_param error
+            }
+            const geometry::wafer w{centimeters{q.wafer_radius_cm},
+                                    centimeters{q.edge_exclusion_cm}};
+            const geometry::die d{millimeters{q.die_width_mm},
+                                  millimeters{q.die_height_mm}};
+            const long count =
+                geometry::gross_dies(w, d, m, millimeters{q.scribe_mm});
+            out += "{\"count\":";
+            json::format_number_into(static_cast<double>(count), out);
+            out += ",\"method\":";
+            json::write_string_into(out, q.method);
+            out += ",\"die_area_mm2\":";
+            json::format_number_into(d.area().value(), out);
+            out += ",\"wafer_area_cm2\":";
+            json::format_number_into(w.area().value(), out);
+            out += '}';
+            return true;
+        }
+        default:
+            return false;
+    }
 }
 
 }  // namespace
@@ -730,6 +889,7 @@ bool engine::eval_sweep_fast(const sweep_request& q,
     }
 
     const std::size_t n = xs.size();
+    const bool fm = config_.fast_math;
     request tmp = tgt;
     double* slot = numeric_param_ptr(tmp, q.param);
     if (slot == nullptr) {
@@ -767,7 +927,10 @@ bool engine::eval_sweep_fast(const sweep_request& q,
     // (scalar-throw) lanes are never cached — errors never are.
     const auto populate = [&](const std::vector<double>& out,
                               auto&& lane_result) {
-        if (config_.cache_capacity == 0) {
+        // fast_math lanes never enter the point cache: point queries
+        // always evaluate the scalar library, and a fast lane's bytes
+        // can differ within the documented ULP bounds.
+        if (config_.cache_capacity == 0 || config_.fast_math) {
             return;
         }
         for (std::size_t i = 0; i < n; ++i) {
@@ -801,7 +964,8 @@ bool engine::eval_sweep_fast(const sweep_request& q,
                 cols.x = x.data() + b;
                 cols.wafer_radius_cm = r.data() + b;
                 cols.design_density = dd.data() + b;
-                cost::batch::scenario1_cost_per_transistor(
+                (fm ? cost::batch::scenario1_cost_per_transistor_fast
+                    : cost::batch::scenario1_cost_per_transistor)(
                     cols, out.data() + b, len);
             });
             emit(out);
@@ -827,7 +991,8 @@ bool engine::eval_sweep_fast(const sweep_request& q,
                 cols.wafer_radius_cm = r.data() + b;
                 cols.design_density = dd.data() + b;
                 cols.y0 = y0.data() + b;
-                cost::batch::scenario2_cost_per_transistor(
+                (fm ? cost::batch::scenario2_cost_per_transistor_fast
+                    : cost::batch::scenario2_cost_per_transistor)(
                     cols, out.data() + b, len);
             });
             emit(out);
@@ -876,20 +1041,24 @@ bool engine::eval_sweep_fast(const sweep_request& q,
                                 : f;
                     }
                     if (t.model == "poisson") {
-                        yield::batch::poisson_yield(faults.data(),
-                                                    out.data() + b, len);
+                        (fm ? yield::batch::poisson_yield_fast
+                            : yield::batch::poisson_yield)(
+                            faults.data(), out.data() + b, len);
                     } else if (t.model == "murphy") {
-                        yield::batch::murphy_yield(faults.data(),
-                                                   out.data() + b, len);
+                        (fm ? yield::batch::murphy_yield_fast
+                            : yield::batch::murphy_yield)(
+                            faults.data(), out.data() + b, len);
                     } else if (t.model == "seeds") {
                         yield::batch::seeds_yield(faults.data(),
                                                   out.data() + b, len);
                     } else if (t.model == "bose_einstein") {
-                        yield::batch::bose_einstein_yield(
+                        (fm ? yield::batch::bose_einstein_yield_fast
+                            : yield::batch::bose_einstein_yield)(
                             faults.data(), t.critical_steps,
                             out.data() + b, len);
                     } else {
-                        yield::batch::negative_binomial_yield(
+                        (fm ? yield::batch::negative_binomial_yield_fast
+                            : yield::batch::negative_binomial_yield)(
                             faults.data(), alpha.data() + b,
                             out.data() + b, len);
                     }
@@ -912,7 +1081,8 @@ bool engine::eval_sweep_fast(const sweep_request& q,
                            p = col(t.p);
                 std::vector<double> out(n);
                 shard([&](std::size_t b, std::size_t len) {
-                    yield::batch::scaled_poisson_yield(
+                    (fm ? yield::batch::scaled_poisson_yield_fast
+                        : yield::batch::scaled_poisson_yield)(
                         area.data() + b, lambda.data() + b, d.data() + b,
                         p.data() + b, out.data() + b, len);
                 });
@@ -934,10 +1104,10 @@ bool engine::eval_sweep_fast(const sweep_request& q,
                            a0 = col(t.a0_cm2);
                 std::vector<double> out(n);
                 shard([&](std::size_t b, std::size_t len) {
-                    yield::batch::reference_yield(area.data() + b,
-                                                  y0.data() + b,
-                                                  a0.data() + b,
-                                                  out.data() + b, len);
+                    (fm ? yield::batch::reference_yield_fast
+                        : yield::batch::reference_yield)(
+                        area.data() + b, y0.data() + b, a0.data() + b,
+                        out.data() + b, len);
                 });
                 emit(out);
                 populate(out, [&](std::size_t i) {
@@ -1063,20 +1233,25 @@ json::value engine::eval_partition_explore(
     const std::size_t n = xs.size();
 
     // One cost matrix, filled split-by-split (the outer list is <= 8
-    // entries; the per-split grid is where the work is).  Both paths
-    // run the identical scalar core per cell — the kernel only batches
-    // lanes — so the matrix is bit-identical for either flag value and
-    // any thread count, and infeasible cells are NaN, never a throw.
+    // entries; the per-split grid is where the work is).  Both default
+    // paths run the identical scalar core per cell — the kernel only
+    // batches lanes — so the matrix is bit-identical for either flag
+    // value and any thread count, and infeasible cells are NaN, never
+    // a throw.  Under fast_math the transcendental tail runs on the
+    // vector math instead (cells drift within DESIGN.md §15 bounds,
+    // same NaN classification, still thread-count deterministic).
     std::vector<std::vector<double>> cost(splits.size(),
                                           std::vector<double>(n));
     for (std::size_t s = 0; s < splits.size(); ++s) {
         double* out = cost[s].data();
         const int split = splits[s];
         if (config_.sweep_kernels) {
+            const bool fm = config_.fast_math;
             exec::parallel_for(
                 n, config_.parallelism,
                 [&](const exec::shard_range& r) {
-                    chiplet::batch::cost_per_good_system(
+                    (fm ? chiplet::batch::cost_per_good_system_fast
+                        : chiplet::batch::cost_per_good_system)(
                         base, split, xs.data() + r.begin, out + r.begin,
                         r.end - r.begin);
                 },
@@ -1240,6 +1415,9 @@ json::value engine::statusz_json() const {
     config.set("hot_path", config_.hot_path);
     config.set("batch_dedup", config_.batch_dedup);
     config.set("sweep_kernels", config_.sweep_kernels);
+    config.set("fast_math", config_.fast_math);
+    config.set("simd_target",
+               std::string{simd::to_string(simd::active_target())});
 
     const limits_config& l = config_.limits;
     json::object limits;
@@ -1296,6 +1474,21 @@ json::value engine::statusz_json() const {
 std::string engine::prometheus_text() const {
     std::string out;
     metrics_.to_prometheus(out);
+
+    // Build/dispatch identity, info-style gauge: constant 1, the
+    // payload is the labels (which vector lane the one-time runtime
+    // dispatch picked, and whether this engine serves fast_math
+    // kernels).
+    obs::prometheus_header(out, "silicon_build_info", "gauge",
+                           "SIMD dispatch target and fast_math mode");
+    {
+        std::string name = "silicon_build_info{simd_target=\"";
+        name += simd::to_string(simd::active_target());
+        name += "\",fast_math=\"";
+        name += config_.fast_math ? "on" : "off";
+        name += "\"}";
+        obs::prometheus_sample(out, name, std::uint64_t{1});
+    }
 
     const memo_cache::stats c = cache_.snapshot();
     obs::prometheus_header(out, "silicon_cache_hits_total", "counter",
@@ -1547,32 +1740,68 @@ bool engine::try_handle_line_hot(
         std::shared_ptr<const std::string> hit;
         {
             const obs::trace_span span{"serve.cache", "serve"};
-            // Probe only: a miss is *not* counted here — the slow path
-            // re-probes with get() and owns the authoritative miss.
+            // Probe only: a miss is *not* counted here — whichever
+            // cold path serves it (the closed-form evaluation below or
+            // the legacy pipeline) re-probes with get() and owns the
+            // authoritative miss.
             hit = cache_.get_if_present(req.canonical_key);
         }
         const auto t_probed = std::chrono::steady_clock::now();
+        auto t_evaluated = t_probed;
+        bool cold = false;
         if (hit == nullptr) {
-            return false;
+            // Cold-miss fast path: closed-form point ops evaluate the
+            // scalar library straight from the typed payload and
+            // serialize into the reused TLS buffer, so a cold serve
+            // allocates only for the cache insert (and not even that
+            // when caching is disabled — the zero-alloc gate in
+            // tests/serve/test_hotpath.cpp runs with cache_capacity
+            // 0).  Fault injection stays on the slow path, which owns
+            // every error site.
+            if (faults::enabled()) {
+                return false;
+            }
+            st.cold.clear();
+            {
+                const obs::trace_span span{"serve.exec", "serve"};
+                if (!cold_result_into(req, st.cold)) {
+                    return false;  // ineligible op or slow-path error
+                }
+            }
+            t_evaluated = std::chrono::steady_clock::now();
+            // get() owns the authoritative miss count, exactly like
+            // result_for; a racing writer's bytes win (they are
+            // identical — both paths serialize the scalar library).
+            hit = cache_.get(req.canonical_key);
+            if (hit == nullptr && config_.cache_capacity != 0) {
+                cache_.put(req.canonical_key, st.cold);
+            }
+            cold = true;
         }
         arena_bytes_.fetch_add(st.arena.bytes_allocated(),
                                std::memory_order_relaxed);
         {
             const obs::trace_span span{"serve.serialize", "serve"};
             envelope_into(st.parsed.id_view, st.parsed.trace_view, true,
-                          "result", *hit, out);
+                          "result", hit != nullptr ? *hit : st.cold, out);
         }
         const auto t_done = std::chrono::steady_clock::now();
         endpoint_metrics& m = metrics_.at(req.op);
         m.requests.fetch_add(1, std::memory_order_relaxed);
-        m.cache_hits.fetch_add(1, std::memory_order_relaxed);
+        if (!cold) {
+            m.cache_hits.fetch_add(1, std::memory_order_relaxed);
+        }
         const std::uint64_t total_ns = ns_between(start, t_done);
         m.latency.record(total_ns);
         // Stage breakdown (all allocation-free): parse covers
-        // parse+canonicalize, cache the probe, serialize the splice.
+        // parse+canonicalize, cache the probe, exec the cold
+        // evaluation (warm hits skip it), serialize the splice.
         m.stage_parse.record(ns_between(start, t_parsed));
         m.stage_cache.record(ns_between(t_parsed, t_probed));
-        m.stage_serialize.record(ns_between(t_probed, t_done));
+        if (cold) {
+            m.stage_exec.record(ns_between(t_probed, t_evaluated));
+        }
+        m.stage_serialize.record(ns_between(t_evaluated, t_done));
         if (st.parsed.trace_view != nullptr) {
             note_tail_exemplar(m, total_ns, st.parsed.trace_view->string);
         }
@@ -1583,10 +1812,15 @@ bool engine::try_handle_line_hot(
                 obs::assign_field(rec->trace, st.parsed.trace_view->string);
             }
             obs::assign_field(rec->code, "ok");
-            rec->cache_hit = true;
+            rec->cache_hit = !cold;
             rec->parse_us = ns_to_us_u32(ns_between(start, t_parsed));
             rec->cache_us = ns_to_us_u32(ns_between(t_parsed, t_probed));
-            rec->serialize_us = ns_to_us_u32(ns_between(t_probed, t_done));
+            if (cold) {
+                rec->exec_us =
+                    ns_to_us_u32(ns_between(t_probed, t_evaluated));
+            }
+            rec->serialize_us =
+                ns_to_us_u32(ns_between(t_evaluated, t_done));
             rec->total_us = ns_to_us_u32(total_ns);
             if (have_deadline) {
                 rec->deadline_slack_us =

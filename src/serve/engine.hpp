@@ -94,6 +94,18 @@ struct engine_config {
     /// the per-point path (a post-sweep point query is a warm hit), so
     /// this knob changes throughput only, never bytes or cache sharing.
     bool sweep_kernels = true;
+    /// Route sweep/partition_explore kernels through the *_fast
+    /// variants (vector transcendentals via simd/math.hpp, dispatched
+    /// once per process to AVX2/NEON/scalar — see simd/dispatch.hpp).
+    /// Off (the default) keeps every response bit-identical to the
+    /// scalar library; on, sweep curve values may drift from the
+    /// scalar path within the ULP bounds documented in DESIGN.md §15
+    /// (NaN/null lanes are still classified identically), results
+    /// remain deterministic across thread counts and repeat runs on
+    /// the same host, and fast lanes never populate the per-point
+    /// memoization cache (point queries must keep returning scalar
+    /// bytes).  Do not enable under golden/bit-exact workflows.
+    bool fast_math = false;
     /// Resource budgets and overload behavior (limits.hpp); all
     /// defaults are 0/off, so an unconfigured engine is byte-identical
     /// to one built before limits existed.

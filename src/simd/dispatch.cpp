@@ -1,0 +1,75 @@
+#include "simd/dispatch.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace silicon::simd {
+namespace {
+
+bool env_is(const char* value, const char* want) {
+    return value != nullptr && std::strcmp(value, want) == 0;
+}
+
+target detect() {
+    const char* forced = std::getenv("SILICON_SIMD");
+    if (env_is(forced, "scalar")) {
+        return target::scalar;
+    }
+    if (env_is(forced, "avx2")) {
+        return host_supports(target::avx2) ? target::avx2 : target::scalar;
+    }
+    if (env_is(forced, "neon")) {
+        return host_supports(target::neon) ? target::neon : target::scalar;
+    }
+    // Unset or "auto" (or anything unrecognized): best the host can do.
+    if (host_supports(target::avx2)) {
+        return target::avx2;
+    }
+    if (host_supports(target::neon)) {
+        return target::neon;
+    }
+    return target::scalar;
+}
+
+}  // namespace
+
+bool host_supports(target t) {
+    switch (t) {
+    case target::scalar:
+        return true;
+    case target::avx2:
+#if defined(__x86_64__) || defined(_M_X64)
+        return __builtin_cpu_supports("avx2") != 0 &&
+               __builtin_cpu_supports("fma") != 0;
+#else
+        return false;
+#endif
+    case target::neon:
+#if defined(__aarch64__)
+        // Advanced SIMD with double lanes is baseline on aarch64.
+        return true;
+#else
+        return false;
+#endif
+    }
+    return false;
+}
+
+target active_target() {
+    static const target resolved = detect();
+    return resolved;
+}
+
+const char* to_string(target t) {
+    switch (t) {
+    case target::scalar:
+        return "scalar";
+    case target::avx2:
+        return "avx2";
+    case target::neon:
+        return "neon";
+    }
+    return "scalar";
+}
+
+}  // namespace silicon::simd

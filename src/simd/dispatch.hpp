@@ -1,0 +1,43 @@
+// dispatch.hpp — one-time runtime CPU dispatch for the vector kernels.
+//
+// The batch kernels ship two numerics: the bit-exact scalar path (the
+// default, byte-identical to the scalar library) and a `fast_math`
+// vector path built on the array transcendentals in simd/math.hpp.
+// Which instruction set backs the vector path is decided exactly once
+// per process, the first time anyone asks:
+//
+//   * x86-64 hosts with AVX2+FMA use the 4-lane __m256d backend;
+//   * aarch64 hosts use the 2-lane float64x2_t NEON backend;
+//   * everything else (and any host where detection fails) falls back
+//     to a scalar libm backend with the *same fast-path formulation*,
+//     so fast_math results stay deterministic per target and the ULP
+//     contract holds on every host.
+//
+// The environment variable SILICON_SIMD overrides detection for CI and
+// debugging: "scalar" forces the fallback, "avx2"/"neon" force a
+// vector backend (silently demoted to scalar when the host cannot run
+// it — the effective target is observable via /statusz, the silicond
+// startup banner, and the silicon_build_info Prometheus gauge).
+
+#pragma once
+
+namespace silicon::simd {
+
+/// Instruction set backing the fast_math array transcendentals.
+enum class target {
+    scalar,  ///< libm per lane (fast-path formulation, no intrinsics)
+    avx2,    ///< x86-64 AVX2 + FMA, 4 double lanes
+    neon,    ///< aarch64 Advanced SIMD, 2 double lanes
+};
+
+/// The target selected for this process (detection + SILICON_SIMD
+/// override, resolved once on first call, stable thereafter).
+[[nodiscard]] target active_target();
+
+/// Lower-case name for banners/metrics: "scalar", "avx2", "neon".
+[[nodiscard]] const char* to_string(target t);
+
+/// True when the *hardware* (not the override) can run `t`.
+[[nodiscard]] bool host_supports(target t);
+
+}  // namespace silicon::simd

@@ -1,0 +1,85 @@
+// math.cpp — backend resolution + the scalar libm fallback.
+
+#include "simd/math.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "simd/dispatch.hpp"
+
+namespace silicon::simd {
+namespace detail {
+namespace {
+
+void exp_scalar(const double* x, double* out, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+        out[i] = std::exp(x[i]);
+    }
+}
+
+void expm1_scalar(const double* x, double* out, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+        out[i] = std::expm1(x[i]);
+    }
+}
+
+void pow_scalar(const double* base, const double* expo, double* out,
+                std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+        // The documented domain is base >= 0 with negative bases NaN on
+        // *every* backend; libm's integer-exponent carve-out
+        // (pow(-2, 2) = 4) would make the scalar fallback diverge from
+        // the vector targets, so it is excluded here.  pow(x, 0) = 1
+        // stays first, NaN bases included, matching the vector table.
+        if (expo[i] == 0.0) {
+            out[i] = 1.0;
+        } else if (base[i] < 0.0) {
+            out[i] = std::numeric_limits<double>::quiet_NaN();
+        } else {
+            out[i] = std::pow(base[i], expo[i]);
+        }
+    }
+}
+
+const math_table scalar = {&exp_scalar, &expm1_scalar, &pow_scalar};
+
+const math_table& resolve() {
+    switch (active_target()) {
+#if defined(__x86_64__) || defined(_M_X64)
+    case target::avx2:
+        return avx2_table();
+#endif
+#if defined(__aarch64__)
+    case target::neon:
+        return neon_table();
+#endif
+    default:
+        return scalar_table();
+    }
+}
+
+const math_table& table() {
+    static const math_table& t = resolve();
+    return t;
+}
+
+}  // namespace
+
+const math_table& scalar_table() { return scalar; }
+
+}  // namespace detail
+
+void exp_lanes(const double* x, double* out, std::size_t n) {
+    detail::table().exp_(x, out, n);
+}
+
+void expm1_lanes(const double* x, double* out, std::size_t n) {
+    detail::table().expm1_(x, out, n);
+}
+
+void pow_lanes(const double* base, const double* expo, double* out,
+               std::size_t n) {
+    detail::table().pow_(base, expo, out, n);
+}
+
+}  // namespace silicon::simd

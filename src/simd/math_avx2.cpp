@@ -1,0 +1,102 @@
+// math_avx2.cpp — AVX2+FMA backend (4 double lanes per register).
+//
+// Compiled with -mavx2 -mfma (see simd/CMakeLists.txt); nothing in
+// this TU may run unless host_supports(target::avx2) — math.cpp only
+// installs this table after that check.
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include "simd/math_impl.hpp"
+
+namespace silicon::simd::detail {
+namespace {
+
+struct vec_avx2 {
+    using reg = __m256d;
+    static constexpr std::size_t width = 4;
+
+    static reg load(const double* p) { return _mm256_loadu_pd(p); }
+    static void store(double* p, reg v) { _mm256_storeu_pd(p, v); }
+    static reg set1(double x) { return _mm256_set1_pd(x); }
+
+    static reg add(reg a, reg b) { return _mm256_add_pd(a, b); }
+    static reg sub(reg a, reg b) { return _mm256_sub_pd(a, b); }
+    static reg mul(reg a, reg b) { return _mm256_mul_pd(a, b); }
+    static reg div(reg a, reg b) { return _mm256_div_pd(a, b); }
+    /// a*b + c with a single rounding.
+    static reg fma(reg a, reg b, reg c) { return _mm256_fmadd_pd(a, b, c); }
+    static reg min(reg a, reg b) { return _mm256_min_pd(a, b); }
+    static reg max(reg a, reg b) { return _mm256_max_pd(a, b); }
+    static reg abs(reg a) {
+        return _mm256_andnot_pd(set1(-0.0), a);
+    }
+    static reg round_nearest(reg a) {
+        return _mm256_round_pd(a, _MM_FROUND_TO_NEAREST_INT |
+                                      _MM_FROUND_NO_EXC);
+    }
+
+    static reg lt(reg a, reg b) { return _mm256_cmp_pd(a, b, _CMP_LT_OQ); }
+    static reg le(reg a, reg b) { return _mm256_cmp_pd(a, b, _CMP_LE_OQ); }
+    static reg gt(reg a, reg b) { return _mm256_cmp_pd(a, b, _CMP_GT_OQ); }
+    static reg eq(reg a, reg b) { return _mm256_cmp_pd(a, b, _CMP_EQ_OQ); }
+    static reg unordered(reg a) {
+        return _mm256_cmp_pd(a, a, _CMP_UNORD_Q);
+    }
+    static reg and_m(reg a, reg b) { return _mm256_and_pd(a, b); }
+    static reg or_m(reg a, reg b) { return _mm256_or_pd(a, b); }
+    /// mask-true lanes from a, others from b.
+    static reg select(reg mask, reg a, reg b) {
+        return _mm256_blendv_pd(b, a, mask);
+    }
+
+    /// One bit per lane (bit i = lane i's mask sign); all_mask when
+    /// every lane is set.  Lets kernels skip a branch's work for
+    /// uniform registers without changing any lane's result.
+    static constexpr int all_mask = 0xF;
+    static int movemask(reg m) { return _mm256_movemask_pd(m); }
+
+    /// 2^k for integral-valued double lanes k in [-1022, 1023].
+    static reg pow2i(reg k) {
+        const __m128i k32 = _mm256_cvtpd_epi32(k);
+        const __m256i k64 = _mm256_cvtepi32_epi64(k32);
+        const __m256i bits = _mm256_slli_epi64(
+            _mm256_add_epi64(k64, _mm256_set1_epi64x(1023)), 52);
+        return _mm256_castsi256_pd(bits);
+    }
+
+    /// Biased exponent field as a double, for positive finite inputs.
+    static reg exp_biased(reg x) {
+        const __m256i bits = _mm256_castpd_si256(x);
+        const __m256i e = _mm256_srli_epi64(bits, 52);
+        // int64 in [0, 2047] -> double via the 2^52 offset trick.
+        const __m256i magic = _mm256_castpd_si256(set1(0x1p52));
+        const reg shifted = _mm256_castsi256_pd(_mm256_or_si256(e, magic));
+        return sub(shifted, set1(0x1p52));
+    }
+
+    /// Mantissa of x re-homed to [0.5, 1).
+    static reg mant_half(reg x) {
+        const __m256i bits = _mm256_castpd_si256(x);
+        const __m256i mant = _mm256_and_si256(
+            bits, _mm256_set1_epi64x(0x000FFFFFFFFFFFFFLL));
+        const __m256i half = _mm256_or_si256(
+            mant, _mm256_set1_epi64x(0x3FE0000000000000LL));
+        return _mm256_castsi256_pd(half);
+    }
+};
+
+const math_table table = {
+    &exp_array<vec_avx2>,
+    &expm1_array<vec_avx2>,
+    &pow_array<vec_avx2>,
+};
+
+}  // namespace
+
+const math_table& avx2_table() { return table; }
+
+}  // namespace silicon::simd::detail
+
+#endif  // x86-64

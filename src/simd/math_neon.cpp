@@ -1,0 +1,111 @@
+// math_neon.cpp — aarch64 Advanced SIMD backend (2 double lanes).
+//
+// Same generic bodies as the AVX2 TU (math_impl.hpp); only the
+// register wrappers differ, so the numerics CI exercises on x86 are
+// the numerics that run here.
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include "simd/math_impl.hpp"
+
+namespace silicon::simd::detail {
+namespace {
+
+struct vec_neon {
+    using reg = float64x2_t;
+    static constexpr std::size_t width = 2;
+
+    static reg load(const double* p) { return vld1q_f64(p); }
+    static void store(double* p, reg v) { vst1q_f64(p, v); }
+    static reg set1(double x) { return vdupq_n_f64(x); }
+
+    static reg add(reg a, reg b) { return vaddq_f64(a, b); }
+    static reg sub(reg a, reg b) { return vsubq_f64(a, b); }
+    static reg mul(reg a, reg b) { return vmulq_f64(a, b); }
+    static reg div(reg a, reg b) { return vdivq_f64(a, b); }
+    /// a*b + c with a single rounding (vfmaq computes c + a*b).
+    static reg fma(reg a, reg b, reg c) { return vfmaq_f64(c, a, b); }
+    static reg min(reg a, reg b) { return vminq_f64(a, b); }
+    static reg max(reg a, reg b) { return vmaxq_f64(a, b); }
+    static reg abs(reg a) { return vabsq_f64(a); }
+    static reg round_nearest(reg a) { return vrndnq_f64(a); }
+
+    static reg lt(reg a, reg b) {
+        return vreinterpretq_f64_u64(vcltq_f64(a, b));
+    }
+    static reg le(reg a, reg b) {
+        return vreinterpretq_f64_u64(vcleq_f64(a, b));
+    }
+    static reg gt(reg a, reg b) {
+        return vreinterpretq_f64_u64(vcgtq_f64(a, b));
+    }
+    static reg eq(reg a, reg b) {
+        return vreinterpretq_f64_u64(vceqq_f64(a, b));
+    }
+    static reg unordered(reg a) {
+        // NaN lanes fail a == a; invert the equality mask.
+        return vreinterpretq_f64_u64(
+            veorq_u64(vceqq_f64(a, a), vdupq_n_u64(~0ULL)));
+    }
+    static reg and_m(reg a, reg b) {
+        return vreinterpretq_f64_u64(vandq_u64(vreinterpretq_u64_f64(a),
+                                               vreinterpretq_u64_f64(b)));
+    }
+    static reg or_m(reg a, reg b) {
+        return vreinterpretq_f64_u64(vorrq_u64(vreinterpretq_u64_f64(a),
+                                               vreinterpretq_u64_f64(b)));
+    }
+    /// mask-true lanes from a, others from b.
+    static reg select(reg mask, reg a, reg b) {
+        return vbslq_f64(vreinterpretq_u64_f64(mask), a, b);
+    }
+
+    /// One bit per lane (bit i = lane i's mask sign); all_mask when
+    /// every lane is set.  Lets kernels skip a branch's work for
+    /// uniform registers without changing any lane's result.
+    static constexpr int all_mask = 0x3;
+    static int movemask(reg m) {
+        const uint64x2_t u = vreinterpretq_u64_f64(m);
+        return static_cast<int>((vgetq_lane_u64(u, 0) >> 63) |
+                                ((vgetq_lane_u64(u, 1) >> 63) << 1));
+    }
+
+    /// 2^k for integral-valued double lanes k in [-1022, 1023].
+    static reg pow2i(reg k) {
+        const int64x2_t k64 = vcvtnq_s64_f64(k);
+        const int64x2_t bits =
+            vshlq_n_s64(vaddq_s64(k64, vdupq_n_s64(1023)), 52);
+        return vreinterpretq_f64_s64(bits);
+    }
+
+    /// Biased exponent field as a double, for positive finite inputs.
+    static reg exp_biased(reg x) {
+        const uint64x2_t e = vshrq_n_u64(vreinterpretq_u64_f64(x), 52);
+        return vcvtq_f64_u64(e);
+    }
+
+    /// Mantissa of x re-homed to [0.5, 1).
+    static reg mant_half(reg x) {
+        const uint64x2_t mant = vandq_u64(
+            vreinterpretq_u64_f64(x), vdupq_n_u64(0x000FFFFFFFFFFFFFULL));
+        const uint64x2_t half =
+            vorrq_u64(mant, vdupq_n_u64(0x3FE0000000000000ULL));
+        return vreinterpretq_f64_u64(half);
+    }
+};
+
+const math_table table = {
+    &exp_array<vec_neon>,
+    &expm1_array<vec_neon>,
+    &pow_array<vec_neon>,
+};
+
+}  // namespace
+
+const math_table& neon_table() { return table; }
+
+}  // namespace silicon::simd::detail
+
+#endif  // aarch64

@@ -76,4 +76,58 @@ void scaled_poisson_yield(const double* die_area_cm2,
 void reference_yield(const double* die_area_cm2, const double* y0,
                      const double* a0_cm2, double* out, std::size_t n);
 
+// ---- fast_math variants --------------------------------------------
+//
+// Same signatures, same lane-validity classification (a lane is NaN
+// for exactly the inputs that NaN the scalar kernel above — pinned by
+// tests/yield/test_batch_ulp.cpp), but the transcendentals go through
+// the dispatched vector math in simd/math.hpp instead of libm, so the
+// results are NOT bit-identical to the scalar kernels: they agree to
+// within the ULP bounds in DESIGN.md §15 (<= 4 ULP drift on
+// well-conditioned lanes, <= 4 ULP against a long-double reference).
+// Invalid lanes are masked to benign arguments *before* the
+// transcendental, so guard lanes cannot perturb neighbours and always
+// serialize as the same JSON null bytes as the scalar path.
+//
+// Like the scalar kernels, every lane is computed independently (tails
+// use the same vector math through a padded register), so sub-range
+// calls compose bit-identically — fast_math sweeps stay deterministic
+// across thread counts.  The engine only selects these when
+// engine_config::fast_math is set.
+
+/// Vector-path poisson_yield (same NaN classification).
+void poisson_yield_fast(const double* expected_faults, double* out,
+                        std::size_t n);
+
+/// Vector-path murphy_yield.  The f < 1e-9 linearization branch is
+/// bit-identical to the scalar kernel (no transcendental there); the
+/// main branch evaluates ((-expm1(-f))/f)^2, which is better
+/// conditioned than the scalar (1 - exp(-f))/f form.
+void murphy_yield_fast(const double* expected_faults, double* out,
+                       std::size_t n);
+
+/// seeds_yield has no transcendental: the "fast" path is the scalar
+/// kernel itself (bit-identical on every target).
+void seeds_yield_fast(const double* expected_faults, double* out,
+                      std::size_t n);
+
+/// Vector-path bose_einstein_yield (same NaN classification).
+void bose_einstein_yield_fast(const double* expected_faults,
+                              int critical_steps, double* out,
+                              std::size_t n);
+
+/// Vector-path negative_binomial_yield (same NaN classification).
+void negative_binomial_yield_fast(const double* expected_faults,
+                                  const double* alpha, double* out,
+                                  std::size_t n);
+
+/// Vector-path scaled_poisson_yield (same NaN classification).
+void scaled_poisson_yield_fast(const double* die_area_cm2,
+                               const double* lambda_um, const double* d,
+                               const double* p, double* out, std::size_t n);
+
+/// Vector-path reference_yield (same NaN classification).
+void reference_yield_fast(const double* die_area_cm2, const double* y0,
+                          const double* a0_cm2, double* out, std::size_t n);
+
 }  // namespace silicon::yield::batch

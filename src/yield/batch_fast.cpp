@@ -1,0 +1,153 @@
+// batch_fast.cpp — fast_math variants of the SoA yield kernels.
+//
+// Structure shared by every kernel here: work proceeds in fixed-size
+// blocks of lanes through small stack buffers.  Phase one is plain
+// elementwise code that classifies each lane with exactly the scalar
+// kernel's guard chain and writes a *masked* argument — invalid lanes
+// get a benign value (0 for exp, base 1/exponent 0 for pow) so the
+// transcendental never sees them; phase two is one dispatched vector
+// transcendental over the block (simd/math.hpp); phase three applies
+// the scalar kernel's post-guards and overwrites masked lanes with
+// quiet NaN.  Masking *before* the transcendental is what guarantees
+// invalid lanes serialize as byte-identical JSON nulls under the
+// vector path (the guard-lane regression tests in
+// tests/yield/test_batch_ulp.cpp pin this per family).
+//
+// The kernel bodies live in batch_fast_impl.hpp and are compiled once
+// with the portable baseline flags (namespace `baseline`, this TU) and
+// — on x86-64 — once more with AVX2 flags (namespace `avx2`,
+// batch_fast_avx2.cpp) so the classification/guard passes run at the
+// same register width as the transcendentals.  Each public kernel
+// picks the variant from simd::active_target(); the variants are
+// bit-identical (see the impl header), so this is purely a speed
+// dispatch.
+//
+// No heap allocation, no exceptions, lane-independent by construction.
+
+#include "yield/batch.hpp"
+
+#include <cstddef>
+#include <limits>
+
+#include "simd/dispatch.hpp"
+
+#define SILICON_FAST_IMPL_NS baseline
+#include "yield/batch_fast_impl.hpp"
+#undef SILICON_FAST_IMPL_NS
+
+namespace silicon::yield::batch {
+
+#if defined(__x86_64__) || defined(_M_X64)
+// Defined in batch_fast_avx2.cpp from the same impl header.
+namespace avx2 {
+void poisson_yield_fast(const double*, double*, std::size_t);
+void murphy_yield_fast(const double*, double*, std::size_t);
+void bose_einstein_yield_fast(const double*, int, double*, std::size_t);
+void negative_binomial_yield_fast(const double*, const double*, double*,
+                                  std::size_t);
+void scaled_poisson_yield_fast(const double*, const double*, const double*,
+                               const double*, double*, std::size_t);
+void reference_yield_fast(const double*, const double*, const double*,
+                          double*, std::size_t);
+}  // namespace avx2
+#endif
+
+namespace {
+
+inline bool wide_passes() {
+#if defined(__x86_64__) || defined(_M_X64)
+    return simd::active_target() == simd::target::avx2;
+#else
+    return false;
+#endif
+}
+
+}  // namespace
+
+void poisson_yield_fast(const double* expected_faults, double* out,
+                        std::size_t n) {
+#if defined(__x86_64__) || defined(_M_X64)
+    if (wide_passes()) {
+        avx2::poisson_yield_fast(expected_faults, out, n);
+        return;
+    }
+#endif
+    baseline::poisson_yield_fast(expected_faults, out, n);
+}
+
+void murphy_yield_fast(const double* expected_faults, double* out,
+                       std::size_t n) {
+#if defined(__x86_64__) || defined(_M_X64)
+    if (wide_passes()) {
+        avx2::murphy_yield_fast(expected_faults, out, n);
+        return;
+    }
+#endif
+    baseline::murphy_yield_fast(expected_faults, out, n);
+}
+
+void seeds_yield_fast(const double* expected_faults, double* out,
+                      std::size_t n) {
+    // 1/(1+f) has no transcendental to vectorize; delegate so the fast
+    // path is bit-identical to the scalar kernel on every target.
+    seeds_yield(expected_faults, out, n);
+}
+
+void bose_einstein_yield_fast(const double* expected_faults,
+                              int critical_steps, double* out,
+                              std::size_t n) {
+    if (critical_steps < 1) {
+        for (std::size_t i = 0; i < n; ++i) {
+            out[i] = std::numeric_limits<double>::quiet_NaN();
+        }
+        return;
+    }
+#if defined(__x86_64__) || defined(_M_X64)
+    if (wide_passes()) {
+        avx2::bose_einstein_yield_fast(expected_faults, critical_steps, out,
+                                       n);
+        return;
+    }
+#endif
+    baseline::bose_einstein_yield_fast(expected_faults, critical_steps, out,
+                                       n);
+}
+
+void negative_binomial_yield_fast(const double* expected_faults,
+                                  const double* alpha, double* out,
+                                  std::size_t n) {
+#if defined(__x86_64__) || defined(_M_X64)
+    if (wide_passes()) {
+        avx2::negative_binomial_yield_fast(expected_faults, alpha, out, n);
+        return;
+    }
+#endif
+    baseline::negative_binomial_yield_fast(expected_faults, alpha, out, n);
+}
+
+void scaled_poisson_yield_fast(const double* die_area_cm2,
+                               const double* lambda_um, const double* d,
+                               const double* p, double* out, std::size_t n) {
+#if defined(__x86_64__) || defined(_M_X64)
+    if (wide_passes()) {
+        avx2::scaled_poisson_yield_fast(die_area_cm2, lambda_um, d, p, out,
+                                        n);
+        return;
+    }
+#endif
+    baseline::scaled_poisson_yield_fast(die_area_cm2, lambda_um, d, p, out,
+                                        n);
+}
+
+void reference_yield_fast(const double* die_area_cm2, const double* y0,
+                          const double* a0_cm2, double* out, std::size_t n) {
+#if defined(__x86_64__) || defined(_M_X64)
+    if (wide_passes()) {
+        avx2::reference_yield_fast(die_area_cm2, y0, a0_cm2, out, n);
+        return;
+    }
+#endif
+    baseline::reference_yield_fast(die_area_cm2, y0, a0_cm2, out, n);
+}
+
+}  // namespace silicon::yield::batch

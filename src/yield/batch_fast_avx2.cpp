@@ -1,0 +1,14 @@
+// batch_fast_avx2.cpp — AVX2 compilation of the fast yield kernel
+// bodies (see batch_fast_impl.hpp for why the passes are compiled per
+// ISA and why -ffp-contract=off keeps this variant bit-identical to
+// the baseline one).  Compiled with -mavx2 -mfma -ffp-contract=off on
+// x86-64 only; nothing here runs unless simd::active_target() resolved
+// to avx2, which implies the host supports these instructions.
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#define SILICON_FAST_IMPL_NS avx2
+#include "yield/batch_fast_impl.hpp"
+#undef SILICON_FAST_IMPL_NS
+
+#endif  // x86-64

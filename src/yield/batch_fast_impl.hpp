@@ -1,0 +1,225 @@
+// batch_fast_impl.hpp — fast_math yield kernel bodies, compiled once
+// per instruction-set variant.
+//
+// The transcendentals already run at full vector width through the
+// dispatched table in simd/math.hpp, but the classification and guard
+// passes around them compile with whatever flags their TU gets.  On
+// x86-64 the baseline is SSE2 (2 lanes), which leaves the passes
+// running at half the width of the AVX2 transcendentals — so the same
+// bodies are compiled twice:
+//
+//   * batch_fast.cpp includes this header into namespace `baseline`
+//     with the project's portable flags, and
+//   * batch_fast_avx2.cpp (x86-64 only) includes it into namespace
+//     `avx2` with -mavx2 -mfma -ffp-contract=off.
+//
+// -ffp-contract=off is what keeps the two variants bit-identical: the
+// passes are plain IEEE adds/muls/divides/compares whose results do
+// not depend on register width, and disabling FMA contraction removes
+// the only way -mfma could change a rounding.  The public kernels in
+// batch_fast.cpp pick the variant once per call from
+// simd::active_target(), so a host always runs one variant and the
+// fast path stays byte-stable across threads and shard splits.
+//
+// Define SILICON_FAST_IMPL_NS to the variant namespace before
+// including.  See batch_fast.cpp for the kernel-structure contract
+// (mask -> transcendental -> post-guard per block).
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+#include "simd/math.hpp"
+
+namespace silicon::yield::batch {
+namespace SILICON_FAST_IMPL_NS {
+
+constexpr double nan_lane = std::numeric_limits<double>::quiet_NaN();
+constexpr std::size_t block = 256;
+
+/// The scalar kernels' shared post-guard: a computed yield outside
+/// [0, 1] (or NaN) maps to the NaN lane.
+inline double yield_guard(double y) {
+    return !((y >= 0.0) & (y <= 1.0)) ? nan_lane : y;
+}
+
+void poisson_yield_fast(const double* expected_faults, double* out,
+                               std::size_t n) {
+    double arg[block];
+    double e[block];
+    for (std::size_t base = 0; base < n; base += block) {
+        const std::size_t len = (n - base < block) ? (n - base) : block;
+        for (std::size_t j = 0; j < len; ++j) {
+            const double f = expected_faults[base + j];
+            arg[j] = !(f >= 0.0) ? 0.0 : -f;
+        }
+        simd::exp_lanes(arg, e, len);
+        for (std::size_t j = 0; j < len; ++j) {
+            const double f = expected_faults[base + j];
+            out[base + j] = !(f >= 0.0) ? nan_lane : e[j];
+        }
+    }
+}
+
+void murphy_yield_fast(const double* expected_faults, double* out,
+                              std::size_t n) {
+    double arg[block];
+    double em[block];
+    for (std::size_t base = 0; base < n; base += block) {
+        const std::size_t len = (n - base < block) ? (n - base) : block;
+        for (std::size_t j = 0; j < len; ++j) {
+            const double f = expected_faults[base + j];
+            // Only the main branch reaches the transcendental; guard
+            // and linearized lanes are masked to 0.
+            arg[j] = ((f >= 0.0) & !(f < 1e-9)) ? -f : 0.0;
+        }
+        simd::expm1_lanes(arg, em, len);
+        // Branchless select chain (the division runs on every lane —
+        // f = 0 lanes produce a NaN the linearization select discards)
+        // so the compiler can if-convert and vectorize the pass.
+        for (std::size_t j = 0; j < len; ++j) {
+            const double f = expected_faults[base + j];
+            // Bit-identical to the scalar kernel on the linearized
+            // branch: same ops, same association, no transcendental.
+            const double lin = 1.0 - 0.5 * f;
+            const double t = -em[j] / f;
+            const double y = (f < 1e-9) ? lin * lin : t * t;
+            out[base + j] = !(f >= 0.0) ? nan_lane : yield_guard(y);
+        }
+    }
+}
+
+void bose_einstein_yield_fast(const double* expected_faults,
+                                     int critical_steps, double* out,
+                                     std::size_t n) {
+    const double steps = static_cast<double>(critical_steps);
+    double pb[block];
+    double pe[block];
+    double y[block];
+    for (std::size_t base = 0; base < n; base += block) {
+        const std::size_t len = (n - base < block) ? (n - base) : block;
+        for (std::size_t j = 0; j < len; ++j) {
+            const double f = expected_faults[base + j];
+            const bool valid = f >= 0.0;
+            const double per_step = f / steps;
+            pb[j] = valid ? 1.0 + per_step : 1.0;
+            pe[j] = valid ? -steps : 0.0;
+        }
+        simd::pow_lanes(pb, pe, y, len);
+        for (std::size_t j = 0; j < len; ++j) {
+            const double f = expected_faults[base + j];
+            out[base + j] = !(f >= 0.0) ? nan_lane : yield_guard(y[j]);
+        }
+    }
+}
+
+void negative_binomial_yield_fast(const double* expected_faults,
+                                         const double* alpha, double* out,
+                                         std::size_t n) {
+    double pb[block];
+    double pe[block];
+    double y[block];
+    for (std::size_t base = 0; base < n; base += block) {
+        const std::size_t len = (n - base < block) ? (n - base) : block;
+        for (std::size_t j = 0; j < len; ++j) {
+            const double f = expected_faults[base + j];
+            const double a = alpha[base + j];
+            const bool valid = (a > 0.0) & (f >= 0.0);
+            // Unconditional division (masked denominator) so the loop
+            // if-converts; f/a only reaches pb on valid lanes.
+            const double fa = f / (valid ? a : 1.0);
+            pb[j] = valid ? 1.0 + fa : 1.0;
+            pe[j] = valid ? -a : 0.0;
+        }
+        simd::pow_lanes(pb, pe, y, len);
+        for (std::size_t j = 0; j < len; ++j) {
+            const double f = expected_faults[base + j];
+            const double a = alpha[base + j];
+            out[base + j] = (!(a > 0.0) | !(f >= 0.0))
+                                ? nan_lane
+                                : yield_guard(y[j]);
+        }
+    }
+}
+
+void scaled_poisson_yield_fast(const double* die_area_cm2,
+                                      const double* lambda_um,
+                                      const double* d, const double* p,
+                                      double* out, std::size_t n) {
+    double pb[block];
+    double pe[block];
+    double lp[block];
+    double arg[block];
+    double e[block];
+    for (std::size_t base = 0; base < n; base += block) {
+        const std::size_t len = (n - base < block) ? (n - base) : block;
+        for (std::size_t j = 0; j < len; ++j) {
+            const double a = die_area_cm2[base + j];
+            const double l = lambda_um[base + j];
+            const double di = d[base + j];
+            const double pi = p[base + j];
+            const bool valid = (di >= 0.0) & (pi > 2.0) & (a >= 0.0) &
+                               !std::isinf(a) & (l > 0.0) &
+                               !std::isinf(l);
+            pb[j] = valid ? l : 1.0;
+            pe[j] = valid ? pi : 0.0;
+        }
+        simd::pow_lanes(pb, pe, lp, len);
+        for (std::size_t j = 0; j < len; ++j) {
+            const double a = die_area_cm2[base + j];
+            const double di = d[base + j];
+            // Same association as the scalar kernel: A * (D / l^p);
+            // masked lanes evaluate a benign exp(-0) they never read.
+            const double expected = a * (di / lp[j]);
+            arg[j] = ((pe[j] == 0.0) & (pb[j] == 1.0)) ? 0.0 : -expected;
+        }
+        simd::exp_lanes(arg, e, len);
+        for (std::size_t j = 0; j < len; ++j) {
+            const double a = die_area_cm2[base + j];
+            const double l = lambda_um[base + j];
+            const double di = d[base + j];
+            const double pi = p[base + j];
+            const bool invalid =
+                !((di >= 0.0) & (pi > 2.0) & (a >= 0.0) &
+                  !std::isinf(a) & (l > 0.0) & !std::isinf(l));
+            out[base + j] = invalid ? nan_lane : yield_guard(e[j]);
+        }
+    }
+}
+
+void reference_yield_fast(const double* die_area_cm2,
+                                 const double* y0, const double* a0_cm2,
+                                 double* out, std::size_t n) {
+    double pb[block];
+    double pe[block];
+    double y[block];
+    for (std::size_t base = 0; base < n; base += block) {
+        const std::size_t len = (n - base < block) ? (n - base) : block;
+        for (std::size_t j = 0; j < len; ++j) {
+            const double a = die_area_cm2[base + j];
+            const double y0i = y0[base + j];
+            const double a0i = a0_cm2[base + j];
+            const bool valid = (y0i > 0.0) & (y0i <= 1.0) &
+                               (a0i > 0.0) & !std::isinf(a0i) &
+                               (a >= 0.0) & !std::isinf(a);
+            // Unconditional division (masked denominator) so the loop
+            // if-converts; a/a0 only reaches pe on valid lanes.
+            const double ratio = a / (valid ? a0i : 1.0);
+            pb[j] = valid ? y0i : 1.0;
+            pe[j] = valid ? ratio : 0.0;
+        }
+        simd::pow_lanes(pb, pe, y, len);
+        for (std::size_t j = 0; j < len; ++j) {
+            const double a = die_area_cm2[base + j];
+            const double y0i = y0[base + j];
+            const double a0i = a0_cm2[base + j];
+            const bool invalid =
+                !((y0i > 0.0) & (y0i <= 1.0) & (a0i > 0.0) &
+                  !std::isinf(a0i) & (a >= 0.0) & !std::isinf(a));
+            out[base + j] = invalid ? nan_lane : yield_guard(y[j]);
+        }
+    }
+}
+
+}  // namespace SILICON_FAST_IMPL_NS
+}  // namespace silicon::yield::batch

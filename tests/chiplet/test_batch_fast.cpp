@@ -1,0 +1,158 @@
+// test_batch_fast.cpp — fast_math chiplet kernel vs the scalar SoA
+// kernel (chiplet/batch.hpp).
+//
+// The fast kernel vectorizes the transcendental tail (die yield pow,
+// Williams-Brown escape pow, substrate exp, module-yield pow) while
+// keeping the Maly gross-die scan and the cost composition scalar, so:
+//
+//   * NaN classification must be identical to the scalar kernel — a
+//     lane is NaN exactly when evaluate_chiplet would throw on it;
+//   * finite lanes agree within kMaxUlp (three vector passes feed a
+//     scalar composition, so the bound is wider than the
+//     single-transcendental yield/cost kernels);
+//   * sub-range calls compose bit-identically (partition_explore
+//     shards the area grid across threads).
+
+#include "chiplet/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <vector>
+
+namespace chiplet = silicon::chiplet;
+
+namespace {
+
+constexpr double knan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kinf = std::numeric_limits<double>::infinity();
+constexpr std::uint64_t kMaxUlp = 8;
+
+std::uint64_t total_order_key(double x) {
+    std::uint64_t u = 0;
+    std::memcpy(&u, &x, sizeof u);
+    return (u >> 63) != 0 ? ~u : u | 0x8000000000000000ull;
+}
+
+std::uint64_t ulp_distance(double a, double b) {
+    const std::uint64_t ka = total_order_key(a);
+    const std::uint64_t kb = total_order_key(b);
+    return ka > kb ? ka - kb : kb - ka;
+}
+
+/// The partition_explore grid plus invalid lanes: non-positive, NaN,
+/// infinite, and absurdly large areas (die no longer fits the wafer).
+std::vector<double> area_grid() {
+    std::vector<double> areas = {0.0,  -5.0,   knan, kinf,
+                                 1e9,  5e-324, 30.0, 1500.0};
+    for (int i = 0; i < 160; ++i) {
+        areas.push_back(30.0 + (1500.0 - 30.0) * static_cast<double>(i) /
+                                   159.0);
+    }
+    std::mt19937_64 rng{0xc41b1eu};
+    std::uniform_real_distribution<double> uni{20.0, 3000.0};
+    for (int i = 0; i < 200; ++i) {
+        areas.push_back(uni(rng));
+    }
+    return areas;
+}
+
+void expect_fast_matches_scalar(const chiplet::chiplet_spec& spec,
+                                int chiplets) {
+    const std::vector<double> areas = area_grid();
+    const std::size_t n = areas.size();
+    std::vector<double> ref(n);
+    std::vector<double> got(n);
+    chiplet::batch::cost_per_good_system(spec, chiplets, areas.data(),
+                                         ref.data(), n);
+    chiplet::batch::cost_per_good_system_fast(spec, chiplets, areas.data(),
+                                              got.data(), n);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(std::isnan(ref[i]), std::isnan(got[i]))
+            << "lane " << i << " (area=" << areas[i] << "): scalar "
+            << ref[i] << ", fast " << got[i];
+        if (std::isnan(ref[i]) || std::isnan(got[i])) {
+            continue;
+        }
+        EXPECT_LE(ulp_distance(ref[i], got[i]), kMaxUlp)
+            << "lane " << i << " (area=" << areas[i] << "): scalar "
+            << ref[i] << ", fast " << got[i];
+    }
+
+    // Split determinism.
+    std::vector<double> parts(n);
+    const std::size_t cuts[] = {0, 1, 3, 50, 51, n};
+    for (std::size_t c = 0; c + 1 < sizeof(cuts) / sizeof(cuts[0]); ++c) {
+        const std::size_t lo = std::min(cuts[c], n);
+        const std::size_t hi = std::min(cuts[c + 1], n);
+        if (lo < hi) {
+            chiplet::batch::cost_per_good_system_fast(
+                spec, chiplets, areas.data() + lo, parts.data() + lo,
+                hi - lo);
+        }
+    }
+    EXPECT_EQ(std::memcmp(got.data(), parts.data(), n * sizeof(double)), 0)
+        << "sub-range fast calls differ from the full-range call";
+}
+
+TEST(ChipletBatchFast, MonolithicMatchesScalarWithinUlp) {
+    expect_fast_matches_scalar(chiplet::chiplet_spec{}, 1);
+}
+
+TEST(ChipletBatchFast, FourWaySplitMatchesScalarWithinUlp) {
+    expect_fast_matches_scalar(chiplet::chiplet_spec{}, 4);
+}
+
+TEST(ChipletBatchFast, SubstrateVariantsMatchScalar) {
+    for (const chiplet::substrate_kind kind :
+         {chiplet::substrate_kind::organic, chiplet::substrate_kind::rdl,
+          chiplet::substrate_kind::interposer}) {
+        SCOPED_TRACE(static_cast<int>(kind));
+        chiplet::chiplet_spec spec;
+        spec.substrate = kind;
+        expect_fast_matches_scalar(spec, 2);
+    }
+}
+
+TEST(ChipletBatchFast, InvalidSpecIsAllNaNOnBothPaths) {
+    const std::vector<double> areas = {100.0, 400.0, 900.0};
+    for (const auto mutate :
+         std::vector<void (*)(chiplet::chiplet_spec&)>{
+             [](chiplet::chiplet_spec& s) { s.clustering_alpha = -1.0; },
+             [](chiplet::chiplet_spec& s) { s.bond_yield = 0.0; },
+             [](chiplet::chiplet_spec& s) { s.test_coverage = 1.5; },
+             [](chiplet::chiplet_spec& s) { s.wafer_radius_cm = 0.0; },
+             [](chiplet::chiplet_spec& s) { s.package_area_factor = 0.5; },
+             [](chiplet::chiplet_spec& s) { s.c0_usd = -1.0; },
+         }) {
+        chiplet::chiplet_spec spec;
+        mutate(spec);
+        std::vector<double> ref(areas.size());
+        std::vector<double> got(areas.size());
+        chiplet::batch::cost_per_good_system(spec, 2, areas.data(),
+                                             ref.data(), areas.size());
+        chiplet::batch::cost_per_good_system_fast(
+            spec, 2, areas.data(), got.data(), areas.size());
+        for (std::size_t i = 0; i < areas.size(); ++i) {
+            EXPECT_TRUE(std::isnan(ref[i])) << "lane " << i;
+            EXPECT_TRUE(std::isnan(got[i])) << "lane " << i;
+        }
+    }
+    // Out-of-range chiplet counts: all-NaN too.
+    for (const int bad : {0, -1, 17}) {
+        std::vector<double> got(areas.size());
+        chiplet::batch::cost_per_good_system_fast(
+            chiplet::chiplet_spec{}, bad, areas.data(), got.data(),
+            areas.size());
+        for (const double v : got) {
+            EXPECT_TRUE(std::isnan(v)) << "chiplets=" << bad;
+        }
+    }
+}
+
+}  // namespace

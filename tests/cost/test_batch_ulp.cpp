@@ -1,0 +1,192 @@
+// test_batch_ulp.cpp — fast_math cost kernels vs the bit-exact scalar
+// kernels (cost/batch.hpp, "fast_math variants" block).
+//
+// Same three contracts as tests/yield/test_batch_ulp.cpp: NaN
+// classification identity over mixed valid/invalid lanes, bounded ULP
+// drift on valid lanes, and split determinism.  Scenario #2 chains
+// pow -> exp -> pow, so its drift bound is the composed kMaxUlp.
+
+#include "cost/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <vector>
+
+namespace batch = silicon::cost::batch;
+
+namespace {
+
+constexpr double knan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kinf = std::numeric_limits<double>::infinity();
+constexpr std::uint64_t kMaxUlp = 4;
+
+std::uint64_t total_order_key(double x) {
+    std::uint64_t u = 0;
+    std::memcpy(&u, &x, sizeof u);
+    return (u >> 63) != 0 ? ~u : u | 0x8000000000000000ull;
+}
+
+std::uint64_t ulp_distance(double a, double b) {
+    const std::uint64_t ka = total_order_key(a);
+    const std::uint64_t kb = total_order_key(b);
+    return ka > kb ? ka - kb : kb - ka;
+}
+
+void expect_lanes_match(const std::vector<double>& ref,
+                        const std::vector<double>& got,
+                        std::uint64_t max_ulp) {
+    ASSERT_EQ(ref.size(), got.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+        EXPECT_EQ(std::isnan(ref[i]), std::isnan(got[i]))
+            << "lane " << i << ": scalar " << ref[i] << ", fast "
+            << got[i];
+        if (std::isnan(ref[i]) || std::isnan(got[i])) {
+            continue;
+        }
+        EXPECT_LE(ulp_distance(ref[i], got[i]), max_ulp)
+            << "lane " << i << ": scalar " << ref[i] << ", fast "
+            << got[i];
+    }
+}
+
+/// Scenario input columns: mostly the paper's operating range, with
+/// invalid lanes (lambda <= 0, C0 <= 0, X < 1, radius <= 0, Y0 out of
+/// (0,1], NaN/inf everywhere) scattered in.
+struct scenario_grid {
+    std::vector<double> lambda, c0, x, r, dd, y0;
+
+    std::size_t size() const { return lambda.size(); }
+
+    void push(double l, double c, double xx, double rr, double d,
+              double y) {
+        lambda.push_back(l);
+        c0.push_back(c);
+        x.push_back(xx);
+        r.push_back(rr);
+        dd.push_back(d);
+        y0.push_back(y);
+    }
+
+    batch::scenario_columns columns() const {
+        batch::scenario_columns cols;
+        cols.lambda_um = lambda.data();
+        cols.c0_usd = c0.data();
+        cols.x = x.data();
+        cols.wafer_radius_cm = r.data();
+        cols.design_density = dd.data();
+        cols.y0 = y0.data();
+        return cols;
+    }
+
+    batch::scenario_columns columns_at(std::size_t off) const {
+        batch::scenario_columns cols;
+        cols.lambda_um = lambda.data() + off;
+        cols.c0_usd = c0.data() + off;
+        cols.x = x.data() + off;
+        cols.wafer_radius_cm = r.data() + off;
+        cols.design_density = dd.data() + off;
+        cols.y0 = y0.data() + off;
+        return cols;
+    }
+};
+
+scenario_grid make_grid() {
+    scenario_grid g;
+    // Adversarial lanes first.
+    g.push(0.0, 500.0, 1.2, 7.5, 30.0, 0.7);    // lambda = 0
+    g.push(-0.5, 500.0, 1.2, 7.5, 30.0, 0.7);   // negative lambda
+    g.push(knan, 500.0, 1.2, 7.5, 30.0, 0.7);   // NaN lambda
+    g.push(kinf, 500.0, 1.2, 7.5, 30.0, 0.7);   // infinite lambda
+    g.push(0.5, 0.0, 1.2, 7.5, 30.0, 0.7);      // C0 = 0
+    g.push(0.5, -100.0, 1.2, 7.5, 30.0, 0.7);   // negative C0
+    g.push(0.5, knan, 1.2, 7.5, 30.0, 0.7);     // NaN C0
+    g.push(0.5, 500.0, 0.9, 7.5, 30.0, 0.7);    // X < 1
+    g.push(0.5, 500.0, knan, 7.5, 30.0, 0.7);   // NaN X
+    g.push(0.5, 500.0, 1.2, 0.0, 30.0, 0.7);    // radius = 0
+    g.push(0.5, 500.0, 1.2, -2.0, 30.0, 0.7);   // negative radius
+    g.push(0.5, 500.0, 1.2, 7.5, knan, 0.7);    // NaN density
+    g.push(0.5, 500.0, 1.2, 7.5, 30.0, 0.0);    // Y0 = 0 (scenario2)
+    g.push(0.5, 500.0, 1.2, 7.5, 30.0, 1.1);    // Y0 > 1 (scenario2)
+    g.push(0.5, 500.0, 1.2, 7.5, 30.0, knan);   // NaN Y0 (scenario2)
+    g.push(1e-6, 500.0, 1.5, 7.5, 30.0, 0.7);   // huge cost exponent
+    g.push(5e-324, 500.0, 1.2, 7.5, 30.0, 0.7); // subnormal lambda
+    g.push(1e4, 500.0, 1.2, 7.5, 30.0, 0.7);    // enormous lambda
+    // Then the operating range.
+    std::mt19937_64 rng{0x0c05u};
+    std::uniform_real_distribution<double> lam{0.3, 1.5};
+    std::uniform_real_distribution<double> c0{100.0, 2000.0};
+    std::uniform_real_distribution<double> x{1.0, 2.0};
+    std::uniform_real_distribution<double> r{5.0, 15.0};
+    std::uniform_real_distribution<double> dd{10.0, 400.0};
+    std::uniform_real_distribution<double> y0{0.3, 1.0};
+    for (int i = 0; i < 2000; ++i) {
+        g.push(lam(rng), c0(rng), x(rng), r(rng), dd(rng), y0(rng));
+    }
+    return g;
+}
+
+TEST(CostBatchUlp, PureWaferCostFastMatchesScalarWithinUlp) {
+    const scenario_grid g = make_grid();
+    const std::size_t n = g.size();
+    std::vector<double> ref(n);
+    std::vector<double> got(n);
+    batch::pure_wafer_cost(g.c0.data(), g.x.data(), g.lambda.data(), 0.2,
+                           ref.data(), n);
+    batch::pure_wafer_cost_fast(g.c0.data(), g.x.data(), g.lambda.data(),
+                                0.2, got.data(), n);
+    expect_lanes_match(ref, got, kMaxUlp);
+
+    // Split determinism.
+    std::vector<double> parts(n);
+    const std::size_t cuts[] = {0, 1, 9, 250, n};
+    for (std::size_t c = 0; c + 1 < sizeof(cuts) / sizeof(cuts[0]); ++c) {
+        const std::size_t lo = std::min(cuts[c], n);
+        const std::size_t hi = std::min(cuts[c + 1], n);
+        if (lo < hi) {
+            batch::pure_wafer_cost_fast(g.c0.data() + lo, g.x.data() + lo,
+                                        g.lambda.data() + lo, 0.2,
+                                        parts.data() + lo, hi - lo);
+        }
+    }
+    EXPECT_EQ(std::memcmp(got.data(), parts.data(), n * sizeof(double)), 0);
+}
+
+TEST(CostBatchUlp, Scenario1FastMatchesScalarWithinUlp) {
+    const scenario_grid g = make_grid();
+    const std::size_t n = g.size();
+    std::vector<double> ref(n);
+    std::vector<double> got(n);
+    batch::scenario1_cost_per_transistor(g.columns(), ref.data(), n);
+    batch::scenario1_cost_per_transistor_fast(g.columns(), got.data(), n);
+    expect_lanes_match(ref, got, kMaxUlp);
+}
+
+TEST(CostBatchUlp, Scenario2FastMatchesScalarWithinUlp) {
+    const scenario_grid g = make_grid();
+    const std::size_t n = g.size();
+    std::vector<double> ref(n);
+    std::vector<double> got(n);
+    batch::scenario2_cost_per_transistor(g.columns(), ref.data(), n);
+    batch::scenario2_cost_per_transistor_fast(g.columns(), got.data(), n);
+    expect_lanes_match(ref, got, kMaxUlp);
+
+    // Split determinism across all six columns.
+    std::vector<double> parts(n);
+    const std::size_t cuts[] = {0, 4, 5, 77, n};
+    for (std::size_t c = 0; c + 1 < sizeof(cuts) / sizeof(cuts[0]); ++c) {
+        const std::size_t lo = std::min(cuts[c], n);
+        const std::size_t hi = std::min(cuts[c + 1], n);
+        if (lo < hi) {
+            batch::scenario2_cost_per_transistor_fast(
+                g.columns_at(lo), parts.data() + lo, hi - lo);
+        }
+    }
+    EXPECT_EQ(std::memcmp(got.data(), parts.data(), n * sizeof(double)), 0);
+}
+
+}  // namespace

@@ -1,0 +1,44 @@
+# Fast-math determinism smoke: pipe the checked-in mixed request batch
+# through silicond with --fast-math at several thread counts and
+# require every run to produce byte-identical output.
+#
+# The fast path is deliberately NOT compared against the scalar golden
+# responses: vectorized sweep kernels round differently (bounded by the
+# ULP harness in tests/simd and tests/*/test_batch_ulp.cpp), and some
+# formulations differ on purpose (Murphy uses the cancellation-free
+# expm1 form).  The contract pinned here is the one fast_math makes:
+# whatever bytes it produces are the same at --threads 1, 4 and 0.
+#
+# Expects: SILICOND (binary path), REQUESTS.
+
+foreach(var SILICOND REQUESTS)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "fastmath_smoke_test.cmake: ${var} not set")
+  endif()
+endforeach()
+
+set(reference "")
+set(reference_threads "")
+foreach(threads 1 4 0)
+  execute_process(
+    COMMAND ${SILICOND} --fast-math --threads ${threads} --batch 7
+    INPUT_FILE ${REQUESTS}
+    OUTPUT_VARIABLE actual
+    RESULT_VARIABLE status)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR
+      "silicond --fast-math --threads ${threads} exited with ${status}")
+  endif()
+  if(actual STREQUAL "")
+    message(FATAL_ERROR
+      "silicond --fast-math --threads ${threads} produced no output")
+  endif()
+  if(reference_threads STREQUAL "")
+    set(reference "${actual}")
+    set(reference_threads ${threads})
+  elseif(NOT actual STREQUAL reference)
+    message(FATAL_ERROR
+      "--fast-math output differs between --threads ${reference_threads} "
+      "and --threads ${threads}\n--- threads ${threads} ---\n${actual}")
+  endif()
+endforeach()

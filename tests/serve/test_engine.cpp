@@ -616,4 +616,162 @@ TEST(Engine, StatsAndPrometheusExposePartitionPricerCounters) {
               std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// fast_math (engine_config::fast_math): vector-path sweeps and
+// partition grids.  Values may drift from the scalar path within the
+// DESIGN.md §15 ULP bounds, but the contracts below are exact.
+// ---------------------------------------------------------------------------
+
+const std::vector<std::string>& fast_math_lines() {
+    static const std::vector<std::string> lines = {
+        R"({"op":"sweep","param":"lambda_um","from":0.3,"to":1.5,)"
+        R"("count":64,"target":{"op":"scenario1"}})",
+        R"({"op":"sweep","param":"lambda_um","from":0.3,"to":1.5,)"
+        R"("count":64,"target":{"op":"scenario2","y0":0.7}})",
+        R"({"op":"sweep","param":"expected_faults","from":0,"to":6,)"
+        R"("count":64,"target":{"op":"yield","model":"poisson"}})",
+        R"({"op":"sweep","param":"expected_faults","from":0,"to":6,)"
+        R"("count":64,"target":{"op":"yield","model":"murphy"}})",
+        R"({"op":"sweep","param":"expected_faults","from":0,"to":6,)"
+        R"("count":64,"target":{"op":"yield","model":"seeds"}})",
+        R"({"op":"sweep","param":"expected_faults","from":0,"to":6,)"
+        R"("count":33,"target":{"op":"yield","model":"bose_einstein",)"
+        R"("critical_steps":9}})",
+        R"({"op":"sweep","param":"expected_faults","from":0,"to":6,)"
+        R"("count":33,"target":{"op":"yield","model":"neg_binomial",)"
+        R"("alpha":2.5}})",
+        R"({"op":"sweep","param":"lambda_um","from":0.5,"to":1.5,)"
+        R"("count":33,"target":{"op":"yield","model":"scaled_poisson"}})",
+        R"({"op":"sweep","param":"die_area_cm2","from":0.1,"to":4,)"
+        R"("count":33,"target":{"op":"yield","model":"reference",)"
+        R"("y0":0.7}})",
+        R"({"op":"partition_explore","splits":"1,2,4,8","count":17,)"
+        R"("area_from_mm2":30,"area_to_mm2":1500,"scale":"log"})",
+    };
+    return lines;
+}
+
+TEST(FastMath, SweepsDeterministicAcrossParallelism) {
+    // fast_math is NOT bit-identical to scalar, but it must be
+    // bit-identical to itself at every thread count (lanes are
+    // independent; sub-range kernel calls compose bytewise).
+    std::vector<std::vector<std::string>> outputs;
+    for (const unsigned parallelism : {1u, 4u, 0u}) {
+        serve::engine_config config = config_with(parallelism);
+        config.fast_math = true;
+        serve::engine engine{config};
+        std::vector<std::string> out;
+        for (const std::string& line : fast_math_lines()) {
+            out.push_back(engine.handle_line(line));
+        }
+        outputs.push_back(std::move(out));
+    }
+    for (std::size_t i = 0; i < fast_math_lines().size(); ++i) {
+        SCOPED_TRACE(fast_math_lines()[i]);
+        EXPECT_EQ(outputs[0][i], outputs[1][i]);
+        EXPECT_EQ(outputs[0][i], outputs[2][i]);
+    }
+}
+
+TEST(FastMath, NullLanesMatchScalarSweeps) {
+    // Sweeps crossing invalid parameter ranges: the vector path masks
+    // guard lanes before the transcendental, so the set of JSON null
+    // lanes must be identical to the scalar path's.
+    const std::vector<std::string> lines = {
+        R"({"op":"sweep","param":"alpha","from":-1,"to":2,"count":21,)"
+        R"("target":{"op":"yield","model":"neg_binomial",)"
+        R"("expected_faults":1.5}})",
+        R"({"op":"sweep","param":"lambda_um","from":-0.5,"to":1.5,)"
+        R"("count":21,"target":{"op":"yield","model":"scaled_poisson"}})",
+        R"({"op":"sweep","param":"lambda_um","from":-0.5,"to":1.5,)"
+        R"("count":21,"target":{"op":"scenario1"}})",
+        R"({"op":"sweep","param":"y0","from":-0.2,"to":1.4,)"
+        R"("count":21,"target":{"op":"scenario2"}})",
+    };
+    serve::engine_config fast_config = config_with(1);
+    fast_config.fast_math = true;
+    serve::engine fast{fast_config};
+    serve::engine scalar{config_with(1)};
+    for (const std::string& line : lines) {
+        SCOPED_TRACE(line);
+        const json::value fast_doc = json::parse(fast.handle_line(line));
+        const json::value scalar_doc =
+            json::parse(scalar.handle_line(line));
+        const json::array& fast_ys = fast_doc.as_object()
+                                         .find("result")
+                                         ->as_object()
+                                         .find("ys")
+                                         ->as_array();
+        const json::array& scalar_ys = scalar_doc.as_object()
+                                           .find("result")
+                                           ->as_object()
+                                           .find("ys")
+                                           ->as_array();
+        ASSERT_EQ(fast_ys.size(), scalar_ys.size());
+        bool any_null = false;
+        for (std::size_t i = 0; i < fast_ys.size(); ++i) {
+            EXPECT_EQ(fast_ys[i].is_null(), scalar_ys[i].is_null())
+                << "lane " << i;
+            any_null = any_null || scalar_ys[i].is_null();
+        }
+        EXPECT_TRUE(any_null) << "grid never crossed the invalid range";
+    }
+}
+
+TEST(FastMath, SweepLanesDoNotPoisonPointCache) {
+    // Fast sweep lanes must never populate the per-point memoization
+    // cache: a point query after a fast sweep has to return the exact
+    // scalar bytes (a cache hit fed by a fast lane would leak drifted
+    // values into bit-exact workflows).
+    serve::engine_config config = config_with(1);
+    config.fast_math = true;
+    serve::engine fast{config};
+    serve::engine scalar{config_with(1)};
+
+    // Sweep across a grid whose first point is exactly lambda 0.5 —
+    // the same canonical key as the point query below.
+    const std::string sweep =
+        R"({"op":"sweep","param":"lambda_um","from":0.5,"to":1.5,)"
+        R"("count":3,"target":{"op":"scenario2","y0":0.7}})";
+    (void)fast.handle_line(sweep);
+    (void)scalar.handle_line(sweep);
+
+    const std::string point =
+        R"({"op":"scenario2","lambda_um":0.5,"y0":0.7})";
+    EXPECT_EQ(fast.handle_line(point), scalar.handle_line(point));
+    // And again (now definitely a warm hit on both engines).
+    EXPECT_EQ(fast.handle_line(point), scalar.handle_line(point));
+}
+
+TEST(FastMath, OffIsBitIdenticalToScalarEngine) {
+    // The flag default: an engine with fast_math off serves exactly
+    // the bytes of the pre-flag engine for the whole sweep surface.
+    serve::engine_config off_config = config_with(1);
+    off_config.fast_math = false;
+    serve::engine off{off_config};
+    serve::engine scalar{config_with(1)};
+    for (const std::string& line : fast_math_lines()) {
+        SCOPED_TRACE(line);
+        EXPECT_EQ(off.handle_line(line), scalar.handle_line(line));
+    }
+}
+
+TEST(FastMath, StatuszReportsSimdTargetAndFlag) {
+    serve::engine_config config = config_with(1);
+    config.fast_math = true;
+    serve::engine engine{config};
+    const json::value doc = engine.statusz_json();
+    const json::object& cfg =
+        doc.as_object().find("config")->as_object();
+    EXPECT_TRUE(cfg.find("fast_math")->as_bool());
+    const std::string& target = cfg.find("simd_target")->as_string();
+    EXPECT_TRUE(target == "scalar" || target == "avx2" ||
+                target == "neon");
+
+    const std::string text = engine.prometheus_text();
+    EXPECT_NE(text.find("silicon_build_info{simd_target=\"" + target +
+                        "\",fast_math=\"on\"}"),
+              std::string::npos);
+}
+
 }  // namespace

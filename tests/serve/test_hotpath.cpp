@@ -377,6 +377,81 @@ TEST_F(HotPathAllocations, WarmHitsAcrossEndpointsAllocateNothing) {
     }
 }
 
+TEST_F(HotPathAllocations, ColdMissWithCacheDisabledAllocatesNothing) {
+    // The cold-path arena gate: with the memoization cache disabled,
+    // *every* request is a cold miss, and for the closed-form point
+    // endpoints the hot path evaluates the library directly and
+    // serializes into a reused per-thread buffer — zero allocations
+    // once buffers have grown (warm-up is inside
+    // warm_hit_allocations).  The cache put is skipped entirely at
+    // capacity 0, so no copy of the response is taken either.
+    serve::engine_config config = fast_config();
+    config.cache_capacity = 0;
+    serve::engine engine{config};
+    const std::vector<std::string> lines = {
+        R"({"id":7,"op":"scenario1","lambda_um":0.5})",
+        R"({"op":"scenario2","y0":0.9,"lambda_um":0.8})",
+        R"({"op":"yield","model":"poisson","expected_faults":0.5})",
+        R"({"op":"yield","model":"murphy","die_area_cm2":2.5,)"
+        R"("defects_per_cm2":0.4})",
+        R"({"op":"yield","model":"seeds","die_area_cm2":1.2})",
+        R"({"op":"yield","model":"bose_einstein","critical_steps":12})",
+        R"({"op":"yield","model":"neg_binomial","alpha":2.5,)"
+        R"("expected_faults":3})",
+        R"({"op":"yield","model":"scaled_poisson","lambda_um":0.8})",
+        R"({"op":"yield","model":"reference","y0":0.7,"die_area_cm2":2})",
+        R"({"op":"gross_die","die_width_mm":12,"die_height_mm":9})",
+        R"({"op":"gross_die","die_width_mm":7,"die_height_mm":7,)"
+        R"("method":"ferris_prabhu","scribe_mm":0.1})",
+        R"({"id":"t","op":"scenario1","trace_id":"req-cold-1"})",
+    };
+    std::string out;
+    for (const std::string& line : lines) {
+        SCOPED_TRACE(line);
+        EXPECT_EQ(warm_hit_allocations(engine, line, out), 0u);
+    }
+    // Cache accounting: every one of those was a miss, never a hit.
+    EXPECT_EQ(engine.cache_stats().hits, 0u);
+    EXPECT_GT(engine.cache_stats().misses, 0u);
+    EXPECT_EQ(engine.cache_stats().entries, 0u);
+
+    // And the bytes are exactly the legacy pipeline's.
+    serve::engine legacy{legacy_config()};
+    for (const std::string& line : lines) {
+        SCOPED_TRACE(line);
+        engine.handle_line_into(line, out);
+        EXPECT_EQ(out, legacy.handle_line(line));
+    }
+}
+
+TEST_F(HotPathAllocations, ColdMissIneligibleOpsStillAnswerCorrectly) {
+    // Point ops outside the cold-miss fast set (table3, chiplet,
+    // cost_tr, mc_yield, sweeps) decline to the legacy pipeline at
+    // cache capacity 0 — allocations are allowed, bytes must match.
+    serve::engine_config config = fast_config();
+    config.cache_capacity = 0;
+    serve::engine engine{config};
+    serve::engine legacy{legacy_config()};
+    const std::vector<std::string> lines = {
+        R"({"op":"table3","row":3})",
+        R"({"op":"chiplet","chiplets":4,"substrate":"rdl"})",
+        R"({"op":"cost_tr","product":{"transistors":1e6}})",
+        R"({"op":"mc_yield","dies":32,"seed":3})",
+        R"({"op":"sweep","param":"lambda_um","from":0.5,"to":1.0,)"
+        R"("count":3,"target":{"op":"scenario1"}})",
+        R"({"op":"yield","model":"voodoo"})",
+        R"({"op":"scenario1","lambda_um":0})",
+    };
+    std::string out;
+    for (const std::string& line : lines) {
+        SCOPED_TRACE(line);
+        for (int i = 0; i < 2; ++i) {
+            engine.handle_line_into(line, out);
+            EXPECT_EQ(out, legacy.handle_line(line));
+        }
+    }
+}
+
 TEST_F(HotPathAllocations, ColdAndLegacyPathsStillWork) {
     // Sanity: the counter itself sees the cold path allocate.
     serve::engine engine{fast_config()};

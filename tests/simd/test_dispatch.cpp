@@ -1,0 +1,125 @@
+// test_dispatch.cpp — one-time CPU dispatch resolution
+// (simd/dispatch.hpp).
+//
+// active_target() latches on first call, so the SILICON_SIMD override
+// matrix cannot be probed in-process: instead this binary re-executes
+// itself (via /proc/self/exe) with the variable forced and a marker
+// test filtered in, and asserts on the "active=<name>" line the child
+// prints.  Demotion is the part worth pinning — forcing "avx2" on a
+// host without AVX2+FMA (or "neon" on x86-64) must silently resolve
+// to scalar, never crash or SIGILL.
+
+#include "simd/dispatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <unistd.h>
+
+namespace simd = silicon::simd;
+
+namespace {
+
+simd::target best_hardware_target() {
+    if (simd::host_supports(simd::target::avx2)) {
+        return simd::target::avx2;
+    }
+    if (simd::host_supports(simd::target::neon)) {
+        return simd::target::neon;
+    }
+    return simd::target::scalar;
+}
+
+std::string self_exe() {
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+    if (n <= 0) {
+        return {};
+    }
+    buf[static_cast<std::size_t>(n)] = '\0';
+    return std::string{buf};
+}
+
+/// Re-run this binary with SILICON_SIMD=<forced>, filtered down to the
+/// marker test, and return the target name it resolved.
+std::string child_active_target(const std::string& forced) {
+    const std::string exe = self_exe();
+    if (exe.empty()) {
+        return {};
+    }
+    const std::string cmd =
+        "SILICON_SIMD=" + forced + " SILICON_DISPATCH_CHILD=1 '" + exe +
+        "' --gtest_filter=Dispatch.ChildPrintsActiveTarget 2>/dev/null";
+    FILE* pipe = ::popen(cmd.c_str(), "r");
+    if (pipe == nullptr) {
+        return {};
+    }
+    std::string output;
+    char chunk[256];
+    while (std::fgets(chunk, sizeof chunk, pipe) != nullptr) {
+        output += chunk;
+    }
+    const int status = ::pclose(pipe);
+    if (status != 0) {
+        return "child-failed";
+    }
+    const std::size_t pos = output.find("active=");
+    if (pos == std::string::npos) {
+        return {};
+    }
+    std::string name = output.substr(pos + 7);
+    if (const std::size_t nl = name.find('\n'); nl != std::string::npos) {
+        name.resize(nl);
+    }
+    return name;
+}
+
+TEST(Dispatch, ChildPrintsActiveTarget) {
+    if (std::getenv("SILICON_DISPATCH_CHILD") == nullptr) {
+        GTEST_SKIP() << "marker test driven by the subprocess matrix";
+    }
+    std::printf("active=%s\n", simd::to_string(simd::active_target()));
+}
+
+TEST(Dispatch, ScalarAlwaysSupported) {
+    EXPECT_TRUE(simd::host_supports(simd::target::scalar));
+}
+
+TEST(Dispatch, ActiveTargetIsStableAndRunnable) {
+    const simd::target first = simd::active_target();
+    const simd::target second = simd::active_target();
+    EXPECT_EQ(first, second);
+    EXPECT_TRUE(simd::host_supports(first));
+}
+
+TEST(Dispatch, TargetNames) {
+    EXPECT_STREQ(simd::to_string(simd::target::scalar), "scalar");
+    EXPECT_STREQ(simd::to_string(simd::target::avx2), "avx2");
+    EXPECT_STREQ(simd::to_string(simd::target::neon), "neon");
+}
+
+TEST(Dispatch, OverrideScalarForcesScalar) {
+    EXPECT_EQ(child_active_target("scalar"), "scalar");
+}
+
+TEST(Dispatch, OverrideAvx2DemotesWhenUnsupported) {
+    const char* want =
+        simd::host_supports(simd::target::avx2) ? "avx2" : "scalar";
+    EXPECT_EQ(child_active_target("avx2"), want);
+}
+
+TEST(Dispatch, OverrideNeonDemotesWhenUnsupported) {
+    const char* want =
+        simd::host_supports(simd::target::neon) ? "neon" : "scalar";
+    EXPECT_EQ(child_active_target("neon"), want);
+}
+
+TEST(Dispatch, UnknownOverrideFallsBackToDetection) {
+    EXPECT_EQ(child_active_target("quantum"),
+              simd::to_string(best_hardware_target()));
+}
+
+}  // namespace

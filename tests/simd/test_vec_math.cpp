@@ -1,0 +1,360 @@
+// test_vec_math.cpp — ULP-drift harness for the dispatched array
+// transcendentals (simd/math.hpp).
+//
+// Three contracts, each pinned against adversarial inputs:
+//
+//   * accuracy — every lane is within kMaxUlp (= 4) units in the last
+//     place of the correctly-rounded long-double reference, across the
+//     full argument range including results that overflow, underflow
+//     gradually into subnormals, or sit on the small-argument branch
+//     cuts;
+//   * IEEE specials — NaN propagation, signed zeros and infinities
+//     follow the documented table (pow's negative-base domain is the
+//     one deliberate deviation from libm: always NaN);
+//   * split determinism — evaluating any sub-range partition of a
+//     buffer produces bytes identical to one full-range call, which is
+//     what lets the engine shard fast_math sweeps across threads.
+//
+// The same assertions run on every backend: scalar fallback (libm per
+// lane) trivially satisfies them, AVX2/NEON must earn them.  CI runs
+// this suite once with dispatch forced to scalar and once with the
+// vector path on (SILICON_SIMD).
+
+#include "simd/dispatch.hpp"
+#include "simd/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <vector>
+
+namespace simd = silicon::simd;
+
+namespace {
+
+constexpr double knan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kinf = std::numeric_limits<double>::infinity();
+constexpr std::uint64_t kMaxUlp = 4;
+
+/// Monotone total-order key: distance between keys counts the number
+/// of representable doubles between two values (sign-aware).
+std::uint64_t total_order_key(double x) {
+    std::uint64_t u = 0;
+    std::memcpy(&u, &x, sizeof u);
+    return (u >> 63) != 0 ? ~u : u | 0x8000000000000000ull;
+}
+
+std::uint64_t ulp_distance(double a, double b) {
+    const bool an = std::isnan(a);
+    const bool bn = std::isnan(b);
+    if (an || bn) {
+        return an == bn ? 0 : std::numeric_limits<std::uint64_t>::max();
+    }
+    const std::uint64_t ka = total_order_key(a);
+    const std::uint64_t kb = total_order_key(b);
+    return ka > kb ? ka - kb : kb - ka;
+}
+
+::testing::AssertionResult lane_within_ulp(double x, double actual,
+                                           double reference,
+                                           std::uint64_t bound) {
+    const std::uint64_t d = ulp_distance(actual, reference);
+    if (d <= bound) {
+        return ::testing::AssertionSuccess();
+    }
+    return ::testing::AssertionFailure()
+           << "x=" << x << ": got " << actual << ", reference "
+           << reference << ", " << d << " ULP apart (bound " << bound
+           << ")";
+}
+
+double ref_exp(double x) {
+    return static_cast<double>(std::exp(static_cast<long double>(x)));
+}
+double ref_expm1(double x) {
+    return static_cast<double>(std::expm1(static_cast<long double>(x)));
+}
+double ref_pow(double b, double e) {
+    return static_cast<double>(std::pow(static_cast<long double>(b),
+                                        static_cast<long double>(e)));
+}
+
+/// Adversarial exp/expm1 arguments: the overflow and total-underflow
+/// thresholds, the subnormal-result band, branch cuts near 0, and the
+/// IEEE specials.
+std::vector<double> hard_args() {
+    return {
+        0.0,     -0.0,     1.0,      -1.0,     0.5,      -0.5,
+        1e-17,   -1e-17,   1e-300,   -1e-300,  5e-324,   -5e-324,
+        700.0,   709.0,    709.78,   710.0,    1000.0,   -1000.0,
+        -700.0,  -708.0,   -709.0,   -740.0,   -744.0,   -745.0,
+        -745.13, -746.0,   36.7,     -36.7,    kinf,     -kinf,
+        knan,    0.125,    -0.125,   2.5e-8,   -2.5e-8,
+    };
+}
+
+std::vector<double> uniform_grid(double lo, double hi, std::size_t n,
+                                 std::uint64_t seed) {
+    std::mt19937_64 rng{seed};
+    std::uniform_real_distribution<double> uni{lo, hi};
+    std::vector<double> xs(n);
+    for (double& x : xs) {
+        x = uni(rng);
+    }
+    return xs;
+}
+
+TEST(VecMath, ExpWithinUlpBoundOfLongDouble) {
+    std::vector<double> xs = hard_args();
+    const std::vector<double> dense = uniform_grid(-746.0, 710.0, 20000, 0x5eed1u);
+    xs.insert(xs.end(), dense.begin(), dense.end());
+    // Subnormal-result band: exp(x) for x in (-745.2, -708.3).
+    const std::vector<double> sub = uniform_grid(-745.1, -708.4, 4000, 0x5eed2u);
+    xs.insert(xs.end(), sub.begin(), sub.end());
+
+    std::vector<double> out(xs.size());
+    simd::exp_lanes(xs.data(), out.data(), xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        EXPECT_TRUE(lane_within_ulp(xs[i], out[i], ref_exp(xs[i]), kMaxUlp))
+            << "lane " << i;
+    }
+}
+
+TEST(VecMath, Expm1WithinUlpBoundOfLongDouble) {
+    std::vector<double> xs = hard_args();
+    const std::vector<double> dense = uniform_grid(-60.0, 710.0, 20000, 0xab1eu);
+    xs.insert(xs.end(), dense.begin(), dense.end());
+    // Branch-cut band around 0 where expm1(x) ~ x.
+    const std::vector<double> tiny = uniform_grid(-1e-8, 1e-8, 4000, 0xab2eu);
+    xs.insert(xs.end(), tiny.begin(), tiny.end());
+
+    std::vector<double> out(xs.size());
+    simd::expm1_lanes(xs.data(), out.data(), xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        EXPECT_TRUE(
+            lane_within_ulp(xs[i], out[i], ref_expm1(xs[i]), kMaxUlp))
+            << "lane " << i;
+    }
+}
+
+TEST(VecMath, ExpSpecials) {
+    const std::vector<double> xs = {knan, kinf, -kinf, 0.0, -0.0};
+    std::vector<double> out(xs.size());
+    simd::exp_lanes(xs.data(), out.data(), xs.size());
+    EXPECT_TRUE(std::isnan(out[0]));
+    EXPECT_EQ(out[1], kinf);
+    EXPECT_EQ(out[2], 0.0);
+    EXPECT_EQ(out[3], 1.0);
+    EXPECT_EQ(out[4], 1.0);
+}
+
+TEST(VecMath, Expm1Specials) {
+    const std::vector<double> xs = {knan, kinf, -kinf, 0.0, -0.0};
+    std::vector<double> out(xs.size());
+    simd::expm1_lanes(xs.data(), out.data(), xs.size());
+    EXPECT_TRUE(std::isnan(out[0]));
+    EXPECT_EQ(out[1], kinf);
+    EXPECT_EQ(out[2], -1.0);
+    EXPECT_EQ(out[3], 0.0);
+    EXPECT_EQ(out[4], 0.0);
+    EXPECT_TRUE(std::signbit(out[4]));  // expm1(-0) = -0
+}
+
+TEST(VecMath, PowWithinUlpBoundOfLongDouble) {
+    struct lane {
+        double base, expo;
+    };
+    std::vector<lane> lanes = {
+        // Near-1 bases with huge exponents: the double-double log is
+        // what keeps these inside the bound.
+        {1.0 + 1e-15, 1e15},
+        {1.0 - 1e-15, 1e15},
+        {1.0 + 1e-16, -4.5e15},
+        {0.9999999999999, 1e12},
+        // Results near the overflow/underflow boundaries.
+        {10.0, 307.5},
+        {10.0, -307.6},
+        {10.0, -320.0},  // subnormal result
+        {2.0, 1023.5},
+        {2.0, -1074.0},
+        // Subnormal and huge bases.
+        {5e-324, 0.5},
+        {1e-300, 1.01},
+        {1e300, 1.02},
+        // Yield-model shapes: (1 + l/a)^-a, Y0^A.
+        {1.0000001, -2.0},
+        {0.7, 1.9},
+        {0.95, 0.02},
+        {1.5, -2.5},
+    };
+    std::mt19937_64 rng{0x90dau};
+    std::uniform_real_distribution<double> log_base{-7.0, 7.0};
+    std::uniform_real_distribution<double> expo{-40.0, 40.0};
+    for (int i = 0; i < 20000; ++i) {
+        lanes.push_back({std::pow(10.0, log_base(rng)), expo(rng)});
+    }
+
+    std::vector<double> b;
+    std::vector<double> e;
+    for (const lane& l : lanes) {
+        b.push_back(l.base);
+        e.push_back(l.expo);
+    }
+    std::vector<double> out(lanes.size());
+    simd::pow_lanes(b.data(), e.data(), out.data(), lanes.size());
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+        EXPECT_TRUE(lane_within_ulp(b[i], out[i], ref_pow(b[i], e[i]),
+                                    kMaxUlp))
+            << "base=" << b[i] << " expo=" << e[i] << " lane " << i;
+    }
+}
+
+TEST(VecMath, PowSpecialsTable) {
+    // The documented table (math.hpp): pow(x,0)=pow(1,y)=1 for any x/y
+    // including NaN; zero and infinite bases split on the exponent
+    // sign; negative bases are always NaN (the deliberate deviation
+    // from libm's integer-exponent carve-out); NaN otherwise
+    // propagates.
+    struct row {
+        double base, expo, want;
+    };
+    const std::vector<row> rows = {
+        {knan, 0.0, 1.0},   {kinf, 0.0, 1.0},   {0.0, 0.0, 1.0},
+        {2.5, 0.0, 1.0},    {1.0, knan, 1.0},   {1.0, kinf, 1.0},
+        {1.0, -kinf, 1.0},  {1.0, 42.0, 1.0},   {0.0, 2.0, 0.0},
+        {0.0, kinf, 0.0},   {0.0, -2.0, kinf},  {0.0, -kinf, kinf},
+        {kinf, 2.0, kinf},  {kinf, kinf, kinf}, {kinf, -2.0, 0.0},
+        {kinf, -kinf, 0.0}, {0.5, kinf, 0.0},   {0.5, -kinf, kinf},
+        {2.0, kinf, kinf},  {2.0, -kinf, 0.0},
+    };
+    const std::vector<row> nan_rows = {
+        {knan, 2.0, knan},  {2.0, knan, knan},  {knan, knan, knan},
+        {-2.0, 2.0, knan},  {-2.0, 2.5, knan},  {-1.0, 3.0, knan},
+        {-kinf, 2.0, knan}, {-5e-324, 1.0, knan},
+    };
+
+    std::vector<double> b;
+    std::vector<double> e;
+    for (const row& r : rows) {
+        b.push_back(r.base);
+        e.push_back(r.expo);
+    }
+    for (const row& r : nan_rows) {
+        b.push_back(r.base);
+        e.push_back(r.expo);
+    }
+    std::vector<double> out(b.size());
+    simd::pow_lanes(b.data(), e.data(), out.data(), b.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        EXPECT_EQ(out[i], rows[i].want)
+            << "pow(" << rows[i].base << ", " << rows[i].expo << ")";
+    }
+    for (std::size_t i = 0; i < nan_rows.size(); ++i) {
+        EXPECT_TRUE(std::isnan(out[rows.size() + i]))
+            << "pow(" << nan_rows[i].base << ", " << nan_rows[i].expo
+            << ") should be NaN";
+    }
+}
+
+/// Sub-range partitions must reproduce the full-range bytes exactly —
+/// tails go through the same padded vector math, never libm.
+template <typename Full, typename Split>
+void expect_split_identical(std::size_t n, Full&& full, Split&& split) {
+    std::vector<double> whole(n);
+    std::vector<double> parts(n);
+    full(whole);
+    // Deliberately misaligned cuts: 1, 3, then a large odd chunk.
+    const std::size_t cuts[] = {0, 1, 3, 131, 132, 517, n};
+    for (std::size_t c = 0; c + 1 < std::size(cuts); ++c) {
+        const std::size_t lo = std::min(cuts[c], n);
+        const std::size_t hi = std::min(cuts[c + 1], n);
+        if (lo < hi) {
+            split(parts, lo, hi - lo);
+        }
+    }
+    EXPECT_EQ(std::memcmp(whole.data(), parts.data(), n * sizeof(double)),
+              0);
+}
+
+TEST(VecMath, SplitsAreBitIdentical) {
+    const std::size_t n = 1003;
+    const std::vector<double> xs = uniform_grid(-700.0, 700.0, n, 0xc0dedu);
+    const std::vector<double> bs = uniform_grid(0.01, 100.0, n, 0xc1dedu);
+    const std::vector<double> es = uniform_grid(-30.0, 30.0, n, 0xc2dedu);
+
+    expect_split_identical(
+        n, [&](std::vector<double>& out) {
+            simd::exp_lanes(xs.data(), out.data(), n);
+        },
+        [&](std::vector<double>& out, std::size_t lo, std::size_t len) {
+            simd::exp_lanes(xs.data() + lo, out.data() + lo, len);
+        });
+    expect_split_identical(
+        n, [&](std::vector<double>& out) {
+            simd::expm1_lanes(xs.data(), out.data(), n);
+        },
+        [&](std::vector<double>& out, std::size_t lo, std::size_t len) {
+            simd::expm1_lanes(xs.data() + lo, out.data() + lo, len);
+        });
+    expect_split_identical(
+        n, [&](std::vector<double>& out) {
+            simd::pow_lanes(bs.data(), es.data(), out.data(), n);
+        },
+        [&](std::vector<double>& out, std::size_t lo, std::size_t len) {
+            simd::pow_lanes(bs.data() + lo, es.data() + lo, out.data() + lo,
+                            len);
+        });
+}
+
+TEST(VecMath, GuardLanesDoNotPerturbNeighbours) {
+    // A NaN / overflow / negative-base lane must not change the bytes
+    // of any other lane (the fast kernels rely on this to mask guard
+    // lanes in place).
+    const std::size_t n = 64;
+    std::vector<double> clean = uniform_grid(-50.0, 50.0, n, 0xfacadeu);
+    std::vector<double> dirty = clean;
+    dirty[5] = knan;
+    dirty[17] = kinf;
+    dirty[18] = -kinf;
+    dirty[33] = 1e308;
+
+    std::vector<double> out_clean(n);
+    std::vector<double> out_dirty(n);
+    simd::exp_lanes(clean.data(), out_clean.data(), n);
+    simd::exp_lanes(dirty.data(), out_dirty.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i == 5 || i == 17 || i == 18 || i == 33) {
+            continue;
+        }
+        EXPECT_EQ(std::memcmp(&out_clean[i], &out_dirty[i], sizeof(double)),
+                  0)
+            << "lane " << i << " perturbed by a special neighbour";
+    }
+}
+
+TEST(VecMath, ActiveTargetAnswersAllEntryPoints) {
+    // Smoke: whatever backend dispatch picked, all three entry points
+    // produce finite values on a benign grid.
+    const std::vector<double> xs = {0.1, 0.2, 0.3, 0.4, 0.5};
+    std::vector<double> out(xs.size());
+    simd::exp_lanes(xs.data(), out.data(), xs.size());
+    for (const double y : out) {
+        EXPECT_TRUE(std::isfinite(y));
+    }
+    simd::expm1_lanes(xs.data(), out.data(), xs.size());
+    for (const double y : out) {
+        EXPECT_TRUE(std::isfinite(y));
+    }
+    simd::pow_lanes(xs.data(), xs.data(), out.data(), xs.size());
+    for (const double y : out) {
+        EXPECT_TRUE(std::isfinite(y));
+    }
+    // And the resolved target is a printable, supported one.
+    EXPECT_TRUE(simd::host_supports(simd::active_target()));
+}
+
+}  // namespace

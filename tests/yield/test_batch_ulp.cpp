@@ -1,0 +1,355 @@
+// test_batch_ulp.cpp — fast_math yield kernels vs the bit-exact scalar
+// kernels (yield/batch.hpp, "fast_math variants" block).
+//
+// Three contracts per kernel family, each over mixed valid/invalid
+// lanes (negative, NaN, infinite, zero, subnormal, huge):
+//
+//   * classification identity — a lane is NaN on the fast path exactly
+//     when it is NaN on the scalar path (guard lanes are masked before
+//     the transcendental, so they serialize as the same JSON nulls);
+//   * ULP drift — valid lanes agree with the scalar kernel to within
+//     kMaxUlp (= 4) units in the last place;
+//   * split determinism — sub-range calls reproduce the full-range
+//     bytes exactly (what makes fast_math sweeps thread-count stable).
+//
+// Plus the branch pins: murphy's f < 1e-9 linearization has no
+// transcendental and must be bit-identical, and seeds_yield_fast is
+// the scalar kernel by definition.
+
+#include "yield/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <random>
+#include <vector>
+
+namespace batch = silicon::yield::batch;
+
+namespace {
+
+constexpr double knan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kinf = std::numeric_limits<double>::infinity();
+constexpr std::uint64_t kMaxUlp = 4;
+
+std::uint64_t total_order_key(double x) {
+    std::uint64_t u = 0;
+    std::memcpy(&u, &x, sizeof u);
+    return (u >> 63) != 0 ? ~u : u | 0x8000000000000000ull;
+}
+
+std::uint64_t ulp_distance(double a, double b) {
+    const std::uint64_t ka = total_order_key(a);
+    const std::uint64_t kb = total_order_key(b);
+    return ka > kb ? ka - kb : kb - ka;
+}
+
+using kernel_fn =
+    std::function<void(const double*, double*, std::size_t)>;
+
+/// The shared contract: classification identity, bounded drift, split
+/// determinism — for any (scalar, fast) kernel pair over `faults`.
+void expect_fast_matches_scalar(const std::vector<double>& xs,
+                                const kernel_fn& scalar,
+                                const kernel_fn& fast,
+                                std::uint64_t max_ulp = kMaxUlp) {
+    const std::size_t n = xs.size();
+    std::vector<double> ref(n);
+    std::vector<double> got(n);
+    scalar(xs.data(), ref.data(), n);
+    fast(xs.data(), got.data(), n);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const bool rn = std::isnan(ref[i]);
+        const bool gn = std::isnan(got[i]);
+        EXPECT_EQ(rn, gn) << "lane " << i << " (x=" << xs[i]
+                          << "): scalar " << ref[i] << ", fast " << got[i];
+        if (rn || gn) {
+            continue;
+        }
+        EXPECT_LE(ulp_distance(ref[i], got[i]), max_ulp)
+            << "lane " << i << " (x=" << xs[i] << "): scalar " << ref[i]
+            << ", fast " << got[i];
+    }
+
+    // Split determinism: odd cuts reproduce the full-range bytes.
+    std::vector<double> parts(n);
+    const std::size_t cuts[] = {0, 1, 3, 7, 131, n};
+    for (std::size_t c = 0; c + 1 < sizeof(cuts) / sizeof(cuts[0]); ++c) {
+        const std::size_t lo = std::min(cuts[c], n);
+        const std::size_t hi = std::min(cuts[c + 1], n);
+        if (lo < hi) {
+            fast(xs.data() + lo, parts.data() + lo, hi - lo);
+        }
+    }
+    EXPECT_EQ(std::memcmp(got.data(), parts.data(), n * sizeof(double)), 0)
+        << "sub-range fast calls differ from the full-range call";
+}
+
+/// Mixed valid/invalid fault grid shared by the single-column kernels.
+std::vector<double> fault_grid() {
+    std::vector<double> xs = {
+        0.0,   -0.0,  5e-324, 1e-300, 1e-10,  1e-9,  2e-9, 0.5,
+        1.0,   2.75,  10.0,   100.0,  700.0,  745.0, -1.0, -0.5,
+        -1e-9, knan,  kinf,   -kinf,  1e308,  0.25,
+    };
+    std::mt19937_64 rng{0xfa57u};
+    std::uniform_real_distribution<double> uni{0.0, 8.0};
+    for (int i = 0; i < 2000; ++i) {
+        xs.push_back(uni(rng));
+    }
+    return xs;
+}
+
+TEST(YieldBatchUlp, PoissonFastMatchesScalarWithinUlp) {
+    expect_fast_matches_scalar(fault_grid(), batch::poisson_yield,
+                               batch::poisson_yield_fast);
+}
+
+TEST(YieldBatchUlp, MurphyFastWithinUlpOfTruth) {
+    // The fast path evaluates ((-expm1(-l))/l)^2 — deliberately NOT the
+    // scalar form (1 - exp(-l))/l, which loses ~2/l ULP to cancellation
+    // as l -> 0.  A vector-vs-scalar ULP bound is therefore meaningless
+    // below l ~ 1 (the scalar value is the inaccurate one); the
+    // accuracy contract is pinned against the correctly-rounded
+    // long-double evaluation of the same mathematical function instead,
+    // plus classification identity and split determinism vs scalar.
+    const std::vector<double> xs = fault_grid();
+    const std::size_t n = xs.size();
+    std::vector<double> ref(n);
+    std::vector<double> got(n);
+    batch::murphy_yield(xs.data(), ref.data(), n);
+    batch::murphy_yield_fast(xs.data(), got.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(std::isnan(ref[i]), std::isnan(got[i]))
+            << "lane " << i << " (x=" << xs[i] << ")";
+        if (std::isnan(got[i]) || xs[i] == 0.0) {
+            continue;  // l = 0 short-circuits to 1 on both paths
+        }
+        const long double l = xs[i];
+        const long double t = std::expm1(-l) / -l;
+        const double truth = static_cast<double>(t * t);
+        EXPECT_LE(ulp_distance(truth, got[i]), kMaxUlp)
+            << "lane " << i << " (x=" << xs[i] << "): truth " << truth
+            << ", fast " << got[i];
+    }
+    // Split determinism.
+    std::vector<double> parts(n);
+    const std::size_t cuts[] = {0, 1, 3, 7, 131, n};
+    for (std::size_t c = 0; c + 1 < sizeof(cuts) / sizeof(cuts[0]); ++c) {
+        const std::size_t lo = std::min(cuts[c], n);
+        const std::size_t hi = std::min(cuts[c + 1], n);
+        if (lo < hi) {
+            batch::murphy_yield_fast(xs.data() + lo, parts.data() + lo,
+                                     hi - lo);
+        }
+    }
+    EXPECT_EQ(std::memcmp(got.data(), parts.data(), n * sizeof(double)), 0);
+}
+
+TEST(YieldBatchUlp, MurphyLinearizationBranchIsBitIdentical) {
+    // f < 1e-9 evaluates (1 - f/2)^2 on both paths — no transcendental,
+    // so the fast kernel must reproduce the scalar bits exactly.
+    std::vector<double> xs = {0.0, 5e-324, 1e-300, 1e-15, 1e-10,
+                              9.99e-10, 5e-10, 2.5e-13};
+    std::mt19937_64 rng{0x11aeau};
+    std::uniform_real_distribution<double> uni{0.0, 1e-9};
+    for (int i = 0; i < 500; ++i) {
+        xs.push_back(uni(rng));
+    }
+    std::vector<double> ref(xs.size());
+    std::vector<double> got(xs.size());
+    batch::murphy_yield(xs.data(), ref.data(), xs.size());
+    batch::murphy_yield_fast(xs.data(), got.data(), xs.size());
+    EXPECT_EQ(
+        std::memcmp(ref.data(), got.data(), xs.size() * sizeof(double)), 0);
+}
+
+TEST(YieldBatchUlp, SeedsFastIsBitIdentical) {
+    const std::vector<double> xs = fault_grid();
+    std::vector<double> ref(xs.size());
+    std::vector<double> got(xs.size());
+    batch::seeds_yield(xs.data(), ref.data(), xs.size());
+    batch::seeds_yield_fast(xs.data(), got.data(), xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (std::isnan(ref[i])) {
+            EXPECT_TRUE(std::isnan(got[i])) << "lane " << i;
+            continue;
+        }
+        EXPECT_EQ(std::memcmp(&ref[i], &got[i], sizeof(double)), 0)
+            << "lane " << i;
+    }
+}
+
+TEST(YieldBatchUlp, BoseEinsteinFastMatchesScalarWithinUlp) {
+    for (const int steps : {1, 7, 12}) {
+        SCOPED_TRACE(steps);
+        expect_fast_matches_scalar(
+            fault_grid(),
+            [steps](const double* x, double* out, std::size_t n) {
+                batch::bose_einstein_yield(x, steps, out, n);
+            },
+            [steps](const double* x, double* out, std::size_t n) {
+                batch::bose_einstein_yield_fast(x, steps, out, n);
+            });
+    }
+    // Invalid step count: every lane NaN on both paths.
+    const std::vector<double> xs = {0.5, 1.0};
+    std::vector<double> ref(xs.size());
+    std::vector<double> got(xs.size());
+    batch::bose_einstein_yield(xs.data(), 0, ref.data(), xs.size());
+    batch::bose_einstein_yield_fast(xs.data(), 0, got.data(), xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        EXPECT_TRUE(std::isnan(ref[i]));
+        EXPECT_TRUE(std::isnan(got[i]));
+    }
+}
+
+TEST(YieldBatchUlp, NegativeBinomialFastMatchesScalarWithinUlp) {
+    std::vector<double> faults = fault_grid();
+    std::vector<double> alpha(faults.size(), 2.0);
+    // Invalid and adversarial clustering values on otherwise-valid
+    // fault lanes.
+    alpha[7] = 0.0;
+    alpha[8] = -1.0;
+    alpha[9] = knan;
+    alpha[10] = kinf;
+    alpha[11] = 1e-3;
+    alpha[12] = 50.0;
+
+    const auto scalar = [&](const double* x, double* out, std::size_t n) {
+        // n lanes starting at some offset into faults — recover the
+        // offset so alpha stays aligned with its fault lane.
+        const std::size_t off = static_cast<std::size_t>(x - faults.data());
+        batch::negative_binomial_yield(x, alpha.data() + off, out, n);
+    };
+    const auto fast = [&](const double* x, double* out, std::size_t n) {
+        const std::size_t off = static_cast<std::size_t>(x - faults.data());
+        batch::negative_binomial_yield_fast(x, alpha.data() + off, out, n);
+    };
+    expect_fast_matches_scalar(faults, scalar, fast);
+}
+
+TEST(YieldBatchUlp, ScaledPoissonFastMatchesScalarWithinUlp) {
+    struct lane {
+        double area, lambda, d, p;
+    };
+    std::vector<lane> lanes = {
+        {1.0, 1.0, 1.72, 4.07},   {2.5, 0.5, 1.72, 4.07},
+        {0.0, 0.8, 1.72, 4.07},   {1.0, 0.8, 0.0, 4.07},
+        {1.0, 1e-3, 1.72, 4.07},  {1.0, -0.5, 1.72, 4.07},
+        {1.0, 0.0, 1.72, 4.07},   {1.0, 0.8, -1.0, 4.07},
+        {1.0, 0.8, 1.72, 2.0},    {-1.0, 0.8, 1.72, 4.07},
+        {knan, 0.8, 1.72, 4.07},  {1.0, knan, 1.72, 4.07},
+        {1.0, kinf, 1.72, 4.07},  {kinf, 0.8, 1.72, 4.07},
+        {1.0, 0.8, kinf, 4.07},   {1.0, 0.8, 1.72, knan},
+    };
+    std::mt19937_64 rng{0x5ca1edu};
+    std::uniform_real_distribution<double> area{0.0, 4.0};
+    std::uniform_real_distribution<double> lam{0.05, 2.0};
+    std::uniform_real_distribution<double> dd{0.0, 5.0};
+    std::uniform_real_distribution<double> pp{2.1, 6.0};
+    for (int i = 0; i < 2000; ++i) {
+        lanes.push_back({area(rng), lam(rng), dd(rng), pp(rng)});
+    }
+
+    std::vector<double> a;
+    std::vector<double> l;
+    std::vector<double> d;
+    std::vector<double> p;
+    for (const lane& x : lanes) {
+        a.push_back(x.area);
+        l.push_back(x.lambda);
+        d.push_back(x.d);
+        p.push_back(x.p);
+    }
+    const std::size_t n = lanes.size();
+    std::vector<double> ref(n);
+    std::vector<double> got(n);
+    batch::scaled_poisson_yield(a.data(), l.data(), d.data(), p.data(),
+                                ref.data(), n);
+    batch::scaled_poisson_yield_fast(a.data(), l.data(), d.data(), p.data(),
+                                     got.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(std::isnan(ref[i]), std::isnan(got[i])) << "lane " << i;
+        if (std::isnan(ref[i]) || std::isnan(got[i])) {
+            continue;
+        }
+        // Y = exp(-u), u = A*D/lambda^p: the pow feeds the exp, so the
+        // few-ULP relative difference between the two paths' u is
+        // amplified by |u| in the result (the condition number of exp
+        // — the scalar path drifts from the true value by the same
+        // factor).  Well-conditioned lanes (u <= 1/2) must meet the
+        // flat kMaxUlp bound from DESIGN.md §15; beyond that the bound
+        // scales linearly with u.
+        const double u =
+            a[i] * (d[i] / std::pow(l[i], p[i]));
+        const std::uint64_t bound =
+            u <= 0.5 ? kMaxUlp
+                     : kMaxUlp + static_cast<std::uint64_t>(12.0 * u);
+        EXPECT_LE(ulp_distance(ref[i], got[i]), bound)
+            << "lane " << i << " (u=" << u << "): scalar " << ref[i]
+            << ", fast " << got[i];
+    }
+    // Split determinism across all four columns.
+    std::vector<double> parts(n);
+    const std::size_t cuts[] = {0, 5, 6, 133, n};
+    for (std::size_t c = 0; c + 1 < sizeof(cuts) / sizeof(cuts[0]); ++c) {
+        const std::size_t lo = std::min(cuts[c], n);
+        const std::size_t hi = std::min(cuts[c + 1], n);
+        if (lo < hi) {
+            batch::scaled_poisson_yield_fast(
+                a.data() + lo, l.data() + lo, d.data() + lo, p.data() + lo,
+                parts.data() + lo, hi - lo);
+        }
+    }
+    EXPECT_EQ(std::memcmp(got.data(), parts.data(), n * sizeof(double)), 0);
+}
+
+TEST(YieldBatchUlp, ReferenceFastMatchesScalarWithinUlp) {
+    struct lane {
+        double area, y0, a0;
+    };
+    std::vector<lane> lanes = {
+        {1.9, 0.7, 1.0},  {0.0, 0.7, 1.0},   {1.0, 1.0, 1.0},
+        {1.0, 0.0, 1.0},  {1.0, -0.1, 1.0},  {1.0, 1.1, 1.0},
+        {1.0, 0.7, 0.0},  {1.0, 0.7, -1.0},  {1.0, 0.7, kinf},
+        {-1.0, 0.7, 1.0}, {kinf, 0.7, 1.0},  {knan, 0.7, 1.0},
+        {1.0, knan, 1.0}, {1.0, 0.7, knan},  {40.0, 0.99, 0.25},
+    };
+    std::mt19937_64 rng{0xf00du};
+    std::uniform_real_distribution<double> area{0.0, 10.0};
+    std::uniform_real_distribution<double> y0{0.05, 1.0};
+    std::uniform_real_distribution<double> a0{0.1, 4.0};
+    for (int i = 0; i < 2000; ++i) {
+        lanes.push_back({area(rng), y0(rng), a0(rng)});
+    }
+
+    std::vector<double> a;
+    std::vector<double> y;
+    std::vector<double> r0;
+    for (const lane& x : lanes) {
+        a.push_back(x.area);
+        y.push_back(x.y0);
+        r0.push_back(x.a0);
+    }
+    const std::size_t n = lanes.size();
+    std::vector<double> ref(n);
+    std::vector<double> got(n);
+    batch::reference_yield(a.data(), y.data(), r0.data(), ref.data(), n);
+    batch::reference_yield_fast(a.data(), y.data(), r0.data(), got.data(),
+                                n);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(std::isnan(ref[i]), std::isnan(got[i])) << "lane " << i;
+        if (!std::isnan(ref[i]) && !std::isnan(got[i])) {
+            EXPECT_LE(ulp_distance(ref[i], got[i]), kMaxUlp)
+                << "lane " << i;
+        }
+    }
+}
+
+}  // namespace

@@ -54,6 +54,8 @@
 //   --batch N             max lines per engine batch (default 1024)
 //   --cache-capacity N    memoization entries (0 disables; default 65536)
 //   --cache-shards N      cache shard count (default 16)
+//   --fast-math           vector-math sweep/partition kernels (ULP-
+//                         bounded drift; off = bit-exact scalar)
 //   --port N              serve TCP on 127.0.0.1:N instead of stdin
 //                         (0 = ephemeral; the chosen port is logged)
 //   --max-conns N         most simultaneous TCP connections; beyond it
@@ -96,6 +98,7 @@
 #include "serve/faults.hpp"
 #include "serve/io.hpp"
 #include "serve/limits.hpp"
+#include "simd/dispatch.hpp"
 
 #include <algorithm>
 #include <atomic>
@@ -193,6 +196,7 @@ struct options {
     std::size_t max_inflight_bytes = 0;
     std::size_t deadline_ms = 0;
     bool shed_on_overload = false;
+    bool fast_math = false;
     std::string faults_spec;
     bool metrics = false;
     unsigned metrics_interval = 0;  ///< seconds; 0 = off
@@ -212,7 +216,8 @@ void usage(std::ostream& out) {
            "           [--max-line-bytes N] [--max-batch-lines N]\n"
            "           [--max-sweep-points N] [--max-mc-dies N]\n"
            "           [--max-inflight-bytes N] [--deadline-ms N]\n"
-           "           [--shed-on-overload] [--faults SPEC] [--metrics]\n"
+           "           [--shed-on-overload] [--fast-math]\n"
+           "           [--faults SPEC] [--metrics]\n"
            "           [--metrics-interval S] [--trace FILE]\n"
            "           [--flight-records N] [--flight-dump FILE]\n"
            "           [--flight-deterministic] [--log-level LEVEL]\n"
@@ -246,6 +251,15 @@ void usage(std::ostream& out) {
            "(liveness; 503 when over the admission budget),\n"
            "GET /statusz (config/limits/cache/flight JSON) and\n"
            "GET /flightz (recent flight records, JSONL).\n"
+           "\n"
+           "--fast-math routes sweep and partition_explore kernels\n"
+           "through runtime-dispatched vector math (AVX2/NEON; see the\n"
+           "simd_target field in the start banner and /statusz).\n"
+           "Curve values may drift from the scalar library within the\n"
+           "documented ULP bounds (DESIGN.md section 15), so leave it\n"
+           "off for golden/bit-exact workflows; point queries and\n"
+           "error/null lanes are unaffected, and responses remain\n"
+           "deterministic at every --threads value.\n"
            "\n"
            "Endpoints: cost_tr gross_die yield scenario1 scenario2\n"
            "           table3 mc_yield sweep chiplet partition_explore\n"
@@ -289,6 +303,8 @@ bool parse_options(int argc, char** argv, options& opt) {
             opt.metrics = true;
         } else if (arg == "--shed-on-overload") {
             opt.shed_on_overload = true;
+        } else if (arg == "--fast-math") {
+            opt.fast_math = true;
         } else if (arg == "--threads") {
             const char* t = next();
             if (t == nullptr || !parse_size(t, v)) {
@@ -789,6 +805,7 @@ int main(int argc, char** argv) {
     config.limits.max_inflight_bytes = opt.max_inflight_bytes;
     config.limits.default_deadline_ms = opt.deadline_ms;
     config.limits.shed_on_overload = opt.shed_on_overload;
+    config.fast_math = opt.fast_math;
     silicon::serve::engine engine{config};
 
     // Flight recorder: configured while still single-threaded (ring
@@ -811,6 +828,9 @@ int main(int argc, char** argv) {
          {"cache_capacity", opt.cache_capacity},
          {"cache_shards", opt.cache_shards},
          {"mode", opt.port >= 0 ? "tcp" : "stdio"},
+         {"simd_target",
+          silicon::simd::to_string(silicon::simd::active_target())},
+         {"fast_math", opt.fast_math},
          {"port", opt.port},
          {"max_line_bytes", opt.max_line_bytes},
          {"deadline_ms", opt.deadline_ms},

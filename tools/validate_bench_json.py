@@ -59,18 +59,40 @@ def check_serve(doc, path):
 
 def check_kernels(doc, path):
     errors = require(doc, path, "kernels", list)
+    errors += require(doc, path, "simd_target", str)
     if errors:
         return errors
     if not doc["kernels"]:
         return fail(path, "no kernel rows")
+    # The fast-path speedup floor only applies when the host actually
+    # dispatches a vector variant and the bench ran at full size; on
+    # scalar hosts (or tiny smoke runs) the fast columns are recorded
+    # but not gated.  ULP bounds are deterministic, so they hold on
+    # every host regardless of target.
+    vector_host = doc["simd_target"] != "scalar"
+    full_run = doc.get("tiny") is False
     for row in doc["kernels"]:
         for key in ("kernel_lanes_per_s", "library_scalar_lanes_per_s",
-                    "engine_perpoint_lanes_per_s", "speedup_vs_engine"):
+                    "engine_perpoint_lanes_per_s", "speedup_vs_engine",
+                    "fast_lanes_per_s", "fast_speedup_vs_library",
+                    "fast_max_ulp"):
             errors += require(row, path, key, (int, float))
         errors += require(row, path, "name", str)
         errors += require(row, path, "bit_exact", bool)
+        errors += require(row, path, "fast_ulp_gated", bool)
+        errors += require(row, path, "fast_speedup_gated", bool)
+        name = row.get("name")
         if row.get("bit_exact") is False:
-            errors += fail(path, f"kernel {row.get('name')} not bit-exact")
+            errors += fail(path, f"kernel {name} not bit-exact")
+        if row.get("fast_ulp_gated") and row.get("fast_max_ulp", 0) > 4:
+            errors += fail(path, f"kernel {name} fast path drifts "
+                                 f"{row['fast_max_ulp']} ULP, want <= 4")
+        if (vector_host and full_run and row.get("fast_speedup_gated")
+                and row.get("fast_speedup_vs_library", 0.0) < 2.0):
+            errors += fail(path, f"kernel {name} fast speedup "
+                                 f"{row['fast_speedup_vs_library']:.2f}x "
+                                 f"vs library, want >= 2x on "
+                                 f"{doc['simd_target']}")
     return errors
 
 
