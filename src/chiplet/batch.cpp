@@ -7,11 +7,21 @@ namespace silicon::chiplet::batch {
 void cost_per_good_system(const chiplet_spec& base, int chiplets,
                           const double* total_area_mm2, double* out,
                           std::size_t n) {
+    cost_per_good_system(base, chiplets, total_area_mm2, out, nullptr, n);
+}
+
+void cost_per_good_system(const chiplet_spec& base, int chiplets,
+                          const double* total_area_mm2, double* out,
+                          chiplet_breakdown* breakdowns, std::size_t n) {
     for (std::size_t i = 0; i < n; ++i) {
         try {
             chiplet_spec spec = scaled_to_total(base, total_area_mm2[i]);
             spec.chiplets = chiplets;
-            out[i] = evaluate_chiplet(spec).cost_per_good_system_usd;
+            const chiplet_breakdown b = evaluate_chiplet(spec);
+            out[i] = b.cost_per_good_system_usd;
+            if (breakdowns != nullptr) {
+                breakdowns[i] = b;
+            }
         } catch (...) {
             out[i] = std::numeric_limits<double>::quiet_NaN();
         }

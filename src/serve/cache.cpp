@@ -126,6 +126,22 @@ void memo_cache::clear() {
     }
 }
 
+std::vector<std::pair<std::string, std::shared_ptr<const std::string>>>
+memo_cache::shard_snapshot(std::size_t index) const {
+    std::vector<std::pair<std::string, std::shared_ptr<const std::string>>>
+        out;
+    if (shards_ == nullptr || index >= shard_count_) {
+        return out;
+    }
+    const shard& s = shards_[index];
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    out.reserve(s.lru.size());
+    for (auto it = s.lru.rbegin(); it != s.lru.rend(); ++it) {
+        out.emplace_back(it->first, it->second);
+    }
+    return out;
+}
+
 memo_cache::stats memo_cache::snapshot() const {
     stats out;
     out.capacity = capacity_;

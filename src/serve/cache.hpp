@@ -28,6 +28,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace silicon::serve {
@@ -85,6 +86,21 @@ public:
     std::size_t shed_shards(std::size_t count);
 
     [[nodiscard]] stats snapshot() const;
+
+    /// Shards actually in use (0 when the cache is disabled).
+    [[nodiscard]] std::size_t shard_count() const noexcept {
+        return shard_count_;
+    }
+
+    /// Copy of shard `index`'s resident entries in least- to
+    /// most-recently-used order, so replaying them through put()
+    /// reproduces the recency order.  Values are shared, not copied.
+    /// The shard lock is held only for the duration of the copy — the
+    /// snapshot writer walks shards one at a time, staying out of the
+    /// way of concurrent get/put/shed.
+    [[nodiscard]] std::vector<
+        std::pair<std::string, std::shared_ptr<const std::string>>>
+    shard_snapshot(std::size_t index) const;
 
 private:
     struct shard;

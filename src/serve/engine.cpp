@@ -318,9 +318,11 @@ chiplet::chiplet_spec spec_from(const chiplet_request& q) {
     return s;
 }
 
-json::value eval_chiplet(const chiplet_request& q) {
-    const chiplet::chiplet_breakdown b =
-        chiplet::evaluate_chiplet(spec_from(q));
+/// The chiplet endpoint's result object from a computed breakdown.
+/// Shared by eval_chiplet and the explore-lane cache population, so a
+/// cached explore cell is byte-identical to a fresh point evaluation.
+json::value chiplet_result_json(const chiplet::chiplet_breakdown& b,
+                                const std::string& substrate) {
     json::object o;
     o.set("chiplets", static_cast<double>(b.chiplets));
     o.set("total_area_mm2", b.total_area_mm2);
@@ -331,7 +333,7 @@ json::value eval_chiplet(const chiplet_request& q) {
     o.set("die_cost_usd", b.die_cost_usd);
     o.set("test_cost_per_die_usd", b.test_cost_per_die_usd);
     o.set("defect_level", b.defect_level);
-    o.set("substrate", q.substrate);
+    o.set("substrate", substrate);
     o.set("package_area_cm2", b.package_area_cm2);
     o.set("substrate_cost_usd", b.substrate_cost_usd);
     o.set("substrate_yield", b.substrate_yield);
@@ -341,6 +343,11 @@ json::value eval_chiplet(const chiplet_request& q) {
     o.set("cost_per_system_usd", b.cost_per_system_usd);
     o.set("cost_per_good_system_usd", b.cost_per_good_system_usd);
     return json::value{std::move(o)};
+}
+
+json::value eval_chiplet(const chiplet_request& q) {
+    return chiplet_result_json(chiplet::evaluate_chiplet(spec_from(q)),
+                               q.substrate);
 }
 
 /// The split counts of a validated partition_explore `splits` list
@@ -896,27 +903,99 @@ bool engine::eval_sweep_fast(const sweep_request& q,
         return false;  // integer-typed parameter: generic path
     }
 
+    // Cache-aware planning for the SoA-kernel targets: compute each
+    // lane's canonical point key once, splice lanes the point cache
+    // already holds, and run the kernel over the missing lanes only.
+    // Lanes are independent and sub-range kernel calls are bit-exact
+    // (batch contract), so a gathered evaluation produces the very
+    // bytes a full-grid run would; cached lanes carry bytes a fresh
+    // scalar evaluation wrote, so the spliced response is identical at
+    // --threads 1/4/0 and to an empty-cache run.  fast_math is
+    // excluded both ways: fast lanes never enter the point cache and
+    // must never be answered from it.
+    const bool kernel_op = tgt.op == op_code::scenario1 ||
+                           tgt.op == op_code::scenario2 ||
+                           tgt.op == op_code::yield;
+    const bool lane_cache =
+        config_.cache_capacity != 0 && !config_.fast_math && kernel_op;
+    std::vector<std::string> keys;  // lane i -> canonical point key
+    std::vector<std::shared_ptr<const std::string>> hit;
+    std::vector<double> missing_xs;      // kernel input (cache misses)
+    std::vector<std::size_t> lane_of;    // kernel lane j -> grid lane i
+    if (lane_cache) {
+        keys.resize(n);
+        exec::parallel_for(
+            n, config_.parallelism,
+            [&](const exec::shard_range& r) {
+                request local = tgt;
+                double* lslot = numeric_param_ptr(local, q.param);
+                for (std::size_t i = r.begin; i < r.end; ++i) {
+                    *lslot = xs[i];
+                    keys[i] = json::canonical(request_to_json(local));
+                }
+            },
+            cancel);
+        hit.resize(n);
+        missing_xs.reserve(n);
+        lane_of.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            // get_if_present: a hit counts, a planning miss does not —
+            // the authoritative misses stay wherever evaluation runs,
+            // so hit/miss accounting matches the pre-planning engine.
+            hit[i] = cache_.get_if_present(keys[i]);
+            if (hit[i] == nullptr) {
+                missing_xs.push_back(xs[i]);
+                lane_of.push_back(i);
+            }
+        }
+    }
+    const std::vector<double>& kxs = lane_cache ? missing_xs : xs;
+    const std::size_t m = kxs.size();
+
     // Expand one payload member into a parameter column: the swept
-    // member carries the grid, everything else is a constant lane.
+    // member carries the (cache-missing) grid, everything else is a
+    // constant lane.
     const auto col = [&](const double& member) {
-        std::vector<double> v(n, member);
+        std::vector<double> v(m, member);
         if (&member == slot) {
-            std::copy(xs.begin(), xs.end(), v.begin());
+            std::copy(kxs.begin(), kxs.end(), v.begin());
         }
         return v;
     };
     const auto shard = [&](auto&& body) {
         exec::parallel_for(
-            n, config_.parallelism,
+            m, config_.parallelism,
             [&](const exec::shard_range& r) {
                 body(r.begin, r.end - r.begin);
             },
             cancel);
     };
     const auto emit = [&](const std::vector<double>& out) {
+        for (std::size_t j = 0; j < m; ++j) {
+            const std::size_t i = lane_cache ? lane_of[j] : j;
+            ys[i] = std::isnan(out[j]) ? json::value{nullptr}
+                                       : json::value{out[j]};
+        }
+        if (!lane_cache) {
+            return;
+        }
+        // Splice cached lanes back in lane order.  The cached bytes
+        // are a fresh scalar evaluation's result object; doubles print
+        // shortest-round-trip, so parse -> primary metric reproduces
+        // the lane value bit for bit.  NaN lanes are never cached, so
+        // a hit always carries the metric.
         for (std::size_t i = 0; i < n; ++i) {
-            ys[i] = std::isnan(out[i]) ? json::value{nullptr}
-                                       : json::value{out[i]};
+            if (hit[i] == nullptr) {
+                continue;
+            }
+            try {
+                const json::value res = json::parse(*hit[i]);
+                const json::value* metric =
+                    res.as_object().find(primary_metric(tgt.op));
+                ys[i] = metric != nullptr ? *metric : json::value{};
+            } catch (const std::exception&) {
+                ys[i] = json::value{nullptr};  // defensive: cached JSON
+            }
         }
     };
     // Share kernel lanes with the point cache: each successful lane is
@@ -930,20 +1009,18 @@ bool engine::eval_sweep_fast(const sweep_request& q,
         // fast_math lanes never enter the point cache: point queries
         // always evaluate the scalar library, and a fast lane's bytes
         // can differ within the documented ULP bounds.
-        if (config_.cache_capacity == 0 || config_.fast_math) {
+        if (!lane_cache) {
             return;
         }
-        for (std::size_t i = 0; i < n; ++i) {
-            if (std::isnan(out[i])) {
+        for (std::size_t j = 0; j < m; ++j) {
+            if (std::isnan(out[j])) {
                 continue;
             }
             if (cancel != nullptr && cancel->expired()) {
                 return;  // best effort: the response needs no cache
             }
-            *slot = xs[i];
             try {
-                cache_.put(json::canonical(request_to_json(tmp)),
-                           json::dump(lane_result(i)));
+                cache_.put(keys[lane_of[j]], json::dump(lane_result(j)));
             } catch (const std::exception&) {
                 // Side values threw where the metric did not: skip.
             }
@@ -956,7 +1033,7 @@ bool engine::eval_sweep_fast(const sweep_request& q,
             const auto lambda = col(t.lambda_um), c0 = col(t.c0_usd),
                        x = col(t.x), r = col(t.wafer_radius_cm),
                        dd = col(t.design_density);
-            std::vector<double> out(n);
+            std::vector<double> out(m);
             shard([&](std::size_t b, std::size_t len) {
                 cost::batch::scenario_columns cols;
                 cols.lambda_um = lambda.data() + b;
@@ -982,7 +1059,7 @@ bool engine::eval_sweep_fast(const sweep_request& q,
             const auto lambda = col(t.lambda_um), c0 = col(t.c0_usd),
                        x = col(t.x), r = col(t.wafer_radius_cm),
                        dd = col(t.design_density), y0 = col(t.y0);
-            std::vector<double> out(n);
+            std::vector<double> out(m);
             shard([&](std::size_t b, std::size_t len) {
                 cost::batch::scenario_columns cols;
                 cols.lambda_um = lambda.data() + b;
@@ -1024,7 +1101,7 @@ bool engine::eval_sweep_fast(const sweep_request& q,
                 const std::vector<double> alpha =
                     t.model == "neg_binomial" ? col(t.alpha)
                                               : std::vector<double>{};
-                std::vector<double> out(n);
+                std::vector<double> out(m);
                 shard([&](std::size_t b, std::size_t len) {
                     // Serve-level fault derivation (eval_yield): the
                     // explicit count wins, else area * density, both
@@ -1079,7 +1156,7 @@ bool engine::eval_sweep_fast(const sweep_request& q,
                 const auto area = col(t.die_area_cm2),
                            lambda = col(t.lambda_um), d = col(t.d),
                            p = col(t.p);
-                std::vector<double> out(n);
+                std::vector<double> out(m);
                 shard([&](std::size_t b, std::size_t len) {
                     (fm ? yield::batch::scaled_poisson_yield_fast
                         : yield::batch::scaled_poisson_yield)(
@@ -1102,7 +1179,7 @@ bool engine::eval_sweep_fast(const sweep_request& q,
             if (t.model == "reference") {
                 const auto area = col(t.die_area_cm2), y0 = col(t.y0),
                            a0 = col(t.a0_cm2);
-                std::vector<double> out(n);
+                std::vector<double> out(m);
                 shard([&](std::size_t b, std::size_t len) {
                     (fm ? yield::batch::reference_yield_fast
                         : yield::batch::reference_yield)(
@@ -1142,16 +1219,31 @@ bool engine::eval_sweep_fast(const sweep_request& q,
         [&](const exec::shard_range& r) {
             request local = tgt;
             double* lslot = numeric_param_ptr(local, q.param);
+            std::string key;
             for (std::size_t i = r.begin; i < r.end; ++i) {
                 *lslot = xs[i];
                 try {
+                    if (config_.cache_capacity != 0) {
+                        // Cache-aware lane: a point the cache already
+                        // holds is spliced instead of re-evaluated —
+                        // cached bytes are a fresh scalar evaluation's,
+                        // so the response is byte-identical either way.
+                        key = json::canonical(request_to_json(local));
+                        if (const auto cached = cache_.get_if_present(key)) {
+                            const json::value res = json::parse(*cached);
+                            const json::value* metric = res.as_object().find(
+                                primary_metric(local.op));
+                            ys[i] = metric != nullptr ? *metric
+                                                      : json::value{};
+                            continue;
+                        }
+                    }
                     const json::value res = evaluate(local);
                     const json::value* metric =
                         res.as_object().find(primary_metric(local.op));
                     ys[i] = metric != nullptr ? *metric : json::value{};
                     if (config_.cache_capacity != 0) {
-                        cache_.put(json::canonical(request_to_json(local)),
-                                   json::dump(res));
+                        cache_.put(key, json::dump(res));
                     }
                 } catch (const std::exception&) {
                     ys[i] = json::value{nullptr};
@@ -1242,18 +1334,110 @@ json::value engine::eval_partition_explore(
     // same NaN classification, still thread-count deterministic).
     std::vector<std::vector<double>> cost(splits.size(),
                                           std::vector<double>(n));
+    // Explore cells share the point cache with the chiplet endpoint
+    // (kernel path, scalar math, cache enabled): each feasible cell is
+    // exactly the chiplet point request for the scaled spec at that
+    // split, so cells land in — and are answered from — the same
+    // per-point memoization as a direct `op:chiplet` query.  Cached
+    // bytes are a fresh scalar evaluation's result object, so splicing
+    // the metric back keeps the response byte-identical to an
+    // empty-cache run at every thread count and either kernel flag.
+    const bool lane_cache = config_.sweep_kernels &&
+                            config_.cache_capacity != 0 &&
+                            !config_.fast_math;
     for (std::size_t s = 0; s < splits.size(); ++s) {
         double* out = cost[s].data();
         const int split = splits[s];
-        if (config_.sweep_kernels) {
+        if (lane_cache) {
+            std::vector<std::string> keys(n);
+            std::vector<std::shared_ptr<const std::string>> hit(n);
+            exec::parallel_for(
+                n, config_.parallelism,
+                [&](const exec::shard_range& r) {
+                    request cell;
+                    cell.op = op_code::chiplet;
+                    chiplet_request point = q.base;
+                    point.chiplets = split;
+                    for (std::size_t i = r.begin; i < r.end; ++i) {
+                        const chiplet::chiplet_spec spec =
+                            chiplet::scaled_to_total(base, xs[i]);
+                        point.logic_area_mm2 = spec.logic_area_mm2;
+                        point.memory_area_mm2 = spec.memory_area_mm2;
+                        point.io_area_mm2 = spec.io_area_mm2;
+                        cell.payload = point;
+                        keys[i] = json::canonical(request_to_json(cell));
+                    }
+                },
+                cancel);
+            std::vector<double> missing_xs;
+            std::vector<std::size_t> lane_of;
+            missing_xs.reserve(n);
+            lane_of.reserve(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                hit[i] = cache_.get_if_present(keys[i]);
+                if (hit[i] == nullptr) {
+                    missing_xs.push_back(xs[i]);
+                    lane_of.push_back(i);
+                }
+            }
+            const std::size_t m = missing_xs.size();
+            std::vector<double> missing_out(m);
+            std::vector<chiplet::chiplet_breakdown> breakdowns(m);
+            exec::parallel_for(
+                m, config_.parallelism,
+                [&](const exec::shard_range& r) {
+                    chiplet::batch::cost_per_good_system(
+                        base, split, missing_xs.data() + r.begin,
+                        missing_out.data() + r.begin,
+                        breakdowns.data() + r.begin, r.end - r.begin);
+                },
+                cancel);
+            for (std::size_t j = 0; j < m; ++j) {
+                out[lane_of[j]] = missing_out[j];
+                if (std::isnan(missing_out[j])) {
+                    continue;  // infeasible cells are never cached
+                }
+                try {
+                    cache_.put(keys[lane_of[j]],
+                               json::dump(chiplet_result_json(
+                                   breakdowns[j], q.base.substrate)));
+                } catch (const std::exception&) {
+                    // Allocation failure caching a side value: skip.
+                }
+            }
+            for (std::size_t i = 0; i < n; ++i) {
+                if (hit[i] == nullptr) {
+                    continue;
+                }
+                // NaN cells never enter the cache, so a hit always
+                // carries a finite metric; shortest-round-trip doubles
+                // make parse -> metric the identical cell value.
+                out[i] = std::numeric_limits<double>::quiet_NaN();
+                try {
+                    const json::value res = json::parse(*hit[i]);
+                    const json::value* metric = res.as_object().find(
+                        "cost_per_good_system_usd");
+                    if (metric != nullptr && metric->is_number()) {
+                        out[i] = metric->as_number();
+                    }
+                } catch (const std::exception&) {
+                    // Defensive: cached values always parse.
+                }
+            }
+        } else if (config_.sweep_kernels) {
             const bool fm = config_.fast_math;
             exec::parallel_for(
                 n, config_.parallelism,
                 [&](const exec::shard_range& r) {
-                    (fm ? chiplet::batch::cost_per_good_system_fast
-                        : chiplet::batch::cost_per_good_system)(
-                        base, split, xs.data() + r.begin, out + r.begin,
-                        r.end - r.begin);
+                    if (fm) {
+                        chiplet::batch::cost_per_good_system_fast(
+                            base, split, xs.data() + r.begin,
+                            out + r.begin, r.end - r.begin);
+                    } else {
+                        chiplet::batch::cost_per_good_system(
+                            base, split, xs.data() + r.begin,
+                            out + r.begin, r.end - r.begin);
+                    }
                 },
                 cancel);
         } else {
@@ -1339,6 +1523,26 @@ json::value engine::eval_partition_explore(
     return json::value{std::move(o)};
 }
 
+namespace {
+
+/// Snapshot observability object shared by stats and /statusz.
+json::value snapshot_stats_json(const engine::snapshot_stats& s) {
+    json::object o;
+    o.set("writes", static_cast<double>(s.writes));
+    o.set("write_failures", static_cast<double>(s.write_failures));
+    o.set("restores", static_cast<double>(s.restores));
+    o.set("restore_failures", static_cast<double>(s.restore_failures));
+    o.set("restored_entries", static_cast<double>(s.restored_entries));
+    o.set("last_entries", static_cast<double>(s.last_entries));
+    o.set("last_bytes", static_cast<double>(s.last_bytes));
+    o.set("last_write_seconds", s.last_write_seconds);
+    o.set("last_restore_seconds", s.last_restore_seconds);
+    o.set("age_seconds", s.age_seconds);
+    return json::value{std::move(o)};
+}
+
+}  // namespace
+
 json::value engine::stats_json() {
     const memo_cache::stats c = cache_.snapshot();
     json::object cache;
@@ -1401,7 +1605,94 @@ json::value engine::stats_json() {
     flight.set("dropped", static_cast<double>(f.dropped));
     flight.set("anomalies", static_cast<double>(f.anomalies));
     o.set("flight", json::value{std::move(flight)});
+    o.set("snapshot", snapshot_stats_json(snapshot_info()));
     return json::value{std::move(o)};
+}
+
+snapshot::write_result engine::snapshot_write(const std::string& path) {
+    // One writer at a time: the periodic tick, a SIGUSR2 trigger and
+    // the shutdown write may race; whichever loses the lock simply
+    // writes a fresher image.  Serving and overload sheds are NOT
+    // blocked — the serializer captures shards one at a time under
+    // their own locks, so a concurrent shed yields a stale-but-
+    // consistent image (counts and CRCs are computed from the bytes
+    // actually captured), never a torn or double-counted one.
+    const std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    const auto t0 = std::chrono::steady_clock::now();
+    const snapshot::write_result r = snapshot::write_file(
+        cache_, snapshot::config_fingerprint(config_.fast_math), path);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (r.ok) {
+        snap_writes_.fetch_add(1, std::memory_order_relaxed);
+        snap_last_entries_.store(r.entries, std::memory_order_relaxed);
+        snap_last_bytes_.store(r.bytes, std::memory_order_relaxed);
+        snap_last_write_ns_.store(ns_between(t0, t1),
+                                  std::memory_order_relaxed);
+        snap_last_write_at_ns_.store(
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    t1.time_since_epoch())
+                    .count()),
+            std::memory_order_relaxed);
+    } else {
+        snap_write_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return r;
+}
+
+snapshot::restore_result engine::snapshot_restore(const std::string& path) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const snapshot::restore_result r = snapshot::restore_file(
+        cache_, snapshot::config_fingerprint(config_.fast_math), path);
+    snap_last_restore_ns_.store(
+        ns_between(t0, std::chrono::steady_clock::now()),
+        std::memory_order_relaxed);
+    switch (r.outcome) {
+        case snapshot::restore_outcome::restored:
+            snap_restores_.fetch_add(1, std::memory_order_relaxed);
+            snap_restored_entries_.fetch_add(r.entries,
+                                             std::memory_order_relaxed);
+            break;
+        case snapshot::restore_outcome::cold_corrupt:
+            snap_restore_failures_.fetch_add(1, std::memory_order_relaxed);
+            break;
+        case snapshot::restore_outcome::cold_missing:
+            break;  // normal first boot, not a failure
+    }
+    return r;
+}
+
+engine::snapshot_stats engine::snapshot_info() const {
+    snapshot_stats s;
+    s.writes = snap_writes_.load(std::memory_order_relaxed);
+    s.write_failures =
+        snap_write_failures_.load(std::memory_order_relaxed);
+    s.restores = snap_restores_.load(std::memory_order_relaxed);
+    s.restore_failures =
+        snap_restore_failures_.load(std::memory_order_relaxed);
+    s.restored_entries =
+        snap_restored_entries_.load(std::memory_order_relaxed);
+    s.last_entries = snap_last_entries_.load(std::memory_order_relaxed);
+    s.last_bytes = snap_last_bytes_.load(std::memory_order_relaxed);
+    s.last_write_seconds =
+        static_cast<double>(
+            snap_last_write_ns_.load(std::memory_order_relaxed)) *
+        1e-9;
+    s.last_restore_seconds =
+        static_cast<double>(
+            snap_last_restore_ns_.load(std::memory_order_relaxed)) *
+        1e-9;
+    const std::uint64_t at =
+        snap_last_write_at_ns_.load(std::memory_order_relaxed);
+    if (at != 0) {
+        const auto now = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
+        s.age_seconds =
+            now > at ? static_cast<double>(now - at) * 1e-9 : 0.0;
+    }
+    return s;
 }
 
 json::value engine::statusz_json() const {
@@ -1466,6 +1757,7 @@ json::value engine::statusz_json() const {
     o.set("cache", json::value{std::move(cache)});
     o.set("overload", json::value{std::move(overload)});
     o.set("flight", json::value{std::move(flight)});
+    o.set("snapshot", snapshot_stats_json(snapshot_info()));
     o.set("parse_errors",
           static_cast<double>(parse_errors_.load(std::memory_order_relaxed)));
     return json::value{std::move(o)};
@@ -1577,6 +1869,62 @@ std::string engine::prometheus_text() const {
     obs::prometheus_sample(
         out, "silicon_serve_cache_shed_entries_total",
         cache_shed_entries_.load(std::memory_order_relaxed));
+
+    const snapshot_stats snap = snapshot_info();
+    obs::prometheus_header(out, "silicon_cache_snapshot_writes_total",
+                           "counter",
+                           "Cache snapshots written successfully");
+    obs::prometheus_sample(out, "silicon_cache_snapshot_writes_total",
+                           snap.writes);
+    obs::prometheus_header(out,
+                           "silicon_cache_snapshot_write_failures_total",
+                           "counter", "Cache snapshot write attempts that "
+                                      "failed (file kept intact)");
+    obs::prometheus_sample(out,
+                           "silicon_cache_snapshot_write_failures_total",
+                           snap.write_failures);
+    obs::prometheus_header(out, "silicon_cache_snapshot_restores_total",
+                           "counter",
+                           "Cache snapshots restored at boot");
+    obs::prometheus_sample(out, "silicon_cache_snapshot_restores_total",
+                           snap.restores);
+    obs::prometheus_header(
+        out, "silicon_cache_snapshot_restore_failures_total", "counter",
+        "Snapshot restores that degraded to a cold start (corruption, "
+        "version or fingerprint mismatch)");
+    obs::prometheus_sample(out,
+                           "silicon_cache_snapshot_restore_failures_total",
+                           snap.restore_failures);
+    obs::prometheus_header(out, "silicon_cache_snapshot_restored_entries",
+                           "gauge", "Entries loaded from snapshots");
+    obs::prometheus_sample(out, "silicon_cache_snapshot_restored_entries",
+                           snap.restored_entries);
+    obs::prometheus_header(out, "silicon_cache_snapshot_last_bytes",
+                           "gauge", "Size of the last written snapshot");
+    obs::prometheus_sample(out, "silicon_cache_snapshot_last_bytes",
+                           snap.last_bytes);
+    obs::prometheus_header(out, "silicon_cache_snapshot_last_entries",
+                           "gauge", "Entries in the last written snapshot");
+    obs::prometheus_sample(out, "silicon_cache_snapshot_last_entries",
+                           snap.last_entries);
+    obs::prometheus_header(
+        out, "silicon_cache_snapshot_last_write_seconds", "gauge",
+        "Duration of the last snapshot write (serialize + fsync + rename)");
+    obs::prometheus_sample(out, "silicon_cache_snapshot_last_write_seconds",
+                           snap.last_write_seconds);
+    obs::prometheus_header(out,
+                           "silicon_cache_snapshot_last_restore_seconds",
+                           "gauge",
+                           "Duration of the last snapshot restore attempt");
+    obs::prometheus_sample(out,
+                           "silicon_cache_snapshot_last_restore_seconds",
+                           snap.last_restore_seconds);
+    obs::prometheus_header(out, "silicon_cache_snapshot_age_seconds",
+                           "gauge",
+                           "Seconds since the last successful snapshot "
+                           "write (-1 = never)");
+    obs::prometheus_sample(out, "silicon_cache_snapshot_age_seconds",
+                           snap.age_seconds);
 
     obs::prometheus_header(out, "silicon_partition_pricer_hits_total",
                            "counter",

@@ -62,11 +62,13 @@
 #include "serve/limits.hpp"
 #include "serve/metrics.hpp"
 #include "serve/request.hpp"
+#include "serve/snapshot.hpp"
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -189,6 +191,37 @@ public:
         return cache_shed_entries_.load(std::memory_order_relaxed);
     }
 
+    /// Cache snapshot/restore observability (also exported to
+    /// Prometheus, /statusz and the stats endpoint).
+    struct snapshot_stats {
+        std::uint64_t writes = 0;           ///< successful writes
+        std::uint64_t write_failures = 0;   ///< failed write attempts
+        std::uint64_t restores = 0;         ///< successful restores
+        std::uint64_t restore_failures = 0; ///< counted cold starts
+        std::uint64_t restored_entries = 0; ///< entries loaded at boot
+        std::uint64_t last_entries = 0;     ///< entries in last write
+        std::uint64_t last_bytes = 0;       ///< bytes in last write
+        double last_write_seconds = 0.0;
+        double last_restore_seconds = 0.0;
+        /// Seconds since the last successful write; negative when no
+        /// snapshot has been written by this engine yet.
+        double age_seconds = -1.0;
+    };
+
+    /// Atomically snapshot the memoization cache to `path` (temp file
+    /// + fsync + rename; see snapshot.hpp).  Serialized against
+    /// concurrent writers (periodic tick vs SIGUSR2 vs shutdown), safe
+    /// against concurrent serving and overload sheds.  Never throws.
+    snapshot::write_result snapshot_write(const std::string& path);
+
+    /// Restore the cache from `path` at boot.  Strictly defensive:
+    /// corruption of any kind degrades to a counted cold start (see
+    /// restore_failures / silicon_cache_snapshot_restore_failures_total)
+    /// and a missing file is a plain cold start.  Never throws.
+    snapshot::restore_result snapshot_restore(const std::string& path);
+
+    [[nodiscard]] snapshot_stats snapshot_info() const;
+
 private:
     /// Cache/exec stage capture for one line, filled by result_for and
     /// folded into the stage histograms + flight record afterwards.
@@ -267,6 +300,21 @@ private:
     std::atomic<std::uint64_t> deadline_exceeded_{0};
     std::atomic<std::uint64_t> hot_declines_{0};
     std::atomic<std::uint64_t> cache_shed_entries_{0};
+
+    /// Serializes snapshot writers; the cache itself needs no global
+    /// lock (shards are captured one at a time under their own locks).
+    std::mutex snapshot_mutex_;
+    std::atomic<std::uint64_t> snap_writes_{0};
+    std::atomic<std::uint64_t> snap_write_failures_{0};
+    std::atomic<std::uint64_t> snap_restores_{0};
+    std::atomic<std::uint64_t> snap_restore_failures_{0};
+    std::atomic<std::uint64_t> snap_restored_entries_{0};
+    std::atomic<std::uint64_t> snap_last_entries_{0};
+    std::atomic<std::uint64_t> snap_last_bytes_{0};
+    std::atomic<std::uint64_t> snap_last_write_ns_{0};
+    std::atomic<std::uint64_t> snap_last_restore_ns_{0};
+    /// steady_clock ns of the last successful write; 0 = never.
+    std::atomic<std::uint64_t> snap_last_write_at_ns_{0};
 };
 
 }  // namespace silicon::serve

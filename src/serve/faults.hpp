@@ -27,6 +27,8 @@
 //     SILICON_FAULTS='alloc_fail@serve.arena:3,eintr@silicond.write:2'
 //
 // Sites in this repo: serve.line, serve.eval, serve.arena,
+// serve.snapshot_write (fail or delay cache-snapshot serialization),
+// serve.snapshot_read (fail or delay snapshot restore),
 // silicond.write, silicond.read (DESIGN.md §11 keeps the registry).
 //
 // Determinism: triggering is counter-based (no RNG), so with period 1

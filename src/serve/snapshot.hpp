@@ -1,0 +1,125 @@
+// snapshot.hpp — crash-safe persistence for the serve memoization cache.
+//
+// A snapshot is a single file capturing every resident cache entry, so
+// a restart (deploy, crash, overload shed gone wrong) warms back up in
+// one read instead of recomputing the same Maly-model grids cold.  The
+// format is versioned and checksummed end to end; the *restore* side is
+// strictly defensive: any truncation, bit flip, stale format version or
+// engine-fingerprint mismatch degrades to a counted cold start — never
+// a crash, never a partially-visible or poisoned entry.
+//
+// On-disk layout (all integers little-endian, naturally aligned within
+// the fixed-size headers so the file can be mmap'd and walked without
+// copying):
+//
+//   file header (48 bytes)
+//     [ 0] char     magic[8]      "SILSNAP\x01"
+//     [ 8] u32      version       format_version (currently 1)
+//     [12] u32      shard_count   shard sections that follow
+//     [16] u64      fingerprint   engine-config fingerprint (see below)
+//     [24] u64      entry_count   total records across all shards
+//     [32] u64      payload_bytes file size minus this header
+//     [40] u32      header_crc    CRC32C of bytes [0, 40)
+//     [44] u32      reserved      0
+//   then, per shard, a shard section:
+//     shard header (24 bytes)
+//       u64 entry_count   records in this section
+//       u64 record_bytes  bytes of the record region that follows
+//       u32 record_crc    CRC32C of the record region
+//       u32 reserved      0
+//     record region: per entry
+//       u32 key_len, u32 value_len, key bytes, value bytes
+//
+// Records within a shard are ordered least- to most-recently-used, so
+// replaying them through memo_cache::put() reproduces the eviction
+// order, not just the contents.
+//
+// Atomicity protocol (DESIGN.md §16): the whole image is serialized
+// into memory first — counts and CRCs are computed from the bytes that
+// were actually captured, so a concurrent `shed_shards` (overload) or
+// `put` can make the image *stale* but never torn or double-counted —
+// then written to `path + ".tmp"`, fsync'd, rename(2)'d over `path`,
+// and the directory fsync'd best-effort.  A crash at any point leaves
+// either the previous complete snapshot or a stray .tmp the restore
+// path never looks at.
+//
+// The engine-config fingerprint binds a snapshot to the cache-contents
+// contract of the engine that wrote it.  Today that is the `fast_math`
+// flag (fast lanes never enter the cache, and scalar bytes must never
+// be served from a fast-math engine's snapshot or vice versa); bumping
+// `format_version` is the escape hatch for layout changes.
+//
+// Fault injection: the writer honors `serve.snapshot_write` and the
+// reader `serve.snapshot_read` on the process-global switchboard
+// (faults.hpp) — `alloc_fail@` fails the operation cleanly,
+// `slow_task@` stretches the in-progress window for race batteries.
+
+#pragma once
+
+#include "serve/cache.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace silicon::serve::snapshot {
+
+inline constexpr char magic[8] = {'S', 'I', 'L', 'S', 'N', 'A', 'P', '\x01'};
+inline constexpr std::uint32_t format_version = 1;
+
+/// Software CRC32C (Castagnoli), the checksum of every header and
+/// record region.  `seed` chains partial computations.
+[[nodiscard]] std::uint32_t crc32c(const void* data, std::size_t size,
+                                   std::uint32_t seed = 0);
+
+/// FNV-1a fingerprint of the engine-side cache-contents contract.  Two
+/// engines whose fingerprints differ must not exchange snapshots.
+[[nodiscard]] std::uint64_t config_fingerprint(bool fast_math);
+
+struct write_result {
+    bool ok = false;
+    std::string error;            ///< empty when ok
+    std::uint64_t entries = 0;    ///< records captured
+    std::uint64_t bytes = 0;      ///< file size written
+};
+
+/// Serialize every resident entry of `cache` and atomically replace
+/// `path` with the image.  Shards are captured one at a time under
+/// their own locks; concurrent mutation yields a stale-but-consistent
+/// snapshot.  Never throws.
+[[nodiscard]] write_result write_file(const memo_cache& cache,
+                                      std::uint64_t fingerprint,
+                                      const std::string& path);
+
+enum class restore_outcome {
+    restored,      ///< entries loaded, cache warm
+    cold_missing,  ///< no snapshot file — normal first boot
+    cold_corrupt,  ///< validation failed — counted cold start
+};
+
+struct restore_result {
+    restore_outcome outcome = restore_outcome::cold_missing;
+    std::string reason;           ///< human-readable failure detail
+    std::uint64_t entries = 0;    ///< records inserted (restored only)
+    std::uint64_t bytes = 0;      ///< file size read
+};
+
+/// Load `path` into `cache`.  The whole file is parsed and every
+/// checksum, bound and count verified *before* the first insertion, so
+/// a failed restore leaves the cache exactly as it was (no partial
+/// entries).  Never throws.
+[[nodiscard]] restore_result restore_file(memo_cache& cache,
+                                          std::uint64_t fingerprint,
+                                          const std::string& path);
+
+/// Serialize to bytes / load from bytes — the pure-format halves of
+/// write_file/restore_file, exposed for the corruption fuzz battery
+/// (tests patch bytes and recompute CRCs without touching disk).
+[[nodiscard]] std::string serialize(const memo_cache& cache,
+                                    std::uint64_t fingerprint,
+                                    std::uint64_t* entries_out = nullptr);
+[[nodiscard]] restore_result deserialize_into(memo_cache& cache,
+                                              std::uint64_t fingerprint,
+                                              const std::string& image);
+
+}  // namespace silicon::serve::snapshot

@@ -10,6 +10,7 @@
 #include "serve/io.hpp"
 #include "serve/json.hpp"
 #include "serve/limits.hpp"
+#include "serve/snapshot.hpp"
 
 #include <gtest/gtest.h>
 
@@ -19,6 +20,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -649,6 +651,134 @@ TEST(CacheShedding, CountClampedToShardCount) {
     cache.put("b", "2");
     EXPECT_EQ(cache.shed_shards(100), 2u);
     EXPECT_EQ(cache.snapshot().entries, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot fault sites (serve.snapshot_write / serve.snapshot_read)
+// ---------------------------------------------------------------------------
+
+/// RAII cleanup for on-disk snapshot fixtures.
+struct snapshot_file_guard {
+    explicit snapshot_file_guard(const char* tag)
+        : path{"chaos_snapshot_" + std::string{tag} + "_" +
+               std::to_string(::getpid()) + ".bin"} {}
+    ~snapshot_file_guard() {
+        std::remove(path.c_str());
+        std::remove((path + ".tmp").c_str());
+    }
+    std::string path;
+};
+
+TEST(SnapshotFaults, InjectedWriteFailureLeavesPreviousSnapshotIntact) {
+    const faults_guard guard;
+    const snapshot_file_guard file{"write_fail"};
+    engine_config config;
+    config.parallelism = 1;
+    engine writer{config};
+    (void)writer.handle_line(R"({"op":"table3","row":1})");
+    ASSERT_TRUE(writer.snapshot_write(file.path).ok);
+
+    // More entries arrive, then the next write fails cleanly: the
+    // failure is counted and the previous on-disk image survives.
+    (void)writer.handle_line(R"({"op":"table3","row":2})");
+    faults::configure("alloc_fail@serve.snapshot_write:1");
+    const auto failed = writer.snapshot_write(file.path);
+    EXPECT_FALSE(failed.ok);
+    EXPECT_NE(failed.error.find("injected"), std::string::npos);
+    EXPECT_GE(faults::injected("serve.snapshot_write"), 1u);
+    const auto info = writer.snapshot_info();
+    EXPECT_EQ(info.writes, 1u);
+    EXPECT_EQ(info.write_failures, 1u);
+
+    faults::reset();
+    engine reader{config};
+    const auto restored = reader.snapshot_restore(file.path);
+    ASSERT_EQ(restored.outcome,
+              silicon::serve::snapshot::restore_outcome::restored);
+    EXPECT_EQ(restored.entries, 1u)
+        << "the failed write must not have clobbered the good image";
+}
+
+TEST(SnapshotFaults, InjectedReadFailureIsCountedColdStart) {
+    const faults_guard guard;
+    const snapshot_file_guard file{"read_fail"};
+    engine_config config;
+    config.parallelism = 1;
+    {
+        engine writer{config};
+        (void)writer.handle_line(R"({"op":"table3","row":3})");
+        ASSERT_TRUE(writer.snapshot_write(file.path).ok);
+    }
+    faults::configure("alloc_fail@serve.snapshot_read:1");
+    engine reader{config};
+    EXPECT_EQ(reader.snapshot_restore(file.path).outcome,
+              silicon::serve::snapshot::restore_outcome::cold_corrupt);
+    EXPECT_EQ(reader.snapshot_info().restore_failures, 1u);
+    EXPECT_EQ(reader.cache_stats().entries, 0u);
+    // Cold, not dead: the engine still answers.
+    EXPECT_EQ(error_code(reader.handle_line(R"({"op":"table3","row":3})")),
+              "");
+
+    // Disarmed, the same file restores fine.
+    faults::reset();
+    engine retry{config};
+    EXPECT_EQ(retry.snapshot_restore(file.path).outcome,
+              silicon::serve::snapshot::restore_outcome::restored);
+}
+
+TEST(SnapshotFaults, OverloadShedMidSnapshotStaysRestorable) {
+    // Regression for the shed_on_overload interplay: the writer
+    // captures one shard at a time and derives counts/CRCs from the
+    // captured bytes, so a shed landing mid-write (window widened by
+    // slow_task) yields a stale-but-restorable image — never torn,
+    // never double-counted.  A torn image would fail deserialization's
+    // per-shard count/CRC cross-checks and surface as cold_corrupt.
+    const faults_guard guard;
+    const snapshot_file_guard file{"shed_race"};
+    engine_config config;
+    config.parallelism = 1;
+    config.cache_shards = 4;
+    config.limits.shed_on_overload = true;
+    config.limits.max_inflight_bytes = 1;
+    engine e{config};
+    std::vector<std::string> warm;
+    for (int row = 0; row < 6; ++row) {
+        warm.push_back(R"({"op":"table3","row":)" + std::to_string(row) +
+                       "}");
+        (void)e.handle_line(warm.back());
+    }
+    ASSERT_GT(e.cache_stats().entries, 0u);
+
+    faults::configure("slow_task@serve.snapshot_write:2");  // ~8ms window
+    std::thread writer{[&] {
+        const auto w = e.snapshot_write(file.path);
+        EXPECT_TRUE(w.ok) << w.error;
+    }};
+    // A two-line batch overflows the 1-byte inflight budget: the
+    // rejection calls on_overload, which sheds half the shards while
+    // the writer is mid-capture; re-warm so later shards have entries.
+    for (int round = 0; round < 50; ++round) {
+        (void)e.handle_batch({warm[0], warm[1]});
+        (void)e.handle_line(warm[round % warm.size()]);
+    }
+    writer.join();
+    EXPECT_GE(faults::injected("serve.snapshot_write"), 4u)
+        << "the per-shard delay must actually have fired";
+
+    faults::reset();
+    engine_config clean;
+    clean.parallelism = 1;
+    clean.cache_shards = 4;
+    engine reader{clean};
+    const auto restored = reader.snapshot_restore(file.path);
+    EXPECT_EQ(restored.outcome,
+              silicon::serve::snapshot::restore_outcome::restored)
+        << restored.reason;
+    EXPECT_EQ(reader.snapshot_info().restore_failures, 0u);
+    // Whatever subset survived the sheds serves warm and correct.
+    for (const std::string& line : warm) {
+        EXPECT_EQ(error_code(reader.handle_line(line)), "");
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -315,6 +315,108 @@ TEST(Engine, SweepKernelLanesPopulateThePointCache) {
     }
 }
 
+TEST(Engine, CacheAwareSweepSplicesPrewarmedLanes) {
+    // The kernel sweep planner probes the point cache per lane, runs the
+    // batch kernel over the missing lanes only, and splices the cached
+    // bytes back in lane order — so a pre-warmed grid point is served
+    // from memory and the response stays byte-identical at every thread
+    // count.  Grid [1,5]x5 has exact-double lanes {1,2,3,4,5}.
+    const std::string sweep =
+        R"({"op":"sweep","param":"lambda_um","from":1,"to":5,"count":5,
+            "target":{"op":"scenario1"}})";
+    serve::engine cold{config_with(1, /*cache_capacity=*/0)};
+    const std::string expected = cold.handle_line(sweep);
+
+    for (unsigned parallelism : {1u, 4u, 0u}) {
+        serve::engine engine{config_with(parallelism)};
+        (void)engine.handle_line(R"({"op":"scenario1","lambda_um":2})");
+        (void)engine.handle_line(R"({"op":"scenario1","lambda_um":4})");
+        const auto before = engine.cache_stats();
+        EXPECT_EQ(engine.handle_line(sweep), expected)
+            << "parallelism=" << parallelism;
+        const auto after = engine.cache_stats();
+        // Both pre-warmed lanes were cache hits inside the sweep.
+        EXPECT_GE(after.hits, before.hits + 2)
+            << "parallelism=" << parallelism;
+    }
+}
+
+TEST(Engine, FullyCachedSweepIsByteIdenticalToCold) {
+    // A coarser sweep whose grid is a subset of an earlier fine sweep
+    // finds every lane in the cache: the kernel runs over zero lanes
+    // and the response is pure splice — still byte-identical to a
+    // cache-disabled engine's answer.
+    const std::string fine =
+        R"({"op":"sweep","param":"lambda_um","from":1,"to":5,"count":5,
+            "target":{"op":"scenario2","y0":0.8}})";
+    const std::string coarse =
+        R"({"op":"sweep","param":"lambda_um","from":1,"to":5,"count":3,
+            "target":{"op":"scenario2","y0":0.8}})";
+    serve::engine cold{config_with(1, /*cache_capacity=*/0)};
+    const std::string expected = cold.handle_line(coarse);
+
+    serve::engine engine{config_with(4)};
+    (void)engine.handle_line(fine);  // caches lanes {1,2,3,4,5}
+    const auto before = engine.cache_stats();
+    EXPECT_EQ(engine.handle_line(coarse), expected);
+    const auto after = engine.cache_stats();
+    EXPECT_GE(after.hits, before.hits + 3)
+        << "all three coarse lanes {1,3,5} must splice from cache";
+}
+
+TEST(Engine, ExploreLanesPopulateTheChipletPointCache) {
+    // partition_explore cells are chiplet point evaluations; the SoA
+    // kernel exports each feasible cell's full breakdown so the engine
+    // caches it under the equivalent chiplet point request's canonical
+    // key.  Defaults sum to 600 mm^2, so totals {600,1200} scale by
+    // exact factors {1,2} and a handwritten point request produces the
+    // same canonical doubles.
+    serve::engine engine{config_with(1)};
+    (void)engine.handle_line(
+        R"({"op":"partition_explore","splits":"1,2","area_from_mm2":600,
+            "area_to_mm2":1200,"count":2})");
+    const auto before = engine.cache_stats();
+    const std::vector<std::string> points = {
+        R"({"op":"chiplet","chiplets":1})",  // total 600, factor 1
+        R"({"op":"chiplet","chiplets":2,"logic_area_mm2":700,
+            "memory_area_mm2":300,"io_area_mm2":200})",  // total 1200
+    };
+    serve::engine fresh{config_with(1, /*cache_capacity=*/0)};
+    for (const std::string& point : points) {
+        EXPECT_EQ(engine.handle_line(point), fresh.handle_line(point))
+            << point;
+    }
+    const auto after = engine.cache_stats();
+    EXPECT_EQ(after.hits, before.hits + points.size());
+    EXPECT_EQ(after.misses, before.misses);
+}
+
+TEST(Engine, OverlappingExploreSplicesCachedCellsByteIdentical) {
+    // A second explore over a sub-grid of the first answers its cells
+    // from the point cache; the spliced response must be byte-identical
+    // to a cache-disabled engine's at every thread count.
+    const std::string fine =
+        R"({"op":"partition_explore","splits":"1,2,4","area_from_mm2":100,
+            "area_to_mm2":400,"count":4})";
+    const std::string coarse =
+        R"({"op":"partition_explore","splits":"1,2,4","area_from_mm2":100,
+            "area_to_mm2":400,"count":2})";
+    serve::engine cold{config_with(1, /*cache_capacity=*/0)};
+    const std::string expected = cold.handle_line(coarse);
+
+    for (unsigned parallelism : {1u, 4u, 0u}) {
+        serve::engine engine{config_with(parallelism)};
+        (void)engine.handle_line(fine);  // caches cells {100,200,300,400}
+        const auto before = engine.cache_stats();
+        EXPECT_EQ(engine.handle_line(coarse), expected)
+            << "parallelism=" << parallelism;
+        const auto after = engine.cache_stats();
+        // Every feasible coarse cell {100,400} x 3 splits was a hit.
+        EXPECT_GT(after.hits, before.hits)
+            << "parallelism=" << parallelism;
+    }
+}
+
 TEST(Engine, SweepInfeasiblePointsAreNull) {
     serve::engine engine{config_with(1)};
     // Lambda swept through zero: non-positive grid points infeasible.

@@ -1,0 +1,93 @@
+# Warm-restart smoke test: run the golden corpus twice through silicond
+# with --cache-snapshot at the given thread count.  The first run starts
+# cold and writes a snapshot at clean shutdown; the second run restores
+# it and must (a) log the restore, (b) answer the whole corpus from the
+# warmed cache, and (c) produce byte-identical golden responses — a
+# restart is a latency event, never a correctness event.
+#
+# Expects: SILICOND (binary path), REQUESTS, GOLDEN, THREADS,
+#          SNAPSHOT (a scratch path for the snapshot file).
+
+foreach(var SILICOND REQUESTS GOLDEN THREADS SNAPSHOT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "warmstart_smoke_test.cmake: ${var} not set")
+  endif()
+endforeach()
+
+file(REMOVE ${SNAPSHOT} ${SNAPSHOT}.tmp)
+file(READ ${GOLDEN} expected)
+
+# Cold run: no snapshot exists yet; one is written at shutdown.
+execute_process(
+  COMMAND ${SILICOND} --threads ${THREADS} --batch 7
+          --cache-snapshot ${SNAPSHOT}
+  INPUT_FILE ${REQUESTS}
+  OUTPUT_VARIABLE cold_out
+  ERROR_VARIABLE cold_log
+  RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "cold silicond exited with status ${status}")
+endif()
+if(NOT cold_out STREQUAL expected)
+  message(FATAL_ERROR
+    "cold run output differs from ${GOLDEN}\n--- actual ---\n${cold_out}")
+endif()
+if(NOT cold_log MATCHES "silicond.snapshot_cold")
+  message(FATAL_ERROR "cold run did not log the missing-snapshot start:\n"
+                      "${cold_log}")
+endif()
+if(NOT cold_log MATCHES "silicond.snapshot_written")
+  message(FATAL_ERROR "cold run did not write a shutdown snapshot:\n"
+                      "${cold_log}")
+endif()
+if(NOT EXISTS ${SNAPSHOT})
+  message(FATAL_ERROR "shutdown snapshot ${SNAPSHOT} was not created")
+endif()
+if(EXISTS ${SNAPSHOT}.tmp)
+  message(FATAL_ERROR "atomic write left ${SNAPSHOT}.tmp behind")
+endif()
+
+# Warm run: the snapshot restores and the same corpus is byte-identical.
+execute_process(
+  COMMAND ${SILICOND} --threads ${THREADS} --batch 7
+          --cache-snapshot ${SNAPSHOT}
+  INPUT_FILE ${REQUESTS}
+  OUTPUT_VARIABLE warm_out
+  ERROR_VARIABLE warm_log
+  RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "warm silicond exited with status ${status}")
+endif()
+if(NOT warm_log MATCHES "silicond.snapshot_restored")
+  message(FATAL_ERROR "warm run did not restore the snapshot:\n${warm_log}")
+endif()
+if(NOT warm_out STREQUAL expected)
+  message(FATAL_ERROR
+    "warm-restart output differs from ${GOLDEN} at --threads ${THREADS}\n"
+    "--- actual ---\n${warm_out}")
+endif()
+
+# A corrupted snapshot must degrade to a logged cold start with the
+# same golden bytes — never a crash or a poisoned response.
+file(WRITE ${SNAPSHOT} "garbage, not a snapshot")
+execute_process(
+  COMMAND ${SILICOND} --threads ${THREADS} --batch 7
+          --cache-snapshot ${SNAPSHOT}
+  INPUT_FILE ${REQUESTS}
+  OUTPUT_VARIABLE corrupt_out
+  ERROR_VARIABLE corrupt_log
+  RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "silicond crashed on a corrupt snapshot: ${status}")
+endif()
+if(NOT corrupt_log MATCHES "silicond.snapshot_cold")
+  message(FATAL_ERROR "corrupt snapshot was not logged as a cold start:\n"
+                      "${corrupt_log}")
+endif()
+if(NOT corrupt_out STREQUAL expected)
+  message(FATAL_ERROR
+    "corrupt-snapshot cold start output differs from ${GOLDEN}\n"
+    "--- actual ---\n${corrupt_out}")
+endif()
+
+file(REMOVE ${SNAPSHOT} ${SNAPSHOT}.tmp)

@@ -42,6 +42,15 @@
 //                            (short writes keep the queue non-empty);
 //                            the server must survive to the next conn
 //
+// A fourth battery exercises cache-snapshot persistence end to end:
+//   14. SIGUSR2 snapshot trigger — a warmed server takes the signal,
+//                            the snapshot file appears, and the write
+//                            surfaces on /statusz and /metrics
+//   15. kill mid-snapshot    — SIGKILL during a (fault-slowed) snapshot
+//                            write; the replacement server on the same
+//                            path boots from the intact previous image
+//                            and answers the corpus byte-identically
+//
 // Replies are validated with the real serve JSON parser (an invalid
 // byte stream fails the run, not just a string compare).  Exit code 0
 // = every scenario held; anything else prints the first violation.
@@ -962,6 +971,232 @@ void scenario_flightz_records_sheds(int port) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot battery (SIGUSR2 trigger, kill-mid-snapshot warm restart)
+// ---------------------------------------------------------------------------
+
+/// Deterministic, cacheable corpus shared by the snapshot scenarios:
+/// the same lines must produce the same reply bytes whether the cache
+/// started cold, was restored from a snapshot, or survived a crash.
+constexpr std::size_t kSnapshotCorpusLines = 6;
+std::string snapshot_corpus() {
+    return "{\"id\":1,\"op\":\"scenario1\"}\n"
+           "{\"id\":2,\"op\":\"scenario1\",\"lambda_um\":0.5}\n"
+           "{\"id\":3,\"op\":\"scenario2\",\"lambda_um\":0.6,\"y0\":0.8}\n"
+           "{\"id\":4,\"op\":\"chiplet\",\"chiplets\":2}\n"
+           "{\"id\":5,\"op\":\"chiplet\",\"chiplets\":4,\"logic_area_mm2\":500}\n"
+           "{\"id\":6,\"op\":\"gross_die\",\"die_width_mm\":7.5,"
+           "\"die_height_mm\":9}\n";
+}
+
+/// Play the snapshot corpus and return the raw reply lines (empty on
+/// any transport or envelope failure — failures are already reported).
+std::vector<std::string> play_snapshot_corpus(const std::string& scenario,
+                                              int port) {
+    const int fd = connect_to(port);
+    if (fd < 0) {
+        fail(scenario, "connect failed");
+        return {};
+    }
+    if (!send_bytes(fd, snapshot_corpus())) {
+        fail(scenario, "send failed");
+        ::close(fd);
+        return {};
+    }
+    const reply_stream replies = read_replies(fd, kSnapshotCorpusLines);
+    ::close(fd);
+    if (replies.lines.size() != kSnapshotCorpusLines) {
+        fail(scenario, "expected " + std::to_string(kSnapshotCorpusLines) +
+                           " replies, got " +
+                           std::to_string(replies.lines.size()));
+        return {};
+    }
+    for (const std::string& line : replies.lines) {
+        if (envelope_code(scenario, line) != "") {
+            fail(scenario, "corpus line not answered ok: " + line);
+            return {};
+        }
+    }
+    return replies.lines;
+}
+
+/// Pull the integer value of `"key":N` out of the `"snapshot"` object
+/// embedded in a /statusz body.  Returns -1 when absent.
+long statusz_snapshot_field(const std::string& body, const std::string& key) {
+    const std::size_t section = body.find("\"snapshot\":");
+    if (section == std::string::npos) {
+        return -1;
+    }
+    const std::size_t at = body.find("\"" + key + "\":", section);
+    if (at == std::string::npos) {
+        return -1;
+    }
+    long value = 0;
+    std::size_t i = at + key.size() + 3;
+    if (i >= body.size() || body[i] < '0' || body[i] > '9') {
+        return -1;
+    }
+    while (i < body.size() && body[i] >= '0' && body[i] <= '9') {
+        value = value * 10 + (body[i] - '0');
+        ++i;
+    }
+    return value;
+}
+
+/// SIGUSR2 is the manual snapshot trigger: after a warmed cache takes
+/// the signal, a snapshot file must appear on disk and the write must
+/// surface on /statusz (snapshot.writes, last_bytes) and /metrics.
+void scenario_sigusr2_snapshot(server& s, const std::string& snap_path) {
+    const std::string name = "sigusr2 snapshot trigger";
+    if (play_snapshot_corpus(name, s.port).empty()) {
+        return;
+    }
+    if (::kill(s.pid, SIGUSR2) != 0) {
+        fail(name, "kill(SIGUSR2) failed");
+        return;
+    }
+    // The signal wakes the event loop; poll the debug surface until the
+    // write lands (each GET also nudges the loop awake).
+    long writes = 0;
+    long last_bytes = 0;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds{kReplyTimeoutMs};
+    while (std::chrono::steady_clock::now() < deadline) {
+        double elapsed_ms = -1.0;
+        const std::string status =
+            http_get(name, s.port, "/statusz", elapsed_ms);
+        writes = statusz_snapshot_field(status, "writes");
+        last_bytes = statusz_snapshot_field(status, "last_bytes");
+        if (writes >= 1) {
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds{20});
+    }
+    if (writes < 1) {
+        fail(name, "/statusz never reported snapshot.writes >= 1");
+        return;
+    }
+    if (last_bytes <= 0) {
+        fail(name, "/statusz snapshot.last_bytes not positive after write");
+    }
+    if (::access(snap_path.c_str(), F_OK) != 0) {
+        fail(name, "snapshot file " + snap_path + " missing after SIGUSR2");
+    }
+    double elapsed_ms = -1.0;
+    const std::string metrics =
+        http_get(name, s.port, "/metrics", elapsed_ms);
+    if (metrics.find("silicon_cache_snapshot_writes_total") ==
+        std::string::npos) {
+        fail(name, "/metrics lacks silicon_cache_snapshot_writes_total");
+    }
+}
+
+/// Crash-safety contract: SIGKILL in the middle of a snapshot write
+/// must never poison the warm restart.  The first server takes a clean
+/// snapshot, then is killed mid-write of a second one (slow_task on
+/// serve.snapshot_write holds the window open); the replacement server
+/// on the same path must boot — restoring the intact previous image —
+/// and answer the same corpus with byte-identical replies.
+void scenario_kill_mid_snapshot(const char* binary,
+                                const std::string& snap_path) {
+    const std::string name = "kill mid-snapshot, warm restart";
+    std::remove(snap_path.c_str());
+    std::remove((snap_path + ".tmp").c_str());
+
+    const std::vector<std::string> slow_writer{
+        "--threads", "2",
+        "--cache-snapshot", snap_path,
+        "--faults", "slow_task@serve.snapshot_write:100",
+    };
+    server a = spawn_silicond(binary, slow_writer);
+    if (a.pid < 0) {
+        fail(name, "spawn failed");
+        return;
+    }
+    a.port = await_port(a);
+    if (a.port == 0) {
+        fail(name, "first server never reported a port");
+        stop_silicond(a);
+        return;
+    }
+    const std::vector<std::string> baseline =
+        play_snapshot_corpus(name, a.port);
+    if (baseline.empty()) {
+        stop_silicond(a);
+        return;
+    }
+
+    // First snapshot: trigger and wait for the file to land on disk.
+    ::kill(a.pid, SIGUSR2);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds{kReplyTimeoutMs};
+    while (::access(snap_path.c_str(), F_OK) != 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+        // Connecting wakes the event loop in case the signal landed
+        // between epoll waits; no reply is awaited.
+        const int nudge = connect_to(a.port);
+        if (nudge >= 0) {
+            ::close(nudge);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds{20});
+    }
+    if (::access(snap_path.c_str(), F_OK) != 0) {
+        fail(name, "first snapshot never appeared at " + snap_path);
+        stop_silicond(a);
+        return;
+    }
+
+    // Second snapshot: trigger, give the slow write time to start, and
+    // SIGKILL the server mid-write.  Whether the kill lands during
+    // serialization or the file write, the previous snapshot must stay
+    // intact (the tmp-write + rename protocol never touches it).
+    ::kill(a.pid, SIGUSR2);
+    const int nudge = connect_to(a.port);
+    std::this_thread::sleep_for(std::chrono::milliseconds{150});
+    ::kill(a.pid, SIGKILL);
+    int status = 0;
+    ::waitpid(a.pid, &status, 0);
+    a.pid = -1;
+    if (nudge >= 0) {
+        ::close(nudge);
+    }
+    if (a.stderr_fd >= 0) {
+        ::close(a.stderr_fd);
+        a.stderr_fd = -1;
+    }
+
+    // The replacement must boot (a leftover .tmp or torn image must not
+    // crash it) and answer the same corpus byte-for-byte.
+    const std::vector<std::string> replacement{
+        "--threads", "2",
+        "--cache-snapshot", snap_path,
+    };
+    server b = spawn_silicond(binary, replacement);
+    if (b.pid < 0) {
+        fail(name, "replacement spawn failed");
+        return;
+    }
+    b.port = await_port(b);
+    if (b.port == 0) {
+        fail(name, "replacement server never came up after the kill");
+        stop_silicond(b);
+        return;
+    }
+    const std::vector<std::string> warm = play_snapshot_corpus(name, b.port);
+    if (warm.size() == baseline.size()) {
+        for (std::size_t i = 0; i < warm.size(); ++i) {
+            if (warm[i] != baseline[i]) {
+                fail(name, "reply " + std::to_string(i + 1) +
+                               " differs after warm restart:\n  before: " +
+                               baseline[i] + "\n  after:  " + warm[i]);
+            }
+        }
+    }
+    stop_silicond(b);
+    std::remove(snap_path.c_str());
+    std::remove((snap_path + ".tmp").c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1055,6 +1290,38 @@ int main(int argc, char** argv) {
     scenario_flightz_records_sheds(s3.port);
 
     stop_silicond(s3);
+
+    // Fourth battery: cache snapshot persistence.  SIGUSR2 must take a
+    // manual snapshot whose write surfaces on /statusz and /metrics;
+    // SIGKILL in the middle of a snapshot write must leave the previous
+    // image intact so the replacement server answers the same corpus
+    // byte-identically.
+    const std::string snap_path =
+        "chaosclient_snapshot_" + std::to_string(::getpid()) + ".snap";
+    std::remove(snap_path.c_str());
+    const std::vector<std::string> snapshotting{
+        "--threads", "2",
+        "--cache-snapshot", snap_path,
+    };
+    server s4 = spawn_silicond(argv[1], snapshotting);
+    if (s4.pid < 0) {
+        return 2;
+    }
+    s4.port = await_port(s4);
+    if (s4.port == 0) {
+        stop_silicond(s4);
+        return 2;
+    }
+    std::cerr << "chaosclient: snapshotting server up on port " << s4.port
+              << "\n";
+
+    scenario_sigusr2_snapshot(s4, snap_path);
+
+    stop_silicond(s4);
+    std::remove(snap_path.c_str());
+
+    scenario_kill_mid_snapshot(argv[1], snap_path);
+
     if (g_failures != 0) {
         std::cerr << "chaosclient: " << g_failures << " failure(s)\n";
         return 1;

@@ -54,6 +54,11 @@
 //   --batch N             max lines per engine batch (default 1024)
 //   --cache-capacity N    memoization entries (0 disables; default 65536)
 //   --cache-shards N      cache shard count (default 16)
+//   --cache-snapshot PATH persist the cache to PATH (restored at boot,
+//                         written atomically on clean shutdown, on
+//                         SIGUSR2, and every --snapshot-interval)
+//   --snapshot-interval S periodic snapshot cadence in seconds
+//                         (0 = only shutdown/SIGUSR2 writes)
 //   --fast-math           vector-math sweep/partition kernels (ULP-
 //                         bounded drift; off = bit-exact scalar)
 //   --port N              serve TCP on 127.0.0.1:N instead of stdin
@@ -86,7 +91,10 @@
 //
 // SIGUSR1 dumps the flight recorder on demand: to --flight-dump FILE
 // when given, to stderr otherwise.  `GET /flightz` over the TCP port
-// answers the same JSONL without touching the filesystem.
+// answers the same JSONL without touching the filesystem.  SIGUSR2
+// writes a cache snapshot to --cache-snapshot on demand (crash-safe
+// warm restarts, DESIGN.md §16); snapshot age/bytes/duration show up
+// in /statusz and the Prometheus exposition.
 
 #include "exec/thread_pool.hpp"
 #include "obs/flight.hpp"
@@ -98,6 +106,7 @@
 #include "serve/faults.hpp"
 #include "serve/io.hpp"
 #include "serve/limits.hpp"
+#include "serve/snapshot.hpp"
 #include "simd/dispatch.hpp"
 
 #include <algorithm>
@@ -126,9 +135,11 @@ namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
 volatile std::sig_atomic_t g_dump_flight = 0;
+volatile std::sig_atomic_t g_snapshot_now = 0;
 
 void on_signal(int) { g_stop = 1; }
 void on_sigusr1(int) { g_dump_flight = 1; }
+void on_sigusr2(int) { g_snapshot_now = 1; }
 
 /// Install SIGINT/SIGTERM handlers WITHOUT SA_RESTART so blocking
 /// reads/accepts return EINTR and the main loops can exit cleanly.
@@ -149,6 +160,11 @@ void install_signal_handlers() {
     sigemptyset(&usr1.sa_mask);
     usr1.sa_flags = 0;
     sigaction(SIGUSR1, &usr1, nullptr);
+    struct sigaction usr2{};
+    usr2.sa_handler = on_sigusr2;
+    sigemptyset(&usr2.sa_mask);
+    usr2.sa_flags = 0;
+    sigaction(SIGUSR2, &usr2, nullptr);
     std::signal(SIGPIPE, SIG_IGN);
 }
 
@@ -180,11 +196,51 @@ void process_flight_dump_request() {
     }
 }
 
+/// Snapshot plumbing: set once in main before any transport thread
+/// starts, then read-only.  Empty path = snapshots disabled.
+std::string g_snapshot_path;                      // NOLINT
+silicon::serve::engine* g_snapshot_engine = nullptr;  // NOLINT
+
+/// Write a cache snapshot to --cache-snapshot and log the outcome.
+/// Safe from any thread (the engine serializes writers internally);
+/// a failed write leaves any previous snapshot file intact.
+void write_snapshot(const char* why) {
+    if (g_snapshot_path.empty() || g_snapshot_engine == nullptr) {
+        return;
+    }
+    const silicon::serve::snapshot::write_result r =
+        g_snapshot_engine->snapshot_write(g_snapshot_path);
+    if (r.ok) {
+        silicon::obs::log_info("silicond.snapshot_written",
+                               {{"path", g_snapshot_path},
+                                {"reason", why},
+                                {"entries", r.entries},
+                                {"bytes", r.bytes}});
+    } else {
+        silicon::obs::log_error("silicond.snapshot_failed",
+                                {{"path", g_snapshot_path},
+                                 {"reason", why},
+                                 {"error", r.error}});
+    }
+}
+
+/// Honor a pending SIGUSR2 (manual snapshot trigger) outside signal
+/// context.  Called from the transport loops' wakeup points.
+void process_snapshot_request() {
+    if (g_snapshot_now == 0) {
+        return;
+    }
+    g_snapshot_now = 0;
+    write_snapshot("sigusr2");
+}
+
 struct options {
     unsigned threads = 0;
     std::size_t batch = 1024;
     std::size_t cache_capacity = 65536;
     std::size_t cache_shards = 16;
+    std::string cache_snapshot;     ///< empty = snapshots off
+    unsigned snapshot_interval = 0;  ///< seconds; 0 = no periodic writes
     int port = -1;
     std::size_t max_conns = 0;           ///< 0 = unlimited
     std::size_t idle_timeout_ms = 0;     ///< 0 = never
@@ -211,7 +267,9 @@ void usage(std::ostream& out) {
     out << "silicond - Maly silicon cost model query server (JSONL)\n"
            "\n"
            "  silicond [--threads N] [--batch N] [--cache-capacity N]\n"
-           "           [--cache-shards N] [--port N] [--max-conns N]\n"
+           "           [--cache-shards N] [--cache-snapshot PATH]\n"
+           "           [--snapshot-interval S]\n"
+           "           [--port N] [--max-conns N]\n"
            "           [--idle-timeout-ms N] [--write-timeout-ms N]\n"
            "           [--max-line-bytes N] [--max-batch-lines N]\n"
            "           [--max-sweep-points N] [--max-mc-dies N]\n"
@@ -251,6 +309,13 @@ void usage(std::ostream& out) {
            "(liveness; 503 when over the admission budget),\n"
            "GET /statusz (config/limits/cache/flight JSON) and\n"
            "GET /flightz (recent flight records, JSONL).\n"
+           "\n"
+           "--cache-snapshot PATH makes restarts warm: the memoization\n"
+           "cache is restored from PATH at boot (a missing, corrupt, or\n"
+           "mismatched snapshot degrades to a counted cold start, never\n"
+           "a crash) and written back atomically (tmp + fsync + rename)\n"
+           "on clean shutdown, on SIGUSR2, and every\n"
+           "--snapshot-interval seconds.\n"
            "\n"
            "--fast-math routes sweep and partition_explore kernels\n"
            "through runtime-dispatched vector math (AVX2/NEON; see the\n"
@@ -329,6 +394,18 @@ bool parse_options(int argc, char** argv, options& opt) {
                 return false;
             }
             opt.cache_shards = v;
+        } else if (arg == "--cache-snapshot") {
+            const char* t = next();
+            if (t == nullptr || *t == '\0') {
+                return false;
+            }
+            opt.cache_snapshot = t;
+        } else if (arg == "--snapshot-interval") {
+            const char* t = next();
+            if (t == nullptr || !parse_size(t, v) || v == 0) {
+                return false;
+            }
+            opt.snapshot_interval = static_cast<unsigned>(v);
         } else if (arg == "--port") {
             const char* t = next();
             if (t == nullptr || !parse_size(t, v) || v > 65535) {
@@ -481,6 +558,7 @@ long read_some(int fd, char* buf, std::size_t cap) {
                 return 0;  // interrupted by shutdown: drain and exit
             }
             process_flight_dump_request();  // SIGUSR1 woke the read
+            process_snapshot_request();     // SIGUSR2: snapshot now
             continue;
         }
         return static_cast<long>(got);
@@ -687,6 +765,15 @@ int run_tcp(silicon::serve::engine& engine, const options& opt) {
     loop_config.conn.batch = opt.batch;
     loop_config.conn.max_line_bytes = opt.max_line_bytes;
     loop_config.conn.close_on_oversize = true;
+    if (opt.snapshot_interval > 0 && !opt.cache_snapshot.empty()) {
+        // Periodic snapshots ride the loop's timerfd tick; the write
+        // serializes the cache shard-by-shard and the file I/O is a
+        // local rename, so the pause is bounded and connections keep
+        // their kernel buffers meanwhile.
+        loop_config.periodic_ms =
+            static_cast<std::uint64_t>(opt.snapshot_interval) * 1000u;
+        loop_config.on_periodic = [] { write_snapshot("interval"); };
+    }
     try {
         // The loop owns the listener from here on.  SIGINT/SIGTERM
         // interrupt epoll_wait (no SA_RESTART) and the should_stop
@@ -694,9 +781,11 @@ int run_tcp(silicon::serve::engine& engine, const options& opt) {
         silicon::serve::event_loop loop{engine, listener,
                                         std::move(loop_config)};
         loop.run([] {
-            // Piggyback on the loop's wakeup check: SIGUSR1 interrupts
-            // epoll_wait, the dump happens here, serving continues.
+            // Piggyback on the loop's wakeup check: SIGUSR1/SIGUSR2
+            // interrupt epoll_wait, the dump/snapshot happens here,
+            // serving continues.
             process_flight_dump_request();
+            process_snapshot_request();
             return g_stop != 0;
         });
     } catch (const std::system_error& e) {
@@ -763,6 +852,52 @@ private:
     bool done_ = false;
 };
 
+/// Background periodic snapshot writer for stdio mode (TCP mode rides
+/// the event loop's timerfd instead).  The engine serializes snapshot
+/// writers, so this thread and a SIGUSR2-triggered write never tear.
+class snapshot_ticker {
+public:
+    explicit snapshot_ticker(unsigned interval)
+        : interval_{interval} {
+        if (interval_ > 0) {
+            thread_ = std::thread{[this] { loop(); }};
+        }
+    }
+
+    ~snapshot_ticker() { stop(); }
+
+    void stop() {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            if (done_) {
+                return;
+            }
+            done_ = true;
+        }
+        cv_.notify_all();
+        if (thread_.joinable()) {
+            thread_.join();
+        }
+    }
+
+private:
+    void loop() {
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (!cv_.wait_for(lock, std::chrono::seconds{interval_},
+                             [this] { return done_; })) {
+            lock.unlock();
+            write_snapshot("interval");
+            lock.lock();
+        }
+    }
+
+    unsigned interval_;
+    std::thread thread_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool done_ = false;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -808,6 +943,32 @@ int main(int argc, char** argv) {
     config.fast_math = opt.fast_math;
     silicon::serve::engine engine{config};
 
+    if (!opt.cache_snapshot.empty()) {
+        g_snapshot_path = opt.cache_snapshot;
+        g_snapshot_engine = &engine;
+        const silicon::serve::snapshot::restore_result restored =
+            engine.snapshot_restore(opt.cache_snapshot);
+        using silicon::serve::snapshot::restore_outcome;
+        switch (restored.outcome) {
+            case restore_outcome::restored:
+                obs::log_info("silicond.snapshot_restored",
+                              {{"path", opt.cache_snapshot},
+                               {"entries", restored.entries},
+                               {"bytes", restored.bytes}});
+                break;
+            case restore_outcome::cold_missing:
+                obs::log_info("silicond.snapshot_cold",
+                              {{"path", opt.cache_snapshot},
+                               {"reason", "missing"}});
+                break;
+            case restore_outcome::cold_corrupt:
+                obs::log_warn("silicond.snapshot_cold",
+                              {{"path", opt.cache_snapshot},
+                               {"reason", restored.reason}});
+                break;
+        }
+    }
+
     // Flight recorder: configured while still single-threaded (ring
     // capacity is fixed at a thread's first append).
     obs::flight_recorder& flight = obs::flight_recorder::instance();
@@ -827,6 +988,8 @@ int main(int argc, char** argv) {
          {"batch", opt.batch},
          {"cache_capacity", opt.cache_capacity},
          {"cache_shards", opt.cache_shards},
+         {"cache_snapshot", opt.cache_snapshot},
+         {"snapshot_interval", opt.snapshot_interval},
          {"mode", opt.port >= 0 ? "tcp" : "stdio"},
          {"simd_target",
           silicon::simd::to_string(silicon::simd::active_target())},
@@ -841,14 +1004,19 @@ int main(int argc, char** argv) {
          {"flight_dump", opt.flight_dump}});
 
     metrics_dumper dumper{engine, opt.metrics_interval};
+    // stdio has no event loop to carry the periodic tick, so it gets a
+    // dedicated thread; TCP snapshots ride the loop's timerfd.
+    snapshot_ticker ticker{opt.port < 0 ? opt.snapshot_interval : 0u};
 
     const int status =
         opt.port >= 0 ? run_tcp(engine, opt) : run_stdio(engine, opt);
 
     // Clean shutdown (EOF or SIGINT/SIGTERM): stop the periodic dumper
-    // (which flushes a final exposition), write the flight dump and the
-    // trace, then the legacy JSON metrics dump.
+    // (which flushes a final exposition), write a final cache snapshot,
+    // the flight dump and the trace, then the legacy JSON metrics dump.
     dumper.stop();
+    ticker.stop();
+    write_snapshot("shutdown");
 
     process_flight_dump_request();  // a SIGUSR1 racing shutdown still dumps
     if (!opt.flight_dump.empty()) {

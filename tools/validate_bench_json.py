@@ -193,6 +193,48 @@ def check_flight(doc, path):
     return errors
 
 
+def check_warmstart(doc, path):
+    """BENCH_warmstart.json: snapshot restore vs cold-start economics."""
+    errors = require(doc, path, "warmstart", dict)
+    if errors:
+        return errors
+    ws = doc["warmstart"]
+    for key in ("requests", "distinct_keys", "warm_hit_ratio",
+                "warm_req_per_s", "restored_hit_ratio", "restored_req_per_s",
+                "cold_hit_ratio", "cold_req_per_s", "restored_ratio_vs_warm",
+                "min_restored_ratio_vs_warm", "snapshot_entries",
+                "snapshot_bytes", "snapshot_write_seconds",
+                "snapshot_restore_seconds"):
+        errors += require(ws, path, key, (int, float))
+    errors += require(ws, path, "truncated_restore_cold", bool)
+    errors += require(ws, path, "ladder", list)
+    if errors:
+        return errors
+    # Both gates are deterministic, so they hold even in tiny mode: a
+    # restored cache must preserve the warm hit ratio and a truncated
+    # snapshot must degrade to a clean cold start.
+    floor = ws["min_restored_ratio_vs_warm"]
+    if floor < 0.90:
+        errors += fail(path, f"restored-ratio floor {floor} below 0.90")
+    if ws["restored_ratio_vs_warm"] < floor:
+        errors += fail(path, f"restored hit ratio is "
+                             f"{ws['restored_ratio_vs_warm']:.3f}x warm, "
+                             f"want >= {floor}x")
+    if ws.get("truncated_restore_cold") is False:
+        errors += fail(path, "truncated snapshot did not restore cold")
+    if not ws["ladder"]:
+        errors += fail(path, "snapshot latency ladder is empty")
+    for row in ws["ladder"]:
+        if not isinstance(row, dict):
+            errors += fail(path, "ladder row is not an object")
+            continue
+        for key in ("entries", "bytes", "write_seconds", "restore_seconds"):
+            errors += require(row, path, key, (int, float))
+        if row.get("bytes", 0) <= 0:
+            errors += fail(path, "ladder row has no snapshot bytes")
+    return errors
+
+
 CHECKS = {
     "bench_serve_throughput": check_serve,
     "bench_batch_kernels": check_kernels,
@@ -200,6 +242,7 @@ CHECKS = {
     "bench_overload": check_overload,
     "bench_load": check_load,
     "bench_flight": check_flight,
+    "bench_warmstart": check_warmstart,
 }
 
 
